@@ -1,0 +1,431 @@
+//! Monotone threshold access trees.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use sp_wire::{Reader, WireError, Writer};
+
+use crate::error::AbeError;
+
+/// A node of an access tree: either a threshold gate over child nodes or
+/// a leaf naming one attribute.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum AccessNode {
+    /// `k`-of-`children.len()` threshold gate. `k = 1` is OR, `k = n` is
+    /// AND.
+    Threshold {
+        /// How many children must be satisfied.
+        k: usize,
+        /// The child nodes.
+        children: Vec<AccessNode>,
+    },
+    /// A leaf carrying one attribute string.
+    Leaf {
+        /// The attribute that satisfies this leaf.
+        attribute: String,
+    },
+}
+
+/// A validated monotone access structure.
+///
+/// Construct with [`AccessTree::leaf`], [`AccessTree::threshold`],
+/// [`AccessTree::and`], [`AccessTree::or`], or the paper's height-1
+/// context tree via [`AccessTree::context_tree`].
+#[derive(Clone, PartialEq, Eq)]
+pub struct AccessTree {
+    root: AccessNode,
+}
+
+impl AccessTree {
+    /// A single-leaf tree.
+    pub fn leaf(attribute: impl Into<String>) -> Self {
+        Self { root: AccessNode::Leaf { attribute: attribute.into() } }
+    }
+
+    /// A `k`-of-`n` threshold gate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AbeError::BadTree`] if `k` is zero or exceeds the child
+    /// count, the gate is empty, or any nested attribute is empty.
+    pub fn threshold(k: usize, children: Vec<AccessTree>) -> Result<Self, AbeError> {
+        let root = AccessNode::Threshold {
+            k,
+            children: children.into_iter().map(|t| t.root).collect(),
+        };
+        let tree = Self { root };
+        tree.validate()?;
+        Ok(tree)
+    }
+
+    /// An AND gate (all children required).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AbeError::BadTree`] for an empty child list.
+    pub fn and(children: Vec<AccessTree>) -> Result<Self, AbeError> {
+        let n = children.len();
+        Self::threshold(n, children)
+    }
+
+    /// An OR gate (any child suffices).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AbeError::BadTree`] for an empty child list.
+    pub fn or(children: Vec<AccessTree>) -> Result<Self, AbeError> {
+        Self::threshold(1, children)
+    }
+
+    /// The paper's Construction-2 access tree (Fig. 3): height 1, root
+    /// threshold `k`, one leaf per context question–answer pair, leaf
+    /// attribute being the canonical `(q, a)` encoding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AbeError::BadTree`] if `pairs` is empty or
+    /// `k ∉ [1, pairs.len()]`.
+    pub fn context_tree(k: usize, pairs: &[(String, String)]) -> Result<Self, AbeError> {
+        let leaves = pairs
+            .iter()
+            .map(|(q, a)| Self::leaf(encode_qa_attribute(q, a)))
+            .collect();
+        Self::threshold(k, leaves)
+    }
+
+    /// The root node.
+    pub fn root(&self) -> &AccessNode {
+        &self.root
+    }
+
+    fn validate(&self) -> Result<(), AbeError> {
+        fn walk(node: &AccessNode) -> Result<(), AbeError> {
+            match node {
+                AccessNode::Leaf { attribute } => {
+                    if attribute.is_empty() {
+                        return Err(AbeError::BadTree);
+                    }
+                    Ok(())
+                }
+                AccessNode::Threshold { k, children } => {
+                    if children.is_empty() || *k == 0 || *k > children.len() {
+                        return Err(AbeError::BadTree);
+                    }
+                    children.iter().try_for_each(walk)
+                }
+            }
+        }
+        walk(&self.root)
+    }
+
+    /// All leaf attributes in depth-first order (the order ciphertext leaf
+    /// components are laid out in).
+    pub fn leaves(&self) -> Vec<&str> {
+        fn walk<'a>(node: &'a AccessNode, out: &mut Vec<&'a str>) {
+            match node {
+                AccessNode::Leaf { attribute } => out.push(attribute),
+                AccessNode::Threshold { children, .. } => {
+                    children.iter().for_each(|c| walk(c, out));
+                }
+            }
+        }
+        let mut out = Vec::new();
+        walk(&self.root, &mut out);
+        out
+    }
+
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> usize {
+        self.leaves().len()
+    }
+
+    /// Whether the attribute set satisfies the tree.
+    pub fn satisfied_by(&self, attributes: &HashSet<String>) -> bool {
+        fn walk(node: &AccessNode, attrs: &HashSet<String>) -> bool {
+            match node {
+                AccessNode::Leaf { attribute } => attrs.contains(attribute),
+                AccessNode::Threshold { k, children } => {
+                    children.iter().filter(|c| walk(c, attrs)).count() >= *k
+                }
+            }
+        }
+        walk(&self.root, attributes)
+    }
+
+    /// Rewrites every leaf attribute through `f`, preserving structure.
+    ///
+    /// This is the tree-shape half of the paper's `Perturb` subroutine
+    /// (§V-B): the social-puzzles layer passes a function that replaces
+    /// the answer part of each `(q, a)` attribute with its hash.
+    pub fn map_leaves(&self, mut f: impl FnMut(&str) -> String) -> AccessTree {
+        fn walk(node: &AccessNode, f: &mut impl FnMut(&str) -> String) -> AccessNode {
+            match node {
+                AccessNode::Leaf { attribute } => AccessNode::Leaf { attribute: f(attribute) },
+                AccessNode::Threshold { k, children } => AccessNode::Threshold {
+                    k: *k,
+                    children: children.iter().map(|c| walk(c, f)).collect(),
+                },
+            }
+        }
+        AccessTree { root: walk(&self.root, &mut f) }
+    }
+
+    /// Whether `other` has the identical gate structure (thresholds and
+    /// arities), ignoring leaf attribute strings. Ciphertext tree
+    /// replacement (`Perturb`/`Reconstruct`) requires this.
+    pub fn same_shape(&self, other: &AccessTree) -> bool {
+        fn walk(a: &AccessNode, b: &AccessNode) -> bool {
+            match (a, b) {
+                (AccessNode::Leaf { .. }, AccessNode::Leaf { .. }) => true,
+                (
+                    AccessNode::Threshold { k: ka, children: ca },
+                    AccessNode::Threshold { k: kb, children: cb },
+                ) => ka == kb && ca.len() == cb.len() && ca.iter().zip(cb).all(|(x, y)| walk(x, y)),
+                _ => false,
+            }
+        }
+        walk(&self.root, &other.root)
+    }
+
+    /// Wire encoding (depth-first, tagged nodes).
+    pub fn encode(&self, w: &mut Writer) {
+        fn walk(node: &AccessNode, w: &mut Writer) {
+            match node {
+                AccessNode::Leaf { attribute } => {
+                    w.u8(0);
+                    w.string(attribute);
+                }
+                AccessNode::Threshold { k, children } => {
+                    w.u8(1);
+                    w.u32(*k as u32);
+                    w.u32(children.len() as u32);
+                    children.iter().for_each(|c| walk(c, w));
+                }
+            }
+        }
+        walk(&self.root, w);
+    }
+
+    /// Decodes a tree produced by [`AccessTree::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] variants for malformed buffers.
+    pub fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        fn walk(r: &mut Reader<'_>, depth: usize) -> Result<AccessNode, WireError> {
+            if depth > 64 {
+                return Err(WireError::BadLength);
+            }
+            match r.u8()? {
+                0 => Ok(AccessNode::Leaf { attribute: r.string()?.to_owned() }),
+                1 => {
+                    let k = r.u32()? as usize;
+                    let n = r.u32()? as usize;
+                    if n > 1 << 20 {
+                        return Err(WireError::BadLength);
+                    }
+                    let mut children = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        children.push(walk(r, depth + 1)?);
+                    }
+                    Ok(AccessNode::Threshold { k, children })
+                }
+                _ => Err(WireError::BadLength),
+            }
+        }
+        let root = walk(r, 0)?;
+        let tree = AccessTree { root };
+        tree.validate().map_err(|_| WireError::BadLength)?;
+        Ok(tree)
+    }
+}
+
+impl fmt::Debug for AccessTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn walk(node: &AccessNode, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match node {
+                AccessNode::Leaf { attribute } => write!(f, "{attribute:?}"),
+                AccessNode::Threshold { k, children } => {
+                    write!(f, "{k}-of-(")?;
+                    for (i, c) in children.iter().enumerate() {
+                        if i > 0 {
+                            f.write_str(", ")?;
+                        }
+                        walk(c, f)?;
+                    }
+                    f.write_str(")")
+                }
+            }
+        }
+        f.write_str("AccessTree[")?;
+        walk(&self.root, f)?;
+        f.write_str("]")
+    }
+}
+
+/// Canonical attribute encoding for a `(question, answer)` pair — the
+/// unit-separator byte cannot appear in either part without escaping, so
+/// the mapping is injective.
+pub fn encode_qa_attribute(question: &str, answer: &str) -> String {
+    format!("{}\u{1f}{}", question.replace('\u{1f}', "\u{1f}\u{1f}"), answer)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn attrs(list: &[&str]) -> HashSet<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn leaf_satisfaction() {
+        let t = AccessTree::leaf("a");
+        assert!(t.satisfied_by(&attrs(&["a", "b"])));
+        assert!(!t.satisfied_by(&attrs(&["b"])));
+        assert!(!t.satisfied_by(&attrs(&[])));
+    }
+
+    #[test]
+    fn threshold_semantics() {
+        let t = AccessTree::threshold(
+            2,
+            vec![AccessTree::leaf("a"), AccessTree::leaf("b"), AccessTree::leaf("c")],
+        )
+        .unwrap();
+        assert!(t.satisfied_by(&attrs(&["a", "b"])));
+        assert!(t.satisfied_by(&attrs(&["a", "c"])));
+        assert!(t.satisfied_by(&attrs(&["a", "b", "c"])));
+        assert!(!t.satisfied_by(&attrs(&["a"])));
+        assert!(!t.satisfied_by(&attrs(&["x", "y"])));
+    }
+
+    #[test]
+    fn and_or_gates() {
+        let and = AccessTree::and(vec![AccessTree::leaf("a"), AccessTree::leaf("b")]).unwrap();
+        assert!(and.satisfied_by(&attrs(&["a", "b"])));
+        assert!(!and.satisfied_by(&attrs(&["a"])));
+        let or = AccessTree::or(vec![AccessTree::leaf("a"), AccessTree::leaf("b")]).unwrap();
+        assert!(or.satisfied_by(&attrs(&["b"])));
+        assert!(!or.satisfied_by(&attrs(&["c"])));
+    }
+
+    #[test]
+    fn nested_tree() {
+        // (a AND b) OR (2-of-(c, d, e))
+        let t = AccessTree::or(vec![
+            AccessTree::and(vec![AccessTree::leaf("a"), AccessTree::leaf("b")]).unwrap(),
+            AccessTree::threshold(
+                2,
+                vec![AccessTree::leaf("c"), AccessTree::leaf("d"), AccessTree::leaf("e")],
+            )
+            .unwrap(),
+        ])
+        .unwrap();
+        assert!(t.satisfied_by(&attrs(&["a", "b"])));
+        assert!(t.satisfied_by(&attrs(&["c", "e"])));
+        assert!(!t.satisfied_by(&attrs(&["a", "c"])));
+        assert_eq!(t.leaf_count(), 5);
+    }
+
+    #[test]
+    fn validation_rejects_bad_trees() {
+        assert_eq!(AccessTree::threshold(0, vec![AccessTree::leaf("a")]).unwrap_err(), AbeError::BadTree);
+        assert_eq!(AccessTree::threshold(2, vec![AccessTree::leaf("a")]).unwrap_err(), AbeError::BadTree);
+        assert_eq!(AccessTree::threshold(1, vec![]).unwrap_err(), AbeError::BadTree);
+        assert_eq!(AccessTree::and(vec![]).unwrap_err(), AbeError::BadTree);
+        assert_eq!(
+            AccessTree::threshold(1, vec![AccessTree::leaf("")]).unwrap_err(),
+            AbeError::BadTree
+        );
+    }
+
+    #[test]
+    fn context_tree_matches_paper_shape() {
+        let pairs: Vec<(String, String)> = vec![
+            ("where?".into(), "lakeside".into()),
+            ("who?".into(), "priya".into()),
+            ("when?".into(), "june".into()),
+        ];
+        let t = AccessTree::context_tree(2, &pairs).unwrap();
+        assert_eq!(t.leaf_count(), 3);
+        let good = attrs(&[
+            &encode_qa_attribute("where?", "lakeside"),
+            &encode_qa_attribute("when?", "june"),
+        ]);
+        assert!(t.satisfied_by(&good));
+        let bad = attrs(&[&encode_qa_attribute("where?", "lakeside")]);
+        assert!(!t.satisfied_by(&bad));
+        assert!(AccessTree::context_tree(0, &pairs).is_err());
+        assert!(AccessTree::context_tree(4, &pairs).is_err());
+        assert!(AccessTree::context_tree(1, &[]).is_err());
+    }
+
+    #[test]
+    fn qa_encoding_is_injective_on_separator() {
+        // ("a\u{1f}", "b") must differ from ("a", "\u{1f}b")
+        assert_ne!(
+            encode_qa_attribute("a\u{1f}", "b"),
+            encode_qa_attribute("a", "\u{1f}b")
+        );
+    }
+
+    #[test]
+    fn map_leaves_preserves_shape() {
+        let t = AccessTree::threshold(
+            2,
+            vec![AccessTree::leaf("a"), AccessTree::leaf("b"), AccessTree::leaf("c")],
+        )
+        .unwrap();
+        let mapped = t.map_leaves(|a| format!("H({a})"));
+        assert!(t.same_shape(&mapped));
+        assert_eq!(mapped.leaves(), vec!["H(a)", "H(b)", "H(c)"]);
+        assert!(!mapped.satisfied_by(&attrs(&["a", "b"])));
+        assert!(mapped.satisfied_by(&attrs(&["H(a)", "H(b)"])));
+    }
+
+    #[test]
+    fn same_shape_detects_differences() {
+        let a = AccessTree::and(vec![AccessTree::leaf("a"), AccessTree::leaf("b")]).unwrap();
+        let b = AccessTree::or(vec![AccessTree::leaf("x"), AccessTree::leaf("y")]).unwrap();
+        let c = AccessTree::and(vec![AccessTree::leaf("x"), AccessTree::leaf("y")]).unwrap();
+        assert!(!a.same_shape(&b), "thresholds differ");
+        assert!(a.same_shape(&c), "only attributes differ");
+        assert!(!a.same_shape(&AccessTree::leaf("a")));
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let t = AccessTree::or(vec![
+            AccessTree::and(vec![AccessTree::leaf("a"), AccessTree::leaf("b")]).unwrap(),
+            AccessTree::leaf("c"),
+        ])
+        .unwrap();
+        let mut w = Writer::new();
+        t.encode(&mut w);
+        let buf = w.finish();
+        let mut r = Reader::new(&buf);
+        let decoded = AccessTree::decode(&mut r).unwrap();
+        r.expect_end().unwrap();
+        assert_eq!(decoded, t);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(AccessTree::decode(&mut Reader::new(&[9])).is_err());
+        assert!(AccessTree::decode(&mut Reader::new(&[])).is_err());
+        // Tag says threshold with huge child count.
+        let mut w = Writer::new();
+        w.u8(1).u32(1).u32(u32::MAX);
+        let buf = w.finish();
+        assert!(AccessTree::decode(&mut Reader::new(&buf)).is_err());
+    }
+
+    #[test]
+    fn debug_rendering() {
+        let t = AccessTree::threshold(2, vec![AccessTree::leaf("a"), AccessTree::leaf("b")]).unwrap();
+        let s = format!("{t:?}");
+        assert!(s.contains("2-of-"));
+        assert!(s.contains("\"a\""));
+    }
+}

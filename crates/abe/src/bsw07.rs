@@ -1,0 +1,777 @@
+//! The Bethencourt–Sahai–Waters CP-ABE scheme (IEEE S&P 2007).
+
+use std::collections::HashSet;
+use std::fmt;
+
+use rand::Rng;
+use sp_pairing::{Gt, Pairing, Scalar, G1};
+use sp_shamir::{Polynomial, ShamirScheme};
+use sp_wire::{Reader, Writer};
+
+use crate::access_tree::{AccessNode, AccessTree};
+use crate::error::AbeError;
+
+/// The CP-ABE public key: `(h = g^β, f = g^{1/β}, e(g,g)^α)`; the
+/// generator `g` itself is part of the shared pairing parameters.
+#[derive(Clone, PartialEq, Eq)]
+pub struct PublicKey {
+    h: G1,
+    f: G1,
+    e_gg_alpha: Gt,
+}
+
+impl fmt::Debug for PublicKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("PublicKey(h, f, e(g,g)^alpha)")
+    }
+}
+
+/// The master secret `(β, g^α)`.
+///
+/// In the paper's protocol the sharer *publishes* `MK` alongside `PK` so
+/// receivers can run `KeyGen` themselves — access control comes from
+/// knowing the context attributes, not from withholding the master key.
+#[derive(Clone, PartialEq, Eq)]
+pub struct MasterKey {
+    beta: Scalar,
+    g_alpha: G1,
+}
+
+impl fmt::Debug for MasterKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("MasterKey(<secret>)")
+    }
+}
+
+/// One per-attribute component of a private key.
+#[derive(Clone, PartialEq, Eq, Debug)]
+struct KeyComponent {
+    attribute: String,
+    d_j: G1,
+    d_j_prime: G1,
+}
+
+/// A private key for an attribute set.
+#[derive(Clone, PartialEq, Eq)]
+pub struct PrivateKey {
+    d: G1,
+    components: Vec<KeyComponent>,
+}
+
+impl PrivateKey {
+    /// The attributes this key identifies with.
+    pub fn attributes(&self) -> Vec<&str> {
+        self.components.iter().map(|c| c.attribute.as_str()).collect()
+    }
+}
+
+impl fmt::Debug for PrivateKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PrivateKey({} attributes)", self.components.len())
+    }
+}
+
+/// A CP-ABE ciphertext: the access tree, `C̃ = m·e(g,g)^{αs}`, `C = h^s`,
+/// and per-leaf components in depth-first leaf order.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Ciphertext {
+    tree: AccessTree,
+    c_tilde: Gt,
+    c: G1,
+    leaf_cts: Vec<(G1, G1)>,
+}
+
+impl Ciphertext {
+    /// The embedded access tree.
+    pub fn tree(&self) -> &AccessTree {
+        &self.tree
+    }
+
+    /// Replaces the embedded tree with one of identical shape.
+    ///
+    /// This is the mechanism behind the paper's `Perturb` and
+    /// `Reconstruct` subroutines (§V-B): the group-element components are
+    /// opaque and stay put, only the human-readable tree labels change.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AbeError::TreeMismatch`] if the gate structure differs.
+    pub fn with_tree(&self, tree: AccessTree) -> Result<Ciphertext, AbeError> {
+        if !self.tree.same_shape(&tree) {
+            return Err(AbeError::TreeMismatch);
+        }
+        Ok(Ciphertext {
+            tree,
+            c_tilde: self.c_tilde.clone(),
+            c: self.c.clone(),
+            leaf_cts: self.leaf_cts.clone(),
+        })
+    }
+}
+
+impl fmt::Debug for Ciphertext {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Ciphertext({} leaves, tree = {:?})", self.leaf_cts.len(), self.tree)
+    }
+}
+
+/// The CP-ABE scheme, bound to pairing parameters.
+///
+/// See the [crate-level documentation](crate) for an end-to-end example.
+#[derive(Clone, Debug)]
+pub struct CpAbe {
+    pairing: Pairing,
+    shamir: ShamirScheme,
+}
+
+impl CpAbe {
+    /// Creates a scheme over the given pairing.
+    pub fn new(pairing: Pairing) -> Self {
+        let shamir = ShamirScheme::new(pairing.zr().clone());
+        Self { pairing, shamir }
+    }
+
+    /// Scheme over the production 512-bit parameters.
+    pub fn default_params() -> Self {
+        Self::new(Pairing::default_params())
+    }
+
+    /// Scheme over small cached test parameters (not cryptographically
+    /// strong).
+    pub fn insecure_test_params() -> Self {
+        Self::new(Pairing::insecure_test_params())
+    }
+
+    /// The underlying pairing.
+    pub fn pairing(&self) -> &Pairing {
+        &self.pairing
+    }
+
+    /// Samples a uniformly random `Gt` message (the payload a hybrid
+    /// scheme derives its symmetric key from).
+    pub fn random_message<R: Rng + ?Sized>(&self, rng: &mut R) -> Gt {
+        self.pairing.random_gt(rng)
+    }
+
+    /// `Setup`: produces the public key and master secret.
+    pub fn setup<R: Rng + ?Sized>(&self, rng: &mut R) -> (PublicKey, MasterKey) {
+        let g = self.pairing.generator();
+        let alpha = self.pairing.random_nonzero_scalar(rng);
+        let beta = self.pairing.random_nonzero_scalar(rng);
+        let beta_inv = beta.invert().expect("nonzero");
+        let h = self.pairing.mul(g, &beta);
+        let f = self.pairing.mul(g, &beta_inv);
+        let g_alpha = self.pairing.mul(g, &alpha);
+        let e_gg_alpha = self.pairing.pair(g, &g_alpha);
+        (PublicKey { h, f, e_gg_alpha }, MasterKey { beta, g_alpha })
+    }
+
+    /// `Encrypt(PK, m, τ)`: encrypts the group element `m` under the
+    /// access tree `τ`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AbeError::BadTree`] if the tree is structurally invalid
+    /// (cannot happen for trees built through [`AccessTree`]'s
+    /// constructors).
+    pub fn encrypt<R: Rng + ?Sized>(
+        &self,
+        pk: &PublicKey,
+        m: &Gt,
+        tree: &AccessTree,
+        rng: &mut R,
+    ) -> Result<Ciphertext, AbeError> {
+        let s = self.pairing.random_nonzero_scalar(rng);
+
+        // Share s down the tree; collect per-leaf secret shares in DFS order.
+        let mut leaf_shares: Vec<Scalar> = Vec::with_capacity(tree.leaf_count());
+        self.share_secret(tree.root(), &s, &mut leaf_shares, rng)?;
+
+        let c_tilde = m.mul(&pk.e_gg_alpha.pow_scalar(&s));
+        let c = self.pairing.mul(&pk.h, &s);
+        let g = self.pairing.generator();
+        let leaf_cts = tree
+            .leaves()
+            .iter()
+            .zip(&leaf_shares)
+            .map(|(attr, share)| {
+                let c_y = self.pairing.mul(g, share);
+                let c_y_prime = self.pairing.mul(&self.hash_attribute(attr), share);
+                (c_y, c_y_prime)
+            })
+            .collect();
+
+        Ok(Ciphertext { tree: tree.clone(), c_tilde, c, leaf_cts })
+    }
+
+    fn share_secret<R: Rng + ?Sized>(
+        &self,
+        node: &AccessNode,
+        value: &Scalar,
+        out: &mut Vec<Scalar>,
+        rng: &mut R,
+    ) -> Result<(), AbeError> {
+        let zr = self.pairing.zr();
+        match node {
+            AccessNode::Leaf { .. } => {
+                out.push(value.clone());
+                Ok(())
+            }
+            AccessNode::Threshold { k, children } => {
+                let poly = Polynomial::random_with_constant(value.clone(), *k, zr, rng);
+                for (i, child) in children.iter().enumerate() {
+                    let x = zr.from_u64(i as u64 + 1);
+                    self.share_secret(child, &poly.eval(&x), out, rng)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// `KeyGen(MK, S)`: derives a private key for attribute set `S`.
+    pub fn keygen<R: Rng + ?Sized>(
+        &self,
+        mk: &MasterKey,
+        attributes: &[String],
+        rng: &mut R,
+    ) -> PrivateKey {
+        let g = self.pairing.generator();
+        let r = self.pairing.random_nonzero_scalar(rng);
+        let beta_inv = mk.beta.invert().expect("nonzero");
+        // D = g^{(α + r)/β}
+        let g_r = self.pairing.mul(g, &r);
+        let d = mk.g_alpha.add(&g_r).mul_uint(&beta_inv.to_uint());
+        let components = attributes
+            .iter()
+            .map(|attr| {
+                let r_j = self.pairing.random_nonzero_scalar(rng);
+                let d_j = g_r.add(&self.pairing.mul(&self.hash_attribute(attr), &r_j));
+                let d_j_prime = self.pairing.mul(g, &r_j);
+                KeyComponent { attribute: attr.clone(), d_j, d_j_prime }
+            })
+            .collect();
+        PrivateKey { d, components }
+    }
+
+    /// `Delegate(SK, S̃)`: derives a re-randomized key for a subset of the
+    /// key's attributes (BSW07 §4.2), without the master key.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AbeError::PolicyNotSatisfied`] if `subset` is not
+    /// contained in the key's attributes.
+    pub fn delegate<R: Rng + ?Sized>(
+        &self,
+        pk: &PublicKey,
+        sk: &PrivateKey,
+        subset: &[String],
+        rng: &mut R,
+    ) -> Result<PrivateKey, AbeError> {
+        let g = self.pairing.generator();
+        let r_tilde = self.pairing.random_nonzero_scalar(rng);
+        let g_rt = self.pairing.mul(g, &r_tilde);
+        let d = sk.d.add(&self.pairing.mul(&pk.f, &r_tilde));
+        let components = subset
+            .iter()
+            .map(|attr| {
+                let comp = sk
+                    .components
+                    .iter()
+                    .find(|c| &c.attribute == attr)
+                    .ok_or(AbeError::PolicyNotSatisfied)?;
+                let r_k = self.pairing.random_nonzero_scalar(rng);
+                let d_j = comp
+                    .d_j
+                    .add(&g_rt)
+                    .add(&self.pairing.mul(&self.hash_attribute(attr), &r_k));
+                let d_j_prime = comp.d_j_prime.add(&self.pairing.mul(g, &r_k));
+                Ok(KeyComponent { attribute: attr.clone(), d_j, d_j_prime })
+            })
+            .collect::<Result<Vec<_>, AbeError>>()?;
+        Ok(PrivateKey { d, components })
+    }
+
+    /// `Decrypt(CT, SK)`: recovers the message if the key's attributes
+    /// satisfy the ciphertext's access tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AbeError::PolicyNotSatisfied`] otherwise.
+    pub fn decrypt(&self, ct: &Ciphertext, sk: &PrivateKey) -> Result<Gt, AbeError> {
+        let attrs: HashSet<String> =
+            sk.components.iter().map(|c| c.attribute.clone()).collect();
+        if !ct.tree.satisfied_by(&attrs) {
+            return Err(AbeError::PolicyNotSatisfied);
+        }
+        let mut leaf_index = 0usize;
+        let a = self
+            .decrypt_node(ct.tree.root(), ct, sk, &attrs, &mut leaf_index)
+            .ok_or(AbeError::PolicyNotSatisfied)?;
+        // m = C̃ · A / e(C, D)
+        let e_c_d = self.pairing.pair(&ct.c, &sk.d);
+        Ok(ct.c_tilde.mul(&a).div(&e_c_d))
+    }
+
+    /// Recursive `DecryptNode`; `leaf_index` tracks the DFS leaf cursor so
+    /// tree nodes line up with `leaf_cts`.
+    fn decrypt_node(
+        &self,
+        node: &AccessNode,
+        ct: &Ciphertext,
+        sk: &PrivateKey,
+        attrs: &HashSet<String>,
+        leaf_index: &mut usize,
+    ) -> Option<Gt> {
+        match node {
+            AccessNode::Leaf { attribute } => {
+                let idx = *leaf_index;
+                *leaf_index += 1;
+                let comp = sk.components.iter().find(|c| &c.attribute == attribute)?;
+                let (c_y, c_y_prime) = &ct.leaf_cts[idx];
+                // e(D_j, C_y) / e(D'_j, C'_y) = e(g,g)^{r·q_y(0)},
+                // computed with one shared final exponentiation.
+                Some(self.pairing.pair_ratio(&comp.d_j, c_y, &comp.d_j_prime, c_y_prime))
+            }
+            AccessNode::Threshold { k, children } => {
+                // Evaluate every child (advancing the leaf cursor through
+                // unsatisfied subtrees too), keep the satisfied ones.
+                let mut satisfied: Vec<(usize, Gt)> = Vec::new();
+                for (i, child) in children.iter().enumerate() {
+                    if let Some(f) = self.decrypt_node(child, ct, sk, attrs, leaf_index) {
+                        satisfied.push((i, f));
+                    }
+                }
+                if satisfied.len() < *k {
+                    return None;
+                }
+                satisfied.truncate(*k);
+                // Lagrange combination in the exponent at x = 0 over child
+                // indices (1-based).
+                let zr = self.pairing.zr();
+                let xs: Vec<Scalar> =
+                    satisfied.iter().map(|(i, _)| zr.from_u64(*i as u64 + 1)).collect();
+                let zero = zr.zero();
+                let mut acc = self.pairing.gt_one();
+                for (j, (_, f)) in satisfied.iter().enumerate() {
+                    let gamma = self
+                        .shamir
+                        .lagrange_coefficient(&xs, j, &zero)
+                        .expect("child indices are distinct");
+                    acc = acc.mul(&f.pow_scalar(&gamma));
+                }
+                Some(acc)
+            }
+        }
+    }
+
+    /// `H : {0,1}* → G1`, the attribute hash.
+    pub fn hash_attribute(&self, attribute: &str) -> G1 {
+        self.pairing
+            .hash_to_g1(&[b"sp-abe/attr/v1/", attribute.as_bytes()].concat())
+    }
+
+    // ------------------------------------------------------------------
+    // Wire encodings (byte-accurate transfer sizes for the OSN simulator).
+    // ------------------------------------------------------------------
+
+    /// Encodes the public key.
+    pub fn encode_public_key(&self, pk: &PublicKey) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.bytes(&pk.h.to_bytes());
+        w.bytes(&pk.f.to_bytes());
+        w.bytes(&pk.e_gg_alpha.to_bytes());
+        w.finish().to_vec()
+    }
+
+    /// Decodes a public key.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AbeError::BadEncoding`] for malformed buffers.
+    pub fn decode_public_key(&self, bytes: &[u8]) -> Result<PublicKey, AbeError> {
+        let mut r = Reader::new(bytes);
+        let h = self.pairing.g1_from_bytes(r.bytes().map_err(|_| AbeError::BadEncoding)?)
+            .map_err(|_| AbeError::BadEncoding)?;
+        let f = self.pairing.g1_from_bytes(r.bytes().map_err(|_| AbeError::BadEncoding)?)
+            .map_err(|_| AbeError::BadEncoding)?;
+        let e_gg_alpha = self
+            .pairing
+            .gt_from_bytes(r.bytes().map_err(|_| AbeError::BadEncoding)?)
+            .map_err(|_| AbeError::BadEncoding)?;
+        r.expect_end().map_err(|_| AbeError::BadEncoding)?;
+        Ok(PublicKey { h, f, e_gg_alpha })
+    }
+
+    /// Encodes the master key.
+    pub fn encode_master_key(&self, mk: &MasterKey) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.bytes(&mk.beta.to_be_bytes());
+        w.bytes(&mk.g_alpha.to_bytes());
+        w.finish().to_vec()
+    }
+
+    /// Decodes a master key.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AbeError::BadEncoding`] for malformed buffers.
+    pub fn decode_master_key(&self, bytes: &[u8]) -> Result<MasterKey, AbeError> {
+        let mut r = Reader::new(bytes);
+        let beta = self
+            .pairing
+            .zr()
+            .from_be_bytes(r.bytes().map_err(|_| AbeError::BadEncoding)?)
+            .map_err(|_| AbeError::BadEncoding)?;
+        let g_alpha = self
+            .pairing
+            .g1_from_bytes(r.bytes().map_err(|_| AbeError::BadEncoding)?)
+            .map_err(|_| AbeError::BadEncoding)?;
+        r.expect_end().map_err(|_| AbeError::BadEncoding)?;
+        Ok(MasterKey { beta, g_alpha })
+    }
+
+    /// Encodes a ciphertext (tree + group elements).
+    pub fn encode_ciphertext(&self, ct: &Ciphertext) -> Vec<u8> {
+        let mut w = Writer::new();
+        ct.tree.encode(&mut w);
+        w.bytes(&ct.c_tilde.to_bytes());
+        w.bytes(&ct.c.to_bytes());
+        w.u32(ct.leaf_cts.len() as u32);
+        for (c_y, c_y_prime) in &ct.leaf_cts {
+            w.bytes(&c_y.to_bytes());
+            w.bytes(&c_y_prime.to_bytes());
+        }
+        w.finish().to_vec()
+    }
+
+    /// Decodes a ciphertext.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AbeError::BadEncoding`] for malformed buffers, including
+    /// a leaf-component count that disagrees with the tree.
+    pub fn decode_ciphertext(&self, bytes: &[u8]) -> Result<Ciphertext, AbeError> {
+        let mut r = Reader::new(bytes);
+        let tree = AccessTree::decode(&mut r).map_err(|_| AbeError::BadEncoding)?;
+        let c_tilde = self
+            .pairing
+            .gt_from_bytes(r.bytes().map_err(|_| AbeError::BadEncoding)?)
+            .map_err(|_| AbeError::BadEncoding)?;
+        let c = self
+            .pairing
+            .g1_from_bytes(r.bytes().map_err(|_| AbeError::BadEncoding)?)
+            .map_err(|_| AbeError::BadEncoding)?;
+        let n = r.u32().map_err(|_| AbeError::BadEncoding)? as usize;
+        if n != tree.leaf_count() {
+            return Err(AbeError::BadEncoding);
+        }
+        let mut leaf_cts = Vec::with_capacity(n);
+        for _ in 0..n {
+            let c_y = self
+                .pairing
+                .g1_from_bytes(r.bytes().map_err(|_| AbeError::BadEncoding)?)
+                .map_err(|_| AbeError::BadEncoding)?;
+            let c_y_prime = self
+                .pairing
+                .g1_from_bytes(r.bytes().map_err(|_| AbeError::BadEncoding)?)
+                .map_err(|_| AbeError::BadEncoding)?;
+            leaf_cts.push((c_y, c_y_prime));
+        }
+        r.expect_end().map_err(|_| AbeError::BadEncoding)?;
+        Ok(Ciphertext { tree, c_tilde, c, leaf_cts })
+    }
+
+    /// Encodes a private key.
+    pub fn encode_private_key(&self, sk: &PrivateKey) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.bytes(&sk.d.to_bytes());
+        w.u32(sk.components.len() as u32);
+        for c in &sk.components {
+            w.string(&c.attribute);
+            w.bytes(&c.d_j.to_bytes());
+            w.bytes(&c.d_j_prime.to_bytes());
+        }
+        w.finish().to_vec()
+    }
+
+    /// Decodes a private key.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AbeError::BadEncoding`] for malformed buffers.
+    pub fn decode_private_key(&self, bytes: &[u8]) -> Result<PrivateKey, AbeError> {
+        let mut r = Reader::new(bytes);
+        let d = self
+            .pairing
+            .g1_from_bytes(r.bytes().map_err(|_| AbeError::BadEncoding)?)
+            .map_err(|_| AbeError::BadEncoding)?;
+        let n = r.u32().map_err(|_| AbeError::BadEncoding)? as usize;
+        if n > 1 << 20 {
+            return Err(AbeError::BadEncoding);
+        }
+        let mut components = Vec::with_capacity(n);
+        for _ in 0..n {
+            let attribute = r.string().map_err(|_| AbeError::BadEncoding)?.to_owned();
+            let d_j = self
+                .pairing
+                .g1_from_bytes(r.bytes().map_err(|_| AbeError::BadEncoding)?)
+                .map_err(|_| AbeError::BadEncoding)?;
+            let d_j_prime = self
+                .pairing
+                .g1_from_bytes(r.bytes().map_err(|_| AbeError::BadEncoding)?)
+                .map_err(|_| AbeError::BadEncoding)?;
+            components.push(KeyComponent { attribute, d_j, d_j_prime });
+        }
+        r.expect_end().map_err(|_| AbeError::BadEncoding)?;
+        Ok(PrivateKey { d, components })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn abe() -> CpAbe {
+        CpAbe::insecure_test_params()
+    }
+
+    fn strings(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn encrypt_decrypt_single_leaf() {
+        let abe = abe();
+        let mut rng = StdRng::seed_from_u64(80);
+        let (pk, mk) = abe.setup(&mut rng);
+        let tree = AccessTree::leaf("a");
+        let m = abe.random_message(&mut rng);
+        let ct = abe.encrypt(&pk, &m, &tree, &mut rng).unwrap();
+        let sk = abe.keygen(&mk, &strings(&["a"]), &mut rng);
+        assert_eq!(abe.decrypt(&ct, &sk).unwrap(), m);
+    }
+
+    #[test]
+    fn wrong_attribute_fails() {
+        let abe = abe();
+        let mut rng = StdRng::seed_from_u64(81);
+        let (pk, mk) = abe.setup(&mut rng);
+        let tree = AccessTree::leaf("a");
+        let m = abe.random_message(&mut rng);
+        let ct = abe.encrypt(&pk, &m, &tree, &mut rng).unwrap();
+        let sk = abe.keygen(&mk, &strings(&["b"]), &mut rng);
+        assert_eq!(abe.decrypt(&ct, &sk).unwrap_err(), AbeError::PolicyNotSatisfied);
+    }
+
+    #[test]
+    fn threshold_2_of_3() {
+        let abe = abe();
+        let mut rng = StdRng::seed_from_u64(82);
+        let (pk, mk) = abe.setup(&mut rng);
+        let tree = AccessTree::threshold(
+            2,
+            vec![AccessTree::leaf("a"), AccessTree::leaf("b"), AccessTree::leaf("c")],
+        )
+        .unwrap();
+        let m = abe.random_message(&mut rng);
+        let ct = abe.encrypt(&pk, &m, &tree, &mut rng).unwrap();
+        for good in [&["a", "b"][..], &["b", "c"], &["a", "c"], &["a", "b", "c"]] {
+            let sk = abe.keygen(&mk, &strings(good), &mut rng);
+            assert_eq!(abe.decrypt(&ct, &sk).unwrap(), m, "attrs = {good:?}");
+        }
+        for bad in [&["a"][..], &["c"], &["x", "y"], &[]] {
+            let sk = abe.keygen(&mk, &strings(bad), &mut rng);
+            assert!(abe.decrypt(&ct, &sk).is_err(), "attrs = {bad:?}");
+        }
+    }
+
+    #[test]
+    fn nested_policy() {
+        let abe = abe();
+        let mut rng = StdRng::seed_from_u64(83);
+        let (pk, mk) = abe.setup(&mut rng);
+        // (a AND b) OR c
+        let tree = AccessTree::or(vec![
+            AccessTree::and(vec![AccessTree::leaf("a"), AccessTree::leaf("b")]).unwrap(),
+            AccessTree::leaf("c"),
+        ])
+        .unwrap();
+        let m = abe.random_message(&mut rng);
+        let ct = abe.encrypt(&pk, &m, &tree, &mut rng).unwrap();
+        for good in [&["a", "b"][..], &["c"], &["a", "c"]] {
+            let sk = abe.keygen(&mk, &strings(good), &mut rng);
+            assert_eq!(abe.decrypt(&ct, &sk).unwrap(), m, "attrs = {good:?}");
+        }
+        let sk = abe.keygen(&mk, &strings(&["a"]), &mut rng);
+        assert!(abe.decrypt(&ct, &sk).is_err());
+    }
+
+    #[test]
+    fn excess_attributes_are_fine() {
+        let abe = abe();
+        let mut rng = StdRng::seed_from_u64(84);
+        let (pk, mk) = abe.setup(&mut rng);
+        let tree = AccessTree::and(vec![AccessTree::leaf("a"), AccessTree::leaf("b")]).unwrap();
+        let m = abe.random_message(&mut rng);
+        let ct = abe.encrypt(&pk, &m, &tree, &mut rng).unwrap();
+        let sk = abe.keygen(&mk, &strings(&["z", "a", "q", "b", "w"]), &mut rng);
+        assert_eq!(abe.decrypt(&ct, &sk).unwrap(), m);
+    }
+
+    #[test]
+    fn collusion_resistance() {
+        // Alice holds {a}, Bob holds {b}; the policy needs both. Neither
+        // key alone decrypts, and mixing components across keys must not
+        // decrypt either (different blinding r per key).
+        let abe = abe();
+        let mut rng = StdRng::seed_from_u64(85);
+        let (pk, mk) = abe.setup(&mut rng);
+        let tree = AccessTree::and(vec![AccessTree::leaf("a"), AccessTree::leaf("b")]).unwrap();
+        let m = abe.random_message(&mut rng);
+        let ct = abe.encrypt(&pk, &m, &tree, &mut rng).unwrap();
+        let alice = abe.keygen(&mk, &strings(&["a"]), &mut rng);
+        let bob = abe.keygen(&mk, &strings(&["b"]), &mut rng);
+        assert!(abe.decrypt(&ct, &alice).is_err());
+        assert!(abe.decrypt(&ct, &bob).is_err());
+        // Frankenstein key: Alice's D and a-component + Bob's b-component.
+        let franken = PrivateKey {
+            d: alice.d.clone(),
+            components: vec![alice.components[0].clone(), bob.components[0].clone()],
+        };
+        match abe.decrypt(&ct, &franken) {
+            Err(_) => {}
+            Ok(recovered) => assert_ne!(recovered, m, "collusion must not recover the message"),
+        }
+    }
+
+    #[test]
+    fn delegate_subset_works_and_nonsubset_rejected() {
+        let abe = abe();
+        let mut rng = StdRng::seed_from_u64(86);
+        let (pk, mk) = abe.setup(&mut rng);
+        let sk = abe.keygen(&mk, &strings(&["a", "b", "c"]), &mut rng);
+        let delegated = abe.delegate(&pk, &sk, &strings(&["a", "b"]), &mut rng).unwrap();
+        assert_eq!(delegated.attributes(), vec!["a", "b"]);
+
+        let tree = AccessTree::and(vec![AccessTree::leaf("a"), AccessTree::leaf("b")]).unwrap();
+        let m = abe.random_message(&mut rng);
+        let ct = abe.encrypt(&pk, &m, &tree, &mut rng).unwrap();
+        assert_eq!(abe.decrypt(&ct, &delegated).unwrap(), m);
+
+        // But the delegated key lost "c".
+        let tree_c = AccessTree::leaf("c");
+        let ct_c = abe.encrypt(&pk, &m, &tree_c, &mut rng).unwrap();
+        assert!(abe.decrypt(&ct_c, &delegated).is_err());
+
+        assert_eq!(
+            abe.delegate(&pk, &sk, &strings(&["a", "zzz"]), &mut rng).unwrap_err(),
+            AbeError::PolicyNotSatisfied
+        );
+    }
+
+    #[test]
+    fn tree_replacement_perturb_reconstruct() {
+        let abe = abe();
+        let mut rng = StdRng::seed_from_u64(87);
+        let (pk, mk) = abe.setup(&mut rng);
+        let tree = AccessTree::threshold(
+            2,
+            vec![AccessTree::leaf("a"), AccessTree::leaf("b"), AccessTree::leaf("c")],
+        )
+        .unwrap();
+        let m = abe.random_message(&mut rng);
+        let ct = abe.encrypt(&pk, &m, &tree, &mut rng).unwrap();
+
+        // Perturb: relabel leaves; group elements untouched.
+        let perturbed_tree = tree.map_leaves(|a| format!("H({a})"));
+        let ct_perturbed = ct.with_tree(perturbed_tree).unwrap();
+        // A key for the original attributes no longer *satisfies the tree
+        // labels*, so decryption refuses.
+        let sk = abe.keygen(&mk, &strings(&["a", "b"]), &mut rng);
+        assert!(abe.decrypt(&ct_perturbed, &sk).is_err());
+
+        // Reconstruct: put the real labels back; decryption works again.
+        let ct_reconstructed = ct_perturbed.with_tree(tree.clone()).unwrap();
+        assert_eq!(abe.decrypt(&ct_reconstructed, &sk).unwrap(), m);
+
+        // Mismatched shape is rejected.
+        let other = AccessTree::leaf("x");
+        assert_eq!(ct.with_tree(other).unwrap_err(), AbeError::TreeMismatch);
+    }
+
+    #[test]
+    fn serialization_roundtrips() {
+        let abe = abe();
+        let mut rng = StdRng::seed_from_u64(88);
+        let (pk, mk) = abe.setup(&mut rng);
+        let tree = AccessTree::threshold(
+            1,
+            vec![AccessTree::leaf("a"), AccessTree::leaf("b")],
+        )
+        .unwrap();
+        let m = abe.random_message(&mut rng);
+        let ct = abe.encrypt(&pk, &m, &tree, &mut rng).unwrap();
+        let sk = abe.keygen(&mk, &strings(&["a"]), &mut rng);
+
+        let pk2 = abe.decode_public_key(&abe.encode_public_key(&pk)).unwrap();
+        assert_eq!(pk2, pk);
+        let mk2 = abe.decode_master_key(&abe.encode_master_key(&mk)).unwrap();
+        assert_eq!(mk2, mk);
+        let ct2 = abe.decode_ciphertext(&abe.encode_ciphertext(&ct)).unwrap();
+        assert_eq!(ct2, ct);
+        let sk2 = abe.decode_private_key(&abe.encode_private_key(&sk)).unwrap();
+        assert_eq!(sk2, sk);
+
+        // Decryption still works across a serialize/deserialize cycle.
+        assert_eq!(abe.decrypt(&ct2, &sk2).unwrap(), m);
+
+        // Corruption is caught.
+        let mut bad = abe.encode_ciphertext(&ct);
+        let last = bad.len() - 1;
+        bad[last] ^= 1;
+        assert!(abe.decode_ciphertext(&bad).is_err());
+        assert!(abe.decode_public_key(&[1, 2, 3]).is_err());
+        assert!(abe.decode_master_key(&[]).is_err());
+        assert!(abe.decode_private_key(&[0]).is_err());
+    }
+
+    #[test]
+    fn keygen_randomization_gives_distinct_keys() {
+        let abe = abe();
+        let mut rng = StdRng::seed_from_u64(89);
+        let (_, mk) = abe.setup(&mut rng);
+        let sk1 = abe.keygen(&mk, &strings(&["a"]), &mut rng);
+        let sk2 = abe.keygen(&mk, &strings(&["a"]), &mut rng);
+        assert_ne!(sk1, sk2, "keys must be randomized per KeyGen call");
+    }
+
+    #[test]
+    fn ciphertext_randomization() {
+        let abe = abe();
+        let mut rng = StdRng::seed_from_u64(90);
+        let (pk, _) = abe.setup(&mut rng);
+        let tree = AccessTree::leaf("a");
+        let m = abe.random_message(&mut rng);
+        let ct1 = abe.encrypt(&pk, &m, &tree, &mut rng).unwrap();
+        let ct2 = abe.encrypt(&pk, &m, &tree, &mut rng).unwrap();
+        assert_ne!(ct1, ct2, "encryption must be probabilistic");
+    }
+
+    #[test]
+    fn paper_context_tree_with_k_1_and_n_2() {
+        // The evaluation sweeps from N = 2 with k = 1 ("CP-ABE does not
+        // support (1,1)"), so this is the smallest measured configuration.
+        let abe = abe();
+        let mut rng = StdRng::seed_from_u64(91);
+        let (pk, mk) = abe.setup(&mut rng);
+        let pairs: Vec<(String, String)> =
+            vec![("q1".into(), "a1".into()), ("q2".into(), "a2".into())];
+        let tree = AccessTree::context_tree(1, &pairs).unwrap();
+        let m = abe.random_message(&mut rng);
+        let ct = abe.encrypt(&pk, &m, &tree, &mut rng).unwrap();
+        let attr = crate::access_tree::encode_qa_attribute("q2", "a2");
+        let sk = abe.keygen(&mk, &[attr], &mut rng);
+        assert_eq!(abe.decrypt(&ct, &sk).unwrap(), m);
+    }
+}

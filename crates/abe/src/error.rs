@@ -1,0 +1,54 @@
+//! Error types.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by CP-ABE operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AbeError {
+    /// An access tree was structurally invalid (empty gate, threshold out
+    /// of range, or empty attribute).
+    BadTree,
+    /// The private key's attributes do not satisfy the ciphertext policy.
+    PolicyNotSatisfied,
+    /// A serialized artifact could not be decoded.
+    BadEncoding,
+    /// A replacement tree does not match the ciphertext's leaf layout.
+    TreeMismatch,
+    /// The hybrid payload failed symmetric decryption (wrong ABE result or
+    /// corrupted ciphertext).
+    PayloadCorrupt,
+}
+
+impl fmt::Display for AbeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BadTree => f.write_str("invalid access tree structure"),
+            Self::PolicyNotSatisfied => f.write_str("attributes do not satisfy the policy"),
+            Self::BadEncoding => f.write_str("invalid cp-abe encoding"),
+            Self::TreeMismatch => f.write_str("replacement tree does not match ciphertext layout"),
+            Self::PayloadCorrupt => f.write_str("hybrid payload failed to decrypt"),
+        }
+    }
+}
+
+impl Error for AbeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        for e in [
+            AbeError::BadTree,
+            AbeError::PolicyNotSatisfied,
+            AbeError::BadEncoding,
+            AbeError::TreeMismatch,
+            AbeError::PayloadCorrupt,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! Hybrid encryption: CP-ABE wrapping an AES-encrypted payload.
+//!
+//! This is what `cpabe-enc` does for files: sample a random `Gt` element,
+//! derive a symmetric key from it, AES-encrypt the payload, and CP-ABE
+//! encrypt the group element under the policy.
+
+use rand::Rng;
+use sp_crypto::kdf::derive_key;
+use sp_crypto::modes::{cbc_decrypt, cbc_encrypt};
+use sp_crypto::sha256::sha256;
+use sp_wire::{Reader, Writer};
+
+use crate::access_tree::AccessTree;
+use crate::bsw07::{Ciphertext, CpAbe, PrivateKey, PublicKey};
+use crate::error::AbeError;
+
+/// A hybrid ciphertext: the ABE-wrapped key element plus the AES-CBC
+/// payload (with an integrity digest so wrong keys are detected).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct HybridCiphertext {
+    abe: Ciphertext,
+    iv: [u8; 16],
+    payload: Vec<u8>,
+    digest: [u8; 32],
+}
+
+impl HybridCiphertext {
+    /// The embedded ABE ciphertext (e.g. for tree perturbation).
+    pub fn abe(&self) -> &Ciphertext {
+        &self.abe
+    }
+
+    /// Replaces the embedded ABE ciphertext's access tree (the
+    /// `Perturb`/`Reconstruct` hook).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AbeError::TreeMismatch`] if the gate structure differs.
+    pub fn with_tree(&self, tree: AccessTree) -> Result<Self, AbeError> {
+        Ok(Self {
+            abe: self.abe.with_tree(tree)?,
+            iv: self.iv,
+            payload: self.payload.clone(),
+            digest: self.digest,
+        })
+    }
+
+    /// Total serialized size in bytes.
+    pub fn encoded_len(&self, abe: &CpAbe) -> usize {
+        encode(abe, self).len()
+    }
+}
+
+/// Encrypts `plaintext` so that only keys satisfying `tree` can recover it.
+///
+/// # Errors
+///
+/// Returns [`AbeError::BadTree`] for invalid trees.
+pub fn encrypt<R: Rng + ?Sized>(
+    abe: &CpAbe,
+    pk: &PublicKey,
+    tree: &AccessTree,
+    plaintext: &[u8],
+    rng: &mut R,
+) -> Result<HybridCiphertext, AbeError> {
+    let m = abe.random_message(rng);
+    let abe_ct = abe.encrypt(pk, &m, tree, rng)?;
+    let key = derive_key(&m.to_bytes(), "sp-abe/hybrid/aes256", 32);
+    let mut iv = [0u8; 16];
+    rng.fill(&mut iv);
+    let payload = cbc_encrypt(&key, &iv, plaintext).expect("32-byte key is valid");
+    let digest = sha256(plaintext);
+    Ok(HybridCiphertext { abe: abe_ct, iv, payload, digest })
+}
+
+/// Decrypts a hybrid ciphertext.
+///
+/// # Errors
+///
+/// Returns [`AbeError::PolicyNotSatisfied`] if the key does not satisfy
+/// the policy, or [`AbeError::PayloadCorrupt`] if symmetric decryption or
+/// the integrity check fails.
+pub fn decrypt(abe: &CpAbe, ct: &HybridCiphertext, sk: &PrivateKey) -> Result<Vec<u8>, AbeError> {
+    let m = abe.decrypt(&ct.abe, sk)?;
+    let key = derive_key(&m.to_bytes(), "sp-abe/hybrid/aes256", 32);
+    let plaintext = cbc_decrypt(&key, &ct.iv, &ct.payload).map_err(|_| AbeError::PayloadCorrupt)?;
+    if sha256(&plaintext) != ct.digest {
+        return Err(AbeError::PayloadCorrupt);
+    }
+    Ok(plaintext)
+}
+
+/// Encodes a hybrid ciphertext to bytes.
+pub fn encode(abe: &CpAbe, ct: &HybridCiphertext) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.bytes(&abe.encode_ciphertext(&ct.abe));
+    w.raw(&ct.iv);
+    w.bytes(&ct.payload);
+    w.raw(&ct.digest);
+    w.finish().to_vec()
+}
+
+/// Decodes a hybrid ciphertext.
+///
+/// # Errors
+///
+/// Returns [`AbeError::BadEncoding`] for malformed buffers.
+pub fn decode(abe: &CpAbe, bytes: &[u8]) -> Result<HybridCiphertext, AbeError> {
+    let mut r = Reader::new(bytes);
+    let abe_ct = abe
+        .decode_ciphertext(r.bytes().map_err(|_| AbeError::BadEncoding)?)
+        .map_err(|_| AbeError::BadEncoding)?;
+    let iv: [u8; 16] = r
+        .raw(16)
+        .map_err(|_| AbeError::BadEncoding)?
+        .try_into()
+        .expect("16 bytes");
+    let payload = r.bytes().map_err(|_| AbeError::BadEncoding)?.to_vec();
+    let digest: [u8; 32] = r
+        .raw(32)
+        .map_err(|_| AbeError::BadEncoding)?
+        .try_into()
+        .expect("32 bytes");
+    r.expect_end().map_err(|_| AbeError::BadEncoding)?;
+    Ok(HybridCiphertext { abe: abe_ct, iv, payload, digest })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn setup() -> (CpAbe, PublicKey, crate::bsw07::MasterKey, StdRng) {
+        let abe = CpAbe::insecure_test_params();
+        let mut rng = StdRng::seed_from_u64(100);
+        let (pk, mk) = abe.setup(&mut rng);
+        (abe, pk, mk, rng)
+    }
+
+    #[test]
+    fn roundtrip() {
+        let (abe, pk, mk, mut rng) = setup();
+        let tree = AccessTree::or(vec![AccessTree::leaf("a"), AccessTree::leaf("b")]).unwrap();
+        let msg = b"a 100-character message exactly like the paper's evaluation uses for every sharing experiment!!";
+        let ct = encrypt(&abe, &pk, &tree, msg, &mut rng).unwrap();
+        let sk = abe.keygen(&mk, &["b".to_string()], &mut rng);
+        assert_eq!(decrypt(&abe, &ct, &sk).unwrap(), msg);
+    }
+
+    #[test]
+    fn unsatisfying_key_rejected() {
+        let (abe, pk, mk, mut rng) = setup();
+        let tree = AccessTree::leaf("a");
+        let ct = encrypt(&abe, &pk, &tree, b"secret", &mut rng).unwrap();
+        let sk = abe.keygen(&mk, &["z".to_string()], &mut rng);
+        assert_eq!(decrypt(&abe, &ct, &sk).unwrap_err(), AbeError::PolicyNotSatisfied);
+    }
+
+    #[test]
+    fn corrupt_payload_detected() {
+        let (abe, pk, mk, mut rng) = setup();
+        let tree = AccessTree::leaf("a");
+        let mut ct = encrypt(&abe, &pk, &tree, b"secret payload bytes", &mut rng).unwrap();
+        let last = ct.payload.len() - 1;
+        ct.payload[last] ^= 0x80;
+        let sk = abe.keygen(&mk, &["a".to_string()], &mut rng);
+        assert_eq!(decrypt(&abe, &ct, &sk).unwrap_err(), AbeError::PayloadCorrupt);
+    }
+
+    #[test]
+    fn empty_and_large_payloads() {
+        let (abe, pk, mk, mut rng) = setup();
+        let tree = AccessTree::leaf("a");
+        let sk = abe.keygen(&mk, &["a".to_string()], &mut rng);
+        for len in [0usize, 1, 16, 1000, 10_000] {
+            let msg: Vec<u8> = (0..len).map(|i| (i % 256) as u8).collect();
+            let ct = encrypt(&abe, &pk, &tree, &msg, &mut rng).unwrap();
+            assert_eq!(decrypt(&abe, &ct, &sk).unwrap(), msg, "len = {len}");
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let (abe, pk, mk, mut rng) = setup();
+        let tree = AccessTree::and(vec![AccessTree::leaf("a"), AccessTree::leaf("b")]).unwrap();
+        let ct = encrypt(&abe, &pk, &tree, b"wire me", &mut rng).unwrap();
+        let bytes = encode(&abe, &ct);
+        assert_eq!(bytes.len(), ct.encoded_len(&abe));
+        let back = decode(&abe, &bytes).unwrap();
+        assert_eq!(back, ct);
+        let sk = abe.keygen(&mk, &["a".to_string(), "b".to_string()], &mut rng);
+        assert_eq!(decrypt(&abe, &back, &sk).unwrap(), b"wire me");
+        assert!(decode(&abe, &bytes[..bytes.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn perturbed_tree_blocks_then_reconstruct_unblocks() {
+        let (abe, pk, mk, mut rng) = setup();
+        let tree = AccessTree::or(vec![AccessTree::leaf("a"), AccessTree::leaf("b")]).unwrap();
+        let ct = encrypt(&abe, &pk, &tree, b"perturb me", &mut rng).unwrap();
+        let perturbed = ct.with_tree(tree.map_leaves(|a| format!("#{a}"))).unwrap();
+        let sk = abe.keygen(&mk, &["a".to_string()], &mut rng);
+        assert!(decrypt(&abe, &perturbed, &sk).is_err());
+        let restored = perturbed.with_tree(tree).unwrap();
+        assert_eq!(decrypt(&abe, &restored, &sk).unwrap(), b"perturb me");
+    }
+}

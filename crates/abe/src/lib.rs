@@ -1,0 +1,52 @@
+//! Ciphertext-policy attribute-based encryption (CP-ABE).
+//!
+//! A from-scratch implementation of the Bethencourt–Sahai–Waters scheme
+//! (IEEE S&P 2007) — the scheme behind the `cpabe` toolkit that the
+//! paper's second prototype shells out to — over the workspace's Type-A
+//! pairing:
+//!
+//! * [`AccessTree`] — monotone threshold access structures (AND/OR/k-of-n
+//!   gates over string attributes), including the paper's height-1
+//!   "context tree" and its `Perturb`-compatible leaf relabeling,
+//! * [`CpAbe`] — `Setup`, `Encrypt`, `KeyGen`, `Decrypt` and `Delegate`,
+//! * [`hybrid`] — ABE-wrapped AES encryption of arbitrary byte payloads
+//!   (what `cpabe-enc` does for files),
+//! * wire encodings of every artifact, so the OSN simulation transfers
+//!   byte-accurate public keys, master keys and ciphertexts.
+//!
+//! # Example
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use sp_abe::{AccessTree, CpAbe};
+//!
+//! let abe = CpAbe::insecure_test_params();
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let (pk, mk) = abe.setup(&mut rng);
+//!
+//! // "2-of-3 of these context facts"
+//! let tree = AccessTree::threshold(2, vec![
+//!     AccessTree::leaf("where=lakeside"),
+//!     AccessTree::leaf("when=june"),
+//!     AccessTree::leaf("host=priya"),
+//! ])?;
+//!
+//! let message = abe.random_message(&mut rng);
+//! let ct = abe.encrypt(&pk, &message, &tree, &mut rng)?;
+//!
+//! let sk = abe.keygen(&mk, &["where=lakeside".into(), "host=priya".into()], &mut rng);
+//! assert_eq!(abe.decrypt(&ct, &sk)?, message);
+//! # Ok::<(), sp_abe::AbeError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod access_tree;
+mod bsw07;
+mod error;
+pub mod hybrid;
+
+pub use access_tree::{encode_qa_attribute, AccessNode, AccessTree};
+pub use bsw07::{Ciphertext, CpAbe, MasterKey, PrivateKey, PublicKey};
+pub use error::AbeError;

@@ -1,0 +1,137 @@
+//! Property-based tests of CP-ABE: random threshold policies, random
+//! attribute subsets, and the invariant that decryption succeeds exactly
+//! when the attribute set satisfies the tree.
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sp_abe::{AccessTree, CpAbe};
+
+fn attr_name(i: usize) -> String {
+    format!("attr{i}")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// For a k-of-n context tree and a random attribute subset, decryption
+    /// succeeds iff |subset| >= k.
+    #[test]
+    fn threshold_semantics_hold(
+        seed in any::<u64>(),
+        n in 2usize..6,
+        k_off in 0usize..5,
+        subset_bits in any::<u8>(),
+    ) {
+        let k = 1 + k_off % n;
+        let abe = CpAbe::insecure_test_params();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (pk, mk) = abe.setup(&mut rng);
+        let leaves: Vec<AccessTree> = (0..n).map(|i| AccessTree::leaf(attr_name(i))).collect();
+        let tree = AccessTree::threshold(k, leaves).unwrap();
+        let m = abe.random_message(&mut rng);
+        let ct = abe.encrypt(&pk, &m, &tree, &mut rng).unwrap();
+
+        let subset: Vec<String> = (0..n)
+            .filter(|i| subset_bits >> i & 1 == 1)
+            .map(attr_name)
+            .collect();
+        let sk = abe.keygen(&mk, &subset, &mut rng);
+        let attrs: HashSet<String> = subset.iter().cloned().collect();
+
+        let should_succeed = attrs.len() >= k;
+        prop_assert_eq!(tree.satisfied_by(&attrs), should_succeed);
+        match abe.decrypt(&ct, &sk) {
+            Ok(recovered) => {
+                prop_assert!(should_succeed);
+                prop_assert_eq!(recovered, m);
+            }
+            Err(_) => prop_assert!(!should_succeed),
+        }
+    }
+
+    /// Satisfaction of a random two-level tree matches a direct recursive
+    /// evaluation, and decryption agrees with satisfaction.
+    #[test]
+    fn nested_tree_satisfaction_matches_decryption(
+        seed in any::<u64>(),
+        k_top in 1usize..3,
+        k_a in 1usize..3,
+        k_b in 1usize..3,
+        subset_bits in any::<u8>(),
+    ) {
+        // Tree: k_top-of-( k_a-of-(0,1,2), k_b-of-(3,4,5) )
+        let sub_a = AccessTree::threshold(
+            k_a,
+            (0..3).map(|i| AccessTree::leaf(attr_name(i))).collect(),
+        ).unwrap();
+        let sub_b = AccessTree::threshold(
+            k_b,
+            (3..6).map(|i| AccessTree::leaf(attr_name(i))).collect(),
+        ).unwrap();
+        let tree = AccessTree::threshold(k_top.min(2), vec![sub_a, sub_b]).unwrap();
+
+        let abe = CpAbe::insecure_test_params();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (pk, mk) = abe.setup(&mut rng);
+        let m = abe.random_message(&mut rng);
+        let ct = abe.encrypt(&pk, &m, &tree, &mut rng).unwrap();
+
+        let subset: Vec<String> = (0..6)
+            .filter(|i| subset_bits >> i & 1 == 1)
+            .map(attr_name)
+            .collect();
+        let attrs: HashSet<String> = subset.iter().cloned().collect();
+        let count_a = (0..3).filter(|i| attrs.contains(&attr_name(*i))).count();
+        let count_b = (3..6).filter(|i| attrs.contains(&attr_name(*i))).count();
+        let sat = [(count_a >= k_a), (count_b >= k_b)]
+            .iter()
+            .filter(|s| **s)
+            .count()
+            >= k_top.min(2);
+        prop_assert_eq!(tree.satisfied_by(&attrs), sat);
+
+        let sk = abe.keygen(&mk, &subset, &mut rng);
+        match abe.decrypt(&ct, &sk) {
+            Ok(recovered) => {
+                prop_assert!(sat);
+                prop_assert_eq!(recovered, m);
+            }
+            Err(_) => prop_assert!(!sat),
+        }
+    }
+
+    /// Ciphertexts and keys survive serialization under random policies.
+    #[test]
+    fn serialization_is_faithful(seed in any::<u64>(), n in 1usize..5) {
+        let abe = CpAbe::insecure_test_params();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (pk, mk) = abe.setup(&mut rng);
+        let tree = AccessTree::threshold(
+            1,
+            (0..n).map(|i| AccessTree::leaf(attr_name(i))).collect(),
+        ).unwrap();
+        let m = abe.random_message(&mut rng);
+        let ct = abe.encrypt(&pk, &m, &tree, &mut rng).unwrap();
+        let sk = abe.keygen(&mk, &[attr_name(0)], &mut rng);
+
+        let ct2 = abe.decode_ciphertext(&abe.encode_ciphertext(&ct)).unwrap();
+        let sk2 = abe.decode_private_key(&abe.encode_private_key(&sk)).unwrap();
+        prop_assert_eq!(abe.decrypt(&ct2, &sk2).unwrap(), m);
+    }
+
+    /// Hybrid roundtrip for arbitrary payloads.
+    #[test]
+    fn hybrid_roundtrip(seed in any::<u64>(),
+                        payload in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let abe = CpAbe::insecure_test_params();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (pk, mk) = abe.setup(&mut rng);
+        let tree = AccessTree::leaf("the-attr");
+        let ct = sp_abe::hybrid::encrypt(&abe, &pk, &tree, &payload, &mut rng).unwrap();
+        let sk = abe.keygen(&mk, &["the-attr".to_string()], &mut rng);
+        prop_assert_eq!(sp_abe::hybrid::decrypt(&abe, &ct, &sk).unwrap(), payload);
+    }
+}

@@ -1,0 +1,129 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * thresholded constructions vs the §I trivial all-context baseline,
+//! * Construction 1 vs Construction 2 crossover in context size `N`,
+//! * DOS-protection signature on vs off (Construction 1 upload),
+//! * Implementation-2 toolkit file padding on vs off (how much of the
+//!   Fig. 10(a) gap is file overhead vs protocol content).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use social_puzzles_core::construction1::Construction1;
+use social_puzzles_core::construction2::Construction2;
+use social_puzzles_core::protocol::SocialPuzzleApp;
+use social_puzzles_core::sign::SigningKey;
+use social_puzzles_core::trivial;
+use sp_bench::workload::{self, PAPER_K};
+use sp_osn::DeviceProfile;
+use sp_pairing::Pairing;
+
+fn bench_vs_trivial(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vs_trivial_baseline");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    let c1 = Construction1::new();
+    let mut rng = StdRng::seed_from_u64(20);
+    let ctx = workload::paper_context(6, &mut rng);
+    let msg = workload::paper_message(&mut rng);
+    group.bench_function("trivial_encrypt", |b| {
+        let mut rng = StdRng::seed_from_u64(21);
+        b.iter(|| trivial::encrypt(&msg, &ctx, &mut rng))
+    });
+    group.bench_function("c1_upload_k1", |b| {
+        let mut rng = StdRng::seed_from_u64(22);
+        b.iter(|| c1.upload(&msg, &ctx, PAPER_K, &mut rng).expect("upload"))
+    });
+    group.finish();
+}
+
+fn bench_c1_vs_c2_local(c: &mut Criterion) {
+    // Pure local processing crossover (no network model): where does the
+    // CP-ABE construction's pairing cost diverge from Shamir+hashes?
+    let mut group = c.benchmark_group("c1_vs_c2_local_upload");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    let c1 = Construction1::new();
+    let c2 = Construction2::insecure_test_params();
+    for n in [2usize, 6, 10] {
+        group.bench_with_input(BenchmarkId::new("c1", n), &n, |b, &n| {
+            let mut rng = StdRng::seed_from_u64(23);
+            let ctx = workload::paper_context(n, &mut rng);
+            let msg = workload::paper_message(&mut rng);
+            b.iter(|| c1.upload(&msg, &ctx, PAPER_K, &mut rng).expect("upload"))
+        });
+        group.bench_with_input(BenchmarkId::new("c2", n), &n, |b, &n| {
+            let mut rng = StdRng::seed_from_u64(24);
+            let ctx = workload::paper_context(n, &mut rng);
+            let msg = workload::paper_message(&mut rng);
+            b.iter(|| c2.upload(&msg, &ctx, PAPER_K, &mut rng).expect("upload"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_signature_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("c1_dos_signature");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    let c1 = Construction1::new();
+    let pairing = Pairing::insecure_test_params();
+    let mut rng = StdRng::seed_from_u64(25);
+    let sk = SigningKey::generate(&pairing, &mut rng);
+    let ctx = workload::paper_context(6, &mut rng);
+    let msg = workload::paper_message(&mut rng);
+    group.bench_function("unsigned", |b| {
+        let mut rng = StdRng::seed_from_u64(26);
+        b.iter(|| c1.upload(&msg, &ctx, PAPER_K, &mut rng).expect("upload"))
+    });
+    group.bench_function("signed", |b| {
+        let mut rng = StdRng::seed_from_u64(27);
+        b.iter(|| {
+            c1.upload_to(
+                &msg,
+                &ctx,
+                PAPER_K,
+                sp_osn::Url::from("https://dh.example/o/1"),
+                Some(&sk),
+                &mut rng,
+            )
+            .expect("upload")
+        })
+    });
+    group.finish();
+}
+
+fn bench_i2_pad_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("i2_file_pad");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    let c2 = Construction2::insecure_test_params();
+    for pad in [0u64, 150_000] {
+        group.bench_with_input(BenchmarkId::new("share_c2_pad", pad), &pad, |b, &pad| {
+            let mut rng = StdRng::seed_from_u64(28);
+            b.iter(|| {
+                let mut app = SocialPuzzleApp::new();
+                app.set_i2_file_pad(pad);
+                let sharer = app.add_user("s");
+                let ctx = workload::paper_context(4, &mut rng);
+                let msg = workload::paper_message(&mut rng);
+                app.share_c2(&c2, sharer, &msg, &ctx, PAPER_K, &DeviceProfile::pc(), &mut rng)
+                    .expect("share")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    ablation,
+    bench_vs_trivial,
+    bench_c1_vs_c2_local,
+    bench_signature_overhead,
+    bench_i2_pad_ablation
+);
+criterion_main!(ablation);

@@ -1,0 +1,161 @@
+//! Criterion benches for each Figure 10 panel: one benchmark per
+//! (figure, implementation/device, N) cell, timing the full party-side
+//! protocol flow the paper measures.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use social_puzzles_core::construction1::Construction1;
+use social_puzzles_core::construction2::Construction2;
+use social_puzzles_core::context::Context;
+use social_puzzles_core::protocol::SocialPuzzleApp;
+use sp_bench::workload::{self, PAPER_K};
+use sp_osn::DeviceProfile;
+
+const N_VALUES: [usize; 3] = [2, 6, 10];
+
+fn answer_all(ctx: &Context) -> impl Fn(&str) -> Option<String> + '_ {
+    move |q| ctx.answer_for(q).map(str::to_owned)
+}
+
+fn fig10a_sharer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10a_sharer_pc");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    let c1 = Construction1::new();
+    let c2 = Construction2::insecure_test_params();
+    let pc = DeviceProfile::pc();
+    for n in N_VALUES {
+        group.bench_with_input(BenchmarkId::new("impl1", n), &n, |b, &n| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| {
+                let mut app = SocialPuzzleApp::new();
+                let sharer = app.add_user("s");
+                let ctx = workload::paper_context(n, &mut rng);
+                let msg = workload::paper_message(&mut rng);
+                app.share_c1(&c1, sharer, &msg, &ctx, PAPER_K, &pc, None, &mut rng)
+                    .expect("share")
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("impl2", n), &n, |b, &n| {
+            let mut rng = StdRng::seed_from_u64(2);
+            b.iter(|| {
+                let mut app = SocialPuzzleApp::new();
+                let sharer = app.add_user("s");
+                let ctx = workload::paper_context(n, &mut rng);
+                let msg = workload::paper_message(&mut rng);
+                app.share_c2(&c2, sharer, &msg, &ctx, PAPER_K, &pc, &mut rng)
+                    .expect("share")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn fig10b_receiver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10b_receiver_pc");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    let c1 = Construction1::new();
+    let c2 = Construction2::insecure_test_params();
+    let pc = DeviceProfile::pc();
+    for n in N_VALUES {
+        group.bench_with_input(BenchmarkId::new("impl1", n), &n, |b, &n| {
+            let mut rng = StdRng::seed_from_u64(3);
+            let mut app = SocialPuzzleApp::new();
+            let sharer = app.add_user("s");
+            let ctx = workload::paper_context(n, &mut rng);
+            let msg = workload::paper_message(&mut rng);
+            let share = app
+                .share_c1(&c1, sharer, &msg, &ctx, PAPER_K, &pc, None, &mut rng)
+                .expect("share");
+            b.iter(|| {
+                app.receive_c1(&c1, sharer, &share, answer_all(&ctx), &pc, &mut rng)
+                    .expect("receive")
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("impl2", n), &n, |b, &n| {
+            let mut rng = StdRng::seed_from_u64(4);
+            let mut app = SocialPuzzleApp::new();
+            let sharer = app.add_user("s");
+            let ctx = workload::paper_context(n, &mut rng);
+            let msg = workload::paper_message(&mut rng);
+            let share = app
+                .share_c2(&c2, sharer, &msg, &ctx, PAPER_K, &pc, &mut rng)
+                .expect("share");
+            b.iter(|| {
+                app.receive_c2(&c2, sharer, &share, answer_all(&ctx), &pc, &mut rng)
+                    .expect("receive")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn fig10c_sharer_devices(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10c_sharer_i1_devices");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    let c1 = Construction1::new();
+    for n in N_VALUES {
+        for device in [DeviceProfile::pc(), DeviceProfile::tablet()] {
+            let label = if device.compute_scale() > 1.0 { "tablet" } else { "pc" };
+            group.bench_with_input(
+                BenchmarkId::new(label, n),
+                &n,
+                |b, &n| {
+                    let mut rng = StdRng::seed_from_u64(5);
+                    b.iter(|| {
+                        let mut app = SocialPuzzleApp::new();
+                        let sharer = app.add_user("s");
+                        let ctx = workload::paper_context(n, &mut rng);
+                        let msg = workload::paper_message(&mut rng);
+                        app.share_c1(&c1, sharer, &msg, &ctx, PAPER_K, &device, None, &mut rng)
+                            .expect("share")
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn fig10d_receiver_devices(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10d_receiver_i1_devices");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    let c1 = Construction1::new();
+    for n in N_VALUES {
+        for device in [DeviceProfile::pc(), DeviceProfile::tablet()] {
+            let label = if device.compute_scale() > 1.0 { "tablet" } else { "pc" };
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, &n| {
+                let mut rng = StdRng::seed_from_u64(6);
+                let mut app = SocialPuzzleApp::new();
+                let sharer = app.add_user("s");
+                let ctx = workload::paper_context(n, &mut rng);
+                let msg = workload::paper_message(&mut rng);
+                let share = app
+                    .share_c1(&c1, sharer, &msg, &ctx, PAPER_K, &device, None, &mut rng)
+                    .expect("share");
+                b.iter(|| {
+                    app.receive_c1(&c1, sharer, &share, answer_all(&ctx), &device, &mut rng)
+                        .expect("receive")
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    fig10,
+    fig10a_sharer,
+    fig10b_receiver,
+    fig10c_sharer_devices,
+    fig10d_receiver_devices
+);
+criterion_main!(fig10);

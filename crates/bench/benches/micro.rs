@@ -1,0 +1,139 @@
+//! Microbenchmarks of the building blocks: field/pairing arithmetic,
+//! Shamir, CP-ABE primitives, symmetric crypto, and answer hashing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use social_puzzles_core::hash::HashAlg;
+use sp_abe::{AccessTree, CpAbe};
+use sp_crypto::modes::{cbc_encrypt, ctr_xor};
+use sp_crypto::sha256::sha256;
+use sp_pairing::Pairing;
+use sp_shamir::ShamirScheme;
+
+fn bench_pairing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pairing");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    let pairing = Pairing::insecure_test_params();
+    let mut rng = StdRng::seed_from_u64(10);
+    let p = pairing.random_g1(&mut rng);
+    let q = pairing.random_g1(&mut rng);
+    let s = pairing.random_nonzero_scalar(&mut rng);
+    group.bench_function("tate_pairing", |b| b.iter(|| pairing.pair(&p, &q)));
+    group.bench_function("g1_scalar_mul", |b| b.iter(|| pairing.mul(&p, &s)));
+    group.bench_function("hash_to_g1", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            pairing.hash_to_g1(&i.to_be_bytes())
+        })
+    });
+    let e = pairing.pair(&p, &q);
+    group.bench_function("gt_pow", |b| b.iter(|| e.pow_scalar(&s)));
+    group.finish();
+}
+
+fn bench_shamir(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shamir");
+    let scheme = ShamirScheme::default_field();
+    let mut rng = StdRng::seed_from_u64(11);
+    for (k, n) in [(1usize, 2usize), (5, 10), (10, 20)] {
+        let secret = scheme.random_secret(&mut rng);
+        group.bench_with_input(BenchmarkId::new("split", format!("{k}of{n}")), &(k, n), |b, &(k, n)| {
+            let mut rng = StdRng::seed_from_u64(12);
+            b.iter(|| scheme.split(&secret, k, n, &mut rng).expect("valid"))
+        });
+        let shares = scheme.split(&secret, k, n, &mut rng).expect("valid");
+        group.bench_with_input(
+            BenchmarkId::new("reconstruct", format!("{k}of{n}")),
+            &k,
+            |b, &k| b.iter(|| scheme.reconstruct(&shares[..k]).expect("enough")),
+        );
+    }
+    group.finish();
+}
+
+fn bench_abe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cp_abe");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    let abe = CpAbe::insecure_test_params();
+    let mut rng = StdRng::seed_from_u64(13);
+    let (pk, mk) = abe.setup(&mut rng);
+    for n in [2usize, 6, 10] {
+        let pairs: Vec<(String, String)> =
+            (0..n).map(|i| (format!("q{i}"), format!("a{i}"))).collect();
+        let tree = AccessTree::context_tree(1, &pairs).expect("valid");
+        let m = abe.random_message(&mut rng);
+        group.bench_with_input(BenchmarkId::new("encrypt", n), &n, |b, _| {
+            let mut rng = StdRng::seed_from_u64(14);
+            b.iter(|| abe.encrypt(&pk, &m, &tree, &mut rng).expect("encrypt"))
+        });
+        let ct = abe.encrypt(&pk, &m, &tree, &mut rng).expect("encrypt");
+        let attrs = vec![sp_abe::encode_qa_attribute("q0", "a0")];
+        group.bench_with_input(BenchmarkId::new("keygen_1attr", n), &n, |b, _| {
+            let mut rng = StdRng::seed_from_u64(15);
+            b.iter(|| abe.keygen(&mk, &attrs, &mut rng))
+        });
+        let sk = abe.keygen(&mk, &attrs, &mut rng);
+        group.bench_with_input(BenchmarkId::new("decrypt", n), &n, |b, _| {
+            b.iter(|| abe.decrypt(&ct, &sk).expect("decrypt"))
+        });
+    }
+    group.bench_function("setup", |b| {
+        let mut rng = StdRng::seed_from_u64(16);
+        b.iter(|| abe.setup(&mut rng))
+    });
+    group.finish();
+}
+
+fn bench_symmetric(c: &mut Criterion) {
+    let mut group = c.benchmark_group("symmetric");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    let key = [7u8; 32];
+    let iv = [9u8; 16];
+    for size in [100usize, 10_000, 1_000_000] {
+        let data = vec![0xabu8; size];
+        group.bench_with_input(BenchmarkId::new("aes256_cbc", size), &size, |b, _| {
+            b.iter(|| cbc_encrypt(&key, &iv, &data).expect("valid key"))
+        });
+        group.bench_with_input(BenchmarkId::new("aes256_ctr", size), &size, |b, _| {
+            b.iter(|| ctr_xor(&key, &iv, &data).expect("valid key"))
+        });
+        group.bench_with_input(BenchmarkId::new("sha256", size), &size, |b, _| {
+            b.iter(|| sha256(&data))
+        });
+    }
+    group.finish();
+}
+
+fn bench_answer_hashes(c: &mut Criterion) {
+    // The per-answer cost that dominates Construction 1's local
+    // processing; the paper's two prototypes picked different hashes.
+    let mut group = c.benchmark_group("answer_hash");
+    let key = [1u8; 16];
+    let answer = "a-twenty-char-answer";
+    for (name, alg) in [
+        ("sha256", HashAlg::Sha256),
+        ("sha3_cryptojs_style", HashAlg::Sha3),
+        ("sha1_openssl_style", HashAlg::Sha1),
+    ] {
+        group.bench_function(name, |b| b.iter(|| alg.answer_hash(answer, &key)));
+    }
+    group.finish();
+}
+
+criterion_group!(
+    micro,
+    bench_pairing,
+    bench_shamir,
+    bench_abe,
+    bench_symmetric,
+    bench_answer_hashes
+);
+criterion_main!(micro);

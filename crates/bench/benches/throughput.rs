@@ -1,0 +1,75 @@
+//! Service-provider throughput: how many verify requests per second can
+//! one SP sustain for each scheme?
+//!
+//! The paper argues its SP does only cheap hash comparisons ("much of the
+//! access control functionality is performed locally on the client … which
+//! is more efficient", §II); this bench quantifies that: the SP-side cost
+//! of a Construction-1/2 verify is hash-compare work, independent of any
+//! cryptography, so a single server scales to large social networks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use social_puzzles_core::construction1::Construction1;
+use social_puzzles_core::construction2::Construction2;
+use sp_bench::workload::{self, PAPER_K};
+
+fn bench_sp_verify_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sp_verify_throughput");
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.throughput(Throughput::Elements(1));
+
+    for n in [2usize, 10] {
+        // Construction 1: SP matches salted hashes against the record.
+        {
+            let c1 = Construction1::new();
+            let mut rng = StdRng::seed_from_u64(30);
+            let ctx = workload::paper_context(n, &mut rng);
+            let up = c1.upload(b"obj", &ctx, PAPER_K, &mut rng).unwrap();
+            let displayed = c1.display_puzzle(&up.puzzle, &mut rng);
+            let answers = displayed.answer(|q| ctx.answer_for(q).map(str::to_owned));
+            let response = c1.answer_puzzle(&displayed, &answers);
+            group.bench_with_input(BenchmarkId::new("c1_verify", n), &n, |b, _| {
+                b.iter(|| c1.verify(&up.puzzle, &response).expect("verifies"))
+            });
+        }
+        // Construction 2: SP matches verification hashes.
+        {
+            let c2 = Construction2::insecure_test_params();
+            let mut rng = StdRng::seed_from_u64(31);
+            let ctx = workload::paper_context(n, &mut rng);
+            let up = c2.upload(b"obj", &ctx, PAPER_K, &mut rng).unwrap();
+            let details = up.record.public_details();
+            let answers = details.answer(|q| ctx.answer_for(q).map(str::to_owned));
+            let response = c2.answer_puzzle(&details, &answers);
+            group.bench_with_input(BenchmarkId::new("c2_verify", n), &n, |b, _| {
+                b.iter(|| c2.verify(&up.record, &response).expect("verifies"))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_receiver_answer_hashing(c: &mut Criterion) {
+    // Client-side cost of answering — the other half of the "SP does
+    // almost nothing" story.
+    let mut group = c.benchmark_group("receiver_answer_hashing");
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    let c1 = Construction1::new();
+    let mut rng = StdRng::seed_from_u64(32);
+    for n in [2usize, 10] {
+        let ctx = workload::paper_context(n, &mut rng);
+        let up = c1.upload(b"obj", &ctx, PAPER_K, &mut rng).unwrap();
+        let displayed = c1.display_puzzle(&up.puzzle, &mut rng);
+        let answers = displayed.answer(|q| ctx.answer_for(q).map(str::to_owned));
+        group.bench_with_input(BenchmarkId::new("answer_puzzle", n), &n, |b, _| {
+            b.iter(|| c1.answer_puzzle(&displayed, &answers))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(throughput, bench_sp_verify_throughput, bench_receiver_answer_hashing);
+criterion_main!(throughput);

@@ -1,0 +1,58 @@
+//! Prints the Figure 10 reproduction tables.
+//!
+//! ```text
+//! cargo run -p sp-bench --release --bin figures            # all panels
+//! cargo run -p sp-bench --release --bin figures -- fig10a  # one panel
+//! cargo run -p sp-bench --release --bin figures -- quick   # fast sweep
+//! cargo run -p sp-bench --release --bin figures -- --out dir # + CSV & SVG
+//! ```
+
+use sp_bench::{export, figures::{self, SweepConfig}};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "quick");
+    let jitter = args.iter().any(|a| a == "jitter");
+    let mut cfg = if quick { SweepConfig::quick() } else { SweepConfig::default() };
+    if jitter {
+        cfg.network_jitter = 0.25;
+    }
+    let out_dir = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from);
+
+    let out_flag_value = args
+        .iter()
+        .position(|a| a == "--out")
+        .map(|i| i + 1);
+    let wanted: Vec<&str> = args
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| Some(*i) != out_flag_value)
+        .filter_map(|(_, a)| a.strip_prefix("fig"))
+        .filter(|sel| matches!(*sel, "10a" | "10b" | "10c" | "10d"))
+        .collect();
+
+    let panels = figures::all_panels(&cfg);
+    let mut printed = 0;
+    for panel in &panels {
+        if wanted.is_empty() || wanted.iter().any(|w| *w == panel.id) {
+            println!("{}", figures::render(panel));
+            printed += 1;
+            if let Some(dir) = &out_dir {
+                std::fs::create_dir_all(dir).expect("creating output dir");
+                let csv = dir.join(format!("fig{}.csv", panel.id));
+                let svg = dir.join(format!("fig{}.svg", panel.id));
+                std::fs::write(&csv, export::to_csv(panel)).expect("writing csv");
+                std::fs::write(&svg, export::to_svg(panel)).expect("writing svg");
+                eprintln!("wrote {} and {}", csv.display(), svg.display());
+            }
+        }
+    }
+    if printed == 0 {
+        eprintln!("unknown figure selector; available: fig10a fig10b fig10c fig10d, plus `quick`");
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,248 @@
+//! Figure export: CSV for analysis, SVG for a visual Figure 10.
+//!
+//! The SVG renderer draws the same stacked-bar panels the paper prints:
+//! x-axis is the context size `N`, each series gets a bar per `N`,
+//! stacked into its local-processing (dark) and network (light) terms.
+
+use std::fmt::Write as _;
+
+use crate::figures::Panel;
+
+/// Renders a panel as CSV: `figure,series,n,local_ms,network_ms,total_ms`.
+pub fn to_csv(panel: &Panel) -> String {
+    let mut out = String::from("figure,series,n,local_ms,network_ms,total_ms\n");
+    for series in &panel.series {
+        for p in &series.points {
+            let _ = writeln!(
+                out,
+                "{},{},{},{:.6},{:.6},{:.6}",
+                panel.id,
+                csv_escape(&series.label),
+                p.n,
+                p.local.as_secs_f64() * 1e3,
+                p.network.as_secs_f64() * 1e3,
+                p.total().as_secs_f64() * 1e3
+            );
+        }
+    }
+    out
+}
+
+fn csv_escape(s: &str) -> String {
+    if s.contains(',') || s.contains('"') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_owned()
+    }
+}
+
+/// Per-series bar fill colors (local term; the network term is drawn in a
+/// lighter shade of the same hue).
+const SERIES_COLORS: [(&str, &str); 4] = [
+    ("#1b6ca8", "#9ec9e8"),
+    ("#b3541e", "#ecc19c"),
+    ("#3e7d3a", "#b9dcb4"),
+    ("#6a4c93", "#cabfe0"),
+];
+
+/// Renders a panel as a standalone SVG stacked-bar chart.
+pub fn to_svg(panel: &Panel) -> String {
+    const WIDTH: f64 = 760.0;
+    const HEIGHT: f64 = 420.0;
+    const MARGIN_L: f64 = 70.0;
+    const MARGIN_R: f64 = 20.0;
+    const MARGIN_T: f64 = 50.0;
+    const MARGIN_B: f64 = 60.0;
+    let plot_w = WIDTH - MARGIN_L - MARGIN_R;
+    let plot_h = HEIGHT - MARGIN_T - MARGIN_B;
+
+    let max_total_ms = panel
+        .series
+        .iter()
+        .flat_map(|s| s.points.iter())
+        .map(|p| p.total().as_secs_f64() * 1e3)
+        .fold(1e-9_f64, f64::max)
+        * 1.1;
+
+    let n_values: Vec<usize> = panel
+        .series
+        .first()
+        .map(|s| s.points.iter().map(|p| p.n).collect())
+        .unwrap_or_default();
+    let groups = n_values.len().max(1) as f64;
+    let series_count = panel.series.len().max(1) as f64;
+    let group_w = plot_w / groups;
+    let bar_w = (group_w * 0.8) / series_count;
+
+    let mut svg = String::new();
+    let _ = writeln!(
+        svg,
+        r##"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}" font-family="sans-serif">"##
+    );
+    let _ = writeln!(svg, r##"<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>"##);
+    let _ = writeln!(
+        svg,
+        r##"<text x="{}" y="24" font-size="16" text-anchor="middle">Figure {} — {}</text>"##,
+        WIDTH / 2.0,
+        panel.id,
+        xml_escape(panel.caption)
+    );
+
+    // Axes.
+    let x0 = MARGIN_L;
+    let y0 = MARGIN_T + plot_h;
+    let _ = writeln!(
+        svg,
+        r##"<line x1="{x0}" y1="{y0}" x2="{}" y2="{y0}" stroke="black"/>"##,
+        MARGIN_L + plot_w
+    );
+    let _ = writeln!(
+        svg,
+        r##"<line x1="{x0}" y1="{MARGIN_T}" x2="{x0}" y2="{y0}" stroke="black"/>"##
+    );
+    // Y ticks (5).
+    for t in 0..=5 {
+        let frac = t as f64 / 5.0;
+        let y = y0 - frac * plot_h;
+        let value = frac * max_total_ms;
+        let _ = writeln!(
+            svg,
+            r##"<line x1="{}" y1="{y}" x2="{x0}" y2="{y}" stroke="black"/><text x="{}" y="{}" font-size="11" text-anchor="end">{:.1}</text>"##,
+            x0 - 5.0,
+            x0 - 8.0,
+            y + 4.0,
+            value
+        );
+    }
+    let _ = writeln!(
+        svg,
+        r##"<text x="16" y="{}" font-size="12" transform="rotate(-90 16 {})" text-anchor="middle">delay (ms)</text>"##,
+        MARGIN_T + plot_h / 2.0,
+        MARGIN_T + plot_h / 2.0
+    );
+    let _ = writeln!(
+        svg,
+        r##"<text x="{}" y="{}" font-size="12" text-anchor="middle">context size N</text>"##,
+        MARGIN_L + plot_w / 2.0,
+        HEIGHT - 16.0
+    );
+
+    // Bars.
+    for (si, series) in panel.series.iter().enumerate() {
+        let (dark, light) = SERIES_COLORS[si % SERIES_COLORS.len()];
+        for (gi, p) in series.points.iter().enumerate() {
+            let local_ms = p.local.as_secs_f64() * 1e3;
+            let net_ms = p.network.as_secs_f64() * 1e3;
+            let x = MARGIN_L + gi as f64 * group_w + group_w * 0.1 + si as f64 * bar_w;
+            let h_local = local_ms / max_total_ms * plot_h;
+            let h_net = net_ms / max_total_ms * plot_h;
+            // Network (bottom of stack), then local on top.
+            let _ = writeln!(
+                svg,
+                r##"<rect x="{x:.2}" y="{:.2}" width="{bar_w:.2}" height="{h_net:.2}" fill="{light}"><title>{} N={} network {net_ms:.3} ms</title></rect>"##,
+                y0 - h_net,
+                xml_escape(&series.label),
+                p.n
+            );
+            let _ = writeln!(
+                svg,
+                r##"<rect x="{x:.2}" y="{:.2}" width="{bar_w:.2}" height="{h_local:.2}" fill="{dark}"><title>{} N={} local {local_ms:.3} ms</title></rect>"##,
+                y0 - h_net - h_local,
+                xml_escape(&series.label),
+                p.n
+            );
+        }
+    }
+
+    // X tick labels.
+    for (gi, n) in n_values.iter().enumerate() {
+        let x = MARGIN_L + gi as f64 * group_w + group_w / 2.0;
+        let _ = writeln!(
+            svg,
+            r##"<text x="{x:.2}" y="{}" font-size="11" text-anchor="middle">{n}</text>"##,
+            y0 + 16.0
+        );
+    }
+
+    // Legend.
+    let mut ly = MARGIN_T + 4.0;
+    for (si, series) in panel.series.iter().enumerate() {
+        let (dark, light) = SERIES_COLORS[si % SERIES_COLORS.len()];
+        let lx = MARGIN_L + 12.0;
+        let _ = writeln!(
+            svg,
+            r##"<rect x="{lx}" y="{ly}" width="12" height="12" fill="{dark}"/><rect x="{}" y="{ly}" width="12" height="12" fill="{light}"/><text x="{}" y="{}" font-size="11">{} (local / network)</text>"##,
+            lx + 14.0,
+            lx + 32.0,
+            ly + 10.0,
+            xml_escape(&series.label)
+        );
+        ly += 18.0;
+    }
+
+    svg.push_str("</svg>\n");
+    svg
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::{fig10a, SweepConfig};
+
+    fn panel() -> Panel {
+        fig10a(&SweepConfig::quick())
+    }
+
+    #[test]
+    fn csv_has_header_and_all_rows() {
+        let p = panel();
+        let csv = to_csv(&p);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "figure,series,n,local_ms,network_ms,total_ms");
+        let expected_rows: usize = p.series.iter().map(|s| s.points.len()).sum();
+        assert_eq!(lines.len(), 1 + expected_rows);
+        assert!(lines[1].starts_with("10a,"));
+    }
+
+    #[test]
+    fn csv_escaping() {
+        assert_eq!(csv_escape("plain"), "plain");
+        assert_eq!(csv_escape("a,b"), "\"a,b\"");
+        assert_eq!(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn svg_is_structurally_sound() {
+        let p = panel();
+        let svg = to_svg(&p);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // Two rects per point (stacked), plus background and legend rects.
+        let points: usize = p.series.iter().map(|s| s.points.len()).sum();
+        let rects = svg.matches("<rect").count();
+        assert!(rects >= 2 * points, "rects = {rects}, points = {points}");
+        assert!(svg.contains("Figure 10a"));
+        assert!(svg.contains("Impl 1"));
+        assert!(svg.contains("delay (ms)"));
+        // No unescaped ampersands outside entities.
+        assert!(!svg.contains("& "));
+    }
+
+    #[test]
+    fn svg_heights_scale_with_values() {
+        let p = panel();
+        let svg = to_svg(&p);
+        // The Impl 2 bars are far taller than Impl 1's; crude check: the
+        // maximum rect height in the file exceeds half the plot height.
+        let max_h = svg
+            .split("height=\"")
+            .skip(1)
+            .filter_map(|s| s.split('"').next()?.parse::<f64>().ok())
+            .fold(0.0_f64, f64::max);
+        assert!(max_h > 150.0, "tallest bar {max_h}");
+    }
+}

@@ -1,0 +1,372 @@
+//! End-to-end sweeps regenerating the paper's Figure 10.
+//!
+//! Each function returns one panel: a set of named series over the
+//! context-size axis `N`, where every point carries the local-processing
+//! and network delay terms the paper stacks in its bar charts.
+
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use social_puzzles_core::construction1::Construction1;
+use social_puzzles_core::construction2::Construction2;
+use social_puzzles_core::context::Context;
+use social_puzzles_core::metrics::DelayBreakdown;
+use social_puzzles_core::protocol::SocialPuzzleApp;
+use sp_osn::DeviceProfile;
+
+use crate::workload::{self, PAPER_K};
+
+/// One point of a Fig. 10 series.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SeriesPoint {
+    /// Context size `N`.
+    pub n: usize,
+    /// Mean local processing delay.
+    pub local: Duration,
+    /// Mean network delay (incl. server-side processing).
+    pub network: Duration,
+}
+
+impl SeriesPoint {
+    /// Total delay.
+    pub fn total(&self) -> Duration {
+        self.local + self.network
+    }
+}
+
+/// A named series (e.g. "Impl 1 (PC)").
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Display label.
+    pub label: String,
+    /// Points in ascending `N`.
+    pub points: Vec<SeriesPoint>,
+}
+
+/// One figure panel: an id ("10a"), a caption, and its series.
+#[derive(Clone, Debug)]
+pub struct Panel {
+    /// Figure id as in the paper.
+    pub id: &'static str,
+    /// What the panel shows.
+    pub caption: &'static str,
+    /// The series.
+    pub series: Vec<Series>,
+}
+
+/// Sweep configuration.
+#[derive(Clone, Debug)]
+pub struct SweepConfig {
+    /// Context sizes to sweep.
+    pub n_values: Vec<usize>,
+    /// Repetitions per point (means are reported).
+    pub repetitions: usize,
+    /// RNG seed (the sweep is deterministic given the seed, up to wall
+    /// clock noise in the measured local compute).
+    pub seed: u64,
+    /// Multiplicative network jitter fraction (0 = deterministic).
+    /// Nonzero values reproduce the "instability in the measurements"
+    /// the paper attributes to network unpredictability (§VIII).
+    pub network_jitter: f64,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        Self {
+            n_values: workload::PAPER_N_RANGE.collect(),
+            repetitions: 3,
+            seed: 42,
+            network_jitter: 0.0,
+        }
+    }
+}
+
+impl SweepConfig {
+    /// A fast configuration for tests and smoke runs.
+    pub fn quick() -> Self {
+        Self { n_values: vec![2, 4, 6], repetitions: 1, seed: 42, ..Self::default() }
+    }
+
+    /// The default sweep with the paper-like network instability enabled.
+    pub fn jittery() -> Self {
+        Self { network_jitter: 0.25, ..Self::default() }
+    }
+}
+
+struct Sweeper {
+    rng: StdRng,
+    cfg: SweepConfig,
+}
+
+/// What one measured run contributes.
+enum Who {
+    Sharer,
+    Receiver,
+}
+
+enum Scheme<'a> {
+    C1(&'a Construction1),
+    C2(&'a Construction2),
+}
+
+impl Sweeper {
+    fn new(cfg: &SweepConfig) -> Self {
+        Self { rng: StdRng::seed_from_u64(cfg.seed), cfg: cfg.clone() }
+    }
+
+    fn answer_all(ctx: &Context) -> impl Fn(&str) -> Option<String> + '_ {
+        move |q| ctx.answer_for(q).map(str::to_owned)
+    }
+
+    /// Means over `repetitions` full share/receive rounds.
+    fn measure(&mut self, scheme: &Scheme<'_>, who: &Who, device: &DeviceProfile, n: usize) -> SeriesPoint {
+        let mut acc = DelayBreakdown::zero();
+        for rep in 0..self.cfg.repetitions {
+            let mut app = if self.cfg.network_jitter > 0.0 {
+                let seed = self.cfg.seed ^ (n as u64) << 8 ^ rep as u64;
+                SocialPuzzleApp::with_networks(
+                    sp_osn::NetworkModel::wlan_to_cloud()
+                        .with_jitter(seed, self.cfg.network_jitter),
+                    sp_osn::NetworkModel::wlan_to_cloud_curl()
+                        .with_jitter(seed.wrapping_add(1), self.cfg.network_jitter),
+                )
+            } else {
+                SocialPuzzleApp::new()
+            };
+            let sharer = app.add_user("sharer");
+            let friend = app.add_user("friend");
+            app.befriend(sharer, friend).expect("distinct users");
+            let ctx = workload::paper_context(n, &mut self.rng);
+            let msg = workload::paper_message(&mut self.rng);
+
+            let delays = match scheme {
+                Scheme::C1(c1) => {
+                    let share = app
+                        .share_c1(c1, sharer, &msg, &ctx, PAPER_K, device, None, &mut self.rng)
+                        .expect("share");
+                    match who {
+                        Who::Sharer => share.delays,
+                        Who::Receiver => {
+                            app.receive_c1(c1, friend, &share, Self::answer_all(&ctx), device, &mut self.rng)
+                                .expect("receive")
+                                .delays
+                        }
+                    }
+                }
+                Scheme::C2(c2) => {
+                    let share = app
+                        .share_c2(c2, sharer, &msg, &ctx, PAPER_K, device, &mut self.rng)
+                        .expect("share");
+                    match who {
+                        Who::Sharer => share.delays,
+                        Who::Receiver => {
+                            app.receive_c2(c2, friend, &share, Self::answer_all(&ctx), device, &mut self.rng)
+                                .expect("receive")
+                                .delays
+                        }
+                    }
+                }
+            };
+            acc = acc + delays;
+        }
+        let reps = self.cfg.repetitions as u32;
+        SeriesPoint {
+            n,
+            local: acc.local_processing / reps,
+            network: acc.network / reps,
+        }
+    }
+
+    fn series(
+        &mut self,
+        label: &str,
+        scheme: &Scheme<'_>,
+        who: &Who,
+        device: &DeviceProfile,
+    ) -> Series {
+        let n_values = self.cfg.n_values.clone();
+        Series {
+            label: label.to_owned(),
+            points: n_values
+                .into_iter()
+                .map(|n| self.measure(scheme, who, device, n))
+                .collect(),
+        }
+    }
+}
+
+/// Fig. 10(a): sharer overhead, Impl 1 vs Impl 2, on the PC.
+pub fn fig10a(cfg: &SweepConfig) -> Panel {
+    let mut sw = Sweeper::new(cfg);
+    let c1 = Construction1::new();
+    let c2 = Construction2::insecure_test_params();
+    let pc = DeviceProfile::pc();
+    Panel {
+        id: "10a",
+        caption: "Sharer's overhead: I1 vs I2 on PC",
+        series: vec![
+            sw.series("Impl 1 (Shamir)", &Scheme::C1(&c1), &Who::Sharer, &pc),
+            sw.series("Impl 2 (CP-ABE)", &Scheme::C2(&c2), &Who::Sharer, &pc),
+        ],
+    }
+}
+
+/// Fig. 10(b): receiver overhead, Impl 1 vs Impl 2, on the PC.
+pub fn fig10b(cfg: &SweepConfig) -> Panel {
+    let mut sw = Sweeper::new(cfg);
+    let c1 = Construction1::new();
+    let c2 = Construction2::insecure_test_params();
+    let pc = DeviceProfile::pc();
+    Panel {
+        id: "10b",
+        caption: "Receiver's overhead: I1 vs I2 on PC",
+        series: vec![
+            sw.series("Impl 1 (Shamir)", &Scheme::C1(&c1), &Who::Receiver, &pc),
+            sw.series("Impl 2 (CP-ABE)", &Scheme::C2(&c2), &Who::Receiver, &pc),
+        ],
+    }
+}
+
+/// Fig. 10(c): sharer overhead, PC vs tablet, Impl 1 only.
+pub fn fig10c(cfg: &SweepConfig) -> Panel {
+    let mut sw = Sweeper::new(cfg);
+    let c1 = Construction1::new();
+    Panel {
+        id: "10c",
+        caption: "Sharer's overhead: PC vs Tablet for I1",
+        series: vec![
+            sw.series("PC", &Scheme::C1(&c1), &Who::Sharer, &DeviceProfile::pc()),
+            sw.series("Tablet", &Scheme::C1(&c1), &Who::Sharer, &DeviceProfile::tablet()),
+        ],
+    }
+}
+
+/// Fig. 10(d): receiver overhead, PC vs tablet, Impl 1 only.
+pub fn fig10d(cfg: &SweepConfig) -> Panel {
+    let mut sw = Sweeper::new(cfg);
+    let c1 = Construction1::new();
+    Panel {
+        id: "10d",
+        caption: "Receiver's overhead: PC vs Tablet for I1",
+        series: vec![
+            sw.series("PC", &Scheme::C1(&c1), &Who::Receiver, &DeviceProfile::pc()),
+            sw.series("Tablet", &Scheme::C1(&c1), &Who::Receiver, &DeviceProfile::tablet()),
+        ],
+    }
+}
+
+/// All four panels.
+pub fn all_panels(cfg: &SweepConfig) -> Vec<Panel> {
+    vec![fig10a(cfg), fig10b(cfg), fig10c(cfg), fig10d(cfg)]
+}
+
+/// Renders a panel as the text table the `figures` binary prints.
+pub fn render(panel: &Panel) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("Figure {} — {}\n", panel.id, panel.caption));
+    out.push_str(&format!(
+        "{:>4} | {:<28} | {:>12} | {:>12} | {:>12}\n",
+        "N", "series", "local (ms)", "network (ms)", "total (ms)"
+    ));
+    out.push_str(&"-".repeat(84));
+    out.push('\n');
+    for series in &panel.series {
+        for p in &series.points {
+            out.push_str(&format!(
+                "{:>4} | {:<28} | {:>12.3} | {:>12.3} | {:>12.3}\n",
+                p.n,
+                series.label,
+                p.local.as_secs_f64() * 1e3,
+                p.network.as_secs_f64() * 1e3,
+                p.total().as_secs_f64() * 1e3
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig10a_shape_i2_dominates_i1() {
+        // The paper's headline: I2's network delay is worst; I1 combined
+        // delay extremely low.
+        let panel = fig10a(&SweepConfig::quick());
+        let i1 = &panel.series[0];
+        let i2 = &panel.series[1];
+        for (p1, p2) in i1.points.iter().zip(&i2.points) {
+            assert!(p2.network > p1.network * 5, "I2 network must dwarf I1 at N = {}", p1.n);
+            assert!(p2.total() > p1.total(), "I2 total higher at N = {}", p1.n);
+        }
+    }
+
+    #[test]
+    fn fig10b_shape_receiver_i2_higher_but_closer() {
+        let panel = fig10b(&SweepConfig::quick());
+        let i1 = &panel.series[0];
+        let i2 = &panel.series[1];
+        for (p1, p2) in i1.points.iter().zip(&i2.points) {
+            assert!(p2.total() > p1.total(), "I2 stays slower at N = {}", p1.n);
+        }
+        // "noticeably high at the sharer and comparatively lower at the
+        // receivers": receiver I2 network < sharer I2 network.
+        let sharer = fig10a(&SweepConfig::quick());
+        let recv_net = i2.points[0].network;
+        let share_net = sharer.series[1].points[0].network;
+        assert!(recv_net < share_net);
+    }
+
+    #[test]
+    fn fig10c_d_shape_tablet_slower_locally() {
+        for panel in [fig10c(&SweepConfig::quick()), fig10d(&SweepConfig::quick())] {
+            let pc = &panel.series[0];
+            let tablet = &panel.series[1];
+            for (p, t) in pc.points.iter().zip(&tablet.points) {
+                assert!(
+                    t.local > p.local,
+                    "tablet local processing exceeds PC at N = {} in {}",
+                    p.n,
+                    panel.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn jitter_produces_unstable_network_terms() {
+        // Deterministic sweeps give identical network delays for equal
+        // payload sizes; the jittered config makes them wobble — the
+        // paper's "instability in the measurements".
+        let mut cfg = SweepConfig::quick();
+        cfg.network_jitter = 0.25;
+        cfg.repetitions = 1;
+        let jittered = fig10a(&cfg);
+        let clean = fig10a(&SweepConfig::quick());
+        // I1 network grows strictly monotonically without jitter…
+        let clean_nets: Vec<_> = clean.series[0].points.iter().map(|p| p.network).collect();
+        assert!(clean_nets.windows(2).all(|w| w[0] <= w[1]));
+        // …and the jittered run differs from the clean one somewhere.
+        let jit_nets: Vec<_> = jittered.series[0].points.iter().map(|p| p.network).collect();
+        assert_ne!(clean_nets, jit_nets);
+        // Jitter is bounded: at most +25% over the clean value.
+        for (c, j) in clean_nets.iter().zip(&jit_nets) {
+            assert!(*j >= *c && *j <= c.mul_f64(1.26), "clean {c:?} vs jittered {j:?}");
+        }
+    }
+
+    #[test]
+    fn render_contains_all_points() {
+        let panel = fig10a(&SweepConfig::quick());
+        let text = render(&panel);
+        assert!(text.contains("Figure 10a"));
+        assert!(text.contains("Impl 1"));
+        assert!(text.contains("Impl 2"));
+        for n in SweepConfig::quick().n_values {
+            assert!(text.contains(&format!("\n{n:>4} |")) || text.starts_with(&format!("{n:>4} |")),
+                "missing N = {n}");
+        }
+    }
+}

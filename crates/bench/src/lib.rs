@@ -1,0 +1,16 @@
+//! Benchmark harness for the Social Puzzles reproduction.
+//!
+//! [`workload`] generates inputs with the paper's §VIII parameters
+//! (100-character messages, 50-character questions, 20-character
+//! answers, threshold `k = 1`, context size `N` swept from 2). [`figures`]
+//! runs the end-to-end sweeps behind each panel of Figure 10 and returns
+//! the same two-term series (local processing delay + network delay) the
+//! paper plots; `cargo run -p sp-bench --bin figures` prints them, and
+//! the Criterion benches time the same operations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod figures;
+pub mod workload;

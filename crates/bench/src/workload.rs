@@ -1,0 +1,76 @@
+//! Workload generation with the paper's §VIII parameters.
+//!
+//! "Experiments were performed for message lengths of 100 characters,
+//! answers of 20 characters and questions of 50 characters long.
+//! Measurements were taken for varying number (N) of contexts, while the
+//! threshold k is set to 1."
+
+use rand::distributions::Alphanumeric;
+use rand::Rng;
+use social_puzzles_core::context::Context;
+
+/// Paper message length (characters).
+pub const MESSAGE_LEN: usize = 100;
+/// Paper question length (characters).
+pub const QUESTION_LEN: usize = 50;
+/// Paper answer length (characters).
+pub const ANSWER_LEN: usize = 20;
+/// Paper threshold.
+pub const PAPER_K: usize = 1;
+/// Paper context sweep: N from 2 upward ("As CP-ABE does not support
+/// (1,1) threshold, observations start from N = 2").
+pub const PAPER_N_RANGE: std::ops::RangeInclusive<usize> = 2..=10;
+
+fn random_string<R: Rng + ?Sized>(rng: &mut R, len: usize) -> String {
+    rng.sample_iter(&Alphanumeric).take(len).map(char::from).collect()
+}
+
+/// A context of `n` pairs with 50-character questions and 20-character
+/// answers.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+pub fn paper_context<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Context {
+    assert!(n > 0, "context needs at least one pair");
+    let mut b = Context::builder();
+    for i in 0..n {
+        // Prefix with the index so questions stay distinct even under the
+        // (astronomically unlikely) random collision.
+        let q = format!("{i:02}{}", random_string(rng, QUESTION_LEN - 2));
+        let a = random_string(rng, ANSWER_LEN);
+        b = b.pair(q, a);
+    }
+    b.build().expect("nonempty, distinct questions")
+}
+
+/// A 100-character message.
+pub fn paper_message<R: Rng + ?Sized>(rng: &mut R) -> Vec<u8> {
+    random_string(rng, MESSAGE_LEN).into_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn dimensions_match_paper() {
+        let mut rng = StdRng::seed_from_u64(200);
+        let ctx = paper_context(5, &mut rng);
+        assert_eq!(ctx.len(), 5);
+        for p in ctx.pairs() {
+            assert_eq!(p.question().len(), QUESTION_LEN);
+            assert_eq!(p.answer().len(), ANSWER_LEN);
+        }
+        assert_eq!(paper_message(&mut rng).len(), MESSAGE_LEN);
+    }
+
+    #[test]
+    fn contexts_are_distinct_across_calls() {
+        let mut rng = StdRng::seed_from_u64(201);
+        let a = paper_context(3, &mut rng);
+        let b = paper_context(3, &mut rng);
+        assert_ne!(a.pairs()[0].answer(), b.pairs()[0].answer());
+    }
+}

@@ -1,0 +1,52 @@
+//! Error types.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by big-integer parsing and construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BigIntError {
+    /// A digit outside the expected radix was encountered.
+    InvalidDigit,
+    /// The encoded value does not fit in the target width.
+    ValueTooLarge,
+    /// A Montgomery context requires an odd modulus greater than one.
+    EvenModulus,
+}
+
+impl fmt::Display for BigIntError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidDigit => f.write_str("invalid digit in number literal"),
+            Self::ValueTooLarge => f.write_str("value does not fit in the target width"),
+            Self::EvenModulus => f.write_str("modulus must be odd and greater than one"),
+        }
+    }
+}
+
+impl Error for BigIntError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_nonempty() {
+        for e in [
+            BigIntError::InvalidDigit,
+            BigIntError::ValueTooLarge,
+            BigIntError::EvenModulus,
+        ] {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<BigIntError>();
+    }
+}

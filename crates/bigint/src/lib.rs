@@ -1,0 +1,59 @@
+//! Fixed-width big unsigned integers and modular arithmetic.
+//!
+//! This crate is the number-theoretic substrate of the social-puzzles
+//! workspace. It provides:
+//!
+//! * [`Uint`] — a stack-allocated, little-endian-limbed unsigned integer of
+//!   `L` 64-bit limbs (`L = 4` gives 256 bits, `L = 8` gives 512 bits),
+//! * [`MontCtx`] — a Montgomery-multiplication context for a fixed odd
+//!   modulus, with modular exponentiation,
+//! * [`modops`] — modular inverse (binary extended GCD), Jacobi symbol and
+//!   square roots modulo primes `p ≡ 3 (mod 4)`,
+//! * [`prime`] — Miller–Rabin primality testing and prime generation,
+//!   including the Solinas prime and the PBC *Type-A* curve-order
+//!   generation procedure used by the pairing crate.
+//!
+//! Everything is implemented from scratch on top of `u64`/`u128`
+//! arithmetic; the only external dependency is [`rand`] for randomized
+//! primality witnesses and prime generation.
+//!
+//! # Security note
+//!
+//! Operations are **not constant-time**: comparisons short-circuit,
+//! modular reduction branches, and exponentiation is plain
+//! square-and-multiply. That matches the research-reproduction goal of
+//! this workspace (the paper's own prototypes are JavaScript and a
+//! stock toolkit); do not use this crate where timing side channels
+//! matter. The one deliberately constant-time primitive in the workspace
+//! is `sp_crypto::ct::ct_eq`, used for hash comparisons at the service
+//! provider.
+//!
+//! # Example
+//!
+//! ```
+//! use sp_bigint::{Uint, MontCtx};
+//!
+//! // Arithmetic modulo a small odd prime, via Montgomery form.
+//! let p = Uint::<4>::from_u64(1_000_003);
+//! let ctx = MontCtx::new(p).expect("odd modulus");
+//! let a = ctx.to_mont(&Uint::from_u64(123_456));
+//! let b = ctx.to_mont(&Uint::from_u64(654_321));
+//! let ab = ctx.mul(&a, &b);
+//! assert_eq!(ctx.from_mont(&ab), Uint::from_u64(123_456u64 * 654_321 % 1_000_003));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod div;
+mod error;
+mod mont;
+mod uint;
+
+pub mod modops;
+pub mod prime;
+
+pub use div::{div_rem, reduce_wide};
+pub use error::BigIntError;
+pub use mont::MontCtx;
+pub use uint::Uint;

@@ -1,0 +1,276 @@
+//! Modular inverse, Jacobi symbol, and prime-field square roots.
+
+use crate::mont::MontCtx;
+use crate::uint::Uint;
+
+/// Computes `a^{-1} mod n` for odd `n` using the binary extended GCD.
+///
+/// Returns `None` if `gcd(a, n) != 1` (including `a == 0`).
+///
+/// # Panics
+///
+/// Panics if `n` is even or `n <= 1`.
+pub fn mod_inv<const L: usize>(a: &Uint<L>, n: &Uint<L>) -> Option<Uint<L>> {
+    assert!(n.is_odd() && *n > Uint::ONE, "mod_inv: modulus must be odd and > 1");
+    if a.is_zero() {
+        return None;
+    }
+    let a = crate::div::reduce(a, n);
+    if a.is_zero() {
+        return None;
+    }
+
+    // Invariants: x1·a ≡ u (mod n), x2·a ≡ v (mod n).
+    let mut u = a;
+    let mut v = *n;
+    let mut x1 = Uint::<L>::ONE;
+    let mut x2 = Uint::<L>::ZERO;
+
+    while !u.is_zero() {
+        while u.is_even() {
+            u = u.shr1();
+            x1 = halve_mod(&x1, n);
+        }
+        while v.is_even() {
+            v = v.shr1();
+            x2 = halve_mod(&x2, n);
+        }
+        if u >= v {
+            u = u.wrapping_sub(&v);
+            x1 = sub_mod(&x1, &x2, n);
+        } else {
+            v = v.wrapping_sub(&u);
+            x2 = sub_mod(&x2, &x1, n);
+        }
+    }
+    if v == Uint::ONE {
+        Some(x2)
+    } else {
+        None
+    }
+}
+
+/// `(x / 2) mod n` for odd `n` and reduced `x`.
+fn halve_mod<const L: usize>(x: &Uint<L>, n: &Uint<L>) -> Uint<L> {
+    if x.is_even() {
+        x.shr1()
+    } else {
+        // (x + n) is even; the sum may carry one bit past the width, which
+        // must be shifted back in at the top.
+        let (sum, carry) = x.overflowing_add(n);
+        let mut half = sum.shr1();
+        if carry {
+            let mut limbs = *half.limbs();
+            limbs[L - 1] |= 1u64 << 63;
+            half = Uint::from_limbs(limbs);
+        }
+        half
+    }
+}
+
+/// `(a - b) mod n` for reduced operands.
+fn sub_mod<const L: usize>(a: &Uint<L>, b: &Uint<L>, n: &Uint<L>) -> Uint<L> {
+    let (diff, borrow) = a.overflowing_sub(b);
+    if borrow {
+        diff.wrapping_add(n)
+    } else {
+        diff
+    }
+}
+
+/// Jacobi symbol `(a / n)` for odd `n > 0`; returns `-1`, `0` or `1`.
+///
+/// For prime `n` this is the Legendre symbol: `1` iff `a` is a nonzero
+/// quadratic residue.
+///
+/// # Panics
+///
+/// Panics if `n` is even or zero.
+pub fn jacobi<const L: usize>(a: &Uint<L>, n: &Uint<L>) -> i32 {
+    assert!(n.is_odd(), "jacobi: n must be odd");
+    let mut a = crate::div::reduce(a, n);
+    let mut n = *n;
+    let mut result = 1i32;
+    while !a.is_zero() {
+        while a.is_even() {
+            a = a.shr1();
+            let n_mod_8 = n.low_u64() & 7;
+            if n_mod_8 == 3 || n_mod_8 == 5 {
+                result = -result;
+            }
+        }
+        std::mem::swap(&mut a, &mut n);
+        if a.low_u64() & 3 == 3 && n.low_u64() & 3 == 3 {
+            result = -result;
+        }
+        a = crate::div::reduce(&a, &n);
+    }
+    if n == Uint::ONE {
+        result
+    } else {
+        0
+    }
+}
+
+/// Square root modulo a prime `p ≡ 3 (mod 4)`: returns `x` with
+/// `x² ≡ a (mod p)` if one exists, via the identity `x = a^((p+1)/4)`.
+///
+/// `ctx` must be a Montgomery context for a prime `p ≡ 3 (mod 4)`; `a` is a
+/// canonical residue.
+///
+/// # Panics
+///
+/// Panics if the modulus is not `3 (mod 4)`.
+pub fn sqrt_3mod4<const L: usize>(ctx: &MontCtx<L>, a: &Uint<L>) -> Option<Uint<L>> {
+    let p = ctx.modulus();
+    assert_eq!(p.low_u64() & 3, 3, "sqrt_3mod4: modulus must be 3 mod 4");
+    if a.is_zero() {
+        return Some(Uint::ZERO);
+    }
+    let exp = p.wrapping_add(&Uint::ONE).shr(2); // (p+1)/4; p+1 never carries since p < 2^(64L)-1 here
+    let am = ctx.to_mont(a);
+    let root_m = ctx.pow(&am, &exp);
+    // Verify, since a may be a non-residue.
+    if ctx.mul(&root_m, &root_m) == am {
+        Some(ctx.from_mont(&root_m))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    type U4 = Uint<4>;
+
+    #[test]
+    fn inverse_small() {
+        let n = U4::from_u64(101);
+        let inv = mod_inv(&U4::from_u64(7), &n).unwrap();
+        assert_eq!(inv.low_u64() * 7 % 101, 1);
+    }
+
+    #[test]
+    fn inverse_of_zero_and_noncoprime() {
+        let n = U4::from_u64(15);
+        assert!(mod_inv(&U4::ZERO, &n).is_none());
+        assert!(mod_inv(&U4::from_u64(5), &n).is_none());
+        assert!(mod_inv(&U4::from_u64(3), &n).is_none());
+        assert!(mod_inv(&U4::from_u64(7), &n).is_some());
+    }
+
+    #[test]
+    fn inverse_unreduced_operand() {
+        let n = U4::from_u64(101);
+        let inv = mod_inv(&U4::from_u64(7 + 101 * 5), &n).unwrap();
+        assert_eq!(inv.low_u64() * 7 % 101, 1);
+    }
+
+    #[test]
+    fn inverse_randomized_against_mul() {
+        let p = U4::from_hex("ffffffff00000001000000000000000000000000ffffffffffffffffffffffff")
+            .unwrap();
+        let ctx = MontCtx::new(p).unwrap();
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..30 {
+            let a = U4::random_below(&mut rng, &p);
+            if a.is_zero() {
+                continue;
+            }
+            let inv = mod_inv(&a, &p).unwrap();
+            let am = ctx.to_mont(&a);
+            let im = ctx.to_mont(&inv);
+            assert_eq!(ctx.from_mont(&ctx.mul(&am, &im)), U4::ONE);
+        }
+    }
+
+    #[test]
+    fn inverse_of_one_and_pm1() {
+        let p = U4::from_u64(103);
+        assert_eq!(mod_inv(&U4::ONE, &p).unwrap(), U4::ONE);
+        let pm1 = p.wrapping_sub(&U4::ONE);
+        assert_eq!(mod_inv(&pm1, &p).unwrap(), pm1); // (-1)^{-1} = -1
+    }
+
+    #[test]
+    fn jacobi_small_table() {
+        // Legendre symbols mod 7: QRs are {1, 2, 4}.
+        let n = U4::from_u64(7);
+        let expected = [0, 1, 1, -1, 1, -1, -1];
+        for (a, &e) in expected.iter().enumerate() {
+            assert_eq!(jacobi(&U4::from_u64(a as u64), &n), e, "a = {a}");
+        }
+    }
+
+    #[test]
+    fn jacobi_composite() {
+        // (2/15) = (2/3)(2/5) = (-1)(-1) = 1
+        assert_eq!(jacobi(&U4::from_u64(2), &U4::from_u64(15)), 1);
+        // gcd(3,15) != 1 -> 0
+        assert_eq!(jacobi(&U4::from_u64(3), &U4::from_u64(15)), 0);
+    }
+
+    #[test]
+    fn jacobi_matches_euler_criterion() {
+        let p = U4::from_u64(1_000_003);
+        let ctx = MontCtx::new(p).unwrap();
+        let exp = p.wrapping_sub(&U4::ONE).shr1(); // (p-1)/2
+        let mut rng = StdRng::seed_from_u64(23);
+        for _ in 0..40 {
+            let a = U4::random_below(&mut rng, &p);
+            if a.is_zero() {
+                continue;
+            }
+            let euler = ctx.pow_canonical(&a, &exp);
+            let sym = jacobi(&a, &p);
+            if euler == U4::ONE {
+                assert_eq!(sym, 1);
+            } else {
+                assert_eq!(euler, p.wrapping_sub(&U4::ONE));
+                assert_eq!(sym, -1);
+            }
+        }
+    }
+
+    #[test]
+    fn sqrt_3mod4_roundtrip() {
+        // p = 1_000_003 ≡ 3 mod 4.
+        let p = U4::from_u64(1_000_003);
+        let ctx = MontCtx::new(p).unwrap();
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut found_root = 0;
+        let mut found_nonresidue = 0;
+        for _ in 0..40 {
+            let a = U4::random_below(&mut rng, &p);
+            match sqrt_3mod4(&ctx, &a) {
+                Some(root) => {
+                    let rm = ctx.to_mont(&root);
+                    assert_eq!(ctx.from_mont(&ctx.mul(&rm, &rm)), a);
+                    found_root += 1;
+                }
+                None => {
+                    assert_eq!(jacobi(&a, &p), -1);
+                    found_nonresidue += 1;
+                }
+            }
+        }
+        assert!(found_root > 0 && found_nonresidue > 0);
+    }
+
+    #[test]
+    fn sqrt_of_zero() {
+        let p = U4::from_u64(7);
+        let ctx = MontCtx::new(p).unwrap();
+        assert_eq!(sqrt_3mod4(&ctx, &U4::ZERO), Some(U4::ZERO));
+    }
+
+    #[test]
+    #[should_panic(expected = "3 mod 4")]
+    fn sqrt_rejects_1mod4() {
+        let p = U4::from_u64(13);
+        let ctx = MontCtx::new(p).unwrap();
+        let _ = sqrt_3mod4(&ctx, &U4::from_u64(4));
+    }
+}

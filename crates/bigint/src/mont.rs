@@ -1,0 +1,299 @@
+//! Montgomery multiplication context.
+
+use crate::div::reduce_wide;
+use crate::error::BigIntError;
+use crate::uint::{adc, mac, Uint};
+
+/// Precomputed context for arithmetic modulo a fixed odd modulus `n`, with
+/// operands kept in Montgomery form (`x·R mod n` for `R = 2^(64·L)`).
+///
+/// # Example
+///
+/// ```
+/// use sp_bigint::{MontCtx, Uint};
+///
+/// let p = Uint::<4>::from_u64(101);
+/// let ctx = MontCtx::new(p)?;
+/// let x = ctx.to_mont(&Uint::from_u64(17));
+/// let x5 = ctx.pow(&x, &Uint::<4>::from_u64(5));
+/// assert_eq!(ctx.from_mont(&x5), Uint::from_u64(17u64.pow(5) % 101));
+/// # Ok::<(), sp_bigint::BigIntError>(())
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MontCtx<const L: usize> {
+    n: Uint<L>,
+    /// `-n^{-1} mod 2^64`.
+    n_prime: u64,
+    /// `R mod n` — the Montgomery form of `1`.
+    one: Uint<L>,
+    /// `R² mod n` — used to convert into Montgomery form.
+    r2: Uint<L>,
+}
+
+impl<const L: usize> MontCtx<L> {
+    /// Creates a context for the odd modulus `n > 1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BigIntError::EvenModulus`] if `n` is even or `n <= 1`.
+    pub fn new(n: Uint<L>) -> Result<Self, BigIntError> {
+        if !n.is_odd() || n == Uint::ONE {
+            return Err(BigIntError::EvenModulus);
+        }
+        // n' = -n^{-1} mod 2^64 via Newton–Hensel lifting.
+        let n0 = n.limbs()[0];
+        let mut inv: u64 = 1;
+        for _ in 0..6 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(n0.wrapping_mul(inv)));
+        }
+        let n_prime = inv.wrapping_neg();
+        // R mod n: reduce the (L+1)-limb value 2^(64L).
+        let one = reduce_wide(&Uint::ONE, &Uint::ZERO, &n);
+        // R² mod n by 64·L modular doublings of R mod n.
+        let mut r2 = one;
+        for _ in 0..(64 * L) {
+            let (shifted, carry) = r2.shl1();
+            r2 = shifted;
+            if carry || r2 >= n {
+                r2 = r2.wrapping_sub(&n);
+            }
+        }
+        Ok(Self { n, n_prime, one, r2 })
+    }
+
+    /// The modulus.
+    pub fn modulus(&self) -> &Uint<L> {
+        &self.n
+    }
+
+    /// The Montgomery form of `1` (`R mod n`).
+    pub fn one(&self) -> &Uint<L> {
+        &self.one
+    }
+
+    /// Converts a canonical residue into Montgomery form.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics if `x >= n`.
+    pub fn to_mont(&self, x: &Uint<L>) -> Uint<L> {
+        debug_assert!(x < &self.n, "to_mont: operand must be reduced");
+        self.mul(x, &self.r2)
+    }
+
+    /// Converts a Montgomery-form value back to a canonical residue.
+    pub fn from_mont(&self, x: &Uint<L>) -> Uint<L> {
+        self.mul(x, &Uint::ONE)
+    }
+
+    /// Montgomery multiplication: `a·b·R^{-1} mod n` (CIOS algorithm).
+    pub fn mul(&self, a: &Uint<L>, b: &Uint<L>) -> Uint<L> {
+        let al = a.limbs();
+        let bl = b.limbs();
+        let nl = self.n.limbs();
+        let mut t = [0u64; L];
+        let mut t_hi: u64 = 0; // limb L
+        for i in 0..L {
+            // t += a[i] * b
+            let mut carry = 0u64;
+            for j in 0..L {
+                let (lo, c) = mac(t[j], al[i], bl[j], carry);
+                t[j] = lo;
+                carry = c;
+            }
+            let (s, overflow) = adc(t_hi, carry, 0);
+            t_hi = s;
+            // m = t[0] * n' mod 2^64; t = (t + m*n) / 2^64
+            let m = t[0].wrapping_mul(self.n_prime);
+            let (_, mut carry) = mac(t[0], m, nl[0], 0);
+            for j in 1..L {
+                let (lo, c) = mac(t[j], m, nl[j], carry);
+                t[j - 1] = lo;
+                carry = c;
+            }
+            let (s, c) = adc(t_hi, carry, 0);
+            t[L - 1] = s;
+            t_hi = overflow + c;
+        }
+        let mut result = Uint::from_limbs(t);
+        if t_hi == 1 || result >= self.n {
+            result = result.wrapping_sub(&self.n);
+        }
+        result
+    }
+
+    /// Montgomery squaring.
+    pub fn square(&self, a: &Uint<L>) -> Uint<L> {
+        self.mul(a, a)
+    }
+
+    /// Modular addition of two reduced residues (works in either domain).
+    pub fn add(&self, a: &Uint<L>, b: &Uint<L>) -> Uint<L> {
+        let (sum, carry) = a.overflowing_add(b);
+        if carry || sum >= self.n {
+            sum.wrapping_sub(&self.n)
+        } else {
+            sum
+        }
+    }
+
+    /// Modular subtraction of two reduced residues (works in either domain).
+    pub fn sub(&self, a: &Uint<L>, b: &Uint<L>) -> Uint<L> {
+        let (diff, borrow) = a.overflowing_sub(b);
+        if borrow {
+            diff.wrapping_add(&self.n)
+        } else {
+            diff
+        }
+    }
+
+    /// Modular negation of a reduced residue (works in either domain).
+    pub fn neg(&self, a: &Uint<L>) -> Uint<L> {
+        if a.is_zero() {
+            Uint::ZERO
+        } else {
+            self.n.wrapping_sub(a)
+        }
+    }
+
+    /// Modular exponentiation: `base^exp · R mod n` for `base` in
+    /// Montgomery form (square-and-multiply, most-significant bit first).
+    pub fn pow<const E: usize>(&self, base: &Uint<L>, exp: &Uint<E>) -> Uint<L> {
+        let bits = exp.bit_len();
+        if bits == 0 {
+            return self.one;
+        }
+        let mut acc = *base;
+        for i in (0..bits - 1).rev() {
+            acc = self.square(&acc);
+            if exp.bit(i) {
+                acc = self.mul(&acc, base);
+            }
+        }
+        acc
+    }
+
+    /// Convenience: `base^exp mod n` entirely in the canonical domain.
+    pub fn pow_canonical<const E: usize>(&self, base: &Uint<L>, exp: &Uint<E>) -> Uint<L> {
+        let bm = self.to_mont(base);
+        self.from_mont(&self.pow(&bm, exp))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    type U4 = Uint<4>;
+
+    fn ctx_1e6_3() -> MontCtx<4> {
+        MontCtx::new(U4::from_u64(1_000_003)).unwrap()
+    }
+
+    #[test]
+    fn rejects_even_and_one() {
+        assert_eq!(MontCtx::new(U4::from_u64(10)), Err(BigIntError::EvenModulus));
+        assert_eq!(MontCtx::new(U4::ONE), Err(BigIntError::EvenModulus));
+        assert!(MontCtx::new(U4::from_u64(3)).is_ok());
+    }
+
+    #[test]
+    fn roundtrip() {
+        let ctx = ctx_1e6_3();
+        for v in [0u64, 1, 2, 999_999, 1_000_002] {
+            let x = U4::from_u64(v);
+            assert_eq!(ctx.from_mont(&ctx.to_mont(&x)), x);
+        }
+    }
+
+    #[test]
+    fn mul_matches_u64() {
+        let ctx = ctx_1e6_3();
+        let a = 123_456u64;
+        let b = 654_321u64;
+        let am = ctx.to_mont(&U4::from_u64(a));
+        let bm = ctx.to_mont(&U4::from_u64(b));
+        assert_eq!(
+            ctx.from_mont(&ctx.mul(&am, &bm)),
+            U4::from_u64(a * b % 1_000_003)
+        );
+    }
+
+    #[test]
+    fn add_sub_neg() {
+        let ctx = ctx_1e6_3();
+        let a = U4::from_u64(1_000_000);
+        let b = U4::from_u64(7);
+        assert_eq!(ctx.add(&a, &b), U4::from_u64(4));
+        assert_eq!(ctx.sub(&b, &a), U4::from_u64(1_000_003 + 7 - 1_000_000));
+        assert_eq!(ctx.neg(&b), U4::from_u64(1_000_003 - 7));
+        assert_eq!(ctx.neg(&U4::ZERO), U4::ZERO);
+        assert_eq!(ctx.add(&ctx.neg(&a), &a), U4::ZERO);
+    }
+
+    #[test]
+    fn pow_small() {
+        let ctx = ctx_1e6_3();
+        let b = ctx.to_mont(&U4::from_u64(2));
+        assert_eq!(
+            ctx.from_mont(&ctx.pow(&b, &U4::from_u64(20))),
+            U4::from_u64((1u64 << 20) % 1_000_003)
+        );
+        assert_eq!(ctx.from_mont(&ctx.pow(&b, &U4::ZERO)), U4::ONE);
+        assert_eq!(ctx.from_mont(&ctx.pow(&b, &U4::ONE)), U4::from_u64(2));
+    }
+
+    #[test]
+    fn fermat_little_theorem_large_prime() {
+        // p = 2^255 - 19 is prime; a^(p-1) = 1 mod p.
+        let p = U4::from_hex("7fffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffed")
+            .unwrap();
+        let ctx = MontCtx::new(p).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let pm1 = p.wrapping_sub(&U4::ONE);
+        for _ in 0..4 {
+            let a = U4::random_below(&mut rng, &p);
+            if a.is_zero() {
+                continue;
+            }
+            assert_eq!(ctx.pow_canonical(&a, &pm1), U4::ONE);
+        }
+    }
+
+    #[test]
+    fn distributivity_randomized() {
+        let p = U4::from_hex("ffffffff00000001000000000000000000000000ffffffffffffffffffffffff")
+            .unwrap(); // NIST P-256 prime
+        let ctx = MontCtx::new(p).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..20 {
+            let a = ctx.to_mont(&U4::random_below(&mut rng, &p));
+            let b = ctx.to_mont(&U4::random_below(&mut rng, &p));
+            let c = ctx.to_mont(&U4::random_below(&mut rng, &p));
+            let left = ctx.mul(&a, &ctx.add(&b, &c));
+            let right = ctx.add(&ctx.mul(&a, &b), &ctx.mul(&a, &c));
+            assert_eq!(left, right);
+        }
+    }
+
+    #[test]
+    fn wide_modulus_512() {
+        let p = Uint::<8>::from_hex(
+            "ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff\
+             fffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffdc7",
+        )
+        .unwrap(); // 2^512 - 569, a known prime
+        let ctx = MontCtx::new(p).unwrap();
+        let a = Uint::<8>::from_u64(3);
+        let pm1 = p.wrapping_sub(&Uint::ONE);
+        assert_eq!(ctx.pow_canonical(&a, &pm1), Uint::ONE);
+    }
+
+    #[test]
+    fn one_is_identity() {
+        let ctx = ctx_1e6_3();
+        let x = ctx.to_mont(&U4::from_u64(424_242));
+        assert_eq!(ctx.mul(&x, ctx.one()), x);
+    }
+}

@@ -1,0 +1,724 @@
+//! The fixed-width unsigned integer type.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use rand::Rng;
+
+use crate::error::BigIntError;
+
+/// A fixed-width unsigned integer of `L` little-endian 64-bit limbs.
+///
+/// `Uint<4>` is a 256-bit integer, `Uint<8>` a 512-bit integer. All
+/// arithmetic is constant-width: operations either wrap (the `wrapping_*`
+/// family), report overflow (`overflowing_*`), or panic on debug overflow
+/// where documented.
+///
+/// # Example
+///
+/// ```
+/// use sp_bigint::Uint;
+///
+/// let a = Uint::<4>::from_u64(7);
+/// let b = Uint::<4>::from_u64(9);
+/// assert_eq!(a.wrapping_add(&b), Uint::from_u64(16));
+/// assert!(a < b);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Uint<const L: usize> {
+    limbs: [u64; L],
+}
+
+impl<const L: usize> Uint<L> {
+    /// The value `0`.
+    pub const ZERO: Self = Self { limbs: [0; L] };
+
+    /// The value `1`.
+    pub const ONE: Self = {
+        let mut limbs = [0u64; L];
+        limbs[0] = 1;
+        Self { limbs }
+    };
+
+    /// The largest representable value, `2^(64·L) − 1`.
+    pub const MAX: Self = Self { limbs: [u64::MAX; L] };
+
+    /// Number of bits in the representation.
+    pub const BITS: u32 = 64 * L as u32;
+
+    /// Creates a value from a single `u64`.
+    pub const fn from_u64(v: u64) -> Self {
+        let mut limbs = [0u64; L];
+        limbs[0] = v;
+        Self { limbs }
+    }
+
+    /// Creates a value from little-endian limbs.
+    pub const fn from_limbs(limbs: [u64; L]) -> Self {
+        Self { limbs }
+    }
+
+    /// Borrows the little-endian limbs.
+    pub const fn limbs(&self) -> &[u64; L] {
+        &self.limbs
+    }
+
+    /// Returns the little-endian limbs by value.
+    pub const fn into_limbs(self) -> [u64; L] {
+        self.limbs
+    }
+
+    /// Returns `true` if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.iter().all(|&l| l == 0)
+    }
+
+    /// Returns `true` if the value is odd.
+    pub const fn is_odd(&self) -> bool {
+        self.limbs[0] & 1 == 1
+    }
+
+    /// Returns `true` if the value is even.
+    pub const fn is_even(&self) -> bool {
+        self.limbs[0] & 1 == 0
+    }
+
+    /// Returns bit `i` (0 = least significant). Bits at or beyond
+    /// [`Self::BITS`] read as zero.
+    pub fn bit(&self, i: u32) -> bool {
+        if i >= Self::BITS {
+            return false;
+        }
+        (self.limbs[(i / 64) as usize] >> (i % 64)) & 1 == 1
+    }
+
+    /// Returns the minimal number of bits needed to represent the value
+    /// (`0` for zero).
+    pub fn bit_len(&self) -> u32 {
+        for (i, &limb) in self.limbs.iter().enumerate().rev() {
+            if limb != 0 {
+                return 64 * i as u32 + (64 - limb.leading_zeros());
+            }
+        }
+        0
+    }
+
+    /// Returns the number of trailing zero bits (`BITS` for zero).
+    pub fn trailing_zeros(&self) -> u32 {
+        let mut count = 0;
+        for &limb in &self.limbs {
+            if limb == 0 {
+                count += 64;
+            } else {
+                return count + limb.trailing_zeros();
+            }
+        }
+        count
+    }
+
+    /// Addition returning the sum and a carry flag.
+    pub fn overflowing_add(&self, rhs: &Self) -> (Self, bool) {
+        let mut out = [0u64; L];
+        let mut carry = 0u64;
+        for i in 0..L {
+            let (s, c) = adc(self.limbs[i], rhs.limbs[i], carry);
+            out[i] = s;
+            carry = c;
+        }
+        (Self { limbs: out }, carry == 1)
+    }
+
+    /// Wrapping addition.
+    pub fn wrapping_add(&self, rhs: &Self) -> Self {
+        self.overflowing_add(rhs).0
+    }
+
+    /// Subtraction returning the difference and a borrow flag.
+    pub fn overflowing_sub(&self, rhs: &Self) -> (Self, bool) {
+        let mut out = [0u64; L];
+        let mut borrow = 0u64;
+        for i in 0..L {
+            let (d, b) = sbb(self.limbs[i], rhs.limbs[i], borrow);
+            out[i] = d;
+            borrow = b;
+        }
+        (Self { limbs: out }, borrow == 1)
+    }
+
+    /// Wrapping subtraction.
+    pub fn wrapping_sub(&self, rhs: &Self) -> Self {
+        self.overflowing_sub(rhs).0
+    }
+
+    /// Checked subtraction: `None` if `rhs > self`.
+    pub fn checked_sub(&self, rhs: &Self) -> Option<Self> {
+        let (d, borrow) = self.overflowing_sub(rhs);
+        if borrow {
+            None
+        } else {
+            Some(d)
+        }
+    }
+
+    /// Checked addition: `None` on overflow.
+    pub fn checked_add(&self, rhs: &Self) -> Option<Self> {
+        let (s, carry) = self.overflowing_add(rhs);
+        if carry {
+            None
+        } else {
+            Some(s)
+        }
+    }
+
+    /// Full (widening) multiplication: returns `(lo, hi)` with
+    /// `self · rhs = hi · 2^(64·L) + lo`.
+    pub fn widening_mul(&self, rhs: &Self) -> (Self, Self) {
+        let mut w = vec![0u64; 2 * L];
+        for i in 0..L {
+            let mut carry = 0u64;
+            for j in 0..L {
+                let (lo, c) = mac(w[i + j], self.limbs[i], rhs.limbs[j], carry);
+                w[i + j] = lo;
+                carry = c;
+            }
+            w[i + L] = carry;
+        }
+        let mut lo = [0u64; L];
+        let mut hi = [0u64; L];
+        lo.copy_from_slice(&w[..L]);
+        hi.copy_from_slice(&w[L..]);
+        (Self { limbs: lo }, Self { limbs: hi })
+    }
+
+    /// Wrapping (truncating) multiplication.
+    pub fn wrapping_mul(&self, rhs: &Self) -> Self {
+        self.widening_mul(rhs).0
+    }
+
+    /// Multiplication by a `u64`, returning `(lo, carry_limb)`.
+    pub fn mul_u64(&self, rhs: u64) -> (Self, u64) {
+        let mut out = [0u64; L];
+        let mut carry = 0u64;
+        for i in 0..L {
+            let (lo, c) = mac(0, self.limbs[i], rhs, carry);
+            out[i] = lo;
+            carry = c;
+        }
+        (Self { limbs: out }, carry)
+    }
+
+    /// Left shift by one bit, returning the shifted value and the bit
+    /// shifted out of the top.
+    pub fn shl1(&self) -> (Self, bool) {
+        let mut out = [0u64; L];
+        let mut carry = 0u64;
+        for i in 0..L {
+            out[i] = (self.limbs[i] << 1) | carry;
+            carry = self.limbs[i] >> 63;
+        }
+        (Self { limbs: out }, carry == 1)
+    }
+
+    /// Right shift by one bit (the low bit is discarded).
+    pub fn shr1(&self) -> Self {
+        let mut out = [0u64; L];
+        let mut carry = 0u64;
+        for i in (0..L).rev() {
+            out[i] = (self.limbs[i] >> 1) | (carry << 63);
+            carry = self.limbs[i] & 1;
+        }
+        Self { limbs: out }
+    }
+
+    /// Left shift by `n` bits (wrapping; bits shifted past the top are
+    /// lost). Shifts of `n >= BITS` yield zero.
+    pub fn shl(&self, n: u32) -> Self {
+        if n >= Self::BITS {
+            return Self::ZERO;
+        }
+        let limb_shift = (n / 64) as usize;
+        let bit_shift = n % 64;
+        let mut out = [0u64; L];
+        for i in (limb_shift..L).rev() {
+            let src = i - limb_shift;
+            let mut v = self.limbs[src] << bit_shift;
+            if bit_shift > 0 && src > 0 {
+                v |= self.limbs[src - 1] >> (64 - bit_shift);
+            }
+            out[i] = v;
+        }
+        Self { limbs: out }
+    }
+
+    /// Right shift by `n` bits. Shifts of `n >= BITS` yield zero.
+    pub fn shr(&self, n: u32) -> Self {
+        if n >= Self::BITS {
+            return Self::ZERO;
+        }
+        let limb_shift = (n / 64) as usize;
+        let bit_shift = n % 64;
+        let mut out = [0u64; L];
+        for i in 0..L - limb_shift {
+            let src = i + limb_shift;
+            let mut v = self.limbs[src] >> bit_shift;
+            if bit_shift > 0 && src + 1 < L {
+                v |= self.limbs[src + 1] << (64 - bit_shift);
+            }
+            out[i] = v;
+        }
+        Self { limbs: out }
+    }
+
+    /// Interprets `bytes` (big-endian) as an integer. Errors if the slice
+    /// is longer than `8·L` bytes or encodes a value that does not fit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BigIntError::ValueTooLarge`] if the encoded value exceeds
+    /// the width of the type.
+    pub fn from_be_bytes(bytes: &[u8]) -> Result<Self, BigIntError> {
+        if bytes.len() > 8 * L {
+            // Leading zeros are acceptable; anything else overflows.
+            let excess = bytes.len() - 8 * L;
+            if bytes[..excess].iter().any(|&b| b != 0) {
+                return Err(BigIntError::ValueTooLarge);
+            }
+            return Self::from_be_bytes(&bytes[excess..]);
+        }
+        let mut limbs = [0u64; L];
+        for (i, &b) in bytes.iter().rev().enumerate() {
+            limbs[i / 8] |= u64::from(b) << (8 * (i % 8));
+        }
+        Ok(Self { limbs })
+    }
+
+    /// Big-endian byte encoding, always `8·L` bytes.
+    pub fn to_be_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 * L);
+        for limb in self.limbs.iter().rev() {
+            out.extend_from_slice(&limb.to_be_bytes());
+        }
+        out
+    }
+
+    /// Parses a (possibly `0x`-prefixed) hexadecimal string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BigIntError::InvalidDigit`] for non-hex characters and
+    /// [`BigIntError::ValueTooLarge`] if the value does not fit.
+    pub fn from_hex(s: &str) -> Result<Self, BigIntError> {
+        let s = s.strip_prefix("0x").unwrap_or(s);
+        if s.is_empty() {
+            return Err(BigIntError::InvalidDigit);
+        }
+        let mut out = Self::ZERO;
+        for ch in s.chars() {
+            let d = ch.to_digit(16).ok_or(BigIntError::InvalidDigit)? as u64;
+            if out.shr(Self::BITS - 4).limbs[0] != 0 {
+                return Err(BigIntError::ValueTooLarge);
+            }
+            out = out.shl(4);
+            out.limbs[0] |= d;
+        }
+        Ok(out)
+    }
+
+    /// Lowercase hexadecimal encoding without leading zeros (at least one
+    /// digit).
+    pub fn to_hex(&self) -> String {
+        let mut s = String::new();
+        for limb in self.limbs.iter().rev() {
+            if s.is_empty() {
+                if *limb != 0 {
+                    s = format!("{limb:x}");
+                }
+            } else {
+                s.push_str(&format!("{limb:016x}"));
+            }
+        }
+        if s.is_empty() {
+            s.push('0');
+        }
+        s
+    }
+
+    /// Parses a decimal string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BigIntError::InvalidDigit`] for non-decimal characters and
+    /// [`BigIntError::ValueTooLarge`] on overflow.
+    pub fn from_dec(s: &str) -> Result<Self, BigIntError> {
+        if s.is_empty() {
+            return Err(BigIntError::InvalidDigit);
+        }
+        let mut out = Self::ZERO;
+        for ch in s.chars() {
+            let d = ch.to_digit(10).ok_or(BigIntError::InvalidDigit)? as u64;
+            let (m, carry) = out.mul_u64(10);
+            if carry != 0 {
+                return Err(BigIntError::ValueTooLarge);
+            }
+            let (sum, c) = m.overflowing_add(&Self::from_u64(d));
+            if c {
+                return Err(BigIntError::ValueTooLarge);
+            }
+            out = sum;
+        }
+        Ok(out)
+    }
+
+    /// Uniformly random value in `[0, 2^(64·L))`.
+    pub fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        let mut limbs = [0u64; L];
+        for limb in &mut limbs {
+            *limb = rng.gen();
+        }
+        Self { limbs }
+    }
+
+    /// Uniformly random value in `[0, bound)` by rejection sampling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn random_below<R: Rng + ?Sized>(rng: &mut R, bound: &Self) -> Self {
+        assert!(!bound.is_zero(), "random_below: bound must be nonzero");
+        let bits = bound.bit_len();
+        loop {
+            let mut candidate = Self::random(rng);
+            // Mask to the bound's bit length so the acceptance rate is >= 1/2.
+            if bits < Self::BITS {
+                candidate = candidate.shr(Self::BITS - bits);
+            }
+            if candidate < *bound {
+                return candidate;
+            }
+        }
+    }
+
+    /// Uniformly random value with exactly `bits` bits (top bit set).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is zero or exceeds the width.
+    pub fn random_bits<R: Rng + ?Sized>(rng: &mut R, bits: u32) -> Self {
+        assert!(bits > 0 && bits <= Self::BITS, "random_bits: bad bit count");
+        let mut v = Self::random(rng).shr(Self::BITS - bits);
+        let top = bits - 1;
+        v.limbs[(top / 64) as usize] |= 1u64 << (top % 64);
+        v
+    }
+
+    /// Widens into a larger limb count. `M` must be at least `L`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `M < L`.
+    pub fn widen<const M: usize>(&self) -> Uint<M> {
+        assert!(M >= L, "widen: target must be at least as wide");
+        let mut limbs = [0u64; M];
+        limbs[..L].copy_from_slice(&self.limbs);
+        Uint::from_limbs(limbs)
+    }
+
+    /// Truncates into a smaller limb count, verifying nothing is lost.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BigIntError::ValueTooLarge`] if high limbs are nonzero.
+    pub fn truncate<const M: usize>(&self) -> Result<Uint<M>, BigIntError> {
+        if self.limbs[M.min(L)..].iter().any(|&l| l != 0) {
+            return Err(BigIntError::ValueTooLarge);
+        }
+        let mut limbs = [0u64; M];
+        let n = M.min(L);
+        limbs[..n].copy_from_slice(&self.limbs[..n]);
+        Ok(Uint::from_limbs(limbs))
+    }
+
+    /// The low 64 bits as a `u64`.
+    pub const fn low_u64(&self) -> u64 {
+        self.limbs[0]
+    }
+
+    /// Remainder modulo a `u64` divisor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    pub fn rem_u64(&self, m: u64) -> u64 {
+        assert!(m != 0, "division by zero");
+        let mut rem: u64 = 0;
+        for &limb in self.limbs.iter().rev() {
+            let acc = (u128::from(rem) << 64) | u128::from(limb);
+            rem = (acc % u128::from(m)) as u64;
+        }
+        rem
+    }
+}
+
+impl<const L: usize> Default for Uint<L> {
+    fn default() -> Self {
+        Self::ZERO
+    }
+}
+
+impl<const L: usize> Ord for Uint<L> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        for i in (0..L).rev() {
+            match self.limbs[i].cmp(&other.limbs[i]) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl<const L: usize> PartialOrd for Uint<L> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<const L: usize> fmt::Debug for Uint<L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Uint<{L}>(0x{})", self.to_hex())
+    }
+}
+
+impl<const L: usize> fmt::Display for Uint<L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{}", self.to_hex())
+    }
+}
+
+impl<const L: usize> fmt::LowerHex for Uint<L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+impl<const L: usize> From<u64> for Uint<L> {
+    fn from(v: u64) -> Self {
+        Self::from_u64(v)
+    }
+}
+
+/// `a + b + carry`, returning `(sum, carry_out)` with `carry_out ∈ {0, 1}`.
+#[inline(always)]
+pub(crate) fn adc(a: u64, b: u64, carry: u64) -> (u64, u64) {
+    let t = u128::from(a) + u128::from(b) + u128::from(carry);
+    (t as u64, (t >> 64) as u64)
+}
+
+/// `a - b - borrow`, returning `(diff, borrow_out)` with `borrow_out ∈ {0, 1}`.
+#[inline(always)]
+pub(crate) fn sbb(a: u64, b: u64, borrow: u64) -> (u64, u64) {
+    let t = u128::from(a)
+        .wrapping_sub(u128::from(b))
+        .wrapping_sub(u128::from(borrow));
+    (t as u64, (t >> 64) as u64 & 1)
+}
+
+/// `acc + b·c + carry`, returning `(lo, hi)`.
+#[inline(always)]
+pub(crate) fn mac(acc: u64, b: u64, c: u64, carry: u64) -> (u64, u64) {
+    let t = u128::from(acc) + u128::from(b) * u128::from(c) + u128::from(carry);
+    (t as u64, (t >> 64) as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    type U4 = Uint<4>;
+
+    #[test]
+    fn constants() {
+        assert!(U4::ZERO.is_zero());
+        assert!(!U4::ONE.is_zero());
+        assert!(U4::ONE.is_odd());
+        assert_eq!(U4::BITS, 256);
+        assert_eq!(U4::MAX.bit_len(), 256);
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = U4::from_hex("ffffffffffffffffffffffffffffffff").unwrap();
+        let b = U4::from_u64(1);
+        let s = a.wrapping_add(&b);
+        assert_eq!(s.bit_len(), 129);
+        assert_eq!(s.wrapping_sub(&b), a);
+    }
+
+    #[test]
+    fn overflow_flags() {
+        let (v, c) = U4::MAX.overflowing_add(&U4::ONE);
+        assert!(c);
+        assert!(v.is_zero());
+        let (v, b) = U4::ZERO.overflowing_sub(&U4::ONE);
+        assert!(b);
+        assert_eq!(v, U4::MAX);
+        assert!(U4::ZERO.checked_sub(&U4::ONE).is_none());
+        assert!(U4::MAX.checked_add(&U4::ONE).is_none());
+    }
+
+    #[test]
+    fn widening_mul_small() {
+        let a = U4::from_u64(u64::MAX);
+        let (lo, hi) = a.widening_mul(&a);
+        assert!(hi.is_zero());
+        // (2^64-1)^2 = 2^128 - 2^65 + 1
+        let expect = U4::from_hex("fffffffffffffffe0000000000000001").unwrap();
+        assert_eq!(lo, expect);
+    }
+
+    #[test]
+    fn widening_mul_max() {
+        let (lo, hi) = U4::MAX.widening_mul(&U4::MAX);
+        // (R-1)^2 = R^2 - 2R + 1 where R = 2^256.
+        assert_eq!(lo, U4::ONE);
+        assert_eq!(hi, U4::MAX.wrapping_sub(&U4::ONE));
+    }
+
+    #[test]
+    fn shifts() {
+        let a = U4::from_u64(1);
+        assert_eq!(a.shl(255).bit(255), true);
+        assert_eq!(a.shl(255).shr(255), a);
+        assert_eq!(a.shl(256), U4::ZERO);
+        let b = U4::from_hex("123456789abcdef0123456789abcdef0").unwrap();
+        assert_eq!(b.shl(64).shr(64), b);
+        assert_eq!(b.shl1().0, b.shl(1));
+        assert_eq!(b.shr1(), b.shr(1));
+    }
+
+    #[test]
+    fn shl1_carry_out() {
+        let top = U4::ONE.shl(255);
+        let (v, carry) = top.shl1();
+        assert!(carry);
+        assert!(v.is_zero());
+    }
+
+    #[test]
+    fn bit_len_and_bits() {
+        assert_eq!(U4::ZERO.bit_len(), 0);
+        assert_eq!(U4::ONE.bit_len(), 1);
+        assert_eq!(U4::from_u64(0x8000_0000_0000_0000).bit_len(), 64);
+        let v = U4::ONE.shl(200);
+        assert_eq!(v.bit_len(), 201);
+        assert!(v.bit(200));
+        assert!(!v.bit(199));
+        assert!(!v.bit(1000));
+    }
+
+    #[test]
+    fn trailing_zeros() {
+        assert_eq!(U4::ZERO.trailing_zeros(), 256);
+        assert_eq!(U4::ONE.trailing_zeros(), 0);
+        assert_eq!(U4::ONE.shl(130).trailing_zeros(), 130);
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        let cases = [
+            "0",
+            "1",
+            "deadbeef",
+            "123456789abcdef0fedcba9876543210",
+            "ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff",
+        ];
+        for c in cases {
+            let v = U4::from_hex(c).unwrap();
+            assert_eq!(v.to_hex(), c);
+        }
+        assert!(U4::from_hex("xyz").is_err());
+        assert!(U4::from_hex(&"f".repeat(65)).is_err());
+        assert_eq!(U4::from_hex("0xff").unwrap(), U4::from_u64(255));
+    }
+
+    #[test]
+    fn dec_parse() {
+        assert_eq!(U4::from_dec("0").unwrap(), U4::ZERO);
+        assert_eq!(
+            U4::from_dec("730750818665451621361119245571504901405976559617").unwrap(),
+            // 2^159 + 2^107 + 1
+            U4::ONE.shl(159).wrapping_add(&U4::ONE.shl(107)).wrapping_add(&U4::ONE)
+        );
+        assert!(U4::from_dec("12a").is_err());
+    }
+
+    #[test]
+    fn be_bytes_roundtrip() {
+        let v = U4::from_hex("0102030405060708090a0b0c0d0e0f10").unwrap();
+        let bytes = v.to_be_bytes();
+        assert_eq!(bytes.len(), 32);
+        assert_eq!(U4::from_be_bytes(&bytes).unwrap(), v);
+        // Short input is zero-extended on the left.
+        assert_eq!(U4::from_be_bytes(&[0xff]).unwrap(), U4::from_u64(255));
+        // Oversized input with zero padding is fine; nonzero overflow is not.
+        let mut long = vec![0u8; 33];
+        long[32] = 7;
+        assert_eq!(U4::from_be_bytes(&long).unwrap(), U4::from_u64(7));
+        long[0] = 1;
+        assert!(U4::from_be_bytes(&long).is_err());
+    }
+
+    #[test]
+    fn widen_truncate() {
+        let v = U4::from_hex("ffeeddccbbaa99887766554433221100").unwrap();
+        let w: Uint<8> = v.widen();
+        assert_eq!(w.to_hex(), v.to_hex());
+        let back: U4 = w.truncate().unwrap();
+        assert_eq!(back, v);
+        let big: Uint<8> = Uint::ONE.shl(400);
+        assert!(big.truncate::<4>().is_err());
+    }
+
+    #[test]
+    fn random_below_in_range() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let bound = U4::from_u64(1000);
+        for _ in 0..200 {
+            let v = U4::random_below(&mut rng, &bound);
+            assert!(v < bound);
+        }
+    }
+
+    #[test]
+    fn random_bits_has_exact_length() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for bits in [1u32, 5, 64, 65, 130, 256] {
+            let v = U4::random_bits(&mut rng, bits);
+            assert_eq!(v.bit_len(), bits);
+        }
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        let small = U4::from_u64(5);
+        let big = U4::ONE.shl(128);
+        assert!(small < big);
+        assert!(big > small);
+        assert_eq!(small.cmp(&small), Ordering::Equal);
+    }
+
+    #[test]
+    fn mul_u64_carry() {
+        let (lo, carry) = U4::MAX.mul_u64(2);
+        assert_eq!(carry, 1);
+        assert_eq!(lo, U4::MAX.wrapping_sub(&U4::ONE));
+    }
+
+    #[test]
+    fn debug_display_nonempty() {
+        assert!(!format!("{:?}", U4::ZERO).is_empty());
+        assert_eq!(format!("{}", U4::from_u64(255)), "0xff");
+        assert_eq!(format!("{:x}", U4::from_u64(255)), "ff");
+    }
+}

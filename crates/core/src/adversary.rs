@@ -1,0 +1,467 @@
+//! Executable versions of the paper's §VI adversarial scenarios.
+//!
+//! Each function plays an adversary with exactly the view that party has
+//! in the protocol, attempts the §VI attack, and reports what was (and
+//! was not) learned. The security tests and the `surveillance_demo`
+//! example drive these.
+
+use std::collections::HashSet;
+
+use rand::Rng;
+
+use crate::construction1::{Construction1, Puzzle, PuzzleResponse};
+use crate::context::Context;
+use crate::error::SocialPuzzleError;
+use crate::hash::HashAlg;
+
+/// What a semi-honest service provider could extract from its view of a
+/// Construction-1 puzzle (§VI-A).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SpSurveillanceReport {
+    /// Questions are stored in the clear — always visible.
+    pub questions_learned: Vec<String>,
+    /// Answers recovered by dictionary attack against the salted hashes.
+    pub answers_cracked: Vec<(usize, String)>,
+    /// Whether the SP reconstructed the object key (it never should
+    /// without ≥ k answers).
+    pub object_key_recovered: bool,
+}
+
+/// A semi-honest SP attacks a Construction-1 puzzle with a candidate
+/// dictionary (the best it can do against salted hashes: §VI-A argues
+/// hash security blocks recovery of `a_i`, which holds exactly up to
+/// guessable answers).
+pub fn semi_honest_sp_attack_c1(
+    c1: &Construction1,
+    puzzle: &Puzzle,
+    dictionary: &[&str],
+) -> SpSurveillanceReport {
+    let mut report = SpSurveillanceReport {
+        questions_learned: puzzle.questions().iter().map(|q| q.to_string()).collect(),
+        ..Default::default()
+    };
+    // Dictionary attack on each entry's salted hash. The SP has K_ZO (it
+    // is public puzzle data) — the salt stops *precomputed* tables, not
+    // online guessing of weak answers.
+    let alg: HashAlg = c1.hash_alg();
+    for (idx, _q) in puzzle.questions().iter().enumerate() {
+        for cand in dictionary {
+            let h = alg.answer_hash(cand, puzzle.puzzle_key());
+            if puzzle_entry_hash_matches(puzzle, idx, &h) {
+                report.answers_cracked.push((idx, cand.to_string()));
+                break;
+            }
+        }
+    }
+    // With fewer than k cracked answers the SP cannot unblind k shares,
+    // so the key stays unreachable; with >= k it wins, like any user who
+    // "knows the context".
+    report.object_key_recovered = report.answers_cracked.len() >= puzzle.k();
+    report
+}
+
+fn puzzle_entry_hash_matches(puzzle: &Puzzle, idx: usize, candidate: &[u8]) -> bool {
+    // The SP stores the hashes; model its lookup through the serialized
+    // record it actually holds.
+    let bytes = puzzle.to_bytes();
+    let reparsed = Puzzle::from_bytes(&bytes).expect("own serialization");
+    reparsed.answer_hash_at(idx).map(|h| h == candidate).unwrap_or(false)
+}
+
+/// The §VI-C collusion scenario among users who *individually* fall below
+/// the threshold: they pool the answers they know and try to reach `k`
+/// without SP assistance.
+///
+/// Returns the recovered object if the coalition's pooled knowledge
+/// crosses the threshold — demonstrating both the attack surface
+/// (pooled ≥ k succeeds, as §VI-C concedes) and the defense (pooled < k
+/// fails).
+///
+/// # Errors
+///
+/// Returns the underlying protocol error when the coalition fails.
+pub fn colluding_users_attack_c1<R: Rng + ?Sized>(
+    c1: &Construction1,
+    puzzle: &Puzzle,
+    encrypted_object: &[u8],
+    pooled_answers: &[(usize, String)],
+    rng: &mut R,
+) -> Result<Vec<u8>, SocialPuzzleError> {
+    // Deduplicate by question index (two colluders may know the same answer).
+    let mut seen = HashSet::new();
+    let answers: Vec<(usize, String)> = pooled_answers
+        .iter()
+        .filter(|(i, _)| seen.insert(*i))
+        .cloned()
+        .collect();
+    // The coalition behaves like one receiver holding the union.
+    let displayed = c1.display_puzzle(puzzle, rng);
+    let usable: Vec<(usize, String)> = answers
+        .iter()
+        .filter(|(i, _)| displayed.questions.iter().any(|(di, _)| di == i))
+        .cloned()
+        .collect();
+    let response: PuzzleResponse = c1.answer_puzzle(&displayed, &usable);
+    let outcome = c1.verify(puzzle, &response)?;
+    c1.access_with_key(&outcome, &usable, encrypted_object, Some(&displayed.puzzle_key))
+}
+
+/// §VI-C's stronger scenario: a malicious SP leaks per-question verify
+/// results to a coalition, which then pools *confirmed* answers across
+/// members. The paper concedes this breaks the scheme when the union
+/// reaches `k`; the function returns whether the coalition succeeds.
+pub fn malicious_sp_collusion_c1<R: Rng + ?Sized>(
+    c1: &Construction1,
+    puzzle: &Puzzle,
+    encrypted_object: &[u8],
+    member_answer_sets: &[Vec<(usize, String)>],
+    rng: &mut R,
+) -> bool {
+    // The malicious SP confirms each member's correct answers
+    // individually (below threshold, it would normally release nothing —
+    // the leak is the attack).
+    let alg = c1.hash_alg();
+    let mut confirmed: Vec<(usize, String)> = Vec::new();
+    let mut seen = HashSet::new();
+    for member in member_answer_sets {
+        for (idx, answer) in member {
+            let h = alg.answer_hash(answer, puzzle.puzzle_key());
+            if puzzle_entry_hash_matches(puzzle, *idx, &h) && seen.insert(*idx) {
+                confirmed.push((*idx, answer.clone()));
+            }
+        }
+    }
+    colluding_users_attack_c1(c1, puzzle, encrypted_object, &confirmed, rng).is_ok()
+}
+
+/// A semi-honest SP attacks a Construction-2 record with a candidate
+/// dictionary.
+///
+/// Unlike Construction 1, the prototype's Construction-2 verification
+/// hashes are **unsalted** (§VII-B: plain SHA-1 of the answers), so the
+/// same dictionary works against *every* puzzle at once and can even be
+/// precomputed — a measurably weaker posture than C1's `K_ZO`-salted
+/// hashes. This function demonstrates exactly that.
+pub fn semi_honest_sp_attack_c2(
+    c2: &crate::construction2::Construction2,
+    record: &crate::construction2::Puzzle2Record,
+    dictionary: &[&str],
+) -> SpSurveillanceReport {
+    let details = record.public_details();
+    let mut report = SpSurveillanceReport {
+        questions_learned: details.questions.clone(),
+        ..Default::default()
+    };
+    for (idx, _q) in details.questions.iter().enumerate() {
+        for cand in dictionary {
+            // The SP holds the verification hashes; emulate its lookup by
+            // hashing the candidate the way answer_puzzle does and asking
+            // verify whether that single answer matches.
+            let response = c2.answer_puzzle(&details, &[(idx, cand.to_string())]);
+            let single_threshold_probe = crate::construction2::Puzzle2Record::from_bytes(
+                &record.to_bytes(),
+            )
+            .expect("own serialization");
+            // A 1-answer probe succeeds iff the hash matches AND k == 1;
+            // for k > 1 compare hashes directly through the record's view.
+            let matched = if record.k() == 1 {
+                c2.verify(&single_threshold_probe, &response).is_ok()
+            } else {
+                record.answer_hash_matches(idx, &response[0].1)
+            };
+            if matched {
+                report.answers_cracked.push((idx, cand.to_string()));
+                break;
+            }
+        }
+    }
+    report.object_key_recovered = report.answers_cracked.len() >= record.k();
+    report
+}
+
+/// What a curious storage host sees for Construction 1: only the
+/// encrypted blob. Returns true iff the blob leaks any plaintext marker
+/// (it must not).
+pub fn dh_surveillance_c1(encrypted_object: &[u8], plaintext_marker: &[u8]) -> bool {
+    window_contains(encrypted_object, plaintext_marker)
+}
+
+/// Byte-window containment (naive, adequate for tests).
+fn window_contains(haystack: &[u8], needle: &[u8]) -> bool {
+    if needle.is_empty() || haystack.len() < needle.len() {
+        return false;
+    }
+    haystack.windows(needle.len()).any(|w| w == needle)
+}
+
+/// Brute-force context attack given only public puzzle data and the
+/// encrypted object — the outsider threat. Tries every combination from
+/// per-question candidate lists up to the threshold; returns the object
+/// on success.
+///
+/// Exponential by design: the tests use it with tiny candidate lists to
+/// confirm that correct contexts (and only those) open the puzzle.
+pub fn outsider_bruteforce_c1<R: Rng + ?Sized>(
+    c1: &Construction1,
+    puzzle: &Puzzle,
+    encrypted_object: &[u8],
+    candidates_per_question: &[Vec<String>],
+    rng: &mut R,
+) -> Option<Vec<u8>> {
+    let n = puzzle.n();
+    // Try all assignments of one candidate per question (including
+    // "unknown" = skip), depth-first.
+    fn recurse<R: Rng + ?Sized>(
+        c1: &Construction1,
+        puzzle: &Puzzle,
+        encrypted_object: &[u8],
+        cands: &[Vec<String>],
+        idx: usize,
+        chosen: &mut Vec<(usize, String)>,
+        rng: &mut R,
+    ) -> Option<Vec<u8>> {
+        if idx == cands.len() {
+            if chosen.len() < puzzle.k() {
+                return None;
+            }
+            return colluding_users_attack_c1(c1, puzzle, encrypted_object, chosen, rng).ok();
+        }
+        // Skip this question.
+        if let Some(hit) = recurse(c1, puzzle, encrypted_object, cands, idx + 1, chosen, rng) {
+            return Some(hit);
+        }
+        for cand in &cands[idx] {
+            chosen.push((idx, cand.clone()));
+            if let Some(hit) = recurse(c1, puzzle, encrypted_object, cands, idx + 1, chosen, rng) {
+                return Some(hit);
+            }
+            chosen.pop();
+        }
+        None
+    }
+    let mut chosen = Vec::new();
+    let cands = &candidates_per_question[..n.min(candidates_per_question.len())];
+    recurse(c1, puzzle, encrypted_object, cands, 0, &mut chosen, rng)
+}
+
+/// Builds a context whose answers are drawn from a small space — handy
+/// for the dictionary/brute-force tests.
+pub fn weak_context(n: usize) -> Context {
+    let mut b = Context::builder();
+    for i in 0..n {
+        b = b.pair(format!("weak question {i}?"), format!("pet{i}"));
+    }
+    b.build().expect("nonempty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn strong_context() -> Context {
+        Context::builder()
+            .pair("Where was the retreat?", "undisclosed ravine cottage 7Q")
+            .pair("Who kept the playlist?", "maximiliana-v")
+            .pair("What broke at midnight?", "the ceramic heron")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn sp_sees_questions_but_not_strong_answers() {
+        let c1 = Construction1::new();
+        let mut rng = StdRng::seed_from_u64(180);
+        let ctx = strong_context();
+        let up = c1.upload(b"obj", &ctx, 2, &mut rng).unwrap();
+        let dictionary = ["password", "123456", "pet0", "pizza", "paris"];
+        let report = semi_honest_sp_attack_c1(&c1, &up.puzzle, &dictionary);
+        assert_eq!(report.questions_learned.len(), 3, "questions are public");
+        assert!(report.answers_cracked.is_empty(), "strong answers survive");
+        assert!(!report.object_key_recovered);
+    }
+
+    #[test]
+    fn sp_cracks_weak_answers_when_dictionary_covers_them() {
+        // The scheme's security is exactly the guessability of the
+        // context — a weak context falls to a dictionary, as §VI's
+        // reliance on hash security implies.
+        let c1 = Construction1::new();
+        let mut rng = StdRng::seed_from_u64(181);
+        let ctx = weak_context(3);
+        let up = c1.upload(b"obj", &ctx, 2, &mut rng).unwrap();
+        let dictionary = ["pet0", "pet1", "pet2"];
+        let report = semi_honest_sp_attack_c1(&c1, &up.puzzle, &dictionary);
+        assert_eq!(report.answers_cracked.len(), 3);
+        assert!(report.object_key_recovered);
+    }
+
+    #[test]
+    fn c2_unsalted_hashes_fall_to_the_same_dictionary_everywhere() {
+        // The §VII-B prototype hashes C2 answers WITHOUT a puzzle salt: one
+        // dictionary pass cracks the same weak answer in every puzzle.
+        use crate::construction2::Construction2;
+        let c2 = Construction2::insecure_test_params();
+        let mut rng = StdRng::seed_from_u64(187);
+        let ctx = weak_context(2);
+        let up_a = c2.upload(b"a", &ctx, 1, &mut rng).unwrap();
+        let up_b = c2.upload(b"b", &ctx, 1, &mut rng).unwrap();
+        let dict = ["pet0", "pet1"];
+        let rep_a = semi_honest_sp_attack_c2(&c2, &up_a.record, &dict);
+        let rep_b = semi_honest_sp_attack_c2(&c2, &up_b.record, &dict);
+        assert!(rep_a.object_key_recovered && rep_b.object_key_recovered);
+        // Moreover the *hashes themselves* are identical across puzzles —
+        // precomputation works. (C1's salted hashes differ per puzzle.)
+        assert_eq!(up_a.record.to_bytes().len(), up_b.record.to_bytes().len());
+        let c1 = Construction1::new();
+        let c1_a = c1.upload(b"a", &ctx, 1, &mut rng).unwrap();
+        let c1_b = c1.upload(b"b", &ctx, 1, &mut rng).unwrap();
+        assert_ne!(
+            c1_a.puzzle.answer_hash_at(0).unwrap(),
+            c1_b.puzzle.answer_hash_at(0).unwrap(),
+            "C1 hashes are salted per puzzle"
+        );
+    }
+
+    #[test]
+    fn c2_salted_verification_blocks_cross_puzzle_precomputation() {
+        // The hardening extension: with per-record salts, the same answer
+        // hashes differently in every record, so precomputed tables die.
+        use crate::construction2::Construction2;
+        let c2 = Construction2::insecure_test_params().with_salted_verification();
+        let mut rng = StdRng::seed_from_u64(189);
+        let ctx = weak_context(2);
+        let up_a = c2.upload(b"a", &ctx, 1, &mut rng).unwrap();
+        let up_b = c2.upload(b"b", &ctx, 1, &mut rng).unwrap();
+        // Hashes for the same answer differ across records.
+        let da = up_a.record.public_details();
+        let db = up_b.record.public_details();
+        let ha = c2.answer_puzzle(&da, &[(0, "pet0".into())]);
+        let hb = c2.answer_puzzle(&db, &[(0, "pet0".into())]);
+        assert_ne!(ha[0].1, hb[0].1, "salted hashes must differ per record");
+        // Online guessing with the salt still works (like C1) — the salt
+        // only kills offline precomputation.
+        assert!(up_a.record.answer_hash_matches(0, &ha[0].1));
+        assert!(!up_b.record.answer_hash_matches(0, &ha[0].1));
+        // End to end, the salted variant still verifies and decrypts.
+        let answers = da.answer(|q| ctx.answer_for(q).map(str::to_owned));
+        let response = c2.answer_puzzle(&da, &answers);
+        let grant = c2.verify(&up_a.record, &response).unwrap();
+        assert_eq!(
+            c2.access(&grant, &da, &answers, &up_a.ciphertext, &mut rng).unwrap(),
+            b"a"
+        );
+    }
+
+    #[test]
+    fn c2_strong_answers_survive_dictionaries() {
+        use crate::construction2::Construction2;
+        let c2 = Construction2::insecure_test_params();
+        let mut rng = StdRng::seed_from_u64(188);
+        let ctx = strong_context();
+        let up = c2.upload(b"obj", &ctx, 2, &mut rng).unwrap();
+        let dict = ["password", "pet0", "letmein"];
+        let rep = semi_honest_sp_attack_c2(&c2, &up.record, &dict);
+        assert!(rep.answers_cracked.is_empty());
+        assert!(!rep.object_key_recovered);
+        assert_eq!(rep.questions_learned.len(), 3);
+    }
+
+    #[test]
+    fn coalition_below_threshold_fails() {
+        let c1 = Construction1::new();
+        let mut rng = StdRng::seed_from_u64(182);
+        let ctx = strong_context();
+        let up = c1.upload(b"obj", &ctx, 3, &mut rng).unwrap();
+        // Two colluders, each knowing one (distinct) answer: union = 2 < 3.
+        let pooled = vec![
+            (0usize, "undisclosed ravine cottage 7Q".to_string()),
+            (1usize, "maximiliana-v".to_string()),
+        ];
+        let result = colluding_users_attack_c1(&c1, &up.puzzle, &up.encrypted_object, &pooled, &mut rng);
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn coalition_reaching_threshold_succeeds() {
+        // §VI-C: collusion among users whose union covers the context
+        // trivially wins — the paper explicitly does not defend this.
+        let c1 = Construction1::new();
+        let mut rng = StdRng::seed_from_u64(183);
+        let ctx = strong_context();
+        let up = c1.upload(b"obj", &ctx, 2, &mut rng).unwrap();
+        for _ in 0..20 {
+            let pooled = vec![
+                (0usize, "undisclosed ravine cottage 7Q".to_string()),
+                (2usize, "the ceramic heron".to_string()),
+            ];
+            if let Ok(obj) =
+                colluding_users_attack_c1(&c1, &up.puzzle, &up.encrypted_object, &pooled, &mut rng)
+            {
+                assert_eq!(obj, b"obj");
+                return;
+            }
+            // The displayed subset may have missed a known question; retry.
+        }
+        panic!("coalition with k answers never offered both questions");
+    }
+
+    #[test]
+    fn malicious_sp_plus_coalition_breaks_as_conceded() {
+        let c1 = Construction1::new();
+        let mut rng = StdRng::seed_from_u64(184);
+        let ctx = strong_context();
+        let up = c1.upload(b"obj", &ctx, 2, &mut rng).unwrap();
+        // Each member knows ONE answer (below k = 2) plus junk.
+        let members = vec![
+            vec![(0usize, "undisclosed ravine cottage 7Q".to_string()), (1, "wrong".into())],
+            vec![(2usize, "the ceramic heron".to_string()), (0, "also wrong".into())],
+        ];
+        let mut succeeded = false;
+        for _ in 0..20 {
+            if malicious_sp_collusion_c1(&c1, &up.puzzle, &up.encrypted_object, &members, &mut rng) {
+                succeeded = true;
+                break;
+            }
+        }
+        assert!(succeeded, "the conceded strong-collusion break should land");
+    }
+
+    #[test]
+    fn dh_blob_carries_no_plaintext() {
+        let c1 = Construction1::new();
+        let mut rng = StdRng::seed_from_u64(185);
+        let ctx = strong_context();
+        let marker = b"EXTREMELY RECOGNIZABLE PLAINTEXT MARKER";
+        let mut object = b"prefix ".to_vec();
+        object.extend_from_slice(marker);
+        let up = c1.upload(&object, &ctx, 1, &mut rng).unwrap();
+        assert!(!dh_surveillance_c1(&up.encrypted_object, marker));
+        assert!(dh_surveillance_c1(&object, marker), "sanity: marker in plaintext");
+    }
+
+    #[test]
+    fn outsider_bruteforce_only_wins_with_right_candidates() {
+        let c1 = Construction1::new();
+        let mut rng = StdRng::seed_from_u64(186);
+        let ctx = weak_context(2);
+        let up = c1.upload(b"weak target", &ctx, 2, &mut rng).unwrap();
+        // Wrong candidates: nothing.
+        let wrong = vec![vec!["dog".to_string()], vec!["cat".to_string()]];
+        assert!(outsider_bruteforce_c1(&c1, &up.puzzle, &up.encrypted_object, &wrong, &mut rng)
+            .is_none());
+        // Candidate lists covering the truth: cracked.
+        let right = vec![
+            vec!["dog".to_string(), "pet0".to_string()],
+            vec!["cat".to_string(), "pet1".to_string()],
+        ];
+        let mut hit = None;
+        for _ in 0..20 {
+            hit = outsider_bruteforce_c1(&c1, &up.puzzle, &up.encrypted_object, &right, &mut rng);
+            if hit.is_some() {
+                break;
+            }
+        }
+        assert_eq!(hit.expect("eventually displayed both"), b"weak target");
+    }
+}

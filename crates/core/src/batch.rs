@@ -1,0 +1,188 @@
+//! Batch sharing: one puzzle protecting a whole album.
+//!
+//! The paper's motivating example shares "messages or pictures of a past
+//! social gathering" — usually *many* pictures with one shared context.
+//! Uploading one puzzle per picture would multiply SP state and receiver
+//! effort for no security gain; instead, one secret `M_O` is shared once
+//! and per-object keys are derived as `K_i = KDF(M_O, i)`. Solving the
+//! puzzle once opens the entire album.
+
+use rand::Rng;
+
+use sp_crypto::kdf::derive_key;
+use sp_crypto::modes::cbc_encrypt;
+
+use crate::construction1::{
+    decrypt_object, Construction1, Puzzle, VerifyOutcome, PUZZLE_KEY_LEN,
+};
+use crate::context::Context;
+use crate::error::SocialPuzzleError;
+
+/// What a batch upload produces: one puzzle and one ciphertext per album
+/// item (in input order).
+#[derive(Clone, Debug)]
+pub struct BatchUploadResult {
+    /// The single puzzle protecting every item.
+    pub puzzle: Puzzle,
+    /// Per-item encrypted objects.
+    pub encrypted_objects: Vec<Vec<u8>>,
+}
+
+/// Derives the item key `K_i = KDF(M_O ‖ i)`.
+fn item_key(m_o_bytes: &[u8], index: usize) -> [u8; 32] {
+    let key = derive_key(m_o_bytes, &format!("sp/c1/batch/v1/{index}"), 32);
+    key.try_into().expect("32 bytes requested")
+}
+
+impl Construction1 {
+    /// Uploads an album: one puzzle, `objects.len()` ciphertexts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocialPuzzleError::BadThreshold`] for out-of-range `k`,
+    /// and [`SocialPuzzleError::BadContext`] for an empty album.
+    pub fn upload_album<R: Rng + ?Sized>(
+        &self,
+        objects: &[&[u8]],
+        context: &Context,
+        k: usize,
+        rng: &mut R,
+    ) -> Result<BatchUploadResult, SocialPuzzleError> {
+        if objects.is_empty() {
+            return Err(SocialPuzzleError::BadContext);
+        }
+        let (puzzle, m_o_bytes) = self.upload_keyed(context, k, rng)?;
+        let encrypted_objects = objects
+            .iter()
+            .enumerate()
+            .map(|(i, obj)| {
+                let key = item_key(&m_o_bytes, i);
+                let mut iv = [0u8; 16];
+                rng.fill(&mut iv);
+                let ct = cbc_encrypt(&key, &iv, obj).expect("32-byte key");
+                let mut packaged = iv.to_vec();
+                packaged.extend_from_slice(&ct);
+                packaged
+            })
+            .collect();
+        Ok(BatchUploadResult { puzzle, encrypted_objects })
+    }
+
+    /// Opens album item `index` after a successful verify.
+    ///
+    /// # Errors
+    ///
+    /// As [`Construction1::access`], per item.
+    pub fn access_album_item(
+        &self,
+        outcome: &VerifyOutcome,
+        answers: &[(usize, String)],
+        encrypted_object: &[u8],
+        index: usize,
+        puzzle_key: Option<&[u8; PUZZLE_KEY_LEN]>,
+    ) -> Result<Vec<u8>, SocialPuzzleError> {
+        let m_o = self.reconstruct_secret(outcome, answers, puzzle_key)?;
+        let key = item_key(&m_o.to_be_bytes(), index);
+        decrypt_object(&key, encrypted_object)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn context() -> Context {
+        Context::builder()
+            .pair("Whose birthday?", "jun's thirtieth")
+            .pair("Which cake?", "black sesame")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn album_roundtrip_all_items() {
+        let c1 = Construction1::new();
+        let mut rng = StdRng::seed_from_u64(500);
+        let ctx = context();
+        let items: Vec<&[u8]> = vec![b"img0", b"img1 bytes", b"img2 more bytes"];
+        let batch = c1.upload_album(&items, &ctx, 1, &mut rng).unwrap();
+        assert_eq!(batch.encrypted_objects.len(), 3);
+
+        let displayed = c1.display_puzzle(&batch.puzzle, &mut rng);
+        let answers = displayed.answer(|q| ctx.answer_for(q).map(str::to_owned));
+        let response = c1.answer_puzzle(&displayed, &answers);
+        let outcome = c1.verify(&batch.puzzle, &response).unwrap();
+
+        for (i, (item, enc)) in items.iter().zip(&batch.encrypted_objects).enumerate() {
+            let got = c1
+                .access_album_item(&outcome, &answers, enc, i, Some(&displayed.puzzle_key))
+                .unwrap();
+            assert_eq!(&got, item, "item {i}");
+        }
+    }
+
+    #[test]
+    fn wrong_index_does_not_decrypt() {
+        let c1 = Construction1::new();
+        let mut rng = StdRng::seed_from_u64(501);
+        let ctx = context();
+        let items: Vec<&[u8]> = vec![b"first", b"second"];
+        let batch = c1.upload_album(&items, &ctx, 1, &mut rng).unwrap();
+        let displayed = c1.display_puzzle(&batch.puzzle, &mut rng);
+        let answers = displayed.answer(|q| ctx.answer_for(q).map(str::to_owned));
+        let response = c1.answer_puzzle(&displayed, &answers);
+        let outcome = c1.verify(&batch.puzzle, &response).unwrap();
+        // Decrypting item 0 with index 1's key fails or garbles.
+        match c1.access_album_item(
+            &outcome,
+            &answers,
+            &batch.encrypted_objects[0],
+            1,
+            Some(&displayed.puzzle_key),
+        ) {
+            Err(_) => {}
+            Ok(pt) => assert_ne!(pt, b"first"),
+        }
+    }
+
+    #[test]
+    fn one_puzzle_many_items_beats_many_puzzles_in_state() {
+        let c1 = Construction1::new();
+        let mut rng = StdRng::seed_from_u64(502);
+        let ctx = context();
+        let items: Vec<&[u8]> = vec![b"a"; 10];
+        let batch = c1.upload_album(&items, &ctx, 1, &mut rng).unwrap();
+        let batch_sp_bytes = batch.puzzle.to_bytes().len();
+
+        let mut per_object_sp_bytes = 0usize;
+        for item in &items {
+            let up = c1.upload(item, &ctx, 1, &mut rng).unwrap();
+            per_object_sp_bytes += up.puzzle.to_bytes().len();
+        }
+        assert!(
+            per_object_sp_bytes > 8 * batch_sp_bytes,
+            "batch: {batch_sp_bytes} B vs per-object: {per_object_sp_bytes} B"
+        );
+    }
+
+    #[test]
+    fn empty_album_rejected() {
+        let c1 = Construction1::new();
+        let mut rng = StdRng::seed_from_u64(503);
+        let ctx = context();
+        assert_eq!(
+            c1.upload_album(&[], &ctx, 1, &mut rng).unwrap_err(),
+            SocialPuzzleError::BadContext
+        );
+    }
+
+    #[test]
+    fn item_keys_are_independent() {
+        let m = [7u8; 32];
+        let k0 = item_key(&m, 0);
+        let k1 = item_key(&m, 1);
+        assert_ne!(k0, k1);
+        assert_eq!(k0, item_key(&m, 0));
+    }
+}

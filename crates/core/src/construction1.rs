@@ -1,0 +1,1085 @@
+//! Construction 1: social puzzles from Shamir's secret sharing (§V-A).
+//!
+//! The sharer samples a random field element `M_O`, derives the object key
+//! `K_O = H(M_O)`, and splits `M_O` into `n` shares with threshold `k`.
+//! The puzzle record given to the service provider contains, per
+//! question: the question text, the salted answer hash `H(a_i, K_ZO)`,
+//! and the share *blinded by the answer* (`a_i ⊕ d_i`). The SP can verify
+//! answers and release blinded shares, but — knowing neither answers nor
+//! shares — learns nothing that decrypts the object.
+//!
+//! Subroutines map 1:1 to the paper: [`Construction1::upload`],
+//! [`Construction1::display_puzzle`], [`Construction1::answer_puzzle`],
+//! [`Construction1::verify`], [`Construction1::access`].
+
+use std::fmt;
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use sp_crypto::ct::ct_eq;
+use sp_crypto::kdf::derive_key;
+use sp_crypto::modes::{cbc_decrypt, cbc_encrypt};
+use sp_crypto::sha256::sha256;
+use sp_osn::Url;
+use sp_pairing::Pairing;
+use sp_shamir::{ShamirScheme, Share};
+use sp_wire::{Reader, Writer};
+
+use crate::context::Context;
+use crate::error::SocialPuzzleError;
+use crate::hash::HashAlg;
+use crate::sign::{Signature, SigningKey, VerifyingKey};
+
+/// Length of the puzzle-specific key `K_ZO` in bytes.
+pub const PUZZLE_KEY_LEN: usize = 16;
+
+/// One puzzle entry: `⟨q_i, H(a_i, K_ZO), a_i ⊕ d_i⟩`.
+#[derive(Clone, PartialEq, Eq)]
+struct PuzzleEntry {
+    question: String,
+    answer_hash: Vec<u8>,
+    blinded_share: Vec<u8>,
+}
+
+/// The social puzzle `Z_O` as stored by the service provider.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Puzzle {
+    entries: Vec<PuzzleEntry>,
+    k: usize,
+    puzzle_key: [u8; PUZZLE_KEY_LEN],
+    url: Url,
+    hash_alg: HashAlg,
+    /// Signature over the puzzle components (§VI-A DOS countermeasure);
+    /// absent when the sharer opted out, as the paper's prototype did.
+    signature: Option<Vec<u8>>,
+}
+
+impl Puzzle {
+    /// Number of context pairs embedded, `n`.
+    pub fn n(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The access threshold `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The public puzzle salt `K_ZO`.
+    pub fn puzzle_key(&self) -> &[u8; PUZZLE_KEY_LEN] {
+        &self.puzzle_key
+    }
+
+    /// The encrypted object's location.
+    pub fn url(&self) -> &Url {
+        &self.url
+    }
+
+    /// The question strings, in order.
+    pub fn questions(&self) -> Vec<&str> {
+        self.entries.iter().map(|e| e.question.as_str()).collect()
+    }
+
+    /// The stored (salted) answer hash for entry `index` — this is what
+    /// the SP matches against; exposing it models the SP's own view for
+    /// the [`crate::adversary`] scenarios.
+    pub fn answer_hash_at(&self, index: usize) -> Option<&[u8]> {
+        self.entries.get(index).map(|e| e.answer_hash.as_slice())
+    }
+
+    /// The canonical byte string the sharer signs: everything a malicious
+    /// SP might usefully modify (URL, k, salt, questions, hashes, blinded
+    /// shares).
+    pub fn signed_payload(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.string(self.url.as_str());
+        w.u32(self.k as u32);
+        w.raw(&self.puzzle_key);
+        w.u32(self.entries.len() as u32);
+        for e in &self.entries {
+            w.string(&e.question);
+            w.bytes(&e.answer_hash);
+            w.bytes(&e.blinded_share);
+        }
+        w.finish().to_vec()
+    }
+
+    /// Verifies the sharer's signature over the puzzle components.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocialPuzzleError::BadSignature`] if the signature is
+    /// missing or does not verify under `vk`.
+    pub fn check_signature(
+        &self,
+        pairing: &Pairing,
+        vk: &VerifyingKey,
+    ) -> Result<(), SocialPuzzleError> {
+        let sig_bytes = self.signature.as_deref().ok_or(SocialPuzzleError::BadSignature)?;
+        let sig = Signature::from_bytes(pairing, sig_bytes)?;
+        vk.verify(pairing, &self.signed_payload(), &sig)
+    }
+
+    /// Serializes the puzzle for SP storage / transfer (sizes feed the
+    /// Fig. 10 network model).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u8(match self.hash_alg {
+            HashAlg::Sha256 => 0,
+            HashAlg::Sha3 => 1,
+            HashAlg::Sha1 => 2,
+        });
+        w.u32(self.k as u32);
+        w.raw(&self.puzzle_key);
+        w.string(self.url.as_str());
+        w.u32(self.entries.len() as u32);
+        for e in &self.entries {
+            w.string(&e.question);
+            w.bytes(&e.answer_hash);
+            w.bytes(&e.blinded_share);
+        }
+        match &self.signature {
+            Some(sig) => {
+                w.u8(1);
+                w.bytes(sig);
+            }
+            None => {
+                w.u8(0);
+            }
+        }
+        w.finish().to_vec()
+    }
+
+    /// Decodes a puzzle produced by [`Puzzle::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocialPuzzleError::BadEncoding`] for malformed buffers.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SocialPuzzleError> {
+        let mut r = Reader::new(bytes);
+        let mut inner = || -> Result<Puzzle, sp_wire::WireError> {
+            let hash_alg = match r.u8()? {
+                0 => HashAlg::Sha256,
+                1 => HashAlg::Sha3,
+                2 => HashAlg::Sha1,
+                _ => return Err(sp_wire::WireError::BadLength),
+            };
+            let k = r.u32()? as usize;
+            let puzzle_key: [u8; PUZZLE_KEY_LEN] =
+                r.raw(PUZZLE_KEY_LEN)?.try_into().expect("fixed len");
+            let url = Url::from(r.string()?);
+            let n = r.u32()? as usize;
+            if n > 1 << 20 {
+                return Err(sp_wire::WireError::BadLength);
+            }
+            let mut entries = Vec::with_capacity(n);
+            for _ in 0..n {
+                let question = r.string()?.to_owned();
+                let answer_hash = r.bytes()?.to_vec();
+                let blinded_share = r.bytes()?.to_vec();
+                entries.push(PuzzleEntry { question, answer_hash, blinded_share });
+            }
+            let signature = match r.u8()? {
+                0 => None,
+                _ => Some(r.bytes()?.to_vec()),
+            };
+            r.expect_end()?;
+            Ok(Puzzle { entries, k, puzzle_key, url, hash_alg, signature })
+        };
+        inner().map_err(|_| SocialPuzzleError::BadEncoding)
+    }
+}
+
+impl fmt::Debug for Puzzle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Puzzle(n = {}, k = {}, url = {}, signed = {})",
+            self.entries.len(),
+            self.k,
+            self.url,
+            self.signature.is_some()
+        )
+    }
+}
+
+/// What the sharer's `Upload` produces: the puzzle for the SP and the
+/// encrypted object for the DH.
+#[derive(Clone, Debug)]
+pub struct UploadResult {
+    /// The puzzle `Z_O` (goes to the SP).
+    pub puzzle: Puzzle,
+    /// The encrypted object `O_{K_O}` (goes to the DH at `URL_O`).
+    pub encrypted_object: Vec<u8>,
+}
+
+/// What the SP shows a prospective receiver: a random subset of at least
+/// `k` questions, plus the puzzle salt.
+#[derive(Clone, Debug)]
+pub struct DisplayedPuzzle {
+    /// `(original index, question text)` pairs, in display order.
+    pub questions: Vec<(usize, String)>,
+    /// The puzzle salt `K_ZO`.
+    pub puzzle_key: [u8; PUZZLE_KEY_LEN],
+    /// The hash algorithm receivers must use.
+    pub hash_alg: HashAlg,
+}
+
+impl DisplayedPuzzle {
+    /// Convenience: builds the receiver's answer list by asking `answerer`
+    /// for each displayed question. Questions the receiver cannot answer
+    /// (`None`) are simply skipped.
+    pub fn answer(&self, answerer: impl Fn(&str) -> Option<String>) -> Vec<(usize, String)> {
+        self.questions
+            .iter()
+            .filter_map(|(idx, q)| answerer(q).map(|a| (*idx, a)))
+            .collect()
+    }
+}
+
+/// The receiver's `AnswerPuzzle` output: salted hashes of their answers.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PuzzleResponse {
+    /// `(original index, H(answer, K_ZO))` pairs.
+    pub hashes: Vec<(usize, Vec<u8>)>,
+}
+
+impl PuzzleResponse {
+    /// Serialized size in bytes (for network accounting).
+    pub fn encoded_len(&self) -> usize {
+        let mut w = Writer::new();
+        w.u32(self.hashes.len() as u32);
+        for (i, h) in &self.hashes {
+            w.u32(*i as u32);
+            w.bytes(h);
+        }
+        w.len()
+    }
+}
+
+/// The SP's `Verify` output on success: blinded shares for each correctly
+/// answered question, and the object URL.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct VerifyOutcome {
+    /// `(original index, a_i ⊕ d_i)` for correct answers (`≥ k` of them).
+    pub released: Vec<(usize, Vec<u8>)>,
+    /// Where to fetch the encrypted object.
+    pub url: Url,
+    /// The puzzle signature, forwarded so the receiver can check §VI-A
+    /// integrity (None when the sharer didn't sign).
+    pub signature: Option<Vec<u8>>,
+    /// The signed payload the signature covers (receiver re-derives it
+    /// from SP-supplied fields; a tampering SP cannot produce a matching
+    /// signature).
+    pub signed_payload: Vec<u8>,
+}
+
+impl VerifyOutcome {
+    /// Serialized size in bytes (for network accounting).
+    pub fn encoded_len(&self) -> usize {
+        let mut w = Writer::new();
+        w.u32(self.released.len() as u32);
+        for (i, b) in &self.released {
+            w.u32(*i as u32);
+            w.bytes(b);
+        }
+        w.string(self.url.as_str());
+        w.bytes(self.signature.as_deref().unwrap_or(&[]));
+        w.len()
+    }
+
+    /// Verifies the sharer's signature over the SP-supplied puzzle fields.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocialPuzzleError::BadSignature`] when missing/invalid.
+    pub fn check_signature(
+        &self,
+        pairing: &Pairing,
+        vk: &VerifyingKey,
+    ) -> Result<(), SocialPuzzleError> {
+        let sig_bytes = self.signature.as_deref().ok_or(SocialPuzzleError::BadSignature)?;
+        let sig = Signature::from_bytes(pairing, sig_bytes)?;
+        vk.verify(pairing, &self.signed_payload, &sig)
+    }
+}
+
+/// Construction 1 (§V-A): Shamir-secret-sharing social puzzles.
+///
+/// See the [crate-level documentation](crate) for an end-to-end example.
+#[derive(Clone, Debug)]
+pub struct Construction1 {
+    shamir: ShamirScheme,
+    hash_alg: HashAlg,
+}
+
+impl Default for Construction1 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Construction1 {
+    /// Scheme with the paper's Implementation-1 hash (SHA-3) and the
+    /// default sharing field.
+    pub fn new() -> Self {
+        Self { shamir: ShamirScheme::default_field(), hash_alg: HashAlg::Sha3 }
+    }
+
+    /// Scheme with an explicit hash algorithm.
+    pub fn with_hash(hash_alg: HashAlg) -> Self {
+        Self { shamir: ShamirScheme::default_field(), hash_alg }
+    }
+
+    /// The hash algorithm in use.
+    pub fn hash_alg(&self) -> HashAlg {
+        self.hash_alg
+    }
+
+    /// `Upload(O, k, n)` with a placeholder local URL — use
+    /// [`Construction1::upload_to`] when a real storage URL is available
+    /// (the protocol driver does).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocialPuzzleError::BadThreshold`] when `k` is out of
+    /// range for the context.
+    pub fn upload<R: Rng + ?Sized>(
+        &self,
+        object: &[u8],
+        context: &Context,
+        k: usize,
+        rng: &mut R,
+    ) -> Result<UploadResult, SocialPuzzleError> {
+        self.upload_inner(object, context, k, Url::from("local://unstored"), None, rng)
+    }
+
+    /// `Upload(O, k, n)` binding the puzzle to a known object URL and
+    /// optionally signing the components (§VI-A).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocialPuzzleError::BadThreshold`] when `k` is out of
+    /// range for the context.
+    pub fn upload_to<R: Rng + ?Sized>(
+        &self,
+        object: &[u8],
+        context: &Context,
+        k: usize,
+        url: Url,
+        signer: Option<&SigningKey>,
+        rng: &mut R,
+    ) -> Result<UploadResult, SocialPuzzleError> {
+        self.upload_inner(object, context, k, url, signer, rng)
+    }
+
+    fn upload_inner<R: Rng + ?Sized>(
+        &self,
+        object: &[u8],
+        context: &Context,
+        k: usize,
+        url: Url,
+        signer: Option<&SigningKey>,
+        rng: &mut R,
+    ) -> Result<UploadResult, SocialPuzzleError> {
+        // Object-specific secret and key: M_O random, K_O = H(M_O).
+        let m_o = self.shamir.random_secret(rng);
+        let k_o = sha256(&m_o.to_be_bytes());
+
+        // Encrypt the object: AES-256-CBC, random IV, packaged iv ‖ ct.
+        let mut iv = [0u8; 16];
+        rng.fill(&mut iv);
+        let ct = cbc_encrypt(&k_o, &iv, object).expect("32-byte key");
+        let mut encrypted_object = iv.to_vec();
+        encrypted_object.extend_from_slice(&ct);
+
+        let puzzle = self.build_puzzle(&m_o, context, k, url, signer, rng)?;
+        Ok(UploadResult { puzzle, encrypted_object })
+    }
+
+    /// Builds the puzzle for a caller-chosen secret and returns the
+    /// secret's canonical bytes alongside — the hook [`crate::batch`]
+    /// uses to derive per-item keys. No default URL/object is involved.
+    pub(crate) fn upload_keyed<R: Rng + ?Sized>(
+        &self,
+        context: &Context,
+        k: usize,
+        rng: &mut R,
+    ) -> Result<(Puzzle, Vec<u8>), SocialPuzzleError> {
+        let m_o = self.shamir.random_secret(rng);
+        let puzzle =
+            self.build_puzzle(&m_o, context, k, Url::from("local://unstored"), None, rng)?;
+        Ok((puzzle, m_o.to_be_bytes()))
+    }
+
+    fn build_puzzle<R: Rng + ?Sized>(
+        &self,
+        m_o: &sp_field::Fp<4>,
+        context: &Context,
+        k: usize,
+        url: Url,
+        signer: Option<&SigningKey>,
+        rng: &mut R,
+    ) -> Result<Puzzle, SocialPuzzleError> {
+        context.check_threshold(k)?;
+        let n = context.len();
+
+        // Shamir shares at random abscissas.
+        let shares = self
+            .shamir
+            .split(m_o, k, n, rng)
+            .map_err(|_| SocialPuzzleError::BadThreshold)?;
+
+        // Puzzle-specific salt K_ZO.
+        let mut puzzle_key = [0u8; PUZZLE_KEY_LEN];
+        rng.fill(&mut puzzle_key);
+
+        let entries = context
+            .pairs()
+            .iter()
+            .zip(shares)
+            .enumerate()
+            .map(|(i, (pair, share))| {
+                let answer_hash = self.hash_alg.answer_hash(pair.answer(), &puzzle_key);
+                let blinded_share = blind_share(&share.to_bytes(), pair.answer(), i, &puzzle_key);
+                PuzzleEntry { question: pair.question().to_owned(), answer_hash, blinded_share }
+            })
+            .collect();
+
+        let mut puzzle = Puzzle {
+            entries,
+            k,
+            puzzle_key,
+            url,
+            hash_alg: self.hash_alg,
+            signature: None,
+        };
+        if let Some(sk) = signer {
+            let sig = sk.sign(&puzzle.signed_payload(), rng);
+            puzzle.signature = Some(sig.to_bytes());
+        }
+        Ok(puzzle)
+    }
+
+    /// Re-keys a shared object (§VI-C collusion countermeasure): "Sharers
+    /// can periodically modify the puzzle `Z_O` and/or the encryption key
+    /// `K_O` (by re-encrypting the object) to partially protect against
+    /// such collusion attacks."
+    ///
+    /// Produces a fresh `M_O`, fresh shares, fresh salt `K_ZO`, a new
+    /// encrypted object, and a new puzzle for the *same* context and
+    /// threshold — previously leaked shares, verify transcripts and the
+    /// old `K_O` become useless.
+    ///
+    /// # Errors
+    ///
+    /// As [`Construction1::upload_to`].
+    pub fn refresh<R: Rng + ?Sized>(
+        &self,
+        object: &[u8],
+        context: &Context,
+        previous: &Puzzle,
+        signer: Option<&SigningKey>,
+        rng: &mut R,
+    ) -> Result<UploadResult, SocialPuzzleError> {
+        let refreshed =
+            self.upload_inner(object, context, previous.k, previous.url.clone(), signer, rng)?;
+        debug_assert_ne!(refreshed.puzzle.puzzle_key, previous.puzzle_key);
+        Ok(refreshed)
+    }
+
+    /// Client convenience: runs display → answer → verify → access,
+    /// retrying up to `max_display_rounds` display rounds (the SP shows a
+    /// random question subset each time, so a receiver who knows enough
+    /// answers overall may still need a "refresh", exactly like the
+    /// prototype's web page).
+    ///
+    /// # Errors
+    ///
+    /// Returns the last round's error (typically
+    /// [`SocialPuzzleError::NotEnoughCorrectAnswers`]) if no round
+    /// succeeds.
+    pub fn solve<R: Rng + ?Sized>(
+        &self,
+        puzzle: &Puzzle,
+        encrypted_object: &[u8],
+        answerer: impl Fn(&str) -> Option<String>,
+        max_display_rounds: usize,
+        rng: &mut R,
+    ) -> Result<Vec<u8>, SocialPuzzleError> {
+        let mut last_err = SocialPuzzleError::NotEnoughCorrectAnswers;
+        for _ in 0..max_display_rounds.max(1) {
+            let displayed = self.display_puzzle(puzzle, rng);
+            let answers = displayed.answer(&answerer);
+            let response = self.answer_puzzle(&displayed, &answers);
+            match self.verify(puzzle, &response) {
+                Err(e) => last_err = e,
+                Ok(outcome) => {
+                    match self.access_with_key(
+                        &outcome,
+                        &answers,
+                        encrypted_object,
+                        Some(&displayed.puzzle_key),
+                    ) {
+                        Ok(object) => return Ok(object),
+                        Err(e) => last_err = e,
+                    }
+                }
+            }
+        }
+        Err(last_err)
+    }
+
+    /// `DisplayPuzzle(Z_O)`: the SP picks `r ∈ [k, n]` questions uniformly
+    /// and displays them in random order with `K_ZO`.
+    pub fn display_puzzle<R: Rng + ?Sized>(&self, puzzle: &Puzzle, rng: &mut R) -> DisplayedPuzzle {
+        let n = puzzle.entries.len();
+        let r = rng.gen_range(puzzle.k..=n);
+        let mut indices: Vec<usize> = (0..n).collect();
+        indices.shuffle(rng);
+        indices.truncate(r);
+        DisplayedPuzzle {
+            questions: indices
+                .into_iter()
+                .map(|i| (i, puzzle.entries[i].question.clone()))
+                .collect(),
+            puzzle_key: puzzle.puzzle_key,
+            hash_alg: puzzle.hash_alg,
+        }
+    }
+
+    /// `AnswerPuzzle`: the receiver hashes each answer with the puzzle
+    /// salt — the SP never sees an answer in the clear.
+    pub fn answer_puzzle(
+        &self,
+        displayed: &DisplayedPuzzle,
+        answers: &[(usize, String)],
+    ) -> PuzzleResponse {
+        PuzzleResponse {
+            hashes: answers
+                .iter()
+                .map(|(idx, answer)| {
+                    (*idx, displayed.hash_alg.answer_hash(answer, &displayed.puzzle_key))
+                })
+                .collect(),
+        }
+    }
+
+    /// `Verify`: the SP compares salted hashes and, if at least `k`
+    /// verify, releases the blinded shares for the correct ones plus
+    /// `URL_O`. Below threshold the SP releases *nothing* (§V-A).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocialPuzzleError::NotEnoughCorrectAnswers`] below
+    /// threshold.
+    pub fn verify(
+        &self,
+        puzzle: &Puzzle,
+        response: &PuzzleResponse,
+    ) -> Result<VerifyOutcome, SocialPuzzleError> {
+        let mut released = Vec::new();
+        for (idx, hash) in &response.hashes {
+            let Some(entry) = puzzle.entries.get(*idx) else {
+                continue;
+            };
+            if ct_eq(&entry.answer_hash, hash) {
+                released.push((*idx, entry.blinded_share.clone()));
+            }
+        }
+        if released.len() < puzzle.k {
+            return Err(SocialPuzzleError::NotEnoughCorrectAnswers);
+        }
+        Ok(VerifyOutcome {
+            released,
+            url: puzzle.url.clone(),
+            signature: puzzle.signature.clone(),
+            signed_payload: puzzle.signed_payload(),
+        })
+    }
+
+    /// `Access`: the receiver unblinds the released shares with their own
+    /// answers, reconstructs `M_O`, derives `K_O = H(M_O)` and decrypts
+    /// the object.
+    ///
+    /// `answers` is the same list given to [`Construction1::answer_puzzle`];
+    /// `encrypted_object` is the blob fetched from `outcome.url`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocialPuzzleError::ReconstructionFailed`] if the receiver
+    /// lacks answers for the released shares, or
+    /// [`SocialPuzzleError::DecryptionFailed`] if decryption fails (wrong
+    /// answers that happened to hash-collide, or a tampered object).
+    pub fn access(
+        &self,
+        outcome: &VerifyOutcome,
+        answers: &[(usize, String)],
+        encrypted_object: &[u8],
+    ) -> Result<Vec<u8>, SocialPuzzleError> {
+        self.access_with_key(outcome, answers, encrypted_object, None)
+    }
+
+    /// [`Construction1::access`] with an explicit puzzle salt, for callers
+    /// that kept the [`DisplayedPuzzle`] (the blinding pads are salted by
+    /// `K_ZO`; without it the salt is parsed out of the signed payload).
+    ///
+    /// # Errors
+    ///
+    /// As [`Construction1::access`].
+    pub fn access_with_key(
+        &self,
+        outcome: &VerifyOutcome,
+        answers: &[(usize, String)],
+        encrypted_object: &[u8],
+        puzzle_key: Option<&[u8; PUZZLE_KEY_LEN]>,
+    ) -> Result<Vec<u8>, SocialPuzzleError> {
+        let m_o = self.reconstruct_secret(outcome, answers, puzzle_key)?;
+        let k_o = sha256(&m_o.to_be_bytes());
+        decrypt_object(&k_o, encrypted_object)
+    }
+
+    /// Recovers the object-specific secret `M_O` from a verify outcome by
+    /// unblinding the released shares with the receiver's answers and
+    /// interpolating. Exposed for layers that derive more than one key
+    /// from `M_O` (see [`crate::batch`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocialPuzzleError::ReconstructionFailed`] if answers for
+    /// released shares are missing or share decoding fails.
+    pub fn reconstruct_secret(
+        &self,
+        outcome: &VerifyOutcome,
+        answers: &[(usize, String)],
+        puzzle_key: Option<&[u8; PUZZLE_KEY_LEN]>,
+    ) -> Result<sp_field::Fp<4>, SocialPuzzleError> {
+        // Recover K_ZO: explicit, or from the canonical signed payload the
+        // SP forwarded (it is public data).
+        let key_from_payload;
+        let puzzle_key = match puzzle_key {
+            Some(k) => k,
+            None => {
+                key_from_payload = parse_puzzle_key(&outcome.signed_payload)?;
+                &key_from_payload
+            }
+        };
+
+        let mut shares = Vec::with_capacity(outcome.released.len());
+        for (idx, blinded) in &outcome.released {
+            let answer = answers
+                .iter()
+                .find(|(i, _)| i == idx)
+                .map(|(_, a)| a.as_str())
+                .ok_or(SocialPuzzleError::ReconstructionFailed)?;
+            let share_bytes = blind_share(blinded, answer, *idx, puzzle_key);
+            let share = Share::from_bytes(self.shamir.field(), &share_bytes)
+                .map_err(|_| SocialPuzzleError::ReconstructionFailed)?;
+            shares.push(share);
+        }
+        self.shamir
+            .reconstruct(&shares)
+            .map_err(|_| SocialPuzzleError::ReconstructionFailed)
+    }
+}
+
+/// AES-256-CBC decryption of the `iv ‖ ct` object packaging.
+pub(crate) fn decrypt_object(key: &[u8; 32], encrypted_object: &[u8]) -> Result<Vec<u8>, SocialPuzzleError> {
+    if encrypted_object.len() < 16 {
+        return Err(SocialPuzzleError::DecryptionFailed);
+    }
+    let iv: [u8; 16] = encrypted_object[..16].try_into().expect("16 bytes");
+    cbc_decrypt(key, &iv, &encrypted_object[16..]).map_err(|_| SocialPuzzleError::DecryptionFailed)
+}
+
+/// XOR-blinds (or unblinds — it is an involution) a 64-byte share with a
+/// pad derived from the answer, entry index, and puzzle salt. This is the
+/// `a_i ⊕ d_i` of §V-A generalized to arbitrary-length answers.
+fn blind_share(share_bytes: &[u8], answer: &str, index: usize, puzzle_key: &[u8]) -> Vec<u8> {
+    let label = format!("sp/c1/blind/v1/{index}");
+    let mut ikm = Vec::with_capacity(answer.len() + puzzle_key.len());
+    ikm.extend_from_slice(answer.as_bytes());
+    ikm.extend_from_slice(puzzle_key);
+    let pad = derive_key(&ikm, &label, share_bytes.len());
+    share_bytes.iter().zip(pad).map(|(b, p)| b ^ p).collect()
+}
+
+/// Extracts `K_ZO` from the canonical signed payload (see
+/// [`Puzzle::signed_payload`]: url string, u32 k, then the raw key).
+fn parse_puzzle_key(payload: &[u8]) -> Result<[u8; PUZZLE_KEY_LEN], SocialPuzzleError> {
+    let mut r = Reader::new(payload);
+    let mut inner = || -> Result<[u8; PUZZLE_KEY_LEN], sp_wire::WireError> {
+        let _url = r.string()?;
+        let _k = r.u32()?;
+        Ok(r.raw(PUZZLE_KEY_LEN)?.try_into().expect("fixed len"))
+    };
+    inner().map_err(|_| SocialPuzzleError::BadEncoding)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn context() -> Context {
+        Context::builder()
+            .pair("Where was the event?", "lakeside cabin")
+            .pair("Who hosted?", "priya")
+            .pair("What did we grill?", "corn")
+            .pair("Which month?", "june")
+            .build()
+            .unwrap()
+    }
+
+    fn full_answers(displayed: &DisplayedPuzzle, ctx: &Context) -> Vec<(usize, String)> {
+        displayed.answer(|q| ctx.answer_for(q).map(str::to_owned))
+    }
+
+    #[test]
+    fn end_to_end_all_answers() {
+        let c1 = Construction1::new();
+        let mut rng = StdRng::seed_from_u64(120);
+        let ctx = context();
+        let up = c1.upload(b"the object", &ctx, 2, &mut rng).unwrap();
+        let displayed = c1.display_puzzle(&up.puzzle, &mut rng);
+        assert!(displayed.questions.len() >= 2);
+        let answers = full_answers(&displayed, &ctx);
+        let response = c1.answer_puzzle(&displayed, &answers);
+        let outcome = c1.verify(&up.puzzle, &response).unwrap();
+        assert!(outcome.released.len() >= 2);
+        let object = c1.access(&outcome, &answers, &up.encrypted_object).unwrap();
+        assert_eq!(object, b"the object");
+    }
+
+    #[test]
+    fn partial_knowledge_meets_threshold() {
+        let c1 = Construction1::new();
+        let mut rng = StdRng::seed_from_u64(121);
+        let ctx = context();
+        let up = c1.upload(b"obj", &ctx, 2, &mut rng).unwrap();
+        // Receiver knows only two of the four answers.
+        for _ in 0..20 {
+            let displayed = c1.display_puzzle(&up.puzzle, &mut rng);
+            let answers = displayed.answer(|q| match q {
+                "Where was the event?" => Some("lakeside cabin".into()),
+                "Who hosted?" => Some("priya".into()),
+                _ => None,
+            });
+            if answers.len() < 2 {
+                continue; // SP displayed a subset missing the known ones
+            }
+            let response = c1.answer_puzzle(&displayed, &answers);
+            let outcome = c1.verify(&up.puzzle, &response).unwrap();
+            let object = c1.access(&outcome, &answers, &up.encrypted_object).unwrap();
+            assert_eq!(object, b"obj");
+            return;
+        }
+        panic!("no display round offered both known questions");
+    }
+
+    #[test]
+    fn below_threshold_releases_nothing() {
+        let c1 = Construction1::new();
+        let mut rng = StdRng::seed_from_u64(122);
+        let ctx = context();
+        let up = c1.upload(b"obj", &ctx, 3, &mut rng).unwrap();
+        let displayed = c1.display_puzzle(&up.puzzle, &mut rng);
+        // Only one correct answer.
+        let answers = displayed.answer(|q| {
+            (q == "Who hosted?").then(|| "priya".to_string())
+        });
+        let response = c1.answer_puzzle(&displayed, &answers);
+        assert_eq!(
+            c1.verify(&up.puzzle, &response).unwrap_err(),
+            SocialPuzzleError::NotEnoughCorrectAnswers
+        );
+    }
+
+    #[test]
+    fn wrong_answers_do_not_count() {
+        let c1 = Construction1::new();
+        let mut rng = StdRng::seed_from_u64(123);
+        let ctx = context();
+        let up = c1.upload(b"obj", &ctx, 2, &mut rng).unwrap();
+        let displayed = c1.display_puzzle(&up.puzzle, &mut rng);
+        let answers: Vec<(usize, String)> = displayed
+            .questions
+            .iter()
+            .map(|(i, _)| (*i, "totally wrong".to_string()))
+            .collect();
+        let response = c1.answer_puzzle(&displayed, &answers);
+        assert!(c1.verify(&up.puzzle, &response).is_err());
+    }
+
+    #[test]
+    fn k_equals_one_and_k_equals_n() {
+        let c1 = Construction1::new();
+        let mut rng = StdRng::seed_from_u64(124);
+        let ctx = context();
+        for k in [1usize, 4] {
+            let up = c1.upload(b"edge", &ctx, k, &mut rng).unwrap();
+            let displayed = c1.display_puzzle(&up.puzzle, &mut rng);
+            assert!(displayed.questions.len() >= k);
+            let answers = full_answers(&displayed, &ctx);
+            let response = c1.answer_puzzle(&displayed, &answers);
+            let outcome = c1.verify(&up.puzzle, &response).unwrap();
+            let object = c1.access(&outcome, &answers, &up.encrypted_object).unwrap();
+            assert_eq!(object, b"edge", "k = {k}");
+        }
+    }
+
+    #[test]
+    fn threshold_out_of_range() {
+        let c1 = Construction1::new();
+        let mut rng = StdRng::seed_from_u64(125);
+        let ctx = context();
+        assert_eq!(
+            c1.upload(b"o", &ctx, 0, &mut rng).unwrap_err(),
+            SocialPuzzleError::BadThreshold
+        );
+        assert_eq!(
+            c1.upload(b"o", &ctx, 5, &mut rng).unwrap_err(),
+            SocialPuzzleError::BadThreshold
+        );
+    }
+
+    #[test]
+    fn display_size_in_range() {
+        let c1 = Construction1::new();
+        let mut rng = StdRng::seed_from_u64(126);
+        let ctx = context();
+        let up = c1.upload(b"o", &ctx, 2, &mut rng).unwrap();
+        for _ in 0..50 {
+            let d = c1.display_puzzle(&up.puzzle, &mut rng);
+            assert!(d.questions.len() >= 2 && d.questions.len() <= 4);
+            // Indices are distinct and valid.
+            let mut idxs: Vec<usize> = d.questions.iter().map(|(i, _)| *i).collect();
+            idxs.sort_unstable();
+            idxs.dedup();
+            assert_eq!(idxs.len(), d.questions.len());
+            assert!(idxs.iter().all(|&i| i < 4));
+        }
+    }
+
+    #[test]
+    fn puzzle_serialization_roundtrip() {
+        let c1 = Construction1::new();
+        let mut rng = StdRng::seed_from_u64(127);
+        let ctx = context();
+        let up = c1.upload(b"o", &ctx, 2, &mut rng).unwrap();
+        let bytes = up.puzzle.to_bytes();
+        let back = Puzzle::from_bytes(&bytes).unwrap();
+        assert_eq!(back, up.puzzle);
+        assert!(Puzzle::from_bytes(&bytes[..bytes.len() - 2]).is_err());
+        assert!(Puzzle::from_bytes(&[]).is_err());
+    }
+
+    #[test]
+    fn signed_puzzle_verifies_and_detects_tampering() {
+        let pairing = Pairing::insecure_test_params();
+        let c1 = Construction1::new();
+        let mut rng = StdRng::seed_from_u64(128);
+        let sk = SigningKey::generate(&pairing, &mut rng);
+        let ctx = context();
+        let up = c1
+            .upload_to(b"o", &ctx, 2, Url::from("https://dh.example/objects/1"), Some(&sk), &mut rng)
+            .unwrap();
+        up.puzzle.check_signature(&pairing, &sk.verifying_key()).unwrap();
+
+        // SP tampers with the URL (DOS attack): signature breaks.
+        let mut tampered = up.puzzle.clone();
+        tampered.url = Url::from("https://evil.example/objects/1");
+        assert_eq!(
+            tampered.check_signature(&pairing, &sk.verifying_key()).unwrap_err(),
+            SocialPuzzleError::BadSignature
+        );
+
+        // Unsigned puzzles report missing signatures.
+        let unsigned = c1.upload(b"o", &ctx, 2, &mut rng).unwrap();
+        assert!(unsigned.puzzle.check_signature(&pairing, &sk.verifying_key()).is_err());
+    }
+
+    #[test]
+    fn verify_outcome_signature_roundtrip() {
+        let pairing = Pairing::insecure_test_params();
+        let c1 = Construction1::new();
+        let mut rng = StdRng::seed_from_u64(129);
+        let sk = SigningKey::generate(&pairing, &mut rng);
+        let ctx = context();
+        let up = c1
+            .upload_to(b"o", &ctx, 1, Url::from("https://dh.example/objects/2"), Some(&sk), &mut rng)
+            .unwrap();
+        let displayed = c1.display_puzzle(&up.puzzle, &mut rng);
+        let answers = full_answers(&displayed, &ctx);
+        let response = c1.answer_puzzle(&displayed, &answers);
+        let outcome = c1.verify(&up.puzzle, &response).unwrap();
+        outcome.check_signature(&pairing, &sk.verifying_key()).unwrap();
+        // Tampered URL inside the outcome's payload is caught.
+        let mut bad = outcome.clone();
+        bad.signed_payload[5] ^= 1;
+        assert!(bad.check_signature(&pairing, &sk.verifying_key()).is_err());
+    }
+
+    #[test]
+    fn blind_share_is_involution_and_answer_sensitive() {
+        let share = [0xabu8; 64];
+        let key = [7u8; PUZZLE_KEY_LEN];
+        let blinded = blind_share(&share, "answer", 3, &key);
+        assert_ne!(blinded, share.to_vec());
+        assert_eq!(blind_share(&blinded, "answer", 3, &key), share.to_vec());
+        assert_ne!(blind_share(&blinded, "answer", 4, &key), share.to_vec());
+        assert_ne!(blind_share(&blinded, "Answer", 3, &key), share.to_vec());
+    }
+
+    #[test]
+    fn tampered_object_fails_decryption() {
+        let c1 = Construction1::new();
+        let mut rng = StdRng::seed_from_u64(130);
+        let ctx = context();
+        let up = c1.upload(b"precious", &ctx, 1, &mut rng).unwrap();
+        let displayed = c1.display_puzzle(&up.puzzle, &mut rng);
+        let answers = full_answers(&displayed, &ctx);
+        let response = c1.answer_puzzle(&displayed, &answers);
+        let outcome = c1.verify(&up.puzzle, &response).unwrap();
+        let mut tampered = up.encrypted_object.clone();
+        let last = tampered.len() - 1;
+        tampered[last] ^= 0xff;
+        match c1.access(&outcome, &answers, &tampered) {
+            Err(SocialPuzzleError::DecryptionFailed) => {}
+            Ok(pt) => assert_ne!(pt, b"precious"),
+            Err(e) => panic!("unexpected error {e}"),
+        }
+        assert_eq!(
+            c1.access(&outcome, &answers, &[1, 2, 3]).unwrap_err(),
+            SocialPuzzleError::DecryptionFailed
+        );
+    }
+
+    #[test]
+    fn paper_hash_choice_is_sha3_and_alternatives_work() {
+        assert_eq!(Construction1::new().hash_alg(), HashAlg::Sha3);
+        for alg in [HashAlg::Sha256, HashAlg::Sha1] {
+            let c1 = Construction1::with_hash(alg);
+            let mut rng = StdRng::seed_from_u64(131);
+            let ctx = context();
+            let up = c1.upload(b"alg", &ctx, 2, &mut rng).unwrap();
+            let displayed = c1.display_puzzle(&up.puzzle, &mut rng);
+            let answers = full_answers(&displayed, &ctx);
+            let response = c1.answer_puzzle(&displayed, &answers);
+            let outcome = c1.verify(&up.puzzle, &response).unwrap();
+            assert_eq!(c1.access(&outcome, &answers, &up.encrypted_object).unwrap(), b"alg");
+        }
+    }
+
+    #[test]
+    fn large_object_roundtrip() {
+        let c1 = Construction1::new();
+        let mut rng = StdRng::seed_from_u64(132);
+        let ctx = context();
+        let object: Vec<u8> = (0..100_000).map(|i| (i % 251) as u8).collect();
+        let up = c1.upload(&object, &ctx, 2, &mut rng).unwrap();
+        let displayed = c1.display_puzzle(&up.puzzle, &mut rng);
+        let answers = full_answers(&displayed, &ctx);
+        let response = c1.answer_puzzle(&displayed, &answers);
+        let outcome = c1.verify(&up.puzzle, &response).unwrap();
+        assert_eq!(c1.access(&outcome, &answers, &up.encrypted_object).unwrap(), object);
+    }
+
+    #[test]
+    fn solve_helper_retries_display_rounds() {
+        let c1 = Construction1::new();
+        let mut rng = StdRng::seed_from_u64(135);
+        let ctx = context();
+        let up = c1.upload(b"retry me", &ctx, 2, &mut rng).unwrap();
+        // Receiver knows exactly 2 of 4 answers: some display rounds miss
+        // one of them, but enough retries land it.
+        let object = c1
+            .solve(
+                &up.puzzle,
+                &up.encrypted_object,
+                |q| match q {
+                    "Where was the event?" => Some("lakeside cabin".into()),
+                    "Which month?" => Some("june".into()),
+                    _ => None,
+                },
+                50,
+                &mut rng,
+            )
+            .unwrap();
+        assert_eq!(object, b"retry me");
+
+        // Knowing only one answer never succeeds, however many rounds.
+        let err = c1
+            .solve(
+                &up.puzzle,
+                &up.encrypted_object,
+                |q| (q == "Which month?").then(|| "june".to_string()),
+                20,
+                &mut rng,
+            )
+            .unwrap_err();
+        assert_eq!(err, SocialPuzzleError::NotEnoughCorrectAnswers);
+    }
+
+    #[test]
+    fn refresh_invalidates_old_transcripts() {
+        let c1 = Construction1::new();
+        let mut rng = StdRng::seed_from_u64(134);
+        let ctx = context();
+        let up_old = c1.upload(b"refresh me", &ctx, 2, &mut rng).unwrap();
+
+        // A coalition captured a full verify transcript against the OLD
+        // puzzle.
+        let displayed_old = c1.display_puzzle(&up_old.puzzle, &mut rng);
+        let answers = full_answers(&displayed_old, &ctx);
+        let response_old = c1.answer_puzzle(&displayed_old, &answers);
+        let outcome_old = c1.verify(&up_old.puzzle, &response_old).unwrap();
+
+        // Sharer refreshes: same context, same threshold, new everything.
+        let up_new = c1
+            .refresh(b"refresh me", &ctx, &up_old.puzzle, None, &mut rng)
+            .unwrap();
+        assert_eq!(up_new.puzzle.k(), up_old.puzzle.k());
+        assert_eq!(up_new.puzzle.url(), up_old.puzzle.url());
+        assert_ne!(up_new.puzzle.puzzle_key(), up_old.puzzle.puzzle_key());
+        assert_ne!(up_new.encrypted_object, up_old.encrypted_object);
+
+        // Old hashed responses no longer verify (new salt)...
+        assert!(c1.verify(&up_new.puzzle, &response_old).is_err());
+        // ...and the old released shares cannot decrypt the new object.
+        match c1.access_with_key(
+            &outcome_old,
+            &answers,
+            &up_new.encrypted_object,
+            Some(&displayed_old.puzzle_key),
+        ) {
+            Err(_) => {}
+            Ok(pt) => assert_ne!(pt, b"refresh me"),
+        }
+
+        // Honest receivers simply solve the refreshed puzzle.
+        let displayed_new = c1.display_puzzle(&up_new.puzzle, &mut rng);
+        let answers_new = full_answers(&displayed_new, &ctx);
+        let response_new = c1.answer_puzzle(&displayed_new, &answers_new);
+        let outcome_new = c1.verify(&up_new.puzzle, &response_new).unwrap();
+        assert_eq!(
+            c1.access(&outcome_new, &answers_new, &up_new.encrypted_object).unwrap(),
+            b"refresh me"
+        );
+    }
+
+    #[test]
+    fn response_with_unknown_index_is_ignored() {
+        let c1 = Construction1::new();
+        let mut rng = StdRng::seed_from_u64(133);
+        let ctx = context();
+        let up = c1.upload(b"o", &ctx, 1, &mut rng).unwrap();
+        let displayed = c1.display_puzzle(&up.puzzle, &mut rng);
+        let mut answers = full_answers(&displayed, &ctx);
+        answers.push((999, "out of range".into()));
+        let response = c1.answer_puzzle(&displayed, &answers);
+        // Verify must not panic and still succeeds on the valid entries.
+        let outcome = c1.verify(&up.puzzle, &response).unwrap();
+        assert!(outcome.released.iter().all(|(i, _)| *i < 4));
+    }
+}

@@ -1,0 +1,232 @@
+//! The context model: `C_O = {⟨q_1, a_1⟩, …, ⟨q_N, a_N⟩}`.
+//!
+//! §IV-A formulates the context of a shared object as `N` key–value
+//! (question–answer) pairs, with a per-object threshold `ζ_O = k` on how
+//! many pairs a receiver must know.
+
+use std::fmt;
+
+use crate::error::SocialPuzzleError;
+
+/// One question–answer pair of an object's context.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ContextPair {
+    question: String,
+    answer: String,
+}
+
+impl ContextPair {
+    /// Builds a pair.
+    pub fn new(question: impl Into<String>, answer: impl Into<String>) -> Self {
+        Self { question: question.into(), answer: answer.into() }
+    }
+
+    /// The question (displayed publicly by the SP).
+    pub fn question(&self) -> &str {
+        &self.question
+    }
+
+    /// The answer (never leaves the sharer/receiver unhashed).
+    pub fn answer(&self) -> &str {
+        &self.answer
+    }
+}
+
+/// The full context of an object: an ordered list of distinct questions
+/// with their answers.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Context {
+    pairs: Vec<ContextPair>,
+}
+
+impl Context {
+    /// Starts building a context.
+    pub fn builder() -> ContextBuilder {
+        ContextBuilder { pairs: Vec::new(), normalize: false }
+    }
+
+    /// Builds a context from pairs directly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocialPuzzleError::BadContext`] if `pairs` is empty, a
+    /// question or answer is empty, or two questions are identical.
+    pub fn from_pairs(pairs: Vec<ContextPair>) -> Result<Self, SocialPuzzleError> {
+        if pairs.is_empty() {
+            return Err(SocialPuzzleError::BadContext);
+        }
+        let mut seen = std::collections::HashSet::new();
+        for p in &pairs {
+            if p.question.is_empty() || p.answer.is_empty() || !seen.insert(p.question.clone()) {
+                return Err(SocialPuzzleError::BadContext);
+            }
+        }
+        Ok(Self { pairs })
+    }
+
+    /// Number of pairs, `N`.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether the context is empty (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// The pairs in order.
+    pub fn pairs(&self) -> &[ContextPair] {
+        &self.pairs
+    }
+
+    /// The answer to a question, if the question belongs to this context.
+    pub fn answer_for(&self, question: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .find(|p| p.question == question)
+            .map(|p| p.answer.as_str())
+    }
+
+    /// `(question, answer)` string tuples — the shape
+    /// [`sp_abe::AccessTree::context_tree`] consumes.
+    pub fn as_string_pairs(&self) -> Vec<(String, String)> {
+        self.pairs
+            .iter()
+            .map(|p| (p.question.clone(), p.answer.clone()))
+            .collect()
+    }
+
+    /// Validates a threshold against this context (`0 < k ≤ N`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocialPuzzleError::BadThreshold`] when out of range.
+    pub fn check_threshold(&self, k: usize) -> Result<(), SocialPuzzleError> {
+        if k == 0 || k > self.pairs.len() {
+            return Err(SocialPuzzleError::BadThreshold);
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Context {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Questions are public; answers are not.
+        let questions: Vec<&str> = self.pairs.iter().map(|p| p.question.as_str()).collect();
+        write!(f, "Context({} pairs, questions = {questions:?})", self.pairs.len())
+    }
+}
+
+/// Builder for [`Context`].
+#[derive(Debug, Default)]
+pub struct ContextBuilder {
+    pairs: Vec<ContextPair>,
+    normalize: bool,
+}
+
+impl ContextBuilder {
+    /// Adds a question–answer pair.
+    pub fn pair(mut self, question: impl Into<String>, answer: impl Into<String>) -> Self {
+        self.pairs.push(ContextPair::new(question, answer));
+        self
+    }
+
+    /// Normalizes answers on build: trimmed and lowercased, so receivers
+    /// are not tripped by capitalization (a usability measure the paper's
+    /// §VIII discussion motivates).
+    pub fn normalize_answers(mut self) -> Self {
+        self.normalize = true;
+        self
+    }
+
+    /// Finalizes the context.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocialPuzzleError::BadContext`] for empty/duplicate
+    /// inputs.
+    pub fn build(self) -> Result<Context, SocialPuzzleError> {
+        let pairs = if self.normalize {
+            self.pairs
+                .into_iter()
+                .map(|p| ContextPair::new(p.question, p.answer.trim().to_lowercase()))
+                .collect()
+        } else {
+            self.pairs
+        };
+        Context::from_pairs(pairs)
+    }
+}
+
+/// Normalizes a receiver-typed answer the same way
+/// [`ContextBuilder::normalize_answers`] does at share time.
+pub fn normalize_answer(raw: &str) -> String {
+    raw.trim().to_lowercase()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_happy_path() {
+        let c = Context::builder()
+            .pair("q1", "a1")
+            .pair("q2", "a2")
+            .build()
+            .unwrap();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.answer_for("q1"), Some("a1"));
+        assert_eq!(c.answer_for("q3"), None);
+        assert!(!c.is_empty());
+        c.check_threshold(1).unwrap();
+        c.check_threshold(2).unwrap();
+        assert_eq!(c.check_threshold(0).unwrap_err(), SocialPuzzleError::BadThreshold);
+        assert_eq!(c.check_threshold(3).unwrap_err(), SocialPuzzleError::BadThreshold);
+    }
+
+    #[test]
+    fn rejects_bad_contexts() {
+        assert_eq!(Context::builder().build().unwrap_err(), SocialPuzzleError::BadContext);
+        assert_eq!(
+            Context::builder().pair("", "a").build().unwrap_err(),
+            SocialPuzzleError::BadContext
+        );
+        assert_eq!(
+            Context::builder().pair("q", "").build().unwrap_err(),
+            SocialPuzzleError::BadContext
+        );
+        assert_eq!(
+            Context::builder().pair("q", "a").pair("q", "b").build().unwrap_err(),
+            SocialPuzzleError::BadContext
+        );
+    }
+
+    #[test]
+    fn normalization() {
+        let c = Context::builder()
+            .pair("q", "  Lakeside CABIN ")
+            .normalize_answers()
+            .build()
+            .unwrap();
+        assert_eq!(c.answer_for("q"), Some("lakeside cabin"));
+        assert_eq!(normalize_answer("  Lakeside CABIN "), "lakeside cabin");
+    }
+
+    #[test]
+    fn debug_hides_answers() {
+        let c = Context::builder().pair("who?", "supersecret").build().unwrap();
+        let dbg = format!("{c:?}");
+        assert!(dbg.contains("who?"));
+        assert!(!dbg.contains("supersecret"));
+    }
+
+    #[test]
+    fn string_pairs_shape() {
+        let c = Context::builder().pair("q1", "a1").pair("q2", "a2").build().unwrap();
+        assert_eq!(
+            c.as_string_pairs(),
+            vec![("q1".to_string(), "a1".to_string()), ("q2".to_string(), "a2".to_string())]
+        );
+    }
+}

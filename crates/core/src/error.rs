@@ -1,0 +1,101 @@
+//! Error types.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the social-puzzle constructions and protocol
+/// drivers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SocialPuzzleError {
+    /// A context must contain at least one question–answer pair, with
+    /// nonempty questions and distinct question strings.
+    BadContext,
+    /// The threshold is out of range for the context size.
+    BadThreshold,
+    /// Fewer than the threshold number of answers verified, so the
+    /// service provider released nothing.
+    NotEnoughCorrectAnswers,
+    /// The receiver's local reconstruction failed (missing answers for
+    /// released shares — should not happen in honest runs).
+    ReconstructionFailed,
+    /// Symmetric decryption of the object failed (wrong key or tampering).
+    DecryptionFailed,
+    /// The object's integrity check failed (tampered storage).
+    IntegrityFailure,
+    /// A signature over puzzle components failed to verify (malicious SP
+    /// modification — §VI-A).
+    BadSignature,
+    /// A serialized record could not be decoded.
+    BadEncoding,
+    /// An underlying OSN operation failed (unknown user, puzzle, or URL).
+    Osn(sp_osn::OsnError),
+    /// An underlying CP-ABE operation failed.
+    Abe(sp_abe::AbeError),
+}
+
+impl fmt::Display for SocialPuzzleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BadContext => f.write_str("context needs distinct, nonempty question-answer pairs"),
+            Self::BadThreshold => f.write_str("threshold must satisfy 0 < k <= n"),
+            Self::NotEnoughCorrectAnswers => {
+                f.write_str("fewer than the threshold number of answers verified")
+            }
+            Self::ReconstructionFailed => f.write_str("share reconstruction failed"),
+            Self::DecryptionFailed => f.write_str("object decryption failed"),
+            Self::IntegrityFailure => f.write_str("object integrity check failed"),
+            Self::BadSignature => f.write_str("puzzle component signature failed to verify"),
+            Self::BadEncoding => f.write_str("invalid record encoding"),
+            Self::Osn(e) => write!(f, "osn error: {e}"),
+            Self::Abe(e) => write!(f, "cp-abe error: {e}"),
+        }
+    }
+}
+
+impl Error for SocialPuzzleError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Osn(e) => Some(e),
+            Self::Abe(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<sp_osn::OsnError> for SocialPuzzleError {
+    fn from(e: sp_osn::OsnError) -> Self {
+        Self::Osn(e)
+    }
+}
+
+impl From<sp_abe::AbeError> for SocialPuzzleError {
+    fn from(e: sp_abe::AbeError) -> Self {
+        Self::Abe(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty_and_sources() {
+        let e = SocialPuzzleError::Osn(sp_osn::OsnError::UnknownUrl);
+        assert!(e.to_string().contains("osn"));
+        assert!(e.source().is_some());
+        assert!(SocialPuzzleError::BadContext.source().is_none());
+        for e in [
+            SocialPuzzleError::BadContext,
+            SocialPuzzleError::BadThreshold,
+            SocialPuzzleError::NotEnoughCorrectAnswers,
+            SocialPuzzleError::ReconstructionFailed,
+            SocialPuzzleError::DecryptionFailed,
+            SocialPuzzleError::IntegrityFailure,
+            SocialPuzzleError::BadSignature,
+            SocialPuzzleError::BadEncoding,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Answer-hash algorithm selection.
+//!
+//! The paper's two prototypes hash answers with different primitives:
+//! Implementation 1 uses CryptoJS SHA-3 (§VII-A), Implementation 2 uses
+//! OpenSSL SHA-1 (§VII-B). The constructions default accordingly, but any
+//! algorithm can be selected — the benches use this to quantify the
+//! (negligible) difference.
+
+use sp_crypto::sha1::sha1;
+use sp_crypto::sha256::sha256;
+use sp_crypto::sha3::sha3_256;
+
+/// A selectable hash algorithm for answer commitments.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum HashAlg {
+    /// SHA-256 — the workspace default.
+    #[default]
+    Sha256,
+    /// SHA3-256 — what the paper's Implementation 1 uses (CryptoJS SHA-3).
+    Sha3,
+    /// SHA-1 — what the paper's Implementation 2 uses (OpenSSL SHA-1).
+    /// Broken for collisions; present for prototype fidelity only.
+    Sha1,
+}
+
+impl HashAlg {
+    /// Hashes the concatenation of `parts`; output length depends on the
+    /// algorithm (20 bytes for SHA-1, 32 otherwise).
+    pub fn digest(&self, parts: &[&[u8]]) -> Vec<u8> {
+        let joined: Vec<u8> = parts.concat();
+        match self {
+            Self::Sha256 => sha256(&joined).to_vec(),
+            Self::Sha3 => sha3_256(&joined).to_vec(),
+            Self::Sha1 => sha1(&joined).to_vec(),
+        }
+    }
+
+    /// The digest length in bytes.
+    pub fn digest_len(&self) -> usize {
+        match self {
+            Self::Sha1 => 20,
+            _ => 32,
+        }
+    }
+
+    /// Hashes an answer with the puzzle-specific key `K_ZO` as salt —
+    /// `H(a_i, K_ZO)` in §V-A.
+    pub fn answer_hash(&self, answer: &str, puzzle_key: &[u8]) -> Vec<u8> {
+        self.digest(&[b"sp/answer/v1|", puzzle_key, b"|", answer.as_bytes()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths() {
+        for (alg, len) in [(HashAlg::Sha256, 32), (HashAlg::Sha3, 32), (HashAlg::Sha1, 20)] {
+            assert_eq!(alg.digest(&[b"x"]).len(), len);
+            assert_eq!(alg.digest_len(), len);
+        }
+    }
+
+    #[test]
+    fn algorithms_differ() {
+        let input: &[&[u8]] = &[b"same input"];
+        let a = HashAlg::Sha256.digest(input);
+        let b = HashAlg::Sha3.digest(input);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn answer_hash_salting() {
+        let alg = HashAlg::Sha256;
+        let h1 = alg.answer_hash("lakeside", b"key1");
+        let h2 = alg.answer_hash("lakeside", b"key2");
+        let h3 = alg.answer_hash("lakeside", b"key1");
+        assert_ne!(h1, h2, "different puzzle keys yield different hashes");
+        assert_eq!(h1, h3, "deterministic per key");
+        assert_ne!(alg.answer_hash("a", b"k"), alg.answer_hash("b", b"k"));
+    }
+
+    #[test]
+    fn default_is_sha256() {
+        assert_eq!(HashAlg::default(), HashAlg::Sha256);
+    }
+}

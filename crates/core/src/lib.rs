@@ -1,0 +1,84 @@
+//! # Social Puzzles — context-based access control for OSNs
+//!
+//! The core of the DSN 2014 paper *"Social Puzzles: Context-Based Access
+//! Control in Online Social Networks"*: shared objects are locked behind a
+//! puzzle built from the object's *context* — `N` question–answer pairs —
+//! and any receiver who can answer at least a threshold `k` of them gains
+//! access. Neither the service provider (SP) nor the storage host (DH)
+//! learns the object or the answers (surveillance resistance).
+//!
+//! Two constructions, mirroring the paper's §V:
+//!
+//! * [`construction1`] — Shamir's secret sharing. The AES key is derived
+//!   from a random secret `M_O`; shares are released by the SP only for
+//!   correctly answered questions and are blinded by the answers
+//!   themselves, so the SP releases nothing it could use.
+//! * [`construction2`] — CP-ABE with a context access tree, including the
+//!   paper's `Perturb`/`Reconstruct` tweak that hides answers from the
+//!   SP/DH inside the ciphertext's tree.
+//!
+//! Supporting modules: [`context`] (the context model), [`sign`] (Schnorr
+//! signatures used for the §VI DOS countermeasures), [`trivial`] (the
+//! introduction's all-context baseline), [`protocol`] (end-to-end drivers
+//! over the simulated OSN with Fig. 10-style delay breakdowns), and
+//! [`adversary`] (the §VI adversarial scenarios as executable code).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use social_puzzles_core::construction1::Construction1;
+//! use social_puzzles_core::context::Context;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let c1 = Construction1::new();
+//!
+//! let context = Context::builder()
+//!     .pair("Where was the party?", "lakeside cabin")
+//!     .pair("Who hosted it?", "priya")
+//!     .pair("What did we grill?", "corn")
+//!     .build()?;
+//!
+//! // Sharer: k = 2 of 3 context facts required.
+//! let upload = c1.upload(b"party.jpg bytes", &context, 2, &mut rng)?;
+//!
+//! // SP: display a random subset of questions.
+//! let displayed = c1.display_puzzle(&upload.puzzle, &mut rng);
+//!
+//! // Receiver: answer what they know.
+//! let answers = displayed.answer(|q| match q {
+//!     q if q.contains("Where") => Some("lakeside cabin".to_string()),
+//!     q if q.contains("hosted") => Some("priya".to_string()),
+//!     _ => None,
+//! });
+//! let response = c1.answer_puzzle(&displayed, &answers);
+//!
+//! // SP: verify and release blinded shares.
+//! let verdict = c1.verify(&upload.puzzle, &response).expect("enough correct answers");
+//!
+//! // Receiver: unblind, reconstruct, decrypt.
+//! let object = c1.access(&verdict, &answers, &upload.encrypted_object)?;
+//! assert_eq!(object, b"party.jpg bytes");
+//! # Ok::<(), social_puzzles_core::SocialPuzzleError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adversary;
+pub mod batch;
+pub mod construction1;
+pub mod construction2;
+pub mod context;
+pub mod feldman;
+pub mod hash;
+pub mod metrics;
+pub mod protocol;
+pub mod recommend;
+pub mod relevance;
+pub mod sign;
+pub mod trivial;
+
+mod error;
+
+pub use error::SocialPuzzleError;

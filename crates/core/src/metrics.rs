@@ -1,0 +1,94 @@
+//! Delay accounting in the shape of the paper's Figure 10.
+//!
+//! Every measured operation is split into **local processing delay**
+//! (client-side compute, scaled by the device profile) and **network
+//! delay** (including server-side processing, which the paper folds into
+//! the network term).
+
+use std::fmt;
+use std::ops::Add;
+use std::time::Duration;
+
+/// A Fig. 10-style delay breakdown.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DelayBreakdown {
+    /// Client-side compute time (device-scaled).
+    pub local_processing: Duration,
+    /// Network transfer + server-side processing time.
+    pub network: Duration,
+}
+
+impl DelayBreakdown {
+    /// A zero breakdown.
+    pub fn zero() -> Self {
+        Self::default()
+    }
+
+    /// Builds a breakdown from its parts.
+    pub fn new(local_processing: Duration, network: Duration) -> Self {
+        Self { local_processing, network }
+    }
+
+    /// Total delay.
+    pub fn total(&self) -> Duration {
+        self.local_processing + self.network
+    }
+
+    /// Adds local processing time.
+    pub fn add_local(&mut self, d: Duration) {
+        self.local_processing += d;
+    }
+
+    /// Adds network time.
+    pub fn add_network(&mut self, d: Duration) {
+        self.network += d;
+    }
+}
+
+impl Add for DelayBreakdown {
+    type Output = DelayBreakdown;
+    fn add(self, rhs: DelayBreakdown) -> DelayBreakdown {
+        DelayBreakdown {
+            local_processing: self.local_processing + rhs.local_processing,
+            network: self.network + rhs.network,
+        }
+    }
+}
+
+impl fmt::Display for DelayBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "local {:.3} ms + network {:.3} ms = {:.3} ms",
+            self.local_processing.as_secs_f64() * 1e3,
+            self.network.as_secs_f64() * 1e3,
+            self.total().as_secs_f64() * 1e3
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let mut a = DelayBreakdown::zero();
+        a.add_local(Duration::from_millis(2));
+        a.add_network(Duration::from_millis(40));
+        assert_eq!(a.total(), Duration::from_millis(42));
+        let b = DelayBreakdown::new(Duration::from_millis(1), Duration::from_millis(1));
+        let c = a + b;
+        assert_eq!(c.local_processing, Duration::from_millis(3));
+        assert_eq!(c.network, Duration::from_millis(41));
+    }
+
+    #[test]
+    fn display_has_both_terms() {
+        let d = DelayBreakdown::new(Duration::from_millis(5), Duration::from_millis(50));
+        let s = d.to_string();
+        assert!(s.contains("local"));
+        assert!(s.contains("network"));
+        assert!(s.contains("55.000"));
+    }
+}

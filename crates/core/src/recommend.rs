@@ -1,0 +1,246 @@
+//! Automated client-side context recommendation.
+//!
+//! §VIII's planned features include "automated client-side context
+//! recommendations, to improve ease-of-usage". This module implements
+//! that: given the metadata a client already has about an object (EXIF
+//! fields of a photo, calendar entry of an event, a free-text caption), it
+//! drafts a candidate [`Context`] and scores each pair's *strength* (how
+//! resistant the answer is to guessing), so the sharer starts from a
+//! ranked checklist instead of an empty form.
+
+use std::collections::BTreeMap;
+
+use crate::context::{Context, ContextPair};
+use crate::error::SocialPuzzleError;
+
+/// The metadata a client holds about an object to be shared.
+#[derive(Clone, Debug, Default)]
+pub struct ObjectMetadata {
+    /// Key–value fields (EXIF tags, calendar fields, form inputs).
+    fields: BTreeMap<String, String>,
+    /// Free-text caption, if any.
+    caption: Option<String>,
+}
+
+impl ObjectMetadata {
+    /// Creates empty metadata.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a key–value field (replaces an existing value for the key).
+    pub fn field(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.fields.insert(key.into(), value.into());
+        self
+    }
+
+    /// Sets the caption.
+    pub fn caption(mut self, text: impl Into<String>) -> Self {
+        self.caption = Some(text.into());
+        self
+    }
+
+    /// Number of structured fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Whether there is no usable metadata at all.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty() && self.caption.is_none()
+    }
+}
+
+/// How resistant a recommended answer is to guessing.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum AnswerStrength {
+    /// Short or drawn from a tiny value space (dates, times, yes/no) —
+    /// susceptible to the dictionary attack in [`crate::adversary`].
+    Weak,
+    /// Moderately specific (place names, first names).
+    Moderate,
+    /// Long and specific — multiple words of event-specific detail.
+    Strong,
+}
+
+/// One recommended context pair with its strength score.
+#[derive(Clone, Debug)]
+pub struct Recommendation {
+    /// The drafted question.
+    pub question: String,
+    /// The drafted answer (from the metadata).
+    pub answer: String,
+    /// Guessing-resistance estimate.
+    pub strength: AnswerStrength,
+}
+
+/// Known field keys and the question templates they map to.
+const TEMPLATES: &[(&str, &str)] = &[
+    ("location", "Where was this taken?"),
+    ("place", "Where did this happen?"),
+    ("venue", "Which venue hosted this?"),
+    ("event", "What was the occasion?"),
+    ("host", "Who hosted?"),
+    ("organizer", "Who organized it?"),
+    ("people", "Who else was there?"),
+    ("date", "On which date was this?"),
+    ("time", "At what time did it start?"),
+    ("camera", "Which camera shot this?"),
+    ("food", "What did we eat?"),
+    ("music", "What music was playing?"),
+];
+
+/// Scores an answer's guessing resistance with simple, explainable rules:
+/// length, word count, and digit-only detection.
+pub fn score_answer(answer: &str) -> AnswerStrength {
+    let trimmed = answer.trim();
+    let words = trimmed.split_whitespace().count();
+    let digits_only = !trimmed.is_empty() && trimmed.chars().all(|c| c.is_ascii_digit() || c == ':' || c == '-' || c == '/');
+    if trimmed.len() < 4 || digits_only || words == 0 {
+        AnswerStrength::Weak
+    } else if trimmed.len() >= 12 && words >= 2 {
+        AnswerStrength::Strong
+    } else {
+        AnswerStrength::Moderate
+    }
+}
+
+/// Drafts ranked context recommendations from metadata. Strongest answers
+/// come first; within a strength class, field order (alphabetical) is
+/// kept for determinism.
+pub fn recommend(metadata: &ObjectMetadata) -> Vec<Recommendation> {
+    let mut recs: Vec<Recommendation> = Vec::new();
+    for (key, value) in &metadata.fields {
+        let question = TEMPLATES
+            .iter()
+            .find(|(k, _)| key.to_lowercase().contains(k))
+            .map(|(_, q)| (*q).to_owned())
+            .unwrap_or_else(|| format!("What is the {key} of this?"));
+        recs.push(Recommendation {
+            question,
+            answer: value.clone(),
+            strength: score_answer(value),
+        });
+    }
+    if let Some(caption) = &metadata.caption {
+        // Caption heuristic: treat the longest word-sequence fragment
+        // (split on punctuation) as a candidate "what happened" answer.
+        if let Some(fragment) = caption
+            .split(['.', ',', ';', '!', '?'])
+            .map(str::trim)
+            .filter(|f| !f.is_empty())
+            .max_by_key(|f| f.len())
+        {
+            recs.push(Recommendation {
+                question: "How would you describe what happened?".to_owned(),
+                answer: fragment.to_owned(),
+                strength: score_answer(fragment),
+            });
+        }
+    }
+    recs.sort_by(|a, b| b.strength.cmp(&a.strength));
+    recs
+}
+
+/// Builds a [`Context`] from the top `n` recommendations.
+///
+/// # Errors
+///
+/// Returns [`SocialPuzzleError::BadContext`] if fewer than one usable
+/// recommendation exists (or questions collide).
+pub fn to_context(recs: &[Recommendation], n: usize) -> Result<Context, SocialPuzzleError> {
+    let pairs: Vec<ContextPair> = recs
+        .iter()
+        .take(n)
+        .map(|r| ContextPair::new(r.question.clone(), r.answer.clone()))
+        .collect();
+    Context::from_pairs(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn photo_metadata() -> ObjectMetadata {
+        ObjectMetadata::new()
+            .field("location", "rooftop of the old mill, east wing")
+            .field("date", "2014-06-21")
+            .field("host", "priya")
+            .field("music", "the paper lanterns live set")
+            .caption("Everyone stayed until the lanterns burned out. Best night!")
+    }
+
+    #[test]
+    fn recommends_from_fields_and_caption() {
+        let recs = recommend(&photo_metadata());
+        assert_eq!(recs.len(), 5);
+        assert!(recs.iter().any(|r| r.question.contains("Where")));
+        assert!(recs.iter().any(|r| r.question.contains("hosted")));
+        assert!(recs.iter().any(|r| r.question.contains("describe")));
+    }
+
+    #[test]
+    fn strength_scoring() {
+        assert_eq!(score_answer("2014-06-21"), AnswerStrength::Weak);
+        assert_eq!(score_answer("no"), AnswerStrength::Weak);
+        assert_eq!(score_answer("priya"), AnswerStrength::Moderate);
+        assert_eq!(
+            score_answer("rooftop of the old mill, east wing"),
+            AnswerStrength::Strong
+        );
+    }
+
+    #[test]
+    fn ranking_puts_strong_first() {
+        let recs = recommend(&photo_metadata());
+        for pair in recs.windows(2) {
+            assert!(pair[0].strength >= pair[1].strength, "ranked descending");
+        }
+        assert_eq!(recs[0].strength, AnswerStrength::Strong);
+        assert_eq!(recs.last().unwrap().strength, AnswerStrength::Weak);
+    }
+
+    #[test]
+    fn to_context_takes_top_n() {
+        let recs = recommend(&photo_metadata());
+        let ctx = to_context(&recs, 3).unwrap();
+        assert_eq!(ctx.len(), 3);
+        // Top pick is the strong one.
+        assert_eq!(ctx.pairs()[0].answer(), recs[0].answer);
+    }
+
+    #[test]
+    fn unknown_field_keys_get_generic_questions() {
+        let md = ObjectMetadata::new().field("altitude", "2200 meters above the pass");
+        let recs = recommend(&md);
+        assert_eq!(recs.len(), 1);
+        assert!(recs[0].question.contains("altitude"));
+    }
+
+    #[test]
+    fn empty_metadata_yields_nothing() {
+        let md = ObjectMetadata::new();
+        assert!(md.is_empty());
+        assert!(recommend(&md).is_empty());
+        assert!(to_context(&[], 3).is_err());
+    }
+
+    #[test]
+    fn recommended_context_runs_through_construction1() {
+        use crate::construction1::Construction1;
+        use rand::{rngs::StdRng, SeedableRng};
+        let recs = recommend(&photo_metadata());
+        let ctx = to_context(&recs, 3).unwrap();
+        let c1 = Construction1::new();
+        let mut rng = StdRng::seed_from_u64(300);
+        let up = c1.upload(b"recommended", &ctx, 2, &mut rng).unwrap();
+        let displayed = c1.display_puzzle(&up.puzzle, &mut rng);
+        let answers = displayed.answer(|q| ctx.answer_for(q).map(str::to_owned));
+        let response = c1.answer_puzzle(&displayed, &answers);
+        let outcome = c1.verify(&up.puzzle, &response).unwrap();
+        assert_eq!(
+            c1.access(&outcome, &answers, &up.encrypted_object).unwrap(),
+            b"recommended"
+        );
+    }
+}

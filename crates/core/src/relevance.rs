@@ -1,0 +1,250 @@
+//! Content-relevance simulation (§I).
+//!
+//! The introduction argues that context-based access control "will
+//! inevitably enforce relevant content being read, because users cannot
+//! access contents with unfamiliar contexts." This module makes that
+//! claim measurable: a population of users split into communities, posts
+//! whose contexts are known (mostly) to their own community, and a
+//! precision metric comparing puzzle-gated feeds to broadcast feeds.
+
+use rand::Rng;
+
+use crate::construction1::Construction1;
+use crate::context::Context;
+use crate::error::SocialPuzzleError;
+
+/// Simulation configuration.
+#[derive(Clone, Debug)]
+pub struct RelevanceConfig {
+    /// Number of communities (e.g. distinct friend circles/events).
+    pub communities: usize,
+    /// Users per community.
+    pub users_per_community: usize,
+    /// Posts per community.
+    pub posts_per_community: usize,
+    /// Context pairs per post.
+    pub context_size: usize,
+    /// Access threshold per post.
+    pub threshold: usize,
+    /// Probability an in-community member knows each context answer.
+    pub p_know_in: f64,
+    /// Probability an outsider knows each context answer.
+    pub p_know_out: f64,
+}
+
+impl Default for RelevanceConfig {
+    fn default() -> Self {
+        Self {
+            communities: 3,
+            users_per_community: 6,
+            posts_per_community: 4,
+            context_size: 3,
+            threshold: 2,
+            p_know_in: 0.9,
+            p_know_out: 0.1,
+        }
+    }
+}
+
+/// Outcome metrics of one simulation run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RelevanceReport {
+    /// Fraction of *accessed* posts that were relevant (same community)
+    /// under puzzle gating.
+    pub precision_gated: f64,
+    /// Fraction of *relevant* posts the user could access (recall).
+    pub recall_gated: f64,
+    /// Precision of a broadcast feed (everything accessible): the base
+    /// rate of relevant posts.
+    pub precision_broadcast: f64,
+    /// Total access attempts simulated.
+    pub attempts: usize,
+}
+
+/// Runs the simulation: every user attempts every post's puzzle; an
+/// access succeeds when the user knows at least `threshold` answers.
+///
+/// Uses real Construction-1 puzzles end to end (upload → display →
+/// answer → verify → access), so the measurement exercises the actual
+/// enforcement path, not a model of it.
+///
+/// # Errors
+///
+/// Propagates construction errors for invalid configurations
+/// (`threshold > context_size` etc.).
+///
+/// # Panics
+///
+/// Panics if any count in the configuration is zero.
+pub fn simulate<R: Rng + ?Sized>(
+    cfg: &RelevanceConfig,
+    rng: &mut R,
+) -> Result<RelevanceReport, SocialPuzzleError> {
+    assert!(
+        cfg.communities > 0
+            && cfg.users_per_community > 0
+            && cfg.posts_per_community > 0
+            && cfg.context_size > 0,
+        "counts must be positive"
+    );
+    let c1 = Construction1::new();
+
+    // Build posts: (community, context, upload).
+    struct Post {
+        community: usize,
+        context: Context,
+        upload: crate::construction1::UploadResult,
+    }
+    let mut posts = Vec::new();
+    for community in 0..cfg.communities {
+        for p in 0..cfg.posts_per_community {
+            let mut b = Context::builder();
+            for i in 0..cfg.context_size {
+                b = b.pair(
+                    format!("c{community}/p{p}/q{i}?"),
+                    format!("answer-{community}-{p}-{i}-{}", rng.gen::<u32>()),
+                );
+            }
+            let context = b.build()?;
+            let upload = c1.upload(b"post body", &context, cfg.threshold, rng)?;
+            posts.push(Post { community, context, upload });
+        }
+    }
+
+    // Each user: community membership + per-post knowledge realization.
+    let mut accessed_relevant = 0usize;
+    let mut accessed_irrelevant = 0usize;
+    let mut relevant_total = 0usize;
+    let mut relevant_accessed = 0usize;
+    let mut attempts = 0usize;
+
+    for community in 0..cfg.communities {
+        for _user in 0..cfg.users_per_community {
+            for post in &posts {
+                attempts += 1;
+                let in_community = post.community == community;
+                if in_community {
+                    relevant_total += 1;
+                }
+                let p_know = if in_community { cfg.p_know_in } else { cfg.p_know_out };
+                // Realize which answers this user knows for this post.
+                let known: Vec<(String, String)> = post
+                    .context
+                    .pairs()
+                    .iter()
+                    .filter(|_| rng.gen_bool(p_know))
+                    .map(|pair| (pair.question().to_owned(), pair.answer().to_owned()))
+                    .collect();
+
+                // Run the real protocol (retry displays a few times, as a
+                // motivated user would refresh the page).
+                let mut got = false;
+                for _ in 0..4 {
+                    let displayed = c1.display_puzzle(&post.upload.puzzle, rng);
+                    let answers = displayed.answer(|q| {
+                        known
+                            .iter()
+                            .find(|(kq, _)| kq == q)
+                            .map(|(_, a)| a.clone())
+                    });
+                    let response = c1.answer_puzzle(&displayed, &answers);
+                    if let Ok(outcome) = c1.verify(&post.upload.puzzle, &response) {
+                        if c1
+                            .access_with_key(
+                                &outcome,
+                                &answers,
+                                &post.upload.encrypted_object,
+                                Some(&displayed.puzzle_key),
+                            )
+                            .is_ok()
+                        {
+                            got = true;
+                            break;
+                        }
+                    }
+                }
+                if got {
+                    if in_community {
+                        accessed_relevant += 1;
+                        relevant_accessed += 1;
+                    } else {
+                        accessed_irrelevant += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    let accessed = accessed_relevant + accessed_irrelevant;
+    let precision_gated = if accessed == 0 {
+        1.0
+    } else {
+        accessed_relevant as f64 / accessed as f64
+    };
+    let recall_gated = if relevant_total == 0 {
+        1.0
+    } else {
+        relevant_accessed as f64 / relevant_total as f64
+    };
+    let precision_broadcast = relevant_total as f64 / attempts as f64;
+
+    Ok(RelevanceReport { precision_gated, recall_gated, precision_broadcast, attempts })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn gating_improves_precision_over_broadcast() {
+        let mut rng = StdRng::seed_from_u64(400);
+        let report = simulate(&RelevanceConfig::default(), &mut rng).unwrap();
+        assert!(
+            report.precision_gated > report.precision_broadcast + 0.2,
+            "puzzle gating should lift precision well above the base rate: {report:?}"
+        );
+        assert!(report.recall_gated > 0.5, "community members mostly get in: {report:?}");
+        assert_eq!(report.attempts, 3 * 6 * (3 * 4));
+    }
+
+    #[test]
+    fn zero_outside_knowledge_gives_perfect_precision() {
+        let mut rng = StdRng::seed_from_u64(401);
+        let cfg = RelevanceConfig {
+            p_know_out: 0.0,
+            p_know_in: 1.0,
+            communities: 2,
+            users_per_community: 3,
+            posts_per_community: 2,
+            ..RelevanceConfig::default()
+        };
+        let report = simulate(&cfg, &mut rng).unwrap();
+        assert_eq!(report.precision_gated, 1.0);
+        assert_eq!(report.recall_gated, 1.0);
+    }
+
+    #[test]
+    fn full_outside_knowledge_degrades_to_broadcast() {
+        // If everyone knows everything, gating filters nothing: precision
+        // collapses to the broadcast base rate.
+        let mut rng = StdRng::seed_from_u64(402);
+        let cfg = RelevanceConfig {
+            p_know_out: 1.0,
+            p_know_in: 1.0,
+            communities: 2,
+            users_per_community: 2,
+            posts_per_community: 2,
+            ..RelevanceConfig::default()
+        };
+        let report = simulate(&cfg, &mut rng).unwrap();
+        assert!((report.precision_gated - report.precision_broadcast).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_threshold_is_rejected() {
+        let mut rng = StdRng::seed_from_u64(403);
+        let cfg = RelevanceConfig { threshold: 10, context_size: 2, ..RelevanceConfig::default() };
+        assert!(simulate(&cfg, &mut rng).is_err());
+    }
+}

@@ -1,0 +1,229 @@
+//! Schnorr signatures over the pairing group `G1`.
+//!
+//! §VI-A/B prescribe signing `URL_O` and the other puzzle components with
+//! the sharer's private key so receivers can detect SP/DH tampering
+//! (denial-of-service countermeasure). The paper does not fix a signature
+//! scheme; we use Schnorr over the already-present group `G1` — any
+//! EUF-CMA signature works.
+
+use std::fmt;
+
+use rand::Rng;
+use sp_pairing::{Pairing, Scalar, G1};
+use sp_wire::{Reader, Writer};
+
+use crate::error::SocialPuzzleError;
+
+/// A Schnorr signing key (the sharer's private key).
+#[derive(Clone)]
+pub struct SigningKey {
+    pairing: Pairing,
+    secret: Scalar,
+    public: G1,
+}
+
+impl fmt::Debug for SigningKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SigningKey(<secret>)")
+    }
+}
+
+/// The corresponding public verification key.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct VerifyingKey {
+    public: G1,
+}
+
+/// A Schnorr signature `(R, s)`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Signature {
+    r_point: G1,
+    s: Scalar,
+}
+
+impl SigningKey {
+    /// Generates a fresh key pair.
+    pub fn generate<R: Rng + ?Sized>(pairing: &Pairing, rng: &mut R) -> Self {
+        let secret = pairing.random_nonzero_scalar(rng);
+        let public = pairing.mul(pairing.generator(), &secret);
+        Self { pairing: pairing.clone(), secret, public }
+    }
+
+    /// The verification key.
+    pub fn verifying_key(&self) -> VerifyingKey {
+        VerifyingKey { public: self.public.clone() }
+    }
+
+    /// Signs a message.
+    pub fn sign<R: Rng + ?Sized>(&self, message: &[u8], rng: &mut R) -> Signature {
+        let k = self.pairing.random_nonzero_scalar(rng);
+        let r_point = self.pairing.mul(self.pairing.generator(), &k);
+        let c = challenge(&self.pairing, &r_point, &self.public, message);
+        // s = k + c·x  (mod r)
+        let s = &k + &(&c * &self.secret);
+        Signature { r_point, s }
+    }
+}
+
+impl VerifyingKey {
+    /// Verifies a signature.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocialPuzzleError::BadSignature`] if verification fails.
+    pub fn verify(
+        &self,
+        pairing: &Pairing,
+        message: &[u8],
+        sig: &Signature,
+    ) -> Result<(), SocialPuzzleError> {
+        let c = challenge(pairing, &sig.r_point, &self.public, message);
+        // s·G == R + c·P, rearranged as s·G + c·(−P) == R so the fused
+        // double-scalar ladder does the whole check in one pass.
+        let lhs = pairing
+            .generator()
+            .double_scalar_mul(&sig.s.to_uint(), &self.public.negate(), &c.to_uint());
+        if lhs == sig.r_point {
+            Ok(())
+        } else {
+            Err(SocialPuzzleError::BadSignature)
+        }
+    }
+
+    /// Wire encoding.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.public.to_bytes()
+    }
+
+    /// Decodes a key produced by [`VerifyingKey::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocialPuzzleError::BadEncoding`] for malformed buffers.
+    pub fn from_bytes(pairing: &Pairing, bytes: &[u8]) -> Result<Self, SocialPuzzleError> {
+        let public = pairing
+            .g1_from_bytes(bytes)
+            .map_err(|_| SocialPuzzleError::BadEncoding)?;
+        Ok(Self { public })
+    }
+}
+
+impl Signature {
+    /// Wire encoding.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.bytes(&self.r_point.to_bytes());
+        w.bytes(&self.s.to_be_bytes());
+        w.finish().to_vec()
+    }
+
+    /// Decodes a signature produced by [`Signature::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocialPuzzleError::BadEncoding`] for malformed buffers.
+    pub fn from_bytes(pairing: &Pairing, bytes: &[u8]) -> Result<Self, SocialPuzzleError> {
+        let mut r = Reader::new(bytes);
+        let r_point = pairing
+            .g1_from_bytes(r.bytes().map_err(|_| SocialPuzzleError::BadEncoding)?)
+            .map_err(|_| SocialPuzzleError::BadEncoding)?;
+        let s = pairing
+            .zr()
+            .from_be_bytes(r.bytes().map_err(|_| SocialPuzzleError::BadEncoding)?)
+            .map_err(|_| SocialPuzzleError::BadEncoding)?;
+        r.expect_end().map_err(|_| SocialPuzzleError::BadEncoding)?;
+        Ok(Self { r_point, s })
+    }
+}
+
+/// Fiat–Shamir challenge `c = H(R ‖ P ‖ m)` mapped into `Z_r`.
+fn challenge(pairing: &Pairing, r_point: &G1, public: &G1, message: &[u8]) -> Scalar {
+    let mut data = Vec::new();
+    data.extend_from_slice(b"sp/schnorr/v1|");
+    data.extend_from_slice(&r_point.to_bytes());
+    data.extend_from_slice(&public.to_bytes());
+    data.extend_from_slice(message);
+    pairing.scalar_from_bytes(&data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn setup() -> (Pairing, SigningKey, StdRng) {
+        let pairing = Pairing::insecure_test_params();
+        let mut rng = StdRng::seed_from_u64(110);
+        let sk = SigningKey::generate(&pairing, &mut rng);
+        (pairing, sk, rng)
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let (pairing, sk, mut rng) = setup();
+        let vk = sk.verifying_key();
+        let sig = sk.sign(b"https://dh.example/objects/7", &mut rng);
+        vk.verify(&pairing, b"https://dh.example/objects/7", &sig).unwrap();
+    }
+
+    #[test]
+    fn wrong_message_rejected() {
+        let (pairing, sk, mut rng) = setup();
+        let vk = sk.verifying_key();
+        let sig = sk.sign(b"original url", &mut rng);
+        assert_eq!(
+            vk.verify(&pairing, b"tampered url", &sig).unwrap_err(),
+            SocialPuzzleError::BadSignature
+        );
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let (pairing, sk, mut rng) = setup();
+        let other = SigningKey::generate(&pairing, &mut rng);
+        let sig = sk.sign(b"msg", &mut rng);
+        assert!(other.verifying_key().verify(&pairing, b"msg", &sig).is_err());
+    }
+
+    #[test]
+    fn signatures_are_randomized() {
+        let (_, sk, mut rng) = setup();
+        let s1 = sk.sign(b"m", &mut rng);
+        let s2 = sk.sign(b"m", &mut rng);
+        assert_ne!(s1, s2);
+    }
+
+    #[test]
+    fn tampered_signature_rejected() {
+        let (pairing, sk, mut rng) = setup();
+        let vk = sk.verifying_key();
+        let sig = sk.sign(b"m", &mut rng);
+        // Perturb s.
+        let bad = Signature {
+            r_point: sig.r_point.clone(),
+            s: &sig.s + &pairing.zr().one(),
+        };
+        assert!(vk.verify(&pairing, b"m", &bad).is_err());
+    }
+
+    #[test]
+    fn serialization_roundtrips() {
+        let (pairing, sk, mut rng) = setup();
+        let vk = sk.verifying_key();
+        let sig = sk.sign(b"m", &mut rng);
+        let vk2 = VerifyingKey::from_bytes(&pairing, &vk.to_bytes()).unwrap();
+        let sig2 = Signature::from_bytes(&pairing, &sig.to_bytes()).unwrap();
+        assert_eq!(vk2, vk);
+        assert_eq!(sig2, sig);
+        vk2.verify(&pairing, b"m", &sig2).unwrap();
+        assert!(Signature::from_bytes(&pairing, &[1, 2]).is_err());
+        assert!(VerifyingKey::from_bytes(&pairing, &[9]).is_err());
+    }
+
+    #[test]
+    fn empty_message_is_signable() {
+        let (pairing, sk, mut rng) = setup();
+        let sig = sk.sign(b"", &mut rng);
+        sk.verifying_key().verify(&pairing, b"", &sig).unwrap();
+    }
+}

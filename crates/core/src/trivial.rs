@@ -1,0 +1,158 @@
+//! The introduction's trivial all-context baseline.
+//!
+//! "A trivial context-aware access control scheme can be constructed as
+//! follows: sharer generates a symmetric encryption key (and then
+//! encrypts data) by using all the context associated with the data,
+//! while the receiver regenerates the key by proving knowledge of the
+//! entire context." (§I.) The paper rejects it because receivers rarely
+//! know *every* pair; it lives here as the baseline the ablation bench
+//! compares the thresholded constructions against.
+
+use rand::Rng;
+
+use sp_crypto::kdf::derive_key;
+use sp_crypto::modes::{cbc_decrypt, cbc_encrypt};
+
+use crate::context::Context;
+use crate::error::SocialPuzzleError;
+
+/// A trivially encrypted object: IV plus AES-256-CBC ciphertext under the
+/// all-context key.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TrivialCiphertext {
+    iv: [u8; 16],
+    payload: Vec<u8>,
+}
+
+impl TrivialCiphertext {
+    /// Serialized size in bytes.
+    pub fn len(&self) -> usize {
+        16 + self.payload.len()
+    }
+
+    /// Always false (there is at least an IV).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Wire encoding: `iv ‖ payload`.
+    pub fn to_wire(&self) -> Vec<u8> {
+        let mut out = self.iv.to_vec();
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Decodes an encoding produced by [`TrivialCiphertext::to_wire`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocialPuzzleError::BadEncoding`] if shorter than an IV.
+    pub fn from_wire(bytes: &[u8]) -> Result<Self, SocialPuzzleError> {
+        if bytes.len() < 16 {
+            return Err(SocialPuzzleError::BadEncoding);
+        }
+        Ok(Self {
+            iv: bytes[..16].try_into().expect("16 bytes"),
+            payload: bytes[16..].to_vec(),
+        })
+    }
+}
+
+/// Derives the all-context key: every answer, in question order.
+fn all_context_key(context: &Context) -> Vec<u8> {
+    let mut ikm = Vec::new();
+    for p in context.pairs() {
+        ikm.extend_from_slice(p.question().as_bytes());
+        ikm.push(0x1f);
+        ikm.extend_from_slice(p.answer().as_bytes());
+        ikm.push(0x1e);
+    }
+    derive_key(&ikm, "sp/trivial/aes256", 32)
+}
+
+/// Encrypts under the full context (all `N` answers required).
+pub fn encrypt<R: Rng + ?Sized>(
+    object: &[u8],
+    context: &Context,
+    rng: &mut R,
+) -> TrivialCiphertext {
+    let key = all_context_key(context);
+    let mut iv = [0u8; 16];
+    rng.fill(&mut iv);
+    let payload = cbc_encrypt(&key, &iv, object).expect("32-byte key");
+    TrivialCiphertext { iv, payload }
+}
+
+/// Decrypts with a receiver-supplied *complete* context reconstruction.
+///
+/// # Errors
+///
+/// Returns [`SocialPuzzleError::DecryptionFailed`] if any answer differs
+/// (the receiver must know the ENTIRE context — the scheme's fatal
+/// usability flaw).
+pub fn decrypt(
+    ct: &TrivialCiphertext,
+    claimed_context: &Context,
+) -> Result<Vec<u8>, SocialPuzzleError> {
+    let key = all_context_key(claimed_context);
+    cbc_decrypt(&key, &ct.iv, &ct.payload).map_err(|_| SocialPuzzleError::DecryptionFailed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn context() -> Context {
+        Context::builder()
+            .pair("q1", "a1")
+            .pair("q2", "a2")
+            .pair("q3", "a3")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn full_context_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(160);
+        let ctx = context();
+        let ct = encrypt(b"object", &ctx, &mut rng);
+        assert_eq!(decrypt(&ct, &ctx).unwrap(), b"object");
+        assert!(ct.len() > 16);
+        assert!(!ct.is_empty());
+    }
+
+    #[test]
+    fn any_wrong_answer_fails() {
+        let mut rng = StdRng::seed_from_u64(161);
+        let ctx = context();
+        let ct = encrypt(b"object", &ctx, &mut rng);
+        let almost = Context::builder()
+            .pair("q1", "a1")
+            .pair("q2", "WRONG")
+            .pair("q3", "a3")
+            .build()
+            .unwrap();
+        match decrypt(&ct, &almost) {
+            Err(SocialPuzzleError::DecryptionFailed) => {}
+            Ok(pt) => assert_ne!(pt, b"object"),
+            Err(e) => panic!("unexpected {e}"),
+        }
+    }
+
+    #[test]
+    fn partial_knowledge_is_useless() {
+        // Unlike the social-puzzle constructions, knowing N-1 of N pairs
+        // gives nothing.
+        let mut rng = StdRng::seed_from_u64(162);
+        let ctx = context();
+        let ct = encrypt(b"object", &ctx, &mut rng);
+        let partial = Context::builder()
+            .pair("q1", "a1")
+            .pair("q2", "a2")
+            .pair("q3", "???")
+            .build()
+            .unwrap();
+        assert!(decrypt(&ct, &partial).is_err() || decrypt(&ct, &partial).unwrap() != b"object");
+    }
+}

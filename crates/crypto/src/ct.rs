@@ -1,0 +1,41 @@
+//! Constant-time helpers.
+
+/// Constant-time byte-slice equality: the running time depends only on the
+/// lengths of the inputs, never on where they first differ.
+///
+/// Returns `false` immediately (and safely — length is public) when the
+/// lengths differ.
+///
+/// # Example
+///
+/// ```
+/// use sp_crypto::ct::ct_eq;
+///
+/// assert!(ct_eq(b"tag", b"tag"));
+/// assert!(!ct_eq(b"tag", b"tab"));
+/// assert!(!ct_eq(b"tag", b"tagg"));
+/// ```
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_and_unequal() {
+        assert!(ct_eq(&[], &[]));
+        assert!(ct_eq(&[1, 2, 3], &[1, 2, 3]));
+        assert!(!ct_eq(&[1, 2, 3], &[1, 2, 4]));
+        assert!(!ct_eq(&[1, 2, 3], &[2, 2, 3]));
+        assert!(!ct_eq(&[1], &[1, 1]));
+    }
+}

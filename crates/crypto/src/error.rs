@@ -1,0 +1,46 @@
+//! Error types.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by symmetric-crypto operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CryptoError {
+    /// The key length is not one of AES-128/192/256.
+    BadKeyLength,
+    /// The ciphertext length is not a whole number of blocks.
+    BadCiphertextLength,
+    /// PKCS#7 padding was malformed on decryption.
+    BadPadding,
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BadKeyLength => f.write_str("key must be 16, 24 or 32 bytes"),
+            Self::BadCiphertextLength => {
+                f.write_str("ciphertext length must be a multiple of the block size")
+            }
+            Self::BadPadding => f.write_str("invalid pkcs#7 padding"),
+        }
+    }
+}
+
+impl Error for CryptoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        for e in [
+            CryptoError::BadKeyLength,
+            CryptoError::BadCiphertextLength,
+            CryptoError::BadPadding,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Symmetric cryptographic primitives, implemented from scratch.
+//!
+//! The paper's two prototypes lean on a small set of off-the-shelf
+//! primitives: GibberishAES (AES-CBC with OpenSSL's `EVP_BytesToKey` MD5
+//! key derivation) and CryptoJS SHA-3 in Implementation 1, and OpenSSL
+//! SHA-1 in Implementation 2. This crate reimplements all of them, plus
+//! SHA-256 (the workspace default hash) and HMAC:
+//!
+//! * [`aes`] / [`modes`] — AES-128/192/256 block cipher, CBC with PKCS#7,
+//!   and CTR mode,
+//! * [`sha256`], [`sha1`], [`sha3`], [`md5`] — hash functions,
+//! * [`hmac`] — HMAC over SHA-256,
+//! * [`kdf`] — OpenSSL-compatible `EVP_BytesToKey` and a simple
+//!   expand-style KDF,
+//! * [`ct`] — constant-time comparison.
+//!
+//! # Example
+//!
+//! ```
+//! use sp_crypto::modes::{cbc_decrypt, cbc_encrypt};
+//! use sp_crypto::sha256::sha256;
+//!
+//! let key = sha256(b"object-specific secret M_O");
+//! let iv = [7u8; 16];
+//! let ct = cbc_encrypt(&key, &iv, b"party photo bytes")?;
+//! assert_eq!(cbc_decrypt(&key, &iv, &ct)?, b"party photo bytes");
+//! # Ok::<(), sp_crypto::CryptoError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aes;
+pub mod ct;
+pub mod hmac;
+pub mod kdf;
+pub mod md5;
+pub mod modes;
+pub mod sha1;
+pub mod sha256;
+pub mod sha3;
+
+mod error;
+
+pub use error::CryptoError;

@@ -1,0 +1,206 @@
+//! Block cipher modes: CBC with PKCS#7 padding, and CTR.
+//!
+//! CBC/PKCS#7 mirrors what GibberishAES does in the paper's first
+//! prototype; CTR is provided for large payloads (no padding, seekable).
+
+use crate::aes::{Aes, BLOCK_SIZE};
+use crate::error::CryptoError;
+
+/// Encrypts with AES-CBC and PKCS#7 padding.
+///
+/// # Errors
+///
+/// Returns [`CryptoError::BadKeyLength`] for an invalid key.
+///
+/// # Example
+///
+/// ```
+/// use sp_crypto::modes::{cbc_decrypt, cbc_encrypt};
+///
+/// let ct = cbc_encrypt(&[0u8; 32], &[1u8; 16], b"hello")?;
+/// assert_eq!(cbc_decrypt(&[0u8; 32], &[1u8; 16], &ct)?, b"hello");
+/// # Ok::<(), sp_crypto::CryptoError>(())
+/// ```
+pub fn cbc_encrypt(key: &[u8], iv: &[u8; BLOCK_SIZE], plaintext: &[u8]) -> Result<Vec<u8>, CryptoError> {
+    let aes = Aes::new(key)?;
+    let pad = BLOCK_SIZE - plaintext.len() % BLOCK_SIZE;
+    let mut data = plaintext.to_vec();
+    data.extend(std::iter::repeat(pad as u8).take(pad));
+
+    let mut out = Vec::with_capacity(data.len());
+    let mut prev = *iv;
+    for chunk in data.chunks_exact(BLOCK_SIZE) {
+        let mut block = [0u8; BLOCK_SIZE];
+        for i in 0..BLOCK_SIZE {
+            block[i] = chunk[i] ^ prev[i];
+        }
+        prev = aes.encrypt_block(&block);
+        out.extend_from_slice(&prev);
+    }
+    Ok(out)
+}
+
+/// Decrypts AES-CBC with PKCS#7 padding.
+///
+/// # Errors
+///
+/// Returns [`CryptoError::BadKeyLength`] for an invalid key,
+/// [`CryptoError::BadCiphertextLength`] if the input is empty or not
+/// block-aligned, and [`CryptoError::BadPadding`] for corrupt padding.
+pub fn cbc_decrypt(key: &[u8], iv: &[u8; BLOCK_SIZE], ciphertext: &[u8]) -> Result<Vec<u8>, CryptoError> {
+    let aes = Aes::new(key)?;
+    if ciphertext.is_empty() || ciphertext.len() % BLOCK_SIZE != 0 {
+        return Err(CryptoError::BadCiphertextLength);
+    }
+    let mut out = Vec::with_capacity(ciphertext.len());
+    let mut prev = *iv;
+    for chunk in ciphertext.chunks_exact(BLOCK_SIZE) {
+        let block: [u8; BLOCK_SIZE] = chunk.try_into().expect("exact chunk");
+        let dec = aes.decrypt_block(&block);
+        for i in 0..BLOCK_SIZE {
+            out.push(dec[i] ^ prev[i]);
+        }
+        prev = block;
+    }
+    let pad = *out.last().expect("nonempty") as usize;
+    if pad == 0 || pad > BLOCK_SIZE || out.len() < pad {
+        return Err(CryptoError::BadPadding);
+    }
+    if out[out.len() - pad..].iter().any(|&b| b as usize != pad) {
+        return Err(CryptoError::BadPadding);
+    }
+    out.truncate(out.len() - pad);
+    Ok(out)
+}
+
+/// AES-CTR keystream XOR (encryption and decryption are identical).
+///
+/// The 16-byte `nonce` is used as the initial counter block and
+/// incremented big-endian.
+///
+/// # Errors
+///
+/// Returns [`CryptoError::BadKeyLength`] for an invalid key.
+pub fn ctr_xor(key: &[u8], nonce: &[u8; BLOCK_SIZE], data: &[u8]) -> Result<Vec<u8>, CryptoError> {
+    let aes = Aes::new(key)?;
+    let mut counter = *nonce;
+    let mut out = Vec::with_capacity(data.len());
+    for chunk in data.chunks(BLOCK_SIZE) {
+        let keystream = aes.encrypt_block(&counter);
+        for (i, &b) in chunk.iter().enumerate() {
+            out.push(b ^ keystream[i]);
+        }
+        // Increment counter (big-endian).
+        for byte in counter.iter_mut().rev() {
+            *byte = byte.wrapping_add(1);
+            if *byte != 0 {
+                break;
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn cbc_roundtrip_various_lengths() {
+        let key = [3u8; 32];
+        let iv = [9u8; 16];
+        for len in [0usize, 1, 15, 16, 17, 31, 32, 100, 1000] {
+            let pt: Vec<u8> = (0..len).map(|i| (i % 256) as u8).collect();
+            let ct = cbc_encrypt(&key, &iv, &pt).unwrap();
+            assert_eq!(ct.len() % 16, 0);
+            assert!(ct.len() > pt.len(), "padding always adds bytes");
+            assert_eq!(cbc_decrypt(&key, &iv, &ct).unwrap(), pt, "len = {len}");
+        }
+    }
+
+    #[test]
+    fn cbc_iv_matters() {
+        let key = [1u8; 16];
+        let ct1 = cbc_encrypt(&key, &[0u8; 16], b"same message").unwrap();
+        let ct2 = cbc_encrypt(&key, &[1u8; 16], b"same message").unwrap();
+        assert_ne!(ct1, ct2);
+    }
+
+    #[test]
+    fn cbc_detects_corruption() {
+        let key = [5u8; 16];
+        let iv = [6u8; 16];
+        let ct = cbc_encrypt(&key, &iv, b"some plaintext!!").unwrap();
+        // Truncated / misaligned ciphertext.
+        assert_eq!(
+            cbc_decrypt(&key, &iv, &ct[..15]).unwrap_err(),
+            CryptoError::BadCiphertextLength
+        );
+        assert_eq!(cbc_decrypt(&key, &iv, &[]).unwrap_err(), CryptoError::BadCiphertextLength);
+        // Corrupting the final block usually breaks padding.
+        let mut corrupt = ct.clone();
+        let last = corrupt.len() - 1;
+        corrupt[last] ^= 0xff;
+        // Either padding fails or the plaintext differs; both are detected here
+        // by padding with overwhelming probability for this fixed input.
+        match cbc_decrypt(&key, &iv, &corrupt) {
+            Err(CryptoError::BadPadding) => {}
+            Ok(pt) => assert_ne!(pt, b"some plaintext!!"),
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+
+    #[test]
+    fn cbc_wrong_key_fails_or_garbles() {
+        let iv = [0u8; 16];
+        let ct = cbc_encrypt(&[1u8; 16], &iv, b"attack at dawn").unwrap();
+        match cbc_decrypt(&[2u8; 16], &iv, &ct) {
+            Err(CryptoError::BadPadding) => {}
+            Ok(pt) => assert_ne!(pt, b"attack at dawn"),
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+
+    #[test]
+    fn ctr_roundtrip_and_symmetry() {
+        let key = [8u8; 24];
+        let nonce = [4u8; 16];
+        let data: Vec<u8> = (0..777).map(|i| (i * 31 % 256) as u8).collect();
+        let ct = ctr_xor(&key, &nonce, &data).unwrap();
+        assert_eq!(ct.len(), data.len());
+        assert_ne!(ct, data);
+        assert_eq!(ctr_xor(&key, &nonce, &ct).unwrap(), data);
+    }
+
+    #[test]
+    fn ctr_counter_wraps_across_blocks() {
+        let key = [0u8; 16];
+        let mut nonce = [0xffu8; 16];
+        nonce[0] = 0; // avoid full wrap ambiguity, still exercises carries
+        let data = vec![0u8; 64];
+        let ks = ctr_xor(&key, &nonce, &data).unwrap();
+        // Keystream blocks must all differ (counter really increments).
+        let blocks: Vec<&[u8]> = ks.chunks(16).collect();
+        for i in 0..blocks.len() {
+            for j in i + 1..blocks.len() {
+                assert_ne!(blocks[i], blocks[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn randomized_roundtrips() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        for _ in 0..20 {
+            let mut key = [0u8; 32];
+            let mut iv = [0u8; 16];
+            rng.fill(&mut key);
+            rng.fill(&mut iv);
+            let len = rng.gen_range(0..300);
+            let pt: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
+            let ct = cbc_encrypt(&key, &iv, &pt).unwrap();
+            assert_eq!(cbc_decrypt(&key, &iv, &ct).unwrap(), pt);
+        }
+    }
+}

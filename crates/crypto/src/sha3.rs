@@ -1,0 +1,278 @@
+//! SHA3-256 and Keccak-256 (FIPS 202 / pre-standard Keccak).
+//!
+//! The paper's first prototype hashes puzzle answers with the CryptoJS
+//! SHA-3 implementation; this module provides the standardized SHA3-256
+//! (domain byte `0x06`) and the original Keccak-256 padding (`0x01`),
+//! which differ only in the padding suffix.
+
+const ROUNDS: usize = 24;
+
+const RC: [u64; ROUNDS] = [
+    0x0000000000000001,
+    0x0000000000008082,
+    0x800000000000808a,
+    0x8000000080008000,
+    0x000000000000808b,
+    0x0000000080000001,
+    0x8000000080008081,
+    0x8000000000008009,
+    0x000000000000008a,
+    0x0000000000000088,
+    0x0000000080008009,
+    0x000000008000000a,
+    0x000000008000808b,
+    0x800000000000008b,
+    0x8000000000008089,
+    0x8000000000008003,
+    0x8000000000008002,
+    0x8000000000000080,
+    0x000000000000800a,
+    0x800000008000000a,
+    0x8000000080008081,
+    0x8000000000008080,
+    0x0000000080000001,
+    0x8000000080008008,
+];
+
+/// Rotation offsets, indexed `[x][y]`.
+const RHO: [[u32; 5]; 5] = [
+    [0, 36, 3, 41, 18],
+    [1, 44, 10, 45, 2],
+    [62, 6, 43, 15, 61],
+    [28, 55, 25, 21, 56],
+    [27, 20, 39, 8, 14],
+];
+
+fn keccak_f(state: &mut [[u64; 5]; 5]) {
+    for rc in RC.iter().take(ROUNDS) {
+        // θ
+        let mut c = [0u64; 5];
+        for x in 0..5 {
+            c[x] = state[x][0] ^ state[x][1] ^ state[x][2] ^ state[x][3] ^ state[x][4];
+        }
+        for x in 0..5 {
+            let d = c[(x + 4) % 5] ^ c[(x + 1) % 5].rotate_left(1);
+            for y in 0..5 {
+                state[x][y] ^= d;
+            }
+        }
+        // ρ and π
+        let mut b = [[0u64; 5]; 5];
+        for x in 0..5 {
+            for y in 0..5 {
+                b[y][(2 * x + 3 * y) % 5] = state[x][y].rotate_left(RHO[x][y]);
+            }
+        }
+        // χ
+        for x in 0..5 {
+            for y in 0..5 {
+                state[x][y] = b[x][y] ^ (!b[(x + 1) % 5][y] & b[(x + 2) % 5][y]);
+            }
+        }
+        // ι
+        state[0][0] ^= rc;
+    }
+}
+
+/// Sponge with rate 136 bytes (SHA3-256 / Keccak-256), 32-byte output.
+fn sponge_256(data: &[u8], domain_suffix: u8) -> [u8; 32] {
+    const RATE: usize = 136;
+    let mut state = [[0u64; 5]; 5];
+
+    // Absorb full-rate blocks, then the padded final block.
+    let mut padded = data.to_vec();
+    padded.push(domain_suffix);
+    while padded.len() % RATE != 0 {
+        padded.push(0);
+    }
+    let last = padded.len() - 1;
+    padded[last] |= 0x80;
+
+    for block in padded.chunks_exact(RATE) {
+        for (i, lane) in block.chunks_exact(8).enumerate() {
+            let v = u64::from_le_bytes(lane.try_into().expect("8-byte lane"));
+            let (x, y) = (i % 5, i / 5);
+            state[x][y] ^= v;
+        }
+        keccak_f(&mut state);
+    }
+
+    // Squeeze 32 bytes.
+    let mut out = [0u8; 32];
+    for i in 0..4 {
+        let (x, y) = (i % 5, i / 5);
+        out[8 * i..8 * i + 8].copy_from_slice(&state[x][y].to_le_bytes());
+    }
+    out
+}
+
+/// One-shot SHA3-256 (FIPS 202 padding `0x06`).
+pub fn sha3_256(data: &[u8]) -> [u8; 32] {
+    sponge_256(data, 0x06)
+}
+
+/// Incremental SHA3-256 hasher (rate 136 bytes).
+///
+/// # Example
+///
+/// ```
+/// use sp_crypto::sha3::{sha3_256, Sha3_256};
+///
+/// let mut h = Sha3_256::new();
+/// h.update(b"ab");
+/// h.update(b"c");
+/// assert_eq!(h.finalize(), sha3_256(b"abc"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Sha3_256 {
+    state: [[u64; 5]; 5],
+    buffer: [u8; 136],
+    buffer_len: usize,
+}
+
+impl Sha3_256 {
+    const RATE: usize = 136;
+
+    /// Creates a fresh hasher.
+    pub fn new() -> Self {
+        Self { state: [[0u64; 5]; 5], buffer: [0; 136], buffer_len: 0 }
+    }
+
+    fn absorb_block(&mut self) {
+        for (i, lane) in self.buffer.chunks_exact(8).enumerate() {
+            let v = u64::from_le_bytes(lane.try_into().expect("8-byte lane"));
+            let (x, y) = (i % 5, i / 5);
+            self.state[x][y] ^= v;
+        }
+        keccak_f(&mut self.state);
+        self.buffer_len = 0;
+    }
+
+    /// Absorbs more input.
+    pub fn update(&mut self, mut data: &[u8]) {
+        while !data.is_empty() {
+            let take = (Self::RATE - self.buffer_len).min(data.len());
+            self.buffer[self.buffer_len..self.buffer_len + take].copy_from_slice(&data[..take]);
+            self.buffer_len += take;
+            data = &data[take..];
+            if self.buffer_len == Self::RATE {
+                self.absorb_block();
+            }
+        }
+    }
+
+    /// Finishes and returns the 32-byte digest.
+    pub fn finalize(mut self) -> [u8; 32] {
+        // Pad: domain suffix 0x06, zeros, final-bit 0x80 (they share a
+        // byte when the buffer is exactly one short of full).
+        let pos = self.buffer_len;
+        self.buffer[pos..].fill(0);
+        self.buffer[pos] = 0x06;
+        self.buffer[Self::RATE - 1] |= 0x80;
+        self.absorb_block();
+
+        let mut out = [0u8; 32];
+        for i in 0..4 {
+            let (x, y) = (i % 5, i / 5);
+            out[8 * i..8 * i + 8].copy_from_slice(&self.state[x][y].to_le_bytes());
+        }
+        out
+    }
+}
+
+impl Default for Sha3_256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One-shot Keccak-256 (pre-standard padding `0x01`), as used by CryptoJS
+/// builds predating FIPS 202 and by Ethereum.
+pub fn keccak_256(data: &[u8]) -> [u8; 32] {
+    sponge_256(data, 0x01)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn keccak256_empty() {
+        // Well-known constant (e.g. the Ethereum empty hash).
+        assert_eq!(
+            hex(&keccak_256(b"")),
+            "c5d2460186f7233c927e7db2dcc703c0e500b653ca82273b7bfad8045d85a470"
+        );
+    }
+
+    #[test]
+    fn sha3_256_empty() {
+        assert_eq!(
+            hex(&sha3_256(b"")),
+            "a7ffc6f8bf1ed76651c14756a061d662f580ff4de43b49fa82d80a4b80f8434a"
+        );
+    }
+
+    #[test]
+    fn sha3_256_abc() {
+        assert_eq!(
+            hex(&sha3_256(b"abc")),
+            "3a985da74fe225b2045c172d6bd390bd855f086e3e9d525b46bfe24511431532"
+        );
+    }
+
+    #[test]
+    fn padding_edge_lengths() {
+        // Exactly rate-1 bytes forces the pad byte to carry both the domain
+        // suffix and the final bit in one byte.
+        for len in [0usize, 1, 134, 135, 136, 137, 271, 272, 273] {
+            let data = vec![0x5au8; len];
+            let a = sha3_256(&data);
+            let b = sha3_256(&data);
+            assert_eq!(a, b, "len = {len}");
+            assert_ne!(sha3_256(&data), keccak_256(&data), "domains differ, len = {len}");
+        }
+    }
+
+    #[test]
+    fn different_inputs_differ() {
+        assert_ne!(sha3_256(b"a"), sha3_256(b"b"));
+        assert_ne!(keccak_256(b"a"), keccak_256(b"b"));
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data: Vec<u8> = (0u32..700).map(|i| (i % 251) as u8).collect();
+        for splits in [
+            vec![0usize],
+            vec![1, 135, 136, 137],
+            vec![50, 100, 200, 400],
+            vec![700],
+        ] {
+            let mut h = Sha3_256::new();
+            let mut prev = 0usize;
+            for &s in &splits {
+                let s = s.min(data.len());
+                h.update(&data[prev..s]);
+                prev = s;
+            }
+            h.update(&data[prev..]);
+            assert_eq!(h.finalize(), sha3_256(&data), "splits = {splits:?}");
+        }
+    }
+
+    #[test]
+    fn incremental_empty_and_rate_boundary() {
+        assert_eq!(Sha3_256::new().finalize(), sha3_256(b""));
+        for len in [135usize, 136, 137, 271, 272, 273] {
+            let data = vec![0x5au8; len];
+            let mut h = Sha3_256::new();
+            h.update(&data);
+            assert_eq!(h.finalize(), sha3_256(&data), "len = {len}");
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Known-answer tests from NIST SP 800-38A (modes of operation).
+
+use sp_crypto::aes::Aes;
+use sp_crypto::modes::{cbc_decrypt, cbc_encrypt, ctr_xor};
+
+fn from_hex(s: &str) -> Vec<u8> {
+    (0..s.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+        .collect()
+}
+
+const KEY_128: &str = "2b7e151628aed2a6abf7158809cf4f3c";
+const PT_BLOCK1: &str = "6bc1bee22e409f96e93d7e117393172a";
+
+#[test]
+fn sp800_38a_cbc_aes128_first_block() {
+    // F.2.1 CBC-AES128.Encrypt, first block.
+    let key = from_hex(KEY_128);
+    let iv: [u8; 16] = from_hex("000102030405060708090a0b0c0d0e0f").try_into().unwrap();
+    let pt = from_hex(PT_BLOCK1);
+    let ct = cbc_encrypt(&key, &iv, &pt).unwrap();
+    // Our CBC appends a PKCS#7 padding block; the first block must match
+    // the NIST vector exactly.
+    assert_eq!(&ct[..16], from_hex("7649abac8119b246cee98e9b12e9197d").as_slice());
+    assert_eq!(cbc_decrypt(&key, &iv, &ct).unwrap(), pt);
+}
+
+#[test]
+fn sp800_38a_cbc_aes128_chaining() {
+    // F.2.1, blocks 1-2: chaining must feed ciphertext block 1 into
+    // block 2.
+    let key = from_hex(KEY_128);
+    let iv: [u8; 16] = from_hex("000102030405060708090a0b0c0d0e0f").try_into().unwrap();
+    let mut pt = from_hex(PT_BLOCK1);
+    pt.extend(from_hex("ae2d8a571e03ac9c9eb76fac45af8e51"));
+    let ct = cbc_encrypt(&key, &iv, &pt).unwrap();
+    assert_eq!(&ct[..16], from_hex("7649abac8119b246cee98e9b12e9197d").as_slice());
+    assert_eq!(&ct[16..32], from_hex("5086cb9b507219ee95db113a917678b2").as_slice());
+}
+
+#[test]
+fn sp800_38a_ctr_aes128_first_block() {
+    // F.5.1 CTR-AES128.Encrypt, first block.
+    let key = from_hex(KEY_128);
+    let ctr: [u8; 16] = from_hex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff").try_into().unwrap();
+    let pt = from_hex(PT_BLOCK1);
+    let ct = ctr_xor(&key, &ctr, &pt).unwrap();
+    assert_eq!(ct, from_hex("874d6191b620e3261bef6864990db6ce"));
+}
+
+#[test]
+fn sp800_38a_ctr_aes128_two_blocks() {
+    // F.5.1, blocks 1-2: counter increments big-endian between blocks.
+    let key = from_hex(KEY_128);
+    let ctr: [u8; 16] = from_hex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff").try_into().unwrap();
+    let mut pt = from_hex(PT_BLOCK1);
+    pt.extend(from_hex("ae2d8a571e03ac9c9eb76fac45af8e51"));
+    let ct = ctr_xor(&key, &ctr, &pt).unwrap();
+    assert_eq!(&ct[..16], from_hex("874d6191b620e3261bef6864990db6ce").as_slice());
+    assert_eq!(&ct[16..32], from_hex("9806f66b7970fdff8617187bb9fffdff").as_slice());
+}
+
+#[test]
+fn ecb_single_block_vectors() {
+    // SP 800-38A F.1.1 ECB-AES128: encrypting the raw block (no mode).
+    let aes = Aes::new(&from_hex(KEY_128)).unwrap();
+    let pt: [u8; 16] = from_hex(PT_BLOCK1).try_into().unwrap();
+    assert_eq!(
+        aes.encrypt_block(&pt).to_vec(),
+        from_hex("3ad77bb40d7a3660a89ecaf32466ef97")
+    );
+    assert_eq!(aes.decrypt_block(&aes.encrypt_block(&pt)), pt);
+}

@@ -1,0 +1,65 @@
+//! Error types.
+
+use std::error::Error;
+use std::fmt;
+
+use sp_bigint::BigIntError;
+
+/// Errors produced by field construction and element operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FieldError {
+    /// The modulus is not usable (even, one, or zero).
+    BadModulus,
+    /// An operation required `p ≡ 3 (mod 4)` (e.g. `Fp2` with `i² = −1`).
+    Not3Mod4,
+    /// Attempted to invert zero.
+    DivisionByZero,
+    /// An element encoding could not be parsed.
+    BadEncoding,
+}
+
+impl fmt::Display for FieldError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BadModulus => f.write_str("modulus must be an odd number greater than one"),
+            Self::Not3Mod4 => f.write_str("operation requires a prime congruent to 3 mod 4"),
+            Self::DivisionByZero => f.write_str("attempted to invert zero"),
+            Self::BadEncoding => f.write_str("invalid field element encoding"),
+        }
+    }
+}
+
+impl Error for FieldError {}
+
+impl From<BigIntError> for FieldError {
+    fn from(e: BigIntError) -> Self {
+        match e {
+            BigIntError::EvenModulus => Self::BadModulus,
+            _ => Self::BadEncoding,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        for e in [
+            FieldError::BadModulus,
+            FieldError::Not3Mod4,
+            FieldError::DivisionByZero,
+            FieldError::BadEncoding,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn converts_from_bigint_error() {
+        assert_eq!(FieldError::from(BigIntError::EvenModulus), FieldError::BadModulus);
+        assert_eq!(FieldError::from(BigIntError::InvalidDigit), FieldError::BadEncoding);
+    }
+}

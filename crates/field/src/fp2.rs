@@ -1,0 +1,377 @@
+//! The quadratic extension `F_{p²} = F_p[i]/(i² + 1)`.
+//!
+//! Requires `p ≡ 3 (mod 4)` so that `−1` is a quadratic non-residue and
+//! `x² + 1` is irreducible. This is the target field of the Type-A
+//! pairing: pairing values live in the order-`p+1` "norm-one" subgroup of
+//! `F_{p²}^*`, where inversion is conjugation.
+
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+use std::sync::Arc;
+
+use rand::Rng;
+use sp_bigint::Uint;
+
+use crate::error::FieldError;
+use crate::fp::{FieldCtx, Fp};
+
+/// An element `c0 + c1·i` of `F_{p²}`.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Fp2<const L: usize> {
+    c0: Fp<L>,
+    c1: Fp<L>,
+}
+
+impl<const L: usize> Fp2<L> {
+    /// Builds an element from its two coefficients.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FieldError::Not3Mod4`] if the base field modulus is not
+    /// `3 (mod 4)` (the extension would not be a field).
+    pub fn new(c0: Fp<L>, c1: Fp<L>) -> Result<Self, FieldError> {
+        if !c0.ctx().is_3mod4() {
+            return Err(FieldError::Not3Mod4);
+        }
+        Ok(Self { c0, c1 })
+    }
+
+    /// The zero element.
+    pub fn zero(ctx: &Arc<FieldCtx<L>>) -> Self {
+        Self { c0: ctx.zero(), c1: ctx.zero() }
+    }
+
+    /// The one element.
+    pub fn one(ctx: &Arc<FieldCtx<L>>) -> Self {
+        Self { c0: ctx.one(), c1: ctx.zero() }
+    }
+
+    /// Embeds a base-field element (imaginary part zero).
+    pub fn from_fp(c0: Fp<L>) -> Self {
+        let c1 = c0.ctx().zero();
+        Self { c0, c1 }
+    }
+
+    /// Uniformly random element.
+    pub fn random<R: Rng + ?Sized>(ctx: &Arc<FieldCtx<L>>, rng: &mut R) -> Self {
+        Self { c0: ctx.random(rng), c1: ctx.random(rng) }
+    }
+
+    /// The real coefficient.
+    pub fn c0(&self) -> &Fp<L> {
+        &self.c0
+    }
+
+    /// The imaginary coefficient.
+    pub fn c1(&self) -> &Fp<L> {
+        &self.c1
+    }
+
+    /// Returns `true` for the additive identity.
+    pub fn is_zero(&self) -> bool {
+        self.c0.is_zero() && self.c1.is_zero()
+    }
+
+    /// Returns `true` for the multiplicative identity.
+    pub fn is_one(&self) -> bool {
+        self.c0.is_one() && self.c1.is_zero()
+    }
+
+    /// Complex conjugate `c0 − c1·i`. This is also the `p`-power Frobenius
+    /// endomorphism, since `i^p = −i` when `p ≡ 3 (mod 4)`.
+    pub fn conjugate(&self) -> Self {
+        Self { c0: self.c0.clone(), c1: -&self.c1 }
+    }
+
+    /// Squares the element: `(c0² − c1²) + (2·c0·c1)·i`.
+    pub fn square(&self) -> Self {
+        // (c0 + c1 i)² = (c0+c1)(c0−c1) + 2 c0 c1 i
+        let t0 = &self.c0 + &self.c1;
+        let t1 = &self.c0 - &self.c1;
+        let c0 = &t0 * &t1;
+        let c1 = (&self.c0 * &self.c1).double();
+        Self { c0, c1 }
+    }
+
+    /// Field norm `c0² + c1² ∈ F_p` (the product with the conjugate).
+    pub fn norm(&self) -> Fp<L> {
+        &self.c0.square() + &self.c1.square()
+    }
+
+    /// Multiplicative inverse: `conj(z) / norm(z)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FieldError::DivisionByZero`] for zero.
+    pub fn invert(&self) -> Result<Self, FieldError> {
+        let norm_inv = self.norm().invert()?;
+        Ok(Self {
+            c0: &self.c0 * &norm_inv,
+            c1: &(-&self.c1) * &norm_inv,
+        })
+    }
+
+    /// Raises to the power `exp` (square-and-multiply).
+    pub fn pow<const E: usize>(&self, exp: &Uint<E>) -> Self {
+        let ctx = self.c0.ctx();
+        let bits = exp.bit_len();
+        if bits == 0 {
+            return Self::one(ctx);
+        }
+        let mut acc = self.clone();
+        for i in (0..bits - 1).rev() {
+            acc = acc.square();
+            if exp.bit(i) {
+                acc = &acc * self;
+            }
+        }
+        acc
+    }
+
+    /// Multiplies by a base-field scalar.
+    pub fn mul_by_fp(&self, s: &Fp<L>) -> Self {
+        Self { c0: &self.c0 * s, c1: &self.c1 * s }
+    }
+
+    /// Fixed-length big-endian encoding: `c0 ‖ c1`, `16·L` bytes.
+    pub fn to_be_bytes(&self) -> Vec<u8> {
+        let mut out = self.c0.to_be_bytes();
+        out.extend_from_slice(&self.c1.to_be_bytes());
+        out
+    }
+
+    /// Decodes an element produced by [`Fp2::to_be_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FieldError::BadEncoding`] if the length is wrong.
+    pub fn from_be_bytes(ctx: &Arc<FieldCtx<L>>, bytes: &[u8]) -> Result<Self, FieldError> {
+        if bytes.len() != 16 * L {
+            return Err(FieldError::BadEncoding);
+        }
+        let c0 = ctx.from_be_bytes(&bytes[..8 * L])?;
+        let c1 = ctx.from_be_bytes(&bytes[8 * L..])?;
+        Ok(Self { c0, c1 })
+    }
+}
+
+impl<const L: usize> fmt::Debug for Fp2<L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Fp2({} + {}·i)", self.c0, self.c1)
+    }
+}
+
+impl<const L: usize> fmt::Display for Fp2<L> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} + {}·i", self.c0, self.c1)
+    }
+}
+
+impl<'a, 'b, const L: usize> Add<&'b Fp2<L>> for &'a Fp2<L> {
+    type Output = Fp2<L>;
+    fn add(self, rhs: &'b Fp2<L>) -> Fp2<L> {
+        Fp2 { c0: &self.c0 + &rhs.c0, c1: &self.c1 + &rhs.c1 }
+    }
+}
+
+impl<'a, 'b, const L: usize> Sub<&'b Fp2<L>> for &'a Fp2<L> {
+    type Output = Fp2<L>;
+    fn sub(self, rhs: &'b Fp2<L>) -> Fp2<L> {
+        Fp2 { c0: &self.c0 - &rhs.c0, c1: &self.c1 - &rhs.c1 }
+    }
+}
+
+impl<'a, 'b, const L: usize> Mul<&'b Fp2<L>> for &'a Fp2<L> {
+    type Output = Fp2<L>;
+    fn mul(self, rhs: &'b Fp2<L>) -> Fp2<L> {
+        // Karatsuba: (a0 + a1 i)(b0 + b1 i)
+        //   = (a0 b0 − a1 b1) + ((a0+a1)(b0+b1) − a0 b0 − a1 b1) i
+        let v0 = &self.c0 * &rhs.c0;
+        let v1 = &self.c1 * &rhs.c1;
+        let c0 = &v0 - &v1;
+        let c1 = &(&(&self.c0 + &self.c1) * &(&rhs.c0 + &rhs.c1)) - &(&v0 + &v1);
+        Fp2 { c0, c1 }
+    }
+}
+
+impl<const L: usize> Add for Fp2<L> {
+    type Output = Fp2<L>;
+    fn add(self, rhs: Fp2<L>) -> Fp2<L> {
+        &self + &rhs
+    }
+}
+
+impl<const L: usize> Sub for Fp2<L> {
+    type Output = Fp2<L>;
+    fn sub(self, rhs: Fp2<L>) -> Fp2<L> {
+        &self - &rhs
+    }
+}
+
+impl<const L: usize> Mul for Fp2<L> {
+    type Output = Fp2<L>;
+    fn mul(self, rhs: Fp2<L>) -> Fp2<L> {
+        &self * &rhs
+    }
+}
+
+impl<const L: usize> Neg for &Fp2<L> {
+    type Output = Fp2<L>;
+    fn neg(self) -> Fp2<L> {
+        Fp2 { c0: -&self.c0, c1: -&self.c1 }
+    }
+}
+
+impl<const L: usize> Neg for Fp2<L> {
+    type Output = Fp2<L>;
+    fn neg(self) -> Fp2<L> {
+        -&self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn f103() -> Arc<FieldCtx<4>> {
+        FieldCtx::new(Uint::from_u64(103)).unwrap()
+    }
+
+    fn el(ctx: &Arc<FieldCtx<4>>, a: u64, b: u64) -> Fp2<4> {
+        Fp2::new(ctx.from_u64(a), ctx.from_u64(b)).unwrap()
+    }
+
+    #[test]
+    fn requires_3mod4() {
+        let f13 = FieldCtx::<4>::new(Uint::from_u64(13)).unwrap();
+        assert_eq!(
+            Fp2::new(f13.from_u64(1), f13.from_u64(2)).unwrap_err(),
+            FieldError::Not3Mod4
+        );
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        let f = f103();
+        let i = el(&f, 0, 1);
+        let minus_one = Fp2::from_fp(-&f.one());
+        assert_eq!(&i * &i, minus_one);
+        assert_eq!(i.square(), &i * &i);
+    }
+
+    #[test]
+    fn mul_matches_schoolbook() {
+        let f = f103();
+        let mut rng = StdRng::seed_from_u64(12);
+        for _ in 0..50 {
+            let a = Fp2::random(&f, &mut rng);
+            let b = Fp2::random(&f, &mut rng);
+            let prod = &a * &b;
+            // Schoolbook
+            let c0 = &(a.c0() * b.c0()) - &(a.c1() * b.c1());
+            let c1 = &(a.c0() * b.c1()) + &(a.c1() * b.c0());
+            assert_eq!(prod.c0(), &c0);
+            assert_eq!(prod.c1(), &c1);
+            assert_eq!(a.square(), &a * &a);
+        }
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let f = f103();
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..30 {
+            let a = Fp2::random(&f, &mut rng);
+            if a.is_zero() {
+                continue;
+            }
+            let inv = a.invert().unwrap();
+            assert!((&a * &inv).is_one());
+        }
+        assert_eq!(Fp2::zero(&f).invert(), Err(FieldError::DivisionByZero));
+    }
+
+    #[test]
+    fn conjugate_properties() {
+        let f = f103();
+        let a = el(&f, 5, 7);
+        let c = a.conjugate();
+        assert_eq!(c.c0(), a.c0());
+        assert_eq!(c.c1(), &-a.c1());
+        // z * conj(z) = norm(z) (real)
+        let prod = &a * &c;
+        assert!(prod.c1().is_zero());
+        assert_eq!(prod.c0(), &a.norm());
+        // Frobenius: conj(z) == z^p for p = 103.
+        assert_eq!(c, a.pow(&Uint::<4>::from_u64(103)));
+    }
+
+    #[test]
+    fn pow_and_order() {
+        let f = f103();
+        let mut rng = StdRng::seed_from_u64(14);
+        // |Fp2*| = p² − 1
+        let order = Uint::<4>::from_u64(103 * 103 - 1);
+        for _ in 0..10 {
+            let a = Fp2::random(&f, &mut rng);
+            if a.is_zero() {
+                continue;
+            }
+            assert!(a.pow(&order).is_one());
+        }
+        let a = el(&f, 2, 3);
+        assert!(a.pow(&Uint::<4>::ZERO).is_one());
+        assert_eq!(a.pow(&Uint::<4>::ONE), a);
+        assert_eq!(a.pow(&Uint::<4>::from_u64(5)), {
+            let a2 = a.square();
+            let a4 = a2.square();
+            &a4 * &a
+        });
+    }
+
+    #[test]
+    fn norm_is_multiplicative() {
+        let f = f103();
+        let mut rng = StdRng::seed_from_u64(15);
+        for _ in 0..20 {
+            let a = Fp2::random(&f, &mut rng);
+            let b = Fp2::random(&f, &mut rng);
+            assert_eq!((&a * &b).norm(), &a.norm() * &b.norm());
+        }
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let f = f103();
+        let a = el(&f, 42, 99);
+        let bytes = a.to_be_bytes();
+        assert_eq!(bytes.len(), 64);
+        assert_eq!(Fp2::from_be_bytes(&f, &bytes).unwrap(), a);
+        assert!(Fp2::from_be_bytes(&f, &bytes[1..]).is_err());
+    }
+
+    #[test]
+    fn ring_axioms() {
+        let f = f103();
+        let mut rng = StdRng::seed_from_u64(16);
+        for _ in 0..20 {
+            let a = Fp2::random(&f, &mut rng);
+            let b = Fp2::random(&f, &mut rng);
+            let c = Fp2::random(&f, &mut rng);
+            assert_eq!(&(&a + &b) * &c, &(&a * &c) + &(&b * &c));
+            assert_eq!(&a * &b, &b * &a);
+            assert_eq!(&(&a * &b) * &c, &a * &(&b * &c));
+            assert_eq!(&a - &a, Fp2::zero(&f));
+            assert_eq!(-(-&a), a);
+        }
+    }
+
+    #[test]
+    fn mul_by_fp_matches_embedding() {
+        let f = f103();
+        let a = el(&f, 4, 9);
+        let s = f.from_u64(6);
+        assert_eq!(a.mul_by_fp(&s), &a * &Fp2::from_fp(s));
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests of the field axioms over `F_p` and `F_{p²}`.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sp_bigint::Uint;
+use sp_field::{FieldCtx, Fp2};
+
+fn f_large() -> Arc<FieldCtx<4>> {
+    // 2^255 - 19 (≡ 1 mod 4 is fine for Fp; Fp2 tests use the 3 mod 4 one)
+    FieldCtx::new(
+        Uint::from_hex("7fffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffed")
+            .unwrap(),
+    )
+    .unwrap()
+}
+
+fn f_3mod4() -> Arc<FieldCtx<4>> {
+    // The NIST P-256 prime is ≡ 3 mod 4.
+    FieldCtx::new(
+        Uint::from_hex("ffffffff00000001000000000000000000000000ffffffffffffffffffffffff")
+            .unwrap(),
+    )
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn fp_field_axioms(seed in any::<u64>()) {
+        let f = f_large();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = f.random(&mut rng);
+        let b = f.random(&mut rng);
+        let c = f.random(&mut rng);
+        prop_assert_eq!(&a + &b, &b + &a);
+        prop_assert_eq!(&a * &b, &b * &a);
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+        prop_assert_eq!(&(&a * &b) * &c, &a * &(&b * &c));
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+        prop_assert_eq!(&a - &a, f.zero());
+        prop_assert_eq!(&a * &f.one(), a.clone());
+        prop_assert_eq!(-(-&a), a);
+    }
+
+    #[test]
+    fn fp_inverse_and_sqrt(seed in any::<u64>()) {
+        let f = f_3mod4();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = f.random_nonzero(&mut rng);
+        let inv = a.invert().unwrap();
+        prop_assert!((&a * &inv).is_one());
+        // a² is always a residue; its root squares back.
+        let sq = a.square();
+        let root = sq.sqrt().expect("squares are residues");
+        prop_assert_eq!(root.square(), sq);
+        prop_assert_eq!(a.square().legendre(), 1);
+    }
+
+    #[test]
+    fn fp_pow_laws(seed in any::<u64>(), e1 in 0u64..1000, e2 in 0u64..1000) {
+        let f = f_large();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = f.random_nonzero(&mut rng);
+        let lhs = a.pow(&Uint::<4>::from_u64(e1 + e2));
+        let rhs = &a.pow(&Uint::<4>::from_u64(e1)) * &a.pow(&Uint::<4>::from_u64(e2));
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn fp2_field_axioms(seed in any::<u64>()) {
+        let f = f_3mod4();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Fp2::random(&f, &mut rng);
+        let b = Fp2::random(&f, &mut rng);
+        let c = Fp2::random(&f, &mut rng);
+        prop_assert_eq!(&a * &b, &b * &a);
+        prop_assert_eq!(&(&a * &b) * &c, &a * &(&b * &c));
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+        prop_assert_eq!(a.square(), &a * &a);
+        if !a.is_zero() {
+            prop_assert!((&a * &a.invert().unwrap()).is_one());
+        }
+    }
+
+    #[test]
+    fn fp2_conjugation_is_field_automorphism(seed in any::<u64>()) {
+        let f = f_3mod4();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Fp2::random(&f, &mut rng);
+        let b = Fp2::random(&f, &mut rng);
+        prop_assert_eq!((&a * &b).conjugate(), &a.conjugate() * &b.conjugate());
+        prop_assert_eq!((&a + &b).conjugate(), &a.conjugate() + &b.conjugate());
+        prop_assert_eq!(a.conjugate().conjugate(), a.clone());
+        // Norm = a · conj(a) is in the base field and multiplicative.
+        prop_assert_eq!((&a * &b).norm(), &a.norm() * &b.norm());
+    }
+
+    #[test]
+    fn fp_serialization_roundtrip(seed in any::<u64>()) {
+        let f = f_3mod4();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = f.random(&mut rng);
+        prop_assert_eq!(f.from_be_bytes(&a.to_be_bytes()).unwrap(), a.clone());
+        let x = Fp2::random(&f, &mut rng);
+        prop_assert_eq!(Fp2::from_be_bytes(&f, &x.to_be_bytes()).unwrap(), x);
+    }
+}

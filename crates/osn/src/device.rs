@@ -1,0 +1,104 @@
+//! Client device compute profiles.
+//!
+//! Fig. 10(c, d) compares the prototype on a quad-core 2.5 GHz PC against
+//! a Nexus 7 tablet. The tablet has no architectural difference the
+//! protocols care about — it is simply slower at the same JavaScript — so
+//! the simulation models it as a multiplicative compute scale applied to
+//! measured local processing time.
+
+use std::time::{Duration, Instant};
+
+/// A client device: a name and a compute slowdown relative to the
+/// reference PC.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeviceProfile {
+    name: String,
+    compute_scale: f64,
+}
+
+impl DeviceProfile {
+    /// Builds a custom profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `compute_scale` is not finite and positive.
+    pub fn new(name: impl Into<String>, compute_scale: f64) -> Self {
+        assert!(
+            compute_scale.is_finite() && compute_scale > 0.0,
+            "compute scale must be positive"
+        );
+        Self { name: name.into(), compute_scale }
+    }
+
+    /// The paper's PC: quad-core 2.5 GHz, scale 1.0.
+    pub fn pc() -> Self {
+        Self::new("PC (quad 2.5 GHz)", 1.0)
+    }
+
+    /// The paper's Nexus 7 tablet: same code, roughly 5× slower at
+    /// browser-side crypto.
+    pub fn tablet() -> Self {
+        Self::new("Nexus 7 tablet", 5.0)
+    }
+
+    /// The profile name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The compute slowdown factor.
+    pub fn compute_scale(&self) -> f64 {
+        self.compute_scale
+    }
+
+    /// Runs `f`, returning its output and the *device-scaled* duration.
+    pub fn run<T>(&self, f: impl FnOnce() -> T) -> (T, Duration) {
+        let start = Instant::now();
+        let out = f();
+        let elapsed = start.elapsed();
+        (out, self.scale(elapsed))
+    }
+
+    /// Scales an already-measured duration to this device.
+    pub fn scale(&self, measured: Duration) -> Duration {
+        measured.mul_f64(self.compute_scale)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets() {
+        assert_eq!(DeviceProfile::pc().compute_scale(), 1.0);
+        assert!(DeviceProfile::tablet().compute_scale() > 1.0);
+        assert!(DeviceProfile::tablet().name().contains("Nexus"));
+    }
+
+    #[test]
+    fn scaling() {
+        let tablet = DeviceProfile::tablet();
+        let d = Duration::from_millis(10);
+        assert_eq!(tablet.scale(d), Duration::from_millis(50));
+        let pc = DeviceProfile::pc();
+        assert_eq!(pc.scale(d), d);
+    }
+
+    #[test]
+    fn run_returns_output_and_scaled_time() {
+        let dev = DeviceProfile::new("slowpoke", 3.0);
+        let (value, scaled) = dev.run(|| {
+            std::thread::sleep(Duration::from_millis(5));
+            42
+        });
+        assert_eq!(value, 42);
+        assert!(scaled >= Duration::from_millis(15), "scaled = {scaled:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nonpositive_scale() {
+        let _ = DeviceProfile::new("bad", 0.0);
+    }
+}

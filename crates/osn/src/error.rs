@@ -1,0 +1,52 @@
+//! Error types.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the OSN simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum OsnError {
+    /// The referenced user does not exist.
+    UnknownUser,
+    /// A user cannot befriend themselves.
+    SelfFriendship,
+    /// The referenced puzzle record does not exist.
+    UnknownPuzzle,
+    /// The referenced blob URL does not exist.
+    UnknownUrl,
+    /// The referenced post does not exist.
+    UnknownPost,
+}
+
+impl fmt::Display for OsnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnknownUser => f.write_str("unknown user id"),
+            Self::SelfFriendship => f.write_str("a user cannot befriend themselves"),
+            Self::UnknownPuzzle => f.write_str("unknown puzzle id"),
+            Self::UnknownUrl => f.write_str("unknown storage url"),
+            Self::UnknownPost => f.write_str("unknown post id"),
+        }
+    }
+}
+
+impl Error for OsnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        for e in [
+            OsnError::UnknownUser,
+            OsnError::SelfFriendship,
+            OsnError::UnknownPuzzle,
+            OsnError::UnknownUrl,
+            OsnError::UnknownPost,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

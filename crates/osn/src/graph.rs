@@ -1,0 +1,205 @@
+//! Users and the symmetric friendship graph.
+
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+use crate::error::OsnError;
+
+/// Opaque user identifier.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct UserId(u64);
+
+impl UserId {
+    /// Constructs an id from a raw value — only for tests that need a
+    /// user id without a graph.
+    #[doc(hidden)]
+    pub fn from_raw_for_tests(v: u64) -> Self {
+        UserId(v)
+    }
+}
+
+impl fmt::Display for UserId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "user#{}", self.0)
+    }
+}
+
+#[derive(Clone, Debug)]
+struct UserRecord {
+    name: String,
+    friends: BTreeSet<UserId>,
+}
+
+/// A symmetric social graph (§IV-A: "if a user a has another user b in her
+/// friend list, then user b has user a as her friend as well").
+#[derive(Clone, Debug, Default)]
+pub struct SocialGraph {
+    users: HashMap<UserId, UserRecord>,
+    next_id: u64,
+}
+
+impl SocialGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a new user and returns their id.
+    pub fn add_user(&mut self, name: impl Into<String>) -> UserId {
+        let id = UserId(self.next_id);
+        self.next_id += 1;
+        self.users.insert(id, UserRecord { name: name.into(), friends: BTreeSet::new() });
+        id
+    }
+
+    /// The user's display name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OsnError::UnknownUser`] for unregistered ids.
+    pub fn name(&self, user: UserId) -> Result<&str, OsnError> {
+        Ok(&self.users.get(&user).ok_or(OsnError::UnknownUser)?.name)
+    }
+
+    /// Number of registered users.
+    pub fn len(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Whether the graph has no users.
+    pub fn is_empty(&self) -> bool {
+        self.users.is_empty()
+    }
+
+    /// Creates a symmetric friendship between `a` and `b` (idempotent).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OsnError::UnknownUser`] if either id is unregistered, or
+    /// [`OsnError::SelfFriendship`] if `a == b`.
+    pub fn befriend(&mut self, a: UserId, b: UserId) -> Result<(), OsnError> {
+        if a == b {
+            return Err(OsnError::SelfFriendship);
+        }
+        if !self.users.contains_key(&a) || !self.users.contains_key(&b) {
+            return Err(OsnError::UnknownUser);
+        }
+        self.users.get_mut(&a).expect("checked").friends.insert(b);
+        self.users.get_mut(&b).expect("checked").friends.insert(a);
+        Ok(())
+    }
+
+    /// Removes the friendship in both directions (idempotent).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OsnError::UnknownUser`] if either id is unregistered.
+    pub fn unfriend(&mut self, a: UserId, b: UserId) -> Result<(), OsnError> {
+        if !self.users.contains_key(&a) || !self.users.contains_key(&b) {
+            return Err(OsnError::UnknownUser);
+        }
+        self.users.get_mut(&a).expect("checked").friends.remove(&b);
+        self.users.get_mut(&b).expect("checked").friends.remove(&a);
+        Ok(())
+    }
+
+    /// Whether `a` and `b` are friends.
+    pub fn are_friends(&self, a: UserId, b: UserId) -> bool {
+        self.users
+            .get(&a)
+            .map(|r| r.friends.contains(&b))
+            .unwrap_or(false)
+    }
+
+    /// The user's friend list (the sharer's social network `S_T`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OsnError::UnknownUser`] for unregistered ids.
+    pub fn friends(&self, user: UserId) -> Result<Vec<UserId>, OsnError> {
+        Ok(self
+            .users
+            .get(&user)
+            .ok_or(OsnError::UnknownUser)?
+            .friends
+            .iter()
+            .copied()
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_name() {
+        let mut g = SocialGraph::new();
+        assert!(g.is_empty());
+        let a = g.add_user("alice");
+        let b = g.add_user("bob");
+        assert_ne!(a, b);
+        assert_eq!(g.name(a).unwrap(), "alice");
+        assert_eq!(g.name(b).unwrap(), "bob");
+        assert_eq!(g.len(), 2);
+        let ghost = UserId(999);
+        assert_eq!(g.name(ghost).unwrap_err(), OsnError::UnknownUser);
+    }
+
+    #[test]
+    fn friendship_is_symmetric() {
+        let mut g = SocialGraph::new();
+        let a = g.add_user("a");
+        let b = g.add_user("b");
+        assert!(!g.are_friends(a, b));
+        g.befriend(a, b).unwrap();
+        assert!(g.are_friends(a, b));
+        assert!(g.are_friends(b, a));
+        assert_eq!(g.friends(a).unwrap(), vec![b]);
+        assert_eq!(g.friends(b).unwrap(), vec![a]);
+    }
+
+    #[test]
+    fn befriend_errors() {
+        let mut g = SocialGraph::new();
+        let a = g.add_user("a");
+        assert_eq!(g.befriend(a, a).unwrap_err(), OsnError::SelfFriendship);
+        assert_eq!(g.befriend(a, UserId(42)).unwrap_err(), OsnError::UnknownUser);
+    }
+
+    #[test]
+    fn unfriend_both_directions() {
+        let mut g = SocialGraph::new();
+        let a = g.add_user("a");
+        let b = g.add_user("b");
+        g.befriend(a, b).unwrap();
+        g.unfriend(a, b).unwrap();
+        assert!(!g.are_friends(a, b));
+        assert!(!g.are_friends(b, a));
+        // Idempotent.
+        g.unfriend(a, b).unwrap();
+    }
+
+    #[test]
+    fn befriend_is_idempotent() {
+        let mut g = SocialGraph::new();
+        let a = g.add_user("a");
+        let b = g.add_user("b");
+        g.befriend(a, b).unwrap();
+        g.befriend(b, a).unwrap();
+        assert_eq!(g.friends(a).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn larger_network() {
+        let mut g = SocialGraph::new();
+        let sharer = g.add_user("sharer");
+        let friends: Vec<UserId> = (0..20).map(|i| g.add_user(format!("friend{i}"))).collect();
+        for &f in &friends {
+            g.befriend(sharer, f).unwrap();
+        }
+        assert_eq!(g.friends(sharer).unwrap().len(), 20);
+        // Friends of the sharer are not automatically friends of each other.
+        assert!(!g.are_friends(friends[0], friends[1]));
+    }
+}

@@ -1,0 +1,52 @@
+//! A simulated online social network (OSN) substrate.
+//!
+//! The paper's prototypes run as a Facebook canvas application backed by
+//! a server on Amazon EC2 (§VII). This crate simulates every piece of
+//! that environment the protocols interact with, so the constructions in
+//! `social-puzzles-core` run end-to-end and the benchmark harness can
+//! regenerate Figure 10 with byte-accurate transfer sizes:
+//!
+//! * [`SocialGraph`] — users with *symmetric* friendships (§IV-A),
+//! * [`ServiceProvider`] — the SP: puzzle database and a hyperlink feed
+//!   (the "post on the sharer's wall" step),
+//! * [`StorageHost`] — the DH: a URL-addressed blob store, logically
+//!   separate from the SP,
+//! * [`NetworkModel`] / [`TrafficStats`] — deterministic latency +
+//!   bandwidth accounting calibrated to the paper's 802.11n/60 Mbps setup,
+//! * [`DeviceProfile`] — PC vs tablet compute scaling for Fig. 10(c, d).
+//!
+//! # Example
+//!
+//! ```
+//! use sp_osn::{NetworkModel, SocialGraph};
+//!
+//! let mut graph = SocialGraph::new();
+//! let alice = graph.add_user("alice");
+//! let bob = graph.add_user("bob");
+//! graph.befriend(alice, bob)?;
+//! assert!(graph.are_friends(alice, bob));
+//! assert!(graph.are_friends(bob, alice), "friendship is symmetric");
+//!
+//! let net = NetworkModel::wlan_to_cloud();
+//! let upload = net.request_duration(600_000, 200); // ~600 KB up
+//! let tiny = net.request_duration(500, 200);
+//! assert!(upload > tiny);
+//! # Ok::<(), sp_osn::OsnError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod device;
+mod error;
+mod graph;
+mod network;
+mod provider;
+mod storage;
+
+pub use device::DeviceProfile;
+pub use error::OsnError;
+pub use graph::{SocialGraph, UserId};
+pub use network::{NetworkModel, TrafficStats};
+pub use provider::{AuditEntry, Post, PostId, PuzzleId, ServiceProvider};
+pub use storage::{StorageHost, Url};

@@ -1,0 +1,270 @@
+//! The service provider (SP): puzzle database and hyperlink feed.
+//!
+//! The SP stores *opaque* puzzle records — the social-puzzles layer
+//! serializes its (hashed, blinded) puzzle state into bytes before
+//! handing it over, which is exactly the surveillance-resistance boundary
+//! of §IV-B: the SP sees ciphertext-like bytes, sizes, and the feed
+//! metadata, never answers or keys.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+
+use crate::error::OsnError;
+use crate::graph::UserId;
+
+/// Identifier the SP assigns to a stored puzzle.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct PuzzleId(u64);
+
+impl fmt::Display for PuzzleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "puzzle#{}", self.0)
+    }
+}
+
+/// Identifier of a feed post.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct PostId(u64);
+
+impl fmt::Display for PostId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "post#{}", self.0)
+    }
+}
+
+/// A feed post: the hyperlink a sharer's friends click to reach the
+/// puzzle interface (Fig. 6).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Post {
+    /// The posting user.
+    pub author: UserId,
+    /// Human-readable text.
+    pub text: String,
+    /// The puzzle this post links to.
+    pub puzzle: PuzzleId,
+}
+
+/// One entry of the SP's access-attempt log.
+///
+/// Surveillance resistance (§IV-B) protects the *content* — object bytes
+/// and answers. The SP still observes this **metadata**: who attempted
+/// which puzzle and whether the threshold was met. The log makes that
+/// residual leakage explicit and testable.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct AuditEntry {
+    /// Monotonic sequence number.
+    pub seq: u64,
+    /// The attempting user.
+    pub user: UserId,
+    /// The attempted puzzle.
+    pub puzzle: PuzzleId,
+    /// Whether the SP granted access (≥ threshold verified).
+    pub granted: bool,
+}
+
+#[derive(Debug, Default)]
+struct ProviderState {
+    puzzles: HashMap<u64, Bytes>,
+    posts: HashMap<u64, Post>,
+    feed_order: Vec<PostId>,
+    audit: Vec<AuditEntry>,
+    next_puzzle: u64,
+    next_post: u64,
+}
+
+/// The service provider. Cheap to clone (shared state).
+#[derive(Clone, Debug, Default)]
+pub struct ServiceProvider {
+    state: Arc<RwLock<ProviderState>>,
+}
+
+impl ServiceProvider {
+    /// Creates an empty provider.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores an opaque puzzle record, returning its id.
+    pub fn publish_puzzle(&self, record: Bytes) -> PuzzleId {
+        let mut st = self.state.write();
+        let id = st.next_puzzle;
+        st.next_puzzle += 1;
+        st.puzzles.insert(id, record);
+        PuzzleId(id)
+    }
+
+    /// Fetches a puzzle record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OsnError::UnknownPuzzle`] for unknown ids.
+    pub fn fetch_puzzle(&self, id: PuzzleId) -> Result<Bytes, OsnError> {
+        self.state
+            .read()
+            .puzzles
+            .get(&id.0)
+            .cloned()
+            .ok_or(OsnError::UnknownPuzzle)
+    }
+
+    /// Replaces a puzzle record in place (sharer update, or a malicious-SP
+    /// tampering attack — §VI-A).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OsnError::UnknownPuzzle`] for unknown ids.
+    pub fn replace_puzzle(&self, id: PuzzleId, record: Bytes) -> Result<(), OsnError> {
+        let mut st = self.state.write();
+        match st.puzzles.get_mut(&id.0) {
+            Some(slot) => {
+                *slot = record;
+                Ok(())
+            }
+            None => Err(OsnError::UnknownPuzzle),
+        }
+    }
+
+    /// Deletes a puzzle record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OsnError::UnknownPuzzle`] for unknown ids.
+    pub fn delete_puzzle(&self, id: PuzzleId) -> Result<(), OsnError> {
+        self.state
+            .write()
+            .puzzles
+            .remove(&id.0)
+            .map(|_| ())
+            .ok_or(OsnError::UnknownPuzzle)
+    }
+
+    /// Number of stored puzzles.
+    pub fn puzzle_count(&self) -> usize {
+        self.state.read().puzzles.len()
+    }
+
+    /// Records an access attempt in the audit log (called by the verify
+    /// endpoint).
+    pub fn log_access(&self, user: UserId, puzzle: PuzzleId, granted: bool) {
+        let mut st = self.state.write();
+        let seq = st.audit.len() as u64;
+        st.audit.push(AuditEntry { seq, user, puzzle, granted });
+    }
+
+    /// The full audit log — what a curious (or subpoenaed) SP can hand
+    /// over: access metadata, never content.
+    pub fn audit_log(&self) -> Vec<AuditEntry> {
+        self.state.read().audit.clone()
+    }
+
+    /// Posts a hyperlink to the author's wall.
+    pub fn post(&self, author: UserId, text: impl Into<String>, puzzle: PuzzleId) -> PostId {
+        let mut st = self.state.write();
+        let id = PostId(st.next_post);
+        st.next_post += 1;
+        st.posts.insert(id.0, Post { author, text: text.into(), puzzle });
+        st.feed_order.push(id);
+        id
+    }
+
+    /// Reads a single post.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OsnError::UnknownPost`] for unknown ids.
+    pub fn read_post(&self, id: PostId) -> Result<Post, OsnError> {
+        self.state
+            .read()
+            .posts
+            .get(&id.0)
+            .cloned()
+            .ok_or(OsnError::UnknownPost)
+    }
+
+    /// The feed a viewer sees: posts authored by their friends (and
+    /// themselves), newest last. Friendship is supplied by the caller so
+    /// the provider itself stays graph-agnostic.
+    pub fn feed(&self, viewer: UserId, is_visible: impl Fn(UserId) -> bool) -> Vec<(PostId, Post)> {
+        let st = self.state.read();
+        st.feed_order
+            .iter()
+            .filter_map(|id| {
+                let post = st.posts.get(&id.0)?;
+                if post.author == viewer || is_visible(post.author) {
+                    Some((*id, post.clone()))
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::SocialGraph;
+
+    #[test]
+    fn puzzle_lifecycle() {
+        let sp = ServiceProvider::new();
+        let id = sp.publish_puzzle(Bytes::from_static(b"opaque record"));
+        assert_eq!(sp.fetch_puzzle(id).unwrap(), Bytes::from_static(b"opaque record"));
+        sp.replace_puzzle(id, Bytes::from_static(b"v2")).unwrap();
+        assert_eq!(sp.fetch_puzzle(id).unwrap(), Bytes::from_static(b"v2"));
+        assert_eq!(sp.puzzle_count(), 1);
+        sp.delete_puzzle(id).unwrap();
+        assert_eq!(sp.fetch_puzzle(id).unwrap_err(), OsnError::UnknownPuzzle);
+        assert_eq!(sp.replace_puzzle(id, Bytes::new()).unwrap_err(), OsnError::UnknownPuzzle);
+        assert_eq!(sp.delete_puzzle(id).unwrap_err(), OsnError::UnknownPuzzle);
+    }
+
+    #[test]
+    fn feed_respects_visibility() {
+        let mut g = SocialGraph::new();
+        let sharer = g.add_user("sharer");
+        let friend = g.add_user("friend");
+        let stranger = g.add_user("stranger");
+        g.befriend(sharer, friend).unwrap();
+
+        let sp = ServiceProvider::new();
+        let pid = sp.publish_puzzle(Bytes::from_static(b"r"));
+        sp.post(sharer, "solve my puzzle!", pid);
+
+        let friend_feed = sp.feed(friend, |author| g.are_friends(friend, author));
+        assert_eq!(friend_feed.len(), 1);
+        assert_eq!(friend_feed[0].1.text, "solve my puzzle!");
+        assert_eq!(friend_feed[0].1.puzzle, pid);
+
+        let stranger_feed = sp.feed(stranger, |author| g.are_friends(stranger, author));
+        assert!(stranger_feed.is_empty(), "non-friends do not see the post");
+
+        let own_feed = sp.feed(sharer, |author| g.are_friends(sharer, author));
+        assert_eq!(own_feed.len(), 1, "authors see their own posts");
+    }
+
+    #[test]
+    fn read_post_and_errors() {
+        let sp = ServiceProvider::new();
+        let pid = sp.publish_puzzle(Bytes::new());
+        let post_id = sp.post(UserId::from_raw_for_tests(0), "hi", pid);
+        assert_eq!(sp.read_post(post_id).unwrap().text, "hi");
+        assert_eq!(sp.read_post(PostId(99)).unwrap_err(), OsnError::UnknownPost);
+    }
+
+    #[test]
+    fn feed_order_is_chronological() {
+        let sp = ServiceProvider::new();
+        let u = UserId::from_raw_for_tests(0);
+        let pid = sp.publish_puzzle(Bytes::new());
+        sp.post(u, "first", pid);
+        sp.post(u, "second", pid);
+        let feed = sp.feed(u, |_| true);
+        assert_eq!(feed[0].1.text, "first");
+        assert_eq!(feed[1].1.text, "second");
+    }
+}

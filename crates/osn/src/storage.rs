@@ -1,0 +1,215 @@
+//! The storage host (DH): a URL-addressed blob store.
+//!
+//! Logically separate from the service provider (§IV-A); the encrypted
+//! object `O_{K_O}` lives here and is publicly fetchable by anyone who
+//! knows `URL_O`. The store also exposes tampering hooks used by the
+//! malicious-DH adversary tests (§VI-B).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+
+use crate::error::OsnError;
+
+/// A web resource locator for a stored blob.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Url(String);
+
+impl Url {
+    /// The string form.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Url {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for Url {
+    fn from(s: &str) -> Self {
+        Url(s.to_owned())
+    }
+}
+
+#[derive(Debug, Default)]
+struct Store {
+    blobs: HashMap<String, Bytes>,
+    next_id: u64,
+}
+
+/// The storage host. Cheap to clone (shared state), safe to use from
+/// concurrent receiver simulations.
+#[derive(Clone, Debug, Default)]
+pub struct StorageHost {
+    store: Arc<RwLock<Store>>,
+}
+
+impl StorageHost {
+    /// Creates an empty host.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores a blob, returning its public URL.
+    pub fn put(&self, data: Bytes) -> Url {
+        let mut store = self.store.write();
+        let id = store.next_id;
+        store.next_id += 1;
+        let url = format!("https://dh.example/objects/{id}");
+        store.blobs.insert(url.clone(), data);
+        Url(url)
+    }
+
+    /// Reserves a URL with empty content, to be filled by
+    /// [`StorageHost::fill`] — the "create resource, then upload" pattern
+    /// protocol drivers need when the URL must be known before the
+    /// payload is finalized (e.g. because the payload's metadata signs
+    /// the URL).
+    pub fn reserve(&self) -> Url {
+        self.put(Bytes::new())
+    }
+
+    /// Fills (or replaces) the content at a previously issued URL.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OsnError::UnknownUrl`] if the URL was never issued.
+    pub fn fill(&self, url: &Url, data: Bytes) -> Result<(), OsnError> {
+        self.tamper(url, data)
+    }
+
+    /// Fetches a blob.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OsnError::UnknownUrl`] if nothing is stored at `url`.
+    pub fn get(&self, url: &Url) -> Result<Bytes, OsnError> {
+        self.store
+            .read()
+            .blobs
+            .get(&url.0)
+            .cloned()
+            .ok_or(OsnError::UnknownUrl)
+    }
+
+    /// Deletes a blob (a malicious-DH denial of service).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OsnError::UnknownUrl`] if nothing is stored at `url`.
+    pub fn delete(&self, url: &Url) -> Result<(), OsnError> {
+        self.store
+            .write()
+            .blobs
+            .remove(&url.0)
+            .map(|_| ())
+            .ok_or(OsnError::UnknownUrl)
+    }
+
+    /// Overwrites a blob in place (a malicious-DH tampering attack).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OsnError::UnknownUrl`] if nothing is stored at `url`.
+    pub fn tamper(&self, url: &Url, data: Bytes) -> Result<(), OsnError> {
+        let mut store = self.store.write();
+        match store.blobs.get_mut(&url.0) {
+            Some(slot) => {
+                *slot = data;
+                Ok(())
+            }
+            None => Err(OsnError::UnknownUrl),
+        }
+    }
+
+    /// Number of stored blobs.
+    pub fn len(&self) -> usize {
+        self.store.read().blobs.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.store.read().blobs.is_empty()
+    }
+
+    /// Total stored bytes (what a curious DH can see: sizes only).
+    pub fn total_bytes(&self) -> usize {
+        self.store.read().blobs.values().map(|b| b.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let dh = StorageHost::new();
+        let url = dh.put(Bytes::from_static(b"encrypted object"));
+        assert_eq!(dh.get(&url).unwrap(), Bytes::from_static(b"encrypted object"));
+        assert_eq!(dh.len(), 1);
+        assert_eq!(dh.total_bytes(), 16);
+    }
+
+    #[test]
+    fn urls_are_unique() {
+        let dh = StorageHost::new();
+        let u1 = dh.put(Bytes::from_static(b"a"));
+        let u2 = dh.put(Bytes::from_static(b"a"));
+        assert_ne!(u1, u2);
+    }
+
+    #[test]
+    fn missing_url() {
+        let dh = StorageHost::new();
+        let ghost = Url::from("https://dh.example/objects/404");
+        assert_eq!(dh.get(&ghost).unwrap_err(), OsnError::UnknownUrl);
+        assert_eq!(dh.delete(&ghost).unwrap_err(), OsnError::UnknownUrl);
+        assert_eq!(
+            dh.tamper(&ghost, Bytes::new()).unwrap_err(),
+            OsnError::UnknownUrl
+        );
+    }
+
+    #[test]
+    fn delete_and_tamper() {
+        let dh = StorageHost::new();
+        let url = dh.put(Bytes::from_static(b"original"));
+        dh.tamper(&url, Bytes::from_static(b"evil")).unwrap();
+        assert_eq!(dh.get(&url).unwrap(), Bytes::from_static(b"evil"));
+        dh.delete(&url).unwrap();
+        assert!(dh.is_empty());
+        assert_eq!(dh.get(&url).unwrap_err(), OsnError::UnknownUrl);
+    }
+
+    #[test]
+    fn shared_across_clones() {
+        let dh = StorageHost::new();
+        let clone = dh.clone();
+        let url = dh.put(Bytes::from_static(b"x"));
+        assert_eq!(clone.get(&url).unwrap(), Bytes::from_static(b"x"));
+    }
+
+    #[test]
+    fn concurrent_puts() {
+        let dh = StorageHost::new();
+        crossbeam::thread::scope(|s| {
+            for i in 0..8u8 {
+                let d = dh.clone();
+                s.spawn(move |_| {
+                    for j in 0..50u8 {
+                        d.put(Bytes::copy_from_slice(&[i, j]));
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(dh.len(), 400);
+    }
+}

@@ -1,0 +1,102 @@
+//! OSN substrate scenario test: a day in the life of the simulated
+//! platform — users, friendships, posts, blobs, traffic accounting and
+//! the audit log, all interacting.
+
+use bytes::Bytes;
+use sp_osn::{NetworkModel, ServiceProvider, SocialGraph, StorageHost};
+
+#[test]
+fn a_day_on_the_platform() {
+    let mut graph = SocialGraph::new();
+    let sp = ServiceProvider::new();
+    let dh = StorageHost::new();
+    let net = NetworkModel::wlan_to_cloud();
+
+    // Morning: three users sign up; two friendships form.
+    let ana = graph.add_user("ana");
+    let bo = graph.add_user("bo");
+    let cai = graph.add_user("cai");
+    graph.befriend(ana, bo).unwrap();
+    graph.befriend(bo, cai).unwrap();
+
+    // Ana shares two puzzles; Bo shares one.
+    let mut puzzle_ids = Vec::new();
+    for (author, label) in [(ana, "ana-1"), (ana, "ana-2"), (bo, "bo-1")] {
+        let blob_url = dh.put(Bytes::from(format!("encrypted:{label}")));
+        let record = Bytes::from(format!("record:{label}:{blob_url}"));
+        net.request_duration(record.len() as u64, 64);
+        let pid = sp.publish_puzzle(record);
+        sp.post(author, format!("new puzzle {label}"), pid);
+        puzzle_ids.push(pid);
+    }
+    assert_eq!(sp.puzzle_count(), 3);
+    assert_eq!(dh.len(), 3);
+
+    // Feeds respect the (symmetric, non-transitive) friendship graph.
+    let bo_feed = sp.feed(bo, |a| graph.are_friends(bo, a));
+    assert_eq!(bo_feed.len(), 3, "bo sees ana's two posts and his own");
+    let cai_feed = sp.feed(cai, |a| graph.are_friends(cai, a));
+    assert_eq!(cai_feed.len(), 1, "cai only sees bo's post");
+    let ana_feed = sp.feed(ana, |a| graph.are_friends(ana, a));
+    assert_eq!(ana_feed.len(), 3);
+
+    // Afternoon: access attempts land in the audit log.
+    sp.log_access(bo, puzzle_ids[0], true);
+    sp.log_access(cai, puzzle_ids[2], false);
+    let log = sp.audit_log();
+    assert_eq!(log.len(), 2);
+    assert!(log[0].granted && !log[1].granted);
+    assert_eq!(log[0].seq, 0);
+    assert_eq!(log[1].seq, 1);
+
+    // Evening: ana unfriends bo; bo's feed loses her posts.
+    graph.unfriend(ana, bo).unwrap();
+    let bo_feed = sp.feed(bo, |a| graph.are_friends(bo, a));
+    assert_eq!(bo_feed.len(), 1, "only bo's own post remains");
+
+    // A sharer deletes one puzzle; the DH blob outlives it until the
+    // sharer deletes that too (they are separate services).
+    sp.delete_puzzle(puzzle_ids[1]).unwrap();
+    assert_eq!(sp.puzzle_count(), 2);
+    assert_eq!(dh.len(), 3);
+
+    // Traffic accounting saw every publish request.
+    let stats = net.stats();
+    assert_eq!(stats.requests, 3);
+    assert!(stats.bytes_up > 0);
+}
+
+#[test]
+fn concurrent_mixed_workload() {
+    let sp = ServiceProvider::new();
+    let dh = StorageHost::new();
+    let mut graph = SocialGraph::new();
+    let users: Vec<_> = (0..8).map(|i| graph.add_user(format!("u{i}"))).collect();
+
+    crossbeam::thread::scope(|s| {
+        for (t, &user) in users.iter().enumerate() {
+            let sp = sp.clone();
+            let dh = dh.clone();
+            s.spawn(move |_| {
+                for i in 0..25 {
+                    let url = dh.put(Bytes::from(vec![t as u8, i as u8]));
+                    let pid = sp.publish_puzzle(Bytes::from(url.as_str().to_owned()));
+                    sp.post(user, format!("post {t}/{i}"), pid);
+                    sp.log_access(user, pid, i % 2 == 0);
+                }
+            });
+        }
+    })
+    .unwrap();
+
+    assert_eq!(sp.puzzle_count(), 200);
+    assert_eq!(dh.len(), 200);
+    let log = sp.audit_log();
+    assert_eq!(log.len(), 200);
+    // Sequence numbers are unique and dense.
+    let mut seqs: Vec<u64> = log.iter().map(|e| e.seq).collect();
+    seqs.sort_unstable();
+    seqs.dedup();
+    assert_eq!(seqs.len(), 200);
+    assert_eq!(*seqs.last().unwrap(), 199);
+}

@@ -1,0 +1,380 @@
+//! The group `G1`: the order-`r` subgroup of `E(F_q)` for the
+//! supersingular curve `E : y² = x³ + x`.
+
+use std::fmt;
+use std::sync::Arc;
+
+use sp_bigint::Uint;
+use sp_field::{FieldCtx, Fp};
+
+use crate::error::PairingError;
+
+/// A point on `E(F_q) : y² = x³ + x`, in affine coordinates (or the point
+/// at infinity).
+///
+/// Library users obtain points from [`crate::Pairing`] (generator, hashing,
+/// scalar multiplication); the group operation is written additively.
+#[derive(Clone, PartialEq, Eq)]
+pub struct G1 {
+    repr: Repr,
+}
+
+#[derive(Clone, PartialEq, Eq)]
+enum Repr {
+    Infinity,
+    Affine { x: Fp<8>, y: Fp<8> },
+}
+
+impl G1 {
+    /// The point at infinity (group identity).
+    pub fn identity() -> Self {
+        Self { repr: Repr::Infinity }
+    }
+
+    /// Builds a point from affine coordinates, verifying the curve
+    /// equation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PairingError::BadPointEncoding`] if `(x, y)` is not on
+    /// the curve.
+    pub fn from_affine(x: Fp<8>, y: Fp<8>) -> Result<Self, PairingError> {
+        let p = Self { repr: Repr::Affine { x, y } };
+        if p.is_on_curve() {
+            Ok(p)
+        } else {
+            Err(PairingError::BadPointEncoding)
+        }
+    }
+
+    pub(crate) fn from_affine_unchecked(x: Fp<8>, y: Fp<8>) -> Self {
+        Self { repr: Repr::Affine { x, y } }
+    }
+
+    /// Returns `true` for the point at infinity.
+    pub fn is_identity(&self) -> bool {
+        matches!(self.repr, Repr::Infinity)
+    }
+
+    /// Affine coordinates, or `None` for the point at infinity.
+    pub fn coords(&self) -> Option<(&Fp<8>, &Fp<8>)> {
+        match &self.repr {
+            Repr::Infinity => None,
+            Repr::Affine { x, y } => Some((x, y)),
+        }
+    }
+
+    /// Checks `y² = x³ + x` (vacuously true at infinity).
+    pub fn is_on_curve(&self) -> bool {
+        match &self.repr {
+            Repr::Infinity => true,
+            Repr::Affine { x, y } => {
+                let lhs = y.square();
+                let rhs = &(&x.square() * x) + x;
+                lhs == rhs
+            }
+        }
+    }
+
+    /// Group negation: `(x, y) ↦ (x, −y)`.
+    pub fn negate(&self) -> Self {
+        match &self.repr {
+            Repr::Infinity => Self::identity(),
+            Repr::Affine { x, y } => Self { repr: Repr::Affine { x: x.clone(), y: -y } },
+        }
+    }
+
+    /// Point doubling.
+    pub fn double(&self) -> Self {
+        match &self.repr {
+            Repr::Infinity => Self::identity(),
+            Repr::Affine { x, y } => {
+                if y.is_zero() {
+                    // Order-2 point.
+                    return Self::identity();
+                }
+                // λ = (3x² + 1) / 2y   (curve a-coefficient is 1)
+                let ctx = x.ctx();
+                let three_x2 = {
+                    let x2 = x.square();
+                    &x2.double() + &x2
+                };
+                let num = &three_x2 + &ctx.one();
+                let den = y.double();
+                let lambda = &num * &den.invert().expect("2y nonzero");
+                let x3 = &lambda.square() - &x.double();
+                let y3 = &(&lambda * &(x - &x3)) - y;
+                Self { repr: Repr::Affine { x: x3, y: y3 } }
+            }
+        }
+    }
+
+    /// Group addition.
+    pub fn add(&self, other: &Self) -> Self {
+        match (&self.repr, &other.repr) {
+            (Repr::Infinity, _) => other.clone(),
+            (_, Repr::Infinity) => self.clone(),
+            (Repr::Affine { x: x1, y: y1 }, Repr::Affine { x: x2, y: y2 }) => {
+                if x1 == x2 {
+                    if y1 == y2 {
+                        return self.double();
+                    }
+                    // y1 = −y2: vertical line.
+                    return Self::identity();
+                }
+                let lambda = &(y2 - y1) * &(x2 - x1).invert().expect("x2 != x1");
+                let x3 = &(&lambda.square() - x1) - x2;
+                let y3 = &(&lambda * &(x1 - &x3)) - y1;
+                Self { repr: Repr::Affine { x: x3, y: y3 } }
+            }
+        }
+    }
+
+    /// Subtraction: `self + (−other)`.
+    pub fn sub(&self, other: &Self) -> Self {
+        self.add(&other.negate())
+    }
+
+    /// Scalar multiplication by a canonical integer.
+    ///
+    /// Uses Jacobian projective coordinates internally (one field
+    /// inversion total, instead of one per group operation), with a
+    /// double-and-add ladder over the scalar bits.
+    pub fn mul_uint<const E: usize>(&self, scalar: &Uint<E>) -> Self {
+        let bits = scalar.bit_len();
+        if bits == 0 || self.is_identity() {
+            return Self::identity();
+        }
+        let (x, y) = self.coords().expect("non-identity");
+        let mut acc = Jacobian::from_affine(x.clone(), y.clone());
+        for i in (0..bits - 1).rev() {
+            acc = acc.double();
+            if scalar.bit(i) {
+                acc = acc.add_affine(x, y);
+            }
+        }
+        acc.to_g1()
+    }
+
+    /// Simultaneous double-scalar multiplication `[a]self + [b]other`
+    /// (Straus/Shamir trick): one shared double-and-add ladder with a
+    /// 4-entry table, ~25% faster than two independent ladders. This is
+    /// the exact shape Schnorr verification evaluates (`[s]G + [−c]P`).
+    pub fn double_scalar_mul<const E: usize>(
+        &self,
+        a: &Uint<E>,
+        other: &Self,
+        b: &Uint<E>,
+    ) -> Self {
+        let bits = a.bit_len().max(b.bit_len());
+        if bits == 0 {
+            return Self::identity();
+        }
+        let sum = self.add(other);
+        let mut acc = Self::identity();
+        for i in (0..bits).rev() {
+            acc = acc.double();
+            match (a.bit(i), b.bit(i)) {
+                (true, true) => acc = acc.add(&sum),
+                (true, false) => acc = acc.add(self),
+                (false, true) => acc = acc.add(other),
+                (false, false) => {}
+            }
+        }
+        acc
+    }
+
+    /// Scalar multiplication using the naive affine double-and-add;
+    /// retained as the reference implementation the Jacobian path is
+    /// tested against.
+    pub fn mul_uint_affine<const E: usize>(&self, scalar: &Uint<E>) -> Self {
+        let bits = scalar.bit_len();
+        if bits == 0 || self.is_identity() {
+            return Self::identity();
+        }
+        let mut acc = self.clone();
+        for i in (0..bits - 1).rev() {
+            acc = acc.double();
+            if scalar.bit(i) {
+                acc = acc.add(self);
+            }
+        }
+        acc
+    }
+
+    /// Fixed-length encoding: a tag byte (`0` infinity, `1` affine)
+    /// followed by `x ‖ y` for affine points.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        match &self.repr {
+            Repr::Infinity => vec![0u8],
+            Repr::Affine { x, y } => {
+                let mut out = Vec::with_capacity(1 + 128);
+                out.push(1u8);
+                out.extend_from_slice(&x.to_be_bytes());
+                out.extend_from_slice(&y.to_be_bytes());
+                out
+            }
+        }
+    }
+
+    /// Decodes a point produced by [`G1::to_bytes`], verifying the curve
+    /// equation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PairingError::BadPointEncoding`] for malformed or
+    /// off-curve encodings.
+    pub fn from_bytes(fq: &Arc<FieldCtx<8>>, bytes: &[u8]) -> Result<Self, PairingError> {
+        match bytes.first() {
+            Some(0) if bytes.len() == 1 => Ok(Self::identity()),
+            Some(1) if bytes.len() == 1 + 128 => {
+                let x = fq
+                    .from_be_bytes(&bytes[1..65])
+                    .map_err(|_| PairingError::BadPointEncoding)?;
+                let y = fq
+                    .from_be_bytes(&bytes[65..129])
+                    .map_err(|_| PairingError::BadPointEncoding)?;
+                Self::from_affine(x, y)
+            }
+            _ => Err(PairingError::BadPointEncoding),
+        }
+    }
+
+    /// Compressed encoding: a tag byte (`0` infinity; `2`/`3` for even/odd
+    /// `y`) followed by `x` — 65 bytes instead of 129 for affine points.
+    pub fn to_bytes_compressed(&self) -> Vec<u8> {
+        match &self.repr {
+            Repr::Infinity => vec![0u8],
+            Repr::Affine { x, y } => {
+                let mut out = Vec::with_capacity(65);
+                out.push(if y.to_uint().is_odd() { 3 } else { 2 });
+                out.extend_from_slice(&x.to_be_bytes());
+                out
+            }
+        }
+    }
+
+    /// Decodes a compressed point: recomputes `y = ±√(x³ + x)` and picks
+    /// the root matching the parity tag.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PairingError::BadPointEncoding`] for malformed tags,
+    /// wrong lengths, or `x` values with no square root (off-curve).
+    pub fn from_bytes_compressed(fq: &Arc<FieldCtx<8>>, bytes: &[u8]) -> Result<Self, PairingError> {
+        match bytes.first() {
+            Some(0) if bytes.len() == 1 => Ok(Self::identity()),
+            Some(tag @ (2 | 3)) if bytes.len() == 65 => {
+                let x = fq
+                    .from_be_bytes(&bytes[1..])
+                    .map_err(|_| PairingError::BadPointEncoding)?;
+                let rhs = &(&x.square() * &x) + &x;
+                let y = rhs.sqrt().ok_or(PairingError::BadPointEncoding)?;
+                let want_odd = *tag == 3;
+                let y = if y.to_uint().is_odd() == want_odd { y } else { -&y };
+                // sqrt(0) = 0 cannot satisfy an odd-parity tag.
+                if y.is_zero() && want_odd {
+                    return Err(PairingError::BadPointEncoding);
+                }
+                Ok(Self::from_affine_unchecked(x, y))
+            }
+            _ => Err(PairingError::BadPointEncoding),
+        }
+    }
+}
+
+/// A point in Jacobian projective coordinates: `(X, Y, Z)` represents the
+/// affine point `(X/Z², Y/Z³)`; `Z = 0` is the identity. Internal to
+/// scalar multiplication — only normalized affine points cross the API.
+struct Jacobian {
+    x: Fp<8>,
+    y: Fp<8>,
+    z: Fp<8>,
+}
+
+impl Jacobian {
+    fn from_affine(x: Fp<8>, y: Fp<8>) -> Self {
+        let z = x.ctx().one();
+        Self { x, y, z }
+    }
+
+    fn identity(ctx: &Arc<FieldCtx<8>>) -> Self {
+        Self { x: ctx.one(), y: ctx.one(), z: ctx.zero() }
+    }
+
+    fn is_identity(&self) -> bool {
+        self.z.is_zero()
+    }
+
+    /// Doubling on `y² = x³ + a·x` with `a = 1`:
+    /// `S = 4XY²`, `M = 3X² + Z⁴`, `X' = M² − 2S`,
+    /// `Y' = M(S − X') − 8Y⁴`, `Z' = 2YZ`.
+    fn double(&self) -> Self {
+        if self.is_identity() || self.y.is_zero() {
+            return Self::identity(self.x.ctx());
+        }
+        let y2 = self.y.square();
+        let s = (&self.x * &y2).double().double(); // 4XY²
+        let m = {
+            let x2 = self.x.square();
+            let z2 = self.z.square();
+            &(&x2.double() + &x2) + &z2.square() // 3X² + Z⁴ (a = 1)
+        };
+        let x3 = &m.square() - &s.double();
+        let y3 = &(&m * &(&s - &x3)) - &y2.square().double().double().double(); // 8Y⁴
+        let z3 = (&self.y * &self.z).double();
+        Self { x: x3, y: y3, z: z3 }
+    }
+
+    /// Mixed addition with an affine point `(x2, y2)`.
+    fn add_affine(&self, x2: &Fp<8>, y2: &Fp<8>) -> Self {
+        if self.is_identity() {
+            return Self::from_affine(x2.clone(), y2.clone());
+        }
+        let z1z1 = self.z.square();
+        let u2 = x2 * &z1z1;
+        let s2 = &(y2 * &self.z) * &z1z1;
+        let h = &u2 - &self.x;
+        let r = &s2 - &self.y;
+        if h.is_zero() {
+            if r.is_zero() {
+                return self.double();
+            }
+            return Self::identity(self.x.ctx());
+        }
+        let h2 = h.square();
+        let h3 = &h2 * &h;
+        let x1h2 = &self.x * &h2;
+        let x3 = &(&r.square() - &h3) - &x1h2.double();
+        let y3 = &(&r * &(&x1h2 - &x3)) - &(&self.y * &h3);
+        let z3 = &self.z * &h;
+        Self { x: x3, y: y3, z: z3 }
+    }
+
+    /// Normalizes back to an affine [`G1`] (the one inversion).
+    fn to_g1(&self) -> G1 {
+        if self.is_identity() {
+            return G1::identity();
+        }
+        let z_inv = self.z.invert().expect("nonzero z");
+        let z_inv2 = z_inv.square();
+        let x = &self.x * &z_inv2;
+        let y = &(&self.y * &z_inv2) * &z_inv;
+        G1::from_affine_unchecked(x, y)
+    }
+}
+
+impl fmt::Debug for G1 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for G1 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.repr {
+            Repr::Infinity => f.write_str("G1(inf)"),
+            Repr::Affine { x, y } => write!(f, "G1({x}, {y})"),
+        }
+    }
+}

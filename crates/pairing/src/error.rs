@@ -1,0 +1,44 @@
+//! Error types.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by pairing-group operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PairingError {
+    /// A point encoding was malformed or not on the curve.
+    BadPointEncoding,
+    /// A target-group element encoding was malformed.
+    BadGtEncoding,
+    /// A scalar encoding was malformed.
+    BadScalarEncoding,
+}
+
+impl fmt::Display for PairingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BadPointEncoding => f.write_str("invalid curve point encoding"),
+            Self::BadGtEncoding => f.write_str("invalid target-group element encoding"),
+            Self::BadScalarEncoding => f.write_str("invalid scalar encoding"),
+        }
+    }
+}
+
+impl Error for PairingError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        for e in [
+            PairingError::BadPointEncoding,
+            PairingError::BadGtEncoding,
+            PairingError::BadScalarEncoding,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! The target group `Gt ⊂ F_{q²}^*`.
+
+use std::fmt;
+use std::sync::Arc;
+
+use sp_bigint::Uint;
+use sp_field::{FieldCtx, Fp2};
+
+use crate::error::PairingError;
+
+/// An element of the order-`r` target group, written multiplicatively.
+///
+/// Values are produced by [`crate::Pairing::pair`] (and powers/products of
+/// its results). After the final exponentiation every element lies in the
+/// norm-1 subgroup of `F_{q²}^*`, so inversion is just conjugation.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Gt {
+    value: Fp2<8>,
+}
+
+impl Gt {
+    pub(crate) fn from_fp2(value: Fp2<8>) -> Self {
+        Self { value }
+    }
+
+    /// The group identity.
+    pub fn one(fq: &Arc<FieldCtx<8>>) -> Self {
+        Self { value: Fp2::one(fq) }
+    }
+
+    /// Returns `true` for the identity.
+    pub fn is_one(&self) -> bool {
+        self.value.is_one()
+    }
+
+    /// Group operation.
+    pub fn mul(&self, other: &Self) -> Self {
+        Self { value: &self.value * &other.value }
+    }
+
+    /// Exponentiation by a canonical integer.
+    pub fn pow<const E: usize>(&self, exp: &Uint<E>) -> Self {
+        Self { value: self.value.pow(exp) }
+    }
+
+    /// Exponentiation by a scalar (element of `Z_r`).
+    pub fn pow_scalar(&self, s: &crate::params::Scalar) -> Self {
+        self.pow(&s.to_uint())
+    }
+
+    /// Group inverse (conjugation — elements have norm 1).
+    pub fn inverse(&self) -> Self {
+        Self { value: self.value.conjugate() }
+    }
+
+    /// Division: `self · other^{-1}`.
+    pub fn div(&self, other: &Self) -> Self {
+        self.mul(&other.inverse())
+    }
+
+    /// The underlying `F_{q²}` value (read-only).
+    pub fn as_fp2(&self) -> &Fp2<8> {
+        &self.value
+    }
+
+    /// Fixed-length encoding (`c0 ‖ c1`, 128 bytes).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.value.to_be_bytes()
+    }
+
+    /// Decodes an element produced by [`Gt::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PairingError::BadGtEncoding`] for malformed encodings.
+    /// Subgroup membership is *not* checked (128-byte encodings of
+    /// arbitrary `F_{q²}` values decode successfully); callers that accept
+    /// untrusted elements should treat them as blinding factors only.
+    pub fn from_bytes(fq: &Arc<FieldCtx<8>>, bytes: &[u8]) -> Result<Self, PairingError> {
+        let value = Fp2::from_be_bytes(fq, bytes).map_err(|_| PairingError::BadGtEncoding)?;
+        Ok(Self { value })
+    }
+}
+
+impl fmt::Debug for Gt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Gt({})", self.value)
+    }
+}
+
+impl fmt::Display for Gt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}

@@ -1,0 +1,48 @@
+//! Symmetric bilinear pairing in the style of PBC's *Type-A* curves.
+//!
+//! The CP-ABE toolkit underlying the paper's second prototype is built on
+//! the PBC library's Type-A pairing: the supersingular curve
+//! `E : y² = x³ + x` over `F_q` with `q ≡ 3 (mod 4)`, embedding degree 2,
+//! and a prime-order-`r` subgroup with `r | q + 1`. This crate implements
+//! that construction from scratch:
+//!
+//! * [`PairingParams`] — parameter generation (`q = h·r − 1` with the
+//!   160-bit Solinas `r`), plus a process-wide cached default,
+//! * [`G1`] — the order-`r` subgroup of `E(F_q)`, with hashing to the
+//!   group,
+//! * [`Gt`] — the order-`r` target group inside `F_{q²}^*`,
+//! * [`Pairing::pair`] — the modified Tate pairing `ê(P, Q) =
+//!   e(P, ψ(Q))` with distortion map `ψ(x, y) = (−x, i·y)`, computed with
+//!   Miller's algorithm (denominator elimination) and a two-stage final
+//!   exponentiation.
+//!
+//! # Example
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use sp_pairing::Pairing;
+//!
+//! let pairing = Pairing::insecure_test_params();
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let a = pairing.random_scalar(&mut rng);
+//! let b = pairing.random_scalar(&mut rng);
+//! let g = pairing.generator();
+//! // Bilinearity: e(aG, bG) = e(G, G)^(ab)
+//! let lhs = pairing.pair(&pairing.mul(g, &a), &pairing.mul(g, &b));
+//! let rhs = pairing.pair(g, g).pow_scalar(&a).pow_scalar(&b);
+//! assert_eq!(lhs, rhs);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod curve;
+mod error;
+mod gt;
+mod miller;
+mod params;
+
+pub use curve::G1;
+pub use error::PairingError;
+pub use gt::Gt;
+pub use params::{Pairing, PairingParams, Scalar, DEFAULT_Q_BITS, TEST_Q_BITS};

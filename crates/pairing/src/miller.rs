@@ -1,0 +1,124 @@
+//! Miller's algorithm for the modified Tate pairing on Type-A curves.
+//!
+//! The pairing computed is `ê(P, Q) = e_r(P, ψ(Q))^{(q²−1)/r}` where
+//! `ψ(x, y) = (−x, i·y)` is the distortion map into `E(F_{q²})` and `e_r`
+//! is the Tate pairing. Because the embedding degree is 2 and `ψ(Q)` has
+//! its x-coordinate in the base field, all *vertical* line values lie in
+//! `F_q^*` and are annihilated by the `(q−1)` factor of the final
+//! exponentiation — so the Miller loop only multiplies in the non-vertical
+//! line numerators (denominator elimination, BKLS).
+
+use sp_bigint::Uint;
+use sp_field::{Fp, Fp2};
+
+use crate::curve::G1;
+
+/// Evaluates the line through `t` (with slope `lambda`) at `ψ(Q)` for
+/// `Q = (xq, yq)`.
+///
+/// `l(ψQ) = y_{ψQ} − y_T − λ(x_{ψQ} − x_T)` with `x_{ψQ} = −x_Q ∈ F_q`
+/// and `y_{ψQ} = i·y_Q`, i.e. real part `λ(x_Q + x_T) − y_T`, imaginary
+/// part `y_Q`.
+fn line_value(lambda: &Fp<8>, xt: &Fp<8>, yt: &Fp<8>, xq: &Fp<8>, yq: &Fp<8>) -> Fp2<8> {
+    let c0 = &(lambda * &(xq + xt)) - yt;
+    Fp2::new(c0, yq.clone()).expect("base field is 3 mod 4")
+}
+
+/// Computes the modified Tate pairing `ê(P, Q)` before any [`crate::Gt`]
+/// wrapping: Miller loop over the bits of `r`, then the two-stage final
+/// exponentiation `f ↦ (f^{q−1})^h` with `h = (q+1)/r`.
+///
+/// `P` and `Q` must be non-identity points of order dividing `r` (the
+/// caller handles identity operands).
+///
+/// # Panics
+///
+/// Panics if either point is the identity.
+pub(crate) fn tate_pairing(p: &G1, q: &G1, r: &Uint<4>, h: &Uint<8>) -> Fp2<8> {
+    final_exponentiation(&miller_loop(p, q, r), h)
+}
+
+/// The raw Miller loop value `f_{r,P}(ψQ)` (before final exponentiation);
+/// exposed within the crate so products/ratios of pairings can share one
+/// final exponentiation.
+///
+/// # Panics
+///
+/// Panics if either point is the identity.
+pub(crate) fn miller_loop(p: &G1, q: &G1, r: &Uint<4>) -> Fp2<8> {
+    let (xp, yp) = p.coords().expect("identity handled by Pairing::pair");
+    let (xq, yq) = q.coords().expect("identity handled by Pairing::pair");
+    let ctx = xp.ctx().clone();
+
+    let mut f = Fp2::one(&ctx);
+    let mut xt = xp.clone();
+    let mut yt = yp.clone();
+    let bits = r.bit_len();
+
+    for i in (0..bits - 1).rev() {
+        // Doubling step: f ← f² · l_{T,T}(ψQ); T ← 2T.
+        f = f.square();
+        debug_assert!(!yt.is_zero(), "odd-order point cannot hit y = 0 mid-loop");
+        let lambda = {
+            let x2 = xt.square();
+            let num = &(&x2.double() + &x2) + &ctx.one(); // 3x² + 1
+            let den = yt.double();
+            &num * &den.invert().expect("2y nonzero")
+        };
+        f = &f * &line_value(&lambda, &xt, &yt, xq, yq);
+        let x_new = &lambda.square() - &xt.double();
+        let y_new = &(&lambda * &(&xt - &x_new)) - &yt;
+        xt = x_new;
+        yt = y_new;
+
+        if r.bit(i) {
+            // Addition step: f ← f · l_{T,P}(ψQ); T ← T + P.
+            if xt == *xp {
+                if yt == *yp {
+                    // T == P: tangent line (only possible in malformed
+                    // inputs; handle for robustness).
+                    let lambda = {
+                        let x2 = xt.square();
+                        let num = &(&x2.double() + &x2) + &ctx.one();
+                        let den = yt.double();
+                        &num * &den.invert().expect("2y nonzero")
+                    };
+                    f = &f * &line_value(&lambda, &xt, &yt, xq, yq);
+                    let x_new = &lambda.square() - &xt.double();
+                    let y_new = &(&lambda * &(&xt - &x_new)) - &yt;
+                    xt = x_new;
+                    yt = y_new;
+                } else {
+                    // T == −P: vertical line, value in F_q^* — skipped by
+                    // denominator elimination. T + P = ∞; this only occurs
+                    // on the final iteration for points of exact order r.
+                    xt = ctx.zero();
+                    yt = ctx.zero();
+                    // Mark T as infinity by leaving the loop; any further
+                    // iterations would multiply by line values at ∞, which
+                    // cannot happen for prime r (the final addition is the
+                    // last step).
+                    debug_assert_eq!(i, 0, "T = -P before the last bit implies order < r");
+                }
+            } else {
+                let lambda = &(yp - &yt) * &(xp - &xt).invert().expect("xp != xt");
+                f = &f * &line_value(&lambda, &xt, &yt, xq, yq);
+                let x_new = &(&lambda.square() - &xt) - xp;
+                let y_new = &(&lambda * &(&xt - &x_new)) - &yt;
+                xt = x_new;
+                yt = y_new;
+            }
+        }
+    }
+
+    f
+}
+
+/// Final exponentiation: `f ↦ f^((q² − 1)/r)` computed in two stages as
+/// `(conj(f)/f)^h`, since `(q² − 1)/r = (q − 1)·h` and `f^q = conj(f)`
+/// in `F_{q²}` with `q ≡ 3 (mod 4)`.
+pub(crate) fn final_exponentiation(f: &Fp2<8>, h: &Uint<8>) -> Fp2<8> {
+    let f_inv = f.invert().expect("miller value nonzero");
+    let u = &f.conjugate() * &f_inv;
+    u.pow(h)
+}

@@ -1,0 +1,548 @@
+//! Pairing parameters and the top-level [`Pairing`] API.
+
+use std::fmt;
+use std::sync::{Arc, OnceLock};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sp_bigint::prime::{generate_type_a, TypeAPrimes};
+use sp_bigint::Uint;
+use sp_crypto::sha256::sha256_concat;
+use sp_field::{FieldCtx, Fp};
+
+use crate::curve::G1;
+use crate::error::PairingError;
+use crate::gt::Gt;
+use crate::miller::tate_pairing;
+
+/// An element of the scalar field `Z_r` (`r` = group order).
+pub type Scalar = Fp<4>;
+
+/// Bit size of the base-field prime `q` for production parameters —
+/// matches PBC's stock `a.param` (512-bit `q`, 160-bit `r`).
+pub const DEFAULT_Q_BITS: u32 = 512;
+
+/// Smaller `q` used by [`Pairing::insecure_test_params`]; fine for tests
+/// and benchmarks of protocol logic, but NOT cryptographically strong.
+pub const TEST_Q_BITS: u32 = 264;
+
+/// Generated Type-A pairing parameters: fields, cofactor and generator.
+pub struct PairingParams {
+    fq: Arc<FieldCtx<8>>,
+    zr: Arc<FieldCtx<4>>,
+    r: Uint<4>,
+    h: Uint<8>,
+    generator: G1,
+}
+
+impl fmt::Debug for PairingParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PairingParams")
+            .field("q_bits", &self.fq.modulus().bit_len())
+            .field("r_bits", &self.r.bit_len())
+            .finish()
+    }
+}
+
+/// A symmetric bilinear pairing `ê : G1 × G1 → Gt` on a Type-A curve.
+///
+/// Cheap to clone (shared parameters).
+///
+/// # Example
+///
+/// ```
+/// use sp_pairing::Pairing;
+///
+/// let pairing = Pairing::insecure_test_params();
+/// let g = pairing.generator();
+/// assert!(!pairing.pair(g, g).is_one(), "modified pairing is non-degenerate");
+/// ```
+#[derive(Clone, Debug)]
+pub struct Pairing {
+    params: Arc<PairingParams>,
+}
+
+impl Pairing {
+    /// Generates fresh parameters with a `q_bits`-bit base field.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q_bits` is out of the supported range
+    /// `(200, 512]`.
+    pub fn generate<R: Rng + ?Sized>(q_bits: u32, rng: &mut R) -> Self {
+        assert!(q_bits <= 512, "Uint<8> holds at most 512 bits");
+        let TypeAPrimes { q, r, h } = generate_type_a::<8, R>(q_bits, rng);
+        let fq = FieldCtx::new(q).expect("generated q is an odd prime");
+        let r4: Uint<4> = r.truncate().expect("r is 160 bits");
+        let zr = FieldCtx::new(r4).expect("r is an odd prime");
+        let mut params = PairingParams { fq, zr, r: r4, h, generator: G1::identity() };
+        params.generator = hash_to_g1_inner(&params, b"social-puzzles/type-a/generator/v1");
+        assert!(!params.generator.is_identity());
+        Self { params: Arc::new(params) }
+    }
+
+    /// Process-wide cached 512-bit parameters (deterministic generation, so
+    /// every component in a process agrees on the group).
+    pub fn default_params() -> Self {
+        static DEFAULT: OnceLock<Pairing> = OnceLock::new();
+        DEFAULT
+            .get_or_init(|| {
+                let mut rng = StdRng::seed_from_u64(0x5050_4243_5A45_5441); // "PPBCZETA"
+                Self::generate(DEFAULT_Q_BITS, &mut rng)
+            })
+            .clone()
+    }
+
+    /// Process-wide cached small parameters for tests and benchmarks.
+    ///
+    /// The group sizes are far below cryptographic strength — the name
+    /// says so on purpose.
+    pub fn insecure_test_params() -> Self {
+        static TEST: OnceLock<Pairing> = OnceLock::new();
+        TEST.get_or_init(|| {
+            let mut rng = StdRng::seed_from_u64(0x7465_7374);
+            Self::generate(TEST_Q_BITS, &mut rng)
+        })
+        .clone()
+    }
+
+    /// The base-field context `F_q`.
+    pub fn fq(&self) -> &Arc<FieldCtx<8>> {
+        &self.params.fq
+    }
+
+    /// The scalar-field context `Z_r`.
+    pub fn zr(&self) -> &Arc<FieldCtx<4>> {
+        &self.params.zr
+    }
+
+    /// The prime group order `r`.
+    pub fn order(&self) -> &Uint<4> {
+        &self.params.r
+    }
+
+    /// The cofactor `h = (q + 1)/r`.
+    pub fn cofactor(&self) -> &Uint<8> {
+        &self.params.h
+    }
+
+    /// A fixed generator of `G1`.
+    pub fn generator(&self) -> &G1 {
+        &self.params.generator
+    }
+
+    /// The modified Tate pairing `ê(P, Q)`.
+    pub fn pair(&self, p: &G1, q: &G1) -> Gt {
+        if p.is_identity() || q.is_identity() {
+            return Gt::one(&self.params.fq);
+        }
+        Gt::from_fp2(tate_pairing(p, q, &self.params.r, &self.params.h))
+    }
+
+    /// The pairing ratio `ê(P₁, Q₁) / ê(P₂, Q₂)`, computed with a single
+    /// shared final exponentiation — the exact shape CP-ABE's
+    /// `DecryptNode` evaluates once per satisfied leaf
+    /// (`e(D_j, C_y) / e(D'_j, C'_y)`), at roughly half the
+    /// final-exponentiation cost of two independent pairings.
+    pub fn pair_ratio(&self, p1: &G1, q1: &G1, p2: &G1, q2: &G1) -> Gt {
+        use crate::miller::{final_exponentiation, miller_loop};
+        let fq = &self.params.fq;
+        let m1 = if p1.is_identity() || q1.is_identity() {
+            sp_field::Fp2::one(fq)
+        } else {
+            miller_loop(p1, q1, &self.params.r)
+        };
+        let m2 = if p2.is_identity() || q2.is_identity() {
+            sp_field::Fp2::one(fq)
+        } else {
+            miller_loop(p2, q2, &self.params.r)
+        };
+        let ratio = &m1 * &m2.invert().expect("miller values nonzero");
+        Gt::from_fp2(final_exponentiation(&ratio, &self.params.h))
+    }
+
+    /// Uniformly random scalar in `Z_r`.
+    pub fn random_scalar<R: Rng + ?Sized>(&self, rng: &mut R) -> Scalar {
+        self.params.zr.random(rng)
+    }
+
+    /// Uniformly random *nonzero* scalar.
+    pub fn random_nonzero_scalar<R: Rng + ?Sized>(&self, rng: &mut R) -> Scalar {
+        self.params.zr.random_nonzero(rng)
+    }
+
+    /// Derives a scalar from arbitrary bytes (hash-to-`Z_r`).
+    pub fn scalar_from_bytes(&self, data: &[u8]) -> Scalar {
+        // 64 bytes of digest material, reduced mod r: bias ≤ 2^-96.
+        let d1 = sha256_concat(&[b"sp/h2s/1", data]);
+        let d2 = sha256_concat(&[b"sp/h2s/2", data]);
+        let mut wide = [0u8; 64];
+        wide[..32].copy_from_slice(&d1);
+        wide[32..].copy_from_slice(&d2);
+        let hi = Uint::<4>::from_be_bytes(&wide[..32]).expect("exact width");
+        let lo = Uint::<4>::from_be_bytes(&wide[32..]).expect("exact width");
+        let reduced = sp_bigint::reduce_wide(&hi, &lo, &self.params.r);
+        self.params.zr.element(reduced)
+    }
+
+    /// Hashes arbitrary bytes to a point of `G1` (try-and-increment on the
+    /// x-coordinate, then cofactor clearing).
+    pub fn hash_to_g1(&self, data: &[u8]) -> G1 {
+        hash_to_g1_inner(&self.params, data)
+    }
+
+    /// Scalar multiplication `[s]P` by a scalar in `Z_r`.
+    pub fn mul(&self, p: &G1, s: &Scalar) -> G1 {
+        p.mul_uint(&s.to_uint())
+    }
+
+    /// A uniformly random point of `G1`.
+    pub fn random_g1<R: Rng + ?Sized>(&self, rng: &mut R) -> G1 {
+        self.mul(self.generator(), &self.random_scalar(rng))
+    }
+
+    /// A uniformly random element of `Gt` (a random power of
+    /// `ê(G, G)`, which generates `Gt`).
+    pub fn random_gt<R: Rng + ?Sized>(&self, rng: &mut R) -> Gt {
+        let base = self.pair(self.generator(), self.generator());
+        base.pow(&self.random_scalar(rng).to_uint())
+    }
+
+    /// Decodes a `G1` point (see [`G1::from_bytes`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PairingError::BadPointEncoding`] for malformed encodings.
+    pub fn g1_from_bytes(&self, bytes: &[u8]) -> Result<G1, PairingError> {
+        G1::from_bytes(&self.params.fq, bytes)
+    }
+
+    /// Decodes a `Gt` element (see [`Gt::from_bytes`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PairingError::BadGtEncoding`] for malformed encodings.
+    pub fn gt_from_bytes(&self, bytes: &[u8]) -> Result<Gt, PairingError> {
+        Gt::from_bytes(&self.params.fq, bytes)
+    }
+
+    /// The identity of `Gt`.
+    pub fn gt_one(&self) -> Gt {
+        Gt::one(&self.params.fq)
+    }
+}
+
+fn hash_to_g1_inner(params: &PairingParams, data: &[u8]) -> G1 {
+    let fq = &params.fq;
+    for counter in 0u32.. {
+        let digest1 = sha256_concat(&[b"sp/h2g/1", &counter.to_be_bytes(), data]);
+        let digest2 = sha256_concat(&[b"sp/h2g/2", &counter.to_be_bytes(), data]);
+        let mut wide = [0u8; 64];
+        wide[..32].copy_from_slice(&digest1);
+        wide[32..].copy_from_slice(&digest2);
+        let x = fq.from_be_bytes(&wide).expect("64 bytes fit Uint<8>");
+        // y² = x³ + x
+        let rhs = &(&x.square() * &x) + &x;
+        if let Some(y) = rhs.sqrt() {
+            // Canonicalize the root deterministically (pick the "even" one).
+            let y = if y.to_uint().is_odd() { -&y } else { y };
+            let point = G1::from_affine_unchecked(x, y);
+            debug_assert!(point.is_on_curve());
+            // Clear the cofactor to land in the order-r subgroup.
+            let cleared = point.mul_uint(&params.h);
+            if !cleared.is_identity() {
+                return cleared;
+            }
+        }
+    }
+    unreachable!("hash-to-curve succeeds within a few counter increments")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pairing() -> Pairing {
+        Pairing::insecure_test_params()
+    }
+
+    #[test]
+    fn parameters_are_consistent() {
+        let p = pairing();
+        // q + 1 = h·r
+        let (prod, hi) = p.cofactor().widening_mul(&p.order().widen::<8>());
+        assert!(hi.is_zero());
+        assert_eq!(prod, p.fq().modulus().wrapping_add(&Uint::ONE));
+        assert_eq!(p.fq().modulus().low_u64() & 3, 3);
+        assert_eq!(p.zr().modulus(), p.order());
+    }
+
+    #[test]
+    fn generator_has_order_r() {
+        let p = pairing();
+        let g = p.generator();
+        assert!(g.is_on_curve());
+        assert!(!g.is_identity());
+        assert!(g.mul_uint(p.order()).is_identity());
+    }
+
+    #[test]
+    fn group_laws() {
+        let p = pairing();
+        let mut rng = StdRng::seed_from_u64(40);
+        let a = p.random_g1(&mut rng);
+        let b = p.random_g1(&mut rng);
+        let c = p.random_g1(&mut rng);
+        assert_eq!(a.add(&b), b.add(&a));
+        assert_eq!(a.add(&b).add(&c), a.add(&b.add(&c)));
+        assert_eq!(a.add(&G1::identity()), a);
+        assert!(a.add(&a.negate()).is_identity());
+        assert_eq!(a.double(), a.add(&a));
+        assert_eq!(a.sub(&b), a.add(&b.negate()));
+    }
+
+    #[test]
+    fn scalar_mul_matches_addition() {
+        let p = pairing();
+        let g = p.generator();
+        let mut acc = G1::identity();
+        for k in 0u64..8 {
+            assert_eq!(g.mul_uint(&Uint::<4>::from_u64(k)), acc, "k = {k}");
+            acc = acc.add(g);
+        }
+    }
+
+    #[test]
+    fn jacobian_mul_matches_affine_reference() {
+        let p = pairing();
+        let mut rng = StdRng::seed_from_u64(47);
+        for _ in 0..5 {
+            let point = p.random_g1(&mut rng);
+            let s = p.random_scalar(&mut rng);
+            assert_eq!(
+                point.mul_uint(&s.to_uint()),
+                point.mul_uint_affine(&s.to_uint())
+            );
+        }
+        // Edge scalars.
+        let g = p.generator();
+        for k in [0u64, 1, 2, 3] {
+            assert_eq!(
+                g.mul_uint(&Uint::<4>::from_u64(k)),
+                g.mul_uint_affine(&Uint::<4>::from_u64(k))
+            );
+        }
+        // Order and order±1.
+        let r = *p.order();
+        assert!(g.mul_uint(&r).is_identity());
+        assert_eq!(g.mul_uint(&r.wrapping_add(&Uint::ONE)), *g);
+        assert_eq!(g.mul_uint(&r.wrapping_sub(&Uint::ONE)), g.negate());
+    }
+
+    #[test]
+    fn pairing_bilinearity() {
+        let p = pairing();
+        let mut rng = StdRng::seed_from_u64(41);
+        let g = p.generator();
+        let a = p.random_nonzero_scalar(&mut rng);
+        let b = p.random_nonzero_scalar(&mut rng);
+        let lhs = p.pair(&p.mul(g, &a), &p.mul(g, &b));
+        let ab = &a * &b;
+        let rhs = p.pair(g, g).pow(&ab.to_uint());
+        assert_eq!(lhs, rhs);
+        // And one argument at a time:
+        assert_eq!(p.pair(&p.mul(g, &a), g), p.pair(g, g).pow(&a.to_uint()));
+        assert_eq!(p.pair(g, &p.mul(g, &b)), p.pair(g, g).pow(&b.to_uint()));
+    }
+
+    #[test]
+    fn pairing_non_degenerate_and_order_r() {
+        let p = pairing();
+        let g = p.generator();
+        let e = p.pair(g, g);
+        assert!(!e.is_one());
+        assert!(e.pow(p.order()).is_one());
+    }
+
+    #[test]
+    fn pairing_identity_rules() {
+        let p = pairing();
+        let g = p.generator();
+        assert!(p.pair(&G1::identity(), g).is_one());
+        assert!(p.pair(g, &G1::identity()).is_one());
+        assert!(p.pair(&G1::identity(), &G1::identity()).is_one());
+    }
+
+    #[test]
+    fn pairing_symmetry() {
+        let p = pairing();
+        let mut rng = StdRng::seed_from_u64(42);
+        let a = p.random_g1(&mut rng);
+        let b = p.random_g1(&mut rng);
+        assert_eq!(p.pair(&a, &b), p.pair(&b, &a));
+    }
+
+    #[test]
+    fn pair_ratio_matches_division_of_pairings() {
+        let p = pairing();
+        let mut rng = StdRng::seed_from_u64(48);
+        for _ in 0..3 {
+            let a = p.random_g1(&mut rng);
+            let b = p.random_g1(&mut rng);
+            let c = p.random_g1(&mut rng);
+            let d = p.random_g1(&mut rng);
+            let naive = p.pair(&a, &b).div(&p.pair(&c, &d));
+            assert_eq!(p.pair_ratio(&a, &b, &c, &d), naive);
+        }
+        // Identity slots behave like e(...) = 1 in that slot.
+        let g = p.generator();
+        let e = p.pair(g, g);
+        assert_eq!(p.pair_ratio(&G1::identity(), g, g, g), e.inverse());
+        assert_eq!(p.pair_ratio(g, g, &G1::identity(), g), e);
+        assert!(p
+            .pair_ratio(&G1::identity(), g, g, &G1::identity())
+            .is_one());
+    }
+
+    #[test]
+    fn pairing_negation() {
+        let p = pairing();
+        let mut rng = StdRng::seed_from_u64(43);
+        let a = p.random_g1(&mut rng);
+        let b = p.random_g1(&mut rng);
+        let e = p.pair(&a, &b);
+        assert_eq!(p.pair(&a.negate(), &b), e.inverse());
+        assert!(p.pair(&a, &b).mul(&p.pair(&a.negate(), &b)).is_one());
+    }
+
+    #[test]
+    fn hash_to_g1_properties() {
+        let p = pairing();
+        let h1 = p.hash_to_g1(b"attribute: where=lakeside");
+        let h2 = p.hash_to_g1(b"attribute: where=lakeside");
+        let h3 = p.hash_to_g1(b"attribute: who=priya");
+        assert_eq!(h1, h2, "deterministic");
+        assert_ne!(h1, h3, "input-sensitive");
+        assert!(h1.is_on_curve());
+        assert!(h1.mul_uint(p.order()).is_identity(), "in the order-r subgroup");
+    }
+
+    #[test]
+    fn scalar_from_bytes_is_deterministic_and_reduced() {
+        let p = pairing();
+        let s1 = p.scalar_from_bytes(b"seed");
+        let s2 = p.scalar_from_bytes(b"seed");
+        let s3 = p.scalar_from_bytes(b"other");
+        assert_eq!(s1, s2);
+        assert_ne!(s1, s3);
+        assert!(s1.to_uint() < *p.order());
+    }
+
+    #[test]
+    fn point_serialization_roundtrip() {
+        let p = pairing();
+        let mut rng = StdRng::seed_from_u64(44);
+        let a = p.random_g1(&mut rng);
+        let bytes = a.to_bytes();
+        assert_eq!(p.g1_from_bytes(&bytes).unwrap(), a);
+        let inf = G1::identity();
+        assert_eq!(p.g1_from_bytes(&inf.to_bytes()).unwrap(), inf);
+        // Corrupt encoding: flip a byte in y.
+        let mut bad = bytes.clone();
+        bad[100] ^= 1;
+        assert_eq!(p.g1_from_bytes(&bad).unwrap_err(), PairingError::BadPointEncoding);
+        assert!(p.g1_from_bytes(&[]).is_err());
+        assert!(p.g1_from_bytes(&[2]).is_err());
+    }
+
+    #[test]
+    fn double_scalar_mul_matches_separate_ladders() {
+        let p = pairing();
+        let mut rng = StdRng::seed_from_u64(50);
+        for _ in 0..5 {
+            let g = p.random_g1(&mut rng);
+            let h = p.random_g1(&mut rng);
+            let a = p.random_scalar(&mut rng).to_uint();
+            let b = p.random_scalar(&mut rng).to_uint();
+            let fused = g.double_scalar_mul(&a, &h, &b);
+            let separate = g.mul_uint(&a).add(&h.mul_uint(&b));
+            assert_eq!(fused, separate);
+        }
+        // Degenerate scalars.
+        let g = p.generator();
+        let zero = Uint::<4>::ZERO;
+        let one = Uint::<4>::ONE;
+        assert!(g.double_scalar_mul(&zero, g, &zero).is_identity());
+        assert_eq!(g.double_scalar_mul(&one, g, &zero), *g);
+        assert_eq!(g.double_scalar_mul(&zero, g, &one), *g);
+        assert_eq!(g.double_scalar_mul(&one, g, &one), g.double());
+        // a·G + b·(−G) with a == b cancels.
+        let neg = g.negate();
+        let s = p.random_scalar(&mut rng).to_uint();
+        assert!(g.double_scalar_mul(&s, &neg, &s).is_identity());
+    }
+
+    #[test]
+    fn compressed_point_roundtrip() {
+        let p = pairing();
+        let mut rng = StdRng::seed_from_u64(49);
+        for _ in 0..10 {
+            let a = p.random_g1(&mut rng);
+            let compressed = a.to_bytes_compressed();
+            assert_eq!(compressed.len(), 65);
+            let back = G1::from_bytes_compressed(p.fq(), &compressed).unwrap();
+            assert_eq!(back, a);
+        }
+        let inf = G1::identity();
+        assert_eq!(
+            G1::from_bytes_compressed(p.fq(), &inf.to_bytes_compressed()).unwrap(),
+            inf
+        );
+        // Bad tag / bad length / non-residue x.
+        assert!(G1::from_bytes_compressed(p.fq(), &[7u8; 65]).is_err());
+        assert!(G1::from_bytes_compressed(p.fq(), &[2u8; 10]).is_err());
+        // Find an x with no curve point (x³+x a non-residue).
+        let mut probe = p.fq().from_u64(2);
+        loop {
+            let rhs = &(&probe.square() * &probe) + &probe;
+            if rhs.sqrt().is_none() {
+                let mut enc = vec![2u8];
+                enc.extend_from_slice(&probe.to_be_bytes());
+                assert!(G1::from_bytes_compressed(p.fq(), &enc).is_err());
+                break;
+            }
+            probe = &probe + &p.fq().one();
+        }
+    }
+
+    #[test]
+    fn gt_serialization_roundtrip() {
+        let p = pairing();
+        let mut rng = StdRng::seed_from_u64(45);
+        let e = p.random_gt(&mut rng);
+        assert_eq!(p.gt_from_bytes(&e.to_bytes()).unwrap(), e);
+        assert!(p.gt_from_bytes(&[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn gt_group_laws() {
+        let p = pairing();
+        let mut rng = StdRng::seed_from_u64(46);
+        let a = p.random_gt(&mut rng);
+        let b = p.random_gt(&mut rng);
+        assert_eq!(a.mul(&b), b.mul(&a));
+        assert!(a.div(&a).is_one());
+        assert!(a.mul(&a.inverse()).is_one());
+        assert_eq!(a.pow(&Uint::<4>::from_u64(3)), a.mul(&a).mul(&a));
+        assert!(a.pow(p.order()).is_one(), "Gt elements have order dividing r");
+    }
+
+    #[test]
+    fn default_params_are_cached_and_512_bit() {
+        let p1 = Pairing::default_params();
+        let p2 = Pairing::default_params();
+        assert_eq!(p1.fq().modulus(), p2.fq().modulus());
+        assert_eq!(p1.fq().modulus().bit_len(), 512);
+        assert_eq!(p1.order().bit_len(), 160);
+    }
+}

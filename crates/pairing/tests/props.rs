@@ -1,0 +1,94 @@
+//! Property-based tests of the pairing's algebraic laws.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sp_pairing::{Pairing, G1};
+
+fn pairing() -> Pairing {
+    Pairing::insecure_test_params()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn bilinearity_in_both_slots(seed in any::<u64>()) {
+        let p = pairing();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = p.generator();
+        let a = p.random_nonzero_scalar(&mut rng);
+        let b = p.random_nonzero_scalar(&mut rng);
+        let ga = p.mul(g, &a);
+        let gb = p.mul(g, &b);
+        let e_gg = p.pair(g, g);
+        prop_assert_eq!(p.pair(&ga, &gb), e_gg.pow_scalar(&(&a * &b)));
+        prop_assert_eq!(p.pair(&ga, g), e_gg.pow_scalar(&a));
+        prop_assert_eq!(p.pair(g, &gb), e_gg.pow_scalar(&b));
+    }
+
+    #[test]
+    fn pairing_of_sum_is_product(seed in any::<u64>()) {
+        let p = pairing();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = p.random_g1(&mut rng);
+        let b = p.random_g1(&mut rng);
+        let c = p.random_g1(&mut rng);
+        // e(a + b, c) = e(a, c) · e(b, c)
+        prop_assert_eq!(
+            p.pair(&a.add(&b), &c),
+            p.pair(&a, &c).mul(&p.pair(&b, &c))
+        );
+    }
+
+    #[test]
+    fn group_is_abelian_and_associative(seed in any::<u64>()) {
+        let p = pairing();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = p.random_g1(&mut rng);
+        let b = p.random_g1(&mut rng);
+        let c = p.random_g1(&mut rng);
+        prop_assert_eq!(a.add(&b), b.add(&a));
+        prop_assert_eq!(a.add(&b).add(&c), a.add(&b.add(&c)));
+        prop_assert!(a.sub(&a).is_identity());
+        prop_assert!(a.add(&G1::identity()) == a);
+    }
+
+    #[test]
+    fn scalar_mul_distributes(seed in any::<u64>()) {
+        let p = pairing();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = p.random_g1(&mut rng);
+        let a = p.random_scalar(&mut rng);
+        let b = p.random_scalar(&mut rng);
+        // (a + b)·G = a·G + b·G
+        prop_assert_eq!(
+            p.mul(&g, &(&a + &b)),
+            p.mul(&g, &a).add(&p.mul(&g, &b))
+        );
+        // (a·b)·G = a·(b·G)
+        prop_assert_eq!(
+            p.mul(&g, &(&a * &b)),
+            p.mul(&p.mul(&g, &b), &a)
+        );
+    }
+
+    #[test]
+    fn points_serialize_roundtrip(seed in any::<u64>()) {
+        let p = pairing();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = p.random_g1(&mut rng);
+        prop_assert_eq!(p.g1_from_bytes(&g.to_bytes()).unwrap(), g);
+        let e = p.random_gt(&mut rng);
+        prop_assert_eq!(p.gt_from_bytes(&e.to_bytes()).unwrap(), e);
+    }
+
+    #[test]
+    fn hash_to_g1_lands_in_subgroup(data in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let p = pairing();
+        let h = p.hash_to_g1(&data);
+        prop_assert!(h.is_on_curve());
+        prop_assert!(!h.is_identity());
+        prop_assert!(h.mul_uint(p.order()).is_identity());
+    }
+}

@@ -1,0 +1,49 @@
+//! Error types.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by secret splitting and reconstruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ShamirError {
+    /// The threshold/share-count pair is invalid (`k = 0`, `k > n`, or `n`
+    /// too large for the field).
+    BadThreshold,
+    /// Fewer shares than the implied threshold were supplied.
+    NotEnoughShares,
+    /// Two supplied shares have the same abscissa.
+    DuplicateShare,
+    /// A share encoding was malformed.
+    BadEncoding,
+}
+
+impl fmt::Display for ShamirError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BadThreshold => f.write_str("threshold must satisfy 0 < k <= n < field size"),
+            Self::NotEnoughShares => f.write_str("not enough shares to reconstruct"),
+            Self::DuplicateShare => f.write_str("duplicate share abscissa"),
+            Self::BadEncoding => f.write_str("invalid share encoding"),
+        }
+    }
+}
+
+impl Error for ShamirError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        for e in [
+            ShamirError::BadThreshold,
+            ShamirError::NotEnoughShares,
+            ShamirError::DuplicateShare,
+            ShamirError::BadEncoding,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Shamir `(k, n)` threshold secret sharing over a prime field.
+//!
+//! Implements §III-B of the paper: a secret `M ∈ F_p` is embedded as the
+//! constant term of a random degree-`(k−1)` polynomial `P`; each share is
+//! a point `(s_i, P(s_i))` at a *random nonzero abscissa* (§V-A uses
+//! random `s_i` rather than `1..n`, so a blinded share leaks nothing about
+//! its index), and any `k` shares recover `M = P(0)` by Lagrange
+//! interpolation.
+//!
+//! # Example
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use sp_shamir::ShamirScheme;
+//!
+//! let scheme = ShamirScheme::default_field();
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let secret = scheme.random_secret(&mut rng);
+//! let shares = scheme.split(&secret, 3, 5, &mut rng)?;
+//! let recovered = scheme.reconstruct(&shares[1..4])?;
+//! assert_eq!(recovered, secret);
+//! # Ok::<(), sp_shamir::ShamirError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod poly;
+mod scheme;
+mod share;
+
+pub use error::ShamirError;
+pub use poly::Polynomial;
+pub use scheme::ShamirScheme;
+pub use share::Share;

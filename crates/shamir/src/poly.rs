@@ -1,0 +1,132 @@
+//! Polynomials over the sharing field.
+
+use std::fmt;
+use std::sync::Arc;
+
+use rand::Rng;
+use sp_field::{FieldCtx, Fp};
+
+/// A polynomial over `F_p` with coefficients in ascending degree order
+/// (`coeffs[0]` is the constant term).
+#[derive(Clone, PartialEq, Eq)]
+pub struct Polynomial {
+    coeffs: Vec<Fp<4>>,
+}
+
+impl Polynomial {
+    /// Builds a polynomial from ascending-degree coefficients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs` is empty.
+    pub fn new(coeffs: Vec<Fp<4>>) -> Self {
+        assert!(!coeffs.is_empty(), "polynomial needs at least a constant term");
+        Self { coeffs }
+    }
+
+    /// Samples a uniformly random polynomial of degree `< k` with the
+    /// given constant term — the Shamir sharing polynomial.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn random_with_constant<R: Rng + ?Sized>(
+        constant: Fp<4>,
+        k: usize,
+        ctx: &Arc<FieldCtx<4>>,
+        rng: &mut R,
+    ) -> Self {
+        assert!(k > 0, "threshold must be positive");
+        let mut coeffs = Vec::with_capacity(k);
+        coeffs.push(constant);
+        for _ in 1..k {
+            coeffs.push(ctx.random(rng));
+        }
+        Self { coeffs }
+    }
+
+    /// Evaluates at `x` by Horner's rule.
+    pub fn eval(&self, x: &Fp<4>) -> Fp<4> {
+        let mut acc = self.coeffs.last().expect("nonempty").clone();
+        for c in self.coeffs.iter().rev().skip(1) {
+            acc = &(&acc * x) + c;
+        }
+        acc
+    }
+
+    /// The constant term `P(0)`.
+    pub fn constant(&self) -> &Fp<4> {
+        &self.coeffs[0]
+    }
+
+    /// All coefficients in ascending degree order. Exposed for verifiable
+    /// secret sharing, where the dealer commits to each coefficient.
+    pub fn coefficients(&self) -> &[Fp<4>] {
+        &self.coeffs
+    }
+
+    /// Degree bound: the number of coefficients (degree `< len`).
+    pub fn len(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Whether the polynomial has no coefficients (never true by
+    /// construction).
+    pub fn is_empty(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+}
+
+impl fmt::Debug for Polynomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Polynomial(degree < {})", self.coeffs.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use sp_bigint::Uint;
+
+    fn field() -> Arc<FieldCtx<4>> {
+        FieldCtx::new(Uint::from_u64(1_000_003)).unwrap()
+    }
+
+    #[test]
+    fn eval_constant() {
+        let f = field();
+        let p = Polynomial::new(vec![f.from_u64(42)]);
+        assert_eq!(p.eval(&f.from_u64(0)), f.from_u64(42));
+        assert_eq!(p.eval(&f.from_u64(999)), f.from_u64(42));
+    }
+
+    #[test]
+    fn eval_known_polynomial() {
+        let f = field();
+        // p(x) = 7 + 3x + 2x²
+        let p = Polynomial::new(vec![f.from_u64(7), f.from_u64(3), f.from_u64(2)]);
+        assert_eq!(p.eval(&f.from_u64(0)), f.from_u64(7));
+        assert_eq!(p.eval(&f.from_u64(1)), f.from_u64(12));
+        assert_eq!(p.eval(&f.from_u64(10)), f.from_u64(7 + 30 + 200));
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn random_constant_is_fixed() {
+        let f = field();
+        let mut rng = StdRng::seed_from_u64(50);
+        for k in 1..6 {
+            let p = Polynomial::random_with_constant(f.from_u64(5), k, &f, &mut rng);
+            assert_eq!(p.constant(), &f.from_u64(5));
+            assert_eq!(p.eval(&f.zero()), f.from_u64(5));
+            assert_eq!(p.len(), k);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least a constant")]
+    fn rejects_empty() {
+        let _ = Polynomial::new(vec![]);
+    }
+}

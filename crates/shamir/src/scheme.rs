@@ -1,0 +1,301 @@
+//! The `(k, n)` sharing scheme.
+
+use std::collections::HashSet;
+use std::fmt;
+use std::sync::Arc;
+
+use rand::Rng;
+use sp_bigint::Uint;
+use sp_field::{FieldCtx, Fp};
+
+use crate::error::ShamirError;
+use crate::poly::Polynomial;
+use crate::share::Share;
+
+/// A Shamir secret-sharing scheme bound to a sharing field.
+///
+/// See the [crate-level documentation](crate) for an end-to-end example.
+#[derive(Clone)]
+pub struct ShamirScheme {
+    field: Arc<FieldCtx<4>>,
+}
+
+impl ShamirScheme {
+    /// Creates a scheme over the given field.
+    pub fn new(field: Arc<FieldCtx<4>>) -> Self {
+        Self { field }
+    }
+
+    /// Creates a scheme over the default 255-bit field
+    /// (`p = 2^255 − 19`).
+    pub fn default_field() -> Self {
+        let p = Uint::<4>::from_hex(
+            "7fffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffed",
+        )
+        .expect("valid hex constant");
+        Self { field: FieldCtx::new(p).expect("2^255 - 19 is odd") }
+    }
+
+    /// The sharing field.
+    pub fn field(&self) -> &Arc<FieldCtx<4>> {
+        &self.field
+    }
+
+    /// Samples a uniformly random secret.
+    pub fn random_secret<R: Rng + ?Sized>(&self, rng: &mut R) -> Fp<4> {
+        self.field.random(rng)
+    }
+
+    /// Splits `secret` into `n` shares with reconstruction threshold `k`,
+    /// using random distinct nonzero abscissas (§V-A).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShamirError::BadThreshold`] unless `0 < k <= n`.
+    pub fn split<R: Rng + ?Sized>(
+        &self,
+        secret: &Fp<4>,
+        k: usize,
+        n: usize,
+        rng: &mut R,
+    ) -> Result<Vec<Share>, ShamirError> {
+        if k == 0 || k > n {
+            return Err(ShamirError::BadThreshold);
+        }
+        // n < p always holds for practical n against a 255-bit field, but
+        // guard the degenerate tiny-field case used in tests.
+        if Uint::<4>::from_u64(n as u64) >= *self.field.modulus() {
+            return Err(ShamirError::BadThreshold);
+        }
+        let poly = Polynomial::random_with_constant(secret.clone(), k, &self.field, rng);
+        let mut used: HashSet<Vec<u8>> = HashSet::with_capacity(n);
+        let mut shares = Vec::with_capacity(n);
+        while shares.len() < n {
+            let x = self.field.random_nonzero(rng);
+            if !used.insert(x.to_be_bytes()) {
+                continue;
+            }
+            let y = poly.eval(&x);
+            shares.push(Share::new(x, y));
+        }
+        Ok(shares)
+    }
+
+    /// Reconstructs the secret from shares by Lagrange interpolation at
+    /// zero. All supplied shares are used; pass exactly the threshold
+    /// number (extra consistent shares are harmless).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShamirError::NotEnoughShares`] for an empty slice and
+    /// [`ShamirError::DuplicateShare`] if two shares collide in `x`.
+    pub fn reconstruct(&self, shares: &[Share]) -> Result<Fp<4>, ShamirError> {
+        if shares.is_empty() {
+            return Err(ShamirError::NotEnoughShares);
+        }
+        let mut seen = HashSet::with_capacity(shares.len());
+        for s in shares {
+            if !seen.insert(s.x().to_be_bytes()) {
+                return Err(ShamirError::DuplicateShare);
+            }
+        }
+        // P(0) = Σ_j y_j · Π_{j' ≠ j} x_{j'} / (x_{j'} − x_j)
+        let mut acc = self.field.zero();
+        for (j, share) in shares.iter().enumerate() {
+            let mut num = self.field.one();
+            let mut den = self.field.one();
+            for (jp, other) in shares.iter().enumerate() {
+                if jp == j {
+                    continue;
+                }
+                num = &num * other.x();
+                den = &den * &(other.x() - share.x());
+            }
+            let gamma = &num * &den.invert().map_err(|_| ShamirError::DuplicateShare)?;
+            acc = &acc + &(share.y() * &gamma);
+        }
+        Ok(acc)
+    }
+
+    /// Evaluates the Lagrange basis coefficient `γ_j` for interpolating at
+    /// `target` from the abscissa multiset `xs` (exposed for the CP-ABE
+    /// layer, which combines *exponents* with the same coefficients).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShamirError::DuplicateShare`] if abscissas collide.
+    pub fn lagrange_coefficient(
+        &self,
+        xs: &[Fp<4>],
+        j: usize,
+        target: &Fp<4>,
+    ) -> Result<Fp<4>, ShamirError> {
+        let mut num = self.field.one();
+        let mut den = self.field.one();
+        for (jp, x) in xs.iter().enumerate() {
+            if jp == j {
+                continue;
+            }
+            num = &num * &(target - x);
+            den = &den * &(&xs[j] - x);
+        }
+        // ℓ_j(target) = Π (target − x_{j'}) / (x_j − x_{j'})
+        Ok(&num * &den.invert().map_err(|_| ShamirError::DuplicateShare)?)
+    }
+}
+
+impl fmt::Debug for ShamirScheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ShamirScheme(p = {})", self.field.modulus())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, seq::SliceRandom, SeedableRng};
+
+    fn scheme() -> ShamirScheme {
+        ShamirScheme::default_field()
+    }
+
+    #[test]
+    fn split_reconstruct_exact_threshold() {
+        let s = scheme();
+        let mut rng = StdRng::seed_from_u64(60);
+        for (k, n) in [(1usize, 1usize), (1, 5), (2, 3), (3, 5), (5, 5), (4, 10)] {
+            let secret = s.random_secret(&mut rng);
+            let shares = s.split(&secret, k, n, &mut rng).unwrap();
+            assert_eq!(shares.len(), n);
+            assert_eq!(s.reconstruct(&shares[..k]).unwrap(), secret, "(k,n)=({k},{n})");
+        }
+    }
+
+    #[test]
+    fn any_k_subset_reconstructs() {
+        let s = scheme();
+        let mut rng = StdRng::seed_from_u64(61);
+        let secret = s.random_secret(&mut rng);
+        let shares = s.split(&secret, 3, 6, &mut rng).unwrap();
+        for _ in 0..10 {
+            let mut subset = shares.clone();
+            subset.shuffle(&mut rng);
+            subset.truncate(3);
+            assert_eq!(s.reconstruct(&subset).unwrap(), secret);
+        }
+    }
+
+    #[test]
+    fn extra_shares_are_consistent() {
+        let s = scheme();
+        let mut rng = StdRng::seed_from_u64(62);
+        let secret = s.random_secret(&mut rng);
+        let shares = s.split(&secret, 2, 5, &mut rng).unwrap();
+        assert_eq!(s.reconstruct(&shares).unwrap(), secret);
+    }
+
+    #[test]
+    fn fewer_than_k_shares_give_wrong_secret() {
+        // Interpolating k−1 shares of a degree-(k−1) polynomial yields a
+        // lower-degree fit that almost surely misses the constant term.
+        let s = scheme();
+        let mut rng = StdRng::seed_from_u64(63);
+        let secret = s.random_secret(&mut rng);
+        let shares = s.split(&secret, 3, 5, &mut rng).unwrap();
+        let wrong = s.reconstruct(&shares[..2]).unwrap();
+        assert_ne!(wrong, secret);
+    }
+
+    #[test]
+    fn abscissas_are_distinct_and_nonzero() {
+        let s = scheme();
+        let mut rng = StdRng::seed_from_u64(64);
+        let secret = s.random_secret(&mut rng);
+        let shares = s.split(&secret, 2, 50, &mut rng).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for sh in &shares {
+            assert!(!sh.x().is_zero(), "x = 0 would leak the secret directly");
+            assert!(seen.insert(sh.x().to_be_bytes()));
+        }
+    }
+
+    #[test]
+    fn threshold_validation() {
+        let s = scheme();
+        let mut rng = StdRng::seed_from_u64(65);
+        let secret = s.random_secret(&mut rng);
+        assert_eq!(s.split(&secret, 0, 5, &mut rng).unwrap_err(), ShamirError::BadThreshold);
+        assert_eq!(s.split(&secret, 6, 5, &mut rng).unwrap_err(), ShamirError::BadThreshold);
+    }
+
+    #[test]
+    fn tiny_field_n_bound() {
+        let f = FieldCtx::new(Uint::<4>::from_u64(7)).unwrap();
+        let s = ShamirScheme::new(f.clone());
+        let mut rng = StdRng::seed_from_u64(66);
+        let secret = f.from_u64(3);
+        assert_eq!(s.split(&secret, 2, 7, &mut rng).unwrap_err(), ShamirError::BadThreshold);
+        // n < p is fine (n = 6 distinct nonzero abscissas exist mod 7).
+        assert!(s.split(&secret, 2, 6, &mut rng).is_ok());
+    }
+
+    #[test]
+    fn reconstruct_error_paths() {
+        let s = scheme();
+        let mut rng = StdRng::seed_from_u64(67);
+        assert_eq!(s.reconstruct(&[]).unwrap_err(), ShamirError::NotEnoughShares);
+        let secret = s.random_secret(&mut rng);
+        let shares = s.split(&secret, 2, 2, &mut rng).unwrap();
+        let dup = vec![shares[0].clone(), shares[0].clone()];
+        assert_eq!(s.reconstruct(&dup).unwrap_err(), ShamirError::DuplicateShare);
+    }
+
+    #[test]
+    fn tampered_share_changes_secret() {
+        let s = scheme();
+        let mut rng = StdRng::seed_from_u64(68);
+        let secret = s.random_secret(&mut rng);
+        let mut shares = s.split(&secret, 2, 2, &mut rng).unwrap();
+        let bad_y = shares[0].y() + &s.field().one();
+        shares[0] = Share::new(shares[0].x().clone(), bad_y);
+        assert_ne!(s.reconstruct(&shares).unwrap(), secret);
+    }
+
+    #[test]
+    fn lagrange_coefficient_interpolates() {
+        // Check γ_j against direct polynomial evaluation at a nonzero target.
+        let s = scheme();
+        let f = s.field().clone();
+        let mut rng = StdRng::seed_from_u64(69);
+        // Both even and odd factor counts (k = 2 catches sign errors that
+        // k = 3 hides).
+        for k in [2usize, 3, 4] {
+            let poly = Polynomial::random_with_constant(f.from_u64(11), k, &f, &mut rng);
+            let xs: Vec<_> = (1u64..=k as u64).map(|v| f.from_u64(v)).collect();
+            for target in [f.zero(), f.from_u64(10)] {
+                let mut acc = f.zero();
+                for (j, x) in xs.iter().enumerate() {
+                    let gamma = s.lagrange_coefficient(&xs, j, &target).unwrap();
+                    acc = &acc + &(&poly.eval(x) * &gamma);
+                }
+                assert_eq!(acc, poly.eval(&target), "k = {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn information_theoretic_blinding_shape() {
+        // With k = 2, a single share is consistent with ANY secret: for a
+        // fixed share (x0, y0) and any candidate secret m, the line through
+        // (0, m) and (x0, y0) exists. We exhibit the consistency instead of
+        // enumerating: reconstructing from 1 share equals y0-at-0 linear fit,
+        // and differs from the real secret with overwhelming probability.
+        let s = scheme();
+        let mut rng = StdRng::seed_from_u64(70);
+        for _ in 0..10 {
+            let secret = s.random_secret(&mut rng);
+            let shares = s.split(&secret, 2, 2, &mut rng).unwrap();
+            assert_ne!(s.reconstruct(&shares[..1]).unwrap(), secret);
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Individual shares.
+
+use std::fmt;
+use std::sync::Arc;
+
+use sp_field::{FieldCtx, Fp};
+
+use crate::error::ShamirError;
+
+/// One Shamir share: the point `(x, y)` with `y = P(x)` on the sharing
+/// polynomial.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Share {
+    x: Fp<4>,
+    y: Fp<4>,
+}
+
+impl Share {
+    /// Builds a share from its coordinates.
+    pub fn new(x: Fp<4>, y: Fp<4>) -> Self {
+        Self { x, y }
+    }
+
+    /// The abscissa.
+    pub fn x(&self) -> &Fp<4> {
+        &self.x
+    }
+
+    /// The polynomial value at `x`.
+    pub fn y(&self) -> &Fp<4> {
+        &self.y
+    }
+
+    /// Fixed-length encoding `x ‖ y` (64 bytes).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = self.x.to_be_bytes();
+        out.extend_from_slice(&self.y.to_be_bytes());
+        out
+    }
+
+    /// Decodes a share produced by [`Share::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShamirError::BadEncoding`] if the length is not 64 bytes.
+    pub fn from_bytes(ctx: &Arc<FieldCtx<4>>, bytes: &[u8]) -> Result<Self, ShamirError> {
+        if bytes.len() != 64 {
+            return Err(ShamirError::BadEncoding);
+        }
+        let x = ctx.from_be_bytes(&bytes[..32]).map_err(|_| ShamirError::BadEncoding)?;
+        let y = ctx.from_be_bytes(&bytes[32..]).map_err(|_| ShamirError::BadEncoding)?;
+        Ok(Self { x, y })
+    }
+}
+
+impl fmt::Debug for Share {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Deliberately omit y — shares are secret material.
+        write!(f, "Share(x = {}, y = <hidden>)", self.x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp_bigint::Uint;
+
+    #[test]
+    fn roundtrip_and_hiding_debug() {
+        let ctx = FieldCtx::new(Uint::<4>::from_u64(1_000_003)).unwrap();
+        let s = Share::new(ctx.from_u64(3), ctx.from_u64(123_456));
+        let bytes = s.to_bytes();
+        assert_eq!(bytes.len(), 64);
+        assert_eq!(Share::from_bytes(&ctx, &bytes).unwrap(), s);
+        assert!(Share::from_bytes(&ctx, &bytes[..63]).is_err());
+        let dbg = format!("{s:?}");
+        assert!(dbg.contains("hidden"));
+        assert!(!dbg.contains("1e240"), "y must not leak: {dbg}"); // 123456 = 0x1e240
+    }
+}

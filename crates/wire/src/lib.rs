@@ -1,0 +1,294 @@
+//! A minimal, dependency-light binary wire format.
+//!
+//! Every multi-byte integer is big-endian; variable-length data is
+//! length-prefixed with a `u32`. The format exists so that the simulated
+//! service provider and storage host exchange *byte-accurate* payloads —
+//! the paper's Figure 10 network delays are driven by exactly these sizes.
+//!
+//! # Example
+//!
+//! ```
+//! use sp_wire::{Reader, Writer};
+//!
+//! let mut w = Writer::new();
+//! w.u32(7).bytes(b"hello").string("world");
+//! let buf = w.finish();
+//!
+//! let mut r = Reader::new(&buf);
+//! assert_eq!(r.u32()?, 7);
+//! assert_eq!(r.bytes()?, b"hello");
+//! assert_eq!(r.string()?, "world");
+//! r.expect_end()?;
+//! # Ok::<(), sp_wire::WireError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::error::Error;
+use std::fmt;
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// Errors produced when decoding a wire buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WireError {
+    /// The buffer ended before the expected field.
+    UnexpectedEnd,
+    /// A length prefix exceeded the remaining buffer.
+    BadLength,
+    /// A string field held invalid UTF-8.
+    BadUtf8,
+    /// Trailing bytes remained after the final field.
+    TrailingBytes,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnexpectedEnd => f.write_str("buffer ended before the expected field"),
+            Self::BadLength => f.write_str("length prefix exceeds remaining buffer"),
+            Self::BadUtf8 => f.write_str("string field holds invalid utf-8"),
+            Self::TrailingBytes => f.write_str("trailing bytes after final field"),
+        }
+    }
+}
+
+impl Error for WireError {}
+
+/// An append-only encoder.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: BytesMut,
+}
+
+impl Writer {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self { buf: BytesMut::new() }
+    }
+
+    /// Appends a `u8`.
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.buf.put_u8(v);
+        self
+    }
+
+    /// Appends a big-endian `u32`.
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.put_u32(v);
+        self
+    }
+
+    /// Appends a big-endian `u64`.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.put_u64(v);
+        self
+    }
+
+    /// Appends length-prefixed bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` exceeds `u32::MAX` bytes.
+    pub fn bytes(&mut self, data: &[u8]) -> &mut Self {
+        let len = u32::try_from(data.len()).expect("field larger than 4 GiB");
+        self.buf.put_u32(len);
+        self.buf.put_slice(data);
+        self
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn string(&mut self, s: &str) -> &mut Self {
+        self.bytes(s.as_bytes())
+    }
+
+    /// Appends raw bytes with no length prefix (fixed-width fields).
+    pub fn raw(&mut self, data: &[u8]) -> &mut Self {
+        self.buf.put_slice(data);
+        self
+    }
+
+    /// Current encoded size in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Finishes and returns the encoded buffer.
+    pub fn finish(self) -> Bytes {
+        self.buf.freeze()
+    }
+}
+
+/// A sequential decoder over a borrowed buffer.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a reader at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.pos + n > self.buf.len() {
+            return Err(WireError::UnexpectedEnd);
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads a `u8`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::UnexpectedEnd`] if the buffer is exhausted.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a big-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::UnexpectedEnd`] if the buffer is exhausted.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        Ok(u32::from_be_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    /// Reads a big-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::UnexpectedEnd`] if the buffer is exhausted.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        let b = self.take(8)?;
+        Ok(u64::from_be_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    /// Reads length-prefixed bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::UnexpectedEnd`] or [`WireError::BadLength`].
+    pub fn bytes(&mut self) -> Result<&'a [u8], WireError> {
+        let len = self.u32()? as usize;
+        if self.pos + len > self.buf.len() {
+            return Err(WireError::BadLength);
+        }
+        self.take(len)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::BadUtf8`] for invalid UTF-8, or a length error.
+    pub fn string(&mut self) -> Result<&'a str, WireError> {
+        std::str::from_utf8(self.bytes()?).map_err(|_| WireError::BadUtf8)
+    }
+
+    /// Reads `n` raw bytes (fixed-width fields).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::UnexpectedEnd`] if fewer than `n` remain.
+    pub fn raw(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        self.take(n)
+    }
+
+    /// Number of unread bytes.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Asserts the whole buffer was consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::TrailingBytes`] if bytes remain.
+    pub fn expect_end(&self) -> Result<(), WireError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_field_kinds() {
+        let mut w = Writer::new();
+        w.u8(1).u32(0xdead_beef).u64(u64::MAX).bytes(b"").bytes(b"xyz").string("héllo").raw(&[9, 9]);
+        let buf = w.finish();
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u8().unwrap(), 1);
+        assert_eq!(r.u32().unwrap(), 0xdead_beef);
+        assert_eq!(r.u64().unwrap(), u64::MAX);
+        assert_eq!(r.bytes().unwrap(), b"");
+        assert_eq!(r.bytes().unwrap(), b"xyz");
+        assert_eq!(r.string().unwrap(), "héllo");
+        assert_eq!(r.raw(2).unwrap(), &[9, 9]);
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn error_paths() {
+        let mut r = Reader::new(&[]);
+        assert_eq!(r.u8().unwrap_err(), WireError::UnexpectedEnd);
+        assert_eq!(Reader::new(&[0, 0]).u32().unwrap_err(), WireError::UnexpectedEnd);
+        // Length prefix larger than remaining data.
+        let mut w = Writer::new();
+        w.u32(100);
+        let buf = w.finish();
+        assert_eq!(Reader::new(&buf).bytes().unwrap_err(), WireError::BadLength);
+        // Invalid UTF-8.
+        let mut w = Writer::new();
+        w.bytes(&[0xff, 0xfe]);
+        let buf = w.finish();
+        assert_eq!(Reader::new(&buf).string().unwrap_err(), WireError::BadUtf8);
+        // Trailing bytes.
+        let mut w = Writer::new();
+        w.u8(1).u8(2);
+        let buf = w.finish();
+        let mut r = Reader::new(&buf);
+        r.u8().unwrap();
+        assert_eq!(r.expect_end().unwrap_err(), WireError::TrailingBytes);
+    }
+
+    #[test]
+    fn sizes_are_exact() {
+        let mut w = Writer::new();
+        w.u8(0).u32(0).u64(0).bytes(b"abc").string("de");
+        assert_eq!(w.len(), 1 + 4 + 8 + (4 + 3) + (4 + 2));
+        assert!(!w.is_empty());
+        assert!(Writer::new().is_empty());
+    }
+
+    #[test]
+    fn display_errors_nonempty() {
+        for e in [
+            WireError::UnexpectedEnd,
+            WireError::BadLength,
+            WireError::BadUtf8,
+            WireError::TrailingBytes,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

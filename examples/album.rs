@@ -1,0 +1,91 @@
+//! Album sharing: one puzzle protecting many pictures of one event.
+//!
+//! The paper's motivating scenario shares pictures (plural) of a
+//! gathering; uploading a puzzle per picture would multiply SP state and
+//! make receivers solve the same questions over and over. The batch
+//! extension shares the secret once and derives a key per item — solve
+//! once, open everything.
+//!
+//! ```text
+//! cargo run --example album
+//! ```
+
+use rand::SeedableRng;
+use social_puzzles::core::construction1::Construction1;
+use social_puzzles::core::context::Context;
+use social_puzzles::core::protocol::SocialPuzzleApp;
+use social_puzzles::osn::DeviceProfile;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4242);
+    let mut app = SocialPuzzleApp::new();
+    let sharer = app.add_user("noor");
+    let friend = app.add_user("sam");
+    app.befriend(sharer, friend)?;
+
+    let context = Context::builder()
+        .pair("Whose graduation was it?", "leila's")
+        .pair("Which restaurant afterwards?", "the tin lantern")
+        .pair("What did the cake say?", "onwards and upwards")
+        .build()?;
+
+    let album: Vec<&[u8]> = vec![
+        b"IMG_2041.jpg: the cap toss",
+        b"IMG_2042.jpg: family photo on the steps",
+        b"IMG_2043.jpg: the cake before",
+        b"IMG_2044.jpg: the cake after",
+        b"VID_0007.mp4: the speech (12MB, simulated small)",
+    ];
+
+    let c1 = Construction1::new();
+    let (share, urls) = app.share_album_c1(
+        &c1,
+        sharer,
+        &album,
+        &context,
+        2,
+        &DeviceProfile::pc(),
+        &mut rng,
+    )?;
+    println!(
+        "shared {} items behind ONE puzzle ({} bytes uploaded, {})",
+        urls.len(),
+        share.bytes_uploaded,
+        share.delays
+    );
+    println!("SP stores exactly 1 puzzle record; DH stores {} blobs", urls.len());
+
+    // Sam was at the dinner: knows the restaurant and the cake.
+    let (items, delays) = app.receive_album_c1(
+        &c1,
+        friend,
+        &share,
+        &urls,
+        |q| match q {
+            q if q.contains("restaurant") => Some("the tin lantern".into()),
+            q if q.contains("cake") => Some("onwards and upwards".into()),
+            _ => None,
+        },
+        &DeviceProfile::pc(),
+        &mut rng,
+    )?;
+    println!("\nsam solved once and received {} items ({delays}):", items.len());
+    for item in &items {
+        println!("  - {}", String::from_utf8_lossy(item));
+    }
+    assert_eq!(items.len(), album.len());
+
+    // Someone who can't solve gets nothing — not even one item.
+    let denied = app.receive_album_c1(
+        &c1,
+        friend,
+        &share,
+        &urls,
+        |_| Some("wrong".into()),
+        &DeviceProfile::pc(),
+        &mut rng,
+    );
+    assert!(denied.is_err());
+    println!("\nwrong answers: entire album denied ✓");
+    Ok(())
+}

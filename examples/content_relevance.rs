@@ -1,0 +1,44 @@
+//! The §I content-relevance claim, measured: "our context-based access
+//! control mechanism will inevitably enforce relevant content being
+//! read, because users cannot access contents with unfamiliar contexts."
+//!
+//! Simulates communities of users and posts, runs every access attempt
+//! through real Construction-1 puzzles, and compares feed precision with
+//! and without puzzle gating.
+//!
+//! ```text
+//! cargo run --release --example content_relevance
+//! ```
+
+use rand::SeedableRng;
+use social_puzzles::core::relevance::{simulate, RelevanceConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+
+    println!("{:>24} | {:>16} | {:>16} | {:>12}", "scenario", "precision gated", "precision bcast", "recall gated");
+    println!("{}", "-".repeat(80));
+
+    for (label, p_in, p_out) in [
+        ("tight communities", 0.95, 0.05),
+        ("default", 0.90, 0.10),
+        ("leaky contexts", 0.80, 0.30),
+        ("public knowledge", 1.00, 1.00),
+    ] {
+        let cfg = RelevanceConfig { p_know_in: p_in, p_know_out: p_out, ..RelevanceConfig::default() };
+        let report = simulate(&cfg, &mut rng)?;
+        println!(
+            "{label:>24} | {:>15.1}% | {:>15.1}% | {:>11.1}%",
+            report.precision_gated * 100.0,
+            report.precision_broadcast * 100.0,
+            report.recall_gated * 100.0
+        );
+    }
+
+    println!(
+        "\npuzzle gating lifts feed precision far above the broadcast base rate\n\
+         whenever context knowledge actually tracks community membership;\n\
+         when context is public knowledge, gating (correctly) filters nothing."
+    );
+    Ok(())
+}

@@ -1,0 +1,91 @@
+//! §VIII future-work features, implemented: automated client-side context
+//! recommendation, and periodic puzzle refresh (§VI-C's collusion
+//! countermeasure).
+//!
+//! ```text
+//! cargo run --example context_recommendation
+//! ```
+
+use rand::SeedableRng;
+use social_puzzles::core::construction1::Construction1;
+use social_puzzles::core::protocol::SocialPuzzleApp;
+use social_puzzles::core::recommend::{self, AnswerStrength, ObjectMetadata};
+use social_puzzles::osn::DeviceProfile;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(88);
+
+    // 1. The client drafts a context from the photo's own metadata.
+    let metadata = ObjectMetadata::new()
+        .field("location", "gravel beach below the lighthouse steps")
+        .field("date", "2014-07-04")
+        .field("host", "marisol")
+        .field("food", "smoked trout and flatbread")
+        .caption("We stayed until the tide chased us off the rocks");
+
+    let recs = recommend::recommend(&metadata);
+    println!("recommended context (ranked by guessing resistance):");
+    for r in &recs {
+        println!("  [{:8}] {} -> {}", format!("{:?}", r.strength), r.question, r.answer);
+    }
+
+    // Weak answers (the date) sink to the bottom; build the context from
+    // the strongest three.
+    let context = recommend::to_context(&recs, 3)?;
+    assert!(recs[..3].iter().all(|r| r.strength >= AnswerStrength::Moderate));
+
+    // 2. Share with the drafted context.
+    let mut app = SocialPuzzleApp::new();
+    let sharer = app.add_user("marisol");
+    let friend = app.add_user("beachgoer");
+    app.befriend(sharer, friend)?;
+    let c1 = Construction1::new();
+    let share = app.share_c1(
+        &c1,
+        sharer,
+        b"beach_photo_raw_bytes",
+        &context,
+        2,
+        &DeviceProfile::pc(),
+        None,
+        &mut rng,
+    )?;
+    let ctx_clone = context.clone();
+    let recv = app.receive_c1(
+        &c1,
+        friend,
+        &share,
+        move |q| ctx_clone.answer_for(q).map(str::to_owned),
+        &DeviceProfile::pc(),
+        &mut rng,
+    )?;
+    assert_eq!(recv.object, b"beach_photo_raw_bytes");
+    println!("\nfriend with the context: access granted");
+
+    // 3. Periodic refresh (§VI-C): the sharer suspects a leaked verify
+    //    transcript and re-keys the object in place. Same post, same
+    //    puzzle id — old transcripts are dead, honest friends unaffected.
+    let refreshed = app.refresh_c1(
+        &c1,
+        &share,
+        b"beach_photo_raw_bytes",
+        &context,
+        &DeviceProfile::pc(),
+        None,
+        &mut rng,
+    )?;
+    println!("puzzle refreshed in place ({})", refreshed.delays);
+
+    let ctx_clone = context.clone();
+    let recv2 = app.receive_c1(
+        &c1,
+        friend,
+        &share,
+        move |q| ctx_clone.answer_for(q).map(str::to_owned),
+        &DeviceProfile::pc(),
+        &mut rng,
+    )?;
+    assert_eq!(recv2.object, b"beach_photo_raw_bytes");
+    println!("friend re-solves the refreshed puzzle: access granted");
+    Ok(())
+}

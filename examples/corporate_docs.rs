@@ -1,0 +1,111 @@
+//! The paper's §I corporate scenario: "data management in a corporate
+//! network, where only employees knowing certain work-related context can
+//! get access to certain confidential documents."
+//!
+//! This example goes beyond the paper's height-1 context tree and uses
+//! the full CP-ABE machinery for a *nested* policy:
+//!
+//! ```text
+//!   (project-codename AND build-server-name) OR 2-of-(launch facts)
+//! ```
+//!
+//! Veterans of the project know the codename+server pair; people who
+//! attended the launch review know at least two launch facts. Both paths
+//! open the document; outsiders open nothing.
+//!
+//! ```text
+//! cargo run --example corporate_docs
+//! ```
+
+use rand::SeedableRng;
+use social_puzzles::abe::{hybrid, AccessTree, CpAbe};
+
+fn attr(q: &str, a: &str) -> String {
+    social_puzzles::abe::encode_qa_attribute(q, a)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    let abe = CpAbe::insecure_test_params();
+    let (pk, mk) = abe.setup(&mut rng);
+
+    // The context facts, phrased as question-answer attributes.
+    let codename = ("What is the project codename?", "heliotrope");
+    let server = ("Which machine runs nightly builds?", "bx-09");
+    let launch = [
+        ("Which quarter is launch?", "q3"),
+        ("Who signs off security review?", "imani"),
+        ("What is the rollout region?", "emea-first"),
+    ];
+
+    let policy = AccessTree::or(vec![
+        AccessTree::and(vec![
+            AccessTree::leaf(attr(codename.0, codename.1)),
+            AccessTree::leaf(attr(server.0, server.1)),
+        ])?,
+        AccessTree::threshold(
+            2,
+            launch
+                .iter()
+                .map(|(q, a)| AccessTree::leaf(attr(q, a)))
+                .collect(),
+        )?,
+    ])?;
+
+    let document = b"CONFIDENTIAL: heliotrope rollout playbook v7";
+    let ct = hybrid::encrypt(&abe, &pk, &policy, document, &mut rng)?;
+    println!("policy: {:?}", ct.abe().tree());
+    println!("ciphertext: {} bytes\n", hybrid::encode(&abe, &ct).len());
+
+    // Employee A: project veteran (codename + build server).
+    let veteran = abe.keygen(
+        &mk,
+        &[attr(codename.0, codename.1), attr(server.0, server.1)],
+        &mut rng,
+    );
+    let doc = hybrid::decrypt(&abe, &ct, &veteran)?;
+    assert_eq!(doc, document);
+    println!("project veteran        -> access granted");
+
+    // Employee B: attended the launch review (2 launch facts).
+    let reviewer = abe.keygen(
+        &mk,
+        &[attr(launch[0].0, launch[0].1), attr(launch[1].0, launch[1].1)],
+        &mut rng,
+    );
+    assert_eq!(hybrid::decrypt(&abe, &ct, &reviewer)?, document);
+    println!("launch reviewer        -> access granted");
+
+    // Employee C: knows one launch fact and the codename — neither branch
+    // is satisfied.
+    let partial = abe.keygen(
+        &mk,
+        &[attr(codename.0, codename.1), attr(launch[2].0, launch[2].1)],
+        &mut rng,
+    );
+    assert!(hybrid::decrypt(&abe, &ct, &partial).is_err());
+    println!("partial knowledge      -> denied");
+
+    // Contractor D: delegated a *restricted* key (veteran delegates only
+    // the codename attribute — not enough alone).
+    let contractor = abe.delegate(&pk, &veteran, &[attr(codename.0, codename.1)], &mut rng)?;
+    assert!(hybrid::decrypt(&abe, &ct, &contractor).is_err());
+    println!("delegated single attr  -> denied");
+
+    // And two partial employees cannot collude by mixing key components:
+    // keys are bound by per-key randomness (tested in sp-abe); here we
+    // simply confirm that neither alone suffices while together-at-keygen
+    // they would.
+    let combined = abe.keygen(
+        &mk,
+        &[
+            attr(launch[0].0, launch[0].1),
+            attr(launch[2].0, launch[2].1),
+        ],
+        &mut rng,
+    );
+    assert_eq!(hybrid::decrypt(&abe, &ct, &combined)?, document);
+    println!("two launch facts       -> access granted");
+
+    Ok(())
+}

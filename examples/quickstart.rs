@@ -1,0 +1,75 @@
+//! Quickstart: share a message behind a context puzzle and retrieve it.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use rand::SeedableRng;
+use social_puzzles::core::construction1::Construction1;
+use social_puzzles::core::context::Context;
+use social_puzzles::core::protocol::SocialPuzzleApp;
+use social_puzzles::osn::DeviceProfile;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2014);
+
+    // A simulated OSN: one sharer, one friend.
+    let mut app = SocialPuzzleApp::new();
+    let sharer = app.add_user("alice");
+    let friend = app.add_user("bob");
+    app.befriend(sharer, friend)?;
+
+    // The context of the thing being shared: 3 question–answer pairs.
+    // Bob was at the party, so he knows at least 2 of them.
+    let context = Context::builder()
+        .pair("Where did we celebrate?", "lakeside cabin")
+        .pair("Who organized the party?", "priya")
+        .pair("What dessert ran out first?", "tiramisu")
+        .normalize_answers()
+        .build()?;
+
+    // Alice shares a photo caption requiring k = 2 known context facts.
+    let c1 = Construction1::new();
+    let share = app.share_c1(
+        &c1,
+        sharer,
+        b"photo-of-the-lake.jpg (simulated bytes)",
+        &context,
+        2,
+        &DeviceProfile::pc(),
+        None,
+        &mut rng,
+    )?;
+    println!("shared puzzle {} (post {})", share.puzzle, share.post);
+    println!("sharer delays: {}", share.delays);
+
+    // Bob sees the post in his feed and solves the puzzle.
+    let feed = app.sp().feed(friend, |a| app.graph().are_friends(friend, a));
+    assert_eq!(feed.len(), 1, "the hyperlink reached bob's feed");
+
+    let recv = app.receive_c1(
+        &c1,
+        friend,
+        &share,
+        |question| match question {
+            q if q.contains("Where") => Some("Lakeside Cabin".to_string().to_lowercase()),
+            q if q.contains("organized") => Some("priya".to_string()),
+            _ => None, // bob forgot the dessert
+        },
+        &DeviceProfile::pc(),
+        &mut rng,
+    )?;
+    println!("receiver delays: {}", recv.delays);
+    println!(
+        "bob recovered: {}",
+        String::from_utf8_lossy(&recv.object)
+    );
+    assert_eq!(recv.object, b"photo-of-the-lake.jpg (simulated bytes)");
+
+    // A stranger who knows nothing is denied by the service provider.
+    let stranger = friend; // any identified user; knows nothing relevant
+    let denied = app.receive_c1(&c1, stranger, &share, |_| None, &DeviceProfile::pc(), &mut rng);
+    assert!(denied.is_err());
+    println!("stranger without context: denied ✓");
+    Ok(())
+}

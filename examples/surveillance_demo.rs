@@ -1,0 +1,122 @@
+//! Surveillance resistance, demonstrated from the adversary's chair
+//! (§VI): what the service provider and storage host actually see, what a
+//! dictionary attack yields, and where the paper's conceded attacks
+//! (threshold-reaching coalitions, malicious-SP leak) really do break
+//! through.
+//!
+//! ```text
+//! cargo run --example surveillance_demo
+//! ```
+
+use rand::SeedableRng;
+use social_puzzles::core::adversary;
+use social_puzzles::core::construction1::Construction1;
+use social_puzzles::core::construction2::Construction2;
+use social_puzzles::core::context::Context;
+use social_puzzles::core::sign::SigningKey;
+use social_puzzles::osn::Url;
+use social_puzzles::pairing::Pairing;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(31337);
+    let c1 = Construction1::new();
+
+    let context = Context::builder()
+        .pair("Where did the reading group meet?", "the basement of Holyoke annex")
+        .pair("Which novel did we abandon?", "the glass bead game")
+        .pair("Who brought the terrible coffee?", "me, every single week")
+        .build()?;
+    let secret = b"group photo with everyone asleep";
+    let up = c1.upload(secret, &context, 2, &mut rng)?;
+
+    println!("=== What the service provider sees (Construction 1) ===");
+    let dictionary = [
+        "password", "123456", "coffee", "starbucks", "harry potter", "library",
+    ];
+    let report = adversary::semi_honest_sp_attack_c1(&c1, &up.puzzle, &dictionary);
+    println!("questions (public): {:#?}", report.questions_learned);
+    println!("answers cracked by dictionary: {:?}", report.answers_cracked);
+    println!("object key recovered: {}", report.object_key_recovered);
+    assert!(!report.object_key_recovered);
+
+    println!("\n=== What the storage host sees ===");
+    let leaked = adversary::dh_surveillance_c1(&up.encrypted_object, secret);
+    println!("plaintext visible in stored blob: {leaked}");
+    assert!(!leaked);
+
+    println!("\n=== Coalition below the threshold (2 needed, union = 1) ===");
+    let weak_coalition = vec![(1usize, "the glass bead game".to_string())];
+    let outcome = adversary::colluding_users_attack_c1(
+        &c1,
+        &up.puzzle,
+        &up.encrypted_object,
+        &weak_coalition,
+        &mut rng,
+    );
+    println!("coalition success: {}", outcome.is_ok());
+    assert!(outcome.is_err());
+
+    println!("\n=== The conceded break: malicious SP leaks verify results ===");
+    // Two members each below threshold; the SP confirms their correct
+    // answers individually, the coalition pools the confirmations.
+    let members = vec![
+        vec![(0usize, "the basement of Holyoke annex".to_string())],
+        vec![(1usize, "the glass bead game".to_string())],
+    ];
+    let mut broke = false;
+    for _ in 0..20 {
+        if adversary::malicious_sp_collusion_c1(
+            &c1,
+            &up.puzzle,
+            &up.encrypted_object,
+            &members,
+            &mut rng,
+        ) {
+            broke = true;
+            break;
+        }
+    }
+    println!("coalition + malicious SP success: {broke} (the paper concedes this)");
+    assert!(broke);
+
+    println!("\n=== DOS protection: signed URL detects SP tampering ===");
+    let pairing = Pairing::insecure_test_params();
+    let signer = SigningKey::generate(&pairing, &mut rng);
+    let signed = c1.upload_to(
+        secret,
+        &context,
+        2,
+        Url::from("https://dh.example/objects/42"),
+        Some(&signer),
+        &mut rng,
+    )?;
+    signed.puzzle.check_signature(&pairing, &signer.verifying_key())?;
+    println!("honest puzzle signature: ok");
+    // SP swaps the URL — detected before any download happens.
+    let tampered_bytes = {
+        let mut puzzle2 = signed.puzzle.clone();
+        // Simulate the swap by re-serializing with a different URL via the
+        // wire format (a real SP edits the stored record).
+        let mut raw = puzzle2.to_bytes();
+        let needle = b"dh.example";
+        if let Some(pos) = raw.windows(needle.len()).position(|w| w == needle) {
+            raw[pos..pos + needle.len()].copy_from_slice(b"evil.examp");
+        }
+        puzzle2 = social_puzzles::core::construction1::Puzzle::from_bytes(&raw)?;
+        puzzle2
+    };
+    let verdict = tampered_bytes.check_signature(&pairing, &signer.verifying_key());
+    println!("tampered puzzle signature: {verdict:?}");
+    assert!(verdict.is_err());
+
+    println!("\n=== Construction 2: perturbed tree hides answers from SP/DH ===");
+    let c2 = Construction2::insecure_test_params();
+    let up2 = c2.upload(secret, &context, 2, &mut rng)?;
+    let ct = social_puzzles::abe::hybrid::decode(c2.abe(), &up2.ciphertext)?;
+    let tree_text = ct.abe().tree().leaves().join(" | ");
+    println!("tree leaves stored at the DH:\n  {tree_text}");
+    assert!(!tree_text.contains("glass bead"), "answers are hashed out");
+    println!("clear answers present: false");
+
+    Ok(())
+}

@@ -1,0 +1,173 @@
+//! `spuzzle` — command-line social puzzles over local files.
+//!
+//! Plays all three roles of Construction 1 on the filesystem, so the
+//! scheme can be tried without the simulated OSN:
+//!
+//! ```text
+//! spuzzle share --object photo.jpg --out ./shared -k 2 \
+//!         --pair "Where was the party?=lakeside cabin" \
+//!         --pair "Who hosted?=priya" \
+//!         --pair "What did we grill?=corn"
+//!
+//! spuzzle questions --dir ./shared
+//!
+//! spuzzle solve --dir ./shared --out recovered.jpg \
+//!         --answer "0=lakeside cabin" --answer "1=priya"
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use social_puzzles::core::construction1::{Construction1, Puzzle};
+use social_puzzles::core::context::Context;
+
+const PUZZLE_FILE: &str = "puzzle.spz";
+const OBJECT_FILE: &str = "object.enc";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("share") => cmd_share(&args[1..]),
+        Some("questions") => cmd_questions(&args[1..]),
+        Some("solve") => cmd_solve(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            eprintln!("usage: spuzzle <share|questions|solve> [options]; see --help per command");
+            return ExitCode::from(2);
+        }
+        Some(other) => Err(format!("unknown command {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Pulls the value following `flag` each time it appears.
+fn flag_values<'a>(args: &'a [String], flag: &str) -> Vec<&'a str> {
+    let mut out = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == flag {
+            if let Some(v) = it.next() {
+                out.push(v.as_str());
+            }
+        }
+    }
+    out
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    flag_values(args, flag).into_iter().next()
+}
+
+fn cmd_share(args: &[String]) -> Result<(), String> {
+    let object_path = flag_value(args, "--object").ok_or("--object <file> is required")?;
+    let out_dir = PathBuf::from(flag_value(args, "--out").ok_or("--out <dir> is required")?);
+    let k: usize = flag_value(args, "-k")
+        .or(flag_value(args, "--threshold"))
+        .ok_or("-k <threshold> is required")?
+        .parse()
+        .map_err(|_| "threshold must be a number")?;
+    let pairs = flag_values(args, "--pair");
+    if pairs.is_empty() {
+        return Err("at least one --pair \"question=answer\" is required".into());
+    }
+
+    let mut builder = Context::builder();
+    for p in &pairs {
+        let (q, a) = p
+            .split_once('=')
+            .ok_or_else(|| format!("--pair {p:?} must look like \"question=answer\""))?;
+        builder = builder.pair(q.trim(), a.trim());
+    }
+    let context = builder.normalize_answers().build().map_err(|e| e.to_string())?;
+
+    let object = std::fs::read(object_path).map_err(|e| format!("reading object: {e}"))?;
+    let mut rng = StdRng::from_entropy();
+    let c1 = Construction1::new();
+    let upload = c1.upload(&object, &context, k, &mut rng).map_err(|e| e.to_string())?;
+
+    std::fs::create_dir_all(&out_dir).map_err(|e| format!("creating out dir: {e}"))?;
+    std::fs::write(out_dir.join(PUZZLE_FILE), upload.puzzle.to_bytes())
+        .map_err(|e| format!("writing puzzle: {e}"))?;
+    std::fs::write(out_dir.join(OBJECT_FILE), &upload.encrypted_object)
+        .map_err(|e| format!("writing encrypted object: {e}"))?;
+    println!(
+        "shared: {} pairs, threshold {k}; puzzle + encrypted object written to {}",
+        context.len(),
+        out_dir.display()
+    );
+    Ok(())
+}
+
+fn load_puzzle(dir: &Path) -> Result<Puzzle, String> {
+    let bytes = std::fs::read(dir.join(PUZZLE_FILE))
+        .map_err(|e| format!("reading {}: {e}", dir.join(PUZZLE_FILE).display()))?;
+    Puzzle::from_bytes(&bytes).map_err(|e| e.to_string())
+}
+
+fn cmd_questions(args: &[String]) -> Result<(), String> {
+    let dir = PathBuf::from(flag_value(args, "--dir").ok_or("--dir <dir> is required")?);
+    let puzzle = load_puzzle(&dir)?;
+    println!(
+        "{} questions, {} correct answers required:",
+        puzzle.n(),
+        puzzle.k()
+    );
+    for (i, q) in puzzle.questions().iter().enumerate() {
+        println!("  [{i}] {q}");
+    }
+    Ok(())
+}
+
+fn cmd_solve(args: &[String]) -> Result<(), String> {
+    let dir = PathBuf::from(flag_value(args, "--dir").ok_or("--dir <dir> is required")?);
+    let out = flag_value(args, "--out").ok_or("--out <file> is required")?;
+    let puzzle = load_puzzle(&dir)?;
+    let encrypted = std::fs::read(dir.join(OBJECT_FILE))
+        .map_err(|e| format!("reading encrypted object: {e}"))?;
+
+    let mut answers: Vec<(usize, String)> = Vec::new();
+    for a in flag_values(args, "--answer") {
+        let (idx, answer) = a
+            .split_once('=')
+            .ok_or_else(|| format!("--answer {a:?} must look like \"index=answer\""))?;
+        let idx: usize = idx.trim().parse().map_err(|_| "answer index must be a number")?;
+        answers.push((
+            idx,
+            social_puzzles::core::context::normalize_answer(answer),
+        ));
+    }
+    if answers.is_empty() {
+        return Err("at least one --answer \"index=answer\" is required".into());
+    }
+
+    // Play both SP and receiver locally: the hashes are verified exactly
+    // as a real SP would.
+    let c1 = Construction1::new();
+    let displayed = social_puzzles::core::construction1::DisplayedPuzzle {
+        questions: puzzle
+            .questions()
+            .iter()
+            .enumerate()
+            .map(|(i, q)| (i, (*q).to_owned()))
+            .collect(),
+        puzzle_key: *puzzle.puzzle_key(),
+        hash_alg: c1.hash_alg(),
+    };
+    let response = c1.answer_puzzle(&displayed, &answers);
+    let outcome = c1
+        .verify(&puzzle, &response)
+        .map_err(|_| "not enough correct answers".to_string())?;
+    let object = c1
+        .access_with_key(&outcome, &answers, &encrypted, Some(puzzle.puzzle_key()))
+        .map_err(|e| e.to_string())?;
+    std::fs::write(out, &object).map_err(|e| format!("writing output: {e}"))?;
+    println!("solved: {} bytes recovered to {out}", object.len());
+    Ok(())
+}

@@ -1,0 +1,45 @@
+//! # Social Puzzles
+//!
+//! A reproduction of *"Social Puzzles: Context-Based Access Control in
+//! Online Social Networks"* (Jadliwala, Maiti, Namboodiri — IEEE/IFIP DSN
+//! 2014) as a Rust workspace.
+//!
+//! This facade crate re-exports the workspace members under stable module
+//! names, and hosts the runnable examples (`examples/`) and the
+//! cross-crate integration tests (`tests/`).
+//!
+//! * [`core`] — the paper's contribution: the two social-puzzle
+//!   constructions, the protocol drivers, and the adversary models.
+//! * [`osn`] — simulated online social network, service provider, storage
+//!   host, and network/device models.
+//! * [`abe`] — Bethencourt–Sahai–Waters ciphertext-policy ABE.
+//! * [`shamir`] — Shamir `(k, n)` threshold secret sharing.
+//! * [`pairing`] — PBC Type-A style symmetric bilinear pairing.
+//! * [`crypto`] — AES, SHA-1/SHA-256/SHA-3, HMAC, KDFs.
+//! * [`field`] / [`bigint`] — prime fields and big-integer arithmetic.
+//!
+//! ## Quickstart
+//!
+//! See `examples/quickstart.rs`, or:
+//!
+//! ```
+//! use social_puzzles::core::context::Context;
+//!
+//! let ctx = Context::builder()
+//!     .pair("Where did we celebrate?", "lakeside cabin")
+//!     .pair("Who organized it?", "priya")
+//!     .build()
+//!     .expect("at least one pair");
+//! assert_eq!(ctx.len(), 2);
+//! ```
+
+pub use sp_abe as abe;
+pub use sp_bigint as bigint;
+pub use sp_crypto as crypto;
+pub use sp_field as field;
+pub use sp_osn as osn;
+pub use sp_pairing as pairing;
+pub use sp_shamir as shamir;
+pub use sp_wire as wire;
+
+pub use social_puzzles_core as core;

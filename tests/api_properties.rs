@@ -1,0 +1,97 @@
+//! API-level guarantees: thread-safety markers and Debug hygiene for the
+//! public types (per the Rust API guidelines C-SEND-SYNC, C-DEBUG,
+//! C-DEBUG-NONEMPTY).
+
+use social_puzzles::abe::{AccessTree, Ciphertext, CpAbe, MasterKey, PrivateKey, PublicKey};
+use social_puzzles::core::construction1::{Construction1, Puzzle};
+use social_puzzles::core::construction2::{Construction2, Puzzle2Record};
+use social_puzzles::core::context::Context;
+use social_puzzles::core::protocol::SocialPuzzleApp;
+use social_puzzles::core::sign::{SigningKey, VerifyingKey};
+use social_puzzles::osn::{NetworkModel, ServiceProvider, SocialGraph, StorageHost};
+use social_puzzles::pairing::{Gt, Pairing, G1};
+use social_puzzles::shamir::{Share, ShamirScheme};
+
+fn assert_send_sync<T: Send + Sync>() {}
+
+#[test]
+fn public_types_are_send_and_sync() {
+    assert_send_sync::<Pairing>();
+    assert_send_sync::<G1>();
+    assert_send_sync::<Gt>();
+    assert_send_sync::<CpAbe>();
+    assert_send_sync::<AccessTree>();
+    assert_send_sync::<Ciphertext>();
+    assert_send_sync::<PublicKey>();
+    assert_send_sync::<MasterKey>();
+    assert_send_sync::<PrivateKey>();
+    assert_send_sync::<ShamirScheme>();
+    assert_send_sync::<Share>();
+    assert_send_sync::<Construction1>();
+    assert_send_sync::<Construction2>();
+    assert_send_sync::<Puzzle>();
+    assert_send_sync::<Puzzle2Record>();
+    assert_send_sync::<Context>();
+    assert_send_sync::<SigningKey>();
+    assert_send_sync::<VerifyingKey>();
+    assert_send_sync::<SocialPuzzleApp>();
+    assert_send_sync::<SocialGraph>();
+    assert_send_sync::<ServiceProvider>();
+    assert_send_sync::<StorageHost>();
+    assert_send_sync::<NetworkModel>();
+}
+
+#[test]
+fn debug_output_is_nonempty_and_leak_free() {
+    use rand::{rngs::StdRng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(700);
+    let pairing = Pairing::insecure_test_params();
+    let sk = SigningKey::generate(&pairing, &mut rng);
+    let dbg = format!("{sk:?}");
+    assert!(!dbg.is_empty());
+    assert!(dbg.contains("secret"), "signing key debug hides material: {dbg}");
+
+    let abe = CpAbe::insecure_test_params();
+    let (_pk, mk) = abe.setup(&mut rng);
+    let dbg = format!("{mk:?}");
+    assert!(dbg.contains("secret"), "master key debug hides material: {dbg}");
+
+    let ctx = Context::builder().pair("q", "very-secret-answer").build().unwrap();
+    let dbg = format!("{ctx:?}");
+    assert!(!dbg.contains("very-secret-answer"), "context debug hides answers");
+
+    let c1 = Construction1::new();
+    let up = c1.upload(b"o", &ctx, 1, &mut rng).unwrap();
+    assert!(!format!("{:?}", up.puzzle).is_empty());
+}
+
+#[test]
+fn app_is_usable_behind_a_shared_reference_across_threads() {
+    use rand::{rngs::StdRng, SeedableRng};
+    use social_puzzles::osn::DeviceProfile;
+
+    let mut rng = StdRng::seed_from_u64(701);
+    let mut app = SocialPuzzleApp::new();
+    let sharer = app.add_user("s");
+    let ctx = Context::builder().pair("q", "a").build().unwrap();
+    let c1 = Construction1::new();
+    let share = app
+        .share_c1(&c1, sharer, b"threaded", &ctx, 1, &DeviceProfile::pc(), None, &mut rng)
+        .unwrap();
+
+    std::thread::scope(|scope| {
+        for i in 0..4u64 {
+            let app = &app;
+            let c1 = &c1;
+            let share = &share;
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(800 + i);
+                let recv = app
+                    .receive_c1(c1, sharer, share, |_| Some("a".into()), &DeviceProfile::pc(), &mut rng)
+                    .unwrap();
+                assert_eq!(recv.object, b"threaded");
+            });
+        }
+    });
+    assert_eq!(app.sp().audit_log().len(), 4);
+}

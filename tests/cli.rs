@@ -1,0 +1,138 @@
+//! Integration tests for the `spuzzle` command-line binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn spuzzle() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_spuzzle"))
+}
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("spuzzle-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn share_questions_solve_roundtrip() {
+    let dir = tempdir("roundtrip");
+    let object = dir.join("object.bin");
+    std::fs::write(&object, b"cli round trip payload").unwrap();
+    let shared = dir.join("shared");
+
+    let status = spuzzle()
+        .args(["share", "--object"])
+        .arg(&object)
+        .args(["--out"])
+        .arg(&shared)
+        .args(["-k", "2"])
+        .args(["--pair", "Where was the party?=Lakeside Cabin"])
+        .args(["--pair", "Who hosted?=Priya"])
+        .args(["--pair", "What did we grill?=Corn"])
+        .status()
+        .unwrap();
+    assert!(status.success());
+    assert!(shared.join("puzzle.spz").exists());
+    assert!(shared.join("object.enc").exists());
+    // The encrypted object must not contain the plaintext.
+    let enc = std::fs::read(shared.join("object.enc")).unwrap();
+    assert!(!enc
+        .windows(b"cli round trip payload".len())
+        .any(|w| w == b"cli round trip payload"));
+
+    let out = spuzzle()
+        .args(["questions", "--dir"])
+        .arg(&shared)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("Where was the party?"));
+    assert!(text.contains("2 correct answers required"));
+    assert!(!text.contains("Lakeside"), "questions output must not leak answers");
+
+    let recovered = dir.join("recovered.bin");
+    let status = spuzzle()
+        .args(["solve", "--dir"])
+        .arg(&shared)
+        .args(["--out"])
+        .arg(&recovered)
+        .args(["--answer", "0=lakeside cabin"]) // normalization forgives case
+        .args(["--answer", "2=CORN"])
+        .status()
+        .unwrap();
+    assert!(status.success());
+    assert_eq!(std::fs::read(&recovered).unwrap(), b"cli round trip payload");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn solve_fails_below_threshold_and_with_wrong_answers() {
+    let dir = tempdir("denied");
+    let object = dir.join("object.bin");
+    std::fs::write(&object, b"secret").unwrap();
+    let shared = dir.join("shared");
+    assert!(spuzzle()
+        .args(["share", "--object"])
+        .arg(&object)
+        .args(["--out"])
+        .arg(&shared)
+        .args(["-k", "2"])
+        .args(["--pair", "q0=a0", "--pair", "q1=a1"])
+        .status()
+        .unwrap()
+        .success());
+
+    // One correct answer < k.
+    let out = spuzzle()
+        .args(["solve", "--dir"])
+        .arg(&shared)
+        .args(["--out"])
+        .arg(dir.join("x"))
+        .args(["--answer", "0=a0"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("not enough correct answers"));
+
+    // Two wrong answers.
+    let out = spuzzle()
+        .args(["solve", "--dir"])
+        .arg(&shared)
+        .args(["--out"])
+        .arg(dir.join("x"))
+        .args(["--answer", "0=wrong", "--answer", "1=also wrong"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bad_usage_reports_errors() {
+    // No command.
+    let out = spuzzle().output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+
+    // Unknown command.
+    let out = spuzzle().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+
+    // share without pairs.
+    let dir = tempdir("badusage");
+    let object = dir.join("o");
+    std::fs::write(&object, b"x").unwrap();
+    let out = spuzzle()
+        .args(["share", "--object"])
+        .arg(&object)
+        .args(["--out"])
+        .arg(dir.join("s"))
+        .args(["-k", "1"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--pair"));
+    let _ = std::fs::remove_dir_all(&dir);
+}

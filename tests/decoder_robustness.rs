@@ -1,0 +1,85 @@
+//! Decoder robustness: every `from_bytes`-style decoder in the workspace
+//! must reject arbitrary garbage with an error — never panic — because
+//! these decoders sit on trust boundaries (records fetched from the SP,
+//! blobs fetched from the DH).
+
+use proptest::prelude::*;
+use social_puzzles::abe::{AccessTree, CpAbe};
+use social_puzzles::core::construction1::Puzzle;
+use social_puzzles::core::construction2::Puzzle2Record;
+use social_puzzles::core::feldman::Commitments;
+use social_puzzles::core::sign::{Signature, VerifyingKey};
+use social_puzzles::pairing::Pairing;
+use social_puzzles::shamir::{ShamirScheme, Share};
+use social_puzzles::wire::Reader;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn random_bytes_never_panic_any_decoder(data in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let pairing = Pairing::insecure_test_params();
+        let abe = CpAbe::insecure_test_params();
+        let shamir = ShamirScheme::default_field();
+
+        // Each call may Err — that is the contract — but must not panic.
+        let _ = Puzzle::from_bytes(&data);
+        let _ = Puzzle2Record::from_bytes(&data);
+        let _ = abe.decode_public_key(&data);
+        let _ = abe.decode_master_key(&data);
+        let _ = abe.decode_private_key(&data);
+        let _ = abe.decode_ciphertext(&data);
+        let _ = social_puzzles::abe::hybrid::decode(&abe, &data);
+        let _ = AccessTree::decode(&mut Reader::new(&data));
+        let _ = pairing.g1_from_bytes(&data);
+        let _ = pairing.gt_from_bytes(&data);
+        let _ = Signature::from_bytes(&pairing, &data);
+        let _ = VerifyingKey::from_bytes(&pairing, &data);
+        let _ = Commitments::from_bytes(&pairing, &data);
+        let _ = Share::from_bytes(shamir.field(), &data);
+        let _ = social_puzzles::core::trivial::TrivialCiphertext::from_wire(&data);
+    }
+
+    /// Truncating valid encodings at any point yields a clean error.
+    #[test]
+    fn truncated_valid_encodings_error_cleanly(cut_fraction in 0.0f64..1.0) {
+        use rand::{rngs::StdRng, SeedableRng};
+        use social_puzzles::core::construction1::Construction1;
+        use social_puzzles::core::context::Context;
+
+        let mut rng = StdRng::seed_from_u64(900);
+        let ctx = Context::builder().pair("q1", "a1").pair("q2", "a2").build().unwrap();
+        let c1 = Construction1::new();
+        let up = c1.upload(b"o", &ctx, 1, &mut rng).unwrap();
+        let bytes = up.puzzle.to_bytes();
+        let cut = ((bytes.len() as f64) * cut_fraction) as usize;
+        if cut < bytes.len() {
+            prop_assert!(Puzzle::from_bytes(&bytes[..cut]).is_err());
+        }
+    }
+
+    /// Single-byte corruption of a valid ABE ciphertext either errors at
+    /// decode or decodes to something that fails decryption — never
+    /// silently yields the plaintext.
+    #[test]
+    fn bitflipped_abe_ciphertext_never_silently_decrypts(pos_seed in any::<u64>()) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let abe = CpAbe::insecure_test_params();
+        let mut rng = StdRng::seed_from_u64(901);
+        let (pk, mk) = abe.setup(&mut rng);
+        let tree = AccessTree::leaf("a");
+        let payload = b"integrity matters";
+        let ct = social_puzzles::abe::hybrid::encrypt(&abe, &pk, &tree, payload, &mut rng).unwrap();
+        let sk = abe.keygen(&mk, &["a".to_string()], &mut rng);
+        let mut bytes = social_puzzles::abe::hybrid::encode(&abe, &ct);
+        let pos = (pos_seed as usize) % bytes.len();
+        bytes[pos] ^= 0x01;
+        match social_puzzles::abe::hybrid::decode(&abe, &bytes) {
+            Err(_) => {}
+            Ok(corrupt) => match social_puzzles::abe::hybrid::decrypt(&abe, &corrupt, &sk) {
+                Err(_) => {}
+                Ok(pt) => prop_assert_eq!(pt, payload.to_vec(), "flip landed in ignored padding"),
+            },
+        }
+    }
+}

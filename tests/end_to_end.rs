@@ -1,0 +1,308 @@
+//! Cross-crate integration tests: complete protocol runs over the
+//! simulated OSN, multi-user scenarios, and concurrent receivers.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use social_puzzles::core::construction1::Construction1;
+use social_puzzles::core::construction2::Construction2;
+use social_puzzles::core::context::Context;
+use social_puzzles::core::protocol::SocialPuzzleApp;
+use social_puzzles::core::sign::SigningKey;
+use social_puzzles::core::SocialPuzzleError;
+use social_puzzles::osn::DeviceProfile;
+use social_puzzles::pairing::Pairing;
+
+fn party_context() -> Context {
+    Context::builder()
+        .pair("Which trailhead did we start from?", "granite pass")
+        .pair("Who carried the stove?", "teo")
+        .pair("What wildlife crossed the path?", "a porcupine")
+        .pair("Where did we camp?", "below the saddle")
+        .build()
+        .expect("valid context")
+}
+
+#[test]
+fn construction1_full_protocol_over_osn() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut app = SocialPuzzleApp::new();
+    let sharer = app.add_user("sharer");
+    let hiker = app.add_user("hiker");
+    app.befriend(sharer, hiker).unwrap();
+
+    let ctx = party_context();
+    let c1 = Construction1::new();
+    let share = app
+        .share_c1(&c1, sharer, b"trip-photos.tar", &ctx, 2, &DeviceProfile::pc(), None, &mut rng)
+        .unwrap();
+
+    // The puzzle is physically at the SP, the blob at the DH.
+    assert_eq!(app.sp().puzzle_count(), 1);
+    assert_eq!(app.dh().len(), 1);
+
+    let ctx2 = ctx.clone();
+    let recv = app
+        .receive_c1(
+            &c1,
+            hiker,
+            &share,
+            move |q| ctx2.answer_for(q).map(str::to_owned),
+            &DeviceProfile::pc(),
+            &mut rng,
+        )
+        .unwrap();
+    assert_eq!(recv.object, b"trip-photos.tar");
+}
+
+#[test]
+fn construction2_full_protocol_over_osn() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut app = SocialPuzzleApp::new();
+    let sharer = app.add_user("sharer");
+    let reader = app.add_user("reader");
+    let ctx = party_context();
+    let c2 = Construction2::insecure_test_params();
+    let share = app
+        .share_c2(&c2, sharer, b"trip-notes.md", &ctx, 3, &DeviceProfile::pc(), &mut rng)
+        .unwrap();
+    let ctx2 = ctx.clone();
+    let recv = app
+        .receive_c2(
+            &c2,
+            reader,
+            &share,
+            move |q| ctx2.answer_for(q).map(str::to_owned),
+            &DeviceProfile::pc(),
+            &mut rng,
+        )
+        .unwrap();
+    assert_eq!(recv.object, b"trip-notes.md");
+}
+
+#[test]
+fn many_receivers_with_varying_knowledge() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut app = SocialPuzzleApp::new();
+    let sharer = app.add_user("sharer");
+    let ctx = party_context();
+    let c1 = Construction1::new();
+    let share = app
+        .share_c1(&c1, sharer, b"obj", &ctx, 2, &DeviceProfile::pc(), None, &mut rng)
+        .unwrap();
+
+    // knowledge level = number of questions the receiver can answer.
+    for know in 0..=4usize {
+        let ctx2 = ctx.clone();
+        let answerer = move |q: &str| {
+            let idx = ctx2.pairs().iter().position(|p| p.question() == q)?;
+            if idx < know {
+                ctx2.answer_for(q).map(str::to_owned)
+            } else {
+                None
+            }
+        };
+        // Retry a few display rounds: the SP shows random subsets.
+        let mut ok = false;
+        for _ in 0..30 {
+            if let Ok(r) = app.receive_c1(&c1, sharer, &share, &answerer, &DeviceProfile::pc(), &mut rng) {
+                assert_eq!(r.object, b"obj");
+                ok = true;
+                break;
+            }
+        }
+        if know >= 2 {
+            assert!(ok, "knowledge {know} >= k should eventually succeed");
+        } else {
+            assert!(!ok, "knowledge {know} < k must never succeed");
+        }
+    }
+}
+
+#[test]
+fn concurrent_receivers_share_one_puzzle() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut app = SocialPuzzleApp::new();
+    let sharer = app.add_user("sharer");
+    let ctx = party_context();
+    let c1 = Construction1::new();
+    let share = app
+        .share_c1(&c1, sharer, b"popular object", &ctx, 2, &DeviceProfile::pc(), None, &mut rng)
+        .unwrap();
+
+    crossbeam::thread::scope(|s| {
+        for t in 0..8u64 {
+            let app = &app;
+            let c1 = &c1;
+            let share = &share;
+            let ctx = ctx.clone();
+            s.spawn(move |_| {
+                let mut rng = StdRng::seed_from_u64(100 + t);
+                let recv = app
+                    .receive_c1(
+                        c1,
+                        sharer,
+                        share,
+                        |q| ctx.answer_for(q).map(str::to_owned),
+                        &DeviceProfile::pc(),
+                        &mut rng,
+                    )
+                    .expect("receiver succeeds");
+                assert_eq!(recv.object, b"popular object");
+            });
+        }
+    })
+    .unwrap();
+}
+
+#[test]
+fn multiple_puzzles_coexist() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut app = SocialPuzzleApp::new();
+    let sharer = app.add_user("sharer");
+    let c1 = Construction1::new();
+    let c2 = Construction2::insecure_test_params();
+
+    let ctx_a = Context::builder().pair("color?", "vermilion").build().unwrap();
+    let ctx_b = Context::builder().pair("tone?", "11 hz").pair("room?", "b4").build().unwrap();
+
+    let share_a = app
+        .share_c1(&c1, sharer, b"object A", &ctx_a, 1, &DeviceProfile::pc(), None, &mut rng)
+        .unwrap();
+    let share_b = app
+        .share_c2(&c2, sharer, b"object B", &ctx_b, 2, &DeviceProfile::pc(), &mut rng)
+        .unwrap();
+    assert_eq!(app.sp().puzzle_count(), 2);
+
+    let recv_a = app
+        .receive_c1(&c1, sharer, &share_a, |_| Some("vermilion".into()), &DeviceProfile::pc(), &mut rng)
+        .unwrap();
+    assert_eq!(recv_a.object, b"object A");
+
+    let ctx_b2 = ctx_b.clone();
+    let recv_b = app
+        .receive_c2(
+            &c2,
+            sharer,
+            &share_b,
+            move |q| ctx_b2.answer_for(q).map(str::to_owned),
+            &DeviceProfile::pc(),
+            &mut rng,
+        )
+        .unwrap();
+    assert_eq!(recv_b.object, b"object B");
+
+    // Answers for puzzle A do not open puzzle B.
+    let cross = app.receive_c2(
+        &c2,
+        sharer,
+        &share_b,
+        |_| Some("vermilion".into()),
+        &DeviceProfile::pc(),
+        &mut rng,
+    );
+    assert!(cross.is_err());
+}
+
+#[test]
+fn signed_share_detects_sp_record_tampering() {
+    let mut rng = StdRng::seed_from_u64(6);
+    let mut app = SocialPuzzleApp::new();
+    let sharer = app.add_user("sharer");
+    let ctx = party_context();
+    let c1 = Construction1::new();
+    let pairing = Pairing::insecure_test_params();
+    let signer = SigningKey::generate(&pairing, &mut rng);
+    let share = app
+        .share_c1(&c1, sharer, b"obj", &ctx, 1, &DeviceProfile::pc(), Some(&signer), &mut rng)
+        .unwrap();
+
+    // A malicious SP rewrites the stored record's URL.
+    let raw = app.sp().fetch_puzzle(share.puzzle).unwrap();
+    let mut puzzle =
+        social_puzzles::core::construction1::Puzzle::from_bytes(&raw).unwrap();
+    puzzle.check_signature(&pairing, &signer.verifying_key()).unwrap();
+
+    let mut tampered_raw = raw.to_vec();
+    let needle = b"dh.example";
+    let pos = tampered_raw
+        .windows(needle.len())
+        .position(|w| w == needle)
+        .expect("url embedded");
+    tampered_raw[pos..pos + needle.len()].copy_from_slice(b"ev1l.examp");
+    app.sp()
+        .replace_puzzle(share.puzzle, bytes::Bytes::from(tampered_raw))
+        .unwrap();
+
+    let raw2 = app.sp().fetch_puzzle(share.puzzle).unwrap();
+    puzzle = social_puzzles::core::construction1::Puzzle::from_bytes(&raw2).unwrap();
+    assert_eq!(
+        puzzle
+            .check_signature(&pairing, &signer.verifying_key())
+            .unwrap_err(),
+        SocialPuzzleError::BadSignature
+    );
+}
+
+#[test]
+fn dh_tampering_breaks_object_decryption() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut app = SocialPuzzleApp::new();
+    let sharer = app.add_user("sharer");
+    let ctx = party_context();
+    let c1 = Construction1::new();
+    let share = app
+        .share_c1(&c1, sharer, b"pristine", &ctx, 1, &DeviceProfile::pc(), None, &mut rng)
+        .unwrap();
+
+    // Malicious DH flips bytes in every stored blob.
+    let raw = app.sp().fetch_puzzle(share.puzzle).unwrap();
+    let puzzle = social_puzzles::core::construction1::Puzzle::from_bytes(&raw).unwrap();
+    let blob = app.dh().get(puzzle.url()).unwrap();
+    let mut evil = blob.to_vec();
+    let mid = evil.len() / 2;
+    evil[mid] ^= 0xff;
+    app.dh().tamper(puzzle.url(), bytes::Bytes::from(evil)).unwrap();
+
+    let ctx2 = ctx.clone();
+    let result = app.receive_c1(
+        &c1,
+        sharer,
+        &share,
+        move |q| ctx2.answer_for(q).map(str::to_owned),
+        &DeviceProfile::pc(),
+        &mut rng,
+    );
+    match result {
+        Err(SocialPuzzleError::DecryptionFailed) => {}
+        Ok(r) => assert_ne!(r.object, b"pristine"),
+        Err(e) => panic!("unexpected error {e}"),
+    }
+}
+
+#[test]
+fn normalized_answers_forgive_capitalization() {
+    let mut rng = StdRng::seed_from_u64(8);
+    let mut app = SocialPuzzleApp::new();
+    let sharer = app.add_user("sharer");
+    let hiker = app.add_user("hiker");
+    let ctx = Context::builder()
+        .pair("Venue?", "  The Old Mill  ")
+        .normalize_answers()
+        .build()
+        .unwrap();
+    let c1 = Construction1::new();
+    let share = app
+        .share_c1(&c1, sharer, b"obj", &ctx, 1, &DeviceProfile::pc(), None, &mut rng)
+        .unwrap();
+    let recv = app
+        .receive_c1(
+            &c1,
+            hiker,
+            &share,
+            |_| Some(social_puzzles::core::context::normalize_answer("THE OLD MILL")),
+            &DeviceProfile::pc(),
+            &mut rng,
+        )
+        .unwrap();
+    assert_eq!(recv.object, b"obj");
+}

@@ -1,0 +1,173 @@
+//! Property-based tests over the workspace invariants (proptest).
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use social_puzzles::bigint::{div_rem, modops, MontCtx, Uint};
+use social_puzzles::core::construction1::Construction1;
+use social_puzzles::core::context::Context;
+use social_puzzles::crypto::modes::{cbc_decrypt, cbc_encrypt, ctr_xor};
+use social_puzzles::shamir::ShamirScheme;
+
+type U4 = Uint<4>;
+
+fn uint4(limbs: [u64; 4]) -> U4 {
+    U4::from_limbs(limbs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn uint_add_commutes(a in any::<[u64; 4]>(), b in any::<[u64; 4]>()) {
+        let (a, b) = (uint4(a), uint4(b));
+        prop_assert_eq!(a.wrapping_add(&b), b.wrapping_add(&a));
+    }
+
+    #[test]
+    fn uint_add_sub_roundtrip(a in any::<[u64; 4]>(), b in any::<[u64; 4]>()) {
+        let (a, b) = (uint4(a), uint4(b));
+        prop_assert_eq!(a.wrapping_add(&b).wrapping_sub(&b), a);
+    }
+
+    #[test]
+    fn uint_mul_commutes(a in any::<[u64; 4]>(), b in any::<[u64; 4]>()) {
+        let (a, b) = (uint4(a), uint4(b));
+        prop_assert_eq!(a.widening_mul(&b), b.widening_mul(&a));
+    }
+
+    #[test]
+    fn uint_shift_roundtrip(a in any::<[u64; 4]>(), s in 0u32..255) {
+        let a = uint4(a);
+        // Shifting left then right loses only the bits pushed out the top.
+        let masked = a.shl(s).shr(s);
+        let kept = a.shl(s + (256 - s) - (256 - s)); // a itself
+        let _ = kept;
+        // Equivalent check: low (256 - s) bits survive.
+        let low_mask = if s == 0 { U4::MAX } else { U4::MAX.shr(s) };
+        let mut expected = a;
+        expected = {
+            // expected = a & low_mask, via per-limb AND
+            let mut limbs = *expected.limbs();
+            for (l, m) in limbs.iter_mut().zip(low_mask.limbs()) {
+                *l &= m;
+            }
+            U4::from_limbs(limbs)
+        };
+        prop_assert_eq!(masked, expected);
+    }
+
+    #[test]
+    fn uint_hex_roundtrip(a in any::<[u64; 4]>()) {
+        let a = uint4(a);
+        prop_assert_eq!(U4::from_hex(&a.to_hex()).unwrap(), a);
+    }
+
+    #[test]
+    fn uint_bytes_roundtrip(a in any::<[u64; 4]>()) {
+        let a = uint4(a);
+        prop_assert_eq!(U4::from_be_bytes(&a.to_be_bytes()).unwrap(), a);
+    }
+
+    #[test]
+    fn division_invariant(a in any::<[u64; 4]>(), d in any::<[u64; 4]>()) {
+        let (a, d) = (uint4(a), uint4(d));
+        prop_assume!(!d.is_zero());
+        let (q, r) = div_rem(&a, &d);
+        prop_assert!(r < d);
+        let (lo, hi) = q.widening_mul(&d);
+        prop_assert!(hi.is_zero());
+        prop_assert_eq!(lo.wrapping_add(&r), a);
+    }
+
+    #[test]
+    fn montgomery_roundtrip_p256(a in any::<[u64; 4]>()) {
+        let p = U4::from_hex(
+            "ffffffff00000001000000000000000000000000ffffffffffffffffffffffff"
+        ).unwrap();
+        let ctx = MontCtx::new(p).unwrap();
+        let a = div_rem(&uint4(a), &p).1;
+        prop_assert_eq!(ctx.from_mont(&ctx.to_mont(&a)), a);
+    }
+
+    #[test]
+    fn modular_inverse_is_inverse(a in any::<[u64; 4]>()) {
+        let p = U4::from_hex(
+            "7fffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffed"
+        ).unwrap();
+        let a = div_rem(&uint4(a), &p).1;
+        prop_assume!(!a.is_zero());
+        let inv = modops::mod_inv(&a, &p).unwrap();
+        let ctx = MontCtx::new(p).unwrap();
+        let prod = ctx.mul(&ctx.to_mont(&a), &ctx.to_mont(&inv));
+        prop_assert_eq!(ctx.from_mont(&prod), U4::ONE);
+    }
+
+    #[test]
+    fn cbc_roundtrip(key in any::<[u8; 32]>(), iv in any::<[u8; 16]>(),
+                     pt in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let ct = cbc_encrypt(&key, &iv, &pt).unwrap();
+        prop_assert_eq!(cbc_decrypt(&key, &iv, &ct).unwrap(), pt);
+    }
+
+    #[test]
+    fn ctr_is_involution(key in any::<[u8; 16]>(), nonce in any::<[u8; 16]>(),
+                         data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let once = ctr_xor(&key, &nonce, &data).unwrap();
+        prop_assert_eq!(ctr_xor(&key, &nonce, &once).unwrap(), data);
+    }
+
+    #[test]
+    fn shamir_roundtrip(seed in any::<u64>(), k in 1usize..6, extra in 0usize..5) {
+        let n = k + extra;
+        let scheme = ShamirScheme::default_field();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let secret = scheme.random_secret(&mut rng);
+        let shares = scheme.split(&secret, k, n, &mut rng).unwrap();
+        prop_assert_eq!(scheme.reconstruct(&shares[extra..extra + k]).unwrap(), secret);
+    }
+
+    #[test]
+    fn construction1_roundtrip(
+        seed in any::<u64>(),
+        k in 1usize..4,
+        answers in proptest::collection::vec("[a-z]{1,30}", 4),
+    ) {
+        // Distinct questions always; answers arbitrary lowercase words.
+        let mut b = Context::builder();
+        for (i, a) in answers.iter().enumerate() {
+            b = b.pair(format!("question {i}?"), a.clone());
+        }
+        let ctx = b.build().unwrap();
+        let c1 = Construction1::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let up = c1.upload(b"property object", &ctx, k, &mut rng).unwrap();
+        let displayed = c1.display_puzzle(&up.puzzle, &mut rng);
+        let ans = displayed.answer(|q| ctx.answer_for(q).map(str::to_owned));
+        let response = c1.answer_puzzle(&displayed, &ans);
+        let outcome = c1.verify(&up.puzzle, &response).unwrap();
+        let object = c1.access(&outcome, &ans, &up.encrypted_object).unwrap();
+        prop_assert_eq!(object, b"property object".to_vec());
+    }
+
+    #[test]
+    fn wire_roundtrip(strings in proptest::collection::vec(".{0,40}", 0..8),
+                      nums in proptest::collection::vec(any::<u64>(), 0..8)) {
+        let mut writer = social_puzzles::wire::Writer::new();
+        for s in &strings {
+            writer.string(s);
+        }
+        for n in &nums {
+            writer.u64(*n);
+        }
+        let buf = writer.finish();
+        let mut r = social_puzzles::wire::Reader::new(&buf);
+        for s in &strings {
+            prop_assert_eq!(r.string().unwrap(), s.as_str());
+        }
+        for n in &nums {
+            prop_assert_eq!(r.u64().unwrap(), *n);
+        }
+        r.expect_end().unwrap();
+    }
+}

@@ -1,0 +1,276 @@
+//! Security-claim tests spanning crates: §VI's adversary scenarios run
+//! against the real protocol artifacts.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use social_puzzles::core::adversary;
+use social_puzzles::core::construction1::Construction1;
+use social_puzzles::core::construction2::Construction2;
+use social_puzzles::core::context::Context;
+use social_puzzles::osn::Url;
+
+fn strong_context() -> Context {
+    Context::builder()
+        .pair("Which dock did the ferry leave from?", "pier 39-b, the rusty one")
+        .pair("What did Ines lose overboard?", "her grandmother's compass")
+        .pair("Who sang at dusk?", "the deckhand from Szczecin")
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn sp_view_of_c1_contains_no_answer_material() {
+    // The SP's entire view is the serialized puzzle record; grep it for
+    // every answer (§IV-B surveillance resistance).
+    let c1 = Construction1::new();
+    let mut rng = StdRng::seed_from_u64(10);
+    let ctx = strong_context();
+    let up = c1.upload(b"obj", &ctx, 2, &mut rng).unwrap();
+    let record = up.puzzle.to_bytes();
+    for pair in ctx.pairs() {
+        let answer = pair.answer().as_bytes();
+        assert!(
+            !record.windows(answer.len()).any(|w| w == answer),
+            "answer {:?} leaked into the SP record",
+            pair.answer()
+        );
+        // Questions, by design, ARE in the record.
+        let q = pair.question().as_bytes();
+        assert!(record.windows(q.len()).any(|w| w == q));
+    }
+}
+
+#[test]
+fn sp_view_of_c2_contains_no_answer_material() {
+    let c2 = Construction2::insecure_test_params();
+    let mut rng = StdRng::seed_from_u64(11);
+    let ctx = strong_context();
+    let up = c2
+        .upload_to(b"obj", &ctx, 2, Url::from("https://dh.example/o/9"), &mut rng)
+        .unwrap();
+    let record = up.record.to_bytes();
+    let ciphertext = &up.ciphertext;
+    for pair in ctx.pairs() {
+        let answer = pair.answer().as_bytes();
+        assert!(
+            !record.windows(answer.len()).any(|w| w == answer),
+            "answer leaked into SP record"
+        );
+        assert!(
+            !ciphertext.windows(answer.len()).any(|w| w == answer),
+            "answer leaked into the (perturbed) DH ciphertext"
+        );
+    }
+}
+
+#[test]
+fn degraded_prototype_mode_leaks_and_full_mode_does_not() {
+    // §VII-B: the paper's own prototype shipped the clear tree. We keep
+    // both modes and show the difference byte-for-byte.
+    let c2 = Construction2::insecure_test_params();
+    let mut rng = StdRng::seed_from_u64(12);
+    let ctx = strong_context();
+    let answer = ctx.pairs()[0].answer().as_bytes();
+
+    let full = c2
+        .upload_to(b"obj", &ctx, 1, Url::from("u1"), &mut rng)
+        .unwrap();
+    assert!(!full.ciphertext.windows(answer.len()).any(|w| w == answer));
+
+    let degraded = c2
+        .upload_prototype_degraded(b"obj", &ctx, 1, Url::from("u2"), &mut rng)
+        .unwrap();
+    assert!(
+        degraded.ciphertext.windows(answer.len()).any(|w| w == answer),
+        "degraded mode stores the clear access tree, as §VII-B admits"
+    );
+}
+
+#[test]
+fn object_bytes_never_appear_in_any_hosted_artifact() {
+    let c1 = Construction1::new();
+    let c2 = Construction2::insecure_test_params();
+    let mut rng = StdRng::seed_from_u64(13);
+    let ctx = strong_context();
+    let object = b"THE-SECRET-OBJECT-BYTES-9a8b7c";
+
+    let up1 = c1.upload(object, &ctx, 2, &mut rng).unwrap();
+    for artifact in [up1.puzzle.to_bytes(), up1.encrypted_object.clone()] {
+        assert!(!artifact.windows(object.len()).any(|w| w == object));
+    }
+
+    let up2 = c2.upload(object, &ctx, 2, &mut rng).unwrap();
+    for artifact in [up2.record.to_bytes(), up2.ciphertext.clone()] {
+        assert!(!artifact.windows(object.len()).any(|w| w == object));
+    }
+}
+
+#[test]
+fn coalition_below_threshold_fails_both_constructions() {
+    let mut rng = StdRng::seed_from_u64(14);
+    let ctx = strong_context();
+
+    // Construction 1 via the adversary driver.
+    let c1 = Construction1::new();
+    let up1 = c1.upload(b"obj", &ctx, 3, &mut rng).unwrap();
+    let pooled = vec![
+        (0usize, ctx.pairs()[0].answer().to_string()),
+        (1usize, ctx.pairs()[1].answer().to_string()),
+    ];
+    assert!(adversary::colluding_users_attack_c1(
+        &c1,
+        &up1.puzzle,
+        &up1.encrypted_object,
+        &pooled,
+        &mut rng
+    )
+    .is_err());
+
+    // Construction 2: the ABE layer refuses keys below the tree threshold.
+    let c2 = Construction2::insecure_test_params();
+    let up2 = c2.upload(b"obj", &ctx, 3, &mut rng).unwrap();
+    let details = up2.record.public_details();
+    let answers: Vec<(usize, String)> = pooled.clone();
+    let response = c2.answer_puzzle(&details, &answers);
+    assert!(c2.verify(&up2.record, &response).is_err());
+}
+
+#[test]
+fn replayed_hashes_from_another_puzzle_do_not_verify() {
+    // K_ZO salts the hashes per-puzzle: a SP (or eavesdropper) replaying
+    // hashes captured from puzzle A against puzzle B (same context!) gets
+    // nothing.
+    let c1 = Construction1::new();
+    let mut rng = StdRng::seed_from_u64(15);
+    let ctx = strong_context();
+    let up_a = c1.upload(b"A", &ctx, 1, &mut rng).unwrap();
+    let up_b = c1.upload(b"B", &ctx, 1, &mut rng).unwrap();
+
+    let displayed_a = c1.display_puzzle(&up_a.puzzle, &mut rng);
+    let answers: Vec<(usize, String)> = displayed_a
+        .questions
+        .iter()
+        .filter_map(|(i, q)| ctx.answer_for(q).map(|a| (*i, a.to_owned())))
+        .collect();
+    let response_a = c1.answer_puzzle(&displayed_a, &answers);
+    assert!(c1.verify(&up_a.puzzle, &response_a).is_ok());
+    assert!(
+        c1.verify(&up_b.puzzle, &response_a).is_err(),
+        "hashes salted with A's K_ZO must not verify against B"
+    );
+}
+
+#[test]
+fn released_blinded_shares_are_useless_without_answers() {
+    // Everything the SP releases on success is still blinded: without the
+    // answers, reconstruction from the released material fails.
+    let c1 = Construction1::new();
+    let mut rng = StdRng::seed_from_u64(16);
+    let ctx = strong_context();
+    let up = c1.upload(b"obj", &ctx, 2, &mut rng).unwrap();
+    let displayed = c1.display_puzzle(&up.puzzle, &mut rng);
+    let answers: Vec<(usize, String)> = displayed
+        .questions
+        .iter()
+        .filter_map(|(i, q)| ctx.answer_for(q).map(|a| (*i, a.to_owned())))
+        .collect();
+    let response = c1.answer_puzzle(&displayed, &answers);
+    let outcome = c1.verify(&up.puzzle, &response).unwrap();
+
+    // An eavesdropper with the outcome but wrong/missing answers:
+    let wrong: Vec<(usize, String)> = answers
+        .iter()
+        .map(|(i, _)| (*i, "eavesdropper guess".to_string()))
+        .collect();
+    match c1.access_with_key(&outcome, &wrong, &up.encrypted_object, Some(&displayed.puzzle_key)) {
+        Err(_) => {}
+        Ok(pt) => assert_ne!(pt, b"obj"),
+    }
+}
+
+#[test]
+fn grant_theft_without_answers_fails_construction2() {
+    // Construction 2's defence in depth: even with URL + PK + MK (all
+    // public by design), the perturbed tree + ABE threshold still require
+    // real answers.
+    let c2 = Construction2::insecure_test_params();
+    let mut rng = StdRng::seed_from_u64(17);
+    let ctx = strong_context();
+    let up = c2.upload(b"obj", &ctx, 2, &mut rng).unwrap();
+    let details = up.record.public_details();
+    let grant = {
+        // Build the grant the SP would hand out, directly from the record
+        // (a curious SP trivially has it).
+        let good: Vec<(usize, String)> = details.answer(|q| ctx.answer_for(q).map(str::to_owned));
+        let resp = c2.answer_puzzle(&details, &good);
+        c2.verify(&up.record, &resp).unwrap()
+    };
+    let thief_answers: Vec<(usize, String)> =
+        vec![(0, "stolen grant, no clue".into()), (1, "nope".into()), (2, "nada".into())];
+    assert!(c2
+        .access(&grant, &details, &thief_answers, &up.ciphertext, &mut rng)
+        .is_err());
+}
+
+#[test]
+fn sp_audit_log_records_metadata_but_never_content() {
+    // Surveillance resistance is about content. The SP still learns WHO
+    // attempted WHICH puzzle and whether it succeeded — the audit log
+    // makes that residual metadata explicit.
+    use social_puzzles::core::protocol::SocialPuzzleApp;
+    use social_puzzles::osn::DeviceProfile;
+
+    let mut rng = StdRng::seed_from_u64(19);
+    let mut app = SocialPuzzleApp::new();
+    let sharer = app.add_user("sharer");
+    let knower = app.add_user("knower");
+    let clueless = app.add_user("clueless");
+    app.befriend(sharer, knower).unwrap();
+    app.befriend(sharer, clueless).unwrap();
+
+    let ctx = strong_context();
+    let c1 = Construction1::new();
+    let share = app
+        .share_c1(&c1, sharer, b"obj", &ctx, 2, &DeviceProfile::pc(), None, &mut rng)
+        .unwrap();
+
+    let ctx2 = ctx.clone();
+    app.receive_c1(
+        &c1,
+        knower,
+        &share,
+        move |q| ctx2.answer_for(q).map(str::to_owned),
+        &DeviceProfile::pc(),
+        &mut rng,
+    )
+    .unwrap();
+    let _ = app.receive_c1(&c1, clueless, &share, |_| None, &DeviceProfile::pc(), &mut rng);
+
+    let log = app.sp().audit_log();
+    assert_eq!(log.len(), 2);
+    assert_eq!(log[0].user, knower);
+    assert!(log[0].granted);
+    assert_eq!(log[1].user, clueless);
+    assert!(!log[1].granted);
+    assert_eq!(log[0].puzzle, share.puzzle);
+    // And the log type carries no object/answer fields at all: metadata
+    // only, by construction.
+}
+
+#[test]
+fn weak_answers_fall_to_dictionaries_strong_answers_do_not() {
+    let c1 = Construction1::new();
+    let mut rng = StdRng::seed_from_u64(18);
+
+    let weak = adversary::weak_context(3);
+    let up_weak = c1.upload(b"w", &weak, 2, &mut rng).unwrap();
+    let dict = ["pet0", "pet1", "pet2", "password"];
+    let rep = adversary::semi_honest_sp_attack_c1(&c1, &up_weak.puzzle, &dict);
+    assert!(rep.object_key_recovered, "guessable context = no security, by design");
+
+    let strong = strong_context();
+    let up_strong = c1.upload(b"s", &strong, 2, &mut rng).unwrap();
+    let rep = adversary::semi_honest_sp_attack_c1(&c1, &up_strong.puzzle, &dict);
+    assert!(!rep.object_key_recovered);
+    assert!(rep.answers_cracked.is_empty());
+}
