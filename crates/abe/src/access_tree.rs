@@ -49,10 +49,8 @@ impl AccessTree {
     /// Returns [`AbeError::BadTree`] if `k` is zero or exceeds the child
     /// count, the gate is empty, or any nested attribute is empty.
     pub fn threshold(k: usize, children: Vec<AccessTree>) -> Result<Self, AbeError> {
-        let root = AccessNode::Threshold {
-            k,
-            children: children.into_iter().map(|t| t.root).collect(),
-        };
+        let root =
+            AccessNode::Threshold { k, children: children.into_iter().map(|t| t.root).collect() };
         let tree = Self { root };
         tree.validate()?;
         Ok(tree)
@@ -86,10 +84,7 @@ impl AccessTree {
     /// Returns [`AbeError::BadTree`] if `pairs` is empty or
     /// `k ∉ [1, pairs.len()]`.
     pub fn context_tree(k: usize, pairs: &[(String, String)]) -> Result<Self, AbeError> {
-        let leaves = pairs
-            .iter()
-            .map(|(q, a)| Self::leaf(encode_qa_attribute(q, a)))
-            .collect();
+        let leaves = pairs.iter().map(|(q, a)| Self::leaf(encode_qa_attribute(q, a))).collect();
         Self::threshold(k, leaves)
     }
 
@@ -330,8 +325,14 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_trees() {
-        assert_eq!(AccessTree::threshold(0, vec![AccessTree::leaf("a")]).unwrap_err(), AbeError::BadTree);
-        assert_eq!(AccessTree::threshold(2, vec![AccessTree::leaf("a")]).unwrap_err(), AbeError::BadTree);
+        assert_eq!(
+            AccessTree::threshold(0, vec![AccessTree::leaf("a")]).unwrap_err(),
+            AbeError::BadTree
+        );
+        assert_eq!(
+            AccessTree::threshold(2, vec![AccessTree::leaf("a")]).unwrap_err(),
+            AbeError::BadTree
+        );
         assert_eq!(AccessTree::threshold(1, vec![]).unwrap_err(), AbeError::BadTree);
         assert_eq!(AccessTree::and(vec![]).unwrap_err(), AbeError::BadTree);
         assert_eq!(
@@ -364,10 +365,7 @@ mod tests {
     #[test]
     fn qa_encoding_is_injective_on_separator() {
         // ("a\u{1f}", "b") must differ from ("a", "\u{1f}b")
-        assert_ne!(
-            encode_qa_attribute("a\u{1f}", "b"),
-            encode_qa_attribute("a", "\u{1f}b")
-        );
+        assert_ne!(encode_qa_attribute("a\u{1f}", "b"), encode_qa_attribute("a", "\u{1f}b"));
     }
 
     #[test]
@@ -423,7 +421,8 @@ mod tests {
 
     #[test]
     fn debug_rendering() {
-        let t = AccessTree::threshold(2, vec![AccessTree::leaf("a"), AccessTree::leaf("b")]).unwrap();
+        let t =
+            AccessTree::threshold(2, vec![AccessTree::leaf("a"), AccessTree::leaf("b")]).unwrap();
         let s = format!("{t:?}");
         assert!(s.contains("2-of-"));
         assert!(s.contains("\"a\""));

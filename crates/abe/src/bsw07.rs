@@ -280,10 +280,8 @@ impl CpAbe {
                     .find(|c| &c.attribute == attr)
                     .ok_or(AbeError::PolicyNotSatisfied)?;
                 let r_k = self.pairing.random_nonzero_scalar(rng);
-                let d_j = comp
-                    .d_j
-                    .add(&g_rt)
-                    .add(&self.pairing.mul(&self.hash_attribute(attr), &r_k));
+                let d_j =
+                    comp.d_j.add(&g_rt).add(&self.pairing.mul(&self.hash_attribute(attr), &r_k));
                 let d_j_prime = comp.d_j_prime.add(&self.pairing.mul(g, &r_k));
                 Ok(KeyComponent { attribute: attr.clone(), d_j, d_j_prime })
             })
@@ -298,14 +296,13 @@ impl CpAbe {
     ///
     /// Returns [`AbeError::PolicyNotSatisfied`] otherwise.
     pub fn decrypt(&self, ct: &Ciphertext, sk: &PrivateKey) -> Result<Gt, AbeError> {
-        let attrs: HashSet<String> =
-            sk.components.iter().map(|c| c.attribute.clone()).collect();
+        let attrs: HashSet<String> = sk.components.iter().map(|c| c.attribute.clone()).collect();
         if !ct.tree.satisfied_by(&attrs) {
             return Err(AbeError::PolicyNotSatisfied);
         }
         let mut leaf_index = 0usize;
         let a = self
-            .decrypt_node(ct.tree.root(), ct, sk, &attrs, &mut leaf_index)
+            .decrypt_node(ct.tree.root(), ct, sk, &mut leaf_index)
             .ok_or(AbeError::PolicyNotSatisfied)?;
         // m = C̃ · A / e(C, D)
         let e_c_d = self.pairing.pair(&ct.c, &sk.d);
@@ -319,7 +316,6 @@ impl CpAbe {
         node: &AccessNode,
         ct: &Ciphertext,
         sk: &PrivateKey,
-        attrs: &HashSet<String>,
         leaf_index: &mut usize,
     ) -> Option<Gt> {
         match node {
@@ -337,7 +333,7 @@ impl CpAbe {
                 // unsatisfied subtrees too), keep the satisfied ones.
                 let mut satisfied: Vec<(usize, Gt)> = Vec::new();
                 for (i, child) in children.iter().enumerate() {
-                    if let Some(f) = self.decrypt_node(child, ct, sk, attrs, leaf_index) {
+                    if let Some(f) = self.decrypt_node(child, ct, sk, leaf_index) {
                         satisfied.push((i, f));
                     }
                 }
@@ -366,8 +362,7 @@ impl CpAbe {
 
     /// `H : {0,1}* → G1`, the attribute hash.
     pub fn hash_attribute(&self, attribute: &str) -> G1 {
-        self.pairing
-            .hash_to_g1(&[b"sp-abe/attr/v1/", attribute.as_bytes()].concat())
+        self.pairing.hash_to_g1(&[b"sp-abe/attr/v1/", attribute.as_bytes()].concat())
     }
 
     // ------------------------------------------------------------------
@@ -390,9 +385,13 @@ impl CpAbe {
     /// Returns [`AbeError::BadEncoding`] for malformed buffers.
     pub fn decode_public_key(&self, bytes: &[u8]) -> Result<PublicKey, AbeError> {
         let mut r = Reader::new(bytes);
-        let h = self.pairing.g1_from_bytes(r.bytes().map_err(|_| AbeError::BadEncoding)?)
+        let h = self
+            .pairing
+            .g1_from_bytes(r.bytes().map_err(|_| AbeError::BadEncoding)?)
             .map_err(|_| AbeError::BadEncoding)?;
-        let f = self.pairing.g1_from_bytes(r.bytes().map_err(|_| AbeError::BadEncoding)?)
+        let f = self
+            .pairing
+            .g1_from_bytes(r.bytes().map_err(|_| AbeError::BadEncoding)?)
             .map_err(|_| AbeError::BadEncoding)?;
         let e_gg_alpha = self
             .pairing
@@ -705,11 +704,8 @@ mod tests {
         let abe = abe();
         let mut rng = StdRng::seed_from_u64(88);
         let (pk, mk) = abe.setup(&mut rng);
-        let tree = AccessTree::threshold(
-            1,
-            vec![AccessTree::leaf("a"), AccessTree::leaf("b")],
-        )
-        .unwrap();
+        let tree =
+            AccessTree::threshold(1, vec![AccessTree::leaf("a"), AccessTree::leaf("b")]).unwrap();
         let m = abe.random_message(&mut rng);
         let ct = abe.encrypt(&pk, &m, &tree, &mut rng).unwrap();
         let sk = abe.keygen(&mk, &strings(&["a"]), &mut rng);

@@ -110,17 +110,10 @@ pub fn decode(abe: &CpAbe, bytes: &[u8]) -> Result<HybridCiphertext, AbeError> {
     let abe_ct = abe
         .decode_ciphertext(r.bytes().map_err(|_| AbeError::BadEncoding)?)
         .map_err(|_| AbeError::BadEncoding)?;
-    let iv: [u8; 16] = r
-        .raw(16)
-        .map_err(|_| AbeError::BadEncoding)?
-        .try_into()
-        .expect("16 bytes");
+    let iv: [u8; 16] = r.raw(16).map_err(|_| AbeError::BadEncoding)?.try_into().expect("16 bytes");
     let payload = r.bytes().map_err(|_| AbeError::BadEncoding)?.to_vec();
-    let digest: [u8; 32] = r
-        .raw(32)
-        .map_err(|_| AbeError::BadEncoding)?
-        .try_into()
-        .expect("32 bytes");
+    let digest: [u8; 32] =
+        r.raw(32).map_err(|_| AbeError::BadEncoding)?.try_into().expect("32 bytes");
     r.expect_end().map_err(|_| AbeError::BadEncoding)?;
     Ok(HybridCiphertext { abe: abe_ct, iv, payload, digest })
 }

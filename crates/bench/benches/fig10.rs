@@ -34,8 +34,7 @@ fn fig10a_sharer(c: &mut Criterion) {
                 let sharer = app.add_user("s");
                 let ctx = workload::paper_context(n, &mut rng);
                 let msg = workload::paper_message(&mut rng);
-                app.share_c1(&c1, sharer, &msg, &ctx, PAPER_K, &pc, None, &mut rng)
-                    .expect("share")
+                app.share_c1(&c1, sharer, &msg, &ctx, PAPER_K, &pc, None, &mut rng).expect("share")
             });
         });
         group.bench_with_input(BenchmarkId::new("impl2", n), &n, |b, &n| {
@@ -45,8 +44,7 @@ fn fig10a_sharer(c: &mut Criterion) {
                 let sharer = app.add_user("s");
                 let ctx = workload::paper_context(n, &mut rng);
                 let msg = workload::paper_message(&mut rng);
-                app.share_c2(&c2, sharer, &msg, &ctx, PAPER_K, &pc, &mut rng)
-                    .expect("share")
+                app.share_c2(&c2, sharer, &msg, &ctx, PAPER_K, &pc, &mut rng).expect("share")
             });
         });
     }
@@ -68,9 +66,8 @@ fn fig10b_receiver(c: &mut Criterion) {
             let sharer = app.add_user("s");
             let ctx = workload::paper_context(n, &mut rng);
             let msg = workload::paper_message(&mut rng);
-            let share = app
-                .share_c1(&c1, sharer, &msg, &ctx, PAPER_K, &pc, None, &mut rng)
-                .expect("share");
+            let share =
+                app.share_c1(&c1, sharer, &msg, &ctx, PAPER_K, &pc, None, &mut rng).expect("share");
             b.iter(|| {
                 app.receive_c1(&c1, sharer, &share, answer_all(&ctx), &pc, &mut rng)
                     .expect("receive")
@@ -82,9 +79,8 @@ fn fig10b_receiver(c: &mut Criterion) {
             let sharer = app.add_user("s");
             let ctx = workload::paper_context(n, &mut rng);
             let msg = workload::paper_message(&mut rng);
-            let share = app
-                .share_c2(&c2, sharer, &msg, &ctx, PAPER_K, &pc, &mut rng)
-                .expect("share");
+            let share =
+                app.share_c2(&c2, sharer, &msg, &ctx, PAPER_K, &pc, &mut rng).expect("share");
             b.iter(|| {
                 app.receive_c2(&c2, sharer, &share, answer_all(&ctx), &pc, &mut rng)
                     .expect("receive")
@@ -103,21 +99,17 @@ fn fig10c_sharer_devices(c: &mut Criterion) {
     for n in N_VALUES {
         for device in [DeviceProfile::pc(), DeviceProfile::tablet()] {
             let label = if device.compute_scale() > 1.0 { "tablet" } else { "pc" };
-            group.bench_with_input(
-                BenchmarkId::new(label, n),
-                &n,
-                |b, &n| {
-                    let mut rng = StdRng::seed_from_u64(5);
-                    b.iter(|| {
-                        let mut app = SocialPuzzleApp::new();
-                        let sharer = app.add_user("s");
-                        let ctx = workload::paper_context(n, &mut rng);
-                        let msg = workload::paper_message(&mut rng);
-                        app.share_c1(&c1, sharer, &msg, &ctx, PAPER_K, &device, None, &mut rng)
-                            .expect("share")
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, &n| {
+                let mut rng = StdRng::seed_from_u64(5);
+                b.iter(|| {
+                    let mut app = SocialPuzzleApp::new();
+                    let sharer = app.add_user("s");
+                    let ctx = workload::paper_context(n, &mut rng);
+                    let msg = workload::paper_message(&mut rng);
+                    app.share_c1(&c1, sharer, &msg, &ctx, PAPER_K, &device, None, &mut rng)
+                        .expect("share")
+                });
+            });
         }
     }
     group.finish();

@@ -41,10 +41,14 @@ fn bench_shamir(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(11);
     for (k, n) in [(1usize, 2usize), (5, 10), (10, 20)] {
         let secret = scheme.random_secret(&mut rng);
-        group.bench_with_input(BenchmarkId::new("split", format!("{k}of{n}")), &(k, n), |b, &(k, n)| {
-            let mut rng = StdRng::seed_from_u64(12);
-            b.iter(|| scheme.split(&secret, k, n, &mut rng).expect("valid"))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("split", format!("{k}of{n}")),
+            &(k, n),
+            |b, &(k, n)| {
+                let mut rng = StdRng::seed_from_u64(12);
+                b.iter(|| scheme.split(&secret, k, n, &mut rng).expect("valid"))
+            },
+        );
         let shares = scheme.split(&secret, k, n, &mut rng).expect("valid");
         group.bench_with_input(
             BenchmarkId::new("reconstruct", format!("{k}of{n}")),

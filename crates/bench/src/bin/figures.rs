@@ -7,7 +7,10 @@
 //! cargo run -p sp-bench --release --bin figures -- --out dir # + CSV & SVG
 //! ```
 
-use sp_bench::{export, figures::{self, SweepConfig}};
+use sp_bench::{
+    export,
+    figures::{self, SweepConfig},
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -23,10 +26,7 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .map(std::path::PathBuf::from);
 
-    let out_flag_value = args
-        .iter()
-        .position(|a| a == "--out")
-        .map(|i| i + 1);
+    let out_flag_value = args.iter().position(|a| a == "--out").map(|i| i + 1);
     let wanted: Vec<&str> = args
         .iter()
         .enumerate()

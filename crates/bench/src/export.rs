@@ -64,11 +64,8 @@ pub fn to_svg(panel: &Panel) -> String {
         .fold(1e-9_f64, f64::max)
         * 1.1;
 
-    let n_values: Vec<usize> = panel
-        .series
-        .first()
-        .map(|s| s.points.iter().map(|p| p.n).collect())
-        .unwrap_or_default();
+    let n_values: Vec<usize> =
+        panel.series.first().map(|s| s.points.iter().map(|p| p.n).collect()).unwrap_or_default();
     let groups = n_values.len().max(1) as f64;
     let series_count = panel.series.len().max(1) as f64;
     let group_w = plot_w / groups;
@@ -96,10 +93,8 @@ pub fn to_svg(panel: &Panel) -> String {
         r##"<line x1="{x0}" y1="{y0}" x2="{}" y2="{y0}" stroke="black"/>"##,
         MARGIN_L + plot_w
     );
-    let _ = writeln!(
-        svg,
-        r##"<line x1="{x0}" y1="{MARGIN_T}" x2="{x0}" y2="{y0}" stroke="black"/>"##
-    );
+    let _ =
+        writeln!(svg, r##"<line x1="{x0}" y1="{MARGIN_T}" x2="{x0}" y2="{y0}" stroke="black"/>"##);
     // Y ticks (5).
     for t in 0..=5 {
         let frac = t as f64 / 5.0;

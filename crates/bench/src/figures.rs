@@ -120,7 +120,13 @@ impl Sweeper {
     }
 
     /// Means over `repetitions` full share/receive rounds.
-    fn measure(&mut self, scheme: &Scheme<'_>, who: &Who, device: &DeviceProfile, n: usize) -> SeriesPoint {
+    fn measure(
+        &mut self,
+        scheme: &Scheme<'_>,
+        who: &Who,
+        device: &DeviceProfile,
+        n: usize,
+    ) -> SeriesPoint {
         let mut acc = DelayBreakdown::zero();
         for rep in 0..self.cfg.repetitions {
             let mut app = if self.cfg.network_jitter > 0.0 {
@@ -148,9 +154,16 @@ impl Sweeper {
                     match who {
                         Who::Sharer => share.delays,
                         Who::Receiver => {
-                            app.receive_c1(c1, friend, &share, Self::answer_all(&ctx), device, &mut self.rng)
-                                .expect("receive")
-                                .delays
+                            app.receive_c1(
+                                c1,
+                                friend,
+                                &share,
+                                Self::answer_all(&ctx),
+                                device,
+                                &mut self.rng,
+                            )
+                            .expect("receive")
+                            .delays
                         }
                     }
                 }
@@ -161,9 +174,16 @@ impl Sweeper {
                     match who {
                         Who::Sharer => share.delays,
                         Who::Receiver => {
-                            app.receive_c2(c2, friend, &share, Self::answer_all(&ctx), device, &mut self.rng)
-                                .expect("receive")
-                                .delays
+                            app.receive_c2(
+                                c2,
+                                friend,
+                                &share,
+                                Self::answer_all(&ctx),
+                                device,
+                                &mut self.rng,
+                            )
+                            .expect("receive")
+                            .delays
                         }
                     }
                 }
@@ -171,11 +191,7 @@ impl Sweeper {
             acc = acc + delays;
         }
         let reps = self.cfg.repetitions as u32;
-        SeriesPoint {
-            n,
-            local: acc.local_processing / reps,
-            network: acc.network / reps,
-        }
+        SeriesPoint { n, local: acc.local_processing / reps, network: acc.network / reps }
     }
 
     fn series(
@@ -188,10 +204,7 @@ impl Sweeper {
         let n_values = self.cfg.n_values.clone();
         Series {
             label: label.to_owned(),
-            points: n_values
-                .into_iter()
-                .map(|n| self.measure(scheme, who, device, n))
-                .collect(),
+            points: n_values.into_iter().map(|n| self.measure(scheme, who, device, n)).collect(),
         }
     }
 }
@@ -365,8 +378,10 @@ mod tests {
         assert!(text.contains("Impl 1"));
         assert!(text.contains("Impl 2"));
         for n in SweepConfig::quick().n_values {
-            assert!(text.contains(&format!("\n{n:>4} |")) || text.starts_with(&format!("{n:>4} |")),
-                "missing N = {n}");
+            assert!(
+                text.contains(&format!("\n{n:>4} |")) || text.starts_with(&format!("{n:>4} |")),
+                "missing N = {n}"
+            );
         }
     }
 }

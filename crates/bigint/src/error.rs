@@ -33,11 +33,7 @@ mod tests {
 
     #[test]
     fn display_is_lowercase_and_nonempty() {
-        for e in [
-            BigIntError::InvalidDigit,
-            BigIntError::ValueTooLarge,
-            BigIntError::EvenModulus,
-        ] {
+        for e in [BigIntError::InvalidDigit, BigIntError::ValueTooLarge, BigIntError::EvenModulus] {
             let s = e.to_string();
             assert!(!s.is_empty());
             assert!(s.chars().next().unwrap().is_lowercase());

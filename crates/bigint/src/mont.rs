@@ -87,6 +87,7 @@ impl<const L: usize> MontCtx<L> {
     }
 
     /// Montgomery multiplication: `a·b·R^{-1} mod n` (CIOS algorithm).
+    #[allow(clippy::needless_range_loop)] // lockstep limb indexing
     pub fn mul(&self, a: &Uint<L>, b: &Uint<L>) -> Uint<L> {
         let al = a.limbs();
         let bl = b.limbs();
@@ -214,10 +215,7 @@ mod tests {
         let b = 654_321u64;
         let am = ctx.to_mont(&U4::from_u64(a));
         let bm = ctx.to_mont(&U4::from_u64(b));
-        assert_eq!(
-            ctx.from_mont(&ctx.mul(&am, &bm)),
-            U4::from_u64(a * b % 1_000_003)
-        );
+        assert_eq!(ctx.from_mont(&ctx.mul(&am, &bm)), U4::from_u64(a * b % 1_000_003));
     }
 
     #[test]

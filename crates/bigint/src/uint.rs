@@ -1,5 +1,9 @@
 //! The fixed-width unsigned integer type.
 
+// Limb kernels index several arrays in lockstep; iterator chains would
+// obscure the carry propagation.
+#![allow(clippy::needless_range_loop)]
+
 use std::cmp::Ordering;
 use std::fmt;
 
@@ -517,9 +521,7 @@ pub(crate) fn adc(a: u64, b: u64, carry: u64) -> (u64, u64) {
 /// `a - b - borrow`, returning `(diff, borrow_out)` with `borrow_out ∈ {0, 1}`.
 #[inline(always)]
 pub(crate) fn sbb(a: u64, b: u64, borrow: u64) -> (u64, u64) {
-    let t = u128::from(a)
-        .wrapping_sub(u128::from(b))
-        .wrapping_sub(u128::from(borrow));
+    let t = u128::from(a).wrapping_sub(u128::from(b)).wrapping_sub(u128::from(borrow));
     (t as u64, (t >> 64) as u64 & 1)
 }
 
@@ -588,7 +590,7 @@ mod tests {
     #[test]
     fn shifts() {
         let a = U4::from_u64(1);
-        assert_eq!(a.shl(255).bit(255), true);
+        assert!(a.shl(255).bit(255));
         assert_eq!(a.shl(255).shr(255), a);
         assert_eq!(a.shl(256), U4::ZERO);
         let b = U4::from_hex("123456789abcdef0123456789abcdef0").unwrap();

@@ -12,9 +12,7 @@ use rand::Rng;
 use sp_crypto::kdf::derive_key;
 use sp_crypto::modes::cbc_encrypt;
 
-use crate::construction1::{
-    decrypt_object, Construction1, Puzzle, VerifyOutcome, PUZZLE_KEY_LEN,
-};
+use crate::construction1::{decrypt_object, Construction1, Puzzle, VerifyOutcome, PUZZLE_KEY_LEN};
 use crate::context::Context;
 use crate::error::SocialPuzzleError;
 

@@ -215,7 +215,7 @@ pub struct UploadResult {
 
 /// What the SP shows a prospective receiver: a random subset of at least
 /// `k` questions, plus the puzzle salt.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct DisplayedPuzzle {
     /// `(original index, question text)` pairs, in display order.
     pub questions: Vec<(usize, String)>,
@@ -230,10 +230,7 @@ impl DisplayedPuzzle {
     /// for each displayed question. Questions the receiver cannot answer
     /// (`None`) are simply skipped.
     pub fn answer(&self, answerer: impl Fn(&str) -> Option<String>) -> Vec<(usize, String)> {
-        self.questions
-            .iter()
-            .filter_map(|(idx, q)| answerer(q).map(|a| (*idx, a)))
-            .collect()
+        self.questions.iter().filter_map(|(idx, q)| answerer(q).map(|a| (*idx, a))).collect()
     }
 }
 
@@ -425,10 +422,8 @@ impl Construction1 {
         let n = context.len();
 
         // Shamir shares at random abscissas.
-        let shares = self
-            .shamir
-            .split(m_o, k, n, rng)
-            .map_err(|_| SocialPuzzleError::BadThreshold)?;
+        let shares =
+            self.shamir.split(m_o, k, n, rng).map_err(|_| SocialPuzzleError::BadThreshold)?;
 
         // Puzzle-specific salt K_ZO.
         let mut puzzle_key = [0u8; PUZZLE_KEY_LEN];
@@ -446,14 +441,8 @@ impl Construction1 {
             })
             .collect();
 
-        let mut puzzle = Puzzle {
-            entries,
-            k,
-            puzzle_key,
-            url,
-            hash_alg: self.hash_alg,
-            signature: None,
-        };
+        let mut puzzle =
+            Puzzle { entries, k, puzzle_key, url, hash_alg: self.hash_alg, signature: None };
         if let Some(sk) = signer {
             let sig = sk.sign(&puzzle.signed_payload(), rng);
             puzzle.signature = Some(sig.to_bytes());
@@ -677,14 +666,15 @@ impl Construction1 {
                 .map_err(|_| SocialPuzzleError::ReconstructionFailed)?;
             shares.push(share);
         }
-        self.shamir
-            .reconstruct(&shares)
-            .map_err(|_| SocialPuzzleError::ReconstructionFailed)
+        self.shamir.reconstruct(&shares).map_err(|_| SocialPuzzleError::ReconstructionFailed)
     }
 }
 
 /// AES-256-CBC decryption of the `iv ‖ ct` object packaging.
-pub(crate) fn decrypt_object(key: &[u8; 32], encrypted_object: &[u8]) -> Result<Vec<u8>, SocialPuzzleError> {
+pub(crate) fn decrypt_object(
+    key: &[u8; 32],
+    encrypted_object: &[u8],
+) -> Result<Vec<u8>, SocialPuzzleError> {
     if encrypted_object.len() < 16 {
         return Err(SocialPuzzleError::DecryptionFailed);
     }
@@ -785,9 +775,7 @@ mod tests {
         let up = c1.upload(b"obj", &ctx, 3, &mut rng).unwrap();
         let displayed = c1.display_puzzle(&up.puzzle, &mut rng);
         // Only one correct answer.
-        let answers = displayed.answer(|q| {
-            (q == "Who hosted?").then(|| "priya".to_string())
-        });
+        let answers = displayed.answer(|q| (q == "Who hosted?").then(|| "priya".to_string()));
         let response = c1.answer_puzzle(&displayed, &answers);
         assert_eq!(
             c1.verify(&up.puzzle, &response).unwrap_err(),
@@ -802,11 +790,8 @@ mod tests {
         let ctx = context();
         let up = c1.upload(b"obj", &ctx, 2, &mut rng).unwrap();
         let displayed = c1.display_puzzle(&up.puzzle, &mut rng);
-        let answers: Vec<(usize, String)> = displayed
-            .questions
-            .iter()
-            .map(|(i, _)| (*i, "totally wrong".to_string()))
-            .collect();
+        let answers: Vec<(usize, String)> =
+            displayed.questions.iter().map(|(i, _)| (*i, "totally wrong".to_string())).collect();
         let response = c1.answer_puzzle(&displayed, &answers);
         assert!(c1.verify(&up.puzzle, &response).is_err());
     }
@@ -882,7 +867,14 @@ mod tests {
         let sk = SigningKey::generate(&pairing, &mut rng);
         let ctx = context();
         let up = c1
-            .upload_to(b"o", &ctx, 2, Url::from("https://dh.example/objects/1"), Some(&sk), &mut rng)
+            .upload_to(
+                b"o",
+                &ctx,
+                2,
+                Url::from("https://dh.example/objects/1"),
+                Some(&sk),
+                &mut rng,
+            )
             .unwrap();
         up.puzzle.check_signature(&pairing, &sk.verifying_key()).unwrap();
 
@@ -907,7 +899,14 @@ mod tests {
         let sk = SigningKey::generate(&pairing, &mut rng);
         let ctx = context();
         let up = c1
-            .upload_to(b"o", &ctx, 1, Url::from("https://dh.example/objects/2"), Some(&sk), &mut rng)
+            .upload_to(
+                b"o",
+                &ctx,
+                1,
+                Url::from("https://dh.example/objects/2"),
+                Some(&sk),
+                &mut rng,
+            )
             .unwrap();
         let displayed = c1.display_puzzle(&up.puzzle, &mut rng);
         let answers = full_answers(&displayed, &ctx);
@@ -1036,9 +1035,7 @@ mod tests {
         let outcome_old = c1.verify(&up_old.puzzle, &response_old).unwrap();
 
         // Sharer refreshes: same context, same threshold, new everything.
-        let up_new = c1
-            .refresh(b"refresh me", &ctx, &up_old.puzzle, None, &mut rng)
-            .unwrap();
+        let up_new = c1.refresh(b"refresh me", &ctx, &up_old.puzzle, None, &mut rng).unwrap();
         assert_eq!(up_new.puzzle.k(), up_old.puzzle.k());
         assert_eq!(up_new.puzzle.url(), up_old.puzzle.url());
         assert_ne!(up_new.puzzle.puzzle_key(), up_old.puzzle.puzzle_key());

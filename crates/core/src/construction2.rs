@@ -151,7 +151,16 @@ impl Puzzle2Record {
             let pk_bytes = r.bytes()?.to_vec();
             let mk_bytes = r.bytes()?.to_vec();
             r.expect_end()?;
-            Ok(Puzzle2Record { questions, k, verify_salt, answer_hashes, pk_bytes, mk_bytes, url, hash_alg })
+            Ok(Puzzle2Record {
+                questions,
+                k,
+                verify_salt,
+                answer_hashes,
+                pk_bytes,
+                mk_bytes,
+                url,
+                hash_alg,
+            })
         };
         inner().map_err(|_| SocialPuzzleError::BadEncoding)
     }
@@ -181,11 +190,7 @@ impl PublicDetails {
     /// Builds the receiver's answer list by asking `answerer` for each
     /// question.
     pub fn answer(&self, answerer: impl Fn(&str) -> Option<String>) -> Vec<(usize, String)> {
-        self.questions
-            .iter()
-            .enumerate()
-            .filter_map(|(i, q)| answerer(q).map(|a| (i, a)))
-            .collect()
+        self.questions.iter().enumerate().filter_map(|(i, q)| answerer(q).map(|a| (i, a))).collect()
     }
 
     /// Serialized size in bytes (network accounting).
@@ -388,10 +393,7 @@ impl Construction2 {
     /// The perturbed `(q, H(a))` pair list for a context (the leaf labels
     /// of `τ'`).
     fn perturbed_pairs(&self, pairs: &[(String, String)]) -> Vec<(String, String)> {
-        pairs
-            .iter()
-            .map(|(q, a)| (q.clone(), self.perturb_answer(a)))
-            .collect()
+        pairs.iter().map(|(q, a)| (q.clone(), self.perturb_answer(a))).collect()
     }
 
     /// The perturbed form of one answer: `#h:` + hex of `H(a)`.
@@ -430,11 +432,7 @@ impl Construction2 {
         let correct = response
             .iter()
             .filter(|(i, h)| {
-                record
-                    .answer_hashes
-                    .get(*i)
-                    .map(|expected| ct_eq(expected, h))
-                    .unwrap_or(false)
+                record.answer_hashes.get(*i).map(|expected| ct_eq(expected, h)).unwrap_or(false)
             })
             .count();
         if correct < record.k {
@@ -605,11 +603,8 @@ mod tests {
         let response = c2.answer_puzzle(&details, &good_answers);
         let grant = c2.verify(&up.record, &response).unwrap();
 
-        let bad_answers: Vec<(usize, String)> =
-            (0..3).map(|i| (i, "wrong".to_string())).collect();
-        let err = c2
-            .access(&grant, &details, &bad_answers, &up.ciphertext, &mut rng)
-            .unwrap_err();
+        let bad_answers: Vec<(usize, String)> = (0..3).map(|i| (i, "wrong".to_string())).collect();
+        let err = c2.access(&grant, &details, &bad_answers, &up.ciphertext, &mut rng).unwrap_err();
         assert!(matches!(err, SocialPuzzleError::Abe(_)), "got {err:?}");
     }
 
@@ -651,9 +646,7 @@ mod tests {
         let c2 = c2();
         let mut rng = StdRng::seed_from_u64(146);
         let ctx = context();
-        let up = c2
-            .upload_prototype_degraded(b"obj", &ctx, 1, Url::from("u"), &mut rng)
-            .unwrap();
+        let up = c2.upload_prototype_degraded(b"obj", &ctx, 1, Url::from("u"), &mut rng).unwrap();
         let ct = hybrid::decode(c2.abe(), &up.ciphertext).unwrap();
         let leaves = ct.abe().tree().leaves().join("|");
         assert!(leaves.contains("lakeside cabin"), "§VII-B degraded mode keeps clear answers");

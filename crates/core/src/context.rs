@@ -81,19 +81,13 @@ impl Context {
 
     /// The answer to a question, if the question belongs to this context.
     pub fn answer_for(&self, question: &str) -> Option<&str> {
-        self.pairs
-            .iter()
-            .find(|p| p.question == question)
-            .map(|p| p.answer.as_str())
+        self.pairs.iter().find(|p| p.question == question).map(|p| p.answer.as_str())
     }
 
     /// `(question, answer)` string tuples — the shape
     /// [`sp_abe::AccessTree::context_tree`] consumes.
     pub fn as_string_pairs(&self) -> Vec<(String, String)> {
-        self.pairs
-            .iter()
-            .map(|p| (p.question.clone(), p.answer.clone()))
-            .collect()
+        self.pairs.iter().map(|p| (p.question.clone(), p.answer.clone())).collect()
     }
 
     /// Validates a threshold against this context (`0 < k ≤ N`).
@@ -170,11 +164,7 @@ mod tests {
 
     #[test]
     fn builder_happy_path() {
-        let c = Context::builder()
-            .pair("q1", "a1")
-            .pair("q2", "a2")
-            .build()
-            .unwrap();
+        let c = Context::builder().pair("q1", "a1").pair("q2", "a2").build().unwrap();
         assert_eq!(c.len(), 2);
         assert_eq!(c.answer_for("q1"), Some("a1"));
         assert_eq!(c.answer_for("q3"), None);
@@ -204,11 +194,8 @@ mod tests {
 
     #[test]
     fn normalization() {
-        let c = Context::builder()
-            .pair("q", "  Lakeside CABIN ")
-            .normalize_answers()
-            .build()
-            .unwrap();
+        let c =
+            Context::builder().pair("q", "  Lakeside CABIN ").normalize_answers().build().unwrap();
         assert_eq!(c.answer_for("q"), Some("lakeside cabin"));
         assert_eq!(normalize_answer("  Lakeside CABIN "), "lakeside cabin");
     }

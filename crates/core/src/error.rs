@@ -37,7 +37,9 @@ pub enum SocialPuzzleError {
 impl fmt::Display for SocialPuzzleError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Self::BadContext => f.write_str("context needs distinct, nonempty question-answer pairs"),
+            Self::BadContext => {
+                f.write_str("context needs distinct, nonempty question-answer pairs")
+            }
             Self::BadThreshold => f.write_str("threshold must satisfy 0 < k <= n"),
             Self::NotEnoughCorrectAnswers => {
                 f.write_str("fewer than the threshold number of answers verified")

@@ -1,12 +1,10 @@
-//! Delay accounting in the shape of the paper's Figure 10.
-//!
-//! Every measured operation is split into **local processing delay**
-//! (client-side compute, scaled by the device profile) and **network
-//! delay** (including server-side processing, which the paper folds into
-//! the network term).
+//! Delay accounting in the shape of the paper's Figure 10, plus
+//! per-endpoint service counters for the `sp-net` daemons.
 
+use std::collections::BTreeMap;
 use std::fmt;
 use std::ops::Add;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// A Fig. 10-style delay breakdown.
@@ -67,9 +65,147 @@ impl fmt::Display for DelayBreakdown {
     }
 }
 
+/// Counters for one RPC endpoint of a daemon.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EndpointCounters {
+    /// Requests handled (including ones that returned a protocol error).
+    pub requests: u64,
+    /// Requests that produced an error response.
+    pub errors: u64,
+    /// Request payload bytes received (frame payloads, excluding headers).
+    pub bytes_in: u64,
+    /// Response payload bytes sent.
+    pub bytes_out: u64,
+}
+
+/// Per-endpoint request/byte/error counters for a running service.
+///
+/// Cheap to clone (shared state); safe to bump from every worker thread
+/// of an `sp-net` daemon. Uses a `std` mutex so a panicking worker can
+/// never take the metrics down with it — a poisoned lock is recovered,
+/// counters are monotonic and remain meaningful.
+#[derive(Clone, Debug, Default)]
+pub struct ServiceMetrics {
+    state: Arc<Mutex<BTreeMap<String, EndpointCounters>>>,
+}
+
+impl ServiceMetrics {
+    /// Creates an empty metrics registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn with<R>(&self, f: impl FnOnce(&mut BTreeMap<String, EndpointCounters>) -> R) -> R {
+        let mut guard = self.state.lock().unwrap_or_else(|poison| poison.into_inner());
+        f(&mut guard)
+    }
+
+    /// Records one handled request on `endpoint`.
+    pub fn record(&self, endpoint: &str, bytes_in: u64, bytes_out: u64, is_error: bool) {
+        self.with(|map| {
+            let c = map.entry(endpoint.to_owned()).or_default();
+            c.requests += 1;
+            c.errors += u64::from(is_error);
+            c.bytes_in += bytes_in;
+            c.bytes_out += bytes_out;
+        });
+    }
+
+    /// Counters for one endpoint (zeros if it never saw a request).
+    pub fn endpoint(&self, endpoint: &str) -> EndpointCounters {
+        self.with(|map| map.get(endpoint).copied().unwrap_or_default())
+    }
+
+    /// A snapshot of every endpoint, sorted by name.
+    pub fn snapshot(&self) -> Vec<(String, EndpointCounters)> {
+        self.with(|map| map.iter().map(|(k, v)| (k.clone(), *v)).collect())
+    }
+
+    /// Sums counters across all endpoints.
+    pub fn totals(&self) -> EndpointCounters {
+        self.with(|map| {
+            map.values().fold(EndpointCounters::default(), |mut acc, c| {
+                acc.requests += c.requests;
+                acc.errors += c.errors;
+                acc.bytes_in += c.bytes_in;
+                acc.bytes_out += c.bytes_out;
+                acc
+            })
+        })
+    }
+}
+
+impl fmt::Display for ServiceMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, c) in self.snapshot() {
+            writeln!(
+                f,
+                "{name}: {} requests ({} errors), {} B in, {} B out",
+                c.requests, c.errors, c.bytes_in, c.bytes_out
+            )?;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn service_metrics_accumulate_per_endpoint() {
+        let m = ServiceMetrics::new();
+        m.record("upload", 100, 8, false);
+        m.record("upload", 50, 8, false);
+        m.record("verify", 30, 200, true);
+        assert_eq!(
+            m.endpoint("upload"),
+            EndpointCounters { requests: 2, errors: 0, bytes_in: 150, bytes_out: 16 }
+        );
+        assert_eq!(m.endpoint("verify").errors, 1);
+        assert_eq!(m.endpoint("never"), EndpointCounters::default());
+        let totals = m.totals();
+        assert_eq!(totals.requests, 3);
+        assert_eq!(totals.bytes_in, 180);
+        let snap = m.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].0, "upload");
+        let shown = m.to_string();
+        assert!(shown.contains("upload: 2 requests"));
+    }
+
+    #[test]
+    fn service_metrics_shared_across_clones_and_threads() {
+        let m = ServiceMetrics::new();
+        let clone = m.clone();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let mm = clone.clone();
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        mm.record("get", 1, 2, false);
+                    }
+                });
+            }
+        });
+        assert_eq!(m.endpoint("get").requests, 400);
+        assert_eq!(m.endpoint("get").bytes_out, 800);
+    }
+
+    #[test]
+    fn service_metrics_survive_a_poisoned_lock() {
+        let m = ServiceMetrics::new();
+        m.record("put", 1, 1, false);
+        let inner = m.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = inner.state.lock().unwrap();
+            panic!("poison the lock on purpose");
+        })
+        .join();
+        // Counters keep working after the poisoning panic.
+        m.record("put", 1, 1, false);
+        assert_eq!(m.endpoint("put").requests, 2);
+    }
 
     #[test]
     fn arithmetic() {

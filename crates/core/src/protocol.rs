@@ -19,8 +19,8 @@
 use bytes::Bytes;
 use rand::Rng;
 use sp_osn::{
-    DeviceProfile, NetworkModel, PostId, PuzzleId, ServiceProvider, SocialGraph, StorageHost,
-    UserId,
+    DeviceProfile, NetworkModel, PostId, ProviderApi, PuzzleId, ServiceProvider, SocialGraph,
+    StorageApi, StorageHost, UserId,
 };
 
 use crate::construction1::{Construction1, Puzzle};
@@ -63,7 +63,13 @@ pub struct ReceiveReport {
     pub bytes_downloaded: u64,
 }
 
-/// The simulated deployment: SP + DH + social graph + network paths.
+/// The deployment: SP + DH + social graph + network paths.
+///
+/// Generic over the backend implementations: `P` is anything speaking
+/// [`ProviderApi`] and `D` anything speaking [`StorageApi`]. The defaults
+/// are the in-memory simulation backends, so `SocialPuzzleApp::new()`
+/// behaves exactly as before; `sp-net` plugs its remote TCP clients into
+/// the same driver via [`SocialPuzzleApp::with_backends`].
 ///
 /// # Example
 ///
@@ -88,10 +94,10 @@ pub struct ReceiveReport {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 #[derive(Debug)]
-pub struct SocialPuzzleApp {
+pub struct SocialPuzzleApp<P = ServiceProvider, D = StorageHost> {
     graph: SocialGraph,
-    sp: ServiceProvider,
-    dh: StorageHost,
+    sp: P,
+    dh: D,
     net: NetworkModel,
     net_curl: NetworkModel,
     i2_file_pad: u64,
@@ -104,21 +110,38 @@ impl Default for SocialPuzzleApp {
 }
 
 impl SocialPuzzleApp {
-    /// A deployment with the paper's network calibration.
+    /// An in-memory deployment with the paper's network calibration.
     pub fn new() -> Self {
-        Self {
-            graph: SocialGraph::new(),
-            sp: ServiceProvider::new(),
-            dh: StorageHost::new(),
-            net: NetworkModel::wlan_to_cloud(),
-            net_curl: NetworkModel::wlan_to_cloud_curl(),
-            i2_file_pad: DEFAULT_I2_FILE_PAD,
-        }
+        Self::with_backends_and_networks(
+            ServiceProvider::new(),
+            StorageHost::new(),
+            NetworkModel::wlan_to_cloud(),
+            NetworkModel::wlan_to_cloud_curl(),
+        )
     }
 
-    /// A deployment with custom network paths.
+    /// An in-memory deployment with custom network paths.
     pub fn with_networks(net: NetworkModel, net_curl: NetworkModel) -> Self {
-        Self { net, net_curl, ..Self::new() }
+        Self::with_backends_and_networks(ServiceProvider::new(), StorageHost::new(), net, net_curl)
+    }
+}
+
+impl<P: ProviderApi, D: StorageApi> SocialPuzzleApp<P, D> {
+    /// A deployment over arbitrary backends — e.g. `sp-net` remote
+    /// clients pointed at real daemons. Network delay modelling is
+    /// disabled (zeroed) since the real sockets incur real latency.
+    pub fn with_backends(sp: P, dh: D) -> Self {
+        Self::with_backends_and_networks(sp, dh, NetworkModel::zero(), NetworkModel::zero())
+    }
+
+    /// A deployment over arbitrary backends with explicit network models.
+    pub fn with_backends_and_networks(
+        sp: P,
+        dh: D,
+        net: NetworkModel,
+        net_curl: NetworkModel,
+    ) -> Self {
+        Self { graph: SocialGraph::new(), sp, dh, net, net_curl, i2_file_pad: DEFAULT_I2_FILE_PAD }
     }
 
     /// Adjusts the Implementation-2 per-file padding (0 disables the
@@ -146,13 +169,14 @@ impl SocialPuzzleApp {
         &self.graph
     }
 
-    /// The service provider (the §VI adversary tests poke it directly).
-    pub fn sp(&self) -> &ServiceProvider {
+    /// The service-provider backend (the §VI adversary tests poke the
+    /// in-memory one directly).
+    pub fn sp(&self) -> &P {
         &self.sp
     }
 
-    /// The storage host.
-    pub fn dh(&self) -> &StorageHost {
+    /// The storage-host backend.
+    pub fn dh(&self) -> &D {
         &self.dh
     }
 
@@ -185,10 +209,11 @@ impl SocialPuzzleApp {
         rng: &mut R,
     ) -> Result<ShareReport, SocialPuzzleError> {
         let mut delays = DelayBreakdown::zero();
-        let url = self.dh.reserve();
+        let url = self.dh.reserve()?;
 
         // Local processing: encryption, secret sharing, puzzle assembly.
-        let (upload, local) = device.run(|| c1.upload_to(object, context, k, url.clone(), signer, rng));
+        let (upload, local) =
+            device.run(|| c1.upload_to(object, context, k, url.clone(), signer, rng));
         let upload = upload?;
         delays.add_local(local);
 
@@ -198,15 +223,12 @@ impl SocialPuzzleApp {
         let obj_len = upload.encrypted_object.len() as u64;
         let puzzle_bytes = upload.puzzle.to_bytes();
         let puzzle_len = puzzle_bytes.len() as u64;
-        delays.add_network(
-            self.net
-                .request_duration(obj_len + puzzle_len + REQUEST_ENVELOPE, ACK),
-        );
+        delays.add_network(self.net.request_duration(obj_len + puzzle_len + REQUEST_ENVELOPE, ACK));
         self.dh.fill(&url, Bytes::from(upload.encrypted_object))?;
-        let puzzle_id = self.sp.publish_puzzle(Bytes::from(puzzle_bytes));
+        let puzzle_id = self.sp.publish_puzzle(Bytes::from(puzzle_bytes))?;
 
         delays.add_network(self.net.request_duration(REQUEST_ENVELOPE, ACK));
-        let post = self.sp.post(sharer, "I shared something — solve the puzzle!", puzzle_id);
+        let post = self.sp.post(sharer, "I shared something — solve the puzzle!", puzzle_id)?;
 
         Ok(ShareReport {
             puzzle: puzzle_id,
@@ -238,12 +260,8 @@ impl SocialPuzzleApp {
         // Server side: load the puzzle, pick the displayed subset.
         let puzzle = Puzzle::from_bytes(&self.sp.fetch_puzzle(share.puzzle)?)?;
         let displayed = c1.display_puzzle(&puzzle, rng);
-        let display_len: u64 = displayed
-            .questions
-            .iter()
-            .map(|(_, q)| q.len() as u64 + 8)
-            .sum::<u64>()
-            + 16;
+        let display_len: u64 =
+            displayed.questions.iter().map(|(_, q)| q.len() as u64 + 8).sum::<u64>() + 16;
         delays.add_network(self.net.request_duration(REQUEST_ENVELOPE, display_len));
         downloaded += display_len;
 
@@ -258,7 +276,7 @@ impl SocialPuzzleApp {
         // Network: submit hashes, receive released shares. The SP logs
         // the attempt either way (metadata it inevitably observes).
         let verify_result = c1.verify(&puzzle, &response);
-        self.sp.log_access(receiver, share.puzzle, verify_result.is_ok());
+        self.sp.log_access(receiver, share.puzzle, verify_result.is_ok())?;
         let outcome = verify_result?;
         let outcome_len = outcome.encoded_len() as u64;
         delays.add_network(
@@ -273,9 +291,8 @@ impl SocialPuzzleApp {
         downloaded += blob.len() as u64;
 
         // Local: unblind, reconstruct, decrypt.
-        let (object, local) = device.run(|| {
-            c1.access_with_key(&outcome, &answers, &blob, Some(&displayed.puzzle_key))
-        });
+        let (object, local) = device
+            .run(|| c1.access_with_key(&outcome, &answers, &blob, Some(&displayed.puzzle_key)));
         delays.add_local(local);
 
         Ok(ReceiveReport { object: object?, delays, bytes_downloaded: downloaded })
@@ -302,22 +319,16 @@ impl SocialPuzzleApp {
         let mut delays = DelayBreakdown::zero();
         let previous = Puzzle::from_bytes(&self.sp.fetch_puzzle(share.puzzle)?)?;
 
-        let (refreshed, local) =
-            device.run(|| c1.refresh(object, context, &previous, signer, rng));
+        let (refreshed, local) = device.run(|| c1.refresh(object, context, &previous, signer, rng));
         let refreshed = refreshed?;
         delays.add_local(local);
 
         let obj_len = refreshed.encrypted_object.len() as u64;
         let puzzle_bytes = refreshed.puzzle.to_bytes();
         let puzzle_len = puzzle_bytes.len() as u64;
-        delays.add_network(
-            self.net
-                .request_duration(obj_len + puzzle_len + REQUEST_ENVELOPE, ACK),
-        );
-        self.dh
-            .fill(previous.url(), Bytes::from(refreshed.encrypted_object))?;
-        self.sp
-            .replace_puzzle(share.puzzle, Bytes::from(puzzle_bytes))?;
+        delays.add_network(self.net.request_duration(obj_len + puzzle_len + REQUEST_ENVELOPE, ACK));
+        self.dh.fill(previous.url(), Bytes::from(refreshed.encrypted_object))?;
+        self.sp.replace_puzzle(share.puzzle, Bytes::from(puzzle_bytes))?;
 
         Ok(ShareReport {
             puzzle: share.puzzle,
@@ -338,6 +349,7 @@ impl SocialPuzzleApp {
     /// # Errors
     ///
     /// Propagates construction errors.
+    #[allow(clippy::too_many_arguments)]
     pub fn share_c2<R: Rng + ?Sized>(
         &self,
         c2: &Construction2,
@@ -349,7 +361,7 @@ impl SocialPuzzleApp {
         rng: &mut R,
     ) -> Result<ShareReport, SocialPuzzleError> {
         let mut delays = DelayBreakdown::zero();
-        let url = self.dh.reserve();
+        let url = self.dh.reserve()?;
 
         let (upload, local) = device.run(|| c2.upload_to(object, context, k, url.clone(), rng));
         let upload = upload?;
@@ -372,10 +384,10 @@ impl SocialPuzzleApp {
         uploaded += ct_len;
 
         self.dh.fill(&url, Bytes::from(upload.ciphertext))?;
-        let puzzle_id = self.sp.publish_puzzle(Bytes::from(record_bytes));
+        let puzzle_id = self.sp.publish_puzzle(Bytes::from(record_bytes))?;
 
         delays.add_network(self.net.request_duration(REQUEST_ENVELOPE, ACK));
-        let post = self.sp.post(sharer, "I shared something — solve the puzzle!", puzzle_id);
+        let post = self.sp.post(sharer, "I shared something — solve the puzzle!", puzzle_id)?;
 
         Ok(ShareReport { puzzle: puzzle_id, post, delays, bytes_uploaded: uploaded })
     }
@@ -417,7 +429,7 @@ impl SocialPuzzleApp {
         // then the ciphertext download — three cURL fetches in §VII-B
         // (message.txt.cpabe, master_key, pub_key).
         let verify_result = c2.verify(&record, &response);
-        self.sp.log_access(receiver, share.puzzle, verify_result.is_ok());
+        self.sp.log_access(receiver, share.puzzle, verify_result.is_ok())?;
         let grant = verify_result?;
         let grant_len = grant.encoded_len() as u64;
         delays.add_network(self.net_curl.request_duration(
@@ -434,8 +446,7 @@ impl SocialPuzzleApp {
             downloaded += file_len;
         }
 
-        let (object, local) =
-            device.run(|| c2.access(&grant, &details, &answers, &blob, rng));
+        let (object, local) = device.run(|| c2.access(&grant, &details, &answers, &blob, rng));
         delays.add_local(local);
 
         Ok(ReceiveReport { object: object?, delays, bytes_downloaded: downloaded })
@@ -469,21 +480,17 @@ impl SocialPuzzleApp {
             let len = enc.len() as u64;
             delays.add_network(self.net.request_duration(len + REQUEST_ENVELOPE, ACK));
             uploaded += len;
-            urls.push(self.dh.put(Bytes::from(enc)));
+            urls.push(self.dh.put(Bytes::from(enc))?);
         }
         let puzzle_bytes = batch.puzzle.to_bytes();
         uploaded += puzzle_bytes.len() as u64;
         delays.add_network(
-            self.net
-                .request_duration(puzzle_bytes.len() as u64 + REQUEST_ENVELOPE, ACK),
+            self.net.request_duration(puzzle_bytes.len() as u64 + REQUEST_ENVELOPE, ACK),
         );
-        let puzzle_id = self.sp.publish_puzzle(Bytes::from(puzzle_bytes));
-        let post = self.sp.post(sharer, "I shared an album — solve the puzzle!", puzzle_id);
+        let puzzle_id = self.sp.publish_puzzle(Bytes::from(puzzle_bytes))?;
+        let post = self.sp.post(sharer, "I shared an album — solve the puzzle!", puzzle_id)?;
 
-        Ok((
-            ShareReport { puzzle: puzzle_id, post, delays, bytes_uploaded: uploaded },
-            urls,
-        ))
+        Ok((ShareReport { puzzle: puzzle_id, post, delays, bytes_uploaded: uploaded }, urls))
     }
 
     /// Receives every item of an album shared with
@@ -518,12 +525,12 @@ impl SocialPuzzleApp {
         delays.add_local(local);
 
         let verify_result = c1.verify(&puzzle, &response);
-        self.sp.log_access(receiver, share.puzzle, verify_result.is_ok());
+        self.sp.log_access(receiver, share.puzzle, verify_result.is_ok())?;
         let outcome = verify_result?;
-        delays.add_network(
-            self.net
-                .request_duration(response.encoded_len() as u64 + REQUEST_ENVELOPE, outcome.encoded_len() as u64),
-        );
+        delays.add_network(self.net.request_duration(
+            response.encoded_len() as u64 + REQUEST_ENVELOPE,
+            outcome.encoded_len() as u64,
+        ));
 
         let mut items = Vec::with_capacity(urls.len());
         for (index, url) in urls.iter().enumerate() {
@@ -613,8 +620,8 @@ impl SocialPuzzleApp {
         let blob = w.finish().to_vec();
         let len = blob.len() as u64;
         delays.add_network(self.net.request_duration(len + REQUEST_ENVELOPE, ACK));
-        let puzzle_id = self.sp.publish_puzzle(Bytes::from(blob));
-        let post = self.sp.post(sharer, "trivially shared", puzzle_id);
+        let puzzle_id = self.sp.publish_puzzle(Bytes::from(blob))?;
+        let post = self.sp.post(sharer, "trivially shared", puzzle_id)?;
         Ok(ShareReport { puzzle: puzzle_id, post, delays, bytes_uploaded: len })
     }
 
@@ -661,11 +668,7 @@ impl SocialPuzzleApp {
             trivial::decrypt(&ct, &claimed)
         });
         delays.add_local(local);
-        Ok(ReceiveReport {
-            object: result?,
-            delays,
-            bytes_downloaded: blob.len() as u64,
-        })
+        Ok(ReceiveReport { object: result?, delays, bytes_downloaded: blob.len() as u64 })
     }
 }
 
@@ -770,9 +773,8 @@ mod tests {
         let c2 = Construction2::insecure_test_params();
         let mut rng = StdRng::seed_from_u64(173);
         let ctx = context();
-        let share = app
-            .share_c2(&c2, sharer, b"obj2", &ctx, 2, &DeviceProfile::pc(), &mut rng)
-            .unwrap();
+        let share =
+            app.share_c2(&c2, sharer, b"obj2", &ctx, 2, &DeviceProfile::pc(), &mut rng).unwrap();
         let ctx2 = ctx.clone();
         let recv = app
             .receive_c2(
@@ -820,7 +822,12 @@ mod tests {
             .unwrap();
         let ctx2 = ctx.clone();
         let recv = app
-            .receive_trivial(sharer, &share, move |q| ctx2.answer_for(q).map(str::to_owned), &DeviceProfile::pc())
+            .receive_trivial(
+                sharer,
+                &share,
+                move |q| ctx2.answer_for(q).map(str::to_owned),
+                &DeviceProfile::pc(),
+            )
             .unwrap();
         assert_eq!(recv.object, b"all or nothing");
 
@@ -853,7 +860,16 @@ mod tests {
             .share_c1(&c1, sharer, &[0u8; 10_000], &ctx, 2, &DeviceProfile::pc(), None, &mut rng)
             .unwrap();
         let tab = app
-            .share_c1(&c1, sharer, &[0u8; 10_000], &ctx, 2, &DeviceProfile::tablet(), None, &mut rng)
+            .share_c1(
+                &c1,
+                sharer,
+                &[0u8; 10_000],
+                &ctx,
+                2,
+                &DeviceProfile::tablet(),
+                None,
+                &mut rng,
+            )
             .unwrap();
         // Tablet local processing is scaled 5x; with equal work it should
         // exceed the PC's (measured times fluctuate, the 5x scale
@@ -876,9 +892,8 @@ mod tests {
             app.dh().get(p.url()).unwrap()
         };
 
-        let refreshed = app
-            .refresh_c1(&c1, &share, b"v2", &ctx, &DeviceProfile::pc(), None, &mut rng)
-            .unwrap();
+        let refreshed =
+            app.refresh_c1(&c1, &share, b"v2", &ctx, &DeviceProfile::pc(), None, &mut rng).unwrap();
         assert_eq!(refreshed.puzzle, share.puzzle, "same puzzle id");
         assert_eq!(app.sp().puzzle_count(), 1, "replaced, not duplicated");
 
@@ -953,14 +968,12 @@ mod tests {
         let c2 = Construction2::insecure_test_params();
         let mut rng = StdRng::seed_from_u64(179);
         let ctx = context();
-        let share = app
-            .share_c2(&c2, sharer, b"v1", &ctx, 2, &DeviceProfile::pc(), &mut rng)
-            .unwrap();
+        let share =
+            app.share_c2(&c2, sharer, b"v1", &ctx, 2, &DeviceProfile::pc(), &mut rng).unwrap();
         let old_record = app.sp().fetch_puzzle(share.puzzle).unwrap();
 
-        let refreshed = app
-            .refresh_c2(&c2, &share, b"v2", &ctx, &DeviceProfile::pc(), &mut rng)
-            .unwrap();
+        let refreshed =
+            app.refresh_c2(&c2, &share, b"v2", &ctx, &DeviceProfile::pc(), &mut rng).unwrap();
         assert_eq!(refreshed.puzzle, share.puzzle);
         let new_record = app.sp().fetch_puzzle(share.puzzle).unwrap();
         assert_ne!(old_record, new_record, "new ABE keys stored");
@@ -987,9 +1000,8 @@ mod tests {
         let c2 = Construction2::insecure_test_params();
         let mut rng = StdRng::seed_from_u64(177);
         let ctx = context();
-        let share = app
-            .share_c2(&c2, sharer, b"o", &ctx, 1, &DeviceProfile::pc(), &mut rng)
-            .unwrap();
+        let share =
+            app.share_c2(&c2, sharer, b"o", &ctx, 1, &DeviceProfile::pc(), &mut rng).unwrap();
         assert!(share.bytes_uploaded < DEFAULT_I2_FILE_PAD, "pad disabled");
     }
 }

@@ -95,7 +95,8 @@ const TEMPLATES: &[(&str, &str)] = &[
 pub fn score_answer(answer: &str) -> AnswerStrength {
     let trimmed = answer.trim();
     let words = trimmed.split_whitespace().count();
-    let digits_only = !trimmed.is_empty() && trimmed.chars().all(|c| c.is_ascii_digit() || c == ':' || c == '-' || c == '/');
+    let digits_only = !trimmed.is_empty()
+        && trimmed.chars().all(|c| c.is_ascii_digit() || c == ':' || c == '-' || c == '/');
     if trimmed.len() < 4 || digits_only || words == 0 {
         AnswerStrength::Weak
     } else if trimmed.len() >= 12 && words >= 2 {
@@ -138,7 +139,7 @@ pub fn recommend(metadata: &ObjectMetadata) -> Vec<Recommendation> {
             });
         }
     }
-    recs.sort_by(|a, b| b.strength.cmp(&a.strength));
+    recs.sort_by_key(|r| std::cmp::Reverse(r.strength));
     recs
 }
 
@@ -184,10 +185,7 @@ mod tests {
         assert_eq!(score_answer("2014-06-21"), AnswerStrength::Weak);
         assert_eq!(score_answer("no"), AnswerStrength::Weak);
         assert_eq!(score_answer("priya"), AnswerStrength::Moderate);
-        assert_eq!(
-            score_answer("rooftop of the old mill, east wing"),
-            AnswerStrength::Strong
-        );
+        assert_eq!(score_answer("rooftop of the old mill, east wing"), AnswerStrength::Strong);
     }
 
     #[test]
@@ -238,9 +236,6 @@ mod tests {
         let answers = displayed.answer(|q| ctx.answer_for(q).map(str::to_owned));
         let response = c1.answer_puzzle(&displayed, &answers);
         let outcome = c1.verify(&up.puzzle, &response).unwrap();
-        assert_eq!(
-            c1.access(&outcome, &answers, &up.encrypted_object).unwrap(),
-            b"recommended"
-        );
+        assert_eq!(c1.access(&outcome, &answers, &up.encrypted_object).unwrap(), b"recommended");
     }
 }

@@ -141,12 +141,8 @@ pub fn simulate<R: Rng + ?Sized>(
                 let mut got = false;
                 for _ in 0..4 {
                     let displayed = c1.display_puzzle(&post.upload.puzzle, rng);
-                    let answers = displayed.answer(|q| {
-                        known
-                            .iter()
-                            .find(|(kq, _)| kq == q)
-                            .map(|(_, a)| a.clone())
-                    });
+                    let answers = displayed
+                        .answer(|q| known.iter().find(|(kq, _)| kq == q).map(|(_, a)| a.clone()));
                     let response = c1.answer_puzzle(&displayed, &answers);
                     if let Ok(outcome) = c1.verify(&post.upload.puzzle, &response) {
                         if c1
@@ -176,16 +172,10 @@ pub fn simulate<R: Rng + ?Sized>(
     }
 
     let accessed = accessed_relevant + accessed_irrelevant;
-    let precision_gated = if accessed == 0 {
-        1.0
-    } else {
-        accessed_relevant as f64 / accessed as f64
-    };
-    let recall_gated = if relevant_total == 0 {
-        1.0
-    } else {
-        relevant_accessed as f64 / relevant_total as f64
-    };
+    let precision_gated =
+        if accessed == 0 { 1.0 } else { accessed_relevant as f64 / accessed as f64 };
+    let recall_gated =
+        if relevant_total == 0 { 1.0 } else { relevant_accessed as f64 / relevant_total as f64 };
     let precision_broadcast = relevant_total as f64 / attempts as f64;
 
     Ok(RelevanceReport { precision_gated, recall_gated, precision_broadcast, attempts })

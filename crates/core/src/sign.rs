@@ -80,9 +80,11 @@ impl VerifyingKey {
         let c = challenge(pairing, &sig.r_point, &self.public, message);
         // s·G == R + c·P, rearranged as s·G + c·(−P) == R so the fused
         // double-scalar ladder does the whole check in one pass.
-        let lhs = pairing
-            .generator()
-            .double_scalar_mul(&sig.s.to_uint(), &self.public.negate(), &c.to_uint());
+        let lhs = pairing.generator().double_scalar_mul(
+            &sig.s.to_uint(),
+            &self.public.negate(),
+            &c.to_uint(),
+        );
         if lhs == sig.r_point {
             Ok(())
         } else {
@@ -101,9 +103,7 @@ impl VerifyingKey {
     ///
     /// Returns [`SocialPuzzleError::BadEncoding`] for malformed buffers.
     pub fn from_bytes(pairing: &Pairing, bytes: &[u8]) -> Result<Self, SocialPuzzleError> {
-        let public = pairing
-            .g1_from_bytes(bytes)
-            .map_err(|_| SocialPuzzleError::BadEncoding)?;
+        let public = pairing.g1_from_bytes(bytes).map_err(|_| SocialPuzzleError::BadEncoding)?;
         Ok(Self { public })
     }
 }
@@ -199,10 +199,7 @@ mod tests {
         let vk = sk.verifying_key();
         let sig = sk.sign(b"m", &mut rng);
         // Perturb s.
-        let bad = Signature {
-            r_point: sig.r_point.clone(),
-            s: &sig.s + &pairing.zr().one(),
-        };
+        let bad = Signature { r_point: sig.r_point.clone(), s: &sig.s + &pairing.zr().one() };
         assert!(vk.verify(&pairing, b"m", &bad).is_err());
     }
 

@@ -51,10 +51,7 @@ impl TrivialCiphertext {
         if bytes.len() < 16 {
             return Err(SocialPuzzleError::BadEncoding);
         }
-        Ok(Self {
-            iv: bytes[..16].try_into().expect("16 bytes"),
-            payload: bytes[16..].to_vec(),
-        })
+        Ok(Self { iv: bytes[..16].try_into().expect("16 bytes"), payload: bytes[16..].to_vec() })
     }
 }
 
@@ -104,12 +101,7 @@ mod tests {
     use rand::{rngs::StdRng, SeedableRng};
 
     fn context() -> Context {
-        Context::builder()
-            .pair("q1", "a1")
-            .pair("q2", "a2")
-            .pair("q3", "a3")
-            .build()
-            .unwrap()
+        Context::builder().pair("q1", "a1").pair("q2", "a2").pair("q3", "a3").build().unwrap()
     }
 
     #[test]
@@ -147,12 +139,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(162);
         let ctx = context();
         let ct = encrypt(b"object", &ctx, &mut rng);
-        let partial = Context::builder()
-            .pair("q1", "a1")
-            .pair("q2", "a2")
-            .pair("q3", "???")
-            .build()
-            .unwrap();
+        let partial =
+            Context::builder().pair("q1", "a1").pair("q2", "a2").pair("q3", "???").build().unwrap();
         assert!(decrypt(&ct, &partial).is_err() || decrypt(&ct, &partial).unwrap() != b"object");
     }
 }

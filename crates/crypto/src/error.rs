@@ -35,11 +35,9 @@ mod tests {
 
     #[test]
     fn display_nonempty() {
-        for e in [
-            CryptoError::BadKeyLength,
-            CryptoError::BadCiphertextLength,
-            CryptoError::BadPadding,
-        ] {
+        for e in
+            [CryptoError::BadKeyLength, CryptoError::BadCiphertextLength, CryptoError::BadPadding]
+        {
             assert!(!e.to_string().is_empty());
         }
     }

@@ -16,7 +16,12 @@ use crate::sha256::Sha256;
 /// The digest chain is `D_1 = MD5(pass ‖ salt)`,
 /// `D_i = MD5(D_{i−1} ‖ pass ‖ salt)`, concatenated until enough bytes are
 /// produced.
-pub fn evp_bytes_to_key(passphrase: &[u8], salt: &[u8; 8], key_len: usize, iv_len: usize) -> (Vec<u8>, Vec<u8>) {
+pub fn evp_bytes_to_key(
+    passphrase: &[u8],
+    salt: &[u8; 8],
+    key_len: usize,
+    iv_len: usize,
+) -> (Vec<u8>, Vec<u8>) {
     let mut material = Vec::with_capacity(key_len + iv_len);
     let mut prev: Vec<u8> = Vec::new();
     while material.len() < key_len + iv_len {

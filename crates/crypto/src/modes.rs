@@ -21,11 +21,15 @@ use crate::error::CryptoError;
 /// assert_eq!(cbc_decrypt(&[0u8; 32], &[1u8; 16], &ct)?, b"hello");
 /// # Ok::<(), sp_crypto::CryptoError>(())
 /// ```
-pub fn cbc_encrypt(key: &[u8], iv: &[u8; BLOCK_SIZE], plaintext: &[u8]) -> Result<Vec<u8>, CryptoError> {
+pub fn cbc_encrypt(
+    key: &[u8],
+    iv: &[u8; BLOCK_SIZE],
+    plaintext: &[u8],
+) -> Result<Vec<u8>, CryptoError> {
     let aes = Aes::new(key)?;
     let pad = BLOCK_SIZE - plaintext.len() % BLOCK_SIZE;
     let mut data = plaintext.to_vec();
-    data.extend(std::iter::repeat(pad as u8).take(pad));
+    data.extend(std::iter::repeat_n(pad as u8, pad));
 
     let mut out = Vec::with_capacity(data.len());
     let mut prev = *iv;
@@ -47,9 +51,13 @@ pub fn cbc_encrypt(key: &[u8], iv: &[u8; BLOCK_SIZE], plaintext: &[u8]) -> Resul
 /// Returns [`CryptoError::BadKeyLength`] for an invalid key,
 /// [`CryptoError::BadCiphertextLength`] if the input is empty or not
 /// block-aligned, and [`CryptoError::BadPadding`] for corrupt padding.
-pub fn cbc_decrypt(key: &[u8], iv: &[u8; BLOCK_SIZE], ciphertext: &[u8]) -> Result<Vec<u8>, CryptoError> {
+pub fn cbc_decrypt(
+    key: &[u8],
+    iv: &[u8; BLOCK_SIZE],
+    ciphertext: &[u8],
+) -> Result<Vec<u8>, CryptoError> {
     let aes = Aes::new(key)?;
-    if ciphertext.is_empty() || ciphertext.len() % BLOCK_SIZE != 0 {
+    if ciphertext.is_empty() || !ciphertext.len().is_multiple_of(BLOCK_SIZE) {
         return Err(CryptoError::BadCiphertextLength);
     }
     let mut out = Vec::with_capacity(ciphertext.len());

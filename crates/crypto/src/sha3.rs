@@ -43,6 +43,7 @@ const RHO: [[u32; 5]; 5] = [
     [27, 20, 39, 8, 14],
 ];
 
+#[allow(clippy::needless_range_loop)] // x/y index the 5×5 lane matrix
 fn keccak_f(state: &mut [[u64; 5]; 5]) {
     for rc in RC.iter().take(ROUNDS) {
         // θ
@@ -82,7 +83,7 @@ fn sponge_256(data: &[u8], domain_suffix: u8) -> [u8; 32] {
     // Absorb full-rate blocks, then the padded final block.
     let mut padded = data.to_vec();
     padded.push(domain_suffix);
-    while padded.len() % RATE != 0 {
+    while !padded.len().is_multiple_of(RATE) {
         padded.push(0);
     }
     let last = padded.len() - 1;
@@ -247,12 +248,7 @@ mod tests {
     #[test]
     fn incremental_matches_oneshot() {
         let data: Vec<u8> = (0u32..700).map(|i| (i % 251) as u8).collect();
-        for splits in [
-            vec![0usize],
-            vec![1, 135, 136, 137],
-            vec![50, 100, 200, 400],
-            vec![700],
-        ] {
+        for splits in [vec![0usize], vec![1, 135, 136, 137], vec![50, 100, 200, 400], vec![700]] {
             let mut h = Sha3_256::new();
             let mut prev = 0usize;
             for &s in &splits {

@@ -4,10 +4,7 @@ use sp_crypto::aes::Aes;
 use sp_crypto::modes::{cbc_decrypt, cbc_encrypt, ctr_xor};
 
 fn from_hex(s: &str) -> Vec<u8> {
-    (0..s.len())
-        .step_by(2)
-        .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
-        .collect()
+    (0..s.len()).step_by(2).map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap()).collect()
 }
 
 const KEY_128: &str = "2b7e151628aed2a6abf7158809cf4f3c";
@@ -66,9 +63,6 @@ fn ecb_single_block_vectors() {
     // SP 800-38A F.1.1 ECB-AES128: encrypting the raw block (no mode).
     let aes = Aes::new(&from_hex(KEY_128)).unwrap();
     let pt: [u8; 16] = from_hex(PT_BLOCK1).try_into().unwrap();
-    assert_eq!(
-        aes.encrypt_block(&pt).to_vec(),
-        from_hex("3ad77bb40d7a3660a89ecaf32466ef97")
-    );
+    assert_eq!(aes.encrypt_block(&pt).to_vec(), from_hex("3ad77bb40d7a3660a89ecaf32466ef97"));
     assert_eq!(aes.decrypt_block(&aes.encrypt_block(&pt)), pt);
 }

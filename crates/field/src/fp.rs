@@ -59,7 +59,8 @@ impl<const L: usize> FieldCtx<L> {
 
     /// Creates an element from a canonical integer, reducing mod `p`.
     pub fn element(self: &Arc<Self>, v: Uint<L>) -> Fp<L> {
-        let reduced = if v < *self.modulus() { v } else { sp_bigint::div_rem(&v, self.modulus()).1 };
+        let reduced =
+            if v < *self.modulus() { v } else { sp_bigint::div_rem(&v, self.modulus()).1 };
         Fp { ctx: Arc::clone(self), repr: self.mont.to_mont(&reduced) }
     }
 
@@ -153,8 +154,8 @@ impl<const L: usize> Fp<L> {
     /// moduli, for non-units).
     pub fn invert(&self) -> Result<Self, FieldError> {
         let canonical = self.to_uint();
-        let inv = modops::mod_inv(&canonical, self.ctx.modulus())
-            .ok_or(FieldError::DivisionByZero)?;
+        let inv =
+            modops::mod_inv(&canonical, self.ctx.modulus()).ok_or(FieldError::DivisionByZero)?;
         Ok(self.with(self.ctx.mont.to_mont(&inv)))
     }
 

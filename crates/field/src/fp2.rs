@@ -105,10 +105,7 @@ impl<const L: usize> Fp2<L> {
     /// Returns [`FieldError::DivisionByZero`] for zero.
     pub fn invert(&self) -> Result<Self, FieldError> {
         let norm_inv = self.norm().invert()?;
-        Ok(Self {
-            c0: &self.c0 * &norm_inv,
-            c1: &(-&self.c1) * &norm_inv,
-        })
+        Ok(Self { c0: &self.c0 * &norm_inv, c1: &(-&self.c1) * &norm_inv })
     }
 
     /// Raises to the power `exp` (square-and-multiply).
@@ -167,23 +164,23 @@ impl<const L: usize> fmt::Display for Fp2<L> {
     }
 }
 
-impl<'a, 'b, const L: usize> Add<&'b Fp2<L>> for &'a Fp2<L> {
+impl<const L: usize> Add<&Fp2<L>> for &Fp2<L> {
     type Output = Fp2<L>;
-    fn add(self, rhs: &'b Fp2<L>) -> Fp2<L> {
+    fn add(self, rhs: &Fp2<L>) -> Fp2<L> {
         Fp2 { c0: &self.c0 + &rhs.c0, c1: &self.c1 + &rhs.c1 }
     }
 }
 
-impl<'a, 'b, const L: usize> Sub<&'b Fp2<L>> for &'a Fp2<L> {
+impl<const L: usize> Sub<&Fp2<L>> for &Fp2<L> {
     type Output = Fp2<L>;
-    fn sub(self, rhs: &'b Fp2<L>) -> Fp2<L> {
+    fn sub(self, rhs: &Fp2<L>) -> Fp2<L> {
         Fp2 { c0: &self.c0 - &rhs.c0, c1: &self.c1 - &rhs.c1 }
     }
 }
 
-impl<'a, 'b, const L: usize> Mul<&'b Fp2<L>> for &'a Fp2<L> {
+impl<const L: usize> Mul<&Fp2<L>> for &Fp2<L> {
     type Output = Fp2<L>;
-    fn mul(self, rhs: &'b Fp2<L>) -> Fp2<L> {
+    fn mul(self, rhs: &Fp2<L>) -> Fp2<L> {
         // Karatsuba: (a0 + a1 i)(b0 + b1 i)
         //   = (a0 b0 − a1 b1) + ((a0+a1)(b0+b1) − a0 b0 − a1 b1) i
         let v0 = &self.c0 * &rhs.c0;
@@ -245,10 +242,7 @@ mod tests {
     #[test]
     fn requires_3mod4() {
         let f13 = FieldCtx::<4>::new(Uint::from_u64(13)).unwrap();
-        assert_eq!(
-            Fp2::new(f13.from_u64(1), f13.from_u64(2)).unwrap_err(),
-            FieldError::Not3Mod4
-        );
+        assert_eq!(Fp2::new(f13.from_u64(1), f13.from_u64(2)).unwrap_err(), FieldError::Not3Mod4);
     }
 
     #[test]

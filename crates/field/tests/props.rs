@@ -11,8 +11,7 @@ use sp_field::{FieldCtx, Fp2};
 fn f_large() -> Arc<FieldCtx<4>> {
     // 2^255 - 19 (≡ 1 mod 4 is fine for Fp; Fp2 tests use the 3 mod 4 one)
     FieldCtx::new(
-        Uint::from_hex("7fffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffed")
-            .unwrap(),
+        Uint::from_hex("7fffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffed").unwrap(),
     )
     .unwrap()
 }
@@ -20,8 +19,7 @@ fn f_large() -> Arc<FieldCtx<4>> {
 fn f_3mod4() -> Arc<FieldCtx<4>> {
     // The NIST P-256 prime is ≡ 3 mod 4.
     FieldCtx::new(
-        Uint::from_hex("ffffffff00000001000000000000000000000000ffffffffffffffffffffffff")
-            .unwrap(),
+        Uint::from_hex("ffffffff00000001000000000000000000000000ffffffffffffffffffffffff").unwrap(),
     )
     .unwrap()
 }

@@ -1,0 +1,230 @@
+//! A blocking RPC connection with timeouts and bounded retry.
+
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use crate::error::NetError;
+use crate::frame::{read_frame, write_frame, DEFAULT_MAX_FRAME};
+use crate::msg::decode_response;
+
+/// Client-side tuning knobs.
+#[derive(Clone, Debug)]
+pub struct ClientConfig {
+    /// TCP connect timeout.
+    pub connect_timeout: Duration,
+    /// Socket read timeout (per response).
+    pub read_timeout: Duration,
+    /// Socket write timeout (per request).
+    pub write_timeout: Duration,
+    /// Retries after the first attempt (so `retries = 2` means up to 3
+    /// attempts), each on a freshly opened connection.
+    pub retries: u32,
+    /// First retry backoff; doubles per subsequent retry.
+    pub backoff: Duration,
+    /// Maximum frame size, enforced on both send and receive.
+    pub max_frame: u32,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        Self {
+            connect_timeout: Duration::from_secs(2),
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            retries: 2,
+            backoff: Duration::from_millis(50),
+            max_frame: DEFAULT_MAX_FRAME,
+        }
+    }
+}
+
+/// One logical connection to a daemon: lazily connected, reconnected on
+/// failure, safe to share across threads (requests serialize on an
+/// internal lock — open one `Connection` per load-generator thread for
+/// parallelism).
+///
+/// # Retry semantics
+///
+/// A request that fails with a *transport* error (socket error, closed
+/// connection, server busy) is retried on a fresh connection with
+/// exponential backoff, up to [`ClientConfig::retries`] times. This
+/// gives **at-least-once** delivery: a request whose response was lost
+/// may have executed on the server. Every social-puzzles RPC tolerates
+/// that — uploads/puts are idempotent in effect (a duplicate just
+/// creates an unused id/URL), and reads are pure. Deterministic protocol
+/// errors from the server are never retried.
+#[derive(Debug)]
+pub struct Connection {
+    addr: SocketAddr,
+    cfg: ClientConfig,
+    stream: Mutex<Option<TcpStream>>,
+}
+
+impl Connection {
+    /// Creates a (lazily connected) connection to `addr`.
+    pub fn new(addr: SocketAddr, cfg: ClientConfig) -> Self {
+        Self { addr, cfg, stream: Mutex::new(None) }
+    }
+
+    /// The remote address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Sends one request frame and awaits the response frame, retrying
+    /// transport failures per the config. Returns the decoded OK payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Remote`] for server error frames and the last
+    /// transport error once retries are exhausted.
+    pub fn call(&self, request: &[u8]) -> Result<Vec<u8>, NetError> {
+        let mut guard = self.stream.lock().unwrap_or_else(|p| p.into_inner());
+        let mut backoff = self.cfg.backoff;
+        let mut attempt = 0u32;
+        loop {
+            // Decode inside the loop: an error *frame* may still be
+            // retryable (Busy), so it must flow through the same match as
+            // transport failures.
+            let result = self
+                .attempt(&mut guard, request)
+                .and_then(|frame| decode_response(&frame).map(<[u8]>::to_vec));
+            match result {
+                Ok(payload) => return Ok(payload),
+                Err(e) if e.is_retryable() && attempt < self.cfg.retries => {
+                    *guard = None; // force a fresh connection
+                    attempt += 1;
+                    std::thread::sleep(backoff);
+                    backoff = backoff.saturating_mul(2);
+                }
+                Err(e) => {
+                    // A deterministic server error leaves the connection
+                    // healthy; only transport failures poison it.
+                    if !matches!(e, NetError::Remote { .. }) {
+                        *guard = None;
+                    }
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// One attempt on the cached (or a fresh) connection.
+    fn attempt(&self, slot: &mut Option<TcpStream>, request: &[u8]) -> Result<Vec<u8>, NetError> {
+        if slot.is_none() {
+            let stream = TcpStream::connect_timeout(&self.addr, self.cfg.connect_timeout)?;
+            stream.set_read_timeout(Some(self.cfg.read_timeout))?;
+            stream.set_write_timeout(Some(self.cfg.write_timeout))?;
+            stream.set_nodelay(true)?;
+            *slot = Some(stream);
+        }
+        let stream = slot.as_mut().expect("just connected");
+        write_frame(stream, request, self.cfg.max_frame)?;
+        // Responses carry the 1-byte envelope on top of payloads that may
+        // themselves be max_frame-sized; mirror the server's headroom.
+        match read_frame(stream, self.cfg.max_frame.saturating_add(1024))? {
+            Some(frame) => Ok(frame),
+            None => Err(NetError::Closed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::daemon::{Daemon, DaemonConfig, Service};
+    use crate::error::ErrorCode;
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::Arc;
+
+    /// Succeeds only from the `fail_first`-th request on — by closing the
+    /// connection without answering before that — so the client's retry
+    /// path is actually exercised.
+    struct Flaky {
+        seen: AtomicU32,
+        fail_first: u32,
+    }
+    impl Service for Flaky {
+        fn handle(&self, request: &[u8]) -> Result<Vec<u8>, (ErrorCode, String)> {
+            let n = self.seen.fetch_add(1, Ordering::SeqCst);
+            if n < self.fail_first {
+                // An Internal error frame is NOT retryable; to simulate a
+                // transport fault we'd need to kill the socket, which the
+                // Service trait can't do — so use Busy, which is.
+                return Err((ErrorCode::Busy, "warming up".into()));
+            }
+            Ok(request.to_vec())
+        }
+    }
+
+    fn quick_cfg() -> ClientConfig {
+        ClientConfig {
+            backoff: Duration::from_millis(5),
+            read_timeout: Duration::from_secs(5),
+            ..ClientConfig::default()
+        }
+    }
+
+    #[test]
+    fn call_roundtrips() {
+        let daemon = Daemon::spawn(
+            "127.0.0.1:0",
+            Arc::new(Flaky { seen: AtomicU32::new(0), fail_first: 0 }),
+            DaemonConfig::default(),
+        )
+        .unwrap();
+        let conn = Connection::new(daemon.addr(), quick_cfg());
+        assert_eq!(conn.call(b"ping").unwrap(), b"ping");
+        assert_eq!(conn.call(b"pong").unwrap(), b"pong");
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn busy_responses_are_retried_until_success() {
+        let daemon = Daemon::spawn(
+            "127.0.0.1:0",
+            Arc::new(Flaky { seen: AtomicU32::new(0), fail_first: 2 }),
+            DaemonConfig::default(),
+        )
+        .unwrap();
+        let conn = Connection::new(daemon.addr(), quick_cfg());
+        // retries = 2 → 3 attempts; the first two answer Busy.
+        assert_eq!(conn.call(b"eventually").unwrap(), b"eventually");
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn retries_are_bounded() {
+        let daemon = Daemon::spawn(
+            "127.0.0.1:0",
+            Arc::new(Flaky { seen: AtomicU32::new(0), fail_first: u32::MAX }),
+            DaemonConfig::default(),
+        )
+        .unwrap();
+        let conn = Connection::new(daemon.addr(), quick_cfg());
+        match conn.call(b"never").unwrap_err() {
+            NetError::Remote { code, .. } => assert_eq!(code, ErrorCode::Busy),
+            other => panic!("expected Remote busy, got {other}"),
+        }
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn connect_failure_surfaces_after_retries() {
+        // A port with (almost certainly) nothing listening: bind then
+        // drop a listener to get a dead ephemeral port.
+        let dead = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let cfg = ClientConfig {
+            retries: 1,
+            backoff: Duration::from_millis(1),
+            connect_timeout: Duration::from_millis(300),
+            ..ClientConfig::default()
+        };
+        let conn = Connection::new(dead, cfg);
+        assert!(matches!(conn.call(b"x").unwrap_err(), NetError::Io(_)));
+    }
+}

@@ -1,0 +1,194 @@
+//! The data-host daemon logic and its remote client.
+//!
+//! The DH is deliberately dumb (§IV-A): a URL-addressed blob store that
+//! serves anyone who presents a URL. Confidentiality rests entirely on
+//! the objects being encrypted before upload — the daemon enforces no
+//! access control, exactly like the paper's storage host.
+
+use std::net::SocketAddr;
+
+use bytes::Bytes;
+use social_puzzles_core::metrics::ServiceMetrics;
+use sp_osn::{OsnError, StorageApi, StorageHost, Url};
+
+use crate::client::{ClientConfig, Connection};
+use crate::daemon::Service;
+use crate::error::{code_for, ErrorCode, NetError};
+use crate::msg::DhRequest;
+use crate::sp::{decode_bytes, decode_string, encode_bytes, encode_string};
+
+/// The DH daemon's request handler.
+pub struct DhService {
+    dh: StorageHost,
+    metrics: ServiceMetrics,
+}
+
+impl DhService {
+    /// Wraps a storage host.
+    pub fn new(dh: StorageHost) -> Self {
+        Self { dh, metrics: ServiceMetrics::new() }
+    }
+
+    /// The per-endpoint counters (shared handle; clone freely).
+    pub fn metrics(&self) -> ServiceMetrics {
+        self.metrics.clone()
+    }
+
+    /// The wrapped store, for out-of-band inspection.
+    pub fn store(&self) -> &StorageHost {
+        &self.dh
+    }
+
+    fn dispatch(&self, req: DhRequest) -> Result<Vec<u8>, (ErrorCode, String)> {
+        let osn = |e: OsnError| (code_for(e), e.to_string());
+        match req {
+            DhRequest::Put { data } => {
+                let url = self.dh.put(Bytes::from(data));
+                Ok(encode_string(url.as_str()))
+            }
+            DhRequest::Get { url } => {
+                let url = Url::parse(url).map_err(osn)?;
+                let blob = self.dh.get(&url).map_err(osn)?;
+                Ok(encode_bytes(&blob))
+            }
+            DhRequest::Reserve => {
+                let url = self.dh.reserve();
+                Ok(encode_string(url.as_str()))
+            }
+            DhRequest::Fill { url, data } => {
+                let url = Url::parse(url).map_err(osn)?;
+                self.dh.fill(&url, Bytes::from(data)).map_err(osn)?;
+                Ok(Vec::new())
+            }
+            DhRequest::Delete { url } => {
+                let url = Url::parse(url).map_err(osn)?;
+                self.dh.delete(&url).map_err(osn)?;
+                Ok(Vec::new())
+            }
+        }
+    }
+}
+
+impl Service for DhService {
+    fn handle(&self, request: &[u8]) -> Result<Vec<u8>, (ErrorCode, String)> {
+        let req = match DhRequest::decode(request) {
+            Ok(req) => req,
+            Err(e) => {
+                self.metrics.record("dh.bad_request", request.len() as u64, 0, true);
+                return Err((ErrorCode::BadRequest, e.to_string()));
+            }
+        };
+        let endpoint = req.endpoint();
+        let result = self.dispatch(req);
+        let (out, is_err) = match &result {
+            Ok(resp) => (resp.len() as u64, false),
+            Err(_) => (0, true),
+        };
+        self.metrics.record(endpoint, request.len() as u64, out, is_err);
+        result
+    }
+}
+
+/// A remote [`StorageApi`] speaking the framed protocol to a DH daemon.
+#[derive(Debug)]
+pub struct DhClient {
+    conn: Connection,
+}
+
+impl DhClient {
+    /// Points a client at a daemon address.
+    pub fn connect(addr: SocketAddr, cfg: ClientConfig) -> Self {
+        Self { conn: Connection::new(addr, cfg) }
+    }
+
+    fn call(&self, req: &DhRequest) -> Result<Vec<u8>, NetError> {
+        self.conn.call(&req.encode())
+    }
+
+    fn url_response(&self, payload: &[u8]) -> Result<Url, OsnError> {
+        let s = decode_string(payload).map_err(NetError::from)?;
+        Url::parse(s)
+    }
+}
+
+impl StorageApi for DhClient {
+    fn reserve(&self) -> Result<Url, OsnError> {
+        let payload = self.call(&DhRequest::Reserve)?;
+        self.url_response(&payload)
+    }
+
+    fn put(&self, data: Bytes) -> Result<Url, OsnError> {
+        let payload = self.call(&DhRequest::Put { data: data.to_vec() })?;
+        self.url_response(&payload)
+    }
+
+    fn fill(&self, url: &Url, data: Bytes) -> Result<(), OsnError> {
+        self.call(&DhRequest::Fill { url: url.as_str().to_owned(), data: data.to_vec() })?;
+        Ok(())
+    }
+
+    fn get(&self, url: &Url) -> Result<Bytes, OsnError> {
+        let payload = self.call(&DhRequest::Get { url: url.as_str().to_owned() })?;
+        Ok(Bytes::from(decode_bytes(&payload).map_err(NetError::from)?))
+    }
+
+    fn delete(&self, url: &Url) -> Result<(), OsnError> {
+        self.call(&DhRequest::Delete { url: url.as_str().to_owned() })?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::daemon::{Daemon, DaemonConfig};
+    use std::sync::Arc;
+
+    fn boot() -> (Daemon, DhClient, ServiceMetrics) {
+        let service = DhService::new(StorageHost::new());
+        let metrics = service.metrics();
+        let daemon =
+            Daemon::spawn("127.0.0.1:0", Arc::new(service), DaemonConfig::default()).unwrap();
+        let client = DhClient::connect(daemon.addr(), ClientConfig::default());
+        (daemon, client, metrics)
+    }
+
+    #[test]
+    fn storage_api_over_the_wire() {
+        let (daemon, client, metrics) = boot();
+        let url = client.put(Bytes::from_static(b"ciphertext")).unwrap();
+        assert_eq!(client.get(&url).unwrap(), Bytes::from_static(b"ciphertext"));
+
+        let slot = client.reserve().unwrap();
+        assert_ne!(slot, url);
+        // Reserved slots read back empty until filled — the in-memory
+        // backend's reserve is a put of zero bytes, and the remote path
+        // must mirror it exactly.
+        assert_eq!(client.get(&slot).unwrap(), Bytes::new());
+        client.fill(&slot, Bytes::from_static(b"late")).unwrap();
+        assert_eq!(client.get(&slot).unwrap(), Bytes::from_static(b"late"));
+
+        client.delete(&url).unwrap();
+        assert_eq!(client.get(&url).unwrap_err(), OsnError::UnknownUrl);
+
+        assert_eq!(metrics.endpoint("dh.put").requests, 1);
+        assert_eq!(metrics.endpoint("dh.get").requests, 4);
+        assert_eq!(metrics.endpoint("dh.get").errors, 1);
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn unknown_and_invalid_urls_map_to_typed_codes() {
+        let (daemon, client, _) = boot();
+        assert_eq!(client.get(&Url::from("dh://nowhere/1")).unwrap_err(), OsnError::UnknownUrl);
+        // An empty URL is rejected by the server's parse step. From<&str>
+        // bypasses client-side validation on purpose, to prove the server
+        // defends itself.
+        let err = client.call(&DhRequest::Get { url: String::new() }).unwrap_err();
+        match err {
+            NetError::Remote { code, .. } => assert_eq!(code, ErrorCode::InvalidUrl),
+            other => panic!("expected Remote, got {other}"),
+        }
+        daemon.shutdown();
+    }
+}

@@ -1,0 +1,247 @@
+//! Transport- and protocol-level errors, and the wire error codes the
+//! daemons send back in error frames.
+
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+use sp_osn::OsnError;
+use sp_wire::WireError;
+
+/// The error codes carried by an error frame (`0xFF` response). Both the
+/// SP and DH daemons use the same layout: `0xFF`, code `u8`, detail
+/// string.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum ErrorCode {
+    /// The puzzle id names nothing.
+    UnknownPuzzle,
+    /// The URL names nothing.
+    UnknownUrl,
+    /// The user id names nothing.
+    UnknownUser,
+    /// The post id names nothing.
+    UnknownPost,
+    /// A URL string was syntactically unacceptable.
+    InvalidUrl,
+    /// The SP's `Verify` found fewer than `k` correct answers.
+    NotEnoughCorrectAnswers,
+    /// The request payload did not decode.
+    BadRequest,
+    /// The server failed internally (e.g. a stored record is corrupt).
+    Internal,
+    /// The server's accept queue was full; try again later.
+    Busy,
+    /// The request frame exceeded the server's maximum frame size.
+    FrameTooLarge,
+}
+
+impl ErrorCode {
+    /// The on-wire byte.
+    pub fn as_u8(self) -> u8 {
+        match self {
+            Self::UnknownPuzzle => 1,
+            Self::UnknownUrl => 2,
+            Self::UnknownUser => 3,
+            Self::UnknownPost => 4,
+            Self::InvalidUrl => 5,
+            Self::NotEnoughCorrectAnswers => 6,
+            Self::BadRequest => 7,
+            Self::Internal => 8,
+            Self::Busy => 9,
+            Self::FrameTooLarge => 10,
+        }
+    }
+
+    /// Parses the on-wire byte; unknown bytes fall back to
+    /// [`ErrorCode::Internal`] so old clients survive new servers.
+    pub fn from_u8(v: u8) -> Self {
+        match v {
+            1 => Self::UnknownPuzzle,
+            2 => Self::UnknownUrl,
+            3 => Self::UnknownUser,
+            4 => Self::UnknownPost,
+            5 => Self::InvalidUrl,
+            6 => Self::NotEnoughCorrectAnswers,
+            7 => Self::BadRequest,
+            9 => Self::Busy,
+            10 => Self::FrameTooLarge,
+            _ => Self::Internal,
+        }
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Self::UnknownPuzzle => "unknown puzzle",
+            Self::UnknownUrl => "unknown url",
+            Self::UnknownUser => "unknown user",
+            Self::UnknownPost => "unknown post",
+            Self::InvalidUrl => "invalid url",
+            Self::NotEnoughCorrectAnswers => "not enough correct answers",
+            Self::BadRequest => "bad request",
+            Self::Internal => "internal server error",
+            Self::Busy => "server busy",
+            Self::FrameTooLarge => "frame too large",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Maps a backend error onto its wire code (server side).
+pub(crate) fn code_for(err: OsnError) -> ErrorCode {
+    match err {
+        OsnError::UnknownPuzzle => ErrorCode::UnknownPuzzle,
+        OsnError::UnknownUrl => ErrorCode::UnknownUrl,
+        OsnError::UnknownUser => ErrorCode::UnknownUser,
+        OsnError::UnknownPost => ErrorCode::UnknownPost,
+        OsnError::InvalidUrl => ErrorCode::InvalidUrl,
+        _ => ErrorCode::Internal,
+    }
+}
+
+/// Anything that can go wrong on the client side of an RPC.
+#[derive(Debug)]
+pub enum NetError {
+    /// Socket-level failure (connect, read, write, timeout).
+    Io(io::Error),
+    /// A frame (outgoing or incoming) exceeded the configured maximum.
+    FrameTooLarge {
+        /// The offending frame's length.
+        len: u64,
+        /// The configured cap.
+        max: u32,
+    },
+    /// A frame payload failed to decode.
+    Decode(WireError),
+    /// The peer closed the connection where a frame was expected.
+    Closed,
+    /// The server answered with an error frame.
+    Remote {
+        /// The server's error code.
+        code: ErrorCode,
+        /// Human-readable detail from the server.
+        detail: String,
+    },
+}
+
+impl NetError {
+    /// Whether a retry on a fresh connection could plausibly succeed.
+    /// Remote protocol errors are deterministic; socket failures and a
+    /// busy server are not.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, Self::Io(_) | Self::Closed | Self::Remote { code: ErrorCode::Busy, .. })
+    }
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "socket error: {e}"),
+            Self::FrameTooLarge { len, max } => {
+                write!(f, "frame of {len} bytes exceeds the {max}-byte cap")
+            }
+            Self::Decode(e) => write!(f, "malformed frame payload: {e}"),
+            Self::Closed => f.write_str("connection closed mid-exchange"),
+            Self::Remote { code, detail } if detail.is_empty() => write!(f, "server error: {code}"),
+            Self::Remote { code, detail } => write!(f, "server error: {code} ({detail})"),
+        }
+    }
+}
+
+impl Error for NetError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            Self::Decode(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for NetError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl From<WireError> for NetError {
+    fn from(e: WireError) -> Self {
+        Self::Decode(e)
+    }
+}
+
+impl From<NetError> for OsnError {
+    /// Collapses a transport failure onto the backend error surface the
+    /// protocol drivers understand: known remote codes map back to their
+    /// in-memory equivalents, everything else is [`OsnError::Transport`].
+    fn from(e: NetError) -> Self {
+        match e {
+            NetError::Remote { code, .. } => match code {
+                ErrorCode::UnknownPuzzle => OsnError::UnknownPuzzle,
+                ErrorCode::UnknownUrl => OsnError::UnknownUrl,
+                ErrorCode::UnknownUser => OsnError::UnknownUser,
+                ErrorCode::UnknownPost => OsnError::UnknownPost,
+                ErrorCode::InvalidUrl => OsnError::InvalidUrl,
+                _ => OsnError::Transport,
+            },
+            _ => OsnError::Transport,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_codes_roundtrip() {
+        for code in [
+            ErrorCode::UnknownPuzzle,
+            ErrorCode::UnknownUrl,
+            ErrorCode::UnknownUser,
+            ErrorCode::UnknownPost,
+            ErrorCode::InvalidUrl,
+            ErrorCode::NotEnoughCorrectAnswers,
+            ErrorCode::BadRequest,
+            ErrorCode::Internal,
+            ErrorCode::Busy,
+            ErrorCode::FrameTooLarge,
+        ] {
+            assert_eq!(ErrorCode::from_u8(code.as_u8()), code);
+            assert!(!code.to_string().is_empty());
+        }
+        // Unknown bytes degrade to Internal, not a panic.
+        assert_eq!(ErrorCode::from_u8(200), ErrorCode::Internal);
+    }
+
+    #[test]
+    fn remote_codes_map_back_to_osn_errors() {
+        let e = NetError::Remote { code: ErrorCode::UnknownPuzzle, detail: String::new() };
+        assert_eq!(OsnError::from(e), OsnError::UnknownPuzzle);
+        let e = NetError::Remote { code: ErrorCode::Busy, detail: "q full".into() };
+        assert_eq!(OsnError::from(e), OsnError::Transport);
+        let e = NetError::Closed;
+        assert_eq!(OsnError::from(e), OsnError::Transport);
+    }
+
+    #[test]
+    fn retryability() {
+        assert!(NetError::Closed.is_retryable());
+        assert!(NetError::Io(io::Error::from(io::ErrorKind::TimedOut)).is_retryable());
+        assert!(NetError::Remote { code: ErrorCode::Busy, detail: String::new() }.is_retryable());
+        assert!(!NetError::Remote { code: ErrorCode::UnknownPuzzle, detail: String::new() }
+            .is_retryable());
+        assert!(!NetError::FrameTooLarge { len: 10, max: 5 }.is_retryable());
+        assert!(!NetError::Decode(WireError::BadLength).is_retryable());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = NetError::Remote { code: ErrorCode::Busy, detail: "queue full".into() };
+        let s = e.to_string();
+        assert!(s.contains("busy") && s.contains("queue full"));
+        assert!(NetError::FrameTooLarge { len: 9, max: 4 }.to_string().contains("9"));
+    }
+}

@@ -1,0 +1,139 @@
+//! Length-prefixed framing over a byte stream.
+//!
+//! One frame = a 4-byte big-endian payload length, then the payload.
+//! The length is validated against a configured cap **before any
+//! allocation**, so a malicious peer sending `FF FF FF FF` cannot make
+//! the receiver reserve 4 GiB — it gets an error (and, server-side, an
+//! error frame and a closed connection) instead.
+
+use std::io::{ErrorKind, Read, Write};
+
+use crate::error::NetError;
+
+/// Default maximum frame size: 8 MiB. Generous for every social-puzzles
+/// payload (puzzles are kilobytes; objects are bounded by what a client
+/// chooses to share) while still bounding per-connection memory.
+pub const DEFAULT_MAX_FRAME: u32 = 8 * 1024 * 1024;
+
+/// Bytes of framing overhead per message (the length header).
+pub const FRAME_HEADER_LEN: usize = 4;
+
+/// Writes one frame.
+///
+/// # Errors
+///
+/// Returns [`NetError::FrameTooLarge`] when the payload exceeds
+/// `max_frame` (checked before any byte is written, so the stream is
+/// left clean), or [`NetError::Io`] on socket failure.
+pub fn write_frame(w: &mut impl Write, payload: &[u8], max_frame: u32) -> Result<(), NetError> {
+    if payload.len() as u64 > u64::from(max_frame) {
+        return Err(NetError::FrameTooLarge { len: payload.len() as u64, max: max_frame });
+    }
+    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one frame. Returns `Ok(None)` on clean EOF *at a frame
+/// boundary* (the peer hung up between requests — normal connection
+/// teardown).
+///
+/// # Errors
+///
+/// Returns [`NetError::FrameTooLarge`] when the header claims more than
+/// `max_frame` bytes — detected before any allocation — or
+/// [`NetError::Io`] on socket failure / EOF mid-frame.
+pub fn read_frame(r: &mut impl Read, max_frame: u32) -> Result<Option<Vec<u8>>, NetError> {
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    if !read_exact_or_eof(r, &mut header)? {
+        return Ok(None);
+    }
+    let len = u32::from_be_bytes(header);
+    if len > max_frame {
+        return Err(NetError::FrameTooLarge { len: u64::from(len), max: max_frame });
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// Fills `buf` completely, returning `Ok(false)` if EOF arrived before
+/// the *first* byte (clean close) and an error if it arrived mid-fill.
+fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> Result<bool, NetError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(false),
+            Ok(0) => return Err(NetError::Closed),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello", DEFAULT_MAX_FRAME).unwrap();
+        write_frame(&mut buf, b"", DEFAULT_MAX_FRAME).unwrap();
+        let mut r = Cursor::new(buf);
+        assert_eq!(read_frame(&mut r, DEFAULT_MAX_FRAME).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r, DEFAULT_MAX_FRAME).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut r, DEFAULT_MAX_FRAME).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn oversize_is_rejected_before_allocation() {
+        // A header claiming u32::MAX bytes with nothing behind it: if the
+        // length were trusted, the vec![0; 4 GiB] allocation would
+        // happen (and read_exact would then block/fail). The cap check
+        // must fire first.
+        let mut r = Cursor::new(u32::MAX.to_be_bytes().to_vec());
+        match read_frame(&mut r, 1024).unwrap_err() {
+            NetError::FrameTooLarge { len, max } => {
+                assert_eq!(len, u64::from(u32::MAX));
+                assert_eq!(max, 1024);
+            }
+            other => panic!("expected FrameTooLarge, got {other}"),
+        }
+    }
+
+    #[test]
+    fn write_side_enforces_the_cap_too() {
+        let mut buf = Vec::new();
+        let err = write_frame(&mut buf, &[0u8; 100], 99).unwrap_err();
+        assert!(matches!(err, NetError::FrameTooLarge { len: 100, max: 99 }));
+        assert!(buf.is_empty(), "nothing written for a rejected frame");
+        write_frame(&mut buf, &[0u8; 99], 99).unwrap();
+        assert_eq!(buf.len(), FRAME_HEADER_LEN + 99);
+    }
+
+    #[test]
+    fn exactly_max_frame_is_accepted() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &[7u8; 64], 64).unwrap();
+        let got = read_frame(&mut Cursor::new(buf), 64).unwrap().unwrap();
+        assert_eq!(got, vec![7u8; 64]);
+    }
+
+    #[test]
+    fn truncation_mid_header_and_mid_payload_error() {
+        // Header cut short.
+        let mut r = Cursor::new(vec![0u8, 0]);
+        assert!(matches!(read_frame(&mut r, 1024).unwrap_err(), NetError::Closed));
+        // Payload cut short.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"abcdef", 1024).unwrap();
+        buf.truncate(buf.len() - 2);
+        let mut r = Cursor::new(buf);
+        assert!(matches!(read_frame(&mut r, 1024).unwrap_err(), NetError::Io(_)));
+    }
+}

@@ -1,0 +1,605 @@
+//! RPC message types and their `sp-wire` codecs.
+//!
+//! One request frame carries exactly one [`SpRequest`] or [`DhRequest`];
+//! one response frame carries a status byte (`0x00` OK, `0xFF` error)
+//! followed by the endpoint's payload. The error frame layout is
+//! identical for both services: `0xFF`, code `u8`, detail string.
+//!
+//! The paper's subroutines map onto the wire as follows:
+//!
+//! | subroutine      | request                      | response payload        |
+//! |-----------------|------------------------------|-------------------------|
+//! | `Upload`        | [`SpRequest::Upload`]        | puzzle id `u64`         |
+//! | `DisplayPuzzle` | [`SpRequest::DisplayPuzzle`] | [`DisplayedPuzzle`]     |
+//! | `AnswerPuzzle`  | runs receiver-side; its output ([`PuzzleResponse`]) is what [`SpRequest::Verify`] carries | — |
+//! | `Verify`        | [`SpRequest::Verify`]        | [`VerifyOutcome`]       |
+//! | `Access`        | [`SpRequest::Access`]        | object URL string       |
+//!
+//! plus the DH blob store ([`DhRequest::Put`] / [`DhRequest::Get`] and
+//! friends) and the plain [`sp_osn::ProviderApi`] record operations.
+
+use social_puzzles_core::construction1::{
+    DisplayedPuzzle, PuzzleResponse, VerifyOutcome, PUZZLE_KEY_LEN,
+};
+use social_puzzles_core::hash::HashAlg;
+use sp_osn::Url;
+use sp_wire::{Reader, WireError, Writer};
+
+use crate::error::{ErrorCode, NetError};
+
+/// Status byte of a successful response frame.
+pub const RESP_OK: u8 = 0x00;
+/// Status byte of an error response frame.
+pub const RESP_ERR: u8 = 0xFF;
+
+/// A request to the service-provider daemon.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SpRequest {
+    /// `Upload`: store an opaque puzzle record. Response: puzzle id `u64`.
+    Upload {
+        /// The serialized puzzle record.
+        record: Vec<u8>,
+    },
+    /// Fetch a puzzle record. Response: the record bytes.
+    FetchPuzzle {
+        /// Raw puzzle id.
+        puzzle: u64,
+    },
+    /// Replace a puzzle record in place. Response: empty.
+    ReplacePuzzle {
+        /// Raw puzzle id.
+        puzzle: u64,
+        /// The replacement record.
+        record: Vec<u8>,
+    },
+    /// Delete a puzzle record. Response: empty.
+    DeletePuzzle {
+        /// Raw puzzle id.
+        puzzle: u64,
+    },
+    /// Append to the access-attempt audit log. Response: empty.
+    LogAccess {
+        /// Raw user id of the attempting user.
+        user: u64,
+        /// Raw puzzle id.
+        puzzle: u64,
+        /// Whether access was granted.
+        granted: bool,
+    },
+    /// Post the hyperlink to the author's wall. Response: post id `u64`.
+    Post {
+        /// Raw user id of the author.
+        author: u64,
+        /// Post text.
+        text: String,
+        /// The linked puzzle.
+        puzzle: u64,
+    },
+    /// `DisplayPuzzle`: ask the SP to pick and return the displayed
+    /// question subset. Response: a [`DisplayedPuzzle`].
+    DisplayPuzzle {
+        /// Raw puzzle id.
+        puzzle: u64,
+    },
+    /// `Verify`: submit the receiver's `AnswerPuzzle` output (salted
+    /// answer hashes) for server-side verification. The SP logs the
+    /// attempt either way. Response: a [`VerifyOutcome`], or an error
+    /// frame with [`ErrorCode::NotEnoughCorrectAnswers`].
+    Verify {
+        /// Raw user id of the receiver (for the audit log).
+        user: u64,
+        /// Raw puzzle id.
+        puzzle: u64,
+        /// The receiver's salted answer hashes.
+        response: PuzzleResponse,
+    },
+    /// `Access`: where the encrypted object lives. Response: URL string.
+    ///
+    /// The blob itself is fetched from the DH; per §IV-A the encrypted
+    /// object is publicly fetchable by anyone knowing `URL_O` —
+    /// confidentiality rests on the encryption, not the URL.
+    Access {
+        /// Raw puzzle id.
+        puzzle: u64,
+    },
+}
+
+const SP_UPLOAD: u8 = 0x01;
+const SP_FETCH: u8 = 0x02;
+const SP_REPLACE: u8 = 0x03;
+const SP_DELETE: u8 = 0x04;
+const SP_LOG_ACCESS: u8 = 0x05;
+const SP_POST: u8 = 0x06;
+const SP_DISPLAY: u8 = 0x07;
+const SP_VERIFY: u8 = 0x08;
+const SP_ACCESS: u8 = 0x09;
+
+impl SpRequest {
+    /// Stable endpoint name, for metrics and logs.
+    pub fn endpoint(&self) -> &'static str {
+        match self {
+            Self::Upload { .. } => "sp.upload",
+            Self::FetchPuzzle { .. } => "sp.fetch_puzzle",
+            Self::ReplacePuzzle { .. } => "sp.replace_puzzle",
+            Self::DeletePuzzle { .. } => "sp.delete_puzzle",
+            Self::LogAccess { .. } => "sp.log_access",
+            Self::Post { .. } => "sp.post",
+            Self::DisplayPuzzle { .. } => "sp.display_puzzle",
+            Self::Verify { .. } => "sp.verify",
+            Self::Access { .. } => "sp.access",
+        }
+    }
+
+    /// Serializes the request into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match self {
+            Self::Upload { record } => {
+                w.u8(SP_UPLOAD).bytes(record);
+            }
+            Self::FetchPuzzle { puzzle } => {
+                w.u8(SP_FETCH).u64(*puzzle);
+            }
+            Self::ReplacePuzzle { puzzle, record } => {
+                w.u8(SP_REPLACE).u64(*puzzle).bytes(record);
+            }
+            Self::DeletePuzzle { puzzle } => {
+                w.u8(SP_DELETE).u64(*puzzle);
+            }
+            Self::LogAccess { user, puzzle, granted } => {
+                w.u8(SP_LOG_ACCESS).u64(*user).u64(*puzzle).u8(u8::from(*granted));
+            }
+            Self::Post { author, text, puzzle } => {
+                w.u8(SP_POST).u64(*author).string(text).u64(*puzzle);
+            }
+            Self::DisplayPuzzle { puzzle } => {
+                w.u8(SP_DISPLAY).u64(*puzzle);
+            }
+            Self::Verify { user, puzzle, response } => {
+                w.u8(SP_VERIFY).u64(*user).u64(*puzzle);
+                encode_puzzle_response_into(&mut w, response);
+            }
+            Self::Access { puzzle } => {
+                w.u8(SP_ACCESS).u64(*puzzle);
+            }
+        }
+        w.finish().to_vec()
+    }
+
+    /// Parses a frame payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] for unknown tags, truncation, or trailing
+    /// bytes.
+    pub fn decode(payload: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader::new(payload);
+        let req = match r.u8()? {
+            SP_UPLOAD => Self::Upload { record: r.bytes()?.to_vec() },
+            SP_FETCH => Self::FetchPuzzle { puzzle: r.u64()? },
+            SP_REPLACE => Self::ReplacePuzzle { puzzle: r.u64()?, record: r.bytes()?.to_vec() },
+            SP_DELETE => Self::DeletePuzzle { puzzle: r.u64()? },
+            SP_LOG_ACCESS => {
+                Self::LogAccess { user: r.u64()?, puzzle: r.u64()?, granted: r.u8()? != 0 }
+            }
+            SP_POST => {
+                Self::Post { author: r.u64()?, text: r.string()?.to_owned(), puzzle: r.u64()? }
+            }
+            SP_DISPLAY => Self::DisplayPuzzle { puzzle: r.u64()? },
+            SP_VERIFY => Self::Verify {
+                user: r.u64()?,
+                puzzle: r.u64()?,
+                response: decode_puzzle_response_from(&mut r)?,
+            },
+            SP_ACCESS => Self::Access { puzzle: r.u64()? },
+            _ => return Err(WireError::BadLength),
+        };
+        r.expect_end()?;
+        Ok(req)
+    }
+}
+
+/// A request to the storage-host daemon.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum DhRequest {
+    /// Store a blob. Response: URL string.
+    Put {
+        /// The blob bytes.
+        data: Vec<u8>,
+    },
+    /// Fetch a blob. Response: the blob bytes.
+    Get {
+        /// The blob's URL.
+        url: String,
+    },
+    /// Reserve an empty URL. Response: URL string.
+    Reserve,
+    /// Fill a previously reserved URL. Response: empty.
+    Fill {
+        /// The reserved URL.
+        url: String,
+        /// The blob bytes.
+        data: Vec<u8>,
+    },
+    /// Delete a blob. Response: empty.
+    Delete {
+        /// The blob's URL.
+        url: String,
+    },
+}
+
+const DH_PUT: u8 = 0x01;
+const DH_GET: u8 = 0x02;
+const DH_RESERVE: u8 = 0x03;
+const DH_FILL: u8 = 0x04;
+const DH_DELETE: u8 = 0x05;
+
+impl DhRequest {
+    /// Stable endpoint name, for metrics and logs.
+    pub fn endpoint(&self) -> &'static str {
+        match self {
+            Self::Put { .. } => "dh.put",
+            Self::Get { .. } => "dh.get",
+            Self::Reserve => "dh.reserve",
+            Self::Fill { .. } => "dh.fill",
+            Self::Delete { .. } => "dh.delete",
+        }
+    }
+
+    /// Serializes the request into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match self {
+            Self::Put { data } => {
+                w.u8(DH_PUT).bytes(data);
+            }
+            Self::Get { url } => {
+                w.u8(DH_GET).string(url);
+            }
+            Self::Reserve => {
+                w.u8(DH_RESERVE);
+            }
+            Self::Fill { url, data } => {
+                w.u8(DH_FILL).string(url).bytes(data);
+            }
+            Self::Delete { url } => {
+                w.u8(DH_DELETE).string(url);
+            }
+        }
+        w.finish().to_vec()
+    }
+
+    /// Parses a frame payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] for unknown tags, truncation, or trailing
+    /// bytes.
+    pub fn decode(payload: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader::new(payload);
+        let req = match r.u8()? {
+            DH_PUT => Self::Put { data: r.bytes()?.to_vec() },
+            DH_GET => Self::Get { url: r.string()?.to_owned() },
+            DH_RESERVE => Self::Reserve,
+            DH_FILL => Self::Fill { url: r.string()?.to_owned(), data: r.bytes()?.to_vec() },
+            DH_DELETE => Self::Delete { url: r.string()?.to_owned() },
+            _ => return Err(WireError::BadLength),
+        };
+        r.expect_end()?;
+        Ok(req)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Response envelope
+// ---------------------------------------------------------------------
+
+/// Builds a success response frame: status byte + payload.
+pub fn ok_frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1 + payload.len());
+    out.push(RESP_OK);
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Builds an error response frame: `0xFF`, code, detail string. The
+/// layout is shared by the SP and DH daemons.
+pub fn err_frame(code: ErrorCode, detail: &str) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u8(RESP_ERR).u8(code.as_u8()).string(detail);
+    w.finish().to_vec()
+}
+
+/// Splits a response frame into its OK payload, or surfaces the server's
+/// error frame as [`NetError::Remote`].
+///
+/// # Errors
+///
+/// Returns [`NetError::Remote`] for an error frame and
+/// [`NetError::Decode`] for anything that is neither.
+pub fn decode_response(frame: &[u8]) -> Result<&[u8], NetError> {
+    match frame.split_first() {
+        Some((&RESP_OK, payload)) => Ok(payload),
+        Some((&RESP_ERR, rest)) => {
+            let mut r = Reader::new(rest);
+            let code = ErrorCode::from_u8(r.u8()?);
+            let detail = r.string()?.to_owned();
+            r.expect_end()?;
+            Err(NetError::Remote { code, detail })
+        }
+        _ => Err(NetError::Decode(WireError::UnexpectedEnd)),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Payload codecs for the construction types
+// ---------------------------------------------------------------------
+
+/// Encodes a [`DisplayedPuzzle`] (the `DisplayPuzzle` response payload).
+pub fn encode_displayed_puzzle(d: &DisplayedPuzzle) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u32(d.questions.len() as u32);
+    for (idx, q) in &d.questions {
+        w.u32(*idx as u32);
+        w.string(q);
+    }
+    w.raw(&d.puzzle_key);
+    w.u8(match d.hash_alg {
+        HashAlg::Sha256 => 0,
+        HashAlg::Sha3 => 1,
+        HashAlg::Sha1 => 2,
+    });
+    w.finish().to_vec()
+}
+
+/// Decodes a [`DisplayedPuzzle`].
+///
+/// # Errors
+///
+/// Returns a [`WireError`] on truncation or an unknown hash algorithm.
+pub fn decode_displayed_puzzle(payload: &[u8]) -> Result<DisplayedPuzzle, WireError> {
+    let mut r = Reader::new(payload);
+    let n = r.u32()? as usize;
+    let mut questions = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let idx = r.u32()? as usize;
+        questions.push((idx, r.string()?.to_owned()));
+    }
+    let puzzle_key: [u8; PUZZLE_KEY_LEN] = r.raw(PUZZLE_KEY_LEN)?.try_into().expect("fixed len");
+    let hash_alg = match r.u8()? {
+        0 => HashAlg::Sha256,
+        1 => HashAlg::Sha3,
+        2 => HashAlg::Sha1,
+        _ => return Err(WireError::BadLength),
+    };
+    r.expect_end()?;
+    Ok(DisplayedPuzzle { questions, puzzle_key, hash_alg })
+}
+
+fn encode_puzzle_response_into(w: &mut Writer, resp: &PuzzleResponse) {
+    w.u32(resp.hashes.len() as u32);
+    for (idx, h) in &resp.hashes {
+        w.u32(*idx as u32);
+        w.bytes(h);
+    }
+}
+
+fn decode_puzzle_response_from(r: &mut Reader<'_>) -> Result<PuzzleResponse, WireError> {
+    let n = r.u32()? as usize;
+    let mut hashes = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let idx = r.u32()? as usize;
+        hashes.push((idx, r.bytes()?.to_vec()));
+    }
+    Ok(PuzzleResponse { hashes })
+}
+
+/// Encodes a [`PuzzleResponse`] — the receiver-side `AnswerPuzzle`
+/// subroutine's output — as a standalone message.
+pub fn encode_puzzle_response(resp: &PuzzleResponse) -> Vec<u8> {
+    let mut w = Writer::new();
+    encode_puzzle_response_into(&mut w, resp);
+    w.finish().to_vec()
+}
+
+/// Decodes a standalone [`PuzzleResponse`].
+///
+/// # Errors
+///
+/// Returns a [`WireError`] on truncation or trailing bytes.
+pub fn decode_puzzle_response(payload: &[u8]) -> Result<PuzzleResponse, WireError> {
+    let mut r = Reader::new(payload);
+    let resp = decode_puzzle_response_from(&mut r)?;
+    r.expect_end()?;
+    Ok(resp)
+}
+
+/// Encodes a [`VerifyOutcome`] (the `Verify` response payload).
+pub fn encode_verify_outcome(v: &VerifyOutcome) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u32(v.released.len() as u32);
+    for (idx, share) in &v.released {
+        w.u32(*idx as u32);
+        w.bytes(share);
+    }
+    w.string(v.url.as_str());
+    match &v.signature {
+        Some(sig) => {
+            w.u8(1).bytes(sig);
+        }
+        None => {
+            w.u8(0);
+        }
+    }
+    w.bytes(&v.signed_payload);
+    w.finish().to_vec()
+}
+
+/// Decodes a [`VerifyOutcome`]. The embedded URL is validated with
+/// [`Url::parse`], so a garbled (empty) locator is rejected here rather
+/// than surfacing later as a mystery `UnknownUrl`.
+///
+/// # Errors
+///
+/// Returns a [`WireError`] on truncation, trailing bytes, or an empty
+/// URL string.
+pub fn decode_verify_outcome(payload: &[u8]) -> Result<VerifyOutcome, WireError> {
+    let mut r = Reader::new(payload);
+    let n = r.u32()? as usize;
+    let mut released = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let idx = r.u32()? as usize;
+        released.push((idx, r.bytes()?.to_vec()));
+    }
+    let url = Url::parse(r.string()?).map_err(|_| WireError::BadLength)?;
+    let signature = match r.u8()? {
+        0 => None,
+        _ => Some(r.bytes()?.to_vec()),
+    };
+    let signed_payload = r.bytes()?.to_vec();
+    r.expect_end()?;
+    Ok(VerifyOutcome { released, url, signature, signed_payload })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sp_requests() -> Vec<SpRequest> {
+        vec![
+            SpRequest::Upload { record: b"record".to_vec() },
+            SpRequest::FetchPuzzle { puzzle: 7 },
+            SpRequest::ReplacePuzzle { puzzle: 7, record: b"v2".to_vec() },
+            SpRequest::DeletePuzzle { puzzle: u64::MAX },
+            SpRequest::LogAccess { user: 3, puzzle: 7, granted: true },
+            SpRequest::Post { author: 3, text: "solve it! émoji ✓".into(), puzzle: 7 },
+            SpRequest::DisplayPuzzle { puzzle: 0 },
+            SpRequest::Verify {
+                user: 1,
+                puzzle: 2,
+                response: PuzzleResponse {
+                    hashes: vec![(0, vec![1, 2, 3]), (4, vec![]), (2, vec![0xff; 32])],
+                },
+            },
+            SpRequest::Access { puzzle: 9 },
+        ]
+    }
+
+    #[test]
+    fn sp_requests_roundtrip() {
+        for req in sp_requests() {
+            let encoded = req.encode();
+            let decoded = SpRequest::decode(&encoded).unwrap();
+            assert_eq!(decoded, req);
+            assert!(req.endpoint().starts_with("sp."));
+        }
+    }
+
+    #[test]
+    fn dh_requests_roundtrip() {
+        let requests = vec![
+            DhRequest::Put { data: b"blob".to_vec() },
+            DhRequest::Get { url: "https://dh.example/objects/1".into() },
+            DhRequest::Reserve,
+            DhRequest::Fill { url: "https://dh.example/objects/1".into(), data: vec![] },
+            DhRequest::Delete { url: "u".into() },
+        ];
+        for req in requests {
+            let decoded = DhRequest::decode(&req.encode()).unwrap();
+            assert_eq!(decoded, req);
+            assert!(req.endpoint().starts_with("dh."));
+        }
+    }
+
+    #[test]
+    fn unknown_tags_and_trailing_bytes_rejected() {
+        assert!(SpRequest::decode(&[0x77]).is_err());
+        assert!(DhRequest::decode(&[0x77]).is_err());
+        assert!(SpRequest::decode(&[]).is_err());
+        let mut buf = SpRequest::FetchPuzzle { puzzle: 1 }.encode();
+        buf.push(0);
+        assert_eq!(SpRequest::decode(&buf).unwrap_err(), WireError::TrailingBytes);
+    }
+
+    #[test]
+    fn response_envelope_roundtrip() {
+        let ok = ok_frame(b"payload");
+        assert_eq!(decode_response(&ok).unwrap(), b"payload");
+        let err = err_frame(ErrorCode::NotEnoughCorrectAnswers, "2 < 3");
+        match decode_response(&err).unwrap_err() {
+            NetError::Remote { code, detail } => {
+                assert_eq!(code, ErrorCode::NotEnoughCorrectAnswers);
+                assert_eq!(detail, "2 < 3");
+            }
+            other => panic!("expected Remote, got {other}"),
+        }
+        // Neither status byte: decode error, not a panic.
+        assert!(decode_response(&[]).is_err());
+        assert!(decode_response(&[0x42]).is_err());
+    }
+
+    #[test]
+    fn displayed_puzzle_roundtrip() {
+        let d = DisplayedPuzzle {
+            questions: vec![(2, "Where?".into()), (0, "Who hosted? ✓".into())],
+            puzzle_key: [9u8; PUZZLE_KEY_LEN],
+            hash_alg: HashAlg::Sha3,
+        };
+        let decoded = decode_displayed_puzzle(&encode_displayed_puzzle(&d)).unwrap();
+        assert_eq!(decoded, d);
+        // Unknown hash algorithm byte is rejected.
+        let mut bad = encode_displayed_puzzle(&d);
+        *bad.last_mut().unwrap() = 99;
+        assert!(decode_displayed_puzzle(&bad).is_err());
+    }
+
+    #[test]
+    fn puzzle_response_roundtrip() {
+        let resp = PuzzleResponse { hashes: vec![(1, vec![0xaa; 32]), (0, vec![])] };
+        let decoded = decode_puzzle_response(&encode_puzzle_response(&resp)).unwrap();
+        assert_eq!(decoded, resp);
+    }
+
+    #[test]
+    fn verify_outcome_roundtrip_with_and_without_signature() {
+        for signature in [None, Some(vec![1u8, 2, 3])] {
+            let v = VerifyOutcome {
+                released: vec![(0, vec![4, 5]), (3, vec![6])],
+                url: Url::from("https://dh.example/objects/0"),
+                signature: signature.clone(),
+                signed_payload: b"payload".to_vec(),
+            };
+            let decoded = decode_verify_outcome(&encode_verify_outcome(&v)).unwrap();
+            assert_eq!(decoded, v);
+        }
+    }
+
+    #[test]
+    fn verify_outcome_rejects_empty_url() {
+        let v = VerifyOutcome {
+            released: vec![],
+            url: Url::from("x"),
+            signature: None,
+            signed_payload: vec![],
+        };
+        let mut bytes = encode_verify_outcome(&v);
+        // Surgically empty the url: released count (4) then the string
+        // length prefix; rewrite "x" (len 1) to len 0 and drop the byte.
+        let url_len_at = 4;
+        bytes[url_len_at..url_len_at + 4].copy_from_slice(&0u32.to_be_bytes());
+        bytes.remove(url_len_at + 4);
+        assert!(decode_verify_outcome(&bytes).is_err());
+    }
+
+    #[test]
+    fn huge_count_prefix_cannot_force_huge_allocation() {
+        // A count claiming 2^32-1 entries on a tiny payload must fail on
+        // the first missing entry, after reserving at most a bounded hint.
+        let mut w = Writer::new();
+        w.u32(u32::MAX);
+        let payload = w.finish().to_vec();
+        assert!(decode_puzzle_response(&payload).is_err());
+        assert!(decode_displayed_puzzle(&payload).is_err());
+        assert!(decode_verify_outcome(&payload).is_err());
+    }
+}

@@ -1,0 +1,388 @@
+//! The service-provider daemon logic and its remote client.
+//!
+//! The daemon wraps the in-memory [`ServiceProvider`] (puzzle database,
+//! feed, audit log) and runs the SP-side subroutines of Construction 1 —
+//! `DisplayPuzzle` and `Verify` — **server-side**, exactly as the
+//! paper's architecture places them (Fig. 6): the receiver's client
+//! never sees the full puzzle when it goes through the RPC surface, only
+//! the displayed questions and, on success, the released blinded shares.
+
+use std::net::SocketAddr;
+use std::sync::Mutex;
+
+use bytes::Bytes;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use social_puzzles_core::construction1::{
+    Construction1, DisplayedPuzzle, Puzzle, PuzzleResponse, VerifyOutcome,
+};
+use social_puzzles_core::metrics::ServiceMetrics;
+use social_puzzles_core::SocialPuzzleError;
+use sp_osn::{OsnError, PostId, ProviderApi, PuzzleId, ServiceProvider, Url, UserId};
+use sp_wire::Reader;
+
+use crate::client::{ClientConfig, Connection};
+use crate::daemon::Service;
+use crate::error::{code_for, ErrorCode, NetError};
+use crate::msg::{
+    decode_displayed_puzzle, decode_verify_outcome, encode_displayed_puzzle, encode_verify_outcome,
+    SpRequest,
+};
+
+/// The SP daemon's request handler.
+pub struct SpService {
+    sp: ServiceProvider,
+    c1: Construction1,
+    rng: Mutex<StdRng>,
+    metrics: ServiceMetrics,
+}
+
+impl SpService {
+    /// Wraps a provider and a Construction-1 scheme (whose hash choice
+    /// the `DisplayPuzzle`/`Verify` endpoints follow).
+    pub fn new(sp: ServiceProvider, c1: Construction1) -> Self {
+        Self { sp, c1, rng: Mutex::new(StdRng::from_entropy()), metrics: ServiceMetrics::new() }
+    }
+
+    /// The per-endpoint counters (shared handle; clone freely).
+    pub fn metrics(&self) -> ServiceMetrics {
+        self.metrics.clone()
+    }
+
+    /// The wrapped provider, for out-of-band inspection (audit log etc.).
+    pub fn provider(&self) -> &ServiceProvider {
+        &self.sp
+    }
+
+    fn load_puzzle(&self, raw: u64) -> Result<Puzzle, (ErrorCode, String)> {
+        let bytes = self
+            .sp
+            .fetch_puzzle(PuzzleId::from_raw(raw))
+            .map_err(|e| (code_for(e), e.to_string()))?;
+        Puzzle::from_bytes(&bytes)
+            .map_err(|e| (ErrorCode::Internal, format!("stored puzzle is corrupt: {e}")))
+    }
+
+    fn dispatch(&self, req: SpRequest) -> Result<Vec<u8>, (ErrorCode, String)> {
+        let osn = |e: OsnError| (code_for(e), e.to_string());
+        match req {
+            SpRequest::Upload { record } => {
+                let id = self.sp.publish_puzzle(Bytes::from(record));
+                Ok(encode_u64(id.raw()))
+            }
+            SpRequest::FetchPuzzle { puzzle } => {
+                let bytes = self.sp.fetch_puzzle(PuzzleId::from_raw(puzzle)).map_err(osn)?;
+                Ok(encode_bytes(&bytes))
+            }
+            SpRequest::ReplacePuzzle { puzzle, record } => {
+                self.sp
+                    .replace_puzzle(PuzzleId::from_raw(puzzle), Bytes::from(record))
+                    .map_err(osn)?;
+                Ok(Vec::new())
+            }
+            SpRequest::DeletePuzzle { puzzle } => {
+                self.sp.delete_puzzle(PuzzleId::from_raw(puzzle)).map_err(osn)?;
+                Ok(Vec::new())
+            }
+            SpRequest::LogAccess { user, puzzle, granted } => {
+                self.sp.log_access(UserId::from_raw(user), PuzzleId::from_raw(puzzle), granted);
+                Ok(Vec::new())
+            }
+            SpRequest::Post { author, text, puzzle } => {
+                let id = self.sp.post(UserId::from_raw(author), text, PuzzleId::from_raw(puzzle));
+                Ok(encode_u64(id.raw()))
+            }
+            SpRequest::DisplayPuzzle { puzzle } => {
+                let p = self.load_puzzle(puzzle)?;
+                let mut rng = self.rng.lock().unwrap_or_else(|poison| poison.into_inner());
+                let displayed = self.c1.display_puzzle(&p, &mut *rng);
+                Ok(encode_displayed_puzzle(&displayed))
+            }
+            SpRequest::Verify { user, puzzle, response } => {
+                let p = self.load_puzzle(puzzle)?;
+                let verdict = self.c1.verify(&p, &response);
+                // The audit log records the attempt either way — this is
+                // the metadata the SP inevitably observes (§IV-B).
+                self.sp.log_access(
+                    UserId::from_raw(user),
+                    PuzzleId::from_raw(puzzle),
+                    verdict.is_ok(),
+                );
+                match verdict {
+                    Ok(outcome) => Ok(encode_verify_outcome(&outcome)),
+                    Err(SocialPuzzleError::NotEnoughCorrectAnswers) => Err((
+                        ErrorCode::NotEnoughCorrectAnswers,
+                        "fewer than k answers verified".into(),
+                    )),
+                    Err(e) => Err((ErrorCode::Internal, e.to_string())),
+                }
+            }
+            SpRequest::Access { puzzle } => {
+                let p = self.load_puzzle(puzzle)?;
+                Ok(encode_string(p.url().as_str()))
+            }
+        }
+    }
+}
+
+impl Service for SpService {
+    fn handle(&self, request: &[u8]) -> Result<Vec<u8>, (ErrorCode, String)> {
+        let req = match SpRequest::decode(request) {
+            Ok(req) => req,
+            Err(e) => {
+                self.metrics.record("sp.bad_request", request.len() as u64, 0, true);
+                return Err((ErrorCode::BadRequest, e.to_string()));
+            }
+        };
+        let endpoint = req.endpoint();
+        let result = self.dispatch(req);
+        let (out, is_err) = match &result {
+            Ok(resp) => (resp.len() as u64, false),
+            Err(_) => (0, true),
+        };
+        self.metrics.record(endpoint, request.len() as u64, out, is_err);
+        result
+    }
+}
+
+/// A remote [`ProviderApi`] speaking the framed protocol to an SP
+/// daemon, plus the receiver-facing puzzle subroutines.
+#[derive(Debug)]
+pub struct SpClient {
+    conn: Connection,
+}
+
+impl SpClient {
+    /// Points a client at a daemon address.
+    pub fn connect(addr: SocketAddr, cfg: ClientConfig) -> Self {
+        Self { conn: Connection::new(addr, cfg) }
+    }
+
+    fn call(&self, req: &SpRequest) -> Result<Vec<u8>, NetError> {
+        self.conn.call(&req.encode())
+    }
+
+    /// `DisplayPuzzle`: the SP picks and returns the question subset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Remote`] with [`ErrorCode::UnknownPuzzle`] for
+    /// unknown ids, or a transport error.
+    pub fn display_puzzle(&self, puzzle: PuzzleId) -> Result<DisplayedPuzzle, NetError> {
+        let payload = self.call(&SpRequest::DisplayPuzzle { puzzle: puzzle.raw() })?;
+        Ok(decode_displayed_puzzle(&payload)?)
+    }
+
+    /// `Verify`: submit the receiver's hashed answers; the SP verifies,
+    /// logs the attempt, and on success releases the blinded shares.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Remote`] with
+    /// [`ErrorCode::NotEnoughCorrectAnswers`] below the threshold.
+    pub fn verify(
+        &self,
+        user: UserId,
+        puzzle: PuzzleId,
+        response: &PuzzleResponse,
+    ) -> Result<VerifyOutcome, NetError> {
+        let payload = self.call(&SpRequest::Verify {
+            user: user.raw(),
+            puzzle: puzzle.raw(),
+            response: response.clone(),
+        })?;
+        Ok(decode_verify_outcome(&payload)?)
+    }
+
+    /// `Access`: where the puzzle's encrypted object lives.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Remote`] for unknown ids, or a transport error.
+    pub fn access(&self, puzzle: PuzzleId) -> Result<Url, NetError> {
+        let payload = self.call(&SpRequest::Access { puzzle: puzzle.raw() })?;
+        let url = decode_string(&payload)?;
+        Url::parse(url).map_err(|_| NetError::Decode(sp_wire::WireError::BadLength))
+    }
+}
+
+impl ProviderApi for SpClient {
+    fn publish_puzzle(&self, record: Bytes) -> Result<PuzzleId, OsnError> {
+        let payload = self.call(&SpRequest::Upload { record: record.to_vec() })?;
+        Ok(PuzzleId::from_raw(decode_u64(&payload).map_err(NetError::from)?))
+    }
+
+    fn fetch_puzzle(&self, id: PuzzleId) -> Result<Bytes, OsnError> {
+        let payload = self.call(&SpRequest::FetchPuzzle { puzzle: id.raw() })?;
+        Ok(Bytes::from(decode_bytes(&payload).map_err(NetError::from)?))
+    }
+
+    fn replace_puzzle(&self, id: PuzzleId, record: Bytes) -> Result<(), OsnError> {
+        self.call(&SpRequest::ReplacePuzzle { puzzle: id.raw(), record: record.to_vec() })?;
+        Ok(())
+    }
+
+    fn delete_puzzle(&self, id: PuzzleId) -> Result<(), OsnError> {
+        self.call(&SpRequest::DeletePuzzle { puzzle: id.raw() })?;
+        Ok(())
+    }
+
+    fn log_access(&self, user: UserId, puzzle: PuzzleId, granted: bool) -> Result<(), OsnError> {
+        self.call(&SpRequest::LogAccess { user: user.raw(), puzzle: puzzle.raw(), granted })?;
+        Ok(())
+    }
+
+    fn post(&self, author: UserId, text: &str, puzzle: PuzzleId) -> Result<PostId, OsnError> {
+        let payload = self.call(&SpRequest::Post {
+            author: author.raw(),
+            text: text.to_owned(),
+            puzzle: puzzle.raw(),
+        })?;
+        Ok(PostId::from_raw(decode_u64(&payload).map_err(NetError::from)?))
+    }
+}
+
+// Tiny response payload codecs shared with `dh.rs`.
+
+pub(crate) fn encode_u64(v: u64) -> Vec<u8> {
+    v.to_be_bytes().to_vec()
+}
+
+pub(crate) fn decode_u64(payload: &[u8]) -> Result<u64, sp_wire::WireError> {
+    let mut r = Reader::new(payload);
+    let v = r.u64()?;
+    r.expect_end()?;
+    Ok(v)
+}
+
+pub(crate) fn encode_bytes(data: &[u8]) -> Vec<u8> {
+    let mut w = sp_wire::Writer::new();
+    w.bytes(data);
+    w.finish().to_vec()
+}
+
+pub(crate) fn decode_bytes(payload: &[u8]) -> Result<Vec<u8>, sp_wire::WireError> {
+    let mut r = Reader::new(payload);
+    let v = r.bytes()?.to_vec();
+    r.expect_end()?;
+    Ok(v)
+}
+
+pub(crate) fn encode_string(s: &str) -> Vec<u8> {
+    let mut w = sp_wire::Writer::new();
+    w.string(s);
+    w.finish().to_vec()
+}
+
+pub(crate) fn decode_string(payload: &[u8]) -> Result<&str, sp_wire::WireError> {
+    let mut r = Reader::new(payload);
+    // NOTE: borrow outlives the reader because the slice borrows from
+    // `payload`, not from `r`.
+    let s = r.string()?;
+    r.expect_end()?;
+    Ok(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::daemon::{Daemon, DaemonConfig};
+    use rand::SeedableRng;
+    use social_puzzles_core::context::Context;
+    use std::sync::Arc;
+
+    fn boot() -> (Daemon, SpClient, ServiceMetrics, ServiceProvider) {
+        let service = SpService::new(ServiceProvider::new(), Construction1::new());
+        let metrics = service.metrics();
+        let provider = service.provider().clone();
+        let daemon =
+            Daemon::spawn("127.0.0.1:0", Arc::new(service), DaemonConfig::default()).unwrap();
+        let client = SpClient::connect(daemon.addr(), ClientConfig::default());
+        (daemon, client, metrics, provider)
+    }
+
+    #[test]
+    fn provider_api_over_the_wire() {
+        let (daemon, client, metrics, _) = boot();
+        let id = client.publish_puzzle(Bytes::from_static(b"record")).unwrap();
+        assert_eq!(client.fetch_puzzle(id).unwrap(), Bytes::from_static(b"record"));
+        client.replace_puzzle(id, Bytes::from_static(b"v2")).unwrap();
+        assert_eq!(client.fetch_puzzle(id).unwrap(), Bytes::from_static(b"v2"));
+        let user = UserId::from_raw(8);
+        client.log_access(user, id, false).unwrap();
+        let post = client.post(user, "hello", id).unwrap();
+        assert_eq!(post.raw(), 0);
+        client.delete_puzzle(id).unwrap();
+        assert_eq!(client.fetch_puzzle(id).unwrap_err(), OsnError::UnknownPuzzle);
+
+        assert_eq!(metrics.endpoint("sp.upload").requests, 1);
+        assert_eq!(metrics.endpoint("sp.fetch_puzzle").requests, 3);
+        assert_eq!(metrics.endpoint("sp.fetch_puzzle").errors, 1);
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn puzzle_subroutines_over_the_wire() {
+        let (daemon, client, _, provider) = boot();
+        let c1 = Construction1::new();
+        let mut rng = StdRng::seed_from_u64(99);
+        let ctx = Context::builder()
+            .pair("Where?", "lakeside cabin")
+            .pair("Who?", "priya")
+            .pair("What?", "corn")
+            .build()
+            .unwrap();
+        let upload = c1
+            .upload_to(b"obj", &ctx, 2, Url::from("https://dh.example/objects/0"), None, &mut rng)
+            .unwrap();
+        let id = client.publish_puzzle(Bytes::from(upload.puzzle.to_bytes())).unwrap();
+
+        // DisplayPuzzle runs server-side.
+        let displayed = client.display_puzzle(id).unwrap();
+        assert!(displayed.questions.len() >= 2);
+
+        // AnswerPuzzle runs receiver-side; Verify runs server-side.
+        let answers = displayed.answer(|q| ctx.answer_for(q).map(str::to_owned));
+        let response = c1.answer_puzzle(&displayed, &answers);
+        let receiver = UserId::from_raw(5);
+        let outcome = client.verify(receiver, id, &response).unwrap();
+        let object = c1
+            .access_with_key(
+                &outcome,
+                &answers,
+                &upload.encrypted_object,
+                Some(&displayed.puzzle_key),
+            )
+            .unwrap();
+        assert_eq!(object, b"obj");
+
+        // Access returns the object's URL.
+        assert_eq!(client.access(id).unwrap().as_str(), "https://dh.example/objects/0");
+
+        // A clueless receiver is refused with the typed code, and both
+        // attempts landed in the server's audit log.
+        let empty = c1.answer_puzzle(&displayed, &[]);
+        match client.verify(receiver, id, &empty).unwrap_err() {
+            NetError::Remote { code, .. } => {
+                assert_eq!(code, ErrorCode::NotEnoughCorrectAnswers)
+            }
+            other => panic!("expected Remote, got {other}"),
+        }
+        let log = provider.audit_log();
+        assert_eq!(log.len(), 2);
+        assert!(log[0].granted && !log[1].granted);
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn malformed_request_is_a_bad_request_error() {
+        let (daemon, client, metrics, _) = boot();
+        let err = client.conn.call(&[0x77, 1, 2, 3]).unwrap_err();
+        match err {
+            NetError::Remote { code, .. } => assert_eq!(code, ErrorCode::BadRequest),
+            other => panic!("expected Remote, got {other}"),
+        }
+        assert_eq!(metrics.endpoint("sp.bad_request").errors, 1);
+        daemon.shutdown();
+    }
+}

@@ -1,0 +1,206 @@
+//! Backend abstraction: the service-provider and storage-host APIs.
+//!
+//! The paper's architecture (§IV-A, Fig. 6) is a *networked* three-party
+//! system: clients talk to an untrusted service provider (puzzle
+//! database, feed) and to a storage host (`URL_O` blobs). These traits
+//! capture exactly the surface the protocol drivers in
+//! `social-puzzles-core` need, so a driver runs unchanged against
+//!
+//! * the in-memory [`ServiceProvider`] / [`StorageHost`] (tests,
+//!   benchmarks, simulation), or
+//! * `sp-net`'s remote clients speaking the framed TCP protocol to real
+//!   daemons.
+//!
+//! Every method returns a [`Result`] even where the in-memory backend
+//! cannot fail: a remote backend can always fail with
+//! [`OsnError::Transport`].
+
+use bytes::Bytes;
+
+use crate::error::OsnError;
+use crate::graph::UserId;
+use crate::provider::{PostId, PuzzleId, ServiceProvider};
+use crate::storage::{StorageHost, Url};
+
+/// The service-provider surface the protocol drivers use: opaque puzzle
+/// records, the access-attempt audit log, and the hyperlink feed.
+pub trait ProviderApi {
+    /// Stores an opaque puzzle record, returning its id.
+    ///
+    /// # Errors
+    ///
+    /// Remote backends return [`OsnError::Transport`] on wire failures.
+    fn publish_puzzle(&self, record: Bytes) -> Result<PuzzleId, OsnError>;
+
+    /// Fetches a puzzle record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OsnError::UnknownPuzzle`] for unknown ids.
+    fn fetch_puzzle(&self, id: PuzzleId) -> Result<Bytes, OsnError>;
+
+    /// Replaces a puzzle record in place (sharer refresh, §VI-C).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OsnError::UnknownPuzzle`] for unknown ids.
+    fn replace_puzzle(&self, id: PuzzleId, record: Bytes) -> Result<(), OsnError>;
+
+    /// Deletes a puzzle record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OsnError::UnknownPuzzle`] for unknown ids.
+    fn delete_puzzle(&self, id: PuzzleId) -> Result<(), OsnError>;
+
+    /// Records an access attempt in the SP's audit log.
+    ///
+    /// # Errors
+    ///
+    /// Remote backends return [`OsnError::Transport`] on wire failures.
+    fn log_access(&self, user: UserId, puzzle: PuzzleId, granted: bool) -> Result<(), OsnError>;
+
+    /// Posts a hyperlink to the author's wall.
+    ///
+    /// # Errors
+    ///
+    /// Remote backends return [`OsnError::Transport`] on wire failures.
+    fn post(&self, author: UserId, text: &str, puzzle: PuzzleId) -> Result<PostId, OsnError>;
+}
+
+/// The storage-host surface: a URL-addressed blob store.
+pub trait StorageApi {
+    /// Reserves a URL with empty content, to be filled later.
+    ///
+    /// # Errors
+    ///
+    /// Remote backends return [`OsnError::Transport`] on wire failures.
+    fn reserve(&self) -> Result<Url, OsnError>;
+
+    /// Stores a blob, returning its public URL.
+    ///
+    /// # Errors
+    ///
+    /// Remote backends return [`OsnError::Transport`] on wire failures.
+    fn put(&self, data: Bytes) -> Result<Url, OsnError>;
+
+    /// Fills (or replaces) the content at a previously issued URL.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OsnError::UnknownUrl`] if the URL was never issued.
+    fn fill(&self, url: &Url, data: Bytes) -> Result<(), OsnError>;
+
+    /// Fetches a blob.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OsnError::UnknownUrl`] if nothing is stored at `url`.
+    fn get(&self, url: &Url) -> Result<Bytes, OsnError>;
+
+    /// Deletes a blob.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OsnError::UnknownUrl`] if nothing is stored at `url`.
+    fn delete(&self, url: &Url) -> Result<(), OsnError>;
+}
+
+impl ProviderApi for ServiceProvider {
+    fn publish_puzzle(&self, record: Bytes) -> Result<PuzzleId, OsnError> {
+        Ok(ServiceProvider::publish_puzzle(self, record))
+    }
+
+    fn fetch_puzzle(&self, id: PuzzleId) -> Result<Bytes, OsnError> {
+        ServiceProvider::fetch_puzzle(self, id)
+    }
+
+    fn replace_puzzle(&self, id: PuzzleId, record: Bytes) -> Result<(), OsnError> {
+        ServiceProvider::replace_puzzle(self, id, record)
+    }
+
+    fn delete_puzzle(&self, id: PuzzleId) -> Result<(), OsnError> {
+        ServiceProvider::delete_puzzle(self, id)
+    }
+
+    fn log_access(&self, user: UserId, puzzle: PuzzleId, granted: bool) -> Result<(), OsnError> {
+        ServiceProvider::log_access(self, user, puzzle, granted);
+        Ok(())
+    }
+
+    fn post(&self, author: UserId, text: &str, puzzle: PuzzleId) -> Result<PostId, OsnError> {
+        Ok(ServiceProvider::post(self, author, text, puzzle))
+    }
+}
+
+impl StorageApi for StorageHost {
+    fn reserve(&self) -> Result<Url, OsnError> {
+        Ok(StorageHost::reserve(self))
+    }
+
+    fn put(&self, data: Bytes) -> Result<Url, OsnError> {
+        Ok(StorageHost::put(self, data))
+    }
+
+    fn fill(&self, url: &Url, data: Bytes) -> Result<(), OsnError> {
+        StorageHost::fill(self, url, data)
+    }
+
+    fn get(&self, url: &Url) -> Result<Bytes, OsnError> {
+        StorageHost::get(self, url)
+    }
+
+    fn delete(&self, url: &Url) -> Result<(), OsnError> {
+        StorageHost::delete(self, url)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exercises both in-memory backends exclusively through the traits —
+    /// the same code path a generic protocol driver takes.
+    fn roundtrip<P: ProviderApi, D: StorageApi>(sp: &P, dh: &D) {
+        let url = dh.put(Bytes::from_static(b"blob")).unwrap();
+        assert_eq!(dh.get(&url).unwrap(), Bytes::from_static(b"blob"));
+        let spare = dh.reserve().unwrap();
+        dh.fill(&spare, Bytes::from_static(b"late")).unwrap();
+        assert_eq!(dh.get(&spare).unwrap(), Bytes::from_static(b"late"));
+        dh.delete(&spare).unwrap();
+        assert_eq!(dh.get(&spare).unwrap_err(), OsnError::UnknownUrl);
+
+        let id = sp.publish_puzzle(Bytes::from_static(b"record")).unwrap();
+        assert_eq!(sp.fetch_puzzle(id).unwrap(), Bytes::from_static(b"record"));
+        sp.replace_puzzle(id, Bytes::from_static(b"v2")).unwrap();
+        assert_eq!(sp.fetch_puzzle(id).unwrap(), Bytes::from_static(b"v2"));
+        let user = UserId::from_raw(7);
+        sp.log_access(user, id, true).unwrap();
+        let post = sp.post(user, "hi", id).unwrap();
+        let _ = post;
+        sp.delete_puzzle(id).unwrap();
+        assert_eq!(sp.fetch_puzzle(id).unwrap_err(), OsnError::UnknownPuzzle);
+    }
+
+    #[test]
+    fn in_memory_backends_implement_the_traits() {
+        let sp = ServiceProvider::new();
+        let dh = StorageHost::new();
+        roundtrip(&sp, &dh);
+        // The trait path shares state with the inherent path.
+        assert_eq!(sp.audit_log().len(), 1);
+        assert_eq!(sp.puzzle_count(), 0);
+    }
+
+    #[test]
+    fn ids_roundtrip_raw_values() {
+        let p = PuzzleId::from_raw(42);
+        assert_eq!(p.raw(), 42);
+        assert_eq!(PuzzleId::from_raw(p.raw()), p);
+        let post = PostId::from_raw(9);
+        assert_eq!(post.raw(), 9);
+        let u = UserId::from_raw(3);
+        assert_eq!(u.raw(), 3);
+        assert_eq!(u, UserId::from_raw_for_tests(3));
+    }
+}

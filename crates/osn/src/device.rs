@@ -23,10 +23,7 @@ impl DeviceProfile {
     ///
     /// Panics if `compute_scale` is not finite and positive.
     pub fn new(name: impl Into<String>, compute_scale: f64) -> Self {
-        assert!(
-            compute_scale.is_finite() && compute_scale > 0.0,
-            "compute scale must be positive"
-        );
+        assert!(compute_scale.is_finite() && compute_scale > 0.0, "compute scale must be positive");
         Self { name: name.into(), compute_scale }
     }
 

@@ -17,6 +17,12 @@ pub enum OsnError {
     UnknownUrl,
     /// The referenced post does not exist.
     UnknownPost,
+    /// A URL string was syntactically unacceptable (e.g. empty).
+    InvalidUrl,
+    /// A remote backend could not be reached or answered garbage. The
+    /// in-memory backends never produce this; transport layers
+    /// (`sp-net`) map their I/O and protocol failures onto it.
+    Transport,
 }
 
 impl fmt::Display for OsnError {
@@ -27,6 +33,8 @@ impl fmt::Display for OsnError {
             Self::UnknownPuzzle => f.write_str("unknown puzzle id"),
             Self::UnknownUrl => f.write_str("unknown storage url"),
             Self::UnknownPost => f.write_str("unknown post id"),
+            Self::InvalidUrl => f.write_str("invalid url string"),
+            Self::Transport => f.write_str("backend transport failure"),
         }
     }
 }
@@ -45,6 +53,8 @@ mod tests {
             OsnError::UnknownPuzzle,
             OsnError::UnknownUrl,
             OsnError::UnknownPost,
+            OsnError::InvalidUrl,
+            OsnError::Transport,
         ] {
             assert!(!e.to_string().is_empty());
         }

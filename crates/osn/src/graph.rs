@@ -16,6 +16,18 @@ impl UserId {
     pub fn from_raw_for_tests(v: u64) -> Self {
         UserId(v)
     }
+
+    /// Reconstructs an id from its raw value — for transport layers that
+    /// carry ids over the wire. The graph still decides whether the id
+    /// names a registered user.
+    pub fn from_raw(v: u64) -> Self {
+        UserId(v)
+    }
+
+    /// The raw value, for wire encoding.
+    pub fn raw(&self) -> u64 {
+        self.0
+    }
 }
 
 impl fmt::Display for UserId {
@@ -105,10 +117,7 @@ impl SocialGraph {
 
     /// Whether `a` and `b` are friends.
     pub fn are_friends(&self, a: UserId, b: UserId) -> bool {
-        self.users
-            .get(&a)
-            .map(|r| r.friends.contains(&b))
-            .unwrap_or(false)
+        self.users.get(&a).map(|r| r.friends.contains(&b)).unwrap_or(false)
     }
 
     /// The user's friend list (the sharer's social network `S_T`).
@@ -117,14 +126,7 @@ impl SocialGraph {
     ///
     /// Returns [`OsnError::UnknownUser`] for unregistered ids.
     pub fn friends(&self, user: UserId) -> Result<Vec<UserId>, OsnError> {
-        Ok(self
-            .users
-            .get(&user)
-            .ok_or(OsnError::UnknownUser)?
-            .friends
-            .iter()
-            .copied()
-            .collect())
+        Ok(self.users.get(&user).ok_or(OsnError::UnknownUser)?.friends.iter().copied().collect())
     }
 }
 

@@ -37,6 +37,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod api;
 mod device;
 mod error;
 mod graph;
@@ -44,6 +45,7 @@ mod network;
 mod provider;
 mod storage;
 
+pub use api::{ProviderApi, StorageApi};
 pub use device::DeviceProfile;
 pub use error::OsnError;
 pub use graph::{SocialGraph, UserId};

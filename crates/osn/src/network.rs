@@ -45,7 +45,12 @@ pub struct TrafficStats {
 
 impl NetworkModel {
     /// Builds a model from raw parameters.
-    pub fn new(rtt: Duration, uplink_bps: u64, downlink_bps: u64, per_request_overhead: Duration) -> Self {
+    pub fn new(
+        rtt: Duration,
+        uplink_bps: u64,
+        downlink_bps: u64,
+        per_request_overhead: Duration,
+    ) -> Self {
         Self {
             rtt,
             uplink_bps,
@@ -87,6 +92,13 @@ impl NetworkModel {
     /// overhead and instability).
     pub fn wlan_to_cloud_curl() -> Self {
         Self::new(Duration::from_millis(40), 20_000_000, 60_000_000, Duration::from_millis(60))
+    }
+
+    /// A model that charges no time at all — for deployments over real
+    /// sockets, where latency is incurred by the wire rather than
+    /// simulated. Traffic is still accounted.
+    pub fn zero() -> Self {
+        Self::new(Duration::ZERO, u64::MAX, u64::MAX, Duration::ZERO)
     }
 
     /// The time one request takes: RTT + overhead + transfer time of both
@@ -195,6 +207,36 @@ mod tests {
             last = da;
         }
         assert!(varied, "jitter must actually vary across requests");
+    }
+
+    #[test]
+    fn jitter_is_deterministic_across_varied_sequences() {
+        // Two identically-seeded models must charge *identical* durations
+        // for an identical sequence of requests, even when the sizes vary
+        // request to request — a benchmark replay must be reproducible.
+        let a = NetworkModel::wlan_to_cloud_curl().with_jitter(42, 0.3);
+        let b = NetworkModel::wlan_to_cloud_curl().with_jitter(42, 0.3);
+        let sizes: [(u64, u64); 6] =
+            [(600_000, 64), (200, 512), (0, 0), (5_000, 5_000), (1, 1_000_000), (333, 77)];
+        let run_a: Vec<Duration> = sizes.iter().map(|&(u, d)| a.request_duration(u, d)).collect();
+        let run_b: Vec<Duration> = sizes.iter().map(|&(u, d)| b.request_duration(u, d)).collect();
+        assert_eq!(run_a, run_b, "same seed + same request sequence = same charges");
+        // A different seed diverges somewhere on the same sequence.
+        let c = NetworkModel::wlan_to_cloud_curl().with_jitter(43, 0.3);
+        let run_c: Vec<Duration> = sizes.iter().map(|&(u, d)| c.request_duration(u, d)).collect();
+        assert_ne!(run_a, run_c, "different seed must not replay the same factors");
+        // Traffic accounting is identical regardless of jitter.
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(a.stats(), c.stats());
+    }
+
+    #[test]
+    fn zero_model_charges_nothing_but_counts_traffic() {
+        let net = NetworkModel::zero();
+        assert_eq!(net.request_duration(1_000_000, 1_000_000), Duration::ZERO);
+        let s = net.stats();
+        assert_eq!(s.requests, 1);
+        assert_eq!(s.bytes_up, 1_000_000);
     }
 
     #[test]

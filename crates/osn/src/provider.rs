@@ -20,6 +20,20 @@ use crate::graph::UserId;
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct PuzzleId(u64);
 
+impl PuzzleId {
+    /// Reconstructs an id from its raw value — for transport layers that
+    /// carry ids over the wire. An id fabricated out of thin air simply
+    /// fails lookups with [`OsnError::UnknownPuzzle`].
+    pub fn from_raw(v: u64) -> Self {
+        PuzzleId(v)
+    }
+
+    /// The raw value, for wire encoding.
+    pub fn raw(&self) -> u64 {
+        self.0
+    }
+}
+
 impl fmt::Display for PuzzleId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "puzzle#{}", self.0)
@@ -29,6 +43,18 @@ impl fmt::Display for PuzzleId {
 /// Identifier of a feed post.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct PostId(u64);
+
+impl PostId {
+    /// Reconstructs an id from its raw value (wire transport).
+    pub fn from_raw(v: u64) -> Self {
+        PostId(v)
+    }
+
+    /// The raw value, for wire encoding.
+    pub fn raw(&self) -> u64 {
+        self.0
+    }
+}
 
 impl fmt::Display for PostId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -103,12 +129,7 @@ impl ServiceProvider {
     ///
     /// Returns [`OsnError::UnknownPuzzle`] for unknown ids.
     pub fn fetch_puzzle(&self, id: PuzzleId) -> Result<Bytes, OsnError> {
-        self.state
-            .read()
-            .puzzles
-            .get(&id.0)
-            .cloned()
-            .ok_or(OsnError::UnknownPuzzle)
+        self.state.read().puzzles.get(&id.0).cloned().ok_or(OsnError::UnknownPuzzle)
     }
 
     /// Replaces a puzzle record in place (sharer update, or a malicious-SP
@@ -134,12 +155,7 @@ impl ServiceProvider {
     ///
     /// Returns [`OsnError::UnknownPuzzle`] for unknown ids.
     pub fn delete_puzzle(&self, id: PuzzleId) -> Result<(), OsnError> {
-        self.state
-            .write()
-            .puzzles
-            .remove(&id.0)
-            .map(|_| ())
-            .ok_or(OsnError::UnknownPuzzle)
+        self.state.write().puzzles.remove(&id.0).map(|_| ()).ok_or(OsnError::UnknownPuzzle)
     }
 
     /// Number of stored puzzles.
@@ -177,12 +193,7 @@ impl ServiceProvider {
     ///
     /// Returns [`OsnError::UnknownPost`] for unknown ids.
     pub fn read_post(&self, id: PostId) -> Result<Post, OsnError> {
-        self.state
-            .read()
-            .posts
-            .get(&id.0)
-            .cloned()
-            .ok_or(OsnError::UnknownPost)
+        self.state.read().posts.get(&id.0).cloned().ok_or(OsnError::UnknownPost)
     }
 
     /// The feed a viewer sees: posts authored by their friends (and

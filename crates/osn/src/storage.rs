@@ -23,6 +23,25 @@ impl Url {
     pub fn as_str(&self) -> &str {
         &self.0
     }
+
+    /// Parses a URL string, rejecting empty input.
+    ///
+    /// The blob store is deliberately liberal about URL *syntax* (any
+    /// nonempty token a storage host hands out is addressable), but an
+    /// empty string is never a valid locator and usually signals a
+    /// decoding bug upstream — transport layers call this on
+    /// wire-received strings.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OsnError::InvalidUrl`] when `s` is empty.
+    pub fn parse(s: impl Into<String>) -> Result<Self, OsnError> {
+        let s = s.into();
+        if s.is_empty() {
+            return Err(OsnError::InvalidUrl);
+        }
+        Ok(Url(s))
+    }
 }
 
 impl fmt::Display for Url {
@@ -34,6 +53,12 @@ impl fmt::Display for Url {
 impl From<&str> for Url {
     fn from(s: &str) -> Self {
         Url(s.to_owned())
+    }
+}
+
+impl From<String> for Url {
+    fn from(s: String) -> Self {
+        Url(s)
     }
 }
 
@@ -90,12 +115,7 @@ impl StorageHost {
     ///
     /// Returns [`OsnError::UnknownUrl`] if nothing is stored at `url`.
     pub fn get(&self, url: &Url) -> Result<Bytes, OsnError> {
-        self.store
-            .read()
-            .blobs
-            .get(&url.0)
-            .cloned()
-            .ok_or(OsnError::UnknownUrl)
+        self.store.read().blobs.get(&url.0).cloned().ok_or(OsnError::UnknownUrl)
     }
 
     /// Deletes a blob (a malicious-DH denial of service).
@@ -104,12 +124,7 @@ impl StorageHost {
     ///
     /// Returns [`OsnError::UnknownUrl`] if nothing is stored at `url`.
     pub fn delete(&self, url: &Url) -> Result<(), OsnError> {
-        self.store
-            .write()
-            .blobs
-            .remove(&url.0)
-            .map(|_| ())
-            .ok_or(OsnError::UnknownUrl)
+        self.store.write().blobs.remove(&url.0).map(|_| ()).ok_or(OsnError::UnknownUrl)
     }
 
     /// Overwrites a blob in place (a malicious-DH tampering attack).
@@ -171,10 +186,7 @@ mod tests {
         let ghost = Url::from("https://dh.example/objects/404");
         assert_eq!(dh.get(&ghost).unwrap_err(), OsnError::UnknownUrl);
         assert_eq!(dh.delete(&ghost).unwrap_err(), OsnError::UnknownUrl);
-        assert_eq!(
-            dh.tamper(&ghost, Bytes::new()).unwrap_err(),
-            OsnError::UnknownUrl
-        );
+        assert_eq!(dh.tamper(&ghost, Bytes::new()).unwrap_err(), OsnError::UnknownUrl);
     }
 
     #[test]
@@ -186,6 +198,26 @@ mod tests {
         dh.delete(&url).unwrap();
         assert!(dh.is_empty());
         assert_eq!(dh.get(&url).unwrap_err(), OsnError::UnknownUrl);
+    }
+
+    #[test]
+    fn url_parse_rejects_empty() {
+        assert_eq!(Url::parse("").unwrap_err(), OsnError::InvalidUrl);
+        assert_eq!(Url::parse(String::new()).unwrap_err(), OsnError::InvalidUrl);
+        let u = Url::parse("https://dh.example/objects/7").unwrap();
+        assert_eq!(u.as_str(), "https://dh.example/objects/7");
+    }
+
+    #[test]
+    fn url_from_string_and_str_agree() {
+        let owned = Url::from(String::from("https://dh.example/x"));
+        let borrowed = Url::from("https://dh.example/x");
+        assert_eq!(owned, borrowed);
+        assert_eq!(owned.to_string(), "https://dh.example/x");
+        // From<String> does not allocate a second buffer — it is usable in
+        // the same positions as From<&str>.
+        let via_parse = Url::parse("https://dh.example/x").unwrap();
+        assert_eq!(via_parse, owned);
     }
 
     #[test]

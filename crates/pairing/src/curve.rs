@@ -228,9 +228,8 @@ impl G1 {
         match bytes.first() {
             Some(0) if bytes.len() == 1 => Ok(Self::identity()),
             Some(1) if bytes.len() == 1 + 128 => {
-                let x = fq
-                    .from_be_bytes(&bytes[1..65])
-                    .map_err(|_| PairingError::BadPointEncoding)?;
+                let x =
+                    fq.from_be_bytes(&bytes[1..65]).map_err(|_| PairingError::BadPointEncoding)?;
                 let y = fq
                     .from_be_bytes(&bytes[65..129])
                     .map_err(|_| PairingError::BadPointEncoding)?;
@@ -261,13 +260,15 @@ impl G1 {
     ///
     /// Returns [`PairingError::BadPointEncoding`] for malformed tags,
     /// wrong lengths, or `x` values with no square root (off-curve).
-    pub fn from_bytes_compressed(fq: &Arc<FieldCtx<8>>, bytes: &[u8]) -> Result<Self, PairingError> {
+    pub fn from_bytes_compressed(
+        fq: &Arc<FieldCtx<8>>,
+        bytes: &[u8],
+    ) -> Result<Self, PairingError> {
         match bytes.first() {
             Some(0) if bytes.len() == 1 => Ok(Self::identity()),
             Some(tag @ (2 | 3)) if bytes.len() == 65 => {
-                let x = fq
-                    .from_be_bytes(&bytes[1..])
-                    .map_err(|_| PairingError::BadPointEncoding)?;
+                let x =
+                    fq.from_be_bytes(&bytes[1..]).map_err(|_| PairingError::BadPointEncoding)?;
                 let rhs = &(&x.square() * &x) + &x;
                 let y = rhs.sqrt().ok_or(PairingError::BadPointEncoding)?;
                 let want_odd = *tag == 3;

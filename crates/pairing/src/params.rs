@@ -319,10 +319,7 @@ mod tests {
         for _ in 0..5 {
             let point = p.random_g1(&mut rng);
             let s = p.random_scalar(&mut rng);
-            assert_eq!(
-                point.mul_uint(&s.to_uint()),
-                point.mul_uint_affine(&s.to_uint())
-            );
+            assert_eq!(point.mul_uint(&s.to_uint()), point.mul_uint_affine(&s.to_uint()));
         }
         // Edge scalars.
         let g = p.generator();
@@ -399,9 +396,7 @@ mod tests {
         let e = p.pair(g, g);
         assert_eq!(p.pair_ratio(&G1::identity(), g, g, g), e.inverse());
         assert_eq!(p.pair_ratio(g, g, &G1::identity(), g), e);
-        assert!(p
-            .pair_ratio(&G1::identity(), g, g, &G1::identity())
-            .is_one());
+        assert!(p.pair_ratio(&G1::identity(), g, g, &G1::identity()).is_one());
     }
 
     #[test]
@@ -494,10 +489,7 @@ mod tests {
             assert_eq!(back, a);
         }
         let inf = G1::identity();
-        assert_eq!(
-            G1::from_bytes_compressed(p.fq(), &inf.to_bytes_compressed()).unwrap(),
-            inf
-        );
+        assert_eq!(G1::from_bytes_compressed(p.fq(), &inf.to_bytes_compressed()).unwrap(), inf);
         // Bad tag / bad length / non-residue x.
         assert!(G1::from_bytes_compressed(p.fq(), &[7u8; 65]).is_err());
         assert!(G1::from_bytes_compressed(p.fq(), &[2u8; 10]).is_err());

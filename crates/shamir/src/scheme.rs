@@ -29,10 +29,9 @@ impl ShamirScheme {
     /// Creates a scheme over the default 255-bit field
     /// (`p = 2^255 − 19`).
     pub fn default_field() -> Self {
-        let p = Uint::<4>::from_hex(
-            "7fffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffed",
-        )
-        .expect("valid hex constant");
+        let p =
+            Uint::<4>::from_hex("7fffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffed")
+                .expect("valid hex constant");
         Self { field: FieldCtx::new(p).expect("2^255 - 19 is odd") }
     }
 

@@ -140,11 +140,14 @@ impl<'a> Reader<'a> {
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
-        if self.pos + n > self.buf.len() {
+        // checked_add: on 32-bit targets `pos + n` could wrap for an
+        // adversarial length prefix and sneak past the bounds check.
+        let end = self.pos.checked_add(n).ok_or(WireError::UnexpectedEnd)?;
+        if end > self.buf.len() {
             return Err(WireError::UnexpectedEnd);
         }
-        let out = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
         Ok(out)
     }
 
@@ -179,12 +182,19 @@ impl<'a> Reader<'a> {
 
     /// Reads length-prefixed bytes.
     ///
+    /// The length prefix is validated against the *remaining* buffer
+    /// before any slice (or, in owned decoders built on this, any
+    /// allocation) happens — a hostile peer cannot make a 4-byte prefix
+    /// claim gigabytes it never sent.
+    ///
     /// # Errors
     ///
-    /// Returns [`WireError::UnexpectedEnd`] or [`WireError::BadLength`].
+    /// Returns [`WireError::BadLength`] when the prefix exceeds the
+    /// remaining buffer, or [`WireError::UnexpectedEnd`] when the prefix
+    /// itself is truncated.
     pub fn bytes(&mut self) -> Result<&'a [u8], WireError> {
         let len = self.u32()? as usize;
-        if self.pos + len > self.buf.len() {
+        if len > self.remaining() {
             return Err(WireError::BadLength);
         }
         self.take(len)
@@ -234,7 +244,13 @@ mod tests {
     #[test]
     fn roundtrip_all_field_kinds() {
         let mut w = Writer::new();
-        w.u8(1).u32(0xdead_beef).u64(u64::MAX).bytes(b"").bytes(b"xyz").string("héllo").raw(&[9, 9]);
+        w.u8(1)
+            .u32(0xdead_beef)
+            .u64(u64::MAX)
+            .bytes(b"")
+            .bytes(b"xyz")
+            .string("héllo")
+            .raw(&[9, 9]);
         let buf = w.finish();
         let mut r = Reader::new(&buf);
         assert_eq!(r.u8().unwrap(), 1);
@@ -269,6 +285,44 @@ mod tests {
         let mut r = Reader::new(&buf);
         r.u8().unwrap();
         assert_eq!(r.expect_end().unwrap_err(), WireError::TrailingBytes);
+    }
+
+    #[test]
+    fn length_prefix_is_checked_against_remaining_before_any_slice() {
+        // A maliciously huge prefix (u32::MAX) on a tiny buffer must be
+        // rejected with BadLength — and the reader must stay usable at
+        // its pre-call position semantics (prefix consumed, no panic).
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_be_bytes());
+        buf.extend_from_slice(b"tiny");
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.bytes().unwrap_err(), WireError::BadLength);
+
+        // Exactly-fitting prefix is accepted: the boundary is `>`, not `>=`.
+        let mut w = Writer::new();
+        w.bytes(b"fits");
+        let buf = w.finish();
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.bytes().unwrap(), b"fits");
+        r.expect_end().unwrap();
+
+        // One byte over the boundary is rejected.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&5u32.to_be_bytes());
+        buf.extend_from_slice(b"four");
+        assert_eq!(Reader::new(&buf).bytes().unwrap_err(), WireError::BadLength);
+    }
+
+    #[test]
+    fn nested_huge_prefix_after_valid_fields() {
+        // The cap applies to the *remaining* buffer, not the whole one.
+        let mut w = Writer::new();
+        w.bytes(b"0123456789");
+        let mut buf = w.finish().to_vec();
+        buf.extend_from_slice(&11u32.to_be_bytes()); // claims 11, 0 remain after it
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.bytes().unwrap(), b"0123456789");
+        assert_eq!(r.bytes().unwrap_err(), WireError::BadLength);
     }
 
     #[test]

@@ -1,0 +1,139 @@
+//! Property tests: every Writer field kind round-trips through Reader,
+//! and corrupted length prefixes never panic or over-read.
+
+use proptest::prelude::*;
+use sp_wire::{Reader, WireError, Writer};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn u8_roundtrip(v in any::<u8>()) {
+        let mut w = Writer::new();
+        w.u8(v);
+        let buf = w.finish();
+        let mut r = Reader::new(&buf);
+        prop_assert_eq!(r.u8().unwrap(), v);
+        prop_assert!(r.expect_end().is_ok());
+    }
+
+    #[test]
+    fn u32_roundtrip(v in any::<u32>()) {
+        let mut w = Writer::new();
+        w.u32(v);
+        let buf = w.finish();
+        let mut r = Reader::new(&buf);
+        prop_assert_eq!(r.u32().unwrap(), v);
+        prop_assert!(r.expect_end().is_ok());
+    }
+
+    #[test]
+    fn u64_roundtrip(v in any::<u64>()) {
+        let mut w = Writer::new();
+        w.u64(v);
+        let buf = w.finish();
+        let mut r = Reader::new(&buf);
+        prop_assert_eq!(r.u64().unwrap(), v);
+        prop_assert!(r.expect_end().is_ok());
+    }
+
+    #[test]
+    fn bytes_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let mut w = Writer::new();
+        w.bytes(&data);
+        let buf = w.finish();
+        prop_assert_eq!(buf.len(), 4 + data.len());
+        let mut r = Reader::new(&buf);
+        prop_assert_eq!(r.bytes().unwrap(), &data[..]);
+        prop_assert!(r.expect_end().is_ok());
+    }
+
+    #[test]
+    fn string_roundtrip(s in ".{0,64}") {
+        let mut w = Writer::new();
+        w.string(&s);
+        let buf = w.finish();
+        let mut r = Reader::new(&buf);
+        prop_assert_eq!(r.string().unwrap(), s);
+        prop_assert!(r.expect_end().is_ok());
+    }
+
+    #[test]
+    fn raw_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let mut w = Writer::new();
+        w.raw(&data);
+        let buf = w.finish();
+        prop_assert_eq!(buf.len(), data.len());
+        let mut r = Reader::new(&buf);
+        prop_assert_eq!(r.raw(data.len()).unwrap(), &data[..]);
+        prop_assert!(r.expect_end().is_ok());
+    }
+
+    #[test]
+    fn mixed_sequence_roundtrip(
+        a in any::<u8>(),
+        b in any::<u32>(),
+        c in any::<u64>(),
+        data in proptest::collection::vec(any::<u8>(), 0..256),
+        s in ".{0,32}",
+    ) {
+        let mut w = Writer::new();
+        w.u8(a).u32(b).bytes(&data).u64(c).string(&s);
+        let buf = w.finish();
+        let mut r = Reader::new(&buf);
+        prop_assert_eq!(r.u8().unwrap(), a);
+        prop_assert_eq!(r.u32().unwrap(), b);
+        prop_assert_eq!(r.bytes().unwrap(), &data[..]);
+        prop_assert_eq!(r.u64().unwrap(), c);
+        prop_assert_eq!(r.string().unwrap(), s);
+        prop_assert!(r.expect_end().is_ok());
+    }
+
+    #[test]
+    fn inflated_length_prefix_is_always_bad_length(
+        data in proptest::collection::vec(any::<u8>(), 0..64),
+        extra in 1u32..1024,
+    ) {
+        // Rewrite the prefix to claim more bytes than follow: the reader
+        // must reject with BadLength, never slice out of bounds.
+        let claimed = data.len() as u32 + extra;
+        let mut buf = claimed.to_be_bytes().to_vec();
+        buf.extend_from_slice(&data);
+        let mut r = Reader::new(&buf);
+        prop_assert_eq!(r.bytes().unwrap_err(), WireError::BadLength);
+    }
+
+    #[test]
+    fn arbitrary_garbage_never_panics(junk in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // Decoding random bytes with every field kind in turn may error,
+        // but must never panic or read past the buffer.
+        let mut r = Reader::new(&junk);
+        let _ = r.u8();
+        let _ = r.u32();
+        let _ = r.bytes();
+        let _ = r.string();
+        let _ = r.u64();
+        let _ = r.raw(usize::MAX);
+        prop_assert!(r.remaining() <= junk.len());
+    }
+
+    #[test]
+    fn truncated_buffer_errors_cleanly(
+        data in proptest::collection::vec(any::<u8>(), 1..128),
+        s in ".{1,16}",
+        cut in any::<prop::sample::Index>(),
+    ) {
+        let mut w = Writer::new();
+        w.bytes(&data).string(&s).u64(7);
+        let buf = w.finish();
+        let cut = cut.index(buf.len() - 1); // strictly shorter than full
+        let mut r = Reader::new(&buf[..cut]);
+        let mut decode = || -> Result<(), WireError> {
+            let _ = r.bytes()?;
+            let _ = r.string()?;
+            let _ = r.u64()?;
+            Ok(())
+        };
+        prop_assert!(decode().is_err(), "truncation at {} must fail", cut);
+    }
+}

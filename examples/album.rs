@@ -38,15 +38,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
 
     let c1 = Construction1::new();
-    let (share, urls) = app.share_album_c1(
-        &c1,
-        sharer,
-        &album,
-        &context,
-        2,
-        &DeviceProfile::pc(),
-        &mut rng,
-    )?;
+    let (share, urls) =
+        app.share_album_c1(&c1, sharer, &album, &context, 2, &DeviceProfile::pc(), &mut rng)?;
     println!(
         "shared {} items behind ONE puzzle ({} bytes uploaded, {})",
         urls.len(),

@@ -16,7 +16,10 @@ use social_puzzles::core::relevance::{simulate, RelevanceConfig};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = rand::rngs::StdRng::seed_from_u64(1);
 
-    println!("{:>24} | {:>16} | {:>16} | {:>12}", "scenario", "precision gated", "precision bcast", "recall gated");
+    println!(
+        "{:>24} | {:>16} | {:>16} | {:>12}",
+        "scenario", "precision gated", "precision bcast", "recall gated"
+    );
     println!("{}", "-".repeat(80));
 
     for (label, p_in, p_out) in [
@@ -25,7 +28,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("leaky contexts", 0.80, 0.30),
         ("public knowledge", 1.00, 1.00),
     ] {
-        let cfg = RelevanceConfig { p_know_in: p_in, p_know_out: p_out, ..RelevanceConfig::default() };
+        let cfg =
+            RelevanceConfig { p_know_in: p_in, p_know_out: p_out, ..RelevanceConfig::default() };
         let report = simulate(&cfg, &mut rng)?;
         println!(
             "{label:>24} | {:>15.1}% | {:>15.1}% | {:>11.1}%",

@@ -45,10 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ])?,
         AccessTree::threshold(
             2,
-            launch
-                .iter()
-                .map(|(q, a)| AccessTree::leaf(attr(q, a)))
-                .collect(),
+            launch.iter().map(|(q, a)| AccessTree::leaf(attr(q, a))).collect(),
         )?,
     ])?;
 
@@ -58,11 +55,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("ciphertext: {} bytes\n", hybrid::encode(&abe, &ct).len());
 
     // Employee A: project veteran (codename + build server).
-    let veteran = abe.keygen(
-        &mk,
-        &[attr(codename.0, codename.1), attr(server.0, server.1)],
-        &mut rng,
-    );
+    let veteran =
+        abe.keygen(&mk, &[attr(codename.0, codename.1), attr(server.0, server.1)], &mut rng);
     let doc = hybrid::decrypt(&abe, &ct, &veteran)?;
     assert_eq!(doc, document);
     println!("project veteran        -> access granted");
@@ -78,11 +72,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Employee C: knows one launch fact and the codename — neither branch
     // is satisfied.
-    let partial = abe.keygen(
-        &mk,
-        &[attr(codename.0, codename.1), attr(launch[2].0, launch[2].1)],
-        &mut rng,
-    );
+    let partial =
+        abe.keygen(&mk, &[attr(codename.0, codename.1), attr(launch[2].0, launch[2].1)], &mut rng);
     assert!(hybrid::decrypt(&abe, &ct, &partial).is_err());
     println!("partial knowledge      -> denied");
 
@@ -98,10 +89,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // they would.
     let combined = abe.keygen(
         &mk,
-        &[
-            attr(launch[0].0, launch[0].1),
-            attr(launch[2].0, launch[2].1),
-        ],
+        &[attr(launch[0].0, launch[0].1), attr(launch[2].0, launch[2].1)],
         &mut rng,
     );
     assert_eq!(hybrid::decrypt(&abe, &ct, &combined)?, document);

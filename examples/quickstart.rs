@@ -60,10 +60,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &mut rng,
     )?;
     println!("receiver delays: {}", recv.delays);
-    println!(
-        "bob recovered: {}",
-        String::from_utf8_lossy(&recv.object)
-    );
+    println!("bob recovered: {}", String::from_utf8_lossy(&recv.object));
     assert_eq!(recv.object, b"photo-of-the-lake.jpg (simulated bytes)");
 
     // A stranger who knows nothing is denied by the service provider.

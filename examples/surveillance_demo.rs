@@ -30,9 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let up = c1.upload(secret, &context, 2, &mut rng)?;
 
     println!("=== What the service provider sees (Construction 1) ===");
-    let dictionary = [
-        "password", "123456", "coffee", "starbucks", "harry potter", "library",
-    ];
+    let dictionary = ["password", "123456", "coffee", "starbucks", "harry potter", "library"];
     let report = adversary::semi_honest_sp_attack_c1(&c1, &up.puzzle, &dictionary);
     println!("questions (public): {:#?}", report.questions_learned);
     println!("answers cracked by dictionary: {:?}", report.answers_cracked);

@@ -14,14 +14,31 @@
 //! spuzzle solve --dir ./shared --out recovered.jpg \
 //!         --answer "0=lakeside cabin" --answer "1=priya"
 //! ```
+//!
+//! It also runs the real networked deployment (the `sp-net` subsystem):
+//!
+//! ```text
+//! spuzzle serve-sp --addr 127.0.0.1:7741     # service-provider daemon
+//! spuzzle serve-dh --addr 127.0.0.1:7742     # data-host daemon
+//! spuzzle load --sp 127.0.0.1:7741 --dh 127.0.0.1:7742 \
+//!         --threads 4 --requests 100         # closed-loop load generator
+//! ```
 
+use std::net::SocketAddr;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use social_puzzles::core::construction1::{Construction1, Puzzle};
 use social_puzzles::core::context::Context;
+use social_puzzles::core::protocol::SocialPuzzleApp;
+use social_puzzles::net::{
+    ClientConfig, Daemon, DaemonConfig, DhClient, DhService, SpClient, SpService,
+};
+use social_puzzles::osn::{DeviceProfile, ServiceProvider, StorageHost, UserId};
 
 const PUZZLE_FILE: &str = "puzzle.spz";
 const OBJECT_FILE: &str = "object.enc";
@@ -32,8 +49,14 @@ fn main() -> ExitCode {
         Some("share") => cmd_share(&args[1..]),
         Some("questions") => cmd_questions(&args[1..]),
         Some("solve") => cmd_solve(&args[1..]),
+        Some("serve-sp") => cmd_serve(&args[1..], Role::Sp),
+        Some("serve-dh") => cmd_serve(&args[1..], Role::Dh),
+        Some("load") => cmd_load(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
-            eprintln!("usage: spuzzle <share|questions|solve> [options]; see --help per command");
+            eprintln!(
+                "usage: spuzzle <share|questions|solve|serve-sp|serve-dh|load> [options]; \
+                 see --help per command"
+            );
             return ExitCode::from(2);
         }
         Some(other) => Err(format!("unknown command {other:?}")),
@@ -114,11 +137,7 @@ fn load_puzzle(dir: &Path) -> Result<Puzzle, String> {
 fn cmd_questions(args: &[String]) -> Result<(), String> {
     let dir = PathBuf::from(flag_value(args, "--dir").ok_or("--dir <dir> is required")?);
     let puzzle = load_puzzle(&dir)?;
-    println!(
-        "{} questions, {} correct answers required:",
-        puzzle.n(),
-        puzzle.k()
-    );
+    println!("{} questions, {} correct answers required:", puzzle.n(), puzzle.k());
     for (i, q) in puzzle.questions().iter().enumerate() {
         println!("  [{i}] {q}");
     }
@@ -138,10 +157,7 @@ fn cmd_solve(args: &[String]) -> Result<(), String> {
             .split_once('=')
             .ok_or_else(|| format!("--answer {a:?} must look like \"index=answer\""))?;
         let idx: usize = idx.trim().parse().map_err(|_| "answer index must be a number")?;
-        answers.push((
-            idx,
-            social_puzzles::core::context::normalize_answer(answer),
-        ));
+        answers.push((idx, social_puzzles::core::context::normalize_answer(answer)));
     }
     if answers.is_empty() {
         return Err("at least one --answer \"index=answer\" is required".into());
@@ -161,13 +177,202 @@ fn cmd_solve(args: &[String]) -> Result<(), String> {
         hash_alg: c1.hash_alg(),
     };
     let response = c1.answer_puzzle(&displayed, &answers);
-    let outcome = c1
-        .verify(&puzzle, &response)
-        .map_err(|_| "not enough correct answers".to_string())?;
+    let outcome =
+        c1.verify(&puzzle, &response).map_err(|_| "not enough correct answers".to_string())?;
     let object = c1
         .access_with_key(&outcome, &answers, &encrypted, Some(puzzle.puzzle_key()))
         .map_err(|e| e.to_string())?;
     std::fs::write(out, &object).map_err(|e| format!("writing output: {e}"))?;
     println!("solved: {} bytes recovered to {out}", object.len());
     Ok(())
+}
+
+// ----------------------------------------------------------------------
+// Networked deployment: daemons and load generation
+// ----------------------------------------------------------------------
+
+enum Role {
+    Sp,
+    Dh,
+}
+
+/// `serve-sp` / `serve-dh`: boots the daemon and blocks. With
+/// `--duration-ms` the run is bounded and a per-endpoint metrics summary
+/// is printed on exit (also how the CLI tests drive it).
+fn cmd_serve(args: &[String], role: Role) -> Result<(), String> {
+    let addr = flag_value(args, "--addr").unwrap_or(match role {
+        Role::Sp => "127.0.0.1:7741",
+        Role::Dh => "127.0.0.1:7742",
+    });
+    let mut cfg = DaemonConfig::default();
+    if let Some(w) = flag_value(args, "--workers") {
+        cfg.workers = w.parse().map_err(|_| "--workers must be a number")?;
+    }
+    if let Some(m) = flag_value(args, "--max-frame") {
+        cfg.max_frame = m.parse().map_err(|_| "--max-frame must be a number of bytes")?;
+    }
+    let duration_ms: Option<u64> = match flag_value(args, "--duration-ms") {
+        Some(d) => Some(d.parse().map_err(|_| "--duration-ms must be a number")?),
+        None => None,
+    };
+
+    let (name, metrics, daemon) = match role {
+        Role::Sp => {
+            let service = Arc::new(SpService::new(ServiceProvider::new(), Construction1::new()));
+            let metrics = service.metrics();
+            let daemon =
+                Daemon::spawn(addr, service, cfg).map_err(|e| format!("binding {addr}: {e}"))?;
+            ("sp", metrics, daemon)
+        }
+        Role::Dh => {
+            let service = Arc::new(DhService::new(StorageHost::new()));
+            let metrics = service.metrics();
+            let daemon =
+                Daemon::spawn(addr, service, cfg).map_err(|e| format!("binding {addr}: {e}"))?;
+            ("dh", metrics, daemon)
+        }
+    };
+    println!("{name}: listening on {}", daemon.addr());
+
+    match duration_ms {
+        Some(ms) => std::thread::sleep(Duration::from_millis(ms)),
+        None => loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        },
+    }
+    daemon.shutdown();
+    print!("{metrics}");
+    Ok(())
+}
+
+/// `load`: a closed-loop multithreaded load generator. Each thread runs
+/// complete Construction-1 share→solve→access cycles against live
+/// daemons through the remote `ProviderApi`/`StorageApi` clients and
+/// records per-phase latency; the driver reports throughput and
+/// percentiles.
+fn cmd_load(args: &[String]) -> Result<(), String> {
+    let sp_addr: SocketAddr = flag_value(args, "--sp")
+        .ok_or("--sp <addr:port> is required")?
+        .parse()
+        .map_err(|e| format!("--sp: {e}"))?;
+    let dh_addr: SocketAddr = flag_value(args, "--dh")
+        .ok_or("--dh <addr:port> is required")?
+        .parse()
+        .map_err(|e| format!("--dh: {e}"))?;
+    let threads: usize = flag_value(args, "--threads")
+        .unwrap_or("4")
+        .parse()
+        .map_err(|_| "--threads must be a number")?;
+    let requests: usize = flag_value(args, "--requests")
+        .unwrap_or("50")
+        .parse()
+        .map_err(|_| "--requests must be a number")?;
+    let object_bytes: usize = flag_value(args, "--object-bytes")
+        .unwrap_or("4096")
+        .parse()
+        .map_err(|_| "--object-bytes must be a number")?;
+    let k: usize = flag_value(args, "-k")
+        .or(flag_value(args, "--threshold"))
+        .unwrap_or("2")
+        .parse()
+        .map_err(|_| "threshold must be a number")?;
+
+    let context = Context::builder()
+        .pair("Where was the event?", "lakeside cabin")
+        .pair("Who hosted it?", "priya")
+        .pair("What did we grill?", "corn")
+        .build()
+        .map_err(|e| e.to_string())?;
+    if k > context.len() {
+        return Err(format!("threshold {k} exceeds the {} built-in questions", context.len()));
+    }
+
+    let started = Instant::now();
+    let mut handles = Vec::with_capacity(threads.max(1));
+    for t in 0..threads.max(1) {
+        let context = context.clone();
+        handles.push(std::thread::spawn(move || -> Result<Lat, String> {
+            // One connection pair per thread: requests within a thread
+            // are closed-loop (next starts when the previous finishes).
+            let app = SocialPuzzleApp::with_backends(
+                SpClient::connect(sp_addr, ClientConfig::default()),
+                DhClient::connect(dh_addr, ClientConfig::default()),
+            );
+            let c1 = Construction1::new();
+            let device = DeviceProfile::pc();
+            let mut rng = StdRng::from_entropy();
+            let object = vec![0xA5u8; object_bytes];
+            let sharer = UserId::from_raw(t as u64 * 2);
+            let receiver = UserId::from_raw(t as u64 * 2 + 1);
+
+            let mut lat = Lat::default();
+            for _ in 0..requests {
+                let t0 = Instant::now();
+                let share = app
+                    .share_c1(&c1, sharer, &object, &context, k, &device, None, &mut rng)
+                    .map_err(|e| format!("share: {e}"))?;
+                lat.share.push(t0.elapsed());
+
+                let ctx = context.clone();
+                let t1 = Instant::now();
+                let recv = app
+                    .receive_c1(
+                        &c1,
+                        receiver,
+                        &share,
+                        move |q| ctx.answer_for(q).map(str::to_owned),
+                        &device,
+                        &mut rng,
+                    )
+                    .map_err(|e| format!("receive: {e}"))?;
+                lat.receive.push(t1.elapsed());
+                if recv.object != object {
+                    return Err("recovered object mismatch".into());
+                }
+            }
+            Ok(lat)
+        }));
+    }
+
+    let mut all = Lat::default();
+    for h in handles {
+        let lat = h.join().map_err(|_| "worker thread panicked")??;
+        all.share.extend(lat.share);
+        all.receive.extend(lat.receive);
+    }
+    let wall = started.elapsed();
+
+    let cycles = all.share.len();
+    println!(
+        "load: {cycles} share+receive cycles across {threads} threads in {:.2}s ({:.1} cycles/s)",
+        wall.as_secs_f64(),
+        cycles as f64 / wall.as_secs_f64().max(1e-9),
+    );
+    report("share  ", &mut all.share);
+    report("receive", &mut all.receive);
+    Ok(())
+}
+
+#[derive(Default)]
+struct Lat {
+    share: Vec<Duration>,
+    receive: Vec<Duration>,
+}
+
+fn report(name: &str, lat: &mut [Duration]) {
+    if lat.is_empty() {
+        return;
+    }
+    lat.sort_unstable();
+    let pct = |p: f64| {
+        let idx = ((lat.len() - 1) as f64 * p / 100.0).round() as usize;
+        lat[idx]
+    };
+    println!(
+        "  {name}  p50 {:>8.3?}  p95 {:>8.3?}  p99 {:>8.3?}  max {:>8.3?}",
+        pct(50.0),
+        pct(95.0),
+        pct(99.0),
+        lat[lat.len() - 1],
+    );
 }

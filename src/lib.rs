@@ -12,6 +12,8 @@
 //!   constructions, the protocol drivers, and the adversary models.
 //! * [`osn`] — simulated online social network, service provider, storage
 //!   host, and network/device models.
+//! * [`net`] — the real networking subsystem: framed TCP transport, SP
+//!   and DH daemons, and remote clients for the same backend traits.
 //! * [`abe`] — Bethencourt–Sahai–Waters ciphertext-policy ABE.
 //! * [`shamir`] — Shamir `(k, n)` threshold secret sharing.
 //! * [`pairing`] — PBC Type-A style symmetric bilinear pairing.
@@ -37,6 +39,7 @@ pub use sp_abe as abe;
 pub use sp_bigint as bigint;
 pub use sp_crypto as crypto;
 pub use sp_field as field;
+pub use sp_net as net;
 pub use sp_osn as osn;
 pub use sp_pairing as pairing;
 pub use sp_shamir as shamir;

@@ -10,7 +10,7 @@ use social_puzzles::core::protocol::SocialPuzzleApp;
 use social_puzzles::core::sign::{SigningKey, VerifyingKey};
 use social_puzzles::osn::{NetworkModel, ServiceProvider, SocialGraph, StorageHost};
 use social_puzzles::pairing::{Gt, Pairing, G1};
-use social_puzzles::shamir::{Share, ShamirScheme};
+use social_puzzles::shamir::{ShamirScheme, Share};
 
 fn assert_send_sync<T: Send + Sync>() {}
 
@@ -87,7 +87,14 @@ fn app_is_usable_behind_a_shared_reference_across_threads() {
             scope.spawn(move || {
                 let mut rng = StdRng::seed_from_u64(800 + i);
                 let recv = app
-                    .receive_c1(c1, sharer, share, |_| Some("a".into()), &DeviceProfile::pc(), &mut rng)
+                    .receive_c1(
+                        c1,
+                        sharer,
+                        share,
+                        |_| Some("a".into()),
+                        &DeviceProfile::pc(),
+                        &mut rng,
+                    )
                     .unwrap();
                 assert_eq!(recv.object, b"threaded");
             });

@@ -86,9 +86,8 @@ fn many_receivers_with_varying_knowledge() {
     let sharer = app.add_user("sharer");
     let ctx = party_context();
     let c1 = Construction1::new();
-    let share = app
-        .share_c1(&c1, sharer, b"obj", &ctx, 2, &DeviceProfile::pc(), None, &mut rng)
-        .unwrap();
+    let share =
+        app.share_c1(&c1, sharer, b"obj", &ctx, 2, &DeviceProfile::pc(), None, &mut rng).unwrap();
 
     // knowledge level = number of questions the receiver can answer.
     for know in 0..=4usize {
@@ -104,7 +103,9 @@ fn many_receivers_with_varying_knowledge() {
         // Retry a few display rounds: the SP shows random subsets.
         let mut ok = false;
         for _ in 0..30 {
-            if let Ok(r) = app.receive_c1(&c1, sharer, &share, &answerer, &DeviceProfile::pc(), &mut rng) {
+            if let Ok(r) =
+                app.receive_c1(&c1, sharer, &share, &answerer, &DeviceProfile::pc(), &mut rng)
+            {
                 assert_eq!(r.object, b"obj");
                 ok = true;
                 break;
@@ -168,13 +169,19 @@ fn multiple_puzzles_coexist() {
     let share_a = app
         .share_c1(&c1, sharer, b"object A", &ctx_a, 1, &DeviceProfile::pc(), None, &mut rng)
         .unwrap();
-    let share_b = app
-        .share_c2(&c2, sharer, b"object B", &ctx_b, 2, &DeviceProfile::pc(), &mut rng)
-        .unwrap();
+    let share_b =
+        app.share_c2(&c2, sharer, b"object B", &ctx_b, 2, &DeviceProfile::pc(), &mut rng).unwrap();
     assert_eq!(app.sp().puzzle_count(), 2);
 
     let recv_a = app
-        .receive_c1(&c1, sharer, &share_a, |_| Some("vermilion".into()), &DeviceProfile::pc(), &mut rng)
+        .receive_c1(
+            &c1,
+            sharer,
+            &share_a,
+            |_| Some("vermilion".into()),
+            &DeviceProfile::pc(),
+            &mut rng,
+        )
         .unwrap();
     assert_eq!(recv_a.object, b"object A");
 
@@ -218,27 +225,19 @@ fn signed_share_detects_sp_record_tampering() {
 
     // A malicious SP rewrites the stored record's URL.
     let raw = app.sp().fetch_puzzle(share.puzzle).unwrap();
-    let mut puzzle =
-        social_puzzles::core::construction1::Puzzle::from_bytes(&raw).unwrap();
+    let mut puzzle = social_puzzles::core::construction1::Puzzle::from_bytes(&raw).unwrap();
     puzzle.check_signature(&pairing, &signer.verifying_key()).unwrap();
 
     let mut tampered_raw = raw.to_vec();
     let needle = b"dh.example";
-    let pos = tampered_raw
-        .windows(needle.len())
-        .position(|w| w == needle)
-        .expect("url embedded");
+    let pos = tampered_raw.windows(needle.len()).position(|w| w == needle).expect("url embedded");
     tampered_raw[pos..pos + needle.len()].copy_from_slice(b"ev1l.examp");
-    app.sp()
-        .replace_puzzle(share.puzzle, bytes::Bytes::from(tampered_raw))
-        .unwrap();
+    app.sp().replace_puzzle(share.puzzle, bytes::Bytes::from(tampered_raw)).unwrap();
 
     let raw2 = app.sp().fetch_puzzle(share.puzzle).unwrap();
     puzzle = social_puzzles::core::construction1::Puzzle::from_bytes(&raw2).unwrap();
     assert_eq!(
-        puzzle
-            .check_signature(&pairing, &signer.verifying_key())
-            .unwrap_err(),
+        puzzle.check_signature(&pairing, &signer.verifying_key()).unwrap_err(),
         SocialPuzzleError::BadSignature
     );
 }
@@ -285,15 +284,11 @@ fn normalized_answers_forgive_capitalization() {
     let mut app = SocialPuzzleApp::new();
     let sharer = app.add_user("sharer");
     let hiker = app.add_user("hiker");
-    let ctx = Context::builder()
-        .pair("Venue?", "  The Old Mill  ")
-        .normalize_answers()
-        .build()
-        .unwrap();
+    let ctx =
+        Context::builder().pair("Venue?", "  The Old Mill  ").normalize_answers().build().unwrap();
     let c1 = Construction1::new();
-    let share = app
-        .share_c1(&c1, sharer, b"obj", &ctx, 1, &DeviceProfile::pc(), None, &mut rng)
-        .unwrap();
+    let share =
+        app.share_c1(&c1, sharer, b"obj", &ctx, 1, &DeviceProfile::pc(), None, &mut rng).unwrap();
     let recv = app
         .receive_c1(
             &c1,

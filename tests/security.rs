@@ -45,17 +45,12 @@ fn sp_view_of_c2_contains_no_answer_material() {
     let c2 = Construction2::insecure_test_params();
     let mut rng = StdRng::seed_from_u64(11);
     let ctx = strong_context();
-    let up = c2
-        .upload_to(b"obj", &ctx, 2, Url::from("https://dh.example/o/9"), &mut rng)
-        .unwrap();
+    let up = c2.upload_to(b"obj", &ctx, 2, Url::from("https://dh.example/o/9"), &mut rng).unwrap();
     let record = up.record.to_bytes();
     let ciphertext = &up.ciphertext;
     for pair in ctx.pairs() {
         let answer = pair.answer().as_bytes();
-        assert!(
-            !record.windows(answer.len()).any(|w| w == answer),
-            "answer leaked into SP record"
-        );
+        assert!(!record.windows(answer.len()).any(|w| w == answer), "answer leaked into SP record");
         assert!(
             !ciphertext.windows(answer.len()).any(|w| w == answer),
             "answer leaked into the (perturbed) DH ciphertext"
@@ -72,14 +67,11 @@ fn degraded_prototype_mode_leaks_and_full_mode_does_not() {
     let ctx = strong_context();
     let answer = ctx.pairs()[0].answer().as_bytes();
 
-    let full = c2
-        .upload_to(b"obj", &ctx, 1, Url::from("u1"), &mut rng)
-        .unwrap();
+    let full = c2.upload_to(b"obj", &ctx, 1, Url::from("u1"), &mut rng).unwrap();
     assert!(!full.ciphertext.windows(answer.len()).any(|w| w == answer));
 
-    let degraded = c2
-        .upload_prototype_degraded(b"obj", &ctx, 1, Url::from("u2"), &mut rng)
-        .unwrap();
+    let degraded =
+        c2.upload_prototype_degraded(b"obj", &ctx, 1, Url::from("u2"), &mut rng).unwrap();
     assert!(
         degraded.ciphertext.windows(answer.len()).any(|w| w == answer),
         "degraded mode stores the clear access tree, as §VII-B admits"
@@ -178,10 +170,8 @@ fn released_blinded_shares_are_useless_without_answers() {
     let outcome = c1.verify(&up.puzzle, &response).unwrap();
 
     // An eavesdropper with the outcome but wrong/missing answers:
-    let wrong: Vec<(usize, String)> = answers
-        .iter()
-        .map(|(i, _)| (*i, "eavesdropper guess".to_string()))
-        .collect();
+    let wrong: Vec<(usize, String)> =
+        answers.iter().map(|(i, _)| (*i, "eavesdropper guess".to_string())).collect();
     match c1.access_with_key(&outcome, &wrong, &up.encrypted_object, Some(&displayed.puzzle_key)) {
         Err(_) => {}
         Ok(pt) => assert_ne!(pt, b"obj"),
@@ -207,9 +197,7 @@ fn grant_theft_without_answers_fails_construction2() {
     };
     let thief_answers: Vec<(usize, String)> =
         vec![(0, "stolen grant, no clue".into()), (1, "nope".into()), (2, "nada".into())];
-    assert!(c2
-        .access(&grant, &details, &thief_answers, &up.ciphertext, &mut rng)
-        .is_err());
+    assert!(c2.access(&grant, &details, &thief_answers, &up.ciphertext, &mut rng).is_err());
 }
 
 #[test]
@@ -230,9 +218,8 @@ fn sp_audit_log_records_metadata_but_never_content() {
 
     let ctx = strong_context();
     let c1 = Construction1::new();
-    let share = app
-        .share_c1(&c1, sharer, b"obj", &ctx, 2, &DeviceProfile::pc(), None, &mut rng)
-        .unwrap();
+    let share =
+        app.share_c1(&c1, sharer, b"obj", &ctx, 2, &DeviceProfile::pc(), None, &mut rng).unwrap();
 
     let ctx2 = ctx.clone();
     app.receive_c1(
