@@ -38,7 +38,7 @@ fn main() {
     let panels = figures::all_panels(&cfg);
     let mut printed = 0;
     for panel in &panels {
-        if wanted.is_empty() || wanted.iter().any(|w| *w == panel.id) {
+        if wanted.is_empty() || wanted.contains(&panel.id) {
             println!("{}", figures::render(panel));
             printed += 1;
             if let Some(dir) = &out_dir {

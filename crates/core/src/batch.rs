@@ -83,6 +83,35 @@ impl Construction1 {
         let key = item_key(&m_o.to_be_bytes(), index);
         decrypt_object(&key, encrypted_object)
     }
+
+    /// Opens a whole album after one successful verify: `M_O` is
+    /// reconstructed **once** and every item key is derived from it, so
+    /// opening `n` items costs one share-reconstruction instead of `n`
+    /// (the client-side dual of the SP's batched verify).
+    ///
+    /// Items are `(index, ciphertext)` pairs so a receiver who fetched
+    /// only part of the album still derives the right `K_i` per item.
+    /// One result per item, in input order — a corrupt ciphertext fails
+    /// its own slot without affecting the others.
+    ///
+    /// # Errors
+    ///
+    /// Returns the reconstruction error for the album as a whole if the
+    /// shares cannot be combined at all.
+    pub fn open_album(
+        &self,
+        outcome: &VerifyOutcome,
+        answers: &[(usize, String)],
+        items: &[(usize, &[u8])],
+        puzzle_key: Option<&[u8; PUZZLE_KEY_LEN]>,
+    ) -> Result<Vec<Result<Vec<u8>, SocialPuzzleError>>, SocialPuzzleError> {
+        let m_o = self.reconstruct_secret(outcome, answers, puzzle_key)?;
+        let m_o_bytes = m_o.to_be_bytes();
+        Ok(items
+            .iter()
+            .map(|(index, ct)| decrypt_object(&item_key(&m_o_bytes, *index), ct))
+            .collect())
+    }
 }
 
 #[cfg(test)]
@@ -118,6 +147,51 @@ mod tests {
                 .unwrap();
             assert_eq!(&got, item, "item {i}");
         }
+    }
+
+    #[test]
+    fn open_album_amortizes_reconstruction() {
+        let c1 = Construction1::new();
+        let mut rng = StdRng::seed_from_u64(505);
+        let ctx = context();
+        let items: Vec<&[u8]> = vec![b"img0", b"img1", b"img2"];
+        let batch = c1.upload_album(&items, &ctx, 1, &mut rng).unwrap();
+        let displayed = c1.display_puzzle(&batch.puzzle, &mut rng);
+        let answers = displayed.answer(|q| ctx.answer_for(q).map(str::to_owned));
+        let response = c1.answer_puzzle(&displayed, &answers);
+        let outcome = c1.verify(&batch.puzzle, &response).unwrap();
+
+        // Open items 2 and 0 only, out of order, plus a corrupted copy of
+        // item 1: good slots succeed, the bad slot fails alone.
+        let mut corrupt = batch.encrypted_objects[1].clone();
+        let last = corrupt.len() - 1;
+        corrupt[last] ^= 0xff;
+        let fetched: Vec<(usize, &[u8])> =
+            vec![(2, &batch.encrypted_objects[2]), (0, &batch.encrypted_objects[0]), (1, &corrupt)];
+        let opened =
+            c1.open_album(&outcome, &answers, &fetched, Some(&displayed.puzzle_key)).unwrap();
+        assert_eq!(opened.len(), 3);
+        assert_eq!(opened[0].as_ref().unwrap(), b"img2");
+        assert_eq!(opened[1].as_ref().unwrap(), b"img0");
+        assert!(opened[2].is_err(), "corrupt ciphertext fails its own slot");
+
+        // And matches the per-item path.
+        let single = c1
+            .access_album_item(
+                &outcome,
+                &answers,
+                &batch.encrypted_objects[2],
+                2,
+                Some(&displayed.puzzle_key),
+            )
+            .unwrap();
+        assert_eq!(single, opened[0].clone().unwrap());
+
+        // Empty fetch list is fine.
+        assert!(c1
+            .open_album(&outcome, &answers, &[], Some(&displayed.puzzle_key))
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

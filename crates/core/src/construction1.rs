@@ -567,6 +567,29 @@ impl Construction1 {
         puzzle: &Puzzle,
         response: &PuzzleResponse,
     ) -> Result<VerifyOutcome, SocialPuzzleError> {
+        Self::verify_with_payload(puzzle, response, &puzzle.signed_payload())
+    }
+
+    /// `Verify` for many answer-sets against one puzzle: the per-puzzle
+    /// work (assembling the signed payload) happens once, and each
+    /// response reuses it for its salted-hash comparisons. One result per
+    /// input response, in order — a below-threshold response fails its
+    /// own slot without affecting its neighbors, which is what lets an SP
+    /// daemon answer a whole `VerifyBatch` frame in one puzzle load.
+    pub fn verify_batch(
+        &self,
+        puzzle: &Puzzle,
+        responses: &[PuzzleResponse],
+    ) -> Vec<Result<VerifyOutcome, SocialPuzzleError>> {
+        let signed_payload = puzzle.signed_payload();
+        responses.iter().map(|r| Self::verify_with_payload(puzzle, r, &signed_payload)).collect()
+    }
+
+    fn verify_with_payload(
+        puzzle: &Puzzle,
+        response: &PuzzleResponse,
+        signed_payload: &[u8],
+    ) -> Result<VerifyOutcome, SocialPuzzleError> {
         let mut released = Vec::new();
         for (idx, hash) in &response.hashes {
             let Some(entry) = puzzle.entries.get(*idx) else {
@@ -583,7 +606,7 @@ impl Construction1 {
             released,
             url: puzzle.url.clone(),
             signature: puzzle.signature.clone(),
-            signed_payload: puzzle.signed_payload(),
+            signed_payload: signed_payload.to_vec(),
         })
     }
 
@@ -739,6 +762,28 @@ mod tests {
         assert!(outcome.released.len() >= 2);
         let object = c1.access(&outcome, &answers, &up.encrypted_object).unwrap();
         assert_eq!(object, b"the object");
+    }
+
+    #[test]
+    fn verify_batch_matches_verify_elementwise() {
+        let c1 = Construction1::new();
+        let mut rng = StdRng::seed_from_u64(127);
+        let ctx = context();
+        let up = c1.upload(b"obj", &ctx, 2, &mut rng).unwrap();
+        let displayed = c1.display_puzzle(&up.puzzle, &mut rng);
+        let good = c1.answer_puzzle(&displayed, &full_answers(&displayed, &ctx));
+        let empty = c1.answer_puzzle(&displayed, &[]);
+        let garbled = PuzzleResponse { hashes: vec![(0, vec![0u8; 32]), (999, vec![1])] };
+
+        let batch = [good.clone(), empty.clone(), garbled.clone(), good.clone()];
+        let batched = c1.verify_batch(&up.puzzle, &batch);
+        assert_eq!(batched.len(), 4);
+        for (one, many) in batch.iter().map(|r| c1.verify(&up.puzzle, r)).zip(&batched) {
+            assert_eq!(&one, many, "batch entry diverges from single verify");
+        }
+        assert!(batched[0].is_ok());
+        assert_eq!(batched[1].as_ref().unwrap_err(), &SocialPuzzleError::NotEnoughCorrectAnswers);
+        assert!(c1.verify_batch(&up.puzzle, &[]).is_empty());
     }
 
     #[test]

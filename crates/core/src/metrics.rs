@@ -78,7 +78,83 @@ pub struct EndpointCounters {
     pub bytes_out: u64,
 }
 
-/// Per-endpoint request/byte/error counters for a running service.
+/// Number of power-of-two buckets in a [`BatchHistogram`]: sizes 1, 2–3,
+/// 4–7, …, with the last bucket absorbing everything ≥ 2^(N-1).
+pub const BATCH_BUCKETS: usize = 12;
+
+/// A histogram of batch sizes seen at one endpoint, in power-of-two
+/// buckets. Size 0 (an empty batch) lands in the first bucket with
+/// size 1 — both are "no amortization happened".
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BatchHistogram {
+    /// Bucket `i` counts batches of size in `[2^i, 2^(i+1))`; the last
+    /// bucket is open-ended.
+    pub buckets: [u64; BATCH_BUCKETS],
+    /// Batches recorded.
+    pub count: u64,
+    /// Sum of all batch sizes (for the mean).
+    pub sum: u64,
+    /// Largest batch seen.
+    pub max: u64,
+}
+
+impl BatchHistogram {
+    /// Records one batch of `size` entries.
+    pub fn record(&mut self, size: u64) {
+        let bucket = (64 - size.max(1).leading_zeros() as usize - 1).min(BATCH_BUCKETS - 1);
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.sum += size;
+        self.max = self.max.max(size);
+    }
+
+    /// Mean batch size, or 0.0 before the first record.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+impl fmt::Display for BatchHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} batches, mean {:.1}, max {}", self.count, self.mean(), self.max)?;
+        for (i, n) in self.buckets.iter().enumerate().filter(|(_, n)| **n > 0) {
+            let lo = 1u64 << i;
+            if i == BATCH_BUCKETS - 1 {
+                write!(f, ", [{lo}+]={n}")?;
+            } else {
+                write!(f, ", [{lo}-{}]={n}", (lo << 1) - 1)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Load counters for one lock stripe of a sharded store, as exported by
+/// the daemons (`sp-osn`'s sharded maps are the producer; this type is
+/// the transport-neutral copy benchmarks read).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardContention {
+    /// Read-lock acquisitions.
+    pub reads: u64,
+    /// Write-lock acquisitions.
+    pub writes: u64,
+    /// Acquisitions that found the lock held and had to block.
+    pub contended: u64,
+}
+
+#[derive(Debug, Default)]
+struct MetricsState {
+    endpoints: BTreeMap<String, EndpointCounters>,
+    batches: BTreeMap<String, BatchHistogram>,
+    shards: BTreeMap<String, Vec<ShardContention>>,
+}
+
+/// Per-endpoint request/byte/error counters for a running service, plus
+/// batch-size histograms and per-shard contention snapshots.
 ///
 /// Cheap to clone (shared state); safe to bump from every worker thread
 /// of an `sp-net` daemon. Uses a `std` mutex so a panicking worker can
@@ -86,7 +162,7 @@ pub struct EndpointCounters {
 /// counters are monotonic and remain meaningful.
 #[derive(Clone, Debug, Default)]
 pub struct ServiceMetrics {
-    state: Arc<Mutex<BTreeMap<String, EndpointCounters>>>,
+    state: Arc<Mutex<MetricsState>>,
 }
 
 impl ServiceMetrics {
@@ -95,15 +171,15 @@ impl ServiceMetrics {
         Self::default()
     }
 
-    fn with<R>(&self, f: impl FnOnce(&mut BTreeMap<String, EndpointCounters>) -> R) -> R {
+    fn with<R>(&self, f: impl FnOnce(&mut MetricsState) -> R) -> R {
         let mut guard = self.state.lock().unwrap_or_else(|poison| poison.into_inner());
         f(&mut guard)
     }
 
     /// Records one handled request on `endpoint`.
     pub fn record(&self, endpoint: &str, bytes_in: u64, bytes_out: u64, is_error: bool) {
-        self.with(|map| {
-            let c = map.entry(endpoint.to_owned()).or_default();
+        self.with(|st| {
+            let c = st.endpoints.entry(endpoint.to_owned()).or_default();
             c.requests += 1;
             c.errors += u64::from(is_error);
             c.bytes_in += bytes_in;
@@ -111,20 +187,56 @@ impl ServiceMetrics {
         });
     }
 
+    /// Records the entry count of one batched request on `endpoint`.
+    pub fn record_batch(&self, endpoint: &str, size: u64) {
+        self.with(|st| st.batches.entry(endpoint.to_owned()).or_default().record(size));
+    }
+
+    /// Overwrites the per-shard contention snapshot for `component`
+    /// (e.g. `"sp.puzzles"`). Producers push their current counters here;
+    /// benchmarks and the CLI read them back.
+    pub fn set_shard_contention(&self, component: &str, loads: Vec<ShardContention>) {
+        self.with(|st| {
+            st.shards.insert(component.to_owned(), loads);
+        });
+    }
+
+    /// The latest per-shard contention snapshot for `component` (empty if
+    /// never set).
+    pub fn shard_contention(&self, component: &str) -> Vec<ShardContention> {
+        self.with(|st| st.shards.get(component).cloned().unwrap_or_default())
+    }
+
+    /// Sums a component's contention snapshot across shards.
+    pub fn shard_contention_totals(&self, component: &str) -> ShardContention {
+        self.shard_contention(component).iter().fold(ShardContention::default(), |mut acc, s| {
+            acc.reads += s.reads;
+            acc.writes += s.writes;
+            acc.contended += s.contended;
+            acc
+        })
+    }
+
     /// Counters for one endpoint (zeros if it never saw a request).
     pub fn endpoint(&self, endpoint: &str) -> EndpointCounters {
-        self.with(|map| map.get(endpoint).copied().unwrap_or_default())
+        self.with(|st| st.endpoints.get(endpoint).copied().unwrap_or_default())
+    }
+
+    /// Batch-size histogram for one endpoint (empty if it never saw a
+    /// batched request).
+    pub fn batch_histogram(&self, endpoint: &str) -> BatchHistogram {
+        self.with(|st| st.batches.get(endpoint).copied().unwrap_or_default())
     }
 
     /// A snapshot of every endpoint, sorted by name.
     pub fn snapshot(&self) -> Vec<(String, EndpointCounters)> {
-        self.with(|map| map.iter().map(|(k, v)| (k.clone(), *v)).collect())
+        self.with(|st| st.endpoints.iter().map(|(k, v)| (k.clone(), *v)).collect())
     }
 
     /// Sums counters across all endpoints.
     pub fn totals(&self) -> EndpointCounters {
-        self.with(|map| {
-            map.values().fold(EndpointCounters::default(), |mut acc, c| {
+        self.with(|st| {
+            st.endpoints.values().fold(EndpointCounters::default(), |mut acc, c| {
                 acc.requests += c.requests;
                 acc.errors += c.errors;
                 acc.bytes_in += c.bytes_in;
@@ -142,6 +254,27 @@ impl fmt::Display for ServiceMetrics {
                 f,
                 "{name}: {} requests ({} errors), {} B in, {} B out",
                 c.requests, c.errors, c.bytes_in, c.bytes_out
+            )?;
+        }
+        let batches = self.with(|st| st.batches.clone());
+        for (name, h) in batches {
+            writeln!(f, "{name} batches: {h}")?;
+        }
+        let shards = self.with(|st| st.shards.clone());
+        for (name, loads) in shards {
+            let t = loads.iter().fold(ShardContention::default(), |mut acc, s| {
+                acc.reads += s.reads;
+                acc.writes += s.writes;
+                acc.contended += s.contended;
+                acc
+            });
+            writeln!(
+                f,
+                "{name} shards: {} stripes, {} reads, {} writes, {} contended",
+                loads.len(),
+                t.reads,
+                t.writes,
+                t.contended
             )?;
         }
         Ok(())
@@ -205,6 +338,56 @@ mod tests {
         // Counters keep working after the poisoning panic.
         m.record("put", 1, 1, false);
         assert_eq!(m.endpoint("put").requests, 2);
+    }
+
+    #[test]
+    fn batch_histogram_buckets_and_mean() {
+        let mut h = BatchHistogram::default();
+        for size in [0, 1, 2, 3, 4, 7, 8, 64, 5000] {
+            h.record(size);
+        }
+        assert_eq!(h.count, 9);
+        assert_eq!(h.max, 5000);
+        assert_eq!(h.buckets[0], 2, "sizes 0 and 1 share the first bucket");
+        assert_eq!(h.buckets[1], 2, "sizes 2-3");
+        assert_eq!(h.buckets[2], 2, "sizes 4-7");
+        assert_eq!(h.buckets[3], 1, "size 8");
+        assert_eq!(h.buckets[6], 1, "size 64");
+        assert_eq!(h.buckets[BATCH_BUCKETS - 1], 1, "oversize lands in the last bucket");
+        assert!((h.mean() - h.sum as f64 / 9.0).abs() < 1e-9);
+        assert_eq!(BatchHistogram::default().mean(), 0.0);
+        let shown = h.to_string();
+        assert!(shown.contains("9 batches"));
+        assert!(shown.contains("max 5000"));
+    }
+
+    #[test]
+    fn service_metrics_batches_and_shards() {
+        let m = ServiceMetrics::new();
+        m.record_batch("sp.verify_batch", 16);
+        m.record_batch("sp.verify_batch", 1);
+        assert_eq!(m.batch_histogram("sp.verify_batch").count, 2);
+        assert_eq!(m.batch_histogram("sp.verify_batch").max, 16);
+        assert_eq!(m.batch_histogram("never"), BatchHistogram::default());
+
+        m.set_shard_contention(
+            "sp.puzzles",
+            vec![
+                ShardContention { reads: 10, writes: 2, contended: 1 },
+                ShardContention { reads: 5, writes: 0, contended: 0 },
+            ],
+        );
+        assert_eq!(m.shard_contention("sp.puzzles").len(), 2);
+        let t = m.shard_contention_totals("sp.puzzles");
+        assert_eq!((t.reads, t.writes, t.contended), (15, 2, 1));
+        assert!(m.shard_contention("dh.blobs").is_empty());
+        // Snapshots are overwrite-on-set, not cumulative.
+        m.set_shard_contention("sp.puzzles", vec![ShardContention::default()]);
+        assert_eq!(m.shard_contention_totals("sp.puzzles").reads, 0);
+
+        let shown = m.to_string();
+        assert!(shown.contains("sp.verify_batch batches: 2 batches"));
+        assert!(shown.contains("sp.puzzles shards: 1 stripes"));
     }
 
     #[test]

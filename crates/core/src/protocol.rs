@@ -856,25 +856,38 @@ mod tests {
         let c1 = Construction1::new();
         let mut rng = StdRng::seed_from_u64(176);
         let ctx = context();
-        let pc = app
-            .share_c1(&c1, sharer, &[0u8; 10_000], &ctx, 2, &DeviceProfile::pc(), None, &mut rng)
-            .unwrap();
-        let tab = app
-            .share_c1(
-                &c1,
-                sharer,
-                &[0u8; 10_000],
-                &ctx,
-                2,
-                &DeviceProfile::tablet(),
-                None,
-                &mut rng,
-            )
-            .unwrap();
         // Tablet local processing is scaled 5x; with equal work it should
-        // exceed the PC's (measured times fluctuate, the 5x scale
-        // dominates).
-        assert!(tab.delays.local_processing > pc.delays.local_processing);
+        // exceed the PC's. The two runs measure real wall clock though, so
+        // a one-shot comparison can invert under scheduler noise — retry a
+        // bounded number of times before declaring the scale broken.
+        let ok = (0..3).any(|_| {
+            let pc = app
+                .share_c1(
+                    &c1,
+                    sharer,
+                    &[0u8; 10_000],
+                    &ctx,
+                    2,
+                    &DeviceProfile::pc(),
+                    None,
+                    &mut rng,
+                )
+                .unwrap();
+            let tab = app
+                .share_c1(
+                    &c1,
+                    sharer,
+                    &[0u8; 10_000],
+                    &ctx,
+                    2,
+                    &DeviceProfile::tablet(),
+                    None,
+                    &mut rng,
+                )
+                .unwrap();
+            tab.delays.local_processing > pc.delays.local_processing
+        });
+        assert!(ok, "tablet local processing must exceed PC's under the 5x scale");
     }
 
     #[test]

@@ -1,0 +1,130 @@
+//! Property tests over the shared `sp-testkit` strategies: arbitrary
+//! `n`, `k ≤ n`, unicode answers, and intentionally-invalid raw pairs —
+//! one input space for every crate instead of per-crate re-rolls.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use social_puzzles_core::construction1::{Construction1, Puzzle};
+use social_puzzles_core::context::{Context, ContextPair};
+use social_puzzles_core::trivial;
+use social_puzzles_core::SocialPuzzleError;
+use sp_testkit::strategies::{context, context_with_k, raw_pairs, scenario};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn generated_contexts_uphold_every_invariant(ctx in context()) {
+        // Unique questions, nothing empty, thresholds 1..=n all valid.
+        let questions: Vec<&str> = ctx.pairs().iter().map(ContextPair::question).collect();
+        let unique: std::collections::HashSet<_> = questions.iter().collect();
+        prop_assert_eq!(unique.len(), questions.len());
+        for p in ctx.pairs() {
+            prop_assert!(!p.question().is_empty());
+            prop_assert!(!p.answer().is_empty());
+        }
+        for k in 1..=ctx.len() {
+            prop_assert!(ctx.check_threshold(k).is_ok());
+        }
+        prop_assert!(ctx.check_threshold(0).is_err());
+        prop_assert!(ctx.check_threshold(ctx.len() + 1).is_err());
+    }
+
+    #[test]
+    fn raw_pairs_are_accepted_or_rejected_with_a_typed_error(pairs in raw_pairs()) {
+        // `from_pairs` must never panic: either the invariants hold, or
+        // a typed BadContext comes back (duplicates, empties, no pairs).
+        let built = Context::from_pairs(
+            pairs.iter().map(|(q, a)| ContextPair::new(q.clone(), a.clone())).collect(),
+        );
+        let questions: Vec<&String> = pairs.iter().map(|(q, _)| q).collect();
+        let unique: std::collections::HashSet<_> = questions.iter().collect();
+        let has_dup = unique.len() < questions.len();
+        let has_empty = pairs.iter().any(|(q, a)| q.is_empty() || a.is_empty());
+        match built {
+            Ok(ctx) => {
+                prop_assert!(!pairs.is_empty() && !has_dup && !has_empty);
+                prop_assert_eq!(ctx.len(), pairs.len());
+            }
+            Err(e) => {
+                prop_assert!(pairs.is_empty() || has_dup || has_empty,
+                    "valid pairs rejected: {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn puzzles_roundtrip_their_wire_encoding(
+        (ctx, k) in context_with_k(),
+        seed in any::<u64>(),
+    ) {
+        let c1 = Construction1::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let up = c1.upload(b"prop-object", &ctx, k, &mut rng).unwrap();
+        let decoded = Puzzle::from_bytes(&up.puzzle.to_bytes()).unwrap();
+        prop_assert_eq!(&decoded, &up.puzzle);
+        prop_assert_eq!(decoded.n(), ctx.len());
+        prop_assert_eq!(decoded.k(), k);
+    }
+
+    #[test]
+    fn construction1_decides_exactly_by_the_threshold(
+        sc in scenario(),
+        seed in any::<u64>(),
+    ) {
+        // The core access-control law, over arbitrary n, k, unicode
+        // answers, and mixed correct/wrong/skipped attempts: granted
+        // iff at least k answers are correct.
+        let c1 = Construction1::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let object = b"prop-object";
+        let up = c1.upload(object, &sc.context, sc.k, &mut rng).unwrap();
+        for plan in &sc.attempts {
+            let displayed = c1.display_puzzle(&up.puzzle, &mut rng);
+            let answers = plan.answers(&sc.context);
+            let response = c1.answer_puzzle(&displayed, &answers);
+            match c1.verify(&up.puzzle, &response) {
+                Ok(outcome) => {
+                    prop_assert!(plan.expected_granted(sc.k),
+                        "granted with {} correct < k={}", plan.correct_count(), sc.k);
+                    let got = c1.access_with_key(
+                        &outcome, &answers, &up.encrypted_object, Some(&displayed.puzzle_key),
+                    ).unwrap();
+                    prop_assert_eq!(&got[..], &object[..]);
+                }
+                Err(SocialPuzzleError::NotEnoughCorrectAnswers) => {
+                    prop_assert!(!plan.expected_granted(sc.k),
+                        "denied with {} correct >= k={}", plan.correct_count(), sc.k);
+                }
+                Err(e) => prop_assert!(false, "unexpected error: {e}"),
+            }
+        }
+    }
+
+    #[test]
+    fn trivial_baseline_requires_every_answer(
+        (ctx, _k) in context_with_k(),
+        seed in any::<u64>(),
+        wrong_at in any::<prop::sample::Index>(),
+    ) {
+        // The §III baseline the constructions improve on: one wrong
+        // answer anywhere loses the object, whatever k the sharer meant.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ct = trivial::encrypt(b"prop-object", &ctx, &mut rng);
+        prop_assert_eq!(trivial::decrypt(&ct, &ctx).unwrap(), b"prop-object");
+
+        let i = wrong_at.index(ctx.len());
+        let pairs = ctx.pairs().iter().enumerate().map(|(j, p)| {
+            let answer = if i == j {
+                format!("{}✗wrong", p.answer())
+            } else {
+                p.answer().to_owned()
+            };
+            ContextPair::new(p.question().to_owned(), answer)
+        }).collect();
+        let claimed = Context::from_pairs(pairs).unwrap();
+        let granted = matches!(trivial::decrypt(&ct, &claimed), Ok(got) if got == b"prop-object");
+        prop_assert!(!granted, "one wrong answer must deny the baseline");
+    }
+}

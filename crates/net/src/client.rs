@@ -1,12 +1,35 @@
 //! A blocking RPC connection with timeouts and bounded retry.
 
 use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
 
+use crate::dedup::wrap_idempotent;
 use crate::error::NetError;
 use crate::frame::{read_frame, write_frame, DEFAULT_MAX_FRAME};
 use crate::msg::decode_response;
+
+/// A process-unique idempotency token: a per-process random-ish base
+/// (clock entropy) mixed with a counter through the SplitMix64 finalizer.
+/// Collisions across processes are as unlikely as a 64-bit hash
+/// collision within one server's (bounded, recent-only) replay window.
+fn next_token() -> u64 {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    static BASE: std::sync::OnceLock<u64> = std::sync::OnceLock::new();
+    let base = *BASE.get_or_init(|| {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x5EED);
+        nanos ^ (u64::from(std::process::id()) << 32)
+    });
+    let mut z = base
+        .wrapping_add(COUNTER.fetch_add(1, Ordering::Relaxed).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
 
 /// Client-side tuning knobs.
 #[derive(Clone, Debug)]
@@ -110,6 +133,19 @@ impl Connection {
         }
     }
 
+    /// Like [`Connection::call`], but for **mutating** requests: the
+    /// request is tagged with a fresh idempotency token generated *once*
+    /// per logical call, so every retry resends the same token and a
+    /// dedup-aware server (see [`crate::dedup`]) applies the mutation at
+    /// most once even when a response frame was lost in flight.
+    ///
+    /// # Errors
+    ///
+    /// As [`Connection::call`].
+    pub fn call_idempotent(&self, request: &[u8]) -> Result<Vec<u8>, NetError> {
+        self.call(&wrap_idempotent(next_token(), request))
+    }
+
     /// One attempt on the cached (or a fresh) connection.
     fn attempt(&self, slot: &mut Option<TcpStream>, request: &[u8]) -> Result<Vec<u8>, NetError> {
         if slot.is_none() {
@@ -207,6 +243,148 @@ mod tests {
             NetError::Remote { code, .. } => assert_eq!(code, ErrorCode::Busy),
             other => panic!("expected Remote busy, got {other}"),
         }
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn busy_retries_respect_bounded_backoff() {
+        let service = Arc::new(Flaky { seen: AtomicU32::new(0), fail_first: u32::MAX });
+        let daemon =
+            Daemon::spawn("127.0.0.1:0", Arc::clone(&service) as _, DaemonConfig::default())
+                .unwrap();
+        let cfg = ClientConfig {
+            retries: 3,
+            backoff: Duration::from_millis(20),
+            ..ClientConfig::default()
+        };
+        let conn = Connection::new(daemon.addr(), cfg);
+        let started = std::time::Instant::now();
+        conn.call(b"always busy").unwrap_err();
+        let elapsed = started.elapsed();
+        // Exactly retries + 1 attempts — bounded, not infinite.
+        assert_eq!(service.seen.load(Ordering::SeqCst), 4);
+        // And the exponential schedule (20 + 40 + 80 ms) was actually
+        // slept through, less scheduler slop.
+        assert!(elapsed >= Duration::from_millis(120), "only waited {elapsed:?}");
+        daemon.shutdown();
+    }
+
+    /// A hand-rolled server that answers its first connection with a
+    /// *truncated* frame (header promising more bytes than are sent) and
+    /// then closes — the client must treat the partial read as a
+    /// transport error and retry; subsequent connections get real echo
+    /// responses.
+    fn partial_then_echo_server() -> (SocketAddr, std::thread::JoinHandle<u32>) {
+        use crate::frame::read_frame;
+        use std::io::Write;
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            let mut served = 0u32;
+            for (i, stream) in listener.incoming().enumerate() {
+                let mut stream = stream.unwrap();
+                let Ok(Some(req)) = read_frame(&mut stream, DEFAULT_MAX_FRAME) else { break };
+                served += 1;
+                if i == 0 {
+                    // Claim an 8-byte payload, deliver 3, hang up.
+                    stream.write_all(&8u32.to_be_bytes()).unwrap();
+                    stream.write_all(&[0x00, 0xAA, 0xBB]).unwrap();
+                    drop(stream);
+                } else {
+                    let mut resp = vec![0x00]; // OK envelope
+                    resp.extend_from_slice(&req);
+                    write_frame(&mut stream, &resp, DEFAULT_MAX_FRAME).unwrap();
+                    break;
+                }
+            }
+            served
+        });
+        (addr, handle)
+    }
+
+    #[test]
+    fn partial_reads_are_retried_as_transport_errors() {
+        let (addr, server) = partial_then_echo_server();
+        let conn = Connection::new(addr, quick_cfg());
+        // First attempt dies mid-frame; the retry (fresh connection)
+        // succeeds and the caller never sees the fault.
+        assert_eq!(conn.call(b"payload").unwrap(), b"payload");
+        assert_eq!(server.join().unwrap(), 2);
+    }
+
+    #[test]
+    fn connect_timeouts_respect_retry_bound() {
+        // 10.255.255.1 is effectively unroutable, so connects time out
+        // rather than refuse; with retries = 1 the client must give up
+        // after exactly two bounded waits.
+        let addr: SocketAddr = "10.255.255.1:1".parse().unwrap();
+        let cfg = ClientConfig {
+            retries: 1,
+            backoff: Duration::from_millis(1),
+            connect_timeout: Duration::from_millis(150),
+            ..ClientConfig::default()
+        };
+        let conn = Connection::new(addr, cfg);
+        let started = std::time::Instant::now();
+        let err = conn.call(b"x").unwrap_err();
+        let elapsed = started.elapsed();
+        assert!(matches!(err, NetError::Io(_)), "got {err}");
+        // Two attempts × 150 ms + 1 ms backoff, plus slop — but well
+        // under an unbounded hang.
+        assert!(elapsed < Duration::from_secs(2), "took {elapsed:?}");
+    }
+
+    /// Applies each *new* mutation once (counting it) and echoes; wired
+    /// behind a [`DedupService`] exactly like the real SP/DH daemons.
+    #[test]
+    fn lost_response_retry_never_double_applies() {
+        use crate::dedup::DedupService;
+        use crate::frame::read_frame;
+        use std::io::Write;
+
+        struct Apply(AtomicU32);
+        impl Service for Apply {
+            fn handle(&self, request: &[u8]) -> Result<Vec<u8>, (ErrorCode, String)> {
+                self.0.fetch_add(1, Ordering::SeqCst);
+                Ok(request.to_vec())
+            }
+        }
+        let service = Arc::new(DedupService::new(Apply(AtomicU32::new(0))));
+        let daemon =
+            Daemon::spawn("127.0.0.1:0", Arc::clone(&service) as _, DaemonConfig::default())
+                .unwrap();
+        let upstream = daemon.addr();
+
+        // A lossy proxy: forwards the request, then truncates the FIRST
+        // response mid-frame; later responses pass through intact.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let proxy_addr = listener.local_addr().unwrap();
+        let proxy = std::thread::spawn(move || {
+            for (i, stream) in listener.incoming().enumerate() {
+                let mut downstream = stream.unwrap();
+                let Ok(Some(req)) = read_frame(&mut downstream, DEFAULT_MAX_FRAME) else { break };
+                let mut up = TcpStream::connect(upstream).unwrap();
+                write_frame(&mut up, &req, DEFAULT_MAX_FRAME).unwrap();
+                let resp = read_frame(&mut up, DEFAULT_MAX_FRAME).unwrap().unwrap();
+                if i == 0 {
+                    // The mutation HAS executed upstream; now lose most
+                    // of the response on the way back.
+                    downstream.write_all(&(resp.len() as u32).to_be_bytes()).unwrap();
+                    downstream.write_all(&resp[..resp.len() / 2]).unwrap();
+                    drop(downstream);
+                } else {
+                    write_frame(&mut downstream, &resp, DEFAULT_MAX_FRAME).unwrap();
+                    break;
+                }
+            }
+        });
+
+        let conn = Connection::new(proxy_addr, quick_cfg());
+        // The logical mutation succeeds despite the lost response...
+        assert_eq!(conn.call_idempotent(b"mutate-once").unwrap(), b"mutate-once");
+        proxy.join().unwrap();
+        // ...and was applied exactly once: the retry hit the replay cache.
+        assert_eq!(service.inner().0.load(Ordering::SeqCst), 1, "mutation applied twice");
         daemon.shutdown();
     }
 

@@ -8,25 +8,27 @@
 use std::net::SocketAddr;
 
 use bytes::Bytes;
-use social_puzzles_core::metrics::ServiceMetrics;
+use social_puzzles_core::metrics::{ServiceMetrics, ShardContention};
 use sp_osn::{OsnError, StorageApi, StorageHost, Url};
 
 use crate::client::{ClientConfig, Connection};
 use crate::daemon::Service;
+use crate::dedup::{strip_idempotency, ReplayCache};
 use crate::error::{code_for, ErrorCode, NetError};
-use crate::msg::DhRequest;
+use crate::msg::{decode_batch_results, encode_batch_results, BatchEntryResult, DhRequest};
 use crate::sp::{decode_bytes, decode_string, encode_bytes, encode_string};
 
 /// The DH daemon's request handler.
 pub struct DhService {
     dh: StorageHost,
     metrics: ServiceMetrics,
+    replay: ReplayCache,
 }
 
 impl DhService {
     /// Wraps a storage host.
     pub fn new(dh: StorageHost) -> Self {
-        Self { dh, metrics: ServiceMetrics::new() }
+        Self { dh, metrics: ServiceMetrics::new(), replay: ReplayCache::default() }
     }
 
     /// The per-endpoint counters (shared handle; clone freely).
@@ -65,12 +67,47 @@ impl DhService {
                 self.dh.delete(&url).map_err(osn)?;
                 Ok(Vec::new())
             }
+            DhRequest::GetBatch { urls } => {
+                self.metrics.record_batch("dh.get_batch", urls.len() as u64);
+                let results: Vec<BatchEntryResult> = urls
+                    .iter()
+                    .map(|raw| {
+                        let url = Url::parse(raw).map_err(osn)?;
+                        let blob = self.dh.get(&url).map_err(osn)?;
+                        Ok(encode_bytes(&blob))
+                    })
+                    .collect();
+                Ok(encode_batch_results(&results))
+            }
         }
+    }
+
+    /// Publishes the store's per-shard load counters into the metrics
+    /// registry under component `"dh.blobs"`.
+    pub fn sync_shard_metrics(&self) {
+        let loads = self
+            .dh
+            .shard_loads()
+            .into_iter()
+            .map(|l| ShardContention { reads: l.reads, writes: l.writes, contended: l.contended })
+            .collect();
+        self.metrics.set_shard_contention("dh.blobs", loads);
     }
 }
 
 impl Service for DhService {
     fn handle(&self, request: &[u8]) -> Result<Vec<u8>, (ErrorCode, String)> {
+        // Idempotency-tagged mutations (see `crate::dedup`) execute at
+        // most once; a replayed token gets the remembered response.
+        if let Some((token, inner)) = strip_idempotency(request) {
+            return self.replay.execute(token, inner, |req| self.handle_inner(req));
+        }
+        self.handle_inner(request)
+    }
+}
+
+impl DhService {
+    fn handle_inner(&self, request: &[u8]) -> Result<Vec<u8>, (ErrorCode, String)> {
         let req = match DhRequest::decode(request) {
             Ok(req) => req,
             Err(e) => {
@@ -85,6 +122,7 @@ impl Service for DhService {
             Err(_) => (0, true),
         };
         self.metrics.record(endpoint, request.len() as u64, out, is_err);
+        self.sync_shard_metrics();
         result
     }
 }
@@ -105,25 +143,51 @@ impl DhClient {
         self.conn.call(&req.encode())
     }
 
+    /// For mutating requests: idempotency-tagged so a retried `Put` whose
+    /// response was lost cannot create a second blob.
+    fn call_mut(&self, req: &DhRequest) -> Result<Vec<u8>, NetError> {
+        self.conn.call_idempotent(&req.encode())
+    }
+
     fn url_response(&self, payload: &[u8]) -> Result<Url, OsnError> {
         let s = decode_string(payload).map_err(NetError::from)?;
         Url::parse(s)
+    }
+
+    /// Batched `Get`: many blobs in one frame, one result per URL in
+    /// order. A missing or invalid URL fails its own slot as
+    /// [`NetError::Remote`] without dropping the rest.
+    ///
+    /// # Errors
+    ///
+    /// Returns a transport or decode error for the frame as a whole.
+    pub fn get_batch(&self, urls: &[Url]) -> Result<Vec<Result<Bytes, NetError>>, NetError> {
+        let payload = self.call(&DhRequest::GetBatch {
+            urls: urls.iter().map(|u| u.as_str().to_owned()).collect(),
+        })?;
+        decode_batch_results(&payload)?
+            .into_iter()
+            .map(|slot| match slot {
+                Ok(bytes) => Ok(Ok(Bytes::from(decode_bytes(&bytes)?))),
+                Err((code, detail)) => Ok(Err(NetError::Remote { code, detail })),
+            })
+            .collect()
     }
 }
 
 impl StorageApi for DhClient {
     fn reserve(&self) -> Result<Url, OsnError> {
-        let payload = self.call(&DhRequest::Reserve)?;
+        let payload = self.call_mut(&DhRequest::Reserve)?;
         self.url_response(&payload)
     }
 
     fn put(&self, data: Bytes) -> Result<Url, OsnError> {
-        let payload = self.call(&DhRequest::Put { data: data.to_vec() })?;
+        let payload = self.call_mut(&DhRequest::Put { data: data.to_vec() })?;
         self.url_response(&payload)
     }
 
     fn fill(&self, url: &Url, data: Bytes) -> Result<(), OsnError> {
-        self.call(&DhRequest::Fill { url: url.as_str().to_owned(), data: data.to_vec() })?;
+        self.call_mut(&DhRequest::Fill { url: url.as_str().to_owned(), data: data.to_vec() })?;
         Ok(())
     }
 
@@ -133,7 +197,7 @@ impl StorageApi for DhClient {
     }
 
     fn delete(&self, url: &Url) -> Result<(), OsnError> {
-        self.call(&DhRequest::Delete { url: url.as_str().to_owned() })?;
+        self.call_mut(&DhRequest::Delete { url: url.as_str().to_owned() })?;
         Ok(())
     }
 }
@@ -174,6 +238,33 @@ mod tests {
         assert_eq!(metrics.endpoint("dh.put").requests, 1);
         assert_eq!(metrics.endpoint("dh.get").requests, 4);
         assert_eq!(metrics.endpoint("dh.get").errors, 1);
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn get_batch_is_per_slot_over_the_wire() {
+        let (daemon, client, metrics) = boot();
+        let a = client.put(Bytes::from_static(b"alpha")).unwrap();
+        let b = client.put(Bytes::from_static(b"bravo")).unwrap();
+        let missing = Url::from("dh://nowhere/404");
+
+        let got = client.get_batch(&[b.clone(), missing, a.clone()]).unwrap();
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0].as_ref().unwrap(), &Bytes::from_static(b"bravo"));
+        match got[1].as_ref().unwrap_err() {
+            NetError::Remote { code, .. } => assert_eq!(*code, ErrorCode::UnknownUrl),
+            other => panic!("expected Remote, got {other}"),
+        }
+        assert_eq!(got[2].as_ref().unwrap(), &Bytes::from_static(b"alpha"));
+
+        // Empty batch is a valid no-op.
+        assert!(client.get_batch(&[]).unwrap().is_empty());
+
+        let hist = metrics.batch_histogram("dh.get_batch");
+        assert_eq!(hist.count, 2);
+        assert_eq!(hist.max, 3);
+        // Shard counters were synced after handling requests.
+        assert!(metrics.shard_contention_totals("dh.blobs").reads > 0);
         daemon.shutdown();
     }
 

@@ -77,6 +77,7 @@
 
 pub mod client;
 pub mod daemon;
+pub mod dedup;
 pub mod dh;
 pub mod error;
 pub mod frame;
@@ -85,6 +86,7 @@ pub mod sp;
 
 pub use client::{ClientConfig, Connection};
 pub use daemon::{Daemon, DaemonConfig, Service};
+pub use dedup::{DedupService, ReplayCache};
 pub use dh::{DhClient, DhService};
 pub use error::{ErrorCode, NetError};
 pub use frame::{DEFAULT_MAX_FRAME, FRAME_HEADER_LEN};

@@ -32,6 +32,34 @@ pub const RESP_OK: u8 = 0x00;
 /// Status byte of an error response frame.
 pub const RESP_ERR: u8 = 0xFF;
 
+/// Most entries one batched request (`VerifyBatch`, `AnswerPuzzleBatch`,
+/// `GetBatch`) may carry. The decoder rejects a larger count *before*
+/// allocating entry storage, so a hostile count prefix cannot force a
+/// huge reservation.
+pub const MAX_BATCH_ENTRIES: usize = 1024;
+
+/// Checks a batch count prefix against [`MAX_BATCH_ENTRIES`] before any
+/// allocation happens.
+fn checked_batch_count(n: u32) -> Result<usize, WireError> {
+    let n = n as usize;
+    if n > MAX_BATCH_ENTRIES {
+        return Err(WireError::BadLength);
+    }
+    Ok(n)
+}
+
+/// One entry of a [`SpRequest::VerifyBatch`]: an independent `Verify`
+/// attempt, carrying its own audit identity.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct VerifyEntry {
+    /// Raw user id of the receiver (for the audit log).
+    pub user: u64,
+    /// Raw puzzle id.
+    pub puzzle: u64,
+    /// The receiver's salted answer hashes.
+    pub response: PuzzleResponse,
+}
+
 /// A request to the service-provider daemon.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum SpRequest {
@@ -102,6 +130,26 @@ pub enum SpRequest {
         /// Raw puzzle id.
         puzzle: u64,
     },
+    /// Batched `Verify`: many independent verify attempts in one frame,
+    /// at most [`MAX_BATCH_ENTRIES`]. The SP groups entries by puzzle so
+    /// each puzzle is loaded once, logs every attempt, and answers each
+    /// entry in its own slot — a failing entry never fails the frame.
+    /// Response: a per-entry result list ([`decode_batch_results`]).
+    VerifyBatch {
+        /// The independent verify attempts.
+        entries: Vec<VerifyEntry>,
+    },
+    /// Batched `Verify` of many answer-sets against **one** puzzle (the
+    /// "many guesses, one object" shape the load generator produces), at
+    /// most [`MAX_BATCH_ENTRIES`]. Response: per-entry result list.
+    AnswerPuzzleBatch {
+        /// Raw user id of the receiver (one audit entry per answer-set).
+        user: u64,
+        /// Raw puzzle id.
+        puzzle: u64,
+        /// The answer-sets to verify.
+        responses: Vec<PuzzleResponse>,
+    },
 }
 
 const SP_UPLOAD: u8 = 0x01;
@@ -113,6 +161,8 @@ const SP_POST: u8 = 0x06;
 const SP_DISPLAY: u8 = 0x07;
 const SP_VERIFY: u8 = 0x08;
 const SP_ACCESS: u8 = 0x09;
+const SP_VERIFY_BATCH: u8 = 0x0A;
+const SP_ANSWER_BATCH: u8 = 0x0B;
 
 impl SpRequest {
     /// Stable endpoint name, for metrics and logs.
@@ -127,6 +177,8 @@ impl SpRequest {
             Self::DisplayPuzzle { .. } => "sp.display_puzzle",
             Self::Verify { .. } => "sp.verify",
             Self::Access { .. } => "sp.access",
+            Self::VerifyBatch { .. } => "sp.verify_batch",
+            Self::AnswerPuzzleBatch { .. } => "sp.answer_puzzle_batch",
         }
     }
 
@@ -162,6 +214,19 @@ impl SpRequest {
             Self::Access { puzzle } => {
                 w.u8(SP_ACCESS).u64(*puzzle);
             }
+            Self::VerifyBatch { entries } => {
+                w.u8(SP_VERIFY_BATCH).u32(entries.len() as u32);
+                for e in entries {
+                    w.u64(e.user).u64(e.puzzle);
+                    encode_puzzle_response_into(&mut w, &e.response);
+                }
+            }
+            Self::AnswerPuzzleBatch { user, puzzle, responses } => {
+                w.u8(SP_ANSWER_BATCH).u64(*user).u64(*puzzle).u32(responses.len() as u32);
+                for r in responses {
+                    encode_puzzle_response_into(&mut w, r);
+                }
+            }
         }
         w.finish().to_vec()
     }
@@ -192,6 +257,28 @@ impl SpRequest {
                 response: decode_puzzle_response_from(&mut r)?,
             },
             SP_ACCESS => Self::Access { puzzle: r.u64()? },
+            SP_VERIFY_BATCH => {
+                let n = checked_batch_count(r.u32()?)?;
+                let mut entries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    entries.push(VerifyEntry {
+                        user: r.u64()?,
+                        puzzle: r.u64()?,
+                        response: decode_puzzle_response_from(&mut r)?,
+                    });
+                }
+                Self::VerifyBatch { entries }
+            }
+            SP_ANSWER_BATCH => {
+                let user = r.u64()?;
+                let puzzle = r.u64()?;
+                let n = checked_batch_count(r.u32()?)?;
+                let mut responses = Vec::with_capacity(n);
+                for _ in 0..n {
+                    responses.push(decode_puzzle_response_from(&mut r)?);
+                }
+                Self::AnswerPuzzleBatch { user, puzzle, responses }
+            }
             _ => return Err(WireError::BadLength),
         };
         r.expect_end()?;
@@ -226,6 +313,13 @@ pub enum DhRequest {
         /// The blob's URL.
         url: String,
     },
+    /// Fetch many blobs in one frame (album fetch), at most
+    /// [`MAX_BATCH_ENTRIES`]. A missing URL fails its own slot without
+    /// failing the frame. Response: per-entry result list.
+    GetBatch {
+        /// The blobs' URLs.
+        urls: Vec<String>,
+    },
 }
 
 const DH_PUT: u8 = 0x01;
@@ -233,6 +327,7 @@ const DH_GET: u8 = 0x02;
 const DH_RESERVE: u8 = 0x03;
 const DH_FILL: u8 = 0x04;
 const DH_DELETE: u8 = 0x05;
+const DH_GET_BATCH: u8 = 0x06;
 
 impl DhRequest {
     /// Stable endpoint name, for metrics and logs.
@@ -243,6 +338,7 @@ impl DhRequest {
             Self::Reserve => "dh.reserve",
             Self::Fill { .. } => "dh.fill",
             Self::Delete { .. } => "dh.delete",
+            Self::GetBatch { .. } => "dh.get_batch",
         }
     }
 
@@ -265,6 +361,12 @@ impl DhRequest {
             Self::Delete { url } => {
                 w.u8(DH_DELETE).string(url);
             }
+            Self::GetBatch { urls } => {
+                w.u8(DH_GET_BATCH).u32(urls.len() as u32);
+                for url in urls {
+                    w.string(url);
+                }
+            }
         }
         w.finish().to_vec()
     }
@@ -283,6 +385,14 @@ impl DhRequest {
             DH_RESERVE => Self::Reserve,
             DH_FILL => Self::Fill { url: r.string()?.to_owned(), data: r.bytes()?.to_vec() },
             DH_DELETE => Self::Delete { url: r.string()?.to_owned() },
+            DH_GET_BATCH => {
+                let n = checked_batch_count(r.u32()?)?;
+                let mut urls = Vec::with_capacity(n);
+                for _ in 0..n {
+                    urls.push(r.string()?.to_owned());
+                }
+                Self::GetBatch { urls }
+            }
             _ => return Err(WireError::BadLength),
         };
         r.expect_end()?;
@@ -329,6 +439,61 @@ pub fn decode_response(frame: &[u8]) -> Result<&[u8], NetError> {
         }
         _ => Err(NetError::Decode(WireError::UnexpectedEnd)),
     }
+}
+
+// ---------------------------------------------------------------------
+// Batched response payloads
+// ---------------------------------------------------------------------
+
+/// One entry's result inside a batched response: either the endpoint's
+/// payload bytes or a typed error, mirroring the whole-frame envelope at
+/// per-entry granularity.
+pub type BatchEntryResult = Result<Vec<u8>, (ErrorCode, String)>;
+
+const ENTRY_OK: u8 = 0x00;
+const ENTRY_ERR: u8 = 0x01;
+
+/// Encodes a batched response: entry count, then per entry a status byte
+/// (`0x00` ok ⇒ payload bytes, `0x01` err ⇒ code + detail string).
+pub fn encode_batch_results(results: &[BatchEntryResult]) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u32(results.len() as u32);
+    for res in results {
+        match res {
+            Ok(payload) => {
+                w.u8(ENTRY_OK).bytes(payload);
+            }
+            Err((code, detail)) => {
+                w.u8(ENTRY_ERR).u8(code.as_u8()).string(detail);
+            }
+        }
+    }
+    w.finish().to_vec()
+}
+
+/// Decodes a batched response into per-entry results.
+///
+/// # Errors
+///
+/// Returns a [`WireError`] on truncation, trailing bytes, an unknown
+/// status byte, or an entry count above [`MAX_BATCH_ENTRIES`] (checked
+/// before allocation).
+pub fn decode_batch_results(payload: &[u8]) -> Result<Vec<BatchEntryResult>, WireError> {
+    let mut r = Reader::new(payload);
+    let n = checked_batch_count(r.u32()?)?;
+    let mut results = Vec::with_capacity(n);
+    for _ in 0..n {
+        match r.u8()? {
+            ENTRY_OK => results.push(Ok(r.bytes()?.to_vec())),
+            ENTRY_ERR => {
+                let code = ErrorCode::from_u8(r.u8()?);
+                results.push(Err((code, r.string()?.to_owned())));
+            }
+            _ => return Err(WireError::BadLength),
+        }
+    }
+    r.expect_end()?;
+    Ok(results)
 }
 
 // ---------------------------------------------------------------------
@@ -482,6 +647,25 @@ mod tests {
                 },
             },
             SpRequest::Access { puzzle: 9 },
+            SpRequest::VerifyBatch {
+                entries: vec![
+                    VerifyEntry {
+                        user: 1,
+                        puzzle: 2,
+                        response: PuzzleResponse { hashes: vec![(0, vec![1, 2])] },
+                    },
+                    VerifyEntry { user: 9, puzzle: 2, response: PuzzleResponse { hashes: vec![] } },
+                ],
+            },
+            SpRequest::VerifyBatch { entries: vec![] },
+            SpRequest::AnswerPuzzleBatch {
+                user: 4,
+                puzzle: 5,
+                responses: vec![
+                    PuzzleResponse { hashes: vec![(1, vec![0xaa; 32])] },
+                    PuzzleResponse { hashes: vec![] },
+                ],
+            },
         ]
     }
 
@@ -503,6 +687,8 @@ mod tests {
             DhRequest::Reserve,
             DhRequest::Fill { url: "https://dh.example/objects/1".into(), data: vec![] },
             DhRequest::Delete { url: "u".into() },
+            DhRequest::GetBatch { urls: vec!["a".into(), "b".into()] },
+            DhRequest::GetBatch { urls: vec![] },
         ];
         for req in requests {
             let decoded = DhRequest::decode(&req.encode()).unwrap();
@@ -589,6 +775,53 @@ mod tests {
         bytes[url_len_at..url_len_at + 4].copy_from_slice(&0u32.to_be_bytes());
         bytes.remove(url_len_at + 4);
         assert!(decode_verify_outcome(&bytes).is_err());
+    }
+
+    #[test]
+    fn batch_results_roundtrip() {
+        let results: Vec<BatchEntryResult> = vec![
+            Ok(b"payload".to_vec()),
+            Err((ErrorCode::NotEnoughCorrectAnswers, "1 < 2".into())),
+            Ok(vec![]),
+            Err((ErrorCode::UnknownPuzzle, String::new())),
+        ];
+        let decoded = decode_batch_results(&encode_batch_results(&results)).unwrap();
+        assert_eq!(decoded, results);
+        assert!(decode_batch_results(&encode_batch_results(&[])).unwrap().is_empty());
+    }
+
+    #[test]
+    fn oversize_batches_rejected_before_allocation() {
+        // A count prefix above the cap fails immediately — the decoder
+        // must not reserve storage for a liar's count.
+        let mut w = Writer::new();
+        w.u32(MAX_BATCH_ENTRIES as u32 + 1);
+        let payload = w.finish().to_vec();
+        assert_eq!(decode_batch_results(&payload).unwrap_err(), WireError::BadLength);
+
+        let mut w = Writer::new();
+        w.u8(0x0A).u32(u32::MAX); // SP_VERIFY_BATCH with a hostile count
+        assert_eq!(SpRequest::decode(&w.finish()).unwrap_err(), WireError::BadLength);
+
+        let mut w = Writer::new();
+        w.u8(0x0B).u64(1).u64(2).u32(u32::MAX); // SP_ANSWER_BATCH
+        assert_eq!(SpRequest::decode(&w.finish()).unwrap_err(), WireError::BadLength);
+
+        let mut w = Writer::new();
+        w.u8(0x06).u32(u32::MAX); // DH_GET_BATCH
+        assert_eq!(DhRequest::decode(&w.finish()).unwrap_err(), WireError::BadLength);
+
+        // Exactly at the cap is accepted (given a well-formed body).
+        let urls: Vec<String> = (0..MAX_BATCH_ENTRIES).map(|i| i.to_string()).collect();
+        let req = DhRequest::GetBatch { urls };
+        assert_eq!(DhRequest::decode(&req.encode()).unwrap(), req);
+    }
+
+    #[test]
+    fn unknown_entry_status_rejected() {
+        let mut w = Writer::new();
+        w.u32(1).u8(0x42);
+        assert!(decode_batch_results(&w.finish()).is_err());
     }
 
     #[test]

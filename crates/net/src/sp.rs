@@ -7,6 +7,7 @@
 //! never sees the full puzzle when it goes through the RPC surface, only
 //! the displayed questions and, on success, the released blinded shares.
 
+use std::collections::HashMap;
 use std::net::SocketAddr;
 use std::sync::Mutex;
 
@@ -16,17 +17,18 @@ use rand::SeedableRng;
 use social_puzzles_core::construction1::{
     Construction1, DisplayedPuzzle, Puzzle, PuzzleResponse, VerifyOutcome,
 };
-use social_puzzles_core::metrics::ServiceMetrics;
+use social_puzzles_core::metrics::{ServiceMetrics, ShardContention};
 use social_puzzles_core::SocialPuzzleError;
 use sp_osn::{OsnError, PostId, ProviderApi, PuzzleId, ServiceProvider, Url, UserId};
 use sp_wire::Reader;
 
 use crate::client::{ClientConfig, Connection};
 use crate::daemon::Service;
+use crate::dedup::{strip_idempotency, ReplayCache};
 use crate::error::{code_for, ErrorCode, NetError};
 use crate::msg::{
-    decode_displayed_puzzle, decode_verify_outcome, encode_displayed_puzzle, encode_verify_outcome,
-    SpRequest,
+    decode_batch_results, decode_displayed_puzzle, decode_verify_outcome, encode_batch_results,
+    encode_displayed_puzzle, encode_verify_outcome, BatchEntryResult, SpRequest, VerifyEntry,
 };
 
 /// The SP daemon's request handler.
@@ -35,13 +37,20 @@ pub struct SpService {
     c1: Construction1,
     rng: Mutex<StdRng>,
     metrics: ServiceMetrics,
+    replay: ReplayCache,
 }
 
 impl SpService {
     /// Wraps a provider and a Construction-1 scheme (whose hash choice
     /// the `DisplayPuzzle`/`Verify` endpoints follow).
     pub fn new(sp: ServiceProvider, c1: Construction1) -> Self {
-        Self { sp, c1, rng: Mutex::new(StdRng::from_entropy()), metrics: ServiceMetrics::new() }
+        Self {
+            sp,
+            c1,
+            rng: Mutex::new(StdRng::from_entropy()),
+            metrics: ServiceMetrics::new(),
+            replay: ReplayCache::default(),
+        }
     }
 
     /// The per-endpoint counters (shared handle; clone freely).
@@ -121,12 +130,106 @@ impl SpService {
                 let p = self.load_puzzle(puzzle)?;
                 Ok(encode_string(p.url().as_str()))
             }
+            SpRequest::VerifyBatch { entries } => {
+                self.metrics.record_batch("sp.verify_batch", entries.len() as u64);
+                Ok(encode_batch_results(&self.verify_batch_entries(&entries)))
+            }
+            SpRequest::AnswerPuzzleBatch { user, puzzle, responses } => {
+                self.metrics.record_batch("sp.answer_puzzle_batch", responses.len() as u64);
+                let p = self.load_puzzle(puzzle)?;
+                let verdicts = self.c1.verify_batch(&p, &responses);
+                self.sp.log_access_batch(
+                    verdicts
+                        .iter()
+                        .map(|v| (UserId::from_raw(user), PuzzleId::from_raw(puzzle), v.is_ok())),
+                );
+                let results: Vec<BatchEntryResult> =
+                    verdicts.into_iter().map(verdict_to_entry).collect();
+                Ok(encode_batch_results(&results))
+            }
         }
+    }
+
+    /// Evaluates a `VerifyBatch` frame: entries are grouped by puzzle so
+    /// each puzzle is loaded and parsed once and verified through the
+    /// amortized [`Construction1::verify_batch`] path; results and audit
+    /// entries come back in the original entry order, and a failing entry
+    /// (unknown puzzle, below threshold) fails only its own slot.
+    fn verify_batch_entries(&self, entries: &[VerifyEntry]) -> Vec<BatchEntryResult> {
+        let mut groups: HashMap<u64, Vec<usize>> = HashMap::new();
+        for (i, e) in entries.iter().enumerate() {
+            groups.entry(e.puzzle).or_default().push(i);
+        }
+
+        let mut results: Vec<Option<BatchEntryResult>> = vec![None; entries.len()];
+        let mut granted: Vec<Option<bool>> = vec![None; entries.len()];
+        for (&puzzle_raw, idxs) in &groups {
+            match self.load_puzzle(puzzle_raw) {
+                Err(err) => {
+                    // An unknown puzzle is not an access attempt — the
+                    // single-Verify path errors before logging too.
+                    for &i in idxs {
+                        results[i] = Some(Err(err.clone()));
+                    }
+                }
+                Ok(p) => {
+                    let responses: Vec<PuzzleResponse> =
+                        idxs.iter().map(|&i| entries[i].response.clone()).collect();
+                    for (&i, verdict) in idxs.iter().zip(self.c1.verify_batch(&p, &responses)) {
+                        granted[i] = Some(verdict.is_ok());
+                        results[i] = Some(verdict_to_entry(verdict));
+                    }
+                }
+            }
+        }
+        self.sp.log_access_batch(entries.iter().zip(&granted).filter_map(|(e, g)| {
+            g.map(|granted| (UserId::from_raw(e.user), PuzzleId::from_raw(e.puzzle), granted))
+        }));
+        results.into_iter().map(|r| r.expect("every entry answered")).collect()
+    }
+
+    /// Pushes the provider's current per-shard load counters into the
+    /// metrics registry (component `"sp.puzzles"`).
+    pub fn sync_shard_metrics(&self) {
+        self.metrics.set_shard_contention(
+            "sp.puzzles",
+            self.sp
+                .shard_loads()
+                .into_iter()
+                .map(|l| ShardContention {
+                    reads: l.reads,
+                    writes: l.writes,
+                    contended: l.contended,
+                })
+                .collect(),
+        );
+    }
+}
+
+/// Maps one verify verdict onto its batched-response slot.
+fn verdict_to_entry(v: Result<VerifyOutcome, SocialPuzzleError>) -> BatchEntryResult {
+    match v {
+        Ok(outcome) => Ok(encode_verify_outcome(&outcome)),
+        Err(SocialPuzzleError::NotEnoughCorrectAnswers) => {
+            Err((ErrorCode::NotEnoughCorrectAnswers, "fewer than k answers verified".into()))
+        }
+        Err(e) => Err((ErrorCode::Internal, e.to_string())),
     }
 }
 
 impl Service for SpService {
     fn handle(&self, request: &[u8]) -> Result<Vec<u8>, (ErrorCode, String)> {
+        // Idempotency-tagged mutations (see `crate::dedup`) execute at
+        // most once; a replayed token gets the remembered response.
+        if let Some((token, inner)) = strip_idempotency(request) {
+            return self.replay.execute(token, inner, |req| self.handle_inner(req));
+        }
+        self.handle_inner(request)
+    }
+}
+
+impl SpService {
+    fn handle_inner(&self, request: &[u8]) -> Result<Vec<u8>, (ErrorCode, String)> {
         let req = match SpRequest::decode(request) {
             Ok(req) => req,
             Err(e) => {
@@ -141,6 +244,7 @@ impl Service for SpService {
             Err(_) => (0, true),
         };
         self.metrics.record(endpoint, request.len() as u64, out, is_err);
+        self.sync_shard_metrics();
         result
     }
 }
@@ -160,6 +264,14 @@ impl SpClient {
 
     fn call(&self, req: &SpRequest) -> Result<Vec<u8>, NetError> {
         self.conn.call(&req.encode())
+    }
+
+    /// For mutating requests: same as [`SpClient::call`] but tagged with
+    /// an idempotency token so server-side replay suppression makes the
+    /// retry path at-most-once (a retried `Upload` whose response frame
+    /// was lost must not create a second puzzle).
+    fn call_mut(&self, req: &SpRequest) -> Result<Vec<u8>, NetError> {
+        self.conn.call_idempotent(&req.encode())
     }
 
     /// `DisplayPuzzle`: the SP picks and returns the question subset.
@@ -186,12 +298,61 @@ impl SpClient {
         puzzle: PuzzleId,
         response: &PuzzleResponse,
     ) -> Result<VerifyOutcome, NetError> {
-        let payload = self.call(&SpRequest::Verify {
+        // Verify mutates too — it appends to the audit log — so a retry
+        // must not double-log the attempt.
+        let payload = self.call_mut(&SpRequest::Verify {
             user: user.raw(),
             puzzle: puzzle.raw(),
             response: response.clone(),
         })?;
         Ok(decode_verify_outcome(&payload)?)
+    }
+
+    /// Batched `Verify`: many independent attempts in one frame. One
+    /// result per entry, in order — per-entry failures come back as
+    /// [`NetError::Remote`] in their own slot, so a below-threshold
+    /// attempt never masks its neighbors.
+    ///
+    /// # Errors
+    ///
+    /// Returns a transport or decode error for the frame as a whole.
+    pub fn verify_batch(
+        &self,
+        entries: &[(UserId, PuzzleId, PuzzleResponse)],
+    ) -> Result<Vec<Result<VerifyOutcome, NetError>>, NetError> {
+        let req = SpRequest::VerifyBatch {
+            entries: entries
+                .iter()
+                .map(|(user, puzzle, response)| VerifyEntry {
+                    user: user.raw(),
+                    puzzle: puzzle.raw(),
+                    response: response.clone(),
+                })
+                .collect(),
+        };
+        let payload = self.call_mut(&req)?;
+        decode_batch_outcomes(&payload)
+    }
+
+    /// Batched `Verify` of many answer-sets against one puzzle. One
+    /// result per answer-set, in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Remote`] for the frame as a whole when the
+    /// puzzle itself is unknown; per-entry verdicts are in the slots.
+    pub fn answer_puzzle_batch(
+        &self,
+        user: UserId,
+        puzzle: PuzzleId,
+        responses: &[PuzzleResponse],
+    ) -> Result<Vec<Result<VerifyOutcome, NetError>>, NetError> {
+        let payload = self.call_mut(&SpRequest::AnswerPuzzleBatch {
+            user: user.raw(),
+            puzzle: puzzle.raw(),
+            responses: responses.to_vec(),
+        })?;
+        decode_batch_outcomes(&payload)
     }
 
     /// `Access`: where the puzzle's encrypted object lives.
@@ -208,7 +369,7 @@ impl SpClient {
 
 impl ProviderApi for SpClient {
     fn publish_puzzle(&self, record: Bytes) -> Result<PuzzleId, OsnError> {
-        let payload = self.call(&SpRequest::Upload { record: record.to_vec() })?;
+        let payload = self.call_mut(&SpRequest::Upload { record: record.to_vec() })?;
         Ok(PuzzleId::from_raw(decode_u64(&payload).map_err(NetError::from)?))
     }
 
@@ -218,22 +379,22 @@ impl ProviderApi for SpClient {
     }
 
     fn replace_puzzle(&self, id: PuzzleId, record: Bytes) -> Result<(), OsnError> {
-        self.call(&SpRequest::ReplacePuzzle { puzzle: id.raw(), record: record.to_vec() })?;
+        self.call_mut(&SpRequest::ReplacePuzzle { puzzle: id.raw(), record: record.to_vec() })?;
         Ok(())
     }
 
     fn delete_puzzle(&self, id: PuzzleId) -> Result<(), OsnError> {
-        self.call(&SpRequest::DeletePuzzle { puzzle: id.raw() })?;
+        self.call_mut(&SpRequest::DeletePuzzle { puzzle: id.raw() })?;
         Ok(())
     }
 
     fn log_access(&self, user: UserId, puzzle: PuzzleId, granted: bool) -> Result<(), OsnError> {
-        self.call(&SpRequest::LogAccess { user: user.raw(), puzzle: puzzle.raw(), granted })?;
+        self.call_mut(&SpRequest::LogAccess { user: user.raw(), puzzle: puzzle.raw(), granted })?;
         Ok(())
     }
 
     fn post(&self, author: UserId, text: &str, puzzle: PuzzleId) -> Result<PostId, OsnError> {
-        let payload = self.call(&SpRequest::Post {
+        let payload = self.call_mut(&SpRequest::Post {
             author: author.raw(),
             text: text.to_owned(),
             puzzle: puzzle.raw(),
@@ -281,6 +442,20 @@ pub(crate) fn decode_string(payload: &[u8]) -> Result<&str, sp_wire::WireError> 
     let s = r.string()?;
     r.expect_end()?;
     Ok(s)
+}
+
+/// Decodes a batch-results frame into per-entry [`VerifyOutcome`]s.
+/// Entry-level server errors become [`NetError::Remote`] in their own
+/// slot; an ok slot whose payload fails to parse poisons the whole call,
+/// since that means the frame itself is corrupt.
+fn decode_batch_outcomes(payload: &[u8]) -> Result<Vec<Result<VerifyOutcome, NetError>>, NetError> {
+    decode_batch_results(payload)?
+        .into_iter()
+        .map(|slot| match slot {
+            Ok(bytes) => Ok(Ok(decode_verify_outcome(&bytes)?)),
+            Err((code, detail)) => Ok(Err(NetError::Remote { code, detail })),
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -371,6 +546,96 @@ mod tests {
         let log = provider.audit_log();
         assert_eq!(log.len(), 2);
         assert!(log[0].granted && !log[1].granted);
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn verify_batch_over_the_wire_is_per_entry() {
+        let (daemon, client, metrics, provider) = boot();
+        let c1 = Construction1::new();
+        let mut rng = StdRng::seed_from_u64(41);
+        let ctx =
+            Context::builder().pair("Where?", "rooftop").pair("Who?", "omar").build().unwrap();
+        let upload = c1
+            .upload_to(b"obj", &ctx, 1, Url::from("https://dh.example/objects/9"), None, &mut rng)
+            .unwrap();
+        let id = client.publish_puzzle(Bytes::from(upload.puzzle.to_bytes())).unwrap();
+        let displayed = client.display_puzzle(id).unwrap();
+        let answers = displayed.answer(|q| ctx.answer_for(q).map(str::to_owned));
+        let good = c1.answer_puzzle(&displayed, &answers);
+        let bad = c1.answer_puzzle(&displayed, &[]);
+
+        let alice = UserId::from_raw(1);
+        let bob = UserId::from_raw(2);
+        let ghost = PuzzleId::from_raw(4096);
+        let batch = [(alice, id, good.clone()), (bob, id, bad.clone()), (bob, ghost, good.clone())];
+        let results = client.verify_batch(&batch).unwrap();
+        assert_eq!(results.len(), 3);
+        let outcome = results[0].as_ref().expect("good entry verifies");
+        assert_eq!(outcome, &client.verify(alice, id, &good).unwrap());
+        match results[1].as_ref().unwrap_err() {
+            NetError::Remote { code, .. } => {
+                assert_eq!(*code, ErrorCode::NotEnoughCorrectAnswers)
+            }
+            other => panic!("expected Remote, got {other}"),
+        }
+        match results[2].as_ref().unwrap_err() {
+            NetError::Remote { code, .. } => assert_eq!(*code, ErrorCode::UnknownPuzzle),
+            other => panic!("expected Remote, got {other}"),
+        }
+
+        // Audit: batch entries land in original order; the unknown-puzzle
+        // entry is not logged (it never reached Verify), matching the
+        // single-Verify path. The follow-up single verify appends one more.
+        let log = provider.audit_log();
+        assert_eq!(log.len(), 3);
+        assert_eq!((log[0].user, log[0].granted), (alice, true));
+        assert_eq!((log[1].user, log[1].granted), (bob, false));
+        assert_eq!((log[2].user, log[2].granted), (alice, true));
+
+        // Empty batch is a valid no-op frame.
+        assert!(client.verify_batch(&[]).unwrap().is_empty());
+
+        let hist = metrics.batch_histogram("sp.verify_batch");
+        assert_eq!(hist.count, 2);
+        assert_eq!(hist.max, 3);
+        assert!(metrics.shard_contention_totals("sp.puzzles").reads > 0);
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn answer_puzzle_batch_over_the_wire() {
+        let (daemon, client, _, provider) = boot();
+        let c1 = Construction1::new();
+        let mut rng = StdRng::seed_from_u64(43);
+        let ctx = Context::builder()
+            .pair("Which trail?", "ridgeline")
+            .pair("Which summit?", "old rag")
+            .build()
+            .unwrap();
+        let upload = c1
+            .upload_to(b"obj", &ctx, 2, Url::from("https://dh.example/objects/3"), None, &mut rng)
+            .unwrap();
+        let id = client.publish_puzzle(Bytes::from(upload.puzzle.to_bytes())).unwrap();
+        let displayed = client.display_puzzle(id).unwrap();
+        let answers = displayed.answer(|q| ctx.answer_for(q).map(str::to_owned));
+        let good = c1.answer_puzzle(&displayed, &answers);
+        let bad = c1.answer_puzzle(&displayed, &answers[..1]);
+
+        let user = UserId::from_raw(7);
+        let results =
+            client.answer_puzzle_batch(user, id, &[bad.clone(), good.clone(), bad]).unwrap();
+        assert_eq!(results.len(), 3);
+        assert!(results[0].is_err() && results[2].is_err());
+        assert!(results[1].is_ok());
+        assert_eq!(provider.audit_log().len(), 3);
+
+        // A batch against an unknown puzzle fails the frame as a whole —
+        // there is no per-entry work to report.
+        match client.answer_puzzle_batch(user, PuzzleId::from_raw(999), &[good]).unwrap_err() {
+            NetError::Remote { code, .. } => assert_eq!(code, ErrorCode::UnknownPuzzle),
+            other => panic!("expected Remote, got {other}"),
+        }
         daemon.shutdown();
     }
 

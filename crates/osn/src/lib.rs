@@ -43,6 +43,7 @@ mod error;
 mod graph;
 mod network;
 mod provider;
+pub mod shard;
 mod storage;
 
 pub use api::{ProviderApi, StorageApi};
@@ -51,4 +52,5 @@ pub use error::OsnError;
 pub use graph::{SocialGraph, UserId};
 pub use network::{NetworkModel, TrafficStats};
 pub use provider::{AuditEntry, Post, PostId, PuzzleId, ServiceProvider};
+pub use shard::{ShardLoad, ShardedMap, DEFAULT_SHARDS};
 pub use storage::{StorageHost, Url};

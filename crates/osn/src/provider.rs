@@ -5,9 +5,16 @@
 //! handing it over, which is exactly the surveillance-resistance boundary
 //! of §IV-B: the SP sees ciphertext-like bytes, sizes, and the feed
 //! metadata, never answers or keys.
+//!
+//! The puzzle table is the hot path — every `Verify` does at least one
+//! lookup — so it is striped across independently locked shards
+//! ([`crate::shard`]). The feed and audit log stay behind their own
+//! coarse locks: they are orders of magnitude colder and the audit log
+//! needs a single monotonic sequence anyway.
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bytes::Bytes;
@@ -15,6 +22,7 @@ use parking_lot::RwLock;
 
 use crate::error::OsnError;
 use crate::graph::UserId;
+use crate::shard::{ShardLoad, ShardedMap, DEFAULT_SHARDS};
 
 /// Identifier the SP assigns to a stored puzzle.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -93,33 +101,67 @@ pub struct AuditEntry {
 }
 
 #[derive(Debug, Default)]
-struct ProviderState {
-    puzzles: HashMap<u64, Bytes>,
+struct FeedState {
     posts: HashMap<u64, Post>,
     feed_order: Vec<PostId>,
-    audit: Vec<AuditEntry>,
-    next_puzzle: u64,
     next_post: u64,
 }
 
+#[derive(Debug)]
+struct ProviderInner {
+    puzzles: ShardedMap<u64, Bytes>,
+    next_puzzle: AtomicU64,
+    feed: RwLock<FeedState>,
+    audit: RwLock<Vec<AuditEntry>>,
+}
+
 /// The service provider. Cheap to clone (shared state).
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct ServiceProvider {
-    state: Arc<RwLock<ProviderState>>,
+    inner: Arc<ProviderInner>,
+}
+
+impl Default for ServiceProvider {
+    fn default() -> Self {
+        Self::with_shards(DEFAULT_SHARDS)
+    }
 }
 
 impl ServiceProvider {
-    /// Creates an empty provider.
+    /// Creates an empty provider with the default shard count.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Creates an empty provider whose puzzle table is striped across
+    /// `shards` locks (rounded up to a power of two; `1` reproduces the
+    /// old single-lock behavior, which the benchmarks use as baseline).
+    pub fn with_shards(shards: usize) -> Self {
+        Self {
+            inner: Arc::new(ProviderInner {
+                puzzles: ShardedMap::with_shards(shards),
+                next_puzzle: AtomicU64::new(0),
+                feed: RwLock::new(FeedState::default()),
+                audit: RwLock::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Number of lock stripes in the puzzle table.
+    pub fn shard_count(&self) -> usize {
+        self.inner.puzzles.shard_count()
+    }
+
+    /// Per-shard load counters for the puzzle table, index-aligned with
+    /// shard numbers — the contention evidence the daemons export.
+    pub fn shard_loads(&self) -> Vec<ShardLoad> {
+        self.inner.puzzles.loads()
+    }
+
     /// Stores an opaque puzzle record, returning its id.
     pub fn publish_puzzle(&self, record: Bytes) -> PuzzleId {
-        let mut st = self.state.write();
-        let id = st.next_puzzle;
-        st.next_puzzle += 1;
-        st.puzzles.insert(id, record);
+        let id = self.inner.next_puzzle.fetch_add(1, Ordering::Relaxed);
+        self.inner.puzzles.insert(id, record);
         PuzzleId(id)
     }
 
@@ -129,7 +171,7 @@ impl ServiceProvider {
     ///
     /// Returns [`OsnError::UnknownPuzzle`] for unknown ids.
     pub fn fetch_puzzle(&self, id: PuzzleId) -> Result<Bytes, OsnError> {
-        self.state.read().puzzles.get(&id.0).cloned().ok_or(OsnError::UnknownPuzzle)
+        self.inner.puzzles.get(&id.0).ok_or(OsnError::UnknownPuzzle)
     }
 
     /// Replaces a puzzle record in place (sharer update, or a malicious-SP
@@ -139,14 +181,7 @@ impl ServiceProvider {
     ///
     /// Returns [`OsnError::UnknownPuzzle`] for unknown ids.
     pub fn replace_puzzle(&self, id: PuzzleId, record: Bytes) -> Result<(), OsnError> {
-        let mut st = self.state.write();
-        match st.puzzles.get_mut(&id.0) {
-            Some(slot) => {
-                *slot = record;
-                Ok(())
-            }
-            None => Err(OsnError::UnknownPuzzle),
-        }
+        self.inner.puzzles.update(&id.0, |slot| *slot = record).ok_or(OsnError::UnknownPuzzle)
     }
 
     /// Deletes a puzzle record.
@@ -155,35 +190,44 @@ impl ServiceProvider {
     ///
     /// Returns [`OsnError::UnknownPuzzle`] for unknown ids.
     pub fn delete_puzzle(&self, id: PuzzleId) -> Result<(), OsnError> {
-        self.state.write().puzzles.remove(&id.0).map(|_| ()).ok_or(OsnError::UnknownPuzzle)
+        self.inner.puzzles.remove(&id.0).map(|_| ()).ok_or(OsnError::UnknownPuzzle)
     }
 
     /// Number of stored puzzles.
     pub fn puzzle_count(&self) -> usize {
-        self.state.read().puzzles.len()
+        self.inner.puzzles.len()
     }
 
     /// Records an access attempt in the audit log (called by the verify
     /// endpoint).
     pub fn log_access(&self, user: UserId, puzzle: PuzzleId, granted: bool) {
-        let mut st = self.state.write();
-        let seq = st.audit.len() as u64;
-        st.audit.push(AuditEntry { seq, user, puzzle, granted });
+        self.log_access_batch([(user, puzzle, granted)]);
+    }
+
+    /// Records many access attempts under one audit-lock acquisition —
+    /// the batched verify endpoint logs a whole frame at once, keeping
+    /// its entries contiguous in the log.
+    pub fn log_access_batch(&self, entries: impl IntoIterator<Item = (UserId, PuzzleId, bool)>) {
+        let mut audit = self.inner.audit.write();
+        for (user, puzzle, granted) in entries {
+            let seq = audit.len() as u64;
+            audit.push(AuditEntry { seq, user, puzzle, granted });
+        }
     }
 
     /// The full audit log — what a curious (or subpoenaed) SP can hand
     /// over: access metadata, never content.
     pub fn audit_log(&self) -> Vec<AuditEntry> {
-        self.state.read().audit.clone()
+        self.inner.audit.read().clone()
     }
 
     /// Posts a hyperlink to the author's wall.
     pub fn post(&self, author: UserId, text: impl Into<String>, puzzle: PuzzleId) -> PostId {
-        let mut st = self.state.write();
-        let id = PostId(st.next_post);
-        st.next_post += 1;
-        st.posts.insert(id.0, Post { author, text: text.into(), puzzle });
-        st.feed_order.push(id);
+        let mut feed = self.inner.feed.write();
+        let id = PostId(feed.next_post);
+        feed.next_post += 1;
+        feed.posts.insert(id.0, Post { author, text: text.into(), puzzle });
+        feed.feed_order.push(id);
         id
     }
 
@@ -193,18 +237,18 @@ impl ServiceProvider {
     ///
     /// Returns [`OsnError::UnknownPost`] for unknown ids.
     pub fn read_post(&self, id: PostId) -> Result<Post, OsnError> {
-        self.state.read().posts.get(&id.0).cloned().ok_or(OsnError::UnknownPost)
+        self.inner.feed.read().posts.get(&id.0).cloned().ok_or(OsnError::UnknownPost)
     }
 
     /// The feed a viewer sees: posts authored by their friends (and
     /// themselves), newest last. Friendship is supplied by the caller so
     /// the provider itself stays graph-agnostic.
     pub fn feed(&self, viewer: UserId, is_visible: impl Fn(UserId) -> bool) -> Vec<(PostId, Post)> {
-        let st = self.state.read();
-        st.feed_order
+        let feed = self.inner.feed.read();
+        feed.feed_order
             .iter()
             .filter_map(|id| {
-                let post = st.posts.get(&id.0)?;
+                let post = feed.posts.get(&id.0)?;
                 if post.author == viewer || is_visible(post.author) {
                     Some((*id, post.clone()))
                 } else {
@@ -277,5 +321,71 @@ mod tests {
         let feed = sp.feed(u, |_| true);
         assert_eq!(feed[0].1.text, "first");
         assert_eq!(feed[1].1.text, "second");
+    }
+
+    #[test]
+    fn single_shard_matches_sharded_semantics() {
+        for shards in [1, 4, 16] {
+            let sp = ServiceProvider::with_shards(shards);
+            assert_eq!(sp.shard_count(), shards);
+            let ids: Vec<PuzzleId> =
+                (0..20).map(|i| sp.publish_puzzle(Bytes::from(vec![i as u8]))).collect();
+            assert_eq!(sp.puzzle_count(), 20);
+            for (i, id) in ids.iter().enumerate() {
+                assert_eq!(sp.fetch_puzzle(*id).unwrap(), vec![i as u8]);
+            }
+        }
+    }
+
+    #[test]
+    fn ids_stay_unique_across_threads() {
+        let sp = ServiceProvider::with_shards(16);
+        let ids = std::sync::Mutex::new(Vec::new());
+        crossbeam::thread::scope(|s| {
+            for _ in 0..8 {
+                let sp = sp.clone();
+                let ids = &ids;
+                s.spawn(move |_| {
+                    let mine: Vec<u64> =
+                        (0..50).map(|_| sp.publish_puzzle(Bytes::new()).raw()).collect();
+                    ids.lock().unwrap().extend(mine);
+                });
+            }
+        })
+        .unwrap();
+        let mut all = ids.into_inner().unwrap();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 400, "puzzle ids collided across threads");
+        assert_eq!(sp.puzzle_count(), 400);
+    }
+
+    #[test]
+    fn audit_batch_is_contiguous_and_sequenced() {
+        let sp = ServiceProvider::new();
+        let u = UserId::from_raw_for_tests(0);
+        let pid = sp.publish_puzzle(Bytes::new());
+        sp.log_access(u, pid, true);
+        sp.log_access_batch((0..3).map(|i| (u, pid, i % 2 == 0)));
+        let log = sp.audit_log();
+        assert_eq!(log.len(), 4);
+        for (i, entry) in log.iter().enumerate() {
+            assert_eq!(entry.seq, i as u64);
+        }
+        assert!(log[1].granted);
+        assert!(!log[2].granted);
+    }
+
+    #[test]
+    fn shard_loads_expose_puzzle_traffic() {
+        let sp = ServiceProvider::with_shards(4);
+        let id = sp.publish_puzzle(Bytes::new());
+        sp.fetch_puzzle(id).unwrap();
+        let loads = sp.shard_loads();
+        assert_eq!(loads.len(), 4);
+        let writes: u64 = loads.iter().map(|l| l.writes).sum();
+        let reads: u64 = loads.iter().map(|l| l.reads).sum();
+        assert_eq!(writes, 1);
+        assert_eq!(reads, 1);
     }
 }

@@ -1,0 +1,325 @@
+//! Lock-striped sharded key→value store.
+//!
+//! The SP and DH daemons serve every request from in-memory state; a single
+//! coarse `RwLock` serializes all cores on the hot `Verify` path. This
+//! module stripes the state across `n` independently locked shards selected
+//! by key hash (the paper's `URL_O` / puzzle-id space), so unrelated
+//! requests proceed in parallel while per-key operations keep the exact
+//! observable semantics of the single-map version.
+//!
+//! Every shard carries relaxed atomic load counters — reads, writes, and
+//! how many acquisitions actually contended (failed the `try_` fast path) —
+//! which the service layer exports through
+//! `social_puzzles_core::metrics::ServiceMetrics`.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::RwLock;
+
+/// Default stripe count for SP/DH state: enough for the daemons' bounded
+/// worker pools (≤ 64 workers) without wasting memory per instance.
+pub const DEFAULT_SHARDS: usize = 16;
+
+/// Upper bound on stripes; beyond this the per-shard bookkeeping costs more
+/// than the parallelism buys.
+pub const MAX_SHARDS: usize = 1024;
+
+/// Aggregated load/contention counters for one shard.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardLoad {
+    /// Read-lock acquisitions.
+    pub reads: u64,
+    /// Write-lock acquisitions.
+    pub writes: u64,
+    /// Acquisitions (read or write) that found the lock held and had to
+    /// block — the contention signal sharding exists to reduce.
+    pub contended: u64,
+}
+
+/// Keys that can pick a shard. The hash must be stable across processes so
+/// load observations are comparable between runs.
+pub trait ShardKey: Hash + Eq {
+    /// Stable 64-bit hash used to pick the key's shard.
+    fn shard_hash(&self) -> u64;
+}
+
+impl ShardKey for u64 {
+    fn shard_hash(&self) -> u64 {
+        // SplitMix64 finalizer: sequential ids spread over all shards.
+        let mut z = self.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+impl ShardKey for String {
+    fn shard_hash(&self) -> u64 {
+        fnv1a(self.as_bytes())
+    }
+}
+
+/// FNV-1a over bytes — the stable string hash used to stripe `URL_O`s.
+pub fn fnv1a(data: &[u8]) -> u64 {
+    let mut acc: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        acc ^= b as u64;
+        acc = acc.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    acc
+}
+
+struct Shard<K, V> {
+    map: RwLock<HashMap<K, V>>,
+    reads: AtomicU64,
+    writes: AtomicU64,
+    contended: AtomicU64,
+}
+
+impl<K, V> Default for Shard<K, V> {
+    fn default() -> Self {
+        Self {
+            map: RwLock::new(HashMap::new()),
+            reads: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            contended: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A hash map striped over independently locked shards.
+pub struct ShardedMap<K, V> {
+    shards: Box<[Shard<K, V>]>,
+    mask: u64,
+}
+
+impl<K: ShardKey, V> ShardedMap<K, V> {
+    /// Builds a map with `shards` stripes, rounded up to a power of two and
+    /// clamped to `[1, MAX_SHARDS]`.
+    pub fn with_shards(shards: usize) -> Self {
+        let n = shards.clamp(1, MAX_SHARDS).next_power_of_two();
+        let shards: Box<[Shard<K, V>]> = (0..n).map(|_| Shard::default()).collect();
+        Self { mask: n as u64 - 1, shards }
+    }
+
+    /// Stripe count (always a power of two).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard index a key maps to.
+    pub fn shard_index(&self, key: &K) -> usize {
+        (key.shard_hash() & self.mask) as usize
+    }
+
+    fn shard(&self, key: &K) -> &Shard<K, V> {
+        &self.shards[self.shard_index(key)]
+    }
+
+    fn read_shard<'a>(&self, shard: &'a Shard<K, V>) -> ReadGuard<'a, K, V> {
+        shard.reads.fetch_add(1, Ordering::Relaxed);
+        match shard.map.try_read() {
+            Some(guard) => guard,
+            None => {
+                shard.contended.fetch_add(1, Ordering::Relaxed);
+                shard.map.read()
+            }
+        }
+    }
+
+    fn write_shard<'a>(&self, shard: &'a Shard<K, V>) -> WriteGuard<'a, K, V> {
+        shard.writes.fetch_add(1, Ordering::Relaxed);
+        match shard.map.try_write() {
+            Some(guard) => guard,
+            None => {
+                shard.contended.fetch_add(1, Ordering::Relaxed);
+                shard.map.write()
+            }
+        }
+    }
+
+    /// Inserts or replaces, returning the previous value if any.
+    pub fn insert(&self, key: K, value: V) -> Option<V> {
+        let shard = self.shard(&key);
+        self.write_shard(shard).insert(key, value)
+    }
+
+    /// Removes a key, returning its value if present.
+    pub fn remove(&self, key: &K) -> Option<V> {
+        let shard = self.shard(key);
+        self.write_shard(shard).remove(key)
+    }
+
+    /// Runs `f` on the value under the shard's write lock; `None` when the
+    /// key is absent.
+    pub fn update<T>(&self, key: &K, f: impl FnOnce(&mut V) -> T) -> Option<T> {
+        let shard = self.shard(key);
+        self.write_shard(shard).get_mut(key).map(f)
+    }
+
+    /// Runs `f` on the value under the shard's read lock; `None` when the
+    /// key is absent.
+    pub fn with<T>(&self, key: &K, f: impl FnOnce(&V) -> T) -> Option<T> {
+        let shard = self.shard(key);
+        self.read_shard(shard).get(key).map(f)
+    }
+
+    /// Total entries across all shards. Not a consistent snapshot: shards
+    /// are counted one at a time, like iterating a concurrent map.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| self.read_shard(s).len()).sum()
+    }
+
+    /// Whether every shard is empty (same snapshot caveat as [`len`]).
+    ///
+    /// [`len`]: ShardedMap::len
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| self.read_shard(s).is_empty())
+    }
+
+    /// Folds `f` over all values, shard by shard.
+    pub fn fold_values<B>(&self, init: B, mut f: impl FnMut(B, &V) -> B) -> B {
+        let mut acc = init;
+        for s in self.shards.iter() {
+            let guard = self.read_shard(s);
+            for v in guard.values() {
+                acc = f(acc, v);
+            }
+        }
+        acc
+    }
+
+    /// Per-shard load counters, index-aligned with shard numbers.
+    pub fn loads(&self) -> Vec<ShardLoad> {
+        self.shards
+            .iter()
+            .map(|s| ShardLoad {
+                reads: s.reads.load(Ordering::Relaxed),
+                writes: s.writes.load(Ordering::Relaxed),
+                contended: s.contended.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+}
+
+impl<K: ShardKey, V: Clone> ShardedMap<K, V> {
+    /// Clones the value for a key.
+    pub fn get(&self, key: &K) -> Option<V> {
+        self.with(key, V::clone)
+    }
+}
+
+impl<K: ShardKey, V> Default for ShardedMap<K, V> {
+    fn default() -> Self {
+        Self::with_shards(DEFAULT_SHARDS)
+    }
+}
+
+impl<K, V> fmt::Debug for ShardedMap<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShardedMap").field("shards", &self.shards.len()).finish_non_exhaustive()
+    }
+}
+
+type ReadGuard<'a, K, V> = parking_lot::RwLockReadGuard<'a, HashMap<K, V>>;
+type WriteGuard<'a, K, V> = parking_lot::RwLockWriteGuard<'a, HashMap<K, V>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_map_semantics() {
+        let m: ShardedMap<u64, String> = ShardedMap::with_shards(8);
+        assert!(m.is_empty());
+        assert_eq!(m.insert(1, "a".into()), None);
+        assert_eq!(m.insert(1, "b".into()), Some("a".into()));
+        assert_eq!(m.get(&1), Some("b".into()));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.update(&1, |v| v.push('!')), Some(()));
+        assert_eq!(m.get(&1), Some("b!".into()));
+        assert_eq!(m.remove(&1), Some("b!".into()));
+        assert_eq!(m.remove(&1), None);
+        assert_eq!(m.update(&1, |_| ()), None);
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        assert_eq!(ShardedMap::<u64, ()>::with_shards(0).shard_count(), 1);
+        assert_eq!(ShardedMap::<u64, ()>::with_shards(3).shard_count(), 4);
+        assert_eq!(ShardedMap::<u64, ()>::with_shards(16).shard_count(), 16);
+        assert_eq!(ShardedMap::<u64, ()>::with_shards(9999).shard_count(), MAX_SHARDS);
+    }
+
+    #[test]
+    fn sequential_ids_spread_over_shards() {
+        let m: ShardedMap<u64, ()> = ShardedMap::with_shards(16);
+        let mut hit = vec![false; m.shard_count()];
+        for id in 0..64u64 {
+            hit[m.shard_index(&id)] = true;
+        }
+        let used = hit.iter().filter(|&&h| h).count();
+        assert!(used >= 12, "ids clump onto {used}/16 shards");
+    }
+
+    #[test]
+    fn string_keys_spread_over_shards() {
+        let m: ShardedMap<String, ()> = ShardedMap::with_shards(16);
+        let mut hit = vec![false; m.shard_count()];
+        for id in 0..64u64 {
+            hit[m.shard_index(&format!("https://dh.example/objects/{id}"))] = true;
+        }
+        let used = hit.iter().filter(|&&h| h).count();
+        assert!(used >= 12, "urls clump onto {used}/16 shards");
+    }
+
+    #[test]
+    fn loads_observe_reads_and_writes() {
+        let m: ShardedMap<u64, u32> = ShardedMap::with_shards(4);
+        m.insert(7, 1);
+        m.get(&7);
+        m.get(&7);
+        let loads = m.loads();
+        let ix = m.shard_index(&7);
+        assert_eq!(loads[ix].writes, 1);
+        assert_eq!(loads[ix].reads, 2);
+        let total: u64 = loads.iter().map(|l| l.reads + l.writes).sum();
+        assert_eq!(total, 3, "only the touched shard sees traffic");
+    }
+
+    #[test]
+    fn fold_values_sees_everything() {
+        let m: ShardedMap<u64, usize> = ShardedMap::with_shards(8);
+        for i in 0..100 {
+            m.insert(i, i as usize);
+        }
+        let sum = m.fold_values(0usize, |acc, v| acc + v);
+        assert_eq!(sum, (0..100).sum());
+        assert_eq!(m.len(), 100);
+    }
+
+    #[test]
+    fn concurrent_mixed_load_keeps_consistency() {
+        let m = std::sync::Arc::new(ShardedMap::<u64, u64>::with_shards(16));
+        crossbeam::thread::scope(|s| {
+            for t in 0..8u64 {
+                let m = m.clone();
+                s.spawn(move |_| {
+                    for i in 0..200u64 {
+                        let key = t * 1000 + i;
+                        m.insert(key, key);
+                        assert_eq!(m.get(&key), Some(key));
+                        m.update(&key, |v| *v += 1);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(m.len(), 1600);
+        let ok = m.fold_values(true, |acc, _| acc);
+        assert!(ok);
+    }
+}

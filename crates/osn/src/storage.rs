@@ -4,15 +4,19 @@
 //! object `O_{K_O}` lives here and is publicly fetchable by anyone who
 //! knows `URL_O`. The store also exposes tampering hooks used by the
 //! malicious-DH adversary tests (§VI-B).
+//!
+//! Blobs are striped across independently locked shards keyed by the
+//! FNV-1a hash of `URL_O` ([`crate::shard`]), so concurrent receivers
+//! fetching different albums never serialize on one lock.
 
-use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bytes::Bytes;
-use parking_lot::RwLock;
 
 use crate::error::OsnError;
+use crate::shard::{ShardLoad, ShardedMap, DEFAULT_SHARDS};
 
 /// A web resource locator for a stored blob.
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
@@ -62,32 +66,58 @@ impl From<String> for Url {
     }
 }
 
-#[derive(Debug, Default)]
-struct Store {
-    blobs: HashMap<String, Bytes>,
-    next_id: u64,
+#[derive(Debug)]
+struct StoreInner {
+    blobs: ShardedMap<String, Bytes>,
+    next_id: AtomicU64,
 }
 
 /// The storage host. Cheap to clone (shared state), safe to use from
 /// concurrent receiver simulations.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct StorageHost {
-    store: Arc<RwLock<Store>>,
+    inner: Arc<StoreInner>,
+}
+
+impl Default for StorageHost {
+    fn default() -> Self {
+        Self::with_shards(DEFAULT_SHARDS)
+    }
 }
 
 impl StorageHost {
-    /// Creates an empty host.
+    /// Creates an empty host with the default shard count.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Creates an empty host whose blob store is striped across `shards`
+    /// locks (rounded up to a power of two; `1` reproduces the old
+    /// single-lock behavior, which the benchmarks use as baseline).
+    pub fn with_shards(shards: usize) -> Self {
+        Self {
+            inner: Arc::new(StoreInner {
+                blobs: ShardedMap::with_shards(shards),
+                next_id: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Number of lock stripes in the blob store.
+    pub fn shard_count(&self) -> usize {
+        self.inner.blobs.shard_count()
+    }
+
+    /// Per-shard load counters, index-aligned with shard numbers.
+    pub fn shard_loads(&self) -> Vec<ShardLoad> {
+        self.inner.blobs.loads()
+    }
+
     /// Stores a blob, returning its public URL.
     pub fn put(&self, data: Bytes) -> Url {
-        let mut store = self.store.write();
-        let id = store.next_id;
-        store.next_id += 1;
+        let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
         let url = format!("https://dh.example/objects/{id}");
-        store.blobs.insert(url.clone(), data);
+        self.inner.blobs.insert(url.clone(), data);
         Url(url)
     }
 
@@ -115,7 +145,14 @@ impl StorageHost {
     ///
     /// Returns [`OsnError::UnknownUrl`] if nothing is stored at `url`.
     pub fn get(&self, url: &Url) -> Result<Bytes, OsnError> {
-        self.store.read().blobs.get(&url.0).cloned().ok_or(OsnError::UnknownUrl)
+        self.inner.blobs.get(&url.0).ok_or(OsnError::UnknownUrl)
+    }
+
+    /// Fetches many blobs, one result per input URL in order — the
+    /// batched album fetch. A missing URL fails its own slot without
+    /// affecting the others.
+    pub fn get_batch(&self, urls: &[Url]) -> Vec<Result<Bytes, OsnError>> {
+        urls.iter().map(|u| self.get(u)).collect()
     }
 
     /// Deletes a blob (a malicious-DH denial of service).
@@ -124,7 +161,7 @@ impl StorageHost {
     ///
     /// Returns [`OsnError::UnknownUrl`] if nothing is stored at `url`.
     pub fn delete(&self, url: &Url) -> Result<(), OsnError> {
-        self.store.write().blobs.remove(&url.0).map(|_| ()).ok_or(OsnError::UnknownUrl)
+        self.inner.blobs.remove(&url.0).map(|_| ()).ok_or(OsnError::UnknownUrl)
     }
 
     /// Overwrites a blob in place (a malicious-DH tampering attack).
@@ -133,29 +170,22 @@ impl StorageHost {
     ///
     /// Returns [`OsnError::UnknownUrl`] if nothing is stored at `url`.
     pub fn tamper(&self, url: &Url, data: Bytes) -> Result<(), OsnError> {
-        let mut store = self.store.write();
-        match store.blobs.get_mut(&url.0) {
-            Some(slot) => {
-                *slot = data;
-                Ok(())
-            }
-            None => Err(OsnError::UnknownUrl),
-        }
+        self.inner.blobs.update(&url.0, |slot| *slot = data).ok_or(OsnError::UnknownUrl)
     }
 
     /// Number of stored blobs.
     pub fn len(&self) -> usize {
-        self.store.read().blobs.len()
+        self.inner.blobs.len()
     }
 
     /// Whether the store is empty.
     pub fn is_empty(&self) -> bool {
-        self.store.read().blobs.is_empty()
+        self.inner.blobs.is_empty()
     }
 
     /// Total stored bytes (what a curious DH can see: sizes only).
     pub fn total_bytes(&self) -> usize {
-        self.store.read().blobs.values().map(|b| b.len()).sum()
+        self.inner.blobs.fold_values(0usize, |acc, b| acc + b.len())
     }
 }
 
@@ -243,5 +273,36 @@ mod tests {
         })
         .unwrap();
         assert_eq!(dh.len(), 400);
+    }
+
+    #[test]
+    fn get_batch_is_per_slot() {
+        let dh = StorageHost::new();
+        let ok = dh.put(Bytes::from_static(b"here"));
+        let ghost = Url::from("https://dh.example/objects/404");
+        let out = dh.get_batch(&[ok.clone(), ghost, ok]);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].as_ref().unwrap(), &Bytes::from_static(b"here"));
+        assert_eq!(out[1].as_ref().unwrap_err(), &OsnError::UnknownUrl);
+        assert_eq!(out[2].as_ref().unwrap(), &Bytes::from_static(b"here"));
+        assert!(dh.get_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn sharded_and_single_lock_agree() {
+        for shards in [1, 16] {
+            let dh = StorageHost::with_shards(shards);
+            assert_eq!(dh.shard_count(), shards);
+            let urls: Vec<Url> = (0..40).map(|i| dh.put(Bytes::from(vec![i as u8]))).collect();
+            assert_eq!(dh.len(), 40);
+            assert_eq!(dh.total_bytes(), 40);
+            for (i, u) in urls.iter().enumerate() {
+                assert_eq!(dh.get(u).unwrap(), vec![i as u8]);
+            }
+            let loads = dh.shard_loads();
+            assert_eq!(loads.len(), shards);
+            let writes: u64 = loads.iter().map(|l| l.writes).sum();
+            assert_eq!(writes, 40);
+        }
     }
 }

@@ -1,0 +1,35 @@
+//! `sp-testkit`: the correctness harness for the social-puzzles
+//! workspace.
+//!
+//! The production crates each test themselves; this crate tests that
+//! they all implement the *same protocol*. Three pieces:
+//!
+//! * [`strategies`] — shared proptest strategies for contexts,
+//!   thresholds, and answer sets (arbitrary `n`, `k ≤ n`, unicode
+//!   answers, duplicate-question rejection inputs), so every crate's
+//!   property tests draw from one input space instead of re-rolling
+//!   narrower ones.
+//! * [`fault`] — a seeded, deterministic fault-injecting TCP proxy
+//!   ([`fault::FaultyProxy`]) that drops, truncates, bit-flips, and
+//!   delays framed messages and disconnects mid-frame, reproducible
+//!   from the seed alone.
+//! * [`trace`] — a differential trace driver: random scenarios replayed
+//!   against Construction 1 (in memory, over sockets, batched over
+//!   sockets), Construction 2, and the trivial baseline, asserting
+//!   every access decision equals the oracle *granted iff ≥ k answers
+//!   correct* (with `k = n` for the baseline), and that under injected
+//!   faults every operation still terminates with a typed error.
+//!
+//! The heavyweight runs (hundreds of traces, high fault rates) live in
+//! this crate's `tests/` directory marked `#[ignore]`; CI runs them
+//! with `cargo test -p sp-testkit -- --include-ignored`.
+
+pub mod fault;
+pub mod strategies;
+pub mod trace;
+
+pub use fault::{Fault, FaultCounts, FaultPlan, FaultyProxy};
+pub use trace::{
+    run_differential, run_faulted, run_faulted_strict, C1InMemory, C1Socket, C2InMemory,
+    Deployment, DifferentialReport, FaultReport, TraceError, TrivialInMemory,
+};

@@ -1,0 +1,310 @@
+//! Shared proptest strategies for social-puzzles inputs.
+//!
+//! Every crate that property-tests against contexts, thresholds, and
+//! answer sets previously rolled its own generators with its own blind
+//! spots (ASCII-only answers, fixed `N`, never a duplicate question).
+//! These strategies centralize the input space once: arbitrary `N`,
+//! `k ≤ N`, unicode answers, and — for robustness tests — raw pair lists
+//! that may contain duplicate questions or empty strings, which
+//! [`Context::from_pairs`] must reject with a typed error.
+
+use proptest::strategy::Strategy;
+use proptest::TestRng;
+use social_puzzles_core::context::{Context, ContextPair};
+
+/// Upper bound on generated context sizes. Big enough to exercise
+/// share-reconstruction paths at every threshold, small enough that a
+/// 256-case property run stays fast.
+pub const MAX_QUESTIONS: usize = 8;
+
+/// Answer alphabet deliberately heavy on multi-byte unicode: answers
+/// travel through hashing, wire codecs, and normalization, all of which
+/// must survive non-ASCII input.
+fn answer_text(rng: &mut TestRng) -> String {
+    // `.` in the vendored proptest mixes unicode into "any char".
+    let s = ".{1,16}".generate(rng);
+    // `Context` rejects empty answers; whitespace-only answers normalize
+    // to empty, so anchor every answer with one guaranteed glyph.
+    format!("a{s}")
+}
+
+fn question_text(rng: &mut TestRng, index: usize) -> String {
+    let s = ".{0,24}".generate(rng);
+    // The index prefix keeps generated questions unique, which
+    // `Context::from_pairs` requires.
+    format!("q{index}: {s}")
+}
+
+/// Strategy for valid [`Context`]s: `N ∈ [1, MAX_QUESTIONS]` unique
+/// questions with unicode-rich answers.
+#[derive(Clone, Debug, Default)]
+pub struct ContextStrategy;
+
+impl Strategy for ContextStrategy {
+    type Value = Context;
+
+    fn generate(&self, rng: &mut TestRng) -> Context {
+        let n = (1usize..=MAX_QUESTIONS).generate(rng);
+        let pairs = (0..n).map(|i| ContextPair::new(question_text(rng, i), answer_text(rng)));
+        Context::from_pairs(pairs.collect()).expect("generated contexts are valid by construction")
+    }
+}
+
+/// A valid context.
+#[must_use]
+pub fn context() -> ContextStrategy {
+    ContextStrategy
+}
+
+/// Strategy for `(Context, k)` with a valid threshold `1 ≤ k ≤ N`.
+#[derive(Clone, Debug, Default)]
+pub struct ContextWithThreshold;
+
+impl Strategy for ContextWithThreshold {
+    type Value = (Context, usize);
+
+    fn generate(&self, rng: &mut TestRng) -> (Context, usize) {
+        let ctx = ContextStrategy.generate(rng);
+        let k = (1usize..=ctx.len()).generate(rng);
+        (ctx, k)
+    }
+}
+
+/// A valid context with a valid threshold.
+#[must_use]
+pub fn context_with_k() -> ContextWithThreshold {
+    ContextWithThreshold
+}
+
+/// Strategy for *raw* question/answer pair lists that intentionally
+/// cover the rejection space too: possibly empty lists, empty questions
+/// or answers, and duplicate questions. Feed these to
+/// [`Context::from_pairs`] and assert it either accepts (all invariants
+/// hold) or fails with a typed error — never panics.
+#[derive(Clone, Debug, Default)]
+pub struct RawPairsStrategy;
+
+impl Strategy for RawPairsStrategy {
+    type Value = Vec<(String, String)>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<(String, String)> {
+        let n = (0usize..=MAX_QUESTIONS).generate(rng);
+        let mut pairs: Vec<(String, String)> = (0..n)
+            .map(|i| {
+                let q = if rng.below(8) == 0 { String::new() } else { question_text(rng, i) };
+                let a = if rng.below(8) == 0 { String::new() } else { answer_text(rng) };
+                (q, a)
+            })
+            .collect();
+        // Inject a duplicate question roughly a third of the time.
+        if pairs.len() >= 2 && rng.below(3) == 0 {
+            let src = rng.below(pairs.len() as u64) as usize;
+            let dst = rng.below(pairs.len() as u64) as usize;
+            let q = pairs[src].0.clone();
+            pairs[dst].0 = q;
+        }
+        pairs
+    }
+}
+
+/// Raw pairs, valid or not.
+#[must_use]
+pub fn raw_pairs() -> RawPairsStrategy {
+    RawPairsStrategy
+}
+
+/// What a generated receiver does with one question.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AnswerKind {
+    /// Submit the sharer's exact answer.
+    Correct,
+    /// Submit a deliberately different answer.
+    Wrong,
+    /// Don't answer this question at all.
+    Skip,
+}
+
+/// One receiver attempt against a context of `n` questions: what to do
+/// with each question index.
+#[derive(Clone, Debug)]
+pub struct AnswerPlan {
+    /// Index-aligned with the context's pairs.
+    pub kinds: Vec<AnswerKind>,
+}
+
+impl AnswerPlan {
+    /// How many answers this plan gets right.
+    #[must_use]
+    pub fn correct_count(&self) -> usize {
+        self.kinds.iter().filter(|k| **k == AnswerKind::Correct).count()
+    }
+
+    /// Materializes the plan against a context: `(index, answer)` pairs
+    /// for every non-skipped question. Wrong answers are derived from the
+    /// right one, so they are guaranteed unequal and non-empty.
+    #[must_use]
+    pub fn answers(&self, context: &Context) -> Vec<(usize, String)> {
+        self.kinds
+            .iter()
+            .enumerate()
+            .filter_map(|(i, kind)| {
+                let truth = context.pairs()[i].answer();
+                match kind {
+                    AnswerKind::Skip => None,
+                    AnswerKind::Correct => Some((i, truth.to_owned())),
+                    AnswerKind::Wrong => Some((i, format!("{truth}✗wrong"))),
+                }
+            })
+            .collect()
+    }
+
+    /// The access decision a threshold-`k` scheme must reach for this
+    /// plan: granted iff at least `k` answers are correct.
+    #[must_use]
+    pub fn expected_granted(&self, k: usize) -> bool {
+        self.correct_count() >= k
+    }
+}
+
+/// Generates an [`AnswerPlan`] for a context of `n` questions, biased so
+/// that both grant and deny outcomes occur often at any threshold.
+#[must_use]
+pub fn answer_plan(rng: &mut TestRng, n: usize) -> AnswerPlan {
+    let kinds = (0..n)
+        .map(|_| match rng.below(4) {
+            0 | 1 => AnswerKind::Correct,
+            2 => AnswerKind::Wrong,
+            _ => AnswerKind::Skip,
+        })
+        .collect();
+    AnswerPlan { kinds }
+}
+
+/// Strategy for a full differential scenario: a context, a threshold,
+/// and a batch of receiver attempts.
+#[derive(Clone, Debug)]
+pub struct ScenarioStrategy {
+    /// How many attempts each scenario carries.
+    pub attempts: std::ops::RangeInclusive<usize>,
+}
+
+/// One generated scenario for the differential driver.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// The shared secret context.
+    pub context: Context,
+    /// The sharer's threshold.
+    pub k: usize,
+    /// Receiver attempts, replayed in order.
+    pub attempts: Vec<AnswerPlan>,
+}
+
+impl Strategy for ScenarioStrategy {
+    type Value = Scenario;
+
+    fn generate(&self, rng: &mut TestRng) -> Scenario {
+        let (context, k) = ContextWithThreshold.generate(rng);
+        let count = self.attempts.clone().generate(rng);
+        let attempts = (0..count).map(|_| answer_plan(rng, context.len())).collect();
+        Scenario { context, k, attempts }
+    }
+}
+
+/// A scenario with 1–6 attempts.
+#[must_use]
+pub fn scenario() -> ScenarioStrategy {
+    ScenarioStrategy { attempts: 1..=6 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contexts_are_valid_and_sometimes_unicode() {
+        let mut rng = TestRng::new(7);
+        let mut saw_multibyte = false;
+        let mut sizes = std::collections::HashSet::new();
+        for _ in 0..200 {
+            let ctx = context().generate(&mut rng);
+            assert!((1..=MAX_QUESTIONS).contains(&ctx.len()));
+            sizes.insert(ctx.len());
+            if ctx.pairs().iter().any(|p| p.answer().len() > p.answer().chars().count()) {
+                saw_multibyte = true;
+            }
+        }
+        assert!(saw_multibyte, "no unicode answers in 200 contexts");
+        assert!(sizes.len() >= MAX_QUESTIONS - 1, "sizes barely vary: {sizes:?}");
+    }
+
+    #[test]
+    fn thresholds_stay_in_range() {
+        let mut rng = TestRng::new(8);
+        for _ in 0..200 {
+            let (ctx, k) = context_with_k().generate(&mut rng);
+            ctx.check_threshold(k).unwrap();
+        }
+    }
+
+    #[test]
+    fn raw_pairs_cover_duplicates_and_empties() {
+        let mut rng = TestRng::new(9);
+        let (mut dup, mut empty, mut valid) = (0, 0, 0);
+        for _ in 0..400 {
+            let pairs = raw_pairs().generate(&mut rng);
+            let qs: Vec<&String> = pairs.iter().map(|(q, _)| q).collect();
+            let unique: std::collections::HashSet<_> = qs.iter().collect();
+            if unique.len() < qs.len() {
+                dup += 1;
+            }
+            if pairs.iter().any(|(q, a)| q.is_empty() || a.is_empty()) {
+                empty += 1;
+            }
+            let ctx = Context::from_pairs(
+                pairs.iter().map(|(q, a)| ContextPair::new(q.clone(), a.clone())).collect(),
+            );
+            if ctx.is_ok() {
+                valid += 1;
+            }
+        }
+        assert!(dup > 20, "duplicate questions too rare: {dup}/400");
+        assert!(empty > 20, "empty strings too rare: {empty}/400");
+        assert!(valid > 20, "valid pair lists too rare: {valid}/400");
+    }
+
+    #[test]
+    fn answer_plans_hit_both_decisions() {
+        let mut rng = TestRng::new(10);
+        let (mut granted, mut denied) = (0, 0);
+        for _ in 0..200 {
+            let sc = scenario().generate(&mut rng);
+            for plan in &sc.attempts {
+                assert_eq!(plan.kinds.len(), sc.context.len());
+                let answers = plan.answers(&sc.context);
+                assert!(answers.len() <= sc.context.len());
+                if plan.expected_granted(sc.k) {
+                    granted += 1;
+                } else {
+                    denied += 1;
+                }
+            }
+        }
+        assert!(granted > 50, "grants too rare: {granted}");
+        assert!(denied > 50, "denials too rare: {denied}");
+    }
+
+    #[test]
+    fn wrong_answers_always_differ_from_truth() {
+        let mut rng = TestRng::new(11);
+        for _ in 0..100 {
+            let sc = scenario().generate(&mut rng);
+            for plan in &sc.attempts {
+                for (i, a) in plan.answers(&sc.context) {
+                    if plan.kinds[i] == AnswerKind::Wrong {
+                        assert_ne!(a, sc.context.pairs()[i].answer());
+                    }
+                }
+            }
+        }
+    }
+}

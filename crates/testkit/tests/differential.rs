@@ -1,0 +1,58 @@
+//! Differential correctness: every deployment of the scheme reaches the
+//! same access decisions on the same randomized scenarios.
+//!
+//! The smoke test runs in the fast tier. The 200-trace run is
+//! `#[ignore]`d so `cargo test -q` stays quick; CI executes it with
+//! `cargo test -p sp-testkit -- --include-ignored`. Every trace is a
+//! pure function of its seed — a failure message names the seed, and
+//! rerunning reproduces it exactly.
+
+use sp_testkit::{run_differential, C1InMemory, C1Socket, C2InMemory, Deployment, TrivialInMemory};
+
+/// Fixed base seed for the smoke run, so CI failures are reproducible
+/// and comparable across machines.
+const SMOKE_SEED: u64 = 0x5050_2014;
+
+#[test]
+fn differential_smoke_fixed_seed() {
+    let mut c1_mem = C1InMemory::new();
+    let mut c1_net = C1Socket::boot(false);
+    let mut c1_batched = C1Socket::boot(true);
+    let mut trivial = TrivialInMemory::new();
+    let mut deps: Vec<&mut dyn Deployment> =
+        vec![&mut c1_mem, &mut c1_net, &mut c1_batched, &mut trivial];
+    let report = run_differential(SMOKE_SEED, 20, &mut deps).unwrap();
+    assert_eq!(report.traces, 20);
+    assert!(report.grants > 0 && report.denials > 0, "one-sided smoke run: {report:?}");
+}
+
+#[test]
+#[ignore = "heavy: 200 traces x 5 deployments; CI runs with --include-ignored"]
+fn differential_200_traces_zero_divergence() {
+    let mut c1_mem = C1InMemory::new();
+    let mut c1_net = C1Socket::boot(false);
+    let mut c1_batched = C1Socket::boot(true);
+    let mut c2_mem = C2InMemory::new();
+    let mut trivial = TrivialInMemory::new();
+    let mut deps: Vec<&mut dyn Deployment> =
+        vec![&mut c1_mem, &mut c1_net, &mut c1_batched, &mut c2_mem, &mut trivial];
+    let report = run_differential(1, 200, &mut deps).unwrap();
+    assert_eq!(report.traces, 200);
+    // 200 traces x 1-6 attempts x 5 deployments: the decision count
+    // proves nothing was silently skipped.
+    assert!(report.decisions >= 200 * 5, "suspiciously few decisions: {report:?}");
+    assert!(report.grants > 100, "grants under-exercised: {report:?}");
+    assert!(report.denials > 100, "denials under-exercised: {report:?}");
+}
+
+#[test]
+#[ignore = "heavy: exercises the batched path against the single path over many traces"]
+fn batched_verify_decides_identically_to_single_verify() {
+    // Same daemon behind both clients: the batch endpoint and the
+    // single endpoint share state, so any divergence is the server's.
+    let mut single = C1Socket::boot(false);
+    let mut batched = C1Socket::boot(true);
+    let mut deps: Vec<&mut dyn Deployment> = vec![&mut single, &mut batched];
+    let report = run_differential(0xBA7C, 100, &mut deps).unwrap();
+    assert_eq!(report.traces, 100);
+}

@@ -1,0 +1,109 @@
+//! Fault injection against the live socket deployment.
+//!
+//! Three contracts, in increasing strength:
+//!
+//! 1. Under *any* fault (including bit flips) every operation ends in a
+//!    decision or a typed error — no panic, no hang. ([`run_faulted`])
+//! 2. Under *non-corrupting* faults (delay / truncate / drop), any
+//!    operation that completes must produce the **oracle's** decision:
+//!    lost frames force retries, and the idempotency-token layer makes
+//!    retried mutations at-most-once, so reliability faults must never
+//!    change what gets decided. ([`run_faulted_strict`])
+//! 3. The fault schedule is a pure function of its seed, so every
+//!    failure reproduces exactly.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use social_puzzles_core::construction1::Construction1;
+use sp_net::{ClientConfig, Daemon, DaemonConfig, SpService};
+use sp_osn::ServiceProvider;
+use sp_testkit::{run_faulted, run_faulted_strict, C1Socket, FaultPlan, FaultyProxy};
+
+/// Client tuned for a lossy link: generous retries, short backoff so
+/// the suite stays fast, and a read timeout big enough that a delayed
+/// frame is not mistaken for a lost one.
+fn lossy_client() -> ClientConfig {
+    ClientConfig {
+        read_timeout: Duration::from_millis(500),
+        retries: 6,
+        backoff: Duration::from_millis(2),
+        ..ClientConfig::default()
+    }
+}
+
+fn boot_behind_proxy(plan: FaultPlan) -> (Daemon, FaultyProxy, C1Socket) {
+    let service = SpService::new(ServiceProvider::new(), Construction1::new());
+    let daemon = Daemon::spawn("127.0.0.1:0", Arc::new(service), DaemonConfig::default()).unwrap();
+    let proxy = FaultyProxy::spawn(daemon.addr(), plan).unwrap();
+    let deployment = C1Socket::connect(proxy.addr(), lossy_client(), false);
+    (daemon, proxy, deployment)
+}
+
+#[test]
+fn faulted_smoke_terminates_with_typed_errors() {
+    let (daemon, proxy, mut deployment) = boot_behind_proxy(FaultPlan::with_rate(0xFA, 20));
+    let report = run_faulted(0xFA17, 6, &mut deployment);
+    assert_eq!(report.traces, 6);
+    assert!(report.decided + report.typed_errors > 0, "nothing happened at all: {report:?}");
+    assert!(proxy.counts().injected() > 0, "the plan never fired: {:?}", proxy.counts());
+    proxy.shutdown();
+    daemon.shutdown();
+}
+
+#[test]
+#[ignore = "heavy: full fault menu at a high rate; CI runs with --include-ignored"]
+fn every_fault_kind_yields_typed_errors_never_hangs() {
+    let (daemon, proxy, mut deployment) = boot_behind_proxy(FaultPlan::with_rate(7, 35));
+    let report = run_faulted(100, 40, &mut deployment);
+    assert_eq!(report.traces, 40);
+    let counts = proxy.counts();
+    assert!(counts.delayed > 0, "no delays fired: {counts:?}");
+    assert!(counts.bit_flipped > 0, "no bit flips fired: {counts:?}");
+    assert!(counts.truncated > 0, "no truncations fired: {counts:?}");
+    assert!(counts.dropped > 0, "no drops fired: {counts:?}");
+    // With retries, a 35% per-frame fault rate still lets most traffic
+    // through eventually — the harness must show real survivors, not
+    // just a wall of errors.
+    assert!(report.decided > 0, "nothing survived: {report:?} / {counts:?}");
+    proxy.shutdown();
+    daemon.shutdown();
+}
+
+#[test]
+#[ignore = "heavy: strict oracle check under non-corrupting faults; CI runs with --include-ignored"]
+fn benign_faults_never_change_a_decision() {
+    let (daemon, proxy, mut deployment) = boot_behind_proxy(FaultPlan::benign(9, 30));
+    let report = run_faulted_strict(200, 40, &mut deployment).unwrap();
+    assert_eq!(report.traces, 40);
+    assert!(report.decided > 20, "too few completed decisions to mean anything: {report:?}");
+    assert!(proxy.counts().injected() > 0, "the plan never fired");
+    proxy.shutdown();
+    daemon.shutdown();
+}
+
+#[test]
+#[ignore = "heavy: batched path under faults; CI runs with --include-ignored"]
+fn batched_verify_survives_faults_too() {
+    let service = SpService::new(ServiceProvider::new(), Construction1::new());
+    let daemon = Daemon::spawn("127.0.0.1:0", Arc::new(service), DaemonConfig::default()).unwrap();
+    let proxy = FaultyProxy::spawn(daemon.addr(), FaultPlan::with_rate(11, 30)).unwrap();
+    let mut deployment = C1Socket::connect(proxy.addr(), lossy_client(), true);
+    let report = run_faulted(300, 30, &mut deployment);
+    assert_eq!(report.traces, 30);
+    assert!(report.decided + report.typed_errors > 0);
+    assert!(proxy.counts().injected() > 0, "the plan never fired");
+    proxy.shutdown();
+    daemon.shutdown();
+}
+
+#[test]
+fn fault_schedules_reproduce_from_the_seed() {
+    use sp_testkit::Fault;
+    let draw = |seed: u64| -> Vec<Fault> {
+        let mut plan = FaultPlan::with_rate(seed, 50);
+        (0..256).map(|_| plan.next_fault()).collect()
+    };
+    assert_eq!(draw(42), draw(42));
+    assert_ne!(draw(42), draw(43));
+}

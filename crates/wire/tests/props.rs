@@ -1,7 +1,12 @@
 //! Property tests: every Writer field kind round-trips through Reader,
 //! and corrupted length prefixes never panic or over-read.
+//!
+//! Domain-shaped inputs (contexts with unicode answers, arbitrary
+//! sizes) come from the shared `sp-testkit` strategies, so the codec is
+//! exercised with exactly the strings the protocol will carry.
 
 use proptest::prelude::*;
+use sp_testkit::strategies::{context, raw_pairs};
 use sp_wire::{Reader, WireError, Writer};
 
 proptest! {
@@ -86,6 +91,44 @@ proptest! {
         prop_assert_eq!(r.bytes().unwrap(), &data[..]);
         prop_assert_eq!(r.u64().unwrap(), c);
         prop_assert_eq!(r.string().unwrap(), s);
+        prop_assert!(r.expect_end().is_ok());
+    }
+
+    #[test]
+    fn context_pairs_roundtrip_the_string_codec(ctx in context()) {
+        // Questions and unicode-heavy answers are what the protocol
+        // actually ships; they must survive the string codec verbatim.
+        let mut w = Writer::new();
+        w.u32(ctx.len() as u32);
+        for p in ctx.pairs() {
+            w.string(p.question()).string(p.answer());
+        }
+        let buf = w.finish();
+        let mut r = Reader::new(&buf);
+        prop_assert_eq!(r.u32().unwrap() as usize, ctx.len());
+        for p in ctx.pairs() {
+            prop_assert_eq!(r.string().unwrap(), p.question());
+            prop_assert_eq!(r.string().unwrap(), p.answer());
+        }
+        prop_assert!(r.expect_end().is_ok());
+    }
+
+    #[test]
+    fn raw_pair_lists_roundtrip_even_when_invalid_as_contexts(pairs in raw_pairs()) {
+        // The wire layer is agnostic to context validity: duplicate
+        // questions and empty strings still encode and decode exactly.
+        let mut w = Writer::new();
+        w.u32(pairs.len() as u32);
+        for (q, a) in &pairs {
+            w.string(q).string(a);
+        }
+        let buf = w.finish();
+        let mut r = Reader::new(&buf);
+        prop_assert_eq!(r.u32().unwrap() as usize, pairs.len());
+        for (q, a) in &pairs {
+            prop_assert_eq!(r.string().unwrap(), q);
+            prop_assert_eq!(r.string().unwrap(), a);
+        }
         prop_assert!(r.expect_end().is_ok());
     }
 

@@ -18,11 +18,17 @@
 //! It also runs the real networked deployment (the `sp-net` subsystem):
 //!
 //! ```text
-//! spuzzle serve-sp --addr 127.0.0.1:7741     # service-provider daemon
-//! spuzzle serve-dh --addr 127.0.0.1:7742     # data-host daemon
+//! spuzzle serve-sp --addr 127.0.0.1:7741 --shards 16   # service-provider daemon
+//! spuzzle serve-dh --addr 127.0.0.1:7742 --shards 16   # data-host daemon
 //! spuzzle load --sp 127.0.0.1:7741 --dh 127.0.0.1:7742 \
-//!         --threads 4 --requests 100         # closed-loop load generator
+//!         --threads 4 --requests 100         # closed-loop share+receive cycles
+//! spuzzle load --sp 127.0.0.1:7741 --dh 127.0.0.1:7742 \
+//!         --mode verify --threads 4 --requests 200 --batch 16
+//!                                            # Verify-endpoint throughput
 //! ```
+//!
+//! `--shards 1` on the daemons reproduces the single-lock baseline, so
+//! the sharding + batching speedup is measurable from the CLI alone.
 
 use std::net::SocketAddr;
 use std::path::{Path, PathBuf};
@@ -38,7 +44,7 @@ use social_puzzles::core::protocol::SocialPuzzleApp;
 use social_puzzles::net::{
     ClientConfig, Daemon, DaemonConfig, DhClient, DhService, SpClient, SpService,
 };
-use social_puzzles::osn::{DeviceProfile, ServiceProvider, StorageHost, UserId};
+use social_puzzles::osn::{DeviceProfile, ProviderApi, ServiceProvider, StorageHost, UserId};
 
 const PUZZLE_FILE: &str = "puzzle.spz";
 const OBJECT_FILE: &str = "object.enc";
@@ -215,17 +221,25 @@ fn cmd_serve(args: &[String], role: Role) -> Result<(), String> {
         Some(d) => Some(d.parse().map_err(|_| "--duration-ms must be a number")?),
         None => None,
     };
+    // Lock stripes for the puzzle/blob store; 1 = single-lock baseline.
+    let shards: usize = flag_value(args, "--shards")
+        .unwrap_or("16")
+        .parse()
+        .map_err(|_| "--shards must be a number")?;
 
     let (name, metrics, daemon) = match role {
         Role::Sp => {
-            let service = Arc::new(SpService::new(ServiceProvider::new(), Construction1::new()));
+            let service = Arc::new(SpService::new(
+                ServiceProvider::with_shards(shards),
+                Construction1::new(),
+            ));
             let metrics = service.metrics();
             let daemon =
                 Daemon::spawn(addr, service, cfg).map_err(|e| format!("binding {addr}: {e}"))?;
             ("sp", metrics, daemon)
         }
         Role::Dh => {
-            let service = Arc::new(DhService::new(StorageHost::new()));
+            let service = Arc::new(DhService::new(StorageHost::with_shards(shards)));
             let metrics = service.metrics();
             let daemon =
                 Daemon::spawn(addr, service, cfg).map_err(|e| format!("binding {addr}: {e}"))?;
@@ -245,20 +259,22 @@ fn cmd_serve(args: &[String], role: Role) -> Result<(), String> {
     Ok(())
 }
 
-/// `load`: a closed-loop multithreaded load generator. Each thread runs
-/// complete Construction-1 share→solve→access cycles against live
-/// daemons through the remote `ProviderApi`/`StorageApi` clients and
-/// records per-phase latency; the driver reports throughput and
-/// percentiles.
+/// `load`: a closed-loop multithreaded load generator.
+///
+/// `--mode cycle` (default) runs complete Construction-1
+/// share→solve→access cycles against live daemons through the remote
+/// `ProviderApi`/`StorageApi` clients and reports per-phase latency.
+///
+/// `--mode verify` hammers the SP's `Verify` endpoint specifically: each
+/// thread publishes its own puzzle once, then submits correct responses
+/// as fast as the daemon answers — singly, or `--batch N` per frame
+/// through `VerifyBatch`. This is the workload that exposes store lock
+/// contention, so it is the one to compare across `--shards` settings.
 fn cmd_load(args: &[String]) -> Result<(), String> {
     let sp_addr: SocketAddr = flag_value(args, "--sp")
         .ok_or("--sp <addr:port> is required")?
         .parse()
         .map_err(|e| format!("--sp: {e}"))?;
-    let dh_addr: SocketAddr = flag_value(args, "--dh")
-        .ok_or("--dh <addr:port> is required")?
-        .parse()
-        .map_err(|e| format!("--dh: {e}"))?;
     let threads: usize = flag_value(args, "--threads")
         .unwrap_or("4")
         .parse()
@@ -277,6 +293,22 @@ fn cmd_load(args: &[String]) -> Result<(), String> {
         .parse()
         .map_err(|_| "threshold must be a number")?;
 
+    match flag_value(args, "--mode").unwrap_or("cycle") {
+        "cycle" => {}
+        "verify" => {
+            let batch: usize = flag_value(args, "--batch")
+                .unwrap_or("1")
+                .parse()
+                .map_err(|_| "--batch must be a number")?;
+            return run_verify_load(sp_addr, threads, requests, batch, k);
+        }
+        other => return Err(format!("unknown --mode {other:?} (cycle | verify)")),
+    }
+
+    let dh_addr: SocketAddr = flag_value(args, "--dh")
+        .ok_or("--dh <addr:port> is required")?
+        .parse()
+        .map_err(|e| format!("--dh: {e}"))?;
     let context = Context::builder()
         .pair("Where was the event?", "lakeside cabin")
         .pair("Who hosted it?", "priya")
@@ -350,6 +382,89 @@ fn cmd_load(args: &[String]) -> Result<(), String> {
     );
     report("share  ", &mut all.share);
     report("receive", &mut all.receive);
+    Ok(())
+}
+
+/// The `--mode verify` driver: per-thread puzzles (so threads land on
+/// different store shards), correct precomputed responses, `requests`
+/// frames per thread of `batch` verifies each.
+fn run_verify_load(
+    sp_addr: SocketAddr,
+    threads: usize,
+    requests: usize,
+    batch: usize,
+    k: usize,
+) -> Result<(), String> {
+    let context = Context::builder()
+        .pair("Where was the event?", "lakeside cabin")
+        .pair("Who hosted it?", "priya")
+        .pair("What did we grill?", "corn")
+        .build()
+        .map_err(|e| e.to_string())?;
+    if k > context.len() {
+        return Err(format!("threshold {k} exceeds the {} built-in questions", context.len()));
+    }
+    let batch = batch.max(1);
+
+    let started = Instant::now();
+    let mut handles = Vec::with_capacity(threads.max(1));
+    for t in 0..threads.max(1) {
+        let context = context.clone();
+        handles.push(std::thread::spawn(move || -> Result<usize, String> {
+            let sp = SpClient::connect(sp_addr, ClientConfig::default());
+            let c1 = Construction1::new();
+            let mut rng = StdRng::from_entropy();
+            let upload = c1
+                .upload_to(
+                    b"verify-load",
+                    &context,
+                    k,
+                    social_puzzles::osn::Url::from(format!("dh://load/{t}").as_str()),
+                    None,
+                    &mut rng,
+                )
+                .map_err(|e| format!("upload: {e}"))?;
+            let id = sp
+                .publish_puzzle(bytes::Bytes::from(upload.puzzle.to_bytes()))
+                .map_err(|e| format!("publish: {e}"))?;
+            let displayed = sp.display_puzzle(id).map_err(|e| format!("display: {e}"))?;
+            let answers = displayed.answer(|q| context.answer_for(q).map(str::to_owned));
+            let response = c1.answer_puzzle(&displayed, &answers);
+            let user = UserId::from_raw(t as u64);
+
+            let mut verified = 0usize;
+            for _ in 0..requests {
+                if batch == 1 {
+                    sp.verify(user, id, &response).map_err(|e| format!("verify: {e}"))?;
+                    verified += 1;
+                } else {
+                    let entries: Vec<_> =
+                        (0..batch).map(|_| (user, id, response.clone())).collect();
+                    let results =
+                        sp.verify_batch(&entries).map_err(|e| format!("verify_batch: {e}"))?;
+                    for r in &results {
+                        if let Err(e) = r {
+                            return Err(format!("verify_batch entry: {e}"));
+                        }
+                    }
+                    verified += results.len();
+                }
+            }
+            Ok(verified)
+        }));
+    }
+
+    let mut verified = 0usize;
+    for h in handles {
+        verified += h.join().map_err(|_| "worker thread panicked")??;
+    }
+    let wall = started.elapsed();
+    println!(
+        "verify-load: {verified} verifies across {threads} threads (batch {batch}) \
+         in {:.2}s ({:.0} verifies/s)",
+        wall.as_secs_f64(),
+        verified as f64 / wall.as_secs_f64().max(1e-9),
+    );
     Ok(())
 }
 

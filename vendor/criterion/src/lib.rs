@@ -1,0 +1,249 @@
+//! Minimal, offline stand-in for the `criterion` API surface this
+//! workspace's benches use. It is a real (if simple) wall-clock harness:
+//! each benchmark is calibrated to a batch size, timed over the configured
+//! measurement window, and reported as `group/id: median ns/iter` on
+//! stdout. No HTML reports, statistics beyond min/median, or CLI filters.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            warm_up: Duration::from_millis(200),
+            measurement: Duration::from_millis(500),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_benchmark(id, 10, Duration::from_millis(200), Duration::from_millis(500), None, |b| {
+            f(b)
+        });
+        self
+    }
+}
+
+/// Identifier combining a function name and a parameter, e.g. `impl1/4`.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self { label: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self { label: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { label: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { label: s }
+    }
+}
+
+/// Units for reporting throughput alongside timings.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_benchmark(
+            &label,
+            self.sample_size,
+            self.warm_up,
+            self.measurement,
+            self.throughput,
+            |b| f(b),
+        );
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        run_benchmark(
+            &label,
+            self.sample_size,
+            self.warm_up,
+            self.measurement,
+            self.throughput,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Timing context handed to each benchmark closure.
+pub struct Bencher {
+    batch: u64,
+    last_batch_time: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.batch {
+            black_box(f());
+        }
+        self.last_batch_time = start.elapsed();
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    label: &str,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    throughput: Option<Throughput>,
+    mut routine: F,
+) {
+    // Calibrate: grow the batch until one batch takes ~1ms or the warm-up
+    // budget is spent.
+    let mut bencher = Bencher { batch: 1, last_batch_time: Duration::ZERO };
+    let warm_start = Instant::now();
+    loop {
+        routine(&mut bencher);
+        if bencher.last_batch_time >= Duration::from_millis(1)
+            || warm_start.elapsed() >= warm_up
+            || bencher.batch >= 1 << 20
+        {
+            break;
+        }
+        bencher.batch *= 2;
+    }
+
+    let mut per_iter_ns: Vec<f64> = Vec::with_capacity(sample_size);
+    let bench_start = Instant::now();
+    for _ in 0..sample_size {
+        routine(&mut bencher);
+        per_iter_ns.push(bencher.last_batch_time.as_nanos() as f64 / bencher.batch as f64);
+        if bench_start.elapsed() >= measurement {
+            break;
+        }
+    }
+    per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter_ns[per_iter_ns.len() / 2];
+    let min = per_iter_ns.first().copied().unwrap_or(median);
+    match throughput {
+        Some(Throughput::Elements(n)) if median > 0.0 => {
+            let rate = n as f64 * 1e9 / median;
+            println!("{label}: median {median:.1} ns/iter (min {min:.1}), {rate:.0} elem/s");
+        }
+        Some(Throughput::Bytes(n)) if median > 0.0 => {
+            let rate = n as f64 * 1e9 / median;
+            println!("{label}: median {median:.1} ns/iter (min {min:.1}), {rate:.0} B/s");
+        }
+        _ => println!("{label}: median {median:.1} ns/iter (min {min:.1})"),
+    }
+}
+
+/// Build a function running the listed benchmark targets in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Build a `main` that runs each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        group.warm_up_time(Duration::from_millis(5));
+        group.measurement_time(Duration::from_millis(10));
+        group.throughput(Throughput::Elements(1));
+        let mut ran = 0u32;
+        group.bench_function("add", |b| {
+            ran += 1;
+            b.iter(|| black_box(2u64) + black_box(3u64))
+        });
+        group.bench_with_input(BenchmarkId::new("mul", 7), &7u64, |b, &x| {
+            b.iter(|| black_box(x) * 3)
+        });
+        group.finish();
+        assert!(ran > 0);
+    }
+}

@@ -1,0 +1,88 @@
+//! Minimal, offline stand-in for `crossbeam::thread::scope`, implemented on
+//! top of `std::thread::scope`. Spawn closures receive a `&Scope` argument
+//! (typically ignored as `|_|`) exactly like the original API, and the outer
+//! `scope()` returns `Err` if any thread panicked instead of propagating the
+//! panic.
+
+pub mod thread {
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::thread as std_thread;
+
+    /// Scope handle passed to the closure given to [`scope`] and to every
+    /// spawned thread's closure.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std_thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a thread spawned inside a [`scope`].
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std_thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread. The closure receives a `&Scope` so nested
+        /// spawns are possible, mirroring crossbeam's signature.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle { inner: inner.spawn(move || f(&Scope { inner })) }
+        }
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    /// Create a scope for spawning threads that may borrow from the caller's
+    /// stack. All threads are joined before this returns; a panic in any
+    /// thread (or in the closure) surfaces as `Err`.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| std_thread::scope(|s| f(&Scope { inner: s }))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn threads_run_and_join() {
+        let counter = AtomicUsize::new(0);
+        super::thread::scope(|s| {
+            for _ in 0..8 {
+                let counter = &counter;
+                s.spawn(move |_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn child_panic_becomes_err() {
+        let r = super::thread::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn join_returns_value() {
+        super::thread::scope(|s| {
+            let h = s.spawn(|_| 41 + 1);
+            assert_eq!(h.join().unwrap(), 42);
+        })
+        .unwrap();
+    }
+}

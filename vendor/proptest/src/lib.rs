@@ -1,0 +1,285 @@
+//! Minimal, offline stand-in for the subset of `proptest` this workspace
+//! uses: the `proptest!` macro with `#![proptest_config(...)]`, `any::<T>()`
+//! for primitives and arrays, integer-range and regex-literal strategies,
+//! `proptest::collection::vec`, `prop::sample::Index`, and the
+//! `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from the real crate, by design:
+//! - no shrinking: a failing case reports its seed and generated inputs
+//!   instead of a minimized counterexample. Re-run with
+//!   `PROPTEST_SEED=<seed>` to reproduce the exact sequence.
+//! - runs are deterministic by default (fixed seed), so CI results are
+//!   stable; set `PROPTEST_SEED` to explore a different part of the space.
+//! - regex strategies support the subset used here: a sequence of literal
+//!   chars, `.`, or `[a-z0-9_]`-style classes, each optionally followed by
+//!   `{lo,hi}` / `{n}` / `*` / `+` / `?`.
+
+use std::fmt::Write as _;
+
+pub mod arbitrary;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+
+pub use arbitrary::{any, Arbitrary};
+pub use strategy::Strategy;
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::Strategy;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+        TestCaseError,
+    };
+
+    /// Namespace alias matching `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+        pub use crate::strategy;
+    }
+}
+
+/// Per-test configuration; only `cases` is honored.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases =
+            std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(256);
+        Self { cases }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// An assertion failed: the property does not hold for these inputs.
+    Fail(String),
+    /// The inputs were rejected by `prop_assume!`; try another case.
+    Reject(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        Self::Fail(msg.into())
+    }
+
+    pub fn reject(msg: impl Into<String>) -> Self {
+        Self::Reject(msg.into())
+    }
+}
+
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// The deterministic generator handed to strategies (SplitMix64).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`. `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        let wide = ((self.next_u64() as u128) << 64) | self.next_u64() as u128;
+        (wide % bound as u128) as u64
+    }
+}
+
+fn fnv1a(data: &[u8]) -> u64 {
+    let mut acc: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        acc ^= b as u64;
+        acc = acc.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    acc
+}
+
+/// Driver behind the `proptest!` macro. Runs `config.cases` accepted cases,
+/// panicking with seed + inputs on the first failure.
+pub fn run_proptest<F>(config: &ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng, &mut Vec<String>) -> TestCaseResult,
+{
+    let (seed, seed_source) = match std::env::var("PROPTEST_SEED") {
+        Ok(v) => {
+            let parsed = v
+                .trim()
+                .strip_prefix("0x")
+                .map(|hex| u64::from_str_radix(hex, 16))
+                .unwrap_or_else(|| v.trim().parse())
+                .unwrap_or_else(|_| panic!("PROPTEST_SEED must be a u64, got {v:?}"));
+            (parsed, "env PROPTEST_SEED")
+        }
+        Err(_) => (0x5050_2014_d511_1e57, "default"),
+    };
+    let base = seed ^ fnv1a(name.as_bytes());
+
+    let mut accepted = 0u32;
+    let mut attempt = 0u64;
+    let max_attempts = (config.cases as u64).saturating_mul(20).max(200);
+    while accepted < config.cases {
+        attempt += 1;
+        if attempt > max_attempts {
+            panic!(
+                "proptest '{name}': gave up after {max_attempts} attempts with only \
+                 {accepted}/{} accepted cases (prop_assume! rejects too much)",
+                config.cases
+            );
+        }
+        let mut rng = TestRng::new(base.wrapping_add(attempt.wrapping_mul(0xa076_1d64_78bd_642f)));
+        let mut inputs = Vec::new();
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| case(&mut rng, &mut inputs)));
+        match outcome {
+            Ok(Ok(())) => accepted += 1,
+            Ok(Err(TestCaseError::Reject(_))) => continue,
+            Ok(Err(TestCaseError::Fail(msg))) => {
+                panic!(
+                    "proptest '{name}' failed at case #{attempt} \
+                     (seed {seed:#x} [{seed_source}]; rerun with PROPTEST_SEED={seed:#x}):\n\
+                     {}\n{msg}",
+                    render_inputs(&inputs)
+                );
+            }
+            Err(payload) => {
+                eprintln!(
+                    "proptest '{name}' panicked at case #{attempt} \
+                     (seed {seed:#x} [{seed_source}]; rerun with PROPTEST_SEED={seed:#x}):\n{}",
+                    render_inputs(&inputs)
+                );
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+}
+
+fn render_inputs(inputs: &[String]) -> String {
+    let mut out = String::from("  inputs:");
+    for line in inputs {
+        let _ = write!(out, "\n    {line}");
+    }
+    out
+}
+
+/// Define property tests. Mirrors `proptest::proptest!`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr); $(#[$meta:meta])* fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            $crate::run_proptest(&__config, stringify!($name), |__rng, __inputs| {
+                $(
+                    let __value = $crate::strategy::Strategy::generate(&($strat), __rng);
+                    __inputs.push(format!(concat!(stringify!($pat), " = {:?}"), &__value));
+                    let $pat = __value;
+                )+
+                $body
+                ::std::result::Result::Ok(())
+            });
+        }
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+    (($cfg:expr);) => {};
+}
+
+/// Assert inside a `proptest!` body; failure reports the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n {}",
+                stringify!($left), stringify!($right), l, r, format!($($fmt)*)
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left), stringify!($right), l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l != *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}\n {}",
+                stringify!($left), stringify!($right), l, format!($($fmt)*)
+            )));
+        }
+    }};
+}
+
+/// Reject the current case (not counted towards `cases`) unless `$cond`.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(concat!(
+                "assumption failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+}

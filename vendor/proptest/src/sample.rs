@@ -1,0 +1,41 @@
+//! `prop::sample::Index`: a length-agnostic index into a collection.
+
+use crate::arbitrary::Arbitrary;
+use crate::TestRng;
+
+/// An arbitrary position that maps uniformly into any nonempty collection
+/// via [`Index::index`].
+#[derive(Clone, Copy, Debug)]
+pub struct Index {
+    raw: u64,
+}
+
+impl Index {
+    /// Map into `[0, size)`. Panics if `size == 0`, like the real crate.
+    pub fn index(&self, size: usize) -> usize {
+        assert!(size > 0, "Index::index on empty collection");
+        (self.raw % size as u64) as usize
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        Self { raw: rng.next_u64() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_is_in_bounds_for_any_size() {
+        let mut rng = TestRng::new(31);
+        for _ in 0..100 {
+            let ix = Index::arbitrary(&mut rng);
+            for size in [1usize, 2, 7, 1000] {
+                assert!(ix.index(size) < size);
+            }
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! The `Strategy` trait plus strategies for integer ranges and
+//! regex-literal string patterns.
+
+use crate::TestRng;
+use std::fmt::Debug;
+use std::ops::{Range, RangeFrom, RangeInclusive};
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    type Value: Debug;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "strategy range is empty: {:?}", self);
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let wide = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+                (self.start as i128 + (wide % span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "strategy range is empty: {:?}", self);
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let wide = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+                (lo as i128 + (wide % span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeFrom<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let lo = self.start;
+                let span = (<$t>::MAX as i128 - lo as i128) as u128 + 1;
+                let wide = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+                (lo as i128 + (wide % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "strategy range is empty: {:?}", self);
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+/// `&'static str` literals act as regex-style string strategies, supporting
+/// the subset used in this workspace: sequences of `.`, `[a-z0-9]`-style
+/// classes, or literal chars, each optionally quantified with `{lo,hi}`,
+/// `{n}`, `*`, `+`, or `?`.
+impl Strategy for str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for (class, lo, hi) in &atoms {
+            let count = *lo as u64 + rng.below((*hi - *lo) as u64 + 1);
+            for _ in 0..count {
+                out.push(class.sample(rng));
+            }
+        }
+        out
+    }
+}
+
+enum CharClass {
+    /// `.`: any printable char, with a deliberate unicode admixture.
+    Any,
+    /// `[a-z0-9_]`: explicit ranges/chars.
+    Set(Vec<(char, char)>),
+    /// A literal character.
+    Lit(char),
+}
+
+impl CharClass {
+    fn sample(&self, rng: &mut TestRng) -> char {
+        match self {
+            CharClass::Lit(c) => *c,
+            CharClass::Any => {
+                // Mostly printable ASCII, with multi-byte unicode mixed in so
+                // "any string" strategies exercise UTF-8 boundaries.
+                const EXOTIC: &[char] =
+                    &['é', 'ß', 'λ', 'Ω', 'ж', '中', '文', '🧩', '💬', '\u{0301}', '¿', '½'];
+                if rng.below(100) < 85 {
+                    char::from(b' ' + rng.below(95) as u8)
+                } else {
+                    EXOTIC[rng.below(EXOTIC.len() as u64) as usize]
+                }
+            }
+            CharClass::Set(ranges) => {
+                let total: u64 = ranges.iter().map(|(a, b)| *b as u64 - *a as u64 + 1).sum();
+                let mut pick = rng.below(total);
+                for (a, b) in ranges {
+                    let span = *b as u64 - *a as u64 + 1;
+                    if pick < span {
+                        return char::from_u32(*a as u32 + pick as u32)
+                            .expect("class range stays in valid scalar values");
+                    }
+                    pick -= span;
+                }
+                unreachable!("pick < total")
+            }
+        }
+    }
+}
+
+fn parse_pattern(pattern: &str) -> Vec<(CharClass, usize, usize)> {
+    let mut chars = pattern.chars().peekable();
+    let mut atoms = Vec::new();
+    while let Some(c) = chars.next() {
+        let class = match c {
+            '.' => CharClass::Any,
+            '[' => {
+                let mut ranges = Vec::new();
+                loop {
+                    let a = chars
+                        .next()
+                        .unwrap_or_else(|| panic!("unterminated class in pattern {pattern:?}"));
+                    if a == ']' {
+                        break;
+                    }
+                    assert!(
+                        a != '^',
+                        "negated classes are not supported by the vendored proptest: {pattern:?}"
+                    );
+                    if chars.peek() == Some(&'-') {
+                        chars.next();
+                        let b = chars
+                            .next()
+                            .unwrap_or_else(|| panic!("unterminated range in pattern {pattern:?}"));
+                        ranges.push((a, b));
+                    } else {
+                        ranges.push((a, a));
+                    }
+                }
+                assert!(!ranges.is_empty(), "empty class in pattern {pattern:?}");
+                CharClass::Set(ranges)
+            }
+            '\\' => CharClass::Lit(
+                chars.next().unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}")),
+            ),
+            other => CharClass::Lit(other),
+        };
+        let (lo, hi) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for q in chars.by_ref() {
+                    if q == '}' {
+                        break;
+                    }
+                    spec.push(q);
+                }
+                let parse = |s: &str| {
+                    s.trim()
+                        .parse::<usize>()
+                        .unwrap_or_else(|_| panic!("bad quantifier in pattern {pattern:?}"))
+                };
+                match spec.split_once(',') {
+                    Some((lo, hi)) => (parse(lo), parse(hi)),
+                    None => {
+                        let n = parse(&spec);
+                        (n, n)
+                    }
+                }
+            }
+            Some('*') => {
+                chars.next();
+                (0, 16)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 16)
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            _ => (1, 1),
+        };
+        assert!(lo <= hi, "bad quantifier bounds in pattern {pattern:?}");
+        atoms.push((class, lo, hi));
+    }
+    atoms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_quantifier_respects_bounds() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..200 {
+            let s = ".{0,8}".generate(&mut rng);
+            assert!(s.chars().count() <= 8);
+        }
+    }
+
+    #[test]
+    fn class_stays_in_class() {
+        let mut rng = TestRng::new(2);
+        for _ in 0..200 {
+            let s = "[a-z]{1,30}".generate(&mut rng);
+            let n = s.chars().count();
+            assert!((1..=30).contains(&n));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn literals_and_escapes() {
+        let mut rng = TestRng::new(3);
+        let s = "ab\\.c".generate(&mut rng);
+        assert_eq!(s, "ab.c");
+    }
+
+    #[test]
+    fn dot_emits_unicode_sometimes() {
+        let mut rng = TestRng::new(4);
+        let mut saw_multibyte = false;
+        for _ in 0..200 {
+            let s = ".{8,8}".generate(&mut rng);
+            if s.len() > s.chars().count() {
+                saw_multibyte = true;
+            }
+        }
+        assert!(saw_multibyte, "unicode admixture missing from '.'");
+    }
+
+    #[test]
+    fn ranges_cover_bounds() {
+        let mut rng = TestRng::new(5);
+        for _ in 0..500 {
+            let v = (3usize..7).generate(&mut rng);
+            assert!((3..7).contains(&v));
+            let w = (1u64..).generate(&mut rng);
+            assert!(w >= 1);
+            let x = (0u32..=2).generate(&mut rng);
+            assert!(x <= 2);
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Distributions: `Standard` (backing `Rng::gen`), `Alphanumeric`, and the
+//! `DistIter` adaptor behind `Rng::sample_iter`.
+
+use crate::RngCore;
+use std::marker::PhantomData;
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+impl<T, D: Distribution<T> + ?Sized> Distribution<T> for &D {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+        (**self).sample(rng)
+    }
+}
+
+/// The "natural" uniform distribution for primitive types.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Standard;
+
+macro_rules! impl_standard_uint {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Distribution<u128> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u128 {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl<T, const N: usize> Distribution<[T; N]> for Standard
+where
+    Standard: Distribution<T>,
+{
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> [T; N] {
+        std::array::from_fn(|_| Standard.sample(rng))
+    }
+}
+
+/// Uniform over `[0-9A-Za-z]`, yielding `u8` like rand 0.8.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Alphanumeric;
+
+impl Distribution<u8> for Alphanumeric {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u8 {
+        const CHARS: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789";
+        CHARS[(rng.next_u64() % CHARS.len() as u64) as usize]
+    }
+}
+
+/// Iterator returned by `Rng::sample_iter`.
+pub struct DistIter<D, R, T> {
+    distr: D,
+    rng: R,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<D, R, T> DistIter<D, R, T> {
+    pub(crate) fn new(distr: D, rng: R) -> Self {
+        Self { distr, rng, _marker: PhantomData }
+    }
+}
+
+impl<D, R, T> Iterator for DistIter<D, R, T>
+where
+    D: Distribution<T>,
+    R: RngCore,
+{
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        Some(self.distr.sample(&mut self.rng))
+    }
+}

@@ -1,0 +1,147 @@
+//! Generator implementations: `StdRng` (SplitMix64 core), `ThreadRng`, and
+//! `mock::StepRng`.
+
+use crate::{RngCore, SeedableRng};
+
+/// SplitMix64: tiny, fast, passes BigCrush; used as the core of [`StdRng`].
+#[derive(Clone, Debug)]
+pub(crate) struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    pub(crate) fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// Deterministic seedable generator, mirroring `rand::rngs::StdRng`.
+///
+/// NOT the real StdRng stream (that is ChaCha12) and NOT cryptographically
+/// secure — per-seed determinism is the only contract this workspace needs.
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    core: SplitMix64,
+}
+
+impl RngCore for StdRng {
+    fn next_u32(&mut self) -> u32 {
+        (self.core.next_u64() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.core.next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.core.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        // Fold the 256-bit seed into the 64-bit SplitMix state via FNV-1a so
+        // every seed byte influences the stream.
+        let mut acc: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in &seed {
+            acc ^= b as u64;
+            acc = acc.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Self { core: SplitMix64::new(acc) }
+    }
+}
+
+/// Fresh entropy for `from_entropy()` / `thread_rng()`: mixes the OS-random
+/// `RandomState` hasher keys with a monotonic counter and the thread id.
+pub(crate) fn entropy_seed() -> u64 {
+    use std::collections::hash_map::RandomState;
+    use std::hash::{BuildHasher, Hasher};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let mut hasher = RandomState::new().build_hasher();
+    hasher.write_u64(COUNTER.fetch_add(1, Ordering::Relaxed));
+    let tid = format!("{:?}", std::thread::current().id());
+    hasher.write(tid.as_bytes());
+    if let Ok(d) = std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH) {
+        hasher.write_u128(d.as_nanos());
+    }
+    hasher.finish()
+}
+
+/// Entropy-seeded generator returned by [`crate::thread_rng`].
+#[derive(Clone, Debug)]
+pub struct ThreadRng {
+    inner: StdRng,
+}
+
+impl ThreadRng {
+    pub(crate) fn new() -> Self {
+        Self { inner: StdRng::seed_from_u64(entropy_seed()) }
+    }
+}
+
+impl RngCore for ThreadRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest)
+    }
+}
+
+pub mod mock {
+    use crate::RngCore;
+
+    /// Arithmetic-sequence mock generator, mirroring
+    /// `rand::rngs::mock::StepRng`: yields `initial`, `initial + increment`,
+    /// `initial + 2*increment`, ... (wrapping).
+    #[derive(Clone, Debug)]
+    pub struct StepRng {
+        value: u64,
+        increment: u64,
+    }
+
+    impl StepRng {
+        pub fn new(initial: u64, increment: u64) -> Self {
+            Self { value: initial, increment }
+        }
+    }
+
+    impl RngCore for StepRng {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let out = self.value;
+            self.value = self.value.wrapping_add(self.increment);
+            out
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let bytes = self.next_u64().to_le_bytes();
+                chunk.copy_from_slice(&bytes[..chunk.len()]);
+            }
+        }
+    }
+}
