@@ -201,6 +201,22 @@ impl AccessTree {
         walk(&self.root, w);
     }
 
+    /// Exact byte length of [`AccessTree::encode`]'s output, so encoders
+    /// can pre-size their buffers.
+    pub fn encoded_len(&self) -> usize {
+        fn walk(node: &AccessNode) -> usize {
+            match node {
+                // tag + length prefix + attribute bytes
+                AccessNode::Leaf { attribute } => 1 + 4 + attribute.len(),
+                // tag + k + child count + children
+                AccessNode::Threshold { children, .. } => {
+                    1 + 4 + 4 + children.iter().map(walk).sum::<usize>()
+                }
+            }
+        }
+        walk(&self.root)
+    }
+
     /// Decodes a tree produced by [`AccessTree::encode`].
     ///
     /// # Errors

@@ -1,24 +1,53 @@
 //! The Bethencourt–Sahai–Waters CP-ABE scheme (IEEE S&P 2007).
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
+use std::sync::{Arc, Mutex, OnceLock};
 
 use rand::Rng;
-use sp_pairing::{Gt, Pairing, Scalar, G1};
+use sp_pairing::{FixedBaseTable, Gt, Pairing, Scalar, G1};
+use sp_par::parallel_map;
 use sp_shamir::{Polynomial, ShamirScheme};
 use sp_wire::{Reader, Writer};
 
 use crate::access_tree::{AccessNode, AccessTree};
 use crate::error::AbeError;
 
+/// Fixed [`Gt`] encoding length (`c0 ‖ c1` over the 512-bit base field).
+const GT_LEN: usize = 128;
+
 /// The CP-ABE public key: `(h = g^β, f = g^{1/β}, e(g,g)^α)`; the
 /// generator `g` itself is part of the shared pairing parameters.
-#[derive(Clone, PartialEq, Eq)]
+///
+/// Carries a lazily built fixed-base window table for `h` (the only
+/// public-key point exponentiated per `Encrypt`), shared across clones so
+/// repeated encryptions under one key pay the table cost once.
+#[derive(Clone)]
 pub struct PublicKey {
     h: G1,
     f: G1,
     e_gg_alpha: Gt,
+    h_table: Arc<OnceLock<FixedBaseTable>>,
 }
+
+impl PublicKey {
+    fn assemble(h: G1, f: G1, e_gg_alpha: Gt) -> Self {
+        Self { h, f, e_gg_alpha, h_table: Arc::new(OnceLock::new()) }
+    }
+
+    fn h_table(&self) -> &FixedBaseTable {
+        self.h_table.get_or_init(|| FixedBaseTable::new(&self.h, 64 * 4))
+    }
+}
+
+impl PartialEq for PublicKey {
+    fn eq(&self, other: &Self) -> bool {
+        // The window table is a cache of h, not part of the key's value.
+        self.h == other.h && self.f == other.f && self.e_gg_alpha == other.e_gg_alpha
+    }
+}
+
+impl Eq for PublicKey {}
 
 impl fmt::Debug for PublicKey {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -118,17 +147,28 @@ impl fmt::Debug for Ciphertext {
 /// The CP-ABE scheme, bound to pairing parameters.
 ///
 /// See the [crate-level documentation](crate) for an end-to-end example.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct CpAbe {
     pairing: Pairing,
     shamir: ShamirScheme,
+    /// Memoized attribute hash points `attr → H(attr)`. Try-and-increment
+    /// hashing plus cofactor clearing dominates Encrypt/KeyGen for
+    /// repeated attributes; clones share the cache.
+    attr_cache: Arc<Mutex<HashMap<String, G1>>>,
+}
+
+impl fmt::Debug for CpAbe {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cached = self.attr_cache.lock().map(|c| c.len()).unwrap_or(0);
+        write!(f, "CpAbe({:?}, {cached} cached attribute hashes)", self.pairing)
+    }
 }
 
 impl CpAbe {
     /// Creates a scheme over the given pairing.
     pub fn new(pairing: Pairing) -> Self {
         let shamir = ShamirScheme::new(pairing.zr().clone());
-        Self { pairing, shamir }
+        Self { pairing, shamir, attr_cache: Arc::new(Mutex::new(HashMap::new())) }
     }
 
     /// Scheme over the production 512-bit parameters.
@@ -159,11 +199,11 @@ impl CpAbe {
         let alpha = self.pairing.random_nonzero_scalar(rng);
         let beta = self.pairing.random_nonzero_scalar(rng);
         let beta_inv = beta.invert().expect("nonzero");
-        let h = self.pairing.mul(g, &beta);
-        let f = self.pairing.mul(g, &beta_inv);
-        let g_alpha = self.pairing.mul(g, &alpha);
+        let h = self.pairing.mul_generator(&beta);
+        let f = self.pairing.mul_generator(&beta_inv);
+        let g_alpha = self.pairing.mul_generator(&alpha);
         let e_gg_alpha = self.pairing.pair(g, &g_alpha);
-        (PublicKey { h, f, e_gg_alpha }, MasterKey { beta, g_alpha })
+        (PublicKey::assemble(h, f, e_gg_alpha), MasterKey { beta, g_alpha })
     }
 
     /// `Encrypt(PK, m, τ)`: encrypts the group element `m` under the
@@ -188,15 +228,55 @@ impl CpAbe {
         self.share_secret(tree.root(), &s, &mut leaf_shares, rng)?;
 
         let c_tilde = m.mul(&pk.e_gg_alpha.pow_scalar(&s));
-        let c = self.pairing.mul(&pk.h, &s);
+        let c = pk.h_table().mul(&s.to_uint());
+        // Attribute hashes resolve through the memo cache (serial — cheap
+        // on a hit); the per-leaf exponentiations then fan out.
+        let jobs: Vec<(G1, Scalar)> = tree
+            .leaves()
+            .iter()
+            .zip(&leaf_shares)
+            .map(|(attr, share)| (self.hash_attribute(attr), share.clone()))
+            .collect();
+        let leaf_cts = parallel_map(&jobs, |(h_attr, share)| {
+            (self.pairing.mul_generator(share), self.pairing.mul(h_attr, share))
+        });
+
+        Ok(Ciphertext { tree: tree.clone(), c_tilde, c, leaf_cts })
+    }
+
+    /// The pre-optimization `Encrypt`: textbook double-and-add ladders,
+    /// fresh (uncached) attribute hashing, serial leaf loop.
+    ///
+    /// Given the same RNG stream it produces a ciphertext **identical** to
+    /// [`CpAbe::encrypt`]'s — the differential tests rely on that — and it
+    /// is the "before" baseline the crypto benchmarks report speedups
+    /// against.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AbeError::BadTree`] under the same conditions as
+    /// [`CpAbe::encrypt`].
+    pub fn encrypt_reference<R: Rng + ?Sized>(
+        &self,
+        pk: &PublicKey,
+        m: &Gt,
+        tree: &AccessTree,
+        rng: &mut R,
+    ) -> Result<Ciphertext, AbeError> {
+        let s = self.pairing.random_nonzero_scalar(rng);
+        let mut leaf_shares: Vec<Scalar> = Vec::with_capacity(tree.leaf_count());
+        self.share_secret(tree.root(), &s, &mut leaf_shares, rng)?;
+
+        let c_tilde = m.mul(&pk.e_gg_alpha.pow_scalar(&s));
+        let c = pk.h.mul_uint(&s.to_uint());
         let g = self.pairing.generator();
         let leaf_cts = tree
             .leaves()
             .iter()
             .zip(&leaf_shares)
             .map(|(attr, share)| {
-                let c_y = self.pairing.mul(g, share);
-                let c_y_prime = self.pairing.mul(&self.hash_attribute(attr), share);
+                let c_y = g.mul_uint(&share.to_uint());
+                let c_y_prime = self.hash_attribute_uncached(attr).mul_uint(&share.to_uint());
                 (c_y, c_y_prime)
             })
             .collect();
@@ -235,18 +315,48 @@ impl CpAbe {
         attributes: &[String],
         rng: &mut R,
     ) -> PrivateKey {
-        let g = self.pairing.generator();
         let r = self.pairing.random_nonzero_scalar(rng);
         let beta_inv = mk.beta.invert().expect("nonzero");
         // D = g^{(α + r)/β}
-        let g_r = self.pairing.mul(g, &r);
+        let g_r = self.pairing.mul_generator(&r);
+        let d = self.pairing.mul(&mk.g_alpha.add(&g_r), &beta_inv);
+        // Per-attribute randomness is drawn serially (the RNG is borrowed
+        // exclusively, and the draw order must match the reference path);
+        // the group operations then fan out.
+        let jobs: Vec<(String, Scalar, G1)> = attributes
+            .iter()
+            .map(|attr| {
+                let r_j = self.pairing.random_nonzero_scalar(rng);
+                (attr.clone(), r_j, self.hash_attribute(attr))
+            })
+            .collect();
+        let components = parallel_map(&jobs, |(attr, r_j, h_attr)| KeyComponent {
+            attribute: attr.clone(),
+            d_j: g_r.add(&self.pairing.mul(h_attr, r_j)),
+            d_j_prime: self.pairing.mul_generator(r_j),
+        });
+        PrivateKey { d, components }
+    }
+
+    /// The pre-optimization `KeyGen` (textbook ladders, uncached hashing,
+    /// serial loop); same RNG stream ⇒ identical key to [`CpAbe::keygen`].
+    pub fn keygen_reference<R: Rng + ?Sized>(
+        &self,
+        mk: &MasterKey,
+        attributes: &[String],
+        rng: &mut R,
+    ) -> PrivateKey {
+        let g = self.pairing.generator();
+        let r = self.pairing.random_nonzero_scalar(rng);
+        let beta_inv = mk.beta.invert().expect("nonzero");
+        let g_r = g.mul_uint(&r.to_uint());
         let d = mk.g_alpha.add(&g_r).mul_uint(&beta_inv.to_uint());
         let components = attributes
             .iter()
             .map(|attr| {
                 let r_j = self.pairing.random_nonzero_scalar(rng);
-                let d_j = g_r.add(&self.pairing.mul(&self.hash_attribute(attr), &r_j));
-                let d_j_prime = self.pairing.mul(g, &r_j);
+                let d_j = g_r.add(&self.hash_attribute_uncached(attr).mul_uint(&r_j.to_uint()));
+                let d_j_prime = g.mul_uint(&r_j.to_uint());
                 KeyComponent { attribute: attr.clone(), d_j, d_j_prime }
             })
             .collect();
@@ -267,9 +377,8 @@ impl CpAbe {
         subset: &[String],
         rng: &mut R,
     ) -> Result<PrivateKey, AbeError> {
-        let g = self.pairing.generator();
         let r_tilde = self.pairing.random_nonzero_scalar(rng);
-        let g_rt = self.pairing.mul(g, &r_tilde);
+        let g_rt = self.pairing.mul_generator(&r_tilde);
         let d = sk.d.add(&self.pairing.mul(&pk.f, &r_tilde));
         let components = subset
             .iter()
@@ -282,7 +391,7 @@ impl CpAbe {
                 let r_k = self.pairing.random_nonzero_scalar(rng);
                 let d_j =
                     comp.d_j.add(&g_rt).add(&self.pairing.mul(&self.hash_attribute(attr), &r_k));
-                let d_j_prime = comp.d_j_prime.add(&self.pairing.mul(g, &r_k));
+                let d_j_prime = comp.d_j_prime.add(&self.pairing.mul_generator(&r_k));
                 Ok(KeyComponent { attribute: attr.clone(), d_j, d_j_prime })
             })
             .collect::<Result<Vec<_>, AbeError>>()?;
@@ -292,10 +401,139 @@ impl CpAbe {
     /// `Decrypt(CT, SK)`: recovers the message if the key's attributes
     /// satisfy the ciphertext's access tree.
     ///
+    /// The recursive `DecryptNode` of the paper is flattened: each used
+    /// leaf contributes `[e(D_j, C_y)/e(D'_j, C'_y)]^{c_j}` where `c_j` is
+    /// the product of Lagrange coefficients along its root path, so the
+    /// whole tree is one product of pairings. Folding `c_j` into the `G1`
+    /// arguments (`e(X, Y)^c = e([c]X, Y)`) turns `k` pairing ratios plus
+    /// `k` `Gt` exponentiations into `2k` scalar multiplications (cheap,
+    /// parallel) and **one** multi-pairing with **one** final
+    /// exponentiation.
+    ///
     /// # Errors
     ///
-    /// Returns [`AbeError::PolicyNotSatisfied`] otherwise.
+    /// Returns [`AbeError::PolicyNotSatisfied`] if the key's attributes do
+    /// not satisfy the tree.
     pub fn decrypt(&self, ct: &Ciphertext, sk: &PrivateKey) -> Result<Gt, AbeError> {
+        let attrs: HashSet<String> = sk.components.iter().map(|c| c.attribute.clone()).collect();
+        if !ct.tree.satisfied_by(&attrs) {
+            return Err(AbeError::PolicyNotSatisfied);
+        }
+        let mut selected: Vec<(usize, Scalar)> = Vec::new();
+        let mut leaf_index = 0usize;
+        let one = self.pairing.zr().one();
+        self.collect_leaf_coefficients(
+            ct.tree.root(),
+            &attrs,
+            &one,
+            &mut leaf_index,
+            &mut selected,
+        )?;
+
+        let leaves = ct.tree.leaves();
+        let jobs: Vec<(G1, G1, Scalar, usize)> = selected
+            .into_iter()
+            .map(|(idx, coeff)| {
+                let comp = sk
+                    .components
+                    .iter()
+                    .find(|c| c.attribute == leaves[idx])
+                    .expect("selected leaves carry key attributes");
+                (comp.d_j.clone(), comp.d_j_prime.clone(), coeff, idx)
+            })
+            .collect();
+        let folded: Vec<(G1, G1, usize)> = parallel_map(&jobs, |(d_j, d_j_prime, coeff, idx)| {
+            (self.pairing.mul(d_j, coeff), self.pairing.mul(d_j_prime, coeff), *idx)
+        });
+        let num: Vec<(&G1, &G1)> =
+            folded.iter().map(|(d, _, idx)| (d, &ct.leaf_cts[*idx].0)).collect();
+        let mut den: Vec<(&G1, &G1)> =
+            folded.iter().map(|(_, dp, idx)| (dp, &ct.leaf_cts[*idx].1)).collect();
+        den.push((&ct.c, &sk.d));
+        // m = C̃ · Π e([c_j]D_j, C_y) / (Π e([c_j]D'_j, C'_y) · e(C, D))
+        Ok(ct.c_tilde.mul(&self.pairing.pair_product(&num, &den)))
+    }
+
+    /// Walks a *satisfied* subtree mirroring the reference `DecryptNode`
+    /// child selection (the first `k` satisfied children in order) and
+    /// records, for each used leaf, the product of Lagrange coefficients
+    /// along its path. `leaf_index` advances through skipped subtrees so
+    /// recorded indices line up with `leaf_cts`.
+    fn collect_leaf_coefficients(
+        &self,
+        node: &AccessNode,
+        attrs: &HashSet<String>,
+        coeff: &Scalar,
+        leaf_index: &mut usize,
+        out: &mut Vec<(usize, Scalar)>,
+    ) -> Result<(), AbeError> {
+        fn satisfied(node: &AccessNode, attrs: &HashSet<String>) -> bool {
+            match node {
+                AccessNode::Leaf { attribute } => attrs.contains(attribute),
+                AccessNode::Threshold { k, children } => {
+                    children.iter().filter(|c| satisfied(c, attrs)).count() >= *k
+                }
+            }
+        }
+        fn leaf_count(node: &AccessNode) -> usize {
+            match node {
+                AccessNode::Leaf { .. } => 1,
+                AccessNode::Threshold { children, .. } => children.iter().map(leaf_count).sum(),
+            }
+        }
+        match node {
+            AccessNode::Leaf { .. } => {
+                out.push((*leaf_index, coeff.clone()));
+                *leaf_index += 1;
+                Ok(())
+            }
+            AccessNode::Threshold { k, children } => {
+                let chosen: Vec<usize> = children
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| satisfied(c, attrs))
+                    .map(|(i, _)| i)
+                    .take(*k)
+                    .collect();
+                debug_assert_eq!(chosen.len(), *k, "caller guarantees this subtree is satisfied");
+                let zr = self.pairing.zr();
+                let xs: Vec<Scalar> = chosen.iter().map(|&i| zr.from_u64(i as u64 + 1)).collect();
+                let gammas = self
+                    .shamir
+                    .lagrange_coefficients_at_zero(&xs)
+                    .map_err(|_| AbeError::PolicyNotSatisfied)?;
+                let mut pos = 0usize;
+                for (i, child) in children.iter().enumerate() {
+                    if pos < chosen.len() && chosen[pos] == i {
+                        let child_coeff = coeff * &gammas[pos];
+                        self.collect_leaf_coefficients(
+                            child,
+                            attrs,
+                            &child_coeff,
+                            leaf_index,
+                            out,
+                        )?;
+                        pos += 1;
+                    } else {
+                        *leaf_index += leaf_count(child);
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// The pre-optimization `Decrypt`: recursive `DecryptNode` with one
+    /// affine-Miller pairing ratio per satisfied leaf and a `Gt`
+    /// exponentiation per Lagrange coefficient. Differential-test oracle
+    /// (it must return the *same group element* as [`CpAbe::decrypt`]) and
+    /// benchmark baseline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AbeError::PolicyNotSatisfied`] if the key's attributes do
+    /// not satisfy the tree.
+    pub fn decrypt_reference(&self, ct: &Ciphertext, sk: &PrivateKey) -> Result<Gt, AbeError> {
         let attrs: HashSet<String> = sk.components.iter().map(|c| c.attribute.clone()).collect();
         if !ct.tree.satisfied_by(&attrs) {
             return Err(AbeError::PolicyNotSatisfied);
@@ -305,7 +543,7 @@ impl CpAbe {
             .decrypt_node(ct.tree.root(), ct, sk, &mut leaf_index)
             .ok_or(AbeError::PolicyNotSatisfied)?;
         // m = C̃ · A / e(C, D)
-        let e_c_d = self.pairing.pair(&ct.c, &sk.d);
+        let e_c_d = self.pairing.pair_reference(&ct.c, &sk.d);
         Ok(ct.c_tilde.mul(&a).div(&e_c_d))
     }
 
@@ -326,7 +564,7 @@ impl CpAbe {
                 let (c_y, c_y_prime) = &ct.leaf_cts[idx];
                 // e(D_j, C_y) / e(D'_j, C'_y) = e(g,g)^{r·q_y(0)},
                 // computed with one shared final exponentiation.
-                Some(self.pairing.pair_ratio(&comp.d_j, c_y, &comp.d_j_prime, c_y_prime))
+                Some(self.pairing.pair_ratio_reference(&comp.d_j, c_y, &comp.d_j_prime, c_y_prime))
             }
             AccessNode::Threshold { k, children } => {
                 // Evaluate every child (advancing the leaf cursor through
@@ -360,8 +598,25 @@ impl CpAbe {
         }
     }
 
-    /// `H : {0,1}* → G1`, the attribute hash.
+    /// `H : {0,1}* → G1`, the attribute hash, memoized per scheme
+    /// instance (the paper's protocols hash the same few context
+    /// attributes over and over across Encrypt/KeyGen calls).
     pub fn hash_attribute(&self, attribute: &str) -> G1 {
+        if let Ok(cache) = self.attr_cache.lock() {
+            if let Some(p) = cache.get(attribute) {
+                return p.clone();
+            }
+        }
+        let p = self.hash_attribute_uncached(attribute);
+        if let Ok(mut cache) = self.attr_cache.lock() {
+            cache.insert(attribute.to_owned(), p.clone());
+        }
+        p
+    }
+
+    /// The attribute hash without memoization (reference paths hash fresh
+    /// every time, like the pre-optimization code did).
+    fn hash_attribute_uncached(&self, attribute: &str) -> G1 {
         self.pairing.hash_to_g1(&[b"sp-abe/attr/v1/", attribute.as_bytes()].concat())
     }
 
@@ -371,11 +626,14 @@ impl CpAbe {
 
     /// Encodes the public key.
     pub fn encode_public_key(&self, pk: &PublicKey) -> Vec<u8> {
-        let mut w = Writer::new();
+        let cap = 12 + pk.h.encoded_len() + pk.f.encoded_len() + GT_LEN;
+        let mut w = Writer::with_capacity(cap);
         w.bytes(&pk.h.to_bytes());
         w.bytes(&pk.f.to_bytes());
         w.bytes(&pk.e_gg_alpha.to_bytes());
-        w.finish().to_vec()
+        let out = w.finish().to_vec();
+        debug_assert_eq!(out.len(), cap);
+        out
     }
 
     /// Decodes a public key.
@@ -398,7 +656,7 @@ impl CpAbe {
             .gt_from_bytes(r.bytes().map_err(|_| AbeError::BadEncoding)?)
             .map_err(|_| AbeError::BadEncoding)?;
         r.expect_end().map_err(|_| AbeError::BadEncoding)?;
-        Ok(PublicKey { h, f, e_gg_alpha })
+        Ok(PublicKey::assemble(h, f, e_gg_alpha))
     }
 
     /// Encodes the master key.
@@ -430,17 +688,38 @@ impl CpAbe {
     }
 
     /// Encodes a ciphertext (tree + group elements).
+    ///
+    /// The output buffer is pre-sized to its exact final length and leaf
+    /// points stream through one reused scratch buffer, so encoding a
+    /// large ciphertext performs no doubling reallocations.
     pub fn encode_ciphertext(&self, ct: &Ciphertext) -> Vec<u8> {
-        let mut w = Writer::new();
+        let cap = ct.tree.encoded_len()
+            + 4
+            + GT_LEN
+            + 4
+            + ct.c.encoded_len()
+            + 4
+            + ct.leaf_cts
+                .iter()
+                .map(|(c_y, c_y_prime)| 8 + c_y.encoded_len() + c_y_prime.encoded_len())
+                .sum::<usize>();
+        let mut w = Writer::with_capacity(cap);
         ct.tree.encode(&mut w);
         w.bytes(&ct.c_tilde.to_bytes());
         w.bytes(&ct.c.to_bytes());
         w.u32(ct.leaf_cts.len() as u32);
+        let mut scratch = Vec::with_capacity(ct.c.encoded_len());
         for (c_y, c_y_prime) in &ct.leaf_cts {
-            w.bytes(&c_y.to_bytes());
-            w.bytes(&c_y_prime.to_bytes());
+            scratch.clear();
+            c_y.write_bytes(&mut scratch);
+            w.bytes(&scratch);
+            scratch.clear();
+            c_y_prime.write_bytes(&mut scratch);
+            w.bytes(&scratch);
         }
-        w.finish().to_vec()
+        let out = w.finish().to_vec();
+        debug_assert_eq!(out.len(), cap);
+        out
     }
 
     /// Decodes a ciphertext.
@@ -482,7 +761,13 @@ impl CpAbe {
 
     /// Encodes a private key.
     pub fn encode_private_key(&self, sk: &PrivateKey) -> Vec<u8> {
-        let mut w = Writer::new();
+        let cap = 8
+            + sk.d.encoded_len()
+            + sk.components
+                .iter()
+                .map(|c| 12 + c.attribute.len() + c.d_j.encoded_len() + c.d_j_prime.encoded_len())
+                .sum::<usize>();
+        let mut w = Writer::with_capacity(cap);
         w.bytes(&sk.d.to_bytes());
         w.u32(sk.components.len() as u32);
         for c in &sk.components {
@@ -752,6 +1037,85 @@ mod tests {
         let ct1 = abe.encrypt(&pk, &m, &tree, &mut rng).unwrap();
         let ct2 = abe.encrypt(&pk, &m, &tree, &mut rng).unwrap();
         assert_ne!(ct1, ct2, "encryption must be probabilistic");
+    }
+
+    #[test]
+    fn encrypt_matches_reference_on_same_rng_stream() {
+        // Fast Encrypt (fixed-base tables, memoized hashes, parallel leaf
+        // map) draws randomness in the same order as the textbook path, so
+        // identical seeds must give identical ciphertexts.
+        let abe = abe();
+        let mut rng = StdRng::seed_from_u64(92);
+        let (pk, _) = abe.setup(&mut rng);
+        let tree = AccessTree::threshold(
+            2,
+            vec![
+                AccessTree::leaf("a"),
+                AccessTree::and(vec![AccessTree::leaf("b"), AccessTree::leaf("c")]).unwrap(),
+                AccessTree::leaf("d"),
+            ],
+        )
+        .unwrap();
+        let m = abe.random_message(&mut rng);
+        let ct_fast = abe.encrypt(&pk, &m, &tree, &mut StdRng::seed_from_u64(7)).unwrap();
+        let ct_ref = abe.encrypt_reference(&pk, &m, &tree, &mut StdRng::seed_from_u64(7)).unwrap();
+        assert_eq!(ct_fast, ct_ref);
+    }
+
+    #[test]
+    fn keygen_matches_reference_on_same_rng_stream() {
+        let abe = abe();
+        let mut rng = StdRng::seed_from_u64(93);
+        let (_, mk) = abe.setup(&mut rng);
+        let attrs = strings(&["a", "b", "c", "d", "e"]);
+        let sk_fast = abe.keygen(&mk, &attrs, &mut StdRng::seed_from_u64(11));
+        let sk_ref = abe.keygen_reference(&mk, &attrs, &mut StdRng::seed_from_u64(11));
+        assert_eq!(sk_fast, sk_ref);
+    }
+
+    #[test]
+    fn decrypt_matches_reference_exactly() {
+        // The flattened multi-pairing decrypt must return the *same group
+        // element* as the recursive per-leaf path, across gate shapes and
+        // partially satisfying keys.
+        let abe = abe();
+        let mut rng = StdRng::seed_from_u64(94);
+        let (pk, mk) = abe.setup(&mut rng);
+        let tree = AccessTree::threshold(
+            2,
+            vec![
+                AccessTree::or(vec![AccessTree::leaf("a"), AccessTree::leaf("b")]).unwrap(),
+                AccessTree::and(vec![AccessTree::leaf("c"), AccessTree::leaf("d")]).unwrap(),
+                AccessTree::leaf("e"),
+            ],
+        )
+        .unwrap();
+        let m = abe.random_message(&mut rng);
+        let ct = abe.encrypt(&pk, &m, &tree, &mut rng).unwrap();
+        for attrs in
+            [&["a", "c", "d"][..], &["b", "e"], &["a", "b", "c", "d", "e"], &["e", "c", "d"]]
+        {
+            let sk = abe.keygen(&mk, &strings(attrs), &mut rng);
+            let fast = abe.decrypt(&ct, &sk).unwrap();
+            let slow = abe.decrypt_reference(&ct, &sk).unwrap();
+            assert_eq!(fast, slow, "attrs = {attrs:?}");
+            assert_eq!(fast, m, "attrs = {attrs:?}");
+        }
+        // Both paths refuse unsatisfying keys.
+        let sk = abe.keygen(&mk, &strings(&["a", "c"]), &mut rng);
+        assert!(abe.decrypt(&ct, &sk).is_err());
+        assert!(abe.decrypt_reference(&ct, &sk).is_err());
+    }
+
+    #[test]
+    fn hash_attribute_memoization_is_transparent() {
+        let abe = abe();
+        let first = abe.hash_attribute("attr-x");
+        let second = abe.hash_attribute("attr-x");
+        assert_eq!(first, second);
+        assert_eq!(first, abe.hash_attribute_uncached("attr-x"));
+        // Clones share the cache and agree.
+        assert_eq!(abe.clone().hash_attribute("attr-x"), first);
     }
 
     #[test]

@@ -1,0 +1,103 @@
+//! Criterion side-by-side of the crypto hot paths: every optimized
+//! routine against the reference shape it replaced (textbook
+//! double-and-add, per-leaf pairings, serial per-leaf loops). The
+//! `figures --bench-json` binary runs the same comparison and writes
+//! `BENCH_crypto.json`; this harness is for interactive profiling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sp_abe::{encode_qa_attribute, AccessTree, CpAbe};
+use sp_pairing::{Pairing, G1};
+
+/// `SP_BENCH_QUICK=1` shrinks sampling to a smoke pass (CI uses this to
+/// prove the benches run without paying for stable statistics).
+fn configure(group: &mut criterion::BenchmarkGroup<'_>) {
+    if std::env::var_os("SP_BENCH_QUICK").is_some() {
+        group.sample_size(2);
+        group.warm_up_time(std::time::Duration::from_millis(10));
+        group.measurement_time(std::time::Duration::from_millis(50));
+    } else {
+        group.sample_size(10);
+        group.warm_up_time(std::time::Duration::from_secs(1));
+        group.measurement_time(std::time::Duration::from_secs(3));
+    }
+}
+
+fn bench_abe_slow_vs_fast(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crypto_abe");
+    configure(&mut group);
+    let abe = CpAbe::insecure_test_params();
+    let mut rng = StdRng::seed_from_u64(20);
+    let (pk, mk) = abe.setup(&mut rng);
+    for n in [2usize, 6, 10] {
+        let pairs: Vec<(String, String)> =
+            (0..n).map(|i| (format!("q{i}"), format!("a{i}"))).collect();
+        let tree = AccessTree::context_tree(n, &pairs).expect("valid");
+        let attrs: Vec<String> = pairs.iter().map(|(q, a)| encode_qa_attribute(q, a)).collect();
+        let m = abe.random_message(&mut rng);
+
+        group.bench_with_input(BenchmarkId::new("encrypt_slow", n), &n, |b, _| {
+            b.iter(|| {
+                let mut r = StdRng::seed_from_u64(21);
+                abe.encrypt_reference(&pk, &m, &tree, &mut r).expect("encrypt")
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("encrypt_fast", n), &n, |b, _| {
+            b.iter(|| {
+                let mut r = StdRng::seed_from_u64(21);
+                abe.encrypt(&pk, &m, &tree, &mut r).expect("encrypt")
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("keygen_slow", n), &n, |b, _| {
+            b.iter(|| {
+                let mut r = StdRng::seed_from_u64(22);
+                abe.keygen_reference(&mk, &attrs, &mut r)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("keygen_fast", n), &n, |b, _| {
+            b.iter(|| {
+                let mut r = StdRng::seed_from_u64(22);
+                abe.keygen(&mk, &attrs, &mut r)
+            })
+        });
+
+        let ct = abe.encrypt(&pk, &m, &tree, &mut rng).expect("encrypt");
+        let sk = abe.keygen(&mk, &attrs, &mut rng);
+        group.bench_with_input(BenchmarkId::new("decrypt_slow", n), &n, |b, _| {
+            b.iter(|| abe.decrypt_reference(&ct, &sk).expect("decrypt"))
+        });
+        group.bench_with_input(BenchmarkId::new("decrypt_fast", n), &n, |b, _| {
+            b.iter(|| abe.decrypt(&ct, &sk).expect("decrypt"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_group_ops_slow_vs_fast(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crypto_group_ops");
+    configure(&mut group);
+    let pairing = Pairing::insecure_test_params();
+    let mut rng = StdRng::seed_from_u64(23);
+    for n in [2usize, 10] {
+        let points: Vec<(G1, G1)> =
+            (0..n).map(|_| (pairing.random_g1(&mut rng), pairing.random_g1(&mut rng))).collect();
+        group.bench_with_input(BenchmarkId::new("pairings_individual", n), &n, |b, _| {
+            b.iter(|| points.iter().map(|(p, q)| pairing.pair_reference(p, q)).collect::<Vec<_>>())
+        });
+        group.bench_with_input(BenchmarkId::new("pairings_product", n), &n, |b, _| {
+            b.iter(|| {
+                let num: Vec<(&G1, &G1)> = points.iter().map(|(p, q)| (p, q)).collect();
+                pairing.pair_product(&num, &[])
+            })
+        });
+    }
+    let s = pairing.random_nonzero_scalar(&mut rng);
+    let g = pairing.generator().clone();
+    group.bench_function("scalar_mul_textbook", |b| b.iter(|| g.mul_uint(&s.to_uint())));
+    group.bench_function("scalar_mul_fixed_base", |b| b.iter(|| pairing.mul_generator(&s)));
+    group.finish();
+}
+
+criterion_group!(crypto, bench_abe_slow_vs_fast, bench_group_ops_slow_vs_fast);
+criterion_main!(crypto);

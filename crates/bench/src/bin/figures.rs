@@ -5,10 +5,14 @@
 //! cargo run -p sp-bench --release --bin figures -- fig10a  # one panel
 //! cargo run -p sp-bench --release --bin figures -- quick   # fast sweep
 //! cargo run -p sp-bench --release --bin figures -- --out dir # + CSV & SVG
+//! cargo run -p sp-bench --release --bin figures -- --bench-json
+//!     # slow-vs-fast crypto sweep -> BENCH_crypto.json (`quick` shrinks it)
+//! cargo run -p sp-bench --bin figures -- --check-bench-json BENCH_crypto.json
+//!     # validate an existing report (CI smoke)
 //! ```
 
 use sp_bench::{
-    export,
+    crypto_bench, export,
     figures::{self, SweepConfig},
 };
 
@@ -16,6 +20,38 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "quick");
     let jitter = args.iter().any(|a| a == "jitter");
+
+    if let Some(i) = args.iter().position(|a| a == "--check-bench-json") {
+        let path = args.get(i + 1).map(String::as_str).unwrap_or("BENCH_crypto.json");
+        let doc = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("reading {path}: {e}"));
+        if let Err(e) = crypto_bench::validate_json(&doc) {
+            eprintln!("{path} is not a valid crypto bench report: {e}");
+            std::process::exit(1);
+        }
+        println!("{path}: schema-valid crypto bench report");
+        return;
+    }
+
+    if args.iter().any(|a| a == "--bench-json") {
+        let cfg = if quick {
+            crypto_bench::CryptoBenchConfig::quick()
+        } else {
+            crypto_bench::CryptoBenchConfig::default()
+        };
+        let report = crypto_bench::run(&cfg);
+        print!("{}", crypto_bench::render(&report));
+        let json = crypto_bench::to_json(&report);
+        crypto_bench::validate_json(&json).expect("emitted report validates");
+        let path = args
+            .iter()
+            .position(|a| a == "--bench-out")
+            .and_then(|i| args.get(i + 1))
+            .map(String::as_str)
+            .unwrap_or("BENCH_crypto.json");
+        std::fs::write(path, json).expect("writing bench json");
+        eprintln!("wrote {path}");
+        return;
+    }
     let mut cfg = if quick { SweepConfig::quick() } else { SweepConfig::default() };
     if jitter {
         cfg.network_jitter = 0.25;

@@ -1,0 +1,421 @@
+//! Slow-vs-fast crypto hot-path comparison, exported as `BENCH_crypto.json`.
+//!
+//! Each entry times one operation through its pre-optimization shape
+//! (textbook double-and-add, per-leaf Tate pairings, serial loops — the
+//! `*_reference` methods kept for differential testing) and through the
+//! optimized path (fixed-base windows, product-of-pairings decrypt, batch
+//! inversion, parallel map), recording ops/s for both and the speedup.
+//! `N` is the number of leaves/attributes, swept over the paper's
+//! context-size range; the access policy is N-of-N so decrypt touches
+//! every leaf (the worst case Figure 10 measures).
+
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sp_abe::{encode_qa_attribute, AccessTree, CpAbe};
+use sp_pairing::Pairing;
+
+/// Schema tag written into (and required from) `BENCH_crypto.json`.
+pub const CRYPTO_BENCH_SCHEMA: &str = "sp-bench/crypto/v1";
+
+/// The operations every report must cover.
+pub const CRYPTO_BENCH_OPS: [&str; 5] = ["encrypt", "keygen", "decrypt", "pairing", "scalar_mul"];
+
+/// Sweep and sampling knobs for the crypto comparison.
+#[derive(Clone, Debug)]
+pub struct CryptoBenchConfig {
+    /// Leaf/attribute counts to sweep.
+    pub ns: Vec<usize>,
+    /// Minimum timed iterations per measurement.
+    pub min_iters: u32,
+    /// Minimum wall time per measurement.
+    pub min_time: Duration,
+    /// Whether this is the reduced CI sweep.
+    pub quick: bool,
+}
+
+impl Default for CryptoBenchConfig {
+    fn default() -> Self {
+        Self {
+            ns: (2..=10).collect(),
+            min_iters: 10,
+            min_time: Duration::from_millis(200),
+            quick: false,
+        }
+    }
+}
+
+impl CryptoBenchConfig {
+    /// Reduced sweep for CI smoke runs: endpoint sizes only, short
+    /// sampling windows. Numbers are noisy but the schema and the
+    /// direction of every speedup are still meaningful.
+    pub fn quick() -> Self {
+        Self { ns: vec![2, 10], min_iters: 3, min_time: Duration::from_millis(20), quick: true }
+    }
+}
+
+/// One (operation, N) measurement.
+#[derive(Clone, Debug)]
+pub struct CryptoBenchEntry {
+    /// Operation name (one of [`CRYPTO_BENCH_OPS`]).
+    pub op: &'static str,
+    /// Leaves/attributes (for `pairing`/`scalar_mul`: group-operation
+    /// count per timed iteration).
+    pub n: usize,
+    /// Pre-optimization throughput.
+    pub slow_ops_per_s: f64,
+    /// Optimized-path throughput.
+    pub fast_ops_per_s: f64,
+}
+
+impl CryptoBenchEntry {
+    /// Fast-over-slow throughput ratio.
+    pub fn speedup(&self) -> f64 {
+        if self.slow_ops_per_s > 0.0 {
+            self.fast_ops_per_s / self.slow_ops_per_s
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A full sweep, ready to serialize.
+#[derive(Clone, Debug)]
+pub struct CryptoBenchReport {
+    /// Whether the reduced CI sweep produced this report.
+    pub quick: bool,
+    /// All measurements, grouped by operation then N.
+    pub entries: Vec<CryptoBenchEntry>,
+}
+
+impl CryptoBenchReport {
+    /// The entry for one (op, n), if measured.
+    pub fn entry(&self, op: &str, n: usize) -> Option<&CryptoBenchEntry> {
+        self.entries.iter().find(|e| e.op == op && e.n == n)
+    }
+}
+
+/// Times `op` until both the iteration and wall-time floors are met,
+/// returning throughput in ops/s.
+fn ops_per_s<T>(cfg: &CryptoBenchConfig, mut op: impl FnMut() -> T) -> f64 {
+    std::hint::black_box(op()); // warm-up (fills lazy tables / caches)
+    let start = Instant::now();
+    let mut iters = 0u32;
+    while iters < cfg.min_iters || start.elapsed() < cfg.min_time {
+        std::hint::black_box(op());
+        iters += 1;
+    }
+    iters as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Runs the full slow-vs-fast sweep.
+pub fn run(cfg: &CryptoBenchConfig) -> CryptoBenchReport {
+    let abe = CpAbe::insecure_test_params();
+    let pairing = Pairing::insecure_test_params();
+    let mut rng = StdRng::seed_from_u64(2014);
+    let (pk, mk) = abe.setup(&mut rng);
+
+    let mut entries = Vec::new();
+    for &n in &cfg.ns {
+        let pairs: Vec<(String, String)> =
+            (0..n).map(|i| (format!("q{i}"), format!("a{i}"))).collect();
+        // N-of-N: decrypt must satisfy (and pair at) every leaf.
+        let tree = AccessTree::context_tree(n, &pairs).expect("valid tree");
+        let attrs: Vec<String> = pairs.iter().map(|(q, a)| encode_qa_attribute(q, a)).collect();
+        let m = abe.random_message(&mut rng);
+
+        let slow = ops_per_s(cfg, || {
+            let mut r = StdRng::seed_from_u64(77);
+            abe.encrypt_reference(&pk, &m, &tree, &mut r).expect("encrypt")
+        });
+        let fast = ops_per_s(cfg, || {
+            let mut r = StdRng::seed_from_u64(77);
+            abe.encrypt(&pk, &m, &tree, &mut r).expect("encrypt")
+        });
+        entries.push(CryptoBenchEntry {
+            op: "encrypt",
+            n,
+            slow_ops_per_s: slow,
+            fast_ops_per_s: fast,
+        });
+
+        let slow = ops_per_s(cfg, || {
+            let mut r = StdRng::seed_from_u64(78);
+            abe.keygen_reference(&mk, &attrs, &mut r)
+        });
+        let fast = ops_per_s(cfg, || {
+            let mut r = StdRng::seed_from_u64(78);
+            abe.keygen(&mk, &attrs, &mut r)
+        });
+        entries.push(CryptoBenchEntry {
+            op: "keygen",
+            n,
+            slow_ops_per_s: slow,
+            fast_ops_per_s: fast,
+        });
+
+        let ct = abe.encrypt(&pk, &m, &tree, &mut rng).expect("encrypt");
+        let sk = abe.keygen(&mk, &attrs, &mut rng);
+        let slow = ops_per_s(cfg, || abe.decrypt_reference(&ct, &sk).expect("decrypt"));
+        let fast = ops_per_s(cfg, || abe.decrypt(&ct, &sk).expect("decrypt"));
+        entries.push(CryptoBenchEntry {
+            op: "decrypt",
+            n,
+            slow_ops_per_s: slow,
+            fast_ops_per_s: fast,
+        });
+
+        // N independent pairings (the per-leaf cost decrypt used to pay)
+        // vs one N-term product sharing squarings and the final
+        // exponentiation.
+        let points: Vec<(sp_pairing::G1, sp_pairing::G1)> =
+            (0..n).map(|_| (pairing.random_g1(&mut rng), pairing.random_g1(&mut rng))).collect();
+        let slow = ops_per_s(cfg, || {
+            points.iter().map(|(p, q)| pairing.pair_reference(p, q)).collect::<Vec<_>>()
+        });
+        let fast = ops_per_s(cfg, || {
+            let num: Vec<(&sp_pairing::G1, &sp_pairing::G1)> =
+                points.iter().map(|(p, q)| (p, q)).collect();
+            pairing.pair_product(&num, &[])
+        });
+        entries.push(CryptoBenchEntry {
+            op: "pairing",
+            n,
+            slow_ops_per_s: slow,
+            fast_ops_per_s: fast,
+        });
+
+        // N fixed-base multiplications: textbook double-and-add on the
+        // generator vs the cached window table.
+        let scalars: Vec<sp_pairing::Scalar> =
+            (0..n).map(|_| pairing.random_nonzero_scalar(&mut rng)).collect();
+        let g = pairing.generator().clone();
+        let slow =
+            ops_per_s(cfg, || scalars.iter().map(|s| g.mul_uint(&s.to_uint())).collect::<Vec<_>>());
+        let fast =
+            ops_per_s(cfg, || scalars.iter().map(|s| pairing.mul_generator(s)).collect::<Vec<_>>());
+        entries.push(CryptoBenchEntry {
+            op: "scalar_mul",
+            n,
+            slow_ops_per_s: slow,
+            fast_ops_per_s: fast,
+        });
+    }
+    CryptoBenchReport { quick: cfg.quick, entries }
+}
+
+/// Serializes a report to the `BENCH_crypto.json` document.
+pub fn to_json(report: &CryptoBenchReport) -> String {
+    fn num(v: f64) -> String {
+        if v.is_finite() {
+            format!("{v:.3}")
+        } else {
+            "0.000".to_owned()
+        }
+    }
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema\": \"{CRYPTO_BENCH_SCHEMA}\",\n"));
+    out.push_str(&format!("  \"quick\": {},\n", report.quick));
+    out.push_str("  \"entries\": [\n");
+    for (i, e) in report.entries.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"op\": \"{}\", \"n\": {}, \"slow_ops_per_s\": {}, \"fast_ops_per_s\": {}, \"speedup\": {}}}{}\n",
+            e.op,
+            e.n,
+            num(e.slow_ops_per_s),
+            num(e.fast_ops_per_s),
+            num(e.speedup()),
+            if i + 1 == report.entries.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Renders the report as the human-readable table the `figures` binary
+/// prints alongside the JSON.
+pub fn render(report: &CryptoBenchReport) -> String {
+    let mut out = String::new();
+    out.push_str("crypto hot paths: slow (reference) vs fast, ops/s\n");
+    out.push_str(&format!(
+        "{:<12} {:>4} {:>14} {:>14} {:>9}\n",
+        "op", "N", "slow", "fast", "speedup"
+    ));
+    for e in &report.entries {
+        out.push_str(&format!(
+            "{:<12} {:>4} {:>14.1} {:>14.1} {:>8.2}x\n",
+            e.op,
+            e.n,
+            e.slow_ops_per_s,
+            e.fast_ops_per_s,
+            e.speedup()
+        ));
+    }
+    out
+}
+
+/// Validates a `BENCH_crypto.json` document: syntactically well-formed
+/// JSON, the right schema tag, and at least one entry per operation with
+/// all five fields present. Returns a description of the first problem.
+pub fn validate_json(doc: &str) -> Result<(), String> {
+    let bytes = doc.as_bytes();
+    let end = parse_value(bytes, skip_ws(bytes, 0))?;
+    if skip_ws(bytes, end) != bytes.len() {
+        return Err("trailing garbage after the top-level value".into());
+    }
+    if !doc.contains(&format!("\"schema\": \"{CRYPTO_BENCH_SCHEMA}\"")) {
+        return Err(format!("missing schema tag {CRYPTO_BENCH_SCHEMA:?}"));
+    }
+    if !doc.contains("\"entries\": [") {
+        return Err("missing entries array".into());
+    }
+    for op in CRYPTO_BENCH_OPS {
+        if !doc.contains(&format!("\"op\": \"{op}\"")) {
+            return Err(format!("no entry for operation {op:?}"));
+        }
+    }
+    for field in ["\"n\":", "\"slow_ops_per_s\":", "\"fast_ops_per_s\":", "\"speedup\":"] {
+        if !doc.contains(field) {
+            return Err(format!("entries are missing the {field} field"));
+        }
+    }
+    Ok(())
+}
+
+// A minimal JSON syntax checker (no value materialization): enough to
+// reject truncated or mangled documents in the CI smoke job without
+// pulling in a serde stack the workspace doesn't vendor.
+
+fn skip_ws(b: &[u8], mut i: usize) -> usize {
+    while i < b.len() && matches!(b[i], b' ' | b'\t' | b'\n' | b'\r') {
+        i += 1;
+    }
+    i
+}
+
+fn parse_value(b: &[u8], i: usize) -> Result<usize, String> {
+    match b.get(i) {
+        None => Err("unexpected end of document".into()),
+        Some(b'{') => parse_seq(b, i, b'}', true),
+        Some(b'[') => parse_seq(b, i, b']', false),
+        Some(b'"') => parse_string(b, i),
+        Some(b't') => parse_lit(b, i, b"true"),
+        Some(b'f') => parse_lit(b, i, b"false"),
+        Some(b'n') => parse_lit(b, i, b"null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, i),
+        Some(c) => Err(format!("unexpected byte {:?} at offset {i}", *c as char)),
+    }
+}
+
+fn parse_seq(b: &[u8], mut i: usize, close: u8, keyed: bool) -> Result<usize, String> {
+    i = skip_ws(b, i + 1);
+    if b.get(i) == Some(&close) {
+        return Ok(i + 1);
+    }
+    loop {
+        if keyed {
+            i = parse_string(b, skip_ws(b, i))?;
+            i = skip_ws(b, i);
+            if b.get(i) != Some(&b':') {
+                return Err(format!("expected ':' at offset {i}"));
+            }
+            i += 1;
+        }
+        i = parse_value(b, skip_ws(b, i))?;
+        i = skip_ws(b, i);
+        match b.get(i) {
+            Some(b',') => i += 1,
+            Some(c) if *c == close => return Ok(i + 1),
+            _ => return Err(format!("expected ',' or closer at offset {i}")),
+        }
+    }
+}
+
+fn parse_string(b: &[u8], i: usize) -> Result<usize, String> {
+    if b.get(i) != Some(&b'"') {
+        return Err(format!("expected string at offset {i}"));
+    }
+    let mut j = i + 1;
+    while let Some(&c) = b.get(j) {
+        match c {
+            b'"' => return Ok(j + 1),
+            b'\\' => j += 2,
+            _ => j += 1,
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn parse_lit(b: &[u8], i: usize, lit: &[u8]) -> Result<usize, String> {
+    if b.len() >= i + lit.len() && &b[i..i + lit.len()] == lit {
+        Ok(i + lit.len())
+    } else {
+        Err(format!("bad literal at offset {i}"))
+    }
+}
+
+fn parse_number(b: &[u8], mut i: usize) -> Result<usize, String> {
+    let start = i;
+    if b.get(i) == Some(&b'-') {
+        i += 1;
+    }
+    while i < b.len() && (b[i].is_ascii_digit() || matches!(b[i], b'.' | b'e' | b'E' | b'+' | b'-'))
+    {
+        i += 1;
+    }
+    if i == start || (i == start + 1 && b[start] == b'-') {
+        Err(format!("bad number at offset {start}"))
+    } else {
+        Ok(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> CryptoBenchConfig {
+        CryptoBenchConfig {
+            ns: vec![2],
+            min_iters: 1,
+            min_time: Duration::from_millis(1),
+            quick: true,
+        }
+    }
+
+    #[test]
+    fn report_covers_every_op_and_serializes_validly() {
+        let report = run(&tiny());
+        for op in CRYPTO_BENCH_OPS {
+            let e = report.entry(op, 2).expect("op measured");
+            assert!(e.slow_ops_per_s > 0.0 && e.fast_ops_per_s > 0.0);
+        }
+        let json = to_json(&report);
+        validate_json(&json).expect("emitted document validates");
+        let table = render(&report);
+        assert!(table.contains("encrypt") && table.contains("speedup"));
+    }
+
+    #[test]
+    fn validator_rejects_mangled_documents() {
+        let report = run(&tiny());
+        let json = to_json(&report);
+        assert!(validate_json(&json[..json.len() - 4]).is_err(), "truncated");
+        assert!(validate_json(&json.replace("crypto/v1", "crypto/v9")).is_err(), "wrong schema");
+        assert!(validate_json(&json.replace("\"decrypt\"", "\"dec\"")).is_err(), "missing op");
+        assert!(validate_json("{\"a\": [1, 2,]}").is_err(), "trailing comma");
+        assert!(validate_json("not json").is_err());
+        assert!(validate_json("{} extra").is_err());
+    }
+
+    #[test]
+    fn speedup_is_fast_over_slow() {
+        let e =
+            CryptoBenchEntry { op: "encrypt", n: 2, slow_ops_per_s: 10.0, fast_ops_per_s: 30.0 };
+        assert!((e.speedup() - 3.0).abs() < 1e-12);
+        let z = CryptoBenchEntry { op: "encrypt", n: 2, slow_ops_per_s: 0.0, fast_ops_per_s: 30.0 };
+        assert_eq!(z.speedup(), 0.0);
+    }
+}

@@ -11,6 +11,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod crypto_bench;
 pub mod export;
 pub mod figures;
 pub mod workload;

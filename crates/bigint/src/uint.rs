@@ -299,10 +299,17 @@ impl<const L: usize> Uint<L> {
     /// Big-endian byte encoding, always `8·L` bytes.
     pub fn to_be_bytes(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(8 * L);
+        self.write_be_bytes(&mut out);
+        out
+    }
+
+    /// Appends the big-endian encoding (`8·L` bytes) to `out` without an
+    /// intermediate allocation — the hot serialize paths (point and
+    /// ciphertext encoding) pre-size one buffer and stream limbs into it.
+    pub fn write_be_bytes(&self, out: &mut Vec<u8>) {
         for limb in self.limbs.iter().rev() {
             out.extend_from_slice(&limb.to_be_bytes());
         }
-        out
     }
 
     /// Parses a (possibly `0x`-prefixed) hexadecimal string.

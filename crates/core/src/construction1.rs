@@ -22,10 +22,11 @@ use sp_crypto::modes::{cbc_decrypt, cbc_encrypt};
 use sp_crypto::sha256::sha256;
 use sp_osn::Url;
 use sp_pairing::Pairing;
+use sp_par::{parallel_map, parallel_map_indexed};
 use sp_shamir::{ShamirScheme, Share};
 use sp_wire::{Reader, Writer};
 
-use crate::context::Context;
+use crate::context::{Context, ContextPair};
 use crate::error::SocialPuzzleError;
 use crate::hash::HashAlg;
 use crate::sign::{Signature, SigningKey, VerifyingKey};
@@ -429,17 +430,14 @@ impl Construction1 {
         let mut puzzle_key = [0u8; PUZZLE_KEY_LEN];
         rng.fill(&mut puzzle_key);
 
-        let entries = context
-            .pairs()
-            .iter()
-            .zip(shares)
-            .enumerate()
-            .map(|(i, (pair, share))| {
-                let answer_hash = self.hash_alg.answer_hash(pair.answer(), &puzzle_key);
-                let blinded_share = blind_share(&share.to_bytes(), pair.answer(), i, &puzzle_key);
-                PuzzleEntry { question: pair.question().to_owned(), answer_hash, blinded_share }
-            })
-            .collect();
+        // Per-entry hashing + pad derivation is independent; fan it out.
+        let jobs: Vec<(&ContextPair, Vec<u8>)> =
+            context.pairs().iter().zip(shares.iter().map(Share::to_bytes)).collect();
+        let entries = parallel_map_indexed(&jobs, |i, (pair, share_bytes)| {
+            let answer_hash = self.hash_alg.answer_hash(pair.answer(), &puzzle_key);
+            let blinded_share = blind_share(share_bytes, pair.answer(), i, &puzzle_key);
+            PuzzleEntry { question: pair.question().to_owned(), answer_hash, blinded_share }
+        });
 
         let mut puzzle =
             Puzzle { entries, k, puzzle_key, url, hash_alg: self.hash_alg, signature: None };
@@ -582,7 +580,7 @@ impl Construction1 {
         responses: &[PuzzleResponse],
     ) -> Vec<Result<VerifyOutcome, SocialPuzzleError>> {
         let signed_payload = puzzle.signed_payload();
-        responses.iter().map(|r| Self::verify_with_payload(puzzle, r, &signed_payload)).collect()
+        parallel_map(responses, |r| Self::verify_with_payload(puzzle, r, &signed_payload))
     }
 
     fn verify_with_payload(
@@ -677,18 +675,27 @@ impl Construction1 {
             }
         };
 
-        let mut shares = Vec::with_capacity(outcome.released.len());
-        for (idx, blinded) in &outcome.released {
-            let answer = answers
-                .iter()
-                .find(|(i, _)| i == idx)
-                .map(|(_, a)| a.as_str())
-                .ok_or(SocialPuzzleError::ReconstructionFailed)?;
+        // Match each released share to its answer serially (cheap), then
+        // unblind in parallel (a KDF-derived pad per share).
+        let jobs: Vec<(usize, &[u8], &str)> = outcome
+            .released
+            .iter()
+            .map(|(idx, blinded)| {
+                let answer = answers
+                    .iter()
+                    .find(|(i, _)| i == idx)
+                    .map(|(_, a)| a.as_str())
+                    .ok_or(SocialPuzzleError::ReconstructionFailed)?;
+                Ok((*idx, blinded.as_slice(), answer))
+            })
+            .collect::<Result<_, SocialPuzzleError>>()?;
+        let shares = parallel_map(&jobs, |(idx, blinded, answer)| {
             let share_bytes = blind_share(blinded, answer, *idx, puzzle_key);
-            let share = Share::from_bytes(self.shamir.field(), &share_bytes)
-                .map_err(|_| SocialPuzzleError::ReconstructionFailed)?;
-            shares.push(share);
-        }
+            Share::from_bytes(self.shamir.field(), &share_bytes)
+        })
+        .into_iter()
+        .collect::<Result<Vec<Share>, _>>()
+        .map_err(|_| SocialPuzzleError::ReconstructionFailed)?;
         self.shamir.reconstruct(&shares).map_err(|_| SocialPuzzleError::ReconstructionFailed)
     }
 }

@@ -146,11 +146,40 @@ pub struct ShardContention {
     pub contended: u64,
 }
 
+/// Hit/miss counters for one server-side memoization cache (e.g. the
+/// SP's parsed-puzzle cache behind `DisplayPuzzle`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to recompute and fill the cache.
+    pub misses: u64,
+    /// Entries evicted by invalidation (re-upload, replace, delete).
+    pub invalidations: u64,
+}
+
+impl CacheCounters {
+    /// Total lookups.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit fraction in `[0, 1]`, or 0.0 before the first lookup.
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups() as f64
+        }
+    }
+}
+
 #[derive(Debug, Default)]
 struct MetricsState {
     endpoints: BTreeMap<String, EndpointCounters>,
     batches: BTreeMap<String, BatchHistogram>,
     shards: BTreeMap<String, Vec<ShardContention>>,
+    caches: BTreeMap<String, CacheCounters>,
 }
 
 /// Per-endpoint request/byte/error counters for a running service, plus
@@ -190,6 +219,25 @@ impl ServiceMetrics {
     /// Records the entry count of one batched request on `endpoint`.
     pub fn record_batch(&self, endpoint: &str, size: u64) {
         self.with(|st| st.batches.entry(endpoint.to_owned()).or_default().record(size));
+    }
+
+    /// Records one lookup against the named memoization cache.
+    pub fn record_cache(&self, cache: &str, hit: bool) {
+        self.with(|st| {
+            let c = st.caches.entry(cache.to_owned()).or_default();
+            c.hits += u64::from(hit);
+            c.misses += u64::from(!hit);
+        });
+    }
+
+    /// Records one invalidation (eviction) against the named cache.
+    pub fn record_cache_invalidation(&self, cache: &str) {
+        self.with(|st| st.caches.entry(cache.to_owned()).or_default().invalidations += 1);
+    }
+
+    /// Hit/miss counters for one cache (zeros if it never saw a lookup).
+    pub fn cache(&self, cache: &str) -> CacheCounters {
+        self.with(|st| st.caches.get(cache).copied().unwrap_or_default())
     }
 
     /// Overwrites the per-shard contention snapshot for `component`
@@ -259,6 +307,17 @@ impl fmt::Display for ServiceMetrics {
         let batches = self.with(|st| st.batches.clone());
         for (name, h) in batches {
             writeln!(f, "{name} batches: {h}")?;
+        }
+        let caches = self.with(|st| st.caches.clone());
+        for (name, c) in caches {
+            writeln!(
+                f,
+                "{name} cache: {} hits, {} misses ({:.1}% hit rate), {} invalidations",
+                c.hits,
+                c.misses,
+                c.hit_rate() * 100.0,
+                c.invalidations
+            )?;
         }
         let shards = self.with(|st| st.shards.clone());
         for (name, loads) in shards {
@@ -388,6 +447,25 @@ mod tests {
         let shown = m.to_string();
         assert!(shown.contains("sp.verify_batch batches: 2 batches"));
         assert!(shown.contains("sp.puzzles shards: 1 stripes"));
+    }
+
+    #[test]
+    fn cache_counters_track_hits_misses_and_invalidations() {
+        let m = ServiceMetrics::new();
+        assert_eq!(m.cache("sp.puzzle_cache"), CacheCounters::default());
+        assert_eq!(m.cache("sp.puzzle_cache").hit_rate(), 0.0);
+        m.record_cache("sp.puzzle_cache", false);
+        m.record_cache("sp.puzzle_cache", true);
+        m.record_cache("sp.puzzle_cache", true);
+        m.record_cache_invalidation("sp.puzzle_cache");
+        let c = m.cache("sp.puzzle_cache");
+        assert_eq!((c.hits, c.misses, c.invalidations), (2, 1, 1));
+        assert_eq!(c.lookups(), 3);
+        assert!((c.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(m.cache("other"), CacheCounters::default());
+        let shown = m.to_string();
+        assert!(shown.contains("sp.puzzle_cache cache: 2 hits, 1 misses"));
+        assert!(shown.contains("1 invalidations"));
     }
 
     #[test]

@@ -1,0 +1,122 @@
+//! Batch inversion (Montgomery's trick).
+//!
+//! Inverting `n` field elements naively costs `n` extended-GCD runs; the
+//! trick below folds them into **one** inversion plus `3(n − 1)`
+//! multiplications by inverting the running product and unwinding it:
+//!
+//! ```text
+//! p_i = a_1·a_2⋯a_i          (prefix products)
+//! p_n^{-1}                   (the single inversion)
+//! a_i^{-1} = p_{i-1} · (p_i)^{-1},   p_{i-1}^{-1} = a_i · p_i^{-1}
+//! ```
+//!
+//! Zeros are not invertible; they are skipped and left in place so callers
+//! can batch heterogeneous data (e.g. Lagrange denominators where some
+//! sentinel slots are zero) without pre-filtering.
+
+use crate::fp::Fp;
+
+/// Replaces every **nonzero** element of `elems` with its multiplicative
+/// inverse, in place, using one field inversion total. Zero elements are
+/// left untouched (zero has no inverse).
+///
+/// Returns the number of elements inverted.
+///
+/// All elements must share one field context (debug-asserted by the
+/// element arithmetic itself).
+pub fn batch_invert<const L: usize>(elems: &mut [Fp<L>]) -> usize {
+    // Prefix products over the nonzero elements only.
+    let mut prefix: Vec<Fp<L>> = Vec::with_capacity(elems.len());
+    let mut acc: Option<Fp<L>> = None;
+    for e in elems.iter() {
+        if e.is_zero() {
+            continue;
+        }
+        match acc {
+            None => {
+                acc = Some(e.clone());
+            }
+            Some(ref a) => {
+                prefix.push(a.clone());
+                acc = Some(a * e);
+            }
+        }
+    }
+    let Some(total) = acc else {
+        return 0; // all zero (or empty)
+    };
+    // The one inversion. The product of nonzero elements of a prime field
+    // is nonzero, so this cannot fail for the field moduli this workspace
+    // generates.
+    let mut inv = total.invert().expect("product of nonzero field elements is nonzero");
+    let inverted = prefix.len() + 1;
+    // Unwind backwards: elems[i]^{-1} = prefix · inv(product up to i).
+    for e in elems.iter_mut().rev() {
+        if e.is_zero() {
+            continue;
+        }
+        match prefix.pop() {
+            Some(p) => {
+                let orig = e.clone();
+                *e = &p * &inv;
+                inv = &inv * &orig;
+            }
+            None => {
+                // First nonzero element: its inverse is what remains.
+                *e = inv.clone();
+                break;
+            }
+        }
+    }
+    inverted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fp::FieldCtx;
+    use rand::{rngs::StdRng, SeedableRng};
+    use sp_bigint::Uint;
+    use std::sync::Arc;
+
+    fn f103() -> Arc<FieldCtx<4>> {
+        FieldCtx::new(Uint::from_u64(103)).unwrap()
+    }
+
+    #[test]
+    fn matches_per_element_inversion() {
+        let f = f103();
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut elems: Vec<_> = (0..40).map(|_| f.random_nonzero(&mut rng)).collect();
+        let expected: Vec<_> = elems.iter().map(|e| e.invert().unwrap()).collect();
+        assert_eq!(batch_invert(&mut elems), 40);
+        assert_eq!(elems, expected);
+    }
+
+    #[test]
+    fn zeros_mid_batch_are_skipped() {
+        let f = f103();
+        let mut elems =
+            vec![f.from_u64(2), f.zero(), f.from_u64(5), f.zero(), f.from_u64(7), f.zero()];
+        assert_eq!(batch_invert(&mut elems), 3);
+        assert_eq!(elems[0], f.from_u64(2).invert().unwrap());
+        assert!(elems[1].is_zero());
+        assert_eq!(elems[2], f.from_u64(5).invert().unwrap());
+        assert!(elems[3].is_zero());
+        assert_eq!(elems[4], f.from_u64(7).invert().unwrap());
+        assert!(elems[5].is_zero());
+    }
+
+    #[test]
+    fn degenerate_batches() {
+        let f = f103();
+        let mut empty: Vec<Fp<4>> = vec![];
+        assert_eq!(batch_invert(&mut empty), 0);
+        let mut zeros = vec![f.zero(), f.zero()];
+        assert_eq!(batch_invert(&mut zeros), 0);
+        assert!(zeros.iter().all(Fp::is_zero));
+        let mut single = vec![f.from_u64(9)];
+        assert_eq!(batch_invert(&mut single), 1);
+        assert_eq!(single[0], f.from_u64(9).invert().unwrap());
+    }
+}

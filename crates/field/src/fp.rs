@@ -126,6 +126,12 @@ impl<const L: usize> Fp<L> {
         self.to_uint().to_be_bytes()
     }
 
+    /// Appends the big-endian canonical encoding (`8·L` bytes) to `out`
+    /// without an intermediate allocation.
+    pub fn write_be_bytes(&self, out: &mut Vec<u8>) {
+        self.to_uint().write_be_bytes(out);
+    }
+
     /// Returns `true` if this is the additive identity.
     pub fn is_zero(&self) -> bool {
         self.repr.is_zero()

@@ -26,10 +26,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod error;
 mod fp;
 mod fp2;
 
+pub use batch::batch_invert;
 pub use error::FieldError;
 pub use fp::{FieldCtx, Fp};
 pub use fp2::Fp2;

@@ -107,3 +107,36 @@ proptest! {
         prop_assert_eq!(Fp2::from_be_bytes(&f, &x.to_be_bytes()).unwrap(), x);
     }
 }
+
+// Batch-inversion equivalence: Montgomery's trick must agree with the
+// per-element inversion it amortizes, with zeros anywhere in the batch
+// left in place rather than poisoning their neighbors.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn batch_invert_matches_per_element_inversion(
+        seed in any::<u64>(),
+        len in 0usize..24,
+        zero_mask in any::<u32>(),
+    ) {
+        let f = f_3mod4();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let original: Vec<_> = (0..len)
+            .map(|i| if zero_mask & (1 << i) != 0 { f.zero() } else { f.random(&mut rng) })
+            .collect();
+        let mut batch = original.clone();
+        let inverted = sp_field::batch_invert(&mut batch);
+        let mut nonzero = 0usize;
+        for (got, orig) in batch.iter().zip(&original) {
+            match orig.invert() {
+                Ok(inv) => {
+                    nonzero += 1;
+                    prop_assert_eq!(got.clone(), inv);
+                }
+                Err(_) => prop_assert_eq!(got.clone(), orig.clone()),
+            }
+        }
+        prop_assert_eq!(inverted, nonzero);
+    }
+}

@@ -329,9 +329,9 @@ mod tests {
         let err = conn.call(b"x").unwrap_err();
         let elapsed = started.elapsed();
         assert!(matches!(err, NetError::Io(_)), "got {err}");
-        // Two attempts × 150 ms + 1 ms backoff, plus slop — but well
-        // under an unbounded hang.
-        assert!(elapsed < Duration::from_secs(2), "took {elapsed:?}");
+        // Two attempts × 150 ms + 1 ms backoff, plus generous slop for a
+        // loaded test host — but well under an unbounded hang.
+        assert!(elapsed < Duration::from_secs(10), "took {elapsed:?}");
     }
 
     /// Applies each *new* mutation once (counting it) and echoes; wired

@@ -9,7 +9,7 @@
 
 use std::collections::HashMap;
 use std::net::SocketAddr;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use bytes::Bytes;
 use rand::rngs::StdRng;
@@ -19,7 +19,7 @@ use social_puzzles_core::construction1::{
 };
 use social_puzzles_core::metrics::{ServiceMetrics, ShardContention};
 use social_puzzles_core::SocialPuzzleError;
-use sp_osn::{OsnError, PostId, ProviderApi, PuzzleId, ServiceProvider, Url, UserId};
+use sp_osn::{OsnError, PostId, ProviderApi, PuzzleId, ServiceProvider, ShardedMap, Url, UserId};
 use sp_wire::Reader;
 
 use crate::client::{ClientConfig, Connection};
@@ -31,6 +31,9 @@ use crate::msg::{
     encode_displayed_puzzle, encode_verify_outcome, BatchEntryResult, SpRequest, VerifyEntry,
 };
 
+/// Metrics name of the SP's parsed-puzzle memoization cache.
+const PUZZLE_CACHE: &str = "sp.puzzle_cache";
+
 /// The SP daemon's request handler.
 pub struct SpService {
     sp: ServiceProvider,
@@ -38,6 +41,13 @@ pub struct SpService {
     rng: Mutex<StdRng>,
     metrics: ServiceMetrics,
     replay: ReplayCache,
+    /// Parsed-puzzle memoization for `DisplayPuzzle`/`Verify`: the display
+    /// itself is re-randomized per call, but the fetch-and-parse of the
+    /// stored record is deterministic per `URL_O`, so it is cached in a
+    /// sharded store keyed by the same puzzle-id space as the provider's
+    /// puzzle map and invalidated whenever that record is re-uploaded,
+    /// replaced, or deleted through this service.
+    puzzle_cache: ShardedMap<u64, Arc<Puzzle>>,
 }
 
 impl SpService {
@@ -50,6 +60,7 @@ impl SpService {
             rng: Mutex::new(StdRng::from_entropy()),
             metrics: ServiceMetrics::new(),
             replay: ReplayCache::default(),
+            puzzle_cache: ShardedMap::default(),
         }
     }
 
@@ -63,13 +74,29 @@ impl SpService {
         &self.sp
     }
 
-    fn load_puzzle(&self, raw: u64) -> Result<Puzzle, (ErrorCode, String)> {
+    fn load_puzzle(&self, raw: u64) -> Result<Arc<Puzzle>, (ErrorCode, String)> {
+        if let Some(cached) = self.puzzle_cache.get(&raw) {
+            self.metrics.record_cache(PUZZLE_CACHE, true);
+            return Ok(cached);
+        }
+        self.metrics.record_cache(PUZZLE_CACHE, false);
         let bytes = self
             .sp
             .fetch_puzzle(PuzzleId::from_raw(raw))
             .map_err(|e| (code_for(e), e.to_string()))?;
-        Puzzle::from_bytes(&bytes)
-            .map_err(|e| (ErrorCode::Internal, format!("stored puzzle is corrupt: {e}")))
+        let puzzle = Arc::new(
+            Puzzle::from_bytes(&bytes)
+                .map_err(|e| (ErrorCode::Internal, format!("stored puzzle is corrupt: {e}")))?,
+        );
+        self.puzzle_cache.insert(raw, puzzle.clone());
+        Ok(puzzle)
+    }
+
+    /// Drops a puzzle's cached parse after its stored record changed.
+    fn invalidate_puzzle(&self, raw: u64) {
+        if self.puzzle_cache.remove(&raw).is_some() {
+            self.metrics.record_cache_invalidation(PUZZLE_CACHE);
+        }
     }
 
     fn dispatch(&self, req: SpRequest) -> Result<Vec<u8>, (ErrorCode, String)> {
@@ -77,6 +104,9 @@ impl SpService {
         match req {
             SpRequest::Upload { record } => {
                 let id = self.sp.publish_puzzle(Bytes::from(record));
+                // A fresh id normally has no cached parse, but the provider
+                // may recycle ids after deletes — never serve a stale parse.
+                self.invalidate_puzzle(id.raw());
                 Ok(encode_u64(id.raw()))
             }
             SpRequest::FetchPuzzle { puzzle } => {
@@ -87,10 +117,12 @@ impl SpService {
                 self.sp
                     .replace_puzzle(PuzzleId::from_raw(puzzle), Bytes::from(record))
                     .map_err(osn)?;
+                self.invalidate_puzzle(puzzle);
                 Ok(Vec::new())
             }
             SpRequest::DeletePuzzle { puzzle } => {
                 self.sp.delete_puzzle(PuzzleId::from_raw(puzzle)).map_err(osn)?;
+                self.invalidate_puzzle(puzzle);
                 Ok(Vec::new())
             }
             SpRequest::LogAccess { user, puzzle, granted } => {
@@ -195,6 +227,18 @@ impl SpService {
             "sp.puzzles",
             self.sp
                 .shard_loads()
+                .into_iter()
+                .map(|l| ShardContention {
+                    reads: l.reads,
+                    writes: l.writes,
+                    contended: l.contended,
+                })
+                .collect(),
+        );
+        self.metrics.set_shard_contention(
+            PUZZLE_CACHE,
+            self.puzzle_cache
+                .loads()
                 .into_iter()
                 .map(|l| ShardContention {
                     reads: l.reads,
@@ -636,6 +680,49 @@ mod tests {
             NetError::Remote { code, .. } => assert_eq!(code, ErrorCode::UnknownPuzzle),
             other => panic!("expected Remote, got {other}"),
         }
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn display_puzzle_memoizes_the_stored_parse_per_url() {
+        let (daemon, client, metrics, _) = boot();
+        let c1 = Construction1::new();
+        let mut rng = StdRng::seed_from_u64(17);
+        let ctx =
+            Context::builder().pair("Where?", "boathouse").pair("Who?", "lena").build().unwrap();
+        let upload = c1
+            .upload_to(b"obj", &ctx, 2, Url::from("https://dh.example/objects/7"), None, &mut rng)
+            .unwrap();
+        let id = client.publish_puzzle(Bytes::from(upload.puzzle.to_bytes())).unwrap();
+
+        // First display parses the stored record; repeats are cache hits
+        // even though each display re-randomizes the question subset.
+        client.display_puzzle(id).unwrap();
+        client.display_puzzle(id).unwrap();
+        client.display_puzzle(id).unwrap();
+        let c = metrics.cache("sp.puzzle_cache");
+        assert_eq!((c.hits, c.misses, c.invalidations), (2, 1, 0));
+
+        // Re-uploading the record under the same id invalidates the cached
+        // parse, so the next display misses and re-parses.
+        let upload2 = c1
+            .upload_to(b"obj2", &ctx, 2, Url::from("https://dh.example/objects/8"), None, &mut rng)
+            .unwrap();
+        client.replace_puzzle(id, Bytes::from(upload2.puzzle.to_bytes())).unwrap();
+        assert_eq!(client.access(id).unwrap().as_str(), "https://dh.example/objects/8");
+        let c = metrics.cache("sp.puzzle_cache");
+        assert_eq!(c.invalidations, 1);
+        assert_eq!(c.misses, 2, "replace forces a re-parse");
+
+        // Deleting drops the entry too; the failed load still counts as a
+        // miss (there is nothing to cache).
+        client.delete_puzzle(id).unwrap();
+        assert_eq!(metrics.cache("sp.puzzle_cache").invalidations, 2);
+        assert!(client.display_puzzle(id).is_err());
+        assert_eq!(metrics.cache("sp.puzzle_cache").misses, 3);
+
+        // The cache's own sharded-store load counters are exported.
+        assert!(metrics.shard_contention_totals("sp.puzzle_cache").reads > 0);
         daemon.shutdown();
     }
 

@@ -42,7 +42,7 @@ mod gt;
 mod miller;
 mod params;
 
-pub use curve::G1;
+pub use curve::{FixedBaseTable, G1};
 pub use error::PairingError;
 pub use gt::Gt;
 pub use params::{Pairing, PairingParams, Scalar, DEFAULT_Q_BITS, TEST_Q_BITS};

@@ -35,7 +35,169 @@ fn line_value(lambda: &Fp<8>, xt: &Fp<8>, yt: &Fp<8>, xq: &Fp<8>, yq: &Fp<8>) ->
 ///
 /// Panics if either point is the identity.
 pub(crate) fn tate_pairing(p: &G1, q: &G1, r: &Uint<4>, h: &Uint<8>) -> Fp2<8> {
+    final_exponentiation(&miller_loop_product(&[(p, q, false)], r), h)
+}
+
+/// The affine reference pairing: the original per-step-inversion Miller
+/// loop, retained as the differential-testing and benchmark baseline for
+/// [`tate_pairing`].
+pub(crate) fn tate_pairing_reference(p: &G1, q: &G1, r: &Uint<4>, h: &Uint<8>) -> Fp2<8> {
     final_exponentiation(&miller_loop(p, q, r), h)
+}
+
+/// Per-term Miller state for the product loop: the running point `T` in
+/// Jacobian coordinates plus borrowed affine inputs. Keeping `T`
+/// projective removes the per-step field inversion the affine loop pays
+/// for the line slope — line values pick up extra `F_q^*` factors, which
+/// the `(q − 1)` stage of the final exponentiation annihilates (the same
+/// argument BKLS denominator elimination rests on).
+struct TermState<'a> {
+    xp: &'a Fp<8>,
+    yp: &'a Fp<8>,
+    xq: &'a Fp<8>,
+    yq: &'a Fp<8>,
+    /// Multiply the conjugate of each line value into the accumulator,
+    /// yielding `ê(P, Q)^{-1}` after final exponentiation (inversion in
+    /// the norm-1 subgroup is conjugation, up to an `F_q` factor).
+    conjugate: bool,
+    x: Fp<8>,
+    y: Fp<8>,
+    z: Fp<8>,
+    /// `T` reached the identity (final addition `T = −P`); no further
+    /// line contributions.
+    done: bool,
+}
+
+impl TermState<'_> {
+    /// Doubling step: returns the (projectively scaled) line value
+    /// `l_{T,T}(ψQ)` and advances `T ← 2T`.
+    fn double_step(&mut self) -> Option<Fp2<8>> {
+        if self.done {
+            return None;
+        }
+        if self.y.is_zero() {
+            // 2-torsion: tangent is vertical (value in F_q, eliminated).
+            self.done = true;
+            return None;
+        }
+        let z2 = self.z.square();
+        let m = {
+            let x2 = self.x.square();
+            &(&x2.double() + &x2) + &z2.square() // 3X² + Z⁴ (a = 1)
+        };
+        let y2 = self.y.square();
+        let s = (&self.x * &y2).double().double(); // 4XY²
+        let x3 = &m.square() - &s.double();
+        let z3 = (&self.y * &self.z).double();
+        let y3 = &(&m * &(&s - &x3)) - &y2.square().double().double().double(); // 8Y⁴
+                                                                                // l·(2YZ³) = M(x_Q·Z² + X) − 2Y² + i·(y_Q·Z'·Z²)
+        let c0 = &(&m * &(&(self.xq * &z2) + &self.x)) - &y2.double();
+        let c1 = &(self.yq * &z3) * &z2;
+        self.x = x3;
+        self.y = y3;
+        self.z = z3;
+        Some(Fp2::new(c0, c1).expect("base field is 3 mod 4"))
+    }
+
+    /// Mixed addition step: returns the line `l_{T,P}(ψQ)` (or `None` for
+    /// the vertical `T = −P` case) and advances `T ← T + P`.
+    fn add_step(&mut self) -> Option<Fp2<8>> {
+        if self.done {
+            return None;
+        }
+        let z2 = self.z.square();
+        let u2 = self.xp * &z2;
+        let s2 = &(self.yp * &self.z) * &z2;
+        let h = &u2 - &self.x;
+        let r = &s2 - &self.y;
+        if h.is_zero() {
+            if r.is_zero() {
+                // T == P: tangent line (malformed inputs only; kept for
+                // robustness, mirroring the affine loop).
+                return self.double_step();
+            }
+            // T == −P: vertical line, eliminated; T becomes the identity.
+            self.done = true;
+            return None;
+        }
+        let h2 = h.square();
+        let h3 = &h2 * &h;
+        let xh2 = &self.x * &h2;
+        let x3 = &(&r.square() - &h3) - &xh2.double();
+        let y3 = &(&r * &(&xh2 - &x3)) - &(&self.y * &h3);
+        let z3 = &self.z * &h;
+        // l·(Z³H) = R(x_Q·Z² + X) − Y·H + i·(y_Q·Z²·Z')
+        let c0 = &(&r * &(&(self.xq * &z2) + &self.x)) - &(&self.y * &h);
+        let c1 = &(self.yq * &z2) * &z3;
+        self.x = x3;
+        self.y = y3;
+        self.z = z3;
+        Some(Fp2::new(c0, c1).expect("base field is 3 mod 4"))
+    }
+}
+
+/// Product-of-pairings Miller loop: computes
+/// `Π_j f_{r,P_j}(ψQ_j)^{±1}` (sign per the `invert` flag of each
+/// `(p, q, invert)` term) with **one shared accumulator squaring per bit**
+/// and no field inversions, up to `F_q^*` factors killed by the final
+/// exponentiation. Combined with a single [`final_exponentiation`], this
+/// is what lets CP-ABE decryption fold every satisfied leaf into one
+/// shared tail instead of `k` independent pairings.
+///
+/// Terms whose points include the identity contribute `1` and are
+/// skipped.
+pub(crate) fn miller_loop_product(terms: &[(&G1, &G1, bool)], r: &Uint<4>) -> Fp2<8> {
+    let mut states: Vec<TermState<'_>> = terms
+        .iter()
+        .filter_map(|(p, q, invert)| {
+            let (xp, yp) = p.coords()?;
+            let (xq, yq) = q.coords()?;
+            Some(TermState {
+                xp,
+                yp,
+                xq,
+                yq,
+                conjugate: *invert,
+                x: xp.clone(),
+                y: yp.clone(),
+                z: xp.ctx().one(),
+                done: false,
+            })
+        })
+        .collect();
+    let ctx = match states.first() {
+        Some(st) => st.xp.ctx().clone(),
+        // Every term is degenerate (contributes 1): recover a field
+        // context from any operand for the trivial answer.
+        None => {
+            let (x, _) = terms
+                .iter()
+                .find_map(|(p, q, _)| p.coords().or_else(|| q.coords()))
+                .expect("miller_loop_product needs at least one non-identity operand");
+            return Fp2::one(x.ctx());
+        }
+    };
+
+    let mut f = Fp2::one(&ctx);
+    let bits = r.bit_len();
+    for i in (0..bits - 1).rev() {
+        f = f.square();
+        for st in &mut states {
+            let conj = st.conjugate;
+            if let Some(line) = st.double_step() {
+                f = &f * &(if conj { line.conjugate() } else { line });
+            }
+        }
+        if r.bit(i) {
+            for st in &mut states {
+                let conj = st.conjugate;
+                if let Some(line) = st.add_step() {
+                    f = &f * &(if conj { line.conjugate() } else { line });
+                }
+            }
+        }
+    }
+    f
 }
 
 /// The raw Miller loop value `f_{r,P}(ψQ)` (before final exponentiation);

@@ -8,12 +8,14 @@ use rand::{Rng, SeedableRng};
 use sp_bigint::prime::{generate_type_a, TypeAPrimes};
 use sp_bigint::Uint;
 use sp_crypto::sha256::sha256_concat;
-use sp_field::{FieldCtx, Fp};
+use sp_field::{FieldCtx, Fp, Fp2};
 
-use crate::curve::G1;
+use crate::curve::{FixedBaseTable, G1};
 use crate::error::PairingError;
 use crate::gt::Gt;
-use crate::miller::tate_pairing;
+use crate::miller::{
+    final_exponentiation, miller_loop, miller_loop_product, tate_pairing, tate_pairing_reference,
+};
 
 /// An element of the scalar field `Z_r` (`r` = group order).
 pub type Scalar = Fp<4>;
@@ -33,6 +35,9 @@ pub struct PairingParams {
     r: Uint<4>,
     h: Uint<8>,
     generator: G1,
+    /// Lazily built fixed-base window table for the generator; every
+    /// `[s]G` in Setup/Encrypt/KeyGen goes through it.
+    gen_table: OnceLock<FixedBaseTable>,
 }
 
 impl fmt::Debug for PairingParams {
@@ -75,7 +80,14 @@ impl Pairing {
         let fq = FieldCtx::new(q).expect("generated q is an odd prime");
         let r4: Uint<4> = r.truncate().expect("r is 160 bits");
         let zr = FieldCtx::new(r4).expect("r is an odd prime");
-        let mut params = PairingParams { fq, zr, r: r4, h, generator: G1::identity() };
+        let mut params = PairingParams {
+            fq,
+            zr,
+            r: r4,
+            h,
+            generator: G1::identity(),
+            gen_table: OnceLock::new(),
+        };
         params.generator = hash_to_g1_inner(&params, b"social-puzzles/type-a/generator/v1");
         assert!(!params.generator.is_identity());
         Self { params: Arc::new(params) }
@@ -131,12 +143,61 @@ impl Pairing {
         &self.params.generator
     }
 
-    /// The modified Tate pairing `ê(P, Q)`.
+    /// The modified Tate pairing `ê(P, Q)` (projective Miller loop — no
+    /// per-step field inversions).
     pub fn pair(&self, p: &G1, q: &G1) -> Gt {
         if p.is_identity() || q.is_identity() {
             return Gt::one(&self.params.fq);
         }
         Gt::from_fp2(tate_pairing(p, q, &self.params.r, &self.params.h))
+    }
+
+    /// The original affine-Miller-loop pairing, retained as the reference
+    /// implementation the optimized path is differential-tested and
+    /// benchmarked against.
+    pub fn pair_reference(&self, p: &G1, q: &G1) -> Gt {
+        if p.is_identity() || q.is_identity() {
+            return Gt::one(&self.params.fq);
+        }
+        Gt::from_fp2(tate_pairing_reference(p, q, &self.params.r, &self.params.h))
+    }
+
+    /// Product of pairing ratios `Π_j ê(Pⱼ, Qⱼ) / Π_k ê(P'ₖ, Q'ₖ)` with a
+    /// **single** shared Miller accumulator and **one** final
+    /// exponentiation — the multi-pairing shape CP-ABE decryption reduces
+    /// to once the per-leaf Lagrange exponents are folded into the `G1`
+    /// arguments. Terms containing the identity contribute `1`.
+    pub fn pair_product(&self, num: &[(&G1, &G1)], den: &[(&G1, &G1)]) -> Gt {
+        let terms: Vec<(&G1, &G1, bool)> = num
+            .iter()
+            .map(|&(p, q)| (p, q, false))
+            .chain(den.iter().map(|&(p, q)| (p, q, true)))
+            .collect();
+        if terms.iter().all(|(p, q, _)| p.is_identity() || q.is_identity()) {
+            return Gt::one(&self.params.fq);
+        }
+        let f = miller_loop_product(&terms, &self.params.r);
+        Gt::from_fp2(final_exponentiation(&f, &self.params.h))
+    }
+
+    /// The pre-optimization pairing ratio: two *affine* Miller loops (one
+    /// field inversion per curve step) sharing one final exponentiation.
+    /// This is what [`Pairing::pair_ratio`] computed before the projective
+    /// multi-pairing rewrite; it stays as the differential-test and
+    /// benchmark baseline.
+    pub fn pair_ratio_reference(&self, p1: &G1, q1: &G1, p2: &G1, q2: &G1) -> Gt {
+        let mut f = Fp2::one(&self.params.fq);
+        if !(p1.is_identity() || q1.is_identity()) {
+            f = &f * &miller_loop(p1, q1, &self.params.r);
+        }
+        if !(p2.is_identity() || q2.is_identity()) {
+            let f2 = miller_loop(p2, q2, &self.params.r);
+            f = &f * &f2.invert().expect("miller value nonzero");
+        }
+        if f.is_one() {
+            return Gt::one(&self.params.fq);
+        }
+        Gt::from_fp2(final_exponentiation(&f, &self.params.h))
     }
 
     /// The pairing ratio `ê(P₁, Q₁) / ê(P₂, Q₂)`, computed with a single
@@ -145,20 +206,7 @@ impl Pairing {
     /// (`e(D_j, C_y) / e(D'_j, C'_y)`), at roughly half the
     /// final-exponentiation cost of two independent pairings.
     pub fn pair_ratio(&self, p1: &G1, q1: &G1, p2: &G1, q2: &G1) -> Gt {
-        use crate::miller::{final_exponentiation, miller_loop};
-        let fq = &self.params.fq;
-        let m1 = if p1.is_identity() || q1.is_identity() {
-            sp_field::Fp2::one(fq)
-        } else {
-            miller_loop(p1, q1, &self.params.r)
-        };
-        let m2 = if p2.is_identity() || q2.is_identity() {
-            sp_field::Fp2::one(fq)
-        } else {
-            miller_loop(p2, q2, &self.params.r)
-        };
-        let ratio = &m1 * &m2.invert().expect("miller values nonzero");
-        Gt::from_fp2(final_exponentiation(&ratio, &self.params.h))
+        self.pair_product(&[(p1, q1)], &[(p2, q2)])
     }
 
     /// Uniformly random scalar in `Z_r`.
@@ -191,9 +239,21 @@ impl Pairing {
         hash_to_g1_inner(&self.params, data)
     }
 
-    /// Scalar multiplication `[s]P` by a scalar in `Z_r`.
+    /// Scalar multiplication `[s]P` by a scalar in `Z_r`
+    /// (sliding-window ladder).
     pub fn mul(&self, p: &G1, s: &Scalar) -> G1 {
-        p.mul_uint(&s.to_uint())
+        p.mul_uint_window(&s.to_uint())
+    }
+
+    /// Fixed-base scalar multiplication `[s]G` of the generator off the
+    /// cached window table — no doublings, one mixed addition per nonzero
+    /// scalar digit. First use per parameter set builds the table.
+    pub fn mul_generator(&self, s: &Scalar) -> G1 {
+        self.generator_table().mul(&s.to_uint())
+    }
+
+    fn generator_table(&self) -> &FixedBaseTable {
+        self.params.gen_table.get_or_init(|| FixedBaseTable::new(&self.params.generator, 64 * 4))
     }
 
     /// A uniformly random point of `G1`.
@@ -249,7 +309,7 @@ fn hash_to_g1_inner(params: &PairingParams, data: &[u8]) -> G1 {
             let point = G1::from_affine_unchecked(x, y);
             debug_assert!(point.is_on_curve());
             // Clear the cofactor to land in the order-r subgroup.
-            let cleared = point.mul_uint(&params.h);
+            let cleared = point.mul_uint_window(&params.h);
             if !cleared.is_identity() {
                 return cleared;
             }
@@ -527,6 +587,102 @@ mod tests {
         assert!(a.mul(&a.inverse()).is_one());
         assert_eq!(a.pow(&Uint::<4>::from_u64(3)), a.mul(&a).mul(&a));
         assert!(a.pow(p.order()).is_one(), "Gt elements have order dividing r");
+    }
+
+    #[test]
+    fn window_mul_matches_textbook_ladder() {
+        let p = pairing();
+        let mut rng = StdRng::seed_from_u64(51);
+        for _ in 0..8 {
+            let point = p.random_g1(&mut rng);
+            let s = p.random_scalar(&mut rng);
+            assert_eq!(point.mul_uint_window(&s.to_uint()), point.mul_uint(&s.to_uint()));
+        }
+        let g = p.generator();
+        for k in [0u64, 1, 2, 3, 15, 16, 17, 255] {
+            let k = Uint::<4>::from_u64(k);
+            assert_eq!(g.mul_uint_window(&k), g.mul_uint(&k));
+        }
+        let r = *p.order();
+        assert!(g.mul_uint_window(&r).is_identity());
+        assert_eq!(g.mul_uint_window(&r.wrapping_sub(&Uint::ONE)), g.negate());
+        // Wide (cofactor-sized) scalars as used by cofactor clearing.
+        assert_eq!(g.mul_uint_window(p.cofactor()), g.mul_uint(p.cofactor()));
+    }
+
+    #[test]
+    fn fixed_base_table_matches_textbook_ladder() {
+        let p = pairing();
+        let g = p.generator();
+        let table = crate::curve::FixedBaseTable::new(g, 64 * 4);
+        let mut rng = StdRng::seed_from_u64(52);
+        for _ in 0..8 {
+            let s = p.random_scalar(&mut rng);
+            assert_eq!(table.mul(&s.to_uint()), g.mul_uint(&s.to_uint()));
+        }
+        for k in [0u64, 1, 2, 15, 16, u64::MAX] {
+            let k = Uint::<4>::from_u64(k);
+            assert_eq!(table.mul(&k), g.mul_uint(&k));
+        }
+        let r = *p.order();
+        assert!(table.mul(&r).is_identity());
+        assert_eq!(table.mul(&r.wrapping_add(&Uint::ONE)), *g);
+        // Identity base.
+        let empty = crate::curve::FixedBaseTable::new(&G1::identity(), 64 * 4);
+        assert!(empty.mul(&Uint::<4>::from_u64(7)).is_identity());
+    }
+
+    #[test]
+    fn mul_generator_uses_the_cached_table() {
+        let p = pairing();
+        let mut rng = StdRng::seed_from_u64(53);
+        for _ in 0..4 {
+            let s = p.random_scalar(&mut rng);
+            assert_eq!(p.mul_generator(&s), p.mul(p.generator(), &s));
+        }
+    }
+
+    #[test]
+    fn projective_pairing_matches_affine_reference() {
+        let p = pairing();
+        let mut rng = StdRng::seed_from_u64(54);
+        for _ in 0..4 {
+            let a = p.random_g1(&mut rng);
+            let b = p.random_g1(&mut rng);
+            assert_eq!(p.pair(&a, &b), p.pair_reference(&a, &b));
+        }
+        let g = p.generator();
+        assert_eq!(p.pair(g, g), p.pair_reference(g, g));
+    }
+
+    #[test]
+    fn pair_product_matches_naive_products() {
+        let p = pairing();
+        let mut rng = StdRng::seed_from_u64(55);
+        let points: Vec<G1> = (0..8).map(|_| p.random_g1(&mut rng)).collect();
+        // Π e(p_i, p_{i+1}) over pairs, divided by Π of the reversed pairs.
+        let num: Vec<(&G1, &G1)> = vec![(&points[0], &points[1]), (&points[2], &points[3])];
+        let den: Vec<(&G1, &G1)> = vec![(&points[4], &points[5]), (&points[6], &points[7])];
+        let naive = p
+            .pair(&points[0], &points[1])
+            .mul(&p.pair(&points[2], &points[3]))
+            .div(&p.pair(&points[4], &points[5]))
+            .div(&p.pair(&points[6], &points[7]));
+        assert_eq!(p.pair_product(&num, &den), naive);
+        // Numerator-only and denominator-only shapes.
+        assert_eq!(
+            p.pair_product(&num, &[]),
+            p.pair(&points[0], &points[1]).mul(&p.pair(&points[2], &points[3]))
+        );
+        assert_eq!(p.pair_product(&[], &den[..1]), p.pair(&points[4], &points[5]).inverse());
+        // Identity terms drop out.
+        let id = G1::identity();
+        assert_eq!(
+            p.pair_product(&[(&points[0], &points[1]), (&id, &points[2])], &[]),
+            p.pair(&points[0], &points[1])
+        );
+        assert!(p.pair_product(&[(&id, &points[0])], &[(&points[1], &id)]).is_one());
+        assert!(p.pair_product(&[], &[]).is_one());
     }
 
     #[test]

@@ -92,3 +92,60 @@ proptest! {
         prop_assert!(h.mul_uint(p.order()).is_identity());
     }
 }
+
+// Fast-path equivalence: the optimized routines (sliding-window and
+// fixed-base-table scalar multiplication, product-of-pairings Miller
+// loop) must agree with the textbook shapes they replaced on every
+// random input, including identity and small-order corner cases.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn windowed_and_table_muls_match_textbook(seed in any::<u64>()) {
+        let p = pairing();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let base = p.random_g1(&mut rng);
+        let s = p.random_nonzero_scalar(&mut rng);
+        let want = base.mul_uint(&s.to_uint());
+        prop_assert_eq!(base.mul_uint_window(&s.to_uint()), want.clone());
+        let table = sp_pairing::FixedBaseTable::new(&base, 256);
+        prop_assert_eq!(table.mul(&s.to_uint()), want);
+        // The cached generator table behind mul_generator too.
+        prop_assert_eq!(p.mul_generator(&s), p.generator().mul_uint(&s.to_uint()));
+        // Degenerate scalars.
+        prop_assert!(table.mul(&sp_bigint::Uint::<4>::ZERO).is_identity());
+        prop_assert!(G1::identity().mul_uint_window(&s.to_uint()).is_identity());
+    }
+
+    #[test]
+    fn product_of_pairings_matches_individual_pairings(
+        seed in any::<u64>(),
+        n_num in 1usize..4,
+        n_den in 0usize..3,
+    ) {
+        let p = pairing();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let num: Vec<(G1, G1)> =
+            (0..n_num).map(|_| (p.random_g1(&mut rng), p.random_g1(&mut rng))).collect();
+        let den: Vec<(G1, G1)> =
+            (0..n_den).map(|_| (p.random_g1(&mut rng), p.random_g1(&mut rng))).collect();
+        let mut want = p.gt_one();
+        for (a, b) in &num {
+            want = want.mul(&p.pair_reference(a, b));
+        }
+        for (a, b) in &den {
+            want = want.div(&p.pair_reference(a, b));
+        }
+        let num_refs: Vec<(&G1, &G1)> = num.iter().map(|(a, b)| (a, b)).collect();
+        let den_refs: Vec<(&G1, &G1)> = den.iter().map(|(a, b)| (a, b)).collect();
+        prop_assert_eq!(p.pair_product(&num_refs, &den_refs), want);
+        // Identity terms drop out instead of poisoning the product.
+        let id = G1::identity();
+        let with_id: Vec<(&G1, &G1)> = num_refs
+            .iter()
+            .copied()
+            .chain(std::iter::once((&id, &num[0].1)))
+            .collect();
+        prop_assert_eq!(p.pair_product(&with_id, &den_refs), p.pair_product(&num_refs, &den_refs));
+    }
+}

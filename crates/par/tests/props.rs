@@ -1,0 +1,39 @@
+//! Property-based equivalence of the work-stealing parallel map with a
+//! serial map: same results, same order, regardless of length, worker
+//! count, and per-item cost skew.
+
+use proptest::prelude::*;
+use sp_par::{parallel_map, parallel_map_indexed};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn parallel_map_matches_serial_map_in_order(
+        items in proptest::collection::vec(any::<u64>(), 0..64),
+    ) {
+        let f = |x: &u64| x.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(17);
+        let serial: Vec<u64> = items.iter().map(f).collect();
+        prop_assert_eq!(parallel_map(&items, f), serial);
+    }
+
+    #[test]
+    fn parallel_map_indexed_sees_the_right_index(
+        items in proptest::collection::vec(any::<u32>(), 0..48),
+    ) {
+        let got = parallel_map_indexed(&items, |i, x| (i, *x));
+        let want: Vec<(usize, u32)> = items.iter().copied().enumerate().collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn parallel_map_with_skewed_costs_keeps_order(
+        items in proptest::collection::vec(0u64..2000, 1..24),
+    ) {
+        // Items take wildly different times; self-scheduling must still
+        // land every result in its own slot.
+        let f = |x: &u64| (0..*x % 997).fold(*x, |acc, i| acc.wrapping_add(i * i));
+        let serial: Vec<u64> = items.iter().map(f).collect();
+        prop_assert_eq!(parallel_map(&items, f), serial);
+    }
+}

@@ -6,7 +6,7 @@ use std::sync::Arc;
 
 use rand::Rng;
 use sp_bigint::Uint;
-use sp_field::{FieldCtx, Fp};
+use sp_field::{batch_invert, FieldCtx, Fp};
 
 use crate::error::ShamirError;
 use crate::poly::Polynomial;
@@ -98,22 +98,49 @@ impl ShamirScheme {
                 return Err(ShamirError::DuplicateShare);
             }
         }
-        // P(0) = Σ_j y_j · Π_{j' ≠ j} x_{j'} / (x_{j'} − x_j)
+        // P(0) = Σ_j y_j · γ_j with all γ denominators inverted at once.
+        let xs: Vec<Fp<4>> = shares.iter().map(|s| s.x().clone()).collect();
+        let gammas = self.lagrange_coefficients_at_zero(&xs)?;
         let mut acc = self.field.zero();
-        for (j, share) in shares.iter().enumerate() {
+        for (share, gamma) in shares.iter().zip(&gammas) {
+            acc = &acc + &(share.y() * gamma);
+        }
+        Ok(acc)
+    }
+
+    /// All Lagrange basis coefficients `γ_j = ℓ_j(0)` for the abscissa
+    /// multiset `xs`, computed with a **single** field inversion (batch
+    /// Montgomery inversion over the `k` denominators) instead of one
+    /// extended-GCD per coefficient. Hot in CP-ABE decryption, where every
+    /// threshold gate needs its full coefficient vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShamirError::DuplicateShare`] if abscissas collide.
+    pub fn lagrange_coefficients_at_zero(&self, xs: &[Fp<4>]) -> Result<Vec<Fp<4>>, ShamirError> {
+        // γ_j = Π_{j' ≠ j} x_{j'} / (x_{j'} − x_j): both products pick up
+        // (−1)^{k−1} relative to the (0 − x)/(x_j − x) form, so the signs
+        // cancel.
+        let mut nums = Vec::with_capacity(xs.len());
+        let mut dens = Vec::with_capacity(xs.len());
+        for (j, xj) in xs.iter().enumerate() {
             let mut num = self.field.one();
             let mut den = self.field.one();
-            for (jp, other) in shares.iter().enumerate() {
+            for (jp, x) in xs.iter().enumerate() {
                 if jp == j {
                     continue;
                 }
-                num = &num * other.x();
-                den = &den * &(other.x() - share.x());
+                num = &num * x;
+                den = &den * &(x - xj);
             }
-            let gamma = &num * &den.invert().map_err(|_| ShamirError::DuplicateShare)?;
-            acc = &acc + &(share.y() * &gamma);
+            if den.is_zero() {
+                return Err(ShamirError::DuplicateShare);
+            }
+            nums.push(num);
+            dens.push(den);
         }
-        Ok(acc)
+        batch_invert(&mut dens);
+        Ok(nums.iter().zip(&dens).map(|(n, d)| n * d).collect())
     }
 
     /// Evaluates the Lagrange basis coefficient `γ_j` for interpolating at
@@ -280,6 +307,28 @@ mod tests {
                 assert_eq!(acc, poly.eval(&target), "k = {k}");
             }
         }
+    }
+
+    #[test]
+    fn batch_coefficients_match_per_coefficient_path() {
+        let s = scheme();
+        let f = s.field().clone();
+        let mut rng = StdRng::seed_from_u64(71);
+        for k in [1usize, 2, 3, 7] {
+            let xs: Vec<_> = (0..k).map(|_| f.random_nonzero(&mut rng)).collect();
+            let batch = s.lagrange_coefficients_at_zero(&xs).unwrap();
+            assert_eq!(batch.len(), k);
+            for (j, gamma) in batch.iter().enumerate() {
+                assert_eq!(
+                    *gamma,
+                    s.lagrange_coefficient(&xs, j, &f.zero()).unwrap(),
+                    "k={k} j={j}"
+                );
+            }
+        }
+        // Colliding abscissas are rejected.
+        let dup = vec![f.from_u64(3), f.from_u64(3)];
+        assert_eq!(s.lagrange_coefficients_at_zero(&dup).unwrap_err(), ShamirError::DuplicateShare);
     }
 
     #[test]

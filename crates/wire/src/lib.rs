@@ -69,6 +69,15 @@ impl Writer {
         Self { buf: BytesMut::new() }
     }
 
+    /// Creates an empty writer with `capacity` bytes pre-allocated.
+    ///
+    /// Encoders that know their exact output size up front (fixed-width
+    /// group elements, length-prefixed fields) use this to avoid the
+    /// doubling reallocations of an empty buffer.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self { buf: BytesMut::with_capacity(capacity) }
+    }
+
     /// Appends a `u8`.
     pub fn u8(&mut self, v: u8) -> &mut Self {
         self.buf.put_u8(v);

@@ -58,10 +58,11 @@ fn main() -> ExitCode {
         Some("serve-sp") => cmd_serve(&args[1..], Role::Sp),
         Some("serve-dh") => cmd_serve(&args[1..], Role::Dh),
         Some("load") => cmd_load(&args[1..]),
+        Some("bench-crypto") => cmd_bench_crypto(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             eprintln!(
-                "usage: spuzzle <share|questions|solve|serve-sp|serve-dh|load> [options]; \
-                 see --help per command"
+                "usage: spuzzle <share|questions|solve|serve-sp|serve-dh|load|bench-crypto> \
+                 [options]; see --help per command"
             );
             return ExitCode::from(2);
         }
@@ -382,6 +383,27 @@ fn cmd_load(args: &[String]) -> Result<(), String> {
     );
     report("share  ", &mut all.share);
     report("receive", &mut all.receive);
+    Ok(())
+}
+
+/// `spuzzle bench-crypto [--full] [--out <file>]`: the slow-vs-fast
+/// crypto hot-path sweep (same measurement the `sp-bench` figures binary
+/// writes to `BENCH_crypto.json`), quick by default.
+fn cmd_bench_crypto(args: &[String]) -> Result<(), String> {
+    use sp_bench::crypto_bench;
+    let cfg = if args.iter().any(|a| a == "--full") {
+        crypto_bench::CryptoBenchConfig::default()
+    } else {
+        crypto_bench::CryptoBenchConfig::quick()
+    };
+    let report = crypto_bench::run(&cfg);
+    print!("{}", crypto_bench::render(&report));
+    if let Some(path) = flag_value(args, "--out") {
+        let json = crypto_bench::to_json(&report);
+        crypto_bench::validate_json(&json).map_err(|e| format!("emitted report invalid: {e}"))?;
+        std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
     Ok(())
 }
 
