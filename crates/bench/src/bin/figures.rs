@@ -9,11 +9,16 @@
 //!     # slow-vs-fast crypto sweep -> BENCH_crypto.json (`quick` shrinks it)
 //! cargo run -p sp-bench --bin figures -- --check-bench-json BENCH_crypto.json
 //!     # validate an existing report (CI smoke)
+//! cargo run -p sp-bench --release --bin figures -- --bench-net-json
+//!     # end-to-end RPC pipelining sweep -> BENCH_net.json (`quick` shrinks it)
+//! cargo run -p sp-bench --bin figures -- --check-bench-net-json BENCH_net.json
+//!     # validate an existing network report (CI smoke)
 //! ```
 
 use sp_bench::{
     crypto_bench, export,
     figures::{self, SweepConfig},
+    net_bench,
 };
 
 fn main() {
@@ -29,6 +34,38 @@ fn main() {
             std::process::exit(1);
         }
         println!("{path}: schema-valid crypto bench report");
+        return;
+    }
+
+    if let Some(i) = args.iter().position(|a| a == "--check-bench-net-json") {
+        let path = args.get(i + 1).map(String::as_str).unwrap_or("BENCH_net.json");
+        let doc = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("reading {path}: {e}"));
+        if let Err(e) = net_bench::validate_json(&doc) {
+            eprintln!("{path} is not a valid net bench report: {e}");
+            std::process::exit(1);
+        }
+        println!("{path}: schema-valid net bench report");
+        return;
+    }
+
+    if args.iter().any(|a| a == "--bench-net-json") {
+        let cfg = if quick {
+            net_bench::NetBenchConfig::quick()
+        } else {
+            net_bench::NetBenchConfig::default()
+        };
+        let report = net_bench::run(&cfg);
+        print!("{}", net_bench::render(&report));
+        let json = net_bench::to_json(&report);
+        net_bench::validate_json(&json).expect("emitted report validates");
+        let path = args
+            .iter()
+            .position(|a| a == "--bench-out")
+            .and_then(|i| args.get(i + 1))
+            .map(String::as_str)
+            .unwrap_or("BENCH_net.json");
+        std::fs::write(path, json).expect("writing bench json");
+        eprintln!("wrote {path}");
         return;
     }
 

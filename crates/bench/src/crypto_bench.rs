@@ -260,11 +260,7 @@ pub fn render(report: &CryptoBenchReport) -> String {
 /// JSON, the right schema tag, and at least one entry per operation with
 /// all five fields present. Returns a description of the first problem.
 pub fn validate_json(doc: &str) -> Result<(), String> {
-    let bytes = doc.as_bytes();
-    let end = parse_value(bytes, skip_ws(bytes, 0))?;
-    if skip_ws(bytes, end) != bytes.len() {
-        return Err("trailing garbage after the top-level value".into());
-    }
+    crate::json_check::check_syntax(doc)?;
     if !doc.contains(&format!("\"schema\": \"{CRYPTO_BENCH_SCHEMA}\"")) {
         return Err(format!("missing schema tag {CRYPTO_BENCH_SCHEMA:?}"));
     }
@@ -282,94 +278,6 @@ pub fn validate_json(doc: &str) -> Result<(), String> {
         }
     }
     Ok(())
-}
-
-// A minimal JSON syntax checker (no value materialization): enough to
-// reject truncated or mangled documents in the CI smoke job without
-// pulling in a serde stack the workspace doesn't vendor.
-
-fn skip_ws(b: &[u8], mut i: usize) -> usize {
-    while i < b.len() && matches!(b[i], b' ' | b'\t' | b'\n' | b'\r') {
-        i += 1;
-    }
-    i
-}
-
-fn parse_value(b: &[u8], i: usize) -> Result<usize, String> {
-    match b.get(i) {
-        None => Err("unexpected end of document".into()),
-        Some(b'{') => parse_seq(b, i, b'}', true),
-        Some(b'[') => parse_seq(b, i, b']', false),
-        Some(b'"') => parse_string(b, i),
-        Some(b't') => parse_lit(b, i, b"true"),
-        Some(b'f') => parse_lit(b, i, b"false"),
-        Some(b'n') => parse_lit(b, i, b"null"),
-        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, i),
-        Some(c) => Err(format!("unexpected byte {:?} at offset {i}", *c as char)),
-    }
-}
-
-fn parse_seq(b: &[u8], mut i: usize, close: u8, keyed: bool) -> Result<usize, String> {
-    i = skip_ws(b, i + 1);
-    if b.get(i) == Some(&close) {
-        return Ok(i + 1);
-    }
-    loop {
-        if keyed {
-            i = parse_string(b, skip_ws(b, i))?;
-            i = skip_ws(b, i);
-            if b.get(i) != Some(&b':') {
-                return Err(format!("expected ':' at offset {i}"));
-            }
-            i += 1;
-        }
-        i = parse_value(b, skip_ws(b, i))?;
-        i = skip_ws(b, i);
-        match b.get(i) {
-            Some(b',') => i += 1,
-            Some(c) if *c == close => return Ok(i + 1),
-            _ => return Err(format!("expected ',' or closer at offset {i}")),
-        }
-    }
-}
-
-fn parse_string(b: &[u8], i: usize) -> Result<usize, String> {
-    if b.get(i) != Some(&b'"') {
-        return Err(format!("expected string at offset {i}"));
-    }
-    let mut j = i + 1;
-    while let Some(&c) = b.get(j) {
-        match c {
-            b'"' => return Ok(j + 1),
-            b'\\' => j += 2,
-            _ => j += 1,
-        }
-    }
-    Err("unterminated string".into())
-}
-
-fn parse_lit(b: &[u8], i: usize, lit: &[u8]) -> Result<usize, String> {
-    if b.len() >= i + lit.len() && &b[i..i + lit.len()] == lit {
-        Ok(i + lit.len())
-    } else {
-        Err(format!("bad literal at offset {i}"))
-    }
-}
-
-fn parse_number(b: &[u8], mut i: usize) -> Result<usize, String> {
-    let start = i;
-    if b.get(i) == Some(&b'-') {
-        i += 1;
-    }
-    while i < b.len() && (b[i].is_ascii_digit() || matches!(b[i], b'.' | b'e' | b'E' | b'+' | b'-'))
-    {
-        i += 1;
-    }
-    if i == start || (i == start + 1 && b[start] == b'-') {
-        Err(format!("bad number at offset {start}"))
-    } else {
-        Ok(i)
-    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,138 @@
+//! A minimal JSON syntax checker shared by every `BENCH_*.json`
+//! validator (no value materialization): enough to reject truncated or
+//! mangled documents in the CI smoke jobs without pulling in a serde
+//! stack the workspace doesn't vendor.
+
+/// Checks that `doc` is one syntactically well-formed JSON value with
+/// nothing trailing.
+///
+/// # Errors
+///
+/// Returns a description of the first syntax problem.
+pub fn check_syntax(doc: &str) -> Result<(), String> {
+    let bytes = doc.as_bytes();
+    let end = parse_value(bytes, skip_ws(bytes, 0))?;
+    if skip_ws(bytes, end) != bytes.len() {
+        return Err("trailing garbage after the top-level value".into());
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], mut i: usize) -> usize {
+    while i < b.len() && matches!(b[i], b' ' | b'\t' | b'\n' | b'\r') {
+        i += 1;
+    }
+    i
+}
+
+fn parse_value(b: &[u8], i: usize) -> Result<usize, String> {
+    match b.get(i) {
+        None => Err("unexpected end of document".into()),
+        Some(b'{') => parse_seq(b, i, b'}', true),
+        Some(b'[') => parse_seq(b, i, b']', false),
+        Some(b'"') => parse_string(b, i),
+        Some(b't') => parse_lit(b, i, b"true"),
+        Some(b'f') => parse_lit(b, i, b"false"),
+        Some(b'n') => parse_lit(b, i, b"null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, i),
+        Some(c) => Err(format!("unexpected byte {:?} at offset {i}", *c as char)),
+    }
+}
+
+fn parse_seq(b: &[u8], mut i: usize, close: u8, keyed: bool) -> Result<usize, String> {
+    i = skip_ws(b, i + 1);
+    if b.get(i) == Some(&close) {
+        return Ok(i + 1);
+    }
+    loop {
+        if keyed {
+            i = parse_string(b, skip_ws(b, i))?;
+            i = skip_ws(b, i);
+            if b.get(i) != Some(&b':') {
+                return Err(format!("expected ':' at offset {i}"));
+            }
+            i += 1;
+        }
+        i = parse_value(b, skip_ws(b, i))?;
+        i = skip_ws(b, i);
+        match b.get(i) {
+            Some(b',') => i += 1,
+            Some(c) if *c == close => return Ok(i + 1),
+            _ => return Err(format!("expected ',' or closer at offset {i}")),
+        }
+    }
+}
+
+fn parse_string(b: &[u8], i: usize) -> Result<usize, String> {
+    if b.get(i) != Some(&b'"') {
+        return Err(format!("expected string at offset {i}"));
+    }
+    let mut j = i + 1;
+    while let Some(&c) = b.get(j) {
+        match c {
+            b'"' => return Ok(j + 1),
+            b'\\' => j += 2,
+            _ => j += 1,
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn parse_lit(b: &[u8], i: usize, lit: &[u8]) -> Result<usize, String> {
+    if b.len() >= i + lit.len() && &b[i..i + lit.len()] == lit {
+        Ok(i + lit.len())
+    } else {
+        Err(format!("bad literal at offset {i}"))
+    }
+}
+
+fn parse_number(b: &[u8], mut i: usize) -> Result<usize, String> {
+    let start = i;
+    if b.get(i) == Some(&b'-') {
+        i += 1;
+    }
+    while i < b.len() && (b[i].is_ascii_digit() || matches!(b[i], b'.' | b'e' | b'E' | b'+' | b'-'))
+    {
+        i += 1;
+    }
+    if i == start || (i == start + 1 && b[start] == b'-') {
+        Err(format!("bad number at offset {start}"))
+    } else {
+        Ok(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_wellformed_documents() {
+        for doc in [
+            "{}",
+            "[]",
+            "null",
+            "-3.5e2",
+            "{\"a\": [1, 2, {\"b\": \"x\\\"y\"}], \"c\": true}",
+            "  {\"k\": false}  ",
+        ] {
+            check_syntax(doc).unwrap_or_else(|e| panic!("{doc:?} rejected: {e}"));
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for doc in [
+            "",
+            "not json",
+            "{} extra",
+            "{\"a\": [1, 2,]}",
+            "{\"a\" 1}",
+            "{\"unterminated",
+            "[1, 2",
+            "-",
+        ] {
+            assert!(check_syntax(doc).is_err(), "{doc:?} accepted");
+        }
+    }
+}

@@ -14,4 +14,6 @@
 pub mod crypto_bench;
 pub mod export;
 pub mod figures;
+pub mod json_check;
+pub mod net_bench;
 pub mod workload;

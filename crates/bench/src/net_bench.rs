@@ -1,0 +1,554 @@
+//! End-to-end RPC throughput over localhost, exported as `BENCH_net.json`.
+//!
+//! Boots a real [`sp_net::SpService`] daemon on an ephemeral port and
+//! drives the three hottest serving-path RPCs — `Verify`,
+//! `DisplayPuzzle`, and `AnswerPuzzleBatch` — through two transports:
+//! the sequential v1 client (one request in flight: the pre-pipelining
+//! baseline) and the pipelined v2 client at a sweep of depths. The
+//! workload follows the paper's §VIII parameters (50-character
+//! questions, 20-character answers, threshold `k = 1`).
+//!
+//! The interesting comparison is `verify` at depth 16 against the v1
+//! baseline: with the daemon's compute pool at 4 threads, pipelining
+//! must recover both the per-request round-trip latency (head-of-line
+//! blocking) and the idle compute (one request at a time can use at
+//! most one worker).
+//!
+//! Raw loopback has a ~20µs round trip — three orders of magnitude
+//! below the network delays the paper measures (§VIII plots tens of
+//! milliseconds of network delay per operation) — so both transports
+//! run through an in-process **delay link**: a byte-level TCP proxy
+//! that forwards traffic verbatim but ships every chunk
+//! [`NetBenchConfig::link_delay`] later. That is pure added latency
+//! (any amount of data may be in flight), exactly what a WAN adds and
+//! exactly what a serialized request/response client cannot hide.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use social_puzzles_core::construction1::{Construction1, PuzzleResponse};
+use sp_net::{ClientConfig, Daemon, DaemonConfig, PipelineConfig, SpClient, SpService};
+use sp_osn::{ProviderApi, PuzzleId, ServiceProvider, Url, UserId};
+
+use crate::workload::{paper_context, PAPER_K};
+
+/// Schema tag written into (and required from) `BENCH_net.json`.
+pub const NET_BENCH_SCHEMA: &str = "sp-bench/net/v1";
+
+/// The RPCs every report must cover.
+pub const NET_BENCH_OPS: [&str; 3] = ["verify", "display_puzzle", "answer_puzzle_batch"];
+
+/// Sweep and sampling knobs for the serving-path comparison.
+#[derive(Clone, Debug)]
+pub struct NetBenchConfig {
+    /// Pipeline depths to sweep on the v2 transport.
+    pub depths: Vec<usize>,
+    /// Daemon compute-pool threads (the acceptance numbers use 4).
+    pub compute_threads: usize,
+    /// Answer-sets per `AnswerPuzzleBatch` frame.
+    pub batch: usize,
+    /// Context size N for the benchmark puzzle.
+    pub n: usize,
+    /// One-way latency the delay link adds to every chunk (so the round
+    /// trip costs twice this). Zero disables the link entirely.
+    pub link_delay: Duration,
+    /// Minimum wall time per measurement.
+    pub min_time: Duration,
+    /// Minimum completed requests per measurement.
+    pub min_ops: u64,
+    /// Whether this is the reduced CI sweep.
+    pub quick: bool,
+}
+
+impl Default for NetBenchConfig {
+    fn default() -> Self {
+        Self {
+            depths: vec![1, 4, 16, 64],
+            compute_threads: 4,
+            batch: 8,
+            n: 5,
+            link_delay: Duration::from_millis(1),
+            min_time: Duration::from_millis(400),
+            min_ops: 50,
+            quick: false,
+        }
+    }
+}
+
+impl NetBenchConfig {
+    /// Reduced sweep for CI smoke runs: two depths, short sampling
+    /// windows. Numbers are noisy but the schema and the direction of
+    /// the depth-16 speedup are still meaningful.
+    pub fn quick() -> Self {
+        Self {
+            depths: vec![1, 16],
+            min_time: Duration::from_millis(60),
+            min_ops: 10,
+            quick: true,
+            ..Self::default()
+        }
+    }
+}
+
+/// One (operation, transport, depth) measurement.
+#[derive(Clone, Debug)]
+pub struct NetBenchEntry {
+    /// RPC name (one of [`NET_BENCH_OPS`]).
+    pub op: &'static str,
+    /// `"v1"` (sequential baseline) or `"v2"` (pipelined).
+    pub mode: &'static str,
+    /// Requests in flight (always 1 for `"v1"`).
+    pub depth: usize,
+    /// Completed requests per second, over one socket.
+    pub ops_per_s: f64,
+}
+
+/// A full sweep, ready to serialize.
+#[derive(Clone, Debug)]
+pub struct NetBenchReport {
+    /// Whether the reduced CI sweep produced this report.
+    pub quick: bool,
+    /// Daemon compute-pool threads used.
+    pub compute_threads: usize,
+    /// One-way delay-link latency in milliseconds (0 = raw loopback).
+    pub link_delay_ms: f64,
+    /// All measurements, grouped by operation then depth.
+    pub entries: Vec<NetBenchEntry>,
+}
+
+impl NetBenchReport {
+    /// The entry for one (op, mode, depth), if measured.
+    pub fn entry(&self, op: &str, mode: &str, depth: usize) -> Option<&NetBenchEntry> {
+        self.entries.iter().find(|e| e.op == op && e.mode == mode && e.depth == depth)
+    }
+
+    /// Throughput of `entry` relative to the op's depth-1 v1 baseline.
+    pub fn speedup_vs_v1(&self, entry: &NetBenchEntry) -> f64 {
+        match self.entry(entry.op, "v1", 1) {
+            Some(base) if base.ops_per_s > 0.0 => entry.ops_per_s / base.ops_per_s,
+            _ => 0.0,
+        }
+    }
+}
+
+/// A byte-level TCP proxy that adds pure latency: every chunk read is
+/// written out [`DelayLink::delay`] later, with any amount of data in
+/// flight. Framing-agnostic, so v1 and v2 traffic pay the same toll.
+struct DelayLink {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+}
+
+impl DelayLink {
+    fn spawn(upstream: SocketAddr, delay: Duration) -> Self {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind delay link");
+        let addr = listener.local_addr().expect("local addr");
+        listener.set_nonblocking(true).expect("nonblocking");
+        let stop = Arc::new(AtomicBool::new(false));
+        let acceptor = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((client, _)) => link_connection(client, upstream, delay),
+                        Err(_) => std::thread::sleep(Duration::from_millis(5)),
+                    }
+                }
+            })
+        };
+        Self { addr, stop, acceptor: Some(acceptor) }
+    }
+}
+
+impl Drop for DelayLink {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.acceptor.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Wires one proxied connection: each direction is a reader thread
+/// stamping chunks with their due time and a writer thread releasing
+/// them on schedule. Threads exit on EOF/error and die with the process
+/// otherwise; the bench closes every socket when it finishes.
+fn link_connection(client: TcpStream, upstream: SocketAddr, delay: Duration) {
+    let Ok(server) = TcpStream::connect(upstream) else { return };
+    let _ = client.set_nodelay(true);
+    let _ = server.set_nodelay(true);
+    for (from, to) in
+        [(client.try_clone(), server.try_clone()), (server.try_clone(), client.try_clone())]
+    {
+        let (Ok(mut from), Ok(mut to)) = (from, to) else { return };
+        let (tx, rx) = mpsc::channel::<(Instant, Vec<u8>)>();
+        std::thread::spawn(move || {
+            let mut buf = [0u8; 16 * 1024];
+            loop {
+                match from.read(&mut buf) {
+                    Ok(0) | Err(_) => return, // dropping tx ends the writer
+                    Ok(n) => {
+                        if tx.send((Instant::now() + delay, buf[..n].to_vec())).is_err() {
+                            return;
+                        }
+                    }
+                }
+            }
+        });
+        std::thread::spawn(move || {
+            while let Ok((due, chunk)) = rx.recv() {
+                let now = Instant::now();
+                if due > now {
+                    std::thread::sleep(due - now);
+                }
+                if to.write_all(&chunk).and_then(|()| to.flush()).is_err() {
+                    return;
+                }
+            }
+            // Reader saw EOF: propagate the close downstream.
+            let _ = to.shutdown(Shutdown::Both);
+        });
+    }
+}
+
+/// Everything a measurement loop needs: a live daemon, the delay link
+/// in front of it, and a valid puzzle + response.
+struct Rig {
+    daemon: Daemon,
+    link: Option<DelayLink>,
+    puzzle: PuzzleId,
+    response: PuzzleResponse,
+}
+
+impl Rig {
+    /// The address clients should dial: the delay link if one is up.
+    fn addr(&self) -> SocketAddr {
+        self.link.as_ref().map_or_else(|| self.daemon.addr(), |l| l.addr)
+    }
+
+    fn boot(cfg: &NetBenchConfig) -> Self {
+        let service = SpService::new(ServiceProvider::new(), Construction1::new());
+        let max_depth = cfg.depths.iter().copied().max().unwrap_or(1);
+        let daemon = Daemon::spawn(
+            "127.0.0.1:0",
+            Arc::new(service),
+            DaemonConfig {
+                workers: cfg.compute_threads.max(1),
+                // Headroom over the deepest pipeline so overload retries
+                // don't pollute the measurement.
+                queue_depth: (max_depth * 2).max(64),
+                ..DaemonConfig::default()
+            },
+        )
+        .expect("bind ephemeral port");
+
+        // Publish one paper-shaped puzzle and solve it once; every
+        // measured Verify replays this known-good response.
+        let c1 = Construction1::new();
+        let mut rng = StdRng::seed_from_u64(2014);
+        let ctx = paper_context(cfg.n, &mut rng);
+        let upload = c1
+            .upload_to(b"bench object", &ctx, PAPER_K, Url::from("dh://bench/0"), None, &mut rng)
+            .expect("upload");
+        // Setup talks straight to the daemon — only measurements pay
+        // the link toll.
+        let setup = SpClient::connect(daemon.addr(), client_cfg());
+        let puzzle = setup.publish_puzzle(Bytes::from(upload.puzzle.to_bytes())).expect("publish");
+        let displayed = setup.display_puzzle(puzzle).expect("display");
+        let answers = displayed.answer(|q| ctx.answer_for(q).map(str::to_owned));
+        let response = c1.answer_puzzle(&displayed, &answers);
+
+        let link =
+            (!cfg.link_delay.is_zero()).then(|| DelayLink::spawn(daemon.addr(), cfg.link_delay));
+        Self { daemon, link, puzzle, response }
+    }
+}
+
+fn client_cfg() -> ClientConfig {
+    ClientConfig {
+        // Generous deadline: a depth-64 pipeline on a loaded CI host can
+        // queue a request well past the 10 s default.
+        read_timeout: Duration::from_secs(60),
+        backoff: Duration::from_millis(5),
+        ..ClientConfig::default()
+    }
+}
+
+/// Runs `op` from `threads` concurrent workers sharing one client until
+/// the time and count floors are met; returns completed requests/s.
+fn throughput(threads: usize, min_time: Duration, min_ops: u64, op: impl Fn(usize) + Sync) -> f64 {
+    let done = AtomicU64::new(0);
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let done = &done;
+            let op = &op;
+            s.spawn(move || loop {
+                op(t);
+                let n = done.fetch_add(1, Ordering::Relaxed) + 1;
+                if start.elapsed() >= min_time && n >= min_ops {
+                    break;
+                }
+            });
+        }
+    });
+    done.load(Ordering::Relaxed) as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Runs the full serving-path sweep against a freshly booted daemon.
+pub fn run(cfg: &NetBenchConfig) -> NetBenchReport {
+    let rig = Rig::boot(cfg);
+    let batch: Vec<PuzzleResponse> = vec![rig.response.clone(); cfg.batch.max(1)];
+    let mut entries = Vec::new();
+
+    // Baseline: the sequential v1 client, one request in flight.
+    {
+        let client = SpClient::connect(rig.addr(), client_cfg());
+        entries.extend(measure_ops(cfg, &rig, &client, &batch, "v1", 1));
+    }
+    // Pipelined v2 at each depth, `depth` requests in flight per socket.
+    for &depth in &cfg.depths {
+        let client =
+            SpClient::connect_pipelined(rig.addr(), PipelineConfig { depth, client: client_cfg() });
+        entries.extend(measure_ops(cfg, &rig, &client, &batch, "v2", depth));
+    }
+
+    let link_delay_ms = cfg.link_delay.as_secs_f64() * 1e3;
+    drop(rig.link);
+    rig.daemon.shutdown();
+    NetBenchReport {
+        quick: cfg.quick,
+        compute_threads: cfg.compute_threads.max(1),
+        link_delay_ms,
+        entries,
+    }
+}
+
+/// Measures all three RPCs through one client at one concurrency level.
+fn measure_ops(
+    cfg: &NetBenchConfig,
+    rig: &Rig,
+    client: &SpClient,
+    batch: &[PuzzleResponse],
+    mode: &'static str,
+    depth: usize,
+) -> Vec<NetBenchEntry> {
+    let threads = depth.max(1);
+    let verify = throughput(threads, cfg.min_time, cfg.min_ops, |t| {
+        client.verify(UserId::from_raw(t as u64), rig.puzzle, &rig.response).expect("verify");
+    });
+    let display = throughput(threads, cfg.min_time, cfg.min_ops, |_| {
+        client.display_puzzle(rig.puzzle).expect("display");
+    });
+    let answer_batch = throughput(threads, cfg.min_time, cfg.min_ops, |t| {
+        client
+            .answer_puzzle_batch(UserId::from_raw(t as u64), rig.puzzle, batch)
+            .expect("answer batch");
+    });
+    vec![
+        NetBenchEntry { op: "verify", mode, depth, ops_per_s: verify },
+        NetBenchEntry { op: "display_puzzle", mode, depth, ops_per_s: display },
+        NetBenchEntry { op: "answer_puzzle_batch", mode, depth, ops_per_s: answer_batch },
+    ]
+}
+
+/// Serializes a report to the `BENCH_net.json` document.
+pub fn to_json(report: &NetBenchReport) -> String {
+    fn num(v: f64) -> String {
+        if v.is_finite() {
+            format!("{v:.3}")
+        } else {
+            "0.000".to_owned()
+        }
+    }
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema\": \"{NET_BENCH_SCHEMA}\",\n"));
+    out.push_str(&format!("  \"quick\": {},\n", report.quick));
+    out.push_str(&format!("  \"compute_threads\": {},\n", report.compute_threads));
+    out.push_str(&format!("  \"link_delay_ms\": {},\n", num(report.link_delay_ms)));
+    out.push_str("  \"entries\": [\n");
+    for (i, e) in report.entries.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"op\": \"{}\", \"mode\": \"{}\", \"depth\": {}, \"ops_per_s\": {}, \"speedup_vs_v1\": {}}}{}\n",
+            e.op,
+            e.mode,
+            e.depth,
+            num(e.ops_per_s),
+            num(report.speedup_vs_v1(e)),
+            if i + 1 == report.entries.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Renders the report as the human-readable table the `figures` binary
+/// prints alongside the JSON.
+pub fn render(report: &NetBenchReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "serving path over a {:.1}ms-each-way link, {} daemon compute threads: requests/s per \
+         socket\n",
+        report.link_delay_ms, report.compute_threads
+    ));
+    out.push_str(&format!(
+        "{:<20} {:>4} {:>6} {:>12} {:>12}\n",
+        "op", "mode", "depth", "req/s", "vs v1"
+    ));
+    for e in &report.entries {
+        out.push_str(&format!(
+            "{:<20} {:>4} {:>6} {:>12.1} {:>11.2}x\n",
+            e.op,
+            e.mode,
+            e.depth,
+            e.ops_per_s,
+            report.speedup_vs_v1(e)
+        ));
+    }
+    out
+}
+
+/// Validates a `BENCH_net.json` document: syntactically well-formed
+/// JSON, the right schema tag, both transports present, and at least one
+/// entry per RPC with all fields present. Returns a description of the
+/// first problem.
+pub fn validate_json(doc: &str) -> Result<(), String> {
+    crate::json_check::check_syntax(doc)?;
+    if !doc.contains(&format!("\"schema\": \"{NET_BENCH_SCHEMA}\"")) {
+        return Err(format!("missing schema tag {NET_BENCH_SCHEMA:?}"));
+    }
+    if !doc.contains("\"entries\": [") {
+        return Err("missing entries array".into());
+    }
+    for op in NET_BENCH_OPS {
+        if !doc.contains(&format!("\"op\": \"{op}\"")) {
+            return Err(format!("no entry for RPC {op:?}"));
+        }
+    }
+    for mode in ["v1", "v2"] {
+        if !doc.contains(&format!("\"mode\": \"{mode}\"")) {
+            return Err(format!("no {mode} entries — both transports must be measured"));
+        }
+    }
+    for field in [
+        "\"compute_threads\":",
+        "\"link_delay_ms\":",
+        "\"depth\":",
+        "\"ops_per_s\":",
+        "\"speedup_vs_v1\":",
+    ] {
+        if !doc.contains(field) {
+            return Err(format!("missing the {field} field"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> NetBenchConfig {
+        NetBenchConfig {
+            depths: vec![1, 4],
+            compute_threads: 2,
+            batch: 2,
+            n: 2,
+            link_delay: Duration::ZERO,
+            min_time: Duration::from_millis(10),
+            min_ops: 2,
+            quick: true,
+        }
+    }
+
+    #[test]
+    fn report_covers_every_rpc_on_both_transports_and_validates() {
+        let report = run(&tiny());
+        for op in NET_BENCH_OPS {
+            assert!(report.entry(op, "v1", 1).is_some(), "{op} v1 baseline missing");
+            for &d in &[1usize, 4] {
+                let e = report.entry(op, "v2", d).unwrap_or_else(|| panic!("{op} v2@{d}"));
+                assert!(e.ops_per_s > 0.0);
+            }
+        }
+        let json = to_json(&report);
+        validate_json(&json).expect("emitted document validates");
+        let table = render(&report);
+        assert!(table.contains("verify") && table.contains("vs v1"));
+    }
+
+    #[test]
+    fn pipelining_beats_the_serial_baseline_over_a_delayed_link() {
+        // With a 1ms-each-way link the serial client is RTT-bound at
+        // ~500 req/s while a depth-4 pipeline keeps 4 requests in
+        // flight; even on a loaded CI box a 1.5x margin is conservative
+        // (the ideal is ~4x).
+        let cfg = NetBenchConfig {
+            depths: vec![4],
+            link_delay: Duration::from_millis(1),
+            min_time: Duration::from_millis(120),
+            min_ops: 8,
+            ..tiny()
+        };
+        let report = run(&cfg);
+        let base = report.entry("verify", "v1", 1).expect("baseline").ops_per_s;
+        let piped = report.entry("verify", "v2", 4).expect("pipelined").ops_per_s;
+        assert!(
+            piped > base * 1.5,
+            "depth-4 pipelining over a delayed link only reached {piped:.0} vs {base:.0} req/s"
+        );
+    }
+
+    #[test]
+    fn validator_rejects_mangled_documents() {
+        let report = NetBenchReport {
+            quick: true,
+            compute_threads: 4,
+            link_delay_ms: 1.0,
+            entries: vec![
+                NetBenchEntry { op: "verify", mode: "v1", depth: 1, ops_per_s: 10.0 },
+                NetBenchEntry { op: "verify", mode: "v2", depth: 16, ops_per_s: 40.0 },
+                NetBenchEntry { op: "display_puzzle", mode: "v1", depth: 1, ops_per_s: 10.0 },
+                NetBenchEntry { op: "display_puzzle", mode: "v2", depth: 16, ops_per_s: 40.0 },
+                NetBenchEntry { op: "answer_puzzle_batch", mode: "v1", depth: 1, ops_per_s: 5.0 },
+                NetBenchEntry { op: "answer_puzzle_batch", mode: "v2", depth: 16, ops_per_s: 20.0 },
+            ],
+        };
+        let json = to_json(&report);
+        validate_json(&json).unwrap();
+        assert!(validate_json(&json[..json.len() - 4]).is_err(), "truncated");
+        assert!(validate_json(&json.replace("net/v1", "net/v9")).is_err(), "wrong schema");
+        assert!(validate_json(&json.replace("\"verify\"", "\"vrfy\"")).is_err(), "missing op");
+        assert!(
+            validate_json(&json.replace("\"mode\": \"v1\"", "\"mode\": \"vX\"")).is_err(),
+            "missing baseline"
+        );
+        assert!(validate_json("not json").is_err());
+    }
+
+    #[test]
+    fn speedup_is_relative_to_the_v1_baseline() {
+        let report = NetBenchReport {
+            quick: true,
+            compute_threads: 4,
+            link_delay_ms: 1.0,
+            entries: vec![
+                NetBenchEntry { op: "verify", mode: "v1", depth: 1, ops_per_s: 10.0 },
+                NetBenchEntry { op: "verify", mode: "v2", depth: 16, ops_per_s: 35.0 },
+            ],
+        };
+        let e = report.entry("verify", "v2", 16).unwrap();
+        assert!((report.speedup_vs_v1(e) - 3.5).abs() < 1e-12);
+        // No baseline → 0, not a panic or a bogus ratio.
+        let orphan = NetBenchEntry { op: "display_puzzle", mode: "v2", depth: 4, ops_per_s: 9.0 };
+        assert_eq!(report.speedup_vs_v1(&orphan), 0.0);
+    }
+}

@@ -174,12 +174,37 @@ impl CacheCounters {
     }
 }
 
+/// Serving-path counters for one daemon component (e.g. `"sp.server"`):
+/// how deep the shared compute pool runs and how often the pipelined
+/// write path reorders responses.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerCounters {
+    /// Connections accepted and handed to a connection reader.
+    pub accepted: u64,
+    /// Connections (or pipelined requests) refused with `Busy`.
+    pub busy_rejections: u64,
+    /// Connections that negotiated the v2 (correlation-framed) protocol.
+    pub v2_negotiated: u64,
+    /// Jobs currently submitted to the compute pool and not yet answered.
+    pub in_flight: u64,
+    /// Highest `in_flight` ever observed.
+    pub in_flight_peak: u64,
+    /// Jobs currently queued in the compute pool (submitted, not started).
+    pub queue_depth: u64,
+    /// Highest `queue_depth` ever observed.
+    pub queue_peak: u64,
+    /// Responses written after a response to a *later* request on the
+    /// same connection — pipelined out-of-order completions.
+    pub out_of_order: u64,
+}
+
 #[derive(Debug, Default)]
 struct MetricsState {
     endpoints: BTreeMap<String, EndpointCounters>,
     batches: BTreeMap<String, BatchHistogram>,
     shards: BTreeMap<String, Vec<ShardContention>>,
     caches: BTreeMap<String, CacheCounters>,
+    servers: BTreeMap<String, ServerCounters>,
 }
 
 /// Per-endpoint request/byte/error counters for a running service, plus
@@ -265,6 +290,63 @@ impl ServiceMetrics {
         })
     }
 
+    /// Records one accepted connection on the named server component.
+    pub fn server_conn_accepted(&self, component: &str, v2: bool) {
+        self.with(|st| {
+            let c = st.servers.entry(component.to_owned()).or_default();
+            c.accepted += 1;
+            c.v2_negotiated += u64::from(v2);
+        });
+    }
+
+    /// Records one connection that upgraded to the v2 framing after its
+    /// accept was already counted.
+    pub fn server_v2_negotiated(&self, component: &str) {
+        self.with(|st| st.servers.entry(component.to_owned()).or_default().v2_negotiated += 1);
+    }
+
+    /// Records one `Busy` refusal (connection or pipelined request).
+    pub fn server_busy_rejection(&self, component: &str) {
+        self.with(|st| st.servers.entry(component.to_owned()).or_default().busy_rejections += 1);
+    }
+
+    /// Records one job entering the shared compute pool's queue.
+    pub fn server_job_enqueued(&self, component: &str) {
+        self.with(|st| {
+            let c = st.servers.entry(component.to_owned()).or_default();
+            c.in_flight += 1;
+            c.in_flight_peak = c.in_flight_peak.max(c.in_flight);
+            c.queue_depth += 1;
+            c.queue_peak = c.queue_peak.max(c.queue_depth);
+        });
+    }
+
+    /// Records one queued job being claimed by a compute worker.
+    pub fn server_job_started(&self, component: &str) {
+        self.with(|st| {
+            let c = st.servers.entry(component.to_owned()).or_default();
+            c.queue_depth = c.queue_depth.saturating_sub(1);
+        });
+    }
+
+    /// Records one job finishing (its response handed to the writer).
+    pub fn server_job_finished(&self, component: &str) {
+        self.with(|st| {
+            let c = st.servers.entry(component.to_owned()).or_default();
+            c.in_flight = c.in_flight.saturating_sub(1);
+        });
+    }
+
+    /// Records one response written out of submission order.
+    pub fn server_out_of_order(&self, component: &str) {
+        self.with(|st| st.servers.entry(component.to_owned()).or_default().out_of_order += 1);
+    }
+
+    /// Counters for one server component (zeros if never seen).
+    pub fn server(&self, component: &str) -> ServerCounters {
+        self.with(|st| st.servers.get(component).copied().unwrap_or_default())
+    }
+
     /// Counters for one endpoint (zeros if it never saw a request).
     pub fn endpoint(&self, endpoint: &str) -> EndpointCounters {
         self.with(|st| st.endpoints.get(endpoint).copied().unwrap_or_default())
@@ -317,6 +399,22 @@ impl fmt::Display for ServiceMetrics {
                 c.misses,
                 c.hit_rate() * 100.0,
                 c.invalidations
+            )?;
+        }
+        let servers = self.with(|st| st.servers.clone());
+        for (name, c) in servers {
+            writeln!(
+                f,
+                "{name} server: {} accepted ({} v2, {} busy), in-flight {} (peak {}), \
+                 queued {} (peak {}), {} out-of-order",
+                c.accepted,
+                c.v2_negotiated,
+                c.busy_rejections,
+                c.in_flight,
+                c.in_flight_peak,
+                c.queue_depth,
+                c.queue_peak,
+                c.out_of_order
             )?;
         }
         let shards = self.with(|st| st.shards.clone());
@@ -447,6 +545,35 @@ mod tests {
         let shown = m.to_string();
         assert!(shown.contains("sp.verify_batch batches: 2 batches"));
         assert!(shown.contains("sp.puzzles shards: 1 stripes"));
+    }
+
+    #[test]
+    fn server_counters_track_pool_depth_and_reordering() {
+        let m = ServiceMetrics::new();
+        assert_eq!(m.server("sp.server"), ServerCounters::default());
+        m.server_conn_accepted("sp.server", false);
+        m.server_conn_accepted("sp.server", true);
+        m.server_v2_negotiated("sp.server");
+        m.server_busy_rejection("sp.server");
+        m.server_job_enqueued("sp.server");
+        m.server_job_enqueued("sp.server");
+        m.server_job_started("sp.server");
+        m.server_job_finished("sp.server");
+        m.server_out_of_order("sp.server");
+        let c = m.server("sp.server");
+        assert_eq!(c.accepted, 2);
+        assert_eq!(c.v2_negotiated, 2);
+        assert_eq!(c.busy_rejections, 1);
+        assert_eq!((c.in_flight, c.in_flight_peak), (1, 2));
+        assert_eq!((c.queue_depth, c.queue_peak), (1, 2));
+        assert_eq!(c.out_of_order, 1);
+        // Finishing below zero saturates rather than wrapping.
+        m.server_job_finished("sp.server");
+        m.server_job_finished("sp.server");
+        assert_eq!(m.server("sp.server").in_flight, 0);
+        let shown = m.to_string();
+        assert!(shown.contains("sp.server server: 2 accepted (2 v2, 1 busy)"));
+        assert!(shown.contains("1 out-of-order"));
     }
 
     #[test]

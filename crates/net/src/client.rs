@@ -14,7 +14,7 @@ use crate::msg::decode_response;
 /// (clock entropy) mixed with a counter through the SplitMix64 finalizer.
 /// Collisions across processes are as unlikely as a 64-bit hash
 /// collision within one server's (bounded, recent-only) replay window.
-fn next_token() -> u64 {
+pub(crate) fn next_token() -> u64 {
     static COUNTER: AtomicU64 = AtomicU64::new(0);
     static BASE: std::sync::OnceLock<u64> = std::sync::OnceLock::new();
     let base = *BASE.get_or_init(|| {
@@ -328,7 +328,11 @@ mod tests {
         let started = std::time::Instant::now();
         let err = conn.call(b"x").unwrap_err();
         let elapsed = started.elapsed();
-        assert!(matches!(err, NetError::Io(_)), "got {err}");
+        // On a plain network the connects time out (`Io`); environments
+        // that intercept outbound connects (CI sandboxes, transparent
+        // proxies) may accept and immediately drop instead (`Closed`).
+        // Either way the client must give up, bounded.
+        assert!(matches!(err, NetError::Io(_) | NetError::Closed), "got {err}");
         // Two attempts × 150 ms + 1 ms backoff, plus generous slop for a
         // loaded test host — but well under an unbounded hang.
         assert!(elapsed < Duration::from_secs(10), "took {elapsed:?}");

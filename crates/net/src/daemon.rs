@@ -1,40 +1,68 @@
-//! A bounded-worker TCP daemon: the scaffolding both the SP and DH
-//! services run on.
+//! A pipelined, multiplexed TCP daemon: the scaffolding both the SP and
+//! DH services run on.
 //!
-//! Built entirely on `std::net`: a nonblocking accept loop feeds a
-//! bounded queue drained by a fixed pool of worker threads. Each worker
-//! owns one connection at a time and serves frames request-by-request.
-//! Graceful shutdown works by flipping an atomic flag: the accept loop
-//! notices on its next poll, drops the queue sender, and the workers —
-//! which poll their sockets with a short read timeout precisely so they
-//! can notice — drain and exit.
+//! Built entirely on `std::net`. Each accepted connection is split into
+//! a **reader** thread (decodes request frames) and a **writer** thread
+//! (sends response frames); the actual work runs on a **shared compute
+//! pool** ([`sp_par::WorkerPool`]) whose size is independent of the
+//! connection count — a thousand mostly-idle clients cost two parked
+//! threads each, not a pinned worker.
+//!
+//! Connections start on the v1 protocol (one frame in flight, answered
+//! in order). A client that sends the HELLO frame (see
+//! [`crate::msg::hello_frame`]) upgrades the connection to **v2**
+//! framing: every subsequent frame carries a correlation id, the reader
+//! keeps decoding while jobs compute, and the writer sends each response
+//! the moment its job completes — out of order, matched by id — so one
+//! slow `Access`/`VerifyBatch` no longer stalls the connection.
+//!
+//! Frame payload buffers are recycled through a [`BufferPool`] on both
+//! the read and write paths, so steady-state serving performs no
+//! per-request frame allocations.
 //!
 //! Overload and abuse behave predictably:
 //!
-//! * a full accept queue answers with a [`ErrorCode::Busy`] error frame
-//!   and closes the connection;
+//! * beyond the connection limit, the accept loop answers with a
+//!   [`ErrorCode::Busy`] error frame and closes — with read *and* write
+//!   timeouts set **before** the answer, so a stalled peer cannot wedge
+//!   the accept loop;
+//! * a full compute queue answers the individual request with `Busy`
+//!   (retryable) instead of buffering unboundedly;
 //! * an oversized frame gets an [`ErrorCode::FrameTooLarge`] error frame
 //!   and a closed connection — the length prefix is rejected before any
 //!   allocation, so the daemon itself is never at risk.
+//!
+//! Graceful shutdown works by flipping an atomic flag: the accept loop
+//! notices on its next poll and joins the connection threads, whose
+//! readers — which poll their sockets with a short read timeout
+//! precisely so they can notice — drain and exit; dropping the compute
+//! pool finishes accepted jobs and joins the workers.
 
-use std::io::{ErrorKind, Read};
+use std::io::ErrorKind;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use social_puzzles_core::metrics::ServiceMetrics;
+use sp_par::WorkerPool;
+
 use crate::error::{ErrorCode, NetError};
-use crate::frame::{write_frame, DEFAULT_MAX_FRAME, FRAME_HEADER_LEN};
-use crate::msg::{err_frame, ok_frame};
+use crate::frame::{
+    write_frame, write_frame_v2, DEFAULT_MAX_FRAME, FRAME_HEADER_LEN, FRAME_V2_HEADER_LEN,
+};
+use crate::msg::{err_frame, hello_ack_payload, is_hello, ok_frame, RESP_OK};
+use crate::pool::{BufferPool, PooledBuf, DEFAULT_POOL_CAP};
 
 /// How a service handles one decoded request frame.
 ///
 /// Implementations decode the payload themselves (so the daemon stays
 /// protocol-agnostic) and return either a response payload or an error
 /// code + detail, which the daemon wraps into the shared response
-/// envelope.
+/// envelope. Handlers run on the shared compute pool and must therefore
+/// be `Send + Sync`; they may be invoked for many connections at once.
 pub trait Service: Send + Sync + 'static {
     /// Handles one request frame payload.
     ///
@@ -47,20 +75,37 @@ pub trait Service: Send + Sync + 'static {
 /// Tuning knobs for a [`Daemon`].
 #[derive(Clone, Debug)]
 pub struct DaemonConfig {
-    /// Worker threads — also the number of connections served
-    /// concurrently.
+    /// Compute-pool worker threads, shared by every connection. This is
+    /// the daemon's CPU budget — it does **not** bound how many
+    /// connections may be open.
     pub workers: usize,
-    /// Accepted-but-unclaimed connection queue depth; beyond it, new
-    /// connections are answered with [`ErrorCode::Busy`] and closed.
+    /// Compute-pool job queue depth; a request arriving while every slot
+    /// is taken is answered with [`ErrorCode::Busy`] (retryable).
     pub queue_depth: usize,
+    /// Concurrent-connection limit; beyond it, new connections are
+    /// answered with [`ErrorCode::Busy`] and closed.
+    pub max_connections: usize,
     /// Maximum request frame size (checked before allocation).
     pub max_frame: u32,
     /// Accept-loop poll interval while idle.
     pub poll_interval: Duration,
-    /// Worker socket read timeout — the shutdown-notice latency.
+    /// Reader socket read timeout — the shutdown-notice latency.
     pub read_timeout: Duration,
-    /// Worker socket write timeout.
+    /// Writer socket write timeout.
     pub write_timeout: Duration,
+    /// Whether HELLO upgrades to the v2 (pipelined) protocol are
+    /// accepted. Off, the daemon behaves exactly like a v1-only peer
+    /// (HELLO answered with `BadRequest`) — used by interop tests.
+    pub enable_v2: bool,
+    /// Idle frame buffers retained by the recycling pool.
+    pub buffer_pool: usize,
+    /// Sink for serving-path counters (accepted/busy/in-flight/queue
+    /// depth/out-of-order), recorded under [`DaemonConfig::component`].
+    /// Pass the service's own registry to see them next to the
+    /// per-endpoint counters; the default is a detached registry.
+    pub metrics: ServiceMetrics,
+    /// Metrics component name for the serving-path counters.
+    pub component: String,
 }
 
 impl Default for DaemonConfig {
@@ -68,10 +113,15 @@ impl Default for DaemonConfig {
         Self {
             workers: 4,
             queue_depth: 64,
+            max_connections: 64,
             max_frame: DEFAULT_MAX_FRAME,
             poll_interval: Duration::from_millis(5),
             read_timeout: Duration::from_millis(50),
             write_timeout: Duration::from_secs(5),
+            enable_v2: true,
+            buffer_pool: DEFAULT_POOL_CAP,
+            metrics: ServiceMetrics::default(),
+            component: "net.server".to_owned(),
         }
     }
 }
@@ -81,12 +131,13 @@ impl Default for DaemonConfig {
 pub struct Daemon {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    threads: Vec<JoinHandle<()>>,
+    accept: Option<JoinHandle<()>>,
 }
 
 impl Daemon {
     /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
-    /// starts the accept loop plus worker pool.
+    /// starts the accept loop, the shared compute pool, and the
+    /// per-connection reader/writer machinery.
     ///
     /// # Errors
     ///
@@ -100,23 +151,15 @@ impl Daemon {
         let local = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let stop = Arc::new(AtomicBool::new(false));
-        let (tx, rx) = mpsc::sync_channel::<TcpStream>(cfg.queue_depth.max(1));
-        let rx = Arc::new(Mutex::new(rx));
-
-        let mut threads = Vec::with_capacity(cfg.workers + 1);
-        {
-            let stop = Arc::clone(&stop);
-            let cfg = cfg.clone();
-            threads.push(std::thread::spawn(move || accept_loop(listener, tx, &stop, &cfg)));
-        }
-        for _ in 0..cfg.workers.max(1) {
-            let rx = Arc::clone(&rx);
-            let stop = Arc::clone(&stop);
-            let service = Arc::clone(&service);
-            let cfg = cfg.clone();
-            threads.push(std::thread::spawn(move || worker_loop(&rx, &*service, &stop, &cfg)));
-        }
-        Ok(Self { addr: local, stop, threads })
+        let shared = Arc::new(Shared {
+            service,
+            pool: WorkerPool::new(cfg.workers, cfg.queue_depth),
+            buffers: BufferPool::new(cfg.buffer_pool),
+            stop: Arc::clone(&stop),
+            cfg,
+        });
+        let accept = std::thread::spawn(move || accept_loop(listener, &shared));
+        Ok(Self { addr: local, stop, accept: Some(accept) })
     }
 
     /// The bound address (with the real port when bound to port 0).
@@ -132,7 +175,7 @@ impl Daemon {
 
     fn stop_and_join(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
-        for t in self.threads.drain(..) {
+        if let Some(t) = self.accept.take() {
             let _ = t.join();
         }
     }
@@ -144,95 +187,188 @@ impl Drop for Daemon {
     }
 }
 
-fn accept_loop(
-    listener: TcpListener,
-    tx: SyncSender<TcpStream>,
-    stop: &AtomicBool,
-    cfg: &DaemonConfig,
-) {
-    while !stop.load(Ordering::SeqCst) {
+/// Everything a connection thread needs, shared across all of them.
+struct Shared {
+    service: Arc<dyn Service>,
+    pool: WorkerPool,
+    buffers: BufferPool,
+    stop: Arc<AtomicBool>,
+    cfg: DaemonConfig,
+}
+
+fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
+    let cfg = &shared.cfg;
+    let active = Arc::new(AtomicUsize::new(0));
+    let mut conns: Vec<JoinHandle<()>> = Vec::new();
+    while !shared.stop.load(Ordering::SeqCst) {
         match listener.accept() {
-            Ok((stream, _peer)) => match tx.try_send(stream) {
-                Ok(()) => {}
-                Err(TrySendError::Full(mut stream)) => {
-                    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
-                    let _ = write_frame(
-                        &mut stream,
-                        &err_frame(ErrorCode::Busy, "connection queue full"),
-                        cfg.max_frame,
-                    );
+            Ok((stream, _peer)) => {
+                conns.retain(|h| !h.is_finished());
+                if active.load(Ordering::SeqCst) >= cfg.max_connections.max(1) {
+                    busy_reject(stream, cfg);
+                    continue;
                 }
-                Err(TrySendError::Disconnected(_)) => break,
-            },
+                active.fetch_add(1, Ordering::SeqCst);
+                cfg.metrics.server_conn_accepted(&cfg.component, false);
+                let shared = Arc::clone(shared);
+                let active = Arc::clone(&active);
+                conns.push(std::thread::spawn(move || {
+                    serve_connection(stream, &shared);
+                    active.fetch_sub(1, Ordering::SeqCst);
+                }));
+            }
             Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(cfg.poll_interval),
             Err(_) => std::thread::sleep(cfg.poll_interval),
         }
     }
-    // Dropping `tx` here closes the queue; workers drain what was
-    // accepted and then exit.
-}
-
-fn worker_loop(
-    rx: &Mutex<Receiver<TcpStream>>,
-    service: &dyn Service,
-    stop: &AtomicBool,
-    cfg: &DaemonConfig,
-) {
-    loop {
-        let conn = {
-            let guard = rx.lock().unwrap_or_else(|p| p.into_inner());
-            guard.recv()
-        };
-        match conn {
-            Ok(stream) => serve_connection(stream, service, stop, cfg),
-            Err(_) => break, // sender gone: shutting down
-        }
+    for h in conns {
+        let _ = h.join();
     }
+    // `shared`'s compute pool drops with the caller's Arc once every
+    // connection thread is gone, draining accepted jobs and joining the
+    // workers.
 }
 
-/// One frame-read attempt on a polled socket.
-enum ReadEvent {
-    Frame(Vec<u8>),
-    /// Peer closed between frames.
-    Eof,
-    /// The shutdown flag flipped while waiting.
-    Stopped,
+/// Refuses a connection beyond the limit. Read *and* write timeouts go
+/// on **before** the error frame is written: a peer that neither reads
+/// nor drains must cost at most one bounded wait, never a wedged accept
+/// loop.
+fn busy_reject(mut stream: TcpStream, cfg: &DaemonConfig) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+    cfg.metrics.server_busy_rejection(&cfg.component);
+    let _ =
+        write_frame(&mut stream, &err_frame(ErrorCode::Busy, "connection limit"), cfg.max_frame);
 }
 
-fn serve_connection(
-    mut stream: TcpStream,
-    service: &dyn Service,
-    stop: &AtomicBool,
-    cfg: &DaemonConfig,
-) {
+/// One response on its way to a connection's writer thread.
+struct Reply {
+    /// v2 correlation id (ignored for v1 frames).
+    corr: u64,
+    /// Submission order on this connection, for out-of-order accounting.
+    seq: u64,
+    /// Whether to frame as v2.
+    v2: bool,
+    frame: PooledBuf,
+}
+
+fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    let cfg = &shared.cfg;
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(cfg.read_timeout));
     let _ = stream.set_write_timeout(Some(cfg.write_timeout));
-    // Responses may legitimately exceed the request cap by the envelope
-    // status byte (e.g. echoing back a maximum-size blob), so allow a
-    // little headroom.
-    let response_cap = cfg.max_frame.saturating_add(1024);
+    let Ok(write_half) = stream.try_clone() else { return };
+
+    let (reply_tx, reply_rx) = mpsc::channel::<Reply>();
+    // Flipped by the writer on socket failure so the reader stops
+    // accepting work for a connection that can no longer answer.
+    let broken = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let broken = Arc::clone(&broken);
+        let metrics = cfg.metrics.clone();
+        let component = cfg.component.clone();
+        let response_cap = cfg.max_frame.saturating_add(1024);
+        std::thread::spawn(move || {
+            writer_loop(write_half, &reply_rx, &broken, &metrics, &component, response_cap)
+        })
+    };
+
+    reader_loop(stream, shared, &reply_tx, &broken);
+
+    // Close our sender; in-flight jobs hold clones, so the writer drains
+    // their responses before exiting.
+    drop(reply_tx);
+    let _ = writer.join();
+}
+
+fn writer_loop(
+    mut stream: TcpStream,
+    rx: &Receiver<Reply>,
+    broken: &AtomicBool,
+    metrics: &ServiceMetrics,
+    component: &str,
+    response_cap: u32,
+) {
+    let mut max_seq_written = 0u64;
+    while let Ok(reply) = rx.recv() {
+        if broken.load(Ordering::SeqCst) {
+            continue; // drain without writing; senders must never block
+        }
+        if reply.seq < max_seq_written {
+            // This response was overtaken by a later request's — the
+            // pipelined out-of-order completion the v2 protocol exists
+            // to allow.
+            metrics.server_out_of_order(component);
+        } else {
+            max_seq_written = reply.seq;
+        }
+        let result = if reply.v2 {
+            write_frame_v2(&mut stream, reply.corr, &reply.frame, response_cap)
+        } else {
+            write_frame(&mut stream, &reply.frame, response_cap)
+        };
+        if result.is_err() {
+            broken.store(true, Ordering::SeqCst);
+        }
+        // `reply.frame` drops here, returning its buffer to the pool.
+    }
+}
+
+fn reader_loop(
+    mut stream: TcpStream,
+    shared: &Arc<Shared>,
+    reply_tx: &Sender<Reply>,
+    broken: &Arc<AtomicBool>,
+) {
+    let cfg = &shared.cfg;
+    let mut v2 = false;
+    let mut seq = 0u64;
     loop {
-        match read_frame_polling(&mut stream, cfg.max_frame, stop) {
+        if broken.load(Ordering::SeqCst) || shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let event = read_frame_polling(&mut stream, shared, v2);
+        seq += 1;
+        match event {
             Ok(ReadEvent::Frame(payload)) => {
-                let frame = match service.handle(&payload) {
-                    Ok(resp) => ok_frame(&resp),
-                    Err((code, detail)) => err_frame(code, &detail),
-                };
-                if write_frame(&mut stream, &frame, response_cap).is_err() {
-                    break;
+                debug_assert!(!v2);
+                if is_hello(&payload) {
+                    let (frame, upgraded) = if cfg.enable_v2 {
+                        cfg.metrics.server_v2_negotiated(&cfg.component);
+                        (ok_frame(&hello_ack_payload()), true)
+                    } else {
+                        (err_frame(ErrorCode::BadRequest, "protocol v2 not enabled"), false)
+                    };
+                    let mut buf = shared.buffers.checkout();
+                    buf.extend_from_slice(&frame);
+                    if reply_tx.send(Reply { corr: 0, seq, v2: false, frame: buf }).is_err() {
+                        break;
+                    }
+                    v2 = upgraded;
+                    continue;
                 }
+                // v1: one request in flight, answered before the next
+                // read — order-preserving by construction.
+                let (done_tx, done_rx) = mpsc::channel::<()>();
+                if !submit(shared, payload, 0, seq, false, reply_tx, Some(done_tx)) {
+                    continue; // Busy reply already queued
+                }
+                // The job signals completion by dropping its sender; poll
+                // the stop flag while waiting so shutdown stays prompt.
+                while done_rx.recv_timeout(cfg.read_timeout).is_ok() {}
+            }
+            Ok(ReadEvent::FrameV2(corr, payload)) => {
+                debug_assert!(v2);
+                submit(shared, payload, corr, seq, true, reply_tx, None);
             }
             Ok(ReadEvent::Eof) | Ok(ReadEvent::Stopped) => break,
             Err(NetError::FrameTooLarge { len, max }) => {
                 // Typed refusal, then close: the read position is inside
                 // an unread payload, so the connection cannot continue.
                 let detail = format!("frame of {len} bytes exceeds the {max}-byte cap");
-                let _ = write_frame(
-                    &mut stream,
-                    &err_frame(ErrorCode::FrameTooLarge, &detail),
-                    response_cap,
-                );
+                let mut buf = shared.buffers.checkout();
+                buf.extend_from_slice(&err_frame(ErrorCode::FrameTooLarge, &detail));
+                let _ = reply_tx.send(Reply { corr: 0, seq, v2, frame: buf });
                 break;
             }
             Err(_) => break,
@@ -240,25 +376,93 @@ fn serve_connection(
     }
 }
 
+/// Hands one decoded request to the shared compute pool. Returns `false`
+/// when the pool refused (a `Busy` reply was queued instead).
+fn submit(
+    shared: &Arc<Shared>,
+    payload: PooledBuf,
+    corr: u64,
+    seq: u64,
+    v2: bool,
+    reply_tx: &Sender<Reply>,
+    done_tx: Option<mpsc::Sender<()>>,
+) -> bool {
+    let cfg = &shared.cfg;
+    cfg.metrics.server_job_enqueued(&cfg.component);
+    let job_shared = Arc::clone(shared);
+    let job_reply = reply_tx.clone();
+    let accepted = shared.pool.try_execute(move || {
+        let cfg = &job_shared.cfg;
+        cfg.metrics.server_job_started(&cfg.component);
+        let mut frame = job_shared.buffers.checkout();
+        match job_shared.service.handle(&payload) {
+            Ok(resp) => {
+                frame.push(RESP_OK);
+                frame.extend_from_slice(&resp);
+            }
+            Err((code, detail)) => frame.extend_from_slice(&err_frame(code, &detail)),
+        }
+        drop(payload); // recycle the request buffer before the send
+                       // Decrement before the send: once the reply is queued, the
+                       // client can already have the response on the wire and its next
+                       // request in our reader, so a post-send decrement would let
+                       // `in_flight` transiently exceed every client's pipeline depth.
+        cfg.metrics.server_job_finished(&cfg.component);
+        let _ = job_reply.send(Reply { corr, seq, v2, frame });
+        drop(done_tx); // v1 reader resumes
+    });
+    if accepted.is_err() {
+        cfg.metrics.server_job_started(&cfg.component);
+        cfg.metrics.server_job_finished(&cfg.component);
+        cfg.metrics.server_busy_rejection(&cfg.component);
+        let mut buf = shared.buffers.checkout();
+        buf.extend_from_slice(&err_frame(ErrorCode::Busy, "compute queue full"));
+        let _ = reply_tx.send(Reply { corr, seq, v2, frame: buf });
+        return false;
+    }
+    true
+}
+
+/// One frame-read attempt on a polled socket.
+enum ReadEvent {
+    /// A v1 frame.
+    Frame(PooledBuf),
+    /// A v2 frame with its correlation id.
+    FrameV2(u64, PooledBuf),
+    /// Peer closed between frames.
+    Eof,
+    /// The shutdown flag flipped while waiting.
+    Stopped,
+}
+
 fn read_frame_polling(
     stream: &mut TcpStream,
-    max_frame: u32,
-    stop: &AtomicBool,
+    shared: &Shared,
+    v2: bool,
 ) -> Result<ReadEvent, NetError> {
-    let mut header = [0u8; FRAME_HEADER_LEN];
-    match fill_polling(stream, &mut header, stop, true)? {
+    let max_frame = shared.cfg.max_frame;
+    let stop = &*shared.stop;
+    let mut header = [0u8; FRAME_V2_HEADER_LEN];
+    let header_len = if v2 { FRAME_V2_HEADER_LEN } else { FRAME_HEADER_LEN };
+    match fill_polling(stream, &mut header[..header_len], stop, true)? {
         Fill::Stopped => return Ok(ReadEvent::Stopped),
         Fill::Eof => return Ok(ReadEvent::Eof),
         Fill::Filled => {}
     }
-    let len = u32::from_be_bytes(header);
+    let len = u32::from_be_bytes(header[..FRAME_HEADER_LEN].try_into().expect("fixed len"));
     if len > max_frame {
         return Err(NetError::FrameTooLarge { len: u64::from(len), max: max_frame });
     }
-    let mut payload = vec![0u8; len as usize];
+    let mut payload = shared.buffers.checkout();
+    payload.resize(len as usize, 0);
     match fill_polling(stream, &mut payload, stop, false)? {
         Fill::Stopped => Ok(ReadEvent::Stopped),
         Fill::Eof => Err(NetError::Closed),
+        Fill::Filled if v2 => {
+            let corr =
+                u64::from_be_bytes(header[FRAME_HEADER_LEN..].try_into().expect("fixed len"));
+            Ok(ReadEvent::FrameV2(corr, payload))
+        }
         Fill::Filled => Ok(ReadEvent::Frame(payload)),
     }
 }
@@ -277,6 +481,7 @@ fn fill_polling(
     stop: &AtomicBool,
     eof_ok: bool,
 ) -> Result<Fill, NetError> {
+    use std::io::Read;
     let mut filled = 0;
     while filled < buf.len() {
         match stream.read(&mut buf[filled..]) {
@@ -299,8 +504,8 @@ fn fill_polling(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::frame::read_frame;
-    use crate::msg::decode_response;
+    use crate::frame::{read_frame, read_frame_v2};
+    use crate::msg::{decode_response, hello_frame, is_hello_ack};
     use std::io::Write;
 
     /// Echoes the request payload back, uppercased.
@@ -314,8 +519,24 @@ mod tests {
         }
     }
 
+    /// Sleeps for the request-encoded number of milliseconds, then echoes.
+    struct Sleepy;
+    impl Service for Sleepy {
+        fn handle(&self, request: &[u8]) -> Result<Vec<u8>, (ErrorCode, String)> {
+            let ms = request.first().copied().unwrap_or(0);
+            std::thread::sleep(Duration::from_millis(u64::from(ms)));
+            Ok(request.to_vec())
+        }
+    }
+
     fn small_cfg() -> DaemonConfig {
         DaemonConfig { workers: 2, queue_depth: 4, max_frame: 1024, ..DaemonConfig::default() }
+    }
+
+    fn upgrade(conn: &mut TcpStream) {
+        write_frame(conn, &hello_frame(), 1024).unwrap();
+        let resp = read_frame(conn, 4096).unwrap().unwrap();
+        assert!(is_hello_ack(decode_response(&resp).unwrap()), "daemon accepted HELLO");
     }
 
     #[test]
@@ -384,12 +605,147 @@ mod tests {
     #[test]
     fn shutdown_with_idle_connection_is_prompt() {
         let daemon = Daemon::spawn("127.0.0.1:0", Arc::new(Upper), small_cfg()).unwrap();
-        // Park an idle connection on a worker, then shut down: the worker
+        // Park an idle connection on a reader, then shut down: the reader
         // must notice via its read-timeout poll rather than hanging.
         let _idle = TcpStream::connect(daemon.addr()).unwrap();
         std::thread::sleep(Duration::from_millis(20));
         let start = std::time::Instant::now();
         daemon.shutdown();
         assert!(start.elapsed() < Duration::from_secs(2), "shutdown hung");
+    }
+
+    #[test]
+    fn hello_upgrades_to_v2_and_pipelines_out_of_order() {
+        let metrics = ServiceMetrics::new();
+        let cfg = DaemonConfig { metrics: metrics.clone(), ..small_cfg() };
+        let daemon = Daemon::spawn("127.0.0.1:0", Arc::new(Sleepy), cfg).unwrap();
+        let mut conn = TcpStream::connect(daemon.addr()).unwrap();
+        conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        upgrade(&mut conn);
+
+        // Submit a slow request then a fast one; the fast response must
+        // come back FIRST, carrying its own correlation id.
+        write_frame_v2(&mut conn, 101, &[80], 1024).unwrap(); // 80 ms
+        write_frame_v2(&mut conn, 202, &[0], 1024).unwrap(); // immediate
+        let (corr_a, resp_a) = read_frame_v2(&mut conn, 4096).unwrap().unwrap();
+        let (corr_b, resp_b) = read_frame_v2(&mut conn, 4096).unwrap().unwrap();
+        assert_eq!(corr_a, 202, "fast response overtook the slow one");
+        assert_eq!(decode_response(&resp_a).unwrap(), [0]);
+        assert_eq!(corr_b, 101);
+        assert_eq!(decode_response(&resp_b).unwrap(), [80]);
+
+        let server = metrics.server("net.server");
+        assert_eq!(server.accepted, 1);
+        assert_eq!(server.v2_negotiated, 1);
+        assert!(server.out_of_order >= 1, "reordering was counted");
+        assert!(server.in_flight_peak >= 2, "two jobs ran concurrently");
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn v1_clients_are_served_by_a_v2_daemon_unchanged() {
+        // The serves_frames test above is exactly this; here we also pin
+        // that v1 responses never carry correlation ids (a v2-framed
+        // response would desync a v1 client's 4-byte header scan).
+        let daemon = Daemon::spawn("127.0.0.1:0", Arc::new(Upper), small_cfg()).unwrap();
+        let mut conn = TcpStream::connect(daemon.addr()).unwrap();
+        conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        write_frame(&mut conn, b"abc", 1024).unwrap();
+        let raw = read_frame(&mut conn, 4096).unwrap().unwrap();
+        // OK envelope + payload, nothing else.
+        assert_eq!(raw, [&[RESP_OK][..], b"ABC"].concat());
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn hello_is_refused_when_v2_disabled() {
+        let cfg = DaemonConfig { enable_v2: false, ..small_cfg() };
+        let daemon = Daemon::spawn("127.0.0.1:0", Arc::new(Upper), cfg).unwrap();
+        let mut conn = TcpStream::connect(daemon.addr()).unwrap();
+        conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        write_frame(&mut conn, &hello_frame(), 1024).unwrap();
+        let resp = read_frame(&mut conn, 4096).unwrap().unwrap();
+        match decode_response(&resp).unwrap_err() {
+            NetError::Remote { code, .. } => assert_eq!(code, ErrorCode::BadRequest),
+            other => panic!("expected Remote BadRequest, got {other}"),
+        }
+        // The connection stays serviceable on v1.
+        write_frame(&mut conn, b"still v1", 1024).unwrap();
+        let resp = read_frame(&mut conn, 4096).unwrap().unwrap();
+        assert_eq!(decode_response(&resp).unwrap(), b"STILL V1");
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn connection_limit_answers_busy_with_timeouts_set() {
+        let metrics = ServiceMetrics::new();
+        let cfg = DaemonConfig { max_connections: 1, metrics: metrics.clone(), ..small_cfg() };
+        let daemon = Daemon::spawn("127.0.0.1:0", Arc::new(Upper), cfg).unwrap();
+
+        // Occupy the single slot.
+        let mut first = TcpStream::connect(daemon.addr()).unwrap();
+        first.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        write_frame(&mut first, b"hold", 1024).unwrap();
+        let resp = read_frame(&mut first, 4096).unwrap().unwrap();
+        assert_eq!(decode_response(&resp).unwrap(), b"HOLD");
+
+        // The second connection is refused with Busy...
+        let mut second = TcpStream::connect(daemon.addr()).unwrap();
+        second.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let resp = read_frame(&mut second, 4096).unwrap().unwrap();
+        match decode_response(&resp).unwrap_err() {
+            NetError::Remote { code, .. } => assert_eq!(code, ErrorCode::Busy),
+            other => panic!("expected Remote Busy, got {other}"),
+        }
+        assert_eq!(metrics.server("net.server").busy_rejections, 1);
+
+        // ...even a refused peer that never reads cannot wedge the
+        // accept loop: the first slot keeps serving within bounded time.
+        let _stalled = TcpStream::connect(daemon.addr()).unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        write_frame(&mut first, b"alive", 1024).unwrap();
+        let resp = read_frame(&mut first, 4096).unwrap().unwrap();
+        assert_eq!(decode_response(&resp).unwrap(), b"ALIVE");
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn full_compute_queue_answers_busy_per_request() {
+        let metrics = ServiceMetrics::new();
+        let cfg = DaemonConfig {
+            workers: 1,
+            queue_depth: 1,
+            metrics: metrics.clone(),
+            max_frame: 1024,
+            ..DaemonConfig::default()
+        };
+        let daemon = Daemon::spawn("127.0.0.1:0", Arc::new(Sleepy), cfg).unwrap();
+        let mut conn = TcpStream::connect(daemon.addr()).unwrap();
+        conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        upgrade(&mut conn);
+
+        // Flood: 1 worker (sleeping 100 ms) + 1 queue slot; the rest of
+        // the burst must come back Busy rather than queueing unboundedly.
+        for corr in 0..8u64 {
+            write_frame_v2(&mut conn, corr, &[100], 1024).unwrap();
+        }
+        let mut busy = 0u64;
+        let mut served = 0u32;
+        for _ in 0..8 {
+            let (_, resp) = read_frame_v2(&mut conn, 4096).unwrap().unwrap();
+            match decode_response(&resp) {
+                Ok(_) => served += 1,
+                Err(NetError::Remote { code, .. }) => {
+                    assert_eq!(code, ErrorCode::Busy);
+                    busy += 1;
+                }
+                Err(other) => panic!("unexpected {other}"),
+            }
+        }
+        assert!(served >= 1, "the accepted jobs completed");
+        assert!(busy >= 1, "overload surfaced as Busy");
+        assert_eq!(metrics.server("net.server").busy_rejections, busy);
+        assert!(metrics.server("net.server").queue_peak >= 1);
+        daemon.shutdown();
     }
 }

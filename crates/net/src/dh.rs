@@ -16,6 +16,7 @@ use crate::daemon::Service;
 use crate::dedup::{strip_idempotency, ReplayCache};
 use crate::error::{code_for, ErrorCode, NetError};
 use crate::msg::{decode_batch_results, encode_batch_results, BatchEntryResult, DhRequest};
+use crate::pipeline::{PipelineConfig, PipelinedConnection, Transport};
 use crate::sp::{decode_bytes, decode_string, encode_bytes, encode_string};
 
 /// The DH daemon's request handler.
@@ -130,13 +131,21 @@ impl DhService {
 /// A remote [`StorageApi`] speaking the framed protocol to a DH daemon.
 #[derive(Debug)]
 pub struct DhClient {
-    conn: Connection,
+    conn: Transport,
 }
 
 impl DhClient {
-    /// Points a client at a daemon address.
+    /// Points a client at a daemon address (sequential transport: one
+    /// request in flight at a time).
     pub fn connect(addr: SocketAddr, cfg: ClientConfig) -> Self {
-        Self { conn: Connection::new(addr, cfg) }
+        Self { conn: Transport::Sequential(Connection::new(addr, cfg)) }
+    }
+
+    /// Like [`DhClient::connect`], but over a [`PipelinedConnection`]:
+    /// up to [`PipelineConfig::depth`] requests in flight on one socket,
+    /// v2-negotiated with automatic v1 fallback.
+    pub fn connect_pipelined(addr: SocketAddr, cfg: PipelineConfig) -> Self {
+        Self { conn: Transport::Pipelined(PipelinedConnection::new(addr, cfg)) }
     }
 
     fn call(&self, req: &DhRequest) -> Result<Vec<u8>, NetError> {

@@ -6,16 +6,24 @@
 //! (DH). The rest of this workspace models those parties in-process;
 //! this crate puts them on actual sockets:
 //!
-//! * [`frame`] — 4-byte big-endian length-prefixed frames over TCP, with
-//!   the maximum frame size enforced **before** any allocation.
+//! * [`frame`] — 4-byte big-endian length-prefixed frames over TCP (v1),
+//!   plus the correlation-id-framed v2 layout for pipelining, with the
+//!   maximum frame size enforced **before** any allocation and
+//!   single-syscall vectored frame writes.
 //! * [`msg`] — request/response message types for every paper
 //!   subroutine (`Upload`, `DisplayPuzzle`, `AnswerPuzzle`'s output,
-//!   `Verify`, `Access`) plus the DH blob operations, with round-trip
-//!   codecs over `sp-wire`.
-//! * [`daemon`] — a small std-only TCP daemon: bounded worker pool,
-//!   graceful shutdown, per-endpoint metrics.
+//!   `Verify`, `Access`) plus the DH blob operations and the v1→v2
+//!   HELLO negotiation, with round-trip codecs over `sp-wire`.
+//! * [`daemon`] — a std-only TCP daemon: per-connection reader/writer
+//!   threads around a shared bounded compute pool, out-of-order v2
+//!   response multiplexing, graceful shutdown, serving-path metrics.
 //! * [`client`] — a blocking connection with connect/read/write
 //!   timeouts and bounded retry-with-backoff.
+//! * [`pipeline`] — [`PipelinedConnection`]: the v2 client counterpart
+//!   holding N requests in flight on one socket, with per-request
+//!   deadlines and idempotent replay of unacknowledged requests.
+//! * [`pool`] — the bounded [`BufferPool`] recycling frame payload
+//!   buffers through the daemon's read/compute/write path.
 //! * [`sp`] / [`dh`] — the SP and DH services and their remote clients.
 //!   [`SpClient`] implements `sp_osn::ProviderApi` and [`DhClient`]
 //!   implements `sp_osn::StorageApi`, so the `social-puzzles-core`
@@ -82,6 +90,8 @@ pub mod dh;
 pub mod error;
 pub mod frame;
 pub mod msg;
+pub mod pipeline;
+pub mod pool;
 pub mod sp;
 
 pub use client::{ClientConfig, Connection};
@@ -89,5 +99,7 @@ pub use daemon::{Daemon, DaemonConfig, Service};
 pub use dedup::{DedupService, ReplayCache};
 pub use dh::{DhClient, DhService};
 pub use error::{ErrorCode, NetError};
-pub use frame::{DEFAULT_MAX_FRAME, FRAME_HEADER_LEN};
+pub use frame::{DEFAULT_MAX_FRAME, FRAME_HEADER_LEN, FRAME_V2_HEADER_LEN};
+pub use pipeline::{PipelineConfig, PipelinedConnection, Transport};
+pub use pool::{BufferPool, PooledBuf, DEFAULT_POOL_CAP};
 pub use sp::{SpClient, SpService};

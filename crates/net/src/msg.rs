@@ -401,6 +401,50 @@ impl DhRequest {
 }
 
 // ---------------------------------------------------------------------
+// Protocol-version negotiation (v1 -> v2 upgrade)
+// ---------------------------------------------------------------------
+
+/// First byte of the HELLO upgrade request. Deliberately outside every
+/// request tag space: SP tags are `0x01..=0x0B`, DH tags `0x01..=0x06`,
+/// and the idempotency envelope uses `0xF0` — so a v1 daemon that
+/// receives a HELLO decodes it as an unknown tag and answers
+/// [`ErrorCode::BadRequest`], which the client reads as "stay on v1".
+pub const HELLO_TAG: u8 = 0xF1;
+
+/// Magic bytes after [`HELLO_TAG`], guarding against tag-space collisions
+/// in future protocol revisions.
+const HELLO_MAGIC: &[u8; 4] = b"SPv2";
+
+/// The protocol version HELLO requests (and the ACK confirms).
+pub const PROTOCOL_V2: u8 = 2;
+
+/// Builds the HELLO frame payload a client sends (as a plain v1 frame)
+/// to request the v2 correlation-framed protocol.
+pub fn hello_frame() -> Vec<u8> {
+    let mut out = Vec::with_capacity(1 + HELLO_MAGIC.len() + 1);
+    out.push(HELLO_TAG);
+    out.extend_from_slice(HELLO_MAGIC);
+    out.push(PROTOCOL_V2);
+    out
+}
+
+/// Whether a request frame payload is a HELLO upgrade request.
+pub fn is_hello(payload: &[u8]) -> bool {
+    payload == hello_frame().as_slice()
+}
+
+/// The OK-response payload a v2-capable daemon answers a HELLO with.
+/// Every frame after this ACK — in both directions — uses v2 framing.
+pub fn hello_ack_payload() -> Vec<u8> {
+    vec![HELLO_TAG, PROTOCOL_V2]
+}
+
+/// Whether a decoded OK-response payload is the v2 ACK.
+pub fn is_hello_ack(payload: &[u8]) -> bool {
+    payload == [HELLO_TAG, PROTOCOL_V2]
+}
+
+// ---------------------------------------------------------------------
 // Response envelope
 // ---------------------------------------------------------------------
 
@@ -695,6 +739,23 @@ mod tests {
             assert_eq!(decoded, req);
             assert!(req.endpoint().starts_with("dh."));
         }
+    }
+
+    #[test]
+    fn hello_collides_with_no_request_tag_and_no_idempotency_envelope() {
+        let hello = hello_frame();
+        assert!(is_hello(&hello));
+        assert!(!is_hello(&hello[..hello.len() - 1]));
+        assert!(!is_hello(&[HELLO_TAG]));
+        // A v1 daemon must reject HELLO as an unknown request, never
+        // misparse it as a real operation or an idempotency envelope.
+        assert!(SpRequest::decode(&hello).is_err());
+        assert!(DhRequest::decode(&hello).is_err());
+        assert_ne!(HELLO_TAG, crate::dedup::IDEMPOTENCY_TAG);
+        // And the ACK round-trips through the OK envelope.
+        let ack = ok_frame(&hello_ack_payload());
+        assert!(is_hello_ack(decode_response(&ack).unwrap()));
+        assert!(!is_hello_ack(b"anything else"));
     }
 
     #[test]

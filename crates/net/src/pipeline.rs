@@ -1,0 +1,764 @@
+//! A pipelined RPC connection: many requests in flight on one socket.
+//!
+//! [`crate::client::Connection`] is strictly call-and-response — its
+//! throughput on one socket is bounded by `1 / round_trip_time` no
+//! matter how fast the server computes. [`PipelinedConnection`] removes
+//! that bound: it negotiates the v2 protocol (correlation-id frames, see
+//! [`crate::frame`]) and keeps up to [`PipelineConfig::depth`] requests
+//! outstanding, matching responses back by id in whatever order the
+//! server finishes them.
+//!
+//! # Negotiation
+//!
+//! The first exchange on every (re)connect sends the HELLO frame. A v2
+//! daemon acknowledges and the connection switches to correlation-id
+//! framing; a v1 peer answers `BadRequest` (unknown tag) and the
+//! connection falls back to v1 framing — still pipelined, with responses
+//! matched first-in-first-out, which is sound because a v1 server
+//! answers strictly in order.
+//!
+//! # Retry and replay semantics
+//!
+//! Every request is automatically tagged with an idempotency token at
+//! first send (see [`crate::dedup`]). When the connection dies
+//! mid-pipeline, the client reconnects and replays **only the
+//! unacknowledged ids** — same bytes, same tokens, same correlation ids
+//! — so a dedup-aware server applies each logical request at most once
+//! even when its response was lost in flight. Responses already received
+//! are never re-requested. `Busy` responses are retried per-request with
+//! the configured backoff, again reusing the token.
+//!
+//! Each call carries its own deadline ([`ClientConfig::read_timeout`]
+//! from submission); a request that misses it fails with a timeout
+//! without disturbing the rest of the pipeline.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::io::ErrorKind;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::client::{next_token, ClientConfig, Connection};
+use crate::dedup::wrap_idempotent;
+use crate::error::NetError;
+use crate::frame::{
+    read_frame, write_frame, write_frame_v2, FRAME_HEADER_LEN, FRAME_V2_HEADER_LEN,
+};
+use crate::msg::{decode_response, hello_frame, is_hello_ack};
+
+/// How often a parked response reader checks for shutdown.
+const POLL: Duration = Duration::from_millis(25);
+
+/// Tuning knobs for a [`PipelinedConnection`].
+#[derive(Clone, Debug)]
+pub struct PipelineConfig {
+    /// Socket/retry/framing settings, shared with the sequential client.
+    /// `read_timeout` doubles as the per-request deadline.
+    pub client: ClientConfig,
+    /// Maximum requests in flight at once; further calls wait for a slot.
+    pub depth: usize,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self { client: ClientConfig::default(), depth: 16 }
+    }
+}
+
+/// One in-flight (or just-completed, unclaimed) request.
+#[derive(Debug)]
+struct Pending {
+    /// The token-tagged request bytes, kept for replay after reconnect.
+    request: Vec<u8>,
+    /// Set by the response reader; taken by the waiting caller.
+    done: Option<Result<Vec<u8>, NetError>>,
+}
+
+/// The live socket of one connection generation.
+#[derive(Debug)]
+struct Wire {
+    /// Write half (the response reader owns a clone).
+    stream: TcpStream,
+    /// Whether HELLO negotiated v2 framing.
+    v2: bool,
+    /// v1 fallback only: correlation ids in send order, matched FIFO.
+    fifo: VecDeque<u64>,
+    /// Flipped when this generation is torn down, so its reader exits.
+    retired: Arc<AtomicBool>,
+}
+
+#[derive(Debug)]
+struct State {
+    wire: Option<Wire>,
+    /// Bumped per established wire; a reader for an old generation
+    /// must not touch current state.
+    generation: u64,
+    pending: BTreeMap<u64, Pending>,
+    next_corr: u64,
+    closed: bool,
+}
+
+#[derive(Debug)]
+struct Inner {
+    addr: SocketAddr,
+    cfg: PipelineConfig,
+    state: Mutex<State>,
+    cond: Condvar,
+}
+
+/// A connection holding up to [`PipelineConfig::depth`] requests in
+/// flight on one socket. Safe to share across threads: concurrent
+/// [`PipelinedConnection::call`]s interleave on the wire and complete
+/// independently.
+#[derive(Debug)]
+pub struct PipelinedConnection {
+    inner: Arc<Inner>,
+    readers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl PipelinedConnection {
+    /// Creates a (lazily connected) pipelined connection to `addr`.
+    pub fn new(addr: SocketAddr, cfg: PipelineConfig) -> Self {
+        let cfg = PipelineConfig { depth: cfg.depth.max(1), ..cfg };
+        Self {
+            inner: Arc::new(Inner {
+                addr,
+                cfg,
+                state: Mutex::new(State {
+                    wire: None,
+                    generation: 0,
+                    pending: BTreeMap::new(),
+                    next_corr: 1,
+                    closed: false,
+                }),
+                cond: Condvar::new(),
+            }),
+            readers: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The remote address.
+    pub fn addr(&self) -> SocketAddr {
+        self.inner.addr
+    }
+
+    /// The configured pipeline depth.
+    pub fn depth(&self) -> usize {
+        self.inner.cfg.depth
+    }
+
+    /// Whether the current wire negotiated v2 framing; `None` while
+    /// disconnected.
+    pub fn negotiated_v2(&self) -> Option<bool> {
+        lock(&self.inner).wire.as_ref().map(|w| w.v2)
+    }
+
+    /// Sends one request and awaits its response, sharing the wire with
+    /// every other in-flight call. The request is tagged with a fresh
+    /// idempotency token (reused across retries and replays), bounded by
+    /// the per-request deadline, and retried on retryable failures per
+    /// the config.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Remote`] for server error frames, a timeout
+    /// as [`NetError::Io`], and the last transport error once retries
+    /// are exhausted.
+    pub fn call(&self, request: &[u8]) -> Result<Vec<u8>, NetError> {
+        let wrapped = wrap_idempotent(next_token(), request);
+        let cfg = &self.inner.cfg.client;
+        let mut backoff = cfg.backoff;
+        let mut attempt = 0u32;
+        loop {
+            let deadline = Instant::now() + cfg.read_timeout;
+            match self.try_call(&wrapped, deadline) {
+                Ok(payload) => return Ok(payload),
+                Err(e) if e.is_retryable() && attempt < cfg.retries => {
+                    attempt += 1;
+                    std::thread::sleep(backoff);
+                    backoff = backoff.saturating_mul(2);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Alias of [`PipelinedConnection::call`]: every pipelined request
+    /// already carries an idempotency token, so explicitly-idempotent
+    /// calls need nothing extra. Mirrors
+    /// [`crate::client::Connection::call_idempotent`] so the two
+    /// transports are interchangeable.
+    ///
+    /// # Errors
+    ///
+    /// As [`PipelinedConnection::call`].
+    pub fn call_idempotent(&self, request: &[u8]) -> Result<Vec<u8>, NetError> {
+        self.call(request)
+    }
+
+    /// Submits `requests` through the pipeline with up to `depth`
+    /// concurrent calls and returns per-request results in input order.
+    pub fn call_many(&self, requests: &[Vec<u8>]) -> Vec<Result<Vec<u8>, NetError>> {
+        let n = requests.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let workers = self.inner.cfg.depth.min(n);
+        let next = AtomicUsize::new(0);
+        let mut results: Vec<Option<Result<Vec<u8>, NetError>>> = (0..n).map(|_| None).collect();
+        std::thread::scope(|s| {
+            let (tx, rx) = mpsc::channel();
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let next = &next;
+                s.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let _ = tx.send((i, self.call(&requests[i])));
+                });
+            }
+            drop(tx);
+            for (i, result) in rx {
+                results[i] = Some(result);
+            }
+        });
+        results.into_iter().map(|r| r.expect("every index sent exactly once")).collect()
+    }
+
+    /// One full submit-and-wait pass (no Busy/transport retry — the
+    /// caller loops).
+    fn try_call(&self, wrapped: &[u8], deadline: Instant) -> Result<Vec<u8>, NetError> {
+        let inner = &self.inner;
+        let mut st = lock(inner);
+
+        // Wait for a depth slot.
+        while !st.closed && st.pending.len() >= inner.cfg.depth {
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(timeout_error());
+            }
+            st = wait(inner, st, deadline - now);
+        }
+        if st.closed {
+            return Err(NetError::Closed);
+        }
+        self.ensure_wire(&mut st)?;
+
+        let corr = st.next_corr;
+        st.next_corr += 1;
+        st.pending.insert(corr, Pending { request: wrapped.to_vec(), done: None });
+        if let Err(e) = send_on_wire(&mut st, corr, inner.cfg.client.max_frame) {
+            st.pending.remove(&corr);
+            retire_wire(&mut st);
+            inner.cond.notify_all();
+            return Err(e);
+        }
+
+        // Wait for the response reader to complete our entry.
+        loop {
+            if let Some(result) = st.pending.get_mut(&corr).and_then(|p| p.done.take()) {
+                st.pending.remove(&corr);
+                inner.cond.notify_all(); // a depth slot freed up
+                return result;
+            }
+            if st.closed {
+                st.pending.remove(&corr);
+                return Err(NetError::Closed);
+            }
+            if st.wire.is_none() {
+                // The connection died with our request unacknowledged:
+                // reconnect and replay every unacknowledged id (ours
+                // included) with their original tokens.
+                if let Err(e) = self.ensure_wire(&mut st) {
+                    st.pending.remove(&corr);
+                    inner.cond.notify_all();
+                    return Err(e);
+                }
+                continue;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                st.pending.remove(&corr);
+                inner.cond.notify_all();
+                return Err(timeout_error());
+            }
+            st = wait(inner, st, deadline - now);
+        }
+    }
+
+    /// Connects, negotiates, spawns the response reader, and replays
+    /// unacknowledged requests. No-op while a wire is up.
+    fn ensure_wire(&self, st: &mut MutexGuard<'_, State>) -> Result<(), NetError> {
+        if st.wire.is_some() {
+            return Ok(());
+        }
+        if st.closed {
+            return Err(NetError::Closed);
+        }
+        let inner = &self.inner;
+        let cfg = &inner.cfg.client;
+        let mut stream = TcpStream::connect_timeout(&inner.addr, cfg.connect_timeout)?;
+        stream.set_nodelay(true)?;
+        stream.set_write_timeout(Some(cfg.write_timeout))?;
+        stream.set_read_timeout(Some(cfg.read_timeout))?;
+
+        // Negotiate: v2 daemons acknowledge HELLO, v1 peers refuse the
+        // unknown tag — which downgrades, never fails.
+        write_frame(&mut stream, &hello_frame(), cfg.max_frame)?;
+        let frame =
+            read_frame(&mut stream, cfg.max_frame.saturating_add(1024))?.ok_or(NetError::Closed)?;
+        let v2 = match decode_response(&frame) {
+            Ok(payload) => is_hello_ack(payload),
+            Err(NetError::Remote { .. }) => false,
+            Err(e) => return Err(e),
+        };
+
+        // Short read timeout from here on: the reader polls it to notice
+        // retirement (clones share the one socket, so this is set after
+        // the blocking HELLO exchange).
+        stream.set_read_timeout(Some(POLL))?;
+        let read_half = stream.try_clone()?;
+        let retired = Arc::new(AtomicBool::new(false));
+        st.generation += 1;
+        let generation = st.generation;
+        st.wire = Some(Wire { stream, v2, fifo: VecDeque::new(), retired: Arc::clone(&retired) });
+
+        let reader_inner = Arc::clone(inner);
+        let handle = std::thread::spawn(move || {
+            reader_loop(read_half, &reader_inner, generation, v2, &retired)
+        });
+        let mut readers = self.readers.lock().unwrap_or_else(PoisonError::into_inner);
+        readers.retain(|h| !h.is_finished());
+        readers.push(handle);
+        drop(readers);
+
+        // Replay unacknowledged requests in correlation order.
+        let unacked: Vec<u64> =
+            st.pending.iter().filter(|(_, p)| p.done.is_none()).map(|(c, _)| *c).collect();
+        for corr in unacked {
+            if let Err(e) = send_on_wire(st, corr, cfg.max_frame) {
+                retire_wire(st);
+                inner.cond.notify_all();
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Either client transport — sequential or pipelined — behind one call
+/// surface, so [`crate::SpClient`] and [`crate::DhClient`] run unchanged
+/// over both.
+#[derive(Debug)]
+pub enum Transport {
+    /// One request in flight at a time ([`Connection`]).
+    Sequential(Connection),
+    /// Up to [`PipelineConfig::depth`] requests in flight
+    /// ([`PipelinedConnection`]).
+    Pipelined(PipelinedConnection),
+}
+
+impl Transport {
+    /// The remote address.
+    pub fn addr(&self) -> SocketAddr {
+        match self {
+            Self::Sequential(c) => c.addr(),
+            Self::Pipelined(c) => c.addr(),
+        }
+    }
+
+    /// Sends one request and awaits its response.
+    ///
+    /// # Errors
+    ///
+    /// As [`Connection::call`] / [`PipelinedConnection::call`].
+    pub fn call(&self, request: &[u8]) -> Result<Vec<u8>, NetError> {
+        match self {
+            Self::Sequential(c) => c.call(request),
+            Self::Pipelined(c) => c.call(request),
+        }
+    }
+
+    /// Sends one idempotency-tagged request (at-most-once across
+    /// retries) and awaits its response.
+    ///
+    /// # Errors
+    ///
+    /// As [`Transport::call`].
+    pub fn call_idempotent(&self, request: &[u8]) -> Result<Vec<u8>, NetError> {
+        match self {
+            Self::Sequential(c) => c.call_idempotent(request),
+            Self::Pipelined(c) => c.call_idempotent(request),
+        }
+    }
+}
+
+impl Drop for PipelinedConnection {
+    fn drop(&mut self) {
+        let mut st = lock(&self.inner);
+        st.closed = true;
+        retire_wire(&mut st);
+        drop(st);
+        self.inner.cond.notify_all();
+        let handles =
+            std::mem::take(&mut *self.readers.lock().unwrap_or_else(PoisonError::into_inner));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+fn lock(inner: &Inner) -> MutexGuard<'_, State> {
+    inner.state.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn wait<'a>(
+    inner: &'a Inner,
+    guard: MutexGuard<'a, State>,
+    dur: Duration,
+) -> MutexGuard<'a, State> {
+    match inner.cond.wait_timeout(guard, dur) {
+        Ok((g, _)) => g,
+        Err(poisoned) => poisoned.into_inner().0,
+    }
+}
+
+fn timeout_error() -> NetError {
+    NetError::Io(std::io::Error::from(ErrorKind::TimedOut))
+}
+
+/// Tears the current wire down (closing its socket wakes nobody — the
+/// reader notices via the retired flag within [`POLL`]).
+fn retire_wire(st: &mut State) {
+    if let Some(wire) = st.wire.take() {
+        wire.retired.store(true, Ordering::SeqCst);
+    }
+}
+
+/// Writes one pending request on the current wire, v2-framed with its
+/// correlation id, or v1-framed and FIFO-recorded in fallback mode.
+fn send_on_wire(st: &mut State, corr: u64, max_frame: u32) -> Result<(), NetError> {
+    let request = st.pending.get(&corr).expect("pending entry exists").request.clone();
+    let wire = st.wire.as_mut().ok_or(NetError::Closed)?;
+    if wire.v2 {
+        write_frame_v2(&mut wire.stream, corr, &request, max_frame)?;
+    } else {
+        write_frame(&mut wire.stream, &request, max_frame)?;
+        wire.fifo.push_back(corr);
+    }
+    Ok(())
+}
+
+/// The per-generation response reader: decodes frames, completes pending
+/// entries, and marks the wire dead on transport failure.
+fn reader_loop(
+    mut stream: TcpStream,
+    inner: &Inner,
+    generation: u64,
+    v2: bool,
+    retired: &AtomicBool,
+) {
+    let cap = inner.cfg.client.max_frame.saturating_add(1024);
+    loop {
+        match read_response_polling(&mut stream, cap, v2, retired) {
+            Ok(Response::Retired) => return,
+            Ok(Response::Frame(corr, payload)) => {
+                let mut st = lock(inner);
+                if st.closed || st.generation != generation {
+                    return;
+                }
+                let corr = match corr {
+                    Some(c) => c,
+                    // v1 fallback: responses arrive strictly in send order.
+                    None => match st.wire.as_mut().and_then(|w| w.fifo.pop_front()) {
+                        Some(c) => c,
+                        None => {
+                            // A response nothing was waiting for: desync.
+                            retire_wire(&mut st);
+                            inner.cond.notify_all();
+                            return;
+                        }
+                    },
+                };
+                // An unknown id is a response whose caller already gave up
+                // (deadline) — dropped on the floor by design.
+                if let Some(p) = st.pending.get_mut(&corr) {
+                    p.done = Some(decode_response(&payload).map(<[u8]>::to_vec));
+                }
+                drop(st);
+                inner.cond.notify_all();
+            }
+            Ok(Response::Eof) | Err(_) => {
+                let mut st = lock(inner);
+                if st.generation == generation {
+                    retire_wire(&mut st);
+                }
+                drop(st);
+                inner.cond.notify_all();
+                return;
+            }
+        }
+    }
+}
+
+enum Response {
+    /// A response frame; the correlation id is `None` in v1 fallback.
+    Frame(Option<u64>, Vec<u8>),
+    /// Peer closed at a frame boundary.
+    Eof,
+    /// The retired flag flipped while waiting.
+    Retired,
+}
+
+/// Reads one response frame on a short-timeout socket, treating read
+/// timeouts as polls of the retired flag.
+fn read_response_polling(
+    stream: &mut TcpStream,
+    max_frame: u32,
+    v2: bool,
+    retired: &AtomicBool,
+) -> Result<Response, NetError> {
+    let mut header = [0u8; FRAME_V2_HEADER_LEN];
+    let header_len = if v2 { FRAME_V2_HEADER_LEN } else { FRAME_HEADER_LEN };
+    match fill_polling(stream, &mut header[..header_len], retired, true)? {
+        Fill::Retired => return Ok(Response::Retired),
+        Fill::Eof => return Ok(Response::Eof),
+        Fill::Filled => {}
+    }
+    let len = u32::from_be_bytes(header[..FRAME_HEADER_LEN].try_into().expect("fixed len"));
+    if len > max_frame {
+        return Err(NetError::FrameTooLarge { len: u64::from(len), max: max_frame });
+    }
+    let mut payload = vec![0u8; len as usize];
+    match fill_polling(stream, &mut payload, retired, false)? {
+        Fill::Retired => Ok(Response::Retired),
+        Fill::Eof => Err(NetError::Closed),
+        Fill::Filled => {
+            let corr = v2.then(|| {
+                u64::from_be_bytes(header[FRAME_HEADER_LEN..].try_into().expect("fixed len"))
+            });
+            Ok(Response::Frame(corr, payload))
+        }
+    }
+}
+
+enum Fill {
+    Filled,
+    Eof,
+    Retired,
+}
+
+/// Fills `buf`, polling `retired` on every read timeout. EOF is only
+/// clean when `eof_ok` and no byte has arrived yet.
+fn fill_polling(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    retired: &AtomicBool,
+    eof_ok: bool,
+) -> Result<Fill, NetError> {
+    use std::io::Read;
+    let mut filled = 0;
+    while filled < buf.len() {
+        if retired.load(Ordering::SeqCst) {
+            return Ok(Fill::Retired);
+        }
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if eof_ok && filled == 0 { Ok(Fill::Eof) } else { Err(NetError::Closed) }
+            }
+            Ok(n) => filled += n,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(Fill::Filled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::daemon::{Daemon, DaemonConfig, Service};
+    use crate::dedup::{strip_idempotency, DedupService, IDEMPOTENCY_TAG};
+    use crate::error::ErrorCode;
+    use crate::frame::read_frame_v2;
+    use crate::msg::{hello_ack_payload, is_hello, ok_frame, RESP_OK};
+    use social_puzzles_core::metrics::ServiceMetrics;
+
+    /// Sleeps for the request-encoded number of milliseconds, then echoes.
+    struct SleepyEcho;
+    impl Service for SleepyEcho {
+        fn handle(&self, request: &[u8]) -> Result<Vec<u8>, (ErrorCode, String)> {
+            let ms = request.first().copied().unwrap_or(0);
+            std::thread::sleep(Duration::from_millis(u64::from(ms)));
+            Ok(request.to_vec())
+        }
+    }
+
+    fn sleepy_daemon(cfg: DaemonConfig) -> Daemon {
+        Daemon::spawn("127.0.0.1:0", Arc::new(DedupService::new(SleepyEcho)), cfg).unwrap()
+    }
+
+    fn quick_cfg(depth: usize) -> PipelineConfig {
+        PipelineConfig {
+            depth,
+            client: ClientConfig {
+                backoff: Duration::from_millis(5),
+                read_timeout: Duration::from_secs(5),
+                ..ClientConfig::default()
+            },
+        }
+    }
+
+    #[test]
+    fn pipelined_calls_complete_out_of_order() {
+        let metrics = ServiceMetrics::new();
+        let daemon = sleepy_daemon(DaemonConfig { metrics: metrics.clone(), ..Default::default() });
+        let conn = Arc::new(PipelinedConnection::new(daemon.addr(), quick_cfg(8)));
+
+        // A slow request, then a fast one, on ONE socket: the fast one
+        // must come back while the slow one is still in flight.
+        let slow = {
+            let conn = Arc::clone(&conn);
+            std::thread::spawn(move || {
+                let r = conn.call(&[120]).unwrap();
+                (r, Instant::now())
+            })
+        };
+        std::thread::sleep(Duration::from_millis(30)); // slow is in flight
+        let fast_started = Instant::now();
+        assert_eq!(conn.call(&[0]).unwrap(), [0]);
+        let fast_done = Instant::now();
+        let (slow_result, slow_done) = slow.join().unwrap();
+        assert_eq!(slow_result, [120]);
+        assert!(fast_done < slow_done, "fast response overtook the slow one");
+        assert!(
+            fast_done - fast_started < Duration::from_millis(90),
+            "fast call did not wait behind the slow one"
+        );
+        assert_eq!(conn.negotiated_v2(), Some(true));
+        assert!(metrics.server("net.server").out_of_order >= 1);
+        drop(conn);
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn call_many_preserves_input_order() {
+        let daemon = sleepy_daemon(DaemonConfig::default());
+        let conn = PipelinedConnection::new(daemon.addr(), quick_cfg(4));
+        // Mixed delays so completion order differs from input order.
+        let requests: Vec<Vec<u8>> =
+            (0..12u8).map(|i| vec![if i % 3 == 0 { 40 } else { 0 }, i]).collect();
+        let results = conn.call_many(&requests);
+        assert_eq!(results.len(), 12);
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(r.as_deref().unwrap(), &requests[i][..], "slot {i}");
+        }
+        drop(conn);
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn v1_peers_get_fifo_fallback() {
+        let daemon = sleepy_daemon(DaemonConfig { enable_v2: false, ..Default::default() });
+        let conn = PipelinedConnection::new(daemon.addr(), quick_cfg(4));
+        let requests: Vec<Vec<u8>> = (0..8u8).map(|i| vec![0, i]).collect();
+        let results = conn.call_many(&requests);
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(r.as_deref().unwrap(), &requests[i][..]);
+        }
+        assert_eq!(conn.negotiated_v2(), Some(false), "fell back to v1");
+        drop(conn);
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn depth_bounds_requests_in_flight() {
+        let metrics = ServiceMetrics::new();
+        let daemon = sleepy_daemon(DaemonConfig { metrics: metrics.clone(), ..Default::default() });
+        let conn = PipelinedConnection::new(daemon.addr(), quick_cfg(2));
+        let requests: Vec<Vec<u8>> = (0..10u8).map(|i| vec![10, i]).collect();
+        let results = conn.call_many(&requests);
+        assert!(results.iter().all(Result::is_ok));
+        // The client never lets more than `depth` requests out the door,
+        // so the server can never see more than `depth` in flight.
+        assert!(
+            metrics.server("net.server").in_flight_peak <= 2,
+            "depth limit leaked: peak {}",
+            metrics.server("net.server").in_flight_peak
+        );
+        drop(conn);
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn per_request_deadline_fires_without_killing_the_pipeline() {
+        let daemon = sleepy_daemon(DaemonConfig::default());
+        let cfg = PipelineConfig {
+            depth: 4,
+            client: ClientConfig {
+                read_timeout: Duration::from_millis(150),
+                retries: 0,
+                ..ClientConfig::default()
+            },
+        };
+        let conn = PipelinedConnection::new(daemon.addr(), cfg);
+        // 250 ms of work against a 150 ms deadline: the call must fail
+        // with a timeout...
+        match conn.call(&[250]).unwrap_err() {
+            NetError::Io(e) => assert_eq!(e.kind(), ErrorKind::TimedOut),
+            other => panic!("expected timeout, got {other}"),
+        }
+        // ...and the late response (now matching no pending id) must not
+        // disturb later calls on the same wire.
+        std::thread::sleep(Duration::from_millis(200));
+        assert_eq!(conn.call(&[0, 9]).unwrap(), [0, 9]);
+        drop(conn);
+        daemon.shutdown();
+    }
+
+    /// A hand-rolled v2 server whose first connection accepts a request
+    /// and dies without answering: the client must reconnect and replay
+    /// the unacknowledged request — same correlation id, same token —
+    /// before completing the call.
+    #[test]
+    fn disconnect_replays_only_unacknowledged_ids_with_their_tokens() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let hello_exchange = |stream: &mut TcpStream| {
+                let req = read_frame(stream, 1 << 20).unwrap().unwrap();
+                assert!(is_hello(&req));
+                write_frame(stream, &ok_frame(&hello_ack_payload()), 1 << 20).unwrap();
+            };
+            // Connection 1: negotiate, swallow one request, hang up.
+            let (mut c1, _) = listener.accept().unwrap();
+            hello_exchange(&mut c1);
+            let (corr1, req1) = read_frame_v2(&mut c1, 1 << 20).unwrap().unwrap();
+            drop(c1);
+            // Connection 2: the replay must be byte-identical.
+            let (mut c2, _) = listener.accept().unwrap();
+            hello_exchange(&mut c2);
+            let (corr2, req2) = read_frame_v2(&mut c2, 1 << 20).unwrap().unwrap();
+            assert_eq!(corr2, corr1, "replay reuses the correlation id");
+            assert_eq!(req2, req1, "replay reuses the exact bytes (same token)");
+            assert_eq!(req1[0], IDEMPOTENCY_TAG, "pipelined requests are auto-tagged");
+            let (_, inner) = strip_idempotency(&req1).unwrap();
+            assert_eq!(inner, b"mutate");
+            let mut resp = vec![RESP_OK];
+            resp.extend_from_slice(b"done");
+            write_frame_v2(&mut c2, corr2, &resp, 1 << 20).unwrap();
+            // Hold the connection until the client is finished with it.
+            let _ = read_frame_v2(&mut c2, 1 << 20);
+        });
+
+        let conn = PipelinedConnection::new(addr, quick_cfg(4));
+        assert_eq!(conn.call(b"mutate").unwrap(), b"done");
+        drop(conn);
+        server.join().unwrap();
+    }
+}

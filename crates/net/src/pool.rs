@@ -1,0 +1,205 @@
+//! A bounded checkout/return pool of frame payload buffers.
+//!
+//! The daemon's steady state is "read a request frame, compute, write a
+//! response frame" at tens of thousands of frames per second. Allocating
+//! a fresh `Vec<u8>` per frame in both directions puts the allocator on
+//! the hot path; this pool recycles payload buffers instead: a reader
+//! checks one out, fills it, the compute job reuses it for the response
+//! envelope, and the writer's drop returns it. Under steady load every
+//! frame is served from a warm buffer and the pool performs **zero**
+//! per-request allocations.
+//!
+//! The pool is bounded in two directions:
+//!
+//! * at most `cap` idle buffers are retained — returns beyond that are
+//!   simply dropped (freed), so a burst cannot ratchet memory up forever;
+//! * checkouts **never block and never fail** — an empty pool hands out
+//!   a fresh buffer, so the pool is a cache, not a semaphore.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// Default number of idle buffers a daemon retains.
+pub const DEFAULT_POOL_CAP: usize = 64;
+
+#[derive(Debug, Default)]
+struct PoolState {
+    idle: Vec<Vec<u8>>,
+    /// Buffers handed out and not yet returned (for tests/metrics).
+    outstanding: usize,
+}
+
+/// A bounded pool of reusable `Vec<u8>` payload buffers.
+#[derive(Clone, Debug)]
+pub struct BufferPool {
+    state: Arc<Mutex<PoolState>>,
+    cap: usize,
+}
+
+impl Default for BufferPool {
+    fn default() -> Self {
+        Self::new(DEFAULT_POOL_CAP)
+    }
+}
+
+impl BufferPool {
+    /// Creates a pool retaining at most `cap` idle buffers (at least 1).
+    pub fn new(cap: usize) -> Self {
+        let cap = cap.max(1);
+        Self {
+            state: Arc::new(Mutex::new(PoolState {
+                idle: Vec::with_capacity(cap),
+                outstanding: 0,
+            })),
+            cap,
+        }
+    }
+
+    /// Maximum number of idle buffers retained.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Checks a buffer out: recycled if one is idle, freshly allocated
+    /// otherwise. The buffer arrives **empty** (`len == 0`) but keeps
+    /// whatever capacity its previous life grew. Dropping the guard
+    /// returns it.
+    pub fn checkout(&self) -> PooledBuf {
+        let mut st = self.state.lock();
+        st.outstanding += 1;
+        let mut buf = st.idle.pop().unwrap_or_default();
+        drop(st);
+        buf.clear();
+        PooledBuf { buf, pool: Arc::clone(&self.state), cap: self.cap }
+    }
+
+    /// Idle buffers currently retained.
+    pub fn idle(&self) -> usize {
+        self.state.lock().idle.len()
+    }
+
+    /// Buffers checked out and not yet returned.
+    pub fn outstanding(&self) -> usize {
+        self.state.lock().outstanding
+    }
+}
+
+/// A checked-out buffer; derefs to `Vec<u8>` and returns itself to the
+/// pool on drop (unless the pool is already at capacity).
+#[derive(Debug)]
+pub struct PooledBuf {
+    buf: Vec<u8>,
+    pool: Arc<Mutex<PoolState>>,
+    cap: usize,
+}
+
+impl PooledBuf {
+    /// Consumes the guard, keeping the bytes and returning **nothing** to
+    /// the pool (for responses that must outlive the serving path).
+    pub fn into_vec(mut self) -> Vec<u8> {
+        let bytes = std::mem::take(&mut self.buf);
+        // Drop impl still decrements `outstanding`; it will push an empty
+        // vec back, which is harmless (zero capacity, zero cost).
+        bytes
+    }
+}
+
+impl Deref for PooledBuf {
+    type Target = Vec<u8>;
+    fn deref(&self) -> &Vec<u8> {
+        &self.buf
+    }
+}
+
+impl DerefMut for PooledBuf {
+    fn deref_mut(&mut self) -> &mut Vec<u8> {
+        &mut self.buf
+    }
+}
+
+impl Drop for PooledBuf {
+    fn drop(&mut self) {
+        let mut st = self.pool.lock();
+        st.outstanding = st.outstanding.saturating_sub(1);
+        if st.idle.len() < self.cap {
+            st.idle.push(std::mem::take(&mut self.buf));
+        }
+        // Beyond cap: the buffer frees normally — bursts don't ratchet.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkout_recycles_capacity() {
+        let pool = BufferPool::new(4);
+        let mut a = pool.checkout();
+        a.extend_from_slice(&[7u8; 4096]);
+        let ptr = a.as_ptr();
+        drop(a);
+        assert_eq!(pool.idle(), 1);
+        let b = pool.checkout();
+        assert!(b.is_empty(), "recycled buffers arrive empty");
+        assert!(b.capacity() >= 4096, "capacity survives the round trip");
+        assert_eq!(b.as_ptr(), ptr, "same allocation came back");
+    }
+
+    #[test]
+    fn pool_never_retains_more_than_cap() {
+        let pool = BufferPool::new(2);
+        let all: Vec<PooledBuf> = (0..8).map(|_| pool.checkout()).collect();
+        assert_eq!(pool.outstanding(), 8);
+        drop(all);
+        assert_eq!(pool.outstanding(), 0);
+        assert_eq!(pool.idle(), 2, "returns beyond cap are freed, not hoarded");
+    }
+
+    #[test]
+    fn into_vec_detaches_the_bytes() {
+        let pool = BufferPool::new(2);
+        let mut a = pool.checkout();
+        a.extend_from_slice(b"keep me");
+        let v = a.into_vec();
+        assert_eq!(v, b"keep me");
+        assert_eq!(pool.outstanding(), 0);
+    }
+
+    /// Churn the pool from many threads and assert the two invariants the
+    /// issue calls out: no double-checkout (two live guards never share a
+    /// backing allocation) and no growth beyond cap.
+    #[test]
+    fn stress_no_double_checkout_and_no_growth_beyond_cap() {
+        let pool = BufferPool::new(4);
+        std::thread::scope(|s| {
+            for t in 0..8u32 {
+                let pool = pool.clone();
+                s.spawn(move || {
+                    for i in 0..500u32 {
+                        let mut a = pool.checkout();
+                        let mut b = pool.checkout();
+                        // Two live checkouts must be distinct buffers:
+                        // writes through one must not appear in the other.
+                        a.extend_from_slice(&t.to_be_bytes());
+                        a.extend_from_slice(&i.to_be_bytes());
+                        b.extend_from_slice(&[0xEE; 8]);
+                        assert_eq!(&a[..4], &t.to_be_bytes());
+                        assert_eq!(&a[4..8], &i.to_be_bytes());
+                        assert_eq!(&b[..8], &[0xEE; 8]);
+                        if a.capacity() > 0 && b.capacity() > 0 {
+                            assert_ne!(a.as_ptr(), b.as_ptr(), "double checkout");
+                        }
+                        drop(b);
+                        drop(a);
+                        assert!(pool.idle() <= pool.cap(), "pool grew past cap");
+                    }
+                });
+            }
+        });
+        assert_eq!(pool.outstanding(), 0);
+        assert!(pool.idle() <= pool.cap());
+    }
+}

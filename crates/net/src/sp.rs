@@ -30,6 +30,7 @@ use crate::msg::{
     decode_batch_results, decode_displayed_puzzle, decode_verify_outcome, encode_batch_results,
     encode_displayed_puzzle, encode_verify_outcome, BatchEntryResult, SpRequest, VerifyEntry,
 };
+use crate::pipeline::{PipelineConfig, PipelinedConnection, Transport};
 
 /// Metrics name of the SP's parsed-puzzle memoization cache.
 const PUZZLE_CACHE: &str = "sp.puzzle_cache";
@@ -297,13 +298,21 @@ impl SpService {
 /// daemon, plus the receiver-facing puzzle subroutines.
 #[derive(Debug)]
 pub struct SpClient {
-    conn: Connection,
+    conn: Transport,
 }
 
 impl SpClient {
-    /// Points a client at a daemon address.
+    /// Points a client at a daemon address (sequential transport: one
+    /// request in flight at a time).
     pub fn connect(addr: SocketAddr, cfg: ClientConfig) -> Self {
-        Self { conn: Connection::new(addr, cfg) }
+        Self { conn: Transport::Sequential(Connection::new(addr, cfg)) }
+    }
+
+    /// Like [`SpClient::connect`], but over a [`PipelinedConnection`]:
+    /// up to [`PipelineConfig::depth`] requests in flight on one socket,
+    /// v2-negotiated with automatic v1 fallback.
+    pub fn connect_pipelined(addr: SocketAddr, cfg: PipelineConfig) -> Self {
+        Self { conn: Transport::Pipelined(PipelinedConnection::new(addr, cfg)) }
     }
 
     fn call(&self, req: &SpRequest) -> Result<Vec<u8>, NetError> {
@@ -723,6 +732,50 @@ mod tests {
 
         // The cache's own sharded-store load counters are exported.
         assert!(metrics.shard_contention_totals("sp.puzzle_cache").reads > 0);
+        daemon.shutdown();
+    }
+
+    /// The whole receiver-side flow over a pipelined client: every RPC —
+    /// including mutations with their idempotency tokens — behaves
+    /// identically to the sequential transport, and concurrent verifies
+    /// share one socket.
+    #[test]
+    fn pipelined_client_drives_the_full_flow() {
+        let service = SpService::new(ServiceProvider::new(), Construction1::new());
+        let server_metrics = ServiceMetrics::new();
+        let daemon = Daemon::spawn(
+            "127.0.0.1:0",
+            Arc::new(service),
+            DaemonConfig { metrics: server_metrics.clone(), ..DaemonConfig::default() },
+        )
+        .unwrap();
+        let client = SpClient::connect_pipelined(daemon.addr(), crate::PipelineConfig::default());
+
+        let c1 = Construction1::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        let ctx =
+            Context::builder().pair("Where?", "the pier").pair("Who?", "sam").build().unwrap();
+        let upload = c1
+            .upload_to(b"obj", &ctx, 2, Url::from("https://dh.example/objects/1"), None, &mut rng)
+            .unwrap();
+        let id = client.publish_puzzle(Bytes::from(upload.puzzle.to_bytes())).unwrap();
+        let displayed = client.display_puzzle(id).unwrap();
+        let answers = displayed.answer(|q| ctx.answer_for(q).map(str::to_owned));
+        let response = c1.answer_puzzle(&displayed, &answers);
+
+        // Many verifies racing through one pipelined socket.
+        let client = Arc::new(client);
+        std::thread::scope(|s| {
+            for u in 0..8u64 {
+                let client = Arc::clone(&client);
+                let response = response.clone();
+                s.spawn(move || {
+                    client.verify(UserId::from_raw(u), id, &response).unwrap();
+                });
+            }
+        });
+        assert_eq!(client.access(id).unwrap().as_str(), "https://dh.example/objects/1");
+        assert_eq!(server_metrics.server("net.server").v2_negotiated, 1);
         daemon.shutdown();
     }
 

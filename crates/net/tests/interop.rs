@@ -1,0 +1,131 @@
+//! Explicit v1↔v2 interoperability matrix, both directions:
+//!
+//! | client \ daemon      | v2 enabled            | v2 disabled          |
+//! |----------------------|-----------------------|----------------------|
+//! | sequential (v1)      | served as v1          | served as v1         |
+//! | pipelined (v2 HELLO) | upgraded, multiplexed | FIFO v1 fallback     |
+//!
+//! Every cell drives the complete Construction 1 flow — publish,
+//! display, answer, verify, access — and must reach the same grant.
+//! The daemon's metrics pin down which protocol actually ran.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use social_puzzles_core::construction1::Construction1;
+use social_puzzles_core::context::Context;
+use social_puzzles_core::metrics::ServiceMetrics;
+use sp_net::{
+    ClientConfig, Daemon, DaemonConfig, PipelineConfig, PipelinedConnection, SpClient, SpService,
+};
+use sp_osn::{ProviderApi, ServiceProvider, Url, UserId};
+
+fn daemon(enable_v2: bool, metrics: &ServiceMetrics) -> Daemon {
+    let service = SpService::new(ServiceProvider::new(), Construction1::new());
+    Daemon::spawn(
+        "127.0.0.1:0",
+        Arc::new(service),
+        DaemonConfig { enable_v2, metrics: metrics.clone(), ..DaemonConfig::default() },
+    )
+    .unwrap()
+}
+
+fn pipelined(addr: std::net::SocketAddr) -> SpClient {
+    SpClient::connect_pipelined(addr, PipelineConfig { depth: 8, client: ClientConfig::default() })
+}
+
+/// Publishes a puzzle, solves it, and asserts the round trip grants —
+/// the same protocol work regardless of transport or framing version.
+fn full_flow(client: &SpClient) {
+    let c1 = Construction1::new();
+    let ctx = Context::builder()
+        .pair("Where did we meet?", "at the lake")
+        .pair("Who introduced us?", "maria")
+        .build()
+        .unwrap();
+    let mut rng = rand::thread_rng();
+    let up = c1
+        .upload_to(b"interop object", &ctx, 1, Url::from("dh://interop/0"), None, &mut rng)
+        .unwrap();
+    let id = client.publish_puzzle(Bytes::from(up.puzzle.to_bytes())).unwrap();
+    let displayed = client.display_puzzle(id).unwrap();
+    let answers = displayed.answer(|q| ctx.answer_for(q).map(str::to_owned));
+    let response = c1.answer_puzzle(&displayed, &answers);
+    let outcome = client.verify(UserId::from_raw(7), id, &response).unwrap();
+    let object = c1
+        .access_with_key(&outcome, &answers, &up.encrypted_object, Some(&displayed.puzzle_key))
+        .unwrap();
+    assert_eq!(object, b"interop object");
+    assert_eq!(client.access(id).unwrap(), Url::from("dh://interop/0"));
+}
+
+#[test]
+fn v1_client_against_v2_daemon() {
+    let metrics = ServiceMetrics::new();
+    let d = daemon(true, &metrics);
+    let client = SpClient::connect(d.addr(), ClientConfig::default());
+    full_flow(&client);
+    let server = metrics.server("net.server");
+    assert_eq!(server.v2_negotiated, 0, "a v1 client must never be upgraded");
+    assert!(server.accepted >= 1);
+    d.shutdown();
+}
+
+#[test]
+fn v1_client_against_v1_daemon() {
+    let metrics = ServiceMetrics::new();
+    let d = daemon(false, &metrics);
+    let client = SpClient::connect(d.addr(), ClientConfig::default());
+    full_flow(&client);
+    assert_eq!(metrics.server("net.server").v2_negotiated, 0);
+    d.shutdown();
+}
+
+#[test]
+fn v2_client_against_v2_daemon() {
+    let metrics = ServiceMetrics::new();
+    let d = daemon(true, &metrics);
+    let client = pipelined(d.addr());
+    full_flow(&client);
+    assert_eq!(
+        metrics.server("net.server").v2_negotiated,
+        1,
+        "the pipelined client must have upgraded"
+    );
+    d.shutdown();
+}
+
+#[test]
+fn v2_client_against_v1_daemon_falls_back() {
+    let metrics = ServiceMetrics::new();
+    let d = daemon(false, &metrics);
+    let client = pipelined(d.addr());
+    full_flow(&client);
+    assert_eq!(
+        metrics.server("net.server").v2_negotiated,
+        0,
+        "a v1-only daemon must refuse the upgrade"
+    );
+    d.shutdown();
+}
+
+#[test]
+fn negotiation_outcome_is_visible_client_side_in_both_directions() {
+    let metrics = ServiceMetrics::new();
+    let (v2_daemon, v1_daemon) = (daemon(true, &metrics), daemon(false, &metrics));
+    let cfg = || PipelineConfig {
+        depth: 4,
+        client: ClientConfig { read_timeout: Duration::from_secs(5), ..ClientConfig::default() },
+    };
+    let up = PipelinedConnection::new(v2_daemon.addr(), cfg());
+    let down = PipelinedConnection::new(v1_daemon.addr(), cfg());
+    // Negotiation happens lazily on the first call; an unknown-tag
+    // request draws a typed BadRequest either way, which is enough.
+    let _ = up.call(&[0x77]);
+    let _ = down.call(&[0x77]);
+    assert_eq!(up.negotiated_v2(), Some(true));
+    assert_eq!(down.negotiated_v2(), Some(false));
+    v2_daemon.shutdown();
+    v1_daemon.shutdown();
+}

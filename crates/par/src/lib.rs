@@ -25,6 +25,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod pool;
+
+pub use pool::{QueueFull, WorkerPool};
+
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Inputs shorter than this run serially — thread spawn overhead would

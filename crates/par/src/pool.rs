@@ -1,0 +1,185 @@
+//! A long-lived fixed worker pool draining a bounded job queue.
+//!
+//! [`parallel_map`](crate::parallel_map) spawns scoped threads per call,
+//! which fits the crypto layer's few-dozen-heavy-items shape. Servers
+//! need the complementary shape: a **shared, long-lived** pool sized to
+//! the hardware (independent of how many connections are open) that many
+//! producer threads feed small jobs into. [`WorkerPool`] is that pool:
+//!
+//! * **Bounded** — the queue has a fixed depth; [`WorkerPool::try_execute`]
+//!   refuses instead of buffering unboundedly, so overload surfaces as
+//!   typed backpressure (the `sp-net` daemons turn it into `Busy`).
+//! * **Panic-isolated** — a panicking job is caught and dropped; the
+//!   worker survives, so one poisoned request cannot shrink the pool.
+//! * **Self-draining** — dropping the pool closes the queue, lets the
+//!   workers finish what was accepted, and joins them.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// The pool's queue was full; the job was not accepted.
+#[derive(Debug, PartialEq, Eq)]
+pub struct QueueFull;
+
+impl std::fmt::Display for QueueFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "worker pool queue is full")
+    }
+}
+
+impl std::error::Error for QueueFull {}
+
+/// A fixed pool of worker threads draining one bounded job queue.
+#[derive(Debug)]
+pub struct WorkerPool {
+    tx: Option<SyncSender<Job>>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `threads` workers (at least one) sharing a queue of
+    /// `queue_depth` pending jobs (at least one).
+    pub fn new(threads: usize, queue_depth: usize) -> Self {
+        let (tx, rx) = mpsc::sync_channel::<Job>(queue_depth.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let threads = (0..threads.max(1))
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                std::thread::spawn(move || worker_loop(&rx))
+            })
+            .collect();
+        Self { tx: Some(tx), threads }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Submits a job without blocking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueFull`] (dropping the job) when every queue slot is
+    /// taken — the caller decides whether to shed or retry.
+    pub fn try_execute(&self, job: impl FnOnce() + Send + 'static) -> Result<(), QueueFull> {
+        let tx = self.tx.as_ref().expect("pool is live until dropped");
+        match tx.try_send(Box::new(job)) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(_) | TrySendError::Disconnected(_)) => Err(QueueFull),
+        }
+    }
+
+    /// Submits a job, blocking while the queue is full.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        let tx = self.tx.as_ref().expect("pool is live until dropped");
+        // Send fails only when every worker has exited, which cannot
+        // happen while `self` (and thus the channel) is alive.
+        let _ = tx.send(Box::new(job));
+    }
+
+    /// Closes the queue, drains accepted jobs, and joins the workers.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.tx = None; // closes the queue; workers drain and exit
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn worker_loop(rx: &Mutex<Receiver<Job>>) {
+    loop {
+        let job = {
+            let guard = rx.lock().unwrap_or_else(|p| p.into_inner());
+            guard.recv()
+        };
+        match job {
+            // A panicking job must not take the worker with it: the pool
+            // is shared by every connection of a daemon.
+            Ok(job) => drop(catch_unwind(AssertUnwindSafe(job))),
+            Err(_) => break, // queue closed: shutting down
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn executes_jobs_on_worker_threads() {
+        let pool = WorkerPool::new(4, 16);
+        assert_eq!(pool.threads(), 4);
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let done = Arc::clone(&done);
+            pool.execute(move || {
+                done.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.shutdown(); // drains everything accepted
+        assert_eq!(done.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn try_execute_refuses_when_queue_is_full() {
+        // One worker, blocked; queue depth 1 — the second try must refuse.
+        let (block_tx, block_rx) = mpsc::channel::<()>();
+        let pool = WorkerPool::new(1, 1);
+        let rx = Arc::new(Mutex::new(block_rx));
+        let gate = Arc::clone(&rx);
+        pool.execute(move || {
+            let _ = gate.lock().unwrap().recv();
+        });
+        // Give the worker time to claim the blocking job, then fill the
+        // single queue slot.
+        std::thread::sleep(Duration::from_millis(20));
+        pool.execute(|| {});
+        let refused = pool.try_execute(|| {});
+        assert_eq!(refused, Err(QueueFull));
+        block_tx.send(()).unwrap();
+        pool.shutdown();
+    }
+
+    #[test]
+    fn a_panicking_job_does_not_kill_the_pool() {
+        let pool = WorkerPool::new(1, 4);
+        pool.execute(|| panic!("poisoned request"));
+        let done = Arc::new(AtomicUsize::new(0));
+        let d = Arc::clone(&done);
+        pool.execute(move || {
+            d.fetch_add(1, Ordering::SeqCst);
+        });
+        pool.shutdown();
+        assert_eq!(done.load(Ordering::SeqCst), 1, "worker died with the panicking job");
+    }
+
+    #[test]
+    fn zero_sizes_are_clamped() {
+        let pool = WorkerPool::new(0, 0);
+        assert_eq!(pool.threads(), 1);
+        let done = Arc::new(AtomicUsize::new(0));
+        let d = Arc::clone(&done);
+        pool.execute(move || {
+            d.fetch_add(1, Ordering::SeqCst);
+        });
+        pool.shutdown();
+        assert_eq!(done.load(Ordering::SeqCst), 1);
+    }
+}

@@ -13,6 +13,11 @@
 //!   ([`fault::FaultyProxy`]) that drops, truncates, bit-flips, and
 //!   delays framed messages and disconnects mid-frame, reproducible
 //!   from the seed alone.
+//! * [`pipefault`] — the pipelined-path counterpart
+//!   ([`pipefault::PipelinedProxy`]): a v2-aware proxy that delays,
+//!   reorders, and drops **response** frames (severing the connection
+//!   mid-pipeline), exercising correlation matching and idempotent
+//!   replay of unacknowledged requests.
 //! * [`trace`] — a differential trace driver: random scenarios replayed
 //!   against Construction 1 (in memory, over sockets, batched over
 //!   sockets), Construction 2, and the trivial baseline, asserting
@@ -25,10 +30,12 @@
 //! with `cargo test -p sp-testkit -- --include-ignored`.
 
 pub mod fault;
+pub mod pipefault;
 pub mod strategies;
 pub mod trace;
 
 pub use fault::{Fault, FaultCounts, FaultPlan, FaultyProxy};
+pub use pipefault::{PipeCounts, PipePlan, PipelinedProxy, ResponseFault};
 pub use trace::{
     run_differential, run_faulted, run_faulted_strict, C1InMemory, C1Socket, C2InMemory,
     Deployment, DifferentialReport, FaultReport, TraceError, TrivialInMemory,

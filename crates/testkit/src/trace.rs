@@ -30,7 +30,9 @@ use social_puzzles_core::construction2::Construction2;
 use social_puzzles_core::context::{Context, ContextPair};
 use social_puzzles_core::trivial;
 use social_puzzles_core::SocialPuzzleError;
-use sp_net::{ClientConfig, Daemon, DaemonConfig, ErrorCode, NetError, SpClient, SpService};
+use sp_net::{
+    ClientConfig, Daemon, DaemonConfig, ErrorCode, NetError, PipelineConfig, SpClient, SpService,
+};
 use sp_osn::{OsnError, ProviderApi, ServiceProvider, Url, UserId};
 
 use crate::strategies::{scenario, AnswerKind, Scenario};
@@ -172,6 +174,7 @@ impl Deployment for C1InMemory {
 /// scenario's attempts sent as one `AnswerPuzzleBatch` frame.
 pub struct C1Socket {
     batched: bool,
+    pipelined: bool,
     c1: Construction1,
     client: SpClient,
     /// Owned when self-booted; `None` when pointed at an external
@@ -191,7 +194,26 @@ impl C1Socket {
         let daemon = Daemon::spawn("127.0.0.1:0", Arc::new(service), DaemonConfig::default())
             .expect("ephemeral bind");
         let client = SpClient::connect(daemon.addr(), ClientConfig::default());
-        Self { batched, c1: Construction1::new(), client, daemon: Some(daemon) }
+        Self { batched, pipelined: false, c1: Construction1::new(), client, daemon: Some(daemon) }
+    }
+
+    /// Like [`C1Socket::boot`], but over the pipelined v2 transport: the
+    /// same protocol driven through a [`sp_net::PipelinedConnection`]
+    /// with `depth` requests in flight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ephemeral bind fails (setup, not protocol).
+    #[must_use]
+    pub fn boot_pipelined(batched: bool, depth: usize) -> Self {
+        let service = SpService::new(ServiceProvider::new(), Construction1::new());
+        let daemon = Daemon::spawn("127.0.0.1:0", Arc::new(service), DaemonConfig::default())
+            .expect("ephemeral bind");
+        let client = SpClient::connect_pipelined(
+            daemon.addr(),
+            PipelineConfig { depth, client: ClientConfig::default() },
+        );
+        Self { batched, pipelined: true, c1: Construction1::new(), client, daemon: Some(daemon) }
     }
 
     /// Connects to an SP daemon (or a proxy in front of one) that
@@ -200,8 +222,27 @@ impl C1Socket {
     pub fn connect(addr: std::net::SocketAddr, cfg: ClientConfig, batched: bool) -> Self {
         Self {
             batched,
+            pipelined: false,
             c1: Construction1::new(),
             client: SpClient::connect(addr, cfg),
+            daemon: None,
+        }
+    }
+
+    /// Connects a **pipelined** client to an SP daemon (or a
+    /// [`crate::pipefault::PipelinedProxy`] in front of one) that
+    /// something else owns.
+    #[must_use]
+    pub fn connect_pipelined(
+        addr: std::net::SocketAddr,
+        cfg: PipelineConfig,
+        batched: bool,
+    ) -> Self {
+        Self {
+            batched,
+            pipelined: true,
+            c1: Construction1::new(),
+            client: SpClient::connect_pipelined(addr, cfg),
             daemon: None,
         }
     }
@@ -230,10 +271,11 @@ fn decide_remote(
 
 impl Deployment for C1Socket {
     fn name(&self) -> &'static str {
-        if self.batched {
-            "c1-socket-batched"
-        } else {
-            "c1-socket"
+        match (self.pipelined, self.batched) {
+            (false, false) => "c1-socket",
+            (false, true) => "c1-socket-batched",
+            (true, false) => "c1-socket-pipelined",
+            (true, true) => "c1-socket-pipelined-batched",
         }
     }
 
@@ -267,6 +309,23 @@ impl Deployment for C1Socket {
                 .into_iter()
                 .enumerate()
                 .map(|(i, slot)| decide_remote(slot, |outcome| check(i, outcome)))
+                .collect())
+        } else if self.pipelined {
+            // Launch every attempt at once so they genuinely share the
+            // pipeline (and any fault proxy sees many requests in
+            // flight), then decide in attempt order.
+            let client = &self.client;
+            let verdicts: Vec<_> = std::thread::scope(|s| {
+                let handles: Vec<_> = responses
+                    .iter()
+                    .map(|response| s.spawn(move || client.verify(user, id, response)))
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("verify panicked")).collect()
+            });
+            Ok(verdicts
+                .into_iter()
+                .enumerate()
+                .map(|(i, verdict)| decide_remote(verdict, |outcome| check(i, outcome)))
                 .collect())
         } else {
             Ok(responses

@@ -1,0 +1,107 @@
+//! The pipelined (v2) serving path under the differential and fault
+//! harnesses.
+//!
+//! Three contracts:
+//!
+//! 1. With no faults, the pipelined deployments reach exactly the
+//!    oracle's decisions — multiplexing many requests on one socket
+//!    must be invisible to the protocol.
+//! 2. With responses artificially **reordered** (held back so later
+//!    responses overtake them), every decision is still the oracle's:
+//!    correlation matching alone carries the protocol.
+//! 3. With responses **dropped and the connection severed
+//!    mid-pipeline**, any attempt that completes still decides exactly
+//!    what the oracle decides: replayed requests carry their original
+//!    idempotency tokens, so retries stay at-most-once.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use social_puzzles_core::construction1::Construction1;
+use sp_net::{ClientConfig, Daemon, DaemonConfig, PipelineConfig, SpService};
+use sp_osn::ServiceProvider;
+use sp_testkit::{
+    run_differential, run_faulted_strict, C1InMemory, C1Socket, Deployment, PipePlan,
+    PipelinedProxy, ResponseFault,
+};
+
+const SEED: u64 = 0x7172_2014;
+
+/// Pipeline config tuned for a lossy link: deep enough to keep several
+/// requests in flight, generous retries, short backoff.
+fn lossy_pipeline(depth: usize) -> PipelineConfig {
+    PipelineConfig {
+        depth,
+        client: ClientConfig {
+            read_timeout: Duration::from_millis(750),
+            retries: 6,
+            backoff: Duration::from_millis(2),
+            ..ClientConfig::default()
+        },
+    }
+}
+
+fn boot_behind_proxy(plan: PipePlan) -> (Daemon, PipelinedProxy, C1Socket) {
+    let service = SpService::new(ServiceProvider::new(), Construction1::new());
+    let daemon = Daemon::spawn("127.0.0.1:0", Arc::new(service), DaemonConfig::default()).unwrap();
+    let proxy = PipelinedProxy::spawn(daemon.addr(), plan).unwrap();
+    let dep = C1Socket::connect_pipelined(proxy.addr(), lossy_pipeline(8), false);
+    (daemon, proxy, dep)
+}
+
+#[test]
+fn pipelined_deployments_agree_with_the_oracle() {
+    let mut c1_mem = C1InMemory::new();
+    let mut piped = C1Socket::boot_pipelined(false, 8);
+    let mut piped_batched = C1Socket::boot_pipelined(true, 8);
+    let mut deps: Vec<&mut dyn Deployment> = vec![&mut c1_mem, &mut piped, &mut piped_batched];
+    let report = run_differential(SEED, 10, &mut deps).unwrap();
+    assert_eq!(report.traces, 10);
+    assert!(report.grants > 0 && report.denials > 0, "one-sided run: {report:?}");
+}
+
+#[test]
+fn reordered_responses_never_change_a_decision() {
+    // Pure reorder plan: half the responses get held back so the next
+    // one overtakes them. Nothing is lost, so *every* attempt must both
+    // complete and match the oracle.
+    let plan = PipePlan::with_menu(SEED, 50, &[ResponseFault::Hold]);
+    let (daemon, proxy, mut dep) = boot_behind_proxy(plan);
+    let report = run_faulted_strict(SEED, 8, &mut dep).unwrap();
+    assert!(report.decided > 0, "nothing decided: {report:?}");
+    let counts = proxy.counts();
+    assert!(counts.reordered > 0, "plan never reordered a response: {counts:?}");
+    assert_eq!(counts.disconnects, 0);
+    proxy.shutdown();
+    daemon.shutdown();
+}
+
+#[test]
+fn mid_pipeline_disconnects_stay_at_most_once_and_oracle_correct() {
+    // Delay, reorder, and sever connections mid-pipeline. Attempts may
+    // end in typed errors (retry exhaustion), but a completed attempt
+    // deciding anything other than the oracle's verdict is a failure —
+    // that would mean a replay was double-executed or a response was
+    // matched to the wrong request.
+    let plan = PipePlan::with_rate(SEED, 30);
+    let (daemon, proxy, mut dep) = boot_behind_proxy(plan);
+    let report = run_faulted_strict(SEED, 10, &mut dep).unwrap();
+    assert!(report.decided > 0, "nothing survived the fault plan: {report:?}");
+    let counts = proxy.counts();
+    assert!(counts.injected() > 0, "no faults actually fired: {counts:?}");
+    assert!(counts.disconnects > 0, "no mid-pipeline disconnect exercised: {counts:?}");
+    proxy.shutdown();
+    daemon.shutdown();
+}
+
+#[test]
+#[ignore = "heavy: long fault soak on the pipelined path; CI runs with --include-ignored"]
+fn pipelined_fault_soak_zero_divergence() {
+    let plan = PipePlan::with_rate(SEED ^ 0xBEEF, 30);
+    let (daemon, proxy, mut dep) = boot_behind_proxy(plan);
+    let report = run_faulted_strict(SEED ^ 0xBEEF, 40, &mut dep).unwrap();
+    assert!(report.decided > 0);
+    assert!(proxy.counts().disconnects > 0);
+    proxy.shutdown();
+    daemon.shutdown();
+}

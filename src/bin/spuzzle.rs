@@ -25,10 +25,17 @@
 //! spuzzle load --sp 127.0.0.1:7741 --dh 127.0.0.1:7742 \
 //!         --mode verify --threads 4 --requests 200 --batch 16
 //!                                            # Verify-endpoint throughput
+//! spuzzle load --sp 127.0.0.1:7741 --mode verify --pipeline 16 \
+//!         --threads 16 --requests 200        # one multiplexed v2 connection,
+//!                                            # 16 requests in flight
+//! spuzzle bench-net [--full] [--out BENCH_net.json]
+//!                                            # end-to-end serving-path sweep
 //! ```
 //!
 //! `--shards 1` on the daemons reproduces the single-lock baseline, so
-//! the sharding + batching speedup is measurable from the CLI alone.
+//! the sharding + batching speedup is measurable from the CLI alone;
+//! `--no-v2` on the daemons refuses HELLO upgrades, reproducing a
+//! v1-only peer for interop checks.
 
 use std::net::SocketAddr;
 use std::path::{Path, PathBuf};
@@ -42,7 +49,7 @@ use social_puzzles::core::construction1::{Construction1, Puzzle};
 use social_puzzles::core::context::Context;
 use social_puzzles::core::protocol::SocialPuzzleApp;
 use social_puzzles::net::{
-    ClientConfig, Daemon, DaemonConfig, DhClient, DhService, SpClient, SpService,
+    ClientConfig, Daemon, DaemonConfig, DhClient, DhService, PipelineConfig, SpClient, SpService,
 };
 use social_puzzles::osn::{DeviceProfile, ProviderApi, ServiceProvider, StorageHost, UserId};
 
@@ -59,9 +66,12 @@ fn main() -> ExitCode {
         Some("serve-dh") => cmd_serve(&args[1..], Role::Dh),
         Some("load") => cmd_load(&args[1..]),
         Some("bench-crypto") => cmd_bench_crypto(&args[1..]),
+        Some("bench-net") => cmd_bench_net(&args[1..]),
+        Some("check-bench-net") => cmd_check_bench_net(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             eprintln!(
-                "usage: spuzzle <share|questions|solve|serve-sp|serve-dh|load|bench-crypto> \
+                "usage: spuzzle \
+                 <share|questions|solve|serve-sp|serve-dh|load|bench-crypto|bench-net|check-bench-net> \
                  [options]; see --help per command"
             );
             return ExitCode::from(2);
@@ -218,6 +228,7 @@ fn cmd_serve(args: &[String], role: Role) -> Result<(), String> {
     if let Some(m) = flag_value(args, "--max-frame") {
         cfg.max_frame = m.parse().map_err(|_| "--max-frame must be a number of bytes")?;
     }
+    cfg.enable_v2 = !args.iter().any(|a| a == "--no-v2");
     let duration_ms: Option<u64> = match flag_value(args, "--duration-ms") {
         Some(d) => Some(d.parse().map_err(|_| "--duration-ms must be a number")?),
         None => None,
@@ -235,6 +246,10 @@ fn cmd_serve(args: &[String], role: Role) -> Result<(), String> {
                 Construction1::new(),
             ));
             let metrics = service.metrics();
+            // Same registry for the serving-path counters (accepted,
+            // v2_negotiated, in-flight/queue peaks, out-of-order), so
+            // the exit summary shows them next to the endpoints.
+            cfg.metrics = metrics.clone();
             let daemon =
                 Daemon::spawn(addr, service, cfg).map_err(|e| format!("binding {addr}: {e}"))?;
             ("sp", metrics, daemon)
@@ -242,6 +257,7 @@ fn cmd_serve(args: &[String], role: Role) -> Result<(), String> {
         Role::Dh => {
             let service = Arc::new(DhService::new(StorageHost::with_shards(shards)));
             let metrics = service.metrics();
+            cfg.metrics = metrics.clone();
             let daemon =
                 Daemon::spawn(addr, service, cfg).map_err(|e| format!("binding {addr}: {e}"))?;
             ("dh", metrics, daemon)
@@ -293,6 +309,12 @@ fn cmd_load(args: &[String]) -> Result<(), String> {
         .unwrap_or("2")
         .parse()
         .map_err(|_| "threshold must be a number")?;
+    // > 1 switches to the v2 pipelined client with this many requests in
+    // flight per connection (and, in verify mode, one shared connection).
+    let pipeline: usize = flag_value(args, "--pipeline")
+        .unwrap_or("1")
+        .parse()
+        .map_err(|_| "--pipeline must be a number")?;
 
     match flag_value(args, "--mode").unwrap_or("cycle") {
         "cycle" => {}
@@ -301,7 +323,7 @@ fn cmd_load(args: &[String]) -> Result<(), String> {
                 .unwrap_or("1")
                 .parse()
                 .map_err(|_| "--batch must be a number")?;
-            return run_verify_load(sp_addr, threads, requests, batch, k);
+            return run_verify_load(sp_addr, threads, requests, batch, k, pipeline);
         }
         other => return Err(format!("unknown --mode {other:?} (cycle | verify)")),
     }
@@ -327,10 +349,18 @@ fn cmd_load(args: &[String]) -> Result<(), String> {
         handles.push(std::thread::spawn(move || -> Result<Lat, String> {
             // One connection pair per thread: requests within a thread
             // are closed-loop (next starts when the previous finishes).
-            let app = SocialPuzzleApp::with_backends(
-                SpClient::connect(sp_addr, ClientConfig::default()),
-                DhClient::connect(dh_addr, ClientConfig::default()),
-            );
+            let app = if pipeline > 1 {
+                let cfg = || PipelineConfig { depth: pipeline, client: ClientConfig::default() };
+                SocialPuzzleApp::with_backends(
+                    SpClient::connect_pipelined(sp_addr, cfg()),
+                    DhClient::connect_pipelined(dh_addr, cfg()),
+                )
+            } else {
+                SocialPuzzleApp::with_backends(
+                    SpClient::connect(sp_addr, ClientConfig::default()),
+                    DhClient::connect(dh_addr, ClientConfig::default()),
+                )
+            };
             let c1 = Construction1::new();
             let device = DeviceProfile::pc();
             let mut rng = StdRng::from_entropy();
@@ -407,15 +437,68 @@ fn cmd_bench_crypto(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// The `--mode verify` driver: per-thread puzzles (so threads land on
-/// different store shards), correct precomputed responses, `requests`
-/// frames per thread of `batch` verifies each.
+/// One verify-load worker: publishes its own puzzle (so threads land on
+/// different store shards), precomputes a correct response, then submits
+/// `requests` frames of `batch` verifies each through `sp`.
+fn verify_worker(
+    sp: &SpClient,
+    context: &Context,
+    t: usize,
+    requests: usize,
+    batch: usize,
+    k: usize,
+) -> Result<usize, String> {
+    let c1 = Construction1::new();
+    let mut rng = StdRng::from_entropy();
+    let upload = c1
+        .upload_to(
+            b"verify-load",
+            context,
+            k,
+            social_puzzles::osn::Url::from(format!("dh://load/{t}").as_str()),
+            None,
+            &mut rng,
+        )
+        .map_err(|e| format!("upload: {e}"))?;
+    let id = sp
+        .publish_puzzle(bytes::Bytes::from(upload.puzzle.to_bytes()))
+        .map_err(|e| format!("publish: {e}"))?;
+    let displayed = sp.display_puzzle(id).map_err(|e| format!("display: {e}"))?;
+    let answers = displayed.answer(|q| context.answer_for(q).map(str::to_owned));
+    let response = c1.answer_puzzle(&displayed, &answers);
+    let user = UserId::from_raw(t as u64);
+
+    let mut verified = 0usize;
+    for _ in 0..requests {
+        if batch == 1 {
+            sp.verify(user, id, &response).map_err(|e| format!("verify: {e}"))?;
+            verified += 1;
+        } else {
+            let entries: Vec<_> = (0..batch).map(|_| (user, id, response.clone())).collect();
+            let results = sp.verify_batch(&entries).map_err(|e| format!("verify_batch: {e}"))?;
+            for r in &results {
+                if let Err(e) = r {
+                    return Err(format!("verify_batch entry: {e}"));
+                }
+            }
+            verified += results.len();
+        }
+    }
+    Ok(verified)
+}
+
+/// The `--mode verify` driver. With `--pipeline 1` each thread opens its
+/// own sequential v1 connection; with a deeper pipeline every thread
+/// shares ONE multiplexed v2 connection, so the socket carries up to
+/// `pipeline` requests in flight while the daemon fans them out across
+/// its compute pool.
 fn run_verify_load(
     sp_addr: SocketAddr,
     threads: usize,
     requests: usize,
     batch: usize,
     k: usize,
+    pipeline: usize,
 ) -> Result<(), String> {
     let context = Context::builder()
         .pair("Where was the event?", "lakeside cabin")
@@ -427,66 +510,82 @@ fn run_verify_load(
         return Err(format!("threshold {k} exceeds the {} built-in questions", context.len()));
     }
     let batch = batch.max(1);
+    let threads = threads.max(1);
 
     let started = Instant::now();
-    let mut handles = Vec::with_capacity(threads.max(1));
-    for t in 0..threads.max(1) {
-        let context = context.clone();
-        handles.push(std::thread::spawn(move || -> Result<usize, String> {
-            let sp = SpClient::connect(sp_addr, ClientConfig::default());
-            let c1 = Construction1::new();
-            let mut rng = StdRng::from_entropy();
-            let upload = c1
-                .upload_to(
-                    b"verify-load",
-                    &context,
-                    k,
-                    social_puzzles::osn::Url::from(format!("dh://load/{t}").as_str()),
-                    None,
-                    &mut rng,
+    let verified = if pipeline > 1 {
+        let sp = SpClient::connect_pipelined(
+            sp_addr,
+            PipelineConfig { depth: pipeline, client: ClientConfig::default() },
+        );
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let (sp, context) = (&sp, &context);
+                    s.spawn(move || verify_worker(sp, context, t, requests, batch, k))
+                })
+                .collect();
+            handles.into_iter().try_fold(0usize, |acc, h| {
+                Ok::<usize, String>(
+                    acc + h.join().map_err(|_| "worker thread panicked".to_owned())??,
                 )
-                .map_err(|e| format!("upload: {e}"))?;
-            let id = sp
-                .publish_puzzle(bytes::Bytes::from(upload.puzzle.to_bytes()))
-                .map_err(|e| format!("publish: {e}"))?;
-            let displayed = sp.display_puzzle(id).map_err(|e| format!("display: {e}"))?;
-            let answers = displayed.answer(|q| context.answer_for(q).map(str::to_owned));
-            let response = c1.answer_puzzle(&displayed, &answers);
-            let user = UserId::from_raw(t as u64);
-
-            let mut verified = 0usize;
-            for _ in 0..requests {
-                if batch == 1 {
-                    sp.verify(user, id, &response).map_err(|e| format!("verify: {e}"))?;
-                    verified += 1;
-                } else {
-                    let entries: Vec<_> =
-                        (0..batch).map(|_| (user, id, response.clone())).collect();
-                    let results =
-                        sp.verify_batch(&entries).map_err(|e| format!("verify_batch: {e}"))?;
-                    for r in &results {
-                        if let Err(e) = r {
-                            return Err(format!("verify_batch entry: {e}"));
-                        }
-                    }
-                    verified += results.len();
-                }
-            }
-            Ok(verified)
-        }));
-    }
-
-    let mut verified = 0usize;
-    for h in handles {
-        verified += h.join().map_err(|_| "worker thread panicked")??;
-    }
+            })
+        })?
+    } else {
+        let mut handles = Vec::with_capacity(threads);
+        for t in 0..threads {
+            let context = context.clone();
+            handles.push(std::thread::spawn(move || -> Result<usize, String> {
+                let sp = SpClient::connect(sp_addr, ClientConfig::default());
+                verify_worker(&sp, &context, t, requests, batch, k)
+            }));
+        }
+        let mut verified = 0usize;
+        for h in handles {
+            verified += h.join().map_err(|_| "worker thread panicked")??;
+        }
+        verified
+    };
     let wall = started.elapsed();
     println!(
-        "verify-load: {verified} verifies across {threads} threads (batch {batch}) \
-         in {:.2}s ({:.0} verifies/s)",
+        "verify-load: {verified} verifies across {threads} threads (batch {batch}, \
+         pipeline {pipeline}) in {:.2}s ({:.0} verifies/s)",
         wall.as_secs_f64(),
         verified as f64 / wall.as_secs_f64().max(1e-9),
     );
+    Ok(())
+}
+
+/// `spuzzle bench-net [--full] [--out <file>]`: the end-to-end RPC
+/// pipelining sweep (real daemon, real sockets, 1 ms delay link — the
+/// same measurement the `sp-bench` figures binary writes to
+/// `BENCH_net.json`), quick by default.
+fn cmd_bench_net(args: &[String]) -> Result<(), String> {
+    use sp_bench::net_bench;
+    let cfg = if args.iter().any(|a| a == "--full") {
+        net_bench::NetBenchConfig::default()
+    } else {
+        net_bench::NetBenchConfig::quick()
+    };
+    let report = net_bench::run(&cfg);
+    print!("{}", net_bench::render(&report));
+    if let Some(path) = flag_value(args, "--out") {
+        let json = net_bench::to_json(&report);
+        net_bench::validate_json(&json).map_err(|e| format!("emitted report invalid: {e}"))?;
+        std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
+/// `spuzzle check-bench-net [path]`: schema-validates an existing
+/// `BENCH_net.json`.
+fn cmd_check_bench_net(args: &[String]) -> Result<(), String> {
+    let path = args.first().map(String::as_str).unwrap_or("BENCH_net.json");
+    let doc = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    sp_bench::net_bench::validate_json(&doc)
+        .map_err(|e| format!("{path} is not a valid net bench report: {e}"))?;
+    println!("{path}: schema-valid net bench report");
     Ok(())
 }
 
