@@ -353,22 +353,36 @@ fn reader_loop(
                 if !submit(shared, payload, 0, seq, false, reply_tx, Some(done_tx)) {
                     continue; // Busy reply already queued
                 }
-                // The job signals completion by dropping its sender; poll
-                // the stop flag while waiting so shutdown stays prompt.
-                while done_rx.recv_timeout(cfg.read_timeout).is_ok() {}
+                // The job signals completion by dropping its sender
+                // (Disconnected); a Timeout tick is just a chance to poll
+                // the stop/broken flags so shutdown stays prompt while a
+                // slow handler runs. Reading the next frame before the
+                // drop would let v1 responses complete out of order.
+                while let Err(mpsc::RecvTimeoutError::Timeout) =
+                    done_rx.recv_timeout(cfg.read_timeout)
+                {
+                    if shared.stop.load(Ordering::SeqCst) || broken.load(Ordering::SeqCst) {
+                        break;
+                    }
+                }
             }
             Ok(ReadEvent::FrameV2(corr, payload)) => {
                 debug_assert!(v2);
                 submit(shared, payload, corr, seq, true, reply_tx, None);
             }
             Ok(ReadEvent::Eof) | Ok(ReadEvent::Stopped) => break,
-            Err(NetError::FrameTooLarge { len, max }) => {
+            Ok(ReadEvent::TooLarge { corr, len }) => {
                 // Typed refusal, then close: the read position is inside
                 // an unread payload, so the connection cannot continue.
-                let detail = format!("frame of {len} bytes exceeds the {max}-byte cap");
+                // The v2 header (length + correlation id) was read before
+                // the length check fired, so the refusal echoes the
+                // offending request's id — a pipelined caller fails fast
+                // with the typed error instead of timing out and
+                // replaying the same oversized frame on reconnect.
+                let detail = format!("frame of {len} bytes exceeds the {}-byte cap", cfg.max_frame);
                 let mut buf = shared.buffers.checkout();
                 buf.extend_from_slice(&err_frame(ErrorCode::FrameTooLarge, &detail));
-                let _ = reply_tx.send(Reply { corr: 0, seq, v2, frame: buf });
+                let _ = reply_tx.send(Reply { corr, seq, v2, frame: buf });
                 break;
             }
             Err(_) => break,
@@ -429,6 +443,9 @@ enum ReadEvent {
     Frame(PooledBuf),
     /// A v2 frame with its correlation id.
     FrameV2(u64, PooledBuf),
+    /// The length prefix exceeded the cap (rejected before allocation);
+    /// `corr` is the offending v2 correlation id (0 on v1 connections).
+    TooLarge { corr: u64, len: u64 },
     /// Peer closed between frames.
     Eof,
     /// The shutdown flag flipped while waiting.
@@ -450,19 +467,20 @@ fn read_frame_polling(
         Fill::Filled => {}
     }
     let len = u32::from_be_bytes(header[..FRAME_HEADER_LEN].try_into().expect("fixed len"));
+    let corr = if v2 {
+        u64::from_be_bytes(header[FRAME_HEADER_LEN..].try_into().expect("fixed len"))
+    } else {
+        0
+    };
     if len > max_frame {
-        return Err(NetError::FrameTooLarge { len: u64::from(len), max: max_frame });
+        return Ok(ReadEvent::TooLarge { corr, len: u64::from(len) });
     }
     let mut payload = shared.buffers.checkout();
     payload.resize(len as usize, 0);
     match fill_polling(stream, &mut payload, stop, false)? {
         Fill::Stopped => Ok(ReadEvent::Stopped),
         Fill::Eof => Err(NetError::Closed),
-        Fill::Filled if v2 => {
-            let corr =
-                u64::from_be_bytes(header[FRAME_HEADER_LEN..].try_into().expect("fixed len"));
-            Ok(ReadEvent::FrameV2(corr, payload))
-        }
+        Fill::Filled if v2 => Ok(ReadEvent::FrameV2(corr, payload)),
         Fill::Filled => Ok(ReadEvent::Frame(payload)),
     }
 }
@@ -599,6 +617,46 @@ mod tests {
         let resp = read_frame(&mut good, 4096).unwrap().unwrap();
         assert_eq!(decode_response(&resp).unwrap(), b"ALIVE?");
 
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn oversized_v2_frame_refusal_echoes_the_correlation_id() {
+        let daemon = Daemon::spawn("127.0.0.1:0", Arc::new(Upper), small_cfg()).unwrap();
+        let mut conn = TcpStream::connect(daemon.addr()).unwrap();
+        conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        upgrade(&mut conn);
+
+        // Hostile v2 header: correlation id 7, claimed 16 MiB payload on
+        // a 1 KiB server. The typed refusal must target id 7 so the
+        // pipelined caller fails that request instead of timing out.
+        conn.write_all(&(16 * 1024 * 1024u32).to_be_bytes()).unwrap();
+        conn.write_all(&7u64.to_be_bytes()).unwrap();
+        let (corr, resp) = read_frame_v2(&mut conn, 4096).unwrap().unwrap();
+        assert_eq!(corr, 7, "refusal carries the offending request's id");
+        match decode_response(&resp).unwrap_err() {
+            NetError::Remote { code, .. } => assert_eq!(code, ErrorCode::FrameTooLarge),
+            other => panic!("expected Remote, got {other}"),
+        }
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn v1_responses_stay_in_order_when_the_handler_outlives_read_timeout() {
+        // A handler slower than the reader's poll interval: the reader
+        // must keep waiting for job completion rather than reading (and
+        // submitting) the next v1 frame, which would let a fast response
+        // overtake a slow one and break v1's strict-in-order guarantee.
+        let cfg = DaemonConfig { read_timeout: Duration::from_millis(10), ..small_cfg() };
+        let daemon = Daemon::spawn("127.0.0.1:0", Arc::new(Sleepy), cfg).unwrap();
+        let mut conn = TcpStream::connect(daemon.addr()).unwrap();
+        conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        write_frame(&mut conn, &[80, 1], 1024).unwrap(); // 80 ms
+        write_frame(&mut conn, &[0, 2], 1024).unwrap(); // immediate
+        let first = read_frame(&mut conn, 4096).unwrap().unwrap();
+        assert_eq!(decode_response(&first).unwrap(), [80, 1], "slow response answered first");
+        let second = read_frame(&mut conn, 4096).unwrap().unwrap();
+        assert_eq!(decode_response(&second).unwrap(), [0, 2]);
         daemon.shutdown();
     }
 

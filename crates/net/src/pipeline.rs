@@ -76,15 +76,22 @@ struct Pending {
     done: Option<Result<Vec<u8>, NetError>>,
 }
 
-/// The live socket of one connection generation.
-#[derive(Debug)]
+/// The live socket of one connection generation. Cheap to clone: callers
+/// clone it out of [`State`] and perform socket writes with the state
+/// lock *released*, so a stalled peer or full send buffer blocks only
+/// other writers on this wire — never response delivery, depth-slot
+/// waiters, or per-request deadlines.
+#[derive(Clone, Debug)]
 struct Wire {
-    /// Write half (the response reader owns a clone).
-    stream: TcpStream,
+    /// Write half behind its own lock, serializing frame writes (the
+    /// response reader owns a separate clone of the socket).
+    writer: Arc<Mutex<TcpStream>>,
     /// Whether HELLO negotiated v2 framing.
     v2: bool,
     /// v1 fallback only: correlation ids in send order, matched FIFO.
-    fifo: VecDeque<u64>,
+    /// Pushed under the writer lock so the record matches the socket's
+    /// actual frame order; popped by the reader under this lock alone.
+    fifo: Arc<Mutex<VecDeque<u64>>>,
     /// Flipped when this generation is torn down, so its reader exits.
     retired: Arc<AtomicBool>,
 }
@@ -95,6 +102,10 @@ struct State {
     /// Bumped per established wire; a reader for an old generation
     /// must not touch current state.
     generation: u64,
+    /// A caller is dialing/negotiating with the lock released; others
+    /// wait on the condvar instead of racing to connect (one socket per
+    /// generation, not a thundering herd of discarded HELLOs).
+    connecting: bool,
     pending: BTreeMap<u64, Pending>,
     next_corr: u64,
     closed: bool,
@@ -129,6 +140,7 @@ impl PipelinedConnection {
                 state: Mutex::new(State {
                     wire: None,
                     generation: 0,
+                    connecting: false,
                     pending: BTreeMap::new(),
                     next_corr: 1,
                     closed: false,
@@ -235,25 +247,42 @@ impl PipelinedConnection {
         let inner = &self.inner;
         let mut st = lock(inner);
 
-        // Wait for a depth slot.
-        while !st.closed && st.pending.len() >= inner.cfg.depth {
-            let now = Instant::now();
-            if now >= deadline {
-                return Err(timeout_error());
+        let wire = loop {
+            // Wait for a depth slot.
+            while !st.closed && st.pending.len() >= inner.cfg.depth {
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(timeout_error());
+                }
+                st = wait(inner, st, deadline - now);
             }
-            st = wait(inner, st, deadline - now);
-        }
-        if st.closed {
-            return Err(NetError::Closed);
-        }
-        self.ensure_wire(&mut st)?;
+            if st.closed {
+                return Err(NetError::Closed);
+            }
+            let (st2, wire) = self.ensure_wire(st);
+            st = st2;
+            let wire = wire?;
+            // ensure_wire may have released the lock to connect, letting
+            // another caller take the last slot meanwhile; re-check so
+            // the depth bound stays strict.
+            if st.pending.len() < inner.cfg.depth {
+                break wire;
+            }
+        };
 
         let corr = st.next_corr;
         st.next_corr += 1;
         st.pending.insert(corr, Pending { request: wrapped.to_vec(), done: None });
-        if let Err(e) = send_on_wire(&mut st, corr, inner.cfg.client.max_frame) {
+        drop(st);
+
+        // Write with the state lock released: a stalled socket must not
+        // block response delivery or the other callers' deadlines.
+        let sent = send_on_wire(&wire, wrapped, corr, inner.cfg.client.max_frame);
+        let mut st = lock(inner);
+        if let Err(e) = sent {
             st.pending.remove(&corr);
-            retire_wire(&mut st);
+            retire_wire_if_current(&mut st, &wire);
+            drop(st);
             inner.cond.notify_all();
             return Err(e);
         }
@@ -273,8 +302,11 @@ impl PipelinedConnection {
                 // The connection died with our request unacknowledged:
                 // reconnect and replay every unacknowledged id (ours
                 // included) with their original tokens.
-                if let Err(e) = self.ensure_wire(&mut st) {
+                let (st2, wire) = self.ensure_wire(st);
+                st = st2;
+                if let Err(e) = wire {
                     st.pending.remove(&corr);
+                    drop(st);
                     inner.cond.notify_all();
                     return Err(e);
                 }
@@ -290,64 +322,133 @@ impl PipelinedConnection {
         }
     }
 
-    /// Connects, negotiates, spawns the response reader, and replays
-    /// unacknowledged requests. No-op while a wire is up.
-    fn ensure_wire(&self, st: &mut MutexGuard<'_, State>) -> Result<(), NetError> {
-        if st.wire.is_some() {
-            return Ok(());
-        }
-        if st.closed {
-            return Err(NetError::Closed);
-        }
+    /// Returns the current wire — connecting, negotiating, spawning the
+    /// response reader, and replaying unacknowledged requests first if
+    /// none is up. The TCP connect, the blocking HELLO exchange, and the
+    /// replay writes all run with the state lock *released* (it is
+    /// re-acquired to install the wire, deferring to a concurrent
+    /// connector that won the race), so a slow or unreachable server
+    /// stalls only the connecting caller. Always hands the (re-acquired)
+    /// guard back, whatever the outcome.
+    fn ensure_wire<'a>(
+        &'a self,
+        mut st: MutexGuard<'a, State>,
+    ) -> (MutexGuard<'a, State>, Result<Wire, NetError>) {
         let inner = &self.inner;
-        let cfg = &inner.cfg.client;
-        let mut stream = TcpStream::connect_timeout(&inner.addr, cfg.connect_timeout)?;
-        stream.set_nodelay(true)?;
-        stream.set_write_timeout(Some(cfg.write_timeout))?;
-        stream.set_read_timeout(Some(cfg.read_timeout))?;
-
-        // Negotiate: v2 daemons acknowledge HELLO, v1 peers refuse the
-        // unknown tag — which downgrades, never fails.
-        write_frame(&mut stream, &hello_frame(), cfg.max_frame)?;
-        let frame =
-            read_frame(&mut stream, cfg.max_frame.saturating_add(1024))?.ok_or(NetError::Closed)?;
-        let v2 = match decode_response(&frame) {
-            Ok(payload) => is_hello_ack(payload),
-            Err(NetError::Remote { .. }) => false,
-            Err(e) => return Err(e),
-        };
-
-        // Short read timeout from here on: the reader polls it to notice
-        // retirement (clones share the one socket, so this is set after
-        // the blocking HELLO exchange).
-        stream.set_read_timeout(Some(POLL))?;
-        let read_half = stream.try_clone()?;
-        let retired = Arc::new(AtomicBool::new(false));
-        st.generation += 1;
-        let generation = st.generation;
-        st.wire = Some(Wire { stream, v2, fifo: VecDeque::new(), retired: Arc::clone(&retired) });
-
-        let reader_inner = Arc::clone(inner);
-        let handle = std::thread::spawn(move || {
-            reader_loop(read_half, &reader_inner, generation, v2, &retired)
-        });
-        let mut readers = self.readers.lock().unwrap_or_else(PoisonError::into_inner);
-        readers.retain(|h| !h.is_finished());
-        readers.push(handle);
-        drop(readers);
-
-        // Replay unacknowledged requests in correlation order.
-        let unacked: Vec<u64> =
-            st.pending.iter().filter(|(_, p)| p.done.is_none()).map(|(c, _)| *c).collect();
-        for corr in unacked {
-            if let Err(e) = send_on_wire(st, corr, cfg.max_frame) {
-                retire_wire(st);
-                inner.cond.notify_all();
-                return Err(e);
+        loop {
+            if st.closed {
+                return (st, Err(NetError::Closed));
             }
+            if let Some(wire) = &st.wire {
+                let wire = wire.clone();
+                return (st, Ok(wire));
+            }
+            if st.connecting {
+                // Another caller is already dialing; park until it either
+                // installs the wire or clears the flag (its own socket
+                // timeouts bound the wait). Racing it would burn a full
+                // TCP + HELLO exchange per caller just to discard it.
+                st = wait(inner, st, POLL);
+                continue;
+            }
+            st.connecting = true;
+            drop(st);
+            let negotiated = connect_and_negotiate(inner);
+            st = lock(inner);
+            st.connecting = false;
+            inner.cond.notify_all(); // wake parked connectors either way
+            let (stream, v2) = match negotiated {
+                Ok(pair) => pair,
+                Err(e) => return (st, Err(e)),
+            };
+            if st.closed {
+                return (st, Err(NetError::Closed));
+            }
+            if st.wire.is_some() {
+                continue; // another caller connected first; ours drops
+            }
+
+            let read_half = match stream.try_clone() {
+                Ok(half) => half,
+                Err(e) => return (st, Err(e.into())),
+            };
+            let retired = Arc::new(AtomicBool::new(false));
+            st.generation += 1;
+            let generation = st.generation;
+            let wire = Wire {
+                writer: Arc::new(Mutex::new(stream)),
+                v2,
+                fifo: Arc::new(Mutex::new(VecDeque::new())),
+                retired: Arc::clone(&retired),
+            };
+            st.wire = Some(wire.clone());
+
+            let reader_inner = Arc::clone(inner);
+            let handle = std::thread::spawn(move || {
+                reader_loop(read_half, &reader_inner, generation, v2, &retired)
+            });
+            let mut readers = self.readers.lock().unwrap_or_else(PoisonError::into_inner);
+            readers.retain(|h| !h.is_finished());
+            readers.push(handle);
+            drop(readers);
+
+            // Replay unacknowledged requests in correlation order, again
+            // with the lock released. A concurrent caller may interleave
+            // a fresh request between replays — sound in both framings:
+            // v2 matches by id, and the v1 FIFO records actual socket
+            // order because it is pushed under the writer lock.
+            let unacked: Vec<(u64, Vec<u8>)> = st
+                .pending
+                .iter()
+                .filter(|(_, p)| p.done.is_none())
+                .map(|(c, p)| (*c, p.request.clone()))
+                .collect();
+            drop(st);
+            let mut replay_err = None;
+            for (corr, request) in unacked {
+                if let Err(e) = send_on_wire(&wire, &request, corr, inner.cfg.client.max_frame) {
+                    replay_err = Some(e);
+                    break;
+                }
+            }
+            st = lock(inner);
+            return match replay_err {
+                None => (st, Ok(wire)),
+                Some(e) => {
+                    retire_wire_if_current(&mut st, &wire);
+                    inner.cond.notify_all();
+                    (st, Err(e))
+                }
+            };
         }
-        Ok(())
     }
+}
+
+/// Connects and runs the blocking HELLO negotiation. Called with the
+/// state lock released.
+fn connect_and_negotiate(inner: &Inner) -> Result<(TcpStream, bool), NetError> {
+    let cfg = &inner.cfg.client;
+    let mut stream = TcpStream::connect_timeout(&inner.addr, cfg.connect_timeout)?;
+    stream.set_nodelay(true)?;
+    stream.set_write_timeout(Some(cfg.write_timeout))?;
+    stream.set_read_timeout(Some(cfg.read_timeout))?;
+
+    // Negotiate: v2 daemons acknowledge HELLO, v1 peers refuse the
+    // unknown tag — which downgrades, never fails.
+    write_frame(&mut stream, &hello_frame(), cfg.max_frame)?;
+    let frame =
+        read_frame(&mut stream, cfg.max_frame.saturating_add(1024))?.ok_or(NetError::Closed)?;
+    let v2 = match decode_response(&frame) {
+        Ok(payload) => is_hello_ack(payload),
+        Err(NetError::Remote { .. }) => false,
+        Err(e) => return Err(e),
+    };
+
+    // Short read timeout from here on: the reader polls it to notice
+    // retirement (clones share the one socket, so this is set after
+    // the blocking HELLO exchange).
+    stream.set_read_timeout(Some(POLL))?;
+    Ok((stream, v2))
 }
 
 /// Either client transport — sequential or pipelined — behind one call
@@ -439,18 +540,40 @@ fn retire_wire(st: &mut State) {
     }
 }
 
-/// Writes one pending request on the current wire, v2-framed with its
-/// correlation id, or v1-framed and FIFO-recorded in fallback mode.
-fn send_on_wire(st: &mut State, corr: u64, max_frame: u32) -> Result<(), NetError> {
-    let request = st.pending.get(&corr).expect("pending entry exists").request.clone();
-    let wire = st.wire.as_mut().ok_or(NetError::Closed)?;
-    if wire.v2 {
-        write_frame_v2(&mut wire.stream, corr, &request, max_frame)?;
-    } else {
-        write_frame(&mut wire.stream, &request, max_frame)?;
-        wire.fifo.push_back(corr);
+/// Retires `wire` only if it is still the installed one — a send failure
+/// observed with the lock released may race a concurrent retire-and-
+/// reconnect, and must not tear down the replacement.
+fn retire_wire_if_current(st: &mut State, wire: &Wire) {
+    if st.wire.as_ref().is_some_and(|w| Arc::ptr_eq(&w.retired, &wire.retired)) {
+        retire_wire(st);
     }
-    Ok(())
+}
+
+/// Writes one request on `wire`, v2-framed with its correlation id, or
+/// v1-framed and FIFO-recorded in fallback mode. Runs *without* the
+/// state lock; the wire's writer lock serializes frames (and keeps the
+/// v1 FIFO record in actual socket order).
+fn send_on_wire(wire: &Wire, request: &[u8], corr: u64, max_frame: u32) -> Result<(), NetError> {
+    let mut stream = wire.writer.lock().unwrap_or_else(PoisonError::into_inner);
+    if wire.v2 {
+        write_frame_v2(&mut *stream, corr, request, max_frame)
+    } else {
+        // Record the id *before* the bytes hit the socket: a server fast
+        // enough to answer between the write and a post-write push would
+        // let the reader pop an empty FIFO and retire a healthy wire as
+        // desynced. Pushed-then-failed entries are rolled back below —
+        // still at the back, because we hold the writer lock and the
+        // reader only pops ids whose responses arrived (ours cannot).
+        wire.fifo.lock().unwrap_or_else(PoisonError::into_inner).push_back(corr);
+        let result = write_frame(&mut *stream, request, max_frame);
+        if result.is_err() {
+            let mut fifo = wire.fifo.lock().unwrap_or_else(PoisonError::into_inner);
+            if fifo.back() == Some(&corr) {
+                fifo.pop_back();
+            }
+        }
+        result
+    }
 }
 
 /// The per-generation response reader: decodes frames, completes pending
@@ -474,7 +597,9 @@ fn reader_loop(
                 let corr = match corr {
                     Some(c) => c,
                     // v1 fallback: responses arrive strictly in send order.
-                    None => match st.wire.as_mut().and_then(|w| w.fifo.pop_front()) {
+                    None => match st.wire.as_ref().and_then(|w| {
+                        w.fifo.lock().unwrap_or_else(PoisonError::into_inner).pop_front()
+                    }) {
                         Some(c) => c,
                         None => {
                             // A response nothing was waiting for: desync.
