@@ -13,12 +13,16 @@
 //!     # end-to-end RPC pipelining sweep -> BENCH_net.json (`quick` shrinks it)
 //! cargo run -p sp-bench --bin figures -- --check-bench-net-json BENCH_net.json
 //!     # validate an existing network report (CI smoke)
+//! cargo run -p sp-bench --release --bin figures -- --bench-store-json
+//!     # WAL append/recovery sweep -> BENCH_store.json (`quick` shrinks it)
+//! cargo run -p sp-bench --bin figures -- --check-bench-store-json BENCH_store.json
+//!     # validate an existing storage report (CI smoke)
 //! ```
 
 use sp_bench::{
     crypto_bench, export,
     figures::{self, SweepConfig},
-    net_bench,
+    net_bench, store_bench,
 };
 
 fn main() {
@@ -45,6 +49,38 @@ fn main() {
             std::process::exit(1);
         }
         println!("{path}: schema-valid net bench report");
+        return;
+    }
+
+    if let Some(i) = args.iter().position(|a| a == "--check-bench-store-json") {
+        let path = args.get(i + 1).map(String::as_str).unwrap_or("BENCH_store.json");
+        let doc = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("reading {path}: {e}"));
+        if let Err(e) = store_bench::validate_json(&doc) {
+            eprintln!("{path} is not a valid store bench report: {e}");
+            std::process::exit(1);
+        }
+        println!("{path}: schema-valid store bench report");
+        return;
+    }
+
+    if args.iter().any(|a| a == "--bench-store-json") {
+        let cfg = if quick {
+            store_bench::StoreBenchConfig::quick()
+        } else {
+            store_bench::StoreBenchConfig::default()
+        };
+        let report = store_bench::run(&cfg);
+        print!("{}", store_bench::render(&report));
+        let json = store_bench::to_json(&report);
+        store_bench::validate_json(&json).expect("emitted report validates");
+        let path = args
+            .iter()
+            .position(|a| a == "--bench-out")
+            .and_then(|i| args.get(i + 1))
+            .map(String::as_str)
+            .unwrap_or("BENCH_store.json");
+        std::fs::write(path, json).expect("writing bench json");
+        eprintln!("wrote {path}");
         return;
     }
 

@@ -16,4 +16,5 @@ pub mod export;
 pub mod figures;
 pub mod json_check;
 pub mod net_bench;
+pub mod store_bench;
 pub mod workload;

@@ -1,0 +1,461 @@
+//! Durable-storage throughput and recovery sweep, exported as
+//! `BENCH_store.json`.
+//!
+//! Two questions the `sp-store` engine must answer with numbers rather
+//! than prose:
+//!
+//! 1. **What does group commit buy?** Every acknowledged mutation costs
+//!    an fsync; with one writer that is unavoidable, but with `W`
+//!    concurrent writers the group-commit leader can absorb all waiting
+//!    appends into a single `fsync`, so throughput should scale with the
+//!    batch size instead of the disk's sync latency. The sweep appends
+//!    the same workload through both modes (`group_commit` vs.
+//!    `fsync_each`) at several writer counts and reports the ratio.
+//!
+//! 2. **How fast is recovery?** Crash recovery replays the snapshot plus
+//!    the log tail. The sweep writes logs of increasing record counts
+//!    (no snapshot, the worst case), reopens the store cold, and times
+//!    the full scan-verify-replay pass.
+//!
+//! Both measurements run against real files under the OS temp dir —
+//! the same `Wal` code path the daemons use, CRC checks and all.
+
+use std::fs;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use sp_store::{Record, Wal};
+
+/// Schema tag written into (and required from) `BENCH_store.json`.
+pub const STORE_BENCH_SCHEMA: &str = "sp-bench/store/v1";
+
+/// The two append modes every report must cover.
+pub const STORE_BENCH_MODES: [&str; 2] = ["group_commit", "fsync_each"];
+
+/// Sweep knobs for the storage benchmark.
+#[derive(Clone, Debug)]
+pub struct StoreBenchConfig {
+    /// Concurrent writer counts to sweep for the append measurement.
+    pub writers: Vec<usize>,
+    /// Total appends per (writers, mode) measurement, split across the
+    /// writers.
+    pub appends: u64,
+    /// Log sizes (record counts) to sweep for the recovery measurement.
+    pub recovery_records: Vec<u64>,
+    /// Segment rotation threshold, so the sweeps exercise multi-segment
+    /// logs rather than one giant file.
+    pub segment_bytes: u64,
+    /// Whether this is the reduced CI sweep.
+    pub quick: bool,
+}
+
+impl Default for StoreBenchConfig {
+    fn default() -> Self {
+        Self {
+            writers: vec![1, 4, 16],
+            appends: 4_000,
+            recovery_records: vec![1_000, 10_000, 50_000],
+            segment_bytes: 1 << 20,
+            quick: false,
+        }
+    }
+}
+
+impl StoreBenchConfig {
+    /// Reduced sweep for CI smoke runs: fewer writers, short logs.
+    /// Numbers are noisy but the schema and the direction of the
+    /// group-commit speedup are still meaningful.
+    pub fn quick() -> Self {
+        Self {
+            writers: vec![1, 4],
+            appends: 400,
+            recovery_records: vec![200, 1_000],
+            segment_bytes: 64 << 10,
+            quick: true,
+        }
+    }
+}
+
+/// One (writers, mode) append-throughput measurement.
+#[derive(Clone, Debug)]
+pub struct AppendEntry {
+    /// Concurrent writer threads.
+    pub writers: usize,
+    /// `"group_commit"` (batched fsyncs) or `"fsync_each"` (one fsync
+    /// per append, the no-batching baseline).
+    pub mode: &'static str,
+    /// Acknowledged (durable) appends per second across all writers.
+    pub appends_per_s: f64,
+    /// Fsyncs actually issued, for the batching-ratio sanity check.
+    pub fsync_batches: u64,
+}
+
+/// One recovery-time measurement: reopen a cold log of `records`
+/// records and replay everything.
+#[derive(Clone, Debug)]
+pub struct RecoveryEntry {
+    /// Records in the log at crash time.
+    pub records: u64,
+    /// Wall time for the reopen (scan + CRC verify + replay), in
+    /// milliseconds.
+    pub recovery_ms: f64,
+    /// Replay rate, records per second.
+    pub replayed_per_s: f64,
+}
+
+/// A full storage sweep, ready to serialize.
+#[derive(Clone, Debug)]
+pub struct StoreBenchReport {
+    /// Whether the reduced CI sweep produced this report.
+    pub quick: bool,
+    /// Segment rotation threshold used.
+    pub segment_bytes: u64,
+    /// Append throughput, grouped by writer count then mode.
+    pub append_entries: Vec<AppendEntry>,
+    /// Recovery time at each log size.
+    pub recovery_entries: Vec<RecoveryEntry>,
+}
+
+impl StoreBenchReport {
+    /// The append entry for one (writers, mode), if measured.
+    pub fn append_entry(&self, writers: usize, mode: &str) -> Option<&AppendEntry> {
+        self.append_entries.iter().find(|e| e.writers == writers && e.mode == mode)
+    }
+
+    /// Throughput of `entry` relative to the same writer count with one
+    /// fsync per append. Group commit with >1 writer should beat 1.0.
+    pub fn speedup_vs_fsync_each(&self, entry: &AppendEntry) -> f64 {
+        match self.append_entry(entry.writers, "fsync_each") {
+            Some(base) if base.appends_per_s > 0.0 => entry.appends_per_s / base.appends_per_s,
+            _ => 0.0,
+        }
+    }
+}
+
+/// A scratch directory under the OS temp dir, unique per process and
+/// tag; removed (best effort) by [`Scratch::drop`].
+struct Scratch {
+    dir: PathBuf,
+}
+
+impl Scratch {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("sp-store-bench-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        Self { dir }
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.dir);
+    }
+}
+
+fn bench_record(writer: u64, i: u64) -> Record {
+    Record::LogAccess { user: writer, puzzle: i, granted: i.is_multiple_of(2) }
+}
+
+/// Appends `appends` records split across `writers` threads, every one
+/// acknowledged durable before the next; returns (appends/s, fsyncs).
+fn append_throughput(
+    cfg: &StoreBenchConfig,
+    writers: usize,
+    group_commit: bool,
+    tag: &str,
+) -> (f64, u64) {
+    let scratch = Scratch::new(tag);
+    let (wal, _) =
+        Wal::open(&scratch.dir, cfg.segment_bytes, group_commit, None).expect("open bench wal");
+    let wal = &wal;
+    let writers = writers.max(1);
+    let per = (cfg.appends / writers as u64).max(1);
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for w in 0..writers {
+            s.spawn(move || {
+                for i in 0..per {
+                    let seq = wal.append(&bench_record(w as u64, i)).expect("append");
+                    wal.commit(seq).expect("commit");
+                }
+            });
+        }
+    });
+    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+    let total = per * writers as u64;
+    (total as f64 / elapsed, wal.fsync_batch_count())
+}
+
+/// Writes a `records`-record log, closes it, and times a cold reopen.
+fn recovery_time(cfg: &StoreBenchConfig, records: u64, tag: &str) -> RecoveryEntry {
+    let scratch = Scratch::new(tag);
+    {
+        let (wal, _) =
+            Wal::open(&scratch.dir, cfg.segment_bytes, true, None).expect("open bench wal");
+        let mut last = 0;
+        for i in 0..records {
+            last = wal.append(&bench_record(0, i)).expect("append");
+        }
+        // One durability point at the end: the recovery measurement
+        // cares about log *size*, not how it was synced.
+        wal.commit(last).expect("commit");
+    }
+    let start = Instant::now();
+    let (wal, recovered) =
+        Wal::open(&scratch.dir, cfg.segment_bytes, true, None).expect("reopen bench wal");
+    let elapsed = start.elapsed();
+    assert_eq!(recovered.records.len() as u64, records, "recovery must replay everything");
+    drop(wal);
+    let secs = elapsed.as_secs_f64().max(1e-9);
+    RecoveryEntry { records, recovery_ms: secs * 1e3, replayed_per_s: records as f64 / secs }
+}
+
+/// Runs the full storage sweep against scratch directories.
+pub fn run(cfg: &StoreBenchConfig) -> StoreBenchReport {
+    let mut append_entries = Vec::new();
+    for &writers in &cfg.writers {
+        for (mode, group_commit) in [("group_commit", true), ("fsync_each", false)] {
+            let tag = format!("append-{writers}-{mode}");
+            let (appends_per_s, fsync_batches) =
+                append_throughput(cfg, writers, group_commit, &tag);
+            append_entries.push(AppendEntry { writers, mode, appends_per_s, fsync_batches });
+        }
+    }
+    let recovery_entries = cfg
+        .recovery_records
+        .iter()
+        .map(|&records| recovery_time(cfg, records, &format!("recovery-{records}")))
+        .collect();
+    StoreBenchReport {
+        quick: cfg.quick,
+        segment_bytes: cfg.segment_bytes,
+        append_entries,
+        recovery_entries,
+    }
+}
+
+/// Serializes a report to the `BENCH_store.json` document.
+pub fn to_json(report: &StoreBenchReport) -> String {
+    fn num(v: f64) -> String {
+        if v.is_finite() {
+            format!("{v:.3}")
+        } else {
+            "0.000".to_owned()
+        }
+    }
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema\": \"{STORE_BENCH_SCHEMA}\",\n"));
+    out.push_str(&format!("  \"quick\": {},\n", report.quick));
+    out.push_str(&format!("  \"segment_bytes\": {},\n", report.segment_bytes));
+    out.push_str("  \"append_entries\": [\n");
+    for (i, e) in report.append_entries.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"writers\": {}, \"mode\": \"{}\", \"appends_per_s\": {}, \"fsync_batches\": {}, \"speedup_vs_fsync_each\": {}}}{}\n",
+            e.writers,
+            e.mode,
+            num(e.appends_per_s),
+            e.fsync_batches,
+            num(report.speedup_vs_fsync_each(e)),
+            if i + 1 == report.append_entries.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"recovery_entries\": [\n");
+    for (i, e) in report.recovery_entries.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"records\": {}, \"recovery_ms\": {}, \"replayed_per_s\": {}}}{}\n",
+            e.records,
+            num(e.recovery_ms),
+            num(e.replayed_per_s),
+            if i + 1 == report.recovery_entries.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Renders the report as the human-readable tables the `figures` binary
+/// prints alongside the JSON.
+pub fn render(report: &StoreBenchReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "durable appends (every record fsynced before ack), {} byte segments\n",
+        report.segment_bytes
+    ));
+    out.push_str(&format!(
+        "{:<8} {:<14} {:>12} {:>8} {:>14}\n",
+        "writers", "mode", "appends/s", "fsyncs", "vs fsync_each"
+    ));
+    for e in &report.append_entries {
+        out.push_str(&format!(
+            "{:<8} {:<14} {:>12.1} {:>8} {:>13.2}x\n",
+            e.writers,
+            e.mode,
+            e.appends_per_s,
+            e.fsync_batches,
+            report.speedup_vs_fsync_each(e)
+        ));
+    }
+    out.push_str("\ncold recovery (scan + CRC verify + replay, no snapshot)\n");
+    out.push_str(&format!("{:<10} {:>12} {:>14}\n", "records", "recovery ms", "replayed/s"));
+    for e in &report.recovery_entries {
+        out.push_str(&format!(
+            "{:<10} {:>12.2} {:>14.1}\n",
+            e.records, e.recovery_ms, e.replayed_per_s
+        ));
+    }
+    out
+}
+
+/// Validates a `BENCH_store.json` document: syntactically well-formed
+/// JSON, the right schema tag, both append modes present, and both
+/// sweeps present with all fields. Returns a description of the first
+/// problem.
+pub fn validate_json(doc: &str) -> Result<(), String> {
+    crate::json_check::check_syntax(doc)?;
+    if !doc.contains(&format!("\"schema\": \"{STORE_BENCH_SCHEMA}\"")) {
+        return Err(format!("missing schema tag {STORE_BENCH_SCHEMA:?}"));
+    }
+    for arr in ["\"append_entries\": [", "\"recovery_entries\": ["] {
+        if !doc.contains(arr) {
+            return Err(format!("missing the {arr} array"));
+        }
+    }
+    for mode in STORE_BENCH_MODES {
+        if !doc.contains(&format!("\"mode\": \"{mode}\"")) {
+            return Err(format!("no {mode} entries — both append modes must be measured"));
+        }
+    }
+    for field in [
+        "\"segment_bytes\":",
+        "\"writers\":",
+        "\"appends_per_s\":",
+        "\"fsync_batches\":",
+        "\"speedup_vs_fsync_each\":",
+        "\"records\":",
+        "\"recovery_ms\":",
+        "\"replayed_per_s\":",
+    ] {
+        if !doc.contains(field) {
+            return Err(format!("missing the {field} field"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> StoreBenchConfig {
+        StoreBenchConfig {
+            writers: vec![1, 2],
+            appends: 24,
+            recovery_records: vec![16],
+            segment_bytes: 4 << 10,
+            quick: true,
+        }
+    }
+
+    #[test]
+    fn report_covers_both_modes_and_validates() {
+        let report = run(&tiny());
+        for &w in &[1usize, 2] {
+            for mode in STORE_BENCH_MODES {
+                let e = report
+                    .append_entry(w, mode)
+                    .unwrap_or_else(|| panic!("missing {mode} at {w} writers"));
+                assert!(e.appends_per_s > 0.0);
+            }
+        }
+        assert_eq!(report.recovery_entries.len(), 1);
+        assert_eq!(report.recovery_entries[0].records, 16);
+        assert!(report.recovery_entries[0].recovery_ms > 0.0);
+        let json = to_json(&report);
+        validate_json(&json).expect("emitted document validates");
+        let table = render(&report);
+        assert!(table.contains("group_commit") && table.contains("recovery"));
+    }
+
+    #[test]
+    fn fsync_each_issues_one_sync_per_append() {
+        let report = run(&tiny());
+        // In fsync_each mode every append syncs inline, so the batch
+        // counter equals the appends; group commit must not exceed it.
+        let per_writer = tiny().appends / 2;
+        let strict = report.append_entry(2, "fsync_each").expect("fsync_each");
+        assert_eq!(strict.fsync_batches, per_writer * 2);
+        let batched = report.append_entry(2, "group_commit").expect("group_commit");
+        assert!(batched.fsync_batches <= strict.fsync_batches);
+    }
+
+    #[test]
+    fn validator_rejects_mangled_documents() {
+        let report = StoreBenchReport {
+            quick: true,
+            segment_bytes: 4096,
+            append_entries: vec![
+                AppendEntry {
+                    writers: 1,
+                    mode: "group_commit",
+                    appends_per_s: 100.0,
+                    fsync_batches: 10,
+                },
+                AppendEntry {
+                    writers: 1,
+                    mode: "fsync_each",
+                    appends_per_s: 50.0,
+                    fsync_batches: 20,
+                },
+            ],
+            recovery_entries: vec![RecoveryEntry {
+                records: 100,
+                recovery_ms: 2.0,
+                replayed_per_s: 50_000.0,
+            }],
+        };
+        let json = to_json(&report);
+        validate_json(&json).unwrap();
+        assert!(validate_json(&json[..json.len() - 4]).is_err(), "truncated");
+        assert!(validate_json(&json.replace("store/v1", "store/v9")).is_err(), "wrong schema");
+        assert!(
+            validate_json(&json.replace("\"mode\": \"fsync_each\"", "\"mode\": \"x\"")).is_err(),
+            "missing baseline mode"
+        );
+        assert!(
+            validate_json(&json.replace("\"recovery_ms\"", "\"recoveryms\"")).is_err(),
+            "missing recovery field"
+        );
+        assert!(validate_json("not json").is_err());
+    }
+
+    #[test]
+    fn speedup_is_relative_to_fsync_each_at_the_same_writer_count() {
+        let report = StoreBenchReport {
+            quick: true,
+            segment_bytes: 4096,
+            append_entries: vec![
+                AppendEntry {
+                    writers: 4,
+                    mode: "group_commit",
+                    appends_per_s: 300.0,
+                    fsync_batches: 30,
+                },
+                AppendEntry {
+                    writers: 4,
+                    mode: "fsync_each",
+                    appends_per_s: 100.0,
+                    fsync_batches: 120,
+                },
+            ],
+            recovery_entries: Vec::new(),
+        };
+        let e = report.append_entry(4, "group_commit").unwrap();
+        assert!((report.speedup_vs_fsync_each(e) - 3.0).abs() < 1e-12);
+        // No baseline → 0, not a panic or a bogus ratio.
+        let orphan =
+            AppendEntry { writers: 8, mode: "group_commit", appends_per_s: 9.0, fsync_batches: 1 };
+        assert_eq!(report.speedup_vs_fsync_each(&orphan), 0.0);
+    }
+}

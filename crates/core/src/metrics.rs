@@ -198,6 +198,22 @@ pub struct ServerCounters {
     pub out_of_order: u64,
 }
 
+/// Durability counters for one persistent store component (e.g.
+/// `"sp.store"`): write-ahead-log appends, batched fsyncs, recovery
+/// replay, and snapshots. Producers push snapshots of their internal
+/// counters here; the daemons print them next to the endpoint counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreCounters {
+    /// Records appended to the write-ahead log.
+    pub durable_appends: u64,
+    /// Physical fsync calls — under group commit, ≤ `durable_appends`.
+    pub fsync_batches: u64,
+    /// Log records replayed by the last recovery-on-startup.
+    pub recovery_replayed_records: u64,
+    /// Snapshots written since startup.
+    pub snapshot_count: u64,
+}
+
 #[derive(Debug, Default)]
 struct MetricsState {
     endpoints: BTreeMap<String, EndpointCounters>,
@@ -205,6 +221,7 @@ struct MetricsState {
     shards: BTreeMap<String, Vec<ShardContention>>,
     caches: BTreeMap<String, CacheCounters>,
     servers: BTreeMap<String, ServerCounters>,
+    stores: BTreeMap<String, StoreCounters>,
 }
 
 /// Per-endpoint request/byte/error counters for a running service, plus
@@ -347,6 +364,19 @@ impl ServiceMetrics {
         self.with(|st| st.servers.get(component).copied().unwrap_or_default())
     }
 
+    /// Overwrites the durability-counter snapshot for `component`
+    /// (e.g. `"sp.store"`).
+    pub fn set_store_counters(&self, component: &str, counters: StoreCounters) {
+        self.with(|st| {
+            st.stores.insert(component.to_owned(), counters);
+        });
+    }
+
+    /// The latest durability counters for `component` (zeros if never set).
+    pub fn store_counters(&self, component: &str) -> StoreCounters {
+        self.with(|st| st.stores.get(component).copied().unwrap_or_default())
+    }
+
     /// Counters for one endpoint (zeros if it never saw a request).
     pub fn endpoint(&self, endpoint: &str) -> EndpointCounters {
         self.with(|st| st.endpoints.get(endpoint).copied().unwrap_or_default())
@@ -415,6 +445,14 @@ impl fmt::Display for ServiceMetrics {
                 c.queue_depth,
                 c.queue_peak,
                 c.out_of_order
+            )?;
+        }
+        let stores = self.with(|st| st.stores.clone());
+        for (name, c) in stores {
+            writeln!(
+                f,
+                "{name} store: {} appends, {} fsync batches, {} replayed, {} snapshots",
+                c.durable_appends, c.fsync_batches, c.recovery_replayed_records, c.snapshot_count
             )?;
         }
         let shards = self.with(|st| st.shards.clone());
@@ -593,6 +631,34 @@ mod tests {
         let shown = m.to_string();
         assert!(shown.contains("sp.puzzle_cache cache: 2 hits, 1 misses"));
         assert!(shown.contains("1 invalidations"));
+    }
+
+    #[test]
+    fn store_counters_overwrite_and_display() {
+        let m = ServiceMetrics::new();
+        assert_eq!(m.store_counters("sp.store"), StoreCounters::default());
+        m.set_store_counters(
+            "sp.store",
+            StoreCounters {
+                durable_appends: 12,
+                fsync_batches: 3,
+                recovery_replayed_records: 7,
+                snapshot_count: 1,
+            },
+        );
+        let c = m.store_counters("sp.store");
+        assert_eq!((c.durable_appends, c.fsync_batches), (12, 3));
+        assert_eq!((c.recovery_replayed_records, c.snapshot_count), (7, 1));
+        // Overwrite-on-set, not cumulative — producers push absolute values.
+        m.set_store_counters("sp.store", StoreCounters::default());
+        assert_eq!(m.store_counters("sp.store").durable_appends, 0);
+        m.set_store_counters(
+            "dh.store",
+            StoreCounters { durable_appends: 2, ..StoreCounters::default() },
+        );
+        let shown = m.to_string();
+        assert!(shown.contains("sp.store store: 0 appends, 0 fsync batches"));
+        assert!(shown.contains("dh.store store: 2 appends"));
     }
 
     #[test]

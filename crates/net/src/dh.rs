@@ -8,8 +8,8 @@
 use std::net::SocketAddr;
 
 use bytes::Bytes;
-use social_puzzles_core::metrics::{ServiceMetrics, ShardContention};
-use sp_osn::{OsnError, StorageApi, StorageHost, Url};
+use social_puzzles_core::metrics::{ServiceMetrics, ShardContention, StoreCounters};
+use sp_osn::{OsnError, StorageApi, StorageBackend, StorageHost, Url};
 
 use crate::client::{ClientConfig, Connection};
 use crate::daemon::Service;
@@ -19,16 +19,18 @@ use crate::msg::{decode_batch_results, encode_batch_results, BatchEntryResult, D
 use crate::pipeline::{PipelineConfig, PipelinedConnection, Transport};
 use crate::sp::{decode_bytes, decode_string, encode_bytes, encode_string};
 
-/// The DH daemon's request handler.
-pub struct DhService {
-    dh: StorageHost,
+/// The DH daemon's request handler, generic over the backend: the
+/// in-memory [`StorageHost`] (the default) or `sp-store`'s durable host
+/// — any [`StorageBackend`] serves the same RPC surface.
+pub struct DhService<S = StorageHost> {
+    dh: S,
     metrics: ServiceMetrics,
     replay: ReplayCache,
 }
 
-impl DhService {
-    /// Wraps a storage host.
-    pub fn new(dh: StorageHost) -> Self {
+impl<S: StorageBackend> DhService<S> {
+    /// Wraps a storage backend.
+    pub fn new(dh: S) -> Self {
         Self { dh, metrics: ServiceMetrics::new(), replay: ReplayCache::default() }
     }
 
@@ -37,8 +39,8 @@ impl DhService {
         self.metrics.clone()
     }
 
-    /// The wrapped store, for out-of-band inspection.
-    pub fn store(&self) -> &StorageHost {
+    /// The wrapped backend, for out-of-band inspection.
+    pub fn store(&self) -> &S {
         &self.dh
     }
 
@@ -46,7 +48,7 @@ impl DhService {
         let osn = |e: OsnError| (code_for(e), e.to_string());
         match req {
             DhRequest::Put { data } => {
-                let url = self.dh.put(Bytes::from(data));
+                let url = self.dh.put(Bytes::from(data)).map_err(osn)?;
                 Ok(encode_string(url.as_str()))
             }
             DhRequest::Get { url } => {
@@ -55,7 +57,7 @@ impl DhService {
                 Ok(encode_bytes(&blob))
             }
             DhRequest::Reserve => {
-                let url = self.dh.reserve();
+                let url = self.dh.reserve().map_err(osn)?;
                 Ok(encode_string(url.as_str()))
             }
             DhRequest::Fill { url, data } => {
@@ -83,9 +85,21 @@ impl DhService {
         }
     }
 
-    /// Publishes the store's per-shard load counters into the metrics
-    /// registry under component `"dh.blobs"`.
+    /// Publishes the backend's per-shard load counters (component
+    /// `"dh.blobs"`) and, for durable backends, durability counters
+    /// (component `"dh.store"`) into the metrics registry.
     pub fn sync_shard_metrics(&self) {
+        if let Some(d) = self.dh.durability() {
+            self.metrics.set_store_counters(
+                "dh.store",
+                StoreCounters {
+                    durable_appends: d.durable_appends,
+                    fsync_batches: d.fsync_batches,
+                    recovery_replayed_records: d.recovery_replayed_records,
+                    snapshot_count: d.snapshot_count,
+                },
+            );
+        }
         let loads = self
             .dh
             .shard_loads()
@@ -96,7 +110,7 @@ impl DhService {
     }
 }
 
-impl Service for DhService {
+impl<S: StorageBackend + Send + Sync + 'static> Service for DhService<S> {
     fn handle(&self, request: &[u8]) -> Result<Vec<u8>, (ErrorCode, String)> {
         // Idempotency-tagged mutations (see `crate::dedup`) execute at
         // most once; a replayed token gets the remembered response.
@@ -107,7 +121,7 @@ impl Service for DhService {
     }
 }
 
-impl DhService {
+impl<S: StorageBackend> DhService<S> {
     fn handle_inner(&self, request: &[u8]) -> Result<Vec<u8>, (ErrorCode, String)> {
         let req = match DhRequest::decode(request) {
             Ok(req) => req,

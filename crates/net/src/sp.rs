@@ -17,9 +17,12 @@ use rand::SeedableRng;
 use social_puzzles_core::construction1::{
     Construction1, DisplayedPuzzle, Puzzle, PuzzleResponse, VerifyOutcome,
 };
-use social_puzzles_core::metrics::{ServiceMetrics, ShardContention};
+use social_puzzles_core::metrics::{ServiceMetrics, ShardContention, StoreCounters};
 use social_puzzles_core::SocialPuzzleError;
-use sp_osn::{OsnError, PostId, ProviderApi, PuzzleId, ServiceProvider, ShardedMap, Url, UserId};
+use sp_osn::{
+    OsnError, PostId, ProviderApi, ProviderBackend, PuzzleId, ServiceProvider, ShardedMap, Url,
+    UserId,
+};
 use sp_wire::Reader;
 
 use crate::client::{ClientConfig, Connection};
@@ -35,9 +38,11 @@ use crate::pipeline::{PipelineConfig, PipelinedConnection, Transport};
 /// Metrics name of the SP's parsed-puzzle memoization cache.
 const PUZZLE_CACHE: &str = "sp.puzzle_cache";
 
-/// The SP daemon's request handler.
-pub struct SpService {
-    sp: ServiceProvider,
+/// The SP daemon's request handler, generic over the backend: the
+/// in-memory [`ServiceProvider`] (the default) or `sp-store`'s durable
+/// provider — any [`ProviderBackend`] serves the same RPC surface.
+pub struct SpService<P = ServiceProvider> {
+    sp: P,
     c1: Construction1,
     rng: Mutex<StdRng>,
     metrics: ServiceMetrics,
@@ -51,10 +56,10 @@ pub struct SpService {
     puzzle_cache: ShardedMap<u64, Arc<Puzzle>>,
 }
 
-impl SpService {
-    /// Wraps a provider and a Construction-1 scheme (whose hash choice
-    /// the `DisplayPuzzle`/`Verify` endpoints follow).
-    pub fn new(sp: ServiceProvider, c1: Construction1) -> Self {
+impl<P: ProviderBackend> SpService<P> {
+    /// Wraps a provider backend and a Construction-1 scheme (whose hash
+    /// choice the `DisplayPuzzle`/`Verify` endpoints follow).
+    pub fn new(sp: P, c1: Construction1) -> Self {
         Self {
             sp,
             c1,
@@ -70,8 +75,8 @@ impl SpService {
         self.metrics.clone()
     }
 
-    /// The wrapped provider, for out-of-band inspection (audit log etc.).
-    pub fn provider(&self) -> &ServiceProvider {
+    /// The wrapped backend, for out-of-band inspection (audit log etc.).
+    pub fn provider(&self) -> &P {
         &self.sp
     }
 
@@ -104,7 +109,7 @@ impl SpService {
         let osn = |e: OsnError| (code_for(e), e.to_string());
         match req {
             SpRequest::Upload { record } => {
-                let id = self.sp.publish_puzzle(Bytes::from(record));
+                let id = self.sp.publish_puzzle(Bytes::from(record)).map_err(osn)?;
                 // A fresh id normally has no cached parse, but the provider
                 // may recycle ids after deletes — never serve a stale parse.
                 self.invalidate_puzzle(id.raw());
@@ -127,11 +132,16 @@ impl SpService {
                 Ok(Vec::new())
             }
             SpRequest::LogAccess { user, puzzle, granted } => {
-                self.sp.log_access(UserId::from_raw(user), PuzzleId::from_raw(puzzle), granted);
+                self.sp
+                    .log_access(UserId::from_raw(user), PuzzleId::from_raw(puzzle), granted)
+                    .map_err(osn)?;
                 Ok(Vec::new())
             }
             SpRequest::Post { author, text, puzzle } => {
-                let id = self.sp.post(UserId::from_raw(author), text, PuzzleId::from_raw(puzzle));
+                let id = self
+                    .sp
+                    .post(UserId::from_raw(author), &text, PuzzleId::from_raw(puzzle))
+                    .map_err(osn)?;
                 Ok(encode_u64(id.raw()))
             }
             SpRequest::DisplayPuzzle { puzzle } => {
@@ -145,11 +155,9 @@ impl SpService {
                 let verdict = self.c1.verify(&p, &response);
                 // The audit log records the attempt either way — this is
                 // the metadata the SP inevitably observes (§IV-B).
-                self.sp.log_access(
-                    UserId::from_raw(user),
-                    PuzzleId::from_raw(puzzle),
-                    verdict.is_ok(),
-                );
+                self.sp
+                    .log_access(UserId::from_raw(user), PuzzleId::from_raw(puzzle), verdict.is_ok())
+                    .map_err(osn)?;
                 match verdict {
                     Ok(outcome) => Ok(encode_verify_outcome(&outcome)),
                     Err(SocialPuzzleError::NotEnoughCorrectAnswers) => Err((
@@ -165,17 +173,22 @@ impl SpService {
             }
             SpRequest::VerifyBatch { entries } => {
                 self.metrics.record_batch("sp.verify_batch", entries.len() as u64);
-                Ok(encode_batch_results(&self.verify_batch_entries(&entries)))
+                Ok(encode_batch_results(&self.verify_batch_entries(&entries)?))
             }
             SpRequest::AnswerPuzzleBatch { user, puzzle, responses } => {
                 self.metrics.record_batch("sp.answer_puzzle_batch", responses.len() as u64);
                 let p = self.load_puzzle(puzzle)?;
                 let verdicts = self.c1.verify_batch(&p, &responses);
-                self.sp.log_access_batch(
-                    verdicts
-                        .iter()
-                        .map(|v| (UserId::from_raw(user), PuzzleId::from_raw(puzzle), v.is_ok())),
-                );
+                self.sp
+                    .log_access_batch(
+                        verdicts
+                            .iter()
+                            .map(|v| {
+                                (UserId::from_raw(user), PuzzleId::from_raw(puzzle), v.is_ok())
+                            })
+                            .collect(),
+                    )
+                    .map_err(osn)?;
                 let results: Vec<BatchEntryResult> =
                     verdicts.into_iter().map(verdict_to_entry).collect();
                 Ok(encode_batch_results(&results))
@@ -187,8 +200,13 @@ impl SpService {
     /// each puzzle is loaded and parsed once and verified through the
     /// amortized [`Construction1::verify_batch`] path; results and audit
     /// entries come back in the original entry order, and a failing entry
-    /// (unknown puzzle, below threshold) fails only its own slot.
-    fn verify_batch_entries(&self, entries: &[VerifyEntry]) -> Vec<BatchEntryResult> {
+    /// (unknown puzzle, below threshold) fails only its own slot. A
+    /// backend failure to *log* the batch (durable log crash) fails the
+    /// frame: results must never outrun the audit trail.
+    fn verify_batch_entries(
+        &self,
+        entries: &[VerifyEntry],
+    ) -> Result<Vec<BatchEntryResult>, (ErrorCode, String)> {
         let mut groups: HashMap<u64, Vec<usize>> = HashMap::new();
         for (i, e) in entries.iter().enumerate() {
             groups.entry(e.puzzle).or_default().push(i);
@@ -215,15 +233,37 @@ impl SpService {
                 }
             }
         }
-        self.sp.log_access_batch(entries.iter().zip(&granted).filter_map(|(e, g)| {
-            g.map(|granted| (UserId::from_raw(e.user), PuzzleId::from_raw(e.puzzle), granted))
-        }));
-        results.into_iter().map(|r| r.expect("every entry answered")).collect()
+        self.sp
+            .log_access_batch(
+                entries
+                    .iter()
+                    .zip(&granted)
+                    .filter_map(|(e, g)| {
+                        g.map(|granted| {
+                            (UserId::from_raw(e.user), PuzzleId::from_raw(e.puzzle), granted)
+                        })
+                    })
+                    .collect(),
+            )
+            .map_err(|e| (code_for(e), e.to_string()))?;
+        Ok(results.into_iter().map(|r| r.expect("every entry answered")).collect())
     }
 
-    /// Pushes the provider's current per-shard load counters into the
-    /// metrics registry (component `"sp.puzzles"`).
+    /// Pushes the backend's current per-shard load counters (component
+    /// `"sp.puzzles"`) and, for durable backends, durability counters
+    /// (component `"sp.store"`) into the metrics registry.
     pub fn sync_shard_metrics(&self) {
+        if let Some(d) = self.sp.durability() {
+            self.metrics.set_store_counters(
+                "sp.store",
+                StoreCounters {
+                    durable_appends: d.durable_appends,
+                    fsync_batches: d.fsync_batches,
+                    recovery_replayed_records: d.recovery_replayed_records,
+                    snapshot_count: d.snapshot_count,
+                },
+            );
+        }
         self.metrics.set_shard_contention(
             "sp.puzzles",
             self.sp
@@ -262,7 +302,7 @@ fn verdict_to_entry(v: Result<VerifyOutcome, SocialPuzzleError>) -> BatchEntryRe
     }
 }
 
-impl Service for SpService {
+impl<P: ProviderBackend + Send + Sync + 'static> Service for SpService<P> {
     fn handle(&self, request: &[u8]) -> Result<Vec<u8>, (ErrorCode, String)> {
         // Idempotency-tagged mutations (see `crate::dedup`) execute at
         // most once; a replayed token gets the remembered response.
@@ -273,7 +313,7 @@ impl Service for SpService {
     }
 }
 
-impl SpService {
+impl<P: ProviderBackend> SpService<P> {
     fn handle_inner(&self, request: &[u8]) -> Result<Vec<u8>, (ErrorCode, String)> {
         let req = match SpRequest::decode(request) {
             Ok(req) => req,

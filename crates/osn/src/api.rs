@@ -20,7 +20,24 @@ use bytes::Bytes;
 use crate::error::OsnError;
 use crate::graph::UserId;
 use crate::provider::{PostId, PuzzleId, ServiceProvider};
+use crate::shard::ShardLoad;
 use crate::storage::{StorageHost, Url};
+
+/// Durability counters a persistent backend exports: how many mutations
+/// were logged, how fsyncs batched, and what recovery replayed. All zero
+/// until the first corresponding event.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DurabilityCounters {
+    /// Records appended to the write-ahead log.
+    pub durable_appends: u64,
+    /// Physical fsync calls that made one or more appends durable —
+    /// under group commit this is ≤ `durable_appends`.
+    pub fsync_batches: u64,
+    /// Log records replayed by the last recovery-on-startup.
+    pub recovery_replayed_records: u64,
+    /// Snapshots written since startup.
+    pub snapshot_count: u64,
+}
 
 /// The service-provider surface the protocol drivers use: opaque puzzle
 /// records, the access-attempt audit log, and the hyperlink feed.
@@ -106,6 +123,38 @@ pub trait StorageApi {
     fn delete(&self, url: &Url) -> Result<(), OsnError>;
 }
 
+/// What a *service* hosting a provider backend needs beyond the driver
+/// surface: batched audit logging, shard observability, and (for durable
+/// backends) durability counters. In-memory and durable backends both
+/// implement this, so `sp-net`'s `SpService` is generic over it.
+pub trait ProviderBackend: ProviderApi {
+    /// Records many access attempts as one contiguous audit batch.
+    ///
+    /// # Errors
+    ///
+    /// Durable backends return [`OsnError::Transport`] on log failures.
+    fn log_access_batch(&self, entries: Vec<(UserId, PuzzleId, bool)>) -> Result<(), OsnError>;
+
+    /// Per-shard load counters for the puzzle table.
+    fn shard_loads(&self) -> Vec<ShardLoad>;
+
+    /// Durability counters; `None` for purely in-memory backends.
+    fn durability(&self) -> Option<DurabilityCounters> {
+        None
+    }
+}
+
+/// The storage-host analogue of [`ProviderBackend`].
+pub trait StorageBackend: StorageApi {
+    /// Per-shard load counters for the blob store.
+    fn shard_loads(&self) -> Vec<ShardLoad>;
+
+    /// Durability counters; `None` for purely in-memory backends.
+    fn durability(&self) -> Option<DurabilityCounters> {
+        None
+    }
+}
+
 impl ProviderApi for ServiceProvider {
     fn publish_puzzle(&self, record: Bytes) -> Result<PuzzleId, OsnError> {
         Ok(ServiceProvider::publish_puzzle(self, record))
@@ -133,6 +182,17 @@ impl ProviderApi for ServiceProvider {
     }
 }
 
+impl ProviderBackend for ServiceProvider {
+    fn log_access_batch(&self, entries: Vec<(UserId, PuzzleId, bool)>) -> Result<(), OsnError> {
+        ServiceProvider::log_access_batch(self, entries);
+        Ok(())
+    }
+
+    fn shard_loads(&self) -> Vec<ShardLoad> {
+        ServiceProvider::shard_loads(self)
+    }
+}
+
 impl StorageApi for StorageHost {
     fn reserve(&self) -> Result<Url, OsnError> {
         Ok(StorageHost::reserve(self))
@@ -152,6 +212,12 @@ impl StorageApi for StorageHost {
 
     fn delete(&self, url: &Url) -> Result<(), OsnError> {
         StorageHost::delete(self, url)
+    }
+}
+
+impl StorageBackend for StorageHost {
+    fn shard_loads(&self) -> Vec<ShardLoad> {
+        StorageHost::shard_loads(self)
     }
 }
 
@@ -190,6 +256,24 @@ mod tests {
         // The trait path shares state with the inherent path.
         assert_eq!(sp.audit_log().len(), 1);
         assert_eq!(sp.puzzle_count(), 0);
+    }
+
+    #[test]
+    fn in_memory_backends_expose_backend_surface() {
+        fn backend<P: ProviderBackend, D: StorageBackend>(sp: &P, dh: &D) {
+            let id = sp.publish_puzzle(Bytes::new()).unwrap();
+            let u = UserId::from_raw(1);
+            sp.log_access_batch(vec![(u, id, true), (u, id, false)]).unwrap();
+            assert!(!ProviderBackend::shard_loads(sp).is_empty());
+            assert!(!StorageBackend::shard_loads(dh).is_empty());
+            assert_eq!(sp.durability(), None, "in-memory backends report no durability");
+            assert_eq!(dh.durability(), None);
+        }
+        let sp = ServiceProvider::new();
+        let dh = StorageHost::new();
+        backend(&sp, &dh);
+        assert_eq!(sp.audit_log().len(), 2);
+        assert_eq!(DurabilityCounters::default().durable_appends, 0);
     }
 
     #[test]

@@ -46,7 +46,7 @@ mod provider;
 pub mod shard;
 mod storage;
 
-pub use api::{ProviderApi, StorageApi};
+pub use api::{DurabilityCounters, ProviderApi, ProviderBackend, StorageApi, StorageBackend};
 pub use device::DeviceProfile;
 pub use error::OsnError;
 pub use graph::{SocialGraph, UserId};

@@ -257,6 +257,60 @@ impl ServiceProvider {
             })
             .collect()
     }
+
+    // ---- durability hooks ------------------------------------------------
+    //
+    // The export/restore pairs below exist for `sp-store`'s snapshot and
+    // write-ahead-log replay: a durable wrapper drains the in-memory state
+    // into a snapshot and reconstructs it — ids included — on recovery.
+
+    /// Every stored puzzle as `(raw id, record)`, sorted by id so
+    /// snapshots are byte-deterministic regardless of shard layout.
+    pub fn export_puzzles(&self) -> Vec<(u64, Bytes)> {
+        let mut out = Vec::with_capacity(self.puzzle_count());
+        self.inner.puzzles.for_each(|id, record| out.push((*id, record.clone())));
+        out.sort_unstable_by_key(|(id, _)| *id);
+        out
+    }
+
+    /// The next puzzle id the provider would assign.
+    pub fn next_puzzle_id(&self) -> u64 {
+        self.inner.next_puzzle.load(Ordering::Relaxed)
+    }
+
+    /// Raises the id allocator so future [`ServiceProvider::publish_puzzle`]
+    /// calls assign ids strictly above `at_least`. Never lowers it.
+    pub fn bump_next_puzzle_id(&self, at_least: u64) {
+        self.inner.next_puzzle.fetch_max(at_least, Ordering::Relaxed);
+    }
+
+    /// Re-inserts a puzzle under its original id (snapshot / log replay),
+    /// bumping the id allocator past it.
+    pub fn restore_puzzle(&self, id: u64, record: Bytes) {
+        self.inner.puzzles.insert(id, record);
+        self.bump_next_puzzle_id(id + 1);
+    }
+
+    /// The feed in posting order as `(next id, posts)` — each post as
+    /// `(raw id, post)`.
+    pub fn export_posts(&self) -> (u64, Vec<(u64, Post)>) {
+        let feed = self.inner.feed.read();
+        let posts = feed
+            .feed_order
+            .iter()
+            .filter_map(|id| feed.posts.get(&id.0).map(|p| (id.0, p.clone())))
+            .collect();
+        (feed.next_post, posts)
+    }
+
+    /// Re-inserts a post under its original id at the end of the feed
+    /// (snapshot / log replay), bumping the id allocator past it.
+    pub fn restore_post(&self, id: u64, author: UserId, text: impl Into<String>, puzzle: PuzzleId) {
+        let mut feed = self.inner.feed.write();
+        feed.next_post = feed.next_post.max(id + 1);
+        feed.posts.insert(id, Post { author, text: text.into(), puzzle });
+        feed.feed_order.push(PostId(id));
+    }
 }
 
 #[cfg(test)]

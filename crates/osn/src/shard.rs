@@ -180,6 +180,20 @@ impl<K: ShardKey, V> ShardedMap<K, V> {
         self.shards.iter().all(|s| self.read_shard(s).is_empty())
     }
 
+    /// Visits every `(key, value)` pair, shard by shard — the snapshot
+    /// export path. Not a consistent cross-shard snapshot (same caveat as
+    /// [`len`]); callers needing consistency must quiesce writers first.
+    ///
+    /// [`len`]: ShardedMap::len
+    pub fn for_each(&self, mut f: impl FnMut(&K, &V)) {
+        for s in self.shards.iter() {
+            let guard = self.read_shard(s);
+            for (k, v) in guard.iter() {
+                f(k, v);
+            }
+        }
+    }
+
     /// Folds `f` over all values, shard by shard.
     pub fn fold_values<B>(&self, init: B, mut f: impl FnMut(B, &V) -> B) -> B {
         let mut acc = init;

@@ -187,6 +187,39 @@ impl StorageHost {
     pub fn total_bytes(&self) -> usize {
         self.inner.blobs.fold_values(0usize, |acc, b| acc + b.len())
     }
+
+    // ---- durability hooks ------------------------------------------------
+
+    /// Every stored blob as `(url, data)`, sorted by URL so snapshots are
+    /// byte-deterministic regardless of shard layout.
+    pub fn export_blobs(&self) -> Vec<(String, Bytes)> {
+        let mut out = Vec::with_capacity(self.len());
+        self.inner.blobs.for_each(|url, data| out.push((url.clone(), data.clone())));
+        out.sort_unstable();
+        out
+    }
+
+    /// The next object id the host would mint into a URL.
+    pub fn next_object_id(&self) -> u64 {
+        self.inner.next_id.load(Ordering::Relaxed)
+    }
+
+    /// Raises the URL id allocator so future [`StorageHost::put`] calls
+    /// mint ids strictly above `at_least`. Never lowers it.
+    pub fn bump_next_object_id(&self, at_least: u64) {
+        self.inner.next_id.fetch_max(at_least, Ordering::Relaxed);
+    }
+
+    /// Re-inserts a blob under its original URL (snapshot / log replay).
+    /// If the URL carries a numeric id minted by [`StorageHost::put`],
+    /// the id allocator is bumped past it so replayed and fresh blobs
+    /// never collide.
+    pub fn restore_blob(&self, url: &str, data: Bytes) {
+        if let Some(id) = url.rsplit('/').next().and_then(|tail| tail.parse::<u64>().ok()) {
+            self.bump_next_object_id(id + 1);
+        }
+        self.inner.blobs.insert(url.to_owned(), data);
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,91 @@
+//! Storage-engine errors.
+
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+use sp_wire::WireError;
+
+/// Errors produced by the write-ahead log and the durable backends.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum StoreError {
+    /// An underlying filesystem operation failed.
+    Io(io::Error),
+    /// A log segment or snapshot failed its integrity checks somewhere
+    /// other than the torn tail of the last segment (which recovery
+    /// silently truncates). Recovery refuses to guess at corrupt state.
+    Corrupt {
+        /// File name of the offending segment or snapshot.
+        segment: String,
+        /// Byte offset of the first bad frame.
+        offset: u64,
+        /// What failed: CRC mismatch, bad length, undecodable body.
+        detail: String,
+    },
+    /// A record body failed to decode (recovery surfaces this as
+    /// [`StoreError::Corrupt`]; this variant covers encode-side misuse).
+    Wire(WireError),
+    /// An injected file fault fired: the store simulates a process kill
+    /// and refuses every further operation until reopened.
+    Crashed,
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "storage i/o failed: {e}"),
+            Self::Corrupt { segment, offset, detail } => {
+                write!(f, "corrupt log: {segment} at byte {offset}: {detail}")
+            }
+            Self::Wire(e) => write!(f, "record codec failed: {e}"),
+            Self::Crashed => f.write_str("store crashed (injected fault); reopen to recover"),
+        }
+    }
+}
+
+impl Error for StoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            Self::Wire(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl From<WireError> for StoreError {
+    fn from(e: WireError) -> Self {
+        Self::Wire(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let io: StoreError = io::Error::other("disk on fire").into();
+        assert!(io.to_string().contains("disk on fire"));
+        assert!(io.source().is_some());
+        let wire: StoreError = WireError::UnexpectedEnd.into();
+        assert!(wire.source().is_some());
+        let corrupt = StoreError::Corrupt {
+            segment: "wal-00000000000000000001.log".into(),
+            offset: 42,
+            detail: "crc mismatch".into(),
+        };
+        let shown = corrupt.to_string();
+        assert!(shown.contains("byte 42"));
+        assert!(shown.contains("crc mismatch"));
+        assert!(corrupt.source().is_none());
+        assert!(StoreError::Crashed.to_string().contains("reopen"));
+    }
+}

@@ -1,0 +1,51 @@
+//! `sp-store`: a durable storage engine for the SP/DH state.
+//!
+//! The paper's prototype keeps the service provider's puzzle database
+//! and the storage host's blob store on a real server (§VII); this crate
+//! gives the workspace the matching durability layer:
+//!
+//! * [`Record`] — the mutation log entries, CRC32-framed with the
+//!   `sp-wire` codec ([`scan_frame`] recovers them one at a time),
+//! * [`Wal`] — an append-only segmented write-ahead log with **group
+//!   commit** (one fsync makes many concurrent appends durable),
+//!   periodic [snapshots](Wal::write_snapshot), segment rotation, and
+//!   compaction of segments a snapshot has made obsolete,
+//! * [`DurableProvider`] / [`DurableHost`] — drop-in backends behind
+//!   the `sp-osn` traits: the sharded in-memory stores remain the read
+//!   path, every mutation is logged before it is acknowledged, and
+//!   recovery-on-startup replays snapshot + log tail,
+//! * [`FileFault`] — injected kill/torn-write/partial-fsync faults so
+//!   the crash-recovery tests exercise real failure shapes.
+//!
+//! # Example
+//!
+//! ```
+//! use sp_store::{DurableProvider, StoreConfig};
+//! use sp_osn::ProviderApi;
+//!
+//! let dir = std::env::temp_dir().join(format!("sp-store-doc-{}", std::process::id()));
+//! let id = {
+//!     let sp = DurableProvider::open(&dir, StoreConfig::default())?;
+//!     sp.publish_puzzle(bytes::Bytes::from_static(b"opaque record"))?
+//! };
+//! // A reopened store replays the log and serves the same state.
+//! let sp = DurableProvider::open(&dir, StoreConfig::default())?;
+//! assert_eq!(sp.fetch_puzzle(id)?, bytes::Bytes::from_static(b"opaque record"));
+//! # std::fs::remove_dir_all(&dir).unwrap();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod crc;
+mod durable;
+mod error;
+pub mod record;
+mod wal;
+
+pub use crc::crc32;
+pub use durable::{DurableHost, DurableProvider, StoreConfig};
+pub use error::StoreError;
+pub use record::{scan_frame, Record, ScanStep, FRAME_HEADER_LEN, MAX_RECORD_LEN};
+pub use wal::{FileFault, Recovered, Wal};

@@ -1,0 +1,384 @@
+//! The WAL record codec: one mutation per record, CRC32-framed.
+//!
+//! On-disk frame layout (all integers big-endian, matching `sp-wire`):
+//!
+//! ```text
+//! ┌─────────┬─────────┬──────────────────────────────┐
+//! │ u32 len │ u32 crc │ body (len bytes)             │
+//! └─────────┴─────────┴──────────────────────────────┘
+//! body = u64 seq ‖ u8 kind ‖ kind-specific fields
+//! ```
+//!
+//! The CRC covers the body only; the length is implicitly validated by
+//! the CRC (a wrong length either truncates the body, failing the CRC,
+//! or runs past the write, leaving an incomplete frame). Records carry
+//! *absolute* state — ids and URLs assigned at write time — so replay is
+//! idempotent and order-insensitive per key.
+
+use bytes::Bytes;
+use sp_wire::{Reader, WireError, Writer};
+
+use crate::crc::crc32;
+
+/// Bytes of frame header preceding each record body: `u32 len ‖ u32 crc`.
+pub const FRAME_HEADER_LEN: usize = 8;
+
+/// Upper bound on one record body. A frame claiming more is corruption,
+/// not data — no blob or puzzle record approaches this.
+pub const MAX_RECORD_LEN: usize = 64 << 20;
+
+/// One logged mutation. SP records carry puzzle/feed/audit state; DH
+/// records carry blob state. A store only replays the kinds it owns.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Record {
+    /// A puzzle record published under an SP-assigned id (`Upload`).
+    PublishPuzzle {
+        /// SP-assigned raw puzzle id.
+        id: u64,
+        /// The opaque serialized puzzle.
+        record: Bytes,
+    },
+    /// A puzzle record replaced in place (sharer refresh).
+    ReplacePuzzle {
+        /// Raw puzzle id.
+        id: u64,
+        /// The replacement record.
+        record: Bytes,
+    },
+    /// A puzzle deleted.
+    DeletePuzzle {
+        /// Raw puzzle id.
+        id: u64,
+    },
+    /// One audit-log entry (`Verify` / `AnswerPuzzle` outcome).
+    LogAccess {
+        /// Raw attempting-user id.
+        user: u64,
+        /// Raw attempted-puzzle id.
+        puzzle: u64,
+        /// Whether access was granted.
+        granted: bool,
+    },
+    /// A feed post (share hyperlink).
+    Post {
+        /// SP-assigned raw post id.
+        id: u64,
+        /// Raw author user id.
+        author: u64,
+        /// Post text.
+        text: String,
+        /// Raw linked puzzle id.
+        puzzle: u64,
+    },
+    /// A blob stored (or a URL reserved with empty content) at a
+    /// DH-minted URL.
+    PutBlob {
+        /// The minted URL.
+        url: String,
+        /// Blob content.
+        data: Bytes,
+    },
+    /// A previously issued URL filled (or replaced).
+    FillBlob {
+        /// The target URL.
+        url: String,
+        /// New content.
+        data: Bytes,
+    },
+    /// A blob deleted.
+    DeleteBlob {
+        /// The target URL.
+        url: String,
+    },
+}
+
+const KIND_PUBLISH_PUZZLE: u8 = 1;
+const KIND_REPLACE_PUZZLE: u8 = 2;
+const KIND_DELETE_PUZZLE: u8 = 3;
+const KIND_LOG_ACCESS: u8 = 4;
+const KIND_POST: u8 = 5;
+const KIND_PUT_BLOB: u8 = 6;
+const KIND_FILL_BLOB: u8 = 7;
+const KIND_DELETE_BLOB: u8 = 8;
+
+impl Record {
+    fn kind(&self) -> u8 {
+        match self {
+            Self::PublishPuzzle { .. } => KIND_PUBLISH_PUZZLE,
+            Self::ReplacePuzzle { .. } => KIND_REPLACE_PUZZLE,
+            Self::DeletePuzzle { .. } => KIND_DELETE_PUZZLE,
+            Self::LogAccess { .. } => KIND_LOG_ACCESS,
+            Self::Post { .. } => KIND_POST,
+            Self::PutBlob { .. } => KIND_PUT_BLOB,
+            Self::FillBlob { .. } => KIND_FILL_BLOB,
+            Self::DeleteBlob { .. } => KIND_DELETE_BLOB,
+        }
+    }
+
+    /// Exact body size for this record under `seq` framing — used to
+    /// pre-size the encoder (`Writer::with_capacity`) so the hot append
+    /// path never reallocates.
+    pub fn encoded_len(&self) -> usize {
+        let fields = match self {
+            Self::PublishPuzzle { record, .. } | Self::ReplacePuzzle { record, .. } => {
+                8 + 4 + record.len()
+            }
+            Self::DeletePuzzle { .. } => 8,
+            Self::LogAccess { .. } => 8 + 8 + 1,
+            Self::Post { text, .. } => 8 + 8 + (4 + text.len()) + 8,
+            Self::PutBlob { url, data } | Self::FillBlob { url, data } => {
+                (4 + url.len()) + (4 + data.len())
+            }
+            Self::DeleteBlob { url } => 4 + url.len(),
+        };
+        8 + 1 + fields // seq ‖ kind ‖ fields
+    }
+
+    fn encode_body(&self, seq: u64) -> Bytes {
+        let mut w = Writer::with_capacity(self.encoded_len());
+        w.u64(seq).u8(self.kind());
+        match self {
+            Self::PublishPuzzle { id, record } | Self::ReplacePuzzle { id, record } => {
+                w.u64(*id).bytes(record);
+            }
+            Self::DeletePuzzle { id } => {
+                w.u64(*id);
+            }
+            Self::LogAccess { user, puzzle, granted } => {
+                w.u64(*user).u64(*puzzle).u8(u8::from(*granted));
+            }
+            Self::Post { id, author, text, puzzle } => {
+                w.u64(*id).u64(*author).string(text).u64(*puzzle);
+            }
+            Self::PutBlob { url, data } | Self::FillBlob { url, data } => {
+                w.string(url).bytes(data);
+            }
+            Self::DeleteBlob { url } => {
+                w.string(url);
+            }
+        }
+        w.finish()
+    }
+
+    /// Encodes the complete on-disk frame for this record at `seq`.
+    pub fn frame(&self, seq: u64) -> Bytes {
+        let body = self.encode_body(seq);
+        let mut w = Writer::with_capacity(FRAME_HEADER_LEN + body.len());
+        w.u32(body.len() as u32).u32(crc32(&body)).raw(&body);
+        w.finish()
+    }
+
+    /// Decodes a record body (already CRC-validated) into `(seq, record)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the `sp-wire` decode error for malformed bodies, including
+    /// trailing bytes and unknown kinds (mapped to
+    /// [`WireError::UnexpectedEnd`]-family errors by construction).
+    pub fn decode_body(body: &[u8]) -> Result<(u64, Record), WireError> {
+        let mut r = Reader::new(body);
+        let seq = r.u64()?;
+        let kind = r.u8()?;
+        let record = match kind {
+            KIND_PUBLISH_PUZZLE => {
+                Record::PublishPuzzle { id: r.u64()?, record: Bytes::copy_from_slice(r.bytes()?) }
+            }
+            KIND_REPLACE_PUZZLE => {
+                Record::ReplacePuzzle { id: r.u64()?, record: Bytes::copy_from_slice(r.bytes()?) }
+            }
+            KIND_DELETE_PUZZLE => Record::DeletePuzzle { id: r.u64()? },
+            KIND_LOG_ACCESS => {
+                Record::LogAccess { user: r.u64()?, puzzle: r.u64()?, granted: r.u8()? != 0 }
+            }
+            KIND_POST => Record::Post {
+                id: r.u64()?,
+                author: r.u64()?,
+                text: r.string()?.to_owned(),
+                puzzle: r.u64()?,
+            },
+            KIND_PUT_BLOB => Record::PutBlob {
+                url: r.string()?.to_owned(),
+                data: Bytes::copy_from_slice(r.bytes()?),
+            },
+            KIND_FILL_BLOB => Record::FillBlob {
+                url: r.string()?.to_owned(),
+                data: Bytes::copy_from_slice(r.bytes()?),
+            },
+            KIND_DELETE_BLOB => Record::DeleteBlob { url: r.string()?.to_owned() },
+            // An unknown kind on a CRC-valid body means a version we do
+            // not speak; surface it as a decode failure, not silence.
+            _ => return Err(WireError::TrailingBytes),
+        };
+        r.expect_end()?;
+        Ok((seq, record))
+    }
+}
+
+/// Outcome of scanning one frame at the front of a buffer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ScanStep {
+    /// A full, CRC-valid, decodable frame.
+    Complete {
+        /// The record's log sequence number.
+        seq: u64,
+        /// The decoded record.
+        record: Record,
+        /// Total frame bytes consumed (header + body).
+        consumed: usize,
+    },
+    /// The buffer ends before the frame does — a torn tail if this is
+    /// the end of the last segment, corruption anywhere else.
+    Incomplete,
+    /// The frame is complete but invalid: absurd length, CRC mismatch,
+    /// or undecodable body.
+    Corrupt {
+        /// What failed, for the recovery error message.
+        detail: String,
+    },
+}
+
+/// Scans the frame at the front of `buf` without consuming it.
+pub fn scan_frame(buf: &[u8]) -> ScanStep {
+    if buf.len() < FRAME_HEADER_LEN {
+        return ScanStep::Incomplete;
+    }
+    let len = u32::from_be_bytes(buf[0..4].try_into().expect("4 bytes")) as usize;
+    if len > MAX_RECORD_LEN {
+        return ScanStep::Corrupt { detail: format!("frame claims {len} bytes") };
+    }
+    let Some(body) = buf.get(FRAME_HEADER_LEN..FRAME_HEADER_LEN + len) else {
+        return ScanStep::Incomplete;
+    };
+    let want = u32::from_be_bytes(buf[4..8].try_into().expect("4 bytes"));
+    let got = crc32(body);
+    if got != want {
+        return ScanStep::Corrupt {
+            detail: format!("crc mismatch: stored {want:#010x}, computed {got:#010x}"),
+        };
+    }
+    match Record::decode_body(body) {
+        Ok((seq, record)) => ScanStep::Complete { seq, record, consumed: FRAME_HEADER_LEN + len },
+        Err(e) => ScanStep::Corrupt { detail: format!("undecodable body: {e}") },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<Record> {
+        vec![
+            Record::PublishPuzzle { id: 0, record: Bytes::from_static(b"opaque") },
+            Record::ReplacePuzzle { id: 7, record: Bytes::new() },
+            Record::DeletePuzzle { id: u64::MAX },
+            Record::LogAccess { user: 3, puzzle: 9, granted: true },
+            Record::LogAccess { user: 3, puzzle: 9, granted: false },
+            Record::Post { id: 1, author: 2, text: "solve my 🔒 puzzle".into(), puzzle: 4 },
+            Record::PutBlob {
+                url: "https://dh.example/objects/0".into(),
+                data: Bytes::from_static(b"ct"),
+            },
+            Record::FillBlob { url: "https://dh.example/objects/0".into(), data: Bytes::new() },
+            Record::DeleteBlob { url: "https://dh.example/objects/0".into() },
+        ]
+    }
+
+    #[test]
+    fn frame_roundtrips_every_kind() {
+        for (i, rec) in samples().into_iter().enumerate() {
+            let seq = i as u64 + 1;
+            let frame = rec.frame(seq);
+            assert_eq!(frame.len(), FRAME_HEADER_LEN + rec.encoded_len(), "{rec:?}");
+            match scan_frame(&frame) {
+                ScanStep::Complete { seq: got_seq, record, consumed } => {
+                    assert_eq!(got_seq, seq);
+                    assert_eq!(record, rec);
+                    assert_eq!(consumed, frame.len());
+                }
+                other => panic!("{rec:?} scanned as {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn scan_sees_through_concatenated_frames() {
+        let mut buf = Vec::new();
+        for (i, rec) in samples().into_iter().enumerate() {
+            buf.extend_from_slice(&rec.frame(i as u64 + 1));
+        }
+        let mut off = 0;
+        let mut seen = 0u64;
+        while off < buf.len() {
+            match scan_frame(&buf[off..]) {
+                ScanStep::Complete { seq, consumed, .. } => {
+                    seen += 1;
+                    assert_eq!(seq, seen);
+                    off += consumed;
+                }
+                other => panic!("offset {off}: {other:?}"),
+            }
+        }
+        assert_eq!(seen, samples().len() as u64);
+    }
+
+    #[test]
+    fn every_strict_prefix_is_incomplete() {
+        let rec = Record::PublishPuzzle { id: 5, record: Bytes::from_static(b"payload") };
+        let frame = rec.frame(1);
+        for cut in 0..frame.len() {
+            assert_eq!(scan_frame(&frame[..cut]), ScanStep::Incomplete, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn bit_flips_in_the_body_are_corrupt_not_data() {
+        let rec = Record::LogAccess { user: 1, puzzle: 2, granted: true };
+        let frame = rec.frame(9);
+        for byte in FRAME_HEADER_LEN..frame.len() {
+            let mut bad = frame.to_vec();
+            bad[byte] ^= 0x01;
+            assert!(
+                matches!(scan_frame(&bad), ScanStep::Corrupt { .. }),
+                "body flip at byte {byte} accepted"
+            );
+        }
+        // A flipped stored CRC is also rejected.
+        let mut bad = frame.to_vec();
+        bad[4] ^= 0x80;
+        assert!(matches!(scan_frame(&bad), ScanStep::Corrupt { .. }));
+    }
+
+    #[test]
+    fn absurd_length_is_corrupt() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_be_bytes());
+        buf.extend_from_slice(&[0u8; 12]);
+        assert!(
+            matches!(scan_frame(&buf), ScanStep::Corrupt { detail } if detail.contains("claims"))
+        );
+    }
+
+    #[test]
+    fn unknown_kind_is_corrupt() {
+        let mut w = Writer::new();
+        w.u64(1).u8(200);
+        let body = w.finish();
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(body.len() as u32).to_be_bytes());
+        buf.extend_from_slice(&crc32(&body).to_be_bytes());
+        buf.extend_from_slice(&body);
+        assert!(matches!(scan_frame(&buf), ScanStep::Corrupt { .. }));
+    }
+
+    #[test]
+    fn trailing_garbage_in_body_is_corrupt() {
+        let mut w = Writer::new();
+        w.u64(1).u8(KIND_DELETE_PUZZLE).u64(3).u8(0xEE); // one byte too many
+        let body = w.finish();
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(body.len() as u32).to_be_bytes());
+        buf.extend_from_slice(&crc32(&body).to_be_bytes());
+        buf.extend_from_slice(&body);
+        assert!(matches!(scan_frame(&buf), ScanStep::Corrupt { .. }));
+    }
+}

@@ -1,0 +1,835 @@
+//! The append-only write-ahead log: segments, group commit, snapshots,
+//! rotation + compaction, and recovery.
+//!
+//! ## Layout
+//!
+//! A log directory holds numbered segment files and snapshot files:
+//!
+//! ```text
+//! wal-00000000000000000001.log    records, first seq 1
+//! wal-00000000000000000042.log    records, first seq 42 (active)
+//! snap-00000000000000000041.snap  state covering seqs ≤ 41
+//! ```
+//!
+//! Segments are append-only concatenations of CRC-framed records
+//! ([`crate::record`]). When the active segment exceeds the configured
+//! size it is fsynced, closed, and a new one named by the next sequence
+//! number opened. Snapshots are written to a temp file, fsynced, then
+//! atomically renamed; after a snapshot, closed segments fully covered
+//! by it (and older snapshots) are deleted.
+//!
+//! ## Group commit
+//!
+//! [`Wal::append`] buffers the frame into the active segment under the
+//! log lock *without* fsyncing, and returns the record's sequence
+//! number. [`Wal::commit`] makes that sequence durable: the first waiter
+//! becomes the flush leader — it snapshots the written watermark, drops
+//! the lock, issues one `fdatasync`, and publishes the durable watermark
+//! — while concurrent committers wait on a condvar and are released by
+//! the same fsync. This is the `VerifyBatch` batching pattern applied to
+//! fsyncs: N concurrent writers, one disk flush.
+//!
+//! ## Faults
+//!
+//! [`FileFault`] injects the three classic log failure modes (process
+//! kill with lost page cache, torn append, lying fsync). After a fault
+//! fires the log permanently returns [`StoreError::Crashed`]; the test
+//! harness reopens the directory and recovery replays what was durable.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+use bytes::Bytes;
+use sp_wire::{Reader, Writer};
+
+use crate::crc::crc32;
+use crate::error::StoreError;
+use crate::record::{scan_frame, Record, ScanStep};
+
+const SEGMENT_PREFIX: &str = "wal-";
+const SEGMENT_SUFFIX: &str = ".log";
+const SNAPSHOT_PREFIX: &str = "snap-";
+const SNAPSHOT_SUFFIX: &str = ".snap";
+const SNAPSHOT_MAGIC: &[u8; 8] = b"SPSNAP01";
+
+/// A file-level fault to inject, modeling a process/OS failure. Exactly
+/// one fault fires per log lifetime; afterwards every operation returns
+/// [`StoreError::Crashed`] until the directory is reopened.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FileFault {
+    /// Kill the process once the active segment has `offset` bytes:
+    /// everything not yet fsynced is lost (the cut never reaches below
+    /// the synced watermark — fsynced bytes survive a kill).
+    KillAtOffset {
+        /// Active-segment byte threshold that triggers the kill.
+        offset: u64,
+    },
+    /// The `append`-th append (1-based, per log lifetime) writes only a
+    /// strict prefix of its frame and then the process dies — the torn
+    /// tail recovery must skip.
+    TornWrite {
+        /// Which append tears.
+        append: u64,
+    },
+    /// At the `append`-th append the storage stack admits that previous
+    /// un-fsynced writes never reached the platter: the file rolls back
+    /// to the synced watermark and the process dies.
+    PartialFsync {
+        /// Which append reveals the lie.
+        append: u64,
+    },
+}
+
+/// What [`Wal::open`] recovered from the directory.
+#[derive(Debug, Default)]
+pub struct Recovered {
+    /// The newest snapshot, as `(covered seq, payload)`.
+    pub snapshot: Option<(u64, Bytes)>,
+    /// Log records with seq beyond the snapshot, in ascending seq order.
+    pub records: Vec<(u64, Record)>,
+}
+
+struct ActiveSegment {
+    file: Arc<File>,
+    path: PathBuf,
+    first_seq: u64,
+    written: u64,
+    synced: u64,
+}
+
+struct WalState {
+    active: ActiveSegment,
+    /// Closed segments as `(first seq, path)`, ascending.
+    closed: Vec<(u64, PathBuf)>,
+    next_seq: u64,
+    /// Last appended seq (0 = nothing ever appended).
+    written_seq: u64,
+    /// Last seq known fsynced.
+    durable_seq: u64,
+    /// A flush leader currently holds the fsync.
+    flushing: bool,
+    /// Bumped at rotation so a completed flush never credits its byte
+    /// watermark to the wrong file.
+    epoch: u64,
+    /// Appends attempted this lifetime (fault trigger clock).
+    append_count: u64,
+    fault: Option<FileFault>,
+    crashed: bool,
+}
+
+/// The write-ahead log. One instance per store directory; all methods
+/// are safe to call from concurrent writer threads.
+pub struct Wal {
+    dir: PathBuf,
+    segment_bytes: u64,
+    group_commit: bool,
+    state: Mutex<WalState>,
+    flushed: Condvar,
+    appends: AtomicU64,
+    fsync_batches: AtomicU64,
+    snapshots: AtomicU64,
+    replayed: u64,
+}
+
+fn segment_name(first_seq: u64) -> String {
+    format!("{SEGMENT_PREFIX}{first_seq:020}{SEGMENT_SUFFIX}")
+}
+
+fn snapshot_name(seq: u64) -> String {
+    format!("{SNAPSHOT_PREFIX}{seq:020}{SNAPSHOT_SUFFIX}")
+}
+
+fn parse_numbered(name: &str, prefix: &str, suffix: &str) -> Option<u64> {
+    name.strip_prefix(prefix)?.strip_suffix(suffix)?.parse().ok()
+}
+
+fn sync_dir(dir: &Path) -> Result<(), StoreError> {
+    // Directory fsync persists the entry metadata (creates, renames,
+    // deletes). Not all platforms allow opening a directory for sync;
+    // failures there are ignored — data-file fsyncs still hold.
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(())
+}
+
+fn read_snapshot(path: &Path) -> Result<(u64, Bytes), StoreError> {
+    let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("snapshot").to_owned();
+    let corrupt = |offset: u64, detail: &str| StoreError::Corrupt {
+        segment: name.clone(),
+        offset,
+        detail: detail.to_owned(),
+    };
+    let data = fs::read(path)?;
+    let mut r = Reader::new(&data);
+    let magic = r.raw(8).map_err(|_| corrupt(0, "truncated header"))?;
+    if magic != SNAPSHOT_MAGIC {
+        return Err(corrupt(0, "bad magic"));
+    }
+    let seq = r.u64().map_err(|_| corrupt(8, "truncated header"))?;
+    let len = r.u32().map_err(|_| corrupt(16, "truncated header"))? as usize;
+    let want = r.u32().map_err(|_| corrupt(20, "truncated header"))?;
+    let payload = r.raw(len).map_err(|_| corrupt(24, "truncated payload"))?;
+    if crc32(payload) != want {
+        return Err(corrupt(24, "payload crc mismatch"));
+    }
+    r.expect_end().map_err(|_| corrupt(24 + len as u64, "trailing bytes"))?;
+    Ok((seq, Bytes::copy_from_slice(payload)))
+}
+
+impl Wal {
+    /// Locks the log state. A writer that panicked mid-append poisons
+    /// the std mutex; the log state itself is always internally
+    /// consistent (every field update happens before any fallible I/O
+    /// result is propagated), so the poison flag is cleared.
+    fn lock_state(&self) -> MutexGuard<'_, WalState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Opens (creating if needed) the log directory, runs recovery, and
+    /// returns the log plus everything the owner must replay.
+    ///
+    /// Recovery policy: the newest snapshot is loaded, every segment is
+    /// scanned front to back, and records beyond the snapshot are
+    /// returned for replay. An incomplete frame at the tail of the
+    /// *last* segment is a torn write — it is truncated away, never
+    /// replayed. Corruption anywhere else (CRC mismatch, incomplete
+    /// frame in a closed segment) aborts with [`StoreError::Corrupt`]:
+    /// this log refuses to guess.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and the corruption cases above.
+    pub fn open(
+        dir: impl Into<PathBuf>,
+        segment_bytes: u64,
+        group_commit: bool,
+        fault: Option<FileFault>,
+    ) -> Result<(Self, Recovered), StoreError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+
+        let mut segments: Vec<(u64, PathBuf)> = Vec::new();
+        let mut snapshots: Vec<(u64, PathBuf)> = Vec::new();
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(seq) = parse_numbered(name, SEGMENT_PREFIX, SEGMENT_SUFFIX) {
+                segments.push((seq, entry.path()));
+            } else if let Some(seq) = parse_numbered(name, SNAPSHOT_PREFIX, SNAPSHOT_SUFFIX) {
+                snapshots.push((seq, entry.path()));
+            }
+            // Anything else (e.g. an orphaned .tmp from a snapshot that
+            // died before its rename) is ignored.
+        }
+        segments.sort_unstable_by_key(|(seq, _)| *seq);
+        snapshots.sort_unstable_by_key(|(seq, _)| *seq);
+
+        let snapshot = match snapshots.last() {
+            Some((_, path)) => Some(read_snapshot(path)?),
+            None => None,
+        };
+        let snap_seq = snapshot.as_ref().map_or(0, |(seq, _)| *seq);
+
+        let mut records: Vec<(u64, Record)> = Vec::new();
+        let mut max_seq = snap_seq;
+        let last_ix = segments.len().wrapping_sub(1);
+        for (ix, (_, path)) in segments.iter().enumerate() {
+            let seg_name =
+                path.file_name().and_then(|n| n.to_str()).unwrap_or("segment").to_owned();
+            let data = fs::read(path)?;
+            let mut off = 0usize;
+            while off < data.len() {
+                match scan_frame(&data[off..]) {
+                    ScanStep::Complete { seq, record, consumed } => {
+                        if seq > snap_seq {
+                            records.push((seq, record));
+                        }
+                        max_seq = max_seq.max(seq);
+                        off += consumed;
+                    }
+                    ScanStep::Incomplete if ix == last_ix => {
+                        // Torn tail of the final segment: keep the valid
+                        // prefix, drop the un-acknowledged tail.
+                        let f = OpenOptions::new().write(true).open(path)?;
+                        f.set_len(off as u64)?;
+                        f.sync_all()?;
+                        break;
+                    }
+                    ScanStep::Incomplete => {
+                        return Err(StoreError::Corrupt {
+                            segment: seg_name,
+                            offset: off as u64,
+                            detail: "incomplete record inside a closed segment".to_owned(),
+                        });
+                    }
+                    ScanStep::Corrupt { detail } => {
+                        return Err(StoreError::Corrupt {
+                            segment: seg_name,
+                            offset: off as u64,
+                            detail,
+                        });
+                    }
+                }
+            }
+        }
+        records.sort_by_key(|(seq, _)| *seq);
+
+        // Open a fresh active segment past everything recovered. The name
+        // can only collide with an existing segment that recovered zero
+        // records (empty or fully truncated) — appending to it is safe.
+        let next_seq = max_seq + 1;
+        let active_path = dir.join(segment_name(next_seq));
+        let file = OpenOptions::new().create(true).append(true).read(true).open(&active_path)?;
+        let existing = file.metadata()?.len();
+        debug_assert_eq!(existing, 0, "active segment reuse implies an empty file");
+        sync_dir(&dir)?;
+        let closed: Vec<(u64, PathBuf)> =
+            segments.into_iter().filter(|(_, p)| *p != active_path).collect();
+
+        let replayed = records.len() as u64;
+        let wal = Self {
+            dir,
+            segment_bytes: segment_bytes.max(1),
+            group_commit,
+            state: Mutex::new(WalState {
+                active: ActiveSegment {
+                    file: Arc::new(file),
+                    path: active_path,
+                    first_seq: next_seq,
+                    written: existing,
+                    synced: existing,
+                },
+                closed,
+                next_seq,
+                written_seq: max_seq,
+                durable_seq: max_seq,
+                flushing: false,
+                epoch: 0,
+                append_count: 0,
+                fault,
+                crashed: false,
+            }),
+            flushed: Condvar::new(),
+            appends: AtomicU64::new(0),
+            fsync_batches: AtomicU64::new(0),
+            snapshots: AtomicU64::new(0),
+            replayed,
+        };
+        Ok((wal, Recovered { snapshot, records }))
+    }
+
+    /// Appends one record, returning its sequence number. The record is
+    /// *written* but not yet durable — call [`Wal::commit`] with the
+    /// returned seq before acknowledging the mutation.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, or [`StoreError::Crashed`] once a fault has fired.
+    pub fn append(&self, record: &Record) -> Result<u64, StoreError> {
+        let mut st = self.lock_state();
+        if st.crashed {
+            return Err(StoreError::Crashed);
+        }
+        st.append_count += 1;
+        let seq = st.next_seq;
+        let frame = record.frame(seq);
+
+        match st.fault {
+            Some(FileFault::TornWrite { append }) if st.append_count == append => {
+                // Write a strict prefix of the frame, then die.
+                let cut = frame.len() / 2;
+                (&*st.active.file).write_all(&frame[..cut])?;
+                let _ = st.active.file.sync_data();
+                return Err(self.crash(&mut st));
+            }
+            Some(FileFault::PartialFsync { append }) if st.append_count == append => {
+                // Every write since the last honest fsync evaporates.
+                st.active.file.set_len(st.active.synced)?;
+                let _ = st.active.file.sync_data();
+                return Err(self.crash(&mut st));
+            }
+            _ => {}
+        }
+
+        (&*st.active.file).write_all(&frame)?;
+        st.active.written += frame.len() as u64;
+        st.next_seq += 1;
+        st.written_seq = seq;
+        self.appends.fetch_add(1, Ordering::Relaxed);
+
+        if let Some(FileFault::KillAtOffset { offset }) = st.fault {
+            if st.active.written >= offset {
+                // The kill drops whatever the page cache still held; the
+                // fsynced prefix survives.
+                let cut = offset.clamp(st.active.synced, st.active.written);
+                st.active.file.set_len(cut)?;
+                let _ = st.active.file.sync_data();
+                return Err(self.crash(&mut st));
+            }
+        }
+
+        if !self.group_commit {
+            st.active.file.sync_data()?;
+            st.active.synced = st.active.written;
+            st.durable_seq = seq;
+            self.fsync_batches.fetch_add(1, Ordering::Relaxed);
+        }
+
+        if st.active.written >= self.segment_bytes {
+            self.rotate(&mut st)?;
+        }
+        Ok(seq)
+    }
+
+    fn crash(&self, st: &mut WalState) -> StoreError {
+        st.crashed = true;
+        self.flushed.notify_all();
+        StoreError::Crashed
+    }
+
+    fn rotate(&self, st: &mut WalState) -> Result<(), StoreError> {
+        st.active.file.sync_data()?;
+        self.fsync_batches.fetch_add(1, Ordering::Relaxed);
+        st.active.synced = st.active.written;
+        st.durable_seq = st.written_seq;
+        let first = st.next_seq;
+        let path = self.dir.join(segment_name(first));
+        let file = OpenOptions::new().create_new(true).append(true).read(true).open(&path)?;
+        sync_dir(&self.dir)?;
+        st.closed.push((st.active.first_seq, std::mem::replace(&mut st.active.path, path)));
+        st.active.file = Arc::new(file);
+        st.active.first_seq = first;
+        st.active.written = 0;
+        st.active.synced = 0;
+        st.epoch += 1;
+        // Rotation fsynced everything written so far: release waiters.
+        self.flushed.notify_all();
+        Ok(())
+    }
+
+    /// Blocks until every record up to and including `seq` is durable —
+    /// the group-commit path. The first committer in becomes the flush
+    /// leader and issues one `fdatasync` on behalf of everyone waiting.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, or [`StoreError::Crashed`] once a fault has fired.
+    pub fn commit(&self, seq: u64) -> Result<(), StoreError> {
+        let mut st = self.lock_state();
+        loop {
+            if st.crashed {
+                return Err(StoreError::Crashed);
+            }
+            if st.durable_seq >= seq {
+                return Ok(());
+            }
+            if st.flushing {
+                st = self.flushed.wait(st).unwrap_or_else(|e| e.into_inner());
+                continue;
+            }
+            st.flushing = true;
+            let file = st.active.file.clone();
+            let target_bytes = st.active.written;
+            let target_seq = st.written_seq;
+            let epoch = st.epoch;
+            drop(st);
+            let res = file.sync_data();
+            st = self.lock_state();
+            st.flushing = false;
+            self.flushed.notify_all();
+            res?;
+            self.fsync_batches.fetch_add(1, Ordering::Relaxed);
+            if st.epoch == epoch {
+                st.active.synced = st.active.synced.max(target_bytes);
+            }
+            st.durable_seq = st.durable_seq.max(target_seq);
+        }
+    }
+
+    /// Writes a snapshot covering every record with seq ≤ `seq` (the
+    /// caller must have [`Wal::commit`]ed `seq` first and must guarantee
+    /// `payload` reflects exactly that state), then compacts: closed
+    /// segments fully covered by the snapshot and older snapshot files
+    /// are deleted.
+    ///
+    /// The snapshot is crash-safe: written to a temp file, fsynced, and
+    /// atomically renamed into place. A crash mid-write leaves an
+    /// ignored `.tmp`; a crash after rename leaves a valid snapshot.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, or [`StoreError::Crashed`] once a fault has fired.
+    pub fn write_snapshot(&self, seq: u64, payload: &[u8]) -> Result<(), StoreError> {
+        {
+            let st = self.lock_state();
+            if st.crashed {
+                return Err(StoreError::Crashed);
+            }
+            debug_assert!(st.durable_seq >= seq, "snapshot of un-fsynced state");
+        }
+        let final_path = self.dir.join(snapshot_name(seq));
+        let tmp_path = self.dir.join(format!("{}.tmp", snapshot_name(seq)));
+        let mut w = Writer::with_capacity(8 + 8 + 4 + 4 + payload.len());
+        w.raw(SNAPSHOT_MAGIC).u64(seq).u32(payload.len() as u32).u32(crc32(payload)).raw(payload);
+        let encoded = w.finish();
+        let mut f = File::create(&tmp_path)?;
+        f.write_all(&encoded)?;
+        f.sync_all()?;
+        drop(f);
+        fs::rename(&tmp_path, &final_path)?;
+        sync_dir(&self.dir)?;
+        self.snapshots.fetch_add(1, Ordering::Relaxed);
+        self.compact(seq)?;
+        Ok(())
+    }
+
+    /// Deletes closed segments whose records are all ≤ `snap_seq`, and
+    /// snapshot files older than `snap_seq`.
+    fn compact(&self, snap_seq: u64) -> Result<(), StoreError> {
+        let mut st = self.lock_state();
+        // A closed segment's records end where the next segment begins.
+        let mut bounds: Vec<u64> = st.closed.iter().skip(1).map(|(first, _)| *first).collect();
+        bounds.push(st.active.first_seq);
+        let mut keep = Vec::with_capacity(st.closed.len());
+        for ((first, path), next_first) in st.closed.drain(..).zip(bounds) {
+            if next_first <= snap_seq + 1 {
+                fs::remove_file(&path)?;
+            } else {
+                keep.push((first, path));
+            }
+        }
+        st.closed = keep;
+        drop(st);
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(seq) = parse_numbered(name, SNAPSHOT_PREFIX, SNAPSHOT_SUFFIX) {
+                if seq < snap_seq {
+                    fs::remove_file(entry.path())?;
+                }
+            }
+        }
+        sync_dir(&self.dir)?;
+        Ok(())
+    }
+
+    /// The last appended sequence number (0 before the first append).
+    pub fn written_seq(&self) -> u64 {
+        self.lock_state().written_seq
+    }
+
+    /// The last sequence number known durable.
+    pub fn durable_seq(&self) -> u64 {
+        self.lock_state().durable_seq
+    }
+
+    /// Whether an injected fault has fired.
+    pub fn is_crashed(&self) -> bool {
+        self.lock_state().crashed
+    }
+
+    /// Segment files currently live: closed + the active one.
+    pub fn segment_count(&self) -> usize {
+        self.lock_state().closed.len() + 1
+    }
+
+    /// Records appended this lifetime.
+    pub fn append_count(&self) -> u64 {
+        self.appends.load(Ordering::Relaxed)
+    }
+
+    /// Physical fsyncs issued this lifetime.
+    pub fn fsync_batch_count(&self) -> u64 {
+        self.fsync_batches.load(Ordering::Relaxed)
+    }
+
+    /// Snapshots written this lifetime.
+    pub fn snapshot_count(&self) -> u64 {
+        self.snapshots.load(Ordering::Relaxed)
+    }
+
+    /// Records replayed by the recovery that opened this log.
+    pub fn replayed_count(&self) -> u64 {
+        self.replayed
+    }
+
+    /// The log directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let unique =
+            format!("sp-store-wal-{tag}-{}-{:?}", std::process::id(), std::thread::current().id());
+        std::env::temp_dir().join(unique)
+    }
+
+    fn fresh(tag: &str) -> PathBuf {
+        let dir = tmp_dir(tag);
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn rec(i: u64) -> Record {
+        Record::LogAccess { user: i, puzzle: i * 7, granted: i.is_multiple_of(2) }
+    }
+
+    #[test]
+    fn append_commit_recover_roundtrip() {
+        let dir = fresh("roundtrip");
+        {
+            let (wal, recovered) = Wal::open(&dir, 1 << 20, true, None).unwrap();
+            assert!(recovered.snapshot.is_none());
+            assert!(recovered.records.is_empty());
+            for i in 0..10 {
+                let seq = wal.append(&rec(i)).unwrap();
+                wal.commit(seq).unwrap();
+            }
+            assert_eq!(wal.written_seq(), 10);
+            assert_eq!(wal.durable_seq(), 10);
+            assert_eq!(wal.append_count(), 10);
+            assert!(wal.fsync_batch_count() >= 1);
+        }
+        let (wal, recovered) = Wal::open(&dir, 1 << 20, true, None).unwrap();
+        assert_eq!(recovered.records.len(), 10);
+        assert_eq!(wal.replayed_count(), 10);
+        for (i, (seq, record)) in recovered.records.iter().enumerate() {
+            assert_eq!(*seq, i as u64 + 1);
+            assert_eq!(*record, rec(i as u64));
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fsync_each_mode_syncs_every_append() {
+        let dir = fresh("fsync-each");
+        let (wal, _) = Wal::open(&dir, 1 << 20, false, None).unwrap();
+        for i in 0..5 {
+            let seq = wal.append(&rec(i)).unwrap();
+            // Already durable before commit is even called.
+            assert_eq!(wal.durable_seq(), seq);
+            wal.commit(seq).unwrap();
+        }
+        assert_eq!(wal.fsync_batch_count(), 5);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn group_commit_batches_fsyncs_across_writers() {
+        let dir = fresh("group");
+        let wal = std::sync::Arc::new(Wal::open(&dir, 1 << 20, true, None).unwrap().0);
+        let writers = 8;
+        let per = 50;
+        crossbeam::thread::scope(|s| {
+            for t in 0..writers {
+                let wal = wal.clone();
+                s.spawn(move |_| {
+                    for i in 0..per {
+                        let seq = wal.append(&rec((t * per + i) as u64)).unwrap();
+                        wal.commit(seq).unwrap();
+                    }
+                });
+            }
+        })
+        .unwrap();
+        let appends = wal.append_count();
+        assert_eq!(appends, (writers * per) as u64);
+        assert!(
+            wal.fsync_batch_count() <= appends,
+            "group commit must not fsync more than once per append"
+        );
+        assert_eq!(wal.durable_seq(), appends);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rotation_produces_segments_and_recovery_reads_them_all() {
+        let dir = fresh("rotate");
+        let n = 40u64;
+        {
+            let (wal, _) = Wal::open(&dir, 64, true, None).unwrap();
+            for i in 0..n {
+                let seq = wal.append(&rec(i)).unwrap();
+                wal.commit(seq).unwrap();
+            }
+            assert!(wal.segment_count() > 1, "tiny segment size must rotate");
+        }
+        let (_, recovered) = Wal::open(&dir, 64, true, None).unwrap();
+        assert_eq!(recovered.records.len(), n as usize);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_compacts_covered_segments_and_old_snapshots() {
+        let dir = fresh("compact");
+        let (wal, _) = Wal::open(&dir, 64, true, None).unwrap();
+        for i in 0..30 {
+            let seq = wal.append(&rec(i)).unwrap();
+            wal.commit(seq).unwrap();
+        }
+        let seq = wal.written_seq();
+        wal.commit(seq).unwrap();
+        wal.write_snapshot(seq, b"state-at-30").unwrap();
+        for i in 30..40 {
+            let s = wal.append(&rec(i)).unwrap();
+            wal.commit(s).unwrap();
+        }
+        let seq2 = wal.written_seq();
+        wal.write_snapshot(seq2, b"state-at-40").unwrap();
+        assert_eq!(wal.snapshot_count(), 2);
+        let names: Vec<String> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        let snaps = names.iter().filter(|n| n.starts_with(SNAPSHOT_PREFIX)).count();
+        assert_eq!(snaps, 1, "old snapshots deleted: {names:?}");
+        drop(wal);
+        // Recovery from snapshot + (possibly empty) tail sees seq 40 state.
+        let (wal, recovered) = Wal::open(&dir, 64, true, None).unwrap();
+        let (snap_seq, payload) = recovered.snapshot.expect("snapshot survives");
+        assert_eq!(snap_seq, 40);
+        assert_eq!(&payload[..], b"state-at-40");
+        assert!(recovered.records.is_empty());
+        assert_eq!(wal.written_seq(), 40);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_write_fault_loses_only_the_torn_record() {
+        let dir = fresh("torn");
+        let (wal, _) =
+            Wal::open(&dir, 1 << 20, true, Some(FileFault::TornWrite { append: 4 })).unwrap();
+        for i in 0..3 {
+            let seq = wal.append(&rec(i)).unwrap();
+            wal.commit(seq).unwrap();
+        }
+        assert!(matches!(wal.append(&rec(3)), Err(StoreError::Crashed)));
+        assert!(wal.is_crashed());
+        assert!(matches!(wal.commit(1), Err(StoreError::Crashed)));
+        drop(wal);
+        let (_, recovered) = Wal::open(&dir, 1 << 20, true, None).unwrap();
+        assert_eq!(recovered.records.len(), 3, "torn tail skipped, acked records intact");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn partial_fsync_fault_rolls_back_to_the_synced_watermark() {
+        let dir = fresh("partial");
+        let (wal, _) =
+            Wal::open(&dir, 1 << 20, true, Some(FileFault::PartialFsync { append: 5 })).unwrap();
+        // Two acked (fsynced) records...
+        for i in 0..2 {
+            let seq = wal.append(&rec(i)).unwrap();
+            wal.commit(seq).unwrap();
+        }
+        // ...two written but never committed...
+        wal.append(&rec(2)).unwrap();
+        wal.append(&rec(3)).unwrap();
+        // ...and the fifth append reveals the lie.
+        assert!(matches!(wal.append(&rec(4)), Err(StoreError::Crashed)));
+        drop(wal);
+        let (_, recovered) = Wal::open(&dir, 1 << 20, true, None).unwrap();
+        assert_eq!(recovered.records.len(), 2, "only fsynced records survive a lying fsync");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn kill_at_offset_never_cuts_below_the_synced_watermark() {
+        let dir = fresh("kill");
+        let frame_len = rec(0).frame(1).len() as u64;
+        // Trigger after ~6 frames; the first 4 are fsynced.
+        let (wal, _) = Wal::open(
+            &dir,
+            1 << 20,
+            true,
+            Some(FileFault::KillAtOffset { offset: frame_len * 6 - 2 }),
+        )
+        .unwrap();
+        let mut acked = 0;
+        for i in 0..4 {
+            let seq = wal.append(&rec(i)).unwrap();
+            wal.commit(seq).unwrap();
+            acked += 1;
+        }
+        let mut crashed = false;
+        for i in 4..10 {
+            match wal.append(&rec(i)) {
+                Ok(_) => {}
+                Err(StoreError::Crashed) => {
+                    crashed = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+        assert!(crashed, "kill fault must fire");
+        drop(wal);
+        let (_, recovered) = Wal::open(&dir, 1 << 20, true, None).unwrap();
+        assert!(
+            recovered.records.len() >= acked,
+            "acked records lost: {} < {acked}",
+            recovered.records.len()
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_closed_segment_refuses_to_open() {
+        let dir = fresh("corrupt");
+        {
+            let (wal, _) = Wal::open(&dir, 1 << 20, true, None).unwrap();
+            for i in 0..5 {
+                let seq = wal.append(&rec(i)).unwrap();
+                wal.commit(seq).unwrap();
+            }
+        }
+        // Flip a byte inside the first record's body on disk.
+        let seg = dir.join(segment_name(1));
+        let mut data = fs::read(&seg).unwrap();
+        data[FRAME_HEADER_LEN_PLUS_2] ^= 0xFF;
+        fs::write(&seg, data).unwrap();
+        match Wal::open(&dir, 1 << 20, true, None) {
+            Err(StoreError::Corrupt { offset, .. }) => assert_eq!(offset, 0),
+            Err(other) => panic!("expected corruption, got {other}"),
+            Ok(_) => panic!("expected corruption, got a clean open"),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    const FRAME_HEADER_LEN_PLUS_2: usize = crate::record::FRAME_HEADER_LEN + 2;
+
+    #[test]
+    fn torn_tail_of_last_segment_is_truncated_not_fatal() {
+        let dir = fresh("tail");
+        {
+            let (wal, _) = Wal::open(&dir, 1 << 20, true, None).unwrap();
+            for i in 0..5 {
+                let seq = wal.append(&rec(i)).unwrap();
+                wal.commit(seq).unwrap();
+            }
+        }
+        // Simulate a torn final write by appending half a frame by hand.
+        let seg = dir.join(segment_name(1));
+        let torn = rec(9).frame(6);
+        let mut f = OpenOptions::new().append(true).open(&seg).unwrap();
+        f.write_all(&torn[..torn.len() / 2]).unwrap();
+        drop(f);
+        let (_, recovered) = Wal::open(&dir, 1 << 20, true, None).unwrap();
+        assert_eq!(recovered.records.len(), 5);
+        // The truncation is persistent: a third open also sees 5.
+        let (_, recovered) = Wal::open(&dir, 1 << 20, true, None).unwrap();
+        assert_eq!(recovered.records.len(), 5);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

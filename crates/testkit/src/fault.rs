@@ -127,6 +127,29 @@ impl FaultPlan {
         self.menu[pick]
     }
 
+    /// Draws a file-level fault for the next durable-store session, or
+    /// `None` to let the session run clean. Fires with the same
+    /// `fault_percent` probability as [`FaultPlan::next_fault`], and the
+    /// same determinism contract: the whole schedule replays from the
+    /// seed. `expected_appends` bounds which append the fault targets so
+    /// it lands inside the session instead of past its end.
+    pub fn next_file_fault(&mut self, expected_appends: u64) -> Option<sp_store::FileFault> {
+        if self.rng.gen_range(0..100u32) >= self.fault_percent {
+            return None;
+        }
+        let appends = expected_appends.max(1);
+        let append = self.rng.gen_range(1..=appends);
+        Some(match self.rng.gen_range(0..3u32) {
+            // WAL records here are a few dozen bytes, so an offset
+            // within `appends` small frames kills mid-log.
+            0 => sp_store::FileFault::KillAtOffset {
+                offset: self.rng.gen_range(1..=appends.saturating_mul(48)),
+            },
+            1 => sp_store::FileFault::TornWrite { append },
+            _ => sp_store::FileFault::PartialFsync { append },
+        })
+    }
+
     /// Picks the bit to flip in an `len`-byte payload.
     fn flip_position(&mut self, len: usize) -> (usize, u8) {
         let byte = self.rng.gen_range(0..len);

@@ -18,6 +18,11 @@
 //!   reorders, and drops **response** frames (severing the connection
 //!   mid-pipeline), exercising correlation matching and idempotent
 //!   replay of unacknowledged requests.
+//! * [`durable`] — a crash/restart deployment ([`durable::C1Durable`])
+//!   that runs Construction 1 over the `sp-store` WAL + snapshot
+//!   engine, arms file-level faults (kill-at-offset, torn write,
+//!   partial fsync) from the same seeded plan, and recovers mid-trace —
+//!   asserting decisions still equal the oracle after replay.
 //! * [`trace`] — a differential trace driver: random scenarios replayed
 //!   against Construction 1 (in memory, over sockets, batched over
 //!   sockets), Construction 2, and the trivial baseline, asserting
@@ -29,11 +34,13 @@
 //! this crate's `tests/` directory marked `#[ignore]`; CI runs them
 //! with `cargo test -p sp-testkit -- --include-ignored`.
 
+pub mod durable;
 pub mod fault;
 pub mod pipefault;
 pub mod strategies;
 pub mod trace;
 
+pub use durable::C1Durable;
 pub use fault::{Fault, FaultCounts, FaultPlan, FaultyProxy};
 pub use pipefault::{PipeCounts, PipePlan, PipelinedProxy, ResponseFault};
 pub use trace::{

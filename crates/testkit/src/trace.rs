@@ -50,6 +50,9 @@ pub enum TraceError {
     Provider(OsnError),
     /// Access was granted but the decrypted object was not the original.
     ObjectMismatch,
+    /// A durable store failed to recover, or recovered state that
+    /// disagrees with what was acknowledged before the crash.
+    Recovery(String),
 }
 
 impl std::fmt::Display for TraceError {
@@ -59,6 +62,7 @@ impl std::fmt::Display for TraceError {
             Self::Net(e) => write!(f, "net error: {e}"),
             Self::Provider(e) => write!(f, "provider error: {e}"),
             Self::ObjectMismatch => write!(f, "granted, but decrypted object differs"),
+            Self::Recovery(detail) => write!(f, "recovery failure: {detail}"),
         }
     }
 }

@@ -30,12 +30,17 @@
 //!                                            # 16 requests in flight
 //! spuzzle bench-net [--full] [--out BENCH_net.json]
 //!                                            # end-to-end serving-path sweep
+//! spuzzle bench-store [--full] [--out BENCH_store.json]
+//!                                            # WAL append/recovery sweep
 //! ```
 //!
 //! `--shards 1` on the daemons reproduces the single-lock baseline, so
 //! the sharding + batching speedup is measurable from the CLI alone;
 //! `--no-v2` on the daemons refuses HELLO upgrades, reproducing a
-//! v1-only peer for interop checks.
+//! v1-only peer for interop checks; `--data-dir PATH` on the daemons
+//! swaps the in-memory store for `sp-store`'s durable backend (WAL +
+//! snapshots under `PATH/sp` or `PATH/dh`), replaying any existing log
+//! on boot.
 
 use std::net::SocketAddr;
 use std::path::{Path, PathBuf};
@@ -52,6 +57,7 @@ use social_puzzles::net::{
     ClientConfig, Daemon, DaemonConfig, DhClient, DhService, PipelineConfig, SpClient, SpService,
 };
 use social_puzzles::osn::{DeviceProfile, ProviderApi, ServiceProvider, StorageHost, UserId};
+use social_puzzles::store::{DurableHost, DurableProvider, StoreConfig};
 
 const PUZZLE_FILE: &str = "puzzle.spz";
 const OBJECT_FILE: &str = "object.enc";
@@ -68,10 +74,12 @@ fn main() -> ExitCode {
         Some("bench-crypto") => cmd_bench_crypto(&args[1..]),
         Some("bench-net") => cmd_bench_net(&args[1..]),
         Some("check-bench-net") => cmd_check_bench_net(&args[1..]),
+        Some("bench-store") => cmd_bench_store(&args[1..]),
+        Some("check-bench-store") => cmd_check_bench_store(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             eprintln!(
                 "usage: spuzzle \
-                 <share|questions|solve|serve-sp|serve-dh|load|bench-crypto|bench-net|check-bench-net> \
+                 <share|questions|solve|serve-sp|serve-dh|load|bench-crypto|bench-net|check-bench-net|bench-store|check-bench-store> \
                  [options]; see --help per command"
             );
             return ExitCode::from(2);
@@ -238,9 +246,11 @@ fn cmd_serve(args: &[String], role: Role) -> Result<(), String> {
         .unwrap_or("16")
         .parse()
         .map_err(|_| "--shards must be a number")?;
+    // A data directory swaps in the durable (WAL + snapshot) backend.
+    let data_dir = flag_value(args, "--data-dir").map(PathBuf::from);
 
-    let (name, metrics, daemon) = match role {
-        Role::Sp => {
+    let (name, metrics, daemon) = match (role, data_dir) {
+        (Role::Sp, None) => {
             let service = Arc::new(SpService::new(
                 ServiceProvider::with_shards(shards),
                 Construction1::new(),
@@ -254,12 +264,38 @@ fn cmd_serve(args: &[String], role: Role) -> Result<(), String> {
                 Daemon::spawn(addr, service, cfg).map_err(|e| format!("binding {addr}: {e}"))?;
             ("sp", metrics, daemon)
         }
-        Role::Dh => {
+        (Role::Sp, Some(dir)) => {
+            let store_cfg = StoreConfig { shards, ..StoreConfig::default() };
+            let provider = DurableProvider::open(dir.join("sp"), store_cfg)
+                .map_err(|e| format!("opening durable store in {}: {e}", dir.display()))?;
+            let replayed = provider.durability_counters().recovery_replayed_records;
+            let service = Arc::new(SpService::new(provider, Construction1::new()));
+            let metrics = service.metrics();
+            cfg.metrics = metrics.clone();
+            let daemon =
+                Daemon::spawn(addr, service, cfg).map_err(|e| format!("binding {addr}: {e}"))?;
+            println!("sp: durable store at {} (replayed {replayed} records)", dir.display());
+            ("sp", metrics, daemon)
+        }
+        (Role::Dh, None) => {
             let service = Arc::new(DhService::new(StorageHost::with_shards(shards)));
             let metrics = service.metrics();
             cfg.metrics = metrics.clone();
             let daemon =
                 Daemon::spawn(addr, service, cfg).map_err(|e| format!("binding {addr}: {e}"))?;
+            ("dh", metrics, daemon)
+        }
+        (Role::Dh, Some(dir)) => {
+            let store_cfg = StoreConfig { shards, ..StoreConfig::default() };
+            let host = DurableHost::open(dir.join("dh"), store_cfg)
+                .map_err(|e| format!("opening durable store in {}: {e}", dir.display()))?;
+            let replayed = host.durability_counters().recovery_replayed_records;
+            let service = Arc::new(DhService::new(host));
+            let metrics = service.metrics();
+            cfg.metrics = metrics.clone();
+            let daemon =
+                Daemon::spawn(addr, service, cfg).map_err(|e| format!("binding {addr}: {e}"))?;
+            println!("dh: durable store at {} (replayed {replayed} records)", dir.display());
             ("dh", metrics, daemon)
         }
     };
@@ -586,6 +622,39 @@ fn cmd_check_bench_net(args: &[String]) -> Result<(), String> {
     sp_bench::net_bench::validate_json(&doc)
         .map_err(|e| format!("{path} is not a valid net bench report: {e}"))?;
     println!("{path}: schema-valid net bench report");
+    Ok(())
+}
+
+/// `spuzzle bench-store [--full] [--out <file>]`: the durable-storage
+/// sweep (append throughput with/without group commit, recovery time vs.
+/// log size — the same measurement the `sp-bench` figures binary writes
+/// to `BENCH_store.json`), quick by default.
+fn cmd_bench_store(args: &[String]) -> Result<(), String> {
+    use sp_bench::store_bench;
+    let cfg = if args.iter().any(|a| a == "--full") {
+        store_bench::StoreBenchConfig::default()
+    } else {
+        store_bench::StoreBenchConfig::quick()
+    };
+    let report = store_bench::run(&cfg);
+    print!("{}", store_bench::render(&report));
+    if let Some(path) = flag_value(args, "--out") {
+        let json = store_bench::to_json(&report);
+        store_bench::validate_json(&json).map_err(|e| format!("emitted report invalid: {e}"))?;
+        std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
+/// `spuzzle check-bench-store [path]`: schema-validates an existing
+/// `BENCH_store.json`.
+fn cmd_check_bench_store(args: &[String]) -> Result<(), String> {
+    let path = args.first().map(String::as_str).unwrap_or("BENCH_store.json");
+    let doc = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    sp_bench::store_bench::validate_json(&doc)
+        .map_err(|e| format!("{path} is not a valid store bench report: {e}"))?;
+    println!("{path}: schema-valid store bench report");
     Ok(())
 }
 

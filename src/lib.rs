@@ -14,6 +14,8 @@
 //!   host, and network/device models.
 //! * [`net`] — the real networking subsystem: framed TCP transport, SP
 //!   and DH daemons, and remote clients for the same backend traits.
+//! * [`store`] — the durable storage engine: CRC-framed write-ahead log
+//!   with group commit, snapshots, and crash recovery for SP/DH state.
 //! * [`abe`] — Bethencourt–Sahai–Waters ciphertext-policy ABE.
 //! * [`shamir`] — Shamir `(k, n)` threshold secret sharing.
 //! * [`pairing`] — PBC Type-A style symmetric bilinear pairing.
@@ -43,6 +45,7 @@ pub use sp_net as net;
 pub use sp_osn as osn;
 pub use sp_pairing as pairing;
 pub use sp_shamir as shamir;
+pub use sp_store as store;
 pub use sp_wire as wire;
 
 pub use social_puzzles_core as core;
