@@ -17,12 +17,16 @@
 //!     # WAL append/recovery sweep -> BENCH_store.json (`quick` shrinks it)
 //! cargo run -p sp-bench --bin figures -- --check-bench-store-json BENCH_store.json
 //!     # validate an existing storage report (CI smoke)
+//! cargo run -p sp-bench --release --bin figures -- --bench-sim-json
+//!     # simulation scaling sweep -> BENCH_sim.json (`quick` shrinks it)
+//! cargo run -p sp-bench --bin figures -- --check-bench-sim-json BENCH_sim.json
+//!     # validate an existing simulation report (CI smoke)
 //! ```
 
 use sp_bench::{
     crypto_bench, export,
     figures::{self, SweepConfig},
-    net_bench, store_bench,
+    net_bench, sim_bench, store_bench,
 };
 
 fn main() {
@@ -60,6 +64,38 @@ fn main() {
             std::process::exit(1);
         }
         println!("{path}: schema-valid store bench report");
+        return;
+    }
+
+    if let Some(i) = args.iter().position(|a| a == "--check-bench-sim-json") {
+        let path = args.get(i + 1).map(String::as_str).unwrap_or("BENCH_sim.json");
+        let doc = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("reading {path}: {e}"));
+        if let Err(e) = sim_bench::validate_json(&doc) {
+            eprintln!("{path} is not a valid sim bench report: {e}");
+            std::process::exit(1);
+        }
+        println!("{path}: schema-valid sim bench report");
+        return;
+    }
+
+    if args.iter().any(|a| a == "--bench-sim-json") {
+        let cfg = if quick {
+            sim_bench::SimBenchConfig::quick()
+        } else {
+            sim_bench::SimBenchConfig::default()
+        };
+        let report = sim_bench::run_sweep(&cfg);
+        print!("{}", sim_bench::render(&report));
+        let json = sim_bench::to_json(&report);
+        sim_bench::validate_json(&json).expect("emitted report validates");
+        let path = args
+            .iter()
+            .position(|a| a == "--bench-out")
+            .and_then(|i| args.get(i + 1))
+            .map(String::as_str)
+            .unwrap_or("BENCH_sim.json");
+        std::fs::write(path, json).expect("writing bench json");
+        eprintln!("wrote {path}");
         return;
     }
 

@@ -16,5 +16,6 @@ pub mod export;
 pub mod figures;
 pub mod json_check;
 pub mod net_bench;
+pub mod sim_bench;
 pub mod store_bench;
 pub mod workload;

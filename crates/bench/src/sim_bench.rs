@@ -1,0 +1,291 @@
+//! Simulation-engine scaling sweep, exported as `BENCH_sim.json`.
+//!
+//! Runs the `sp-sim` discrete-event engine at increasing population
+//! sizes and reports event/decision throughput and decision latency
+//! percentiles. Every sweep entry also records the run's decision-log
+//! hash — the report doubles as a reproducibility receipt: re-running
+//! the same sweep on any machine at any `SP_PAR_THREADS` must yield the
+//! same hashes (only the timing columns may move).
+
+use sp_sim::{run, SimConfig, SimReport};
+
+/// Schema tag written into (and required from) `BENCH_sim.json`.
+pub const SIM_BENCH_SCHEMA: &str = "sp-bench/sim/v1";
+
+/// Sweep knobs for the simulation benchmark.
+#[derive(Clone, Debug)]
+pub struct SimBenchConfig {
+    /// Base seed for every run in the sweep.
+    pub seed: u64,
+    /// Population sizes to sweep.
+    pub user_counts: Vec<u64>,
+    /// Whether this is the reduced CI sweep.
+    pub quick: bool,
+}
+
+impl Default for SimBenchConfig {
+    fn default() -> Self {
+        Self { seed: 42, user_counts: vec![10_000, 100_000, 1_000_000], quick: false }
+    }
+}
+
+impl SimBenchConfig {
+    /// Reduced sweep for CI smoke runs: small populations, same schema.
+    #[must_use]
+    pub fn quick() -> Self {
+        Self { seed: 42, user_counts: vec![1_000, 5_000], quick: true }
+    }
+}
+
+/// One population-size measurement.
+#[derive(Clone, Debug)]
+pub struct SimEntry {
+    /// Simulated users.
+    pub users: u64,
+    /// Events executed.
+    pub events: u64,
+    /// Events per wall-clock second.
+    pub events_per_s: f64,
+    /// Access decisions taken (grants + denials).
+    pub decisions: u64,
+    /// Decisions per wall-clock second.
+    pub decisions_per_s: f64,
+    /// Median decision latency, microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile decision latency, microseconds.
+    pub p99_us: f64,
+    /// Attempts granted.
+    pub grants: u64,
+    /// Attempts denied.
+    pub denials: u64,
+    /// Denials stopped by the ReBAC pre-filter.
+    pub prefiltered: u64,
+    /// The run's decision-log hash (16 hex digits) — the
+    /// reproducibility receipt.
+    pub log_hash: String,
+}
+
+impl From<&SimReport> for SimEntry {
+    fn from(r: &SimReport) -> Self {
+        Self {
+            users: r.users,
+            events: r.events,
+            events_per_s: r.events_per_s,
+            decisions: r.decisions,
+            decisions_per_s: r.decisions_per_s,
+            p50_us: r.p50_us,
+            p99_us: r.p99_us,
+            grants: r.counters.grants,
+            denials: r.counters.denials,
+            prefiltered: r.counters.prefiltered,
+            log_hash: r.hash_hex(),
+        }
+    }
+}
+
+/// A full simulation sweep, ready to serialize.
+#[derive(Clone, Debug)]
+pub struct SimBenchReport {
+    /// Whether the reduced CI sweep produced this report.
+    pub quick: bool,
+    /// Base seed used for every run.
+    pub seed: u64,
+    /// One entry per population size, in sweep order.
+    pub entries: Vec<SimEntry>,
+}
+
+/// Runs the sweep: one full simulation per population size.
+///
+/// # Panics
+///
+/// Panics if any run reports an invariant violation — a benchmark
+/// over a broken protocol stack would measure nothing.
+#[must_use]
+pub fn run_sweep(cfg: &SimBenchConfig) -> SimBenchReport {
+    let entries = cfg
+        .user_counts
+        .iter()
+        .map(|&users| {
+            let report = run(&SimConfig::new(cfg.seed, users))
+                .unwrap_or_else(|e| panic!("sim invariant violated at {users} users: {e}"));
+            SimEntry::from(&report)
+        })
+        .collect();
+    SimBenchReport { quick: cfg.quick, seed: cfg.seed, entries }
+}
+
+/// Serializes a report to the `BENCH_sim.json` document.
+#[must_use]
+pub fn to_json(report: &SimBenchReport) -> String {
+    fn num(v: f64) -> String {
+        if v.is_finite() {
+            format!("{v:.3}")
+        } else {
+            "0.000".to_owned()
+        }
+    }
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema\": \"{SIM_BENCH_SCHEMA}\",\n"));
+    out.push_str(&format!("  \"quick\": {},\n", report.quick));
+    out.push_str(&format!("  \"seed\": {},\n", report.seed));
+    out.push_str("  \"entries\": [\n");
+    for (i, e) in report.entries.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"users\": {}, \"events\": {}, \"events_per_s\": {}, \"decisions\": {}, \"decisions_per_s\": {}, \"p50_us\": {}, \"p99_us\": {}, \"grants\": {}, \"denials\": {}, \"prefiltered\": {}, \"log_hash\": \"{}\"}}{}\n",
+            e.users,
+            e.events,
+            num(e.events_per_s),
+            e.decisions,
+            num(e.decisions_per_s),
+            num(e.p50_us),
+            num(e.p99_us),
+            e.grants,
+            e.denials,
+            e.prefiltered,
+            e.log_hash,
+            if i + 1 == report.entries.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Renders the report as the human-readable table the `figures` binary
+/// prints alongside the JSON.
+#[must_use]
+pub fn render(report: &SimBenchReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "simulation scaling sweep (seed {}, 48 ticks, real protocol stack)\n",
+        report.seed
+    ));
+    out.push_str(&format!(
+        "{:<10} {:>8} {:>11} {:>10} {:>12} {:>9} {:>9} {:>18}\n",
+        "users", "events", "events/s", "decisions", "decisions/s", "p50 µs", "p99 µs", "log hash"
+    ));
+    for e in &report.entries {
+        out.push_str(&format!(
+            "{:<10} {:>8} {:>11.1} {:>10} {:>12.1} {:>9.1} {:>9.1} {:>18}\n",
+            e.users,
+            e.events,
+            e.events_per_s,
+            e.decisions,
+            e.decisions_per_s,
+            e.p50_us,
+            e.p99_us,
+            e.log_hash,
+        ));
+    }
+    out
+}
+
+/// Validates a `BENCH_sim.json` document: syntactically well-formed
+/// JSON, the right schema tag, a non-empty sweep with all fields, and
+/// well-formed 16-hex-digit log hashes. Returns a description of the
+/// first problem.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first check that failed.
+pub fn validate_json(doc: &str) -> Result<(), String> {
+    crate::json_check::check_syntax(doc)?;
+    if !doc.contains(&format!("\"schema\": \"{SIM_BENCH_SCHEMA}\"")) {
+        return Err(format!("missing schema tag {SIM_BENCH_SCHEMA:?}"));
+    }
+    if !doc.contains("\"entries\": [") {
+        return Err("missing the \"entries\": [ array".to_owned());
+    }
+    for field in [
+        "\"seed\":",
+        "\"users\":",
+        "\"events\":",
+        "\"events_per_s\":",
+        "\"decisions\":",
+        "\"decisions_per_s\":",
+        "\"p50_us\":",
+        "\"p99_us\":",
+        "\"grants\":",
+        "\"denials\":",
+        "\"prefiltered\":",
+        "\"log_hash\":",
+    ] {
+        if !doc.contains(field) {
+            return Err(format!("missing the {field} field"));
+        }
+    }
+    // Every log_hash must look like a 64-bit FNV in hex.
+    for chunk in doc.split("\"log_hash\": \"").skip(1) {
+        let Some(hash) = chunk.split('"').next() else {
+            return Err("unterminated log_hash string".to_owned());
+        };
+        if hash.len() != 16 || !hash.chars().all(|c| c.is_ascii_hexdigit()) {
+            return Err(format!("malformed log_hash {hash:?} (want 16 hex digits)"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SimBenchConfig {
+        SimBenchConfig { seed: 7, user_counts: vec![300, 600], quick: true }
+    }
+
+    #[test]
+    fn sweep_produces_validating_json_with_stable_hashes() {
+        let a = run_sweep(&tiny());
+        assert_eq!(a.entries.len(), 2);
+        for e in &a.entries {
+            assert!(e.events > 0);
+            assert!(e.decisions > 0);
+            assert!(e.grants > 0 && e.denials > 0, "degenerate workload: {e:?}");
+            assert_eq!(e.log_hash.len(), 16);
+        }
+        let json = to_json(&a);
+        validate_json(&json).expect("emitted document validates");
+        assert!(render(&a).contains("log hash"));
+
+        // Hashes are part of the schema contract: a re-run reproduces
+        // them exactly even though the timing columns move.
+        let b = run_sweep(&tiny());
+        for (x, y) in a.entries.iter().zip(&b.entries) {
+            assert_eq!(x.log_hash, y.log_hash);
+            assert_eq!(x.decisions, y.decisions);
+        }
+    }
+
+    #[test]
+    fn validator_rejects_mangled_documents() {
+        let report = SimBenchReport {
+            quick: true,
+            seed: 7,
+            entries: vec![SimEntry {
+                users: 300,
+                events: 4_000,
+                events_per_s: 1_000.0,
+                decisions: 2_800,
+                decisions_per_s: 700.0,
+                p50_us: 12.0,
+                p99_us: 80.0,
+                grants: 900,
+                denials: 1_900,
+                prefiltered: 600,
+                log_hash: "0123456789abcdef".to_owned(),
+            }],
+        };
+        let json = to_json(&report);
+        validate_json(&json).unwrap();
+        assert!(validate_json(&json[..json.len() - 4]).is_err(), "truncated");
+        assert!(validate_json(&json.replace("sim/v1", "sim/v9")).is_err(), "wrong schema");
+        assert!(validate_json(&json.replace("\"p99_us\"", "\"p99\"")).is_err(), "missing field");
+        assert!(
+            validate_json(&json.replace("0123456789abcdef", "not-a-hash-value!")).is_err(),
+            "malformed hash"
+        );
+        assert!(validate_json(&json.replace("0123456789abcdef", "0123")).is_err(), "short hash");
+        assert!(validate_json("not json").is_err());
+    }
+}

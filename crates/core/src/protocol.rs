@@ -164,6 +164,15 @@ impl<P: ProviderApi, D: StorageApi> SocialPuzzleApp<P, D> {
         Ok(self.graph.befriend(a, b)?)
     }
 
+    /// Dissolves a symmetric friendship (idempotent, both directions).
+    ///
+    /// # Errors
+    ///
+    /// See [`SocialGraph::unfriend`].
+    pub fn unfriend(&mut self, a: UserId, b: UserId) -> Result<(), SocialPuzzleError> {
+        Ok(self.graph.unfriend(a, b)?)
+    }
+
     /// The social graph (read access).
     pub fn graph(&self) -> &SocialGraph {
         &self.graph

@@ -1,0 +1,173 @@
+//! Degenerate-input coverage for the batched SP endpoints
+//! (`VerifyBatch`, `AnswerPuzzleBatch`) over a live daemon: empty
+//! batches, duplicate entries for the same puzzle, and batches larger
+//! than the backend's shard count. Every batched verdict must agree
+//! with the unbatched `Verify` path — batching is an encoding, not a
+//! policy.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use social_puzzles_core::construction1::{Construction1, PuzzleResponse};
+use social_puzzles_core::context::Context;
+use sp_net::{ClientConfig, Daemon, DaemonConfig, SpClient, SpService};
+use sp_osn::{ProviderApi as _, PuzzleId, ServiceProvider, Url, UserId};
+
+/// A daemon over a deliberately small sharded backend (2 shards), so a
+/// modest batch already exceeds the shard count.
+fn daemon_with_two_shards() -> Daemon {
+    let service = SpService::new(ServiceProvider::with_shards(2), Construction1::new());
+    Daemon::spawn("127.0.0.1:0", Arc::new(service), DaemonConfig::default()).unwrap()
+}
+
+/// Publishes one k=2-of-3 puzzle and returns `(id, correct response,
+/// below-threshold response)` — both responses answer every displayed
+/// question, only their correctness differs.
+fn publish_puzzle(client: &SpClient, tag: u64) -> (PuzzleId, PuzzleResponse, PuzzleResponse) {
+    let c1 = Construction1::new();
+    let ctx = Context::builder()
+        .pair(format!("q{tag}-0?"), format!("a{tag}-0"))
+        .pair(format!("q{tag}-1?"), format!("a{tag}-1"))
+        .pair(format!("q{tag}-2?"), format!("a{tag}-2"))
+        .build()
+        .unwrap();
+    let mut rng = rand::thread_rng();
+    let up = c1
+        .upload_to(
+            b"batch edge object",
+            &ctx,
+            2,
+            Url::from(format!("dh://edge/{tag}").as_str()),
+            None,
+            &mut rng,
+        )
+        .unwrap();
+    let id = client.publish_puzzle(Bytes::from(up.puzzle.to_bytes())).unwrap();
+    let displayed = client.display_puzzle(id).unwrap();
+    let good_answers = displayed.answer(|q| ctx.answer_for(q).map(str::to_owned));
+    let good = c1.answer_puzzle(&displayed, &good_answers);
+    let bad_answers = displayed.answer(|q| ctx.answer_for(q).map(|a| format!("{a} but wrong")));
+    let bad = c1.answer_puzzle(&displayed, &bad_answers);
+    (id, good, bad)
+}
+
+#[test]
+fn empty_batches_round_trip_as_empty() {
+    let d = daemon_with_two_shards();
+    let client = SpClient::connect(d.addr(), ClientConfig::default());
+    let (id, _, _) = publish_puzzle(&client, 0);
+
+    let verify = client.verify_batch(&[]).unwrap();
+    assert!(verify.is_empty(), "empty VerifyBatch must return an empty result list");
+
+    let answer = client.answer_puzzle_batch(UserId::from_raw(1), id, &[]).unwrap();
+    assert!(answer.is_empty(), "empty AnswerPuzzleBatch must return an empty result list");
+
+    // The wire round trip of nothing must not have perturbed the store:
+    // a real attempt still verifies afterwards.
+    let (id1, good, _) = publish_puzzle(&client, 1);
+    let results = client.verify_batch(&[(UserId::from_raw(1), id1, good)]).unwrap();
+    assert_eq!(results.len(), 1);
+    assert!(results[0].is_ok());
+    d.shutdown();
+}
+
+#[test]
+fn duplicate_entries_for_one_puzzle_each_get_their_own_verdict() {
+    let d = daemon_with_two_shards();
+    let client = SpClient::connect(d.addr(), ClientConfig::default());
+    let (id, good, bad) = publish_puzzle(&client, 0);
+    let user = UserId::from_raw(9);
+
+    // The unbatched oracle for both responses.
+    let solo_good = client.verify(user, id, &good).unwrap();
+    assert!(client.verify(user, id, &bad).is_err(), "below-threshold response must deny");
+
+    // The same puzzle id repeated through one frame — the server groups
+    // duplicates by puzzle and must still answer every slot in order.
+    let entries = vec![
+        (user, id, good.clone()),
+        (user, id, bad.clone()),
+        (user, id, good.clone()),
+        (user, id, bad.clone()),
+        (user, id, good.clone()),
+    ];
+    let results = client.verify_batch(&entries).unwrap();
+    assert_eq!(results.len(), entries.len());
+    for (i, r) in results.iter().enumerate() {
+        let expect_grant = i % 2 == 0;
+        assert_eq!(r.is_ok(), expect_grant, "slot {i} disagrees with the unbatched path");
+        if let Ok(outcome) = r {
+            assert_eq!(outcome.url, solo_good.url, "slot {i} released a different URL");
+        }
+    }
+
+    // Same duplicates through AnswerPuzzleBatch (one puzzle, many
+    // responses): identical verdict pattern.
+    let responses = vec![good.clone(), bad.clone(), good.clone(), bad, good];
+    let results = client.answer_puzzle_batch(user, id, &responses).unwrap();
+    assert_eq!(results.len(), responses.len());
+    for (i, r) in results.iter().enumerate() {
+        assert_eq!(r.is_ok(), i % 2 == 0, "answer batch slot {i} disagrees");
+    }
+    d.shutdown();
+}
+
+#[test]
+fn batch_larger_than_the_shard_count_matches_the_unbatched_path() {
+    let d = daemon_with_two_shards();
+    let client = SpClient::connect(d.addr(), ClientConfig::default());
+
+    // 8 distinct puzzles behind 2 shards; a 64-entry frame cycling over
+    // them (and alternating good/bad responses) far exceeds the shard
+    // count, so entries within one group land on the same shard lock.
+    let puzzles: Vec<_> = (0..8).map(|tag| publish_puzzle(&client, tag)).collect();
+    let user = UserId::from_raw(3);
+    let oracle: Vec<bool> = (0..64)
+        .map(|i| {
+            let (id, good, bad) = &puzzles[i % puzzles.len()];
+            let response = if i % 3 == 0 { bad } else { good };
+            client.verify(user, *id, response).is_ok()
+        })
+        .collect();
+
+    let entries: Vec<_> = (0..64)
+        .map(|i| {
+            let (id, good, bad) = &puzzles[i % puzzles.len()];
+            let response = if i % 3 == 0 { bad.clone() } else { good.clone() };
+            (user, *id, response)
+        })
+        .collect();
+    let results = client.verify_batch(&entries).unwrap();
+    assert_eq!(results.len(), 64);
+    for (i, (r, expect)) in results.iter().zip(&oracle).enumerate() {
+        assert_eq!(r.is_ok(), *expect, "slot {i} disagrees with the unbatched oracle");
+    }
+    d.shutdown();
+}
+
+#[test]
+fn batch_against_an_unknown_puzzle_fails_only_its_own_slots() {
+    let d = daemon_with_two_shards();
+    let client = SpClient::connect(d.addr(), ClientConfig::default());
+    let (id, good, _) = publish_puzzle(&client, 0);
+    let user = UserId::from_raw(4);
+    let ghost = PuzzleId::from_raw(9_999);
+
+    let results = client
+        .verify_batch(&[
+            (user, id, good.clone()),
+            (user, ghost, good.clone()),
+            (user, id, good.clone()),
+        ])
+        .unwrap();
+    assert_eq!(results.len(), 3);
+    assert!(results[0].is_ok(), "known puzzle must still grant");
+    assert!(results[1].is_err(), "unknown puzzle fails its own slot");
+    assert!(results[2].is_ok(), "a bad neighbor must not poison the frame");
+
+    // AnswerPuzzleBatch names ONE puzzle for the whole frame, so there
+    // the unknown id fails the frame as a whole.
+    assert!(client.answer_puzzle_batch(user, ghost, &[good]).is_err());
+    d.shutdown();
+}

@@ -11,6 +11,9 @@
 //!   (the "post on the sharer's wall" step),
 //! * [`StorageHost`] — the DH: a URL-addressed blob store, logically
 //!   separate from the SP,
+//! * [`TupleStore`] — Zanzibar-style relationship tuples ([`rebac`]):
+//!   the ReBAC pre-filter gating who may *attempt* a puzzle, composed
+//!   with the paper's k-of-N knowledge-based decision,
 //! * [`NetworkModel`] / [`TrafficStats`] — deterministic latency +
 //!   bandwidth accounting calibrated to the paper's 802.11n/60 Mbps setup,
 //! * [`DeviceProfile`] — PC vs tablet compute scaling for Fig. 10(c, d).
@@ -43,6 +46,7 @@ mod error;
 mod graph;
 mod network;
 mod provider;
+pub mod rebac;
 pub mod shard;
 mod storage;
 
@@ -52,5 +56,6 @@ pub use error::OsnError;
 pub use graph::{SocialGraph, UserId};
 pub use network::{NetworkModel, TrafficStats};
 pub use provider::{AuditEntry, Post, PostId, PuzzleId, ServiceProvider};
+pub use rebac::{RelObject, RelSubject, RelTuple, TupleStore};
 pub use shard::{ShardLoad, ShardedMap, DEFAULT_SHARDS};
 pub use storage::{StorageHost, Url};

@@ -1,0 +1,363 @@
+//! Zanzibar-style relationship tuples: a ReBAC pre-filter for puzzles.
+//!
+//! The paper's access decision is purely knowledge-based — anyone who
+//! can answer `k` of `N` context questions opens the object. Real OSNs
+//! compose that with *relationship*-based control: "friends-of-friends
+//! may attempt this puzzle, k-of-N context still required to open".
+//! This module supplies the relationship half as a tuple store in the
+//! style of Google's Zanzibar: facts of the form
+//! `object#relation@subject`, where the subject is either a concrete
+//! user or a *userset* pointer (`object#relation`) that delegates to
+//! another relation.
+//!
+//! ```text
+//! circle:42#member@user:7                  direct membership
+//! puzzle:9#attempter@circle:42#member      every member of circle 42
+//!                                          may attempt puzzle 9
+//! ```
+//!
+//! [`TupleStore::check`] answers "does subject S have relation R on
+//! object O" by direct lookup plus recursive userset expansion, with a
+//! visited set so delegation cycles terminate. [`TupleStore::check_naive`]
+//! is the deliberately-slow oracle twin (fresh allocations, no early
+//! exit) kept for differential checking by the simulator.
+//!
+//! The store is the *pre-filter*: the simulator (and eventually the SP
+//! daemon) consults it before `DisplayPuzzle`, and only relationship-
+//! authorized receivers get to attempt the knowledge-based puzzle at
+//! all. Revoking a tuple therefore takes effect on the *next attempt*,
+//! independent of the puzzle's own lifetime.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+use crate::UserId;
+
+/// A namespaced object a relation can attach to, e.g. `circle:42` or
+/// `puzzle:9`. Namespaces are static strings because the set of
+/// namespaces is a schema decision, not runtime data.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RelObject {
+    /// Schema namespace, e.g. `"circle"` or `"puzzle"`.
+    pub namespace: &'static str,
+    /// Object id within the namespace.
+    pub id: u64,
+}
+
+impl RelObject {
+    /// A namespaced object.
+    #[must_use]
+    pub fn new(namespace: &'static str, id: u64) -> Self {
+        Self { namespace, id }
+    }
+}
+
+impl fmt::Display for RelObject {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.namespace, self.id)
+    }
+}
+
+/// The subject side of a tuple: a concrete user, or a userset pointer
+/// delegating to everyone holding `relation` on `object`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RelSubject {
+    /// A concrete user.
+    User(UserId),
+    /// A userset: all subjects with `relation` on `object`, expanded
+    /// recursively at check time.
+    Set {
+        /// The object whose relation is delegated to.
+        object: RelObject,
+        /// The delegated relation.
+        relation: &'static str,
+    },
+}
+
+impl fmt::Display for RelSubject {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::User(u) => write!(f, "user:{}", u.raw()),
+            Self::Set { object, relation } => write!(f, "{object}#{relation}"),
+        }
+    }
+}
+
+/// One relationship fact: `object#relation@subject`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct RelTuple {
+    /// The object the relation attaches to.
+    pub object: RelObject,
+    /// The relation name, e.g. `"member"` or `"attempter"`.
+    pub relation: &'static str,
+    /// Who holds the relation.
+    pub subject: RelSubject,
+}
+
+impl RelTuple {
+    /// A relationship fact.
+    #[must_use]
+    pub fn new(object: RelObject, relation: &'static str, subject: RelSubject) -> Self {
+        Self { object, relation, subject }
+    }
+}
+
+impl fmt::Display for RelTuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}@{}", self.object, self.relation, self.subject)
+    }
+}
+
+/// An in-memory tuple store with recursive userset expansion.
+///
+/// Writes (`grant`/`revoke`) are idempotent; reads (`check`) are pure.
+/// The store keeps tuples indexed by `(object, relation)` so a check
+/// touches only the relations it expands.
+#[derive(Default, Debug)]
+pub struct TupleStore {
+    tuples: HashMap<(RelObject, &'static str), HashSet<RelSubject>>,
+    len: usize,
+}
+
+impl TupleStore {
+    /// An empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of tuples currently stored.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the store holds no tuples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Adds a tuple. Returns `true` if it was not already present.
+    pub fn grant(&mut self, tuple: RelTuple) -> bool {
+        let fresh =
+            self.tuples.entry((tuple.object, tuple.relation)).or_default().insert(tuple.subject);
+        if fresh {
+            self.len += 1;
+        }
+        fresh
+    }
+
+    /// Removes a tuple. Returns `true` if it was present.
+    pub fn revoke(&mut self, tuple: RelTuple) -> bool {
+        let key = (tuple.object, tuple.relation);
+        let Some(set) = self.tuples.get_mut(&key) else {
+            return false;
+        };
+        let removed = set.remove(&tuple.subject);
+        if removed {
+            self.len -= 1;
+            if set.is_empty() {
+                self.tuples.remove(&key);
+            }
+        }
+        removed
+    }
+
+    /// Removes every tuple on `object#relation`, returning how many.
+    pub fn revoke_all(&mut self, object: RelObject, relation: &'static str) -> usize {
+        let removed = self.tuples.remove(&(object, relation)).map_or(0, |s| s.len());
+        self.len -= removed;
+        removed
+    }
+
+    /// Does `user` hold `relation` on `object`, directly or through any
+    /// chain of userset delegations? Cycles in the delegation graph are
+    /// tolerated (a visited set cuts them); a cycle simply grants
+    /// nothing by itself.
+    #[must_use]
+    pub fn check(&self, object: RelObject, relation: &'static str, user: UserId) -> bool {
+        let mut visited = HashSet::new();
+        self.check_inner(object, relation, user, &mut visited)
+    }
+
+    fn check_inner(
+        &self,
+        object: RelObject,
+        relation: &'static str,
+        user: UserId,
+        visited: &mut HashSet<(RelObject, &'static str)>,
+    ) -> bool {
+        if !visited.insert((object, relation)) {
+            return false;
+        }
+        let Some(subjects) = self.tuples.get(&(object, relation)) else {
+            return false;
+        };
+        if subjects.contains(&RelSubject::User(user)) {
+            return true;
+        }
+        subjects.iter().any(|s| match s {
+            RelSubject::User(_) => false,
+            RelSubject::Set { object: o, relation: r } => self.check_inner(*o, r, user, visited),
+        })
+    }
+
+    /// The slow oracle twin of [`TupleStore::check`]: a breadth-first
+    /// frontier expansion that materializes every reachable userset
+    /// before answering, with none of `check`'s early exits. Used by the
+    /// simulator's sampled differential pass — the two must always
+    /// agree.
+    #[must_use]
+    pub fn check_naive(&self, object: RelObject, relation: &'static str, user: UserId) -> bool {
+        let mut frontier = vec![(object, relation)];
+        let mut seen: HashSet<(RelObject, &'static str)> = frontier.iter().copied().collect();
+        let mut granted = false;
+        while let Some((o, r)) = frontier.pop() {
+            for subject in self.tuples.get(&(o, r)).into_iter().flatten() {
+                match subject {
+                    RelSubject::User(u) => {
+                        if *u == user {
+                            granted = true;
+                        }
+                    }
+                    RelSubject::Set { object: o2, relation: r2 } => {
+                        if seen.insert((*o2, r2)) {
+                            frontier.push((*o2, r2));
+                        }
+                    }
+                }
+            }
+        }
+        granted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn user(raw: u64) -> UserId {
+        UserId::from_raw(raw)
+    }
+
+    #[test]
+    fn direct_grant_and_revoke() {
+        let mut store = TupleStore::new();
+        let circle = RelObject::new("circle", 42);
+        let t = RelTuple::new(circle, "member", RelSubject::User(user(7)));
+        assert!(!store.check(circle, "member", user(7)));
+        assert!(store.grant(t));
+        assert!(!store.grant(t), "grant is idempotent");
+        assert_eq!(store.len(), 1);
+        assert!(store.check(circle, "member", user(7)));
+        assert!(!store.check(circle, "member", user(8)));
+        assert!(!store.check(circle, "owner", user(7)));
+        assert!(store.revoke(t));
+        assert!(!store.revoke(t), "revoke is idempotent");
+        assert!(store.is_empty());
+        assert!(!store.check(circle, "member", user(7)));
+    }
+
+    #[test]
+    fn userset_indirection_spans_namespaces() {
+        let mut store = TupleStore::new();
+        let circle = RelObject::new("circle", 1);
+        let puzzle = RelObject::new("puzzle", 9);
+        store.grant(RelTuple::new(circle, "member", RelSubject::User(user(3))));
+        store.grant(RelTuple::new(
+            puzzle,
+            "attempter",
+            RelSubject::Set { object: circle, relation: "member" },
+        ));
+        assert!(store.check(puzzle, "attempter", user(3)));
+        assert!(!store.check(puzzle, "attempter", user(4)));
+        // Revoking the *membership* revokes the derived attempt right.
+        store.revoke(RelTuple::new(circle, "member", RelSubject::User(user(3))));
+        assert!(!store.check(puzzle, "attempter", user(3)));
+    }
+
+    #[test]
+    fn delegation_cycles_terminate_and_grant_nothing() {
+        let mut store = TupleStore::new();
+        let a = RelObject::new("circle", 1);
+        let b = RelObject::new("circle", 2);
+        store.grant(RelTuple::new(a, "member", RelSubject::Set { object: b, relation: "member" }));
+        store.grant(RelTuple::new(b, "member", RelSubject::Set { object: a, relation: "member" }));
+        assert!(!store.check(a, "member", user(1)));
+        // A concrete user anywhere in the cycle is reachable from both.
+        store.grant(RelTuple::new(b, "member", RelSubject::User(user(1))));
+        assert!(store.check(a, "member", user(1)));
+        assert!(store.check(b, "member", user(1)));
+    }
+
+    #[test]
+    fn revoke_all_clears_one_relation_only() {
+        let mut store = TupleStore::new();
+        let circle = RelObject::new("circle", 5);
+        for u in 0..4 {
+            store.grant(RelTuple::new(circle, "member", RelSubject::User(user(u))));
+        }
+        store.grant(RelTuple::new(circle, "owner", RelSubject::User(user(0))));
+        assert_eq!(store.revoke_all(circle, "member"), 4);
+        assert_eq!(store.len(), 1);
+        assert!(!store.check(circle, "member", user(0)));
+        assert!(store.check(circle, "owner", user(0)));
+    }
+
+    #[test]
+    fn naive_oracle_agrees_with_check() {
+        // A deterministic pseudo-random tuple soup, including cycles,
+        // cross-namespace delegation, and dangling usersets.
+        let mut store = TupleStore::new();
+        let mut state = 0x5EEDu64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let relations = ["member", "attempter", "viewer"];
+        for _ in 0..300 {
+            let object =
+                RelObject::new(if next() % 2 == 0 { "circle" } else { "puzzle" }, next() % 12);
+            let relation = relations[(next() % 3) as usize];
+            let subject = if next() % 3 == 0 {
+                RelSubject::Set {
+                    object: RelObject::new(
+                        if next() % 2 == 0 { "circle" } else { "puzzle" },
+                        next() % 12,
+                    ),
+                    relation: relations[(next() % 3) as usize],
+                }
+            } else {
+                RelSubject::User(user(next() % 20))
+            };
+            store.grant(RelTuple::new(object, relation, subject));
+        }
+        for ns in ["circle", "puzzle"] {
+            for id in 0..12 {
+                for relation in relations {
+                    for u in 0..20 {
+                        let object = RelObject::new(ns, id);
+                        assert_eq!(
+                            store.check(object, relation, user(u)),
+                            store.check_naive(object, relation, user(u)),
+                            "divergence at {object}#{relation}@user:{u}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn display_matches_zanzibar_notation() {
+        let t = RelTuple::new(
+            RelObject::new("puzzle", 9),
+            "attempter",
+            RelSubject::Set { object: RelObject::new("circle", 42), relation: "member" },
+        );
+        assert_eq!(t.to_string(), "puzzle:9#attempter@circle:42#member");
+        let d = RelTuple::new(RelObject::new("circle", 42), "member", RelSubject::User(user(7)));
+        assert_eq!(d.to_string(), "circle:42#member@user:7");
+    }
+}

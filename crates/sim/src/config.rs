@@ -1,0 +1,51 @@
+//! Simulation parameters.
+
+/// Everything that shapes a simulation run. Two configs with equal
+/// fields produce byte-identical decision logs — the struct *is* the
+/// reproduction recipe, together with nothing else.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Base seed: the only source of randomness in the run.
+    pub seed: u64,
+    /// Total simulated users, joined in per-tick blocks across the run.
+    pub users: u64,
+    /// Total events across the whole run (default `max(4000, users/25)`).
+    pub events: u64,
+    /// Simulated hours; the day/night wave has a 24-tick period.
+    pub ticks: u32,
+    /// Zipf-like skew exponent for object popularity and sharer choice
+    /// (`> 1` skews harder toward the popular head).
+    pub zipf_s: f64,
+    /// Every `oracle_sample`-th attempt is re-evaluated sequentially by
+    /// the slow oracle and must match exactly.
+    pub oracle_sample: u64,
+    /// Live-share ring capacity: older shares are evicted (their
+    /// relationship tuples revoked) once this many are live.
+    pub max_live_shares: usize,
+    /// Shard count for the SP and DH backends.
+    pub shards: usize,
+}
+
+impl SimConfig {
+    /// The standard workload for `users` simulated users at `seed`:
+    /// 48 ticks (two simulated days), `max(4000, users/25)` events.
+    #[must_use]
+    pub fn new(seed: u64, users: u64) -> Self {
+        Self {
+            seed,
+            users: users.max(8),
+            events: (users / 25).max(4_000),
+            ticks: 48,
+            zipf_s: 1.2,
+            oracle_sample: 16,
+            max_live_shares: 4_096,
+            shards: 16,
+        }
+    }
+
+    /// A seconds-scale run for unit tests and smoke checks.
+    #[must_use]
+    pub fn quick() -> Self {
+        Self { events: 1_200, ..Self::new(7, 2_000) }
+    }
+}

@@ -1,0 +1,907 @@
+//! The discrete-event simulation engine.
+//!
+//! One run is a sequence of *ticks* (simulated hours). Each tick:
+//!
+//! 1. **Join block** — a slice of the configured population registers.
+//! 2. **Phase A (sequential)** — the tick's mutation events execute in
+//!    event order: shares (Construction 1 uploads through the real
+//!    [`SocialPuzzleApp`]), friendships forming and dissolving, device
+//!    churn, relationship-tuple grants and revocations. Attempt events
+//!    are *parameterized* here (reader, answer plan, ReBAC pre-filter
+//!    decision, per-event RNG seed) but not yet executed.
+//! 3. **Phase B (parallel)** — every attempt runs through the real
+//!    `DisplayPuzzle → AnswerPuzzle → Verify → Access` pipeline via
+//!    [`sp_par::parallel_map`]. Each attempt owns a private RNG derived
+//!    from `(seed, "attempt", event_id)`, and `parallel_map` returns
+//!    results in input order — so the decision log is identical at any
+//!    `SP_PAR_THREADS`.
+//!
+//! The access decision composes two layers, checked after every event:
+//!
+//! * **ReBAC pre-filter** — may this reader *attempt* the puzzle at
+//!   all? `reader == sharer`, or [`TupleStore::check`] on
+//!   `puzzle:<id>#attempter` (direct grants plus the sharer's
+//!   `circle#member` userset).
+//! * **k-of-N knowledge** — of the questions the SP chose to display,
+//!   did the reader answer at least `k` correctly?
+//!
+//! The invariant, asserted per attempt: `granted ⟺ pre-filter allowed
+//! ∧ correct answers given ≥ k` — and a granted attempt must decrypt
+//! the exact original object bytes. A sampled subset is additionally
+//! re-executed sequentially (the slow oracle) and must match the
+//! parallel result bit for bit, and the tuple store's fast `check` must
+//! agree with its naive frontier-expansion twin.
+
+use std::cell::Cell;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::f64::consts::PI;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use social_puzzles_core::construction1::Construction1;
+use social_puzzles_core::context::Context;
+use social_puzzles_core::protocol::{ShareReport, SocialPuzzleApp};
+use social_puzzles_core::SocialPuzzleError;
+use sp_osn::{
+    DeviceProfile, RelObject, RelSubject, RelTuple, ServiceProvider, StorageHost, TupleStore,
+    UserId,
+};
+use sp_par::parallel_map;
+use sp_testkit::seed::SeedSplit;
+use sp_testkit::strategies::{AnswerKind, AnswerPlan};
+
+use crate::config::SimConfig;
+use crate::log::DecisionLog;
+
+/// ReBAC schema: the sharer's social circle.
+const CIRCLE: &str = "circle";
+/// ReBAC schema: a shared puzzle.
+const PUZZLE: &str = "puzzle";
+/// Relation: membership in a circle.
+const MEMBER: &str = "member";
+/// Relation: the right to attempt a puzzle.
+const ATTEMPTER: &str = "attempter";
+
+// Log entry kind codes (second field of every entry).
+const K_JOIN: u64 = 0;
+const K_SHARE: u64 = 1;
+const K_ATTEMPT: u64 = 2;
+const K_BEFRIEND: u64 = 3;
+const K_UNFRIEND: u64 = 4;
+const K_CHURN: u64 = 5;
+const K_GRANT: u64 = 6;
+const K_REVOKE: u64 = 7;
+const K_NOOP: u64 = 8;
+
+/// A live share: everything an attempt needs, frozen at share time.
+/// Held behind `Arc` so ring eviction mid-tick cannot invalidate an
+/// already-parameterized attempt.
+struct LiveShare {
+    /// Global share sequence number — the `puzzle:<id>` ReBAC object.
+    id: u64,
+    sharer: UserId,
+    report: ShareReport,
+    context: Context,
+    k: usize,
+    object: Vec<u8>,
+    /// Question text → context index, for the answerer closure.
+    question_index: HashMap<String, usize>,
+}
+
+/// One attempt, fully parameterized in phase A.
+struct AttemptParams {
+    event_id: u64,
+    reader: UserId,
+    share: Arc<LiveShare>,
+    plan: AnswerPlan,
+    /// The ReBAC pre-filter decision, taken sequentially at event time
+    /// (so it reflects every mutation earlier in the tick).
+    prefilter_allowed: bool,
+    tablet: bool,
+}
+
+/// What actually happened when an attempt ran.
+struct AttemptOutcome {
+    granted: bool,
+    /// Correct answers the reader actually gave (over the *displayed*
+    /// subset — the SP displays a random `r ∈ [k, n]` questions, so
+    /// this can be less than the plan's total correct count).
+    correct_given: u64,
+    /// `true` when denied, or granted with the exact original bytes.
+    object_ok: bool,
+    latency: Duration,
+    /// A protocol error other than the expected threshold denial.
+    error: Option<String>,
+}
+
+/// Aggregate workload/outcome counters for one run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SimCounters {
+    /// Objects shared (Construction 1 uploads).
+    pub shares: u64,
+    /// Attempts granted access.
+    pub grants: u64,
+    /// Attempts denied access (pre-filter or threshold).
+    pub denials: u64,
+    /// Denials where the ReBAC pre-filter stopped the attempt before
+    /// the puzzle was even displayed.
+    pub prefiltered: u64,
+    /// Friendships formed / dissolved by workload events.
+    pub befriends: u64,
+    /// Friendships dissolved.
+    pub unfriends: u64,
+    /// Device-kind flips (PC ↔ tablet).
+    pub device_churns: u64,
+    /// Direct `attempter` tuples granted mid-run.
+    pub tuple_grants: u64,
+    /// Tuples revoked mid-run (each immediately followed by a forced
+    /// all-correct attempt by the revoked subject).
+    pub tuple_revokes: u64,
+    /// Revocations that removed the subject's *last* authorization path
+    /// — the forced attempt was denied despite perfect answers.
+    pub revocation_flips: u64,
+    /// Attempts re-executed by the sequential slow oracle.
+    pub oracle_checks: u64,
+    /// Events that degenerated to no-ops (e.g. unfriend with no
+    /// friends); still logged, still deterministic.
+    pub noops: u64,
+}
+
+/// The outcome of a completed run: counters, determinism hash, and
+/// wall-clock performance (the only part that varies between runs).
+#[derive(Clone, Debug)]
+pub struct SimReport {
+    /// The base seed.
+    pub seed: u64,
+    /// Configured population.
+    pub users: u64,
+    /// Events executed.
+    pub events: u64,
+    /// Ticks executed.
+    pub ticks: u32,
+    /// Workload/outcome counters.
+    pub counters: SimCounters,
+    /// Access decisions taken (grants + denials).
+    pub decisions: u64,
+    /// The canonical event/decision log hash — identical for identical
+    /// configs, at any thread count.
+    pub log_hash: u64,
+    /// Entries folded into the hash.
+    pub log_entries: u64,
+    /// Wall-clock run time in seconds.
+    pub elapsed_s: f64,
+    /// Events per wall-clock second.
+    pub events_per_s: f64,
+    /// Decisions per wall-clock second.
+    pub decisions_per_s: f64,
+    /// Median decision latency, microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile decision latency, microseconds.
+    pub p99_us: f64,
+}
+
+impl SimReport {
+    /// The log hash as `spuzzle sim` prints it.
+    #[must_use]
+    pub fn hash_hex(&self) -> String {
+        format!("{:016x}", self.log_hash)
+    }
+}
+
+/// Splits `total` across weights, exactly (largest-remainder by
+/// cumulative rounding: per-slot error never exceeds one unit and the
+/// slots always sum to `total`).
+fn apportion(total: u64, weights: &[f64]) -> Vec<u64> {
+    let sum: f64 = weights.iter().sum();
+    let mut out = Vec::with_capacity(weights.len());
+    let mut acc = 0.0;
+    let mut assigned = 0u64;
+    for w in weights {
+        acc += w;
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let target = ((total as f64 * acc / sum).round() as u64).min(total);
+        out.push(target.saturating_sub(assigned));
+        assigned = assigned.max(target);
+    }
+    if let Some(last) = out.last_mut() {
+        *last += total - assigned;
+    }
+    out
+}
+
+/// The day/night load wave: a 24-tick sinusoid bottoming at ~0.35 of
+/// peak, so nighttime ticks still carry traffic.
+fn day_night_wave(ticks: u32) -> Vec<f64> {
+    (0..ticks).map(|t| 0.35 + 0.65 * (1.0 - (2.0 * PI * f64::from(t) / 24.0).cos()) / 2.0).collect()
+}
+
+/// Evaluates one attempt through the real protocol pipeline. Pure up to
+/// the derived RNG: called from the parallel phase *and* re-called
+/// sequentially as the slow oracle, and must produce the same decision
+/// both times.
+fn eval_attempt(
+    app: &SocialPuzzleApp<ServiceProvider, StorageHost>,
+    c1: &Construction1,
+    split: SeedSplit,
+    att: &AttemptParams,
+) -> AttemptOutcome {
+    let start = Instant::now();
+    if !att.prefilter_allowed {
+        // The ReBAC layer stops the attempt before DisplayPuzzle.
+        return AttemptOutcome {
+            granted: false,
+            correct_given: 0,
+            object_ok: true,
+            latency: start.elapsed(),
+            error: None,
+        };
+    }
+    let mut rng = split.stream_n("attempt", att.event_id);
+    let correct_given = Cell::new(0u64);
+    let share = &att.share;
+    let answerer = |q: &str| -> Option<String> {
+        let idx = *share.question_index.get(q)?;
+        let truth = share.context.pairs()[idx].answer();
+        match att.plan.kinds.get(idx)? {
+            AnswerKind::Correct => {
+                correct_given.set(correct_given.get() + 1);
+                Some(truth.to_string())
+            }
+            AnswerKind::Wrong => Some(format!("{truth}✗wrong")),
+            AnswerKind::Skip => None,
+        }
+    };
+    let device = if att.tablet { DeviceProfile::tablet() } else { DeviceProfile::pc() };
+    let result = app.receive_c1(c1, att.reader, &share.report, answerer, &device, &mut rng);
+    let latency = start.elapsed();
+    match result {
+        Ok(recv) => AttemptOutcome {
+            granted: true,
+            correct_given: correct_given.get(),
+            object_ok: recv.object == share.object,
+            latency,
+            error: None,
+        },
+        Err(SocialPuzzleError::NotEnoughCorrectAnswers) => AttemptOutcome {
+            granted: false,
+            correct_given: correct_given.get(),
+            object_ok: true,
+            latency,
+            error: None,
+        },
+        Err(e) => AttemptOutcome {
+            granted: false,
+            correct_given: correct_given.get(),
+            object_ok: false,
+            latency,
+            error: Some(e.to_string()),
+        },
+    }
+}
+
+/// The per-attempt invariant: the composed decision, the object bytes,
+/// and the plan-level bounds that hold regardless of which subset the
+/// SP displayed.
+fn check_attempt(att: &AttemptParams, out: &AttemptOutcome) -> Result<(), String> {
+    let who = format!(
+        "event {} reader {} puzzle {} (k={} of n={})",
+        att.event_id,
+        att.reader.raw(),
+        att.share.id,
+        att.share.k,
+        att.share.context.len()
+    );
+    if let Some(e) = &out.error {
+        return Err(format!("{who}: unexpected protocol error: {e}"));
+    }
+    let expected = att.prefilter_allowed && out.correct_given >= att.share.k as u64;
+    if out.granted != expected {
+        return Err(format!(
+            "{who}: granted={} but prefilter={} and correct_given={}",
+            out.granted, att.prefilter_allowed, out.correct_given
+        ));
+    }
+    if out.granted && !out.object_ok {
+        return Err(format!("{who}: granted but decrypted the wrong object"));
+    }
+    if att.plan.correct_count() < att.share.k && out.granted {
+        return Err(format!("{who}: reader without k correct answers was granted"));
+    }
+    let all_correct = att.plan.kinds.iter().all(|k| *k == AnswerKind::Correct);
+    if all_correct && att.prefilter_allowed && !out.granted {
+        return Err(format!("{who}: authorized reader with full context was denied"));
+    }
+    Ok(())
+}
+
+/// The simulation state machine.
+struct Simulation {
+    cfg: SimConfig,
+    split: SeedSplit,
+    app: SocialPuzzleApp<ServiceProvider, StorageHost>,
+    c1: Construction1,
+    tuples: TupleStore,
+    shares: VecDeque<Arc<LiveShare>>,
+    /// Per-share direct `attempter` grants, for revocation targeting.
+    direct_grants: HashMap<u64, Vec<UserId>>,
+    /// Sharers whose circle has been materialized into tuples.
+    has_circle: HashSet<u64>,
+    /// Device kind per user (indexed by raw id): `true` = tablet.
+    tablet: Vec<bool>,
+    joined: u64,
+    share_seq: u64,
+    next_event: u64,
+    log: DecisionLog,
+    stats: SimCounters,
+    latencies: Vec<Duration>,
+}
+
+enum EventKind {
+    Share,
+    Attempt,
+    Befriend,
+    Unfriend,
+    DeviceChurn,
+    TupleGrant,
+    TupleRevoke,
+}
+
+fn weighted_kind(rng: &mut StdRng) -> EventKind {
+    match rng.gen_range(0u32..100) {
+        0..=7 => EventKind::Share,         // 8%
+        8..=77 => EventKind::Attempt,      // 70%
+        78..=87 => EventKind::Befriend,    // 10%
+        88..=90 => EventKind::Unfriend,    // 3%
+        91..=94 => EventKind::DeviceChurn, // 4%
+        95..=96 => EventKind::TupleGrant,  // 2%
+        _ => EventKind::TupleRevoke,       // 3%
+    }
+}
+
+impl Simulation {
+    fn new(cfg: SimConfig) -> Self {
+        let split = SeedSplit::new(cfg.seed);
+        let app = SocialPuzzleApp::with_backends(
+            ServiceProvider::with_shards(cfg.shards),
+            StorageHost::with_shards(cfg.shards),
+        );
+        Self {
+            cfg,
+            split,
+            app,
+            c1: Construction1::new(),
+            tuples: TupleStore::new(),
+            shares: VecDeque::new(),
+            direct_grants: HashMap::new(),
+            has_circle: HashSet::new(),
+            tablet: Vec::new(),
+            joined: 0,
+            share_seq: 0,
+            next_event: 0,
+            log: DecisionLog::new(),
+            stats: SimCounters::default(),
+            latencies: Vec::new(),
+        }
+    }
+
+    fn random_user(&self, rng: &mut StdRng) -> UserId {
+        UserId::from_raw(rng.gen_range(0..self.joined))
+    }
+
+    /// Zipf-like draw over `len`: index 0 (the popular head) is hit
+    /// hardest; skew grows with `zipf_s`.
+    fn zipf_index(&self, len: u64, rng: &mut StdRng) -> u64 {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let idx = (len as f64 * u.powf(self.cfg.zipf_s)) as u64;
+        idx.min(len - 1)
+    }
+
+    /// Popular sharers are the early adopters (low ids).
+    fn zipf_user(&self, rng: &mut StdRng) -> UserId {
+        UserId::from_raw(self.zipf_index(self.joined, rng))
+    }
+
+    /// Popular objects are the freshest shares.
+    fn zipf_share(&self, rng: &mut StdRng) -> Arc<LiveShare> {
+        let len = self.shares.len() as u64;
+        let idx = self.zipf_index(len, rng);
+        #[allow(clippy::cast_possible_truncation)]
+        let pos = (len - 1 - idx) as usize;
+        Arc::clone(&self.shares[pos])
+    }
+
+    /// Materializes the sharer's circle on their first share: grows a
+    /// friend set if they are isolated, then mirrors every friendship
+    /// into `circle:<sharer>#member` tuples.
+    fn ensure_circle(&mut self, sharer: UserId, rng: &mut StdRng) {
+        if !self.has_circle.insert(sharer.raw()) {
+            return;
+        }
+        let want = rng.gen_range(2u64..=16);
+        for _ in 0..want {
+            let f = self.random_user(rng);
+            if f != sharer {
+                let _ = self.app.befriend(sharer, f);
+            }
+        }
+        let circle = RelObject::new(CIRCLE, sharer.raw());
+        for f in self.app.graph().friends(sharer).unwrap_or_default() {
+            self.tuples.grant(RelTuple::new(circle, MEMBER, RelSubject::User(f)));
+        }
+    }
+
+    fn ev_share(&mut self, event_id: u64, rng: &mut StdRng) -> Result<(), String> {
+        let sharer = self.zipf_user(rng);
+        self.ensure_circle(sharer, rng);
+        let id = self.share_seq;
+        self.share_seq += 1;
+
+        let n = rng.gen_range(2usize..=6);
+        let k = rng.gen_range(1usize..=n);
+        let mut builder = Context::builder();
+        for i in 0..n {
+            builder = builder.pair(format!("q{id}-{i}?"), format!("a{id}-{i}"));
+        }
+        let context = builder.build().map_err(|e| format!("event {event_id}: context: {e}"))?;
+        let object = format!("obj-{id}-u{}", sharer.raw()).into_bytes();
+        let report = self
+            .app
+            .share_c1(&self.c1, sharer, &object, &context, k, &DeviceProfile::pc(), None, rng)
+            .map_err(|e| format!("event {event_id}: share_c1: {e}"))?;
+
+        // Policy: the sharer's circle may attempt, plus 0–2 direct grants.
+        let puzzle = RelObject::new(PUZZLE, id);
+        self.tuples.grant(RelTuple::new(
+            puzzle,
+            ATTEMPTER,
+            RelSubject::Set { object: RelObject::new(CIRCLE, sharer.raw()), relation: MEMBER },
+        ));
+        let mut directs = Vec::new();
+        for _ in 0..rng.gen_range(0u32..=2) {
+            let u = self.random_user(rng);
+            self.tuples.grant(RelTuple::new(puzzle, ATTEMPTER, RelSubject::User(u)));
+            directs.push(u);
+        }
+        self.direct_grants.insert(id, directs);
+
+        let question_index = context
+            .pairs()
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.question().to_string(), i))
+            .collect();
+        self.shares.push_back(Arc::new(LiveShare {
+            id,
+            sharer,
+            report,
+            context,
+            k,
+            object,
+            question_index,
+        }));
+        if self.shares.len() > self.cfg.max_live_shares {
+            let old = self.shares.pop_front().expect("non-empty");
+            self.tuples.revoke_all(RelObject::new(PUZZLE, old.id), ATTEMPTER);
+            self.direct_grants.remove(&old.id);
+        }
+
+        self.stats.shares += 1;
+        self.log.record(&[event_id, K_SHARE, sharer.raw(), id, n as u64, k as u64]);
+        Ok(())
+    }
+
+    fn ev_attempt_params(&mut self, event_id: u64, rng: &mut StdRng) -> AttemptParams {
+        let share = self.zipf_share(rng);
+        let roll = rng.gen_range(0u32..100);
+        let reader = if roll < 5 {
+            share.sharer
+        } else if roll < 60 {
+            let friends = self.app.graph().friends(share.sharer).unwrap_or_default();
+            if friends.is_empty() {
+                self.random_user(rng)
+            } else {
+                friends[rng.gen_range(0..friends.len())]
+            }
+        } else {
+            self.random_user(rng)
+        };
+        let kinds = (0..share.context.len())
+            .map(|_| match rng.gen_range(0u32..100) {
+                0..=61 => AnswerKind::Correct,
+                62..=86 => AnswerKind::Wrong,
+                _ => AnswerKind::Skip,
+            })
+            .collect();
+        let prefilter_allowed = reader == share.sharer
+            || self.tuples.check(RelObject::new(PUZZLE, share.id), ATTEMPTER, reader);
+        let tablet = self.tablet[reader.raw() as usize];
+        AttemptParams {
+            event_id,
+            reader,
+            share,
+            plan: AnswerPlan { kinds },
+            prefilter_allowed,
+            tablet,
+        }
+    }
+
+    fn ev_befriend(&mut self, event_id: u64, rng: &mut StdRng) {
+        let a = self.random_user(rng);
+        let b = self.random_user(rng);
+        if a == b || self.app.befriend(a, b).is_err() {
+            self.stats.noops += 1;
+            self.log.record(&[event_id, K_NOOP]);
+            return;
+        }
+        // Keep materialized circles in sync with the graph.
+        if self.has_circle.contains(&a.raw()) {
+            self.tuples.grant(RelTuple::new(
+                RelObject::new(CIRCLE, a.raw()),
+                MEMBER,
+                RelSubject::User(b),
+            ));
+        }
+        if self.has_circle.contains(&b.raw()) {
+            self.tuples.grant(RelTuple::new(
+                RelObject::new(CIRCLE, b.raw()),
+                MEMBER,
+                RelSubject::User(a),
+            ));
+        }
+        self.stats.befriends += 1;
+        self.log.record(&[event_id, K_BEFRIEND, a.raw(), b.raw()]);
+    }
+
+    fn ev_unfriend(&mut self, event_id: u64, rng: &mut StdRng) {
+        let a = self.random_user(rng);
+        let friends = self.app.graph().friends(a).unwrap_or_default();
+        if friends.is_empty() {
+            self.stats.noops += 1;
+            self.log.record(&[event_id, K_NOOP]);
+            return;
+        }
+        let b = friends[rng.gen_range(0..friends.len())];
+        let _ = self.app.unfriend(a, b);
+        self.tuples.revoke(RelTuple::new(
+            RelObject::new(CIRCLE, a.raw()),
+            MEMBER,
+            RelSubject::User(b),
+        ));
+        self.tuples.revoke(RelTuple::new(
+            RelObject::new(CIRCLE, b.raw()),
+            MEMBER,
+            RelSubject::User(a),
+        ));
+        self.stats.unfriends += 1;
+        self.log.record(&[event_id, K_UNFRIEND, a.raw(), b.raw()]);
+    }
+
+    fn ev_churn(&mut self, event_id: u64, rng: &mut StdRng) {
+        let u = self.random_user(rng);
+        let slot = &mut self.tablet[u.raw() as usize];
+        *slot = !*slot;
+        self.stats.device_churns += 1;
+        self.log.record(&[event_id, K_CHURN, u.raw(), u64::from(*slot)]);
+    }
+
+    fn ev_tuple_grant(&mut self, event_id: u64, rng: &mut StdRng) {
+        let share = self.zipf_share(rng);
+        let u = self.random_user(rng);
+        self.tuples.grant(RelTuple::new(
+            RelObject::new(PUZZLE, share.id),
+            ATTEMPTER,
+            RelSubject::User(u),
+        ));
+        self.direct_grants.entry(share.id).or_default().push(u);
+        self.stats.tuple_grants += 1;
+        self.log.record(&[event_id, K_GRANT, share.id, u.raw()]);
+    }
+
+    /// Revokes one authorization path on a popular puzzle, then forces
+    /// the revoked subject to attempt *immediately* with perfect
+    /// answers — revocation must gate the very next attempt.
+    fn ev_tuple_revoke(&mut self, event_id: u64, rng: &mut StdRng) -> Result<(), String> {
+        let share = self.zipf_share(rng);
+        let puzzle = RelObject::new(PUZZLE, share.id);
+
+        // Prefer a direct grant; fall back to a circle membership.
+        let direct = match self.direct_grants.get_mut(&share.id) {
+            Some(v) if !v.is_empty() => Some(v.swap_remove(rng.gen_range(0..v.len()))),
+            _ => None,
+        };
+        let (subject, via_circle) = if let Some(u) = direct {
+            self.tuples.revoke(RelTuple::new(puzzle, ATTEMPTER, RelSubject::User(u)));
+            (u, false)
+        } else {
+            let members = self.app.graph().friends(share.sharer).unwrap_or_default();
+            if members.is_empty() {
+                self.stats.noops += 1;
+                self.log.record(&[event_id, K_NOOP]);
+                return Ok(());
+            }
+            let u = members[rng.gen_range(0..members.len())];
+            self.tuples.revoke(RelTuple::new(
+                RelObject::new(CIRCLE, share.sharer.raw()),
+                MEMBER,
+                RelSubject::User(u),
+            ));
+            (u, true)
+        };
+
+        let allowed = subject == share.sharer || self.tuples.check(puzzle, ATTEMPTER, subject);
+        let naive = subject == share.sharer || self.tuples.check_naive(puzzle, ATTEMPTER, subject);
+        if allowed != naive {
+            return Err(format!(
+                "event {event_id}: rebac oracle divergence on {puzzle}#{ATTEMPTER}@user:{} \
+                 (check={allowed}, naive={naive})",
+                subject.raw()
+            ));
+        }
+        if !allowed {
+            self.stats.revocation_flips += 1;
+        }
+
+        let att = AttemptParams {
+            event_id,
+            reader: subject,
+            share: Arc::clone(&share),
+            plan: AnswerPlan { kinds: vec![AnswerKind::Correct; share.context.len()] },
+            prefilter_allowed: allowed,
+            tablet: self.tablet[subject.raw() as usize],
+        };
+        let out = eval_attempt(&self.app, &self.c1, self.split, &att);
+        check_attempt(&att, &out)?;
+        self.tally(&att, &out);
+        self.latencies.push(out.latency);
+        self.stats.tuple_revokes += 1;
+        self.log.record(&[
+            event_id,
+            K_REVOKE,
+            share.id,
+            subject.raw(),
+            u64::from(via_circle),
+            u64::from(allowed),
+            u64::from(out.granted),
+        ]);
+        Ok(())
+    }
+
+    fn tally(&mut self, att: &AttemptParams, out: &AttemptOutcome) {
+        if out.granted {
+            self.stats.grants += 1;
+        } else {
+            self.stats.denials += 1;
+            if !att.prefilter_allowed {
+                self.stats.prefiltered += 1;
+            }
+        }
+    }
+
+    fn tick(&mut self, t: u64, joins: u64, events: u64) -> Result<(), String> {
+        for _ in 0..joins {
+            let u = self.app.add_user(String::new());
+            debug_assert_eq!(u.raw(), self.joined);
+            self.joined += 1;
+            self.tablet.push(false);
+        }
+        self.log.record(&[t, K_JOIN, joins, self.joined]);
+
+        // Phase A: sequential mutations; attempts are parameterized.
+        let mut attempts: Vec<AttemptParams> = Vec::new();
+        for _ in 0..events {
+            let event_id = self.next_event;
+            self.next_event += 1;
+            let mut rng = self.split.stream_n("event", event_id);
+            if self.joined < 2 {
+                self.stats.noops += 1;
+                self.log.record(&[event_id, K_NOOP]);
+                continue;
+            }
+            let mut kind = weighted_kind(&mut rng);
+            if self.shares.is_empty()
+                && matches!(
+                    kind,
+                    EventKind::Attempt | EventKind::TupleGrant | EventKind::TupleRevoke
+                )
+            {
+                kind = EventKind::Share;
+            }
+            match kind {
+                EventKind::Share => self.ev_share(event_id, &mut rng)?,
+                EventKind::Attempt => {
+                    let att = self.ev_attempt_params(event_id, &mut rng);
+                    attempts.push(att);
+                }
+                EventKind::Befriend => self.ev_befriend(event_id, &mut rng),
+                EventKind::Unfriend => self.ev_unfriend(event_id, &mut rng),
+                EventKind::DeviceChurn => self.ev_churn(event_id, &mut rng),
+                EventKind::TupleGrant => self.ev_tuple_grant(event_id, &mut rng),
+                EventKind::TupleRevoke => self.ev_tuple_revoke(event_id, &mut rng)?,
+            }
+        }
+
+        // Phase B: the tick's attempts, in parallel, results in event
+        // order regardless of SP_PAR_THREADS.
+        let outcomes = {
+            let app = &self.app;
+            let c1 = &self.c1;
+            let split = self.split;
+            parallel_map(&attempts, |att| eval_attempt(app, c1, split, att))
+        };
+        for (att, out) in attempts.iter().zip(&outcomes) {
+            check_attempt(att, out)?;
+            self.tally(att, out);
+            self.latencies.push(out.latency);
+            self.log.record(&[
+                att.event_id,
+                K_ATTEMPT,
+                att.reader.raw(),
+                att.share.id,
+                u64::from(att.prefilter_allowed),
+                u64::from(out.granted),
+                out.correct_given,
+                att.share.k as u64,
+            ]);
+            if self.cfg.oracle_sample > 0 && att.event_id % self.cfg.oracle_sample == 0 {
+                // Slow oracle: the same attempt, sequentially, from the
+                // same derived seed — decision and tally must match.
+                let redo = eval_attempt(&self.app, &self.c1, self.split, att);
+                if redo.granted != out.granted || redo.correct_given != out.correct_given {
+                    return Err(format!(
+                        "event {}: sequential oracle diverged from parallel run \
+                         (granted {} vs {}, correct {} vs {})",
+                        att.event_id,
+                        redo.granted,
+                        out.granted,
+                        redo.correct_given,
+                        out.correct_given
+                    ));
+                }
+                let puzzle = RelObject::new(PUZZLE, att.share.id);
+                if self.tuples.check(puzzle, ATTEMPTER, att.reader)
+                    != self.tuples.check_naive(puzzle, ATTEMPTER, att.reader)
+                {
+                    return Err(format!(
+                        "event {}: rebac check/naive divergence on {puzzle}",
+                        att.event_id
+                    ));
+                }
+                self.stats.oracle_checks += 1;
+            }
+        }
+        Ok(())
+    }
+
+    fn into_report(mut self, elapsed: Duration) -> SimReport {
+        self.latencies.sort_unstable();
+        let pct = |p: f64| -> f64 {
+            if self.latencies.is_empty() {
+                return 0.0;
+            }
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            let idx = ((self.latencies.len() - 1) as f64 * p).round() as usize;
+            self.latencies[idx].as_secs_f64() * 1e6
+        };
+        let decisions = self.stats.grants + self.stats.denials;
+        let elapsed_s = elapsed.as_secs_f64().max(1e-9);
+        SimReport {
+            seed: self.cfg.seed,
+            users: self.cfg.users,
+            events: self.next_event,
+            ticks: self.cfg.ticks,
+            counters: self.stats,
+            decisions,
+            log_hash: self.log.hash(),
+            log_entries: self.log.entries(),
+            elapsed_s,
+            #[allow(clippy::cast_precision_loss)]
+            events_per_s: self.next_event as f64 / elapsed_s,
+            #[allow(clippy::cast_precision_loss)]
+            decisions_per_s: decisions as f64 / elapsed_s,
+            p50_us: pct(0.50),
+            p99_us: pct(0.99),
+        }
+    }
+}
+
+/// Runs one simulation to completion.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first invariant
+/// violation — a failed run means the protocol stack, not the
+/// simulator, broke its contract.
+pub fn run(cfg: &SimConfig) -> Result<SimReport, String> {
+    let start = Instant::now();
+    let mut sim = Simulation::new(cfg.clone());
+    let wave = day_night_wave(cfg.ticks);
+    let alloc = apportion(cfg.events, &wave);
+    let joins = apportion(cfg.users, &vec![1.0; cfg.ticks as usize]);
+    for t in 0..cfg.ticks as usize {
+        sim.tick(t as u64, joins[t], alloc[t])?;
+    }
+    Ok(sim.into_report(start.elapsed()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SimConfig {
+        SimConfig {
+            users: 300,
+            events: 600,
+            ticks: 12,
+            oracle_sample: 8,
+            max_live_shares: 48,
+            shards: 4,
+            ..SimConfig::new(11, 300)
+        }
+    }
+
+    #[test]
+    fn apportion_is_exact() {
+        let wave = day_night_wave(48);
+        let alloc = apportion(10_007, &wave);
+        assert_eq!(alloc.iter().sum::<u64>(), 10_007);
+        assert_eq!(alloc.len(), 48);
+        // The wave actually shapes the allocation: peak ≫ trough.
+        let peak = *alloc.iter().max().unwrap();
+        let trough = *alloc.iter().min().unwrap();
+        assert!(peak > 2 * trough, "peak {peak} vs trough {trough}");
+    }
+
+    #[test]
+    fn same_seed_same_hash() {
+        let cfg = small();
+        let a = run(&cfg).expect("run a");
+        let b = run(&cfg).expect("run b");
+        assert_eq!(a.log_hash, b.log_hash);
+        assert_eq!(a.log_entries, b.log_entries);
+        assert_eq!(a.counters, b.counters);
+    }
+
+    #[test]
+    fn different_seed_different_hash() {
+        let a = run(&small()).expect("run a");
+        let b = run(&SimConfig { seed: 12, ..small() }).expect("run b");
+        assert_ne!(a.log_hash, b.log_hash);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_hash() {
+        // worker_count() re-reads SP_PAR_THREADS on every call, so the
+        // env var takes effect immediately. The hash must not notice.
+        let cfg = small();
+        std::env::set_var("SP_PAR_THREADS", "1");
+        let serial = run(&cfg).expect("serial run");
+        std::env::set_var("SP_PAR_THREADS", "4");
+        let parallel = run(&cfg).expect("parallel run");
+        std::env::remove_var("SP_PAR_THREADS");
+        assert_eq!(serial.log_hash, parallel.log_hash);
+        assert_eq!(serial.counters, parallel.counters);
+    }
+
+    #[test]
+    fn workload_exercises_every_event_kind() {
+        let report = run(&small()).expect("run");
+        let c = report.counters;
+        assert!(c.shares > 0, "no shares: {c:?}");
+        assert!(c.grants > 0, "no grants: {c:?}");
+        assert!(c.denials > 0, "no denials: {c:?}");
+        assert!(c.prefiltered > 0, "rebac pre-filter never fired: {c:?}");
+        assert!(c.befriends > 0, "no befriends: {c:?}");
+        assert!(c.unfriends > 0, "no unfriends: {c:?}");
+        assert!(c.device_churns > 0, "no device churn: {c:?}");
+        assert!(c.tuple_grants > 0, "no tuple grants: {c:?}");
+        assert!(c.tuple_revokes > 0, "no tuple revokes: {c:?}");
+        assert!(c.revocation_flips > 0, "no revocation ever took effect: {c:?}");
+        assert!(c.oracle_checks > 0, "oracle never sampled: {c:?}");
+        assert_eq!(report.decisions, c.grants + c.denials);
+        assert!(report.log_entries > 0);
+        assert_eq!(report.hash_hex(), format!("{:016x}", report.log_hash));
+    }
+}

@@ -1,0 +1,26 @@
+//! # sp-sim — deterministic OSN simulation engine
+//!
+//! Drives up to a million simulated users through the *real*
+//! social-puzzles protocol stack — [`SocialPuzzleApp`] over sharded
+//! in-process SP/DH backends, Construction 1 share/receive, the
+//! Zanzibar-style [`TupleStore`] relationship layer — and asserts
+//! access-decision invariants after every single event.
+//!
+//! The headline contract: a run is fully determined by its
+//! [`SimConfig`]. Same config → byte-identical decision-log hash,
+//! across process restarts and across any `SP_PAR_THREADS` setting.
+//! See `docs/SIMULATION.md` for the event model and the invariant list.
+//!
+//! [`SocialPuzzleApp`]: social_puzzles_core::protocol::SocialPuzzleApp
+//! [`TupleStore`]: sp_osn::TupleStore
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod engine;
+pub mod log;
+
+pub use config::SimConfig;
+pub use engine::{run, SimCounters, SimReport};
+pub use log::DecisionLog;

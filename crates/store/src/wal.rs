@@ -784,6 +784,126 @@ mod tests {
         fs::remove_dir_all(&dir).unwrap();
     }
 
+    /// Regression: snapshot compaction used to be written against a
+    /// quiesced log. Run it hot instead — one thread appending through
+    /// continuous segment rotation while another snapshots whatever is
+    /// durable and compacts — and recovery must still account for every
+    /// acknowledged record.
+    #[test]
+    fn compaction_races_concurrent_appends_and_rotation() {
+        let dir = fresh("compact-race");
+        let total = 400u64;
+        let wal = Arc::new(Wal::open(&dir, 96, true, None).unwrap().0);
+        let done = std::sync::atomic::AtomicBool::new(false);
+        let raced_snapshots = std::thread::scope(|s| {
+            let appender = s.spawn(|| {
+                for i in 0..total {
+                    let seq = wal.append(&rec(i)).unwrap();
+                    wal.commit(seq).unwrap();
+                }
+                done.store(true, Ordering::SeqCst);
+            });
+            let snapshotter = s.spawn(|| {
+                let mut last = 0;
+                let mut written = 0u64;
+                while !done.load(Ordering::SeqCst) {
+                    let seq = wal.durable_seq();
+                    if seq > last {
+                        wal.write_snapshot(seq, format!("state-{seq}").as_bytes()).unwrap();
+                        last = seq;
+                        written += 1;
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+                written
+            });
+            appender.join().unwrap();
+            snapshotter.join().unwrap()
+        });
+
+        // Quiesced tail: one more snapshot covering everything, which
+        // must compact every closed segment regardless of what the
+        // racing snapshots already deleted.
+        wal.write_snapshot(total, b"final").unwrap();
+        assert_eq!(wal.snapshot_count(), raced_snapshots + 1);
+        assert_eq!(wal.segment_count(), 1, "full-coverage snapshot leaves only the active segment");
+        let snaps_on_disk = fs::read_dir(&dir)
+            .unwrap()
+            .filter(|e| {
+                e.as_ref().unwrap().file_name().to_string_lossy().starts_with(SNAPSHOT_PREFIX)
+            })
+            .count();
+        assert_eq!(snaps_on_disk, 1, "stale racing snapshots compacted away");
+        drop(wal);
+
+        let (reopened, recovered) = Wal::open(&dir, 96, true, None).unwrap();
+        let (snap_seq, payload) = recovered.snapshot.expect("final snapshot recovered");
+        assert_eq!(snap_seq, total);
+        assert_eq!(&payload[..], b"final");
+        assert!(recovered.records.is_empty(), "snapshot covers every record");
+        assert_eq!(reopened.written_seq(), total);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// The same hot append/snapshot/rotate race, but the log dies
+    /// mid-run via the fault injector. Whatever interleaving happened,
+    /// recovery must cover every *acknowledged* seq: each one is either
+    /// ≤ the recovered snapshot's seq or present in the replay set.
+    #[test]
+    fn compaction_race_under_fault_keeps_every_acked_record() {
+        let dir = fresh("compact-race-fault");
+        let wal = Arc::new(
+            Wal::open(&dir, 96, true, Some(FileFault::TornWrite { append: 120 })).unwrap().0,
+        );
+        let (acked, snapshotted) = std::thread::scope(|s| {
+            let appender = s.spawn(|| {
+                let mut acked = Vec::new();
+                for i in 0..400u64 {
+                    let Ok(seq) = wal.append(&rec(i)) else { break };
+                    if wal.commit(seq).is_err() {
+                        break;
+                    }
+                    acked.push(seq);
+                }
+                acked
+            });
+            let snapshotter = s.spawn(|| {
+                let mut last = 0;
+                while !wal.is_crashed() {
+                    let seq = wal.durable_seq();
+                    if seq > last && wal.write_snapshot(seq, format!("s{seq}").as_bytes()).is_ok() {
+                        last = seq;
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+                last
+            });
+            (appender.join().unwrap(), snapshotter.join().unwrap())
+        });
+        assert!(wal.is_crashed(), "fault must fire mid-run");
+        assert!(!acked.is_empty(), "some appends must be acknowledged before the crash");
+        drop(wal);
+
+        let (_, recovered) = Wal::open(&dir, 96, true, None).unwrap();
+        let snap_seq = recovered.snapshot.as_ref().map_or(0, |(seq, _)| *seq);
+        assert!(
+            snap_seq >= snapshotted,
+            "newest recovered snapshot {snap_seq} older than one written {snapshotted}"
+        );
+        let replayed: std::collections::BTreeSet<u64> =
+            recovered.records.iter().map(|(seq, _)| *seq).collect();
+        for &seq in &acked {
+            assert!(
+                seq <= snap_seq || replayed.contains(&seq),
+                "acked seq {seq} lost (snapshot covers ≤{snap_seq}, replay has {} records)",
+                replayed.len()
+            );
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
     #[test]
     fn corrupt_closed_segment_refuses_to_open() {
         let dir = fresh("corrupt");

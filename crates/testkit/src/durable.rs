@@ -23,9 +23,8 @@
 use std::fs;
 use std::path::{Path, PathBuf};
 
+use crate::seed::SeedSplit;
 use bytes::Bytes;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use social_puzzles_core::construction1::{Construction1, Puzzle};
 use social_puzzles_core::SocialPuzzleError;
 use sp_osn::{OsnError, ProviderApi, UserId};
@@ -133,7 +132,7 @@ impl Deployment for C1Durable {
         let dir = self.root.join(format!("trace-{seed}"));
         let _ = fs::remove_dir_all(&dir);
         self.trace_reopens = 0;
-        let mut rng = StdRng::seed_from_u64(seed ^ 0xD1);
+        let mut rng = SeedSplit::new(seed).stream("c1-durable");
         let object = object_bytes(seed);
         let up = self.c1.upload(&object, &sc.context, sc.k, &mut rng)?;
         let puzzle_bytes = Bytes::from(up.puzzle.to_bytes());

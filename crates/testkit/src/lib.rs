@@ -9,6 +9,10 @@
 //!   answers, duplicate-question rejection inputs), so every crate's
 //!   property tests draw from one input space instead of re-rolling
 //!   narrower ones.
+//! * [`seed`] — the shared seeded-RNG splitter ([`seed::SeedSplit`]):
+//!   one base seed fanned into independent labeled streams, used by the
+//!   differential trace driver, the durable crash deployment, and the
+//!   `sp-sim` simulation engine in place of per-module XOR constants.
 //! * [`fault`] — a seeded, deterministic fault-injecting TCP proxy
 //!   ([`fault::FaultyProxy`]) that drops, truncates, bit-flips, and
 //!   delays framed messages and disconnects mid-frame, reproducible
@@ -37,12 +41,14 @@
 pub mod durable;
 pub mod fault;
 pub mod pipefault;
+pub mod seed;
 pub mod strategies;
 pub mod trace;
 
 pub use durable::C1Durable;
 pub use fault::{Fault, FaultCounts, FaultPlan, FaultyProxy};
 pub use pipefault::{PipeCounts, PipePlan, PipelinedProxy, ResponseFault};
+pub use seed::SeedSplit;
 pub use trace::{
     run_differential, run_faulted, run_faulted_strict, C1InMemory, C1Socket, C2InMemory,
     Deployment, DifferentialReport, FaultReport, TraceError, TrivialInMemory,

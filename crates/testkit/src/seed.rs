@@ -1,0 +1,146 @@
+//! One seed, many independent deterministic streams.
+//!
+//! Every seeded harness in this workspace needs the same thing: a single
+//! base seed that reproduces an entire run, split into *independent*
+//! streams so that consuming randomness in one place (a deployment's
+//! crypto nonces, a fault plan, a scenario generator) never perturbs
+//! another. The historical pattern was ad-hoc XOR constants
+//! (`seed ^ 0xC1`, `seed ^ 0x50C7`, ...) scattered per module — easy to
+//! collide, impossible to audit. [`SeedSplit`] centralizes the split:
+//! streams are derived by hashing the base seed with a human-readable
+//! label (and optionally a sequence number), so two streams collide only
+//! if someone reuses a label.
+//!
+//! The derivation is FNV-1a 64 over `base ‖ label ‖ n`, whose output
+//! feeds `StdRng::seed_from_u64` (itself a SplitMix64 expansion). That
+//! keeps every stream a pure function of `(base, label, n)` — exactly
+//! the property the simulator's cross-thread determinism contract and
+//! the differential driver's replay-by-seed contract both need.
+
+use proptest::TestRng;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Folds `bytes` into an FNV-1a 64 accumulator.
+fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// A base seed plus labeled stream derivation. Cheap to copy; carries no
+/// generator state — every accessor returns a *fresh* generator at the
+/// start of its stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SeedSplit {
+    base: u64,
+}
+
+impl SeedSplit {
+    /// Wraps a base seed.
+    #[must_use]
+    pub fn new(base: u64) -> Self {
+        Self { base }
+    }
+
+    /// The base seed (for reports and reproduction instructions).
+    #[must_use]
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// The derived sub-seed for `(label, n)`: a pure function of the
+    /// base seed, usable anywhere a raw `u64` seed is needed.
+    #[must_use]
+    pub fn derive(&self, label: &str, n: u64) -> u64 {
+        let h = fnv1a(FNV_OFFSET, &self.base.to_le_bytes());
+        let h = fnv1a(h, label.as_bytes());
+        fnv1a(h, &n.to_le_bytes())
+    }
+
+    /// A fresh labeled stream. Streams with distinct labels are
+    /// independent; the same label always restarts the same stream.
+    #[must_use]
+    pub fn stream(&self, label: &str) -> StdRng {
+        StdRng::seed_from_u64(self.derive(label, 0))
+    }
+
+    /// A fresh labeled, numbered stream — one per event/trace/item, so
+    /// parallel consumers each own a private generator whose output does
+    /// not depend on scheduling order.
+    #[must_use]
+    pub fn stream_n(&self, label: &str, n: u64) -> StdRng {
+        StdRng::seed_from_u64(self.derive(label, n))
+    }
+
+    /// The scenario-generation stream: `TestRng` seeded with the *base*
+    /// seed directly. This is deliberately NOT label-derived — it
+    /// reproduces the byte streams every existing seeded differential
+    /// trace was recorded against (`scenario().generate(&mut
+    /// TestRng::new(seed))`), so adopting [`SeedSplit`] never silently
+    /// reshuffles historical scenarios.
+    #[must_use]
+    pub fn scenario_rng(&self) -> TestRng {
+        TestRng::new(self.base)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::strategy::Strategy;
+    use rand::Rng;
+
+    fn draw(mut rng: StdRng) -> Vec<u64> {
+        (0..8).map(|_| rng.gen()).collect()
+    }
+
+    #[test]
+    fn same_label_restarts_the_same_stream() {
+        let split = SeedSplit::new(42);
+        assert_eq!(draw(split.stream("alpha")), draw(split.stream("alpha")));
+        assert_eq!(draw(split.stream_n("ev", 7)), draw(split.stream_n("ev", 7)));
+    }
+
+    #[test]
+    fn labels_and_sequence_numbers_give_independent_streams() {
+        let split = SeedSplit::new(42);
+        assert_ne!(draw(split.stream("alpha")), draw(split.stream("beta")));
+        assert_ne!(draw(split.stream_n("ev", 0)), draw(split.stream_n("ev", 1)));
+        assert_ne!(draw(split.stream("ev")), draw(split.stream_n("ev", 1)));
+    }
+
+    #[test]
+    fn base_seed_changes_every_stream() {
+        let a = SeedSplit::new(1);
+        let b = SeedSplit::new(2);
+        assert_ne!(draw(a.stream("alpha")), draw(b.stream("alpha")));
+        assert_ne!(a.derive("alpha", 3), b.derive("alpha", 3));
+    }
+
+    #[test]
+    fn scenario_stream_is_the_historical_testrng_stream() {
+        // The compatibility contract: scenario generation through the
+        // split must be byte-identical to the pre-split idiom, or every
+        // pinned differential seed would silently change meaning.
+        let seed = 0x0D5A;
+        let via_split =
+            crate::strategies::scenario().generate(&mut SeedSplit::new(seed).scenario_rng());
+        let direct = crate::strategies::scenario().generate(&mut TestRng::new(seed));
+        assert_eq!(via_split.k, direct.k);
+        assert_eq!(via_split.context.pairs().len(), direct.context.pairs().len());
+        for (a, b) in via_split.context.pairs().iter().zip(direct.context.pairs()) {
+            assert_eq!(a.question(), b.question());
+            assert_eq!(a.answer(), b.answer());
+        }
+        assert_eq!(via_split.attempts.len(), direct.attempts.len());
+        for (a, b) in via_split.attempts.iter().zip(&direct.attempts) {
+            assert_eq!(a.kinds, b.kinds);
+        }
+    }
+}

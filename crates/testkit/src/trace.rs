@@ -22,9 +22,8 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 use proptest::strategy::Strategy;
-use proptest::TestRng;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+
+use crate::seed::SeedSplit;
 use social_puzzles_core::construction1::Construction1;
 use social_puzzles_core::construction2::Construction2;
 use social_puzzles_core::context::{Context, ContextPair};
@@ -143,7 +142,7 @@ impl Deployment for C1InMemory {
     }
 
     fn run(&mut self, sc: &Scenario, seed: u64) -> Result<Decisions, TraceError> {
-        let mut rng = StdRng::seed_from_u64(seed ^ 0xC1);
+        let mut rng = SeedSplit::new(seed).stream(self.name());
         let object = object_bytes(seed);
         let up = self.c1.upload(&object, &sc.context, sc.k, &mut rng)?;
         let mut out = Vec::with_capacity(sc.attempts.len());
@@ -284,7 +283,7 @@ impl Deployment for C1Socket {
     }
 
     fn run(&mut self, sc: &Scenario, seed: u64) -> Result<Decisions, TraceError> {
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x50C7);
+        let mut rng = SeedSplit::new(seed).stream("c1-socket");
         let object = object_bytes(seed);
         let url = Url::from(format!("dh://trace/{seed}").as_str());
         let up = self.c1.upload_to(&object, &sc.context, sc.k, url, None, &mut rng)?;
@@ -375,7 +374,7 @@ impl Deployment for C2InMemory {
     }
 
     fn run(&mut self, sc: &Scenario, seed: u64) -> Result<Decisions, TraceError> {
-        let mut rng = StdRng::seed_from_u64(seed ^ 0xC2);
+        let mut rng = SeedSplit::new(seed).stream(self.name());
         let object = object_bytes(seed);
         let up = self.c2.upload(&object, &sc.context, sc.k, &mut rng)?;
         let details = up.record.public_details();
@@ -425,7 +424,7 @@ impl Deployment for TrivialInMemory {
     }
 
     fn run(&mut self, sc: &Scenario, seed: u64) -> Result<Decisions, TraceError> {
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x7121);
+        let mut rng = SeedSplit::new(seed).stream(self.name());
         let object = object_bytes(seed);
         let ct = trivial::encrypt(&object, &sc.context, &mut rng);
         let mut out = Vec::with_capacity(sc.attempts.len());
@@ -488,7 +487,7 @@ pub fn run_differential(
     let mut report = DifferentialReport::default();
     for t in 0..traces {
         let seed = base_seed + t as u64;
-        let sc = scenario().generate(&mut TestRng::new(seed));
+        let sc = scenario().generate(&mut SeedSplit::new(seed).scenario_rng());
         let n = sc.context.len();
         for dep in deployments.iter_mut() {
             let decisions = dep
@@ -556,7 +555,7 @@ pub fn run_faulted(base_seed: u64, traces: usize, deployment: &mut dyn Deploymen
     let mut report = FaultReport::default();
     for t in 0..traces {
         let seed = base_seed + t as u64;
-        let sc = scenario().generate(&mut TestRng::new(seed));
+        let sc = scenario().generate(&mut SeedSplit::new(seed).scenario_rng());
         match deployment.run(&sc, seed) {
             Ok(decisions) => {
                 for d in decisions {
@@ -590,7 +589,7 @@ pub fn run_faulted_strict(
     let mut report = FaultReport::default();
     for t in 0..traces {
         let seed = base_seed + t as u64;
-        let sc = scenario().generate(&mut TestRng::new(seed));
+        let sc = scenario().generate(&mut SeedSplit::new(seed).scenario_rng());
         let k = deployment.effective_k(sc.k, sc.context.len());
         match deployment.run(&sc, seed) {
             Ok(decisions) => {
@@ -620,6 +619,7 @@ pub fn run_faulted_strict(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::TestRng;
 
     #[test]
     fn in_memory_deployments_agree_with_the_oracle() {

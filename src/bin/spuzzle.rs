@@ -32,6 +32,11 @@
 //!                                            # end-to-end serving-path sweep
 //! spuzzle bench-store [--full] [--out BENCH_store.json]
 //!                                            # WAL append/recovery sweep
+//! spuzzle sim --seed 42 --users 1000000      # deterministic OSN simulation:
+//!                                            # invariants checked per event,
+//!                                            # decision_log_hash=… printed
+//! spuzzle bench-sim [--full] [--out BENCH_sim.json]
+//!                                            # simulation scaling sweep
 //! ```
 //!
 //! `--shards 1` on the daemons reproduces the single-lock baseline, so
@@ -76,10 +81,13 @@ fn main() -> ExitCode {
         Some("check-bench-net") => cmd_check_bench_net(&args[1..]),
         Some("bench-store") => cmd_bench_store(&args[1..]),
         Some("check-bench-store") => cmd_check_bench_store(&args[1..]),
+        Some("sim") => cmd_sim(&args[1..]),
+        Some("bench-sim") => cmd_bench_sim(&args[1..]),
+        Some("check-bench-sim") => cmd_check_bench_sim(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             eprintln!(
                 "usage: spuzzle \
-                 <share|questions|solve|serve-sp|serve-dh|load|bench-crypto|bench-net|check-bench-net|bench-store|check-bench-store> \
+                 <share|questions|solve|serve-sp|serve-dh|load|bench-crypto|bench-net|check-bench-net|bench-store|check-bench-store|sim|bench-sim|check-bench-sim> \
                  [options]; see --help per command"
             );
             return ExitCode::from(2);
@@ -655,6 +663,84 @@ fn cmd_check_bench_store(args: &[String]) -> Result<(), String> {
     sp_bench::store_bench::validate_json(&doc)
         .map_err(|e| format!("{path} is not a valid store bench report: {e}"))?;
     println!("{path}: schema-valid store bench report");
+    Ok(())
+}
+
+/// `spuzzle sim --seed S --users N [--events E] [--ticks T] [--shards P]`:
+/// one deterministic simulation run through the real protocol stack.
+/// Every event is invariant-checked; a violation is a non-zero exit.
+/// The `decision_log_hash=` line is the reproducibility receipt — it
+/// must be identical for identical flags, at any `SP_PAR_THREADS`.
+fn cmd_sim(args: &[String]) -> Result<(), String> {
+    use social_puzzles::sim::{run, SimConfig};
+    let seed: u64 = flag_value(args, "--seed")
+        .unwrap_or("42")
+        .parse()
+        .map_err(|_| "--seed must be a number")?;
+    let users: u64 = flag_value(args, "--users")
+        .unwrap_or("10000")
+        .parse()
+        .map_err(|_| "--users must be a number")?;
+    let mut cfg = SimConfig::new(seed, users);
+    if let Some(e) = flag_value(args, "--events") {
+        cfg.events = e.parse().map_err(|_| "--events must be a number")?;
+    }
+    if let Some(t) = flag_value(args, "--ticks") {
+        cfg.ticks = t.parse().map_err(|_| "--ticks must be a number")?;
+    }
+    if let Some(s) = flag_value(args, "--shards") {
+        cfg.shards = s.parse().map_err(|_| "--shards must be a number")?;
+    }
+    let r = run(&cfg).map_err(|e| format!("invariant violation: {e}"))?;
+    let c = r.counters;
+    println!(
+        "sim: seed {} users {} events {} ticks {} in {:.2}s ({:.0} events/s, {:.0} decisions/s)",
+        r.seed, r.users, r.events, r.ticks, r.elapsed_s, r.events_per_s, r.decisions_per_s,
+    );
+    println!(
+        "     shares {} grants {} denials {} (prefiltered {}) befriends {} unfriends {} \
+         device-churns {}",
+        c.shares, c.grants, c.denials, c.prefiltered, c.befriends, c.unfriends, c.device_churns,
+    );
+    println!(
+        "     tuple-grants {} tuple-revokes {} revocation-flips {} oracle-checks {} \
+         p50 {:.1}µs p99 {:.1}µs",
+        c.tuple_grants, c.tuple_revokes, c.revocation_flips, c.oracle_checks, r.p50_us, r.p99_us,
+    );
+    println!("decision_log_hash={} entries={}", r.hash_hex(), r.log_entries);
+    Ok(())
+}
+
+/// `spuzzle bench-sim [--full] [--out <file>]`: the simulation scaling
+/// sweep (the same measurement the `sp-bench` figures binary writes to
+/// `BENCH_sim.json`), quick by default. `--full` sweeps 10k/100k/1M
+/// users and takes minutes.
+fn cmd_bench_sim(args: &[String]) -> Result<(), String> {
+    use sp_bench::sim_bench;
+    let cfg = if args.iter().any(|a| a == "--full") {
+        sim_bench::SimBenchConfig::default()
+    } else {
+        sim_bench::SimBenchConfig::quick()
+    };
+    let report = sim_bench::run_sweep(&cfg);
+    print!("{}", sim_bench::render(&report));
+    if let Some(path) = flag_value(args, "--out") {
+        let json = sim_bench::to_json(&report);
+        sim_bench::validate_json(&json).map_err(|e| format!("emitted report invalid: {e}"))?;
+        std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
+/// `spuzzle check-bench-sim [path]`: schema-validates an existing
+/// `BENCH_sim.json`.
+fn cmd_check_bench_sim(args: &[String]) -> Result<(), String> {
+    let path = args.first().map(String::as_str).unwrap_or("BENCH_sim.json");
+    let doc = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    sp_bench::sim_bench::validate_json(&doc)
+        .map_err(|e| format!("{path} is not a valid sim bench report: {e}"))?;
+    println!("{path}: schema-valid sim bench report");
     Ok(())
 }
 

@@ -16,6 +16,10 @@
 //!   and DH daemons, and remote clients for the same backend traits.
 //! * [`store`] — the durable storage engine: CRC-framed write-ahead log
 //!   with group commit, snapshots, and crash recovery for SP/DH state.
+//! * [`sim`] — deterministic discrete-event OSN simulator: drives up to
+//!   a million users through the real protocol stack, composes
+//!   relationship tuples with k-of-N access, and asserts decision
+//!   invariants after every event.
 //! * [`abe`] — Bethencourt–Sahai–Waters ciphertext-policy ABE.
 //! * [`shamir`] — Shamir `(k, n)` threshold secret sharing.
 //! * [`pairing`] — PBC Type-A style symmetric bilinear pairing.
@@ -45,6 +49,7 @@ pub use sp_net as net;
 pub use sp_osn as osn;
 pub use sp_pairing as pairing;
 pub use sp_shamir as shamir;
+pub use sp_sim as sim;
 pub use sp_store as store;
 pub use sp_wire as wire;
 

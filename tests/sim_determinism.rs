@@ -1,0 +1,39 @@
+//! Cross-crate determinism contract for the simulation engine: the
+//! facade-level guarantee that one [`SimConfig`] pins one decision-log
+//! hash, independent of scheduling.
+//!
+//! This is deliberately a single `#[test]`: the `SP_PAR_THREADS`
+//! comparison mutates process-global state, so the runs must not
+//! interleave with other tests in this binary.
+
+use social_puzzles::sim::{run, SimConfig};
+
+#[test]
+fn one_config_pins_one_decision_log() {
+    let cfg = SimConfig::quick();
+
+    let baseline = run(&cfg).expect("quick sim run upholds its invariants");
+    assert!(baseline.decisions > 0, "degenerate run: {:?}", baseline.counters);
+    assert!(baseline.counters.tuple_revokes > 0, "no revocations: {:?}", baseline.counters);
+
+    // Same config, fresh engine: byte-identical log.
+    let again = run(&cfg).expect("second run");
+    assert_eq!(again.log_hash, baseline.log_hash);
+    assert_eq!(again.log_entries, baseline.log_entries);
+    assert_eq!(again.counters, baseline.counters);
+
+    // Same config, forced-serial and forced-parallel execution: the
+    // schedule must leave no fingerprint in the log.
+    std::env::set_var("SP_PAR_THREADS", "1");
+    let serial = run(&cfg).expect("serial run");
+    std::env::set_var("SP_PAR_THREADS", "4");
+    let parallel = run(&cfg).expect("parallel run");
+    std::env::remove_var("SP_PAR_THREADS");
+    assert_eq!(serial.log_hash, baseline.log_hash);
+    assert_eq!(parallel.log_hash, baseline.log_hash);
+    assert_eq!(serial.counters, parallel.counters);
+
+    // A different seed must not collide.
+    let other = run(&SimConfig { seed: cfg.seed + 1, ..cfg }).expect("other seed");
+    assert_ne!(other.log_hash, baseline.log_hash);
+}
