@@ -196,6 +196,17 @@ pub struct ServerCounters {
     /// Responses written after a response to a *later* request on the
     /// same connection — pipelined out-of-order completions.
     pub out_of_order: u64,
+    /// Reactor event-loop wakeups that carried at least one readiness
+    /// event (zero under the thread-per-connection model).
+    pub epoll_wakeups: u64,
+    /// Writes that could not drain a connection's output queue in one
+    /// syscall, forcing the reactor to arm write-readiness.
+    pub partial_writes: u64,
+    /// Connections closed by the reactor's idle-timeout sweep.
+    pub idle_reaped: u64,
+    /// Connections refused at accept time by overload shedding (beyond
+    /// `max_connections`), before any frame was read.
+    pub accept_shed: u64,
 }
 
 /// Durability counters for one persistent store component (e.g.
@@ -359,6 +370,28 @@ impl ServiceMetrics {
         self.with(|st| st.servers.entry(component.to_owned()).or_default().out_of_order += 1);
     }
 
+    /// Records `n` reactor wakeups that carried readiness events. The
+    /// reactor batches its count per loop iteration so the metrics lock
+    /// is taken once per wakeup, not once per event.
+    pub fn server_epoll_wakeups(&self, component: &str, n: u64) {
+        self.with(|st| st.servers.entry(component.to_owned()).or_default().epoll_wakeups += n);
+    }
+
+    /// Records one short write that left bytes queued on a connection.
+    pub fn server_partial_write(&self, component: &str) {
+        self.with(|st| st.servers.entry(component.to_owned()).or_default().partial_writes += 1);
+    }
+
+    /// Records one connection reaped by the idle-timeout sweep.
+    pub fn server_idle_reaped(&self, component: &str) {
+        self.with(|st| st.servers.entry(component.to_owned()).or_default().idle_reaped += 1);
+    }
+
+    /// Records one connection shed at accept time by overload control.
+    pub fn server_accept_shed(&self, component: &str) {
+        self.with(|st| st.servers.entry(component.to_owned()).or_default().accept_shed += 1);
+    }
+
     /// Counters for one server component (zeros if never seen).
     pub fn server(&self, component: &str) -> ServerCounters {
         self.with(|st| st.servers.get(component).copied().unwrap_or_default())
@@ -435,16 +468,21 @@ impl fmt::Display for ServiceMetrics {
         for (name, c) in servers {
             writeln!(
                 f,
-                "{name} server: {} accepted ({} v2, {} busy), in-flight {} (peak {}), \
-                 queued {} (peak {}), {} out-of-order",
+                "{name} server: {} accepted ({} v2, {} busy, {} shed), in-flight {} (peak {}), \
+                 queued {} (peak {}), {} out-of-order, {} wakeups, {} partial writes, \
+                 {} idle-reaped",
                 c.accepted,
                 c.v2_negotiated,
                 c.busy_rejections,
+                c.accept_shed,
                 c.in_flight,
                 c.in_flight_peak,
                 c.queue_depth,
                 c.queue_peak,
-                c.out_of_order
+                c.out_of_order,
+                c.epoll_wakeups,
+                c.partial_writes,
+                c.idle_reaped
             )?;
         }
         let stores = self.with(|st| st.stores.clone());

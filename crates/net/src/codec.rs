@@ -1,0 +1,359 @@
+//! Sans-IO frame machinery for the nonblocking reactor.
+//!
+//! The blocking codecs in [`crate::frame`] own their socket: they loop
+//! until a whole frame has been read or written. A readiness-based
+//! reactor cannot do that — bytes arrive and drain in arbitrary
+//! fragments — so this module re-expresses the same wire format as pure
+//! state machines over byte buffers:
+//!
+//! * [`FrameDecoder`] accumulates whatever the socket produced and
+//!   yields complete frames, switching from v1 to v2 framing at a frame
+//!   boundary when HELLO negotiates the upgrade (bytes already buffered
+//!   past the boundary are reinterpreted under the new framing, exactly
+//!   as a blocking reader would have parsed them);
+//! * [`encode_frame_v1`] / [`encode_frame_v2`] produce the byte-exact
+//!   output of [`crate::frame::write_frame`] /
+//!   [`crate::frame::write_frame_v2`];
+//! * [`WriteQueue`] holds encoded frames awaiting the socket and
+//!   survives short writes mid-frame, resuming at the exact byte offset.
+//!
+//! The equivalence with the blocking codecs is pinned by the partial-I/O
+//! property suite (`crates/net/tests/partial_io.rs`), which feeds both
+//! sides arbitrary fragmentations and asserts identical bytes out.
+
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Write};
+
+use crate::frame::{FRAME_HEADER_LEN, FRAME_V2_HEADER_LEN};
+
+/// Which frame layout the decoder currently expects.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Framing {
+    /// `len ‖ payload`.
+    V1,
+    /// `len ‖ correlation ‖ payload`.
+    V2,
+}
+
+/// One decoded frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DecodedFrame {
+    /// The correlation id (`None` on v1 frames).
+    pub corr: Option<u64>,
+    /// The frame payload.
+    pub payload: Vec<u8>,
+}
+
+/// A fatal decode condition. The decoder is poisoned afterwards: the
+/// connection's read position sits inside a frame it refuses to buffer,
+/// so the caller must answer with a typed error and close.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DecodeFault {
+    /// The length prefix exceeded the cap — rejected before any payload
+    /// allocation. `corr` names the offending v2 request (`None` on v1).
+    TooLarge {
+        /// The v2 correlation id to echo on the refusal, if any.
+        corr: Option<u64>,
+        /// The claimed payload length.
+        len: u64,
+    },
+}
+
+/// Threshold past which consumed bytes are compacted out of the buffer.
+const COMPACT_AT: usize = 16 * 1024;
+
+/// An incremental frame decoder: push arbitrary byte fragments in, pull
+/// complete frames out.
+#[derive(Debug)]
+pub struct FrameDecoder {
+    framing: Framing,
+    max_frame: u32,
+    buf: Vec<u8>,
+    /// Bytes of `buf` already consumed by yielded frames.
+    pos: usize,
+}
+
+impl FrameDecoder {
+    /// Creates a decoder enforcing `max_frame` on every length prefix.
+    pub fn new(framing: Framing, max_frame: u32) -> Self {
+        Self { framing, max_frame, buf: Vec::new(), pos: 0 }
+    }
+
+    /// The current framing.
+    pub fn framing(&self) -> Framing {
+        self.framing
+    }
+
+    /// Switches framing at the current frame boundary (the HELLO
+    /// upgrade). Buffered undecoded bytes are kept and reparsed under
+    /// the new framing.
+    pub fn set_framing(&mut self, framing: Framing) {
+        self.framing = framing;
+    }
+
+    /// Appends socket bytes to the accumulation buffer.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed by a decoded frame.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Yields the next complete frame, `None` when more bytes are
+    /// needed.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeFault::TooLarge`] when the length prefix exceeds the cap;
+    /// the fault repeats on every subsequent call (the decoder cannot
+    /// resynchronize mid-frame).
+    pub fn next_frame(&mut self) -> Result<Option<DecodedFrame>, DecodeFault> {
+        let header_len =
+            if self.framing == Framing::V2 { FRAME_V2_HEADER_LEN } else { FRAME_HEADER_LEN };
+        if self.buffered() < header_len {
+            self.compact();
+            return Ok(None);
+        }
+        let header = &self.buf[self.pos..self.pos + header_len];
+        let len = u32::from_be_bytes(header[..FRAME_HEADER_LEN].try_into().expect("fixed len"));
+        let corr = (self.framing == Framing::V2)
+            .then(|| u64::from_be_bytes(header[FRAME_HEADER_LEN..].try_into().expect("fixed len")));
+        if len > self.max_frame {
+            // Rejected on the prefix alone: nothing of the claimed
+            // payload is ever buffered beyond what already arrived.
+            return Err(DecodeFault::TooLarge { corr, len: u64::from(len) });
+        }
+        let total = header_len + len as usize;
+        if self.buffered() < total {
+            self.compact();
+            return Ok(None);
+        }
+        let payload = self.buf[self.pos + header_len..self.pos + total].to_vec();
+        self.pos += total;
+        self.compact();
+        Ok(Some(DecodedFrame { corr, payload }))
+    }
+
+    /// Drops consumed bytes once they dominate the buffer, keeping the
+    /// copy cost amortized O(1) per byte.
+    fn compact(&mut self) {
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        } else if self.pos >= COMPACT_AT {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+    }
+}
+
+/// Encodes one v1 frame — byte-identical to
+/// [`crate::frame::write_frame`]'s output.
+pub fn encode_frame_v1(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Encodes one v2 frame — byte-identical to
+/// [`crate::frame::write_frame_v2`]'s output.
+pub fn encode_frame_v2(corr: u64, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_V2_HEADER_LEN + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.extend_from_slice(&corr.to_be_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Outcome of one [`WriteQueue::write_to`] pass.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WriteProgress {
+    /// Every queued byte reached the writer.
+    Drained,
+    /// The writer stopped accepting bytes (`WouldBlock`) mid-queue; the
+    /// caller should arm write-readiness and retry later.
+    Blocked,
+}
+
+/// Encoded frames awaiting a nonblocking socket, with partial-write
+/// continuation: a short write leaves the front frame's unsent suffix
+/// queued at the exact byte offset.
+#[derive(Debug, Default)]
+pub struct WriteQueue {
+    chunks: VecDeque<Vec<u8>>,
+    /// Bytes of the front chunk already written.
+    offset: usize,
+    queued: usize,
+}
+
+impl WriteQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queues one encoded frame.
+    pub fn push(&mut self, frame: Vec<u8>) {
+        self.queued += frame.len();
+        self.chunks.push_back(frame);
+    }
+
+    /// Whether nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.chunks.is_empty()
+    }
+
+    /// Bytes queued and not yet written.
+    pub fn queued_bytes(&self) -> usize {
+        self.queued
+    }
+
+    /// Writes as much as `w` accepts, resuming mid-frame.
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer errors other than `WouldBlock`/`Interrupted`; a
+    /// `write` returning `Ok(0)` with bytes pending is reported as
+    /// [`ErrorKind::WriteZero`].
+    pub fn write_to(&mut self, w: &mut impl Write) -> std::io::Result<WriteProgress> {
+        while let Some(front) = self.chunks.front() {
+            match w.write(&front[self.offset..]) {
+                Ok(0) => return Err(std::io::Error::from(ErrorKind::WriteZero)),
+                Ok(n) => {
+                    self.offset += n;
+                    self.queued -= n;
+                    if self.offset == front.len() {
+                        self.chunks.pop_front();
+                        self.offset = 0;
+                    }
+                }
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                    return Ok(WriteProgress::Blocked)
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(WriteProgress::Drained)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::{write_frame, write_frame_v2};
+    use crate::msg::hello_frame;
+
+    #[test]
+    fn one_byte_fragments_decode_both_framings() {
+        let mut stream = Vec::new();
+        write_frame(&mut stream, b"alpha", 1024).unwrap();
+        write_frame(&mut stream, b"", 1024).unwrap();
+        let mut dec = FrameDecoder::new(Framing::V1, 1024);
+        let mut got = Vec::new();
+        for b in &stream {
+            dec.push(std::slice::from_ref(b));
+            while let Some(f) = dec.next_frame().unwrap() {
+                got.push(f);
+            }
+        }
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0], DecodedFrame { corr: None, payload: b"alpha".to_vec() });
+        assert_eq!(got[1], DecodedFrame { corr: None, payload: Vec::new() });
+
+        let mut stream = Vec::new();
+        write_frame_v2(&mut stream, 77, b"beta", 1024).unwrap();
+        let mut dec = FrameDecoder::new(Framing::V2, 1024);
+        let mut got = Vec::new();
+        for b in &stream {
+            dec.push(std::slice::from_ref(b));
+            while let Some(f) = dec.next_frame().unwrap() {
+                got.push(f);
+            }
+        }
+        assert_eq!(got, [DecodedFrame { corr: Some(77), payload: b"beta".to_vec() }]);
+    }
+
+    #[test]
+    fn hello_upgrade_reparses_trailing_bytes_as_v2() {
+        // A client may send HELLO and its first v2 frames in one burst;
+        // the decoder must hand over HELLO under v1 framing and, once
+        // switched, parse the already-buffered remainder as v2.
+        let mut burst = Vec::new();
+        write_frame(&mut burst, &hello_frame(), 1024).unwrap();
+        write_frame_v2(&mut burst, 5, b"first", 1024).unwrap();
+        let mut dec = FrameDecoder::new(Framing::V1, 1024);
+        dec.push(&burst);
+        let hello = dec.next_frame().unwrap().unwrap();
+        assert!(crate::msg::is_hello(&hello.payload));
+        dec.set_framing(Framing::V2);
+        let first = dec.next_frame().unwrap().unwrap();
+        assert_eq!(first, DecodedFrame { corr: Some(5), payload: b"first".to_vec() });
+        assert_eq!(dec.next_frame().unwrap(), None);
+    }
+
+    #[test]
+    fn oversized_prefix_faults_before_buffering_and_echoes_corr() {
+        let mut dec = FrameDecoder::new(Framing::V1, 64);
+        dec.push(&1_000_000u32.to_be_bytes());
+        assert_eq!(dec.next_frame(), Err(DecodeFault::TooLarge { corr: None, len: 1_000_000 }));
+
+        let mut dec = FrameDecoder::new(Framing::V2, 64);
+        dec.push(&1_000_000u32.to_be_bytes());
+        // With only the length half of the v2 header, the decoder waits
+        // for the correlation id so the refusal can name the request.
+        assert_eq!(dec.next_frame(), Ok(None));
+        dec.push(&9u64.to_be_bytes());
+        let fault = DecodeFault::TooLarge { corr: Some(9), len: 1_000_000 };
+        assert_eq!(dec.next_frame(), Err(fault));
+        // Poisoned: the fault repeats rather than resynchronizing.
+        assert_eq!(dec.next_frame(), Err(fault));
+    }
+
+    #[test]
+    fn write_queue_resumes_mid_frame_after_short_writes() {
+        // A writer accepting at most 3 bytes per call, blocking every
+        // other call: the queue must emit exactly the blocking codec's
+        // byte stream, in order.
+        struct Trickle {
+            out: Vec<u8>,
+            calls: usize,
+        }
+        impl Write for Trickle {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.calls += 1;
+                if self.calls.is_multiple_of(2) {
+                    return Err(std::io::Error::from(ErrorKind::WouldBlock));
+                }
+                let n = buf.len().min(3);
+                self.out.extend_from_slice(&buf[..n]);
+                Ok(n)
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let mut q = WriteQueue::new();
+        q.push(encode_frame_v2(1, b"first payload"));
+        q.push(encode_frame_v1(b"second"));
+        let mut expected = Vec::new();
+        write_frame_v2(&mut expected, 1, b"first payload", 1024).unwrap();
+        write_frame(&mut expected, b"second", 1024).unwrap();
+        assert_eq!(q.queued_bytes(), expected.len());
+
+        let mut w = Trickle { out: Vec::new(), calls: 0 };
+        let mut blocked = 0;
+        while q.write_to(&mut w).unwrap() == WriteProgress::Blocked {
+            blocked += 1;
+            assert!(blocked < 1000, "never drained");
+        }
+        assert!(q.is_empty());
+        assert_eq!(q.queued_bytes(), 0);
+        assert!(blocked > 0, "the trickle writer did block mid-frame");
+        assert_eq!(w.out, expected, "byte-identical to the blocking codec");
+    }
+}

@@ -72,6 +72,21 @@ pub trait Service: Send + Sync + 'static {
     fn handle(&self, request: &[u8]) -> Result<Vec<u8>, (ErrorCode, String)>;
 }
 
+/// How a [`Daemon`] multiplexes its connections.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ServingModel {
+    /// Two OS threads per connection (reader + writer). Simple and
+    /// portable; caps realistic concurrency at a few hundred sockets.
+    #[default]
+    Threads,
+    /// One event-loop thread over nonblocking sockets and `epoll` (see
+    /// [`crate::reactor`]): per-connection state machines feed the same
+    /// shared compute pool, so 10k+ mostly-idle connections cost file
+    /// descriptors, not threads. Linux-only; other platforms fall back
+    /// to [`ServingModel::Threads`].
+    Reactor,
+}
+
 /// Tuning knobs for a [`Daemon`].
 #[derive(Clone, Debug)]
 pub struct DaemonConfig {
@@ -106,6 +121,15 @@ pub struct DaemonConfig {
     pub metrics: ServiceMetrics,
     /// Metrics component name for the serving-path counters.
     pub component: String,
+    /// Connection-multiplexing model (thread-per-connection or the
+    /// epoll reactor). Both models serve the identical protocol; the
+    /// differential trace harness runs the same traces against each.
+    pub serving_model: ServingModel,
+    /// Reactor only: connections with no traffic, queued output, or
+    /// in-flight work for this long are closed by the idle sweep (the
+    /// thread model keeps idle connections until shutdown). Generous by
+    /// default so ordinary clients never notice.
+    pub idle_timeout: Duration,
 }
 
 impl Default for DaemonConfig {
@@ -122,6 +146,8 @@ impl Default for DaemonConfig {
             buffer_pool: DEFAULT_POOL_CAP,
             metrics: ServiceMetrics::default(),
             component: "net.server".to_owned(),
+            serving_model: ServingModel::default(),
+            idle_timeout: Duration::from_secs(300),
         }
     }
 }
@@ -158,7 +184,15 @@ impl Daemon {
             stop: Arc::clone(&stop),
             cfg,
         });
-        let accept = std::thread::spawn(move || accept_loop(listener, &shared));
+        let accept = match shared.cfg.serving_model {
+            ServingModel::Threads => std::thread::spawn(move || accept_loop(listener, &shared)),
+            #[cfg(target_os = "linux")]
+            ServingModel::Reactor => {
+                std::thread::spawn(move || crate::reactor::run(listener, &shared))
+            }
+            #[cfg(not(target_os = "linux"))]
+            ServingModel::Reactor => std::thread::spawn(move || accept_loop(listener, &shared)),
+        };
         Ok(Self { addr: local, stop, accept: Some(accept) })
     }
 
@@ -187,16 +221,17 @@ impl Drop for Daemon {
     }
 }
 
-/// Everything a connection thread needs, shared across all of them.
-struct Shared {
-    service: Arc<dyn Service>,
-    pool: WorkerPool,
-    buffers: BufferPool,
-    stop: Arc<AtomicBool>,
-    cfg: DaemonConfig,
+/// Everything a connection thread (or the reactor loop) needs, shared
+/// across all of them.
+pub(crate) struct Shared {
+    pub(crate) service: Arc<dyn Service>,
+    pub(crate) pool: WorkerPool,
+    pub(crate) buffers: BufferPool,
+    pub(crate) stop: Arc<AtomicBool>,
+    pub(crate) cfg: DaemonConfig,
 }
 
-fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
+pub(crate) fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
     let cfg = &shared.cfg;
     let active = Arc::new(AtomicUsize::new(0));
     let mut conns: Vec<JoinHandle<()>> = Vec::new();

@@ -84,6 +84,7 @@
 //! ```
 
 pub mod client;
+pub mod codec;
 pub mod daemon;
 pub mod dedup;
 pub mod dh;
@@ -92,10 +93,14 @@ pub mod frame;
 pub mod msg;
 pub mod pipeline;
 pub mod pool;
+#[cfg(target_os = "linux")]
+pub(crate) mod reactor;
 pub mod sp;
+#[cfg(target_os = "linux")]
+pub mod sys;
 
 pub use client::{ClientConfig, Connection};
-pub use daemon::{Daemon, DaemonConfig, Service};
+pub use daemon::{Daemon, DaemonConfig, Service, ServingModel};
 pub use dedup::{DedupService, ReplayCache};
 pub use dh::{DhClient, DhService};
 pub use error::{ErrorCode, NetError};

@@ -1,0 +1,908 @@
+//! The epoll reactor serving loop ([`ServingModel::Reactor`]).
+//!
+//! One event-loop thread owns every connection: nonblocking sockets
+//! registered with an [`Epoll`] instance, a per-connection state machine
+//! ([`Conn`]) running handshake → framing → read-accumulate → dispatch →
+//! write-drain, and the same shared bounded compute pool the thread
+//! model uses. Completed jobs post their reply on an in-process channel
+//! and ring an [`EventFd`] so the loop wakes even while parked in
+//! `epoll_wait`; v2 replies then go out in completion order, matched by
+//! correlation id.
+//!
+//! The protocol served is **identical** to the thread model's — same
+//! HELLO negotiation, same envelopes, same `Busy`/`FrameTooLarge`
+//! refusals, same metrics sequences — which the differential trace
+//! harness (`crates/testkit/tests/reactor.rs`) and the reactor parity
+//! tests below pin. What the reactor adds is scale: an idle connection
+//! costs one fd and ~100 bytes of state instead of two parked OS
+//! threads, so 10k+ open sockets are routine. Idle connections are
+//! reaped after [`DaemonConfig::idle_timeout`]; accepts beyond
+//! [`DaemonConfig::max_connections`] are shed with a best-effort `Busy`
+//! frame before the socket is dropped.
+//!
+//! ```text
+//!                 ┌────────────── epoll_wait ──────────────┐
+//!                 ▼                                        │
+//!   listener ──accept──► Conn{V1} ──HELLO──► Conn{V2}      │
+//!                 │         │read                │read     │
+//!                 │         ▼                    ▼         │
+//!                 │     FrameDecoder ──frame──► compute pool
+//!                 │         │                    │ done(corr)
+//!                 │         ▼                    ▼
+//!                 │     WriteQueue ◄──encode── eventfd wake
+//!                 │         │flush (partial ⇒ arm EPOLLOUT)
+//!                 └─────────┘
+//! ```
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{Receiver, Sender, TryRecvError};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+use crate::codec::{
+    encode_frame_v1, encode_frame_v2, FrameDecoder, Framing, WriteProgress, WriteQueue,
+};
+use crate::daemon::Shared;
+use crate::error::ErrorCode;
+use crate::msg::{err_frame, hello_ack_payload, is_hello, ok_frame, RESP_OK};
+use crate::pool::PooledBuf;
+use crate::sys::{
+    is_would_block, Epoll, EpollEvent, EventFd, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP,
+};
+
+#[allow(unused_imports)] // doc links
+use crate::daemon::{DaemonConfig, ServingModel};
+
+/// Token for the accept listener.
+const TOKEN_LISTENER: u64 = 0;
+/// Token for the compute-completion eventfd.
+const TOKEN_WAKER: u64 = 1;
+/// First connection token; tokens are monotonic and never reused, so a
+/// stale readiness event for a closed fd cannot touch a new connection
+/// that recycled the same descriptor.
+const TOKEN_FIRST_CONN: u64 = 2;
+
+/// Readiness slots filled per `epoll_wait` call.
+const MAX_EVENTS: usize = 256;
+
+/// Scratch read-buffer size. A single `read` this large covers the vast
+/// majority of request bursts; larger bursts just loop.
+const SCRATCH: usize = 16 * 1024;
+
+/// One completed compute job on its way back to the loop.
+struct Done {
+    token: u64,
+    corr: u64,
+    seq: u64,
+    v2: bool,
+    frame: PooledBuf,
+}
+
+/// Per-connection state machine.
+struct Conn {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    out: WriteQueue,
+    /// Negotiated up from v1 by HELLO.
+    v2: bool,
+    /// Jobs on the compute pool whose replies have not come back yet.
+    in_flight: usize,
+    /// v1 strict ordering: a request is in flight, so frame parsing (and
+    /// read interest) pause until its reply is queued — exactly the
+    /// thread model's read-after-answer discipline.
+    v1_waiting: bool,
+    /// Peer sent EOF; finish in-flight work, flush, then close.
+    read_closed: bool,
+    /// Fatal protocol condition (oversized frame): flush queued refusal,
+    /// finish in-flight work, then close. No further reads.
+    closing: bool,
+    last_activity: Instant,
+    /// Per-connection submission order, for out-of-order accounting.
+    seq: u64,
+    max_seq_written: u64,
+    /// Currently-armed epoll interest mask.
+    interest: u32,
+}
+
+/// Serves `listener` with the reactor until the shared stop flag flips.
+///
+/// Falls back to the thread model's accept loop if epoll or eventfd
+/// creation fails (containers with exotic seccomp filters).
+pub(crate) fn run(listener: TcpListener, shared: &Arc<Shared>) {
+    let (Ok(epoll), Ok(waker)) = (Epoll::new(), EventFd::new()) else {
+        return crate::daemon::accept_loop(listener, shared);
+    };
+    if epoll.add(listener.as_raw_fd(), EPOLLIN, TOKEN_LISTENER).is_err()
+        || epoll.add(waker.raw(), EPOLLIN, TOKEN_WAKER).is_err()
+    {
+        return crate::daemon::accept_loop(listener, shared);
+    }
+    let (done_tx, done_rx) = mpsc::channel();
+    let cfg = &shared.cfg;
+    let mut reactor = Reactor {
+        epoll,
+        waker: Arc::new(waker),
+        listener,
+        shared: Arc::clone(shared),
+        conns: HashMap::new(),
+        next_token: TOKEN_FIRST_CONN,
+        done_tx,
+        done_rx,
+        response_cap: cfg.max_frame.saturating_add(1024),
+        backpressure: (cfg.max_frame as usize).max(64 * 1024),
+        scratch: vec![0u8; SCRATCH],
+    };
+    reactor.run_loop();
+    reactor.shutdown_drain();
+}
+
+struct Reactor {
+    epoll: Epoll,
+    /// Shared with every compute job so a completion can always ring a
+    /// live fd, even one finishing during shutdown.
+    waker: Arc<EventFd>,
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    conns: HashMap<u64, Conn>,
+    next_token: u64,
+    done_tx: Sender<Done>,
+    done_rx: Receiver<Done>,
+    /// Response frames may exceed the request cap by the envelope slack —
+    /// same allowance as the thread model's writer.
+    response_cap: u32,
+    /// Queued-output level above which read interest is dropped until
+    /// the peer drains.
+    backpressure: usize,
+    scratch: Vec<u8>,
+}
+
+impl Reactor {
+    fn run_loop(&mut self) {
+        let cfg_poll = self.shared.cfg.poll_interval.max(Duration::from_millis(1));
+        let sweep_every =
+            (self.shared.cfg.idle_timeout / 4).clamp(cfg_poll, Duration::from_secs(1));
+        let mut events = [EpollEvent { events: 0, token: 0 }; MAX_EVENTS];
+        let mut last_sweep = Instant::now();
+        while !self.shared.stop.load(Ordering::SeqCst) {
+            let n = match self.epoll.wait(&mut events, cfg_poll) {
+                Ok(n) => n,
+                Err(_) => continue,
+            };
+            if n > 0 {
+                let cfg = &self.shared.cfg;
+                cfg.metrics.server_epoll_wakeups(&cfg.component, 1);
+            }
+            for ev in &events[..n] {
+                let token = ev.token;
+                let bits = ev.events;
+                match token {
+                    TOKEN_LISTENER => self.accept_ready(),
+                    TOKEN_WAKER => {
+                        self.waker.drain();
+                    }
+                    _ => self.conn_event(token, bits),
+                }
+            }
+            self.drain_done();
+            let now = Instant::now();
+            if now.duration_since(last_sweep) >= sweep_every {
+                last_sweep = now;
+                self.sweep_idle(now);
+            }
+        }
+    }
+
+    /// Accepts until the listener would block.
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => self.admit(stream),
+                Err(e) if is_would_block(&e) => break,
+                Err(_) => {
+                    // Transient (EMFILE, aborted handshake): back off a
+                    // beat so a level-triggered listener cannot spin.
+                    std::thread::sleep(self.shared.cfg.poll_interval);
+                    break;
+                }
+            }
+        }
+    }
+
+    fn admit(&mut self, stream: TcpStream) {
+        let cfg = &self.shared.cfg;
+        if self.conns.len() >= cfg.max_connections.max(1) {
+            return self.shed(stream);
+        }
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        let _ = stream.set_nodelay(true);
+        let token = self.next_token;
+        let interest = EPOLLIN | EPOLLRDHUP;
+        if self.epoll.add(stream.as_raw_fd(), interest, token).is_err() {
+            return;
+        }
+        self.next_token += 1;
+        cfg.metrics.server_conn_accepted(&cfg.component, false);
+        self.conns.insert(
+            token,
+            Conn {
+                stream,
+                decoder: FrameDecoder::new(Framing::V1, cfg.max_frame),
+                out: WriteQueue::new(),
+                v2: false,
+                in_flight: 0,
+                v1_waiting: false,
+                read_closed: false,
+                closing: false,
+                last_activity: Instant::now(),
+                seq: 0,
+                max_seq_written: 0,
+                interest,
+            },
+        );
+    }
+
+    /// Sheds an accept beyond the connection limit: one best-effort
+    /// nonblocking `Busy` frame, then the socket drops. Unlike the
+    /// thread model's bounded-timeout reject, the reactor never waits on
+    /// a shed peer at all — the accept path stays O(1) under floods.
+    fn shed(&self, mut stream: TcpStream) {
+        let cfg = &self.shared.cfg;
+        cfg.metrics.server_accept_shed(&cfg.component);
+        cfg.metrics.server_busy_rejection(&cfg.component);
+        let _ = stream.set_nonblocking(true);
+        let frame = encode_frame_v1(&err_frame(ErrorCode::Busy, "connection limit"));
+        let _ = stream.write(&frame);
+    }
+
+    /// Routes one readiness event to its connection's state machine.
+    fn conn_event(&mut self, token: u64, bits: u32) {
+        let Some(mut conn) = self.conns.remove(&token) else { return };
+        let mut dead = false;
+        if bits & EPOLLERR != 0 {
+            dead = true;
+        }
+        if !dead && bits & EPOLLOUT != 0 {
+            dead = self.flush(&mut conn).is_err();
+        }
+        if !dead && bits & (EPOLLIN | EPOLLRDHUP | EPOLLHUP) != 0 {
+            dead = self.read_ready(&mut conn, token).is_err();
+        }
+        self.finish(token, conn, dead);
+    }
+
+    /// Re-registers (or closes) a connection after an event was handled.
+    fn finish(&mut self, token: u64, mut conn: Conn, dead: bool) {
+        if dead || should_close(&conn) {
+            let _ = self.epoll.delete(conn.stream.as_raw_fd());
+            return; // `conn` drops here, closing the socket
+        }
+        let desired = desired_interest(&conn, self.backpressure);
+        if desired != conn.interest
+            && self.epoll.modify(conn.stream.as_raw_fd(), desired, token).is_err()
+        {
+            let _ = self.epoll.delete(conn.stream.as_raw_fd());
+            return;
+        }
+        conn.interest = desired;
+        self.conns.insert(token, conn);
+    }
+
+    /// Reads until the socket would block (or ordering/backpressure
+    /// pause reading), feeding the decoder and dispatching frames.
+    fn read_ready(&mut self, conn: &mut Conn, token: u64) -> Result<(), ()> {
+        loop {
+            if conn.read_closed
+                || conn.closing
+                || conn.v1_waiting
+                || conn.out.queued_bytes() > self.backpressure
+            {
+                return Ok(());
+            }
+            match conn.stream.read(&mut self.scratch) {
+                Ok(0) => {
+                    conn.read_closed = true;
+                    return Ok(());
+                }
+                Ok(n) => {
+                    conn.last_activity = Instant::now();
+                    conn.decoder.push(&self.scratch[..n]);
+                    self.process_frames(conn, token)?;
+                    if n < self.scratch.len() {
+                        return Ok(()); // drained the socket buffer
+                    }
+                }
+                Err(e) if is_would_block(&e) => return Ok(()),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => return Err(()),
+            }
+        }
+    }
+
+    /// Decodes and dispatches every complete buffered frame.
+    fn process_frames(&self, conn: &mut Conn, token: u64) -> Result<(), ()> {
+        loop {
+            if conn.v1_waiting || conn.closing {
+                return Ok(());
+            }
+            match conn.decoder.next_frame() {
+                Ok(Some(frame)) => self.dispatch(conn, token, frame.corr, frame.payload)?,
+                Ok(None) => return Ok(()),
+                Err(crate::codec::DecodeFault::TooLarge { corr, len }) => {
+                    // Typed refusal echoing the offending correlation id,
+                    // then close — the read position is poisoned. Same
+                    // shape as the thread model's TooLarge path.
+                    conn.seq += 1;
+                    let seq = conn.seq;
+                    let cfg = &self.shared.cfg;
+                    let detail =
+                        format!("frame of {len} bytes exceeds the {}-byte cap", cfg.max_frame);
+                    let refusal = err_frame(ErrorCode::FrameTooLarge, &detail);
+                    let v2 = conn.v2;
+                    self.queue_reply(conn, corr.unwrap_or(0), seq, v2, &refusal)?;
+                    conn.closing = true;
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    /// Handles one decoded request frame: HELLO inline, everything else
+    /// onto the compute pool (mirroring the thread model's `submit`
+    /// metrics sequence exactly).
+    fn dispatch(
+        &self,
+        conn: &mut Conn,
+        token: u64,
+        corr: Option<u64>,
+        payload: Vec<u8>,
+    ) -> Result<(), ()> {
+        let cfg = &self.shared.cfg;
+        conn.seq += 1;
+        let seq = conn.seq;
+        if !conn.v2 && is_hello(&payload) {
+            if cfg.enable_v2 {
+                cfg.metrics.server_v2_negotiated(&cfg.component);
+                let ack = ok_frame(&hello_ack_payload());
+                self.queue_reply(conn, 0, seq, false, &ack)?;
+                conn.v2 = true;
+                conn.decoder.set_framing(Framing::V2);
+            } else {
+                let refusal = err_frame(ErrorCode::BadRequest, "protocol v2 not enabled");
+                self.queue_reply(conn, 0, seq, false, &refusal)?;
+            }
+            return Ok(());
+        }
+        let corr = corr.unwrap_or(0);
+        let v2 = conn.v2;
+        cfg.metrics.server_job_enqueued(&cfg.component);
+        let job_shared = Arc::clone(&self.shared);
+        let job_done = self.done_tx.clone();
+        let job_waker = Arc::clone(&self.waker);
+        let accepted = self.shared.pool.try_execute(move || {
+            let cfg = &job_shared.cfg;
+            cfg.metrics.server_job_started(&cfg.component);
+            let mut frame = job_shared.buffers.checkout();
+            match job_shared.service.handle(&payload) {
+                Ok(resp) => {
+                    frame.push(RESP_OK);
+                    frame.extend_from_slice(&resp);
+                }
+                Err((code, detail)) => frame.extend_from_slice(&err_frame(code, &detail)),
+            }
+            drop(payload);
+            cfg.metrics.server_job_finished(&cfg.component);
+            let _ = job_done.send(Done { token, corr, seq, v2, frame });
+            job_waker.signal();
+        });
+        if accepted.is_err() {
+            cfg.metrics.server_job_started(&cfg.component);
+            cfg.metrics.server_job_finished(&cfg.component);
+            cfg.metrics.server_busy_rejection(&cfg.component);
+            let refusal = err_frame(ErrorCode::Busy, "compute queue full");
+            return self.queue_reply(conn, corr, seq, v2, &refusal);
+        }
+        conn.in_flight += 1;
+        if !v2 {
+            conn.v1_waiting = true;
+        }
+        Ok(())
+    }
+
+    /// Drains completed compute jobs posted since the last pass.
+    fn drain_done(&mut self) {
+        loop {
+            match self.done_rx.try_recv() {
+                Ok(done) => self.on_done(done),
+                Err(TryRecvError::Empty | TryRecvError::Disconnected) => return,
+            }
+        }
+    }
+
+    fn on_done(&mut self, done: Done) {
+        // The connection may have died while its job computed; the reply
+        // is simply dropped, like the thread writer draining when broken.
+        let Some(mut conn) = self.conns.remove(&done.token) else { return };
+        conn.in_flight = conn.in_flight.saturating_sub(1);
+        let mut dead =
+            self.queue_reply(&mut conn, done.corr, done.seq, done.v2, &done.frame).is_err();
+        if !dead && !done.v2 {
+            // The v1 reply is queued; resume strict-order frame parsing
+            // on whatever the decoder already buffered.
+            conn.v1_waiting = false;
+            dead = self.process_frames(&mut conn, done.token).is_err();
+        }
+        self.finish(done.token, conn, dead);
+    }
+
+    /// Encodes a reply, queues it, and flushes as far as the socket
+    /// allows. `Err` means the connection is dead.
+    fn queue_reply(
+        &self,
+        conn: &mut Conn,
+        corr: u64,
+        seq: u64,
+        v2: bool,
+        payload: &[u8],
+    ) -> Result<(), ()> {
+        self.enqueue_frame(conn, corr, seq, v2, payload)?;
+        self.flush(conn)
+    }
+
+    /// Encodes and queues without flushing (the shutdown drain path).
+    fn enqueue_frame(
+        &self,
+        conn: &mut Conn,
+        corr: u64,
+        seq: u64,
+        v2: bool,
+        payload: &[u8],
+    ) -> Result<(), ()> {
+        if payload.len() as u64 > u64::from(self.response_cap) {
+            return Err(()); // mirrors the blocking writer's cap failure
+        }
+        let cfg = &self.shared.cfg;
+        if seq < conn.max_seq_written {
+            cfg.metrics.server_out_of_order(&cfg.component);
+        } else {
+            conn.max_seq_written = seq;
+        }
+        let frame = if v2 { encode_frame_v2(corr, payload) } else { encode_frame_v1(payload) };
+        conn.out.push(frame);
+        Ok(())
+    }
+
+    /// Writes queued output until drained or the socket blocks.
+    fn flush(&self, conn: &mut Conn) -> Result<(), ()> {
+        if conn.out.is_empty() {
+            return Ok(());
+        }
+        match conn.out.write_to(&mut conn.stream) {
+            Ok(WriteProgress::Drained) => {
+                conn.last_activity = Instant::now();
+                Ok(())
+            }
+            Ok(WriteProgress::Blocked) => {
+                let cfg = &self.shared.cfg;
+                cfg.metrics.server_partial_write(&cfg.component);
+                conn.last_activity = Instant::now();
+                Ok(())
+            }
+            Err(_) => Err(()),
+        }
+    }
+
+    /// Closes connections idle past the timeout (no traffic, no queued
+    /// output, no in-flight work).
+    fn sweep_idle(&mut self, now: Instant) {
+        let timeout = self.shared.cfg.idle_timeout;
+        let expired: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| {
+                c.in_flight == 0
+                    && c.out.is_empty()
+                    && now.duration_since(c.last_activity) >= timeout
+            })
+            .map(|(t, _)| *t)
+            .collect();
+        let cfg = &self.shared.cfg;
+        for token in expired {
+            if let Some(conn) = self.conns.remove(&token) {
+                let _ = self.epoll.delete(conn.stream.as_raw_fd());
+                cfg.metrics.server_idle_reaped(&cfg.component);
+            }
+        }
+    }
+
+    /// Shutdown parity with the thread model: in-flight jobs finish and
+    /// their replies are written before sockets close, within a bounded
+    /// drain window.
+    fn shutdown_drain(&mut self) {
+        let deadline = Instant::now() + self.shared.cfg.write_timeout.max(Duration::from_secs(1));
+        while self.conns.values().any(|c| c.in_flight > 0) && Instant::now() < deadline {
+            match self.done_rx.recv_timeout(Duration::from_millis(25)) {
+                Ok(done) => {
+                    if let Some(mut conn) = self.conns.remove(&done.token) {
+                        conn.in_flight = conn.in_flight.saturating_sub(1);
+                        let _ = self.enqueue_frame(
+                            &mut conn,
+                            done.corr,
+                            done.seq,
+                            done.v2,
+                            &done.frame,
+                        );
+                        self.conns.insert(done.token, conn);
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {}
+                Err(mpsc::RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        for conn in self.conns.values_mut() {
+            if !conn.out.is_empty() {
+                // Brief blocking flush; nonblocking sockets would need
+                // another event loop just to say goodbye.
+                let _ = conn.stream.set_nonblocking(false);
+                let _ = conn.stream.set_write_timeout(Some(Duration::from_millis(250)));
+                let _ = conn.out.write_to(&mut conn.stream);
+            }
+        }
+    }
+}
+
+/// A connection is done when it can produce no further output: the read
+/// side ended (EOF or poisoned) and no reply is queued or pending.
+fn should_close(conn: &Conn) -> bool {
+    (conn.closing || conn.read_closed) && conn.out.is_empty() && conn.in_flight == 0
+}
+
+/// The interest mask a connection's state calls for.
+fn desired_interest(conn: &Conn, backpressure: usize) -> u32 {
+    let mut mask = 0;
+    let reading = !(conn.read_closed || conn.closing || conn.v1_waiting)
+        && conn.out.queued_bytes() <= backpressure;
+    if reading {
+        mask |= EPOLLIN | EPOLLRDHUP;
+    }
+    if !conn.out.is_empty() {
+        mask |= EPOLLOUT;
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    //! Reactor parity battery: the same behavioral contract the thread
+    //! model's tests pin, exercised against `ServingModel::Reactor`,
+    //! plus the reactor-only behaviors (idle reaping, accept shedding,
+    //! epoll wakeup accounting).
+
+    use super::*;
+    use crate::daemon::{Daemon, DaemonConfig, Service, ServingModel};
+    use crate::error::NetError;
+    use crate::frame::{read_frame, read_frame_v2, write_frame, write_frame_v2};
+    use crate::msg::{decode_response, hello_frame, is_hello_ack};
+    use social_puzzles_core::metrics::ServiceMetrics;
+
+    struct Upper;
+    impl Service for Upper {
+        fn handle(&self, request: &[u8]) -> Result<Vec<u8>, (ErrorCode, String)> {
+            if request == b"boom" {
+                return Err((ErrorCode::Internal, "told to".into()));
+            }
+            Ok(request.to_ascii_uppercase())
+        }
+    }
+
+    struct Sleepy;
+    impl Service for Sleepy {
+        fn handle(&self, request: &[u8]) -> Result<Vec<u8>, (ErrorCode, String)> {
+            let ms = request.first().copied().unwrap_or(0);
+            std::thread::sleep(Duration::from_millis(u64::from(ms)));
+            Ok(request.to_vec())
+        }
+    }
+
+    fn rcfg() -> DaemonConfig {
+        DaemonConfig {
+            workers: 2,
+            queue_depth: 4,
+            max_frame: 1024,
+            serving_model: ServingModel::Reactor,
+            ..DaemonConfig::default()
+        }
+    }
+
+    fn upgrade(conn: &mut TcpStream) {
+        write_frame(conn, &hello_frame(), 1024).unwrap();
+        let resp = read_frame(conn, 4096).unwrap().unwrap();
+        assert!(is_hello_ack(decode_response(&resp).unwrap()), "reactor accepted HELLO");
+    }
+
+    #[test]
+    fn reactor_serves_frames_and_error_frames() {
+        let daemon = Daemon::spawn("127.0.0.1:0", Arc::new(Upper), rcfg()).unwrap();
+        let mut conn = TcpStream::connect(daemon.addr()).unwrap();
+        conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+
+        write_frame(&mut conn, b"hello", 1024).unwrap();
+        let resp = read_frame(&mut conn, 4096).unwrap().unwrap();
+        assert_eq!(decode_response(&resp).unwrap(), b"HELLO");
+
+        write_frame(&mut conn, b"boom", 1024).unwrap();
+        let resp = read_frame(&mut conn, 4096).unwrap().unwrap();
+        match decode_response(&resp).unwrap_err() {
+            NetError::Remote { code, detail } => {
+                assert_eq!(code, ErrorCode::Internal);
+                assert_eq!(detail, "told to");
+            }
+            other => panic!("expected Remote, got {other}"),
+        }
+        // The connection survives a service error.
+        write_frame(&mut conn, b"still here", 1024).unwrap();
+        let resp = read_frame(&mut conn, 4096).unwrap().unwrap();
+        assert_eq!(decode_response(&resp).unwrap(), b"STILL HERE");
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn reactor_v1_responses_never_carry_correlation_ids() {
+        let daemon = Daemon::spawn("127.0.0.1:0", Arc::new(Upper), rcfg()).unwrap();
+        let mut conn = TcpStream::connect(daemon.addr()).unwrap();
+        conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        write_frame(&mut conn, b"abc", 1024).unwrap();
+        let raw = read_frame(&mut conn, 4096).unwrap().unwrap();
+        assert_eq!(raw, [&[RESP_OK][..], b"ABC"].concat());
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn reactor_oversized_frame_typed_refusal_and_daemon_survives() {
+        let daemon = Daemon::spawn("127.0.0.1:0", Arc::new(Upper), rcfg()).unwrap();
+        let mut evil = TcpStream::connect(daemon.addr()).unwrap();
+        evil.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        evil.write_all(&(16 * 1024 * 1024u32).to_be_bytes()).unwrap();
+        evil.write_all(b"some bytes that will never add up").unwrap();
+        let resp = read_frame(&mut evil, 4096).unwrap().unwrap();
+        match decode_response(&resp).unwrap_err() {
+            NetError::Remote { code, .. } => assert_eq!(code, ErrorCode::FrameTooLarge),
+            other => panic!("expected Remote, got {other}"),
+        }
+        match read_frame(&mut evil, 4096) {
+            Ok(None) | Err(_) => {}
+            Ok(Some(frame)) => panic!("reactor kept talking on a poisoned connection: {frame:?}"),
+        }
+
+        let mut good = TcpStream::connect(daemon.addr()).unwrap();
+        good.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        write_frame(&mut good, b"alive?", 1024).unwrap();
+        let resp = read_frame(&mut good, 4096).unwrap().unwrap();
+        assert_eq!(decode_response(&resp).unwrap(), b"ALIVE?");
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn reactor_oversized_v2_refusal_echoes_the_correlation_id() {
+        let daemon = Daemon::spawn("127.0.0.1:0", Arc::new(Upper), rcfg()).unwrap();
+        let mut conn = TcpStream::connect(daemon.addr()).unwrap();
+        conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        upgrade(&mut conn);
+        conn.write_all(&(16 * 1024 * 1024u32).to_be_bytes()).unwrap();
+        conn.write_all(&7u64.to_be_bytes()).unwrap();
+        let (corr, resp) = read_frame_v2(&mut conn, 4096).unwrap().unwrap();
+        assert_eq!(corr, 7, "refusal carries the offending request's id");
+        match decode_response(&resp).unwrap_err() {
+            NetError::Remote { code, .. } => assert_eq!(code, ErrorCode::FrameTooLarge),
+            other => panic!("expected Remote, got {other}"),
+        }
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn reactor_v1_responses_stay_in_order_despite_slow_handlers() {
+        let daemon = Daemon::spawn("127.0.0.1:0", Arc::new(Sleepy), rcfg()).unwrap();
+        let mut conn = TcpStream::connect(daemon.addr()).unwrap();
+        conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        // Both frames land in the decoder in one burst; `v1_waiting`
+        // must hold the second until the first (slow) reply is queued.
+        write_frame(&mut conn, &[80, 1], 1024).unwrap(); // 80 ms
+        write_frame(&mut conn, &[0, 2], 1024).unwrap(); // immediate
+        let first = read_frame(&mut conn, 4096).unwrap().unwrap();
+        assert_eq!(decode_response(&first).unwrap(), [80, 1], "slow response answered first");
+        let second = read_frame(&mut conn, 4096).unwrap().unwrap();
+        assert_eq!(decode_response(&second).unwrap(), [0, 2]);
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn reactor_hello_upgrades_and_pipelines_out_of_order() {
+        let metrics = ServiceMetrics::new();
+        let cfg = DaemonConfig { metrics: metrics.clone(), ..rcfg() };
+        let daemon = Daemon::spawn("127.0.0.1:0", Arc::new(Sleepy), cfg).unwrap();
+        let mut conn = TcpStream::connect(daemon.addr()).unwrap();
+        conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        upgrade(&mut conn);
+
+        write_frame_v2(&mut conn, 101, &[80], 1024).unwrap(); // 80 ms
+        write_frame_v2(&mut conn, 202, &[0], 1024).unwrap(); // immediate
+        let (corr_a, resp_a) = read_frame_v2(&mut conn, 4096).unwrap().unwrap();
+        let (corr_b, resp_b) = read_frame_v2(&mut conn, 4096).unwrap().unwrap();
+        assert_eq!(corr_a, 202, "fast response overtook the slow one");
+        assert_eq!(decode_response(&resp_a).unwrap(), [0]);
+        assert_eq!(corr_b, 101);
+        assert_eq!(decode_response(&resp_b).unwrap(), [80]);
+
+        let server = metrics.server("net.server");
+        assert_eq!(server.accepted, 1);
+        assert_eq!(server.v2_negotiated, 1);
+        assert!(server.out_of_order >= 1, "reordering was counted");
+        assert!(server.epoll_wakeups >= 1, "the loop woke on readiness");
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn reactor_hello_refused_when_v2_disabled() {
+        let cfg = DaemonConfig { enable_v2: false, ..rcfg() };
+        let daemon = Daemon::spawn("127.0.0.1:0", Arc::new(Upper), cfg).unwrap();
+        let mut conn = TcpStream::connect(daemon.addr()).unwrap();
+        conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        write_frame(&mut conn, &hello_frame(), 1024).unwrap();
+        let resp = read_frame(&mut conn, 4096).unwrap().unwrap();
+        match decode_response(&resp).unwrap_err() {
+            NetError::Remote { code, .. } => assert_eq!(code, ErrorCode::BadRequest),
+            other => panic!("expected Remote BadRequest, got {other}"),
+        }
+        write_frame(&mut conn, b"still v1", 1024).unwrap();
+        let resp = read_frame(&mut conn, 4096).unwrap().unwrap();
+        assert_eq!(decode_response(&resp).unwrap(), b"STILL V1");
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn reactor_sheds_accepts_beyond_the_connection_limit() {
+        let metrics = ServiceMetrics::new();
+        let cfg = DaemonConfig { max_connections: 1, metrics: metrics.clone(), ..rcfg() };
+        let daemon = Daemon::spawn("127.0.0.1:0", Arc::new(Upper), cfg).unwrap();
+
+        let mut first = TcpStream::connect(daemon.addr()).unwrap();
+        first.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        write_frame(&mut first, b"hold", 1024).unwrap();
+        let resp = read_frame(&mut first, 4096).unwrap().unwrap();
+        assert_eq!(decode_response(&resp).unwrap(), b"HOLD");
+
+        // The second connection is shed with a Busy frame and closed.
+        let mut second = TcpStream::connect(daemon.addr()).unwrap();
+        second.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let resp = read_frame(&mut second, 4096).unwrap().unwrap();
+        match decode_response(&resp).unwrap_err() {
+            NetError::Remote { code, .. } => assert_eq!(code, ErrorCode::Busy),
+            other => panic!("expected Remote Busy, got {other}"),
+        }
+        assert_eq!(read_frame(&mut second, 4096).unwrap(), None, "shed socket closed");
+        let server = metrics.server("net.server");
+        assert_eq!(server.accept_shed, 1);
+        assert_eq!(server.busy_rejections, 1);
+
+        // The admitted connection keeps serving.
+        write_frame(&mut first, b"alive", 1024).unwrap();
+        let resp = read_frame(&mut first, 4096).unwrap().unwrap();
+        assert_eq!(decode_response(&resp).unwrap(), b"ALIVE");
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn reactor_full_compute_queue_answers_busy_per_request() {
+        let metrics = ServiceMetrics::new();
+        let cfg = DaemonConfig { workers: 1, queue_depth: 1, metrics: metrics.clone(), ..rcfg() };
+        let daemon = Daemon::spawn("127.0.0.1:0", Arc::new(Sleepy), cfg).unwrap();
+        let mut conn = TcpStream::connect(daemon.addr()).unwrap();
+        conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        upgrade(&mut conn);
+
+        for corr in 0..8u64 {
+            write_frame_v2(&mut conn, corr, &[100], 1024).unwrap();
+        }
+        let mut busy = 0u64;
+        let mut served = 0u32;
+        for _ in 0..8 {
+            let (_, resp) = read_frame_v2(&mut conn, 4096).unwrap().unwrap();
+            match decode_response(&resp) {
+                Ok(_) => served += 1,
+                Err(NetError::Remote { code, .. }) => {
+                    assert_eq!(code, ErrorCode::Busy);
+                    busy += 1;
+                }
+                Err(other) => panic!("unexpected {other}"),
+            }
+        }
+        assert!(served >= 1, "the accepted jobs completed");
+        assert!(busy >= 1, "overload surfaced as Busy");
+        assert_eq!(metrics.server("net.server").busy_rejections, busy);
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn reactor_reaps_idle_connections_and_spares_active_ones() {
+        let metrics = ServiceMetrics::new();
+        let cfg = DaemonConfig {
+            idle_timeout: Duration::from_millis(100),
+            metrics: metrics.clone(),
+            ..rcfg()
+        };
+        let daemon = Daemon::spawn("127.0.0.1:0", Arc::new(Upper), cfg).unwrap();
+
+        let mut idle = TcpStream::connect(daemon.addr()).unwrap();
+        idle.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut active = TcpStream::connect(daemon.addr()).unwrap();
+        active.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+
+        // Keep `active` chatting past the idle window; `idle` says
+        // nothing at all.
+        for _ in 0..6 {
+            std::thread::sleep(Duration::from_millis(40));
+            write_frame(&mut active, b"ping", 1024).unwrap();
+            let resp = read_frame(&mut active, 4096).unwrap().unwrap();
+            assert_eq!(decode_response(&resp).unwrap(), b"PING");
+        }
+
+        // The idle connection was closed by the sweep: EOF client-side.
+        assert_eq!(read_frame(&mut idle, 4096).unwrap(), None, "idle socket reaped");
+        assert!(metrics.server("net.server").idle_reaped >= 1);
+
+        // The active one is still serviceable.
+        write_frame(&mut active, b"fin", 1024).unwrap();
+        let resp = read_frame(&mut active, 4096).unwrap().unwrap();
+        assert_eq!(decode_response(&resp).unwrap(), b"FIN");
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn reactor_shutdown_with_idle_connection_is_prompt() {
+        let daemon = Daemon::spawn("127.0.0.1:0", Arc::new(Upper), rcfg()).unwrap();
+        let _idle = TcpStream::connect(daemon.addr()).unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        let start = Instant::now();
+        daemon.shutdown();
+        assert!(start.elapsed() < Duration::from_secs(2), "shutdown hung");
+    }
+
+    #[test]
+    fn reactor_survives_slow_loris_partial_headers() {
+        // A half-open client that dribbles 1 byte of a length prefix and
+        // stops must neither wedge the loop nor leak: the idle sweep
+        // reaps it (partial headers don't count as activity forever).
+        let metrics = ServiceMetrics::new();
+        let cfg = DaemonConfig {
+            idle_timeout: Duration::from_millis(80),
+            metrics: metrics.clone(),
+            ..rcfg()
+        };
+        let daemon = Daemon::spawn("127.0.0.1:0", Arc::new(Upper), cfg).unwrap();
+        let mut loris = TcpStream::connect(daemon.addr()).unwrap();
+        loris.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        loris.write_all(&[0u8]).unwrap(); // first byte of a length prefix
+
+        // Normal service continues around the stalled socket.
+        let mut good = TcpStream::connect(daemon.addr()).unwrap();
+        good.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        write_frame(&mut good, b"ok", 1024).unwrap();
+        let resp = read_frame(&mut good, 4096).unwrap().unwrap();
+        assert_eq!(decode_response(&resp).unwrap(), b"OK");
+
+        // ...and the loris is reaped once the idle window passes (the
+        // sweep runs every idle_timeout/4).
+        std::thread::sleep(Duration::from_millis(400));
+        match read_frame(&mut loris, 4096) {
+            Ok(None) | Err(_) => {} // closed on us
+            Ok(Some(f)) => panic!("unexpected frame {f:?}"),
+        }
+        assert!(metrics.server("net.server").idle_reaped >= 1);
+        daemon.shutdown();
+    }
+}

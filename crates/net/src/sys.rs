@@ -1,0 +1,262 @@
+//! Minimal raw-syscall shim for the reactor: `epoll` and `eventfd`.
+//!
+//! The workspace builds fully offline with no `libc` crate vendored, so
+//! the handful of calls the reactor needs are declared here directly.
+//! `std` already links the platform C library on Linux; these
+//! declarations just name symbols it exports. Everything is wrapped in
+//! RAII types ([`Epoll`], [`EventFd`]) so raw fds never leak past this
+//! module.
+//!
+//! Linux-only by construction (`epoll` has no portable equivalent in
+//! `std`); the reactor serving model is gated on `target_os = "linux"`
+//! and the daemon falls back to thread-per-connection elsewhere.
+
+#![allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap)]
+
+use std::io;
+use std::os::fd::RawFd;
+use std::os::raw::{c_int, c_uint, c_void};
+
+/// Readable readiness (`EPOLLIN`).
+pub const EPOLLIN: u32 = 0x001;
+/// Writable readiness (`EPOLLOUT`).
+pub const EPOLLOUT: u32 = 0x004;
+/// Error condition (`EPOLLERR`); always reported, never needs arming.
+pub const EPOLLERR: u32 = 0x008;
+/// Hangup (`EPOLLHUP`); always reported, never needs arming.
+pub const EPOLLHUP: u32 = 0x010;
+/// Peer shut down its write half (`EPOLLRDHUP`).
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+const EPOLL_CTL_ADD: c_int = 1;
+const EPOLL_CTL_DEL: c_int = 2;
+const EPOLL_CTL_MOD: c_int = 3;
+const EPOLL_CLOEXEC: c_int = 0o2000000;
+const EFD_CLOEXEC: c_int = 0o2000000;
+const EFD_NONBLOCK: c_int = 0o4000;
+const EINTR: i32 = 4;
+const EAGAIN: i32 = 11;
+
+/// One readiness event, ABI-compatible with `struct epoll_event`.
+///
+/// The kernel ABI packs the struct on x86-64 (12 bytes, no padding
+/// between `events` and `data`), which `repr(C, packed)` reproduces on
+/// every architecture Rust targets Linux on — the layout is part of the
+/// `epoll_wait` contract, not a host-specific detail.
+#[repr(C, packed)]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    /// Readiness bits (`EPOLLIN` / `EPOLLOUT` / …).
+    pub events: u32,
+    /// Caller-chosen token, echoed back verbatim.
+    pub token: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
+    fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+    fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+    fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+    fn close(fd: c_int) -> c_int;
+}
+
+fn last_errno() -> i32 {
+    io::Error::last_os_error().raw_os_error().unwrap_or(0)
+}
+
+/// An `epoll` instance (closed on drop).
+#[derive(Debug)]
+pub struct Epoll {
+    fd: RawFd,
+}
+
+impl Epoll {
+    /// Creates a close-on-exec epoll instance.
+    ///
+    /// # Errors
+    ///
+    /// Returns the `epoll_create1` error.
+    pub fn new() -> io::Result<Self> {
+        let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Self { fd })
+    }
+
+    fn ctl(&self, op: c_int, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        let mut ev = EpollEvent { events, token };
+        let rc = unsafe { epoll_ctl(self.fd, op, fd, &mut ev) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Registers `fd` for `events`, tagging readiness with `token`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the `epoll_ctl` error.
+    pub fn add(&self, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, events, token)
+    }
+
+    /// Changes the interest set for an already-registered `fd`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the `epoll_ctl` error.
+    pub fn modify(&self, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, events, token)
+    }
+
+    /// Deregisters `fd`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the `epoll_ctl` error.
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    /// Waits up to `timeout` for readiness, filling `events`. Returns the
+    /// number of populated slots; `EINTR` is retried internally so a
+    /// signal never surfaces as a spurious empty wakeup.
+    ///
+    /// # Errors
+    ///
+    /// Returns the `epoll_wait` error.
+    pub fn wait(
+        &self,
+        events: &mut [EpollEvent],
+        timeout: std::time::Duration,
+    ) -> io::Result<usize> {
+        let ms = timeout.as_millis().min(i32::MAX as u128) as c_int;
+        loop {
+            let rc = unsafe { epoll_wait(self.fd, events.as_mut_ptr(), events.len() as c_int, ms) };
+            if rc >= 0 {
+                return Ok(rc as usize);
+            }
+            if last_errno() != EINTR {
+                return Err(io::Error::last_os_error());
+            }
+        }
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        unsafe { close(self.fd) };
+    }
+}
+
+/// A nonblocking `eventfd` used to wake the reactor from compute-pool
+/// worker threads. Cheap to share: workers hold it in an `Arc` so the fd
+/// outlives the reactor loop itself — a job finishing during shutdown
+/// signals a still-open fd, never a recycled one.
+#[derive(Debug)]
+pub struct EventFd {
+    fd: RawFd,
+}
+
+impl EventFd {
+    /// Creates a nonblocking close-on-exec eventfd at count zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns the `eventfd` error.
+    pub fn new() -> io::Result<Self> {
+        let fd = unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Self { fd })
+    }
+
+    /// The raw fd, for epoll registration.
+    pub fn raw(&self) -> RawFd {
+        self.fd
+    }
+
+    /// Adds 1 to the counter, waking any epoll waiting on readability.
+    /// Best-effort: a full counter (`EAGAIN`) still leaves the fd
+    /// readable, so the wakeup is not lost.
+    pub fn signal(&self) {
+        let one: u64 = 1;
+        unsafe { write(self.fd, (&raw const one).cast(), 8) };
+    }
+
+    /// Drains the counter so the fd stops polling readable. Returns
+    /// whether anything had been signalled.
+    pub fn drain(&self) -> bool {
+        let mut count: u64 = 0;
+        let rc = unsafe { read(self.fd, (&raw mut count).cast(), 8) };
+        rc == 8 && count > 0
+    }
+}
+
+impl Drop for EventFd {
+    fn drop(&mut self) {
+        unsafe { close(self.fd) };
+    }
+}
+
+/// Whether an errno-style io::Error means "try again later".
+pub fn is_would_block(e: &io::Error) -> bool {
+    matches!(e.kind(), io::ErrorKind::WouldBlock) || e.raw_os_error() == Some(EAGAIN)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn eventfd_signal_wakes_epoll_and_drain_resets() {
+        let ep = Epoll::new().unwrap();
+        let ev = EventFd::new().unwrap();
+        ep.add(ev.raw(), EPOLLIN, 42).unwrap();
+
+        // Not signalled: a short wait times out empty.
+        let mut events = [EpollEvent { events: 0, token: 0 }; 4];
+        assert_eq!(ep.wait(&mut events, Duration::from_millis(5)).unwrap(), 0);
+
+        // Signalled (twice — coalesces into one readable counter).
+        ev.signal();
+        ev.signal();
+        let n = ep.wait(&mut events, Duration::from_millis(100)).unwrap();
+        assert_eq!(n, 1);
+        let token = events[0].token;
+        assert_eq!(token, 42);
+        assert!(ev.drain());
+
+        // Drained: readable no more.
+        assert_eq!(ep.wait(&mut events, Duration::from_millis(5)).unwrap(), 0);
+        assert!(!ev.drain());
+    }
+
+    #[test]
+    fn epoll_reports_listener_readability_on_pending_accept() {
+        use std::net::{TcpListener, TcpStream};
+        use std::os::fd::AsRawFd;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        let ep = Epoll::new().unwrap();
+        ep.add(listener.as_raw_fd(), EPOLLIN, 7).unwrap();
+
+        let mut events = [EpollEvent { events: 0, token: 0 }; 4];
+        assert_eq!(ep.wait(&mut events, Duration::from_millis(5)).unwrap(), 0, "no pending accept");
+
+        let _client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let n = ep.wait(&mut events, Duration::from_millis(500)).unwrap();
+        assert_eq!(n, 1);
+        let token = events[0].token;
+        assert_eq!(token, 7);
+
+        ep.delete(listener.as_raw_fd()).unwrap();
+        assert!(listener.accept().is_ok());
+    }
+}

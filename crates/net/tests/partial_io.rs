@@ -1,0 +1,236 @@
+//! Partial-I/O property suite: the reactor's sans-IO frame machinery
+//! ([`sp_net::codec`]) against the blocking codecs ([`sp_net::frame`]),
+//! under arbitrary read/write fragmentations.
+//!
+//! The blocking codecs see whole frames; the reactor sees whatever the
+//! kernel felt like delivering — 1-byte reads, length prefixes split
+//! across fragments, short writes stalling mid-frame, a HELLO upgrade
+//! landing in the same burst as the first v2 frames. These properties
+//! pin that no fragmentation can make the two disagree: same frames
+//! decoded, byte-identical streams encoded.
+
+use std::io::{Cursor, ErrorKind, Write};
+
+use proptest::prelude::*;
+use sp_net::codec::{
+    encode_frame_v1, encode_frame_v2, DecodeFault, FrameDecoder, Framing, WriteProgress, WriteQueue,
+};
+use sp_net::frame::{read_frame, read_frame_v2, write_frame, write_frame_v2};
+use sp_net::msg::{hello_frame, is_hello};
+
+const MAX: u32 = 1 << 16;
+
+/// `(correlation, payload)` pairs in decode order.
+type DecodedFrames = Vec<(Option<u64>, Vec<u8>)>;
+
+/// Splits `bytes` into fragments at the given cut points and feeds them
+/// to the decoder one at a time, draining complete frames after each.
+fn decode_fragmented(
+    dec: &mut FrameDecoder,
+    bytes: &[u8],
+    cuts: &[prop::sample::Index],
+) -> Result<DecodedFrames, DecodeFault> {
+    let mut points: Vec<usize> = cuts.iter().map(|i| i.index(bytes.len() + 1)).collect();
+    points.push(0);
+    points.push(bytes.len());
+    points.sort_unstable();
+    points.dedup();
+    let mut got = Vec::new();
+    for pair in points.windows(2) {
+        dec.push(&bytes[pair[0]..pair[1]]);
+        while let Some(frame) = dec.next_frame()? {
+            got.push((frame.corr, frame.payload));
+        }
+    }
+    Ok(got)
+}
+
+/// A writer accepting at most `chunk` bytes per call and failing with
+/// `WouldBlock` on a caller-chosen schedule — a worst-case nonblocking
+/// socket.
+struct ShortWriter {
+    out: Vec<u8>,
+    chunk: usize,
+    blocks: Vec<bool>,
+    call: usize,
+}
+
+impl Write for ShortWriter {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let blocked = self.blocks.get(self.call).copied().unwrap_or(false);
+        self.call += 1;
+        if blocked {
+            return Err(std::io::Error::from(ErrorKind::WouldBlock));
+        }
+        let n = buf.len().min(self.chunk.max(1));
+        self.out.extend_from_slice(&buf[..n]);
+        Ok(n)
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any fragmentation of a v1 stream — down to 1-byte reads splitting
+    /// the length prefix — decodes to exactly what the blocking reader
+    /// sees.
+    #[test]
+    fn v1_decode_is_fragmentation_invariant(
+        payloads in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..512), 0..8),
+        cuts in prop::collection::vec(any::<prop::sample::Index>(), 0..64),
+    ) {
+        let mut wire = Vec::new();
+        for p in &payloads {
+            write_frame(&mut wire, p, MAX).unwrap();
+        }
+        let mut dec = FrameDecoder::new(Framing::V1, MAX);
+        let got = decode_fragmented(&mut dec, &wire, &cuts).unwrap();
+
+        let mut cursor = Cursor::new(&wire);
+        let mut expected = Vec::new();
+        while let Some(p) = read_frame(&mut cursor, MAX).unwrap() {
+            expected.push((None, p));
+        }
+        prop_assert_eq!(got, expected);
+        prop_assert_eq!(dec.buffered(), 0, "no bytes left behind");
+    }
+
+    /// Same for v2 streams: correlation ids survive any split, including
+    /// cuts inside the 12-byte header.
+    #[test]
+    fn v2_decode_is_fragmentation_invariant(
+        frames in prop::collection::vec(
+            (any::<u64>(), prop::collection::vec(any::<u8>(), 0..512)),
+            0..8,
+        ),
+        cuts in prop::collection::vec(any::<prop::sample::Index>(), 0..64),
+    ) {
+        let mut wire = Vec::new();
+        for (corr, p) in &frames {
+            write_frame_v2(&mut wire, *corr, p, MAX).unwrap();
+        }
+        let mut dec = FrameDecoder::new(Framing::V2, MAX);
+        let got = decode_fragmented(&mut dec, &wire, &cuts).unwrap();
+
+        let mut cursor = Cursor::new(&wire);
+        let mut expected = Vec::new();
+        while let Some((corr, p)) = read_frame_v2(&mut cursor, MAX).unwrap() {
+            expected.push((Some(corr), p));
+        }
+        prop_assert_eq!(got, expected);
+        prop_assert_eq!(dec.buffered(), 0);
+    }
+
+    /// A HELLO followed by v2 frames in one arbitrarily-fragmented burst:
+    /// the decoder hands over HELLO under v1 framing, upgrades, and
+    /// parses the rest as v2 — the exact sequence a blocking reader that
+    /// switched codecs at the frame boundary would produce.
+    #[test]
+    fn hello_upgrade_is_fragmentation_invariant(
+        lead in prop::collection::vec(prop::collection::vec(any::<u8>(), 1..128), 0..3),
+        tail in prop::collection::vec(
+            (any::<u64>(), prop::collection::vec(any::<u8>(), 0..256)),
+            0..6,
+        ),
+        cuts in prop::collection::vec(any::<prop::sample::Index>(), 0..48),
+    ) {
+        // `lead`: plain v1 traffic before the upgrade (non-empty payloads
+        // so none accidentally equals the HELLO magic).
+        let mut wire = Vec::new();
+        for p in &lead {
+            prop_assume!(!is_hello(p));
+            write_frame(&mut wire, p, MAX).unwrap();
+        }
+        write_frame(&mut wire, &hello_frame(), MAX).unwrap();
+        for (corr, p) in &tail {
+            write_frame_v2(&mut wire, *corr, p, MAX).unwrap();
+        }
+
+        let mut points: Vec<usize> = cuts.iter().map(|i| i.index(wire.len() + 1)).collect();
+        points.push(0);
+        points.push(wire.len());
+        points.sort_unstable();
+        points.dedup();
+
+        let mut dec = FrameDecoder::new(Framing::V1, MAX);
+        let mut got_v1 = Vec::new();
+        let mut got_v2 = Vec::new();
+        for pair in points.windows(2) {
+            dec.push(&wire[pair[0]..pair[1]]);
+            while let Some(frame) = dec.next_frame().unwrap() {
+                if dec.framing() == Framing::V1 {
+                    if is_hello(&frame.payload) {
+                        dec.set_framing(Framing::V2); // the daemon's upgrade
+                    } else {
+                        got_v1.push(frame.payload);
+                    }
+                } else {
+                    got_v2.push((frame.corr.unwrap(), frame.payload));
+                }
+            }
+        }
+        prop_assert_eq!(got_v1, lead);
+        prop_assert_eq!(got_v2, tail);
+        prop_assert_eq!(dec.buffered(), 0);
+    }
+
+    /// An oversized length prefix faults identically however the stream
+    /// is fragmented, echoing the v2 correlation id, and never yields
+    /// the poisoned frame.
+    #[test]
+    fn oversized_prefix_faults_under_any_fragmentation(
+        corr in any::<u64>(),
+        excess in 1u32..1024,
+        cuts in prop::collection::vec(any::<prop::sample::Index>(), 0..16),
+    ) {
+        let len = MAX + excess;
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&len.to_be_bytes());
+        wire.extend_from_slice(&corr.to_be_bytes());
+        let mut dec = FrameDecoder::new(Framing::V2, MAX);
+        let fault = decode_fragmented(&mut dec, &wire, &cuts).unwrap_err();
+        prop_assert_eq!(
+            fault,
+            DecodeFault::TooLarge { corr: Some(corr), len: u64::from(len) }
+        );
+    }
+
+    /// However short the writes and wherever the socket stalls, the
+    /// write queue emits the byte-identical stream of the blocking
+    /// writers, in order.
+    #[test]
+    fn encode_is_short_write_invariant(
+        frames in prop::collection::vec(
+            (any::<bool>(), any::<u64>(), prop::collection::vec(any::<u8>(), 0..512)),
+            0..8,
+        ),
+        chunk in 1usize..64,
+        blocks in prop::collection::vec(any::<bool>(), 0..128),
+    ) {
+        let mut expected = Vec::new();
+        let mut q = WriteQueue::new();
+        for (v2, corr, p) in &frames {
+            if *v2 {
+                write_frame_v2(&mut expected, *corr, p, MAX).unwrap();
+                q.push(encode_frame_v2(*corr, p));
+            } else {
+                write_frame(&mut expected, p, MAX).unwrap();
+                q.push(encode_frame_v1(p));
+            }
+        }
+        prop_assert_eq!(q.queued_bytes(), expected.len());
+
+        let mut w = ShortWriter { out: Vec::new(), chunk, blocks, call: 0 };
+        let mut spins = 0;
+        while q.write_to(&mut w).unwrap() == WriteProgress::Blocked {
+            spins += 1;
+            prop_assert!(spins < 10_000, "never drained");
+        }
+        prop_assert!(q.is_empty());
+        prop_assert_eq!(q.queued_bytes(), 0);
+        prop_assert_eq!(w.out, expected, "byte-identical to the blocking codec");
+    }
+}

@@ -1,0 +1,135 @@
+//! Differential traces for the **reactor** serving model.
+//!
+//! The epoll reactor (`--serving-model reactor`) must be protocol-
+//! indistinguishable from the thread-per-connection daemon. These suites
+//! run the same seeded scenarios against both serving models side by
+//! side — every decision checked against the oracle, so a divergence in
+//! either model (or between them) fails with the seed that reproduces
+//! it — and then rerun the fault batteries (drop / truncate / bit-flip
+//! / delay via [`FaultPlan`], mid-pipeline disconnects via [`PipePlan`])
+//! with the reactor as the upstream daemon.
+//!
+//! The heavy tiers total 200+ reactor traces under faults plus a
+//! 200-trace clean differential; CI's `reactor-smoke` job runs them
+//! with `--include-ignored`.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use social_puzzles_core::construction1::Construction1;
+use sp_net::{ClientConfig, Daemon, DaemonConfig, PipelineConfig, ServingModel, SpService};
+use sp_osn::ServiceProvider;
+use sp_testkit::{
+    run_differential, run_faulted, run_faulted_strict, C1InMemory, C1Socket, Deployment, FaultPlan,
+    FaultyProxy, PipePlan, PipelinedProxy, ResponseFault,
+};
+
+const SEED: u64 = 0x5EAC_2014;
+
+/// Client tuned for a lossy link: generous retries, short backoff.
+fn lossy_client() -> ClientConfig {
+    ClientConfig {
+        read_timeout: Duration::from_millis(500),
+        retries: 6,
+        backoff: Duration::from_millis(2),
+        ..ClientConfig::default()
+    }
+}
+
+/// Boots a **reactor** SP daemon behind a lock-step fault proxy.
+fn reactor_behind_proxy(plan: FaultPlan, batched: bool) -> (Daemon, FaultyProxy, C1Socket) {
+    let service = SpService::new(ServiceProvider::new(), Construction1::new());
+    let cfg = DaemonConfig { serving_model: ServingModel::Reactor, ..DaemonConfig::default() };
+    let daemon = Daemon::spawn("127.0.0.1:0", Arc::new(service), cfg).unwrap();
+    let proxy = FaultyProxy::spawn(daemon.addr(), plan).unwrap();
+    let deployment = C1Socket::connect(proxy.addr(), lossy_client(), batched);
+    (daemon, proxy, deployment)
+}
+
+#[test]
+fn reactor_deployments_agree_with_the_oracle() {
+    let mut oracle = C1InMemory::new();
+    let mut threads = C1Socket::boot(false);
+    let mut reactor = C1Socket::boot_on(false, ServingModel::Reactor);
+    let mut reactor_batched = C1Socket::boot_on(true, ServingModel::Reactor);
+    let mut reactor_piped = C1Socket::boot_pipelined_on(false, 8, ServingModel::Reactor);
+    let mut deps: Vec<&mut dyn Deployment> =
+        vec![&mut oracle, &mut threads, &mut reactor, &mut reactor_batched, &mut reactor_piped];
+    let report = run_differential(SEED, 8, &mut deps).unwrap();
+    assert_eq!(report.traces, 8);
+    assert!(report.grants > 0 && report.denials > 0, "one-sided run: {report:?}");
+}
+
+#[test]
+#[ignore = "heavy: 200-trace thread-vs-reactor differential; CI runs with --include-ignored"]
+fn reactor_matches_thread_daemon_over_200_clean_traces() {
+    // Both serving models replay the same 200 scenarios; every decision
+    // is checked against the oracle, so zero divergence here means zero
+    // divergence between the models as well.
+    let mut threads = C1Socket::boot(false);
+    let mut reactor = C1Socket::boot_on(false, ServingModel::Reactor);
+    let mut reactor_piped = C1Socket::boot_pipelined_on(false, 8, ServingModel::Reactor);
+    let mut deps: Vec<&mut dyn Deployment> = vec![&mut threads, &mut reactor, &mut reactor_piped];
+    let report = run_differential(SEED ^ 0xC1EA, 200, &mut deps).unwrap();
+    assert_eq!(report.traces, 200);
+    assert!(report.grants > 50 && report.denials > 50, "one-sided run: {report:?}");
+}
+
+#[test]
+#[ignore = "heavy: benign fault battery against the reactor; CI runs with --include-ignored"]
+fn reactor_benign_faults_never_change_a_decision() {
+    // Delay / truncate / drop — never corrupt — so every attempt that
+    // completes must decide exactly what the oracle decides.
+    let (daemon, proxy, mut deployment) = reactor_behind_proxy(FaultPlan::benign(9, 30), false);
+    let report = run_faulted_strict(SEED ^ 0xBE, 80, &mut deployment).unwrap();
+    assert_eq!(report.traces, 80);
+    assert!(report.decided > 40, "too few completed decisions to mean anything: {report:?}");
+    assert!(proxy.counts().injected() > 0, "the plan never fired");
+    proxy.shutdown();
+    daemon.shutdown();
+}
+
+#[test]
+#[ignore = "heavy: full fault menu against the reactor; CI runs with --include-ignored"]
+fn reactor_full_fault_menu_yields_typed_errors_never_hangs() {
+    // Bit flips included: decisions may legitimately change, but every
+    // operation must end in a decision or a typed error.
+    let (daemon, proxy, mut deployment) = reactor_behind_proxy(FaultPlan::with_rate(7, 35), false);
+    let report = run_faulted(SEED ^ 0xF0, 80, &mut deployment);
+    assert_eq!(report.traces, 80);
+    let counts = proxy.counts();
+    assert!(counts.bit_flipped > 0, "no bit flips fired: {counts:?}");
+    assert!(counts.dropped > 0, "no drops fired: {counts:?}");
+    assert!(report.decided > 0, "nothing survived: {report:?} / {counts:?}");
+    proxy.shutdown();
+    daemon.shutdown();
+}
+
+#[test]
+#[ignore = "heavy: mid-pipeline disconnects against the reactor; CI runs with --include-ignored"]
+fn reactor_mid_pipeline_disconnects_stay_oracle_correct() {
+    let service = SpService::new(ServiceProvider::new(), Construction1::new());
+    let cfg = DaemonConfig { serving_model: ServingModel::Reactor, ..DaemonConfig::default() };
+    let daemon = Daemon::spawn("127.0.0.1:0", Arc::new(service), cfg).unwrap();
+    let plan = PipePlan::with_menu(
+        SEED ^ 0xD15C,
+        25,
+        &[ResponseFault::Delay, ResponseFault::Hold, ResponseFault::Disconnect],
+    );
+    let proxy = PipelinedProxy::spawn(daemon.addr(), plan).unwrap();
+    let mut deployment = C1Socket::connect_pipelined(
+        proxy.addr(),
+        PipelineConfig {
+            depth: 8,
+            client: ClientConfig { read_timeout: Duration::from_millis(750), ..lossy_client() },
+        },
+        false,
+    );
+    let report = run_faulted_strict(SEED ^ 0xD15C, 40, &mut deployment).unwrap();
+    assert_eq!(report.traces, 40);
+    assert!(report.decided > 0, "nothing survived the fault plan: {report:?}");
+    let counts = proxy.counts();
+    assert!(counts.disconnects > 0, "no mid-pipeline disconnect exercised: {counts:?}");
+    proxy.shutdown();
+    daemon.shutdown();
+}

@@ -45,7 +45,14 @@
 //! v1-only peer for interop checks; `--data-dir PATH` on the daemons
 //! swaps the in-memory store for `sp-store`'s durable backend (WAL +
 //! snapshots under `PATH/sp` or `PATH/dh`), replaying any existing log
-//! on boot.
+//! on boot; `--serving-model reactor` swaps thread-per-connection for
+//! the epoll reactor (with `--max-connections` and `--idle-timeout-ms`
+//! tuning how many sockets it holds and when idle ones are reaped).
+//!
+//! `spuzzle conn-hold --addr A --count N` is the helper the
+//! connection-scaling tests and benches fork: it parks N idle client
+//! sockets in a separate process (fd limits are per-process) until its
+//! stdin closes.
 
 use std::net::SocketAddr;
 use std::path::{Path, PathBuf};
@@ -59,7 +66,8 @@ use social_puzzles::core::construction1::{Construction1, Puzzle};
 use social_puzzles::core::context::Context;
 use social_puzzles::core::protocol::SocialPuzzleApp;
 use social_puzzles::net::{
-    ClientConfig, Daemon, DaemonConfig, DhClient, DhService, PipelineConfig, SpClient, SpService,
+    ClientConfig, Daemon, DaemonConfig, DhClient, DhService, PipelineConfig, ServingModel,
+    SpClient, SpService,
 };
 use social_puzzles::osn::{DeviceProfile, ProviderApi, ServiceProvider, StorageHost, UserId};
 use social_puzzles::store::{DurableHost, DurableProvider, StoreConfig};
@@ -75,6 +83,7 @@ fn main() -> ExitCode {
         Some("solve") => cmd_solve(&args[1..]),
         Some("serve-sp") => cmd_serve(&args[1..], Role::Sp),
         Some("serve-dh") => cmd_serve(&args[1..], Role::Dh),
+        Some("conn-hold") => cmd_conn_hold(&args[1..]),
         Some("load") => cmd_load(&args[1..]),
         Some("bench-crypto") => cmd_bench_crypto(&args[1..]),
         Some("bench-net") => cmd_bench_net(&args[1..]),
@@ -87,7 +96,7 @@ fn main() -> ExitCode {
         Some("--help" | "-h" | "help") | None => {
             eprintln!(
                 "usage: spuzzle \
-                 <share|questions|solve|serve-sp|serve-dh|load|bench-crypto|bench-net|check-bench-net|bench-store|check-bench-store|sim|bench-sim|check-bench-sim> \
+                 <share|questions|solve|serve-sp|serve-dh|conn-hold|load|bench-crypto|bench-net|check-bench-net|bench-store|check-bench-store|sim|bench-sim|check-bench-sim> \
                  [options]; see --help per command"
             );
             return ExitCode::from(2);
@@ -245,6 +254,20 @@ fn cmd_serve(args: &[String], role: Role) -> Result<(), String> {
         cfg.max_frame = m.parse().map_err(|_| "--max-frame must be a number of bytes")?;
     }
     cfg.enable_v2 = !args.iter().any(|a| a == "--no-v2");
+    if let Some(model) = flag_value(args, "--serving-model") {
+        cfg.serving_model = match model {
+            "threads" => ServingModel::Threads,
+            "reactor" => ServingModel::Reactor,
+            other => return Err(format!("unknown --serving-model {other:?} (threads | reactor)")),
+        };
+    }
+    if let Some(c) = flag_value(args, "--max-connections") {
+        cfg.max_connections = c.parse().map_err(|_| "--max-connections must be a number")?;
+    }
+    if let Some(t) = flag_value(args, "--idle-timeout-ms") {
+        let ms: u64 = t.parse().map_err(|_| "--idle-timeout-ms must be a number")?;
+        cfg.idle_timeout = Duration::from_millis(ms);
+    }
     let duration_ms: Option<u64> = match flag_value(args, "--duration-ms") {
         Some(d) => Some(d.parse().map_err(|_| "--duration-ms must be a number")?),
         None => None,
@@ -317,6 +340,39 @@ fn cmd_serve(args: &[String], role: Role) -> Result<(), String> {
     }
     daemon.shutdown();
     print!("{metrics}");
+    Ok(())
+}
+
+/// `conn-hold --addr A --count N`: opens `N` TCP connections to a
+/// daemon and holds them idle until stdin reaches EOF.
+///
+/// A test/bench helper for the connection-scaling tiers: the fd limit
+/// is per-process, so a 10k-connection soak keeps the daemon's 10k
+/// accepted sockets in one process and parks the 10k client ends here,
+/// in a child. Prints `held N` once every socket is up (the parent's
+/// readiness signal) and exits when the parent closes our stdin —
+/// which also happens automatically if the parent dies.
+fn cmd_conn_hold(args: &[String]) -> Result<(), String> {
+    use std::io::Read as _;
+    let addr: SocketAddr = flag_value(args, "--addr")
+        .ok_or("--addr <addr:port> is required")?
+        .parse()
+        .map_err(|e| format!("--addr: {e}"))?;
+    let count: usize = flag_value(args, "--count")
+        .unwrap_or("1")
+        .parse()
+        .map_err(|_| "--count must be a number")?;
+    let mut held = Vec::with_capacity(count);
+    for i in 0..count {
+        let stream = std::net::TcpStream::connect(addr)
+            .map_err(|e| format!("connection {i}/{count} to {addr}: {e}"))?;
+        held.push(stream);
+    }
+    println!("held {}", held.len());
+    // Block until the parent closes the pipe (or we get EOF from a tty).
+    let mut sink = Vec::new();
+    let _ = std::io::stdin().read_to_end(&mut sink);
+    drop(held);
     Ok(())
 }
 
