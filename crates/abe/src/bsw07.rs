@@ -5,7 +5,7 @@ use std::fmt;
 use std::sync::{Arc, Mutex, OnceLock};
 
 use rand::Rng;
-use sp_pairing::{FixedBaseTable, Gt, Pairing, Scalar, G1};
+use sp_pairing::{FixedBaseTable, Gt, LineCache, Pairing, Scalar, G1};
 use sp_par::parallel_map;
 use sp_shamir::{Polynomial, ShamirScheme};
 use sp_wire::{Reader, Writer};
@@ -202,7 +202,8 @@ impl CpAbe {
         let h = self.pairing.mul_generator(&beta);
         let f = self.pairing.mul_generator(&beta_inv);
         let g_alpha = self.pairing.mul_generator(&alpha);
-        let e_gg_alpha = self.pairing.pair(g, &g_alpha);
+        let e_gg_alpha =
+            self.pairing.pair(g, &g_alpha).expect("generator pairing is non-degenerate");
         (PublicKey::assemble(h, f, e_gg_alpha), MasterKey { beta, g_alpha })
     }
 
@@ -451,7 +452,74 @@ impl CpAbe {
             folded.iter().map(|(_, dp, idx)| (dp, &ct.leaf_cts[*idx].1)).collect();
         den.push((&ct.c, &sk.d));
         // m = C̃ · Π e([c_j]D_j, C_y) / (Π e([c_j]D'_j, C'_y) · e(C, D))
-        Ok(ct.c_tilde.mul(&self.pairing.pair_product(&num, &den)))
+        let prod =
+            self.pairing.pair_product(&num, &den).map_err(|_| AbeError::DegeneratePairing)?;
+        Ok(ct.c_tilde.mul(&prod))
+    }
+
+    /// [`CpAbe::decrypt`] with the Miller walks of the ciphertext-side
+    /// points (`C_y`, `C'_y`, `C` — the puzzle's fixed public inputs)
+    /// replayed from `cache` under the opaque `tag`.
+    ///
+    /// The pairing is symmetric, so each ratio term is evaluated with the
+    /// *ciphertext* point in the first (cached) slot and the per-key folded
+    /// point in the second: a warm decryption skips every Jacobian walk
+    /// over the ciphertext components. The result is the same group
+    /// element as [`CpAbe::decrypt`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AbeError::PolicyNotSatisfied`] if the key's attributes do
+    /// not satisfy the tree.
+    pub fn decrypt_cached(
+        &self,
+        cache: &LineCache,
+        tag: &[u8],
+        ct: &Ciphertext,
+        sk: &PrivateKey,
+    ) -> Result<Gt, AbeError> {
+        let attrs: HashSet<String> = sk.components.iter().map(|c| c.attribute.clone()).collect();
+        if !ct.tree.satisfied_by(&attrs) {
+            return Err(AbeError::PolicyNotSatisfied);
+        }
+        let mut selected: Vec<(usize, Scalar)> = Vec::new();
+        let mut leaf_index = 0usize;
+        let one = self.pairing.zr().one();
+        self.collect_leaf_coefficients(
+            ct.tree.root(),
+            &attrs,
+            &one,
+            &mut leaf_index,
+            &mut selected,
+        )?;
+
+        let leaves = ct.tree.leaves();
+        let jobs: Vec<(G1, G1, Scalar, usize)> = selected
+            .into_iter()
+            .map(|(idx, coeff)| {
+                let comp = sk
+                    .components
+                    .iter()
+                    .find(|c| c.attribute == leaves[idx])
+                    .expect("selected leaves carry key attributes");
+                (comp.d_j.clone(), comp.d_j_prime.clone(), coeff, idx)
+            })
+            .collect();
+        let folded: Vec<(G1, G1, usize)> = parallel_map(&jobs, |(d_j, d_j_prime, coeff, idx)| {
+            (self.pairing.mul(d_j, coeff), self.pairing.mul(d_j_prime, coeff), *idx)
+        });
+        // Fixed ciphertext-side points go in the first slot — that is the
+        // argument whose line precomputation the cache stores and replays.
+        let num: Vec<(&G1, &G1)> =
+            folded.iter().map(|(d, _, idx)| (&ct.leaf_cts[*idx].0, d)).collect();
+        let mut den: Vec<(&G1, &G1)> =
+            folded.iter().map(|(_, dp, idx)| (&ct.leaf_cts[*idx].1, dp)).collect();
+        den.push((&ct.c, &sk.d));
+        let prod = self
+            .pairing
+            .pair_product_cached(cache, tag, &num, &den)
+            .map_err(|_| AbeError::DegeneratePairing)?;
+        Ok(ct.c_tilde.mul(&prod))
     }
 
     /// Walks a *satisfied* subtree mirroring the reference `DecryptNode`
@@ -543,7 +611,8 @@ impl CpAbe {
             .decrypt_node(ct.tree.root(), ct, sk, &mut leaf_index)
             .ok_or(AbeError::PolicyNotSatisfied)?;
         // m = C̃ · A / e(C, D)
-        let e_c_d = self.pairing.pair_reference(&ct.c, &sk.d);
+        let e_c_d =
+            self.pairing.pair_reference(&ct.c, &sk.d).map_err(|_| AbeError::DegeneratePairing)?;
         Ok(ct.c_tilde.mul(&a).div(&e_c_d))
     }
 
@@ -564,7 +633,7 @@ impl CpAbe {
                 let (c_y, c_y_prime) = &ct.leaf_cts[idx];
                 // e(D_j, C_y) / e(D'_j, C'_y) = e(g,g)^{r·q_y(0)},
                 // computed with one shared final exponentiation.
-                Some(self.pairing.pair_ratio_reference(&comp.d_j, c_y, &comp.d_j_prime, c_y_prime))
+                self.pairing.pair_ratio_reference(&comp.d_j, c_y, &comp.d_j_prime, c_y_prime).ok()
             }
             AccessNode::Threshold { k, children } => {
                 // Evaluate every child (advancing the leaf cursor through
@@ -1105,6 +1174,50 @@ mod tests {
         let sk = abe.keygen(&mk, &strings(&["a", "c"]), &mut rng);
         assert!(abe.decrypt(&ct, &sk).is_err());
         assert!(abe.decrypt_reference(&ct, &sk).is_err());
+    }
+
+    #[test]
+    fn decrypt_cached_matches_uncached() {
+        // Cold (cache misses) and warm (replayed lines) decryptions must
+        // both return the exact group element `decrypt` produces, and the
+        // warm pass must actually hit the cache.
+        let abe = abe();
+        let mut rng = StdRng::seed_from_u64(95);
+        let (pk, mk) = abe.setup(&mut rng);
+        let tree = AccessTree::threshold(
+            2,
+            vec![AccessTree::leaf("a"), AccessTree::leaf("b"), AccessTree::leaf("c")],
+        )
+        .unwrap();
+        let m = abe.random_message(&mut rng);
+        let ct = abe.encrypt(&pk, &m, &tree, &mut rng).unwrap();
+        let sk = abe.keygen(&mk, &strings(&["a", "c"]), &mut rng);
+
+        let cache = LineCache::new();
+        let plain = abe.decrypt(&ct, &sk).unwrap();
+        let cold = abe.decrypt_cached(&cache, b"pz-1", &ct, &sk).unwrap();
+        let before = sp_pairing::stats::snapshot();
+        let warm = abe.decrypt_cached(&cache, b"pz-1", &ct, &sk).unwrap();
+        let after = sp_pairing::stats::snapshot();
+        assert_eq!(cold, plain);
+        assert_eq!(warm, plain);
+        assert_eq!(plain, m);
+        // 2 leaves used → C_a, C'_a, C_c, C'_c, plus C: five cached walks.
+        assert!(after.line_cache_hits - before.line_cache_hits >= 5);
+        assert_eq!(after.line_cache_misses, before.line_cache_misses);
+
+        // A different key against the same warmed puzzle also agrees.
+        let sk2 = abe.keygen(&mk, &strings(&["a", "b"]), &mut rng);
+        assert_eq!(abe.decrypt_cached(&cache, b"pz-1", &ct, &sk2).unwrap(), m);
+
+        // Unsatisfying keys are refused before touching the cache.
+        let sk3 = abe.keygen(&mk, &strings(&["a"]), &mut rng);
+        assert!(abe.decrypt_cached(&cache, b"pz-1", &ct, &sk3).is_err());
+
+        // Invalidation drops the puzzle's entries; re-decryption recomputes
+        // and still agrees.
+        assert!(cache.invalidate(b"pz-1") >= 5);
+        assert_eq!(abe.decrypt_cached(&cache, b"pz-1", &ct, &sk).unwrap(), m);
     }
 
     #[test]

@@ -19,6 +19,10 @@ pub enum AbeError {
     /// The hybrid payload failed symmetric decryption (wrong ABE result or
     /// corrupted ciphertext).
     PayloadCorrupt,
+    /// A pairing inside decryption degenerated to zero — only reachable
+    /// with ciphertext or key points outside the prime-order subgroup
+    /// (i.e. forged or corrupted artifacts).
+    DegeneratePairing,
 }
 
 impl fmt::Display for AbeError {
@@ -29,6 +33,7 @@ impl fmt::Display for AbeError {
             Self::BadEncoding => f.write_str("invalid cp-abe encoding"),
             Self::TreeMismatch => f.write_str("replacement tree does not match ciphertext layout"),
             Self::PayloadCorrupt => f.write_str("hybrid payload failed to decrypt"),
+            Self::DegeneratePairing => f.write_str("pairing degenerated during decryption"),
         }
     }
 }
@@ -47,6 +52,7 @@ mod tests {
             AbeError::BadEncoding,
             AbeError::TreeMismatch,
             AbeError::PayloadCorrupt,
+            AbeError::DegeneratePairing,
         ] {
             assert!(!e.to_string().is_empty());
         }

@@ -82,6 +82,27 @@ pub fn encrypt<R: Rng + ?Sized>(
 /// the integrity check fails.
 pub fn decrypt(abe: &CpAbe, ct: &HybridCiphertext, sk: &PrivateKey) -> Result<Vec<u8>, AbeError> {
     let m = abe.decrypt(&ct.abe, sk)?;
+    unwrap_payload(ct, &m)
+}
+
+/// [`decrypt`] with the ciphertext-side Miller walks replayed from
+/// `cache` under `tag` (see [`CpAbe::decrypt_cached`]).
+///
+/// # Errors
+///
+/// Same contract as [`decrypt`].
+pub fn decrypt_cached(
+    abe: &CpAbe,
+    cache: &sp_pairing::LineCache,
+    tag: &[u8],
+    ct: &HybridCiphertext,
+    sk: &PrivateKey,
+) -> Result<Vec<u8>, AbeError> {
+    let m = abe.decrypt_cached(cache, tag, &ct.abe, sk)?;
+    unwrap_payload(ct, &m)
+}
+
+fn unwrap_payload(ct: &HybridCiphertext, m: &sp_pairing::Gt) -> Result<Vec<u8>, AbeError> {
     let key = derive_key(&m.to_bytes(), "sp-abe/hybrid/aes256", 32);
     let plaintext = cbc_decrypt(&key, &ct.iv, &ct.payload).map_err(|_| AbeError::PayloadCorrupt)?;
     if sha256(&plaintext) != ct.digest {
@@ -138,6 +159,23 @@ mod tests {
         let ct = encrypt(&abe, &pk, &tree, msg, &mut rng).unwrap();
         let sk = abe.keygen(&mk, &["b".to_string()], &mut rng);
         assert_eq!(decrypt(&abe, &ct, &sk).unwrap(), msg);
+    }
+
+    #[test]
+    fn cached_decrypt_matches_plain() {
+        let (abe, pk, mk, mut rng) = setup();
+        let tree = AccessTree::and(vec![AccessTree::leaf("a"), AccessTree::leaf("b")]).unwrap();
+        let msg = b"cache me twice";
+        let ct = encrypt(&abe, &pk, &tree, msg, &mut rng).unwrap();
+        let sk = abe.keygen(&mk, &["a".to_string(), "b".to_string()], &mut rng);
+        let cache = sp_pairing::LineCache::new();
+        assert_eq!(decrypt_cached(&abe, &cache, b"h1", &ct, &sk).unwrap(), msg);
+        assert_eq!(decrypt_cached(&abe, &cache, b"h1", &ct, &sk).unwrap(), msg);
+        assert_eq!(
+            decrypt_cached(&abe, &cache, b"h1", &ct, &sk).unwrap(),
+            decrypt(&abe, &ct, &sk).unwrap()
+        );
+        assert!(!cache.is_empty());
     }
 
     #[test]

@@ -8,7 +8,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sp_abe::{encode_qa_attribute, AccessTree, CpAbe};
-use sp_pairing::{Pairing, G1};
+use sp_pairing::{LineCache, Pairing, G1};
 
 /// `SP_BENCH_QUICK=1` shrinks sampling to a smoke pass (CI uses this to
 /// prove the benches run without paying for stable statistics).
@@ -92,6 +92,14 @@ fn bench_group_ops_slow_vs_fast(c: &mut Criterion) {
             })
         });
     }
+    let p = pairing.random_g1(&mut rng);
+    let q = pairing.random_g1(&mut rng);
+    group.bench_function("pairing_cold", |b| b.iter(|| pairing.pair(&p, &q).expect("pair")));
+    let cache = LineCache::new();
+    pairing.pair_cached(&cache, b"bench", &p, &q).expect("pair");
+    group.bench_function("pairing_cached_warm", |b| {
+        b.iter(|| pairing.pair_cached(&cache, b"bench", &p, &q).expect("pair"))
+    });
     let s = pairing.random_nonzero_scalar(&mut rng);
     let g = pairing.generator().clone();
     group.bench_function("scalar_mul_textbook", |b| b.iter(|| g.mul_uint(&s.to_uint())));

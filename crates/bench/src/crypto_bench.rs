@@ -14,13 +14,44 @@ use std::time::{Duration, Instant};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sp_abe::{encode_qa_attribute, AccessTree, CpAbe};
-use sp_pairing::Pairing;
+use sp_bigint::{MontCtx, Uint};
+use sp_field::Fp2;
+use sp_pairing::{LineCache, Pairing};
 
 /// Schema tag written into (and required from) `BENCH_crypto.json`.
-pub const CRYPTO_BENCH_SCHEMA: &str = "sp-bench/crypto/v1";
+///
+/// v2 adds the warm line-cache pairing (`pairing_cached`) and the
+/// per-kernel micro rows (`mont_square`, `fp2_mul`, `gt_pow`,
+/// `split_scalar_mul`) on top of the v1 operation set.
+pub const CRYPTO_BENCH_SCHEMA: &str = "sp-bench/crypto/v2";
 
 /// The operations every report must cover.
-pub const CRYPTO_BENCH_OPS: [&str; 5] = ["encrypt", "keygen", "decrypt", "pairing", "scalar_mul"];
+pub const CRYPTO_BENCH_OPS: [&str; 10] = [
+    "encrypt",
+    "keygen",
+    "decrypt",
+    "pairing",
+    "scalar_mul",
+    "pairing_cached",
+    "mont_square",
+    "fp2_mul",
+    "gt_pow",
+    "split_scalar_mul",
+];
+
+/// Committed v1 full-sweep throughput at `N = 6` (the paper's central
+/// context size), measured before the second-wave kernels landed. The
+/// validator requires the committed v2 report to beat these by
+/// [`KERNEL_SPEEDUP_FLOOR`].
+pub const V1_PAIRING_FAST_N6: f64 = 413.019;
+/// See [`V1_PAIRING_FAST_N6`].
+pub const V1_DECRYPT_FAST_N6: f64 = 141.188;
+/// Required improvement of the committed v2 fast paths over the v1
+/// baselines above.
+pub const KERNEL_SPEEDUP_FLOOR: f64 = 1.5;
+/// Required warm-over-cold ratio for the `pairing_cached` row in a
+/// committed (non-quick) report.
+pub const CACHE_SPEEDUP_FLOOR: f64 = 2.0;
 
 /// Sweep and sampling knobs for the crypto comparison.
 #[derive(Clone, Debug)]
@@ -202,6 +233,75 @@ pub fn run(cfg: &CryptoBenchConfig) -> CryptoBenchReport {
             fast_ops_per_s: fast,
         });
     }
+
+    // Cold Tate pairing vs the warm line-evaluation cache: the second
+    // access to a puzzle skips the Miller-walk point arithmetic and only
+    // replays the stored line coefficients against the new argument.
+    let p = pairing.random_g1(&mut rng);
+    let q = pairing.random_g1(&mut rng);
+    let slow = ops_per_s(cfg, || pairing.pair(&p, &q).expect("non-degenerate"));
+    let cache = LineCache::new();
+    let fast = ops_per_s(cfg, || pairing.pair_cached(&cache, b"bench", &p, &q).expect("pair"));
+    entries.push(CryptoBenchEntry {
+        op: "pairing_cached",
+        n: 1,
+        slow_ops_per_s: slow,
+        fast_ops_per_s: fast,
+    });
+
+    // Per-kernel micro rows. The field kernels run in 1000-op batches
+    // (n records the batch size) so the per-call timing overhead does
+    // not flatten sub-microsecond speedups.
+    let fq = pairing.fq().clone();
+    let mctx = MontCtx::new(*fq.modulus()).expect("q is an odd prime");
+    let vals: Vec<Uint<8>> = (0..1000).map(|_| *fq.random(&mut rng).mont_repr()).collect();
+    let slow = ops_per_s(cfg, || vals.iter().map(|a| mctx.square_reference(a)).collect::<Vec<_>>());
+    let fast = ops_per_s(cfg, || vals.iter().map(|a| mctx.square(a)).collect::<Vec<_>>());
+    entries.push(CryptoBenchEntry {
+        op: "mont_square",
+        n: 1000,
+        slow_ops_per_s: slow,
+        fast_ops_per_s: fast,
+    });
+
+    let rand_fp2 =
+        |rng: &mut StdRng| Fp2::new(fq.random(rng), fq.random(rng)).expect("q is 3 mod 4");
+    let xs: Vec<Fp2<8>> = (0..1000).map(|_| rand_fp2(&mut rng)).collect();
+    let ys: Vec<Fp2<8>> = (0..1000).map(|_| rand_fp2(&mut rng)).collect();
+    let slow =
+        ops_per_s(cfg, || xs.iter().zip(&ys).map(|(x, y)| x.mul_reference(y)).collect::<Vec<_>>());
+    let fast = ops_per_s(cfg, || xs.iter().zip(&ys).map(|(x, y)| x * y).collect::<Vec<_>>());
+    entries.push(CryptoBenchEntry {
+        op: "fp2_mul",
+        n: 1000,
+        slow_ops_per_s: slow,
+        fast_ops_per_s: fast,
+    });
+
+    // Cyclotomic exponentiation (conjugation-as-inversion NAF walk on
+    // norm-1 pairing values) vs the generic square-and-multiply twin.
+    let e = pairing.pair(&p, &q).expect("non-degenerate");
+    let exp = pairing.random_nonzero_scalar(&mut rng).to_uint();
+    let slow = ops_per_s(cfg, || e.pow_reference(&exp));
+    let fast = ops_per_s(cfg, || e.pow(&exp));
+    entries.push(CryptoBenchEntry {
+        op: "gt_pow",
+        n: 1,
+        slow_ops_per_s: slow,
+        fast_ops_per_s: fast,
+    });
+
+    // Half-width split + Straus interleaving vs the plain sliding window
+    // on a variable base.
+    let slow = ops_per_s(cfg, || p.mul_uint(&exp));
+    let fast = ops_per_s(cfg, || p.mul_uint_split(&exp));
+    entries.push(CryptoBenchEntry {
+        op: "split_scalar_mul",
+        n: 1,
+        slow_ops_per_s: slow,
+        fast_ops_per_s: fast,
+    });
+
     CryptoBenchReport { quick: cfg.quick, entries }
 }
 
@@ -256,9 +356,25 @@ pub fn render(report: &CryptoBenchReport) -> String {
     out
 }
 
+/// Extracts one numeric field from the entry for `(op, n)`, relying on
+/// the fixed one-entry-per-line layout [`to_json`] emits.
+fn entry_field(doc: &str, op: &str, n: usize, field: &str) -> Option<f64> {
+    let line = doc.lines().find(|l| l.contains(&format!("\"op\": \"{op}\", \"n\": {n},")))?;
+    let tail = line.split(&format!("\"{field}\": ")).nth(1)?;
+    let num: String =
+        tail.chars().take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-').collect();
+    num.parse().ok()
+}
+
 /// Validates a `BENCH_crypto.json` document: syntactically well-formed
-/// JSON, the right schema tag, and at least one entry per operation with
-/// all five fields present. Returns a description of the first problem.
+/// JSON, the v2 schema tag, and at least one entry per operation with
+/// all five fields present. A committed (non-quick) report must
+/// additionally clear the performance pins: the `pairing` and `decrypt`
+/// fast paths at `N = 6` beat the v1 baselines by
+/// [`KERNEL_SPEEDUP_FLOOR`], and the warm `pairing_cached` path runs at
+/// least [`CACHE_SPEEDUP_FLOOR`]× the cold pairing. Quick reports skip
+/// the pins — their sampling windows are too short to pin throughput.
+/// Returns a description of the first problem.
 pub fn validate_json(doc: &str) -> Result<(), String> {
     crate::json_check::check_syntax(doc)?;
     if !doc.contains(&format!("\"schema\": \"{CRYPTO_BENCH_SCHEMA}\"")) {
@@ -275,6 +391,27 @@ pub fn validate_json(doc: &str) -> Result<(), String> {
     for field in ["\"n\":", "\"slow_ops_per_s\":", "\"fast_ops_per_s\":", "\"speedup\":"] {
         if !doc.contains(field) {
             return Err(format!("entries are missing the {field} field"));
+        }
+    }
+    if doc.contains("\"quick\": false") {
+        for (op, baseline) in [("pairing", V1_PAIRING_FAST_N6), ("decrypt", V1_DECRYPT_FAST_N6)] {
+            let fast = entry_field(doc, op, 6, "fast_ops_per_s")
+                .ok_or_else(|| format!("full report lacks the {op:?} N=6 entry"))?;
+            let floor = baseline * KERNEL_SPEEDUP_FLOOR;
+            if fast < floor {
+                return Err(format!(
+                    "{op} fast path at N=6 is {fast:.1} ops/s, below the pinned \
+                     {KERNEL_SPEEDUP_FLOOR}x-over-v1 floor of {floor:.1}"
+                ));
+            }
+        }
+        let warm = entry_field(doc, "pairing_cached", 1, "speedup")
+            .ok_or("full report lacks the pairing_cached entry")?;
+        if warm < CACHE_SPEEDUP_FLOOR {
+            return Err(format!(
+                "warm pairing_cached speedup is {warm:.2}x, below the pinned \
+                 {CACHE_SPEEDUP_FLOOR}x-over-cold floor"
+            ));
         }
     }
     Ok(())
@@ -297,13 +434,14 @@ mod tests {
     fn report_covers_every_op_and_serializes_validly() {
         let report = run(&tiny());
         for op in CRYPTO_BENCH_OPS {
-            let e = report.entry(op, 2).expect("op measured");
+            let e = report.entries.iter().find(|e| e.op == op).expect("op measured");
             assert!(e.slow_ops_per_s > 0.0 && e.fast_ops_per_s > 0.0);
         }
         let json = to_json(&report);
         validate_json(&json).expect("emitted document validates");
         let table = render(&report);
         assert!(table.contains("encrypt") && table.contains("speedup"));
+        assert!(table.contains("pairing_cached") && table.contains("mont_square"));
     }
 
     #[test]
@@ -311,11 +449,67 @@ mod tests {
         let report = run(&tiny());
         let json = to_json(&report);
         assert!(validate_json(&json[..json.len() - 4]).is_err(), "truncated");
-        assert!(validate_json(&json.replace("crypto/v1", "crypto/v9")).is_err(), "wrong schema");
+        assert!(validate_json(&json.replace("crypto/v2", "crypto/v9")).is_err(), "wrong schema");
+        assert!(validate_json(&json.replace("crypto/v2", "crypto/v1")).is_err(), "stale schema");
         assert!(validate_json(&json.replace("\"decrypt\"", "\"dec\"")).is_err(), "missing op");
+        assert!(
+            validate_json(&json.replace("\"pairing_cached\"", "\"pc\"")).is_err(),
+            "missing v2 op"
+        );
         assert!(validate_json("{\"a\": [1, 2,]}").is_err(), "trailing comma");
         assert!(validate_json("not json").is_err());
         assert!(validate_json("{} extra").is_err());
+    }
+
+    /// A hand-built "full" document exercising the committed-report
+    /// pins without paying for a real full sweep.
+    fn full_doc(pairing_fast: f64, decrypt_fast: f64, cache_speedup: f64) -> String {
+        let mut report = run(&tiny());
+        report.quick = false;
+        report.entries.push(CryptoBenchEntry {
+            op: "pairing",
+            n: 6,
+            slow_ops_per_s: 100.0,
+            fast_ops_per_s: pairing_fast,
+        });
+        report.entries.push(CryptoBenchEntry {
+            op: "decrypt",
+            n: 6,
+            slow_ops_per_s: 50.0,
+            fast_ops_per_s: decrypt_fast,
+        });
+        // Overwrite the measured pairing_cached row with a synthetic one
+        // at the requested warm-over-cold ratio.
+        report.entries.retain(|e| e.op != "pairing_cached");
+        report.entries.push(CryptoBenchEntry {
+            op: "pairing_cached",
+            n: 1,
+            slow_ops_per_s: 100.0,
+            fast_ops_per_s: 100.0 * cache_speedup,
+        });
+        to_json(&report)
+    }
+
+    #[test]
+    fn validator_pins_full_reports_to_the_v1_baselines() {
+        let good =
+            full_doc(V1_PAIRING_FAST_N6 * 2.0, V1_DECRYPT_FAST_N6 * 2.0, CACHE_SPEEDUP_FLOOR + 1.0);
+        validate_json(&good).expect("clears every pin");
+
+        let slow_pairing =
+            full_doc(V1_PAIRING_FAST_N6 * 1.2, V1_DECRYPT_FAST_N6 * 2.0, CACHE_SPEEDUP_FLOOR + 1.0);
+        assert!(validate_json(&slow_pairing).unwrap_err().contains("pairing fast path"));
+
+        let slow_decrypt =
+            full_doc(V1_PAIRING_FAST_N6 * 2.0, V1_DECRYPT_FAST_N6 * 1.2, CACHE_SPEEDUP_FLOOR + 1.0);
+        assert!(validate_json(&slow_decrypt).unwrap_err().contains("decrypt fast path"));
+
+        let cold_cache = full_doc(V1_PAIRING_FAST_N6 * 2.0, V1_DECRYPT_FAST_N6 * 2.0, 1.1);
+        assert!(validate_json(&cold_cache).unwrap_err().contains("pairing_cached speedup"));
+
+        // Quick reports skip the pins entirely.
+        let quick = run(&tiny());
+        validate_json(&to_json(&quick)).expect("quick report has no pins");
     }
 
     #[test]

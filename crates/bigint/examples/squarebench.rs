@@ -1,0 +1,61 @@
+//! Quick timing harness for the Montgomery kernels:
+//! `cargo run -q --release -p sp-bigint --example squarebench`
+
+use std::time::Instant;
+
+use sp_bigint::{MontCtx, Uint};
+
+fn time(label: &str, mut f: impl FnMut() -> Uint<8>) {
+    // warm-up
+    for _ in 0..1000 {
+        std::hint::black_box(f());
+    }
+    let iters = 2_000_000u32;
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    let ns = start.elapsed().as_nanos() as f64 / f64::from(iters);
+    println!("{label:<28} {ns:8.1} ns/op");
+}
+
+fn run(label: &str, n: Uint<8>) {
+    println!("== {label} ({} significant bits) ==", n.bit_len());
+    let ctx = MontCtx::new(n).expect("odd modulus");
+    let mut a = Uint::from_limbs([0x1234_5678_9ABC_DEF0u64; 8]);
+    let mut b = Uint::from_limbs([0x0FED_CBA9_8765_4321u64; 8]);
+    while a >= n {
+        a = a.shr1();
+    }
+    while b >= n {
+        b = b.shr1();
+    }
+    let a = ctx.to_mont(&a);
+    let b = ctx.to_mont(&b);
+
+    time("cios_mul(a,b)", || ctx.mul(&a, &b));
+    time("cios_mul(a,a)", || ctx.mul(&a, &a));
+    time("sos_square(a)", || ctx.square(&a));
+    time("wide_mul+reduce", || {
+        let (lo, hi) = ctx.wide_mul(&a, &b);
+        ctx.montgomery_reduce(&lo, &hi)
+    });
+    time("wide_square only", || ctx.wide_square(&a).0);
+    time("wide_mul only", || ctx.wide_mul(&a, &b).0);
+    let (lo, hi) = ctx.wide_mul(&a, &b);
+    time("reduce only", || ctx.montgomery_reduce(&lo, &hi));
+}
+
+fn main() {
+    // A 512-bit odd modulus (top bit set, low bit set).
+    let mut limbs = [0xDEAD_BEEF_CAFE_F00Du64; 8];
+    limbs[7] |= 1 << 63;
+    limbs[0] |= 1;
+    run("512-bit (full width)", Uint::from_limbs(limbs));
+    // A 264-bit odd modulus: 5 significant limbs in the 8-limb
+    // container, the shape of the test-parameter pairing field.
+    let mut limbs = [0u64; 8];
+    limbs[..4].copy_from_slice(&[0xDEAD_BEEF_CAFE_F00D | 1; 4]);
+    limbs[4] = 0xFF;
+    run("264-bit (truncated)", Uint::from_limbs(limbs));
+}

@@ -176,27 +176,97 @@ impl<const L: usize> Uint<L> {
 
     /// Full (widening) multiplication: returns `(lo, hi)` with
     /// `self · rhs = hi · 2^(64·L) + lo`.
+    ///
+    /// The `2L`-limb accumulator lives on the stack as two `L`-limb
+    /// halves (const generics cannot express `[u64; 2·L]`), with the
+    /// inner loop split at the half boundary so every access indexes one
+    /// array directly — this kernel sits under every lazy-reduction
+    /// field operation and must not allocate.
     pub fn widening_mul(&self, rhs: &Self) -> (Self, Self) {
-        let mut w = vec![0u64; 2 * L];
-        for i in 0..L {
-            let mut carry = 0u64;
-            for j in 0..L {
-                let (lo, c) = mac(w[i + j], self.limbs[i], rhs.limbs[j], carry);
-                w[i + j] = lo;
-                carry = c;
-            }
-            w[i + L] = carry;
-        }
         let mut lo = [0u64; L];
         let mut hi = [0u64; L];
-        lo.copy_from_slice(&w[..L]);
-        hi.copy_from_slice(&w[L..]);
+        for i in 0..L {
+            let a = self.limbs[i];
+            let mut carry = 0u64;
+            // Limbs i..L of this row land in the low half...
+            for j in 0..L - i {
+                let (v, c) = mac(lo[i + j], a, rhs.limbs[j], carry);
+                lo[i + j] = v;
+                carry = c;
+            }
+            // ...limbs L..i+L in the high half.
+            for j in L - i..L {
+                let (v, c) = mac(hi[i + j - L], a, rhs.limbs[j], carry);
+                hi[i + j - L] = v;
+                carry = c;
+            }
+            hi[i] = carry;
+        }
         (Self { limbs: lo }, Self { limbs: hi })
     }
 
     /// Wrapping (truncating) multiplication.
     pub fn wrapping_mul(&self, rhs: &Self) -> Self {
         self.widening_mul(rhs).0
+    }
+
+    /// Full (widening) squaring: returns `(lo, hi)` with
+    /// `self² = hi · 2^(64·L) + lo`.
+    ///
+    /// Uses the halved-partial-product schoolbook (SOS): each off-diagonal
+    /// product `a_i·a_j` with `i < j` is accumulated once, the accumulator
+    /// is doubled, and the diagonal squares `a_i²` are added last — about
+    /// half the single-limb multiplies of [`Uint::widening_mul`] on equal
+    /// operands. The accumulator lives on the stack as two `L`-limb halves
+    /// (const generics cannot express `[u64; 2·L]`), with the loops split
+    /// at the half boundary so every access indexes one array directly.
+    pub fn widening_square(&self) -> (Self, Self) {
+        let a = &self.limbs;
+        let mut lo = [0u64; L];
+        let mut hi = [0u64; L];
+        // Off-diagonal partial products, each pair counted once. At
+        // iteration i the highest index previously written is (i-1)+L, so
+        // storing the carry at i+L never clobbers earlier contributions.
+        for i in 0..L {
+            let mut carry = 0u64;
+            // k = i + j crosses into the high half at j = L - i.
+            let split = (L - i).max(i + 1);
+            for j in i + 1..split {
+                let (v, c) = mac(lo[i + j], a[i], a[j], carry);
+                lo[i + j] = v;
+                carry = c;
+            }
+            for j in split..L {
+                let (v, c) = mac(hi[i + j - L], a[i], a[j], carry);
+                hi[i + j - L] = v;
+                carry = c;
+            }
+            hi[i] = carry;
+        }
+        // Double the off-diagonal sum; it is bounded by self²/2, so the
+        // shift cannot carry out of limb 2L-1.
+        let mut carry = 0u64;
+        for v in lo.iter_mut().chain(hi.iter_mut()) {
+            let prev = *v;
+            *v = (prev << 1) | carry;
+            carry = prev >> 63;
+        }
+        debug_assert_eq!(carry, 0, "doubled cross terms exceed 2L limbs");
+        // Add the diagonal terms a_i².
+        let mut carry = 0u64;
+        for i in 0..L {
+            let k = 2 * i;
+            let w_k = if k < L { &mut lo[k] } else { &mut hi[k - L] };
+            let (v, c) = mac(*w_k, a[i], a[i], carry);
+            *w_k = v;
+            let k1 = k + 1;
+            let w_k1 = if k1 < L { &mut lo[k1] } else { &mut hi[k1 - L] };
+            let (v, c2) = adc(*w_k1, c, 0);
+            *w_k1 = v;
+            carry = c2;
+        }
+        debug_assert_eq!(carry, 0, "square exceeds 2L limbs");
+        (Self { limbs: lo }, Self { limbs: hi })
     }
 
     /// Multiplication by a `u64`, returning `(lo, carry_limb)`.
@@ -592,6 +662,26 @@ mod tests {
         // (R-1)^2 = R^2 - 2R + 1 where R = 2^256.
         assert_eq!(lo, U4::ONE);
         assert_eq!(hi, U4::MAX.wrapping_sub(&U4::ONE));
+    }
+
+    #[test]
+    fn widening_square_matches_mul_edges() {
+        for v in [U4::ZERO, U4::ONE, U4::MAX, U4::from_u64(u64::MAX), U4::ONE.shl(200)] {
+            assert_eq!(v.widening_square(), v.widening_mul(&v));
+        }
+        let w = Uint::<8>::MAX;
+        assert_eq!(w.widening_square(), w.widening_mul(&w));
+    }
+
+    #[test]
+    fn widening_square_matches_mul_randomized() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..200 {
+            let a = U4::random(&mut rng);
+            assert_eq!(a.widening_square(), a.widening_mul(&a));
+            let b = Uint::<8>::random(&mut rng);
+            assert_eq!(b.widening_square(), b.widening_mul(&b));
+        }
     }
 
     #[test]

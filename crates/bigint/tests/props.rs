@@ -116,3 +116,49 @@ fn generated_primes_pass_independent_mr_rounds() {
         assert!(prime::miller_rabin(&p, 40, &mut rng2), "{p} (bits = {bits})");
     }
 }
+
+// Kernel-equivalence suite: the specialized Montgomery kernels (SOS
+// squaring, length-bounded wide multiply/square, double-width modular
+// subtract) must agree with their reference twins over moduli of every
+// significant limb count 1..=8 — the truncated-length dispatch is
+// exactly where a wrong loop bound or carry placement would hide.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn truncated_kernels_match_reference_twins(
+        n_limbs in any::<[u64; 8]>(),
+        len in 1usize..=8,
+        a in any::<[u64; 8]>(),
+        b in any::<[u64; 8]>(),
+    ) {
+        // A random odd modulus with exactly `len` significant limbs.
+        let mut nl = n_limbs;
+        for l in &mut nl[len..] {
+            *l = 0;
+        }
+        nl[len - 1] |= 1;
+        nl[0] |= 0b11; // odd, and > 1 even at len == 1
+        let n = u8_from(nl);
+        let ctx = MontCtx::new(n).unwrap();
+        let a = ctx.to_mont(&div_rem(&u8_from(a), &n).1);
+        let b = ctx.to_mont(&div_rem(&u8_from(b), &n).1);
+
+        // Dedicated squaring == fused multiply == retained reference.
+        prop_assert_eq!(ctx.square(&a), ctx.mul(&a, &a));
+        prop_assert_eq!(ctx.square(&a), ctx.square_reference(&a));
+
+        // Separated wide multiply + reduction == fused CIOS multiply.
+        let wide = ctx.wide_mul(&a, &b);
+        prop_assert_eq!(ctx.montgomery_reduce(&wide.0, &wide.1), ctx.mul(&a, &b));
+        prop_assert_eq!(ctx.wide_square(&a), ctx.wide_mul(&a, &a));
+
+        // Double-width subtract: reducing `a·b − b·b (mod n·R)` must
+        // land on the difference of the separately reduced products.
+        let diff = ctx.wide_sub(wide, &ctx.wide_mul(&b, &b));
+        prop_assert_eq!(
+            ctx.montgomery_reduce(&diff.0, &diff.1),
+            ctx.sub(&ctx.mul(&a, &b), &ctx.mul(&b, &b))
+        );
+    }
+}

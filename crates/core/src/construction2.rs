@@ -17,12 +17,14 @@
 //! prototype behaviour for comparison.
 
 use std::fmt;
+use std::sync::Arc;
 
 use rand::Rng;
 use sp_abe::hybrid::{self, HybridCiphertext};
 use sp_abe::{AccessTree, CpAbe, MasterKey, PublicKey};
 use sp_crypto::ct::ct_eq;
 use sp_osn::Url;
+use sp_pairing::LineCache;
 use sp_wire::{Reader, Writer};
 
 use crate::context::Context;
@@ -243,13 +245,24 @@ pub struct Construction2 {
     abe: CpAbe,
     hash_alg: HashAlg,
     salted_verification: bool,
+    /// Miller line-evaluation cache shared across clones: repeated
+    /// `Access` against the same hot puzzle (Zipfian traffic) replays the
+    /// ciphertext-side walks instead of recomputing them. Entries are
+    /// tagged by ciphertext URL and invalidated when that URL is
+    /// re-uploaded.
+    line_cache: Arc<LineCache>,
 }
 
 impl Construction2 {
     /// Scheme over the given CP-ABE instance with the paper's
     /// Implementation-2 hash (SHA-1).
     pub fn new(abe: CpAbe) -> Self {
-        Self { abe, hash_alg: HashAlg::Sha1, salted_verification: false }
+        Self {
+            abe,
+            hash_alg: HashAlg::Sha1,
+            salted_verification: false,
+            line_cache: Arc::new(LineCache::new()),
+        }
     }
 
     /// Hardens the prototype: salts the SP-side verification hashes with
@@ -280,6 +293,11 @@ impl Construction2 {
     /// The underlying CP-ABE scheme.
     pub fn abe(&self) -> &CpAbe {
         &self.abe
+    }
+
+    /// The shared Miller line-evaluation cache (shared across clones).
+    pub fn line_cache(&self) -> &LineCache {
+        &self.line_cache
     }
 
     /// The hash algorithm in use.
@@ -351,6 +369,9 @@ impl Construction2 {
         rng: &mut R,
     ) -> Result<Upload2Result, SocialPuzzleError> {
         context.check_threshold(k)?;
+        // The record at this URL is being (re)written: any cached line
+        // precomputations for the old ciphertext are now stale.
+        self.line_cache.invalidate(url.as_str().as_bytes());
         let pairs = context.as_string_pairs();
         let tree = AccessTree::context_tree(k, &pairs).map_err(SocialPuzzleError::Abe)?;
 
@@ -501,7 +522,13 @@ impl Construction2 {
             .map_err(SocialPuzzleError::Abe)?;
         let ct_hat = ct.with_tree(tree_hat)?;
         let sk = self.abe.keygen(&mk, &known_attrs, rng);
-        Ok(hybrid::decrypt(&self.abe, &ct_hat, &sk)?)
+        Ok(hybrid::decrypt_cached(
+            &self.abe,
+            &self.line_cache,
+            grant.url.as_str().as_bytes(),
+            &ct_hat,
+            &sk,
+        )?)
     }
 }
 

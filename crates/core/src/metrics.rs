@@ -174,6 +174,57 @@ impl CacheCounters {
     }
 }
 
+/// Snapshot of the crypto fast-path counters (the `crypto.cache`
+/// component): Miller line-evaluation cache traffic plus how often the
+/// second-wave kernels (cyclotomic `Gt` pow, split-scalar Straus mul)
+/// actually ran instead of their generic fallbacks. Producers push
+/// absolute process-wide totals (see [`ServiceMetrics::sync_crypto`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CryptoCounters {
+    /// Line-evaluation cache hits (warm fixed-argument pairing).
+    pub line_cache_hits: u64,
+    /// Line-evaluation cache misses (entry computed and stored).
+    pub line_cache_misses: u64,
+    /// Entries dropped by tag invalidation (upload/replace/delete).
+    pub line_cache_invalidations: u64,
+    /// `Gt` exponentiations that took the cyclotomic (norm-1) chain.
+    pub cyclotomic_pow: u64,
+    /// `Gt` exponentiations that fell back to the generic chain.
+    pub generic_pow: u64,
+    /// Scalar multiplications through the split + Straus path.
+    pub split_scalar_mul: u64,
+}
+
+impl CryptoCounters {
+    /// The current process-wide totals from [`sp_pairing::stats`].
+    pub fn snapshot_process() -> Self {
+        sp_pairing::stats::snapshot().into()
+    }
+
+    /// Line-cache hit fraction in `[0, 1]`, or 0.0 before any lookup.
+    pub fn line_cache_hit_rate(&self) -> f64 {
+        let total = self.line_cache_hits + self.line_cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.line_cache_hits as f64 / total as f64
+        }
+    }
+}
+
+impl From<sp_pairing::CryptoStats> for CryptoCounters {
+    fn from(s: sp_pairing::CryptoStats) -> Self {
+        Self {
+            line_cache_hits: s.line_cache_hits,
+            line_cache_misses: s.line_cache_misses,
+            line_cache_invalidations: s.line_cache_invalidations,
+            cyclotomic_pow: s.cyclotomic_pow,
+            generic_pow: s.generic_pow,
+            split_scalar_mul: s.split_scalar_mul,
+        }
+    }
+}
+
 /// Serving-path counters for one daemon component (e.g. `"sp.server"`):
 /// how deep the shared compute pool runs and how often the pipelined
 /// write path reorders responses.
@@ -233,6 +284,7 @@ struct MetricsState {
     caches: BTreeMap<String, CacheCounters>,
     servers: BTreeMap<String, ServerCounters>,
     stores: BTreeMap<String, StoreCounters>,
+    crypto: BTreeMap<String, CryptoCounters>,
 }
 
 /// Per-endpoint request/byte/error counters for a running service, plus
@@ -410,6 +462,26 @@ impl ServiceMetrics {
         self.with(|st| st.stores.get(component).copied().unwrap_or_default())
     }
 
+    /// Overwrites the crypto fast-path snapshot for `component`
+    /// (canonically `"crypto.cache"`).
+    pub fn set_crypto_counters(&self, component: &str, counters: CryptoCounters) {
+        self.with(|st| {
+            st.crypto.insert(component.to_owned(), counters);
+        });
+    }
+
+    /// The latest crypto fast-path counters (zeros if never synced).
+    pub fn crypto_counters(&self, component: &str) -> CryptoCounters {
+        self.with(|st| st.crypto.get(component).copied().unwrap_or_default())
+    }
+
+    /// Pushes the process-wide [`sp_pairing::stats`] snapshot into the
+    /// `"crypto.cache"` component. Daemons and the CLI call this right
+    /// before printing a summary.
+    pub fn sync_crypto(&self) {
+        self.set_crypto_counters("crypto.cache", sp_pairing::stats::snapshot().into());
+    }
+
     /// Counters for one endpoint (zeros if it never saw a request).
     pub fn endpoint(&self, endpoint: &str) -> EndpointCounters {
         self.with(|st| st.endpoints.get(endpoint).copied().unwrap_or_default())
@@ -491,6 +563,21 @@ impl fmt::Display for ServiceMetrics {
                 f,
                 "{name} store: {} appends, {} fsync batches, {} replayed, {} snapshots",
                 c.durable_appends, c.fsync_batches, c.recovery_replayed_records, c.snapshot_count
+            )?;
+        }
+        let crypto = self.with(|st| st.crypto.clone());
+        for (name, c) in crypto {
+            writeln!(
+                f,
+                "{name} crypto: {} hits, {} misses ({:.1}% hit rate), {} invalidations, \
+                 {} cyclotomic pow, {} generic pow, {} split mul",
+                c.line_cache_hits,
+                c.line_cache_misses,
+                c.line_cache_hit_rate() * 100.0,
+                c.line_cache_invalidations,
+                c.cyclotomic_pow,
+                c.generic_pow,
+                c.split_scalar_mul
             )?;
         }
         let shards = self.with(|st| st.shards.clone());
@@ -648,7 +735,7 @@ mod tests {
         m.server_job_finished("sp.server");
         assert_eq!(m.server("sp.server").in_flight, 0);
         let shown = m.to_string();
-        assert!(shown.contains("sp.server server: 2 accepted (2 v2, 1 busy)"));
+        assert!(shown.contains("sp.server server: 2 accepted (2 v2, 1 busy, 0 shed)"));
         assert!(shown.contains("1 out-of-order"));
     }
 
@@ -669,6 +756,33 @@ mod tests {
         let shown = m.to_string();
         assert!(shown.contains("sp.puzzle_cache cache: 2 hits, 1 misses"));
         assert!(shown.contains("1 invalidations"));
+    }
+
+    #[test]
+    fn crypto_counters_sync_and_display() {
+        let m = ServiceMetrics::new();
+        assert_eq!(m.crypto_counters("crypto.cache"), CryptoCounters::default());
+        assert_eq!(m.crypto_counters("crypto.cache").line_cache_hit_rate(), 0.0);
+        m.set_crypto_counters(
+            "crypto.cache",
+            CryptoCounters {
+                line_cache_hits: 9,
+                line_cache_misses: 3,
+                line_cache_invalidations: 2,
+                cyclotomic_pow: 40,
+                generic_pow: 1,
+                split_scalar_mul: 7,
+            },
+        );
+        let c = m.crypto_counters("crypto.cache");
+        assert!((c.line_cache_hit_rate() - 0.75).abs() < 1e-12);
+        let shown = m.to_string();
+        assert!(shown.contains("crypto.cache crypto: 9 hits, 3 misses (75.0% hit rate)"));
+        assert!(shown.contains("40 cyclotomic pow"));
+        // sync_crypto overwrites with the live process snapshot.
+        m.sync_crypto();
+        let synced = m.crypto_counters("crypto.cache");
+        assert_eq!(synced, sp_pairing::stats::snapshot().into());
     }
 
     #[test]

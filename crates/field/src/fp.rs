@@ -95,7 +95,12 @@ impl<const L: usize> FieldCtx<L> {
         Ok(self.element(v))
     }
 
-    pub(crate) fn mont(&self) -> &MontCtx<L> {
+    /// The underlying Montgomery context, for raw-representation hot
+    /// paths (e.g. the Miller loop) that carry `Uint` Montgomery values
+    /// directly instead of paying an `Arc` clone per `Fp` temporary.
+    /// Combine with [`Fp::mont_repr`] / [`Fp::from_mont_repr`] at the
+    /// boundary.
+    pub fn mont(&self) -> &MontCtx<L> {
         &self.mont
     }
 }

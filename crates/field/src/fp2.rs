@@ -84,8 +84,31 @@ impl<const L: usize> Fp2<L> {
     }
 
     /// Squares the element: `(c0² − c1²) + (2·c0·c1)·i`.
+    ///
+    /// Lazy-reduction kernel: both coefficient squares use the dedicated
+    /// SOS widening square, the difference is taken at double width, and
+    /// each output coefficient pays exactly one Montgomery reduction.
     pub fn square(&self) -> Self {
-        // (c0 + c1 i)² = (c0+c1)(c0−c1) + 2 c0 c1 i
+        let ctx = self.c0.ctx();
+        let mont = ctx.mont();
+        let a = self.c0.mont_repr();
+        let b = self.c1.mont_repr();
+        let va = mont.wide_square(a);
+        let vb = mont.wide_square(b);
+        let (lo, hi) = mont.wide_sub(va, &vb);
+        let c0 = mont.montgomery_reduce(&lo, &hi);
+        // 2·c0·c1: double one operand in the single-width domain first so
+        // the wide product stays below p·R for the one-subtraction REDC.
+        let a2 = mont.add(a, a);
+        let (lo, hi) = mont.wide_mul(&a2, b);
+        let c1 = mont.montgomery_reduce(&lo, &hi);
+        Self { c0: Fp::from_mont_repr(ctx, c0), c1: Fp::from_mont_repr(ctx, c1) }
+    }
+
+    /// Reference twin of [`Fp2::square`]: the pre-lazy-reduction
+    /// formulation `(c0+c1)(c0−c1) + (2·c0·c1)·i` built from fully reduced
+    /// base-field multiplies. Retained for differential testing.
+    pub fn square_reference(&self) -> Self {
         let t0 = &self.c0 + &self.c1;
         let t1 = &self.c0 - &self.c1;
         let c0 = &t0 * &t1;
@@ -96,6 +119,54 @@ impl<const L: usize> Fp2<L> {
     /// Field norm `c0² + c1² ∈ F_p` (the product with the conjugate).
     pub fn norm(&self) -> Fp<L> {
         &self.c0.square() + &self.c1.square()
+    }
+
+    /// Squaring specialized to the norm-one subgroup (`c0² + c1² = 1`):
+    /// `z² = (2·c0² − 1) + ((c0+c1)² − 1)·i` — two base-field squarings
+    /// where the generic [`Fp2::square`] pays two full-width products.
+    ///
+    /// Callers must ensure `norm(z) = 1` (pairing values after the
+    /// `(q − 1)` stage of the final exponentiation live there); other
+    /// inputs produce wrong answers, which is why this is not the `square`
+    /// default.
+    pub fn cyclotomic_square(&self) -> Self {
+        debug_assert!(self.norm().is_one(), "cyclotomic_square needs a norm-1 element");
+        let one = self.c0.ctx().one();
+        let a2 = self.c0.square();
+        let s = (&self.c0 + &self.c1).square();
+        Self { c0: &a2.double() - &one, c1: &s - &one }
+    }
+
+    /// Exponentiation specialized to the norm-one subgroup: cyclotomic
+    /// squarings driven by a signed-digit (non-adjacent form) walk of the
+    /// exponent, using conjugation as the cost-free inversion the NAF
+    /// digits `−1` need. Callers must ensure `norm(self) = 1`.
+    pub fn pow_norm1<const E: usize>(&self, exp: &Uint<E>) -> Self {
+        let ctx = self.c0.ctx();
+        if exp.is_zero() {
+            return Self::one(ctx);
+        }
+        let digits = naf(exp);
+        let inv = self.conjugate();
+        let mut acc = Self::one(ctx);
+        let mut started = false;
+        for &d in digits.iter().rev() {
+            if started {
+                acc = acc.cyclotomic_square();
+            }
+            match d {
+                1 => {
+                    acc = if started { &acc * self } else { self.clone() };
+                    started = true;
+                }
+                -1 => {
+                    acc = if started { &acc * &inv } else { inv.clone() };
+                    started = true;
+                }
+                _ => {}
+            }
+        }
+        acc
     }
 
     /// Multiplicative inverse: `conj(z) / norm(z)`.
@@ -128,6 +199,20 @@ impl<const L: usize> Fp2<L> {
     /// Multiplies by a base-field scalar.
     pub fn mul_by_fp(&self, s: &Fp<L>) -> Self {
         Self { c0: &self.c0 * s, c1: &self.c1 * s }
+    }
+
+    /// Reference twin of the `Mul` operator: Karatsuba built from fully
+    /// reduced base-field multiplies (one Montgomery reduction per
+    /// product, three per Fp² multiply). Retained for differential
+    /// testing of the lazy-reduction kernel.
+    pub fn mul_reference(&self, rhs: &Self) -> Self {
+        // Karatsuba: (a0 + a1 i)(b0 + b1 i)
+        //   = (a0 b0 − a1 b1) + ((a0+a1)(b0+b1) − a0 b0 − a1 b1) i
+        let v0 = &self.c0 * &rhs.c0;
+        let v1 = &self.c1 * &rhs.c1;
+        let c0 = &v0 - &v1;
+        let c1 = &(&(&self.c0 + &self.c1) * &(&rhs.c0 + &rhs.c1)) - &(&v0 + &v1);
+        Self { c0, c1 }
     }
 
     /// Fixed-length big-endian encoding: `c0 ‖ c1`, `16·L` bytes.
@@ -181,14 +266,61 @@ impl<const L: usize> Sub<&Fp2<L>> for &Fp2<L> {
 impl<const L: usize> Mul<&Fp2<L>> for &Fp2<L> {
     type Output = Fp2<L>;
     fn mul(self, rhs: &Fp2<L>) -> Fp2<L> {
-        // Karatsuba: (a0 + a1 i)(b0 + b1 i)
-        //   = (a0 b0 − a1 b1) + ((a0+a1)(b0+b1) − a0 b0 − a1 b1) i
-        let v0 = &self.c0 * &rhs.c0;
-        let v1 = &self.c1 * &rhs.c1;
-        let c0 = &v0 - &v1;
-        let c1 = &(&(&self.c0 + &self.c1) * &(&rhs.c0 + &rhs.c1)) - &(&v0 + &v1);
-        Fp2 { c0, c1 }
+        // Lazy-reduction Karatsuba: the three products are taken at
+        // double width and combined there, so each output coefficient
+        // pays one Montgomery reduction instead of the three paid by
+        // [`Fp2::mul_reference`]. Every intermediate stays below p·R
+        // (sums are reduced mod p before multiplying; wide differences
+        // borrow against p·R), which the one-subtraction REDC requires.
+        let ctx = self.c0.ctx();
+        let mont = ctx.mont();
+        let a0 = self.c0.mont_repr();
+        let a1 = self.c1.mont_repr();
+        let b0 = rhs.c0.mont_repr();
+        let b1 = rhs.c1.mont_repr();
+        let v0 = mont.wide_mul(a0, b0);
+        let v1 = mont.wide_mul(a1, b1);
+        let s = mont.add(a0, a1);
+        let t = mont.add(b0, b1);
+        let v2 = mont.wide_mul(&s, &t);
+        let (lo, hi) = mont.wide_sub(v0, &v1);
+        let c0 = mont.montgomery_reduce(&lo, &hi);
+        let (lo, hi) = mont.wide_sub(mont.wide_sub(v2, &v0), &v1);
+        let c1 = mont.montgomery_reduce(&lo, &hi);
+        Fp2 { c0: Fp::from_mont_repr(ctx, c0), c1: Fp::from_mont_repr(ctx, c1) }
     }
+}
+
+/// Non-adjacent form of `exp`: little-endian digits in `{−1, 0, 1}` with
+/// no two adjacent nonzeros, so a signed-digit exponentiation pays
+/// roughly `bits/3` multiplies instead of `bits/2`.
+fn naf<const E: usize>(exp: &Uint<E>) -> Vec<i8> {
+    let mut v = *exp;
+    // `overflow` models a conceptual bit at 2^BITS (reachable only when
+    // a −1 digit increments a value at the very top of the range).
+    let mut overflow = false;
+    let mut digits = Vec::with_capacity(Uint::<E>::BITS as usize + 1);
+    while !v.is_zero() || overflow {
+        if v.is_odd() {
+            if v.low_u64() & 3 == 1 {
+                digits.push(1);
+                v = v.wrapping_sub(&Uint::ONE);
+            } else {
+                digits.push(-1);
+                let (nv, carry) = v.overflowing_add(&Uint::ONE);
+                v = nv;
+                overflow = overflow || carry;
+            }
+        } else {
+            digits.push(0);
+        }
+        v = v.shr1();
+        if overflow {
+            v = v.wrapping_add(&Uint::ONE.shl(Uint::<E>::BITS - 1));
+            overflow = false;
+        }
+    }
+    digits
 }
 
 impl<const L: usize> Add for Fp2<L> {
@@ -367,5 +499,96 @@ mod tests {
         let a = el(&f, 4, 9);
         let s = f.from_u64(6);
         assert_eq!(a.mul_by_fp(&s), &a * &Fp2::from_fp(s));
+    }
+
+    /// secp256k1's base field: a full-width 256-bit prime ≡ 3 (mod 4), so
+    /// the lazy-reduction bounds are exercised with no spare top bits.
+    fn f256() -> Arc<FieldCtx<4>> {
+        let p = Uint::from_hex("fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f")
+            .unwrap();
+        FieldCtx::new(p).unwrap()
+    }
+
+    #[test]
+    fn lazy_mul_matches_reference() {
+        for (seed, f) in [(31u64, f103()), (32, f256())] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            for _ in 0..100 {
+                let a = Fp2::random(&f, &mut rng);
+                let b = Fp2::random(&f, &mut rng);
+                assert_eq!(&a * &b, a.mul_reference(&b));
+            }
+            // Degenerate coefficients.
+            let zero = Fp2::zero(&f);
+            let one = Fp2::one(&f);
+            let a = Fp2::random(&f, &mut rng);
+            assert_eq!(&a * &zero, a.mul_reference(&zero));
+            assert_eq!(&a * &one, a.mul_reference(&one));
+            // Maximal coefficients p−1 + (p−1)i.
+            let top = Fp2::new(-&f.one(), -&f.one()).unwrap();
+            assert_eq!(&top * &top, top.mul_reference(&top));
+            assert_eq!(&a * &top, a.mul_reference(&top));
+        }
+    }
+
+    /// A uniformish norm-1 element: `conj(z)/z` for random nonzero `z`.
+    fn norm1(f: &Arc<FieldCtx<4>>, rng: &mut StdRng) -> Fp2<4> {
+        loop {
+            let z = Fp2::random(f, rng);
+            if z.is_zero() {
+                continue;
+            }
+            let u = &z.conjugate() * &z.invert().unwrap();
+            assert!(u.norm().is_one());
+            return u;
+        }
+    }
+
+    #[test]
+    fn cyclotomic_square_matches_generic_on_norm1() {
+        for (seed, f) in [(41u64, f103()), (42, f256())] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            for _ in 0..50 {
+                let u = norm1(&f, &mut rng);
+                assert_eq!(u.cyclotomic_square(), u.square());
+                assert_eq!(u.cyclotomic_square(), u.square_reference());
+            }
+            let one = Fp2::one(&f);
+            assert_eq!(one.cyclotomic_square(), one.square());
+        }
+    }
+
+    #[test]
+    fn pow_norm1_matches_generic_pow() {
+        for (seed, f) in [(43u64, f103()), (44, f256())] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            for _ in 0..20 {
+                let u = norm1(&f, &mut rng);
+                let e = Uint::<4>::random(&mut rng);
+                assert_eq!(u.pow_norm1(&e), u.pow(&e));
+                let small = Uint::<4>::from_u64(rng.gen::<u64>() % 100);
+                assert_eq!(u.pow_norm1(&small), u.pow(&small));
+            }
+            let u = norm1(&f, &mut rng);
+            assert!(u.pow_norm1(&Uint::<4>::ZERO).is_one());
+            assert_eq!(u.pow_norm1(&Uint::<4>::ONE), u);
+            // The overflow guard: an exponent at the very top of the range.
+            assert_eq!(u.pow_norm1(&Uint::<4>::MAX), u.pow(&Uint::<4>::MAX));
+        }
+    }
+
+    #[test]
+    fn lazy_square_matches_reference() {
+        for (seed, f) in [(33u64, f103()), (34, f256())] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            for _ in 0..100 {
+                let a = Fp2::random(&f, &mut rng);
+                assert_eq!(a.square(), a.square_reference());
+                assert_eq!(a.square(), &a * &a);
+            }
+            let top = Fp2::new(-&f.one(), -&f.one()).unwrap();
+            assert_eq!(top.square(), top.square_reference());
+            assert_eq!(Fp2::zero(&f).square(), Fp2::zero(&f).square_reference());
+        }
     }
 }

@@ -140,3 +140,38 @@ proptest! {
         prop_assert_eq!(inverted, nonzero);
     }
 }
+
+// Kernel-equivalence suite: the lazy-reduction F_{p²} multiply/square
+// and the cyclotomic (norm-1) exponentiation ladder must agree with the
+// retained reference twins on every random input.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn fp2_lazy_kernels_match_reference(seed in any::<u64>()) {
+        let f = f_3mod4();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Fp2::random(&f, &mut rng);
+        let b = Fp2::random(&f, &mut rng);
+        prop_assert_eq!(&a * &b, a.mul_reference(&b));
+        prop_assert_eq!(a.square(), a.square_reference());
+        prop_assert_eq!(a.square(), &a * &a);
+    }
+
+    #[test]
+    fn cyclotomic_ops_match_generic_on_norm1(seed in any::<u64>(), e in any::<[u64; 4]>()) {
+        let f = f_3mod4();
+        let mut rng = StdRng::seed_from_u64(seed);
+        // conj(a)/a has norm 1 for any nonzero a — the cyclotomic
+        // subgroup the final exponentiation lands in.
+        let mut a = Fp2::random(&f, &mut rng);
+        while a.is_zero() {
+            a = Fp2::random(&f, &mut rng);
+        }
+        let u = &a.conjugate() * &a.invert().unwrap();
+        prop_assert_eq!(u.cyclotomic_square(), u.square());
+        let e = Uint::<4>::from_limbs(e);
+        prop_assert_eq!(u.pow_norm1(&e), u.pow(&e));
+        prop_assert!(u.pow_norm1(&Uint::<4>::ZERO).is_one());
+    }
+}

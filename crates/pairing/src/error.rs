@@ -13,6 +13,10 @@ pub enum PairingError {
     BadGtEncoding,
     /// A scalar encoding was malformed.
     BadScalarEncoding,
+    /// The Miller loop value vanished, so the pairing is undefined. Only
+    /// reachable with operands outside the order-`r` subgroup (e.g. the
+    /// 2-torsion point `(0, 0)`); valid inputs always produce a unit.
+    DegeneratePairing,
 }
 
 impl fmt::Display for PairingError {
@@ -21,6 +25,9 @@ impl fmt::Display for PairingError {
             Self::BadPointEncoding => f.write_str("invalid curve point encoding"),
             Self::BadGtEncoding => f.write_str("invalid target-group element encoding"),
             Self::BadScalarEncoding => f.write_str("invalid scalar encoding"),
+            Self::DegeneratePairing => {
+                f.write_str("pairing degenerated to zero in the Miller loop")
+            }
         }
     }
 }
@@ -37,6 +44,7 @@ mod tests {
             PairingError::BadPointEncoding,
             PairingError::BadGtEncoding,
             PairingError::BadScalarEncoding,
+            PairingError::DegeneratePairing,
         ] {
             assert!(!e.to_string().is_empty());
         }

@@ -39,7 +39,28 @@ impl Gt {
     }
 
     /// Exponentiation by a canonical integer.
+    ///
+    /// Pairing outputs live in the norm-1 subgroup of `F_{q²}^*`, where
+    /// squaring collapses to two `F_q` squarings and the signed-digit
+    /// (NAF) chain gets inversions for free by conjugation; that fast
+    /// path is taken whenever the element's norm checks out. Elements
+    /// decoded from untrusted bytes ([`Gt::from_bytes`] does not enforce
+    /// subgroup membership) fall back to the generic square-and-multiply
+    /// chain.
     pub fn pow<const E: usize>(&self, exp: &Uint<E>) -> Self {
+        if self.value.norm().is_one() {
+            crate::stats::record_cyclotomic_pow();
+            Self { value: self.value.pow_norm1(exp) }
+        } else {
+            crate::stats::record_generic_pow();
+            Self { value: self.value.pow(exp) }
+        }
+    }
+
+    /// Exponentiation through the generic square-and-multiply chain,
+    /// regardless of subgroup membership — the differential-test twin of
+    /// the cyclotomic fast path in [`Gt::pow`].
+    pub fn pow_reference<const E: usize>(&self, exp: &Uint<E>) -> Self {
         Self { value: self.value.pow(exp) }
     }
 
@@ -91,5 +112,43 @@ impl fmt::Debug for Gt {
 impl fmt::Display for Gt {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Pairing;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cyclotomic_pow_matches_reference_on_pairing_outputs() {
+        let p = Pairing::insecure_test_params();
+        let mut rng = StdRng::seed_from_u64(62);
+        let before = crate::stats::snapshot();
+        for _ in 0..4 {
+            let e = p.random_gt(&mut rng);
+            assert!(e.as_fp2().norm().is_one(), "pairing outputs are norm-1");
+            let s = p.random_scalar(&mut rng).to_uint();
+            assert_eq!(e.pow(&s), e.pow_reference(&s));
+        }
+        let after = crate::stats::snapshot();
+        assert!(after.cyclotomic_pow > before.cyclotomic_pow, "fast path was exercised");
+    }
+
+    #[test]
+    fn generic_fallback_for_non_subgroup_elements() {
+        let p = Pairing::insecure_test_params();
+        // A raw field element with norm ≠ 1 (decoded bytes are unchecked).
+        let mut bytes = vec![0u8; 128];
+        bytes[63] = 2; // c0 = 2, c1 = 0 → norm 4
+        let e = Gt::from_bytes(p.fq(), &bytes).unwrap();
+        assert!(!e.as_fp2().norm().is_one());
+        let before = crate::stats::snapshot();
+        let s = sp_bigint::Uint::<4>::from_u64(12345);
+        assert_eq!(e.pow(&s), e.pow_reference(&s));
+        let after = crate::stats::snapshot();
+        assert!(after.generic_pow > before.generic_pow, "fallback path was taken");
     }
 }

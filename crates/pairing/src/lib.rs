@@ -28,21 +28,25 @@
 //! let b = pairing.random_scalar(&mut rng);
 //! let g = pairing.generator();
 //! // Bilinearity: e(aG, bG) = e(G, G)^(ab)
-//! let lhs = pairing.pair(&pairing.mul(g, &a), &pairing.mul(g, &b));
-//! let rhs = pairing.pair(g, g).pow_scalar(&a).pow_scalar(&b);
+//! let lhs = pairing.pair(&pairing.mul(g, &a), &pairing.mul(g, &b)).unwrap();
+//! let rhs = pairing.pair(g, g).unwrap().pow_scalar(&a).pow_scalar(&b);
 //! assert_eq!(lhs, rhs);
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cache;
 mod curve;
 mod error;
 mod gt;
 mod miller;
 mod params;
+pub mod stats;
 
+pub use cache::LineCache;
 pub use curve::{FixedBaseTable, G1};
 pub use error::PairingError;
 pub use gt::Gt;
 pub use params::{Pairing, PairingParams, Scalar, DEFAULT_Q_BITS, TEST_Q_BITS};
+pub use stats::CryptoStats;

@@ -10,11 +10,13 @@ use sp_bigint::Uint;
 use sp_crypto::sha256::sha256_concat;
 use sp_field::{FieldCtx, Fp, Fp2};
 
+use crate::cache::LineCache;
 use crate::curve::{FixedBaseTable, G1};
 use crate::error::PairingError;
 use crate::gt::Gt;
 use crate::miller::{
-    final_exponentiation, miller_loop, miller_loop_product, tate_pairing, tate_pairing_reference,
+    final_exponentiation, final_exponentiation_reference, miller_loop, miller_loop_precomputed,
+    miller_loop_product, tate_pairing, tate_pairing_reference, LinePrecomp,
 };
 
 /// An element of the scalar field `Z_r` (`r` = group order).
@@ -60,7 +62,8 @@ impl fmt::Debug for PairingParams {
 ///
 /// let pairing = Pairing::insecure_test_params();
 /// let g = pairing.generator();
-/// assert!(!pairing.pair(g, g).is_one(), "modified pairing is non-degenerate");
+/// let e = pairing.pair(g, g).unwrap();
+/// assert!(!e.is_one(), "modified pairing is non-degenerate");
 /// ```
 #[derive(Clone, Debug)]
 pub struct Pairing {
@@ -144,22 +147,34 @@ impl Pairing {
     }
 
     /// The modified Tate pairing `ê(P, Q)` (projective Miller loop — no
-    /// per-step field inversions).
-    pub fn pair(&self, p: &G1, q: &G1) -> Gt {
+    /// per-step field inversions). Identity operands yield the `Gt`
+    /// identity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PairingError::DegeneratePairing`] if the Miller value
+    /// vanishes — only reachable with points outside the order-`r`
+    /// subgroup (e.g. the 2-torsion point `(0, 0)`).
+    pub fn pair(&self, p: &G1, q: &G1) -> Result<Gt, PairingError> {
         if p.is_identity() || q.is_identity() {
-            return Gt::one(&self.params.fq);
+            return Ok(Gt::one(&self.params.fq));
         }
-        Gt::from_fp2(tate_pairing(p, q, &self.params.r, &self.params.h))
+        Ok(Gt::from_fp2(tate_pairing(p, q, &self.params.r, &self.params.h)?))
     }
 
     /// The original affine-Miller-loop pairing, retained as the reference
     /// implementation the optimized path is differential-tested and
     /// benchmarked against.
-    pub fn pair_reference(&self, p: &G1, q: &G1) -> Gt {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PairingError::DegeneratePairing`] if the Miller value
+    /// vanishes (same contract as [`Pairing::pair`]).
+    pub fn pair_reference(&self, p: &G1, q: &G1) -> Result<Gt, PairingError> {
         if p.is_identity() || q.is_identity() {
-            return Gt::one(&self.params.fq);
+            return Ok(Gt::one(&self.params.fq));
         }
-        Gt::from_fp2(tate_pairing_reference(p, q, &self.params.r, &self.params.h))
+        Ok(Gt::from_fp2(tate_pairing_reference(p, q, &self.params.r, &self.params.h)?))
     }
 
     /// Product of pairing ratios `Π_j ê(Pⱼ, Qⱼ) / Π_k ê(P'ₖ, Q'ₖ)` with a
@@ -167,17 +182,23 @@ impl Pairing {
     /// exponentiation — the multi-pairing shape CP-ABE decryption reduces
     /// to once the per-leaf Lagrange exponents are folded into the `G1`
     /// arguments. Terms containing the identity contribute `1`.
-    pub fn pair_product(&self, num: &[(&G1, &G1)], den: &[(&G1, &G1)]) -> Gt {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PairingError::DegeneratePairing`] if the shared Miller
+    /// accumulator vanishes (only reachable with points outside the
+    /// order-`r` subgroup).
+    pub fn pair_product(&self, num: &[(&G1, &G1)], den: &[(&G1, &G1)]) -> Result<Gt, PairingError> {
         let terms: Vec<(&G1, &G1, bool)> = num
             .iter()
             .map(|&(p, q)| (p, q, false))
             .chain(den.iter().map(|&(p, q)| (p, q, true)))
             .collect();
         if terms.iter().all(|(p, q, _)| p.is_identity() || q.is_identity()) {
-            return Gt::one(&self.params.fq);
+            return Ok(Gt::one(&self.params.fq));
         }
         let f = miller_loop_product(&terms, &self.params.r);
-        Gt::from_fp2(final_exponentiation(&f, &self.params.h))
+        Ok(Gt::from_fp2(final_exponentiation(&f, &self.params.h)?))
     }
 
     /// The pre-optimization pairing ratio: two *affine* Miller loops (one
@@ -185,19 +206,30 @@ impl Pairing {
     /// This is what [`Pairing::pair_ratio`] computed before the projective
     /// multi-pairing rewrite; it stays as the differential-test and
     /// benchmark baseline.
-    pub fn pair_ratio_reference(&self, p1: &G1, q1: &G1, p2: &G1, q2: &G1) -> Gt {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PairingError::DegeneratePairing`] if either Miller value
+    /// vanishes.
+    pub fn pair_ratio_reference(
+        &self,
+        p1: &G1,
+        q1: &G1,
+        p2: &G1,
+        q2: &G1,
+    ) -> Result<Gt, PairingError> {
         let mut f = Fp2::one(&self.params.fq);
         if !(p1.is_identity() || q1.is_identity()) {
             f = &f * &miller_loop(p1, q1, &self.params.r);
         }
         if !(p2.is_identity() || q2.is_identity()) {
             let f2 = miller_loop(p2, q2, &self.params.r);
-            f = &f * &f2.invert().expect("miller value nonzero");
+            f = &f * &f2.invert().map_err(|_| PairingError::DegeneratePairing)?;
         }
         if f.is_one() {
-            return Gt::one(&self.params.fq);
+            return Ok(Gt::one(&self.params.fq));
         }
-        Gt::from_fp2(final_exponentiation(&f, &self.params.h))
+        Ok(Gt::from_fp2(final_exponentiation_reference(&f, &self.params.h)?))
     }
 
     /// The pairing ratio `ê(P₁, Q₁) / ê(P₂, Q₂)`, computed with a single
@@ -205,8 +237,63 @@ impl Pairing {
     /// `DecryptNode` evaluates once per satisfied leaf
     /// (`e(D_j, C_y) / e(D'_j, C'_y)`), at roughly half the
     /// final-exponentiation cost of two independent pairings.
-    pub fn pair_ratio(&self, p1: &G1, q1: &G1, p2: &G1, q2: &G1) -> Gt {
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Pairing::pair_product`].
+    pub fn pair_ratio(&self, p1: &G1, q1: &G1, p2: &G1, q2: &G1) -> Result<Gt, PairingError> {
         self.pair_product(&[(p1, q1)], &[(p2, q2)])
+    }
+
+    /// [`Pairing::pair`] with the *first* argument's Miller walk served
+    /// from `cache` (computed and stored under `tag` on a miss). The
+    /// pairing is symmetric, so callers put the long-lived point — e.g. a
+    /// puzzle's ciphertext-side public input — in the first slot and the
+    /// per-request point in the second.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Pairing::pair`].
+    pub fn pair_cached(
+        &self,
+        cache: &LineCache,
+        tag: &[u8],
+        fixed: &G1,
+        q: &G1,
+    ) -> Result<Gt, PairingError> {
+        self.pair_product_cached(cache, tag, &[(fixed, q)], &[])
+    }
+
+    /// [`Pairing::pair_product`] with every term's *first* argument served
+    /// from the line-evaluation cache — the warm-path shape of CP-ABE
+    /// decryption, where the ciphertext-side points repeat across every
+    /// display of the same puzzle. Produces exactly the value
+    /// [`Pairing::pair_product`] computes for the same terms.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Pairing::pair_product`].
+    pub fn pair_product_cached(
+        &self,
+        cache: &LineCache,
+        tag: &[u8],
+        num: &[(&G1, &G1)],
+        den: &[(&G1, &G1)],
+    ) -> Result<Gt, PairingError> {
+        let pres: Vec<(Arc<LinePrecomp>, &G1, bool)> = num
+            .iter()
+            .map(|&(p, q)| (p, q, false))
+            .chain(den.iter().map(|&(p, q)| (p, q, true)))
+            .filter(|(p, q, _)| !p.is_identity() && !q.is_identity())
+            .map(|(p, q, conj)| (cache.get_or_precompute(tag, p, &self.params.r), q, conj))
+            .collect();
+        if pres.is_empty() {
+            return Ok(Gt::one(&self.params.fq));
+        }
+        let terms: Vec<(&LinePrecomp, &G1, bool)> =
+            pres.iter().map(|(pre, q, conj)| (pre.as_ref(), *q, *conj)).collect();
+        let f = miller_loop_precomputed(&terms, &self.params.r);
+        Ok(Gt::from_fp2(final_exponentiation(&f, &self.params.h)?))
     }
 
     /// Uniformly random scalar in `Z_r`.
@@ -264,7 +351,9 @@ impl Pairing {
     /// A uniformly random element of `Gt` (a random power of
     /// `ê(G, G)`, which generates `Gt`).
     pub fn random_gt<R: Rng + ?Sized>(&self, rng: &mut R) -> Gt {
-        let base = self.pair(self.generator(), self.generator());
+        let base = self
+            .pair(self.generator(), self.generator())
+            .expect("generator pairing is non-degenerate");
         base.pow(&self.random_scalar(rng).to_uint())
     }
 
@@ -403,20 +492,21 @@ mod tests {
         let g = p.generator();
         let a = p.random_nonzero_scalar(&mut rng);
         let b = p.random_nonzero_scalar(&mut rng);
-        let lhs = p.pair(&p.mul(g, &a), &p.mul(g, &b));
+        let lhs = p.pair(&p.mul(g, &a), &p.mul(g, &b)).unwrap();
         let ab = &a * &b;
-        let rhs = p.pair(g, g).pow(&ab.to_uint());
+        let e = p.pair(g, g).unwrap();
+        let rhs = e.pow(&ab.to_uint());
         assert_eq!(lhs, rhs);
         // And one argument at a time:
-        assert_eq!(p.pair(&p.mul(g, &a), g), p.pair(g, g).pow(&a.to_uint()));
-        assert_eq!(p.pair(g, &p.mul(g, &b)), p.pair(g, g).pow(&b.to_uint()));
+        assert_eq!(p.pair(&p.mul(g, &a), g).unwrap(), e.pow(&a.to_uint()));
+        assert_eq!(p.pair(g, &p.mul(g, &b)).unwrap(), e.pow(&b.to_uint()));
     }
 
     #[test]
     fn pairing_non_degenerate_and_order_r() {
         let p = pairing();
         let g = p.generator();
-        let e = p.pair(g, g);
+        let e = p.pair(g, g).unwrap();
         assert!(!e.is_one());
         assert!(e.pow(p.order()).is_one());
     }
@@ -425,9 +515,12 @@ mod tests {
     fn pairing_identity_rules() {
         let p = pairing();
         let g = p.generator();
-        assert!(p.pair(&G1::identity(), g).is_one());
-        assert!(p.pair(g, &G1::identity()).is_one());
-        assert!(p.pair(&G1::identity(), &G1::identity()).is_one());
+        assert!(p.pair(&G1::identity(), g).unwrap().is_one());
+        assert!(p.pair(g, &G1::identity()).unwrap().is_one());
+        assert!(p.pair(&G1::identity(), &G1::identity()).unwrap().is_one());
+        // The reference path and the multi-pairing path agree on identities.
+        assert!(p.pair_reference(&G1::identity(), g).unwrap().is_one());
+        assert!(p.pair_product(&[(&G1::identity(), g)], &[(g, &G1::identity())]).unwrap().is_one());
     }
 
     #[test]
@@ -436,7 +529,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(42);
         let a = p.random_g1(&mut rng);
         let b = p.random_g1(&mut rng);
-        assert_eq!(p.pair(&a, &b), p.pair(&b, &a));
+        assert_eq!(p.pair(&a, &b).unwrap(), p.pair(&b, &a).unwrap());
     }
 
     #[test]
@@ -448,15 +541,15 @@ mod tests {
             let b = p.random_g1(&mut rng);
             let c = p.random_g1(&mut rng);
             let d = p.random_g1(&mut rng);
-            let naive = p.pair(&a, &b).div(&p.pair(&c, &d));
-            assert_eq!(p.pair_ratio(&a, &b, &c, &d), naive);
+            let naive = p.pair(&a, &b).unwrap().div(&p.pair(&c, &d).unwrap());
+            assert_eq!(p.pair_ratio(&a, &b, &c, &d).unwrap(), naive);
         }
         // Identity slots behave like e(...) = 1 in that slot.
         let g = p.generator();
-        let e = p.pair(g, g);
-        assert_eq!(p.pair_ratio(&G1::identity(), g, g, g), e.inverse());
-        assert_eq!(p.pair_ratio(g, g, &G1::identity(), g), e);
-        assert!(p.pair_ratio(&G1::identity(), g, g, &G1::identity()).is_one());
+        let e = p.pair(g, g).unwrap();
+        assert_eq!(p.pair_ratio(&G1::identity(), g, g, g).unwrap(), e.inverse());
+        assert_eq!(p.pair_ratio(g, g, &G1::identity(), g).unwrap(), e);
+        assert!(p.pair_ratio(&G1::identity(), g, g, &G1::identity()).unwrap().is_one());
     }
 
     #[test]
@@ -465,9 +558,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(43);
         let a = p.random_g1(&mut rng);
         let b = p.random_g1(&mut rng);
-        let e = p.pair(&a, &b);
-        assert_eq!(p.pair(&a.negate(), &b), e.inverse());
-        assert!(p.pair(&a, &b).mul(&p.pair(&a.negate(), &b)).is_one());
+        let e = p.pair(&a, &b).unwrap();
+        assert_eq!(p.pair(&a.negate(), &b).unwrap(), e.inverse());
+        assert!(e.mul(&p.pair(&a.negate(), &b).unwrap()).is_one());
     }
 
     #[test]
@@ -522,6 +615,7 @@ mod tests {
             let fused = g.double_scalar_mul(&a, &h, &b);
             let separate = g.mul_uint(&a).add(&h.mul_uint(&b));
             assert_eq!(fused, separate);
+            assert_eq!(fused, g.double_scalar_mul_reference(&a, &h, &b));
         }
         // Degenerate scalars.
         let g = p.generator();
@@ -535,6 +629,33 @@ mod tests {
         let neg = g.negate();
         let s = p.random_scalar(&mut rng).to_uint();
         assert!(g.double_scalar_mul(&s, &neg, &s).is_identity());
+    }
+
+    #[test]
+    fn split_scalar_mul_matches_window_mul() {
+        let p = pairing();
+        let mut rng = StdRng::seed_from_u64(63);
+        let before = crate::stats::snapshot();
+        for _ in 0..8 {
+            let point = p.random_g1(&mut rng);
+            let s = p.random_scalar(&mut rng).to_uint();
+            assert_eq!(point.mul_uint_split(&s), point.mul_uint_window(&s));
+        }
+        let after = crate::stats::snapshot();
+        assert!(after.split_scalar_mul >= before.split_scalar_mul + 8, "split path taken");
+        // Edge scalars, including ones below the split threshold.
+        let g = p.generator();
+        for k in [0u64, 1, 2, 3, 15, 16, 17, 255, 1 << 11, u64::MAX] {
+            let k = Uint::<4>::from_u64(k);
+            assert_eq!(g.mul_uint_split(&k), g.mul_uint_window(&k));
+        }
+        let r = *p.order();
+        assert!(g.mul_uint_split(&r).is_identity());
+        assert_eq!(g.mul_uint_split(&r.wrapping_sub(&Uint::ONE)), g.negate());
+        assert_eq!(g.mul_uint_split(&r.wrapping_add(&Uint::ONE)), *g);
+        // Wide (cofactor-sized) scalars.
+        assert_eq!(g.mul_uint_split(p.cofactor()), g.mul_uint_window(p.cofactor()));
+        assert!(G1::identity().mul_uint_split(&r).is_identity());
     }
 
     #[test]
@@ -649,10 +770,10 @@ mod tests {
         for _ in 0..4 {
             let a = p.random_g1(&mut rng);
             let b = p.random_g1(&mut rng);
-            assert_eq!(p.pair(&a, &b), p.pair_reference(&a, &b));
+            assert_eq!(p.pair(&a, &b).unwrap(), p.pair_reference(&a, &b).unwrap());
         }
         let g = p.generator();
-        assert_eq!(p.pair(g, g), p.pair_reference(g, g));
+        assert_eq!(p.pair(g, g).unwrap(), p.pair_reference(g, g).unwrap());
     }
 
     #[test]
@@ -665,24 +786,82 @@ mod tests {
         let den: Vec<(&G1, &G1)> = vec![(&points[4], &points[5]), (&points[6], &points[7])];
         let naive = p
             .pair(&points[0], &points[1])
-            .mul(&p.pair(&points[2], &points[3]))
-            .div(&p.pair(&points[4], &points[5]))
-            .div(&p.pair(&points[6], &points[7]));
-        assert_eq!(p.pair_product(&num, &den), naive);
+            .unwrap()
+            .mul(&p.pair(&points[2], &points[3]).unwrap())
+            .div(&p.pair(&points[4], &points[5]).unwrap())
+            .div(&p.pair(&points[6], &points[7]).unwrap());
+        assert_eq!(p.pair_product(&num, &den).unwrap(), naive);
         // Numerator-only and denominator-only shapes.
         assert_eq!(
-            p.pair_product(&num, &[]),
-            p.pair(&points[0], &points[1]).mul(&p.pair(&points[2], &points[3]))
+            p.pair_product(&num, &[]).unwrap(),
+            p.pair(&points[0], &points[1]).unwrap().mul(&p.pair(&points[2], &points[3]).unwrap())
         );
-        assert_eq!(p.pair_product(&[], &den[..1]), p.pair(&points[4], &points[5]).inverse());
+        assert_eq!(
+            p.pair_product(&[], &den[..1]).unwrap(),
+            p.pair(&points[4], &points[5]).unwrap().inverse()
+        );
         // Identity terms drop out.
         let id = G1::identity();
         assert_eq!(
-            p.pair_product(&[(&points[0], &points[1]), (&id, &points[2])], &[]),
-            p.pair(&points[0], &points[1])
+            p.pair_product(&[(&points[0], &points[1]), (&id, &points[2])], &[]).unwrap(),
+            p.pair(&points[0], &points[1]).unwrap()
         );
-        assert!(p.pair_product(&[(&id, &points[0])], &[(&points[1], &id)]).is_one());
-        assert!(p.pair_product(&[], &[]).is_one());
+        assert!(p.pair_product(&[(&id, &points[0])], &[(&points[1], &id)]).unwrap().is_one());
+        assert!(p.pair_product(&[], &[]).unwrap().is_one());
+    }
+
+    #[test]
+    fn cached_pairing_matches_uncached() {
+        let p = pairing();
+        let cache = LineCache::new();
+        let mut rng = StdRng::seed_from_u64(56);
+        let fixed = p.random_g1(&mut rng);
+        let before = crate::stats::snapshot();
+        for _ in 0..3 {
+            let q = p.random_g1(&mut rng);
+            assert_eq!(
+                p.pair_cached(&cache, b"tag", &fixed, &q).unwrap(),
+                p.pair(&fixed, &q).unwrap()
+            );
+        }
+        let after = crate::stats::snapshot();
+        assert_eq!(after.line_cache_misses - before.line_cache_misses, 1);
+        assert_eq!(after.line_cache_hits - before.line_cache_hits, 2);
+        // Identity slots short-circuit without touching the cache.
+        let g = p.generator();
+        assert!(p.pair_cached(&cache, b"tag", &G1::identity(), g).unwrap().is_one());
+        assert!(p.pair_cached(&cache, b"tag", g, &G1::identity()).unwrap().is_one());
+    }
+
+    #[test]
+    fn cached_pair_product_matches_uncached() {
+        let p = pairing();
+        let cache = LineCache::new();
+        let mut rng = StdRng::seed_from_u64(57);
+        let points: Vec<G1> = (0..6).map(|_| p.random_g1(&mut rng)).collect();
+        let num: Vec<(&G1, &G1)> = vec![(&points[0], &points[1]), (&points[2], &points[3])];
+        let den: Vec<(&G1, &G1)> = vec![(&points[4], &points[5])];
+        let want = p.pair_product(&num, &den).unwrap();
+        // Cold, then warm: the answer never changes.
+        assert_eq!(p.pair_product_cached(&cache, b"pz", &num, &den).unwrap(), want);
+        assert_eq!(p.pair_product_cached(&cache, b"pz", &num, &den).unwrap(), want);
+        assert_eq!(cache.len(), 3);
+        // Identity terms drop out like in the uncached product.
+        let id = G1::identity();
+        assert_eq!(
+            p.pair_product_cached(
+                &cache,
+                b"pz",
+                &[(&points[0], &points[1]), (&id, &points[2])],
+                &[]
+            )
+            .unwrap(),
+            p.pair(&points[0], &points[1]).unwrap()
+        );
+        assert!(p.pair_product_cached(&cache, b"pz", &[], &[]).unwrap().is_one());
+        // Invalidation empties the tag and the next call still agrees.
+        assert_eq!(cache.invalidate(b"pz"), 3);
+        assert_eq!(p.pair_product_cached(&cache, b"pz", &num, &den).unwrap(), want);
     }
 
     #[test]

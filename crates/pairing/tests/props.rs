@@ -21,10 +21,10 @@ proptest! {
         let b = p.random_nonzero_scalar(&mut rng);
         let ga = p.mul(g, &a);
         let gb = p.mul(g, &b);
-        let e_gg = p.pair(g, g);
-        prop_assert_eq!(p.pair(&ga, &gb), e_gg.pow_scalar(&(&a * &b)));
-        prop_assert_eq!(p.pair(&ga, g), e_gg.pow_scalar(&a));
-        prop_assert_eq!(p.pair(g, &gb), e_gg.pow_scalar(&b));
+        let e_gg = p.pair(g, g).unwrap();
+        prop_assert_eq!(p.pair(&ga, &gb).unwrap(), e_gg.pow_scalar(&(&a * &b)));
+        prop_assert_eq!(p.pair(&ga, g).unwrap(), e_gg.pow_scalar(&a));
+        prop_assert_eq!(p.pair(g, &gb).unwrap(), e_gg.pow_scalar(&b));
     }
 
     #[test]
@@ -36,8 +36,8 @@ proptest! {
         let c = p.random_g1(&mut rng);
         // e(a + b, c) = e(a, c) · e(b, c)
         prop_assert_eq!(
-            p.pair(&a.add(&b), &c),
-            p.pair(&a, &c).mul(&p.pair(&b, &c))
+            p.pair(&a.add(&b), &c).unwrap(),
+            p.pair(&a, &c).unwrap().mul(&p.pair(&b, &c).unwrap())
         );
     }
 
@@ -131,14 +131,14 @@ proptest! {
             (0..n_den).map(|_| (p.random_g1(&mut rng), p.random_g1(&mut rng))).collect();
         let mut want = p.gt_one();
         for (a, b) in &num {
-            want = want.mul(&p.pair_reference(a, b));
+            want = want.mul(&p.pair_reference(a, b).unwrap());
         }
         for (a, b) in &den {
-            want = want.div(&p.pair_reference(a, b));
+            want = want.div(&p.pair_reference(a, b).unwrap());
         }
         let num_refs: Vec<(&G1, &G1)> = num.iter().map(|(a, b)| (a, b)).collect();
         let den_refs: Vec<(&G1, &G1)> = den.iter().map(|(a, b)| (a, b)).collect();
-        prop_assert_eq!(p.pair_product(&num_refs, &den_refs), want);
+        prop_assert_eq!(p.pair_product(&num_refs, &den_refs).unwrap(), want);
         // Identity terms drop out instead of poisoning the product.
         let id = G1::identity();
         let with_id: Vec<(&G1, &G1)> = num_refs
@@ -146,6 +146,88 @@ proptest! {
             .copied()
             .chain(std::iter::once((&id, &num[0].1)))
             .collect();
-        prop_assert_eq!(p.pair_product(&with_id, &den_refs), p.pair_product(&num_refs, &den_refs));
+        prop_assert_eq!(
+            p.pair_product(&with_id, &den_refs).unwrap(),
+            p.pair_product(&num_refs, &den_refs).unwrap()
+        );
+    }
+}
+
+// Second-wave kernel equivalence: cyclotomic final exponentiation,
+// split/Straus scalar multiplication, the norm-1 Gt::pow fast path, and
+// the line-evaluation cache must each reproduce their reference twin
+// bit-for-bit on random inputs.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn optimized_pairing_matches_reference(seed in any::<u64>()) {
+        let p = pairing();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = p.random_g1(&mut rng);
+        let b = p.random_g1(&mut rng);
+        // Precomputed Miller loop + cyclotomic final exponentiation vs
+        // the affine loop + generic-pow final exponentiation.
+        prop_assert_eq!(p.pair(&a, &b).unwrap(), p.pair_reference(&a, &b).unwrap());
+    }
+
+    #[test]
+    fn split_and_straus_muls_match_reference(seed in any::<u64>()) {
+        let p = pairing();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = p.random_g1(&mut rng);
+        let h = p.random_g1(&mut rng);
+        let a = p.random_scalar(&mut rng).to_uint();
+        let b = p.random_scalar(&mut rng).to_uint();
+        prop_assert_eq!(g.mul_uint_split(&a), g.mul_uint(&a));
+        prop_assert_eq!(
+            g.double_scalar_mul(&a, &h, &b),
+            g.double_scalar_mul_reference(&a, &h, &b)
+        );
+        prop_assert_eq!(
+            g.double_scalar_mul(&a, &h, &b),
+            g.mul_uint(&a).add(&h.mul_uint(&b))
+        );
+        // Degenerate shapes.
+        let zero = sp_bigint::Uint::<4>::ZERO;
+        prop_assert!(g.mul_uint_split(&zero).is_identity());
+        prop_assert_eq!(g.double_scalar_mul(&a, &h, &zero), g.mul_uint(&a));
+        prop_assert!(G1::identity().mul_uint_split(&a).is_identity());
+    }
+
+    #[test]
+    fn gt_pow_fast_path_matches_reference(seed in any::<u64>(), e in any::<[u64; 4]>()) {
+        let p = pairing();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = p.random_gt(&mut rng); // norm 1: takes the cyclotomic path
+        let e = sp_bigint::Uint::<4>::from_limbs(e);
+        prop_assert_eq!(x.pow(&e), x.pow_reference(&e));
+    }
+
+    #[test]
+    fn cached_pairing_matches_uncached(seed in any::<u64>()) {
+        let p = pairing();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cache = sp_pairing::LineCache::new();
+        let a = p.random_g1(&mut rng);
+        let b = p.random_g1(&mut rng);
+        let c = p.random_g1(&mut rng);
+        let want = p.pair(&a, &b).unwrap();
+        // Cold miss, then warm hit, must both equal the uncached value.
+        prop_assert_eq!(p.pair_cached(&cache, b"t", &a, &b).unwrap(), want.clone());
+        prop_assert_eq!(p.pair_cached(&cache, b"t", &a, &b).unwrap(), want);
+        // Product form against its uncached twin, reusing the cached walk.
+        let num = [(&a, &b), (&c, &b)];
+        let den = [(&a, &c)];
+        prop_assert_eq!(
+            p.pair_product_cached(&cache, b"t", &num, &den).unwrap(),
+            p.pair_product(&num, &den).unwrap()
+        );
+        // Invalidation forces a recompute that still agrees.
+        cache.invalidate(b"t");
+        prop_assert_eq!(
+            p.pair_cached(&cache, b"t", &a, &b).unwrap(),
+            p.pair(&a, &b).unwrap()
+        );
     }
 }

@@ -24,6 +24,11 @@ pub struct SimConfig {
     pub max_live_shares: usize,
     /// Shard count for the SP and DH backends.
     pub shards: usize,
+    /// Construction-2 hot-puzzle probe: after the main run, this many
+    /// CP-ABE `Access` cycles are driven Zipfian-style against a small
+    /// set of C2 puzzles, exercising the Miller line-evaluation cache
+    /// (the report carries its hit rate). `0` disables the probe.
+    pub c2_probe: u64,
 }
 
 impl SimConfig {
@@ -40,6 +45,7 @@ impl SimConfig {
             oracle_sample: 16,
             max_live_shares: 4_096,
             shards: 16,
+            c2_probe: 24,
         }
     }
 

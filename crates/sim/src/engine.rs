@@ -41,7 +41,9 @@ use std::time::{Duration, Instant};
 use rand::rngs::StdRng;
 use rand::Rng;
 use social_puzzles_core::construction1::Construction1;
+use social_puzzles_core::construction2::Construction2;
 use social_puzzles_core::context::Context;
+use social_puzzles_core::metrics::CryptoCounters;
 use social_puzzles_core::protocol::{ShareReport, SocialPuzzleApp};
 use social_puzzles_core::SocialPuzzleError;
 use sp_osn::{
@@ -74,6 +76,10 @@ const K_CHURN: u64 = 5;
 const K_GRANT: u64 = 6;
 const K_REVOKE: u64 = 7;
 const K_NOOP: u64 = 8;
+const K_C2PROBE: u64 = 9;
+
+/// Hot C2 puzzles the post-run probe cycles over.
+const C2_PROBE_PUZZLES: usize = 3;
 
 /// A live share: everything an attempt needs, frozen at share time.
 /// Held behind `Arc` so ring eviction mid-tick cannot invalidate an
@@ -147,6 +153,10 @@ pub struct SimCounters {
     /// Events that degenerated to no-ops (e.g. unfriend with no
     /// friends); still logged, still deterministic.
     pub noops: u64,
+    /// Construction-2 probe accesses executed after the main run.
+    pub c2_probes: u64,
+    /// Probe accesses that were (deliberately) denied below threshold.
+    pub c2_probe_denials: u64,
 }
 
 /// The outcome of a completed run: counters, determinism hash, and
@@ -180,6 +190,10 @@ pub struct SimReport {
     pub p50_us: f64,
     /// 99th-percentile decision latency, microseconds.
     pub p99_us: f64,
+    /// Miller line-evaluation cache hits recorded during the C2 probe.
+    pub c2_cache_hits: u64,
+    /// Line-evaluation cache misses recorded during the C2 probe.
+    pub c2_cache_misses: u64,
 }
 
 impl SimReport {
@@ -187,6 +201,20 @@ impl SimReport {
     #[must_use]
     pub fn hash_hex(&self) -> String {
         format!("{:016x}", self.log_hash)
+    }
+
+    /// Line-cache hit fraction over the C2 probe, in `[0, 1]`.
+    #[must_use]
+    pub fn c2_cache_hit_rate(&self) -> f64 {
+        let total = self.c2_cache_hits + self.c2_cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                self.c2_cache_hits as f64 / total as f64
+            }
+        }
     }
 }
 
@@ -336,6 +364,8 @@ struct Simulation {
     log: DecisionLog,
     stats: SimCounters,
     latencies: Vec<Duration>,
+    /// Line-cache (hits, misses) recorded by the post-run C2 probe.
+    c2_cache_traffic: (u64, u64),
 }
 
 enum EventKind {
@@ -383,6 +413,7 @@ impl Simulation {
             log: DecisionLog::new(),
             stats: SimCounters::default(),
             latencies: Vec::new(),
+            c2_cache_traffic: (0, 0),
         }
     }
 
@@ -775,6 +806,83 @@ impl Simulation {
         Ok(())
     }
 
+    /// The post-run Construction-2 probe: shares a few CP-ABE puzzles,
+    /// then drives `cfg.c2_probe` `Verify → Access` cycles against them
+    /// with Zipfian puzzle choice — the workload whose repeated
+    /// decryptions of a hot puzzle the Miller line-evaluation cache is
+    /// built for. Sequential and seeded from its own stream, so the
+    /// decision log stays thread-count independent; every granted access
+    /// must recover the exact object bytes, every fifth access answers
+    /// below threshold and must be denied.
+    fn c2_probe(&mut self) -> Result<(), String> {
+        let n = self.cfg.c2_probe;
+        if n == 0 || self.joined == 0 {
+            return Ok(());
+        }
+        let c2 = Construction2::insecure_test_params();
+        let mut rng = self.split.stream("c2-probe");
+        let before = CryptoCounters::snapshot_process();
+
+        let mut puzzles = Vec::with_capacity(C2_PROBE_PUZZLES);
+        for i in 0..C2_PROBE_PUZZLES {
+            let sharer = self.zipf_user(&mut rng);
+            let mut builder = Context::builder();
+            for j in 0..3 {
+                builder = builder.pair(format!("c2q{i}-{j}?"), format!("c2a{i}-{j}"));
+            }
+            let context = builder.build().map_err(|e| format!("c2 probe context: {e}"))?;
+            let object = format!("c2-obj-{i}").into_bytes();
+            let report = self
+                .app
+                .share_c2(&c2, sharer, &object, &context, 2, &DeviceProfile::pc(), &mut rng)
+                .map_err(|e| format!("c2 probe share: {e}"))?;
+            puzzles.push((report, context, object));
+        }
+
+        for ev in 0..n {
+            #[allow(clippy::cast_possible_truncation)]
+            let idx = self.zipf_index(puzzles.len() as u64, &mut rng) as usize;
+            let (report, context, object) = &puzzles[idx];
+            let deny = ev % 5 == 4;
+            let reader = self.zipf_user(&mut rng);
+            let answerer = |q: &str| -> Option<String> {
+                let pos = context.pairs().iter().position(|p| p.question() == q)?;
+                if deny && pos > 0 {
+                    // Withhold all but the first answer: 1 < k = 2.
+                    return None;
+                }
+                Some(context.pairs()[pos].answer().to_string())
+            };
+            let result =
+                self.app.receive_c2(&c2, reader, report, answerer, &DeviceProfile::pc(), &mut rng);
+            match (deny, result) {
+                (false, Ok(recv)) => {
+                    if recv.object != *object {
+                        return Err(format!("c2 probe {ev}: granted the wrong object bytes"));
+                    }
+                }
+                (true, Err(SocialPuzzleError::NotEnoughCorrectAnswers)) => {
+                    self.stats.c2_probe_denials += 1;
+                }
+                (d, r) => {
+                    return Err(format!(
+                        "c2 probe {ev}: deny={d} but outcome was {:?}",
+                        r.map(|recv| recv.object.len())
+                    ));
+                }
+            }
+            self.stats.c2_probes += 1;
+            self.log.record(&[ev, K_C2PROBE, idx as u64, u64::from(!deny)]);
+        }
+
+        let after = CryptoCounters::snapshot_process();
+        self.c2_cache_traffic = (
+            after.line_cache_hits - before.line_cache_hits,
+            after.line_cache_misses - before.line_cache_misses,
+        );
+        Ok(())
+    }
+
     fn into_report(mut self, elapsed: Duration) -> SimReport {
         self.latencies.sort_unstable();
         let pct = |p: f64| -> f64 {
@@ -803,6 +911,8 @@ impl Simulation {
             decisions_per_s: decisions as f64 / elapsed_s,
             p50_us: pct(0.50),
             p99_us: pct(0.99),
+            c2_cache_hits: self.c2_cache_traffic.0,
+            c2_cache_misses: self.c2_cache_traffic.1,
         }
     }
 }
@@ -823,6 +933,7 @@ pub fn run(cfg: &SimConfig) -> Result<SimReport, String> {
     for t in 0..cfg.ticks as usize {
         sim.tick(t as u64, joins[t], alloc[t])?;
     }
+    sim.c2_probe()?;
     Ok(sim.into_report(start.elapsed()))
 }
 
@@ -903,5 +1014,40 @@ mod tests {
         assert_eq!(report.decisions, c.grants + c.denials);
         assert!(report.log_entries > 0);
         assert_eq!(report.hash_hex(), format!("{:016x}", report.log_hash));
+    }
+
+    #[test]
+    fn c2_probe_hits_the_line_cache() {
+        let cfg = small();
+        let report = run(&cfg).expect("run");
+        let c = report.counters;
+        assert_eq!(c.c2_probes, cfg.c2_probe, "probe did not run to completion: {c:?}");
+        assert!(c.c2_probe_denials > 0, "below-threshold probes never denied: {c:?}");
+        // Every probe decrypt pairs against the same small puzzle set, so
+        // after the first (cold) pass the line cache must be serving hits.
+        // Counter deltas are measured around the probe but the counters are
+        // process-global, so concurrent tests can only inflate them — a
+        // lower bound is the strongest safe assertion.
+        assert!(report.c2_cache_misses > 0, "probe never exercised the pairing path");
+        assert!(
+            report.c2_cache_hits > report.c2_cache_misses,
+            "Zipfian probe should be hit-dominated: {} hits / {} misses",
+            report.c2_cache_hits,
+            report.c2_cache_misses
+        );
+        assert!(report.c2_cache_hit_rate() > 0.0);
+
+        // The probe is seeded and sequential: reruns agree exactly.
+        let again = run(&cfg).expect("rerun");
+        assert_eq!(again.counters.c2_probes, c.c2_probes);
+        assert_eq!(again.counters.c2_probe_denials, c.c2_probe_denials);
+    }
+
+    #[test]
+    fn c2_probe_can_be_disabled() {
+        let report = run(&SimConfig { c2_probe: 0, ..small() }).expect("run");
+        assert_eq!(report.counters.c2_probes, 0);
+        assert_eq!(report.c2_cache_hits, 0);
+        assert_eq!(report.c2_cache_misses, 0);
     }
 }

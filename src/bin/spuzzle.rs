@@ -339,6 +339,7 @@ fn cmd_serve(args: &[String], role: Role) -> Result<(), String> {
         },
     }
     daemon.shutdown();
+    metrics.sync_crypto();
     print!("{metrics}");
     Ok(())
 }
@@ -513,6 +514,14 @@ fn cmd_load(args: &[String]) -> Result<(), String> {
     );
     report("share  ", &mut all.share);
     report("receive", &mut all.receive);
+    let crypto = social_puzzles_core::metrics::CryptoCounters::snapshot_process();
+    println!(
+        "crypto: {} line-cache hits, {} misses ({:.1}% hit rate), {} cyclotomic pow",
+        crypto.line_cache_hits,
+        crypto.line_cache_misses,
+        crypto.line_cache_hit_rate() * 100.0,
+        crypto.cyclotomic_pow,
+    );
     Ok(())
 }
 
@@ -763,7 +772,21 @@ fn cmd_sim(args: &[String]) -> Result<(), String> {
          p50 {:.1}µs p99 {:.1}µs",
         c.tuple_grants, c.tuple_revokes, c.revocation_flips, c.oracle_checks, r.p50_us, r.p99_us,
     );
+    println!(
+        "     c2-probes {} (denied {}) line-cache {} hits / {} misses ({:.1}% hit rate)",
+        c.c2_probes,
+        c.c2_probe_denials,
+        r.c2_cache_hits,
+        r.c2_cache_misses,
+        r.c2_cache_hit_rate() * 100.0,
+    );
     println!("decision_log_hash={} entries={}", r.hash_hex(), r.log_entries);
+    println!(
+        "crypto_cache_hits={} crypto_cache_misses={} crypto_cache_hit_rate={:.4}",
+        r.c2_cache_hits,
+        r.c2_cache_misses,
+        r.c2_cache_hit_rate(),
+    );
     Ok(())
 }
 
