@@ -22,6 +22,15 @@
 //! [`NetBenchConfig::link_delay`] later. That is pure added latency
 //! (any amount of data may be in flight), exactly what a WAN adds and
 //! exactly what a serialized request/response client cannot hide.
+//!
+//! The v3 schema adds the **cluster scaling sweep**: the same depth-64
+//! `Verify` workload driven through a routed [`ClusterClient`] against
+//! 1, 2, and 3 sharded SP daemons behind a consistent-hash ring, each
+//! node fronted by its own delay link and reached over a small fixed
+//! pipelined window — the per-node ceiling is the connection's
+//! bandwidth-delay product, so added nodes add pipes. The committed
+//! full report must show ≥ [`CLUSTER_SCALING_FLOOR`]× aggregate
+//! throughput at 3 nodes.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
@@ -39,8 +48,8 @@ use sp_net::{
     dedup::wrap_idempotent,
     frame::{read_frame, read_frame_v2, write_frame, write_frame_v2},
     msg::{decode_response, hello_frame, is_hello_ack, SpRequest},
-    ClientConfig, Daemon, DaemonConfig, PipelineConfig, ServingModel, SpClient, SpService,
-    DEFAULT_MAX_FRAME,
+    ClientConfig, ClusterClient, Daemon, DaemonConfig, HashRing, PipelineConfig, Service,
+    ServingModel, SpClient, SpService, DEFAULT_MAX_FRAME, DEFAULT_VNODES,
 };
 use sp_osn::{ProviderApi, PuzzleId, ServiceProvider, Url, UserId};
 
@@ -48,8 +57,14 @@ use crate::workload::{paper_context, PAPER_K};
 
 /// Schema tag written into (and required from) `BENCH_net.json`. v2
 /// added client-observed latency percentiles on every entry and the
-/// reactor connection-scaling sweep.
-pub const NET_BENCH_SCHEMA: &str = "sp-bench/net/v2";
+/// reactor connection-scaling sweep; v3 added the cluster scaling sweep
+/// (aggregate depth-64 `Verify` throughput at 1/2/3 sharded nodes).
+pub const NET_BENCH_SCHEMA: &str = "sp-bench/net/v3";
+
+/// Aggregate 3-node throughput must reach this multiple of the 1-node
+/// figure in a full (non-quick) report — the scale-out floor
+/// `--check-bench-net-json` enforces on the committed document.
+pub const CLUSTER_SCALING_FLOOR: f64 = 2.5;
 
 /// The RPCs every report must cover.
 pub const NET_BENCH_OPS: [&str; 3] = ["verify", "display_puzzle", "answer_puzzle_batch"];
@@ -77,6 +92,20 @@ pub struct NetBenchConfig {
     pub connections: Vec<usize>,
     /// Pipeline depth the scaling sweep's active client runs at.
     pub conn_depth: usize,
+    /// Node counts for the cluster scaling sweep (empty disables it).
+    pub cluster_nodes: Vec<usize>,
+    /// Client threads driving the routed cluster closed loop.
+    pub cluster_depth: usize,
+    /// Pipelined in-flight window per node connection. Together with
+    /// the delay link this sets the per-node ceiling at roughly
+    /// `window / RTT` (the connection's bandwidth-delay product), so
+    /// the sweep measures scale-out of per-node pipes rather than raw
+    /// host CPU — and stays meaningful on a single-core CI box, where
+    /// N daemons can never show true compute parallelism.
+    pub cluster_window: usize,
+    /// Pre-published puzzles the cluster sweep's `Verify` traffic is
+    /// spread over (their ring keys scatter the load across nodes).
+    pub cluster_puzzles: usize,
     /// Whether this is the reduced CI sweep.
     pub quick: bool,
 }
@@ -93,6 +122,10 @@ impl Default for NetBenchConfig {
             min_ops: 50,
             connections: vec![64, 1_000, 10_000],
             conn_depth: 64,
+            cluster_nodes: vec![1, 2, 3],
+            cluster_depth: 64,
+            cluster_window: 4,
+            cluster_puzzles: 48,
             quick: false,
         }
     }
@@ -109,6 +142,8 @@ impl NetBenchConfig {
             min_time: Duration::from_millis(60),
             min_ops: 10,
             connections: vec![64, 256],
+            cluster_nodes: vec![1, 3],
+            cluster_puzzles: 12,
             quick: true,
             ..Self::default()
         }
@@ -149,6 +184,25 @@ pub struct ConnScaleEntry {
     pub p99_ms: f64,
 }
 
+/// One tier of the cluster scaling sweep: aggregate `Verify` throughput
+/// through a routed [`ClusterClient`] over `nodes` sharded SP daemons,
+/// each restricted to one compute worker so scale-out — not a wider
+/// pool — is what the ratio measures.
+#[derive(Clone, Debug)]
+pub struct ClusterScaleEntry {
+    /// Cluster members behind the consistent-hash ring.
+    pub nodes: usize,
+    /// Concurrent client threads driving the routed closed loop.
+    pub depth: usize,
+    /// Completed `Verify` requests per second, aggregated over the
+    /// whole cluster.
+    pub ops_per_s: f64,
+    /// Median client-observed latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile client-observed latency, milliseconds.
+    pub p99_ms: f64,
+}
+
 /// A full sweep, ready to serialize.
 #[derive(Clone, Debug)]
 pub struct NetBenchReport {
@@ -162,6 +216,10 @@ pub struct NetBenchReport {
     pub entries: Vec<NetBenchEntry>,
     /// The reactor connection-scaling tiers, in sweep order.
     pub conn_scale: Vec<ConnScaleEntry>,
+    /// The cluster scaling tiers, in sweep order.
+    pub cluster: Vec<ClusterScaleEntry>,
+    /// Per-node pipelined window the cluster sweep ran with.
+    pub cluster_window: usize,
 }
 
 impl NetBenchReport {
@@ -173,6 +231,14 @@ impl NetBenchReport {
     /// Throughput of `entry` relative to the op's depth-1 v1 baseline.
     pub fn speedup_vs_v1(&self, entry: &NetBenchEntry) -> f64 {
         match self.entry(entry.op, "v1", 1) {
+            Some(base) if base.ops_per_s > 0.0 => entry.ops_per_s / base.ops_per_s,
+            _ => 0.0,
+        }
+    }
+
+    /// Throughput of a cluster tier relative to the 1-node tier.
+    pub fn speedup_vs_1node(&self, entry: &ClusterScaleEntry) -> f64 {
+        match self.cluster.iter().find(|e| e.nodes == 1) {
             Some(base) if base.ops_per_s > 0.0 => entry.ops_per_s / base.ops_per_s,
             _ => 0.0,
         }
@@ -595,6 +661,109 @@ fn conn_scale_sweep(cfg: &NetBenchConfig) -> Vec<ConnScaleEntry> {
     entries
 }
 
+/// One cluster-sweep member: daemon, its delay link, and the service
+/// handle used to install the ring.
+struct ClusterMember {
+    daemon: Daemon,
+    link: Option<DelayLink>,
+    service: Arc<SpService<ServiceProvider>>,
+}
+
+impl ClusterMember {
+    /// The address this member advertises in the ring: the delay link
+    /// if one is up, so routed traffic pays the toll.
+    fn advertise(&self) -> SocketAddr {
+        self.link.as_ref().map_or_else(|| self.daemon.addr(), |l| l.addr)
+    }
+}
+
+/// The cluster scaling sweep: for each node count, boots that many
+/// clustered SP daemons behind a shared consistent-hash ring — each
+/// fronted by its own delay link — pre-publishes
+/// [`NetBenchConfig::cluster_puzzles`] paper-shaped puzzles whose ring
+/// keys scatter them across the members, then drives depth-many
+/// concurrent `Verify` threads through a routed [`ClusterClient`]
+/// holding a [`NetBenchConfig::cluster_window`]-deep pipelined
+/// connection per node. The per-node ceiling is that connection's
+/// bandwidth-delay product (`window / RTT`), so every added node adds
+/// its own pipe and the aggregate scales near-linearly — the
+/// `speedup_vs_1node` column — independent of how many host cores the
+/// daemons happen to share.
+fn cluster_sweep(cfg: &NetBenchConfig) -> Vec<ClusterScaleEntry> {
+    let depth = cfg.cluster_depth.max(1);
+    let window = cfg.cluster_window.max(1);
+    let mut entries = Vec::new();
+    for &nodes in &cfg.cluster_nodes {
+        let members: Vec<ClusterMember> = (0..nodes.max(1))
+            .map(|_| {
+                let service =
+                    Arc::new(SpService::new(ServiceProvider::new(), Construction1::new()));
+                let daemon = Daemon::spawn(
+                    "127.0.0.1:0",
+                    Arc::clone(&service) as Arc<dyn Service>,
+                    DaemonConfig {
+                        workers: 1,
+                        queue_depth: (depth * 2).max(64),
+                        ..DaemonConfig::default()
+                    },
+                )
+                .expect("bind cluster member");
+                let link = (!cfg.link_delay.is_zero())
+                    .then(|| DelayLink::spawn(daemon.addr(), cfg.link_delay));
+                ClusterMember { daemon, link, service }
+            })
+            .collect();
+        let ring = HashRing::new(
+            1,
+            members.iter().map(ClusterMember::advertise).collect(),
+            DEFAULT_VNODES,
+        );
+        for m in &members {
+            m.service.enable_cluster(m.advertise(), ring.clone());
+        }
+        let client =
+            ClusterClient::connect(ring, PipelineConfig { depth: window, client: client_cfg() });
+
+        // One paper-shaped puzzle record, published under many URLs:
+        // distinct ring keys spread ownership over the members while the
+        // known-good response stays cheap to prepare.
+        let c1 = Construction1::new();
+        let mut rng = StdRng::seed_from_u64(2014);
+        let ctx = paper_context(cfg.n, &mut rng);
+        let upload = c1
+            .upload_to(b"bench object", &ctx, PAPER_K, Url::from("dh://bench/0"), None, &mut rng)
+            .expect("upload");
+        let record = Bytes::from(upload.puzzle.to_bytes());
+        let work: Vec<(PuzzleId, PuzzleResponse)> = (0..cfg.cluster_puzzles.max(1))
+            .map(|i| {
+                let url = Url::from(format!("dh://bench/cluster/{i}").as_str());
+                let id = client.publish(&url, record.clone()).expect("routed publish");
+                let displayed = client.display_puzzle(id).expect("routed display");
+                let answers = displayed.answer(|q| ctx.answer_for(q).map(str::to_owned));
+                (id, c1.answer_puzzle(&displayed, &answers))
+            })
+            .collect();
+
+        let m = throughput(depth, cfg.min_time, cfg.min_ops, |t| {
+            let (id, response) = &work[t % work.len()];
+            client.verify(UserId::from_raw(t as u64), *id, response).expect("cluster verify");
+        });
+        entries.push(ClusterScaleEntry {
+            nodes: nodes.max(1),
+            depth,
+            ops_per_s: m.ops_per_s,
+            p50_ms: m.p50_ms,
+            p99_ms: m.p99_ms,
+        });
+        drop(client);
+        for member in members {
+            drop(member.link);
+            member.daemon.shutdown();
+        }
+    }
+    entries
+}
+
 /// Runs the full serving-path sweep against a freshly booted daemon.
 pub fn run(cfg: &NetBenchConfig) -> NetBenchReport {
     let rig = Rig::boot(cfg);
@@ -618,12 +787,15 @@ pub fn run(cfg: &NetBenchConfig) -> NetBenchReport {
     rig.daemon.shutdown();
 
     let conn_scale = conn_scale_sweep(cfg);
+    let cluster = cluster_sweep(cfg);
     NetBenchReport {
         quick: cfg.quick,
         compute_threads: cfg.compute_threads.max(1),
         link_delay_ms,
         entries,
         conn_scale,
+        cluster,
+        cluster_window: cfg.cluster_window.max(1),
     }
 }
 
@@ -707,6 +879,23 @@ pub fn to_json(report: &NetBenchReport) -> String {
             if i + 1 == report.conn_scale.len() { "" } else { "," },
         ));
     }
+    out.push_str("    ]\n  },\n");
+    out.push_str("  \"cluster\": {\n");
+    out.push_str("    \"workers_per_node\": 1,\n");
+    out.push_str(&format!("    \"window_per_node\": {},\n", report.cluster_window));
+    out.push_str("    \"entries\": [\n");
+    for (i, e) in report.cluster.iter().enumerate() {
+        out.push_str(&format!(
+            "      {{\"nodes\": {}, \"depth\": {}, \"ops_per_s\": {}, \"p50_ms\": {}, \"p99_ms\": {}, \"speedup_vs_1node\": {}}}{}\n",
+            e.nodes,
+            e.depth,
+            num(e.ops_per_s),
+            num(e.p50_ms),
+            num(e.p99_ms),
+            num(report.speedup_vs_1node(e)),
+            if i + 1 == report.cluster.len() { "" } else { "," },
+        ));
+    }
     out.push_str("    ]\n  }\n}\n");
     out
 }
@@ -751,14 +940,38 @@ pub fn render(report: &NetBenchReport) -> String {
             ));
         }
     }
+    if !report.cluster.is_empty() {
+        out.push_str(&format!(
+            "\ncluster scaling: aggregate verify through a routed client, window {} per node \
+             over the delay link\n",
+            report.cluster_window
+        ));
+        out.push_str(&format!(
+            "{:<6} {:>6} {:>12} {:>9} {:>9} {:>12}\n",
+            "nodes", "depth", "req/s", "p50 ms", "p99 ms", "vs 1 node"
+        ));
+        for e in &report.cluster {
+            out.push_str(&format!(
+                "{:<6} {:>6} {:>12.1} {:>9.2} {:>9.2} {:>11.2}x\n",
+                e.nodes,
+                e.depth,
+                e.ops_per_s,
+                e.p50_ms,
+                e.p99_ms,
+                report.speedup_vs_1node(e)
+            ));
+        }
+    }
     out
 }
 
 /// Validates a `BENCH_net.json` document: syntactically well-formed
 /// JSON, the right schema tag, both transports present, at least one
-/// entry per RPC with all fields (latency percentiles included), and
-/// the reactor connection-scaling section. Returns a description of the
-/// first problem.
+/// entry per RPC with all fields (latency percentiles included), the
+/// reactor connection-scaling section, and the cluster scaling section.
+/// Full (non-quick) reports must additionally show a 3-node tier
+/// reaching [`CLUSTER_SCALING_FLOOR`] over the 1-node tier. Returns a
+/// description of the first problem.
 pub fn validate_json(doc: &str) -> Result<(), String> {
     crate::json_check::check_syntax(doc)?;
     if !doc.contains(&format!("\"schema\": \"{NET_BENCH_SCHEMA}\"")) {
@@ -794,7 +1007,32 @@ pub fn validate_json(doc: &str) -> Result<(), String> {
             return Err(format!("missing the {field} field"));
         }
     }
+    if !doc.contains("\"cluster\":") || !doc.contains("\"nodes\": 1") {
+        return Err("missing the cluster sweep (needs at least the 1-node tier)".into());
+    }
+    if !doc.contains("\"speedup_vs_1node\":") {
+        return Err("missing the speedup_vs_1node field".into());
+    }
+    // Full runs are the committed acceptance numbers: the 3-node tier
+    // must exist and actually scale.
+    if doc.contains("\"quick\": false") {
+        let speedup =
+            cluster_speedup(doc, 3).ok_or("full report lacks a parseable 3-node cluster tier")?;
+        if speedup < CLUSTER_SCALING_FLOOR {
+            return Err(format!(
+                "3-node cluster speedup {speedup:.2}x is below the {CLUSTER_SCALING_FLOOR}x floor"
+            ));
+        }
+    }
     Ok(())
+}
+
+/// Extracts `speedup_vs_1node` from the cluster tier for `nodes`, if
+/// the document has one.
+fn cluster_speedup(doc: &str, nodes: usize) -> Option<f64> {
+    let row = doc.lines().find(|l| l.contains(&format!("\"nodes\": {nodes},")))?;
+    let rest = row.split("\"speedup_vs_1node\":").nth(1)?;
+    rest.trim().trim_end_matches(['}', ',', ' ']).trim().parse().ok()
 }
 
 #[cfg(test)]
@@ -812,6 +1050,10 @@ mod tests {
             min_ops: 2,
             connections: vec![8],
             conn_depth: 4,
+            cluster_nodes: vec![1, 2],
+            cluster_depth: 4,
+            cluster_window: 2,
+            cluster_puzzles: 3,
             quick: true,
         }
     }
@@ -831,6 +1073,14 @@ mod tests {
         let tier = &report.conn_scale[0];
         assert_eq!((tier.connections, tier.depth), (8, 4));
         assert!(tier.ops_per_s > 0.0 && tier.p99_ms >= tier.p50_ms, "bogus tier: {tier:?}");
+        assert_eq!(report.cluster.len(), 2, "two cluster tiers configured");
+        for tier in &report.cluster {
+            assert!(tier.ops_per_s > 0.0, "bogus cluster tier: {tier:?}");
+        }
+        assert!(
+            (report.speedup_vs_1node(&report.cluster[0]) - 1.0).abs() < 1e-9,
+            "the 1-node tier is its own baseline"
+        );
         let json = to_json(&report);
         validate_json(&json).expect("emitted document validates");
         let table = render(&report);
@@ -885,11 +1135,13 @@ mod tests {
                 p50_ms: 4.0,
                 p99_ms: 11.0,
             }],
+            cluster: cluster_tiers(3.1),
+            cluster_window: 4,
         };
         let json = to_json(&report);
         validate_json(&json).unwrap();
         assert!(validate_json(&json[..json.len() - 4]).is_err(), "truncated");
-        assert!(validate_json(&json.replace("net/v2", "net/v9")).is_err(), "wrong schema");
+        assert!(validate_json(&json.replace("net/v3", "net/v9")).is_err(), "wrong schema");
         assert!(validate_json(&json.replace("\"verify\"", "\"vrfy\"")).is_err(), "missing op");
         assert!(
             validate_json(&json.replace("\"mode\": \"v1\"", "\"mode\": \"vX\"")).is_err(),
@@ -903,7 +1155,66 @@ mod tests {
             validate_json(&json.replace("\"p99_ms\"", "\"p98_ms\"")).is_err(),
             "missing percentile column"
         );
+        assert!(
+            validate_json(&json.replace("\"speedup_vs_1node\"", "\"x\"")).is_err(),
+            "missing cluster speedup column"
+        );
         assert!(validate_json("not json").is_err());
+    }
+
+    fn cluster_tiers(three_node_ops: f64) -> Vec<ClusterScaleEntry> {
+        [1.0, three_node_ops]
+            .iter()
+            .zip([1usize, 3])
+            .map(|(&ops, nodes)| ClusterScaleEntry {
+                nodes,
+                depth: 64,
+                ops_per_s: 100.0 * ops,
+                p50_ms: 3.0,
+                p99_ms: 9.0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn full_reports_must_meet_the_cluster_scaling_floor() {
+        let mut report = NetBenchReport {
+            quick: false,
+            compute_threads: 4,
+            link_delay_ms: 1.0,
+            entries: vec![
+                entry("verify", "v1", 1, 10.0),
+                entry("verify", "v2", 64, 40.0),
+                entry("display_puzzle", "v1", 1, 10.0),
+                entry("display_puzzle", "v2", 64, 40.0),
+                entry("answer_puzzle_batch", "v1", 1, 5.0),
+                entry("answer_puzzle_batch", "v2", 64, 20.0),
+            ],
+            conn_scale: vec![ConnScaleEntry {
+                connections: 64,
+                depth: 64,
+                ops_per_s: 9_000.0,
+                p50_ms: 4.0,
+                p99_ms: 11.0,
+            }],
+            cluster: cluster_tiers(2.8),
+            cluster_window: 4,
+        };
+        validate_json(&to_json(&report)).expect("2.8x clears the 2.5x floor");
+
+        report.cluster = cluster_tiers(1.4);
+        let err = validate_json(&to_json(&report)).unwrap_err();
+        assert!(err.contains("below"), "floor violation must name the ratio: {err}");
+
+        // A quick run with the same weak scaling still validates — the
+        // floor binds only the committed full report.
+        report.quick = true;
+        validate_json(&to_json(&report)).expect("quick reports are exempt from the floor");
+
+        // A full report with no 3-node tier at all is rejected.
+        report.quick = false;
+        report.cluster.truncate(1);
+        assert!(validate_json(&to_json(&report)).is_err(), "full report needs the 3-node tier");
     }
 
     #[test]
@@ -914,6 +1225,8 @@ mod tests {
             link_delay_ms: 1.0,
             entries: vec![entry("verify", "v1", 1, 10.0), entry("verify", "v2", 16, 35.0)],
             conn_scale: Vec::new(),
+            cluster: Vec::new(),
+            cluster_window: 4,
         };
         let e = report.entry("verify", "v2", 16).unwrap();
         assert!((report.speedup_vs_v1(e) - 3.5).abs() < 1e-12);

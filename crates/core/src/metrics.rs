@@ -258,6 +258,33 @@ pub struct ServerCounters {
     /// Connections refused at accept time by overload shedding (beyond
     /// `max_connections`), before any frame was read.
     pub accept_shed: u64,
+    /// The consistent-hash ring epoch this node currently serves (gauge;
+    /// 0 when the node is not clustered).
+    pub ring_epoch: u64,
+    /// Keyed requests refused with `WrongOwner` because the ring places
+    /// them on another node.
+    pub wrong_owner_refusals: u64,
+    /// Replication-log records this node shipped to its replica
+    /// (primary side).
+    pub repl_records_shipped: u64,
+    /// Replication-log records this node applied from its primary
+    /// (replica side).
+    pub repl_records_applied: u64,
+    /// Highest replication sequence number acknowledged as durable by
+    /// the replica (gauge; primary side).
+    pub repl_acked_seq: u64,
+}
+
+impl ServerCounters {
+    /// Whether any cluster-facing counter has fired — the Display
+    /// impl only prints the cluster line for nodes that are clustered.
+    pub fn is_clustered(&self) -> bool {
+        self.ring_epoch != 0
+            || self.wrong_owner_refusals != 0
+            || self.repl_records_shipped != 0
+            || self.repl_records_applied != 0
+            || self.repl_acked_seq != 0
+    }
 }
 
 /// Durability counters for one persistent store component (e.g.
@@ -444,6 +471,41 @@ impl ServiceMetrics {
         self.with(|st| st.servers.entry(component.to_owned()).or_default().accept_shed += 1);
     }
 
+    /// Sets the consistent-hash ring epoch gauge for a clustered node.
+    pub fn server_ring_epoch(&self, component: &str, epoch: u64) {
+        self.with(|st| st.servers.entry(component.to_owned()).or_default().ring_epoch = epoch);
+    }
+
+    /// Records one keyed request refused with `WrongOwner`.
+    pub fn server_wrong_owner(&self, component: &str) {
+        self.with(|st| {
+            st.servers.entry(component.to_owned()).or_default().wrong_owner_refusals += 1
+        });
+    }
+
+    /// Records `n` replication records shipped to the replica.
+    pub fn server_repl_shipped(&self, component: &str, n: u64) {
+        self.with(|st| {
+            st.servers.entry(component.to_owned()).or_default().repl_records_shipped += n
+        });
+    }
+
+    /// Records `n` replication records applied from the primary.
+    pub fn server_repl_applied(&self, component: &str, n: u64) {
+        self.with(|st| {
+            st.servers.entry(component.to_owned()).or_default().repl_records_applied += n
+        });
+    }
+
+    /// Sets the replica-acknowledged sequence gauge (monotonic: an older
+    /// in-flight ack can never move it backwards).
+    pub fn server_repl_acked(&self, component: &str, seq: u64) {
+        self.with(|st| {
+            let c = st.servers.entry(component.to_owned()).or_default();
+            c.repl_acked_seq = c.repl_acked_seq.max(seq);
+        });
+    }
+
     /// Counters for one server component (zeros if never seen).
     pub fn server(&self, component: &str) -> ServerCounters {
         self.with(|st| st.servers.get(component).copied().unwrap_or_default())
@@ -556,6 +618,18 @@ impl fmt::Display for ServiceMetrics {
                 c.partial_writes,
                 c.idle_reaped
             )?;
+            if c.is_clustered() {
+                writeln!(
+                    f,
+                    "{name} cluster: ring epoch {}, {} wrong-owner, \
+                     repl {} shipped / {} applied, acked seq {}",
+                    c.ring_epoch,
+                    c.wrong_owner_refusals,
+                    c.repl_records_shipped,
+                    c.repl_records_applied,
+                    c.repl_acked_seq
+                )?;
+            }
         }
         let stores = self.with(|st| st.stores.clone());
         for (name, c) in stores {
@@ -737,6 +811,31 @@ mod tests {
         let shown = m.to_string();
         assert!(shown.contains("sp.server server: 2 accepted (2 v2, 1 busy, 0 shed)"));
         assert!(shown.contains("1 out-of-order"));
+        assert!(!shown.contains("cluster:"), "non-clustered nodes print no cluster line");
+    }
+
+    #[test]
+    fn cluster_counters_track_routing_and_replication() {
+        let m = ServiceMetrics::new();
+        assert!(!m.server("sp.server").is_clustered());
+        m.server_ring_epoch("sp.server", 3);
+        m.server_wrong_owner("sp.server");
+        m.server_wrong_owner("sp.server");
+        m.server_repl_shipped("sp.server", 10);
+        m.server_repl_applied("sp.server", 4);
+        m.server_repl_acked("sp.server", 7);
+        // A stale in-flight ack never regresses the gauge.
+        m.server_repl_acked("sp.server", 5);
+        let c = m.server("sp.server");
+        assert!(c.is_clustered());
+        assert_eq!(c.ring_epoch, 3);
+        assert_eq!(c.wrong_owner_refusals, 2);
+        assert_eq!(c.repl_records_shipped, 10);
+        assert_eq!(c.repl_records_applied, 4);
+        assert_eq!(c.repl_acked_seq, 7);
+        let shown = m.to_string();
+        assert!(shown.contains("sp.server cluster: ring epoch 3, 2 wrong-owner"));
+        assert!(shown.contains("repl 10 shipped / 4 applied, acked seq 7"));
     }
 
     #[test]

@@ -34,6 +34,11 @@ pub enum ErrorCode {
     Busy,
     /// The request frame exceeded the server's maximum frame size.
     FrameTooLarge,
+    /// A clustered node refused a keyed request it does not own. The
+    /// detail string is machine-parseable: `epoch={e} owner={addr}`
+    /// (owner is `none` when the node's ring is empty). See
+    /// [`crate::cluster`] for the redirect protocol.
+    WrongOwner,
 }
 
 impl ErrorCode {
@@ -50,6 +55,7 @@ impl ErrorCode {
             Self::Internal => 8,
             Self::Busy => 9,
             Self::FrameTooLarge => 10,
+            Self::WrongOwner => 11,
         }
     }
 
@@ -66,6 +72,7 @@ impl ErrorCode {
             7 => Self::BadRequest,
             9 => Self::Busy,
             10 => Self::FrameTooLarge,
+            11 => Self::WrongOwner,
             _ => Self::Internal,
         }
     }
@@ -84,6 +91,7 @@ impl fmt::Display for ErrorCode {
             Self::Internal => "internal server error",
             Self::Busy => "server busy",
             Self::FrameTooLarge => "frame too large",
+            Self::WrongOwner => "wrong owner for key",
         };
         f.write_str(s)
     }
@@ -208,6 +216,7 @@ mod tests {
             ErrorCode::Internal,
             ErrorCode::Busy,
             ErrorCode::FrameTooLarge,
+            ErrorCode::WrongOwner,
         ] {
             assert_eq!(ErrorCode::from_u8(code.as_u8()), code);
             assert!(!code.to_string().is_empty());

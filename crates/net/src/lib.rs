@@ -84,6 +84,7 @@
 //! ```
 
 pub mod client;
+pub mod cluster;
 pub mod codec;
 pub mod daemon;
 pub mod dedup;
@@ -95,11 +96,13 @@ pub mod pipeline;
 pub mod pool;
 #[cfg(target_os = "linux")]
 pub(crate) mod reactor;
+pub mod ring;
 pub mod sp;
 #[cfg(target_os = "linux")]
 pub mod sys;
 
 pub use client::{ClientConfig, Connection};
+pub use cluster::{ClusterClient, ClusterClientStats, RebalanceStats, Replicator};
 pub use daemon::{Daemon, DaemonConfig, Service, ServingModel};
 pub use dedup::{DedupService, ReplayCache};
 pub use dh::{DhClient, DhService};
@@ -107,4 +110,5 @@ pub use error::{ErrorCode, NetError};
 pub use frame::{DEFAULT_MAX_FRAME, FRAME_HEADER_LEN, FRAME_V2_HEADER_LEN};
 pub use pipeline::{PipelineConfig, PipelinedConnection, Transport};
 pub use pool::{BufferPool, PooledBuf, DEFAULT_POOL_CAP};
+pub use ring::{key_for_url, parse_ring_spec, HashRing, DEFAULT_VNODES};
 pub use sp::{SpClient, SpService};

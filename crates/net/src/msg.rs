@@ -150,6 +150,40 @@ pub enum SpRequest {
         /// The answer-sets to verify.
         responses: Vec<PuzzleResponse>,
     },
+    /// `PublishAt`: store a puzzle record under a **caller-derived** id.
+    /// In cluster mode the id is [`crate::ring::key_for_url`]`(URL_O)`,
+    /// which makes every later request self-routing; plain `Upload`
+    /// (server-assigned ids) is rejected on clustered nodes. Also the
+    /// write half of key migration during a rebalance. Response: the id
+    /// `u64`, echoed.
+    PublishAt {
+        /// Caller-derived raw puzzle id (the ring key).
+        puzzle: u64,
+        /// The serialized puzzle record.
+        record: Vec<u8>,
+    },
+    /// Fetch the node's current ring (cluster clients refresh from this
+    /// after a [`ErrorCode::WrongOwner`] redirect). Response: an encoded
+    /// [`crate::ring::HashRing`].
+    RingGet,
+    /// Install a ring. A node accepts only epochs strictly above its
+    /// current one, so stale installs and duplicate retries are no-ops.
+    /// Response: the node's ring epoch after the call, `u64`.
+    RingSet {
+        /// An encoded [`crate::ring::HashRing`].
+        ring: Vec<u8>,
+    },
+    /// Replication: apply a batch of CRC-framed WAL records (the PR 6
+    /// on-disk frame format, verbatim) starting right after the
+    /// replica's durable watermark. Response: the replica's new durable
+    /// watermark `u64` — the ack the primary advances on.
+    Replicate {
+        /// Concatenated WAL frames, contiguous ascending seqs.
+        frames: Vec<u8>,
+    },
+    /// Replication status probe. Response: the node's durable WAL
+    /// watermark `u64` (0 for a non-durable backend).
+    ReplStatus,
 }
 
 const SP_UPLOAD: u8 = 0x01;
@@ -163,6 +197,11 @@ const SP_VERIFY: u8 = 0x08;
 const SP_ACCESS: u8 = 0x09;
 const SP_VERIFY_BATCH: u8 = 0x0A;
 const SP_ANSWER_BATCH: u8 = 0x0B;
+const SP_PUBLISH_AT: u8 = 0x0C;
+const SP_RING_GET: u8 = 0x0D;
+const SP_RING_SET: u8 = 0x0E;
+const SP_REPLICATE: u8 = 0x0F;
+const SP_REPL_STATUS: u8 = 0x10;
 
 impl SpRequest {
     /// Stable endpoint name, for metrics and logs.
@@ -179,6 +218,11 @@ impl SpRequest {
             Self::Access { .. } => "sp.access",
             Self::VerifyBatch { .. } => "sp.verify_batch",
             Self::AnswerPuzzleBatch { .. } => "sp.answer_puzzle_batch",
+            Self::PublishAt { .. } => "sp.publish_at",
+            Self::RingGet => "sp.ring_get",
+            Self::RingSet { .. } => "sp.ring_set",
+            Self::Replicate { .. } => "sp.replicate",
+            Self::ReplStatus => "sp.repl_status",
         }
     }
 
@@ -226,6 +270,21 @@ impl SpRequest {
                 for r in responses {
                     encode_puzzle_response_into(&mut w, r);
                 }
+            }
+            Self::PublishAt { puzzle, record } => {
+                w.u8(SP_PUBLISH_AT).u64(*puzzle).bytes(record);
+            }
+            Self::RingGet => {
+                w.u8(SP_RING_GET);
+            }
+            Self::RingSet { ring } => {
+                w.u8(SP_RING_SET).bytes(ring);
+            }
+            Self::Replicate { frames } => {
+                w.u8(SP_REPLICATE).bytes(frames);
+            }
+            Self::ReplStatus => {
+                w.u8(SP_REPL_STATUS);
             }
         }
         w.finish().to_vec()
@@ -279,6 +338,11 @@ impl SpRequest {
                 }
                 Self::AnswerPuzzleBatch { user, puzzle, responses }
             }
+            SP_PUBLISH_AT => Self::PublishAt { puzzle: r.u64()?, record: r.bytes()?.to_vec() },
+            SP_RING_GET => Self::RingGet,
+            SP_RING_SET => Self::RingSet { ring: r.bytes()?.to_vec() },
+            SP_REPLICATE => Self::Replicate { frames: r.bytes()?.to_vec() },
+            SP_REPL_STATUS => Self::ReplStatus,
             _ => return Err(WireError::BadLength),
         };
         r.expect_end()?;
@@ -405,7 +469,7 @@ impl DhRequest {
 // ---------------------------------------------------------------------
 
 /// First byte of the HELLO upgrade request. Deliberately outside every
-/// request tag space: SP tags are `0x01..=0x0B`, DH tags `0x01..=0x06`,
+/// request tag space: SP tags are `0x01..=0x10`, DH tags `0x01..=0x06`,
 /// and the idempotency envelope uses `0xF0` — so a v1 daemon that
 /// receives a HELLO decodes it as an unknown tag and answers
 /// [`ErrorCode::BadRequest`], which the client reads as "stay on v1".
@@ -710,6 +774,12 @@ mod tests {
                     PuzzleResponse { hashes: vec![] },
                 ],
             },
+            SpRequest::PublishAt { puzzle: 0xdead_beef, record: b"record".to_vec() },
+            SpRequest::RingGet,
+            SpRequest::RingSet { ring: vec![0, 1, 2, 3] },
+            SpRequest::Replicate { frames: vec![9; 40] },
+            SpRequest::Replicate { frames: vec![] },
+            SpRequest::ReplStatus,
         ]
     }
 

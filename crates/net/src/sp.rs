@@ -9,7 +9,7 @@
 
 use std::collections::HashMap;
 use std::net::SocketAddr;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 
 use bytes::Bytes;
 use rand::rngs::StdRng;
@@ -34,9 +34,22 @@ use crate::msg::{
     encode_displayed_puzzle, encode_verify_outcome, BatchEntryResult, SpRequest, VerifyEntry,
 };
 use crate::pipeline::{PipelineConfig, PipelinedConnection, Transport};
+use crate::ring::HashRing;
 
 /// Metrics name of the SP's parsed-puzzle memoization cache.
 const PUZZLE_CACHE: &str = "sp.puzzle_cache";
+
+/// Metrics component carrying a clustered node's routing/replication
+/// counters (`ring_epoch`, `wrong_owner_refusals`, `repl_*`).
+pub(crate) const SP_CLUSTER: &str = "sp.cluster";
+
+/// A clustered node's identity and its current view of the ring.
+struct ClusterView {
+    /// The address peers reach this node at — compared against ring
+    /// ownership to decide whether to serve or redirect a keyed request.
+    advertise: SocketAddr,
+    ring: HashRing,
+}
 
 /// The SP daemon's request handler, generic over the backend: the
 /// in-memory [`ServiceProvider`] (the default) or `sp-store`'s durable
@@ -54,6 +67,11 @@ pub struct SpService<P = ServiceProvider> {
     /// puzzle map and invalidated whenever that record is re-uploaded,
     /// replaced, or deleted through this service.
     puzzle_cache: ShardedMap<u64, Arc<Puzzle>>,
+    /// `Some` once [`SpService::enable_cluster`] ran: this node is a
+    /// cluster member and enforces ring ownership on keyed requests.
+    /// Interior mutability because the daemon's ephemeral port — and so
+    /// the node's advertised identity — is only known after spawn.
+    cluster: RwLock<Option<ClusterView>>,
 }
 
 impl<P: ProviderBackend> SpService<P> {
@@ -67,7 +85,70 @@ impl<P: ProviderBackend> SpService<P> {
             metrics: ServiceMetrics::new(),
             replay: ReplayCache::default(),
             puzzle_cache: ShardedMap::default(),
+            cluster: RwLock::new(None),
         }
+    }
+
+    /// Turns this service into a cluster member advertised at
+    /// `advertise` with an initial `ring`. An *empty* ring makes the
+    /// node a standby replica: it serves the replication and ring
+    /// control plane but owns no keys until a `RingSet` promotes it.
+    /// Call after [`crate::Daemon::spawn`] once the bound address is
+    /// known; single-node deployments that never call this behave
+    /// exactly as before.
+    pub fn enable_cluster(&self, advertise: SocketAddr, ring: HashRing) {
+        self.metrics.server_ring_epoch(SP_CLUSTER, ring.epoch());
+        let mut guard = self.cluster.write().unwrap_or_else(|poison| poison.into_inner());
+        *guard = Some(ClusterView { advertise, ring });
+    }
+
+    /// The node's current ring view (`None` when not clustered).
+    pub fn cluster_ring(&self) -> Option<HashRing> {
+        let guard = self.cluster.read().unwrap_or_else(|poison| poison.into_inner());
+        guard.as_ref().map(|v| v.ring.clone())
+    }
+
+    /// Installs `ring` if it is strictly newer than the current view,
+    /// returning the epoch in force after the call. Equal-epoch sets are
+    /// idempotent no-ops so a retried `RingSet` is harmless.
+    fn install_ring(&self, ring: HashRing) -> Result<u64, (ErrorCode, String)> {
+        let mut guard = self.cluster.write().unwrap_or_else(|poison| poison.into_inner());
+        let Some(view) = guard.as_mut() else {
+            return Err((ErrorCode::BadRequest, "node is not clustered".into()));
+        };
+        if ring.epoch() > view.ring.epoch() {
+            view.ring = ring;
+            self.metrics.server_ring_epoch(SP_CLUSTER, view.ring.epoch());
+        }
+        Ok(view.ring.epoch())
+    }
+
+    /// Refuses a keyed request this node does not own under the current
+    /// ring. Non-clustered nodes own everything (the single-node paths
+    /// are unchanged); a clustered node with an empty ring (a standby
+    /// replica) owns nothing. The error detail is machine-parseable —
+    /// `epoch={e} owner={addr|none}` — so [`crate::cluster`]'s client
+    /// can learn the newer ring and re-route.
+    fn check_owner(&self, key: u64) -> Result<(), (ErrorCode, String)> {
+        let guard = self.cluster.read().unwrap_or_else(|poison| poison.into_inner());
+        let Some(view) = guard.as_ref() else { return Ok(()) };
+        let owner = view.ring.owner_of(key);
+        if owner == Some(view.advertise) {
+            return Ok(());
+        }
+        let detail = format!(
+            "epoch={} owner={}",
+            view.ring.epoch(),
+            owner.map_or_else(|| "none".to_owned(), |a| a.to_string())
+        );
+        drop(guard);
+        self.metrics.server_wrong_owner(SP_CLUSTER);
+        Err((ErrorCode::WrongOwner, detail))
+    }
+
+    /// Whether this node runs in cluster mode at all.
+    fn is_clustered(&self) -> bool {
+        self.cluster.read().unwrap_or_else(|poison| poison.into_inner()).is_some()
     }
 
     /// The per-endpoint counters (shared handle; clone freely).
@@ -109,17 +190,35 @@ impl<P: ProviderBackend> SpService<P> {
         let osn = |e: OsnError| (code_for(e), e.to_string());
         match req {
             SpRequest::Upload { record } => {
+                // Server-assigned ids cannot be consistent-hash routed, so
+                // clustered nodes only accept the key-addressed PublishAt.
+                if self.is_clustered() {
+                    return Err((
+                        ErrorCode::BadRequest,
+                        "clustered SPs assign no ids; use PublishAt with a ring key".into(),
+                    ));
+                }
                 let id = self.sp.publish_puzzle(Bytes::from(record)).map_err(osn)?;
                 // A fresh id normally has no cached parse, but the provider
                 // may recycle ids after deletes — never serve a stale parse.
                 self.invalidate_puzzle(id.raw());
                 Ok(encode_u64(id.raw()))
             }
+            SpRequest::PublishAt { puzzle, record } => {
+                self.check_owner(puzzle)?;
+                self.sp
+                    .publish_puzzle_at(PuzzleId::from_raw(puzzle), Bytes::from(record))
+                    .map_err(osn)?;
+                self.invalidate_puzzle(puzzle);
+                Ok(encode_u64(puzzle))
+            }
             SpRequest::FetchPuzzle { puzzle } => {
+                self.check_owner(puzzle)?;
                 let bytes = self.sp.fetch_puzzle(PuzzleId::from_raw(puzzle)).map_err(osn)?;
                 Ok(encode_bytes(&bytes))
             }
             SpRequest::ReplacePuzzle { puzzle, record } => {
+                self.check_owner(puzzle)?;
                 self.sp
                     .replace_puzzle(PuzzleId::from_raw(puzzle), Bytes::from(record))
                     .map_err(osn)?;
@@ -127,17 +226,22 @@ impl<P: ProviderBackend> SpService<P> {
                 Ok(Vec::new())
             }
             SpRequest::DeletePuzzle { puzzle } => {
+                // Deliberately NOT ownership-checked: after a rebalance the
+                // *old* owner garbage-collects its moved-away copy, which is
+                // by definition a key it no longer owns.
                 self.sp.delete_puzzle(PuzzleId::from_raw(puzzle)).map_err(osn)?;
                 self.invalidate_puzzle(puzzle);
                 Ok(Vec::new())
             }
             SpRequest::LogAccess { user, puzzle, granted } => {
+                self.check_owner(puzzle)?;
                 self.sp
                     .log_access(UserId::from_raw(user), PuzzleId::from_raw(puzzle), granted)
                     .map_err(osn)?;
                 Ok(Vec::new())
             }
             SpRequest::Post { author, text, puzzle } => {
+                self.check_owner(puzzle)?;
                 let id = self
                     .sp
                     .post(UserId::from_raw(author), &text, PuzzleId::from_raw(puzzle))
@@ -145,12 +249,14 @@ impl<P: ProviderBackend> SpService<P> {
                 Ok(encode_u64(id.raw()))
             }
             SpRequest::DisplayPuzzle { puzzle } => {
+                self.check_owner(puzzle)?;
                 let p = self.load_puzzle(puzzle)?;
                 let mut rng = self.rng.lock().unwrap_or_else(|poison| poison.into_inner());
                 let displayed = self.c1.display_puzzle(&p, &mut *rng);
                 Ok(encode_displayed_puzzle(&displayed))
             }
             SpRequest::Verify { user, puzzle, response } => {
+                self.check_owner(puzzle)?;
                 let p = self.load_puzzle(puzzle)?;
                 let verdict = self.c1.verify(&p, &response);
                 // The audit log records the attempt either way — this is
@@ -168,14 +274,22 @@ impl<P: ProviderBackend> SpService<P> {
                 }
             }
             SpRequest::Access { puzzle } => {
+                self.check_owner(puzzle)?;
                 let p = self.load_puzzle(puzzle)?;
                 Ok(encode_string(p.url().as_str()))
             }
             SpRequest::VerifyBatch { entries } => {
+                // Whole-frame ownership: a batch straddling an ownership
+                // boundary is a routing error, so the frame fails as one
+                // and the (cluster-aware) client re-groups by owner.
+                for e in &entries {
+                    self.check_owner(e.puzzle)?;
+                }
                 self.metrics.record_batch("sp.verify_batch", entries.len() as u64);
                 Ok(encode_batch_results(&self.verify_batch_entries(&entries)?))
             }
             SpRequest::AnswerPuzzleBatch { user, puzzle, responses } => {
+                self.check_owner(puzzle)?;
                 self.metrics.record_batch("sp.answer_puzzle_batch", responses.len() as u64);
                 let p = self.load_puzzle(puzzle)?;
                 let verdicts = self.c1.verify_batch(&p, &responses);
@@ -193,6 +307,32 @@ impl<P: ProviderBackend> SpService<P> {
                     verdicts.into_iter().map(verdict_to_entry).collect();
                 Ok(encode_batch_results(&results))
             }
+            // Cluster control plane: never ownership-checked. Replication
+            // works even without a ring (a standby replica), and ring
+            // exchange is how nodes learn ownership in the first place.
+            SpRequest::RingGet => {
+                let Some(ring) = self.cluster_ring() else {
+                    return Err((ErrorCode::BadRequest, "node is not clustered".into()));
+                };
+                Ok(ring.encode())
+            }
+            SpRequest::RingSet { ring } => {
+                let ring = HashRing::decode(&ring)
+                    .map_err(|e| (ErrorCode::BadRequest, format!("malformed ring: {e}")))?;
+                Ok(encode_u64(self.install_ring(ring)?))
+            }
+            SpRequest::Replicate { frames } => {
+                let applied =
+                    self.sp.repl_apply(&frames).map_err(|detail| (ErrorCode::Internal, detail))?;
+                // Replicated writes bypass the dispatch arms that normally
+                // invalidate the parsed-puzzle cache — do it here.
+                for raw in applied.puzzles_touched {
+                    self.invalidate_puzzle(raw);
+                }
+                self.metrics.server_repl_applied(SP_CLUSTER, applied.applied);
+                Ok(encode_u64(applied.watermark))
+            }
+            SpRequest::ReplStatus => Ok(encode_u64(self.sp.repl_watermark())),
         }
     }
 
@@ -457,6 +597,75 @@ impl SpClient {
         let payload = self.call(&SpRequest::Access { puzzle: puzzle.raw() })?;
         let url = decode_string(&payload)?;
         Url::parse(url).map_err(|_| NetError::Decode(sp_wire::WireError::BadLength))
+    }
+
+    /// Publishes (or idempotently overwrites) a record at a
+    /// *caller-chosen* puzzle id — the cluster publish path, where the
+    /// id doubles as the routing key ([`crate::ring::key_for_url`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Remote`] with [`ErrorCode::WrongOwner`] when
+    /// this node does not own the key, or a transport error.
+    pub fn publish_at(&self, puzzle: PuzzleId, record: Bytes) -> Result<(), NetError> {
+        let payload =
+            self.call_mut(&SpRequest::PublishAt { puzzle: puzzle.raw(), record: record.to_vec() })?;
+        decode_u64(&payload)?;
+        Ok(())
+    }
+
+    /// Fetches the node's current consistent-hash ring.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Remote`] with [`ErrorCode::BadRequest`] from
+    /// a non-clustered node.
+    pub fn ring_get(&self) -> Result<HashRing, NetError> {
+        let payload = self.call(&SpRequest::RingGet)?;
+        Ok(HashRing::decode(&payload)?)
+    }
+
+    /// Offers the node a (possibly newer) ring; returns the epoch the
+    /// node serves after the call. Safe to retry — only strictly-higher
+    /// epochs are installed.
+    pub fn ring_set(&self, ring: &HashRing) -> Result<u64, NetError> {
+        let payload = self.call_mut(&SpRequest::RingSet { ring: ring.encode() })?;
+        Ok(decode_u64(&payload)?)
+    }
+
+    /// Ships a CRC-framed replication delta (see
+    /// `Wal::export_frames_after`); returns the replica's new durable
+    /// watermark — the ack.
+    pub fn replicate(&self, frames: Vec<u8>) -> Result<u64, NetError> {
+        let payload = self.call_mut(&SpRequest::Replicate { frames })?;
+        Ok(decode_u64(&payload)?)
+    }
+
+    /// The peer's durable replication watermark (0 for non-durable
+    /// backends).
+    pub fn repl_status(&self) -> Result<u64, NetError> {
+        let payload = self.call(&SpRequest::ReplStatus)?;
+        Ok(decode_u64(&payload)?)
+    }
+
+    /// [`ProviderApi::fetch_puzzle`] keeping the transport-level error —
+    /// the cluster client needs to see `WrongOwner`, which the
+    /// `OsnError` surface collapses into `Transport`.
+    pub fn fetch_record(&self, id: PuzzleId) -> Result<Bytes, NetError> {
+        let payload = self.call(&SpRequest::FetchPuzzle { puzzle: id.raw() })?;
+        Ok(Bytes::from(decode_bytes(&payload)?))
+    }
+
+    /// [`ProviderApi::replace_puzzle`], transport-level errors kept.
+    pub fn replace_record(&self, id: PuzzleId, record: Bytes) -> Result<(), NetError> {
+        self.call_mut(&SpRequest::ReplacePuzzle { puzzle: id.raw(), record: record.to_vec() })?;
+        Ok(())
+    }
+
+    /// [`ProviderApi::delete_puzzle`], transport-level errors kept.
+    pub fn delete_record(&self, id: PuzzleId) -> Result<(), NetError> {
+        self.call_mut(&SpRequest::DeletePuzzle { puzzle: id.raw() })?;
+        Ok(())
     }
 }
 

@@ -1,0 +1,124 @@
+//! Property-based coverage of the consistent-hash ring: key
+//! distribution stays within a balance bound across node and
+//! virtual-node counts, and membership changes remap only the ~K/n
+//! share of keys that consistent hashing promises — never a full
+//! reshuffle.
+
+use std::net::SocketAddr;
+
+use proptest::prelude::*;
+use sp_net::ring::{key_hash, HashRing};
+
+/// Deterministic distinct addresses for up to 8 nodes.
+fn addrs(n: usize) -> Vec<SocketAddr> {
+    (0..n).map(|i| format!("10.0.0.{}:7000", i + 1).parse().unwrap()).collect()
+}
+
+/// A spread of synthetic URL_O-style keys.
+fn keys(count: u64) -> Vec<u64> {
+    (0..count).map(|i| key_hash(format!("https://dh.example/objects/{i}").as_bytes())).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// With enough virtual nodes, no node owns more than ~2x its fair
+    /// share of a large key population (and at least a quarter of it).
+    #[test]
+    fn distribution_stays_within_a_balance_bound(
+        n in 1usize..=8,
+        vnode_choice in 0usize..3,
+    ) {
+        let vnodes = [64u32, 128, 256][vnode_choice];
+        let ring = HashRing::new(1, addrs(n), vnodes);
+        let keys = keys(4096);
+        let mut per_node = vec![0u64; n];
+        for &k in &keys {
+            per_node[ring.owner_index(k).unwrap()] += 1;
+        }
+        let fair = keys.len() as f64 / n as f64;
+        for (i, &count) in per_node.iter().enumerate() {
+            prop_assert!(
+                (count as f64) < 2.0 * fair,
+                "node {i} owns {count} of {} keys (fair share {fair:.0}, vnodes {vnodes})",
+                keys.len()
+            );
+            prop_assert!(
+                (count as f64) > 0.25 * fair,
+                "node {i} owns only {count} of {} keys (fair share {fair:.0}, vnodes {vnodes})",
+                keys.len()
+            );
+        }
+    }
+
+    /// A node joining an n-node ring steals keys *only for itself*:
+    /// every remapped key moves to the new node, and the moved fraction
+    /// is close to the ideal 1/(n+1).
+    #[test]
+    fn join_remaps_only_onto_the_new_node(n in 1usize..=7) {
+        let old_nodes = addrs(n);
+        let mut new_nodes = addrs(n + 1);
+        let joined = new_nodes.pop().unwrap();
+        new_nodes.push(joined);
+        let old = HashRing::new(1, old_nodes, 128);
+        let new = old.with_nodes(new_nodes);
+        let keys = keys(4096);
+        let mut moved = 0u64;
+        for &k in &keys {
+            let before = old.owner_of(k).unwrap();
+            let after = new.owner_of(k).unwrap();
+            if before != after {
+                prop_assert_eq!(after, joined, "a remapped key must land on the joiner");
+                moved += 1;
+            }
+        }
+        let ideal = keys.len() as f64 / (n + 1) as f64;
+        prop_assert!(
+            (moved as f64) < 2.0 * ideal,
+            "join moved {moved} keys, ideal {ideal:.0} — that is a reshuffle, not a join"
+        );
+    }
+
+    /// A node leaving an n-node ring orphans exactly its own keys:
+    /// keys owned by survivors never move, and the moved fraction is
+    /// close to the departing node's ~K/n share.
+    #[test]
+    fn leave_remaps_only_the_departed_nodes_keys(n in 2usize..=8) {
+        let old_nodes = addrs(n);
+        let departed = old_nodes[n - 1];
+        let survivors: Vec<SocketAddr> =
+            old_nodes.iter().copied().filter(|a| *a != departed).collect();
+        let old = HashRing::new(3, old_nodes, 128);
+        let new = old.with_nodes(survivors);
+        prop_assert_eq!(new.epoch(), 4, "membership change bumps the epoch");
+        let keys = keys(4096);
+        let mut moved = 0u64;
+        for &k in &keys {
+            let before = old.owner_of(k).unwrap();
+            let after = new.owner_of(k).unwrap();
+            prop_assert_ne!(after, departed);
+            if before != after {
+                prop_assert_eq!(before, departed, "only the departed node's keys may move");
+                moved += 1;
+            }
+        }
+        let ideal = keys.len() as f64 / n as f64;
+        prop_assert!(
+            (moved as f64) < 2.0 * ideal,
+            "leave moved {moved} keys, ideal {ideal:.0} — that is a reshuffle, not a leave"
+        );
+    }
+
+    /// Ring ownership is a pure function of (epoch-less) membership and
+    /// vnode count: the wire round-trip preserves every owner.
+    #[test]
+    fn decode_of_encode_preserves_ownership(n in 1usize..=8) {
+        let ring = HashRing::new(9, addrs(n), 64);
+        let wire = ring.encode();
+        let back = HashRing::decode(&wire).unwrap();
+        prop_assert_eq!(back.epoch(), ring.epoch());
+        for &k in &keys(256) {
+            prop_assert_eq!(back.owner_of(k), ring.owner_of(k));
+        }
+    }
+}

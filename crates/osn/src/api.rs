@@ -123,10 +123,31 @@ pub trait StorageApi {
     fn delete(&self, url: &Url) -> Result<(), OsnError>;
 }
 
+/// The outcome of applying one replication batch to a backend: the new
+/// durable watermark plus which puzzle records the batch touched (so a
+/// serving layer can invalidate caches without peeking inside the
+/// opaque frame stream).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ReplApplied {
+    /// Highest sequence number durable after the apply (the ack).
+    pub watermark: u64,
+    /// Records actually applied (duplicates below the watermark are
+    /// skipped and not counted).
+    pub applied: u64,
+    /// Raw puzzle ids whose records were created, replaced, or deleted.
+    pub puzzles_touched: Vec<u64>,
+}
+
 /// What a *service* hosting a provider backend needs beyond the driver
 /// surface: batched audit logging, shard observability, and (for durable
 /// backends) durability counters. In-memory and durable backends both
 /// implement this, so `sp-net`'s `SpService` is generic over it.
+///
+/// The cluster hooks (`publish_puzzle_at`, `repl_*`) have conservative
+/// defaults so existing backends keep compiling; a durable backend
+/// overrides them to expose its write-ahead log as a replication
+/// stream. The frame bytes are opaque at this layer — `sp-net` ships
+/// them without depending on the storage crate.
 pub trait ProviderBackend: ProviderApi {
     /// Records many access attempts as one contiguous audit batch.
     ///
@@ -141,6 +162,49 @@ pub trait ProviderBackend: ProviderApi {
     /// Durability counters; `None` for purely in-memory backends.
     fn durability(&self) -> Option<DurabilityCounters> {
         None
+    }
+
+    /// Stores a puzzle record under a **caller-chosen** id (cluster
+    /// mode derives ids from `URL_O`, so they are stable across nodes
+    /// and rebalances). Overwrites any existing record at that id —
+    /// retried publishes and key migrations are idempotent.
+    ///
+    /// # Errors
+    ///
+    /// Durable backends return [`OsnError::Transport`] on log failures.
+    fn publish_puzzle_at(&self, id: PuzzleId, record: Bytes) -> Result<(), OsnError>;
+
+    /// Exports the committed log records after `after_seq` as
+    /// concatenated CRC-framed bytes, returning `(durable watermark,
+    /// frames)`. Only meaningful on durable backends.
+    ///
+    /// # Errors
+    ///
+    /// The default (in-memory) answer is "replication unsupported";
+    /// durable backends also fail when `after_seq` predates their
+    /// oldest retained segment (the replica must be reseeded).
+    fn repl_export(&self, after_seq: u64) -> Result<(u64, Vec<u8>), String> {
+        let _ = after_seq;
+        Err("replication unsupported: backend has no write-ahead log".into())
+    }
+
+    /// Applies a batch of exported frames (contiguous seqs starting at
+    /// or below this backend's watermark + 1) to local state *and* the
+    /// local log, keeping replica and primary logs byte-identical.
+    ///
+    /// # Errors
+    ///
+    /// The default (in-memory) answer is "replication unsupported";
+    /// durable backends fail on gaps, corrupt frames, or log errors.
+    fn repl_apply(&self, frames: &[u8]) -> Result<ReplApplied, String> {
+        let _ = frames;
+        Err("replication unsupported: backend has no write-ahead log".into())
+    }
+
+    /// The durable log watermark (highest fsynced seq); 0 when nothing
+    /// is durable or the backend keeps no log.
+    fn repl_watermark(&self) -> u64 {
+        0
     }
 }
 
@@ -190,6 +254,11 @@ impl ProviderBackend for ServiceProvider {
 
     fn shard_loads(&self) -> Vec<ShardLoad> {
         ServiceProvider::shard_loads(self)
+    }
+
+    fn publish_puzzle_at(&self, id: PuzzleId, record: Bytes) -> Result<(), OsnError> {
+        ServiceProvider::restore_puzzle(self, id.raw(), record);
+        Ok(())
     }
 }
 
@@ -268,6 +337,15 @@ mod tests {
             assert!(!StorageBackend::shard_loads(dh).is_empty());
             assert_eq!(sp.durability(), None, "in-memory backends report no durability");
             assert_eq!(dh.durability(), None);
+            // Cluster hooks: caller-chosen ids store and overwrite;
+            // replication stays unsupported without a log.
+            let at = PuzzleId::from_raw(0xfeed_f00d);
+            sp.publish_puzzle_at(at, Bytes::from_static(b"v1")).unwrap();
+            sp.publish_puzzle_at(at, Bytes::from_static(b"v2")).unwrap();
+            assert_eq!(sp.fetch_puzzle(at).unwrap(), Bytes::from_static(b"v2"));
+            assert_eq!(sp.repl_watermark(), 0);
+            assert!(sp.repl_export(0).unwrap_err().contains("unsupported"));
+            assert!(sp.repl_apply(&[]).unwrap_err().contains("unsupported"));
         }
         let sp = ServiceProvider::new();
         let dh = StorageHost::new();

@@ -50,7 +50,9 @@ pub mod rebac;
 pub mod shard;
 mod storage;
 
-pub use api::{DurabilityCounters, ProviderApi, ProviderBackend, StorageApi, StorageBackend};
+pub use api::{
+    DurabilityCounters, ProviderApi, ProviderBackend, ReplApplied, StorageApi, StorageBackend,
+};
 pub use device::DeviceProfile;
 pub use error::OsnError;
 pub use graph::{SocialGraph, UserId};

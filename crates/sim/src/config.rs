@@ -29,6 +29,12 @@ pub struct SimConfig {
     /// set of C2 puzzles, exercising the Miller line-evaluation cache
     /// (the report carries its hit rate). `0` disables the probe.
     pub c2_probe: u64,
+    /// Real-socket probe: after the main run, this many full
+    /// share→attempt cycles are replayed through `sp-net` daemons on
+    /// loopback (the same `SocialPuzzleApp` driver, remote backends).
+    /// Sequential and seeded from its own stream, so the decision log
+    /// stays deterministic. `0` disables the probe.
+    pub socket_probe: u64,
 }
 
 impl SimConfig {
@@ -46,12 +52,13 @@ impl SimConfig {
             max_live_shares: 4_096,
             shards: 16,
             c2_probe: 24,
+            socket_probe: 16,
         }
     }
 
     /// A seconds-scale run for unit tests and smoke checks.
     #[must_use]
     pub fn quick() -> Self {
-        Self { events: 1_200, ..Self::new(7, 2_000) }
+        Self { events: 1_200, socket_probe: 4, ..Self::new(7, 2_000) }
     }
 }

@@ -46,6 +46,7 @@ use social_puzzles_core::context::Context;
 use social_puzzles_core::metrics::CryptoCounters;
 use social_puzzles_core::protocol::{ShareReport, SocialPuzzleApp};
 use social_puzzles_core::SocialPuzzleError;
+use sp_net::{ClientConfig, Daemon, DaemonConfig, DhClient, DhService, SpClient, SpService};
 use sp_osn::{
     DeviceProfile, RelObject, RelSubject, RelTuple, ServiceProvider, StorageHost, TupleStore,
     UserId,
@@ -77,6 +78,7 @@ const K_GRANT: u64 = 6;
 const K_REVOKE: u64 = 7;
 const K_NOOP: u64 = 8;
 const K_C2PROBE: u64 = 9;
+const K_SOCKETPROBE: u64 = 10;
 
 /// Hot C2 puzzles the post-run probe cycles over.
 const C2_PROBE_PUZZLES: usize = 3;
@@ -157,6 +159,12 @@ pub struct SimCounters {
     pub c2_probes: u64,
     /// Probe accesses that were (deliberately) denied below threshold.
     pub c2_probe_denials: u64,
+    /// Share→attempt cycles replayed through real loopback sockets
+    /// after the main run.
+    pub socket_probes: u64,
+    /// Socket-probe attempts that were (deliberately) denied below
+    /// threshold.
+    pub socket_probe_denials: u64,
 }
 
 /// The outcome of a completed run: counters, determinism hash, and
@@ -883,6 +891,97 @@ impl Simulation {
         Ok(())
     }
 
+    /// The post-run real-socket probe: boots actual `sp-net` SP and DH
+    /// daemons on loopback ports and replays `cfg.socket_probe` full
+    /// share→attempt cycles through them — the same `SocialPuzzleApp`
+    /// driver the in-process run uses, now with every `DisplayPuzzle`,
+    /// `Verify`, and blob operation crossing a real TCP frame. Every
+    /// fourth attempt withholds answers below threshold and must be
+    /// denied. Sequential and seeded from its own stream: the network
+    /// carries the traffic but never influences a decision, so the
+    /// decision log stays deterministic.
+    fn socket_probe(&mut self) -> Result<(), String> {
+        let n = self.cfg.socket_probe;
+        if n == 0 || self.joined == 0 {
+            return Ok(());
+        }
+        let sp_daemon = Daemon::spawn(
+            "127.0.0.1:0",
+            Arc::new(SpService::new(
+                ServiceProvider::with_shards(self.cfg.shards),
+                Construction1::new(),
+            )),
+            DaemonConfig::default(),
+        )
+        .map_err(|e| format!("socket probe: sp daemon: {e}"))?;
+        let dh_daemon = Daemon::spawn(
+            "127.0.0.1:0",
+            Arc::new(DhService::new(StorageHost::with_shards(self.cfg.shards))),
+            DaemonConfig::default(),
+        )
+        .map_err(|e| format!("socket probe: dh daemon: {e}"))?;
+        let app = SocialPuzzleApp::with_backends(
+            SpClient::connect(sp_daemon.addr(), ClientConfig::default()),
+            DhClient::connect(dh_daemon.addr(), ClientConfig::default()),
+        );
+        let mut rng = self.split.stream("socket-probe");
+
+        for ev in 0..n {
+            let sharer = self.zipf_user(&mut rng);
+            let reader = self.zipf_user(&mut rng);
+            let mut builder = Context::builder();
+            for j in 0..3 {
+                builder = builder.pair(format!("sq{ev}-{j}?"), format!("sa{ev}-{j}"));
+            }
+            let context = builder.build().map_err(|e| format!("socket probe context: {e}"))?;
+            let object = format!("sock-obj-{ev}").into_bytes();
+            let share = app
+                .share_c1(
+                    &self.c1,
+                    sharer,
+                    &object,
+                    &context,
+                    2,
+                    &DeviceProfile::pc(),
+                    None,
+                    &mut rng,
+                )
+                .map_err(|e| format!("socket probe share: {e}"))?;
+            let deny = ev % 4 == 3;
+            let answerer = |q: &str| -> Option<String> {
+                let pos = context.pairs().iter().position(|p| p.question() == q)?;
+                if deny && pos > 0 {
+                    // Withhold all but the first answer: 1 < k = 2.
+                    return None;
+                }
+                Some(context.pairs()[pos].answer().to_string())
+            };
+            let result =
+                app.receive_c1(&self.c1, reader, &share, answerer, &DeviceProfile::pc(), &mut rng);
+            match (deny, result) {
+                (false, Ok(recv)) => {
+                    if recv.object != object {
+                        return Err(format!("socket probe {ev}: granted the wrong object bytes"));
+                    }
+                }
+                (true, Err(SocialPuzzleError::NotEnoughCorrectAnswers)) => {
+                    self.stats.socket_probe_denials += 1;
+                }
+                (d, r) => {
+                    return Err(format!(
+                        "socket probe {ev}: deny={d} but outcome was {:?}",
+                        r.map(|recv| recv.object.len())
+                    ));
+                }
+            }
+            self.stats.socket_probes += 1;
+            self.log.record(&[ev, K_SOCKETPROBE, u64::from(!deny)]);
+        }
+        sp_daemon.shutdown();
+        dh_daemon.shutdown();
+        Ok(())
+    }
+
     fn into_report(mut self, elapsed: Duration) -> SimReport {
         self.latencies.sort_unstable();
         let pct = |p: f64| -> f64 {
@@ -934,6 +1033,7 @@ pub fn run(cfg: &SimConfig) -> Result<SimReport, String> {
         sim.tick(t as u64, joins[t], alloc[t])?;
     }
     sim.c2_probe()?;
+    sim.socket_probe()?;
     Ok(sim.into_report(start.elapsed()))
 }
 
@@ -949,6 +1049,7 @@ mod tests {
             oracle_sample: 8,
             max_live_shares: 48,
             shards: 4,
+            socket_probe: 4,
             ..SimConfig::new(11, 300)
         }
     }
@@ -1049,5 +1150,30 @@ mod tests {
         assert_eq!(report.counters.c2_probes, 0);
         assert_eq!(report.c2_cache_hits, 0);
         assert_eq!(report.c2_cache_misses, 0);
+    }
+
+    #[test]
+    fn socket_probe_replays_attempts_over_real_sockets_deterministically() {
+        let cfg = SimConfig { socket_probe: 8, ..small() };
+        let report = run(&cfg).expect("run");
+        let c = report.counters;
+        assert_eq!(c.socket_probes, 8, "probe did not run to completion: {c:?}");
+        assert_eq!(c.socket_probe_denials, 2, "every fourth probe is denied: {c:?}");
+        // Same config → same hash: the network carried the traffic but
+        // never influenced a decision.
+        let again = run(&cfg).expect("rerun");
+        assert_eq!(again.log_hash, report.log_hash);
+        assert_eq!(again.counters, c);
+    }
+
+    #[test]
+    fn socket_probe_can_be_disabled_and_changes_the_log_when_on() {
+        let off = run(&SimConfig { socket_probe: 0, ..small() }).expect("off");
+        assert_eq!(off.counters.socket_probes, 0);
+        let on = run(&SimConfig { socket_probe: 4, ..small() }).expect("on");
+        assert_eq!(on.counters.socket_probes, 4);
+        // The probe's decisions are part of the canonical log.
+        assert_eq!(on.log_entries, off.log_entries + 4);
+        assert_ne!(on.log_hash, off.log_hash);
     }
 }

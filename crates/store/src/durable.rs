@@ -19,13 +19,13 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use bytes::Bytes;
 use parking_lot::Mutex;
 use sp_osn::{
-    DurabilityCounters, OsnError, PostId, ProviderApi, ProviderBackend, PuzzleId, ServiceProvider,
-    ShardLoad, StorageApi, StorageBackend, StorageHost, Url, UserId,
+    DurabilityCounters, OsnError, PostId, ProviderApi, ProviderBackend, PuzzleId, ReplApplied,
+    ServiceProvider, ShardLoad, StorageApi, StorageBackend, StorageHost, Url, UserId,
 };
 use sp_wire::{Reader, Writer};
 
 use crate::error::StoreError;
-use crate::record::Record;
+use crate::record::{scan_frame, Record, ScanStep};
 use crate::wal::{FileFault, Recovered, Wal};
 
 /// Configuration for a durable store directory.
@@ -290,6 +290,82 @@ impl DurableProvider {
     pub fn durability_counters(&self) -> DurabilityCounters {
         self.engine.counters()
     }
+
+    /// Applies one replication batch — frames a primary exported with
+    /// [`Wal::export_frames_after`] — to memory *and* the local log,
+    /// then commits. Because [`Record::frame`] is deterministic and the
+    /// replica's own appends assign the same sequence numbers, the
+    /// replica's log stays byte-identical to the primary's; promotion
+    /// is just "reopen the directory" (or keep serving in place).
+    ///
+    /// Frames at or below the local written watermark are duplicates
+    /// (a retried batch) and are skipped. Returns `(durable watermark,
+    /// records applied, puzzle ids touched)`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Corrupt`] on a sequence gap, a truncated or
+    /// corrupt frame, or a seq misalignment between the stream and the
+    /// local log; [`StoreError::Crashed`] after a fault.
+    pub fn apply_repl_frames(&self, frames: &[u8]) -> Result<(u64, u64, Vec<u64>), StoreError> {
+        let corrupt = |offset: usize, detail: String| StoreError::Corrupt {
+            segment: "replication".to_owned(),
+            offset: offset as u64,
+            detail,
+        };
+        let (last, applied, touched) = {
+            let _guard = self.engine.commit_mu.lock();
+            if self.engine.wal.is_crashed() {
+                return Err(StoreError::Crashed);
+            }
+            let mut last = self.engine.wal.written_seq();
+            let mut applied = 0u64;
+            let mut touched = Vec::new();
+            let mut off = 0usize;
+            while off < frames.len() {
+                match scan_frame(&frames[off..]) {
+                    ScanStep::Complete { seq, record, consumed } => {
+                        if seq <= last {
+                            off += consumed;
+                            continue;
+                        }
+                        if seq != last + 1 {
+                            return Err(corrupt(
+                                off,
+                                format!("replication gap: want seq {}, got {seq}", last + 1),
+                            ));
+                        }
+                        match &record {
+                            Record::PublishPuzzle { id, .. }
+                            | Record::ReplacePuzzle { id, .. }
+                            | Record::DeletePuzzle { id } => touched.push(*id),
+                            _ => {}
+                        }
+                        Self::apply(&self.inner, record.clone())?;
+                        let got = self.engine.wal.append(&record)?;
+                        if got != seq {
+                            return Err(corrupt(
+                                off,
+                                format!("local log at seq {got} disagrees with stream seq {seq}"),
+                            ));
+                        }
+                        last = seq;
+                        applied += 1;
+                        off += consumed;
+                    }
+                    ScanStep::Incomplete => {
+                        return Err(corrupt(off, "truncated replication frame".to_owned()));
+                    }
+                    ScanStep::Corrupt { detail } => return Err(corrupt(off, detail)),
+                }
+            }
+            (last, applied, touched)
+        };
+        if applied > 0 {
+            self.engine.wal.commit(last)?;
+        }
+        Ok((self.engine.wal.durable_seq(), applied, touched))
+    }
 }
 
 impl ProviderApi for DurableProvider {
@@ -394,6 +470,34 @@ impl ProviderBackend for DurableProvider {
 
     fn durability(&self) -> Option<DurabilityCounters> {
         Some(self.engine.counters())
+    }
+
+    fn publish_puzzle_at(&self, id: PuzzleId, record: Bytes) -> Result<(), OsnError> {
+        self.engine.logged(
+            || {
+                self.inner.restore_puzzle(id.raw(), record.clone());
+                Ok(((), Record::PublishPuzzle { id: id.raw(), record }))
+            },
+            || Self::snapshot_payload(&self.inner),
+        )
+    }
+
+    fn repl_export(&self, after_seq: u64) -> Result<(u64, Vec<u8>), String> {
+        self.engine.wal.export_frames_after(after_seq).map_err(|e| e.to_string())
+    }
+
+    fn repl_apply(&self, frames: &[u8]) -> Result<ReplApplied, String> {
+        self.apply_repl_frames(frames)
+            .map(|(watermark, applied, puzzles_touched)| ReplApplied {
+                watermark,
+                applied,
+                puzzles_touched,
+            })
+            .map_err(|e| e.to_string())
+    }
+
+    fn repl_watermark(&self) -> u64 {
+        self.engine.wal.durable_seq()
     }
 }
 
@@ -693,6 +797,123 @@ mod tests {
         let sp = DurableProvider::open(&dir, tiny()).unwrap();
         assert_eq!(sp.in_memory().puzzle_count(), 1, "acked op survives, torn op lost");
         fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Replication keeps log retention: snapshots compact segments away,
+    /// so replicated primaries use an effectively unbounded
+    /// `snapshot_every` (full-log replication; see docs/CLUSTER.md).
+    fn repl_cfg() -> StoreConfig {
+        StoreConfig { snapshot_every: u64::MAX, ..StoreConfig::default() }
+    }
+
+    #[test]
+    fn replication_stream_rebuilds_an_identical_replica() {
+        let dir_p = fresh("repl-primary");
+        let dir_r = fresh("repl-replica");
+        let primary = DurableProvider::open(&dir_p, repl_cfg()).unwrap();
+        let replica = DurableProvider::open(&dir_r, repl_cfg()).unwrap();
+
+        let a = primary.publish_puzzle(Bytes::from_static(b"alpha")).unwrap();
+        let b = primary.publish_puzzle(Bytes::from_static(b"beta")).unwrap();
+        primary.replace_puzzle(a, Bytes::from_static(b"alpha-v2")).unwrap();
+        primary.log_access(UserId::from_raw(7), a, true).unwrap();
+        primary.delete_puzzle(b).unwrap();
+        primary
+            .publish_puzzle_at(PuzzleId::from_raw(0xabcd), Bytes::from_static(b"keyed"))
+            .unwrap();
+
+        // Ship everything; the replica acks the primary's watermark.
+        let (watermark, frames) = primary.repl_export(replica.repl_watermark()).unwrap();
+        let applied = replica.repl_apply(&frames).unwrap();
+        assert_eq!(applied.watermark, watermark);
+        assert_eq!(applied.applied, 6);
+        assert!(applied.puzzles_touched.contains(&a.raw()));
+        assert!(applied.puzzles_touched.contains(&0xabcd));
+        assert_eq!(replica.repl_watermark(), primary.repl_watermark());
+
+        // Same state...
+        assert_eq!(replica.fetch_puzzle(a).unwrap(), Bytes::from_static(b"alpha-v2"));
+        assert_eq!(replica.fetch_puzzle(b).unwrap_err(), OsnError::UnknownPuzzle);
+        assert_eq!(
+            replica.fetch_puzzle(PuzzleId::from_raw(0xabcd)).unwrap(),
+            Bytes::from_static(b"keyed")
+        );
+        assert_eq!(replica.in_memory().audit_log().len(), 1);
+        // ...and a byte-identical log.
+        assert_eq!(primary.repl_export(0).unwrap(), replica.repl_export(0).unwrap());
+
+        // Re-shipping the same batch is a duplicate-skipping no-op.
+        let again = replica.repl_apply(&frames).unwrap();
+        assert_eq!((again.watermark, again.applied), (watermark, 0));
+        assert!(again.puzzles_touched.is_empty());
+
+        // Incremental delta: only the suffix ships and applies.
+        primary.log_access(UserId::from_raw(8), a, false).unwrap();
+        let (w2, delta) = primary.repl_export(replica.repl_watermark()).unwrap();
+        assert!(delta.len() < frames.len());
+        let inc = replica.repl_apply(&delta).unwrap();
+        assert_eq!((inc.watermark, inc.applied), (w2, 1));
+        assert_eq!(replica.in_memory().audit_log().len(), 2);
+        fs::remove_dir_all(&dir_p).unwrap();
+        fs::remove_dir_all(&dir_r).unwrap();
+    }
+
+    #[test]
+    fn promotion_reopens_to_the_acked_watermark() {
+        let dir_p = fresh("promote-primary");
+        let dir_r = fresh("promote-replica");
+        let acked;
+        {
+            let primary = DurableProvider::open(&dir_p, repl_cfg()).unwrap();
+            let replica = DurableProvider::open(&dir_r, repl_cfg()).unwrap();
+            for i in 0..10u64 {
+                primary
+                    .publish_puzzle_at(PuzzleId::from_raw(1000 + i), Bytes::from(vec![i as u8]))
+                    .unwrap();
+            }
+            let (_, frames) = primary.repl_export(0).unwrap();
+            acked = replica.repl_apply(&frames).unwrap().watermark;
+            assert_eq!(acked, 10);
+        }
+        // Kill both; promote the replica by reopening its directory. The
+        // recovery replays exactly the acked records.
+        let promoted = DurableProvider::open(&dir_r, repl_cfg()).unwrap();
+        assert_eq!(promoted.durability_counters().recovery_replayed_records, acked);
+        assert_eq!(promoted.repl_watermark(), acked);
+        for i in 0..10u64 {
+            assert_eq!(
+                promoted.fetch_puzzle(PuzzleId::from_raw(1000 + i)).unwrap(),
+                Bytes::from(vec![i as u8])
+            );
+        }
+        // The promoted node keeps writing where the primary left off.
+        promoted.publish_puzzle_at(PuzzleId::from_raw(2000), Bytes::from_static(b"new")).unwrap();
+        assert_eq!(promoted.repl_watermark(), acked + 1);
+        fs::remove_dir_all(&dir_p).unwrap();
+        fs::remove_dir_all(&dir_r).unwrap();
+    }
+
+    #[test]
+    fn repl_apply_rejects_gaps_and_garbage() {
+        let dir_p = fresh("repl-gap-primary");
+        let dir_r = fresh("repl-gap-replica");
+        let primary = DurableProvider::open(&dir_p, repl_cfg()).unwrap();
+        let replica = DurableProvider::open(&dir_r, repl_cfg()).unwrap();
+        for i in 0..4u64 {
+            primary.publish_puzzle(Bytes::from(vec![i as u8])).unwrap();
+        }
+        // A stream starting past the replica's watermark is a gap.
+        let (_, suffix) = primary.repl_export(2).unwrap();
+        let err = replica.repl_apply(&suffix).unwrap_err();
+        assert!(err.contains("gap"), "want gap error, got {err}");
+        assert_eq!(replica.repl_watermark(), 0, "a rejected batch applies nothing");
+        // Garbage is rejected, not applied.
+        assert!(replica.repl_apply(&[1, 2, 3]).is_err());
+        // The honest stream still works afterwards.
+        let (w, frames) = primary.repl_export(0).unwrap();
+        assert_eq!(replica.repl_apply(&frames).unwrap().watermark, w);
+        fs::remove_dir_all(&dir_p).unwrap();
+        fs::remove_dir_all(&dir_r).unwrap();
     }
 
     #[test]

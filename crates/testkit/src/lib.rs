@@ -22,6 +22,13 @@
 //!   reorders, and drops **response** frames (severing the connection
 //!   mid-pipeline), exercising correlation matching and idempotent
 //!   replay of unacknowledged requests.
+//! * [`cluster`] — multi-node deployments for the same differential
+//!   harness: [`cluster::C1Cluster`] routes every trace through an
+//!   N-node consistent-hash cluster, [`cluster::C1ClusterRebalance`]
+//!   toggles ring membership mid-trace (the client recovers via
+//!   `WrongOwner` redirects), and [`cluster::C1ClusterFailover`] kills
+//!   the durable primary mid-trace and promotes a WAL-replicated
+//!   standby — all asserting zero decision divergence from the oracle.
 //! * [`durable`] — a crash/restart deployment ([`durable::C1Durable`])
 //!   that runs Construction 1 over the `sp-store` WAL + snapshot
 //!   engine, arms file-level faults (kill-at-offset, torn write,
@@ -38,6 +45,7 @@
 //! this crate's `tests/` directory marked `#[ignore]`; CI runs them
 //! with `cargo test -p sp-testkit -- --include-ignored`.
 
+pub mod cluster;
 pub mod durable;
 pub mod fault;
 pub mod pipefault;
@@ -45,6 +53,7 @@ pub mod seed;
 pub mod strategies;
 pub mod trace;
 
+pub use cluster::{C1Cluster, C1ClusterFailover, C1ClusterRebalance};
 pub use durable::C1Durable;
 pub use fault::{Fault, FaultCounts, FaultPlan, FaultyProxy};
 pub use pipefault::{PipeCounts, PipePlan, PipelinedProxy, ResponseFault};

@@ -303,7 +303,7 @@ impl C1Socket {
 }
 
 /// Maps one remote verify result onto a decision slot.
-fn decide_remote(
+pub(crate) fn decide_remote(
     result: Result<social_puzzles_core::construction1::VerifyOutcome, NetError>,
     check_access: impl FnOnce(
         social_puzzles_core::construction1::VerifyOutcome,

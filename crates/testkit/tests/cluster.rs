@@ -1,0 +1,95 @@
+//! Cluster differential battery: the same seeded traces that drive
+//! every single-node deployment, replayed against sharded multi-node
+//! topologies — including mid-trace rebalances and kill-primary /
+//! promote-replica faults.
+//!
+//! The smoke tests run in the fast tier. The heavier batteries are
+//! `#[ignore]`d; the CI `cluster-smoke` job runs them with
+//! `cargo test -p sp-testkit --test cluster -- --include-ignored`.
+
+use sp_testkit::{
+    run_differential, C1Cluster, C1ClusterFailover, C1ClusterRebalance, C1InMemory, Deployment,
+};
+
+/// Fixed base seed so failures are reproducible across machines.
+const SMOKE_SEED: u64 = 0xC1_0577;
+
+fn scratch(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "sp-testkit-cluster-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn cluster_smoke_one_and_three_nodes_agree_with_the_oracle() {
+    let mut mem = C1InMemory::new();
+    let mut one = C1Cluster::boot(1);
+    let mut three = C1Cluster::boot(3);
+    let mut deps: Vec<&mut dyn Deployment> = vec![&mut mem, &mut one, &mut three];
+    let report = run_differential(SMOKE_SEED, 10, &mut deps).unwrap();
+    assert_eq!(report.traces, 10);
+    assert!(report.grants > 0 && report.denials > 0, "one-sided smoke run: {report:?}");
+    one.shutdown();
+    three.shutdown();
+}
+
+#[test]
+fn rebalance_smoke_redirects_are_followed_without_divergence() {
+    let mut mem = C1InMemory::new();
+    let mut rebalance = C1ClusterRebalance::boot();
+    {
+        let mut deps: Vec<&mut dyn Deployment> = vec![&mut mem, &mut rebalance];
+        let report = run_differential(SMOKE_SEED + 1, 8, &mut deps).unwrap();
+        assert_eq!(report.traces, 8);
+    }
+    // The data-path client was never told about the membership toggles;
+    // zero followed redirects would mean the rebalances were fake.
+    assert!(rebalance.redirects_followed() > 0, "no WrongOwner redirect was ever followed");
+    rebalance.shutdown();
+}
+
+#[test]
+fn failover_smoke_promoted_replica_decides_like_the_oracle() {
+    let root = scratch("failover-smoke");
+    let mut mem = C1InMemory::new();
+    let mut failover = C1ClusterFailover::boot(&root);
+    {
+        let mut deps: Vec<&mut dyn Deployment> = vec![&mut mem, &mut failover];
+        let report = run_differential(SMOKE_SEED + 2, 6, &mut deps).unwrap();
+        assert_eq!(report.traces, 6);
+    }
+    assert_eq!(failover.promotions(), 6, "every trace must kill a primary and promote");
+    failover.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+#[ignore = "heavy: 60 traces x 5 cluster topologies; CI cluster-smoke runs with --include-ignored"]
+fn cluster_battery_zero_divergence_across_topologies() {
+    let root = scratch("battery");
+    let mut mem = C1InMemory::new();
+    let mut one = C1Cluster::boot(1);
+    let mut three = C1Cluster::boot(3);
+    let mut rebalance = C1ClusterRebalance::boot();
+    let mut failover = C1ClusterFailover::boot(&root);
+    {
+        let mut deps: Vec<&mut dyn Deployment> =
+            vec![&mut mem, &mut one, &mut three, &mut rebalance, &mut failover];
+        let report = run_differential(0xD1FF, 60, &mut deps).unwrap();
+        assert_eq!(report.traces, 60);
+        assert!(report.decisions >= 60 * 5, "suspiciously few decisions: {report:?}");
+        assert!(report.grants > 30, "grants under-exercised: {report:?}");
+        assert!(report.denials > 30, "denials under-exercised: {report:?}");
+    }
+    assert!(rebalance.redirects_followed() > 0, "no WrongOwner redirect was ever followed");
+    assert_eq!(failover.promotions(), 60, "every trace must kill a primary and promote");
+    one.shutdown();
+    three.shutdown();
+    rebalance.shutdown();
+    failover.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -28,6 +28,17 @@
 //! spuzzle load --sp 127.0.0.1:7741 --mode verify --pipeline 16 \
 //!         --threads 16 --requests 200        # one multiplexed v2 connection,
 //!                                            # 16 requests in flight
+//! spuzzle serve-sp --addr 127.0.0.1:7741 \
+//!         --ring 127.0.0.1:7741,127.0.0.1:7743,127.0.0.1:7745
+//!                                            # one member of a 3-node
+//!                                            # consistent-hash cluster
+//! spuzzle serve-sp --addr 127.0.0.1:7747 --data-dir ./replica --ring standby
+//!                                            # promotable standby replica
+//! spuzzle serve-sp --addr 127.0.0.1:7741 --data-dir ./primary \
+//!         --replicate-to 127.0.0.1:7747 --repl-interval-ms 200
+//!                                            # WAL-replicating primary
+//! spuzzle load --cluster 127.0.0.1:7741,127.0.0.1:7743,127.0.0.1:7745 \
+//!         --threads 8 --requests 200         # routed cluster verify load
 //! spuzzle bench-net [--full] [--out BENCH_net.json]
 //!                                            # end-to-end serving-path sweep
 //! spuzzle bench-store [--full] [--out BENCH_store.json]
@@ -66,10 +77,13 @@ use social_puzzles::core::construction1::{Construction1, Puzzle};
 use social_puzzles::core::context::Context;
 use social_puzzles::core::protocol::SocialPuzzleApp;
 use social_puzzles::net::{
-    ClientConfig, Daemon, DaemonConfig, DhClient, DhService, PipelineConfig, ServingModel,
-    SpClient, SpService,
+    parse_ring_spec, ClientConfig, ClusterClient, Daemon, DaemonConfig, DhClient, DhService,
+    HashRing, PipelineConfig, Replicator, Service, ServingModel, SpClient, SpService,
+    DEFAULT_VNODES,
 };
-use social_puzzles::osn::{DeviceProfile, ProviderApi, ServiceProvider, StorageHost, UserId};
+use social_puzzles::osn::{
+    DeviceProfile, ProviderApi, ProviderBackend, ServiceProvider, StorageHost, UserId,
+};
 use social_puzzles::store::{DurableHost, DurableProvider, StoreConfig};
 
 const PUZZLE_FILE: &str = "puzzle.spz";
@@ -238,6 +252,80 @@ enum Role {
     Dh,
 }
 
+/// Cluster-related `serve-sp` flags, parsed once.
+struct ClusterFlags {
+    /// `--ring a:p,b:p,...` membership, or `--ring standby` (empty ring:
+    /// the node serves the control plane and owns no keys until a
+    /// `RingSet` promotes it).
+    ring: Option<HashRing>,
+    /// `--advertise addr`: the address this node claims in the ring
+    /// (defaults to the bound address — override it when the ring names
+    /// a proxy or a non-loopback interface).
+    advertise: Option<SocketAddr>,
+    /// `--replicate-to addr`: ship this node's WAL to a standby.
+    replicate_to: Option<SocketAddr>,
+    /// `--repl-interval-ms N`: replication pump period.
+    repl_interval: Duration,
+}
+
+impl ClusterFlags {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let ring = match flag_value(args, "--ring") {
+            None => None,
+            Some("standby") => Some(HashRing::empty()),
+            Some(spec) => Some(HashRing::new(1, parse_ring_spec(spec)?, DEFAULT_VNODES)),
+        };
+        let advertise = match flag_value(args, "--advertise") {
+            Some(a) => Some(a.parse().map_err(|e| format!("--advertise: {e}"))?),
+            None => None,
+        };
+        let replicate_to = match flag_value(args, "--replicate-to") {
+            Some(a) => Some(a.parse().map_err(|e| format!("--replicate-to: {e}"))?),
+            None => None,
+        };
+        let repl_interval = Duration::from_millis(
+            flag_value(args, "--repl-interval-ms")
+                .unwrap_or("200")
+                .parse()
+                .map_err(|_| "--repl-interval-ms must be a number")?,
+        );
+        Ok(Self { ring, advertise, replicate_to, repl_interval })
+    }
+
+    /// Whether any cluster feature is on (forces full-log retention on
+    /// durable stores so the WAL stays exportable).
+    fn active(&self) -> bool {
+        self.ring.is_some() || self.replicate_to.is_some()
+    }
+}
+
+/// Applies the cluster flags to a freshly spawned SP daemon: installs
+/// the ring (making the node refuse keys it doesn't own) and starts the
+/// replication pump.
+fn apply_cluster<P: ProviderBackend + Send + Sync + 'static>(
+    service: &Arc<SpService<P>>,
+    daemon: &Daemon,
+    flags: &ClusterFlags,
+) -> Option<Replicator> {
+    if let Some(ring) = &flags.ring {
+        let advertise = flags.advertise.unwrap_or_else(|| daemon.addr());
+        service.enable_cluster(advertise, ring.clone());
+        if ring.is_empty() {
+            println!("sp: clustered standby as {advertise} (owns nothing until promoted)");
+        } else {
+            println!(
+                "sp: clustered as {advertise} in a {}-node ring (epoch {})",
+                ring.len(),
+                ring.epoch()
+            );
+        }
+    }
+    flags.replicate_to.map(|replica| {
+        println!("sp: replicating to {replica} every {:?}", flags.repl_interval);
+        Replicator::spawn(Arc::clone(service), replica, flags.repl_interval)
+    })
+}
+
 /// `serve-sp` / `serve-dh`: boots the daemon and blocks. With
 /// `--duration-ms` the run is bounded and a per-endpoint metrics summary
 /// is printed on exit (also how the CLI tests drive it).
@@ -279,8 +367,12 @@ fn cmd_serve(args: &[String], role: Role) -> Result<(), String> {
         .map_err(|_| "--shards must be a number")?;
     // A data directory swaps in the durable (WAL + snapshot) backend.
     let data_dir = flag_value(args, "--data-dir").map(PathBuf::from);
+    let cluster = ClusterFlags::parse(args)?;
+    if cluster.replicate_to.is_some() && data_dir.is_none() {
+        return Err("--replicate-to needs --data-dir: only WAL-backed stores can export".into());
+    }
 
-    let (name, metrics, daemon) = match (role, data_dir) {
+    let (name, metrics, daemon, replicator) = match (role, data_dir) {
         (Role::Sp, None) => {
             let service = Arc::new(SpService::new(
                 ServiceProvider::with_shards(shards),
@@ -291,32 +383,50 @@ fn cmd_serve(args: &[String], role: Role) -> Result<(), String> {
             // v2_negotiated, in-flight/queue peaks, out-of-order), so
             // the exit summary shows them next to the endpoints.
             cfg.metrics = metrics.clone();
-            let daemon =
-                Daemon::spawn(addr, service, cfg).map_err(|e| format!("binding {addr}: {e}"))?;
-            ("sp", metrics, daemon)
+            let daemon = Daemon::spawn(addr, Arc::clone(&service) as Arc<dyn Service>, cfg)
+                .map_err(|e| format!("binding {addr}: {e}"))?;
+            let replicator = apply_cluster(&service, &daemon, &cluster);
+            ("sp", metrics, daemon, replicator)
         }
         (Role::Sp, Some(dir)) => {
-            let store_cfg = StoreConfig { shards, ..StoreConfig::default() };
+            let store_cfg = StoreConfig {
+                shards,
+                // Clustered / replicating nodes never compact: the full
+                // log must stay exportable to (re)seed a replica.
+                snapshot_every: if cluster.active() {
+                    u64::MAX
+                } else {
+                    StoreConfig::default().snapshot_every
+                },
+                ..StoreConfig::default()
+            };
             let provider = DurableProvider::open(dir.join("sp"), store_cfg)
                 .map_err(|e| format!("opening durable store in {}: {e}", dir.display()))?;
             let replayed = provider.durability_counters().recovery_replayed_records;
             let service = Arc::new(SpService::new(provider, Construction1::new()));
             let metrics = service.metrics();
             cfg.metrics = metrics.clone();
-            let daemon =
-                Daemon::spawn(addr, service, cfg).map_err(|e| format!("binding {addr}: {e}"))?;
+            let daemon = Daemon::spawn(addr, Arc::clone(&service) as Arc<dyn Service>, cfg)
+                .map_err(|e| format!("binding {addr}: {e}"))?;
             println!("sp: durable store at {} (replayed {replayed} records)", dir.display());
-            ("sp", metrics, daemon)
+            let replicator = apply_cluster(&service, &daemon, &cluster);
+            ("sp", metrics, daemon, replicator)
         }
         (Role::Dh, None) => {
+            if cluster.active() {
+                return Err("--ring / --replicate-to apply only to serve-sp".into());
+            }
             let service = Arc::new(DhService::new(StorageHost::with_shards(shards)));
             let metrics = service.metrics();
             cfg.metrics = metrics.clone();
             let daemon =
                 Daemon::spawn(addr, service, cfg).map_err(|e| format!("binding {addr}: {e}"))?;
-            ("dh", metrics, daemon)
+            ("dh", metrics, daemon, None)
         }
         (Role::Dh, Some(dir)) => {
+            if cluster.active() {
+                return Err("--ring / --replicate-to apply only to serve-sp".into());
+            }
             let store_cfg = StoreConfig { shards, ..StoreConfig::default() };
             let host = DurableHost::open(dir.join("dh"), store_cfg)
                 .map_err(|e| format!("opening durable store in {}: {e}", dir.display()))?;
@@ -327,7 +437,7 @@ fn cmd_serve(args: &[String], role: Role) -> Result<(), String> {
             let daemon =
                 Daemon::spawn(addr, service, cfg).map_err(|e| format!("binding {addr}: {e}"))?;
             println!("dh: durable store at {} (replayed {replayed} records)", dir.display());
-            ("dh", metrics, daemon)
+            ("dh", metrics, daemon, None)
         }
     };
     println!("{name}: listening on {}", daemon.addr());
@@ -337,6 +447,9 @@ fn cmd_serve(args: &[String], role: Role) -> Result<(), String> {
         None => loop {
             std::thread::sleep(Duration::from_secs(3600));
         },
+    }
+    if let Some(replicator) = replicator {
+        replicator.stop();
     }
     daemon.shutdown();
     metrics.sync_crypto();
@@ -389,6 +502,11 @@ fn cmd_conn_hold(args: &[String]) -> Result<(), String> {
 /// through `VerifyBatch`. This is the workload that exposes store lock
 /// contention, so it is the one to compare across `--shards` settings.
 fn cmd_load(args: &[String]) -> Result<(), String> {
+    // `--cluster a:p,b:p,...` routes verify load through a consistent-
+    // hash cluster client instead of a single SP socket.
+    if let Some(spec) = flag_value(args, "--cluster") {
+        return run_cluster_verify_load(args, spec);
+    }
     let sp_addr: SocketAddr = flag_value(args, "--sp")
         .ok_or("--sp <addr:port> is required")?
         .parse()
@@ -665,6 +783,105 @@ fn run_verify_load(
     Ok(())
 }
 
+/// One `--cluster` load worker: publishes its own puzzle (the
+/// URL-derived ring key decides which node owns it), precomputes a
+/// correct response, then hammers routed `Verify`.
+fn cluster_verify_worker(
+    client: &ClusterClient,
+    context: &Context,
+    t: usize,
+    requests: usize,
+    k: usize,
+) -> Result<usize, String> {
+    let c1 = Construction1::new();
+    let mut rng = StdRng::from_entropy();
+    let url = social_puzzles::osn::Url::from(format!("dh://load/cluster/{t}").as_str());
+    let upload = c1
+        .upload_to(b"verify-load", context, k, url.clone(), None, &mut rng)
+        .map_err(|e| format!("upload: {e}"))?;
+    let id = client
+        .publish(&url, bytes::Bytes::from(upload.puzzle.to_bytes()))
+        .map_err(|e| format!("publish: {e}"))?;
+    let displayed = client.display_puzzle(id).map_err(|e| format!("display: {e}"))?;
+    let answers = displayed.answer(|q| context.answer_for(q).map(str::to_owned));
+    let response = c1.answer_puzzle(&displayed, &answers);
+    let user = UserId::from_raw(t as u64);
+    for _ in 0..requests {
+        client.verify(user, id, &response).map_err(|e| format!("verify: {e}"))?;
+    }
+    Ok(requests)
+}
+
+/// The `--cluster` load driver: `Verify` throughput through a routed
+/// cluster client spanning every ring member, one pipelined connection
+/// per node shared by all threads.
+fn run_cluster_verify_load(args: &[String], spec: &str) -> Result<(), String> {
+    if !matches!(flag_value(args, "--mode"), None | Some("verify")) {
+        return Err("--cluster supports --mode verify only".into());
+    }
+    let threads: usize = flag_value(args, "--threads")
+        .unwrap_or("4")
+        .parse()
+        .map_err(|_| "--threads must be a number")?;
+    let requests: usize = flag_value(args, "--requests")
+        .unwrap_or("50")
+        .parse()
+        .map_err(|_| "--requests must be a number")?;
+    let k: usize = flag_value(args, "-k")
+        .or(flag_value(args, "--threshold"))
+        .unwrap_or("2")
+        .parse()
+        .map_err(|_| "threshold must be a number")?;
+    let pipeline: usize = flag_value(args, "--pipeline")
+        .unwrap_or("16")
+        .parse()
+        .map_err(|_| "--pipeline must be a number")?;
+    let nodes = parse_ring_spec(spec)?;
+    if nodes.is_empty() {
+        return Err("--cluster needs at least one addr:port".into());
+    }
+    let node_count = nodes.len();
+    let ring = HashRing::new(1, nodes, DEFAULT_VNODES);
+    let client = ClusterClient::connect(
+        ring,
+        PipelineConfig { depth: pipeline.max(1), client: ClientConfig::default() },
+    );
+    let context = Context::builder()
+        .pair("Where was the event?", "lakeside cabin")
+        .pair("Who hosted it?", "priya")
+        .pair("What did we grill?", "corn")
+        .build()
+        .map_err(|e| e.to_string())?;
+    if k > context.len() {
+        return Err(format!("threshold {k} exceeds the {} built-in questions", context.len()));
+    }
+
+    let started = Instant::now();
+    let verified = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads.max(1))
+            .map(|t| {
+                let (client, context) = (&client, &context);
+                s.spawn(move || cluster_verify_worker(client, context, t, requests, k))
+            })
+            .collect();
+        handles.into_iter().try_fold(0usize, |acc, h| {
+            Ok::<usize, String>(acc + h.join().map_err(|_| "worker thread panicked".to_owned())??)
+        })
+    })?;
+    let wall = started.elapsed();
+    let stats = client.stats();
+    println!(
+        "cluster-load: {verified} verifies across {threads} threads over {node_count} nodes \
+         (pipeline {pipeline}) in {:.2}s ({:.0} verifies/s); {} redirects followed, \
+         {} rings learned",
+        wall.as_secs_f64(),
+        verified as f64 / wall.as_secs_f64().max(1e-9),
+        stats.redirects_followed,
+        stats.rings_learned,
+    );
+    Ok(())
+}
+
 /// `spuzzle bench-net [--full] [--out <file>]`: the end-to-end RPC
 /// pipelining sweep (real daemon, real sockets, 1 ms delay link — the
 /// same measurement the `sp-bench` figures binary writes to
@@ -756,6 +973,9 @@ fn cmd_sim(args: &[String]) -> Result<(), String> {
     if let Some(s) = flag_value(args, "--shards") {
         cfg.shards = s.parse().map_err(|_| "--shards must be a number")?;
     }
+    if let Some(n) = flag_value(args, "--socket-probe") {
+        cfg.socket_probe = n.parse().map_err(|_| "--socket-probe must be a number")?;
+    }
     let r = run(&cfg).map_err(|e| format!("invariant violation: {e}"))?;
     let c = r.counters;
     println!(
@@ -779,6 +999,10 @@ fn cmd_sim(args: &[String]) -> Result<(), String> {
         r.c2_cache_hits,
         r.c2_cache_misses,
         r.c2_cache_hit_rate() * 100.0,
+    );
+    println!(
+        "     socket-probes {} (denied {}) over real loopback daemons",
+        c.socket_probes, c.socket_probe_denials,
     );
     println!("decision_log_hash={} entries={}", r.hash_hex(), r.log_entries);
     println!(
